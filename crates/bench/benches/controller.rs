@@ -1,0 +1,50 @@
+//! End-to-end benchmark of a Tagwatch cycle (Phase I + assessment +
+//! cover search + Phase II) against the read-all baseline controller, and
+//! the scheduling-mode ablation (greedy vs naive bitmasks). Times here
+//! are host CPU cost per simulated cycle, not simulated air time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch_gen2::Epc;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_rf::ChannelPlan;
+use tagwatch_scene::presets;
+
+fn build(n: usize, n_mobile: usize, mode: SchedulingMode) -> (Controller, Reader) {
+    let scene = presets::turntable(n, n_mobile, 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
+    let mut rcfg = ReaderConfig::default();
+    rcfg.channel_plan = ChannelPlan::single(922.5e6);
+    let reader = Reader::new(scene, &epcs, rcfg, 5);
+    let mut cfg = TagwatchConfig::default().with_scheduling(mode);
+    cfg.phase2_len = 1.0;
+    cfg.mobile_ceiling = 1.0;
+    (Controller::new(cfg), reader)
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("controller_cycle");
+    group.sample_size(10);
+    for &(n, label, mode) in &[
+        (50usize, "tagwatch_50", SchedulingMode::Tagwatch),
+        (50, "naive_50", SchedulingMode::Naive),
+        (50, "read_all_50", SchedulingMode::ReadAll),
+        (200, "tagwatch_200", SchedulingMode::Tagwatch),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+            let (mut ctl, mut reader) = build(n, (n / 20).max(1), mode);
+            // Settle into steady state once, outside measurement.
+            for _ in 0..5 {
+                ctl.run_cycle(&mut reader).unwrap();
+            }
+            b.iter(|| black_box(ctl.run_cycle(&mut reader).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmarks for the Phase-II scheduler: index-table construction
+//! and the greedy weighted set-cover search (§5.3). This is the compute
+//! behind the Fig. 17 schedule-cost gap, so it must stay in the low
+//! milliseconds even at 400-tag populations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::{greedy_cover, naive_cover, select_cover, Bitmap, CoverConfig, IndexTable};
+use tagwatch_gen2::{CostModel, Epc};
+
+fn population(n: usize, seed: u64) -> Vec<Epc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Epc::random(&mut rng)).collect()
+}
+
+fn targets(n: usize, n_targets: usize) -> Vec<usize> {
+    (0..n).step_by((n / n_targets).max(1)).take(n_targets).collect()
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_table_build");
+    group.sample_size(20);
+    for &(n, nt) in &[(40usize, 2usize), (40, 5), (100, 10), (400, 20)] {
+        let epcs = population(n, 42);
+        let t = targets(n, nt);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nt}of{n}")),
+            &(epcs, t),
+            |b, (epcs, t)| {
+                b.iter(|| {
+                    black_box(IndexTable::build(epcs, t, &CoverConfig::default()));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_greedy_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_cover_search");
+    group.sample_size(20);
+    let cost = CostModel::paper();
+    for &(n, nt) in &[(40usize, 5usize), (100, 10), (400, 20)] {
+        let epcs = population(n, 7);
+        let t = targets(n, nt);
+        let table = IndexTable::build(&epcs, &t, &CoverConfig::default());
+        let bitmap = Bitmap::from_indices(n, &t);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nt}of{n}")),
+            &(table, bitmap),
+            |b, (table, bitmap)| {
+                b.iter(|| {
+                    black_box(greedy_cover(table, bitmap, &cost));
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline_vs_naive(c: &mut Criterion) {
+    // Ablation: the complete §5 pipeline (table + greedy + guard) against
+    // the naive per-EPC plan construction.
+    let mut group = c.benchmark_group("cover_pipeline_20of400");
+    group.sample_size(20);
+    let cost = CostModel::paper();
+    let epcs = population(400, 9);
+    let t = targets(400, 20);
+    group.bench_function("tagwatch_select_cover", |b| {
+        b.iter(|| black_box(select_cover(&epcs, &t, &cost, &CoverConfig::default())))
+    });
+    group.bench_function("naive_per_epc", |b| {
+        b.iter(|| black_box(naive_cover(&epcs, &t, &cost)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table_build,
+    bench_greedy_search,
+    bench_full_pipeline_vs_naive
+);
+criterion_main!(benches);

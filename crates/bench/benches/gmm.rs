@@ -1,0 +1,91 @@
+//! Microbenchmarks for the motion-assessment hot path: per-reading GMM
+//! updates and classification, plus the ablation against the naive
+//! differencing detectors. Phase I processes one update per tag reading,
+//! so this is the per-read CPU cost of the middleware.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::motion::{Detector, DiffDetector, MogDetector};
+use tagwatch::{Gmm, GmmConfig};
+use tagwatch_rf::{sample_normal, wrap_2pi, RfMeasurement};
+
+fn phases(n: usize, modes: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|k| {
+            let center = (k % modes) as f64 * 1.9;
+            wrap_2pi(sample_normal(&mut rng, center, 0.1))
+        })
+        .collect()
+}
+
+fn meas(phase: f64, k: usize) -> RfMeasurement {
+    RfMeasurement {
+        phase,
+        rss_dbm: -50.0,
+        channel: (k % 16) as u8,
+        freq_hz: 922.5e6,
+        antenna: (k % 4) as u8 + 1,
+        t: k as f64 * 0.02,
+    }
+}
+
+fn bench_gmm_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmm_observe");
+    for &modes in &[1usize, 3, 8] {
+        let samples = phases(4096, modes, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(modes), &samples, |b, samples| {
+            b.iter(|| {
+                let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+                for &x in samples {
+                    black_box(gmm.observe(x));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gmm_classify(c: &mut Criterion) {
+    let samples = phases(4096, 3, 7);
+    let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+    gmm.train(&samples);
+    c.bench_function("gmm_classify_trained", |b| {
+        b.iter(|| {
+            for &x in &samples {
+                black_box(gmm.classify(x));
+            }
+        })
+    });
+}
+
+fn bench_detector_families(c: &mut Criterion) {
+    let samples = phases(4096, 3, 11);
+    let mut group = c.benchmark_group("detector_observe_4096_reads");
+    group.bench_function("phase_mog", |b| {
+        b.iter(|| {
+            let mut det = MogDetector::phase();
+            for (k, &x) in samples.iter().enumerate() {
+                black_box(det.observe(&meas(x, k)));
+            }
+        })
+    });
+    group.bench_function("phase_diff", |b| {
+        b.iter(|| {
+            let mut det = DiffDetector::phase(0.3);
+            for (k, &x) in samples.iter().enumerate() {
+                black_box(det.observe(&meas(x, k)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gmm_observe,
+    bench_gmm_classify,
+    bench_detector_families
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks for the simulation substrate itself: how fast the
+//! discrete-event Gen2 engine runs inventory rounds. This bounds how
+//! much simulated air time the figure harness can chew through per CPU
+//! second (the Fig. 18 sweep simulates hours).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch_gen2::{
+    run_round, Epc, InvFlag, LinkTiming, QAdaptive, Query, QuerySel, RoundConfig, Select, Session,
+    TagProto,
+};
+use tagwatch_reader::{Reader, ReaderConfig, RoSpec};
+use tagwatch_scene::presets;
+
+fn bench_raw_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen2_round");
+    for &n in &[10usize, 40, 100, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let template: Vec<TagProto> = (0..n)
+                .map(|_| TagProto::new(Epc::random(&mut rng)))
+                .collect();
+            let query = Query {
+                q: (n as f64).log2().ceil() as u8,
+                sel: QuerySel::All,
+                session: Session::S0,
+                target: InvFlag::A,
+            };
+            b.iter(|| {
+                let mut tags = template.clone();
+                for t in tags.iter_mut() {
+                    t.handle_select(&Select::reset_inventoried(Session::S0));
+                }
+                let mut sizer = QAdaptive::new(query.q);
+                black_box(run_round(
+                    &mut tags,
+                    &RoundConfig::new(query),
+                    &mut sizer,
+                    &LinkTiming::r420(),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reader_execute(c: &mut Criterion) {
+    // Full stack: protocol + channel model + scene kinematics.
+    let mut group = c.benchmark_group("reader_execute_read_all");
+    group.sample_size(20);
+    for &n in &[40usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let scene = presets::random_room(n, 5);
+            let mut rng = StdRng::seed_from_u64(6);
+            let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
+            let spec = RoSpec::read_all(1, vec![1]);
+            b.iter(|| {
+                let mut reader = Reader::new(scene.clone(), &epcs, ReaderConfig::default(), 7);
+                black_box(reader.execute(&spec).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_round, bench_reader_execute);
+criterion_main!(benches);

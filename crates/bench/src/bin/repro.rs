@@ -1,0 +1,190 @@
+//! The figure-reproduction CLI.
+//!
+//! ```text
+//! repro <figN|all> [--seed N] [--quick|--full]
+//! ```
+//!
+//! Each subcommand regenerates one figure of the paper's evaluation and
+//! prints the corresponding rows/series (plus the paper's anchor values
+//! for comparison). `--quick` shrinks repetitions/populations for smoke
+//! runs; the default is a medium setting; `--full` approaches the paper's
+//! scale (slow).
+
+use std::process::ExitCode;
+use tagwatch_bench::experiments::*;
+
+struct Opts {
+    seed: u64,
+    /// 0 = quick, 1 = default, 2 = full.
+    scale: u8,
+    /// Directory for plotting-friendly CSV series, when requested.
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+impl Opts {
+    fn write_csv(&self, name: &str, contents: &str) -> Result<(), String> {
+        let Some(dir) = &self.csv_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        let path = dir.join(format!("{name}.csv"));
+        std::fs::write(&path, contents).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("wrote {path:?}");
+        Ok(())
+    }
+}
+
+fn parse_args() -> Result<(Vec<String>, Opts), String> {
+    let mut figs = Vec::new();
+    let mut opts = Opts {
+        seed: common::DEFAULT_SEED,
+        scale: 1,
+        csv_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                opts.csv_dir = Some(v.into());
+            }
+            "--quick" => opts.scale = 0,
+            "--full" => opts.scale = 2,
+            "--help" | "-h" => return Err(usage()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            fig => figs.push(fig.to_string()),
+        }
+    }
+    if figs.is_empty() {
+        return Err(usage());
+    }
+    Ok((figs, opts))
+}
+
+fn usage() -> String {
+    "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
+     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc> [--seed N] [--quick|--full] [--csv DIR]"
+        .to_string()
+}
+
+fn run_fig(name: &str, o: &Opts) -> Result<(), String> {
+    let quick = o.scale == 0;
+    match name {
+        "fig1" => {
+            let duration = [8.0, 15.0, 40.0][o.scale as usize];
+            println!("{}", fig01::run(o.seed, duration));
+        }
+        "fig2" => {
+            let reps = [2, 10, 50][o.scale as usize];
+            let r = fig02::run(o.seed, reps);
+            o.write_csv("fig2", &csv::fig2(&r))?;
+            println!("{r}");
+        }
+        "fig3" => println!("{}", fig03::run(o.seed, quick)),
+        "fig4" => println!("{}", fig04::run(o.seed, quick)),
+        "fig8" => {
+            let duration = [30.0, 90.0, 300.0][o.scale as usize];
+            println!("{}", fig08::run(o.seed, duration));
+        }
+        "fig12" => {
+            let (n, d) = [(25, 40.0), (60, 90.0), (100, 240.0)][o.scale as usize];
+            let r = fig12::run(o.seed, n, d);
+            o.write_csv("fig12", &csv::fig12(&r))?;
+            println!("{r}");
+        }
+        "fig13" => {
+            let trials = [6, 20, 40][o.scale as usize];
+            let r = fig13::run(o.seed, trials);
+            o.write_csv("fig13", &csv::fig13(&r))?;
+            println!("{r}");
+        }
+        "fig14" => {
+            let reps = [2, 5, 15][o.scale as usize];
+            let r = fig14::run(o.seed, reps);
+            o.write_csv("fig14", &csv::fig14(&r))?;
+            println!("{r}");
+        }
+        "fig15" => {
+            let cycles = [3, 10, 50][o.scale as usize];
+            let r = fig15::run(o.seed, 2, cycles);
+            o.write_csv("fig15", &csv::feasibility(&r))?;
+            println!("{r}");
+        }
+        "fig16" => {
+            let cycles = [3, 10, 50][o.scale as usize];
+            let r = fig15::run(o.seed, 5, cycles);
+            o.write_csv("fig16", &csv::feasibility(&r))?;
+            println!("{r}");
+        }
+        "fig17" => {
+            let cycles = [100, 1000, 50_000][o.scale as usize];
+            println!("{}", fig17::run(o.seed, cycles));
+        }
+        "fig18" => {
+            let r = fig18::run(o.seed, o.scale < 2);
+            o.write_csv("fig18", &csv::fig18(&r))?;
+            println!("{r}");
+        }
+        "ablate-cover" => {
+            let n = [40, 100, 400][o.scale as usize];
+            println!("{}", ablations::cover(o.seed, n));
+        }
+        "ablate-gmm" => {
+            let duration = [20.0, 45.0, 120.0][o.scale as usize];
+            println!("{}", ablations::gmm_k(o.seed, duration));
+        }
+        "ablate-cycle" => println!("{}", ablations::cycle_len(o.seed)),
+        "gate" => {
+            let (parked, pieces) = [(80, 4), (150, 10), (250, 25)][o.scale as usize];
+            println!("{}", gate::run(o.seed, parked, pieces));
+        }
+        "ablate-epc" => {
+            let n = [60, 100, 400][o.scale as usize];
+            println!("{}", ablations::epc_structure(o.seed, n));
+        }
+        "ablate-truncate" => {
+            let sweeps = [20, 60, 200][o.scale as usize];
+            println!("{}", ablations::truncation(o.seed, sweeps));
+        }
+        other => return Err(format!("unknown figure {other:?}\n{}", usage())),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (figs, opts) = match parse_args() {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let order = [
+        "fig1", "fig2", "fig3", "fig4", "fig8", "fig12", "fig13", "fig14", "fig15", "fig16",
+        "fig17", "fig18", "gate", "ablate-cover", "ablate-gmm", "ablate-cycle",
+        "ablate-truncate", "ablate-epc",
+    ];
+    let expanded: Vec<String> = if figs.iter().any(|f| f == "all") {
+        // "all" = every figure plus the supplementary experiments; any
+        // other explicitly named targets are already covered.
+        order.iter().map(|s| s.to_string()).collect()
+    } else {
+        figs
+    };
+    for (i, fig) in expanded.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        if let Err(msg) = run_fig(fig, &opts) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

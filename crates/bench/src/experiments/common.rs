@@ -1,0 +1,111 @@
+//! Shared experiment plumbing: population builders, warm-up helpers, and
+//! small table-printing utilities used by every figure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_rf::ChannelPlan;
+use tagwatch_scene::Scene;
+
+/// Default experiment seed (override with `--seed`).
+pub const DEFAULT_SEED: u64 = 7;
+
+/// Random EPCs for a population (the paper deploys "tags with random
+/// EPCs", §7.2).
+pub fn random_epcs(n: usize, seed: u64) -> Vec<Epc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Epc::random(&mut rng)).collect()
+}
+
+/// A reader over `scene` with a single-frequency plan — detection and
+/// tracking experiments use one channel so model warm-up matches the
+/// paper's timescales (its 2 s dwells keep whole experiments on one
+/// channel; see EXPERIMENTS.md).
+pub fn single_channel_reader(scene: Scene, epcs: &[Epc], seed: u64) -> Reader {
+    let cfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        ..ReaderConfig::default()
+    };
+    Reader::new(scene, epcs, cfg, seed)
+}
+
+/// A reader with the full 16-channel China-band plan (IRR experiments,
+/// where frequency diversity matters but detection does not).
+pub fn hopping_reader(scene: Scene, epcs: &[Epc], seed: u64) -> Reader {
+    Reader::new(scene, epcs, ReaderConfig::default(), seed)
+}
+
+/// Runs warm-up cycles until the controller settles into selective
+/// scheduling of a *minority* of tags (immobility models established —
+/// early cycles treat every unknown tag as mobile, so "selective over
+/// everyone" does not count), up to `max_cycles`. Returns the number of
+/// warm-up cycles consumed.
+pub fn warm_up(ctl: &mut Controller, reader: &mut Reader, max_cycles: usize) -> usize {
+    let mut stable = 0usize;
+    for cycle in 0..max_cycles {
+        let rep = ctl.run_cycle(reader).expect("valid config");
+        let minority = rep.targets.len() * 100 <= rep.census.len().max(1) * 35;
+        if rep.mode == ScheduleMode::Selective && minority {
+            stable += 1;
+            if stable >= 3 {
+                return cycle + 1;
+            }
+        } else {
+            stable = 0;
+        }
+    }
+    max_cycles
+}
+
+/// Formats a row of f64 cells with a label.
+pub fn fmt_row(label: &str, cells: &[f64], width: usize, precision: usize) -> String {
+    let mut s = format!("{label:<24}");
+    for c in cells {
+        s.push_str(&format!(" {c:>width$.precision$}"));
+    }
+    s
+}
+
+/// Prints a rule line sized for `cols` numeric columns.
+pub fn rule(cols: usize, width: usize) -> String {
+    "-".repeat(24 + cols * (width + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_scene::presets;
+
+    #[test]
+    fn epcs_are_unique_and_seeded() {
+        let a = random_epcs(50, 1);
+        let b = random_epcs(50, 1);
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 50);
+    }
+
+    #[test]
+    fn warm_up_converges_on_simple_scene() {
+        let scene = presets::turntable(20, 1, 3);
+        let epcs = random_epcs(20, 4);
+        let mut reader = single_channel_reader(scene, &epcs, 5);
+        let mut cfg = TagwatchConfig::default();
+        cfg.phase2_len = 1.0;
+        cfg.gmm.alpha = 0.01;
+        let mut ctl = Controller::new(cfg);
+        let used = warm_up(&mut ctl, &mut reader, 40);
+        assert!(used < 40, "warm-up did not converge in {used} cycles");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        let row = fmt_row("x", &[1.5, 2.25], 8, 2);
+        assert!(row.contains("1.50"));
+        assert!(row.contains("2.25"));
+        assert_eq!(rule(2, 8).len(), 24 + 2 * 9);
+    }
+}

@@ -1,0 +1,119 @@
+//! CSV rendering of experiment results — plotting-friendly series for
+//! every curve-shaped figure, written by `repro --csv <dir>`.
+
+use crate::experiments::{fig02, fig12, fig13, fig14, fig15, fig18};
+
+/// Fig. 2: `n,irr_sim_hz,irr_model_hz,cost_sim_ms`.
+pub fn fig2(result: &fig02::Fig2) -> String {
+    let mut out = String::from("n,irr_sim_hz,irr_model_hz,cost_sim_ms\n");
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.3}\n",
+            r.n,
+            r.irr_sim,
+            r.irr_model,
+            r.cost_sim * 1e3
+        ));
+    }
+    out
+}
+
+/// Fig. 12: `detector,threshold,tpr,fpr`.
+pub fn fig12(result: &fig12::Fig12) -> String {
+    let mut out = String::from("detector,threshold,tpr,fpr\n");
+    for curve in &result.curves {
+        for p in &curve.points {
+            out.push_str(&format!(
+                "{},{},{:.4},{:.4}\n",
+                curve.name, p.threshold, p.tpr, p.fpr
+            ));
+        }
+    }
+    out
+}
+
+/// Fig. 13: `displacement_cm,phase_rate,rss_rate`.
+pub fn fig13(result: &fig13::Fig13) -> String {
+    let mut out = String::from("displacement_cm,phase_rate,rss_rate\n");
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:.0},{:.3},{:.3}\n",
+            r.displacement * 100.0,
+            r.phase_rate,
+            r.rss_rate
+        ));
+    }
+    out
+}
+
+/// Fig. 14: `train_s,train_readings,accuracy`.
+pub fn fig14(result: &fig14::Fig14) -> String {
+    let mut out = String::from("train_s,train_readings,accuracy\n");
+    for p in &result.points {
+        out.push_str(&format!(
+            "{:.2},{},{:.4}\n",
+            p.train_s, p.train_readings, p.accuracy
+        ));
+    }
+    out
+}
+
+/// Figs. 15/16: `tag,is_target,irr_read_all,irr_tagwatch,irr_naive`.
+pub fn feasibility(result: &fig15::Feasibility) -> String {
+    let mut out = String::from("tag,is_target,irr_read_all,irr_tagwatch,irr_naive\n");
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.3}\n",
+            r.tag, r.is_target as u8, r.irr_read_all, r.irr_tagwatch, r.irr_naive
+        ));
+    }
+    out
+}
+
+/// Fig. 18: `pct_mobile,tagwatch_p50,tagwatch_p90,tagwatch_std,naive_p50,samples`.
+pub fn fig18(result: &fig18::Fig18) -> String {
+    let mut out =
+        String::from("pct_mobile,tagwatch_p50,tagwatch_p90,tagwatch_std,naive_p50,samples\n");
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:.0},{:.3},{:.3},{:.3},{:.3},{}\n",
+            r.pct_mobile * 100.0,
+            r.tagwatch_median,
+            r.tagwatch_p90,
+            r.tagwatch_std,
+            r.naive_median,
+            r.samples
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_csv_shape() {
+        let result = fig02::run(7, 1);
+        let csv = fig2(&result);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines[0], "n,irr_sim_hz,irr_model_hz,cost_sim_ms");
+        assert_eq!(lines.len(), result.rows.len() + 1);
+        // Every data row has 4 comma-separated numeric fields.
+        for line in &lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 4, "{line}");
+            for f in fields {
+                f.parse::<f64>().expect("numeric CSV field");
+            }
+        }
+    }
+
+    #[test]
+    fn fig13_csv_shape() {
+        let result = fig13::run(7, 2);
+        let csv = fig13(&result);
+        assert!(csv.starts_with("displacement_cm,"));
+        assert_eq!(csv.trim().lines().count(), result.rows.len() + 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! **E12 / Fig. 1** — the application study: tracking a tag on a toy
+//! train (circular track, 0.7 m/s) while 0/2/4 stationary tags contend
+//! for air time, with traditional reading versus Tagwatch's rate-adaptive
+//! reading. The tracked trajectory's accuracy is the end-to-end measure
+//! of what reading rate buys.
+
+use crate::experiments::common::random_epcs;
+use tagwatch::prelude::*;
+use tagwatch_gen2::LinkTiming;
+use tagwatch_reader::{Reader, ReaderConfig, RoSpec, TagReport};
+use tagwatch_rf::{ChannelPlan, LinkGeometry, Vec3};
+use tagwatch_scene::presets;
+use tagwatch_tracking::{accuracy, HologramConfig, Localizer, Tracker};
+
+/// Antenna dwell used by the tracking-mode reader (LLRP AISpec duration).
+const DWELL: f64 = 0.05;
+
+/// One experimental condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1Row {
+    /// Number of stationary tags beside the track.
+    pub n_static: usize,
+    /// Whether Tagwatch (true) or traditional read-all (false) drove it.
+    pub rate_adaptive: bool,
+    /// Mean reading rate of the mobile tag over the tracked window, Hz.
+    pub irr: f64,
+    /// Mean trajectory error, metres.
+    pub mean_err: f64,
+    /// Standard deviation of the trajectory error.
+    pub std_err: f64,
+    /// Number of trajectory fixes.
+    pub fixes: usize,
+}
+
+/// Experiment result: the four conditions of Fig. 1.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    pub rows: Vec<Fig1Row>,
+}
+
+/// Ground-truth position of the train (matches `presets::tracking_study`).
+fn train_truth(t: f64) -> Vec3 {
+    let omega = 0.7 / 0.2;
+    Vec3::new(0.2 * (omega * t).cos(), 0.2 * (omega * t).sin(), 0.8)
+}
+
+/// Builds a calibrated localizer for the reader's channel model (the
+/// paper fixes the train's initial position at a known point).
+fn calibrated_localizer(reader: &Reader) -> Localizer {
+    let ants: Vec<(u8, Vec3)> = reader
+        .scene
+        .antennas
+        .iter()
+        .map(|a| (a.port, a.position))
+        .collect();
+    let mut loc = Localizer::new(&ants, HologramConfig::default());
+    // Synthesize a clean calibration burst at the known start position —
+    // equivalent to holding the train still before the run.
+    let model = reader.config().channel_model;
+    let chan = ChannelPlan::single(922.5e6).channel_at(0.0);
+    let start = train_truth(0.0);
+    let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+    let mut cal = Vec::new();
+    for &(port, apos) in &ants {
+        // Average over a burst to wash out phase noise.
+        for _ in 0..25 {
+            let link = LinkGeometry {
+                antenna: apos,
+                tag: start,
+                reflectors: &[],
+            };
+            let rf = model.observe(&link, 0, port, chan, 0.0, &mut rng);
+            cal.push(TagReport {
+                epc: Epc::from_bits(0),
+                tag_idx: 0,
+                rf,
+            });
+        }
+    }
+    loc.calibrate(start, &cal);
+    loc
+}
+
+/// Runs one condition.
+fn condition(seed: u64, n_static: usize, rate_adaptive: bool, duration: f64) -> Fig1Row {
+    let scene = presets::tracking_study(n_static, seed);
+    let n = scene.tags.len();
+    let epcs = random_epcs(n, seed ^ 0x1A);
+    // Tracking-mode reader: streaming link profile (per-read reporting
+    // cost) on a single channel, driven with dwell-based continuous
+    // reading — the regime of the paper's Fig. 1, where IRR scales ~1/n.
+    let rcfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        link: LinkTiming::r420_tracking(),
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(scene, &epcs, rcfg, seed ^ 0x1B);
+    let localizer = calibrated_localizer(&reader);
+    let antennas = vec![1, 2, 3, 4];
+
+    let reports: Vec<TagReport> = if rate_adaptive {
+        // The paper's Phase-II length (5 s): long selective stretches keep
+        // the mover's sampling dense; Phase I's read-all sweep is the only
+        // sparse interval per cycle.
+        let phase2_len = 5.0;
+        let mut cfg = TagwatchConfig::with_antennas(antennas);
+        cfg.phase2_len = phase2_len;
+        cfg.phase2_dwell = Some(DWELL);
+        let mut ctl = Controller::new(cfg);
+        // Warm-up: let the stationary tags' immobility models establish
+        // (the mover needs no model to be scheduled — unexplained phase is
+        // motion evidence from the first cycle).
+        for _ in 0..8 {
+            ctl.run_cycle(&mut reader).expect("valid config");
+        }
+        let mut collected = Vec::new();
+        let cycles = (duration / (phase2_len + 0.5)).ceil() as usize;
+        for _ in 0..cycles {
+            let rep = ctl.run_cycle(&mut reader).expect("valid config");
+            collected.extend(rep.phase1);
+            collected.extend(rep.phase2);
+        }
+        collected
+    } else {
+        let spec = RoSpec::read_all_continuous(1, antennas, DWELL);
+        // Matched settling time for the reader's link adaptation.
+        reader.run_for(&spec, 2.0).expect("valid spec");
+        reader.run_for(&spec, duration).expect("valid spec")
+    };
+
+    let mover: Vec<TagReport> = reports.iter().filter(|r| r.tag_idx == 0).copied().collect();
+    let irr = mover.len() as f64 / duration;
+
+    // The tracker's prior starts at the truth of the first tracked read.
+    // Windows span ~1.5 antenna sweeps so fixes see several antennas;
+    // the laboratory multipath in the scene is what couples accuracy to
+    // reading rate (more reads per window average the disturbance down).
+    let t_first = mover.first().map(|r| r.rf.t).unwrap_or(0.0);
+    let mut tracker = Tracker::new(localizer, train_truth(t_first), 0.1);
+    // Gate out multipath-corrupted and under-constrained windows: they
+    // coast rather than drag the prior off the track.
+    tracker.min_score = 0.55;
+    tracker.min_reads = 3;
+    let fixes = tracker.track(&mover);
+    let (mean_err, std_err) = accuracy(&fixes, train_truth);
+
+    Fig1Row {
+        n_static,
+        rate_adaptive,
+        irr,
+        mean_err,
+        std_err,
+        fixes: fixes.len(),
+    }
+}
+
+/// Runs all four conditions of Fig. 1.
+pub fn run(seed: u64, duration: f64) -> Fig1 {
+    let rows = vec![
+        condition(seed, 0, false, duration),
+        condition(seed, 2, false, duration),
+        condition(seed, 4, false, duration),
+        condition(seed, 4, true, duration),
+    ];
+    Fig1 { rows }
+}
+
+impl std::fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 1 — tracking a toy train with companion stationary tags")?;
+        writeln!(
+            f,
+            "{:>20} {:>10} {:>12} {:>12} {:>8}",
+            "condition", "IRR (Hz)", "mean err(cm)", "std (cm)", "fixes"
+        )?;
+        for r in &self.rows {
+            let label = format!(
+                "(1+{}) {}",
+                r.n_static,
+                if r.rate_adaptive { "Tagwatch" } else { "read-all" }
+            );
+            writeln!(
+                f,
+                "{:>20} {:>10.1} {:>12.2} {:>12.2} {:>8}",
+                label,
+                r.irr,
+                r.mean_err * 100.0,
+                r.std_err * 100.0,
+                r.fixes
+            )?;
+        }
+        writeln!(
+            f,
+            "paper anchors: read-all 1.8 cm → 6 cm → 10.6 cm as statics grow; Tagwatch (1+4) ≈ 3.3 cm"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_degrades_with_contention_and_tagwatch_restores_it() {
+        let r = run(7, 12.0);
+        let all0 = &r.rows[0];
+        let all4 = &r.rows[2];
+        let tw4 = &r.rows[3];
+        // Reading rate falls as statics are added.
+        assert!(all0.irr > all4.irr, "IRR {} vs {}", all0.irr, all4.irr);
+        // Tracking degrades with contention…
+        assert!(
+            all4.mean_err > all0.mean_err,
+            "no degradation: {} vs {}",
+            all4.mean_err,
+            all0.mean_err
+        );
+        // …and Tagwatch recovers most of it with 4 statics present.
+        assert!(
+            tw4.mean_err < all4.mean_err,
+            "Tagwatch {} vs read-all {}",
+            tw4.mean_err,
+            all4.mean_err
+        );
+        // Baseline (1+0) tracks to a few centimetres.
+        assert!(all0.mean_err < 0.06, "(1+0) err {}", all0.mean_err);
+    }
+}

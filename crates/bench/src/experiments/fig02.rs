@@ -1,0 +1,143 @@
+//! **E1 / Fig. 2** — Individual reading rate vs population size: the
+//! simulated COTS reader against the paper's closed-form model
+//! `Λ(n) = 1/(τ0 + n·e·τ̄·ln n)`, plus a least-squares re-fit of (τ0, τ̄)
+//! from the simulated costs (the paper's §2.3 parameter estimation).
+
+use crate::experiments::common::{hopping_reader, random_epcs};
+use tagwatch::prelude::*;
+use tagwatch_reader::RoSpec;
+use tagwatch_scene::presets;
+
+/// One row of the Fig. 2 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Row {
+    /// Population size.
+    pub n: usize,
+    /// Simulated IRR in Hz (mean over rounds and repetitions).
+    pub irr_sim: f64,
+    /// Model IRR `Λ(n)` with the paper's fitted parameters.
+    pub irr_model: f64,
+    /// Mean simulated inventory cost `C(n)` in seconds.
+    pub cost_sim: f64,
+}
+
+/// Full experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    pub rows: Vec<Fig2Row>,
+    /// (τ0, τ̄) fitted to the simulated costs.
+    pub fitted: CostModel,
+}
+
+/// Runs the experiment. `reps` repetitions per population size (the paper
+/// uses 50).
+pub fn run(seed: u64, reps: usize) -> Fig2 {
+    let model = CostModel::paper();
+    let sizes = [1usize, 2, 5, 10, 15, 20, 25, 30, 35, 40];
+    let mut rows = Vec::new();
+    let mut fit_samples: Vec<(usize, f64)> = Vec::new();
+
+    for &n in &sizes {
+        let mut total_cost = 0.0;
+        let mut total_rounds = 0usize;
+        for rep in 0..reps {
+            let scene = presets::random_room(n, seed ^ (rep as u64) << 8 ^ n as u64);
+            let epcs = random_epcs(n, seed ^ 0xE9C ^ (rep as u64) << 16 ^ n as u64);
+            let mut reader = hopping_reader(scene, &epcs, seed ^ 0x5EED ^ rep as u64);
+            let spec = RoSpec::read_all(1, vec![1]);
+            // Warm-up rounds let the reader's link-rate adaptation settle
+            // (a real R420's Autoset does the same before steady state).
+            for _ in 0..4 {
+                reader.execute(&spec).expect("valid spec");
+            }
+            reader.events.take();
+            let measured_rounds = 8;
+            for _ in 0..measured_rounds {
+                reader.execute(&spec).expect("valid spec");
+            }
+            for ev in reader.events.take() {
+                total_cost += ev.duration();
+                total_rounds += 1;
+            }
+        }
+        let mean_cost = total_cost / total_rounds as f64;
+        fit_samples.push((n, mean_cost));
+        rows.push(Fig2Row {
+            n,
+            irr_sim: 1.0 / mean_cost,
+            irr_model: model.irr(n),
+            cost_sim: mean_cost,
+        });
+    }
+
+    Fig2 {
+        rows,
+        fitted: CostModel::fit(&fit_samples).expect("≥2 sizes"),
+    }
+}
+
+impl std::fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 2 — IRR vs number of tags (model: τ0 = 19 ms, τ̄ = 0.18 ms)"
+        )?;
+        writeln!(f, "{:>4} {:>12} {:>12} {:>12}", "n", "IRR sim(Hz)", "IRR model", "C(n) sim(ms)")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>4} {:>12.1} {:>12.1} {:>12.1}",
+                r.n,
+                r.irr_sim,
+                r.irr_model,
+                r.cost_sim * 1e3
+            )?;
+        }
+        writeln!(
+            f,
+            "fitted from simulation: τ0 = {:.1} ms, τ̄ = {:.3} ms  (paper: 19 ms, 0.18 ms)",
+            self.fitted.tau0 * 1e3,
+            self.fitted.tau_bar * 1e3
+        )?;
+        let drop = 1.0 - self.rows.last().unwrap().irr_sim / self.rows[0].irr_sim;
+        writeln!(f, "IRR drop n=1 → n=40: {:.0}%  (paper: ≈84%)", drop * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let result = run(7, 2);
+        // Monotone decreasing IRR.
+        for w in result.rows.windows(2) {
+            assert!(
+                w[1].irr_sim < w[0].irr_sim,
+                "IRR must fall with n: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Endpoints in the paper's bands.
+        let first = &result.rows[0];
+        let last = result.rows.last().unwrap();
+        assert!((35.0..70.0).contains(&first.irr_sim), "Λ(1) = {}", first.irr_sim);
+        assert!((6.0..18.0).contains(&last.irr_sim), "Λ(40) = {}", last.irr_sim);
+        // ~84% drop, generous band.
+        let drop = 1.0 - last.irr_sim / first.irr_sim;
+        assert!((0.65..0.95).contains(&drop), "drop {drop}");
+        // The re-fit lands near the paper's parameters.
+        assert!(
+            (10e-3..30e-3).contains(&result.fitted.tau0),
+            "τ0 {}",
+            result.fitted.tau0
+        );
+        assert!(
+            (0.1e-3..0.4e-3).contains(&result.fitted.tau_bar),
+            "τ̄ {}",
+            result.fitted.tau_bar
+        );
+    }
+}

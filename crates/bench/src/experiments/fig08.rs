@@ -1,0 +1,122 @@
+//! **E4 / Fig. 8** — the phase distribution of a *stationary* tag in a
+//! dynamic environment (people walking) is multi-modal, and the
+//! self-learning GMM captures one Gaussian per multipath mode — the
+//! empirical justification for modelling immobility with a mixture.
+
+use crate::experiments::common::{random_epcs, single_channel_reader};
+use tagwatch::prelude::*;
+use tagwatch_reader::RoSpec;
+use tagwatch_rf::Vec3;
+use tagwatch_scene::{Scene, SceneReflector, SceneTag, Trajectory};
+
+/// Experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// 36-bin histogram of the stationary tag's phase readings, radians.
+    pub histogram: [usize; 36],
+    /// Total readings collected.
+    pub readings: usize,
+    /// Established GMM modes learned from the stream: (mean, sigma, weight).
+    pub modes: Vec<(f64, f64, f64)>,
+    /// Number of histogram bins acting as local maxima (mode count proxy).
+    pub histogram_peaks: usize,
+}
+
+/// Runs the experiment: one stationary tag with a person repeatedly
+/// walking close by (the paper "ask[s] a person to walk around"), read
+/// continuously for `duration` simulated seconds.
+pub fn run(seed: u64, duration: f64) -> Fig8 {
+    let mut scene = Scene::with_single_antenna();
+    scene.antennas[0].position = Vec3::new(0.0, 0.0, 2.0);
+    scene.add_tag(SceneTag::fixed(0, Vec3::new(1.5, 0.3, 0.8)));
+    // The walker's path passes within ~0.4 m of the tag and out to ~2 m:
+    // close approaches dominate the scattering (Γ/(d₁·d₂)), producing the
+    // handful of quasi-stable phase modes Fig. 7/8 describes.
+    scene.add_reflector(SceneReflector {
+        trajectory: Trajectory::Patrol {
+            a: Vec3::new(1.2, -0.4, 1.0),
+            b: Vec3::new(2.4, 1.8, 1.0),
+            speed: 0.8,
+            t_offset: 0.0,
+        },
+        coefficient: 0.35,
+    });
+    let epcs = random_epcs(1, seed ^ 0xF18);
+    let mut reader = single_channel_reader(scene, &epcs, seed ^ 0x808);
+    let spec = RoSpec::read_all(1, vec![1]);
+    let reports = reader.run_for(&spec, duration).expect("valid spec");
+
+    let mut histogram = [0usize; 36];
+    let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+    for r in &reports {
+        let bin = ((r.rf.phase / std::f64::consts::TAU) * 36.0) as usize;
+        histogram[bin.min(35)] += 1;
+        gmm.observe(r.rf.phase);
+    }
+
+    let mut modes: Vec<(f64, f64, f64)> = gmm
+        .established_modes()
+        .map(|m| (m.g.mean, m.g.sigma, m.weight))
+        .collect();
+    modes.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("weights finite"));
+
+    let histogram_peaks = (0..36)
+        .filter(|&i| {
+            let prev = histogram[(i + 35) % 36];
+            let next = histogram[(i + 1) % 36];
+            histogram[i] > prev && histogram[i] >= next && histogram[i] > reports.len() / 50
+        })
+        .count();
+
+    Fig8 {
+        histogram,
+        readings: reports.len(),
+        modes,
+        histogram_peaks,
+    }
+}
+
+impl std::fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 8 — phase histogram of a stationary tag with people walking ({} readings)",
+            self.readings
+        )?;
+        let max = *self.histogram.iter().max().unwrap_or(&1);
+        for (i, &count) in self.histogram.iter().enumerate() {
+            let bar = "#".repeat((count * 50 / max.max(1)).min(50));
+            writeln!(
+                f,
+                "{:>5.2} rad |{bar:<50}| {count}",
+                (i as f64 + 0.5) * std::f64::consts::TAU / 36.0
+            )?;
+        }
+        writeln!(f, "histogram peaks: {} (paper: a few quasi-stable modes)", self.histogram_peaks)?;
+        writeln!(f, "established GMM modes (mean rad, sigma, weight):")?;
+        for (mean, sigma, weight) in &self.modes {
+            writeln!(f, "  μ = {mean:.2}  δ = {sigma:.3}  w = {weight:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_tag_phase_is_multimodal_and_learned() {
+        let r = run(7, 60.0);
+        assert!(r.readings > 1000, "{} readings", r.readings);
+        // The dominant mode is established and tight.
+        assert!(!r.modes.is_empty(), "no established modes");
+        assert!(r.modes[0].2 > 0.2, "dominant weight {}", r.modes[0].2);
+        // All mass is NOT in one bin: multipath spreads the phase.
+        let max_bin = *r.histogram.iter().max().unwrap();
+        assert!(
+            max_bin < r.readings,
+            "all readings in one bin — no multipath effect"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! **E7 / Fig. 14** — the learning curve: how much stationary-tag history
+//! does the mixture need before new readings match its immobility models?
+//!
+//! Protocol (§7.1): keep a tag stationary with a person walking around;
+//! collect one minute of readings; train on the first `T` only; score the
+//! next 100 ms as "correct" when a test reading is classified as
+//! consistent with *established* immobility. (The paper phrases the
+//! criterion as "matches one of the immobility Gaussian models"; in this
+//! implementation mere matching is instantaneous by construction — any
+//! first observation spawns a covering mode — so the meaningful learning
+//! timescale is a mode accumulating enough dwell weight to count as
+//! immobility evidence, which is also what Phase I's verdicts use.)
+
+use crate::experiments::common::{random_epcs, single_channel_reader};
+use tagwatch::prelude::*;
+use tagwatch_reader::{RoSpec, TagReport};
+use tagwatch_scene::presets;
+
+/// One point of the learning curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig14Point {
+    /// Training-history length in seconds.
+    pub train_s: f64,
+    /// Fraction of test readings matching a learned model.
+    pub accuracy: f64,
+    /// Number of training readings that length contains.
+    pub train_readings: usize,
+}
+
+/// Experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    pub points: Vec<Fig14Point>,
+}
+
+/// Runs the experiment: averaged over `reps` independent minutes.
+pub fn run(seed: u64, reps: usize) -> Fig14 {
+    let train_lengths = [
+        0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0,
+    ];
+    let mut acc = vec![(0.0f64, 0usize); train_lengths.len()];
+
+    for rep in 0..reps {
+        // One stationary tag, one walking person.
+        let scene = presets::office_monitoring(1, 1, seed ^ (rep as u64) << 8);
+        let epcs = random_epcs(1, seed ^ 0x14A ^ rep as u64);
+        let mut reader = single_channel_reader(scene, &epcs, seed ^ 0x14B ^ rep as u64);
+        let reports: Vec<TagReport> = reader
+            .run_for(&RoSpec::read_all(1, vec![1]), 60.0)
+            .expect("valid spec");
+        let t0 = reports.first().map(|r| r.rf.t).unwrap_or(0.0);
+
+        for (i, &train_s) in train_lengths.iter().enumerate() {
+            let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+            let mut n_train = 0usize;
+            for r in reports.iter().filter(|r| r.rf.t - t0 < train_s) {
+                gmm.observe(r.rf.phase);
+                n_train += 1;
+            }
+            // Test on the subsequent 100 ms (the paper's protocol); widen
+            // to the next 1 s for sample size when 100 ms holds < 5 reads.
+            let mut test: Vec<&TagReport> = reports
+                .iter()
+                .filter(|r| {
+                    let dt = r.rf.t - t0 - train_s;
+                    (0.0..0.1).contains(&dt)
+                })
+                .collect();
+            if test.len() < 5 {
+                test = reports
+                    .iter()
+                    .filter(|r| {
+                        let dt = r.rf.t - t0 - train_s;
+                        (0.0..1.0).contains(&dt)
+                    })
+                    .collect();
+            }
+            if test.is_empty() {
+                continue;
+            }
+            let matched = test
+                .iter()
+                .filter(|r| gmm.classify(r.rf.phase) == Observation::Stationary)
+                .count();
+            acc[i].0 += matched as f64 / test.len() as f64;
+            acc[i].1 += n_train;
+        }
+    }
+
+    let points = train_lengths
+        .iter()
+        .enumerate()
+        .map(|(i, &train_s)| Fig14Point {
+            train_s,
+            accuracy: acc[i].0 / reps as f64,
+            train_readings: acc[i].1 / reps,
+        })
+        .collect();
+    Fig14 { points }
+}
+
+impl Fig14 {
+    /// The shortest training length achieving at least `target` accuracy.
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.train_s)
+    }
+}
+
+impl std::fmt::Display for Fig14 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 14 — immobility-model learning curve")?;
+        writeln!(f, "{:>10} {:>10} {:>10}", "train (s)", "readings", "accuracy")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:>10.2} {:>10} {:>10.2}",
+                p.train_s, p.train_readings, p.accuracy
+            )?;
+        }
+        writeln!(
+            f,
+            "time to 70%: {:?} s, to 90%: {:?} s  (paper: 1.49 s / 2.9 s — one 5 s cycle suffices)",
+            self.time_to_accuracy(0.7),
+            self.time_to_accuracy(0.9)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_grows_and_saturates_within_one_cycle() {
+        let r = run(7, 2);
+        // Accuracy is (weakly) increasing in broad strokes: final ≥ first.
+        let first = r.points.first().unwrap().accuracy;
+        let last = r.points.last().unwrap().accuracy;
+        assert!(last >= first, "no learning: {first} → {last}");
+        // High accuracy is reached on a one-cycle timescale, as the paper
+        // claims (its fitted numbers: 70% at 1.49 s, 90% at 2.9 s; our
+        // α/establishment pairing lands within a 5 s cycle plus margin).
+        let t90 = r.time_to_accuracy(0.9);
+        assert!(
+            t90.is_some() && t90.unwrap() <= 8.0,
+            "90% not reached within a cycle: {t90:?}"
+        );
+        // And it is genuinely a *curve*: early accuracy is low.
+        assert!(
+            r.points[0].accuracy < 0.5,
+            "learning should not be instantaneous: {:?}",
+            r.points[0]
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment implementations, one module per paper figure. See DESIGN.md
+//! §4 for the experiment index and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+pub mod ablations;
+pub mod common;
+pub mod csv;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig08;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig17;
+pub mod gate;
+pub mod fig18;

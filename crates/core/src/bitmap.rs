@@ -1,0 +1,179 @@
+//! Indicator bitmaps over the tag population (§5.3's index-table rows).
+//!
+//! The bitmask scheduler works on sets of tag indices; with populations up
+//! to several hundred tags, packed 64-bit words make the greedy set-cover's
+//! inner loop (`|V_i & V|`) a handful of `popcount`s.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bitmap over tag indices `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap over `len` positions.
+    pub fn zeros(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitmap with the given indices set.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut b = Bitmap::zeros(len);
+        for &i in indices {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Tests bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `|self & other|` — the greedy gain numerator (Eqn. 13).
+    pub fn and_count(&self, other: &Bitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place `self &= !other` — the Step-3 update `V = V − (V & V_j)`.
+    pub fn subtract(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// In-place union.
+    pub fn union(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap lengths differ");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterates the set indices in ascending order.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::zeros(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn and_count_and_subtract() {
+        let a = Bitmap::from_indices(100, &[1, 5, 64, 99]);
+        let b = Bitmap::from_indices(100, &[5, 64, 70]);
+        assert_eq!(a.and_count(&b), 2);
+        let mut v = a.clone();
+        v.subtract(&b);
+        assert_eq!(v.ones().collect::<Vec<_>>(), vec![1, 99]);
+    }
+
+    #[test]
+    fn union_and_zero() {
+        let mut a = Bitmap::from_indices(10, &[0]);
+        let b = Bitmap::from_indices(10, &[9]);
+        a.union(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![0, 9]);
+        assert!(!a.is_zero());
+        assert!(Bitmap::zeros(10).is_zero());
+    }
+
+    #[test]
+    fn ones_iterates_in_order_across_words() {
+        let idx = [0usize, 1, 63, 64, 65, 127, 128, 199];
+        let b = Bitmap::from_indices(200, &idx);
+        assert_eq!(b.ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Bitmap::zeros(10).set(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn length_mismatch_panics() {
+        Bitmap::zeros(10).and_count(&Bitmap::zeros(11));
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::zeros(0);
+        assert!(b.is_empty());
+        assert!(b.is_zero());
+        assert_eq!(b.ones().count(), 0);
+    }
+}

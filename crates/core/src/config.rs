@@ -1,0 +1,206 @@
+//! Tagwatch middleware configuration (§6 "Parameter choice" plus the §5
+//! configuration file of concerned tags).
+
+use crate::cover::CoverConfig;
+use crate::gmm::GmmConfig;
+use serde::{Deserialize, Serialize};
+use tagwatch_gen2::{CostModel, Epc};
+
+/// Which detector family Phase I runs (Fig. 12's four contenders).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// The paper's design: per-link phase mixtures.
+    PhaseMog,
+    /// RSS mixtures.
+    RssMog,
+    /// Naive phase differencing with the given jump threshold (radians).
+    PhaseDiff(f64),
+    /// Naive RSS differencing with the given jump threshold (dB).
+    RssDiff(f64),
+}
+
+/// How Phase II schedules target tags (for the §7 baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingMode {
+    /// Greedy set-cover bitmasks with the naive fallback (the paper's
+    /// Tagwatch).
+    Tagwatch,
+    /// One full-EPC mask per target (the paper's "naive rate-adaptive"
+    /// baseline).
+    Naive,
+    /// No selectivity: Phase II reads everyone (the "reading all"
+    /// baseline — with this, Tagwatch degenerates to a plain reader).
+    ReadAll,
+}
+
+/// Full middleware configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagwatchConfig {
+    /// Length of Phase II in seconds (paper: fixed 5 s; Phase I's length
+    /// is dynamic — one full inventory).
+    pub phase2_len: f64,
+    /// Per-antenna dwell for Phase-II AISpecs (tracking mode: continuous
+    /// dual-target reading within each dwell). `None` = one inventory
+    /// round per AISpec per antenna, the paper's default.
+    pub phase2_dwell: Option<f64>,
+    /// Request truncated EPC replies (Gen2 Truncate) in Phase II where
+    /// legal (prefix masks). Shortens successful slots for covered tags —
+    /// an optimisation the paper's Select machinery supports but does not
+    /// evaluate. Off by default for parity with the paper.
+    pub truncate_phase2: bool,
+    /// Mixture parameters (α, K, ξ, …).
+    pub gmm: GmmConfig,
+    /// Detector family for Phase I.
+    pub detector: DetectorKind,
+    /// Minimum per-window motion votes to declare a tag mobile.
+    pub min_votes: usize,
+    /// Minimum fraction of a tag's window readings that must be motion
+    /// evidence (suppresses one-off false positives on heavily read tags).
+    pub mobile_vote_fraction: f64,
+    /// If more than this fraction of present tags are targets, fall back
+    /// to reading all (§3 "Scope": rate adaptation stops paying off past
+    /// ~20% mobile).
+    pub mobile_ceiling: f64,
+    /// Tags always scheduled regardless of motion (§5's configuration
+    /// file).
+    pub concerned: Vec<Epc>,
+    /// Cost model pricing bitmasks (fit from the reader, or the paper's
+    /// published parameters).
+    pub cost: CostModel,
+    /// Candidate-mask generation bounds.
+    pub cover: CoverConfig,
+    /// Scheduling strategy.
+    pub scheduling: SchedulingMode,
+    /// Antenna ports driven each phase.
+    pub antennas: Vec<u8>,
+    /// Modeled middleware compute gap between Phase I and Phase II,
+    /// seconds. The *measured* compute time is reported per cycle
+    /// (Fig. 17); this fixed value is what advances the simulation clock,
+    /// keeping runs deterministic.
+    pub schedule_gap: f64,
+    /// Tags unseen for this long are evicted from history and their
+    /// immobility models dropped (§4.3 "reading exceptions").
+    pub eviction_timeout: f64,
+    /// Per-tag history retention.
+    pub history_capacity: usize,
+}
+
+impl Default for TagwatchConfig {
+    fn default() -> Self {
+        TagwatchConfig {
+            phase2_len: 5.0,
+            phase2_dwell: None,
+            truncate_phase2: false,
+            gmm: GmmConfig::phase_defaults(),
+            detector: DetectorKind::PhaseMog,
+            min_votes: 1,
+            mobile_vote_fraction: 0.25,
+            mobile_ceiling: 0.2,
+            concerned: Vec::new(),
+            cost: CostModel::paper(),
+            cover: CoverConfig::default(),
+            scheduling: SchedulingMode::Tagwatch,
+            antennas: vec![1],
+            schedule_gap: 3e-3,
+            eviction_timeout: 60.0,
+            history_capacity: 512,
+        }
+    }
+}
+
+impl TagwatchConfig {
+    /// Paper defaults with the given antennas.
+    pub fn with_antennas(antennas: Vec<u8>) -> Self {
+        TagwatchConfig {
+            antennas,
+            ..Default::default()
+        }
+    }
+
+    /// Declares concerned tags (the §5 configuration file).
+    pub fn with_concerned(mut self, epcs: Vec<Epc>) -> Self {
+        self.concerned = epcs;
+        self
+    }
+
+    /// Switches the scheduling baseline.
+    pub fn with_scheduling(mut self, mode: SchedulingMode) -> Self {
+        self.scheduling = mode;
+        self
+    }
+
+    /// Basic sanity validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phase2_len <= 0.0 {
+            return Err(format!("phase2_len must be positive, got {}", self.phase2_len));
+        }
+        if !(0.0..=1.0).contains(&self.mobile_ceiling) {
+            return Err(format!(
+                "mobile_ceiling must be in [0,1], got {}",
+                self.mobile_ceiling
+            ));
+        }
+        if self.antennas.is_empty() {
+            return Err("at least one antenna required".into());
+        }
+        if self.history_capacity == 0 {
+            return Err("history_capacity must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_6() {
+        let cfg = TagwatchConfig::default();
+        assert_eq!(cfg.phase2_len, 5.0);
+        assert_eq!(cfg.gmm.alpha, 0.001);
+        assert_eq!(cfg.gmm.k_max, 8);
+        assert_eq!(cfg.gmm.xi, 3.0);
+        assert_eq!(cfg.mobile_ceiling, 0.2);
+        assert!((cfg.cost.tau0 - 19e-3).abs() < 1e-12);
+        assert!((cfg.cost.tau_bar - 0.18e-3).abs() < 1e-12);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = TagwatchConfig::default();
+        cfg.phase2_len = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TagwatchConfig::default();
+        cfg.mobile_ceiling = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TagwatchConfig::default();
+        cfg.antennas.clear();
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = TagwatchConfig::default();
+        cfg.history_capacity = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = TagwatchConfig::with_antennas(vec![1, 2])
+            .with_concerned(vec![Epc::from_bits(5)])
+            .with_scheduling(SchedulingMode::Naive);
+        assert_eq!(cfg.antennas, vec![1, 2]);
+        assert_eq!(cfg.concerned.len(), 1);
+        assert_eq!(cfg.scheduling, SchedulingMode::Naive);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let cfg = TagwatchConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: TagwatchConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,493 @@
+//! The two-phase reading controller — Tagwatch's main loop (§3, Fig. 5/6).
+//!
+//! Each cycle:
+//!
+//! 1. **Phase I — motion assessment.** Execute a read-all ROSpec once (a
+//!    short full inventory), feed every report into the per-tag detectors,
+//!    and classify each tag mobile/stationary.
+//! 2. **Target schedule.** Union the mobile tags with the user's concerned
+//!    tags, run the §5 cover search (with the §3 scope guard), and compile
+//!    a selective ROSpec.
+//! 3. **Phase II — selective reading.** Execute the selective spec
+//!    repeatedly for the configured interval (default 5 s). Phase-II
+//!    reports also feed the detectors — this is what lets a newly learned
+//!    multipath mode establish within one cycle (§4.3 "no cold start").
+//!
+//! Readings from both phases land in the history database; tags absent
+//! beyond the eviction timeout lose their models (§4.3 "reading
+//! exceptions").
+
+use crate::config::{DetectorKind, TagwatchConfig};
+use crate::cover::CoverPlan;
+use crate::history::History;
+use crate::motion::{AnyDetector, DiffDetector, MogDetector, MotionAssessor};
+use crate::scheduler::{build_schedule, ReadAllReason, ScheduleMode};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+use tagwatch_gen2::Epc;
+use tagwatch_reader::{LlrpError, Reader, RoSpec, TagReport};
+
+/// A serializable snapshot of the middleware's learned state: per-tag
+/// immobility models, reading history, and the cycle counter.
+///
+/// Deployments persist this across restarts so the system comes back with
+/// warm models instead of re-learning every tag's multipath profile (a
+/// "quick start" beyond the paper's: §4.3 covers cold-starting a single
+/// new mode, not a whole-process restart).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ControllerSnapshot {
+    /// The configuration the snapshot was taken under.
+    pub config: TagwatchConfig,
+    /// Per-tag assessor state.
+    pub assessors: Vec<(Epc, MotionAssessor)>,
+    /// Reading history.
+    pub history: History,
+    /// Cycle counter.
+    pub cycle: u64,
+}
+
+/// Everything one cycle produced — the figure harness consumes these.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// Cycle counter (0-based).
+    pub cycle: u64,
+    /// Absolute cycle start time.
+    pub t_start: f64,
+    /// Absolute cycle end time.
+    pub t_end: f64,
+    /// The census Phase I scheduled against (sorted EPCs of tags seen in
+    /// Phase I plus concerned tags).
+    pub census: Vec<Epc>,
+    /// Tags assessed as mobile this cycle.
+    pub mobile: Vec<Epc>,
+    /// Scheduled targets (mobile ∪ concerned).
+    pub targets: Vec<Epc>,
+    /// The Phase-II cover plan, if a selective schedule ran.
+    pub plan: Option<CoverPlan>,
+    /// Selective or read-all Phase II.
+    pub mode: ScheduleMode,
+    /// Why Phase II read everyone, when it did.
+    pub read_all_reason: Option<ReadAllReason>,
+    /// Phase-I reports.
+    pub phase1: Vec<TagReport>,
+    /// Phase-II reports.
+    pub phase2: Vec<TagReport>,
+    /// Phase-I duration (seconds of air time).
+    pub phase1_duration: f64,
+    /// Phase-II duration.
+    pub phase2_duration: f64,
+    /// Measured wall-clock compute time of assessment + cover search —
+    /// the Fig. 17 "schedule cost".
+    pub compute_time: f64,
+    /// Tags evicted this cycle for long absence.
+    pub evicted: Vec<Epc>,
+}
+
+/// The Tagwatch middleware.
+pub struct Controller {
+    cfg: TagwatchConfig,
+    assessors: HashMap<Epc, MotionAssessor>,
+    history: History,
+    cycle: u64,
+}
+
+impl Controller {
+    /// Builds a controller. Panics on an invalid configuration (validate
+    /// with [`TagwatchConfig::validate`] first if the config is untrusted).
+    pub fn new(cfg: TagwatchConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid Tagwatch configuration: {e}");
+        }
+        let history = History::new(cfg.history_capacity);
+        Controller {
+            cfg,
+            assessors: HashMap::new(),
+            history,
+            cycle: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TagwatchConfig {
+        &self.cfg
+    }
+
+    /// Switches the Phase-II scheduling strategy at runtime (used by
+    /// experiments to warm detection up under one mode and measure under
+    /// another; operators could use it to A/B scheduling live).
+    pub fn set_scheduling(&mut self, mode: crate::config::SchedulingMode) {
+        self.cfg.scheduling = mode;
+    }
+
+    /// Captures the middleware's learned state for persistence.
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        let mut assessors: Vec<(Epc, MotionAssessor)> = self
+            .assessors
+            .iter()
+            .map(|(e, a)| (*e, a.clone()))
+            .collect();
+        assessors.sort_unstable_by_key(|(e, _)| *e);
+        ControllerSnapshot {
+            config: self.cfg.clone(),
+            assessors,
+            history: self.history.clone(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Rebuilds a controller from a snapshot — warm models, warm history.
+    pub fn restore(snapshot: ControllerSnapshot) -> Self {
+        if let Err(e) = snapshot.config.validate() {
+            panic!("invalid Tagwatch configuration in snapshot: {e}");
+        }
+        Controller {
+            cfg: snapshot.config,
+            assessors: snapshot.assessors.into_iter().collect(),
+            history: snapshot.history,
+            cycle: snapshot.cycle,
+        }
+    }
+
+    /// The history database.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Number of tags with live immobility models.
+    pub fn tracked_tags(&self) -> usize {
+        self.assessors.len()
+    }
+
+
+    fn make_assessor(&self) -> MotionAssessor {
+        let det: AnyDetector = match self.cfg.detector {
+            DetectorKind::PhaseMog => MogDetector::phase_with(self.cfg.gmm).into(),
+            DetectorKind::RssMog => MogDetector::rss_with(self.cfg.gmm).into(),
+            DetectorKind::PhaseDiff(th) => DiffDetector::phase(th).into(),
+            DetectorKind::RssDiff(th) => DiffDetector::rss(th).into(),
+        };
+        let mut a = MotionAssessor::with_detector(det);
+        a.min_votes = self.cfg.min_votes;
+        a.min_fraction = self.cfg.mobile_vote_fraction;
+        a
+    }
+
+    /// Feeds one report into its tag's assessor (creating it on first
+    /// sight) and the history database.
+    fn ingest(&mut self, report: &TagReport) {
+        if !self.assessors.contains_key(&report.epc) {
+            let a = self.make_assessor();
+            self.assessors.insert(report.epc, a);
+        }
+        self.assessors
+            .get_mut(&report.epc)
+            .expect("just inserted")
+            .feed(&report.rf);
+        self.history.record(report);
+    }
+
+    /// Runs one full two-phase cycle against `reader`.
+    pub fn run_cycle(&mut self, reader: &mut Reader) -> Result<CycleReport, LlrpError> {
+        let t_start = reader.now();
+        let cycle = self.cycle;
+        self.cycle += 1;
+
+        // ---- Phase I: read all, assess motion -------------------------
+        // The assessment window spans from the *previous* assessment to
+        // now, so Phase-II evidence (both of targets and collateral tags)
+        // counts — this is the "history-based" assessment of §3 and what
+        // lets a mis-scheduled stationary tag drop out after one cycle.
+        let phase1_spec = RoSpec::read_all((cycle as u32) << 1, self.cfg.antennas.clone());
+        let phase1 = reader.execute(&phase1_spec)?;
+        let t_phase1_end = reader.now();
+        for r in &phase1 {
+            self.ingest(r);
+        }
+
+        // ---- Assessment + schedule (the Fig. 17 compute gap) ----------
+        let compute_start = Instant::now();
+
+        let mut census: Vec<Epc> = phase1.iter().map(|r| r.epc).collect();
+        census.extend(self.cfg.concerned.iter().copied());
+        census.sort_unstable();
+        census.dedup();
+
+        let mobile: Vec<Epc> = census
+            .iter()
+            .filter(|e| {
+                self.assessors
+                    .get(e)
+                    .map(|a| a.assess())
+                    .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+
+        let mut targets: Vec<Epc> = mobile.clone();
+        targets.extend(self.cfg.concerned.iter().copied());
+        targets.sort_unstable();
+        targets.dedup();
+
+        let target_idxs: Vec<usize> = targets
+            .iter()
+            .map(|t| census.binary_search(t).expect("targets ⊆ census"))
+            .collect();
+
+        let schedule = build_schedule(&census, &target_idxs, &self.cfg, (cycle as u32) << 1 | 1);
+        let compute_time = compute_start.elapsed().as_secs_f64();
+
+        // Assessment is done: open the next window.
+        for assessor in self.assessors.values_mut() {
+            assessor.begin_cycle();
+        }
+
+        // Advance the simulated clock by the *modeled* gap so runs stay
+        // deterministic; the measured gap is reported for Fig. 17.
+        reader.advance(self.cfg.schedule_gap);
+
+        // ---- Phase II: selective (or fallback) reading ----------------
+        let t_phase2_start = reader.now();
+        let phase2 = reader.run_for(&schedule.rospec, self.cfg.phase2_len)?;
+        let t_end = reader.now();
+        for r in &phase2 {
+            self.ingest(r);
+        }
+
+        // ---- Housekeeping ---------------------------------------------
+        let evicted = self.history.evict_absent(t_end, self.cfg.eviction_timeout);
+        for e in &evicted {
+            self.assessors.remove(e);
+        }
+
+        Ok(CycleReport {
+            cycle,
+            t_start,
+            t_end,
+            census,
+            mobile,
+            targets,
+            plan: schedule.plan,
+            mode: schedule.mode,
+            read_all_reason: schedule.reason,
+            phase1,
+            phase2,
+            phase1_duration: t_phase1_end - t_start,
+            phase2_duration: t_end - t_phase2_start,
+            compute_time,
+            evicted,
+        })
+    }
+
+    /// Runs `n` consecutive cycles, returning all reports.
+    pub fn run_cycles(
+        &mut self,
+        reader: &mut Reader,
+        n: usize,
+    ) -> Result<Vec<CycleReport>, LlrpError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.run_cycle(reader)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulingMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagwatch_reader::ReaderConfig;
+    use tagwatch_scene::presets;
+
+    fn random_epcs(n: usize, seed: u64) -> Vec<Epc> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Epc::random(&mut rng)).collect()
+    }
+
+    fn turntable_reader(n: usize, n_mobile: usize, seed: u64) -> (Reader, Vec<Epc>) {
+        let scene = presets::turntable(n, n_mobile, seed);
+        let epcs = random_epcs(n, seed ^ 0x55);
+        // Single channel: unit tests exercise the control logic, not the
+        // (slow) per-channel model warm-up of a 16-channel hop plan.
+        let mut cfg = ReaderConfig::default();
+        cfg.channel_plan = tagwatch_rf::ChannelPlan::single(922.5e6);
+        let reader = Reader::new(scene.clone(), &epcs, cfg, seed ^ 0xAA);
+        (reader, epcs)
+    }
+
+    fn short_cfg() -> TagwatchConfig {
+        let mut cfg = TagwatchConfig {
+            phase2_len: 1.0,
+            ..TagwatchConfig::default()
+        };
+        // Faster learning so immobility models establish within a few
+        // short cycles (the paper's α = 0.001 needs ~50 reads per link).
+        cfg.gmm.alpha = 0.01;
+        cfg
+    }
+
+    #[test]
+    fn first_cycle_treats_everyone_as_mobile() {
+        // Paper: "Initially, we assume all the tags are in motion"; with
+        // 40 unknown tags the ceiling trips and Phase II reads all.
+        let (mut reader, _) = turntable_reader(40, 2, 1);
+        let mut ctl = Controller::new(short_cfg());
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        assert_eq!(rep.mode, ScheduleMode::ReadAll);
+        assert_eq!(rep.read_all_reason, Some(ReadAllReason::TooManyTargets));
+        assert_eq!(rep.census.len(), 40);
+        assert!(rep.mobile.len() > 30, "unknown tags assumed mobile");
+    }
+
+    #[test]
+    fn converges_to_selective_reading_of_movers() {
+        let (mut reader, epcs) = turntable_reader(40, 2, 2);
+        let mut ctl = Controller::new(short_cfg());
+        // Let the immobility models establish (α·reads ≥ established_weight
+        // needs ~50 reads per link; ~1 s cycles at ~40 Hz aggregate per tag
+        // take a few cycles).
+        let reports = ctl.run_cycles(&mut reader, 40).unwrap();
+        // A turntable mover's phase dwells at its extremes (arcsine
+        // distribution), so single-reading detection is probabilistic —
+        // judge the steady state over the last 10 cycles, not one cycle.
+        let tail = &reports[reports.len() - 10..];
+        let selective = tail
+            .iter()
+            .filter(|r| r.mode == ScheduleMode::Selective)
+            .count();
+        assert!(selective >= 6, "only {selective}/10 tail cycles selective");
+        for idx in 0..2usize {
+            let targeted = tail
+                .iter()
+                .filter(|r| r.targets.contains(&epcs[idx]))
+                .count();
+            assert!(targeted >= 6, "mover {idx} targeted {targeted}/10");
+        }
+        // When scheduled, Phase II reads the mover at a high rate.
+        let best_p2 = tail
+            .iter()
+            .map(|r| r.phase2.iter().filter(|x| x.tag_idx == 0).count())
+            .max()
+            .unwrap();
+        assert!(best_p2 > 20, "mover peaked at {best_p2} Phase-II reads");
+    }
+
+    #[test]
+    fn stationary_tags_rarely_targeted_at_steady_state() {
+        let (mut reader, epcs) = turntable_reader(30, 1, 3);
+        let mut ctl = Controller::new(short_cfg());
+        let reports = ctl.run_cycles(&mut reader, 40).unwrap();
+        // Over the last 10 cycles, count how often each static tag was
+        // targeted.
+        let mut static_target_events = 0usize;
+        let mut cycles_counted = 0usize;
+        for rep in reports.iter().rev().take(10) {
+            cycles_counted += 1;
+            for e in &rep.targets {
+                let idx = epcs.iter().position(|x| x == e).unwrap();
+                if idx != 0 {
+                    static_target_events += 1;
+                }
+            }
+        }
+        // 29 static tags × 10 cycles = 290 opportunities; FPs should be a
+        // small fraction (paper: FPR ≤ 10%).
+        assert!(
+            static_target_events < 290 / 5,
+            "static tags targeted {static_target_events} times in {cycles_counted} cycles"
+        );
+    }
+
+    #[test]
+    fn concerned_tags_always_scheduled() {
+        let (mut reader, epcs) = turntable_reader(20, 0, 4);
+        let mut cfg = short_cfg();
+        cfg.concerned = vec![epcs[7]];
+        let mut ctl = Controller::new(cfg);
+        let reports = ctl.run_cycles(&mut reader, 30).unwrap();
+        let last = reports.last().unwrap();
+        // No mobile tags at steady state, but the concerned tag is still a
+        // target and Phase II is selective.
+        assert!(last.targets.contains(&epcs[7]));
+        assert_eq!(last.mode, ScheduleMode::Selective);
+        let p2_reads = last.phase2.iter().filter(|r| r.epc == epcs[7]).count();
+        assert!(p2_reads > 10, "concerned tag read {p2_reads} times");
+    }
+
+    #[test]
+    fn no_targets_reads_all() {
+        let (mut reader, _) = turntable_reader(15, 0, 5);
+        let mut ctl = Controller::new(short_cfg());
+        let reports = ctl.run_cycles(&mut reader, 30).unwrap();
+        let last = reports.last().unwrap();
+        assert_eq!(last.mode, ScheduleMode::ReadAll);
+        assert_eq!(last.read_all_reason, Some(ReadAllReason::NoTargets));
+        // Everyone still gets read in Phase II.
+        let distinct: std::collections::HashSet<usize> =
+            last.phase2.iter().map(|r| r.tag_idx).collect();
+        assert_eq!(distinct.len(), 15);
+    }
+
+    #[test]
+    fn naive_scheduling_mode_uses_exact_masks() {
+        let (mut reader, _) = turntable_reader(30, 1, 6);
+        let cfg = short_cfg().with_scheduling(SchedulingMode::Naive);
+        let mut ctl = Controller::new(cfg);
+        let reports = ctl.run_cycles(&mut reader, 40).unwrap();
+        let last = reports.last().unwrap();
+        if let Some(plan) = &last.plan {
+            assert!(plan.masks.iter().all(|m| m.length == 96));
+        } else {
+            panic!("expected a selective plan at steady state");
+        }
+    }
+
+    #[test]
+    fn eviction_drops_departed_tags() {
+        let mut scene = presets::random_room(5, 7);
+        // Tag 4 leaves at t = 2 s.
+        scene.tags[4].presence = Some((0.0, 2.0));
+        let epcs = random_epcs(5, 8);
+        let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), 9);
+        let mut cfg = short_cfg();
+        cfg.eviction_timeout = 5.0;
+        let mut ctl = Controller::new(cfg);
+        let reports = ctl.run_cycles(&mut reader, 10).unwrap();
+        let evicted: Vec<Epc> = reports.iter().flat_map(|r| r.evicted.clone()).collect();
+        assert!(evicted.contains(&epcs[4]), "departed tag not evicted");
+        assert_eq!(ctl.tracked_tags(), 4);
+    }
+
+    #[test]
+    fn cycle_reports_are_consistent() {
+        let (mut reader, _) = turntable_reader(10, 1, 10);
+        let mut ctl = Controller::new(short_cfg());
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        assert!(rep.t_end > rep.t_start);
+        assert!(rep.phase1_duration > 0.0);
+        assert!(rep.phase2_duration >= 1.0);
+        assert!(rep.compute_time >= 0.0);
+        assert!(rep.targets.iter().all(|t| rep.census.contains(t)));
+        assert!(rep.mobile.iter().all(|m| rep.targets.contains(m)));
+        // History recorded both phases.
+        let total: u64 = rep
+            .census
+            .iter()
+            .filter_map(|e| ctl.history().tag(e))
+            .map(|r| r.total_reads)
+            .sum();
+        assert_eq!(total as usize, rep.phase1.len() + rep.phase2.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Tagwatch configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = TagwatchConfig::default();
+        cfg.antennas.clear();
+        Controller::new(cfg);
+    }
+}
+

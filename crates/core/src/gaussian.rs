@@ -1,0 +1,205 @@
+//! Single-Gaussian phase statistics (§4.1, Eqn. 7–9) with circular
+//! arithmetic.
+//!
+//! RF phase lives on a circle: §4.3 of the paper ("How to deal with phase
+//! jumps?") prescribes the *minimum distance* rule, which we apply in the
+//! density, the matching test, and the mean updates. RSS statistics use the
+//! same code with the circular flag off.
+
+use serde::{Deserialize, Serialize};
+use tagwatch_rf::{circ_diff, circ_dist, wrap_2pi};
+
+/// A single Gaussian over phase (circular) or RSS (linear).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    /// Mean (radians if circular, dB if linear).
+    pub mean: f64,
+    /// Standard deviation.
+    pub sigma: f64,
+    /// Whether the variable lives on `[0, 2π)`.
+    pub circular: bool,
+}
+
+impl Gaussian {
+    /// A circular (phase) Gaussian.
+    pub fn phase(mean: f64, sigma: f64) -> Self {
+        Gaussian {
+            mean: wrap_2pi(mean),
+            sigma,
+            circular: true,
+        }
+    }
+
+    /// A linear (RSS) Gaussian.
+    pub fn linear(mean: f64, sigma: f64) -> Self {
+        Gaussian {
+            mean,
+            sigma,
+            circular: false,
+        }
+    }
+
+    /// Distance from `x` to the mean, respecting circularity.
+    #[inline]
+    pub fn distance(&self, x: f64) -> f64 {
+        if self.circular {
+            circ_dist(x, self.mean)
+        } else {
+            (x - self.mean).abs()
+        }
+    }
+
+    /// Signed deviation `x - mean` (shortest way around if circular).
+    #[inline]
+    pub fn deviation(&self, x: f64) -> f64 {
+        if self.circular {
+            circ_diff(x, self.mean)
+        } else {
+            x - self.mean
+        }
+    }
+
+    /// The paper's match rule: `|x − μ| < ξ·δ` (Eqn. after 9).
+    #[inline]
+    pub fn matches(&self, x: f64, xi: f64) -> bool {
+        self.distance(x) < xi * self.sigma
+    }
+
+    /// The probability density `η(x; μ, δ)` (Eqn. 9), using the circular
+    /// minimum distance in the exponent.
+    pub fn density(&self, x: f64) -> f64 {
+        if self.sigma <= 0.0 {
+            return 0.0;
+        }
+        let d = self.distance(x);
+        (-(d * d) / (2.0 * self.sigma * self.sigma)).exp()
+            / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Moves the mean a fraction `rho` of the way toward `x` (Eqn. 11,
+    /// second line), staying on the circle when circular.
+    pub fn nudge_mean(&mut self, x: f64, rho: f64) {
+        let step = rho * self.deviation(x);
+        self.mean = if self.circular {
+            wrap_2pi(self.mean + step)
+        } else {
+            self.mean + step
+        };
+    }
+}
+
+/// Circular mean of phase samples (resultant-vector direction). Returns 0
+/// for an empty slice.
+pub fn circular_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let (mut c, mut s) = (0.0, 0.0);
+    for &v in values {
+        c += v.cos();
+        s += v.sin();
+    }
+    wrap_2pi(s.atan2(c))
+}
+
+/// Circular standard deviation around `mean` via minimum distances —
+/// the sample version of Eqn. 8 with the §4.3 wrap fix.
+pub fn circular_std(values: &[f64], mean: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = values
+        .iter()
+        .map(|&v| {
+            let d = circ_dist(v, mean);
+            d * d
+        })
+        .sum();
+    (ss / values.len() as f64).sqrt()
+}
+
+/// Batch-fits a phase Gaussian from history samples (Eqn. 8).
+pub fn fit_phase(values: &[f64]) -> Gaussian {
+    let mean = circular_mean(values);
+    Gaussian::phase(mean, circular_std(values, mean))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn match_rule_examples_from_paper() {
+        // §4.3's worked example: μ = 0.02, δ = 0.1, ξ = 3; the measurement
+        // 2π − 0.01 must match (min distance 0.03 < 0.3).
+        let g = Gaussian::phase(0.02, 0.1);
+        assert!(g.matches(TAU - 0.01, 3.0));
+        // A genuinely distant value must not.
+        assert!(!g.matches(1.0, 3.0));
+    }
+
+    #[test]
+    fn linear_gaussian_does_not_wrap() {
+        let g = Gaussian::linear(0.02, 0.1);
+        assert!(!g.matches(TAU - 0.01, 3.0));
+        assert!(g.matches(0.05, 3.0));
+    }
+
+    #[test]
+    fn density_peaks_at_mean() {
+        let g = Gaussian::phase(1.0, 0.2);
+        assert!(g.density(1.0) > g.density(1.3));
+        assert!(g.density(1.3) > g.density(2.0));
+        // Density respects circular distance: a point just below 2π is
+        // close to a mean just above 0.
+        let g = Gaussian::phase(0.05, 0.2);
+        assert!(g.density(TAU - 0.05) > g.density(1.0));
+    }
+
+    #[test]
+    fn density_zero_sigma_guard() {
+        let g = Gaussian::phase(1.0, 0.0);
+        assert_eq!(g.density(1.0), 0.0);
+    }
+
+    #[test]
+    fn nudge_wraps_correctly() {
+        let mut g = Gaussian::phase(0.1, 0.1);
+        // Target just below 2π: the shortest way is backwards through 0.
+        g.nudge_mean(TAU - 0.1, 0.5);
+        assert!(
+            g.mean > TAU - 0.2 || g.mean < 0.1,
+            "mean moved the short way: {}",
+            g.mean
+        );
+        let mut lin = Gaussian::linear(0.0, 1.0);
+        lin.nudge_mean(10.0, 0.1);
+        assert!((lin.mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_mean_handles_wrap_cluster() {
+        // Samples straddling 0: naive mean would be ~π, circular mean ~0.
+        let vals = [0.1, TAU - 0.1, 0.05, TAU - 0.05];
+        let m = circular_mean(&vals);
+        assert!(m < 0.1 || m > TAU - 0.1, "mean {m}");
+        let sd = circular_std(&vals, m);
+        assert!(sd < 0.15, "std {sd}");
+    }
+
+    #[test]
+    fn fit_phase_recovers_cluster() {
+        let vals: Vec<f64> = (0..100).map(|k| 2.0 + 0.05 * ((k as f64) * 0.7).sin()).collect();
+        let g = fit_phase(&vals);
+        assert!((g.mean - 2.0).abs() < 0.05);
+        assert!(g.sigma < 0.06);
+        assert!(g.circular);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(circular_mean(&[]), 0.0);
+        assert_eq!(circular_std(&[], 0.0), 0.0);
+    }
+}

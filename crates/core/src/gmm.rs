@@ -1,0 +1,519 @@
+//! The self-learning Gaussian mixture immobility model (§4.2 of the paper).
+//!
+//! One mixture models the immobility of one tag *on one RF link* (antenna ×
+//! channel — hardware offsets differ per link, so phases from different
+//! links belong to different distributions; see `motion.rs`). Each mode is
+//! a [`Gaussian`] with a weight; modes are searched in priority order
+//! `r = w/δ`, matched with the `ξδ` rule, and updated with the paper's
+//! Eqn. 11. Unmatched observations spawn a new low-priority mode, evicting
+//! the lowest-priority one when the stack is full.
+//!
+//! ## Deviations from the paper's text (documented in DESIGN.md §5)
+//!
+//! * `ρ = α·η(θ)` is a density and can exceed 1 for small δ; we clamp
+//!   ρ to `[0, 1]` and, while a mode is young, floor the adaptation rate at
+//!   `1/(count+1)` so the mode's mean/σ converge to sample statistics
+//!   quickly (the standard Kaewtrakulpong–Bowden refinement). The *weight*
+//!   still grows at the paper's `α` per observation, which is what produces
+//!   the Fig. 14 learning-curve timescale.
+//! * A new mode's σ must be finite enough that matching is meaningful; the
+//!   paper's "large δ (e.g. 2π)" would match every observation forever.
+//!   We default to 0.3 rad (≈3× receiver phase noise) and floor σ at
+//!   0.05 rad so matching bands never collapse to zero.
+//! * Classification: an observation is evidence of *immobility* only if the
+//!   matched mode is established (weight ≥ `established_weight`). A match
+//!   against a freshly spawned mode is not — otherwise every second
+//!   observation of a moving tag would count as stationary.
+
+use crate::gaussian::Gaussian;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the mixture (paper defaults from §6 "Parameter choice").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmmConfig {
+    /// Maximum number of modes `K` (paper: 8).
+    pub k_max: usize,
+    /// Learning rate `α` (paper: 0.001).
+    pub alpha: f64,
+    /// Match threshold `ξ` in sigmas (paper: 3.0).
+    pub xi: f64,
+    /// Initial σ of a freshly spawned mode.
+    pub sigma_init: f64,
+    /// Lower bound on σ (keeps the match band from collapsing).
+    pub sigma_floor: f64,
+    /// Initial weight of a freshly spawned mode (paper: 0.0001).
+    pub weight_init: f64,
+    /// Normalized weight share at which a mature mode counts as
+    /// established immobility evidence.
+    ///
+    /// A mode's weight divided by the mixture's total weight estimates
+    /// the fraction of observations it explains (its *dwell share*) —
+    /// and, unlike the raw weight, the share is meaningful long before
+    /// the weights converge. A stationary tag concentrates its phase in
+    /// 1–4 modes (share ≥ 0.25 each), while a mobile tag spreads over
+    /// ≥ 2π/(2ξσ) ≈ 8+ regions (share ≤ 0.15).
+    pub established_weight: f64,
+    /// Minimum matched observations before a mode may establish. Keeps a
+    /// mover's short-lived "tracker" modes (briefly high share while the
+    /// sweep lingers in one band) from counting as immobility. ~50
+    /// observations also sets the Fig. 14 learning-curve timescale (the
+    /// paper reaches 70% accuracy at 67 readings).
+    pub established_count: u64,
+    /// Upper bound on σ: a mode broader than this no longer describes
+    /// immobility (it would swallow a sweeping mobile phase).
+    pub sigma_max: f64,
+    /// Observations during which a young mode converges its mean/σ at the
+    /// quick-start rate `1/(count+1)`. Past this, adaptation falls back to
+    /// the paper's slow `ρ = α·η` — deliberately too slow to *track* a
+    /// moving tag's sweeping phase, which is what keeps movers'
+    /// short-lived modes from establishing.
+    pub young_count: u64,
+}
+
+impl GmmConfig {
+    /// Paper defaults for phase modelling.
+    pub fn phase_defaults() -> Self {
+        GmmConfig {
+            k_max: 8,
+            alpha: 0.001,
+            xi: 3.0,
+            // σ bounds bracket the R420's ~0.1 rad phase jitter: the floor
+            // keeps the ξδ band from collapsing below the noise level
+            // (false positives on static tags), the cap keeps a mode from
+            // ballooning to swallow a mobile tag's phase sweep (a circle
+            // then needs ≥ 2π/(2ξσ_max) ≈ 6 modes to tile, each below the
+            // established-weight dwell share).
+            sigma_init: 0.2,
+            sigma_floor: 0.1,
+            weight_init: 1e-4,
+            established_weight: 0.2,
+            established_count: 50,
+            sigma_max: 0.2,
+            young_count: 20,
+        }
+    }
+
+    /// Defaults for RSS modelling (dB scale instead of radians).
+    pub fn rss_defaults() -> Self {
+        GmmConfig {
+            sigma_init: 2.0,
+            sigma_floor: 1.0,
+            sigma_max: 3.0,
+            ..Self::phase_defaults()
+        }
+    }
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        Self::phase_defaults()
+    }
+}
+
+/// One mode of the mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mode {
+    /// The Gaussian.
+    pub g: Gaussian,
+    /// Mixture weight `w`.
+    pub weight: f64,
+    /// Observations matched so far (drives the quick-start rate).
+    pub count: u64,
+}
+
+impl Mode {
+    /// Priority `r = w / δ` — high weight, low deviation first (§4.2).
+    #[inline]
+    pub fn priority(&self) -> f64 {
+        self.weight / self.g.sigma.max(1e-9)
+    }
+
+    /// Whether this mode is established immobility evidence, given the
+    /// mixture's total weight (for share normalization).
+    #[inline]
+    pub fn established(&self, cfg: &GmmConfig, total_weight: f64) -> bool {
+        self.count >= cfg.established_count
+            && self.weight / total_weight.max(1e-12) >= cfg.established_weight
+    }
+}
+
+/// The verdict for one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Observation {
+    /// Matched an established mode: consistent with immobility (Case 1).
+    Stationary,
+    /// Matched a young, not-yet-established mode: learning in progress,
+    /// treated as motion evidence for detection purposes.
+    Learning,
+    /// No mode matched: motion evidence; a new mode was spawned (Case 2).
+    Moving,
+}
+
+impl Observation {
+    /// Whether this observation counts as motion evidence.
+    #[inline]
+    pub fn is_motion(self) -> bool {
+        !matches!(self, Observation::Stationary)
+    }
+}
+
+/// A self-learning mixture over one scalar channel (phase or RSS) of one
+/// RF link.
+///
+/// ```
+/// use tagwatch::{Gmm, GmmConfig, Observation};
+///
+/// let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+/// // A stationary tag's phase readings cluster; after enough history the
+/// // cluster establishes as immobility…
+/// for _ in 0..100 {
+///     gmm.observe(1.0);
+/// }
+/// assert_eq!(gmm.classify(1.02), Observation::Stationary);
+/// // …while a displaced phase (≈1 cm at 920 MHz) is motion evidence.
+/// assert!(gmm.classify(1.0 + 0.4).is_motion());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gmm {
+    modes: Vec<Mode>,
+    cfg: GmmConfig,
+    circular: bool,
+}
+
+impl Gmm {
+    /// A phase mixture (circular) with the given config.
+    pub fn phase(cfg: GmmConfig) -> Self {
+        Gmm {
+            modes: Vec::new(),
+            cfg,
+            circular: true,
+        }
+    }
+
+    /// An RSS mixture (linear) with the given config.
+    pub fn rss(cfg: GmmConfig) -> Self {
+        Gmm {
+            modes: Vec::new(),
+            cfg,
+            circular: false,
+        }
+    }
+
+    /// The modes, unsorted (for inspection/tests).
+    pub fn modes(&self) -> &[Mode] {
+        &self.modes
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GmmConfig {
+        &self.cfg
+    }
+
+    /// Index of the highest-priority mode matching `x`, if any.
+    fn find_match(&self, x: f64) -> Option<usize> {
+        let mut order: Vec<usize> = (0..self.modes.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.modes[b]
+                .priority()
+                .partial_cmp(&self.modes[a].priority())
+                .expect("priorities are finite")
+        });
+        order
+            .into_iter()
+            .find(|&i| self.modes[i].g.matches(x, self.cfg.xi))
+    }
+
+    /// Classifies `x` without updating the model: would it be considered
+    /// consistent with the learned immobility?
+    pub fn classify(&self, x: f64) -> Observation {
+        let total = self.total_weight();
+        match self.find_match(x) {
+            Some(i) if self.modes[i].established(&self.cfg, total) => Observation::Stationary,
+            Some(_) => Observation::Learning,
+            None => Observation::Moving,
+        }
+    }
+
+    /// Observes `x`: classify, then update the mixture (Eqn. 11 / Case 2).
+    pub fn observe(&mut self, x: f64) -> Observation {
+        let total = self.total_weight();
+        match self.find_match(x) {
+            Some(idx) => {
+                let verdict = if self.modes[idx].established(&self.cfg, total) {
+                    Observation::Stationary
+                } else {
+                    Observation::Learning
+                };
+                let alpha = self.cfg.alpha;
+                // Weight updates for all modes (Eqn. 11, first line +
+                // the decay of unmatched modes).
+                for (i, m) in self.modes.iter_mut().enumerate() {
+                    if i == idx {
+                        m.weight = (1.0 - alpha) * m.weight + alpha;
+                    } else {
+                        m.weight *= 1.0 - alpha;
+                    }
+                }
+                // Mean/σ update of the matched mode with quick-start rate.
+                let m = &mut self.modes[idx];
+                m.count += 1;
+                let rho_paper = (alpha * m.g.density(x)).clamp(0.0, 1.0);
+                // Quick-start only while young: afterwards the slow paper
+                // rate applies, so a mode cannot follow a sweeping phase.
+                let rho = if m.count <= self.cfg.young_count {
+                    rho_paper.max(1.0 / (m.count as f64 + 1.0)).min(1.0)
+                } else {
+                    rho_paper
+                };
+                m.g.nudge_mean(x, rho);
+                let dev = m.g.deviation(x);
+                let var = (1.0 - rho) * m.g.sigma * m.g.sigma + rho * dev * dev;
+                m.g.sigma = var
+                    .sqrt()
+                    .clamp(self.cfg.sigma_floor, self.cfg.sigma_max);
+                verdict
+            }
+            None => {
+                self.spawn_mode(x);
+                Observation::Moving
+            }
+        }
+    }
+
+    /// Case 2: push a fresh mode, evicting the lowest-priority one when the
+    /// stack is full.
+    fn spawn_mode(&mut self, x: f64) {
+        let g = if self.circular {
+            Gaussian::phase(x, self.cfg.sigma_init)
+        } else {
+            Gaussian::linear(x, self.cfg.sigma_init)
+        };
+        let mode = Mode {
+            g,
+            weight: self.cfg.weight_init,
+            count: 1,
+        };
+        if self.modes.len() < self.cfg.k_max {
+            self.modes.push(mode);
+        } else {
+            let worst = (0..self.modes.len())
+                .min_by(|&a, &b| {
+                    self.modes[a]
+                        .priority()
+                        .partial_cmp(&self.modes[b].priority())
+                        .expect("priorities are finite")
+                })
+                .expect("k_max > 0 so modes is non-empty");
+            self.modes[worst] = mode;
+        }
+    }
+
+    /// Batch-trains on a history slice (used by the Fig. 14 learning-curve
+    /// experiment and for re-seeding after long absences).
+    pub fn train(&mut self, samples: &[f64]) {
+        for &x in samples {
+            self.observe(x);
+        }
+    }
+
+    /// Total weight across modes (diagnostics; bounded by k_max).
+    pub fn total_weight(&self) -> f64 {
+        self.modes.iter().map(|m| m.weight).sum()
+    }
+
+    /// The currently established modes.
+    pub fn established_modes(&self) -> impl Iterator<Item = &Mode> {
+        let total = self.total_weight();
+        self.modes
+            .iter()
+            .filter(move |m| m.established(&self.cfg, total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::TAU;
+    use tagwatch_rf::sample_normal;
+
+    fn noisy_cluster(rng: &mut StdRng, center: f64, sigma: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| tagwatch_rf::wrap_2pi(sample_normal(rng, center, sigma)))
+            .collect()
+    }
+
+    #[test]
+    fn first_observation_is_moving_then_learns() {
+        let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+        assert_eq!(gmm.observe(1.0), Observation::Moving);
+        // Subsequent identical observations match the young mode…
+        assert_eq!(gmm.observe(1.0), Observation::Learning);
+        // …and after enough matches the mode establishes.
+        let mut verdict = Observation::Learning;
+        for _ in 0..400 {
+            verdict = gmm.observe(1.0);
+        }
+        assert_eq!(verdict, Observation::Stationary);
+    }
+
+    #[test]
+    fn establishment_time_matches_alpha() {
+        // A sole mode has share 1.0 from the start, so establishment is
+        // gated by the maturity count (50) — the Fig. 14 timescale.
+        let cfg = GmmConfig::phase_defaults();
+        let mut gmm = Gmm::phase(cfg);
+        let mut first_established = None;
+        for k in 0..1000 {
+            if gmm.observe(2.0) == Observation::Stationary {
+                first_established = Some(k);
+                break;
+            }
+        }
+        let k = first_established.expect("must establish");
+        assert!((45..60).contains(&k), "established after {k} observations");
+    }
+
+    #[test]
+    fn stationary_tag_with_noise_establishes_one_mode() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = noisy_cluster(&mut rng, 3.0, 0.1, 500);
+        let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+        gmm.train(&samples);
+        // After training, a fresh in-cluster observation is Stationary.
+        assert_eq!(gmm.classify(3.05), Observation::Stationary);
+        // One dominant mode with mean ≈ 3, σ ≈ noise level.
+        let top = gmm
+            .modes()
+            .iter()
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .unwrap();
+        assert!((top.g.mean - 3.0).abs() < 0.1, "mean {}", top.g.mean);
+        assert!(top.g.sigma < 0.2, "sigma {}", top.g.sigma);
+    }
+
+    #[test]
+    fn displaced_phase_is_moving() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+        gmm.train(&noisy_cluster(&mut rng, 1.0, 0.08, 300));
+        // A 1 cm displacement at λ ≈ 0.325 m shifts phase by ≈ 0.39 rad —
+        // outside the established mode's ξδ band. (It may graze a junk
+        // mode spawned by a training outlier, which is still motion
+        // evidence — only Stationary clears the tag.)
+        assert!(gmm.classify(1.0 + 0.39).is_motion());
+    }
+
+    #[test]
+    fn multipath_learns_multiple_modes() {
+        // A person alternately present/absent creates two phase modes; both
+        // should establish and both should classify as stationary (Fig. 8).
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = noisy_cluster(&mut rng, 1.0, 0.08, 400);
+        let b = noisy_cluster(&mut rng, 2.2, 0.08, 400);
+        let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+        for i in 0..400 {
+            gmm.observe(a[i]);
+            gmm.observe(b[i]);
+        }
+        assert_eq!(gmm.classify(1.0), Observation::Stationary);
+        assert_eq!(gmm.classify(2.2), Observation::Stationary);
+        assert_eq!(gmm.classify(4.0), Observation::Moving);
+        let established = gmm.established_modes().count();
+        assert!(established >= 2, "established {established}");
+    }
+
+    #[test]
+    fn wraparound_cluster_is_single_mode() {
+        // Phases straddling 0/2π must not split into two modes (§4.3).
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples = noisy_cluster(&mut rng, 0.0, 0.08, 500);
+        let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+        gmm.train(&samples);
+        assert_eq!(gmm.classify(TAU - 0.05), Observation::Stationary);
+        assert_eq!(gmm.classify(0.05), Observation::Stationary);
+        let established = gmm.established_modes().count();
+        assert_eq!(established, 1, "wrap cluster split into modes");
+    }
+
+    #[test]
+    fn stack_is_bounded_and_evicts_lowest_priority() {
+        let mut gmm = Gmm::phase(GmmConfig {
+            k_max: 3,
+            ..GmmConfig::phase_defaults()
+        });
+        // Establish one strong mode.
+        for _ in 0..300 {
+            gmm.observe(1.0);
+        }
+        // Flood with scattered one-off observations.
+        for k in 0..20 {
+            gmm.observe(tagwatch_rf::wrap_2pi(2.0 + 0.8 * k as f64));
+        }
+        assert!(gmm.modes().len() <= 3);
+        // The strong mode survives the churn.
+        assert_eq!(gmm.classify(1.0), Observation::Stationary);
+    }
+
+    #[test]
+    fn outdated_modes_decay() {
+        // §4.3 "Why do we model immobility?": after a tag moves to a new
+        // place, the old position's mode decays as the new one takes over.
+        let cfg = GmmConfig {
+            alpha: 0.01, // faster decay to keep the test short
+            established_weight: 0.05,
+            ..GmmConfig::phase_defaults()
+        };
+        let mut gmm = Gmm::phase(cfg);
+        for _ in 0..200 {
+            gmm.observe(1.0);
+        }
+        let w_old_before = gmm
+            .modes()
+            .iter()
+            .find(|m| (m.g.mean - 1.0).abs() < 0.2)
+            .unwrap()
+            .weight;
+        for _ in 0..400 {
+            gmm.observe(4.0);
+        }
+        let old = gmm.modes().iter().find(|m| (m.g.mean - 1.0).abs() < 0.2);
+        match old {
+            Some(m) => assert!(m.weight < w_old_before * 0.2, "old mode decayed"),
+            None => {} // already evicted — also fine
+        }
+        assert_eq!(gmm.classify(4.0), Observation::Stationary);
+    }
+
+    #[test]
+    fn rss_mixture_is_linear() {
+        let mut gmm = Gmm::rss(GmmConfig::rss_defaults());
+        for _ in 0..400 {
+            gmm.observe(-50.0);
+        }
+        assert_eq!(gmm.classify(-50.5), Observation::Stationary);
+        assert_eq!(gmm.classify(-30.0), Observation::Moving);
+    }
+
+    #[test]
+    fn sigma_floor_holds() {
+        let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+        // Identical observations would drive σ → 0 without the floor.
+        for _ in 0..500 {
+            gmm.observe(1.0);
+        }
+        for m in gmm.modes() {
+            assert!(m.g.sigma >= 0.1);
+        }
+        // And the match band stays usable: tiny jitter still matches.
+        assert_eq!(gmm.classify(1.05), Observation::Stationary);
+    }
+
+    #[test]
+    fn observation_motion_flag() {
+        assert!(!Observation::Stationary.is_motion());
+        assert!(Observation::Learning.is_motion());
+        assert!(Observation::Moving.is_motion());
+    }
+}

@@ -1,0 +1,217 @@
+//! The reading-history database (§3: "all readings should be delivered to
+//! upper applications and contribute to the history database").
+//!
+//! Keeps a bounded per-tag ring of recent readings, powering IRR
+//! accounting, eviction of long-absent tags (§4.3 "reading exceptions"),
+//! and re-training after environment changes.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use tagwatch_gen2::Epc;
+use tagwatch_reader::TagReport;
+use tagwatch_rf::RfMeasurement;
+
+/// One stored reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReadingSample {
+    /// The RF measurement (includes the timestamp).
+    pub rf: RfMeasurement,
+}
+
+/// Per-tag history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagRecord {
+    /// The tag's EPC.
+    pub epc: Epc,
+    /// Recent readings, oldest first, bounded by the history capacity.
+    readings: VecDeque<ReadingSample>,
+    /// Time of first reading ever.
+    pub first_seen: f64,
+    /// Time of most recent reading.
+    pub last_seen: f64,
+    /// Total readings ever recorded (not bounded).
+    pub total_reads: u64,
+}
+
+impl TagRecord {
+    /// The retained readings, oldest first.
+    pub fn readings(&self) -> impl Iterator<Item = &ReadingSample> {
+        self.readings.iter()
+    }
+
+    /// Number of retained readings.
+    pub fn len(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Whether no readings are retained.
+    pub fn is_empty(&self) -> bool {
+        self.readings.is_empty()
+    }
+
+    /// Readings within the last `window` seconds before `now`.
+    pub fn reads_in_window(&self, now: f64, window: f64) -> usize {
+        self.readings
+            .iter()
+            .filter(|s| s.rf.t > now - window && s.rf.t <= now)
+            .count()
+    }
+
+    /// Individual reading rate over the trailing `window` seconds.
+    pub fn irr(&self, now: f64, window: f64) -> f64 {
+        if window <= 0.0 {
+            return 0.0;
+        }
+        self.reads_in_window(now, window) as f64 / window
+    }
+}
+
+/// The history database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    tags: HashMap<Epc, TagRecord>,
+    /// Per-tag retained-reading cap.
+    pub capacity_per_tag: usize,
+}
+
+impl History {
+    /// A database retaining up to `capacity_per_tag` readings per tag.
+    pub fn new(capacity_per_tag: usize) -> Self {
+        assert!(capacity_per_tag > 0, "capacity must be positive");
+        History {
+            tags: HashMap::new(),
+            capacity_per_tag,
+        }
+    }
+
+    /// Records one reader report.
+    pub fn record(&mut self, report: &TagReport) {
+        let cap = self.capacity_per_tag;
+        let rec = self.tags.entry(report.epc).or_insert_with(|| TagRecord {
+            epc: report.epc,
+            readings: VecDeque::with_capacity(cap.min(256)),
+            first_seen: report.rf.t,
+            last_seen: report.rf.t,
+            total_reads: 0,
+        });
+        if rec.readings.len() == cap {
+            rec.readings.pop_front();
+        }
+        rec.readings.push_back(ReadingSample { rf: report.rf });
+        rec.last_seen = report.rf.t;
+        rec.total_reads += 1;
+    }
+
+    /// Record of one tag, if known.
+    pub fn tag(&self, epc: &Epc) -> Option<&TagRecord> {
+        self.tags.get(epc)
+    }
+
+    /// All known EPCs (arbitrary order).
+    pub fn known_epcs(&self) -> impl Iterator<Item = &Epc> {
+        self.tags.keys()
+    }
+
+    /// Number of known tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Drops tags not seen for `timeout` seconds ("If one tag leaves for a
+    /// long while, the system will remove its models for saving memory").
+    /// Returns the evicted EPCs.
+    pub fn evict_absent(&mut self, now: f64, timeout: f64) -> Vec<Epc> {
+        let stale: Vec<Epc> = self
+            .tags
+            .iter()
+            .filter(|(_, r)| now - r.last_seen > timeout)
+            .map(|(e, _)| *e)
+            .collect();
+        for e in &stale {
+            self.tags.remove(e);
+        }
+        stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(epc: u128, t: f64) -> TagReport {
+        TagReport {
+            epc: Epc::from_bits(epc),
+            tag_idx: 0,
+            rf: RfMeasurement {
+                phase: 1.0,
+                rss_dbm: -50.0,
+                channel: 0,
+                freq_hz: 922.5e6,
+                antenna: 1,
+                t,
+            },
+        }
+    }
+
+    #[test]
+    fn record_and_irr() {
+        let mut h = History::new(100);
+        for k in 0..10 {
+            h.record(&report(5, k as f64 * 0.1));
+        }
+        let rec = h.tag(&Epc::from_bits(5)).unwrap();
+        assert_eq!(rec.total_reads, 10);
+        assert_eq!(rec.first_seen, 0.0);
+        assert!((rec.last_seen - 0.9).abs() < 1e-12);
+        // 10 reads in the trailing 1 s window ending just after the last
+        // read (the window is half-open (now−w, now], so a window ending
+        // exactly at t=1.0 would exclude the t=0.0 read).
+        assert!((rec.irr(0.95, 1.0) - 10.0).abs() < 1e-9);
+        assert_eq!(rec.reads_in_window(1.0, 1.0), 9);
+        // Only the last 5 fall in a 0.45 s window ending at 0.9.
+        assert_eq!(rec.reads_in_window(0.9, 0.45), 5);
+    }
+
+    #[test]
+    fn capacity_bounds_memory_but_not_totals() {
+        let mut h = History::new(4);
+        for k in 0..10 {
+            h.record(&report(7, k as f64));
+        }
+        let rec = h.tag(&Epc::from_bits(7)).unwrap();
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.total_reads, 10);
+        // Oldest retained reading is t = 6.
+        assert_eq!(rec.readings().next().unwrap().rf.t, 6.0);
+    }
+
+    #[test]
+    fn eviction_removes_stale_tags() {
+        let mut h = History::new(10);
+        h.record(&report(1, 0.0));
+        h.record(&report(2, 50.0));
+        let evicted = h.evict_absent(60.0, 30.0);
+        assert_eq!(evicted, vec![Epc::from_bits(1)]);
+        assert_eq!(h.len(), 1);
+        assert!(h.tag(&Epc::from_bits(2)).is_some());
+    }
+
+    #[test]
+    fn zero_window_irr_is_zero() {
+        let mut h = History::new(10);
+        h.record(&report(1, 0.0));
+        assert_eq!(h.tag(&Epc::from_bits(1)).unwrap().irr(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        History::new(0);
+    }
+}

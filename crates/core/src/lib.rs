@@ -1,0 +1,72 @@
+//! # tagwatch — rate-adaptive reading for COTS RFID systems
+//!
+//! The core contribution of the CoNEXT '17 paper *"Revisiting Reading Rate
+//! with Mobility: Rate-Adaptive Reading in COTS RFID Systems"*: a
+//! middleware that raises the individual reading rate (IRR) of *mobile*
+//! tags by a two-phase cycle —
+//!
+//! 1. **Phase I — motion assessment** ([`motion`], [`gmm`]): inventory all
+//!    tags once, classify each as mobile/stationary with a self-learning
+//!    Gaussian-mixture immobility model over backscatter phase.
+//! 2. **Phase II — target schedule** ([`cover`], [`scheduler`]): cover the
+//!    mobile (and user-concerned) tags with Gen2 `Select` bitmasks chosen
+//!    by greedy weighted set cover priced with the paper's inventory-cost
+//!    model `C(n) = τ0 + n·e·τ̄·ln n`, then selectively read only those
+//!    tags for a long interval.
+//!
+//! [`controller::Controller`] drives the loop against any
+//! [`tagwatch_reader::Reader`]; [`metrics`] computes the quantities the
+//! paper's evaluation reports.
+//!
+//! ```
+//! use tagwatch::prelude::*;
+//! use tagwatch_reader::{Reader, ReaderConfig};
+//! use tagwatch_scene::presets;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // 40 tags, 2 of them riding a turntable.
+//! let scene = presets::turntable(40, 2, 7);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let epcs: Vec<Epc> = (0..40).map(|_| Epc::random(&mut rng)).collect();
+//! let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), 7);
+//!
+//! let mut tagwatch = Controller::new(TagwatchConfig::default());
+//! let report = tagwatch.run_cycle(&mut reader).unwrap();
+//! assert_eq!(report.census.len(), 40);
+//! ```
+
+pub mod bitmap;
+pub mod config;
+pub mod controller;
+pub mod cover;
+pub mod gaussian;
+pub mod gmm;
+pub mod history;
+pub mod metrics;
+pub mod motion;
+pub mod scheduler;
+
+pub use bitmap::Bitmap;
+pub use config::{DetectorKind, SchedulingMode, TagwatchConfig};
+pub use controller::{Controller, ControllerSnapshot, CycleReport};
+pub use cover::{
+    greedy_cover, naive_cover, select_cover, CoverConfig, CoverPlan, CoverStrategy, IndexRow,
+    IndexTable,
+};
+pub use gaussian::{circular_mean, circular_std, fit_phase, Gaussian};
+pub use gmm::{Gmm, GmmConfig, Mode, Observation};
+pub use history::{History, ReadingSample, TagRecord};
+pub use motion::{AnyDetector, Detector, DiffDetector, Feature, MogDetector, MotionAssessor};
+pub use scheduler::{build_schedule, ReadAllReason, Schedule, ScheduleMode};
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use crate::config::{DetectorKind, SchedulingMode, TagwatchConfig};
+    pub use crate::controller::{Controller, CycleReport};
+    pub use crate::cover::{select_cover, CoverConfig, CoverPlan};
+    pub use crate::gmm::{Gmm, GmmConfig, Observation};
+    pub use crate::metrics;
+    pub use crate::motion::{Detector, DiffDetector, MogDetector, MotionAssessor};
+    pub use crate::scheduler::ScheduleMode;
+    pub use tagwatch_gen2::{BitMask, CostModel, Epc};
+}

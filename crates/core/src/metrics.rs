@@ -1,0 +1,219 @@
+//! Evaluation metrics: IRR accounting, detection scores, distribution
+//! helpers. Everything the §7 experiments report is computed here so the
+//! figure harness stays thin.
+
+use std::collections::HashMap;
+use tagwatch_gen2::Epc;
+use tagwatch_reader::TagReport;
+
+/// Per-tag individual reading rates from a report stream spanning
+/// `duration` seconds (§2.1's IRR definition: readings of a particular tag
+/// per second).
+pub fn irr_per_tag(reports: &[TagReport], duration: f64) -> HashMap<Epc, f64> {
+    assert!(duration > 0.0, "duration must be positive");
+    let mut counts: HashMap<Epc, usize> = HashMap::new();
+    for r in reports {
+        *counts.entry(r.epc).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(e, c)| (e, c as f64 / duration))
+        .collect()
+}
+
+/// Binary-classification confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Accumulates one (prediction, label) pair. `label` is ground-truth
+    /// motion; `pred` is the detector's verdict.
+    pub fn push(&mut self, pred: bool, label: bool) {
+        match (pred, label) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// True positive rate (recall). 0 when there are no positives.
+    pub fn tpr(&self) -> f64 {
+        let p = self.tp + self.fn_;
+        if p == 0 {
+            0.0
+        } else {
+            self.tp as f64 / p as f64
+        }
+    }
+
+    /// False positive rate. 0 when there are no negatives.
+    pub fn fpr(&self) -> f64 {
+        let n = self.fp + self.tn;
+        if n == 0 {
+            0.0
+        } else {
+            self.fp as f64 / n as f64
+        }
+    }
+
+    /// Accuracy over all samples.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// One point of an ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// The swept threshold (ξ for MoG detectors, the jump threshold for
+    /// differencing).
+    pub threshold: f64,
+    pub tpr: f64,
+    pub fpr: f64,
+}
+
+/// The p-th percentile (0–100) of a sample, by linear interpolation.
+/// Panics on an empty slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (rank - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// The median of a sample.
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// Sample mean. 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Sample standard deviation (population form). 0 for < 2 samples.
+pub fn std_dev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    (samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64).sqrt()
+}
+
+/// Empirical CDF evaluated at `x`: the fraction of samples ≤ x.
+pub fn cdf_at(samples: &[f64], x: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|&&s| s <= x).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_rf::RfMeasurement;
+
+    fn report(epc: u128, t: f64) -> TagReport {
+        TagReport {
+            epc: Epc::from_bits(epc),
+            tag_idx: 0,
+            rf: RfMeasurement {
+                phase: 0.0,
+                rss_dbm: -50.0,
+                channel: 0,
+                freq_hz: 922.5e6,
+                antenna: 1,
+                t,
+            },
+        }
+    }
+
+    #[test]
+    fn irr_counts_per_epc() {
+        let reports: Vec<TagReport> = (0..10)
+            .map(|k| report(if k % 2 == 0 { 1 } else { 2 }, k as f64 * 0.1))
+            .collect();
+        let irr = irr_per_tag(&reports, 2.0);
+        assert!((irr[&Epc::from_bits(1)] - 2.5).abs() < 1e-12);
+        assert!((irr[&Epc::from_bits(2)] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_rates() {
+        let mut c = Confusion::default();
+        // 8 moving samples, 6 detected; 12 static samples, 3 false alarms.
+        for k in 0..8 {
+            c.push(k < 6, true);
+        }
+        for k in 0..12 {
+            c.push(k < 3, false);
+        }
+        assert!((c.tpr() - 0.75).abs() < 1e-12);
+        assert!((c.fpr() - 0.25).abs() < 1e-12);
+        assert!((c.accuracy() - 15.0 / 20.0).abs() < 1e-12);
+        assert_eq!(c.total(), 20);
+    }
+
+    #[test]
+    fn confusion_degenerate_cases() {
+        let c = Confusion::default();
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn percentile_and_median() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(median(&v), 3.0);
+        assert_eq!(percentile(&v, 25.0), 2.0);
+        // Interpolation on even-length samples.
+        assert_eq!(median(&[1.0, 2.0]), 1.5);
+    }
+
+    #[test]
+    fn mean_std_cdf() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-12);
+        assert!((cdf_at(&v, 4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(cdf_at(&v, 100.0), 1.0);
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Phase-II schedule construction: from a target set to a ROSpec.
+//!
+//! Applies the §3 scope guard (too many targets → read all), runs the §5
+//! cover search in the configured mode, and emits the LLRP spec the reader
+//! executes — one AISpec per bitmask, the paper's default encoding.
+
+use crate::config::{SchedulingMode, TagwatchConfig};
+use crate::cover::{naive_cover, select_cover, CoverPlan};
+use serde::{Deserialize, Serialize};
+use tagwatch_gen2::Epc;
+use tagwatch_reader::RoSpec;
+
+/// What kind of Phase II was scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScheduleMode {
+    /// Selective reading of the planned bitmasks.
+    Selective,
+    /// Reading everyone — either by configuration, because there were no
+    /// targets, or because the mobile fraction exceeded the ceiling.
+    ReadAll,
+}
+
+/// A built Phase-II schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The spec to execute for Phase II.
+    pub rospec: RoSpec,
+    /// The cover plan behind it (None for read-all).
+    pub plan: Option<CoverPlan>,
+    /// Selective or read-all.
+    pub mode: ScheduleMode,
+    /// Why read-all was chosen, when it was.
+    pub reason: Option<ReadAllReason>,
+}
+
+/// Why a cycle fell back to reading everyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReadAllReason {
+    /// No mobile or concerned tags this cycle.
+    NoTargets,
+    /// Targets exceeded the mobile-fraction ceiling (§3 Scope).
+    TooManyTargets,
+    /// Configured scheduling mode is `ReadAll`.
+    Configured,
+}
+
+/// Builds the Phase-II schedule for this cycle.
+///
+/// `all_epcs` are the present tags (Phase I's census); `target_idxs` index
+/// into it. `rospec_id` tags the emitted spec for event correlation.
+pub fn build_schedule(
+    all_epcs: &[Epc],
+    target_idxs: &[usize],
+    cfg: &TagwatchConfig,
+    rospec_id: u32,
+) -> Schedule {
+    let with_dwell = |mut rospec: RoSpec| {
+        for ai in &mut rospec.ai_specs {
+            ai.dwell = cfg.phase2_dwell;
+        }
+        rospec
+    };
+    let read_all = |reason: ReadAllReason| Schedule {
+        rospec: with_dwell(RoSpec::read_all(rospec_id, cfg.antennas.clone())),
+        plan: None,
+        mode: ScheduleMode::ReadAll,
+        reason: Some(reason),
+    };
+
+    if cfg.scheduling == SchedulingMode::ReadAll {
+        return read_all(ReadAllReason::Configured);
+    }
+    if target_idxs.is_empty() {
+        return read_all(ReadAllReason::NoTargets);
+    }
+    if !all_epcs.is_empty() {
+        let fraction = target_idxs.len() as f64 / all_epcs.len() as f64;
+        // The ceiling is an economy guard for large target sets; with a
+        // handful of targets selective reading always pays, so tiny
+        // populations (where one false positive swings the fraction) are
+        // exempt.
+        if fraction > cfg.mobile_ceiling && target_idxs.len() > 3 {
+            return read_all(ReadAllReason::TooManyTargets);
+        }
+    }
+
+    let plan = match cfg.scheduling {
+        SchedulingMode::Tagwatch => select_cover(all_epcs, target_idxs, &cfg.cost, &cfg.cover),
+        SchedulingMode::Naive => naive_cover(all_epcs, target_idxs, &cfg.cost),
+        SchedulingMode::ReadAll => unreachable!("handled above"),
+    };
+    let rospec = with_dwell(RoSpec::selective_with_truncate(
+        rospec_id,
+        cfg.antennas.clone(),
+        &plan.masks,
+        cfg.truncate_phase2,
+    ));
+    Schedule {
+        rospec,
+        plan: Some(plan),
+        mode: ScheduleMode::Selective,
+        reason: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn epcs(n: usize, seed: u64) -> Vec<Epc> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Epc::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn selective_schedule_for_few_targets() {
+        let population = epcs(40, 1);
+        let cfg = TagwatchConfig::default();
+        let s = build_schedule(&population, &[3, 17], &cfg, 9);
+        assert_eq!(s.mode, ScheduleMode::Selective);
+        assert_eq!(s.rospec.id, 9);
+        let plan = s.plan.unwrap();
+        assert!(plan.covered.get(3) && plan.covered.get(17));
+        // One AISpec per mask.
+        assert_eq!(s.rospec.ai_specs.len(), plan.masks.len());
+        s.rospec.validate().unwrap();
+    }
+
+    #[test]
+    fn no_targets_reads_all() {
+        let population = epcs(10, 2);
+        let s = build_schedule(&population, &[], &TagwatchConfig::default(), 1);
+        assert_eq!(s.mode, ScheduleMode::ReadAll);
+        assert_eq!(s.reason, Some(ReadAllReason::NoTargets));
+        assert!(s.plan.is_none());
+    }
+
+    #[test]
+    fn ceiling_forces_read_all() {
+        let population = epcs(20, 3);
+        // 5 of 20 targets = 25% > 20% ceiling (and above the small-count
+        // exemption).
+        let s = build_schedule(&population, &[0, 1, 2, 3, 4], &TagwatchConfig::default(), 1);
+        assert_eq!(s.mode, ScheduleMode::ReadAll);
+        assert_eq!(s.reason, Some(ReadAllReason::TooManyTargets));
+        // 4 of 20 = exactly 20%: not *over* the ceiling → selective.
+        let s = build_schedule(&population, &[0, 1, 2, 3], &TagwatchConfig::default(), 1);
+        assert_eq!(s.mode, ScheduleMode::Selective);
+    }
+
+    #[test]
+    fn tiny_target_sets_are_exempt_from_ceiling() {
+        // 3 of 5 targets is 60%, but selective reading of three tags
+        // always pays — one false positive must not flip a small scene
+        // to read-all.
+        let population = epcs(5, 7);
+        let s = build_schedule(&population, &[0, 1, 2], &TagwatchConfig::default(), 1);
+        assert_eq!(s.mode, ScheduleMode::Selective);
+    }
+
+    #[test]
+    fn configured_read_all() {
+        let population = epcs(10, 4);
+        let cfg = TagwatchConfig::default().with_scheduling(SchedulingMode::ReadAll);
+        let s = build_schedule(&population, &[0], &cfg, 1);
+        assert_eq!(s.mode, ScheduleMode::ReadAll);
+        assert_eq!(s.reason, Some(ReadAllReason::Configured));
+    }
+
+    #[test]
+    fn naive_mode_uses_exact_masks() {
+        let population = epcs(40, 5);
+        let cfg = TagwatchConfig::default().with_scheduling(SchedulingMode::Naive);
+        let s = build_schedule(&population, &[2, 8], &cfg, 1);
+        let plan = s.plan.unwrap();
+        assert_eq!(plan.masks.len(), 2);
+        assert!(plan.masks.iter().all(|m| m.length == 96));
+    }
+
+    #[test]
+    fn antennas_propagate_to_rospec() {
+        let population = epcs(20, 6);
+        let mut cfg = TagwatchConfig::default();
+        cfg.antennas = vec![1, 2, 3, 4];
+        let s = build_schedule(&population, &[0], &cfg, 1);
+        for ai in &s.rospec.ai_specs {
+            assert_eq!(ai.antennas, vec![1, 2, 3, 4]);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Gen2 air-interface commands (the subset that governs inventory).
+//!
+//! The reader talks first; tags only ever respond. The commands modelled
+//! here are the ones the paper's two-phase design manipulates: `Select`
+//! (with its bitmask fields), `Query`/`QueryRep`/`QueryAdjust` (the slotted
+//! ALOHA machinery) and `ACK`.
+
+use crate::mask::BitMask;
+use serde::{Deserialize, Serialize};
+
+/// Tag memory banks. Tagwatch always selects on the EPC bank, but the
+/// enum is complete for protocol fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemBank {
+    /// Bank 00: kill/access passwords.
+    Reserved,
+    /// Bank 01: CRC-16, PC word, EPC.
+    Epc,
+    /// Bank 10: tag identification.
+    Tid,
+    /// Bank 11: user memory.
+    User,
+}
+
+/// Gen2 inventory sessions. Each session has an independent inventoried
+/// flag on every tag, so several readers can inventory the same population
+/// without fighting over flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Session {
+    S0,
+    S1,
+    S2,
+    S3,
+}
+
+impl Session {
+    /// Index 0..4 for flag arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Session::S0 => 0,
+            Session::S1 => 1,
+            Session::S2 => 2,
+            Session::S3 => 3,
+        }
+    }
+}
+
+/// The inventoried flag value of a tag within a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvFlag {
+    A,
+    B,
+}
+
+impl InvFlag {
+    /// The opposite flag value.
+    #[inline]
+    pub fn toggled(self) -> InvFlag {
+        match self {
+            InvFlag::A => InvFlag::B,
+            InvFlag::B => InvFlag::A,
+        }
+    }
+}
+
+/// What a `Select` command targets: the SL flag, or the inventoried flag
+/// of one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelTarget {
+    /// Modify the selected (SL) flag.
+    Sl,
+    /// Modify the inventoried flag of the given session.
+    Inventoried(Session),
+}
+
+/// Gen2 Select actions (EPC Gen2 spec Table 6.29). Each action prescribes
+/// what matching and non-matching tags do to the targeted flag:
+/// assert (SL / flag→A), deassert (¬SL / flag→B), toggle, or nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SelAction {
+    /// 000: matching assert; non-matching deassert.
+    AssertElseDeassert,
+    /// 001: matching assert; non-matching do nothing.
+    AssertElseNothing,
+    /// 010: matching do nothing; non-matching deassert.
+    NothingElseDeassert,
+    /// 011: matching toggle; non-matching do nothing.
+    ToggleElseNothing,
+    /// 100: matching deassert; non-matching assert.
+    DeassertElseAssert,
+    /// 101: matching deassert; non-matching do nothing.
+    DeassertElseNothing,
+    /// 110: matching do nothing; non-matching assert.
+    NothingElseAssert,
+    /// 111: matching do nothing; non-matching toggle.
+    NothingElseToggle,
+}
+
+/// The effect of a Select action on one tag's flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlagOp {
+    Assert,
+    Deassert,
+    Toggle,
+    Nothing,
+}
+
+impl SelAction {
+    /// The operation applied to a tag that matches / does not match the mask.
+    pub fn ops(self) -> (FlagOp, FlagOp) {
+        use FlagOp::*;
+        match self {
+            SelAction::AssertElseDeassert => (Assert, Deassert),
+            SelAction::AssertElseNothing => (Assert, Nothing),
+            SelAction::NothingElseDeassert => (Nothing, Deassert),
+            SelAction::ToggleElseNothing => (Toggle, Nothing),
+            SelAction::DeassertElseAssert => (Deassert, Assert),
+            SelAction::DeassertElseNothing => (Deassert, Nothing),
+            SelAction::NothingElseAssert => (Nothing, Assert),
+            SelAction::NothingElseToggle => (Nothing, Toggle),
+        }
+    }
+}
+
+/// The `Select` command: partitions the population ahead of an inventory
+/// round (§5.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    /// Which flag the action manipulates.
+    pub target: SelTarget,
+    /// What matching / non-matching tags do to that flag.
+    pub action: SelAction,
+    /// Memory bank the mask compares against (Tagwatch uses `Epc`).
+    pub bank: MemBank,
+    /// The bitmask (Pointer, Length, Mask fields).
+    pub mask: BitMask,
+    /// The Gen2 Truncate flag: matching tags backscatter only the EPC
+    /// portion *following* the mask instead of the full PC/EPC/CRC —
+    /// shorter successful slots for selectively read tags. Only
+    /// meaningful on EPC-bank prefix masks (`pointer == 0`), where the
+    /// reader can reconstruct the full EPC from mask ∥ reply.
+    pub truncate: bool,
+}
+
+impl Select {
+    /// The canonical Tagwatch select: assert SL on tags matching `mask`,
+    /// deassert on everything else. A subsequent `Query` with `sel = SL`
+    /// then reads exactly the covered tags.
+    pub fn assert_sl(mask: BitMask) -> Self {
+        Select {
+            target: SelTarget::Sl,
+            action: SelAction::AssertElseDeassert,
+            bank: MemBank::Epc,
+            mask,
+            truncate: false,
+        }
+    }
+
+    /// Assert SL on matching tags and leave the rest untouched — used to
+    /// OR several bitmasks together into one selected set.
+    pub fn or_sl(mask: BitMask) -> Self {
+        Select {
+            target: SelTarget::Sl,
+            action: SelAction::AssertElseNothing,
+            bank: MemBank::Epc,
+            mask,
+            truncate: false,
+        }
+    }
+
+    /// Deassert SL on every tag (match-all mask, deassert action).
+    pub fn clear_sl() -> Self {
+        Select {
+            target: SelTarget::Sl,
+            action: SelAction::DeassertElseNothing,
+            bank: MemBank::Epc,
+            mask: BitMask::MATCH_ALL,
+            truncate: false,
+        }
+    }
+
+    /// Reset the inventoried flag of `session` to A on all tags, so a fresh
+    /// full inventory reads everyone.
+    pub fn reset_inventoried(session: Session) -> Self {
+        Select {
+            target: SelTarget::Inventoried(session),
+            action: SelAction::AssertElseNothing,
+            bank: MemBank::Epc,
+            mask: BitMask::MATCH_ALL,
+            truncate: false,
+        }
+    }
+
+    /// Marks this Select as truncating (builder form). Panics unless the
+    /// mask is an EPC-bank prefix mask — the only configuration where the
+    /// reader can reconstruct full EPCs from truncated replies.
+    pub fn with_truncate(mut self) -> Self {
+        assert_eq!(self.bank, MemBank::Epc, "truncation is EPC-bank only");
+        assert_eq!(
+            self.mask.pointer, 0,
+            "truncation requires a prefix mask (pointer 0)"
+        );
+        self.truncate = true;
+        self
+    }
+}
+
+/// The `Sel` field of `Query`: which tags participate in the round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuerySel {
+    /// All tags regardless of SL.
+    All,
+    /// Only tags with SL deasserted.
+    NotSl,
+    /// Only tags with SL asserted.
+    Sl,
+}
+
+/// The `Query` command: starts a frame of `2^q` slots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Slot-count exponent; the frame has `2^q` slots. `0 ..= 15`.
+    pub q: u8,
+    /// Participation filter on the SL flag.
+    pub sel: QuerySel,
+    /// Session whose inventoried flag gates participation.
+    pub session: Session,
+    /// Which inventoried-flag value participates (usually `A`).
+    pub target: InvFlag,
+}
+
+impl Query {
+    /// Frame length `2^q`.
+    #[inline]
+    pub fn frame_len(&self) -> u32 {
+        1u32 << self.q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_len_is_power_of_two() {
+        for q in 0..=15u8 {
+            let query = Query {
+                q,
+                sel: QuerySel::All,
+                session: Session::S0,
+                target: InvFlag::A,
+            };
+            assert_eq!(query.frame_len(), 1 << q);
+        }
+    }
+
+    #[test]
+    fn inv_flag_toggles() {
+        assert_eq!(InvFlag::A.toggled(), InvFlag::B);
+        assert_eq!(InvFlag::B.toggled(), InvFlag::A);
+    }
+
+    #[test]
+    fn session_indices_unique() {
+        let idx: Vec<usize> = [Session::S0, Session::S1, Session::S2, Session::S3]
+            .iter()
+            .map(|s| s.index())
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn all_eight_actions_have_distinct_ops() {
+        use SelAction::*;
+        let actions = [
+            AssertElseDeassert,
+            AssertElseNothing,
+            NothingElseDeassert,
+            ToggleElseNothing,
+            DeassertElseAssert,
+            DeassertElseNothing,
+            NothingElseAssert,
+            NothingElseToggle,
+        ];
+        let mut seen = Vec::new();
+        for a in actions {
+            let ops = a.ops();
+            assert!(!seen.contains(&ops), "duplicate ops for {a:?}");
+            seen.push(ops);
+        }
+    }
+
+    #[test]
+    fn canonical_selects() {
+        let m = BitMask::new(0b1, 0, 1);
+        let s = Select::assert_sl(m);
+        assert_eq!(s.target, SelTarget::Sl);
+        assert_eq!(s.action, SelAction::AssertElseDeassert);
+        assert_eq!(s.mask, m);
+
+        let c = Select::clear_sl();
+        assert!(c.mask.is_match_all());
+        assert_eq!(c.action, SelAction::DeassertElseNothing);
+
+        let r = Select::reset_inventoried(Session::S1);
+        assert_eq!(r.target, SelTarget::Inventoried(Session::S1));
+    }
+}

@@ -1,0 +1,270 @@
+//! EPC-96 identifiers with Gen2-style bit addressing.
+//!
+//! The `Select` command addresses tag memory by *bit index*, MSB first:
+//! bit 0 is the most significant bit of the EPC. All bit arithmetic in the
+//! bitmask scheduler (§5 of the paper) reduces to extracting bit ranges of
+//! these identifiers, so we store the 96 bits in the low bits of a `u128`
+//! and do range extraction with shifts.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of bits in an EPC-96 identifier.
+pub const EPC_BITS: u16 = 96;
+
+/// A 96-bit Electronic Product Code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Epc(u128);
+
+impl Epc {
+    /// Builds an EPC from the low 96 bits of `value`. Panics if any of the
+    /// high 32 bits are set, to catch accidental truncation at the caller.
+    pub fn from_bits(value: u128) -> Self {
+        assert!(
+            value >> EPC_BITS == 0,
+            "EPC value wider than 96 bits: {value:#x}"
+        );
+        Epc(value)
+    }
+
+    /// Builds an EPC from 12 big-endian bytes.
+    pub fn from_bytes(bytes: [u8; 12]) -> Self {
+        let mut v: u128 = 0;
+        for b in bytes {
+            v = (v << 8) | b as u128;
+        }
+        Epc(v)
+    }
+
+    /// A uniformly random EPC — the paper's Phase-II experiments deploy
+    /// "tags with random EPCs" (§7.2).
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let hi: u32 = rng.gen();
+        let lo: u64 = rng.gen();
+        Epc(((hi as u128) << 64) | lo as u128)
+    }
+
+    /// An SGTIN-96-style structured EPC, the scheme real supply chains
+    /// encode (GS1 TDS): `[8-bit header 0x30][3-bit filter][3-bit
+    /// partition][24-bit company prefix][20-bit item reference][38-bit
+    /// serial]`. Tags of the same product share 58 leading bits — prefix
+    /// structure the bitmask scheduler can exploit (see the `ablate-epc`
+    /// experiment).
+    ///
+    /// Panics if a field overflows its width.
+    pub fn sgtin96(filter: u8, company: u32, item: u32, serial: u64) -> Self {
+        assert!(filter < 8, "filter is 3 bits");
+        assert!(company < 1 << 24, "company prefix is 24 bits here");
+        assert!(item < 1 << 20, "item reference is 20 bits here");
+        assert!(serial < 1 << 38, "serial is 38 bits");
+        let mut v: u128 = 0x30; // SGTIN-96 header
+        v = (v << 3) | filter as u128;
+        v = (v << 3) | 5; // partition value for a 24-bit company prefix
+        v = (v << 24) | company as u128;
+        v = (v << 20) | item as u128;
+        v = (v << 38) | serial as u128;
+        Epc(v)
+    }
+
+    /// The raw 96 bits, right-aligned in a `u128`.
+    #[inline]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// The 12 big-endian bytes.
+    pub fn to_bytes(self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = (self.0 >> (8 * (11 - i))) as u8;
+        }
+        out
+    }
+
+    /// The bit at MSB-first index `i` (`0 ..= 95`).
+    #[inline]
+    pub fn bit(self, i: u16) -> bool {
+        assert!(i < EPC_BITS, "bit index {i} out of range");
+        (self.0 >> (EPC_BITS - 1 - i)) & 1 == 1
+    }
+
+    /// Extracts `length` bits starting at MSB-first bit `pointer`,
+    /// right-aligned in the returned `u128`. `length == 0` returns 0.
+    ///
+    /// Panics if the range runs off the end of the EPC.
+    #[inline]
+    pub fn extract(self, pointer: u16, length: u16) -> u128 {
+        assert!(
+            pointer + length <= EPC_BITS,
+            "bit range {pointer}+{length} exceeds {EPC_BITS}"
+        );
+        if length == 0 {
+            return 0;
+        }
+        let shift = EPC_BITS - pointer - length;
+        let mask = if length == 128 {
+            u128::MAX
+        } else {
+            (1u128 << length) - 1
+        };
+        (self.0 >> shift) & mask
+    }
+}
+
+impl fmt::Display for Epc {
+    /// Formats as 24 uppercase hex digits, the conventional EPC notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:024X}", self.0)
+    }
+}
+
+/// Errors from parsing an EPC hex string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseEpcError {
+    /// Input was not exactly 24 hex digits.
+    BadLength(usize),
+    /// Input contained a non-hex character.
+    BadDigit(char),
+}
+
+impl fmt::Display for ParseEpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEpcError::BadLength(n) => {
+                write!(f, "EPC hex string must be 24 digits, got {n}")
+            }
+            ParseEpcError::BadDigit(c) => write!(f, "invalid hex digit {c:?} in EPC"),
+        }
+    }
+}
+
+impl std::error::Error for ParseEpcError {}
+
+impl FromStr for Epc {
+    type Err = ParseEpcError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 24 {
+            return Err(ParseEpcError::BadLength(s.len()));
+        }
+        let mut v: u128 = 0;
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseEpcError::BadDigit(c))?;
+            v = (v << 4) | d as u128;
+        }
+        Ok(Epc(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn byte_round_trip() {
+        let bytes = [
+            0x30, 0x08, 0x33, 0xB2, 0xDD, 0xD9, 0x01, 0x40, 0x00, 0x00, 0x00, 0x01,
+        ];
+        let epc = Epc::from_bytes(bytes);
+        assert_eq!(epc.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let s = "300833B2DDD9014000000001";
+        let epc: Epc = s.parse().unwrap();
+        assert_eq!(epc.to_string(), s);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(
+            "123".parse::<Epc>().unwrap_err(),
+            ParseEpcError::BadLength(3)
+        );
+        assert_eq!(
+            "30X833B2DDD9014000000001".parse::<Epc>().unwrap_err(),
+            ParseEpcError::BadDigit('X')
+        );
+    }
+
+    #[test]
+    fn bit_is_msb_first() {
+        // EPC with only the top bit set.
+        let epc = Epc::from_bits(1u128 << 95);
+        assert!(epc.bit(0));
+        for i in 1..EPC_BITS {
+            assert!(!epc.bit(i));
+        }
+        // EPC with only the bottom bit set.
+        let epc = Epc::from_bits(1);
+        assert!(epc.bit(95));
+        assert!(!epc.bit(0));
+    }
+
+    #[test]
+    fn extract_matches_per_bit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let epc = Epc::random(&mut rng);
+        for &(p, l) in &[(0u16, 8u16), (4, 12), (88, 8), (0, 96), (95, 1), (10, 0)] {
+            let got = epc.extract(p, l);
+            let mut want: u128 = 0;
+            for i in 0..l {
+                want = (want << 1) | epc.bit(p + i) as u128;
+            }
+            assert_eq!(got, want, "pointer {p} length {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn extract_out_of_range_panics() {
+        Epc::from_bits(0).extract(90, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 96")]
+    fn from_bits_rejects_wide_values() {
+        Epc::from_bits(1u128 << 96);
+    }
+
+    #[test]
+    fn sgtin96_layout() {
+        let epc = Epc::sgtin96(1, 0xABCDEF, 0x12345, 42);
+        // Header in the top byte.
+        assert_eq!(epc.extract(0, 8), 0x30);
+        assert_eq!(epc.extract(8, 3), 1);
+        assert_eq!(epc.extract(11, 3), 5);
+        assert_eq!(epc.extract(14, 24), 0xABCDEF);
+        assert_eq!(epc.extract(38, 20), 0x12345);
+        assert_eq!(epc.extract(58, 38), 42);
+        // Same product, different serials share a 58-bit prefix.
+        let sibling = Epc::sgtin96(1, 0xABCDEF, 0x12345, 43);
+        assert_eq!(epc.extract(0, 58), sibling.extract(0, 58));
+        assert_ne!(epc, sibling);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial is 38 bits")]
+    fn sgtin96_rejects_wide_serial() {
+        Epc::sgtin96(0, 0, 0, 1 << 38);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(Epc::random(&mut a), Epc::random(&mut b));
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        let a = Epc::from_bits(5);
+        let b = Epc::from_bits(9);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,191 @@
+//! Select bitmasks — the `S(m, p, l)` triples of §5 of the paper.
+//!
+//! A bitmask covers a tag iff the tag's EPC bits `[pointer, pointer+length)`
+//! equal the mask bits. The paper writes a bitmask as `S(Mask, Pointer,
+//! Length)` with the `MemBank` fixed to the EPC bank; this module implements
+//! exactly that matching rule plus the builders the scheduler needs.
+
+use crate::epc::{Epc, EPC_BITS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Gen2 Select bitmask over the EPC memory bank.
+///
+/// ```
+/// use tagwatch_gen2::{BitMask, Epc};
+///
+/// let epc: Epc = "300833B2DDD9014000000001".parse().unwrap();
+/// // A 12-bit prefix mask covering this EPC (and any other sharing it).
+/// let mask = BitMask::from_epc_range(epc, 0, 12);
+/// assert!(mask.matches(epc));
+/// assert_eq!(mask.to_string(), "S(0b001100000000, p=0, l=12)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitMask {
+    /// Starting bit address (MSB-first) within the EPC.
+    pub pointer: u16,
+    /// Number of bits compared. `0` matches every tag (an empty
+    /// comparison is vacuously true) — this is how "read all" is encoded.
+    pub length: u16,
+    /// The mask bits, right-aligned.
+    pub bits: u128,
+}
+
+impl BitMask {
+    /// A mask that matches every tag (zero-length comparison).
+    pub const MATCH_ALL: BitMask = BitMask {
+        pointer: 0,
+        length: 0,
+        bits: 0,
+    };
+
+    /// Builds a mask, validating the bit range and that `bits` fits in
+    /// `length` bits.
+    pub fn new(bits: u128, pointer: u16, length: u16) -> Self {
+        assert!(
+            pointer + length <= EPC_BITS,
+            "mask range {pointer}+{length} exceeds EPC width"
+        );
+        if length < 128 {
+            assert!(
+                bits >> length == 0,
+                "mask bits {bits:#x} wider than declared length {length}"
+            );
+        }
+        BitMask {
+            pointer,
+            length,
+            bits,
+        }
+    }
+
+    /// The mask equal to the substring `[pointer, pointer+length)` of `epc` —
+    /// i.e. a mask guaranteed to cover `epc`.
+    pub fn from_epc_range(epc: Epc, pointer: u16, length: u16) -> Self {
+        BitMask {
+            pointer,
+            length,
+            bits: epc.extract(pointer, length),
+        }
+    }
+
+    /// The full-EPC mask — covers exactly one EPC value. This is the
+    /// paper's "naive solution" building block (§5.2).
+    pub fn exact(epc: Epc) -> Self {
+        BitMask {
+            pointer: 0,
+            length: EPC_BITS,
+            bits: epc.bits(),
+        }
+    }
+
+    /// Whether this mask covers `epc`.
+    #[inline]
+    pub fn matches(&self, epc: Epc) -> bool {
+        epc.extract(self.pointer, self.length) == self.bits
+    }
+
+    /// Whether this mask matches every EPC.
+    #[inline]
+    pub fn is_match_all(&self) -> bool {
+        self.length == 0
+    }
+}
+
+impl fmt::Display for BitMask {
+    /// Formats like the paper: `S(1011₂, 4, 4)` → `S(0b1011, p=4, l=4)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_match_all() {
+            return write!(f, "S(*)");
+        }
+        write!(
+            f,
+            "S(0b{:0width$b}, p={}, l={})",
+            self.bits,
+            self.pointer,
+            self.length,
+            width = self.length as usize
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epc(v: u128) -> Epc {
+        Epc::from_bits(v)
+    }
+
+    #[test]
+    fn paper_figure_9_example() {
+        // Fig. 9(b): 6-bit tags (we right-pad into the 96-bit space by
+        // placing the 6 example bits at the top of the EPC).
+        let pad = |six: u128| epc(six << 90);
+        let t1 = pad(0b001110);
+        let t2 = pad(0b010010);
+        let t3 = pad(0b101100);
+        let non_target = pad(0b110110);
+
+        // S1(11₂, 3, 2) covers 001110 and ...? In the paper's indexing the
+        // mask compares bits [3, 5) (0-based MSB-first): 001110 → "11",
+        // 010010 → "01", 101100 → "10", 110110 → "11".
+        let s1 = BitMask::new(0b11, 3, 2);
+        assert!(s1.matches(t1));
+        assert!(!s1.matches(t2));
+        assert!(!s1.matches(t3));
+        assert!(s1.matches(non_target)); // 110110 bits [3,5) = 11 — collateral
+
+        // S2(01₂, 1, 2): 001110 → "01", 010010 → "10", 101100 → "01",
+        // 110110 → "10".
+        let s2 = BitMask::new(0b01, 1, 2);
+        assert!(s2.matches(t1));
+        assert!(!s2.matches(t2));
+        assert!(s2.matches(t3));
+        assert!(!s2.matches(non_target));
+    }
+
+    #[test]
+    fn match_all_matches_everything() {
+        assert!(BitMask::MATCH_ALL.matches(epc(0)));
+        assert!(BitMask::MATCH_ALL.matches(epc((1u128 << 96) - 1)));
+        assert!(BitMask::MATCH_ALL.is_match_all());
+    }
+
+    #[test]
+    fn exact_mask_covers_only_its_epc() {
+        let a = epc(0xDEADBEEF);
+        let b = epc(0xDEADBEEE);
+        let m = BitMask::exact(a);
+        assert!(m.matches(a));
+        assert!(!m.matches(b));
+        assert_eq!(m.length, EPC_BITS);
+    }
+
+    #[test]
+    fn from_epc_range_always_covers_source() {
+        let e = epc(0x1234_5678_9ABC_DEF0_1122_3344);
+        for &(p, l) in &[(0u16, 1u16), (10, 20), (90, 6), (0, 96), (50, 0)] {
+            let m = BitMask::from_epc_range(e, p, l);
+            assert!(m.matches(e), "p={p} l={l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds EPC width")]
+    fn new_rejects_out_of_range() {
+        BitMask::new(0, 95, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than declared length")]
+    fn new_rejects_wide_bits() {
+        BitMask::new(0b111, 0, 2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BitMask::MATCH_ALL.to_string(), "S(*)");
+        assert_eq!(BitMask::new(0b10, 5, 2).to_string(), "S(0b10, p=5, l=2)");
+    }
+}

@@ -1,0 +1,226 @@
+//! Frame-length control: the Q-adaptive award–punish algorithm of COTS
+//! readers, plus an idealised DFSA controller for comparison (§2.1–2.2 of
+//! the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one ALOHA slot, as seen by the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotOutcome {
+    /// No tag replied.
+    Empty,
+    /// Two or more tags replied (or the RN16 was undecodable).
+    Collision,
+    /// Exactly one tag replied and was read.
+    Success,
+}
+
+/// Strategy interface for frame-length control during a round.
+pub trait FrameSizer {
+    /// The Q to use for the *next* slot. The round engine compares this with
+    /// the current Q and issues `QueryAdjust` when it changes.
+    fn current_q(&self) -> u8;
+    /// Feed the outcome of the slot that just finished.
+    fn on_slot(&mut self, outcome: SlotOutcome);
+    /// Reset for a fresh round with an estimated population (hint only).
+    fn reset(&mut self, population_hint: Option<usize>);
+}
+
+/// The Gen2 Q-adaptive algorithm (Gen2 spec Annex D.2.1): a floating-point
+/// shadow `Qfp` is nudged up on collisions and down on empties; the integer
+/// `Q = round(Qfp)` sizes the frame.
+///
+/// This is exactly the "award-punish mechanism" §2.1 of the paper describes
+/// COTS readers using, and is the algorithm whose cost the paper's model
+/// `C(n)` approximates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QAdaptive {
+    qfp: f64,
+    /// Step size `C` in the Gen2 spec; typical values 0.1–0.5.
+    pub step: f64,
+    /// Lower bound on Q (0 in practice).
+    pub q_min: u8,
+    /// Upper bound on Q (15 in the spec).
+    pub q_max: u8,
+    initial_q: u8,
+}
+
+impl QAdaptive {
+    /// A controller starting at `initial_q` with the conventional step 0.3.
+    pub fn new(initial_q: u8) -> Self {
+        assert!(initial_q <= 15, "Q must be ≤ 15");
+        QAdaptive {
+            qfp: initial_q as f64,
+            step: 0.3,
+            q_min: 0,
+            q_max: 15,
+            initial_q,
+        }
+    }
+
+    /// Override the step size `C`.
+    pub fn with_step(mut self, step: f64) -> Self {
+        assert!(step > 0.0 && step <= 1.0, "step must be in (0, 1]");
+        self.step = step;
+        self
+    }
+}
+
+impl FrameSizer for QAdaptive {
+    fn current_q(&self) -> u8 {
+        (self.qfp.round() as i64).clamp(self.q_min as i64, self.q_max as i64) as u8
+    }
+
+    fn on_slot(&mut self, outcome: SlotOutcome) {
+        match outcome {
+            SlotOutcome::Empty => {
+                self.qfp = (self.qfp - self.step).max(self.q_min as f64);
+            }
+            SlotOutcome::Collision => {
+                self.qfp = (self.qfp + self.step).min(self.q_max as f64);
+                // A collision in a frame of size 1 proves at least two
+                // contenders: force the integer Q to grow immediately, or
+                // the colliders park in Arbitrate and the round starves
+                // (found by property testing; real reader firmware
+                // escalates here too).
+                if self.current_q() == 0 {
+                    self.qfp = self.qfp.max(1.0);
+                }
+            }
+            SlotOutcome::Success => {}
+        }
+    }
+
+    fn reset(&mut self, population_hint: Option<usize>) {
+        self.qfp = match population_hint {
+            // Readers that track population start near log2(n).
+            Some(n) if n > 0 => (n as f64).log2().clamp(self.q_min as f64, self.q_max as f64),
+            _ => self.initial_q as f64,
+        };
+    }
+}
+
+/// Idealised dynamic FSA: assumes the controller magically knows the number
+/// of unread tags and always sets `f = n` (i.e. `Q = round(log2 n)`), the
+/// optimum derived from Eqn. 1 of the paper. Used as the "best possible
+/// anti-collision" baseline when validating the cost model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IdealDfsa {
+    remaining: usize,
+}
+
+impl IdealDfsa {
+    /// A controller for a round expected to read `population` tags.
+    pub fn new(population: usize) -> Self {
+        IdealDfsa {
+            remaining: population,
+        }
+    }
+}
+
+impl FrameSizer for IdealDfsa {
+    fn current_q(&self) -> u8 {
+        if self.remaining <= 1 {
+            0
+        } else {
+            // Q minimising expected slots-per-read: frame ≈ population.
+            (self.remaining as f64).log2().round().clamp(0.0, 15.0) as u8
+        }
+    }
+
+    fn on_slot(&mut self, outcome: SlotOutcome) {
+        if outcome == SlotOutcome::Success {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+    }
+
+    fn reset(&mut self, population_hint: Option<usize>) {
+        if let Some(n) = population_hint {
+            self.remaining = n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qadaptive_moves_toward_collisions() {
+        let mut q = QAdaptive::new(4);
+        assert_eq!(q.current_q(), 4);
+        for _ in 0..10 {
+            q.on_slot(SlotOutcome::Collision);
+        }
+        assert!(q.current_q() > 4);
+        for _ in 0..40 {
+            q.on_slot(SlotOutcome::Empty);
+        }
+        assert_eq!(q.current_q(), 0);
+    }
+
+    #[test]
+    fn qadaptive_success_is_neutral() {
+        let mut q = QAdaptive::new(5);
+        for _ in 0..100 {
+            q.on_slot(SlotOutcome::Success);
+        }
+        assert_eq!(q.current_q(), 5);
+    }
+
+    #[test]
+    fn qadaptive_clamps_to_bounds() {
+        let mut q = QAdaptive::new(15);
+        for _ in 0..100 {
+            q.on_slot(SlotOutcome::Collision);
+        }
+        assert_eq!(q.current_q(), 15);
+        let mut q = QAdaptive::new(0);
+        for _ in 0..100 {
+            q.on_slot(SlotOutcome::Empty);
+        }
+        assert_eq!(q.current_q(), 0);
+    }
+
+    #[test]
+    fn collision_at_q0_escalates_immediately() {
+        let mut q = QAdaptive::new(0);
+        q.on_slot(SlotOutcome::Collision);
+        assert!(q.current_q() >= 1, "Q stuck at 0 after a frame-1 collision");
+    }
+
+    #[test]
+    fn qadaptive_reset_uses_hint() {
+        let mut q = QAdaptive::new(4);
+        q.reset(Some(256));
+        assert_eq!(q.current_q(), 8);
+        q.reset(None);
+        assert_eq!(q.current_q(), 4);
+        q.reset(Some(0));
+        assert_eq!(q.current_q(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q must be")]
+    fn qadaptive_rejects_big_q() {
+        QAdaptive::new(16);
+    }
+
+    #[test]
+    fn ideal_dfsa_tracks_population() {
+        let mut d = IdealDfsa::new(32);
+        assert_eq!(d.current_q(), 5);
+        for _ in 0..16 {
+            d.on_slot(SlotOutcome::Success);
+        }
+        assert_eq!(d.current_q(), 4);
+        for _ in 0..15 {
+            d.on_slot(SlotOutcome::Success);
+        }
+        assert_eq!(d.current_q(), 0);
+        // Empties/collisions don't change the ideal estimate.
+        d.on_slot(SlotOutcome::Empty);
+        d.on_slot(SlotOutcome::Collision);
+        assert_eq!(d.current_q(), 0);
+    }
+}

@@ -1,0 +1,459 @@
+//! The tag-side protocol state machine.
+//!
+//! A Gen2 tag is a slave: it carries an SL flag, four per-session
+//! inventoried flags, a slot counter, and a tiny state machine
+//! (Ready → Arbitrate → Reply → Acknowledged). This module implements the
+//! subset of tag behaviour that inventory exercises, faithfully enough
+//! that the link-layer dynamics of the paper (frame-slotted ALOHA under
+//! Q-adaptive, Select-based population partitioning) emerge rather than
+//! being hard-coded.
+
+use crate::commands::{FlagOp, InvFlag, MemBank, Query, QuerySel, Select, SelTarget, Session};
+use crate::epc::Epc;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tag inventory states (Gen2 spec §6.3.2.4, minus the access states we
+/// don't need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagState {
+    /// Energised, waiting for a Query it participates in.
+    Ready,
+    /// Holding a non-zero slot counter, waiting for its slot.
+    Arbitrate,
+    /// Slot counter hit zero: backscattering RN16 this slot.
+    Reply,
+    /// RN16 acknowledged: backscattering PC/EPC/CRC.
+    Acknowledged,
+}
+
+/// A simulated tag's protocol-visible state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TagProto {
+    /// The tag's EPC.
+    pub epc: Epc,
+    /// The tag's TID (bank 10): factory-programmed identity with vendor /
+    /// model prefixes. `None` models a tag whose TID is not of interest;
+    /// TID-bank Selects then never match it.
+    pub tid: Option<Epc>,
+    /// The SL flag manipulated by `Select`.
+    pub sl: bool,
+    /// Per-session inventoried flags.
+    pub inventoried: [InvFlag; 4],
+    /// Whether the tag is currently energised (in the reader field). Tags
+    /// out of the field ignore all commands.
+    pub powered: bool,
+    state: TagState,
+    /// Slot counter (SC in the paper's §2.1).
+    slot_counter: u32,
+    /// The RN16 backscattered in the current slot.
+    rn16: u16,
+    /// When set by a truncating Select, the tag backscatters only the EPC
+    /// bits from this index on (Gen2 Truncate).
+    truncate_from: Option<u16>,
+}
+
+impl TagProto {
+    /// A fresh, powered tag with SL deasserted and all sessions at A.
+    pub fn new(epc: Epc) -> Self {
+        TagProto {
+            epc,
+            tid: None,
+            sl: false,
+            inventoried: [InvFlag::A; 4],
+            powered: true,
+            state: TagState::Ready,
+            slot_counter: 0,
+            rn16: 0,
+            truncate_from: None,
+        }
+    }
+
+    /// Sets the tag's TID (builder form) — enables TID-bank Selects, e.g.
+    /// vendor filtering.
+    pub fn with_tid(mut self, tid: Epc) -> Self {
+        self.tid = Some(tid);
+        self
+    }
+
+    /// The bit index truncated replies start at, if a truncating Select
+    /// matched this tag.
+    pub fn truncate_from(&self) -> Option<u16> {
+        self.truncate_from
+    }
+
+    /// Current inventory state.
+    pub fn state(&self) -> TagState {
+        self.state
+    }
+
+    /// Current slot counter (for diagnostics/tests).
+    pub fn slot_counter(&self) -> u32 {
+        self.slot_counter
+    }
+
+    /// Whether the tag would participate in `query` (flags only — the tag
+    /// must also be powered).
+    pub fn participates(&self, query: &Query) -> bool {
+        if !self.powered {
+            return false;
+        }
+        let sel_ok = match query.sel {
+            QuerySel::All => true,
+            QuerySel::Sl => self.sl,
+            QuerySel::NotSl => !self.sl,
+        };
+        sel_ok && self.inventoried[query.session.index()] == query.target
+    }
+
+    /// Applies a `Select` command to this tag's flags. Tags apply Select
+    /// regardless of inventory state (and abandon any round in progress).
+    pub fn handle_select(&mut self, select: &Select) {
+        if !self.powered {
+            return;
+        }
+        // EPC and TID banks carry modelled contents; Reserved/User masks
+        // never match (their contents are not modelled).
+        let matched = match select.bank {
+            MemBank::Epc => select.mask.matches(self.epc),
+            MemBank::Tid => self.tid.is_some_and(|t| select.mask.matches(t)),
+            MemBank::Reserved | MemBank::User => false,
+        };
+        // Truncation state follows the most recent Select: set when a
+        // truncating Select matches, cleared by any other Select (the spec
+        // requires the truncating Select to be the last one issued).
+        self.truncate_from = if matched && select.truncate {
+            Some(select.mask.pointer + select.mask.length)
+        } else {
+            None
+        };
+        let (on_match, on_miss) = select.action.ops();
+        let op = if matched { on_match } else { on_miss };
+        match select.target {
+            SelTarget::Sl => match op {
+                FlagOp::Assert => self.sl = true,
+                FlagOp::Deassert => self.sl = false,
+                FlagOp::Toggle => self.sl = !self.sl,
+                FlagOp::Nothing => {}
+            },
+            SelTarget::Inventoried(session) => {
+                let flag = &mut self.inventoried[session.index()];
+                match op {
+                    FlagOp::Assert => *flag = InvFlag::A,
+                    FlagOp::Deassert => *flag = InvFlag::B,
+                    FlagOp::Toggle => *flag = flag.toggled(),
+                    FlagOp::Nothing => {}
+                }
+            }
+        }
+        // A Select always returns the tag to Ready (it starts a new round).
+        self.state = TagState::Ready;
+    }
+
+    /// Handles `Query`: participating tags draw a random slot in
+    /// `[0, 2^q)`; slot 0 replies immediately.
+    pub fn handle_query<R: Rng + ?Sized>(&mut self, query: &Query, rng: &mut R) {
+        if !self.participates(query) {
+            self.state = TagState::Ready;
+            return;
+        }
+        self.slot_counter = rng.gen_range(0..query.frame_len());
+        if self.slot_counter == 0 {
+            self.rn16 = rng.gen();
+            self.state = TagState::Reply;
+        } else {
+            self.state = TagState::Arbitrate;
+        }
+    }
+
+    /// Handles `QueryAdjust` with the *new* q value: participating tags
+    /// re-draw their slot. (Real tags adjust Q by ±1 from the Query's value;
+    /// passing the resolved q keeps the simulator honest without modelling
+    /// the 3-bit UpDn encoding.)
+    pub fn handle_query_adjust<R: Rng + ?Sized>(&mut self, query: &Query, rng: &mut R) {
+        // Tags in Reply/Arbitrate (i.e. still in the round) re-draw; tags in
+        // Ready were not participating; Acknowledged tags already flipped.
+        match self.state {
+            TagState::Arbitrate | TagState::Reply => {
+                self.handle_query(query, rng);
+            }
+            TagState::Ready | TagState::Acknowledged => {}
+        }
+    }
+
+    /// Handles `QueryRep`: decrement the slot counter; a tag reaching zero
+    /// backscatters a fresh RN16.
+    pub fn handle_query_rep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        match self.state {
+            TagState::Arbitrate => {
+                self.slot_counter = self.slot_counter.saturating_sub(1);
+                if self.slot_counter == 0 {
+                    self.rn16 = rng.gen();
+                    self.state = TagState::Reply;
+                }
+            }
+            TagState::Reply => {
+                // Our slot passed without an ACK (collision or decode
+                // failure). Per the spec the tag returns to Arbitrate with a
+                // wrapped (maximal) slot counter — effectively parked until
+                // the next Query/QueryAdjust re-draw.
+                self.state = TagState::Arbitrate;
+                self.slot_counter = u32::MAX;
+            }
+            TagState::Ready | TagState::Acknowledged => {}
+        }
+    }
+
+    /// The RN16 this tag is currently backscattering, if in Reply state.
+    pub fn replying_rn16(&self) -> Option<u16> {
+        (self.state == TagState::Reply).then_some(self.rn16)
+    }
+
+    /// Handles `ACK(rn16)`: if it echoes our RN16, backscatter the EPC and
+    /// flip the session's inventoried flag (the tag is "read"). Returns the
+    /// EPC on success.
+    pub fn handle_ack(&mut self, rn16: u16, session: Session) -> Option<Epc> {
+        if self.state == TagState::Reply && self.rn16 == rn16 {
+            self.state = TagState::Acknowledged;
+            let flag = &mut self.inventoried[session.index()];
+            *flag = flag.toggled();
+            Some(self.epc)
+        } else {
+            None
+        }
+    }
+
+    /// Ends the acknowledged handshake: the tag leaves the round.
+    pub fn end_of_slot(&mut self) {
+        if self.state == TagState::Acknowledged {
+            self.state = TagState::Ready;
+        }
+    }
+
+    /// Models the tag leaving the reader field (loses all volatile state;
+    /// S0/SL reset like a power cycle, S2/S3 flags persist briefly on real
+    /// tags but we model the conservative full reset).
+    pub fn power_down(&mut self) {
+        self.powered = false;
+        self.state = TagState::Ready;
+        self.sl = false;
+        self.inventoried = [InvFlag::A; 4];
+        self.slot_counter = 0;
+        self.truncate_from = None;
+    }
+
+    /// Re-energises the tag.
+    pub fn power_up(&mut self) {
+        self.powered = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{SelAction, Select};
+    use crate::mask::BitMask;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q(q: u8, sel: QuerySel) -> Query {
+        Query {
+            q,
+            sel,
+            session: Session::S0,
+            target: InvFlag::A,
+        }
+    }
+
+    #[test]
+    fn fresh_tag_participates_in_open_query() {
+        let tag = TagProto::new(Epc::from_bits(1));
+        assert!(tag.participates(&q(4, QuerySel::All)));
+        assert!(tag.participates(&q(4, QuerySel::NotSl)));
+        assert!(!tag.participates(&q(4, QuerySel::Sl)));
+    }
+
+    #[test]
+    fn q_zero_replies_immediately() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tag = TagProto::new(Epc::from_bits(1));
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        assert_eq!(tag.state(), TagState::Reply);
+        assert!(tag.replying_rn16().is_some());
+    }
+
+    #[test]
+    fn ack_flips_inventoried_and_returns_epc() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let epc = Epc::from_bits(0xABC);
+        let mut tag = TagProto::new(epc);
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        let rn = tag.replying_rn16().unwrap();
+        assert_eq!(tag.handle_ack(rn, Session::S0), Some(epc));
+        assert_eq!(tag.inventoried[0], InvFlag::B);
+        tag.end_of_slot();
+        assert_eq!(tag.state(), TagState::Ready);
+        // Flag B → no longer participates in target-A queries.
+        assert!(!tag.participates(&q(4, QuerySel::All)));
+    }
+
+    #[test]
+    fn wrong_rn16_is_ignored() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut tag = TagProto::new(Epc::from_bits(1));
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        let rn = tag.replying_rn16().unwrap();
+        assert_eq!(tag.handle_ack(rn.wrapping_add(1), Session::S0), None);
+        assert_eq!(tag.state(), TagState::Reply);
+        assert_eq!(tag.inventoried[0], InvFlag::A);
+    }
+
+    #[test]
+    fn query_rep_counts_down() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tag = TagProto::new(Epc::from_bits(1));
+        // Find a seed-dependent draw with a non-zero slot.
+        loop {
+            tag.handle_query(&q(4, QuerySel::All), &mut rng);
+            if tag.state() == TagState::Arbitrate {
+                break;
+            }
+        }
+        let sc = tag.slot_counter();
+        assert!(sc > 0);
+        for _ in 0..sc {
+            assert_ne!(tag.state(), TagState::Reply);
+            tag.handle_query_rep(&mut rng);
+        }
+        assert_eq!(tag.state(), TagState::Reply);
+    }
+
+    #[test]
+    fn unacked_reply_parks_until_redraw() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tag = TagProto::new(Epc::from_bits(1));
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        assert_eq!(tag.state(), TagState::Reply);
+        // Slot ends with no ACK (collision): tag parks in Arbitrate with a
+        // wrapped counter…
+        tag.handle_query_rep(&mut rng);
+        assert_eq!(tag.state(), TagState::Arbitrate);
+        assert_eq!(tag.slot_counter(), u32::MAX);
+        // …it won't reply on mere QueryReps…
+        tag.handle_query_rep(&mut rng);
+        assert_ne!(tag.state(), TagState::Reply);
+        // …but a QueryAdjust re-draw brings it back into contention.
+        tag.handle_query_adjust(&q(0, QuerySel::All), &mut rng);
+        assert_eq!(tag.state(), TagState::Reply);
+    }
+
+    #[test]
+    fn select_assert_sl_partitions_population() {
+        let covered = Epc::from_bits(0b101 << 93);
+        let uncovered = Epc::from_bits(0b010 << 93);
+        let mask = BitMask::new(0b101, 0, 3);
+        let sel = Select::assert_sl(mask);
+        let mut a = TagProto::new(covered);
+        let mut b = TagProto::new(uncovered);
+        a.handle_select(&sel);
+        b.handle_select(&sel);
+        assert!(a.sl);
+        assert!(!b.sl);
+        assert!(a.participates(&q(4, QuerySel::Sl)));
+        assert!(!b.participates(&q(4, QuerySel::Sl)));
+    }
+
+    #[test]
+    fn or_sl_unions_masks() {
+        let t1 = TagProto::new(Epc::from_bits(0b00 << 94));
+        let t2 = TagProto::new(Epc::from_bits(0b01 << 94));
+        let t3 = TagProto::new(Epc::from_bits(0b11 << 94));
+        let mut tags = [t1, t2, t3];
+        // Clear, then OR two single-bit-pattern masks.
+        for t in &mut tags {
+            t.handle_select(&Select::clear_sl());
+            t.handle_select(&Select::or_sl(BitMask::new(0b00, 0, 2)));
+            t.handle_select(&Select::or_sl(BitMask::new(0b01, 0, 2)));
+        }
+        assert!(tags[0].sl);
+        assert!(tags[1].sl);
+        assert!(!tags[2].sl);
+    }
+
+    #[test]
+    fn reset_inventoried_restores_participation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut tag = TagProto::new(Epc::from_bits(7));
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        let rn = tag.replying_rn16().unwrap();
+        tag.handle_ack(rn, Session::S0).unwrap();
+        tag.end_of_slot();
+        assert!(!tag.participates(&q(4, QuerySel::All)));
+        tag.handle_select(&Select::reset_inventoried(Session::S0));
+        assert!(tag.participates(&q(4, QuerySel::All)));
+    }
+
+    #[test]
+    fn unpowered_tag_is_inert() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tag = TagProto::new(Epc::from_bits(7));
+        tag.power_down();
+        assert!(!tag.participates(&q(4, QuerySel::All)));
+        tag.handle_select(&Select::assert_sl(BitMask::MATCH_ALL));
+        assert!(!tag.sl);
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        assert_eq!(tag.state(), TagState::Ready);
+        tag.power_up();
+        assert!(tag.participates(&q(4, QuerySel::All)));
+    }
+
+    #[test]
+    fn tid_bank_select_filters_by_vendor() {
+        // Two tags, same random EPC space, different TID vendor prefixes.
+        let vendor_a = Epc::from_bits(0xE2_801100u128 << 64); // "vendor 0x801"
+        let vendor_b = Epc::from_bits(0xE2_802200u128 << 64);
+        let mut a = TagProto::new(Epc::from_bits(1)).with_tid(vendor_a);
+        let mut b = TagProto::new(Epc::from_bits(2)).with_tid(vendor_b);
+        // Select on the TID's first 20 bits (class + vendor).
+        let sel = Select {
+            target: SelTarget::Sl,
+            action: SelAction::AssertElseDeassert,
+            bank: MemBank::Tid,
+            mask: BitMask::from_epc_range(vendor_a, 0, 20),
+            truncate: false,
+        };
+        a.handle_select(&sel);
+        b.handle_select(&sel);
+        assert!(a.sl, "vendor A tag selected");
+        assert!(!b.sl, "vendor B tag deselected");
+    }
+
+    #[test]
+    fn tidless_tag_never_matches_tid_selects() {
+        let mut tag = TagProto::new(Epc::from_bits(0));
+        let sel = Select {
+            target: SelTarget::Sl,
+            action: SelAction::AssertElseDeassert,
+            bank: MemBank::Tid,
+            mask: BitMask::MATCH_ALL,
+            truncate: false,
+        };
+        tag.handle_select(&sel);
+        // No TID → non-matching → deassert branch.
+        assert!(!tag.sl);
+    }
+
+    #[test]
+    fn user_bank_never_matches() {
+        let mut tag = TagProto::new(Epc::from_bits(0));
+        let sel = Select {
+            target: SelTarget::Sl,
+            action: SelAction::AssertElseDeassert,
+            bank: MemBank::User,
+            mask: BitMask::MATCH_ALL,
+            truncate: false,
+        };
+        tag.handle_select(&sel);
+        assert!(!tag.sl);
+    }
+}

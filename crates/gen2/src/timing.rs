@@ -1,0 +1,362 @@
+//! Air-interface timing and the paper's inventory-cost model.
+//!
+//! Two layers live here:
+//!
+//! 1. [`LinkTiming`] — per-command and per-slot air times for the simulated
+//!    reader, derived from a fast R420-style link profile (FM0, 640 kHz
+//!    backscatter) plus the large per-round overhead COTS readers exhibit
+//!    (regulatory carrier drop, LLRP reporting, state reset). The profile is
+//!    calibrated so that a least-squares fit of simulated inventories
+//!    recovers the paper's empirical parameters `τ0 ≈ 19 ms`,
+//!    `τ̄ ≈ 0.18 ms` (§2.3, §6).
+//! 2. [`CostModel`] — the paper's closed-form inventory cost
+//!    `C(n) = τ0 + n·e·τ̄·ln n` (Definition 1) and the individual reading
+//!    rate `Λ(n) = 1/C(n)` (Eqn. 6), which the Phase-II scheduler uses to
+//!    price bitmasks.
+
+use serde::{Deserialize, Serialize};
+
+/// Air-time profile of the simulated reader, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkTiming {
+    /// `Select` command (long: carries the mask bits).
+    pub t_select: f64,
+    /// `Query` command (starts a round / frame).
+    pub t_query: f64,
+    /// `QueryRep` command (advances one slot).
+    pub t_query_rep: f64,
+    /// `QueryAdjust` command (resizes the frame).
+    pub t_query_adjust: f64,
+    /// `ACK` command.
+    pub t_ack: f64,
+    /// Tag RN16 backscatter.
+    pub t_rn16: f64,
+    /// Tag PC/EPC/CRC backscatter.
+    pub t_epc: f64,
+    /// Reader→tag turnaround (T1 in the spec).
+    pub t1: f64,
+    /// Tag→reader turnaround (T2).
+    pub t2: f64,
+    /// No-reply detection timeout (T3).
+    pub t3: f64,
+    /// Fixed per-inventory-round overhead: carrier drop, session reset,
+    /// report flush. This is the dominant part of the paper's start-up
+    /// cost τ0 and is what makes many short selective rounds expensive.
+    pub round_overhead: f64,
+    /// Per-successful-read reporting/processing cost (LLRP report
+    /// generation, host round-trip). Zero in batched inventory mode; a
+    /// few milliseconds in streaming/tracking mode, where it caps the
+    /// aggregate read rate.
+    pub t_report: f64,
+    /// Antenna multiplexer switch time. Paid when continuous (dwell-mode)
+    /// reading rotates antennas between rounds — a mux settle, not a
+    /// carrier restart.
+    pub t_antenna_switch: f64,
+}
+
+impl LinkTiming {
+    /// The calibrated R420-like profile (see module docs). Values are in
+    /// the range of an FM0/640 kHz link with Tari 6.25 µs:
+    ///
+    /// * empty slot  ≈ 70 µs
+    /// * collided slot ≈ 114 µs
+    /// * successful slot ≈ 434 µs
+    /// * weighted mean at the DFSA operating point ≈ 0.2 ms ≈ τ̄
+    /// * round start ≈ 18.4 ms + Select ≈ τ0
+    pub fn r420() -> Self {
+        LinkTiming {
+            t_select: 0.65e-3,
+            t_query: 0.20e-3,
+            t_query_rep: 40e-6,
+            t_query_adjust: 60e-6,
+            t_ack: 80e-6,
+            t_rn16: 34e-6,
+            t_epc: 200e-6,
+            t1: 20e-6,
+            t2: 20e-6,
+            t3: 10e-6,
+            round_overhead: 18.35e-3,
+            t_report: 0.0,
+            t_antenna_switch: 0.5e-3,
+        }
+    }
+
+    /// The streaming/tracking profile: same air rates, but every read
+    /// pays an LLRP reporting cost. Used with dwell-based continuous
+    /// (dual-target) reading, this reproduces the reading-rate regime of
+    /// the paper's tracking experiments (Fig. 1), where IRR scales like
+    /// 1/n rather than being τ0-bound.
+    pub fn r420_tracking() -> Self {
+        LinkTiming {
+            t_report: 2.5e-3,
+            ..Self::r420()
+        }
+    }
+
+    /// Scales all *slot-rate* timings (commands, replies, turnarounds) by
+    /// `factor`, leaving the per-round overhead and Select cost untouched.
+    ///
+    /// This models ImpinJ-style "Autoset" dense-reader-mode adaptation:
+    /// as the population (and thus collision rate) grows, the reader
+    /// switches to slower, more robust link settings (higher Miller
+    /// factor, lower BLF). Empirically that is what makes the measured
+    /// inventory cost grow like `n·ln n` (the paper's Fig. 2) rather than
+    /// linearly as ideal DFSA would.
+    pub fn scaled(&self, factor: f64) -> LinkTiming {
+        assert!(factor >= 1.0, "link can only slow down, got {factor}");
+        LinkTiming {
+            t_select: self.t_select,
+            round_overhead: self.round_overhead,
+            t_report: self.t_report,
+            t_antenna_switch: self.t_antenna_switch,
+            t_query: self.t_query * factor,
+            t_query_rep: self.t_query_rep * factor,
+            t_query_adjust: self.t_query_adjust * factor,
+            t_ack: self.t_ack * factor,
+            t_rn16: self.t_rn16 * factor,
+            t_epc: self.t_epc * factor,
+            t1: self.t1 * factor,
+            t2: self.t2 * factor,
+            t3: self.t3 * factor,
+        }
+    }
+
+    /// Duration of an empty slot: QueryRep, wait T1, give up after T3.
+    #[inline]
+    pub fn empty_slot(&self) -> f64 {
+        self.t_query_rep + self.t1 + self.t3
+    }
+
+    /// Duration of a collided slot: QueryRep, RN16s collide, reader moves on.
+    #[inline]
+    pub fn collision_slot(&self) -> f64 {
+        self.t_query_rep + self.t1 + self.t_rn16 + self.t2
+    }
+
+    /// Duration of a successful slot: the full RN16 → ACK → EPC handshake
+    /// plus any per-read reporting cost.
+    #[inline]
+    pub fn success_slot(&self) -> f64 {
+        self.success_slot_bits(128)
+    }
+
+    /// Duration of a successful slot whose EPC reply carries `epc_bits`
+    /// bits of payload (plus framing). A full PC/EPC-96/CRC reply is 128
+    /// bits; truncated replies (Gen2 Truncate) are shorter and save
+    /// proportionally on the backscatter time.
+    #[inline]
+    pub fn success_slot_bits(&self, epc_bits: u16) -> f64 {
+        let epc_time = self.t_epc * epc_bits as f64 / 128.0;
+        self.t_query_rep + self.t1 + self.t_rn16 + self.t2 + self.t_ack + self.t1 + epc_time
+            + self.t2
+            + self.t_report
+    }
+}
+
+impl Default for LinkTiming {
+    fn default() -> Self {
+        LinkTiming::r420()
+    }
+}
+
+/// The paper's inventory-cost model (Definition 1) with fitted parameters.
+///
+/// ```
+/// use tagwatch_gen2::CostModel;
+///
+/// let m = CostModel::paper(); // τ0 = 19 ms, τ̄ = 0.18 ms
+/// // Reading 40 tags once costs ~91 ms → each tag is sampled at ~11 Hz.
+/// assert!((m.inventory_cost(40) - 0.0912).abs() < 1e-3);
+/// assert!((m.irr(40) - 11.0).abs() < 0.5);
+/// // The drop from a lone tag is the paper's ~84% headline.
+/// assert!(m.irr(1) / m.irr(40) > 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Start-up cost τ0 in seconds (paper: 19 ms).
+    pub tau0: f64,
+    /// Mean slot duration τ̄ in seconds (paper: 0.18 ms).
+    pub tau_bar: f64,
+}
+
+impl CostModel {
+    /// The parameters the paper fits on its testbed (§6 "Parameter choice").
+    pub fn paper() -> Self {
+        CostModel {
+            tau0: 19e-3,
+            tau_bar: 0.18e-3,
+        }
+    }
+
+    /// Inventory cost `C(n)`: total time to identify `n` tags once.
+    ///
+    /// ```text
+    /// C(n) = τ0 + n·e·τ̄·ln(n)   for n > 1
+    /// C(n) = τ0 + τ̄             for n ≤ 1
+    /// ```
+    pub fn inventory_cost(&self, n: usize) -> f64 {
+        if n > 1 {
+            self.tau0 + n as f64 * std::f64::consts::E * self.tau_bar * (n as f64).ln()
+        } else {
+            self.tau0 + self.tau_bar
+        }
+    }
+
+    /// Individual reading rate `Λ(n) = 1 / C(n)` in Hz (Eqn. 6).
+    pub fn irr(&self, n: usize) -> f64 {
+        1.0 / self.inventory_cost(n)
+    }
+
+    /// Least-squares fit of (τ0, τ̄) from measured `(n, C(n))` pairs.
+    ///
+    /// `C(n) = τ0 + x(n)·τ̄` with `x(n) = n·e·ln(n)` (and `x ≈ 1` for
+    /// `n ≤ 1`) is linear in the parameters, so ordinary least squares
+    /// suffices — this mirrors the paper's §2.3 parameter estimation.
+    pub fn fit(samples: &[(usize, f64)]) -> Option<CostModel> {
+        if samples.len() < 2 {
+            return None;
+        }
+        let x = |n: usize| -> f64 {
+            if n > 1 {
+                n as f64 * std::f64::consts::E * (n as f64).ln()
+            } else {
+                1.0
+            }
+        };
+        let m = samples.len() as f64;
+        let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+        for &(n, c) in samples {
+            let xi = x(n);
+            sx += xi;
+            sy += c;
+            sxx += xi * xi;
+            sxy += xi * c;
+        }
+        let denom = m * sxx - sx * sx;
+        if denom.abs() < 1e-18 {
+            return None;
+        }
+        let tau_bar = (m * sxy - sx * sy) / denom;
+        let tau0 = (sy - tau_bar * sx) / m;
+        Some(CostModel { tau0, tau_bar })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_durations_ordering() {
+        let t = LinkTiming::r420();
+        assert!(t.empty_slot() < t.collision_slot());
+        assert!(t.collision_slot() < t.success_slot());
+        // Sanity against the calibration targets.
+        assert!((t.empty_slot() - 70e-6).abs() < 1e-6);
+        assert!((t.collision_slot() - 114e-6).abs() < 1e-6);
+        assert!((t.success_slot() - 434e-6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_slot_near_tau_bar() {
+        // At the DFSA operating point f = n the slot mix is ≈ 36.8% empty,
+        // 26.4% collision, 36.8% success; the weighted mean should land in
+        // the neighbourhood of the paper's fitted τ̄ = 0.18 ms.
+        let t = LinkTiming::r420();
+        let mean = 0.368 * t.empty_slot() + 0.264 * t.collision_slot() + 0.368 * t.success_slot();
+        assert!(
+            (0.15e-3..0.25e-3).contains(&mean),
+            "mean slot {mean} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn truncated_success_slots_are_shorter() {
+        let t = LinkTiming::r420();
+        let full = t.success_slot();
+        // A 40-bit prefix mask leaves 96 − 40 = 56 EPC bits + 16 framing.
+        let truncated = t.success_slot_bits(72);
+        assert!(truncated < full);
+        assert!((full - truncated - t.t_epc * 56.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracking_profile_adds_report_cost() {
+        let base = LinkTiming::r420();
+        let tr = LinkTiming::r420_tracking();
+        assert_eq!(base.t_report, 0.0);
+        assert!((tr.success_slot() - base.success_slot() - 2.5e-3).abs() < 1e-12);
+        assert_eq!(tr.empty_slot(), base.empty_slot());
+    }
+
+    #[test]
+    fn scaled_touches_only_slot_rates() {
+        let t = LinkTiming::r420();
+        let s = t.scaled(2.0);
+        assert_eq!(s.round_overhead, t.round_overhead);
+        assert_eq!(s.t_select, t.t_select);
+        assert_eq!(s.t_epc, 2.0 * t.t_epc);
+        assert_eq!(s.empty_slot(), 2.0 * t.empty_slot());
+        assert_eq!(s.success_slot(), 2.0 * t.success_slot());
+    }
+
+    #[test]
+    #[should_panic(expected = "slow down")]
+    fn scaled_rejects_speedup() {
+        LinkTiming::r420().scaled(0.5);
+    }
+
+    #[test]
+    fn paper_cost_values() {
+        let m = CostModel::paper();
+        // C(1) = 19.18 ms → Λ(1) ≈ 52 Hz, the model value behind Fig. 2's
+        // left edge.
+        assert!((m.inventory_cost(1) - 19.18e-3).abs() < 1e-6);
+        assert!((m.irr(1) - 52.1).abs() < 1.0);
+        // Λ(40): the paper reports IRR dropping to ~12 Hz near n = 40.
+        let irr40 = m.irr(40);
+        assert!((10.0..14.0).contains(&irr40), "Λ(40) = {irr40}");
+    }
+
+    #[test]
+    fn irr_is_monotonically_decreasing() {
+        let m = CostModel::paper();
+        let mut prev = f64::INFINITY;
+        for n in 1..=400 {
+            let v = m.irr(n);
+            assert!(v < prev, "Λ({n}) = {v} not < {prev}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn eighty_four_percent_drop_claim() {
+        // §1/§2.3: "IRR will drastically decrease by 84% when the total
+        // number of tags is over 30..40". Check the model reproduces the
+        // relative drop from n=1 to n=40.
+        let m = CostModel::paper();
+        let drop = 1.0 - m.irr(40) / m.irr(1);
+        assert!((0.7..0.9).contains(&drop), "drop {drop}");
+    }
+
+    #[test]
+    fn fit_recovers_exact_parameters() {
+        let truth = CostModel {
+            tau0: 19e-3,
+            tau_bar: 0.18e-3,
+        };
+        let samples: Vec<(usize, f64)> =
+            (1..=40).map(|n| (n, truth.inventory_cost(n))).collect();
+        let fitted = CostModel::fit(&samples).unwrap();
+        assert!((fitted.tau0 - truth.tau0).abs() < 1e-9);
+        assert!((fitted.tau_bar - truth.tau_bar).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_needs_two_samples() {
+        assert!(CostModel::fit(&[]).is_none());
+        assert!(CostModel::fit(&[(5, 0.1)]).is_none());
+        // Degenerate: identical n values → singular system.
+        assert!(CostModel::fit(&[(5, 0.1), (5, 0.1)]).is_none());
+    }
+}

@@ -1,0 +1,78 @@
+//! Reader configuration.
+
+use serde::{Deserialize, Serialize};
+use tagwatch_gen2::{LinkTiming, Session};
+use tagwatch_rf::{ChannelModel, ChannelPlan};
+
+/// Configuration of the simulated COTS reader.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReaderConfig {
+    /// Initial Q for every inventory round (the reader's Q-adaptive takes
+    /// over from there — §2.3's "the reader will gradually and
+    /// automatically adjust the actual Q").
+    pub initial_q: u8,
+    /// Gen2 session used for inventory.
+    pub session: Session,
+    /// Air-interface timings.
+    pub link: LinkTiming,
+    /// Frequency plan.
+    pub channel_plan: ChannelPlan,
+    /// Physical channel model.
+    pub channel_model: ChannelModel,
+    /// Probability that a single clean reply is undecodable (fault
+    /// injection; 0 disables).
+    pub decode_fail_prob: f64,
+    /// Forward-field range in metres: tags farther than this from the
+    /// *active* antenna are not energised and sit out its rounds (losing
+    /// volatile flags, as unpowered tags do). `None` = unlimited range —
+    /// every antenna covers every tag, the default for single-antenna
+    /// experiments. The paper's 4×40 deployment ("each antenna covers 40
+    /// tags") is this with a finite range.
+    pub field_range_m: Option<f64>,
+}
+
+impl Default for ReaderConfig {
+    fn default() -> Self {
+        ReaderConfig {
+            initial_q: 4,
+            session: Session::S1,
+            link: LinkTiming::r420(),
+            channel_plan: ChannelPlan::china_920(),
+            channel_model: ChannelModel::default(),
+            decode_fail_prob: 0.0,
+            field_range_m: None,
+        }
+    }
+}
+
+impl ReaderConfig {
+    /// A config with a noiseless channel and a single frequency — for
+    /// tests that need phase to be a pure function of geometry.
+    pub fn deterministic() -> Self {
+        ReaderConfig {
+            channel_plan: ChannelPlan::single(922.5e6),
+            channel_model: ChannelModel::noiseless(),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_like() {
+        let cfg = ReaderConfig::default();
+        assert_eq!(cfg.channel_plan.len(), 16);
+        assert_eq!(cfg.initial_q, 4);
+        assert_eq!(cfg.decode_fail_prob, 0.0);
+    }
+
+    #[test]
+    fn deterministic_config_single_channel() {
+        let cfg = ReaderConfig::deterministic();
+        assert_eq!(cfg.channel_plan.len(), 1);
+        assert_eq!(cfg.channel_model.noise.phase_sigma, 0.0);
+    }
+}

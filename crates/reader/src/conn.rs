@@ -1,0 +1,316 @@
+//! LLRP connection semantics: the ROSpec lifecycle verbs.
+//!
+//! A real LLRP client doesn't hand the reader a spec per inventory — it
+//! `ADD`s ROSpecs to the reader's registry, `ENABLE`s them, `START`s them
+//! (or lets triggers start them), and `DELETE`s them when done, with the
+//! reader enforcing the state machine `Disabled → Inactive → Active` and
+//! rejecting out-of-order verbs. [`ReaderConnection`] reproduces that
+//! protocol surface over the simulated [`Reader`], so middleware written
+//! against it ports to a real LTK stack without re-plumbing.
+
+use crate::llrp::{LlrpError, RoSpec};
+use crate::reader::{Reader, TagReport};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// ROSpec lifecycle states (LLRP §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoSpecState {
+    /// Added but not enabled: cannot run.
+    Disabled,
+    /// Enabled, waiting for a start.
+    Inactive,
+}
+
+/// Errors from the verb layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerbError {
+    /// ROSpec id not in the registry.
+    UnknownRoSpec(u32),
+    /// A spec with this id already exists.
+    DuplicateRoSpec(u32),
+    /// Verb not legal in the spec's current state.
+    WrongState {
+        id: u32,
+        state: RoSpecState,
+        verb: &'static str,
+    },
+    /// The spec failed structural validation at ADD time.
+    Invalid(LlrpError),
+}
+
+impl fmt::Display for VerbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbError::UnknownRoSpec(id) => write!(f, "no ROSpec {id}"),
+            VerbError::DuplicateRoSpec(id) => write!(f, "ROSpec {id} already added"),
+            VerbError::WrongState { id, state, verb } => {
+                write!(f, "ROSpec {id} is {state:?}; cannot {verb}")
+            }
+            VerbError::Invalid(e) => write!(f, "invalid ROSpec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VerbError {}
+
+impl From<LlrpError> for VerbError {
+    fn from(e: LlrpError) -> Self {
+        VerbError::Invalid(e)
+    }
+}
+
+/// An LLRP-style client connection to the simulated reader.
+#[derive(Debug)]
+pub struct ReaderConnection {
+    reader: Reader,
+    rospecs: BTreeMap<u32, (RoSpec, RoSpecState)>,
+}
+
+impl ReaderConnection {
+    /// Opens a connection over a reader.
+    pub fn new(reader: Reader) -> Self {
+        ReaderConnection {
+            reader,
+            rospecs: BTreeMap::new(),
+        }
+    }
+
+    /// Direct access to the underlying reader (clock, scene, events).
+    pub fn reader(&self) -> &Reader {
+        &self.reader
+    }
+
+    /// Mutable access (experiments mutate scenes between runs).
+    pub fn reader_mut(&mut self) -> &mut Reader {
+        &mut self.reader
+    }
+
+    /// Consumes the connection, returning the reader.
+    pub fn into_reader(self) -> Reader {
+        self.reader
+    }
+
+    /// `ADD_ROSPEC`: validate and register, initially Disabled.
+    pub fn add_rospec(&mut self, spec: RoSpec) -> Result<(), VerbError> {
+        spec.validate()?;
+        if self.rospecs.contains_key(&spec.id) {
+            return Err(VerbError::DuplicateRoSpec(spec.id));
+        }
+        self.rospecs.insert(spec.id, (spec, RoSpecState::Disabled));
+        Ok(())
+    }
+
+    /// `ENABLE_ROSPEC`: Disabled → Inactive.
+    pub fn enable_rospec(&mut self, id: u32) -> Result<(), VerbError> {
+        let (_, state) = self
+            .rospecs
+            .get_mut(&id)
+            .ok_or(VerbError::UnknownRoSpec(id))?;
+        match *state {
+            RoSpecState::Disabled => {
+                *state = RoSpecState::Inactive;
+                Ok(())
+            }
+            s => Err(VerbError::WrongState {
+                id,
+                state: s,
+                verb: "enable",
+            }),
+        }
+    }
+
+    /// `DISABLE_ROSPEC`: Inactive → Disabled.
+    pub fn disable_rospec(&mut self, id: u32) -> Result<(), VerbError> {
+        let (_, state) = self
+            .rospecs
+            .get_mut(&id)
+            .ok_or(VerbError::UnknownRoSpec(id))?;
+        match *state {
+            RoSpecState::Inactive => {
+                *state = RoSpecState::Disabled;
+                Ok(())
+            }
+            s => Err(VerbError::WrongState {
+                id,
+                state: s,
+                verb: "disable",
+            }),
+        }
+    }
+
+    /// `DELETE_ROSPEC`: remove from the registry (any state).
+    pub fn delete_rospec(&mut self, id: u32) -> Result<RoSpec, VerbError> {
+        self.rospecs
+            .remove(&id)
+            .map(|(spec, _)| spec)
+            .ok_or(VerbError::UnknownRoSpec(id))
+    }
+
+    /// `START_ROSPEC`: run one execution of an enabled spec, returning its
+    /// tag reports. (Our specs use null/duration stop triggers, so one
+    /// start = one pass over the AISpecs; the spec returns to Inactive.)
+    pub fn start_rospec(&mut self, id: u32) -> Result<Vec<TagReport>, VerbError> {
+        let (spec, state) = self
+            .rospecs
+            .get(&id)
+            .ok_or(VerbError::UnknownRoSpec(id))?;
+        if *state != RoSpecState::Inactive {
+            return Err(VerbError::WrongState {
+                id,
+                state: *state,
+                verb: "start",
+            });
+        }
+        let spec = spec.clone();
+        self.reader.execute(&spec).map_err(VerbError::Invalid)
+    }
+
+    /// Runs an enabled spec repeatedly for `duration` seconds of air time.
+    pub fn run_rospec_for(
+        &mut self,
+        id: u32,
+        duration: f64,
+    ) -> Result<Vec<TagReport>, VerbError> {
+        let (spec, state) = self
+            .rospecs
+            .get(&id)
+            .ok_or(VerbError::UnknownRoSpec(id))?;
+        if *state != RoSpecState::Inactive {
+            return Err(VerbError::WrongState {
+                id,
+                state: *state,
+                verb: "start",
+            });
+        }
+        let spec = spec.clone();
+        self.reader
+            .run_for(&spec, duration)
+            .map_err(VerbError::Invalid)
+    }
+
+    /// The registry: `(id, state)` pairs in id order.
+    pub fn rospec_states(&self) -> Vec<(u32, RoSpecState)> {
+        self.rospecs.iter().map(|(id, (_, s))| (*id, *s)).collect()
+    }
+
+    /// A registered spec, if present.
+    pub fn get_rospec(&self, id: u32) -> Option<&RoSpec> {
+        self.rospecs.get(&id).map(|(spec, _)| spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReaderConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tagwatch_gen2::Epc;
+    use tagwatch_scene::presets;
+
+    fn connection(n: usize) -> ReaderConnection {
+        let scene = presets::random_room(n, 91);
+        let mut rng = StdRng::seed_from_u64(92);
+        let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
+        ReaderConnection::new(Reader::new(scene, &epcs, ReaderConfig::default(), 93))
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut conn = connection(8);
+        conn.add_rospec(RoSpec::read_all(1, vec![1])).unwrap();
+        assert_eq!(conn.rospec_states(), vec![(1, RoSpecState::Disabled)]);
+
+        conn.enable_rospec(1).unwrap();
+        assert_eq!(conn.rospec_states(), vec![(1, RoSpecState::Inactive)]);
+
+        let reports = conn.start_rospec(1).unwrap();
+        assert_eq!(reports.len(), 8);
+        // Still inactive after the pass completes.
+        assert_eq!(conn.rospec_states(), vec![(1, RoSpecState::Inactive)]);
+
+        conn.disable_rospec(1).unwrap();
+        let spec = conn.delete_rospec(1).unwrap();
+        assert_eq!(spec.id, 1);
+        assert!(conn.rospec_states().is_empty());
+    }
+
+    #[test]
+    fn verbs_enforce_state_machine() {
+        let mut conn = connection(3);
+        conn.add_rospec(RoSpec::read_all(5, vec![1])).unwrap();
+
+        // Start before enable: rejected.
+        assert!(matches!(
+            conn.start_rospec(5),
+            Err(VerbError::WrongState { verb: "start", .. })
+        ));
+        // Double add: rejected.
+        assert!(matches!(
+            conn.add_rospec(RoSpec::read_all(5, vec![1])),
+            Err(VerbError::DuplicateRoSpec(5))
+        ));
+        // Enable twice: rejected the second time.
+        conn.enable_rospec(5).unwrap();
+        assert!(matches!(
+            conn.enable_rospec(5),
+            Err(VerbError::WrongState { verb: "enable", .. })
+        ));
+        // Unknown ids.
+        assert!(matches!(
+            conn.start_rospec(9),
+            Err(VerbError::UnknownRoSpec(9))
+        ));
+        assert!(matches!(
+            conn.delete_rospec(9),
+            Err(VerbError::UnknownRoSpec(9))
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_rejected_at_add() {
+        let mut conn = connection(3);
+        let bad = RoSpec {
+            id: 2,
+            ai_specs: vec![],
+        };
+        assert!(matches!(
+            conn.add_rospec(bad),
+            Err(VerbError::Invalid(LlrpError::NoAiSpecs))
+        ));
+        assert!(conn.rospec_states().is_empty());
+    }
+
+    #[test]
+    fn multiple_specs_coexist() {
+        let mut conn = connection(10);
+        let epcs = conn.reader().epcs();
+        conn.add_rospec(RoSpec::read_all(1, vec![1])).unwrap();
+        conn.add_rospec(RoSpec::selective(
+            2,
+            vec![1],
+            &[tagwatch_gen2::BitMask::exact(epcs[4])],
+        ))
+        .unwrap();
+        conn.enable_rospec(1).unwrap();
+        conn.enable_rospec(2).unwrap();
+        let all = conn.start_rospec(1).unwrap();
+        let one = conn.start_rospec(2).unwrap();
+        assert_eq!(all.len(), 10);
+        assert!(one.iter().all(|r| r.tag_idx == 4));
+        assert!(!one.is_empty());
+    }
+
+    #[test]
+    fn run_for_accumulates() {
+        let mut conn = connection(4);
+        conn.add_rospec(RoSpec::read_all(1, vec![1])).unwrap();
+        conn.enable_rospec(1).unwrap();
+        let t0 = conn.reader().now();
+        let reports = conn.run_rospec_for(1, 0.5).unwrap();
+        assert!(conn.reader().now() - t0 >= 0.5);
+        assert!(reports.len() > 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Reader event stream — round-level observability.
+//!
+//! Real readers expose round boundaries through LLRP reports; Tagwatch's
+//! schedule-cost experiment (Fig. 17) and several tests need the same
+//! visibility, so the simulated reader records one event per round.
+
+use serde::{Deserialize, Serialize};
+use tagwatch_gen2::SlotStats;
+
+/// One inventory round executed by the reader.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundEvent {
+    /// ROSpec that drove this round.
+    pub rospec_id: u32,
+    /// Index of the AISpec within the ROSpec.
+    pub ai_spec: usize,
+    /// Antenna the round ran on.
+    pub antenna: u8,
+    /// Absolute start time, seconds.
+    pub t_start: f64,
+    /// Absolute end time, seconds.
+    pub t_end: f64,
+    /// Number of tag reads in the round.
+    pub reads: usize,
+    /// Slot accounting.
+    pub stats: SlotStats,
+}
+
+impl RoundEvent {
+    /// Round duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// Bounded event log. Keeps the most recent `capacity` rounds; callers
+/// drain with [`EventLog::take`].
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    events: std::collections::VecDeque<RoundEvent>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            events: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: RoundEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Drains all buffered events.
+    pub fn take(&mut self) -> Vec<RoundEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Number of events evicted since creation.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64) -> RoundEvent {
+        RoundEvent {
+            rospec_id: 1,
+            ai_spec: 0,
+            antenna: 1,
+            t_start: t,
+            t_end: t + 0.05,
+            reads: 3,
+            stats: SlotStats::default(),
+        }
+    }
+
+    #[test]
+    fn push_and_take() {
+        let mut log = EventLog::new(10);
+        log.push(ev(0.0));
+        log.push(ev(1.0));
+        assert_eq!(log.len(), 2);
+        let events = log.take();
+        assert_eq!(events.len(), 2);
+        assert!(log.is_empty());
+        assert!((events[0].duration() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for k in 0..5 {
+            log.push(ev(k as f64));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let events = log.take();
+        assert_eq!(events[0].t_start, 2.0);
+    }
+}

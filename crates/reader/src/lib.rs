@@ -1,0 +1,27 @@
+//! # tagwatch-reader — simulated COTS RFID reader
+//!
+//! Emulates an ImpinJ-R420-class reader: executes LLRP-style `ROSpec`s
+//! against the gen2 protocol simulator and the RF channel model, and
+//! reports tag reads with EPC, phase, RSS, channel, antenna, and
+//! timestamps — the exact interface the paper's Tagwatch middleware
+//! consumes (§6).
+//!
+//! The reader is deliberately *not* clever: it runs Q-adaptive inventory
+//! rounds exactly as configured, charging calibrated air time per command.
+//! All the intelligence (motion assessment, bitmask scheduling) lives in
+//! the `tagwatch` core crate, which only sees [`TagReport`]s — the same
+//! boundary a real deployment has.
+
+pub mod config;
+pub mod conn;
+pub mod events;
+pub mod llrp;
+pub mod reader;
+pub mod xml;
+
+pub use config::ReaderConfig;
+pub use conn::{ReaderConnection, RoSpecState, VerbError};
+pub use events::{EventLog, RoundEvent};
+pub use llrp::{AiSpec, C1G2Filter, LlrpError, RoSpec};
+pub use reader::{Reader, TagReport};
+pub use xml::rospec_to_xml;

@@ -1,0 +1,389 @@
+//! LLRP-shaped reader operation specs.
+//!
+//! The paper drives its ImpinJ reader through the LLRP Tool Kit: a
+//! `ROSpec` contains `AISpec`s (one per antenna configuration), each of
+//! which carries `C1G2Filter`s that become Gen2 `Select` commands (§6,
+//! Fig. 11). Tagwatch encodes one bitmask per AISpec ("We adopt the second
+//! method by default"), so a scheduling plan with k bitmasks compiles to a
+//! ROSpec with k AISpecs, executed sequentially by the reader.
+//!
+//! This module reproduces that structure as plain typed data — the
+//! simulated reader consumes it the way a real reader consumes the XML.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tagwatch_gen2::{BitMask, InvFlag, Query, QuerySel, Select, Session};
+
+/// A C1G2 filter: one Select bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct C1G2Filter {
+    /// The EPC-bank bitmask this filter asserts.
+    pub mask: BitMask,
+    /// Request truncated replies (Gen2 Truncate). Honoured only for
+    /// prefix masks (`pointer == 0`) on single-filter AISpecs — the only
+    /// configuration where the reader can reconstruct full EPCs.
+    pub truncate: bool,
+}
+
+/// An antenna inventory spec: which antennas to fire and which tag subset
+/// participates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AiSpec {
+    /// Antenna ports to inventory, in order (1-based, like LLRP).
+    pub antennas: Vec<u8>,
+    /// Filters OR-ed together to define the participating subset. Empty =
+    /// read everything.
+    pub filters: Vec<C1G2Filter>,
+    /// Dwell-based continuous reading (LLRP AISpec duration stop
+    /// trigger): when `Some(T)`, the reader keeps the antenna for `T`
+    /// seconds, running alternating-target (dual-target A↔B) inventory
+    /// rounds so tags are read repeatedly without per-round start-up
+    /// cost. `None` = a single round per antenna (inventory mode).
+    pub dwell: Option<f64>,
+}
+
+impl AiSpec {
+    /// Whether this AISpec reads the whole population.
+    pub fn is_read_all(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// The Select commands the reader issues at the start of this AISpec's
+    /// inventory round, plus the Query participation filter.
+    ///
+    /// * No filters → reset the session's inventoried flag on everyone;
+    ///   query with `Sel = All`.
+    /// * k ≥ 1 filters → assert SL on the union of the masks (first filter
+    ///   assert-else-deassert, the rest assert-else-nothing), re-arm the
+    ///   inventoried flag on matching tags, and query with `Sel = SL`.
+    pub fn compile(&self, session: Session) -> (Vec<Select>, QuerySel) {
+        if self.filters.is_empty() {
+            return (vec![Select::reset_inventoried(session)], QuerySel::All);
+        }
+        let mut selects = Vec::with_capacity(self.filters.len() * 2);
+        let truncation_ok = self.filters.len() == 1;
+        for (i, f) in self.filters.iter().enumerate() {
+            // Re-arm the inventoried flag so the covered tags are readable
+            // again this round. Issued *before* the SL select: a truncating
+            // Select is only honoured when it is the last one a tag hears.
+            selects.push(Select {
+                target: tagwatch_gen2::SelTarget::Inventoried(session),
+                action: tagwatch_gen2::SelAction::AssertElseNothing,
+                bank: tagwatch_gen2::MemBank::Epc,
+                mask: f.mask,
+                truncate: false,
+            });
+            let mut sel = if i == 0 {
+                Select::assert_sl(f.mask)
+            } else {
+                Select::or_sl(f.mask)
+            };
+            if f.truncate && truncation_ok && f.mask.pointer == 0 && !f.mask.is_match_all() {
+                sel = sel.with_truncate();
+            }
+            selects.push(sel);
+        }
+        (selects, QuerySel::Sl)
+    }
+
+    /// The Query this AISpec's round starts with.
+    pub fn query(&self, session: Session, initial_q: u8) -> Query {
+        let (_, sel) = self.compile(session);
+        Query {
+            q: initial_q,
+            sel,
+            session,
+            target: InvFlag::A,
+        }
+    }
+}
+
+/// A reader operation spec: an ordered list of AISpecs, executed
+/// sequentially, then repeated for as long as the spec is enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoSpec {
+    /// Spec identifier (LLRP ROSpecID).
+    pub id: u32,
+    /// AISpecs executed in order.
+    pub ai_specs: Vec<AiSpec>,
+}
+
+/// Validation failures for a ROSpec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlrpError {
+    /// A ROSpec must contain at least one AISpec.
+    NoAiSpecs,
+    /// An AISpec must name at least one antenna.
+    NoAntennas { ai_spec: usize },
+    /// An antenna port appears twice in one AISpec.
+    DuplicateAntenna { ai_spec: usize, port: u8 },
+    /// A dwell duration was zero, negative, or NaN.
+    BadDwell { ai_spec: usize },
+}
+
+impl fmt::Display for LlrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlrpError::NoAiSpecs => write!(f, "ROSpec contains no AISpecs"),
+            LlrpError::NoAntennas { ai_spec } => {
+                write!(f, "AISpec #{ai_spec} names no antennas")
+            }
+            LlrpError::DuplicateAntenna { ai_spec, port } => {
+                write!(f, "AISpec #{ai_spec} lists antenna {port} twice")
+            }
+            LlrpError::BadDwell { ai_spec } => {
+                write!(f, "AISpec #{ai_spec} has a non-positive dwell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LlrpError {}
+
+impl RoSpec {
+    /// A read-everything spec over the given antennas — the paper's
+    /// baseline ("reading all") and Tagwatch's Phase I.
+    pub fn read_all(id: u32, antennas: Vec<u8>) -> Self {
+        RoSpec {
+            id,
+            ai_specs: vec![AiSpec {
+                antennas,
+                filters: Vec::new(),
+                dwell: None,
+            }],
+        }
+    }
+
+    /// A read-everything spec in tracking mode: each antenna is held for
+    /// `dwell` seconds of continuous dual-target reading.
+    pub fn read_all_continuous(id: u32, antennas: Vec<u8>, dwell: f64) -> Self {
+        RoSpec {
+            id,
+            ai_specs: vec![AiSpec {
+                antennas,
+                filters: Vec::new(),
+                dwell: Some(dwell),
+            }],
+        }
+    }
+
+    /// A selective spec: one AISpec per bitmask (the paper's default
+    /// encoding), each on the same antennas — Tagwatch's Phase II.
+    pub fn selective(id: u32, antennas: Vec<u8>, masks: &[BitMask]) -> Self {
+        Self::selective_with_truncate(id, antennas, masks, false)
+    }
+
+    /// [`RoSpec::selective`] with truncated replies requested where legal
+    /// (prefix masks).
+    pub fn selective_with_truncate(
+        id: u32,
+        antennas: Vec<u8>,
+        masks: &[BitMask],
+        truncate: bool,
+    ) -> Self {
+        RoSpec {
+            id,
+            ai_specs: masks
+                .iter()
+                .map(|&mask| AiSpec {
+                    antennas: antennas.clone(),
+                    filters: vec![C1G2Filter { mask, truncate }],
+                    dwell: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Structural validation, mirroring what a real reader rejects at
+    /// `ADD_ROSPEC` time.
+    pub fn validate(&self) -> Result<(), LlrpError> {
+        if self.ai_specs.is_empty() {
+            return Err(LlrpError::NoAiSpecs);
+        }
+        for (i, spec) in self.ai_specs.iter().enumerate() {
+            if spec.antennas.is_empty() {
+                return Err(LlrpError::NoAntennas { ai_spec: i });
+            }
+            if let Some(d) = spec.dwell {
+                // NaN or non-positive dwells are rejected.
+                if d.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(LlrpError::BadDwell { ai_spec: i });
+                }
+            }
+            let mut seen = Vec::new();
+            for &p in &spec.antennas {
+                if seen.contains(&p) {
+                    return Err(LlrpError::DuplicateAntenna { ai_spec: i, port: p });
+                }
+                seen.push(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of Select commands this spec issues per execution —
+    /// used for cost accounting (each Select costs `t_select` air time).
+    pub fn select_count(&self, session: Session) -> usize {
+        self.ai_specs
+            .iter()
+            .map(|a| a.compile(session).0.len() * a.antennas.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_gen2::Epc;
+
+    #[test]
+    fn read_all_compiles_to_open_query() {
+        let spec = RoSpec::read_all(1, vec![1, 2]);
+        spec.validate().unwrap();
+        assert_eq!(spec.ai_specs.len(), 1);
+        let (selects, sel) = spec.ai_specs[0].compile(Session::S1);
+        assert_eq!(selects.len(), 1);
+        assert_eq!(sel, QuerySel::All);
+    }
+
+    #[test]
+    fn selective_one_aispec_per_mask() {
+        let masks = [
+            BitMask::new(0b01, 0, 2),
+            BitMask::new(0b1, 5, 1),
+            BitMask::exact(Epc::from_bits(7)),
+        ];
+        let spec = RoSpec::selective(2, vec![1], &masks);
+        spec.validate().unwrap();
+        assert_eq!(spec.ai_specs.len(), 3);
+        for (i, ai) in spec.ai_specs.iter().enumerate() {
+            assert_eq!(ai.filters.len(), 1);
+            assert_eq!(ai.filters[0].mask, masks[i]);
+            let (selects, sel) = ai.compile(Session::S1);
+            assert_eq!(sel, QuerySel::Sl);
+            assert_eq!(selects.len(), 2); // SL assert + inventoried re-arm
+        }
+    }
+
+    #[test]
+    fn multi_filter_aispec_unions() {
+        let ai = AiSpec {
+            antennas: vec![1],
+            filters: vec![
+                C1G2Filter {
+                    mask: BitMask::new(0b0, 0, 1),
+                    truncate: false,
+                },
+                C1G2Filter {
+                    mask: BitMask::new(0b1, 0, 1),
+                    truncate: false,
+                },
+            ],
+            dwell: None,
+        };
+        let (selects, sel) = ai.compile(Session::S0);
+        assert_eq!(sel, QuerySel::Sl);
+        assert_eq!(selects.len(), 4);
+        // First select must be assert-else-deassert, later ones must not
+        // clobber previous matches.
+        // Per filter: [inventoried re-arm, SL select].
+        assert_eq!(
+            selects[1].action,
+            tagwatch_gen2::SelAction::AssertElseDeassert
+        );
+        assert_eq!(selects[3].action, tagwatch_gen2::SelAction::AssertElseNothing);
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        let empty = RoSpec {
+            id: 1,
+            ai_specs: vec![],
+        };
+        assert_eq!(empty.validate(), Err(LlrpError::NoAiSpecs));
+
+        let no_ant = RoSpec {
+            id: 1,
+            ai_specs: vec![AiSpec {
+                antennas: vec![],
+                filters: vec![],
+                dwell: None,
+            }],
+        };
+        assert_eq!(no_ant.validate(), Err(LlrpError::NoAntennas { ai_spec: 0 }));
+
+        let dup = RoSpec {
+            id: 1,
+            ai_specs: vec![AiSpec {
+                antennas: vec![1, 1],
+                filters: vec![],
+                dwell: None,
+            }],
+        };
+        let bad_dwell = RoSpec {
+            id: 1,
+            ai_specs: vec![AiSpec {
+                antennas: vec![1],
+                filters: vec![],
+                dwell: Some(0.0),
+            }],
+        };
+        assert_eq!(
+            bad_dwell.validate(),
+            Err(LlrpError::BadDwell { ai_spec: 0 })
+        );
+        assert_eq!(
+            dup.validate(),
+            Err(LlrpError::DuplicateAntenna { ai_spec: 0, port: 1 })
+        );
+    }
+
+    #[test]
+    fn truncation_only_on_legal_filters() {
+        // Prefix mask, single filter: truncation honoured.
+        let spec = RoSpec::selective_with_truncate(
+            1,
+            vec![1],
+            &[BitMask::new(0b1011, 0, 4)],
+            true,
+        );
+        let (selects, _) = spec.ai_specs[0].compile(Session::S1);
+        assert!(selects.last().unwrap().truncate);
+        // Non-prefix mask: silently not truncated.
+        let spec = RoSpec::selective_with_truncate(
+            1,
+            vec![1],
+            &[BitMask::new(0b1011, 7, 4)],
+            true,
+        );
+        let (selects, _) = spec.ai_specs[0].compile(Session::S1);
+        assert!(selects.iter().all(|s| !s.truncate));
+        // Multi-filter AISpec: never truncated.
+        let ai = AiSpec {
+            antennas: vec![1],
+            filters: vec![
+                C1G2Filter {
+                    mask: BitMask::new(0b0, 0, 1),
+                    truncate: true,
+                },
+                C1G2Filter {
+                    mask: BitMask::new(0b1, 0, 1),
+                    truncate: true,
+                },
+            ],
+            dwell: None,
+        };
+        let (selects, _) = ai.compile(Session::S1);
+        assert!(selects.iter().all(|s| !s.truncate));
+    }
+
+    #[test]
+    fn select_count_accounts_per_antenna() {
+        let masks = [BitMask::new(0b01, 0, 2)];
+        let spec = RoSpec::selective(1, vec![1, 2], &masks);
+        // 2 selects per mask × 2 antennas.
+        assert_eq!(spec.select_count(Session::S1), 4);
+        let all = RoSpec::read_all(1, vec![1, 2, 3, 4]);
+        assert_eq!(all.select_count(Session::S1), 4);
+    }
+}

@@ -1,0 +1,598 @@
+//! The simulated COTS reader.
+//!
+//! `Reader` owns the three substrates — tag protocol state machines
+//! (gen2), the physical scene (scene), and the channel model (rf) — and
+//! exposes the interface a real ImpinJ R420 exposes over LLRP: *execute
+//! this ROSpec, stream back tag reports with EPC, phase, RSS, channel,
+//! antenna and timestamp*. Tagwatch (the middleware) talks only to this
+//! interface, exactly as the paper's prototype talks only to LLRP.
+
+use crate::config::ReaderConfig;
+use crate::events::{EventLog, RoundEvent};
+use crate::llrp::{LlrpError, RoSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tagwatch_gen2::{run_round, Epc, QAdaptive, RoundConfig, TagProto};
+use tagwatch_rf::{LinkGeometry, RfMeasurement};
+use tagwatch_scene::Scene;
+
+/// One tag read, as delivered to the middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TagReport {
+    /// The EPC backscattered by the tag.
+    pub epc: Epc,
+    /// Simulator-side tag index — ground truth for evaluation only; the
+    /// middleware under test must not use it (real readers don't have it).
+    pub tag_idx: usize,
+    /// The physical-layer measurement attached to the read.
+    pub rf: RfMeasurement,
+}
+
+/// The simulated reader.
+#[derive(Debug, Clone)]
+pub struct Reader {
+    /// The physical scene (public: experiments mutate trajectories between
+    /// runs).
+    pub scene: Scene,
+    /// Per-round event log (Fig. 17 and diagnostics).
+    pub events: EventLog,
+    protos: Vec<TagProto>,
+    cfg: ReaderConfig,
+    clock: f64,
+    rng: StdRng,
+    /// EWMA of tags-read-per-round: the reader's population estimate, used
+    /// for Autoset-style dense-reader-mode link adaptation (see
+    /// [`tagwatch_gen2::LinkTiming::scaled`]).
+    mode_estimate: f64,
+    /// Round-robin cursor for dwell-mode antenna rotation; persists across
+    /// ROSpec executions so short dwells still cycle through every port.
+    antenna_rr: usize,
+}
+
+impl Reader {
+    /// Builds a reader over `scene`, assigning `epcs[i]` to scene tag `i`.
+    ///
+    /// Panics if the lengths differ — tag identity is positional across
+    /// the scene/protocol boundary.
+    pub fn new(scene: Scene, epcs: &[Epc], cfg: ReaderConfig, seed: u64) -> Self {
+        assert_eq!(
+            scene.tags.len(),
+            epcs.len(),
+            "one EPC per scene tag required"
+        );
+        let protos = epcs.iter().map(|&e| TagProto::new(e)).collect();
+        let mode_estimate = (1u32 << cfg.initial_q.min(10)) as f64;
+        Reader {
+            scene,
+            events: EventLog::new(100_000),
+            protos,
+            cfg,
+            clock: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            mode_estimate,
+            antenna_rr: 0,
+        }
+    }
+
+    /// The link slow-down factor from dense-reader-mode adaptation at the
+    /// current population estimate: `max(1, ln(estimate))`. With this, the
+    /// simulated inventory cost reproduces the paper's measured `n·ln n`
+    /// growth (Fig. 2) instead of ideal-DFSA linear growth.
+    fn mode_factor(&self) -> f64 {
+        self.mode_estimate.max(1.0).ln().max(1.0)
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Reader configuration.
+    pub fn config(&self) -> &ReaderConfig {
+        &self.cfg
+    }
+
+    /// Advances the clock without radio activity (models middleware
+    /// compute gaps between phases).
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "time flows forward");
+        self.clock += dt;
+    }
+
+    /// The EPCs of all tags, by index.
+    pub fn epcs(&self) -> Vec<Epc> {
+        self.protos.iter().map(|p| p.epc).collect()
+    }
+
+    /// Number of tags currently present (powered) in the field.
+    pub fn present_count(&self) -> usize {
+        self.scene.present_tags(self.clock).len()
+    }
+
+    /// Synchronises protocol power state with scene presence at the
+    /// current clock. Called at each round boundary (presence changes
+    /// mid-round are deferred to the next round — rounds last tens of
+    /// milliseconds while presence windows span seconds).
+    fn sync_presence(&mut self) {
+        let t = self.clock;
+        for (proto, tag) in self.protos.iter_mut().zip(self.scene.tags.iter()) {
+            let should_be = tag.present_at(t);
+            if should_be && !proto.powered {
+                proto.power_up();
+            } else if !should_be && proto.powered {
+                proto.power_down();
+            }
+        }
+    }
+
+    /// Executes one pass of `spec` (every AISpec once, on each of its
+    /// antennas), returning the tag reports in read order.
+    pub fn execute(&mut self, spec: &RoSpec) -> Result<Vec<TagReport>, LlrpError> {
+        spec.validate()?;
+        let mut reports = Vec::new();
+        for (ai_idx, ai) in spec.ai_specs.iter().enumerate() {
+            let (selects, _) = ai.compile(self.cfg.session);
+            match ai.dwell {
+                None => {
+                    // Inventory mode: one round per antenna, each paying
+                    // the full start-up cost.
+                    for &port in &ai.antennas {
+                        self.sync_presence();
+                        for sel in &selects {
+                            for proto in self.protos.iter_mut() {
+                                proto.handle_select(sel);
+                            }
+                            self.clock += self.cfg.link.t_select;
+                        }
+                        let query = ai.query(self.cfg.session, self.cfg.initial_q);
+                        let timing = self.cfg.link.scaled(self.mode_factor());
+                        self.run_one_round(spec.id, ai_idx, ai, port, query, &timing, &mut reports);
+                    }
+                }
+                Some(dwell) => {
+                    // Tracking mode: one carrier start, then continuous
+                    // dual-target rounds rotating over the antennas (the
+                    // mux switch is cheap), until the dwell elapses.
+                    self.sync_presence();
+                    for sel in &selects {
+                        for proto in self.protos.iter_mut() {
+                            proto.handle_select(sel);
+                        }
+                        self.clock += self.cfg.link.t_select;
+                    }
+                    let t_dwell_start = self.clock;
+                    let mut target = tagwatch_gen2::InvFlag::A;
+                    let mut antenna_idx = self.antenna_rr;
+                    loop {
+                        self.sync_presence();
+                        let port = ai.antennas[antenna_idx % ai.antennas.len()];
+                        let mut query = ai.query(self.cfg.session, self.cfg.initial_q);
+                        query.target = target;
+                        let mut timing = self.cfg.link.scaled(self.mode_factor());
+                        if self.clock > t_dwell_start {
+                            timing.round_overhead = 0.0;
+                        }
+                        self.run_one_round(spec.id, ai_idx, ai, port, query, &timing, &mut reports);
+                        if self.clock - t_dwell_start >= dwell {
+                            break;
+                        }
+                        target = target.toggled();
+                        antenna_idx += 1;
+                        self.clock += self.cfg.link.t_antenna_switch;
+                    }
+                    self.antenna_rr = antenna_idx.wrapping_add(1) % ai.antennas.len().max(1);
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+
+    /// Applies the forward-field gate for the active antenna: tags out of
+    /// range are de-energised (and lose volatile state, as real unpowered
+    /// tags do); tags back in range and present re-energise.
+    fn apply_field_gate(&mut self, port: u8) {
+        let Some(range) = self.cfg.field_range_m else {
+            return;
+        };
+        let t = self.clock;
+        let apos = self.scene.antenna(port).position;
+        for (proto, tag) in self.protos.iter_mut().zip(self.scene.tags.iter()) {
+            let eligible = tag.present_at(t) && tag.position_at(t).dist(apos) <= range;
+            if eligible && !proto.powered {
+                proto.power_up();
+            } else if !eligible && proto.powered {
+                proto.power_down();
+            }
+        }
+    }
+
+    /// Runs one inventory round on `port` and appends its reports/events.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_round(
+        &mut self,
+        rospec_id: u32,
+        ai_idx: usize,
+        _ai: &crate::llrp::AiSpec,
+        port: u8,
+        query: tagwatch_gen2::Query,
+        timing: &tagwatch_gen2::LinkTiming,
+        reports: &mut Vec<TagReport>,
+    ) {
+        self.apply_field_gate(port);
+        let round_cfg = RoundConfig {
+            decode_fail_prob: self.cfg.decode_fail_prob,
+            ..RoundConfig::new(query)
+        };
+        let mut sizer = QAdaptive::new(self.cfg.initial_q);
+        let t_round_start = self.clock;
+        let result = run_round(
+            &mut self.protos,
+            &round_cfg,
+            &mut sizer,
+            timing,
+            &mut self.rng,
+        );
+        self.clock += result.duration;
+        // Update the population estimate from what this round saw.
+        self.mode_estimate = 0.5 * self.mode_estimate + 0.5 * (result.reads.len().max(1) as f64);
+
+        let antenna_pos = self.scene.antenna(port).position;
+        for read in &result.reads {
+            let t_abs = t_round_start + read.t;
+            let reflectors = self.scene.reflectors_at(t_abs);
+            let link = LinkGeometry {
+                antenna: antenna_pos,
+                tag: self.scene.tag_position(read.tag_idx, t_abs),
+                reflectors: &reflectors,
+            };
+            let chan = self.cfg.channel_plan.channel_at(t_abs);
+            let rf = self.cfg.channel_model.observe(
+                &link,
+                self.scene.tags[read.tag_idx].key,
+                port,
+                chan,
+                t_abs,
+                &mut self.rng,
+            );
+            reports.push(TagReport {
+                epc: read.epc,
+                tag_idx: read.tag_idx,
+                rf,
+            });
+        }
+        self.events.push(RoundEvent {
+            rospec_id,
+            ai_spec: ai_idx,
+            antenna: port,
+            t_start: t_round_start,
+            t_end: self.clock,
+            reads: result.reads.len(),
+            stats: result.stats,
+        });
+    }
+
+    /// Repeats `spec` until at least `duration` seconds of air time have
+    /// elapsed, returning all reports.
+    pub fn run_for(&mut self, spec: &RoSpec, duration: f64) -> Result<Vec<TagReport>, LlrpError> {
+        let t_end = self.clock + duration;
+        let mut all = Vec::new();
+        while self.clock < t_end {
+            let before = self.clock;
+            all.extend(self.execute(spec)?);
+            assert!(
+                self.clock > before,
+                "an executed ROSpec must consume air time"
+            );
+        }
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use tagwatch_gen2::BitMask;
+    use tagwatch_scene::presets;
+
+    fn random_epcs(n: usize, seed: u64) -> Vec<Epc> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Epc::random(&mut rng)).collect()
+    }
+
+    fn basic_reader(n: usize, seed: u64) -> Reader {
+        let scene = presets::random_room(n, seed);
+        let epcs = random_epcs(n, seed ^ 0xFF);
+        Reader::new(scene, &epcs, ReaderConfig::default(), seed ^ 0xABCD)
+    }
+
+    #[test]
+    fn read_all_reports_every_tag() {
+        let mut reader = basic_reader(25, 1);
+        let spec = RoSpec::read_all(1, vec![1]);
+        let reports = reader.execute(&spec).unwrap();
+        assert_eq!(reports.len(), 25);
+        let mut idx: Vec<usize> = reports.iter().map(|r| r.tag_idx).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 25);
+        assert!(reader.now() > 0.019, "at least the start-up cost elapsed");
+    }
+
+    #[test]
+    fn reports_carry_consistent_epcs() {
+        let mut reader = basic_reader(10, 2);
+        let epcs = reader.epcs();
+        let reports = reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
+        for r in reports {
+            assert_eq!(r.epc, epcs[r.tag_idx]);
+        }
+    }
+
+    #[test]
+    fn selective_spec_reads_only_covered() {
+        let mut reader = basic_reader(30, 3);
+        let epcs = reader.epcs();
+        // Cover exactly tag 5 with its full EPC as the mask.
+        let spec = RoSpec::selective(2, vec![1], &[BitMask::exact(epcs[5])]);
+        let reports = reader.execute(&spec).unwrap();
+        assert!(!reports.is_empty());
+        assert!(reports.iter().all(|r| r.tag_idx == 5));
+    }
+
+    #[test]
+    fn run_for_accumulates_rounds() {
+        let mut reader = basic_reader(5, 4);
+        let spec = RoSpec::read_all(1, vec![1]);
+        let t0 = reader.now();
+        let reports = reader.run_for(&spec, 1.0).unwrap();
+        assert!(reader.now() - t0 >= 1.0);
+        // ~1 s / C(5) ≈ 1/0.030 ≈ 30 rounds of 5 tags each.
+        assert!(reports.len() > 100, "got {}", reports.len());
+        // Read timestamps are monotone non-decreasing.
+        let mut prev = 0.0;
+        for r in &reports {
+            assert!(r.rf.t >= prev);
+            prev = r.rf.t;
+        }
+    }
+
+    #[test]
+    fn irr_decreases_with_population() {
+        // The core premise of §2: more companion tags → lower per-tag rate.
+        let rate_for = |n: usize| {
+            let mut reader = basic_reader(n, 77);
+            let spec = RoSpec::read_all(1, vec![1]);
+            let reports = reader.run_for(&spec, 3.0).unwrap();
+            let reads_of_zero = reports.iter().filter(|r| r.tag_idx == 0).count();
+            reads_of_zero as f64 / reader.now()
+        };
+        let irr1 = rate_for(1);
+        let irr40 = rate_for(40);
+        assert!(
+            irr1 > 3.0 * irr40,
+            "expected a steep drop: Λ(1)={irr1:.1} Hz, Λ(40)={irr40:.1} Hz"
+        );
+        // Absolute scale near the paper's fitted model (~52 Hz at n=1,
+        // ~11 Hz at n=40), generous tolerance for protocol overheads.
+        assert!((35.0..70.0).contains(&irr1), "Λ(1) = {irr1}");
+        assert!((6.0..18.0).contains(&irr40), "Λ(40) = {irr40}");
+    }
+
+    #[test]
+    fn absent_tags_are_not_read() {
+        let mut scene = presets::random_room(3, 5);
+        // Tag 2 enters the field only after t = 100 s.
+        scene.tags[2].presence = Some((100.0, 200.0));
+        let epcs = random_epcs(3, 6);
+        let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), 7);
+        let reports = reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
+        assert!(reports.iter().all(|r| r.tag_idx != 2));
+        // Jump past the entry time: now it appears.
+        reader.advance(100.0);
+        let reports = reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
+        assert!(reports.iter().any(|r| r.tag_idx == 2));
+    }
+
+    #[test]
+    fn phase_is_geometry_dependent_and_reproducible() {
+        let build = || {
+            let scene = presets::random_room(4, 8);
+            let epcs = random_epcs(4, 9);
+            Reader::new(scene, &epcs, ReaderConfig::deterministic(), 10)
+        };
+        let mut r1 = build();
+        let mut r2 = build();
+        let spec = RoSpec::read_all(1, vec![1]);
+        let a = r1.execute(&spec).unwrap();
+        let b = r2.execute(&spec).unwrap();
+        assert_eq!(a, b, "simulation must be bit-reproducible");
+        // Different tags (different geometry) get different phases.
+        assert!(a.windows(2).any(|w| w[0].rf.phase != w[1].rf.phase));
+    }
+
+    #[test]
+    fn events_log_rounds() {
+        let mut reader = basic_reader(8, 11);
+        reader.execute(&RoSpec::read_all(7, vec![1])).unwrap();
+        let events = reader.events.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].rospec_id, 7);
+        assert_eq!(events[0].reads, 8);
+        assert!(events[0].duration() > 0.019);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected() {
+        let mut reader = basic_reader(2, 12);
+        let bad = RoSpec {
+            id: 1,
+            ai_specs: vec![],
+        };
+        assert!(reader.execute(&bad).is_err());
+    }
+
+    #[test]
+    fn multi_antenna_round_robin() {
+        let scene = presets::tracking_study(2, 13);
+        let n = scene.tags.len();
+        let epcs = random_epcs(n, 14);
+        let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), 15);
+        let spec = RoSpec::read_all(1, vec![1, 2, 3, 4]);
+        let reports = reader.execute(&spec).unwrap();
+        // Every antenna produced reads.
+        let mut ports: Vec<u8> = reports.iter().map(|r| r.rf.antenna).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn decode_faults_do_not_change_coverage() {
+        let scene = presets::random_room(12, 16);
+        let epcs = random_epcs(12, 17);
+        let mut cfg = ReaderConfig::default();
+        cfg.decode_fail_prob = 0.2;
+        let mut reader = Reader::new(scene, &epcs, cfg, 18);
+        let reports = reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
+        let mut idx: Vec<usize> = reports.iter().map(|r| r.tag_idx).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 12);
+    }
+
+    #[test]
+    fn mobile_tag_phase_varies_more_than_static() {
+        // A tag on the turntable sweeps phase; a static one jitters within
+        // noise. This is the physical signal Phase I detects.
+        let scene = presets::turntable(2, 1, 19);
+        let epcs = random_epcs(2, 20);
+        let mut cfg = ReaderConfig::default();
+        cfg.channel_plan = tagwatch_rf::ChannelPlan::single(922.5e6);
+        let mut reader = Reader::new(scene, &epcs, cfg, 21);
+        let reports = reader
+            .run_for(&RoSpec::read_all(1, vec![1]), 2.0)
+            .unwrap();
+        let spread = |idx: usize| {
+            let phases: Vec<f64> = reports
+                .iter()
+                .filter(|r| r.tag_idx == idx)
+                .map(|r| r.rf.phase)
+                .collect();
+            assert!(phases.len() > 10);
+            // Circular spread via resultant length.
+            let (mut c, mut s) = (0.0, 0.0);
+            for &p in &phases {
+                c += p.cos();
+                s += p.sin();
+            }
+            1.0 - (c * c + s * s).sqrt() / phases.len() as f64
+        };
+        let mobile = spread(0);
+        let fixed = spread(1);
+        assert!(
+            mobile > 5.0 * fixed.max(1e-4),
+            "mobile spread {mobile} vs static {fixed}"
+        );
+    }
+
+    #[test]
+    fn dwell_mode_reads_continuously() {
+        // Tracking mode: a 100 ms dwell on a 1-tag scene yields many reads
+        // of the same tag at far lower per-read cost than restarting
+        // rounds.
+        let scene = presets::random_room(1, 30);
+        let epcs = random_epcs(1, 31);
+        let mut cfg = ReaderConfig::default();
+        cfg.link = tagwatch_gen2::LinkTiming::r420_tracking();
+        let mut reader = Reader::new(scene, &epcs, cfg, 32);
+        let spec = RoSpec::read_all_continuous(1, vec![1], 0.1);
+        // Settle link adaptation first.
+        reader.execute(&spec).unwrap();
+        let t0 = reader.now();
+        let reports = reader.execute(&spec).unwrap();
+        let elapsed = reader.now() - t0;
+        // One dwell ≈ overhead + 100 ms; reads ≈ dwell / per-read cost
+        // (~3 ms) ≫ the single read a plain round would deliver.
+        assert!(reports.len() > 10, "{} reads in dwell", reports.len());
+        assert!(elapsed < 0.2, "dwell overran: {elapsed}");
+        // All reads are tag 0, timestamps strictly increasing.
+        assert!(reports.iter().all(|r| r.tag_idx == 0));
+        let mut prev = 0.0;
+        for r in &reports {
+            assert!(r.rf.t > prev);
+            prev = r.rf.t;
+        }
+    }
+
+    #[test]
+    fn dwell_rate_scales_inversely_with_population() {
+        // The Fig. 1 regime: in tracking mode per-tag rate ~ 1/n.
+        let rate = |n: usize| {
+            let scene = presets::random_room(n, 33);
+            let epcs = random_epcs(n, 34);
+            let mut cfg = ReaderConfig::default();
+            cfg.link = tagwatch_gen2::LinkTiming::r420_tracking();
+            let mut reader = Reader::new(scene, &epcs, cfg, 35);
+            let spec = RoSpec::read_all_continuous(1, vec![1], 0.05);
+            reader.run_for(&spec, 1.0).unwrap();
+            let t0 = reader.now();
+            let reports = reader.run_for(&spec, 2.0).unwrap();
+            let reads0 = reports.iter().filter(|r| r.tag_idx == 0).count();
+            reads0 as f64 / (reader.now() - t0)
+        };
+        let r1 = rate(1);
+        let r5 = rate(5);
+        assert!(
+            r1 > 2.5 * r5,
+            "tracking-mode IRR should drop steeply: {r1:.1} vs {r5:.1}"
+        );
+    }
+
+    #[test]
+    fn field_range_partitions_coverage_by_antenna() {
+        // Two antennas 10 m apart; one tag near each. With a 3 m field
+        // range, each antenna reads only its neighbour.
+        let mut scene = tagwatch_scene::Scene::default();
+        scene.antennas.push(tagwatch_scene::Antenna {
+            port: 1,
+            position: tagwatch_rf::Vec3::new(0.0, 0.0, 2.0),
+        });
+        scene.antennas.push(tagwatch_scene::Antenna {
+            port: 2,
+            position: tagwatch_rf::Vec3::new(10.0, 0.0, 2.0),
+        });
+        scene.add_tag(tagwatch_scene::SceneTag::fixed(
+            0,
+            tagwatch_rf::Vec3::new(1.0, 0.0, 1.0),
+        ));
+        scene.add_tag(tagwatch_scene::SceneTag::fixed(
+            1,
+            tagwatch_rf::Vec3::new(9.0, 0.0, 1.0),
+        ));
+        let epcs = random_epcs(2, 71);
+        let mut cfg = ReaderConfig::default();
+        cfg.field_range_m = Some(3.0);
+        let mut reader = Reader::new(scene, &epcs, cfg, 72);
+        let reports = reader.execute(&RoSpec::read_all(1, vec![1, 2])).unwrap();
+        for r in &reports {
+            match r.rf.antenna {
+                1 => assert_eq!(r.tag_idx, 0, "antenna 1 read a far tag"),
+                2 => assert_eq!(r.tag_idx, 1, "antenna 2 read a far tag"),
+                other => panic!("unexpected antenna {other}"),
+            }
+        }
+        // Both tags were read by their own antenna.
+        assert!(reports.iter().any(|r| r.tag_idx == 0));
+        assert!(reports.iter().any(|r| r.tag_idx == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "one EPC per scene tag")]
+    fn mismatched_epc_count_panics() {
+        let scene = presets::random_room(3, 22);
+        Reader::new(scene, &random_epcs(2, 23), ReaderConfig::default(), 24);
+    }
+}

@@ -1,0 +1,166 @@
+//! LLRP-style XML rendering of ROSpecs (the shape of the paper's Fig. 11).
+//!
+//! The paper configures its reader by shipping an XML `ROSpec` through the
+//! LLRP Tool Kit; this module renders our typed [`RoSpec`] into the same
+//! document shape — handy for debugging what the middleware scheduled,
+//! for golden-file tests, and for anyone porting the scheduler onto a real
+//! LTK stack. (Parsing is intentionally out of scope: the simulator
+//! consumes the typed form directly.)
+
+use crate::llrp::RoSpec;
+use std::fmt::Write as _;
+use tagwatch_gen2::Session;
+
+/// Renders `spec` as an LLRP-flavoured XML document.
+///
+/// Field mapping follows the paper's example: each `AISpec` carries its
+/// antenna IDs and one `C1G2Filter` per bitmask with `MB` (memory bank),
+/// `Pointer` (bit address — offset by 0x20, the EPC field's position
+/// after CRC-16 and PC in bank 1), `Length`, and the mask bits in hex.
+pub fn rospec_to_xml(spec: &RoSpec, session: Session) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<ROSpec>");
+    let _ = writeln!(out, "  <ROSpecID>{}</ROSpecID>", spec.id);
+    let _ = writeln!(out, "  <Priority>0</Priority>");
+    let _ = writeln!(out, "  <CurrentState>Disabled</CurrentState>");
+    for ai in &spec.ai_specs {
+        let _ = writeln!(out, "  <AISpec>");
+        let _ = write!(out, "    <AntennaIDs>");
+        for (i, a) in ai.antennas.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, " ");
+            }
+            let _ = write!(out, "{a}");
+        }
+        let _ = writeln!(out, "</AntennaIDs>");
+        match ai.dwell {
+            Some(d) => {
+                let _ = writeln!(out, "    <AISpecStopTrigger>");
+                let _ = writeln!(
+                    out,
+                    "      <AISpecStopTriggerType>Duration</AISpecStopTriggerType>"
+                );
+                let _ = writeln!(
+                    out,
+                    "      <DurationTrigger>{}</DurationTrigger>",
+                    (d * 1e3).round() as u64
+                );
+                let _ = writeln!(out, "    </AISpecStopTrigger>");
+            }
+            None => {
+                let _ = writeln!(out, "    <AISpecStopTrigger>");
+                let _ = writeln!(
+                    out,
+                    "      <AISpecStopTriggerType>Null</AISpecStopTriggerType>"
+                );
+                let _ = writeln!(out, "    </AISpecStopTrigger>");
+            }
+        }
+        let _ = writeln!(out, "    <InventoryParameterSpec>");
+        let _ = writeln!(
+            out,
+            "      <ProtocolID>EPCGlobalClass1Gen2</ProtocolID>"
+        );
+        let _ = writeln!(
+            out,
+            "      <Session>{}</Session>",
+            session.index()
+        );
+        for f in &ai.filters {
+            let mask = f.mask;
+            // Render the mask bits MSB-first as hex, padded to nibbles.
+            let nibbles = mask.length.div_ceil(4).max(1) as usize;
+            let shifted = if mask.length % 4 == 0 {
+                mask.bits
+            } else {
+                mask.bits << (4 - mask.length % 4)
+            };
+            let _ = writeln!(out, "      <C1G2Filter>");
+            if f.truncate {
+                let _ = writeln!(out, "        <T>Truncate</T>");
+            }
+            let _ = writeln!(out, "        <C1G2TagInventoryMask>");
+            let _ = writeln!(out, "          <MB>1</MB>");
+            let _ = writeln!(
+                out,
+                "          <Pointer>{}</Pointer>",
+                0x20 + mask.pointer
+            );
+            let _ = writeln!(
+                out,
+                "          <TagMask Length=\"{}\">{:0width$X}</TagMask>",
+                mask.length,
+                shifted,
+                width = nibbles
+            );
+            let _ = writeln!(out, "        </C1G2TagInventoryMask>");
+            let _ = writeln!(out, "      </C1G2Filter>");
+        }
+        let _ = writeln!(out, "    </InventoryParameterSpec>");
+        let _ = writeln!(out, "  </AISpec>");
+    }
+    let _ = writeln!(out, "</ROSpec>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_gen2::{BitMask, Epc};
+
+    #[test]
+    fn read_all_document_shape() {
+        let xml = rospec_to_xml(&RoSpec::read_all(7, vec![1, 2]), Session::S1);
+        assert!(xml.starts_with("<ROSpec>"));
+        assert!(xml.contains("<ROSpecID>7</ROSpecID>"));
+        assert!(xml.contains("<AntennaIDs>1 2</AntennaIDs>"));
+        assert!(xml.contains("<Session>1</Session>"));
+        assert!(!xml.contains("C1G2Filter"), "read-all carries no filter");
+        assert!(xml.contains("<AISpecStopTriggerType>Null<"));
+        assert!(xml.trim_end().ends_with("</ROSpec>"));
+    }
+
+    #[test]
+    fn selective_spec_one_filter_per_aispec() {
+        // The paper's default encoding (Fig. 11): three bitmasks → three
+        // AISpecs, one C1G2Filter each.
+        let masks = [
+            BitMask::new(0b1011, 4, 4),
+            BitMask::new(0b01, 0, 2),
+            BitMask::exact(Epc::from_bits(0xABC)),
+        ];
+        let xml = rospec_to_xml(&RoSpec::selective(3, vec![1], &masks), Session::S1);
+        assert_eq!(xml.matches("<AISpec>").count(), 3);
+        assert_eq!(xml.matches("<C1G2Filter>").count(), 3);
+        // Pointer offset by the EPC field's bit address (0x20).
+        assert!(xml.contains("<Pointer>36</Pointer>"), "0x20 + 4 = 36");
+        assert!(xml.contains("<Pointer>32</Pointer>"));
+        // 4-bit mask 1011 renders as hex "B".
+        assert!(xml.contains("<TagMask Length=\"4\">B</TagMask>"), "{xml}");
+        // 2-bit mask 01 renders left-aligned in its nibble: 0100₂ = 4.
+        assert!(xml.contains("<TagMask Length=\"2\">4</TagMask>"), "{xml}");
+    }
+
+    #[test]
+    fn dwell_renders_duration_trigger() {
+        let xml = rospec_to_xml(
+            &RoSpec::read_all_continuous(1, vec![1, 2, 3, 4], 0.05),
+            Session::S0,
+        );
+        assert!(xml.contains("<AISpecStopTriggerType>Duration<"));
+        assert!(xml.contains("<DurationTrigger>50</DurationTrigger>"));
+    }
+
+    #[test]
+    fn full_epc_mask_renders_24_hex_digits() {
+        let epc = Epc::from_bits(0x0123_4567_89AB_CDEF_0011_2233);
+        let xml = rospec_to_xml(
+            &RoSpec::selective(1, vec![1], &[BitMask::exact(epc)]),
+            Session::S1,
+        );
+        assert!(
+            xml.contains("<TagMask Length=\"96\">0123456789ABCDEF00112233</TagMask>"),
+            "{xml}"
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! The backscatter channel model.
+//!
+//! A passive UHF tag does not transmit: it reflects the reader's carrier.
+//! The signal observed by the reader therefore traverses every propagation
+//! path **twice** (reader → tag, tag → reader). We model the one-way field
+//!
+//! ```text
+//! g = Σ_k  a_k · e^{-j 2π d_k / λ}
+//! ```
+//!
+//! over the line-of-sight path (`a = 1/d`) and first-order reflection paths
+//! off scene reflectors (`a = Γ / (d₁ · d₂)` — a scatterer re-radiates, so
+//! the field decays on both legs, the bistatic-radar scaling), and take
+//! the backscatter response as `h = g²`. The reported phase is `arg(h) = 2·arg(g)` plus a
+//! per-(tag, antenna, channel) hardware offset θ₀ (cable lengths, tag
+//! reflection characteristics) plus thermal noise. For the pure LOS case
+//! this reduces to the textbook `θ = (4πd/λ + θ₀) mod 2π` quoted in §4.3 of
+//! the paper.
+//!
+//! Received power decays as `|g|⁴` (two-way free-space), which is what makes
+//! RSS so much less sensitive to centimetre displacements than phase — the
+//! effect the paper exploits in Fig. 13.
+
+use crate::complex::{wrap_2pi, Complex};
+use crate::geometry::Vec3;
+use crate::hopping::Channel;
+use crate::measurement::RfMeasurement;
+use crate::noise::sample_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A point reflector in the scene (a person, a cart, a metal shelf).
+///
+/// We model first-order scattering through the reflector position: the
+/// extra path is `|antenna → reflector| + |reflector → tag|` and the
+/// amplitude decays on both legs (`Γ/(d₁·d₂)`), so only reflectors close
+/// to the link matter — people perturb a tag's phase when they *approach*
+/// it, exactly the paper's observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reflector {
+    /// Reflector position at the observation instant.
+    pub position: Vec3,
+    /// Scattering coefficient magnitude (field amplitude at 1 m × 1 m
+    /// legs, relative to a 1 m LOS link). Humans are ≈ 0.2–0.4, metal
+    /// surfaces ≈ 0.6–0.9.
+    pub coefficient: f64,
+}
+
+/// Noise parameters of the receive chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseParams {
+    /// Standard deviation of phase noise in radians. ImpinJ R420 phase
+    /// jitter on a strong static link is on the order of 0.1 rad.
+    pub phase_sigma: f64,
+    /// Standard deviation of RSS noise in dB.
+    pub rss_sigma_db: f64,
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        NoiseParams {
+            phase_sigma: 0.1,
+            rss_sigma_db: 1.0,
+        }
+    }
+}
+
+/// Static parameters of the backscatter channel model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelModel {
+    /// Receiver noise.
+    pub noise: NoiseParams,
+    /// RSS calibration constant: the RSS in dBm of a pure LOS link at 1 m.
+    /// −45 dBm is a typical R420 figure at full transmit power.
+    pub rss_at_1m_dbm: f64,
+    /// Seed mixed into the per-link hardware phase offsets.
+    pub offset_seed: u64,
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        ChannelModel {
+            noise: NoiseParams::default(),
+            rss_at_1m_dbm: -45.0,
+            offset_seed: 0x0074_6167_7761_7463, // "tagwatc", zero-padded
+        }
+    }
+}
+
+/// Everything geometric about one observation instant.
+#[derive(Debug, Clone)]
+pub struct LinkGeometry<'a> {
+    /// Antenna position.
+    pub antenna: Vec3,
+    /// Tag position.
+    pub tag: Vec3,
+    /// Reflectors present in the scene at this instant.
+    pub reflectors: &'a [Reflector],
+}
+
+impl ChannelModel {
+    /// A noise-free model — handy in tests where phase must be an exact
+    /// function of geometry.
+    pub fn noiseless() -> Self {
+        ChannelModel {
+            noise: NoiseParams {
+                phase_sigma: 0.0,
+                rss_sigma_db: 0.0,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// The one-way complex field at the tag: LOS plus first-order
+    /// reflections.
+    pub fn one_way_field(&self, link: &LinkGeometry<'_>, wavelength: f64) -> Complex {
+        let two_pi = std::f64::consts::TAU;
+        let d_los = link.antenna.dist(link.tag).max(1e-6);
+        let mut g = Complex::from_polar(1.0 / d_los, -two_pi * d_los / wavelength);
+        for r in link.reflectors {
+            let d1 = link.antenna.dist(r.position).max(1e-6);
+            let d2 = r.position.dist(link.tag).max(1e-6);
+            let d = d1 + d2;
+            g += Complex::from_polar(r.coefficient / (d1 * d2), -two_pi * d / wavelength);
+        }
+        g
+    }
+
+    /// Deterministic per-(tag, antenna, channel) hardware phase offset in
+    /// `[0, 2π)`. Real readers exhibit exactly this: a constant offset per
+    /// link that differs between channels (cable group delay) and tags
+    /// (reflection characteristics).
+    pub fn link_offset(&self, tag_key: u64, antenna: u8, channel: u8) -> f64 {
+        let mut x = self
+            .offset_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(tag_key)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add((antenna as u64) << 32 | channel as u64);
+        // splitmix64 finalizer
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x as f64 / u64::MAX as f64) * std::f64::consts::TAU
+    }
+
+    /// Produces the `RfMeasurement` a reader would report for one read of a
+    /// tag, given the instantaneous geometry.
+    ///
+    /// `tag_key` identifies the tag for the purpose of its hardware offset
+    /// (use a stable per-tag id, not its position).
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe<R: Rng + ?Sized>(
+        &self,
+        link: &LinkGeometry<'_>,
+        tag_key: u64,
+        antenna: u8,
+        chan: Channel,
+        t: f64,
+        rng: &mut R,
+    ) -> RfMeasurement {
+        let wavelength = chan.wavelength();
+        let g = self.one_way_field(link, wavelength);
+        let offset = self.link_offset(tag_key, antenna, chan.index);
+
+        let phase_noise = sample_normal(rng, 0.0, self.noise.phase_sigma);
+        let rss_noise = sample_normal(rng, 0.0, self.noise.rss_sigma_db);
+
+        // Backscatter: field traverses the channel twice, h = g². Readers
+        // report the phase *lag*, which grows with distance — hence the
+        // negation (for pure LOS this yields the textbook +4πd/λ).
+        let phase = wrap_2pi(-2.0 * g.arg() + offset + phase_noise);
+        // |h| = |g|²  →  P ∝ |g|⁴  →  dB: 40·log10(|g|). |g| is normalised
+        // so that a 1 m LOS link has |g| = 1.
+        let rss_dbm = self.rss_at_1m_dbm + 40.0 * g.abs().log10() + rss_noise;
+
+        RfMeasurement {
+            phase,
+            rss_dbm,
+            channel: chan.index,
+            freq_hz: chan.freq_hz,
+            antenna,
+            t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hopping::ChannelPlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chan() -> Channel {
+        ChannelPlan::single(922.5e6).channel_at(0.0)
+    }
+
+    fn los_link(d: f64) -> LinkGeometry<'static> {
+        LinkGeometry {
+            antenna: Vec3::ZERO,
+            tag: Vec3::new(d, 0.0, 0.0),
+            reflectors: &[],
+        }
+    }
+
+    #[test]
+    fn pure_los_phase_matches_textbook_formula() {
+        let model = ChannelModel::noiseless();
+        let ch = chan();
+        let mut rng = StdRng::seed_from_u64(1);
+        for d in [0.7, 1.3, 2.9] {
+            let m = model.observe(&los_link(d), 42, 1, ch, 0.0, &mut rng);
+            let lambda = ch.wavelength();
+            let offset = model.link_offset(42, 1, ch.index);
+            let expected = wrap_2pi(4.0 * std::f64::consts::PI * d / lambda + offset);
+            // arg(g²) may differ from the raw 4πd/λ by a multiple of 2π only.
+            assert!(
+                crate::complex::circ_dist(m.phase, expected) < 1e-9,
+                "d={d}: got {} want {}",
+                m.phase,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn one_cm_displacement_moves_phase_much_more_than_noise() {
+        // The physical basis of Fig. 13: at λ≈0.325 m, a 1 cm displacement
+        // shifts the phase by 4π·0.01/λ ≈ 0.39 rad, ~4σ of phase noise.
+        let model = ChannelModel::noiseless();
+        let ch = chan();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = model.observe(&los_link(1.50), 7, 1, ch, 0.0, &mut rng);
+        let b = model.observe(&los_link(1.51), 7, 1, ch, 0.0, &mut rng);
+        let delta = crate::complex::circ_dist(a.phase, b.phase);
+        assert!(delta > 0.3, "phase shift {delta}");
+        // ... while RSS barely changes (< 0.2 dB).
+        assert!((a.rss_dbm - b.rss_dbm).abs() < 0.2);
+    }
+
+    #[test]
+    fn rss_follows_two_way_path_loss() {
+        let model = ChannelModel::noiseless();
+        let ch = chan();
+        let mut rng = StdRng::seed_from_u64(3);
+        let at1 = model.observe(&los_link(1.0), 7, 1, ch, 0.0, &mut rng);
+        let at2 = model.observe(&los_link(2.0), 7, 1, ch, 0.0, &mut rng);
+        assert!((at1.rss_dbm - model.rss_at_1m_dbm).abs() < 1e-9);
+        // Doubling distance in a two-way channel costs 40·log10(2) ≈ 12 dB.
+        assert!((at1.rss_dbm - at2.rss_dbm - 12.04).abs() < 0.1);
+    }
+
+    #[test]
+    fn reflector_changes_phase() {
+        let model = ChannelModel::noiseless();
+        let ch = chan();
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = model.observe(&los_link(2.0), 7, 1, ch, 0.0, &mut rng);
+        let refl = [Reflector {
+            position: Vec3::new(1.0, 0.9, 0.0),
+            coefficient: 0.4,
+        }];
+        let link = LinkGeometry {
+            antenna: Vec3::ZERO,
+            tag: Vec3::new(2.0, 0.0, 0.0),
+            reflectors: &refl,
+        };
+        let with = model.observe(&link, 7, 1, ch, 0.0, &mut rng);
+        assert!(crate::complex::circ_dist(base.phase, with.phase) > 0.01);
+    }
+
+    #[test]
+    fn offsets_differ_across_links_but_are_stable() {
+        let model = ChannelModel::default();
+        let a = model.link_offset(1, 1, 0);
+        let b = model.link_offset(1, 1, 0);
+        assert_eq!(a, b);
+        assert_ne!(model.link_offset(1, 1, 0), model.link_offset(2, 1, 0));
+        assert_ne!(model.link_offset(1, 1, 0), model.link_offset(1, 2, 0));
+        assert_ne!(model.link_offset(1, 1, 0), model.link_offset(1, 1, 1));
+        for k in 0..64 {
+            let o = model.link_offset(k, (k % 4) as u8, (k % 16) as u8);
+            assert!((0.0..std::f64::consts::TAU).contains(&o));
+        }
+    }
+
+    #[test]
+    fn noise_is_seeded_and_reproducible() {
+        let model = ChannelModel::default();
+        let ch = chan();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = model.observe(&los_link(1.7), 3, 1, ch, 0.5, &mut r1);
+        let b = model.observe(&los_link(1.7), 3, 1, ch, 0.5, &mut r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,273 @@
+//! Minimal complex arithmetic for baseband channel modelling.
+//!
+//! The RF channel model only needs addition, multiplication, magnitude and
+//! argument of complex numbers, so we implement a tiny `Complex` type here
+//! instead of pulling in an external numerics crate.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number in Cartesian form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i*theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// `e^{i*theta}` — a unit phasor at angle `theta` (radians).
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// The magnitude (absolute value) `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The squared magnitude `|z|^2` (cheaper than [`Complex::abs`]).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The argument (angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+/// Wraps an angle into `[0, 2*pi)`.
+///
+/// RFID readers report phase in `[0, 2*pi)`; all phase values produced by
+/// this crate are normalised with this helper.
+#[inline]
+pub fn wrap_2pi(theta: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut t = theta % two_pi;
+    if t < 0.0 {
+        t += two_pi;
+    }
+    // `% TAU` can return TAU itself for inputs just below a multiple of TAU
+    // because of rounding; clamp so callers can rely on the half-open range.
+    if t >= two_pi {
+        t = 0.0;
+    }
+    t
+}
+
+/// The minimum circular distance between two angles, in `[0, pi]`.
+///
+/// This is the "minimum distance" rule of §4.3 of the paper: phase values
+/// live in a base-2π system, so `0.02` and `2π − 0.01` are actually 0.03
+/// apart, not ≈2π.
+#[inline]
+pub fn circ_dist(a: f64, b: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let d = (wrap_2pi(a) - wrap_2pi(b)).abs();
+    if d <= std::f64::consts::PI {
+        d
+    } else {
+        two_pi - d
+    }
+}
+
+/// Signed shortest angular difference `a - b`, in `(-pi, pi]`.
+#[inline]
+pub fn circ_diff(a: f64, b: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut d = (wrap_2pi(a) - wrap_2pi(b)) % two_pi;
+    if d > std::f64::consts::PI {
+        d -= two_pi;
+    } else if d <= -std::f64::consts::PI {
+        d += two_pi;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.5, 1.1);
+        assert!(close(z.abs(), 2.5));
+        assert!(close(z.arg(), 1.1));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..32 {
+            let t = k as f64 * 0.4 - 6.0;
+            assert!((Complex::cis(t).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert_eq!(a.scale(2.0), Complex::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn norm_sqr_matches_abs() {
+        let z = Complex::new(-3.0, 4.0);
+        assert!(close(z.norm_sqr(), 25.0));
+        assert!(close(z.abs(), 5.0));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = Complex::ZERO;
+        for _ in 0..4 {
+            acc += Complex::new(0.25, -0.5);
+        }
+        assert!(close(acc.re, 1.0));
+        assert!(close(acc.im, -2.0));
+    }
+
+    #[test]
+    fn wrap_2pi_range() {
+        for k in -10..10 {
+            let t = k as f64 * 1.7;
+            let w = wrap_2pi(t);
+            assert!((0.0..TAU).contains(&w), "wrap({t}) = {w}");
+        }
+        assert!(close(wrap_2pi(TAU + 0.5), 0.5));
+        assert!(close(wrap_2pi(-0.5), TAU - 0.5));
+    }
+
+    #[test]
+    fn circ_dist_handles_wraparound() {
+        // The paper's own example: |2π − 0.01 − 0.02| measured naively is
+        // ≈ 6.25 but the true circular distance is 0.03.
+        let d = circ_dist(TAU - 0.01, 0.02);
+        assert!((d - 0.03).abs() < 1e-9);
+        assert!(close(circ_dist(0.0, PI), PI));
+        assert!(close(circ_dist(FRAC_PI_2, FRAC_PI_2), 0.0));
+    }
+
+    #[test]
+    fn circ_dist_is_symmetric() {
+        for i in 0..16 {
+            for j in 0..16 {
+                let (a, b) = (i as f64 * 0.41, j as f64 * 0.73);
+                assert!(close(circ_dist(a, b), circ_dist(b, a)));
+            }
+        }
+    }
+
+    #[test]
+    fn circ_diff_sign() {
+        assert!(circ_diff(0.1, TAU - 0.1) > 0.0);
+        assert!((circ_diff(0.1, TAU - 0.1) - 0.2).abs() < 1e-9);
+        assert!(circ_diff(TAU - 0.1, 0.1) < 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fresnel-zone geometry.
+//!
+//! §4.1 of the paper motivates the Gaussian-mixture immobility model with
+//! Fresnel zones: for a reader–tag pair at `R` and `T`, the k-th Fresnel
+//! boundary is the ellipsoid of points `Q` with
+//!
+//! ```text
+//! |RQ| + |QT| − |RT| = k·λ/2
+//! ```
+//!
+//! A reflector anywhere inside one zone contributes an extra path of nearly
+//! constant excess length, so the superposed signal occupies one of a small
+//! number of quasi-stable modes — one Gaussian per mode. This module exists
+//! so tests and examples can *verify* that claim against the channel model;
+//! the detector itself never needs zone geometry (it is self-learning).
+
+use crate::geometry::Vec3;
+
+/// The excess path length of a reflection through `q` relative to the
+/// direct path, in metres: `|rq| + |qt| − |rt|`. Always ≥ 0 by the triangle
+/// inequality.
+pub fn excess_path(reader: Vec3, tag: Vec3, q: Vec3) -> f64 {
+    reader.dist(q) + q.dist(tag) - reader.dist(tag)
+}
+
+/// The Fresnel-zone index (1-based) of a reflector at `q`, i.e. the `k`
+/// such that the excess path lies in `[(k−1)·λ/2, k·λ/2)`. A reflector on
+/// the direct path itself is in zone 1.
+pub fn zone_index(reader: Vec3, tag: Vec3, q: Vec3, wavelength: f64) -> u32 {
+    let excess = excess_path(reader, tag, q);
+    (excess / (wavelength / 2.0)).floor() as u32 + 1
+}
+
+/// The radius of the k-th Fresnel zone at a point along the direct path,
+/// where `d1` and `d2` are the distances to the two endpoints:
+/// `r_k = sqrt(k·λ·d1·d2 / (d1 + d2))`.
+pub fn zone_radius(k: u32, wavelength: f64, d1: f64, d2: f64) -> f64 {
+    assert!(k >= 1, "Fresnel zones are 1-based");
+    (k as f64 * wavelength * d1 * d2 / (d1 + d2)).sqrt()
+}
+
+/// Whether the reflection path through `q` adds *in phase* with the direct
+/// path (odd zone) or out of phase (even zone), ignoring the reflection
+/// phase inversion.
+pub fn is_constructive(reader: Vec3, tag: Vec3, q: Vec3, wavelength: f64) -> bool {
+    zone_index(reader, tag, q, wavelength) % 2 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 0.325;
+
+    #[test]
+    fn on_axis_reflector_is_zone_one() {
+        let r = Vec3::ZERO;
+        let t = Vec3::new(3.0, 0.0, 0.0);
+        let q = Vec3::new(1.5, 0.0, 0.0);
+        assert_eq!(zone_index(r, t, q, LAMBDA), 1);
+        assert!(excess_path(r, t, q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zone_boundary_crossing() {
+        let r = Vec3::ZERO;
+        let t = Vec3::new(3.0, 0.0, 0.0);
+        // Exact first-zone boundary at the midpoint: the h solving
+        // 2·sqrt(1.5² + h²) − 3 = λ/2.
+        let half = (3.0 + LAMBDA / 2.0) / 2.0;
+        let h1 = (half * half - 1.5 * 1.5).sqrt();
+        let just_inside = Vec3::new(1.5, h1 * 0.999, 0.0);
+        let just_outside = Vec3::new(1.5, h1 * 1.001, 0.0);
+        assert_eq!(zone_index(r, t, just_inside, LAMBDA), 1);
+        assert_eq!(zone_index(r, t, just_outside, LAMBDA), 2);
+        // The classical radius formula is a paraxial approximation; at this
+        // geometry it should be within a couple of percent of exact.
+        let approx = zone_radius(1, LAMBDA, 1.5, 1.5);
+        assert!((approx - h1).abs() / h1 < 0.03, "approx {approx} exact {h1}");
+    }
+
+    #[test]
+    fn zone_radii_increase_with_k() {
+        let mut prev = 0.0;
+        for k in 1..=8 {
+            let rk = zone_radius(k, LAMBDA, 2.0, 2.0);
+            assert!(rk > prev);
+            prev = rk;
+        }
+    }
+
+    #[test]
+    fn excess_path_nonnegative_everywhere() {
+        let r = Vec3::new(-1.0, 0.5, 0.2);
+        let t = Vec3::new(2.0, -0.3, 0.1);
+        for i in 0..50 {
+            let q = Vec3::new(
+                (i as f64 * 0.37).sin() * 3.0,
+                (i as f64 * 0.71).cos() * 3.0,
+                (i as f64 * 0.13).sin(),
+            );
+            assert!(excess_path(r, t, q) >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn constructive_alternates_with_zone() {
+        let r = Vec3::ZERO;
+        let t = Vec3::new(3.0, 0.0, 0.0);
+        // Walk outward from the axis at the midpoint; parity must alternate
+        // exactly when the zone index increments.
+        let mut last_zone = 0;
+        for i in 0..200 {
+            let q = Vec3::new(1.5, i as f64 * 0.005, 0.0);
+            let z = zone_index(r, t, q, LAMBDA);
+            assert!(z >= last_zone, "zones grow monotonically moving outward");
+            assert_eq!(is_constructive(r, t, q, LAMBDA), z % 2 == 1);
+            last_zone = z;
+        }
+        assert!(last_zone > 3, "walk spans several zones");
+    }
+}

@@ -1,0 +1,189 @@
+//! Frequency channels and hop schedules.
+//!
+//! The paper's testbed reads across 16 channels in the 920–926 MHz band
+//! (the Chinese UHF RFID band). COTS readers hop pseudo-randomly between
+//! channels on a fixed dwell schedule; the per-channel wavelength matters
+//! because the backscatter phase `4πd/λ` is channel dependent.
+
+use serde::{Deserialize, Serialize};
+
+/// Speed of light in m/s.
+pub const C_LIGHT: f64 = 299_792_458.0;
+
+/// A frequency channel in the reader's hop table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Channel {
+    /// Channel index in the hop table, `0..count`.
+    pub index: u8,
+    /// Carrier frequency in Hz.
+    pub freq_hz: f64,
+}
+
+impl Channel {
+    /// Carrier wavelength in metres.
+    #[inline]
+    pub fn wavelength(&self) -> f64 {
+        C_LIGHT / self.freq_hz
+    }
+}
+
+/// The reader's channel plan: a set of equally spaced channels plus a
+/// deterministic pseudo-random hop order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    channels: Vec<Channel>,
+    /// Hop dwell time in seconds (how long the reader stays on one channel).
+    pub dwell_s: f64,
+    /// Permutation of channel indices defining the hop order.
+    order: Vec<u8>,
+}
+
+impl ChannelPlan {
+    /// The 16-channel 920.625–924.375 MHz plan used throughout the paper's
+    /// experiments (250 kHz spacing, centred in the 920–926 MHz band), with
+    /// the Chinese-band default dwell of 2 s.
+    pub fn china_920() -> Self {
+        Self::evenly_spaced(920.625e6, 250e3, 16, 2.0)
+    }
+
+    /// Builds a plan of `count` channels starting at `start_hz` with spacing
+    /// `step_hz`, and a deterministic "bit-reversal" hop order, which is a
+    /// common way to guarantee spectral spreading without an RNG.
+    pub fn evenly_spaced(start_hz: f64, step_hz: f64, count: u8, dwell_s: f64) -> Self {
+        assert!(count > 0, "channel plan needs at least one channel");
+        assert!(dwell_s > 0.0, "dwell time must be positive");
+        let channels = (0..count)
+            .map(|i| Channel {
+                index: i,
+                freq_hz: start_hz + step_hz * i as f64,
+            })
+            .collect();
+        // Bit-reversed ordering over the smallest power of two >= count,
+        // filtered to valid indices: deterministic and well spread.
+        let bits = (count as u16).next_power_of_two().trailing_zeros();
+        let mut order = Vec::with_capacity(count as usize);
+        for i in 0..(count as u16).next_power_of_two() {
+            let mut r = 0u16;
+            for b in 0..bits {
+                if i & (1 << b) != 0 {
+                    r |= 1 << (bits - 1 - b);
+                }
+            }
+            if r < count as u16 {
+                order.push(r as u8);
+            }
+        }
+        ChannelPlan {
+            channels,
+            dwell_s,
+            order,
+        }
+    }
+
+    /// A single-channel plan — useful for unit tests that want phase to be
+    /// a pure function of distance.
+    pub fn single(freq_hz: f64) -> Self {
+        ChannelPlan {
+            channels: vec![Channel {
+                index: 0,
+                freq_hz,
+            }],
+            dwell_s: f64::INFINITY,
+            order: vec![0],
+        }
+    }
+
+    /// Number of channels in the plan.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True if the plan is empty (never true for constructed plans).
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// All channels, in index order.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// The channel the reader occupies at absolute time `t` seconds.
+    pub fn channel_at(&self, t: f64) -> Channel {
+        if self.channels.len() == 1 || !self.dwell_s.is_finite() {
+            return self.channels[0];
+        }
+        let hop = (t / self.dwell_s).floor().max(0.0) as usize;
+        let idx = self.order[hop % self.order.len()] as usize;
+        self.channels[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn china_plan_shape() {
+        let plan = ChannelPlan::china_920();
+        assert_eq!(plan.len(), 16);
+        let f0 = plan.channels()[0].freq_hz;
+        let f15 = plan.channels()[15].freq_hz;
+        assert!((f0 - 920.625e6).abs() < 1.0);
+        assert!((f15 - 924.375e6).abs() < 1.0);
+        // All channels inside the paper's 920–926 MHz band.
+        for ch in plan.channels() {
+            assert!(ch.freq_hz > 920e6 && ch.freq_hz < 926e6);
+        }
+    }
+
+    #[test]
+    fn wavelength_is_about_32cm() {
+        let plan = ChannelPlan::china_920();
+        for ch in plan.channels() {
+            let wl = ch.wavelength();
+            assert!((0.32..0.33).contains(&wl), "wavelength {wl}");
+        }
+    }
+
+    #[test]
+    fn hop_order_is_permutation() {
+        let plan = ChannelPlan::china_920();
+        let mut seen = vec![false; plan.len()];
+        for hop in 0..plan.len() {
+            let ch = plan.channel_at(hop as f64 * plan.dwell_s + 0.1);
+            assert!(!seen[ch.index as usize], "channel revisited within cycle");
+            seen[ch.index as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hop_is_deterministic_and_dwell_respected() {
+        let plan = ChannelPlan::china_920();
+        let a = plan.channel_at(0.0);
+        let b = plan.channel_at(plan.dwell_s * 0.99);
+        let c = plan.channel_at(plan.dwell_s * 1.01);
+        assert_eq!(a.index, b.index);
+        assert_ne!(a.index, c.index);
+    }
+
+    #[test]
+    fn single_channel_never_hops() {
+        let plan = ChannelPlan::single(922e6);
+        assert_eq!(plan.channel_at(0.0).index, 0);
+        assert_eq!(plan.channel_at(1e9).index, 0);
+    }
+
+    #[test]
+    fn non_power_of_two_count() {
+        let plan = ChannelPlan::evenly_spaced(915e6, 500e3, 10, 0.4);
+        assert_eq!(plan.len(), 10);
+        let mut seen = vec![false; 10];
+        for hop in 0..10 {
+            let ch = plan.channel_at(hop as f64 * 0.4 + 0.01);
+            seen[ch.index as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,34 @@
+//! # tagwatch-rf — backscatter RF channel model
+//!
+//! Physical-layer substrate for the Tagwatch reproduction: complex-baseband
+//! multipath channel, per-read phase/RSS measurement synthesis, frequency
+//! hopping, and Fresnel-zone geometry.
+//!
+//! The paper's motion detector consumes nothing but the `(phase, RSS)`
+//! sequences that a COTS reader reports per tag read; this crate produces
+//! those sequences from scene geometry with the phenomena that matter:
+//!
+//! * phase `θ = (4πd/λ + θ₀) mod 2π` on the LOS path (§4.3 of the paper),
+//! * multipath superposition with static and *moving* reflectors, which is
+//!   what makes a single Gaussian insufficient (§4.1, Fig. 7/8),
+//! * per-(tag, antenna, channel) hardware phase offsets,
+//! * Gaussian thermal noise on phase and RSS,
+//! * two-way (`|g|⁴`) path loss, making RSS a poor motion indicator.
+//!
+//! Everything is deterministic given the caller's RNG; no wall clock, no OS
+//! entropy.
+
+pub mod channel;
+pub mod complex;
+pub mod fresnel;
+pub mod geometry;
+pub mod hopping;
+pub mod measurement;
+pub mod noise;
+
+pub use channel::{ChannelModel, LinkGeometry, NoiseParams, Reflector};
+pub use complex::{circ_diff, circ_dist, wrap_2pi, Complex};
+pub use geometry::Vec3;
+pub use hopping::{Channel, ChannelPlan, C_LIGHT};
+pub use measurement::RfMeasurement;
+pub use noise::sample_normal;

@@ -1,0 +1,48 @@
+//! The measurement types a COTS reader reports per tag read.
+
+use serde::{Deserialize, Serialize};
+
+/// One low-level RF observation of a tag, as reported by a COTS reader
+/// alongside the EPC (ImpinJ readers expose these as `RF_PHASE_ANGLE` and
+/// `PEAK_RSSI` in LLRP tag reports).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RfMeasurement {
+    /// Backscatter phase angle in radians, wrapped to `[0, 2π)`.
+    pub phase: f64,
+    /// Received signal strength in dBm.
+    pub rss_dbm: f64,
+    /// Channel index the read happened on.
+    pub channel: u8,
+    /// Carrier frequency in Hz (so consumers don't need the channel plan).
+    pub freq_hz: f64,
+    /// Antenna port the read happened on (1-based, like LLRP).
+    pub antenna: u8,
+    /// Absolute time of the read, seconds since simulation start.
+    pub t: f64,
+}
+
+impl RfMeasurement {
+    /// Carrier wavelength for this read, in metres.
+    #[inline]
+    pub fn wavelength(&self) -> f64 {
+        crate::hopping::C_LIGHT / self.freq_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_from_freq() {
+        let m = RfMeasurement {
+            phase: 1.0,
+            rss_dbm: -50.0,
+            channel: 3,
+            freq_hz: 922.5e6,
+            antenna: 1,
+            t: 0.0,
+        };
+        assert!((m.wavelength() - 0.325).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,80 @@
+//! Gaussian sampling via the Box–Muller transform.
+//!
+//! `rand` 0.8 ships uniform sampling only (the normal distribution lives in
+//! the separate `rand_distr` crate, which we deliberately avoid — see
+//! DESIGN.md §6); the two-line Box–Muller transform is all this crate needs.
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, sigma²)`.
+///
+/// `sigma` must be finite and non-negative; `sigma == 0` returns `mean`
+/// exactly, which lets callers express "noiseless" configurations without
+/// special-casing.
+#[inline]
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma >= 0.0 && sigma.is_finite(), "invalid sigma {sigma}");
+    if sigma == 0.0 {
+        return mean;
+    }
+    // Box–Muller: u1 ∈ (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mean + sigma * mag * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(sample_normal(&mut rng, 3.5, 0.0), 3.5);
+        }
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = sample_normal(&mut rng, 1.0, 2.0);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(
+                sample_normal(&mut a, 0.0, 1.0),
+                sample_normal(&mut b, 0.0, 1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn tail_probability_sane() {
+        // ~99.7% of mass within 3 sigma.
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 100_000;
+        let outside = (0..n)
+            .filter(|_| sample_normal(&mut rng, 0.0, 1.0).abs() > 3.0)
+            .count();
+        let frac = outside as f64 / n as f64;
+        assert!(frac < 0.006, "3-sigma tail fraction {frac}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Scene entities: tags, ambient reflectors, and reader antennas.
+
+use crate::trajectory::Trajectory;
+use serde::{Deserialize, Serialize};
+use tagwatch_rf::{Reflector, Vec3};
+
+/// A physical tag in the scene.
+///
+/// The scene layer knows nothing about EPCs — the reader layer pairs each
+/// `SceneTag` with a protocol state machine by index. `key` is a stable
+/// identifier used for per-link hardware offsets in the channel model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneTag {
+    /// Stable identity for channel offsets and bookkeeping.
+    pub key: u64,
+    /// Motion model.
+    pub trajectory: Trajectory,
+    /// Time window `[enter, leave)` during which the tag is inside the
+    /// reader field. `None` = always present. Models the "reading
+    /// exceptions" of §4.3 (tags coming in, going out, being blocked).
+    pub presence: Option<(f64, f64)>,
+}
+
+impl SceneTag {
+    /// An always-present tag.
+    pub fn new(key: u64, trajectory: Trajectory) -> Self {
+        SceneTag {
+            key,
+            trajectory,
+            presence: None,
+        }
+    }
+
+    /// A stationary tag at `position`.
+    pub fn fixed(key: u64, position: Vec3) -> Self {
+        SceneTag::new(key, Trajectory::Static { position })
+    }
+
+    /// Restrict presence to a time window.
+    pub fn with_presence(mut self, enter: f64, leave: f64) -> Self {
+        assert!(enter < leave, "presence window must be non-empty");
+        self.presence = Some((enter, leave));
+        self
+    }
+
+    /// Whether the tag is in the field at time `t`.
+    pub fn present_at(&self, t: f64) -> bool {
+        match self.presence {
+            None => true,
+            Some((enter, leave)) => (enter..leave).contains(&t),
+        }
+    }
+
+    /// Position at time `t`.
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        self.trajectory.position_at(t)
+    }
+
+    /// Ground-truth motion label at time `t` (displacement > `eps` over a
+    /// short window).
+    pub fn is_moving_at(&self, t: f64, eps: f64) -> bool {
+        self.trajectory.is_moving_at(t, eps)
+    }
+}
+
+/// An ambient reflector: a person, cart, or fixed metal surface. These
+/// never backscatter IDs; they only perturb the channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneReflector {
+    /// Motion model.
+    pub trajectory: Trajectory,
+    /// Reflection coefficient magnitude (see [`tagwatch_rf::Reflector`]).
+    pub coefficient: f64,
+}
+
+impl SceneReflector {
+    /// A walking person patrolling between two points.
+    pub fn person(a: Vec3, b: Vec3, speed: f64, t_offset: f64) -> Self {
+        SceneReflector {
+            trajectory: Trajectory::Patrol {
+                a,
+                b,
+                speed,
+                t_offset,
+            },
+            coefficient: 0.3,
+        }
+    }
+
+    /// A fixed metallic surface.
+    pub fn metal(position: Vec3) -> Self {
+        SceneReflector {
+            trajectory: Trajectory::Static { position },
+            coefficient: 0.7,
+        }
+    }
+
+    /// The instantaneous RF-layer reflector at time `t`.
+    pub fn at(&self, t: f64) -> Reflector {
+        Reflector {
+            position: self.trajectory.position_at(t),
+            coefficient: self.coefficient,
+        }
+    }
+}
+
+/// A reader antenna port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    /// LLRP-style 1-based port number.
+    pub port: u8,
+    /// Fixed position.
+    pub position: Vec3,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presence_window() {
+        let tag = SceneTag::fixed(1, Vec3::ZERO).with_presence(2.0, 5.0);
+        assert!(!tag.present_at(1.9));
+        assert!(tag.present_at(2.0));
+        assert!(tag.present_at(4.99));
+        assert!(!tag.present_at(5.0));
+        let always = SceneTag::fixed(2, Vec3::ZERO);
+        assert!(always.present_at(1e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_presence_rejected() {
+        let _ = SceneTag::fixed(1, Vec3::ZERO).with_presence(5.0, 5.0);
+    }
+
+    #[test]
+    fn person_reflector_moves() {
+        let p = SceneReflector::person(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), 1.0, 0.0);
+        let a = p.at(0.0);
+        let b = p.at(1.5);
+        assert!(a.position.dist(b.position) > 1.0);
+        assert_eq!(a.coefficient, 0.3);
+    }
+
+    #[test]
+    fn metal_reflector_static() {
+        let m = SceneReflector::metal(Vec3::new(1.0, 1.0, 0.0));
+        assert_eq!(m.at(0.0).position, m.at(100.0).position);
+        assert_eq!(m.coefficient, 0.7);
+    }
+}

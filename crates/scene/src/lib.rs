@@ -1,0 +1,21 @@
+//! # tagwatch-scene — physical scenes for the Tagwatch reproduction
+//!
+//! Kinematic substrate: tags, ambient reflectors (people, metal), and
+//! reader antennas, each with a motion model that is a pure function of
+//! time. Ground-truth motion labels come from the trajectories, which is
+//! what the paper's detection metrics (TPR/FPR, sensitivity) are scored
+//! against.
+//!
+//! [`presets`] reconstructs every experimental apparatus in the paper:
+//! the 100-tag office with walking people (§7.1), the toy train and its
+//! circular track (§1, §7.3), the 40-tag random rooms (§7.2), the spinning
+//! turntable (§7.3), and the TrackPoint sorting gate (§2.4).
+
+pub mod entities;
+pub mod presets;
+pub mod scene;
+pub mod trajectory;
+
+pub use entities::{Antenna, SceneReflector, SceneTag};
+pub use scene::Scene;
+pub use trajectory::Trajectory;

@@ -1,0 +1,360 @@
+//! Pre-built scenes matching the paper's experimental setups.
+//!
+//! Each constructor documents the section/figure it reproduces. All
+//! randomness is seeded, so a preset plus a seed is a complete experiment
+//! description.
+
+use crate::entities::{Antenna, SceneReflector, SceneTag};
+use crate::scene::Scene;
+use crate::trajectory::Trajectory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagwatch_rf::Vec3;
+
+/// Antenna height used throughout (the paper mounts antennas ~2 m up).
+const ANTENNA_Z: f64 = 2.0;
+
+/// Four antennas at `(±5, ±5)` — the §7.3 application-study layout.
+pub fn four_corner_antennas() -> Vec<Antenna> {
+    vec![
+        Antenna {
+            port: 1,
+            position: Vec3::new(5.0, 5.0, ANTENNA_Z),
+        },
+        Antenna {
+            port: 2,
+            position: Vec3::new(-5.0, 5.0, ANTENNA_Z),
+        },
+        Antenna {
+            port: 3,
+            position: Vec3::new(-5.0, -5.0, ANTENNA_Z),
+        },
+        Antenna {
+            port: 4,
+            position: Vec3::new(5.0, -5.0, ANTENNA_Z),
+        },
+    ]
+}
+
+/// Uniformly random tag position on a `half × half` square around the
+/// origin, at tabletop height.
+fn random_position(rng: &mut StdRng, half: f64) -> Vec3 {
+    Vec3::new(
+        rng.gen_range(-half..half),
+        rng.gen_range(-half..half),
+        rng.gen_range(0.6..1.2),
+    )
+}
+
+/// §7.1 / Fig. 12 / Fig. 8: `n_tags` stationary tags in an office with
+/// `n_people` individuals walking around, one reader antenna.
+///
+/// "To represent false positives, we deploy 100 stationary tags in our
+/// office. Approximately 10 individuals work in the room."
+pub fn office_monitoring(n_tags: usize, n_people: usize, seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scene = Scene {
+        tags: Vec::new(),
+        reflectors: Vec::new(),
+        antennas: vec![Antenna {
+            port: 1,
+            position: Vec3::new(0.0, 0.0, ANTENNA_Z),
+        }],
+    };
+    for k in 0..n_tags {
+        scene.add_tag(SceneTag::fixed(k as u64, random_position(&mut rng, 4.0)));
+    }
+    for _ in 0..n_people {
+        let a = random_position(&mut rng, 4.5);
+        let b = random_position(&mut rng, 4.5);
+        let speed = rng.gen_range(0.6..1.4);
+        let offset = rng.gen_range(0.0..20.0);
+        scene.add_reflector(SceneReflector::person(
+            Vec3::new(a.x, a.y, 1.0),
+            Vec3::new(b.x, b.y, 1.0),
+            speed,
+            offset,
+        ));
+    }
+    scene
+}
+
+/// §7.1 accuracy workload: a tag on a toy train moving along an oval
+/// (here: circular) track of radius 20 cm at 0.7 m/s, plus office clutter.
+pub fn toy_train(seed: u64) -> Scene {
+    let mut scene = office_monitoring(0, 2, seed);
+    scene.add_tag(SceneTag::new(
+        1000,
+        Trajectory::Circle {
+            center: Vec3::new(1.5, 0.0, 0.8),
+            radius: 0.2,
+            speed: 0.7,
+            phase0: 0.0,
+        },
+    ));
+    scene
+}
+
+/// §1 / §7.3 / Fig. 1: the tracking application study. One tag on a toy
+/// train (circular track) plus `n_static` stationary tags beside the
+/// track, observed by the four corner antennas.
+pub fn tracking_study(n_static: usize, seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scene = Scene {
+        tags: Vec::new(),
+        reflectors: Vec::new(),
+        antennas: four_corner_antennas(),
+    };
+    // Laboratory clutter close to the track: a bench and a shelf within a
+    // metre or two, and a person working nearby. Scattering decays on
+    // both legs (Γ/(d₁·d₂)), so only nearby clutter matters — and this is
+    // what couples tracking accuracy to reading rate: more reads per
+    // window average the disturbance down.
+    scene.add_reflector(SceneReflector {
+        trajectory: Trajectory::Static {
+            position: Vec3::new(1.0, -0.7, 0.9),
+        },
+        coefficient: 0.35,
+    });
+    scene.add_reflector(SceneReflector {
+        trajectory: Trajectory::Static {
+            position: Vec3::new(-0.8, 0.9, 0.6),
+        },
+        coefficient: 0.3,
+    });
+    scene.add_reflector(SceneReflector {
+        trajectory: Trajectory::Patrol {
+            a: Vec3::new(-1.8, -1.5, 1.0),
+            b: Vec3::new(1.8, -1.0, 1.0),
+            speed: 0.9,
+            t_offset: 0.0,
+        },
+        coefficient: 0.3,
+    });
+    // The mobile tag: index 0 by convention.
+    scene.add_tag(SceneTag::new(
+        0,
+        Trajectory::Circle {
+            center: Vec3::new(0.0, 0.0, 0.8),
+            radius: 0.2,
+            speed: 0.7,
+            phase0: 0.0,
+        },
+    ));
+    // Stationary tags "beside the track": within ~0.5–1 m of it.
+    for k in 0..n_static {
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = rng.gen_range(0.5..1.0);
+        scene.add_tag(SceneTag::fixed(
+            1 + k as u64,
+            Vec3::new(r * angle.cos(), r * angle.sin(), 0.8),
+        ));
+    }
+    scene
+}
+
+/// §7.2: `n` tags with random positions covered by one antenna (the paper
+/// deploys 4 × 40; each antenna covers its own 40, so the per-antenna
+/// experiment is a 40-tag scene).
+pub fn random_room(n: usize, seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scene = Scene {
+        tags: Vec::new(),
+        reflectors: Vec::new(),
+        antennas: vec![Antenna {
+            port: 1,
+            position: Vec3::new(0.0, 0.0, ANTENNA_Z),
+        }],
+    };
+    for k in 0..n {
+        scene.add_tag(SceneTag::fixed(k as u64, random_position(&mut rng, 3.0)));
+    }
+    scene
+}
+
+/// §7.3 / Fig. 18: `n_mobile` of `n_total` tags ride a spinning turntable;
+/// the rest are stationary around the room.
+pub fn turntable(n_total: usize, n_mobile: usize, seed: u64) -> Scene {
+    assert!(n_mobile <= n_total);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scene = Scene {
+        tags: Vec::new(),
+        reflectors: Vec::new(),
+        antennas: vec![Antenna {
+            port: 1,
+            position: Vec3::new(0.0, 0.0, ANTENNA_Z),
+        }],
+    };
+    // Mobile tags first (indices 0..n_mobile): spread around the platter.
+    for k in 0..n_mobile {
+        let phase0 = rng.gen_range(0.0..std::f64::consts::TAU);
+        scene.add_tag(SceneTag::new(
+            k as u64,
+            Trajectory::Circle {
+                center: Vec3::new(1.2, 0.0, 0.8),
+                radius: 0.15,
+                speed: 0.5,
+                phase0,
+            },
+        ));
+    }
+    for k in n_mobile..n_total {
+        scene.add_tag(SceneTag::fixed(k as u64, random_position(&mut rng, 3.0)));
+    }
+    scene
+}
+
+/// §7.1 / Fig. 13 sensitivity workload: one tag that steps `displacement`
+/// metres in a random horizontal direction at `t_step`, plus office
+/// clutter-free quiet (the paper moves the tag by hand).
+pub fn step_displacement(displacement: f64, t_step: f64, seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dir = rng.gen_range(0.0..std::f64::consts::TAU);
+    let mut scene = Scene::with_single_antenna();
+    scene.antennas[0].position = Vec3::new(0.0, 0.0, ANTENNA_Z);
+    scene.add_tag(SceneTag::new(
+        0,
+        Trajectory::StepDisplacement {
+            origin: Vec3::new(1.5, 0.5, 0.8),
+            displacement: Vec3::new(displacement * dir.cos(), displacement * dir.sin(), 0.0),
+            t_step,
+        },
+    ));
+    scene
+}
+
+/// §2.4 / Fig. 3–4: a TrackPoint-style sorting gate. Conveyor pieces flow
+/// through the gate; parked (sorted) tags sit near it, one of them
+/// pathologically close (the paper's tag #271).
+///
+/// `n_parked` stationary tags; `conveyor` pieces are added by the trace
+/// generator, which controls arrival times.
+pub fn trackpoint_gate(n_parked: usize, seed: u64) -> Scene {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scene = Scene {
+        tags: Vec::new(),
+        reflectors: Vec::new(),
+        antennas: vec![
+            Antenna {
+                port: 1,
+                position: Vec3::new(-0.5, 0.0, 2.2),
+            },
+            Antenna {
+                port: 2,
+                position: Vec3::new(0.0, 0.0, 2.2),
+            },
+            Antenna {
+                port: 3,
+                position: Vec3::new(0.5, 0.0, 2.2),
+            },
+        ],
+    };
+    for k in 0..n_parked {
+        // Parked pieces sit 1–4 m to the side of the belt; the first one is
+        // the "vehicle parked right next to the gate" case.
+        let pos = if k == 0 {
+            Vec3::new(0.0, 1.0, 0.8)
+        } else {
+            Vec3::new(
+                rng.gen_range(-3.0..3.0),
+                rng.gen_range(1.0..4.0),
+                rng.gen_range(0.2..1.5),
+            )
+        };
+        scene.add_tag(SceneTag::fixed(k as u64, pos));
+    }
+    scene
+}
+
+/// A conveyor piece passing through the gate: enters at `t_arrive`, rides
+/// the belt through the antenna line at `speed`, and leaves the field.
+pub fn conveyor_piece(key: u64, t_arrive: f64, speed: f64) -> SceneTag {
+    let length = 6.0; // metres of belt within read range
+    let dwell = length / speed;
+    SceneTag::new(
+        key,
+        Trajectory::Conveyor {
+            start: Vec3::new(-length / 2.0, 0.0, 0.9),
+            end: Vec3::new(length / 2.0, 0.0, 0.9),
+            speed,
+            t_depart: t_arrive,
+        },
+    )
+    .with_presence(t_arrive, t_arrive + dwell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn office_shape() {
+        let s = office_monitoring(100, 10, 1);
+        assert_eq!(s.tags.len(), 100);
+        assert_eq!(s.reflectors.len(), 10);
+        assert_eq!(s.antennas.len(), 1);
+        assert!(s.tags.iter().all(|t| t.trajectory.is_static()));
+    }
+
+    #[test]
+    fn tracking_study_shape() {
+        let s = tracking_study(4, 2);
+        assert_eq!(s.tags.len(), 5);
+        assert_eq!(s.antennas.len(), 4);
+        assert!(!s.tags[0].trajectory.is_static());
+        assert!(s.tags[1..].iter().all(|t| t.trajectory.is_static()));
+        // Mobile tag stays within reach of all antennas.
+        let p = s.tag_position(0, 3.3);
+        assert!(p.norm() < 1.0);
+    }
+
+    #[test]
+    fn turntable_split() {
+        let s = turntable(40, 5, 3);
+        assert_eq!(s.tags.len(), 40);
+        let moving = s
+            .tags
+            .iter()
+            .filter(|t| !t.trajectory.is_static())
+            .count();
+        assert_eq!(moving, 5);
+        // Mobile tags are the first indices.
+        for i in 0..5 {
+            assert!(!s.tags[i].trajectory.is_static());
+        }
+    }
+
+    #[test]
+    fn presets_are_seed_deterministic() {
+        assert_eq!(random_room(20, 9), random_room(20, 9));
+        assert_ne!(random_room(20, 9), random_room(20, 10));
+    }
+
+    #[test]
+    fn step_preset_displaces_by_requested_amount() {
+        let s = step_displacement(0.03, 5.0, 4);
+        let before = s.tag_position(0, 4.9);
+        let after = s.tag_position(0, 5.1);
+        assert!((before.dist(after) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conveyor_piece_presence_matches_transit() {
+        let piece = conveyor_piece(7, 100.0, 1.0);
+        assert!(!piece.present_at(99.9));
+        assert!(piece.present_at(100.0));
+        assert!(piece.present_at(105.9));
+        assert!(!piece.present_at(106.0));
+        // Moving while present.
+        assert!(piece.is_moving_at(103.0, 1e-6));
+    }
+
+    #[test]
+    fn gate_has_three_antennas() {
+        let s = trackpoint_gate(50, 5);
+        assert_eq!(s.antennas.len(), 3);
+        assert_eq!(s.tags.len(), 50);
+        // Tag 0 is the pathological parked piece near the gate.
+        assert!(s.tag_position(0, 0.0).dist(s.antennas[1].position) < 2.0);
+    }
+}

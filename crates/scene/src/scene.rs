@@ -1,0 +1,145 @@
+//! The assembled scene: tags + reflectors + antennas, queried by time.
+
+use crate::entities::{Antenna, SceneReflector, SceneTag};
+use serde::{Deserialize, Serialize};
+use tagwatch_rf::{Reflector, Vec3};
+
+/// A complete physical scene. The reader simulator holds one of these and
+/// asks it for geometry at exact read instants.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Scene {
+    /// Tags, indexed consistently with the reader's protocol population.
+    pub tags: Vec<SceneTag>,
+    /// Ambient reflectors (people, carts, shelving).
+    pub reflectors: Vec<SceneReflector>,
+    /// Reader antennas.
+    pub antennas: Vec<Antenna>,
+}
+
+impl Scene {
+    /// An empty scene with a single antenna at the origin.
+    pub fn with_single_antenna() -> Self {
+        Scene {
+            tags: Vec::new(),
+            reflectors: Vec::new(),
+            antennas: vec![Antenna {
+                port: 1,
+                position: Vec3::ZERO,
+            }],
+        }
+    }
+
+    /// Adds a tag and returns its index.
+    pub fn add_tag(&mut self, tag: SceneTag) -> usize {
+        self.tags.push(tag);
+        self.tags.len() - 1
+    }
+
+    /// Adds a reflector.
+    pub fn add_reflector(&mut self, r: SceneReflector) {
+        self.reflectors.push(r);
+    }
+
+    /// Position of tag `idx` at time `t`.
+    pub fn tag_position(&self, idx: usize, t: f64) -> Vec3 {
+        self.tags[idx].position_at(t)
+    }
+
+    /// Instantaneous RF reflectors at time `t`.
+    pub fn reflectors_at(&self, t: f64) -> Vec<Reflector> {
+        self.reflectors.iter().map(|r| r.at(t)).collect()
+    }
+
+    /// The antenna with LLRP port number `port`. Panics on unknown port —
+    /// a misconfigured ROSpec is a programming error, matching how a real
+    /// reader rejects the spec outright.
+    pub fn antenna(&self, port: u8) -> &Antenna {
+        self.antennas
+            .iter()
+            .find(|a| a.port == port)
+            .unwrap_or_else(|| panic!("no antenna with port {port}"))
+    }
+
+    /// Ground-truth motion label of tag `idx` at `t`.
+    pub fn tag_moving(&self, idx: usize, t: f64, eps: f64) -> bool {
+        self.tags[idx].is_moving_at(t, eps)
+    }
+
+    /// Indices of tags present in the field at `t`.
+    pub fn present_tags(&self, t: f64) -> Vec<usize> {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, tag)| tag.present_at(t))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trajectory::Trajectory;
+
+    #[test]
+    fn add_and_query() {
+        let mut scene = Scene::with_single_antenna();
+        let i = scene.add_tag(SceneTag::fixed(1, Vec3::new(1.0, 0.0, 0.0)));
+        let j = scene.add_tag(SceneTag::new(
+            2,
+            Trajectory::Circle {
+                center: Vec3::ZERO,
+                radius: 1.0,
+                speed: 1.0,
+                phase0: 0.0,
+            },
+        ));
+        assert_eq!(i, 0);
+        assert_eq!(j, 1);
+        assert_eq!(scene.tag_position(0, 5.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(!scene.tag_moving(0, 5.0, 1e-6));
+        assert!(scene.tag_moving(1, 5.0, 1e-3));
+    }
+
+    #[test]
+    fn reflector_snapshot() {
+        let mut scene = Scene::with_single_antenna();
+        scene.add_reflector(SceneReflector::metal(Vec3::new(2.0, 2.0, 0.0)));
+        scene.add_reflector(SceneReflector::person(
+            Vec3::ZERO,
+            Vec3::new(5.0, 0.0, 0.0),
+            1.0,
+            0.0,
+        ));
+        let rs = scene.reflectors_at(2.5);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].position, Vec3::new(2.0, 2.0, 0.0));
+        assert_eq!(rs[1].position, Vec3::new(2.5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn antenna_lookup() {
+        let mut scene = Scene::default();
+        scene.antennas.push(Antenna {
+            port: 3,
+            position: Vec3::new(0.0, 5.0, 2.0),
+        });
+        assert_eq!(scene.antenna(3).position, Vec3::new(0.0, 5.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no antenna")]
+    fn unknown_antenna_panics() {
+        Scene::default().antenna(9);
+    }
+
+    #[test]
+    fn present_tags_respects_windows() {
+        let mut scene = Scene::with_single_antenna();
+        scene.add_tag(SceneTag::fixed(1, Vec3::ZERO));
+        scene.add_tag(SceneTag::fixed(2, Vec3::ZERO).with_presence(10.0, 20.0));
+        assert_eq!(scene.present_tags(5.0), vec![0]);
+        assert_eq!(scene.present_tags(15.0), vec![0, 1]);
+        assert_eq!(scene.present_tags(25.0), vec![0]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Motion models for tags and ambient reflectors.
+//!
+//! Every trajectory is a *pure function of time* — `position_at(t)` — so
+//! the whole simulation stays deterministic and random-access in time (the
+//! round engine asks for positions at exact read instants, not on a fixed
+//! tick).
+//!
+//! The variants cover the paper's experimental apparatus: toy trains on
+//! circular/oval tracks (§1, §7.1, §7.3), turntables (§7.3), conveyors
+//! (§2.4), walking people (§4.1, §7.1), and the discrete displacements of
+//! the sensitivity study (§7.1, Fig. 13).
+
+use serde::{Deserialize, Serialize};
+use tagwatch_rf::Vec3;
+
+/// A motion model: position as a pure function of time (seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Trajectory {
+    /// Never moves.
+    Static {
+        /// Fixed position.
+        position: Vec3,
+    },
+    /// Uniform circular motion in a horizontal plane — toy trains and
+    /// turntables.
+    Circle {
+        /// Circle centre.
+        center: Vec3,
+        /// Radius in metres.
+        radius: f64,
+        /// Tangential speed in m/s (negative = clockwise).
+        speed: f64,
+        /// Angular position at `t = 0`, radians.
+        phase0: f64,
+    },
+    /// Straight-line motion from `start` to `end` at constant speed,
+    /// beginning at `t_depart`; holds at `start` before and at `end`
+    /// after — a piece on a conveyor.
+    Conveyor {
+        start: Vec3,
+        end: Vec3,
+        /// Speed along the segment, m/s (> 0).
+        speed: f64,
+        /// Departure time, seconds.
+        t_depart: f64,
+    },
+    /// Back-and-forth patrol between two points at constant speed —
+    /// a person walking around the office.
+    Patrol {
+        a: Vec3,
+        b: Vec3,
+        /// Walking speed, m/s (> 0).
+        speed: f64,
+        /// Phase offset along the loop at `t = 0`, seconds.
+        t_offset: f64,
+    },
+    /// Piecewise-linear interpolation through time-stamped waypoints;
+    /// clamps to the first/last waypoint outside the time range.
+    Waypoints {
+        /// `(time, position)` pairs with strictly increasing times.
+        points: Vec<(f64, Vec3)>,
+    },
+    /// Stationary at `origin` until `t_step`, then instantly displaced —
+    /// the Fig. 13 sensitivity experiment ("move a tag away in a random
+    /// direction with a displacement of 1–5 cm").
+    StepDisplacement {
+        origin: Vec3,
+        /// Displacement applied at `t_step`.
+        displacement: Vec3,
+        /// Step time, seconds.
+        t_step: f64,
+    },
+    /// Quasi-random smooth wander around an origin (sum of incommensurate
+    /// sinusoids) — background clutter motion.
+    Wander {
+        origin: Vec3,
+        /// Peak excursion in metres.
+        amplitude: f64,
+        /// Base frequency in Hz.
+        freq: f64,
+        /// Per-instance phase seed.
+        phase: f64,
+    },
+}
+
+impl Trajectory {
+    /// Position at absolute time `t` (seconds).
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        match self {
+            Trajectory::Static { position } => *position,
+            Trajectory::Circle {
+                center,
+                radius,
+                speed,
+                phase0,
+            } => {
+                let omega = if *radius > 0.0 { speed / radius } else { 0.0 };
+                let theta = phase0 + omega * t;
+                *center + Vec3::new(radius * theta.cos(), radius * theta.sin(), 0.0)
+            }
+            Trajectory::Conveyor {
+                start,
+                end,
+                speed,
+                t_depart,
+            } => {
+                let len = start.dist(*end);
+                if len == 0.0 || t <= *t_depart {
+                    return *start;
+                }
+                let travelled = speed * (t - t_depart);
+                let frac = (travelled / len).clamp(0.0, 1.0);
+                start.lerp(*end, frac)
+            }
+            Trajectory::Patrol {
+                a,
+                b,
+                speed,
+                t_offset,
+            } => {
+                let len = a.dist(*b);
+                if len == 0.0 {
+                    return *a;
+                }
+                let period = 2.0 * len / speed;
+                let mut s = ((t + t_offset) % period + period) % period;
+                if s <= len / speed {
+                    a.lerp(*b, s * speed / len)
+                } else {
+                    s -= len / speed;
+                    b.lerp(*a, s * speed / len)
+                }
+            }
+            Trajectory::Waypoints { points } => {
+                assert!(!points.is_empty(), "waypoint trajectory needs points");
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let i = points.partition_point(|(pt, _)| *pt <= t);
+                let (t0, p0) = points[i - 1];
+                let (t1, p1) = points[i];
+                let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+                p0.lerp(p1, frac)
+            }
+            Trajectory::StepDisplacement {
+                origin,
+                displacement,
+                t_step,
+            } => {
+                if t < *t_step {
+                    *origin
+                } else {
+                    *origin + *displacement
+                }
+            }
+            Trajectory::Wander {
+                origin,
+                amplitude,
+                freq,
+                phase,
+            } => {
+                let w = std::f64::consts::TAU * freq;
+                // Three incommensurate tones per axis give a non-repeating,
+                // smooth, bounded wander.
+                let x = (w * t + phase).sin() + 0.5 * (1.618 * w * t + 2.0 * phase).sin();
+                let y = (w * t + phase + 1.7).sin() + 0.5 * (1.618 * w * t + 0.3 * phase).cos();
+                let z = 0.2 * (0.77 * w * t + phase).sin();
+                *origin + Vec3::new(x, y, z) * (*amplitude / 1.5)
+            }
+        }
+    }
+
+    /// Ground-truth "is moving" at time `t`: displacement over a small
+    /// window exceeds `eps` metres. This is the label the evaluation
+    /// (TPR/FPR in Fig. 12) scores against.
+    pub fn is_moving_at(&self, t: f64, eps: f64) -> bool {
+        // Symmetric finite difference over 100 ms — long enough to see
+        // conveyor/patrol motion, short enough to localise step changes.
+        let dt = 0.05;
+        let before = self.position_at(t - dt);
+        let after = self.position_at(t + dt);
+        before.dist(after) > eps
+    }
+
+    /// Whether this trajectory ever moves (static check, conservative).
+    pub fn is_static(&self) -> bool {
+        match self {
+            Trajectory::Static { .. } => true,
+            Trajectory::Circle { speed, radius, .. } => *speed == 0.0 || *radius == 0.0,
+            Trajectory::Conveyor { start, end, .. } => start == end,
+            Trajectory::Patrol { a, b, .. } => a == b,
+            Trajectory::Waypoints { points } => points.windows(2).all(|w| w[0].1 == w[1].1),
+            Trajectory::StepDisplacement { displacement, .. } => {
+                displacement.norm() == 0.0
+            }
+            Trajectory::Wander { amplitude, .. } => *amplitude == 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_never_moves() {
+        let tr = Trajectory::Static {
+            position: Vec3::new(1.0, 2.0, 3.0),
+        };
+        assert_eq!(tr.position_at(0.0), tr.position_at(1e6));
+        assert!(!tr.is_moving_at(5.0, 1e-6));
+        assert!(tr.is_static());
+    }
+
+    #[test]
+    fn circle_radius_and_speed() {
+        let tr = Trajectory::Circle {
+            center: Vec3::ZERO,
+            radius: 0.2,
+            speed: 0.7,
+            phase0: 0.0,
+        };
+        // Always on the circle.
+        for k in 0..20 {
+            let p = tr.position_at(k as f64 * 0.13);
+            assert!((p.dist(Vec3::ZERO) - 0.2).abs() < 1e-12);
+        }
+        // Speed check via finite difference.
+        let dt = 1e-5;
+        let v = tr.position_at(1.0 + dt).dist(tr.position_at(1.0)) / dt;
+        assert!((v - 0.7).abs() < 1e-3, "speed {v}");
+        assert!(tr.is_moving_at(1.0, 1e-3));
+        assert!(!tr.is_static());
+    }
+
+    #[test]
+    fn conveyor_departs_travels_arrives() {
+        let tr = Trajectory::Conveyor {
+            start: Vec3::ZERO,
+            end: Vec3::new(10.0, 0.0, 0.0),
+            speed: 2.0,
+            t_depart: 1.0,
+        };
+        assert_eq!(tr.position_at(0.0), Vec3::ZERO);
+        assert_eq!(tr.position_at(1.0), Vec3::ZERO);
+        assert_eq!(tr.position_at(2.0), Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(tr.position_at(6.0), Vec3::new(10.0, 0.0, 0.0));
+        assert_eq!(tr.position_at(100.0), Vec3::new(10.0, 0.0, 0.0));
+        assert!(!tr.is_moving_at(0.5, 1e-6));
+        assert!(tr.is_moving_at(3.0, 1e-6));
+        assert!(!tr.is_moving_at(50.0, 1e-6));
+    }
+
+    #[test]
+    fn patrol_oscillates() {
+        let tr = Trajectory::Patrol {
+            a: Vec3::ZERO,
+            b: Vec3::new(4.0, 0.0, 0.0),
+            speed: 1.0,
+            t_offset: 0.0,
+        };
+        assert_eq!(tr.position_at(0.0), Vec3::ZERO);
+        assert_eq!(tr.position_at(4.0), Vec3::new(4.0, 0.0, 0.0));
+        assert_eq!(tr.position_at(8.0), Vec3::ZERO);
+        assert_eq!(tr.position_at(2.0), Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(tr.position_at(6.0), Vec3::new(2.0, 0.0, 0.0));
+        // Periodicity.
+        assert_eq!(tr.position_at(1.3), tr.position_at(1.3 + 8.0));
+        // Negative time is well-defined.
+        assert_eq!(tr.position_at(-2.0), tr.position_at(6.0));
+    }
+
+    #[test]
+    fn waypoints_interpolate_and_clamp() {
+        let tr = Trajectory::Waypoints {
+            points: vec![
+                (1.0, Vec3::ZERO),
+                (3.0, Vec3::new(2.0, 0.0, 0.0)),
+                (4.0, Vec3::new(2.0, 2.0, 0.0)),
+            ],
+        };
+        assert_eq!(tr.position_at(0.0), Vec3::ZERO);
+        assert_eq!(tr.position_at(2.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(tr.position_at(3.5), Vec3::new(2.0, 1.0, 0.0));
+        assert_eq!(tr.position_at(9.0), Vec3::new(2.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn step_displacement_is_sharp() {
+        let tr = Trajectory::StepDisplacement {
+            origin: Vec3::ZERO,
+            displacement: Vec3::new(0.02, 0.0, 0.0),
+            t_step: 5.0,
+        };
+        assert_eq!(tr.position_at(4.999), Vec3::ZERO);
+        assert_eq!(tr.position_at(5.0), Vec3::new(0.02, 0.0, 0.0));
+        assert!(tr.is_moving_at(5.0, 0.01));
+        assert!(!tr.is_moving_at(4.0, 0.001));
+        assert!(!tr.is_moving_at(6.0, 0.001));
+    }
+
+    #[test]
+    fn wander_is_bounded_and_smooth() {
+        let tr = Trajectory::Wander {
+            origin: Vec3::new(1.0, 1.0, 1.0),
+            amplitude: 0.5,
+            freq: 0.2,
+            phase: 0.9,
+        };
+        let origin = Vec3::new(1.0, 1.0, 1.0);
+        for k in 0..500 {
+            let t = k as f64 * 0.1;
+            let p = tr.position_at(t);
+            assert!(p.dist(origin) < 1.0, "excursion at t={t}");
+            // Smooth: adjacent samples close.
+            let q = tr.position_at(t + 0.01);
+            assert!(p.dist(q) < 0.05);
+        }
+    }
+
+    #[test]
+    fn is_static_edge_cases() {
+        assert!(Trajectory::Circle {
+            center: Vec3::ZERO,
+            radius: 0.0,
+            speed: 1.0,
+            phase0: 0.0
+        }
+        .is_static());
+        assert!(Trajectory::Conveyor {
+            start: Vec3::ZERO,
+            end: Vec3::ZERO,
+            speed: 1.0,
+            t_depart: 0.0
+        }
+        .is_static());
+        assert!(Trajectory::StepDisplacement {
+            origin: Vec3::ZERO,
+            displacement: Vec3::ZERO,
+            t_step: 0.0
+        }
+        .is_static());
+    }
+}

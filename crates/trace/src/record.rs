@@ -1,0 +1,137 @@
+//! Trace persistence: CSV and JSON export/import.
+//!
+//! The CSV schema is one row per reading — `tag,t,moving` — the shape
+//! analysis notebooks expect; JSON round-trips the full [`Trace`]
+//! including its configuration.
+
+use crate::generator::{Trace, TraceConfig, TraceReading};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Writes a trace as CSV (`tag,t,moving` with a header row).
+pub fn write_csv<W: Write>(trace: &Trace, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "tag,t,moving")?;
+    for r in &trace.readings {
+        writeln!(w, "{},{:.6},{}", r.tag, r.t, r.moving as u8)?;
+    }
+    w.flush()
+}
+
+/// Reads the readings back from CSV produced by [`write_csv`]. The trace
+/// configuration is not stored in CSV; the caller supplies it.
+pub fn read_csv<R: Read>(input: R, config: TraceConfig, parked: usize) -> io::Result<Trace> {
+    let reader = BufReader::new(input);
+    let mut readings = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno == 0 {
+            if line.trim() != "tag,t,moving" {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected CSV header: {line:?}"),
+                ));
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad {what}", lineno + 1),
+            )
+        };
+        let tag: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("tag"))?;
+        let t: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("t"))?;
+        let moving = match parts.next() {
+            Some("0") => false,
+            Some("1") => true,
+            _ => return Err(parse_err("moving")),
+        };
+        readings.push(TraceReading { tag, t, moving });
+    }
+    Ok(Trace {
+        config,
+        readings,
+        parked,
+    })
+}
+
+/// Serialises the full trace (config + readings) to JSON.
+pub fn write_json<W: Write>(trace: &Trace, out: W) -> io::Result<()> {
+    serde_json::to_writer(BufWriter::new(out), trace).map_err(io::Error::other)
+}
+
+/// Deserialises a trace from JSON.
+pub fn read_json<R: Read>(input: R) -> io::Result<Trace> {
+    serde_json::from_reader(BufReader::new(input))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceConfig};
+
+    fn small_trace() -> Trace {
+        generate(
+            &TraceConfig {
+                duration: 120.0,
+                total_tags: 20,
+                parked_tags: 8,
+                ..Default::default()
+            },
+            9,
+        )
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let tr = small_trace();
+        let mut buf = Vec::new();
+        write_csv(&tr, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), tr.config, tr.parked).unwrap();
+        assert_eq!(back.readings.len(), tr.readings.len());
+        for (a, b) in tr.readings.iter().zip(&back.readings) {
+            assert_eq!(a.tag, b.tag);
+            assert_eq!(a.moving, b.moving);
+            assert!((a.t - b.t).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let tr = small_trace();
+        let mut buf = Vec::new();
+        write_json(&tr, &mut buf).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let cfg = TraceConfig::default();
+        assert!(read_csv("nonsense header\n".as_bytes(), cfg, 0).is_err());
+        assert!(read_csv("tag,t,moving\nx,1.0,0\n".as_bytes(), cfg, 0).is_err());
+        assert!(read_csv("tag,t,moving\n1,huh,0\n".as_bytes(), cfg, 0).is_err());
+        assert!(read_csv("tag,t,moving\n1,1.0,5\n".as_bytes(), cfg, 0).is_err());
+    }
+
+    #[test]
+    fn csv_tolerates_blank_lines() {
+        let cfg = TraceConfig::default();
+        let tr = read_csv("tag,t,moving\n1,0.5,1\n\n2,0.7,0\n".as_bytes(), cfg, 1).unwrap();
+        assert_eq!(tr.readings.len(), 2);
+        assert!(tr.readings[0].moving);
+        assert!(!tr.readings[1].moving);
+    }
+}
+

@@ -1,0 +1,188 @@
+//! Trace statistics — the quantities Fig. 3 and Fig. 4 plot.
+
+use crate::generator::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Per-tag read counts, indexed by tag id.
+pub fn read_counts(trace: &Trace) -> Vec<usize> {
+    let mut counts = vec![0usize; trace.config.total_tags];
+    for r in &trace.readings {
+        counts[r.tag as usize] += 1;
+    }
+    counts
+}
+
+/// Readings per time bucket (Fig. 3's timeline), `bucket` seconds wide.
+pub fn timeline(trace: &Trace, bucket: f64) -> Vec<usize> {
+    assert!(bucket > 0.0, "bucket must be positive");
+    let n = (trace.config.duration / bucket).ceil() as usize;
+    let mut buckets = vec![0usize; n.max(1)];
+    for r in &trace.readings {
+        let i = ((r.t / bucket) as usize).min(buckets.len() - 1);
+        buckets[i] += 1;
+    }
+    buckets
+}
+
+/// The fraction of tags whose read count exceeds `threshold` (Fig. 4's
+/// complementary CDF points: "20% of the tags are read over 205 times").
+pub fn fraction_above(counts: &[usize], threshold: usize) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    counts.iter().filter(|&&c| c > threshold).count() as f64 / counts.len() as f64
+}
+
+/// The read-count threshold exceeded by exactly the top `fraction` of
+/// tags (inverse of [`fraction_above`]).
+pub fn count_at_top_fraction(counts: &[usize], fraction: f64) -> usize {
+    assert!((0.0..=1.0).contains(&fraction));
+    if counts.is_empty() {
+        return 0;
+    }
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((counts.len() as f64 * fraction).ceil() as usize).clamp(1, counts.len());
+    sorted[k - 1]
+}
+
+/// Maximum number of distinct *moving* tags observed within any single
+/// window of `window` seconds — the paper's "30 tags at most are
+/// simultaneously conveyed each second".
+pub fn peak_simultaneous_movers(trace: &Trace, window: f64) -> usize {
+    assert!(window > 0.0);
+    let mut events: Vec<(u64, u32)> = trace
+        .readings
+        .iter()
+        .filter(|r| r.moving)
+        .map(|r| ((r.t / window) as u64, r.tag))
+        .collect();
+    events.sort_unstable();
+    events.dedup();
+    let mut best = 0usize;
+    let mut i = 0;
+    while i < events.len() {
+        let bucket = events[i].0;
+        let mut j = i;
+        while j < events.len() && events[j].0 == bucket {
+            j += 1;
+        }
+        best = best.max(j - i);
+        i = j;
+    }
+    best
+}
+
+/// Headline summary of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    pub total_readings: usize,
+    pub total_tags: usize,
+    pub max_reads: usize,
+    /// Reads of the top-20% tag (paper: 205).
+    pub reads_at_top20: usize,
+    /// Reads of the top-10% tag (paper: 655).
+    pub reads_at_top10: usize,
+    pub peak_simultaneous_movers: usize,
+    /// Mean reads per conveyor transit.
+    pub mean_mover_reads: f64,
+}
+
+/// Computes the summary of a trace.
+pub fn summarize(trace: &Trace) -> TraceSummary {
+    let counts = read_counts(trace);
+    let mover_ids: std::collections::HashSet<u32> = trace
+        .readings
+        .iter()
+        .filter(|r| r.moving)
+        .map(|r| r.tag)
+        .collect();
+    let mover_reads: usize = trace.readings.iter().filter(|r| r.moving).count();
+    TraceSummary {
+        total_readings: trace.len(),
+        total_tags: trace.config.total_tags,
+        max_reads: counts.iter().copied().max().unwrap_or(0),
+        reads_at_top20: count_at_top_fraction(&counts, 0.2),
+        reads_at_top10: count_at_top_fraction(&counts, 0.1),
+        peak_simultaneous_movers: peak_simultaneous_movers(trace, 1.0),
+        mean_mover_reads: if mover_ids.is_empty() {
+            0.0
+        } else {
+            mover_reads as f64 / mover_ids.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, TraceConfig};
+
+    fn trace() -> Trace {
+        generate(
+            &TraceConfig {
+                duration: 1200.0,
+                total_tags: 100,
+                parked_tags: 40,
+                ..Default::default()
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn counts_sum_to_total() {
+        let tr = trace();
+        let counts = read_counts(&tr);
+        assert_eq!(counts.iter().sum::<usize>(), tr.len());
+    }
+
+    #[test]
+    fn timeline_covers_all_readings() {
+        let tr = trace();
+        let buckets = timeline(&tr, 60.0);
+        assert_eq!(buckets.len(), 20);
+        assert_eq!(buckets.iter().sum::<usize>(), tr.len());
+    }
+
+    #[test]
+    fn fraction_and_inverse_are_consistent() {
+        let counts = vec![1000, 800, 600, 400, 200, 100, 50, 20, 10, 5];
+        // Top 20% of 10 tags = 2 tags; the 2nd highest count is 800.
+        assert_eq!(count_at_top_fraction(&counts, 0.2), 800);
+        // Strictly more than 799 reads: exactly 2 of 10 tags.
+        assert!((fraction_above(&counts, 799) - 0.2).abs() < 1e-12);
+        assert_eq!(fraction_above(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn summary_shape() {
+        let tr = trace();
+        let s = summarize(&tr);
+        assert_eq!(s.total_readings, tr.len());
+        assert!(s.max_reads >= s.reads_at_top10);
+        assert!(s.reads_at_top10 >= s.reads_at_top20);
+        assert!(s.peak_simultaneous_movers >= 1);
+        assert!(s.mean_mover_reads > 0.0);
+        // Movers collect tens of reads, not hundreds (the §2.4 complaint).
+        assert!(s.mean_mover_reads < 100.0);
+    }
+
+    #[test]
+    fn paper_distribution_shape() {
+        // Full-scale trace: heavy tail close to the published quantiles
+        // (20% > 205 reads, 10% > 655 reads). Generous bands — the shape
+        // is what matters.
+        let tr = generate(&TraceConfig::default(), 42);
+        let counts = read_counts(&tr);
+        let top20 = count_at_top_fraction(&counts, 0.2);
+        let top10 = count_at_top_fraction(&counts, 0.1);
+        assert!((100..500).contains(&top20), "top-20% count {top20}");
+        assert!((350..1400).contains(&top10), "top-10% count {top10}");
+        assert!(top10 > 2 * top20 / 2, "tail must steepen: {top20} vs {top10}");
+        // ≤ ~5.7% simultaneous movers.
+        let s = summarize(&tr);
+        let frac = s.peak_simultaneous_movers as f64 / s.total_tags as f64;
+        assert!(frac < 0.08, "peak mover fraction {frac}");
+    }
+}

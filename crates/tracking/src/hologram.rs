@@ -1,0 +1,435 @@
+//! Phase-hologram localization (the paper's §7.3 application study uses
+//! the "Differential Augmented Hologram" of Tagoram, the paper's ref. 30).
+//!
+//! A backscatter phase reading constrains the tag to lie on a set of
+//! rings `4πd/λ + θ_link ≡ θ_meas (mod 2π)` around the antenna. A
+//! hologram scores candidate positions by coherently summing the phase
+//! residuals of every reading in a short window across all antennas:
+//!
+//! ```text
+//! P(x) = | Σ_readings e^{ j (θ_meas − θ_expected(x)) } | / N
+//! ```
+//!
+//! The per-link hardware offsets `θ_link` are calibrated once from a
+//! known starting position — the paper likewise fixes the initial
+//! position of the toy train ("We fix the initial position at a known
+//! point"). The search runs coarse-to-fine on a grid around a prior,
+//! which both bounds cost and resolves the mod-2π ambiguity the way a
+//! tracking prior does.
+
+use std::collections::HashMap;
+use tagwatch_reader::TagReport;
+use tagwatch_rf::{wrap_2pi, Complex, Vec3};
+
+/// Localizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HologramConfig {
+    /// Half-width of the coarse search square around the prior, metres.
+    pub search_half: f64,
+    /// Coarse grid step, metres.
+    pub coarse_step: f64,
+    /// Fine grid step, metres.
+    pub fine_step: f64,
+    /// The (known, fixed) tag height — the paper tracks in the plane.
+    pub z: f64,
+}
+
+impl Default for HologramConfig {
+    fn default() -> Self {
+        HologramConfig {
+            // The hologram has exact ambiguity aliases roughly every
+            // λ/2 ≈ 0.16 m (nearest ring intersections ≈ 0.11 m); the
+            // search must stay inside the alias-free zone around the
+            // tracking prior, and the prior is at most one window of
+            // motion stale (≈ 3.5 cm at the paper's 0.7 m/s).
+            search_half: 0.05,
+            coarse_step: 0.01,
+            fine_step: 0.002,
+            z: 0.8,
+        }
+    }
+}
+
+/// Key of one RF link: (antenna port, channel index).
+type LinkKey = (u8, u8);
+
+/// The hologram localizer for one tag.
+#[derive(Debug, Clone)]
+pub struct Localizer {
+    /// Antenna positions by port.
+    antennas: HashMap<u8, Vec3>,
+    /// Calibrated per-link phase offsets.
+    offsets: HashMap<LinkKey, f64>,
+    /// Configuration.
+    pub cfg: HologramConfig,
+}
+
+impl Localizer {
+    /// A localizer knowing the antenna geometry.
+    pub fn new(antennas: &[(u8, Vec3)], cfg: HologramConfig) -> Self {
+        Localizer {
+            antennas: antennas.iter().copied().collect(),
+            offsets: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// The phase the LOS model predicts at `pos` for a reading's link,
+    /// *excluding* the hardware offset.
+    fn geometric_phase(&self, report: &TagReport, pos: Vec3) -> f64 {
+        let antenna = self.antennas[&report.rf.antenna];
+        let d = antenna.dist(pos);
+        wrap_2pi(4.0 * std::f64::consts::PI * d / report.rf.wavelength())
+    }
+
+    /// Calibrates per-link offsets from readings taken at a known
+    /// position. Readings on already-calibrated links refine the stored
+    /// offset (circular average via phasor accumulation).
+    pub fn calibrate(&mut self, known_pos: Vec3, reports: &[TagReport]) {
+        let mut acc: HashMap<LinkKey, Complex> = HashMap::new();
+        for r in reports {
+            if !self.antennas.contains_key(&r.rf.antenna) {
+                continue;
+            }
+            let residual = r.rf.phase - self.geometric_phase(r, known_pos);
+            *acc.entry((r.rf.antenna, r.rf.channel)).or_insert(Complex::ZERO) +=
+                Complex::cis(residual);
+        }
+        for (key, phasor) in acc {
+            self.offsets.insert(key, wrap_2pi(phasor.arg()));
+        }
+    }
+
+    /// Number of calibrated links.
+    pub fn calibrated_links(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Coherent hologram score of a candidate position over a reading
+    /// window: 1.0 = all residuals agree perfectly.
+    pub fn score(&self, reports: &[TagReport], pos: Vec3) -> f64 {
+        self.score_moving(reports, pos, Vec3::ZERO, 0.0)
+    }
+
+    /// Motion-compensated hologram score: the tag is hypothesised at
+    /// `pos + velocity·(tᵢ − t_ref)` for each reading — the
+    /// constant-velocity augmentation of the Differential Augmented
+    /// Hologram, which keeps windows coherent even when the tag moves a
+    /// sizeable fraction of a wavelength within one window.
+    pub fn score_moving(
+        &self,
+        reports: &[TagReport],
+        pos: Vec3,
+        velocity: Vec3,
+        t_ref: f64,
+    ) -> f64 {
+        let mut acc = Complex::ZERO;
+        let mut n = 0usize;
+        for r in reports {
+            let key = (r.rf.antenna, r.rf.channel);
+            let Some(&offset) = self.offsets.get(&key) else {
+                continue; // uncalibrated link contributes nothing
+            };
+            let hyp = pos + velocity * (r.rf.t - t_ref);
+            let expected = self.geometric_phase(r, hyp) + offset;
+            acc += Complex::cis(r.rf.phase - expected);
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc.abs() / n as f64
+        }
+    }
+
+    /// Locates the tag from a window of readings, searching around
+    /// `prior`. Returns `None` when no reading in the window is on a
+    /// calibrated link.
+    pub fn locate(&self, reports: &[TagReport], prior: Vec3) -> Option<Vec3> {
+        self.locate_moving(reports, prior, Vec3::ZERO, 0.0)
+    }
+
+    /// Motion-compensated localization: finds the position at `t_ref`
+    /// assuming the tag moves at `velocity` within the window.
+    pub fn locate_moving(
+        &self,
+        reports: &[TagReport],
+        prior: Vec3,
+        velocity: Vec3,
+        t_ref: f64,
+    ) -> Option<Vec3> {
+        if reports
+            .iter()
+            .all(|r| !self.offsets.contains_key(&(r.rf.antenna, r.rf.channel)))
+        {
+            return None;
+        }
+        let coarse = self.grid_search(
+            reports,
+            prior,
+            velocity,
+            t_ref,
+            self.cfg.search_half,
+            self.cfg.coarse_step,
+        );
+        let fine = self.grid_search(
+            reports,
+            coarse,
+            velocity,
+            t_ref,
+            2.0 * self.cfg.coarse_step,
+            self.cfg.fine_step,
+        );
+        Some(fine)
+    }
+
+    /// Joint position-and-velocity localization: alternates a position
+    /// grid search with a horizontal velocity search (phases across the
+    /// window carry Doppler-like information), starting from `v_init`.
+    /// Returns the refined `(position at t_ref, velocity, score)` —
+    /// callers use the score to reject low-coherence (multipath-corrupted)
+    /// windows.
+    pub fn locate_and_velocity(
+        &self,
+        reports: &[TagReport],
+        prior: Vec3,
+        v_init: Vec3,
+        t_ref: f64,
+    ) -> Option<(Vec3, Vec3, f64)> {
+        if reports
+            .iter()
+            .all(|r| !self.offsets.contains_key(&(r.rf.antenna, r.rf.channel)))
+        {
+            return None;
+        }
+        // Velocity has two extra unknowns; with fewer than six calibrated
+        // readings the joint problem is underdetermined and the velocity
+        // estimate would overfit — keep the caller's estimate instead.
+        let calibrated_reads = reports
+            .iter()
+            .filter(|r| self.offsets.contains_key(&(r.rf.antenna, r.rf.channel)))
+            .count();
+        let mut pos = prior;
+        let mut v = v_init;
+        if calibrated_reads >= 6 {
+            for _ in 0..2 {
+                pos = self.grid_search(
+                    reports,
+                    pos,
+                    v,
+                    t_ref,
+                    self.cfg.search_half,
+                    self.cfg.coarse_step,
+                );
+                v = self.velocity_search(reports, pos, v, t_ref, 0.5, 0.25);
+                v = self.velocity_search(reports, pos, v, t_ref, 0.2, 0.05);
+            }
+        } else {
+            pos = self.grid_search(
+                reports,
+                pos,
+                v,
+                t_ref,
+                self.cfg.search_half,
+                self.cfg.coarse_step,
+            );
+        }
+        pos = self.grid_search(
+            reports,
+            pos,
+            v,
+            t_ref,
+            2.0 * self.cfg.coarse_step,
+            self.cfg.fine_step,
+        );
+        Some((pos, v, self.score_moving(reports, pos, v, t_ref)))
+    }
+
+    /// Best horizontal velocity around `center_v` (± `half` m/s in steps
+    /// of `step`) for a fixed position hypothesis.
+    fn velocity_search(
+        &self,
+        reports: &[TagReport],
+        pos: Vec3,
+        center_v: Vec3,
+        t_ref: f64,
+        half: f64,
+        step: f64,
+    ) -> Vec3 {
+        let mut best = center_v;
+        let mut best_score = f64::NEG_INFINITY;
+        let steps = (2.0 * half / step).round() as i64;
+        for ix in 0..=steps {
+            for iy in 0..=steps {
+                let v = Vec3::new(
+                    center_v.x - half + ix as f64 * step,
+                    center_v.y - half + iy as f64 * step,
+                    0.0,
+                );
+                let s = self.score_moving(reports, pos, v, t_ref);
+                if s > best_score {
+                    best_score = s;
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grid_search(
+        &self,
+        reports: &[TagReport],
+        center: Vec3,
+        velocity: Vec3,
+        t_ref: f64,
+        half: f64,
+        step: f64,
+    ) -> Vec3 {
+        let mut best = center;
+        let mut best_score = f64::NEG_INFINITY;
+        let steps = (2.0 * half / step).round() as i64;
+        for ix in 0..=steps {
+            for iy in 0..=steps {
+                let pos = Vec3::new(
+                    center.x - half + ix as f64 * step,
+                    center.y - half + iy as f64 * step,
+                    self.cfg.z,
+                );
+                let s = self.score_moving(reports, pos, velocity, t_ref);
+                if s > best_score {
+                    best_score = s;
+                    best = pos;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_gen2::Epc;
+    use tagwatch_rf::{ChannelModel, ChannelPlan, LinkGeometry, RfMeasurement};
+
+    /// Synthesises noise-free reports of a tag at `pos` on all four
+    /// corner antennas.
+    fn reports_at(pos: Vec3, antennas: &[(u8, Vec3)], t: f64) -> Vec<TagReport> {
+        let model = ChannelModel::noiseless();
+        let plan = ChannelPlan::single(922.5e6);
+        let chan = plan.channel_at(0.0);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+        antennas
+            .iter()
+            .map(|&(port, apos)| {
+                let link = LinkGeometry {
+                    antenna: apos,
+                    tag: pos,
+                    reflectors: &[],
+                };
+                let rf: RfMeasurement = model.observe(&link, 42, port, chan, t, &mut rng);
+                TagReport {
+                    epc: Epc::from_bits(1),
+                    tag_idx: 0,
+                    rf,
+                }
+            })
+            .collect()
+    }
+
+    fn corner_antennas() -> Vec<(u8, Vec3)> {
+        vec![
+            (1, Vec3::new(5.0, 5.0, 2.0)),
+            (2, Vec3::new(-5.0, 5.0, 2.0)),
+            (3, Vec3::new(-5.0, -5.0, 2.0)),
+            (4, Vec3::new(5.0, -5.0, 2.0)),
+        ]
+    }
+
+    #[test]
+    fn calibrate_then_locate_static_tag() {
+        let ants = corner_antennas();
+        let mut loc = Localizer::new(&ants, HologramConfig::default());
+        let true_pos = Vec3::new(0.2, 0.0, 0.8);
+        loc.calibrate(true_pos, &reports_at(true_pos, &ants, 0.0));
+        assert_eq!(loc.calibrated_links(), 4);
+        // Locate from a slightly wrong prior.
+        let est = loc
+            .locate(&reports_at(true_pos, &ants, 1.0), Vec3::new(0.15, 0.05, 0.8))
+            .unwrap();
+        assert!(
+            est.dist(true_pos) < 0.005,
+            "error {:.4} m",
+            est.dist(true_pos)
+        );
+    }
+
+    #[test]
+    fn tracks_a_displaced_tag() {
+        let ants = corner_antennas();
+        let mut loc = Localizer::new(&ants, HologramConfig::default());
+        let start = Vec3::new(0.2, 0.0, 0.8);
+        loc.calibrate(start, &reports_at(start, &ants, 0.0));
+        // Tag moved ~4.5 cm (within the search zone); prior is the old
+        // position.
+        let moved = Vec3::new(0.17, 0.04, 0.8);
+        let est = loc.locate(&reports_at(moved, &ants, 1.0), start).unwrap();
+        assert!(est.dist(moved) < 0.01, "error {:.4} m", est.dist(moved));
+    }
+
+    #[test]
+    fn score_peaks_at_true_position() {
+        let ants = corner_antennas();
+        let mut loc = Localizer::new(&ants, HologramConfig::default());
+        let pos = Vec3::new(0.0, 0.1, 0.8);
+        loc.calibrate(pos, &reports_at(pos, &ants, 0.0));
+        let window = reports_at(pos, &ants, 1.0);
+        let at_true = loc.score(&window, pos);
+        assert!(at_true > 0.999);
+        let off = loc.score(&window, pos + Vec3::new(0.05, 0.0, 0.0));
+        assert!(off < at_true);
+    }
+
+    #[test]
+    fn uncalibrated_links_are_ignored() {
+        let ants = corner_antennas();
+        let mut loc = Localizer::new(&ants, HologramConfig::default());
+        let pos = Vec3::new(0.0, 0.0, 0.8);
+        // Calibrate with antenna 1 only.
+        let cal: Vec<TagReport> = reports_at(pos, &ants, 0.0)
+            .into_iter()
+            .filter(|r| r.rf.antenna == 1)
+            .collect();
+        loc.calibrate(pos, &cal);
+        assert_eq!(loc.calibrated_links(), 1);
+        // Window on other antennas only → None.
+        let window: Vec<TagReport> = reports_at(pos, &ants, 1.0)
+            .into_iter()
+            .filter(|r| r.rf.antenna != 1)
+            .collect();
+        assert!(loc.locate(&window, pos).is_none());
+    }
+
+    #[test]
+    fn fewer_antennas_weaker_localization() {
+        // The physical driver of Fig. 1: fewer usable readings per window
+        // (lower IRR) → coarser fixes. With a single antenna the hologram
+        // ridge is a ring, so the error along it can be large.
+        let ants = corner_antennas();
+        let mut loc4 = Localizer::new(&ants, HologramConfig::default());
+        let mut loc1 = Localizer::new(&ants[..1].to_vec(), HologramConfig::default());
+        let start = Vec3::new(0.2, 0.0, 0.8);
+        loc4.calibrate(start, &reports_at(start, &ants, 0.0));
+        loc1.calibrate(start, &reports_at(start, &ants[..1], 0.0));
+        let moved = Vec3::new(0.17, 0.04, 0.8);
+        let e4 = loc4
+            .locate(&reports_at(moved, &ants, 1.0), start)
+            .unwrap()
+            .dist(moved);
+        let w1: Vec<TagReport> = reports_at(moved, &ants[..1], 1.0);
+        let e1 = loc1.locate(&w1, start).unwrap().dist(moved);
+        assert!(e4 < 0.01);
+        assert!(e1 > e4, "1-antenna {e1} vs 4-antenna {e4}");
+    }
+}

@@ -1,0 +1,13 @@
+//! # tagwatch-tracking — phase-hologram tag localization
+//!
+//! The application substrate of the paper's §7.3 study: a grid-searched
+//! phase hologram (after Tagoram's Differential Augmented Hologram)
+//! recovers a mobile tag's trajectory from multi-antenna backscatter
+//! phase, and its accuracy is a direct function of the tag's reading
+//! rate — the quantity Tagwatch protects.
+
+pub mod hologram;
+pub mod tracker;
+
+pub use hologram::{HologramConfig, Localizer};
+pub use tracker::{accuracy, Fix, Tracker};

@@ -1,0 +1,89 @@
+//! Quickstart: stand up a simulated RFID deployment, run Tagwatch on it,
+//! and watch the mobile tag's reading rate climb.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The scene is the paper's core scenario in miniature: 40 tags covered by
+//! one reader antenna, two of them riding a turntable. Plain reading gives
+//! every tag the same (low) individual reading rate; Tagwatch's two-phase
+//! cycle detects the movers from their backscatter phase and reads them
+//! almost exclusively in Phase II.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch_reader::{Reader, ReaderConfig, RoSpec};
+use tagwatch_rf::ChannelPlan;
+use tagwatch_scene::presets;
+
+fn main() {
+    let seed = 7;
+    let n_tags = 40;
+    let n_mobile = 2;
+
+    // --- Build the physical deployment --------------------------------
+    // A turntable scene: tags 0..2 spin on a platter, the rest sit still.
+    let scene = presets::turntable(n_tags, n_mobile, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epcs: Vec<Epc> = (0..n_tags).map(|_| Epc::random(&mut rng)).collect();
+    let mut reader_cfg = ReaderConfig::default();
+    // Single frequency keeps the immobility models' warm-up short for the
+    // demo; production plans hop over 16 channels.
+    reader_cfg.channel_plan = ChannelPlan::single(922.5e6);
+
+    // --- Baseline: plain "read everything" ----------------------------
+    let mut reader = Reader::new(scene.clone(), &epcs, reader_cfg.clone(), seed);
+    let spec = RoSpec::read_all(1, vec![1]);
+    let reports = reader.run_for(&spec, 10.0).expect("valid spec");
+    let mover_reads = reports.iter().filter(|r| r.tag_idx == 0).count();
+    let baseline_irr = mover_reads as f64 / reader.now();
+    println!("baseline (read all): mover IRR = {baseline_irr:.1} Hz");
+
+    // --- Tagwatch: rate-adaptive two-phase reading ---------------------
+    let mut reader = Reader::new(scene, &epcs, reader_cfg, seed);
+    let mut cfg = TagwatchConfig::default();
+    cfg.phase2_len = 2.0;
+    let mut tagwatch = Controller::new(cfg);
+
+    // Warm up: the self-learning immobility models need a few cycles of
+    // history before the stationary majority drops out of scheduling.
+    println!("\nwarming up immobility models…");
+    for cycle in 0..30 {
+        let report = tagwatch.run_cycle(&mut reader).expect("valid config");
+        if cycle % 5 == 0 {
+            println!(
+                "  cycle {cycle:>2}: {:?}, {} mobile of {} present",
+                report.mode,
+                report.mobile.len(),
+                report.census.len()
+            );
+        }
+    }
+
+    // Measure the steady state.
+    let t0 = reader.now();
+    let mut mover_reads = 0;
+    let mut masks_used = Vec::new();
+    for _ in 0..5 {
+        let report = tagwatch.run_cycle(&mut reader).expect("valid config");
+        mover_reads += report
+            .phase1
+            .iter()
+            .chain(report.phase2.iter())
+            .filter(|r| r.tag_idx == 0)
+            .count();
+        if let Some(plan) = &report.plan {
+            masks_used = plan.masks.iter().map(|m| m.to_string()).collect();
+        }
+    }
+    let tagwatch_irr = mover_reads as f64 / (reader.now() - t0);
+
+    println!("\nTagwatch: mover IRR = {tagwatch_irr:.1} Hz");
+    println!(
+        "IRR gain = {:.1}x  (paper: ~3.2x at 5% mobile)",
+        tagwatch_irr / baseline_irr
+    );
+    println!("last Phase-II bitmasks: {masks_used:?}");
+}

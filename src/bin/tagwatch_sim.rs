@@ -1,0 +1,88 @@
+//! `tagwatch-sim` — run a declarative simulation scenario.
+//!
+//! ```text
+//! tagwatch-sim <scenario.json>           # JSONL, one line per cycle
+//! tagwatch-sim <scenario.json> --table   # human-readable table
+//! ```
+//!
+//! Scenario documents are described in `tagwatch_repro::scenario`; see
+//! `examples/scenarios/` for ready-made inputs.
+
+use std::process::ExitCode;
+use tagwatch_repro::scenario;
+
+fn main() -> ExitCode {
+    let mut path = None;
+    let mut table = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--table" => table = true,
+            "--help" | "-h" => {
+                eprintln!("usage: tagwatch-sim <scenario.json> [--table]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other:?}");
+                return ExitCode::FAILURE;
+            }
+            file => path = Some(file.to_string()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: tagwatch-sim <scenario.json> [--table]");
+        return ExitCode::FAILURE;
+    };
+    let json = match std::fs::read_to_string(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match scenario::parse(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad scenario: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cycles = match scenario::run(&spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if table {
+        println!(
+            "{:>5} {:>9} {:>10} {:>7} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7}",
+            "cycle", "t (s)", "mode", "census", "mobile", "target", "masks", "p1 reads", "p2 reads", "ms"
+        );
+        for c in &cycles {
+            println!(
+                "{:>5} {:>9.1} {:>10} {:>7} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7.2}",
+                c.cycle,
+                c.t_start,
+                c.mode,
+                c.census,
+                c.mobile,
+                c.targets,
+                c.masks,
+                c.phase1_reads,
+                c.phase2_reads,
+                c.compute_ms
+            );
+        }
+    } else {
+        for c in &cycles {
+            match serde_json::to_string(c) {
+                Ok(line) => println!("{line}"),
+                Err(e) => {
+                    eprintln!("serialization failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate for the Tagwatch reproduction: hosts the runnable
+//! examples, the cross-crate integration tests, and the declarative
+//! [`scenario`] runner behind the `tagwatch-sim` binary.
+
+pub mod scenario;

@@ -1,0 +1,268 @@
+//! Declarative simulation scenarios.
+//!
+//! A scenario is a JSON document describing a scene preset, reader
+//! configuration, and Tagwatch configuration; [`run`] assembles the stack
+//! and executes it, returning per-cycle summaries. The `tagwatch-sim`
+//! binary is a thin CLI over this module; see
+//! `examples/scenarios/*.json` for ready-made inputs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tagwatch::prelude::*;
+use tagwatch::ScheduleMode;
+use tagwatch_gen2::Epc;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_rf::ChannelPlan;
+use tagwatch_scene::{presets, Scene};
+
+/// Which pre-built scene the scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "preset", rename_all = "snake_case")]
+pub enum ScenePreset {
+    /// `n` tags, `mobile` of them on a spinning turntable.
+    Turntable { n: usize, mobile: usize },
+    /// `n` stationary tags with `people` walking around.
+    Office { n: usize, people: usize },
+    /// `n` stationary tags, no clutter.
+    RandomRoom { n: usize },
+    /// One toy train + `statics` companion tags, four corner antennas.
+    TrackingStudy { statics: usize },
+}
+
+impl ScenePreset {
+    fn build(&self, seed: u64) -> Scene {
+        match *self {
+            ScenePreset::Turntable { n, mobile } => presets::turntable(n, mobile, seed),
+            ScenePreset::Office { n, people } => presets::office_monitoring(n, people, seed),
+            ScenePreset::RandomRoom { n } => presets::random_room(n, seed),
+            ScenePreset::TrackingStudy { statics } => presets::tracking_study(statics, seed),
+        }
+    }
+
+    fn tag_count(&self) -> usize {
+        match *self {
+            ScenePreset::Turntable { n, .. } => n,
+            ScenePreset::Office { n, .. } => n,
+            ScenePreset::RandomRoom { n } => n,
+            ScenePreset::TrackingStudy { statics } => statics + 1,
+        }
+    }
+}
+
+/// Reader knobs exposed to scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ReaderSpec {
+    /// Number of hop channels (1 = fixed frequency; 16 = China-band plan).
+    pub channels: u8,
+    /// Decode-failure injection probability.
+    pub decode_fail_prob: f64,
+    /// Forward-field range in metres (None = unlimited).
+    pub field_range_m: Option<f64>,
+}
+
+impl Default for ReaderSpec {
+    fn default() -> Self {
+        ReaderSpec {
+            channels: 1,
+            decode_fail_prob: 0.0,
+            field_range_m: None,
+        }
+    }
+}
+
+/// The full scenario document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Master seed (scene layout, EPCs, protocol randomness).
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// The scene.
+    pub scene: ScenePreset,
+    /// Reader configuration.
+    #[serde(default)]
+    pub reader: ReaderSpec,
+    /// Tagwatch middleware configuration (paper defaults when omitted).
+    #[serde(default)]
+    pub tagwatch: TagwatchConfig,
+    /// Number of two-phase cycles to run.
+    #[serde(default = "default_cycles")]
+    pub cycles: usize,
+}
+
+fn default_seed() -> u64 {
+    7
+}
+
+fn default_cycles() -> usize {
+    20
+}
+
+/// One cycle's summary, as emitted on the CLI's JSONL output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleSummary {
+    pub cycle: u64,
+    pub t_start: f64,
+    pub t_end: f64,
+    /// "selective" or "read_all".
+    pub mode: String,
+    pub census: usize,
+    pub mobile: usize,
+    pub targets: usize,
+    /// Number of Phase-II bitmasks (0 for read-all).
+    pub masks: usize,
+    pub phase1_reads: usize,
+    pub phase2_reads: usize,
+    /// Ground-truth movers among the targets (uses simulator knowledge).
+    pub true_movers_targeted: usize,
+    pub compute_ms: f64,
+}
+
+/// Parses a scenario from JSON.
+pub fn parse(json: &str) -> Result<Scenario, serde_json::Error> {
+    serde_json::from_str(json)
+}
+
+/// Runs a scenario to completion, returning the per-cycle summaries.
+pub fn run(scenario: &Scenario) -> Result<Vec<CycleSummary>, String> {
+    scenario
+        .tagwatch
+        .validate()
+        .map_err(|e| format!("invalid tagwatch config: {e}"))?;
+    if scenario.reader.channels == 0 {
+        return Err("reader.channels must be ≥ 1".into());
+    }
+
+    let scene = scenario.scene.build(scenario.seed);
+    let n = scenario.scene.tag_count();
+    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x5CEA);
+    let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
+
+    let rcfg = ReaderConfig {
+        channel_plan: if scenario.reader.channels == 1 {
+            ChannelPlan::single(922.5e6)
+        } else {
+            ChannelPlan::evenly_spaced(920.625e6, 250e3, scenario.reader.channels, 2.0)
+        },
+        decode_fail_prob: scenario.reader.decode_fail_prob,
+        field_range_m: scenario.reader.field_range_m,
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(scene.clone(), &epcs, rcfg, scenario.seed ^ 0xF00D);
+
+    let mut ctl = Controller::new(scenario.tagwatch.clone());
+    let mut out = Vec::with_capacity(scenario.cycles);
+    for _ in 0..scenario.cycles {
+        let rep = ctl
+            .run_cycle(&mut reader)
+            .map_err(|e| format!("cycle failed: {e}"))?;
+        let mid = (rep.t_start + rep.t_end) / 2.0;
+        let true_movers_targeted = rep
+            .targets
+            .iter()
+            .filter(|t| {
+                epcs.iter()
+                    .position(|e| e == *t)
+                    .map(|idx| scene.tag_moving(idx, mid, 1e-3))
+                    .unwrap_or(false)
+            })
+            .count();
+        out.push(CycleSummary {
+            cycle: rep.cycle,
+            t_start: rep.t_start,
+            t_end: rep.t_end,
+            mode: match rep.mode {
+                ScheduleMode::Selective => "selective".to_string(),
+                ScheduleMode::ReadAll => "read_all".to_string(),
+            },
+            census: rep.census.len(),
+            mobile: rep.mobile.len(),
+            targets: rep.targets.len(),
+            masks: rep.plan.as_ref().map(|p| p.masks.len()).unwrap_or(0),
+            phase1_reads: rep.phase1.len(),
+            phase2_reads: rep.phase2.len(),
+            true_movers_targeted,
+            compute_ms: rep.compute_time * 1e3,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn turntable_json() -> &'static str {
+        r#"{
+            "seed": 7,
+            "scene": {"preset": "turntable", "n": 25, "mobile": 1},
+            "reader": {"channels": 1},
+            "cycles": 3
+        }"#
+    }
+
+    #[test]
+    fn parse_minimal_scenario() {
+        let s = parse(turntable_json()).unwrap();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.cycles, 3);
+        assert_eq!(s.scene, ScenePreset::Turntable { n: 25, mobile: 1 });
+        // Tagwatch defaults filled in.
+        assert_eq!(s.tagwatch.phase2_len, 5.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{}").is_err());
+        assert!(parse(r#"{"scene": {"preset": "nope"}}"#).is_err());
+    }
+
+    #[test]
+    fn run_produces_cycle_summaries() {
+        let mut s = parse(turntable_json()).unwrap();
+        s.tagwatch.phase2_len = 0.5;
+        let cycles = run(&s).unwrap();
+        assert_eq!(cycles.len(), 3);
+        for (i, c) in cycles.iter().enumerate() {
+            assert_eq!(c.cycle, i as u64);
+            assert_eq!(c.census, 25);
+            assert!(c.t_end > c.t_start);
+            assert!(c.phase1_reads > 0);
+            assert!(c.phase2_reads > 0);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let mut s = parse(turntable_json()).unwrap();
+        s.tagwatch.phase2_len = 0.5;
+        let a = run(&s).unwrap();
+        let b = run(&s).unwrap();
+        // compute_ms is wall clock; compare everything else.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mode, y.mode);
+            assert_eq!(x.targets, y.targets);
+            assert_eq!(x.phase2_reads, y.phase2_reads);
+            assert_eq!(x.t_end, y.t_end);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_reported() {
+        let mut s = parse(turntable_json()).unwrap();
+        s.reader.channels = 0;
+        assert!(run(&s).is_err());
+        let mut s = parse(turntable_json()).unwrap();
+        s.tagwatch.phase2_len = -1.0;
+        assert!(run(&s).is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_json() {
+        let s = parse(turntable_json()).unwrap();
+        let text = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&text).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cross-crate integration tests at the reader boundary: protocol-level
+//! selective reading, cost-model calibration, and report physics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch_gen2::{BitMask, CostModel, Epc};
+use tagwatch_reader::{Reader, ReaderConfig, RoSpec};
+use tagwatch_rf::ChannelPlan;
+use tagwatch_scene::presets;
+
+fn epcs(n: usize, seed: u64) -> Vec<Epc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Epc::random(&mut rng)).collect()
+}
+
+#[test]
+fn simulated_costs_fit_the_paper_model() {
+    // The headline calibration claim (DESIGN.md §5.6): least-squares over
+    // simulated inventory costs recovers parameters in the neighbourhood
+    // of the paper's τ0 = 19 ms, τ̄ = 0.18 ms.
+    let mut samples = Vec::new();
+    for &n in &[1usize, 3, 5, 10, 15, 20, 30, 40] {
+        let scene = presets::random_room(n, n as u64);
+        let ids = epcs(n, 100 + n as u64);
+        let mut reader = Reader::new(scene, &ids, ReaderConfig::default(), 200 + n as u64);
+        let spec = RoSpec::read_all(1, vec![1]);
+        for _ in 0..4 {
+            reader.execute(&spec).unwrap(); // settle link adaptation
+        }
+        reader.events.take();
+        for _ in 0..6 {
+            reader.execute(&spec).unwrap();
+        }
+        let events = reader.events.take();
+        let mean = events.iter().map(|e| e.duration()).sum::<f64>() / events.len() as f64;
+        samples.push((n, mean));
+    }
+    let fit = CostModel::fit(&samples).expect("enough samples");
+    assert!(
+        (12e-3..30e-3).contains(&fit.tau0),
+        "fitted τ0 = {:.1} ms (paper: 19 ms)",
+        fit.tau0 * 1e3
+    );
+    assert!(
+        (0.08e-3..0.40e-3).contains(&fit.tau_bar),
+        "fitted τ̄ = {:.3} ms (paper: 0.18 ms)",
+        fit.tau_bar * 1e3
+    );
+}
+
+#[test]
+fn multi_mask_rospec_reads_exactly_the_union() {
+    let n = 60;
+    let scene = presets::random_room(n, 31);
+    let ids = epcs(n, 32);
+    let mut reader = Reader::new(scene, &ids, ReaderConfig::default(), 33);
+
+    // Two short prefix masks with known coverage.
+    let m1 = BitMask::from_epc_range(ids[4], 0, 5);
+    let m2 = BitMask::from_epc_range(ids[17], 3, 6);
+    let expected: Vec<usize> = (0..n)
+        .filter(|&i| m1.matches(ids[i]) || m2.matches(ids[i]))
+        .collect();
+    assert!(!expected.is_empty());
+
+    let spec = RoSpec::selective(5, vec![1], &[m1, m2]);
+    let reports = reader.execute(&spec).unwrap();
+    let mut got: Vec<usize> = reports.iter().map(|r| r.tag_idx).collect();
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got, expected, "selective union mismatch");
+}
+
+#[test]
+fn phase_reports_are_physically_consistent() {
+    // On a noiseless single channel, two consecutive reads of the same
+    // static tag on the same antenna must report identical phase; a tag
+    // twice as far reports ~12 dB less RSS.
+    let mut scene = presets::random_room(2, 41);
+    scene.tags[0] = tagwatch_scene::SceneTag::fixed(0, tagwatch_rf::Vec3::new(1.0, 0.0, 1.0));
+    scene.tags[1] = tagwatch_scene::SceneTag::fixed(1, tagwatch_rf::Vec3::new(2.0, 0.0, 1.0));
+    scene.antennas[0].position = tagwatch_rf::Vec3::new(0.0, 0.0, 1.0);
+    let ids = epcs(2, 42);
+    let mut cfg = ReaderConfig::deterministic();
+    cfg.channel_plan = ChannelPlan::single(922.5e6);
+    let mut reader = Reader::new(scene, &ids, cfg, 43);
+    let spec = RoSpec::read_all(1, vec![1]);
+    let a = reader.execute(&spec).unwrap();
+    let b = reader.execute(&spec).unwrap();
+    for tag in 0..2 {
+        let pa = a.iter().find(|r| r.tag_idx == tag).unwrap();
+        let pb = b.iter().find(|r| r.tag_idx == tag).unwrap();
+        assert!(
+            (pa.rf.phase - pb.rf.phase).abs() < 1e-9,
+            "static tag phase changed between rounds"
+        );
+    }
+    let rss0 = a.iter().find(|r| r.tag_idx == 0).unwrap().rf.rss_dbm;
+    let rss1 = a.iter().find(|r| r.tag_idx == 1).unwrap().rf.rss_dbm;
+    assert!(
+        ((rss0 - rss1) - 12.04).abs() < 0.2,
+        "two-way path loss violated: {rss0} vs {rss1}"
+    );
+}
+
+#[test]
+fn empty_selection_is_cheap_and_harmless() {
+    // A mask covering no tag: the round winds down quickly with no reads.
+    let scene = presets::random_room(20, 51);
+    let ids = epcs(20, 52);
+    let mut reader = Reader::new(scene, &ids, ReaderConfig::default(), 53);
+    // Build a mask that matches none of the population.
+    let mut mask = None;
+    for bits in 0u128..64 {
+        let candidate = BitMask::new(bits, 0, 6);
+        if ids.iter().all(|e| !candidate.matches(*e)) {
+            mask = Some(candidate);
+            break;
+        }
+    }
+    let mask = mask.expect("some 6-bit prefix is unused by 20 tags");
+    let t0 = reader.now();
+    let reports = reader.execute(&RoSpec::selective(9, vec![1], &[mask])).unwrap();
+    assert!(reports.is_empty());
+    assert!(reader.now() - t0 < 0.05, "empty round too slow");
+}
+
+#[test]
+fn channel_hopping_changes_reported_channel_and_freq() {
+    let scene = presets::random_room(3, 61);
+    let ids = epcs(3, 62);
+    let mut cfg = ReaderConfig::default();
+    // Fast dwell so a short run crosses several channels.
+    cfg.channel_plan = ChannelPlan::evenly_spaced(920.625e6, 250e3, 16, 0.2);
+    let mut reader = Reader::new(scene, &ids, cfg, 63);
+    let spec = RoSpec::read_all(1, vec![1]);
+    let reports = reader.run_for(&spec, 2.0).unwrap();
+    let mut channels: Vec<u8> = reports.iter().map(|r| r.rf.channel).collect();
+    channels.sort_unstable();
+    channels.dedup();
+    assert!(channels.len() >= 4, "only {} channels seen", channels.len());
+    for r in &reports {
+        let expected_freq = 920.625e6 + 250e3 * r.rf.channel as f64;
+        assert!((r.rf.freq_hz - expected_freq).abs() < 1.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Golden smoke tests for the shipped scenario files: every JSON under
+//! `examples/scenarios/` must parse and run end to end.
+
+use tagwatch_repro::scenario;
+
+fn scenario_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("scenario directory exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 3,
+        "expected at least three shipped scenarios, found {files:?}"
+    );
+    files
+}
+
+#[test]
+fn all_shipped_scenarios_parse_and_run() {
+    for path in scenario_files() {
+        let json = std::fs::read_to_string(&path).unwrap();
+        let mut spec = scenario::parse(&json)
+            .unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
+        // Clamp to a fast smoke run; shorten Phase II too.
+        spec.cycles = spec.cycles.min(2);
+        spec.tagwatch.phase2_len = spec.tagwatch.phase2_len.min(0.5);
+        let cycles =
+            scenario::run(&spec).unwrap_or_else(|e| panic!("{path:?} failed to run: {e}"));
+        assert_eq!(cycles.len(), spec.cycles, "{path:?}");
+        for c in &cycles {
+            assert!(c.census > 0, "{path:?}: empty census");
+            assert!(c.phase1_reads > 0, "{path:?}: silent Phase I");
+        }
+    }
+}
+
+#[test]
+fn scenarios_emit_valid_jsonl_rows() {
+    // The CLI prints one JSON object per cycle; the schema must be stable
+    // and self-describing enough to round-trip.
+    let json = std::fs::read_to_string(scenario_files().remove(0)).unwrap();
+    let mut spec = scenario::parse(&json).unwrap();
+    spec.cycles = 1;
+    spec.tagwatch.phase2_len = 0.3;
+    let rows = scenario::run(&spec).unwrap();
+    let line = serde_json::to_string(&rows[0]).unwrap();
+    let back: scenario::CycleSummary = serde_json::from_str(&line).unwrap();
+    assert_eq!(back, rows[0]);
+    for key in ["cycle", "mode", "census", "targets", "phase2_reads"] {
+        assert!(line.contains(key), "JSONL row missing {key}: {line}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Warm-restart integration tests: snapshot a trained controller,
+//! serialize it, restore into a fresh process-equivalent, and verify the
+//! restored instance behaves identically — no re-learning.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch::{Controller, ControllerSnapshot};
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_rf::ChannelPlan;
+use tagwatch_scene::presets;
+
+fn epcs(n: usize, seed: u64) -> Vec<Epc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Epc::random(&mut rng)).collect()
+}
+
+fn trained_setup() -> (Controller, Reader, Vec<Epc>) {
+    let n = 20;
+    let scene = presets::turntable(n, 1, 31);
+    let ids = epcs(n, 32);
+    let rcfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(scene, &ids, rcfg, 33);
+    let mut cfg = TagwatchConfig {
+        phase2_len: 1.0,
+        ..TagwatchConfig::default()
+    };
+    cfg.gmm.alpha = 0.01;
+    let mut ctl = Controller::new(cfg);
+    for _ in 0..25 {
+        ctl.run_cycle(&mut reader).unwrap();
+    }
+    (ctl, reader, ids)
+}
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let (ctl, _, _) = trained_setup();
+    let snap = ctl.snapshot();
+    let json = serde_json::to_string(&snap).expect("snapshot must serialize");
+    let back: ControllerSnapshot = serde_json::from_str(&json).expect("and deserialize");
+    assert_eq!(back.cycle, snap.cycle);
+    assert_eq!(back.assessors.len(), snap.assessors.len());
+    assert_eq!(back.history.len(), snap.history.len());
+}
+
+#[test]
+fn restored_controller_behaves_identically() {
+    let (ctl, reader, _) = trained_setup();
+    let snap = ctl.snapshot();
+
+    // Run the original and the restored controller against identical
+    // reader clones: every decision must match.
+    let mut original = ctl;
+    let mut restored = Controller::restore(snap);
+    let mut reader_a = reader.clone();
+    let mut reader_b = reader;
+    for _ in 0..5 {
+        let a = original.run_cycle(&mut reader_a).unwrap();
+        let b = restored.run_cycle(&mut reader_b).unwrap();
+        assert_eq!(a.cycle, b.cycle);
+        assert_eq!(a.mode, b.mode);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.phase2.len(), b.phase2.len());
+    }
+}
+
+#[test]
+fn restored_controller_skips_relearning() {
+    // A cold controller treats everyone as mobile on its first cycle; a
+    // warm-restored one goes straight to selective scheduling.
+    let (ctl, reader, ids) = trained_setup();
+    let snap = ctl.snapshot();
+    drop(ctl);
+
+    let mut warm = Controller::restore(snap);
+    let mut reader = reader;
+    let rep = warm.run_cycle(&mut reader).unwrap();
+    assert_eq!(rep.mode, tagwatch::ScheduleMode::Selective);
+    assert!(rep.targets.contains(&ids[0]), "mover still known after restore");
+    assert!(
+        rep.mobile.len() <= 3,
+        "warm restart should not re-flag the stationary majority ({} mobile)",
+        rep.mobile.len()
+    );
+}
+
+#[test]
+#[should_panic(expected = "invalid Tagwatch configuration")]
+fn restore_validates_config() {
+    let (ctl, _, _) = trained_setup();
+    let mut snap = ctl.snapshot();
+    snap.config.antennas.clear();
+    let _ = Controller::restore(snap);
+}

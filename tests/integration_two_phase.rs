@@ -1,0 +1,266 @@
+//! Full-stack integration tests: scene → RF channel → Gen2 protocol →
+//! reader → Tagwatch controller, exercising the behaviours the paper's
+//! §3/§4.3 narrative promises across module boundaries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_rf::{ChannelPlan, Vec3};
+use tagwatch_scene::{presets, Scene, SceneTag, Trajectory};
+
+fn epcs(n: usize, seed: u64) -> Vec<Epc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Epc::random(&mut rng)).collect()
+}
+
+fn reader_for(scene: Scene, ids: &[Epc], seed: u64) -> Reader {
+    let mut cfg = ReaderConfig::default();
+    cfg.channel_plan = ChannelPlan::single(922.5e6);
+    Reader::new(scene, ids, cfg, seed)
+}
+
+fn fast_cfg() -> TagwatchConfig {
+    let mut cfg = TagwatchConfig {
+        phase2_len: 1.0,
+        ..TagwatchConfig::default()
+    };
+    cfg.gmm.alpha = 0.01; // short test horizons
+    cfg
+}
+
+#[test]
+fn state_transition_stationary_to_moving_is_caught() {
+    // A tag that sits still for 60 s and is then displaced must be
+    // scheduled within a couple of cycles of the displacement.
+    let mut scene = presets::random_room(15, 3);
+    scene.tags[7] = SceneTag::new(
+        7,
+        Trajectory::StepDisplacement {
+            origin: scene.tags[7].position_at(0.0),
+            displacement: Vec3::new(0.05, 0.03, 0.0),
+            t_step: 60.0,
+        },
+    );
+    let ids = epcs(15, 4);
+    let mut reader = reader_for(scene, &ids, 5);
+    let mut ctl = Controller::new(fast_cfg());
+
+    // Reach steady state well before the step: mostly unscheduled over
+    // the last few pre-step cycles (occasional false positives are within
+    // the paper's FPR budget).
+    let mut pre_targeted = 0;
+    let mut pre_cycles = 0;
+    while reader.now() < 55.0 {
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        if reader.now() > 40.0 {
+            pre_cycles += 1;
+            if rep.targets.contains(&ids[7]) {
+                pre_targeted += 1;
+            }
+        }
+    }
+    assert!(
+        pre_targeted * 3 <= pre_cycles,
+        "tag 7 scheduled {pre_targeted}/{pre_cycles} cycles while static"
+    );
+
+    // After the step, it must be targeted within a few cycles (an
+    // unscheduled tag is only read once per antenna per cycle, and the
+    // per-reading detection probability at ~6 cm is high but not 1).
+    let mut caught = false;
+    for _ in 0..8 {
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        if reader.now() > 60.0 && rep.targets.contains(&ids[7]) {
+            caught = true;
+            break;
+        }
+    }
+    assert!(caught, "displacement never caught");
+}
+
+#[test]
+fn moving_to_stationary_drops_out_after_learning() {
+    // The reverse transition (§4.3): a tag that stops moving is
+    // mis-scheduled while its new immobility model learns, then drops
+    // out of Phase II.
+    let mut scene = presets::random_room(12, 8);
+    scene.tags[3] = SceneTag::new(
+        3,
+        Trajectory::Waypoints {
+            points: vec![
+                (0.0, Vec3::new(1.0, 0.0, 0.8)),
+                (20.0, Vec3::new(-1.0, 1.0, 0.8)), // slowly carried
+            ],
+        },
+    );
+    let ids = epcs(12, 9);
+    let mut reader = reader_for(scene, &ids, 10);
+    let mut ctl = Controller::new(fast_cfg());
+
+    // While it moves (t < 20), it should be targeted at steady state.
+    let mut targeted_while_moving = 0;
+    let mut cycles_while_moving = 0;
+    while reader.now() < 20.0 {
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        if reader.now() > 8.0 {
+            cycles_while_moving += 1;
+            if rep.targets.contains(&ids[3]) {
+                targeted_while_moving += 1;
+            }
+        }
+    }
+    assert!(
+        targeted_while_moving * 2 >= cycles_while_moving,
+        "mover targeted only {targeted_while_moving}/{cycles_while_moving} cycles"
+    );
+
+    // After it stops, give the new-place model time to learn, then check
+    // it is no longer scheduled.
+    while reader.now() < 45.0 {
+        ctl.run_cycle(&mut reader).unwrap();
+    }
+    let mut targeted_after = 0;
+    for _ in 0..5 {
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        if rep.targets.contains(&ids[3]) {
+            targeted_after += 1;
+        }
+    }
+    assert!(
+        targeted_after <= 1,
+        "stopped tag still scheduled {targeted_after}/5 cycles"
+    );
+}
+
+#[test]
+fn decode_faults_degrade_gracefully() {
+    // With 20% of clean singletons garbled, the system must still converge
+    // to selective reading of the mover — just more slowly.
+    let scene = presets::turntable(20, 1, 11);
+    let ids = epcs(20, 12);
+    let mut cfg = ReaderConfig::default();
+    cfg.channel_plan = ChannelPlan::single(922.5e6);
+    cfg.decode_fail_prob = 0.2;
+    let mut reader = Reader::new(scene, &ids, cfg, 13);
+    let mut ctl = Controller::new(fast_cfg());
+    let mut selective_tail = 0;
+    for k in 0..45 {
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        if k >= 35 && rep.mode == ScheduleMode::Selective && rep.targets.contains(&ids[0]) {
+            selective_tail += 1;
+        }
+    }
+    assert!(
+        selective_tail >= 6,
+        "only {selective_tail}/10 tail cycles selective under faults"
+    );
+}
+
+#[test]
+fn churn_of_arriving_and_departing_tags() {
+    // Tags streaming through the field (conveyor-style presence windows)
+    // must be read while present, assumed mobile on arrival, and evicted
+    // after departure without disturbing the resident population.
+    let mut scene = presets::random_room(10, 14);
+    for k in 0..5u64 {
+        let t0 = 5.0 + k as f64 * 6.0;
+        scene.add_tag(
+            SceneTag::new(
+                100 + k,
+                Trajectory::Conveyor {
+                    start: Vec3::new(-2.0, 2.0, 0.8),
+                    end: Vec3::new(2.0, 2.0, 0.8),
+                    speed: 0.8,
+                    t_depart: t0,
+                },
+            )
+            .with_presence(t0, t0 + 5.0),
+        );
+    }
+    let ids = epcs(15, 15);
+    let mut reader = reader_for(scene, &ids, 16);
+    let mut cfg = fast_cfg();
+    cfg.eviction_timeout = 8.0;
+    let mut ctl = Controller::new(cfg);
+
+    let mut transient_seen = [false; 5];
+    let mut transient_targeted = [false; 5];
+    let mut evicted_total = 0;
+    while reader.now() < 50.0 {
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        for k in 0..5 {
+            if rep.census.contains(&ids[10 + k]) {
+                transient_seen[k] = true;
+            }
+            if rep.targets.contains(&ids[10 + k]) {
+                transient_targeted[k] = true;
+            }
+        }
+        evicted_total += rep.evicted.len();
+    }
+    assert!(
+        transient_seen.iter().all(|&s| s),
+        "some conveyor tags never read: {transient_seen:?}"
+    );
+    assert!(
+        transient_targeted.iter().filter(|&&t| t).count() >= 4,
+        "conveyor tags not prioritised: {transient_targeted:?}"
+    );
+    assert!(
+        evicted_total >= 4,
+        "departed tags not evicted ({evicted_total})"
+    );
+    // Residents survived the churn.
+    assert!(ctl.tracked_tags() >= 10);
+}
+
+#[test]
+fn concerned_tags_survive_detector_blindness() {
+    // Even with a deliberately blind detector (RSS differencing with an
+    // absurd threshold), configuration-file tags are still scheduled.
+    let scene = presets::random_room(10, 17);
+    let ids = epcs(10, 18);
+    let mut reader = reader_for(scene, &ids, 19);
+    let mut cfg = fast_cfg();
+    cfg.detector = DetectorKind::RssDiff(1e9);
+    cfg.concerned = vec![ids[2], ids[6]];
+    let mut ctl = Controller::new(cfg);
+    // First cycles: every unknown tag votes mobile on its first reading
+    // (the paper's prior), so Phase II reads all. Let that wash out.
+    for _ in 0..3 {
+        ctl.run_cycle(&mut reader).unwrap();
+    }
+    for _ in 0..5 {
+        let rep = ctl.run_cycle(&mut reader).unwrap();
+        assert!(rep.targets.contains(&ids[2]));
+        assert!(rep.targets.contains(&ids[6]));
+        assert_eq!(rep.mode, ScheduleMode::Selective);
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let scene = presets::turntable(25, 2, 21);
+        let ids = epcs(25, 22);
+        let mut reader = reader_for(scene, &ids, 23);
+        let mut ctl = Controller::new(fast_cfg());
+        let mut digest = Vec::new();
+        for _ in 0..8 {
+            let rep = ctl.run_cycle(&mut reader).unwrap();
+            digest.push((
+                rep.mode,
+                rep.census.len(),
+                rep.targets.clone(),
+                rep.phase1.len(),
+                rep.phase2.len(),
+            ));
+        }
+        (digest, reader.now())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}

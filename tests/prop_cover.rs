@@ -1,0 +1,123 @@
+//! Property-based tests for the Phase-II scheduler: set-cover invariants
+//! that must hold for *any* population and target set.
+
+use proptest::prelude::*;
+use tagwatch::{naive_cover, select_cover, Bitmap, CoverConfig, CoverStrategy};
+use tagwatch_gen2::{CostModel, Epc};
+
+/// Populations: up to 48 tags with EPCs that may share prefixes (biased
+/// toward collisions to stress collateral handling).
+fn arb_population() -> impl Strategy<Value = Vec<Epc>> {
+    proptest::collection::vec(
+        prop_oneof![
+            // Fully random EPC.
+            (any::<u64>(), any::<u32>())
+                .prop_map(|(lo, hi)| Epc::from_bits(((hi as u128) << 64) | lo as u128)),
+            // Clustered: shared high 88 bits, random low byte — forces
+            // prefix collisions between tags.
+            any::<u8>().prop_map(|b| Epc::from_bits((0xABCD_u128 << 80) | b as u128)),
+        ],
+        1..48,
+    )
+}
+
+fn arb_targets(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::btree_set(0..n, 0..=n.min(12))
+        .prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cover_always_covers_all_targets(
+        (epcs, targets) in arb_population().prop_flat_map(|e| {
+            let n = e.len();
+            (Just(e), arb_targets(n))
+        })
+    ) {
+        let cost = CostModel::paper();
+        let plan = select_cover(&epcs, &targets, &cost, &CoverConfig::default());
+        for &t in &targets {
+            prop_assert!(plan.covered.get(t), "target {} uncovered", t);
+        }
+        // Every selected mask really covers at least one target.
+        for mask in &plan.masks {
+            prop_assert!(
+                targets.iter().any(|&t| mask.matches(epcs[t])),
+                "useless mask {}",
+                mask
+            );
+        }
+        // Plan coverage bitmap is consistent with the masks.
+        for (i, epc) in epcs.iter().enumerate() {
+            let by_masks = plan.masks.iter().any(|m| m.matches(*epc));
+            prop_assert_eq!(plan.covered.get(i), by_masks, "coverage mismatch at {}", i);
+        }
+    }
+
+    #[test]
+    fn cover_cost_never_exceeds_naive(
+        (epcs, targets) in arb_population().prop_flat_map(|e| {
+            let n = e.len();
+            (Just(e), arb_targets(n))
+        })
+    ) {
+        let cost = CostModel::paper();
+        let plan = select_cover(&epcs, &targets, &cost, &CoverConfig::default());
+        let naive = naive_cover(&epcs, &targets, &cost);
+        prop_assert!(
+            plan.est_cost <= naive.est_cost + 1e-12,
+            "plan {} > naive {}",
+            plan.est_cost,
+            naive.est_cost
+        );
+        if plan.strategy == CoverStrategy::NaivePerEpc {
+            prop_assert!((plan.est_cost - naive.est_cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mask_count_is_bounded_by_target_count(
+        (epcs, targets) in arb_population().prop_flat_map(|e| {
+            let n = e.len();
+            (Just(e), arb_targets(n))
+        })
+    ) {
+        let cost = CostModel::paper();
+        let plan = select_cover(&epcs, &targets, &cost, &CoverConfig::default());
+        // Greedy only picks masks with positive gain, so it can never use
+        // more masks than there are targets.
+        prop_assert!(plan.masks.len() <= targets.len());
+        if targets.is_empty() {
+            prop_assert!(plan.masks.is_empty());
+            prop_assert_eq!(plan.est_cost, 0.0);
+        }
+    }
+
+    #[test]
+    fn bitmap_ops_are_consistent(
+        indices_a in proptest::collection::btree_set(0usize..128, 0..40),
+        indices_b in proptest::collection::btree_set(0usize..128, 0..40),
+    ) {
+        let a_idx: Vec<usize> = indices_a.iter().copied().collect();
+        let b_idx: Vec<usize> = indices_b.iter().copied().collect();
+        let a = Bitmap::from_indices(128, &a_idx);
+        let b = Bitmap::from_indices(128, &b_idx);
+        // and_count equals set intersection size.
+        let inter = indices_a.intersection(&indices_b).count();
+        prop_assert_eq!(a.and_count(&b), inter);
+        // subtract equals set difference.
+        let mut d = a.clone();
+        d.subtract(&b);
+        let diff: Vec<usize> = indices_a.difference(&indices_b).copied().collect();
+        prop_assert_eq!(d.ones().collect::<Vec<_>>(), diff);
+        // union equals set union.
+        let mut u = a.clone();
+        u.union(&b);
+        let uni: Vec<usize> = indices_a.union(&indices_b).copied().collect();
+        prop_assert_eq!(u.ones().collect::<Vec<_>>(), uni);
+        // count_ones consistent with ones().
+        prop_assert_eq!(a.count_ones(), a_idx.len());
+    }
+}

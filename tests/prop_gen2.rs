@@ -1,0 +1,138 @@
+//! Property-based tests for the Gen2 substrate: EPC bit addressing,
+//! bitmask matching, Select flag semantics, and frame-sizer bounds.
+
+use proptest::prelude::*;
+use tagwatch_gen2::{
+    BitMask, Epc, FrameSizer, InvFlag, MemBank, QAdaptive, SelAction, SelTarget, Select,
+    SlotOutcome, TagProto, EPC_BITS,
+};
+
+fn arb_epc() -> impl Strategy<Value = Epc> {
+    (any::<u64>(), any::<u32>()).prop_map(|(lo, hi)| {
+        Epc::from_bits(((hi as u128) << 64) | lo as u128)
+    })
+}
+
+fn arb_range() -> impl Strategy<Value = (u16, u16)> {
+    (0u16..EPC_BITS).prop_flat_map(|pointer| {
+        (Just(pointer), 0u16..=(EPC_BITS - pointer))
+    })
+}
+
+proptest! {
+    #[test]
+    fn epc_bytes_round_trip(epc in arb_epc()) {
+        prop_assert_eq!(Epc::from_bytes(epc.to_bytes()), epc);
+    }
+
+    #[test]
+    fn epc_hex_round_trip(epc in arb_epc()) {
+        let s = epc.to_string();
+        prop_assert_eq!(s.len(), 24);
+        prop_assert_eq!(s.parse::<Epc>().unwrap(), epc);
+    }
+
+    #[test]
+    fn extract_matches_bitwise_loop(epc in arb_epc(), (p, l) in arb_range()) {
+        let got = epc.extract(p, l);
+        let mut want: u128 = 0;
+        for i in 0..l {
+            want = (want << 1) | epc.bit(p + i) as u128;
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mask_from_own_range_always_matches(epc in arb_epc(), (p, l) in arb_range()) {
+        let mask = BitMask::from_epc_range(epc, p, l);
+        prop_assert!(mask.matches(epc));
+    }
+
+    #[test]
+    fn mask_match_equals_substring_equality(
+        a in arb_epc(),
+        b in arb_epc(),
+        (p, l) in arb_range(),
+    ) {
+        let mask = BitMask::from_epc_range(a, p, l);
+        let expected = a.extract(p, l) == b.extract(p, l);
+        prop_assert_eq!(mask.matches(b), expected);
+    }
+
+    #[test]
+    fn exact_mask_matches_iff_equal(a in arb_epc(), b in arb_epc()) {
+        let mask = BitMask::exact(a);
+        prop_assert_eq!(mask.matches(b), a == b);
+    }
+
+    #[test]
+    fn select_action_table_is_respected(
+        epc in arb_epc(),
+        (p, l) in arb_range(),
+        action_idx in 0usize..8,
+        initial_sl in any::<bool>(),
+    ) {
+        use SelAction::*;
+        let actions = [
+            AssertElseDeassert, AssertElseNothing, NothingElseDeassert,
+            ToggleElseNothing, DeassertElseAssert, DeassertElseNothing,
+            NothingElseAssert, NothingElseToggle,
+        ];
+        let action = actions[action_idx];
+        let mask = BitMask::from_epc_range(epc, p, l); // always matches epc
+        let mut tag = TagProto::new(epc);
+        tag.sl = initial_sl;
+        tag.handle_select(&Select {
+            target: SelTarget::Sl,
+            action,
+            bank: MemBank::Epc,
+            mask,
+            truncate: false,
+        });
+        let (on_match, _) = action.ops();
+        let expected = match on_match {
+            tagwatch_gen2::commands::FlagOp::Assert => true,
+            tagwatch_gen2::commands::FlagOp::Deassert => false,
+            tagwatch_gen2::commands::FlagOp::Toggle => !initial_sl,
+            tagwatch_gen2::commands::FlagOp::Nothing => initial_sl,
+        };
+        prop_assert_eq!(tag.sl, expected);
+    }
+
+    #[test]
+    fn qadaptive_q_stays_in_bounds(
+        initial_q in 0u8..=15,
+        outcomes in proptest::collection::vec(0u8..3, 0..200),
+    ) {
+        let mut sizer = QAdaptive::new(initial_q);
+        for o in outcomes {
+            let outcome = match o {
+                0 => SlotOutcome::Empty,
+                1 => SlotOutcome::Collision,
+                _ => SlotOutcome::Success,
+            };
+            sizer.on_slot(outcome);
+            let q = sizer.current_q();
+            prop_assert!(q <= 15, "Q out of bounds: {}", q);
+        }
+    }
+
+    #[test]
+    fn inventoried_flag_round_trips(epc in arb_epc(), session_idx in 0usize..4) {
+        use tagwatch_gen2::Session;
+        let session = [Session::S0, Session::S1, Session::S2, Session::S3][session_idx];
+        let mut tag = TagProto::new(epc);
+        prop_assert_eq!(tag.inventoried[session.index()], InvFlag::A);
+        // Deassert (→B) then re-arm (→A) must round-trip.
+        tag.handle_select(&Select {
+            target: SelTarget::Inventoried(session),
+            action: SelAction::DeassertElseNothing,
+            bank: MemBank::Epc,
+            mask: BitMask::MATCH_ALL,
+            truncate: false,
+        });
+        prop_assert_eq!(tag.inventoried[session.index()], InvFlag::B);
+        tag.handle_select(&Select::reset_inventoried(session));
+        prop_assert_eq!(tag.inventoried[session.index()], InvFlag::A);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the statistical core: circular arithmetic
+//! axioms and self-learning-GMM invariants under arbitrary observation
+//! streams.
+
+use proptest::prelude::*;
+use tagwatch::{Gmm, GmmConfig};
+use tagwatch_rf::{circ_diff, circ_dist, wrap_2pi};
+
+proptest! {
+    #[test]
+    fn wrap_2pi_is_idempotent_and_in_range(x in -1e6f64..1e6) {
+        let w = wrap_2pi(x);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&w));
+        prop_assert!((wrap_2pi(w) - w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circ_dist_metric_axioms(a in -20.0f64..20.0, b in -20.0f64..20.0, c in -20.0f64..20.0) {
+        // Range.
+        let d = circ_dist(a, b);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&d));
+        // Identity (up to wrapping).
+        prop_assert!(circ_dist(a, a) < 1e-12);
+        // Symmetry.
+        prop_assert!((circ_dist(a, b) - circ_dist(b, a)).abs() < 1e-12);
+        // Triangle inequality.
+        prop_assert!(circ_dist(a, c) <= circ_dist(a, b) + circ_dist(b, c) + 1e-9);
+        // Shift invariance.
+        prop_assert!((circ_dist(a + 1.3, b + 1.3) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circ_diff_is_consistent_with_dist(a in -20.0f64..20.0, b in -20.0f64..20.0) {
+        let diff = circ_diff(a, b);
+        prop_assert!((-std::f64::consts::PI..=std::f64::consts::PI).contains(&diff));
+        prop_assert!((diff.abs() - circ_dist(a, b)).abs() < 1e-9);
+        // Antisymmetry (except at exactly ±π where the sign is arbitrary).
+        if diff.abs() < std::f64::consts::PI - 1e-9 {
+            prop_assert!((circ_diff(b, a) + diff).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gmm_invariants_hold_for_any_stream(
+        stream in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 1..400)
+    ) {
+        let cfg = GmmConfig::phase_defaults();
+        let mut gmm = Gmm::phase(cfg);
+        for &x in &stream {
+            gmm.observe(x);
+            // Mode-stack bounded by K.
+            prop_assert!(gmm.modes().len() <= cfg.k_max);
+            for m in gmm.modes() {
+                // Weights in (0, 1]; σ within configured band; mean wrapped.
+                prop_assert!(m.weight > 0.0 && m.weight <= 1.0, "weight {}", m.weight);
+                prop_assert!(
+                    m.g.sigma >= cfg.sigma_floor - 1e-12 && m.g.sigma <= cfg.sigma_max + 1e-12,
+                    "sigma {}",
+                    m.g.sigma
+                );
+                prop_assert!((0.0..std::f64::consts::TAU).contains(&m.g.mean));
+                prop_assert!(m.g.circular);
+            }
+            // Total weight bounded (decay keeps it ≤ k_max, in practice ≈1).
+            prop_assert!(gmm.total_weight() <= cfg.k_max as f64 + 1e-9);
+        }
+        // Classify never panics and is consistent with is_motion semantics.
+        for &x in stream.iter().take(16) {
+            let _ = gmm.classify(x).is_motion();
+        }
+    }
+
+    #[test]
+    fn gmm_classify_is_pure(
+        train in proptest::collection::vec(0.0f64..std::f64::consts::TAU, 1..100),
+        probe in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+        gmm.train(&train);
+        let before = gmm.clone();
+        let a = gmm.classify(probe);
+        let b = gmm.classify(probe);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(gmm, before, "classify must not mutate the model");
+    }
+
+    #[test]
+    fn repeated_constant_observations_converge(
+        x in 0.0f64..std::f64::consts::TAU,
+        n in 250usize..400,
+    ) {
+        let cfg = GmmConfig::phase_defaults();
+        let mut gmm = Gmm::phase(cfg);
+        for _ in 0..n {
+            gmm.observe(x);
+        }
+        // A constant stream must establish a single dominant mode at x.
+        let top = gmm
+            .modes()
+            .iter()
+            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .unwrap();
+        prop_assert!(
+            top.established(&cfg, gmm.total_weight()),
+            "weight {}",
+            top.weight
+        );
+        prop_assert!(circ_dist(top.g.mean, x) < 0.05);
+        prop_assert!(!gmm.classify(x).is_motion());
+    }
+}

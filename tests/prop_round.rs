@@ -1,0 +1,135 @@
+//! Property-based tests for the inventory-round engine: protocol
+//! invariants that must hold for any population, Q setting, and fault
+//! rate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch_gen2::{
+    run_round, Epc, IdealDfsa, InvFlag, LinkTiming, QAdaptive, Query, QuerySel, RoundConfig,
+    Session, TagProto,
+};
+
+fn population(n: usize, seed: u64) -> Vec<TagProto> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| TagProto::new(Epc::random(&mut rng))).collect()
+}
+
+fn open_query(q: u8) -> Query {
+    Query {
+        q,
+        sel: QuerySel::All,
+        session: Session::S0,
+        target: InvFlag::A,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_participant_read_exactly_once(
+        n in 0usize..60,
+        initial_q in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let mut tags = population(n, seed);
+        let mut sizer = QAdaptive::new(initial_q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x50u64);
+        let res = run_round(
+            &mut tags,
+            &RoundConfig::new(open_query(initial_q)),
+            &mut sizer,
+            &LinkTiming::r420(),
+            &mut rng,
+        );
+        // Exactly one read per tag, no duplicates, correct EPCs.
+        prop_assert_eq!(res.reads.len(), n);
+        let mut seen: Vec<usize> = res.reads.iter().map(|r| r.tag_idx).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n);
+        for read in &res.reads {
+            prop_assert_eq!(read.epc, tags[read.tag_idx].epc);
+        }
+        // Accounting consistency.
+        prop_assert_eq!(res.stats.successes, n);
+        prop_assert!(res.duration >= LinkTiming::r420().round_overhead);
+        // Read times are strictly increasing and within the round.
+        let mut prev = 0.0;
+        for read in &res.reads {
+            prop_assert!(read.t > prev);
+            prop_assert!(read.t <= res.duration + 1e-12);
+            prev = read.t;
+        }
+    }
+
+    #[test]
+    fn faulty_rounds_still_cover_everyone(
+        n in 1usize..40,
+        fail in 0.0f64..0.45,
+        seed in any::<u64>(),
+    ) {
+        let mut tags = population(n, seed);
+        let mut cfg = RoundConfig::new(open_query(4));
+        cfg.decode_fail_prob = fail;
+        let mut sizer = QAdaptive::new(4);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA);
+        let res = run_round(&mut tags, &cfg, &mut sizer, &LinkTiming::r420(), &mut rng);
+        prop_assert_eq!(res.reads.len(), n, "lost tags under {}% faults", fail * 100.0);
+    }
+
+    #[test]
+    fn duration_equals_sum_of_parts(
+        n in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        // Reconstruct the round duration from its slot statistics (with
+        // no truncation every success costs the same), as a cross-check
+        // that no time is charged twice or dropped.
+        let timing = LinkTiming::r420();
+        let mut tags = population(n, seed);
+        let mut sizer = IdealDfsa::new(n);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD0);
+        let res = run_round(
+            &mut tags,
+            &RoundConfig::new(open_query(4)),
+            &mut sizer,
+            &timing,
+            &mut rng,
+        );
+        let expected = timing.round_overhead
+            + timing.t_query
+            + res.stats.empties as f64 * timing.empty_slot()
+            + (res.stats.collisions + res.stats.decode_failures) as f64
+                * timing.collision_slot()
+            + res.stats.successes as f64 * timing.success_slot()
+            + res.stats.adjusts as f64 * timing.t_query_adjust;
+        prop_assert!(
+            (res.duration - expected).abs() < 1e-9,
+            "duration {} != reconstructed {}",
+            res.duration,
+            expected
+        );
+    }
+
+    #[test]
+    fn rounds_are_deterministic(
+        n in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let run_once = || {
+            let mut tags = population(n, seed);
+            let mut sizer = QAdaptive::new(4);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xDE);
+            run_round(
+                &mut tags,
+                &RoundConfig::new(open_query(4)),
+                &mut sizer,
+                &LinkTiming::r420(),
+                &mut rng,
+            )
+        };
+        prop_assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the trace generator and its statistics.
+
+use proptest::prelude::*;
+use tagwatch_trace::{
+    fraction_above, generate, read_counts, summarize, timeline, write_csv, write_json, read_csv,
+    read_json, TraceConfig,
+};
+
+fn arb_config() -> impl Strategy<Value = TraceConfig> {
+    (
+        60.0f64..600.0,          // duration
+        10usize..80,             // total tags
+        1usize..30,              // parked tags (≤ total enforced below)
+        0.005f64..0.2,           // arrivals per second
+        0.01f64..0.3,            // duty cycle
+    )
+        .prop_map(|(duration, total, parked, arrivals, duty)| TraceConfig {
+            duration,
+            total_tags: total,
+            parked_tags: parked.min(total),
+            arrivals_per_s: arrivals,
+            duty_cycle: duty,
+            ..TraceConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generator_invariants(cfg in arb_config(), seed in any::<u64>()) {
+        let trace = generate(&cfg, seed);
+        // Tags in range; times ordered and inside the duration (+1 s slop
+        // for the within-second jitter).
+        let mut prev = 0.0;
+        for r in &trace.readings {
+            prop_assert!((r.tag as usize) < cfg.total_tags);
+            prop_assert!(r.t >= prev);
+            prop_assert!(r.t <= cfg.duration + 1.0);
+            prev = r.t;
+            // Moving flag ↔ id partition.
+            prop_assert_eq!(r.moving, r.tag as usize >= trace.parked);
+        }
+        // Statistics are self-consistent.
+        let counts = read_counts(&trace);
+        prop_assert_eq!(counts.iter().sum::<usize>(), trace.len());
+        let buckets = timeline(&trace, 30.0);
+        prop_assert_eq!(buckets.iter().sum::<usize>(), trace.len());
+        // fraction_above is a complementary CDF: monotone non-increasing.
+        let mut last = 1.1;
+        for th in [0usize, 1, 5, 25, 125, 625] {
+            let f = fraction_above(&counts, th);
+            prop_assert!(f <= last + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&f));
+            last = f;
+        }
+        // Summary agrees with raw counts.
+        let s = summarize(&trace);
+        prop_assert_eq!(s.total_readings, trace.len());
+        prop_assert_eq!(s.max_reads, counts.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn persistence_round_trips(cfg in arb_config(), seed in any::<u64>()) {
+        let trace = generate(&cfg, seed);
+        // JSON is exact.
+        let mut buf = Vec::new();
+        write_json(&trace, &mut buf).unwrap();
+        let back = read_json(buf.as_slice()).unwrap();
+        prop_assert_eq!(&back, &trace);
+        // CSV preserves ids/flags and times to the printed precision.
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), trace.config, trace.parked).unwrap();
+        prop_assert_eq!(back.readings.len(), trace.readings.len());
+        for (a, b) in trace.readings.iter().zip(&back.readings) {
+            prop_assert_eq!(a.tag, b.tag);
+            prop_assert_eq!(a.moving, b.moving);
+            prop_assert!((a.t - b.t).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn determinism(cfg in arb_config(), seed in any::<u64>()) {
+        prop_assert_eq!(generate(&cfg, seed), generate(&cfg, seed));
+    }
+}
