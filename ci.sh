@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repo CI gate. Run from the workspace root.
+#
+#   ./ci.sh          # fmt + clippy + tier-1 (release build + tests)
+#   ./ci.sh --tier1  # tier-1 gate only (what the roadmap requires)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+tier1_only=false
+if [[ "${1:-}" == "--tier1" ]]; then
+    tier1_only=true
+fi
+
+if ! $tier1_only; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+
+    echo "==> cargo clippy (deny warnings)"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI gate passed."

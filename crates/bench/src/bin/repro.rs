@@ -1,7 +1,7 @@
 //! The figure-reproduction CLI.
 //!
 //! ```text
-//! repro <figN|all> [--seed N] [--quick|--full]
+//! repro <figN|all> [--seed N] [--quick|--full] [--telemetry FILE]
 //! ```
 //!
 //! Each subcommand regenerates one figure of the paper's evaluation and
@@ -9,9 +9,16 @@
 //! for comparison). `--quick` shrinks repetitions/populations for smoke
 //! runs; the default is a medium setting; `--full` approaches the paper's
 //! scale (slow).
+//!
+//! `--telemetry FILE` enables the process-wide telemetry handle, streams
+//! every span/counter/observation as JSONL into `FILE`, and prints a
+//! summary (duration percentiles, per-phase IRR, counters) after the
+//! figures finish.
 
 use std::process::ExitCode;
 use tagwatch_bench::experiments::*;
+use tagwatch_bench::telemetry_report;
+use tagwatch_telemetry::{JsonlSink, Telemetry};
 
 struct Opts {
     seed: u64,
@@ -19,6 +26,8 @@ struct Opts {
     scale: u8,
     /// Directory for plotting-friendly CSV series, when requested.
     csv_dir: Option<std::path::PathBuf>,
+    /// JSONL telemetry export path, when requested.
+    telemetry: Option<std::path::PathBuf>,
 }
 
 impl Opts {
@@ -40,6 +49,7 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         seed: common::DEFAULT_SEED,
         scale: 1,
         csv_dir: None,
+        telemetry: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -51,6 +61,10 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
             "--csv" => {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(v.into());
+            }
+            "--telemetry" => {
+                let v = args.next().ok_or("--telemetry needs a file path")?;
+                opts.telemetry = Some(v.into());
             }
             "--quick" => opts.scale = 0,
             "--full" => opts.scale = 2,
@@ -69,7 +83,8 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
 
 fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
-     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc> [--seed N] [--quick|--full] [--csv DIR]"
+     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc> [--seed N] [--quick|--full] [--csv DIR] \
+     [--telemetry FILE]"
         .to_string()
 }
 
@@ -165,6 +180,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &opts.telemetry {
+        match JsonlSink::create(path) {
+            Ok(sink) => Telemetry::global().install(Box::new(sink)),
+            Err(e) => {
+                eprintln!("cannot open telemetry file {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let order = [
         "fig1", "fig2", "fig3", "fig4", "fig8", "fig12", "fig13", "fig14", "fig15", "fig16",
         "fig17", "fig18", "gate", "ablate-cover", "ablate-gmm", "ablate-cycle",
@@ -185,6 +209,13 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
+    }
+    if let Some(path) = &opts.telemetry {
+        let tel = Telemetry::global();
+        tel.flush();
+        println!();
+        print!("{}", telemetry_report::summary(&tel.snapshot()));
+        eprintln!("telemetry events written to {path:?}");
     }
     ExitCode::SUCCESS
 }

@@ -3,6 +3,12 @@
 //! (motion assessment + bitmask selection). The paper slices this gap out
 //! of 50,000 cycles and reports a CDF: ≤ ~4 ms at the median, ≤ ~6 ms at
 //! the 90th percentile — negligible against a 5 s cycle.
+//!
+//! `CycleReport::compute_time` is measured by the controller's
+//! `cycle.compute` telemetry timer (a wall-clock span around assessment +
+//! schedule construction), not ad-hoc `Instant` bookkeeping — so running
+//! `repro fig17 --telemetry out.jsonl` exports the same gap samples as
+//! spans and a `cycle.compute_seconds` histogram.
 
 use crate::experiments::common::{hopping_reader, random_epcs};
 use tagwatch::metrics::percentile;

@@ -13,7 +13,6 @@
 //! which is the paper's §3 recommendation for that regime.
 
 use crate::experiments::common::{random_epcs, single_channel_reader, warm_up};
-use crossbeam::thread;
 use tagwatch::prelude::*;
 use tagwatch_scene::presets;
 
@@ -103,11 +102,11 @@ pub fn run(seed: u64, quick: bool) -> Fig18 {
         // One worker per (population, seed) pair.
         let mut tagwatch_gains: Vec<f64> = Vec::new();
         let mut naive_gains: Vec<f64> = Vec::new();
-        thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for &n in &populations {
                 for &s in &seeds {
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let n_mobile = ((n as f64 * pct).round() as usize).max(1);
                         let base = mover_irrs(s, n, n_mobile, SchedulingMode::ReadAll, warm, cycles);
                         let tw = mover_irrs(s, n, n_mobile, SchedulingMode::Tagwatch, warm, cycles);
@@ -129,8 +128,7 @@ pub fn run(seed: u64, quick: bool) -> Fig18 {
                 tagwatch_gains.extend(tg);
                 naive_gains.extend(ng);
             }
-        })
-        .expect("scope");
+        });
 
         rows.push(Fig18Row {
             pct_mobile: pct,

@@ -1,0 +1,163 @@
+//! End-of-run telemetry summary for the `repro` CLI.
+//!
+//! Renders a [`MetricsRegistry`] snapshot as a human-readable digest:
+//! duration percentiles for the span-backed histograms (cycle, Phase I,
+//! Phase II, inventory round, schedule compute), the per-phase IRR
+//! implied by the counters, and a dump of every counter so nothing the
+//! run recorded is invisible.
+
+use std::fmt::Write as _;
+use tagwatch_telemetry::{Histogram, MetricsRegistry};
+
+/// Histograms promoted to the percentile table, with display labels.
+/// Everything else still shows up in the counter/histogram dumps.
+const HEADLINE: &[(&str, &str)] = &[
+    ("cycle.duration", "cycle"),
+    ("phase1.duration", "phase 1"),
+    ("phase2.duration", "phase 2"),
+    ("round.duration", "round"),
+    ("cycle.compute_seconds", "compute"),
+];
+
+fn fmt_seconds(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn percentile_row(label: &str, h: &Histogram) -> String {
+    let p = |q: f64| {
+        h.percentile(q)
+            .map(fmt_seconds)
+            .unwrap_or_else(|| "-".to_string())
+    };
+    format!(
+        "  {label:<10} n={:<8} p50={:<10} p95={:<10} p99={:<10} mean={}\n",
+        h.count(),
+        p(50.0),
+        p(95.0),
+        p(99.0),
+        fmt_seconds(h.mean()),
+    )
+}
+
+/// Per-phase IRR (reads per second): a phase's report counter divided by
+/// the total simulated time that phase's histogram accumulated. `None`
+/// when the run recorded no such phase.
+fn phase_irr(reg: &MetricsRegistry, phase: &str) -> Option<f64> {
+    let reports = reg.counter(&format!("{phase}.reports"))?;
+    let h = reg.histogram(&format!("{phase}.duration"))?;
+    if h.sum() <= 0.0 {
+        return None;
+    }
+    Some(reports as f64 / h.sum())
+}
+
+/// Formats the registry snapshot as the end-of-run summary block.
+pub fn summary(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    if reg.is_empty() {
+        out.push_str("telemetry: no events recorded\n");
+        return out;
+    }
+    out.push_str("telemetry summary\n");
+
+    out.push_str(" durations\n");
+    for &(name, label) in HEADLINE {
+        if let Some(h) = reg.histogram(name) {
+            out.push_str(&percentile_row(label, h));
+        }
+    }
+
+    let irrs: Vec<(&str, f64)> = [("phase1", "phase 1"), ("phase2", "phase 2")]
+        .iter()
+        .filter_map(|&(key, label)| phase_irr(reg, key).map(|v| (label, v)))
+        .collect();
+    if !irrs.is_empty() {
+        out.push_str(" IRR (reads per simulated second)\n");
+        for (label, irr) in irrs {
+            let _ = writeln!(out, "  {label:<10} {irr:.2}/s");
+        }
+    }
+
+    let mut wrote_header = false;
+    for (name, total) in reg.counters() {
+        if !wrote_header {
+            out.push_str(" counters\n");
+            wrote_header = true;
+        }
+        let _ = writeln!(out, "  {name:<32} {total}");
+    }
+
+    let mut wrote_header = false;
+    for (name, h) in reg.histograms() {
+        if HEADLINE.iter().any(|&(n, _)| n == name) {
+            continue;
+        }
+        if !wrote_header {
+            out.push_str(" other histograms\n");
+            wrote_header = true;
+        }
+        let _ = writeln!(
+            out,
+            "  {name:<32} n={} sum={:.3} mean={:.4}",
+            h.count(),
+            h.sum(),
+            h.mean()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for k in 0..100 {
+            reg.observe("cycle.duration", 5.0 + k as f64 * 0.01);
+            reg.observe("phase1.duration", 2.0);
+            reg.observe("round.duration", 0.04);
+        }
+        reg.incr_by("phase1.reports", 4000);
+        reg.incr_by("cycle.count", 100);
+        reg.observe("round.slots", 64.0);
+        reg
+    }
+
+    #[test]
+    fn summary_contains_headline_percentiles_and_irr() {
+        let s = summary(&sample_registry());
+        assert!(s.contains("telemetry summary"), "{s}");
+        assert!(s.contains("p50="), "{s}");
+        assert!(s.contains("p95="), "{s}");
+        assert!(s.contains("p99="), "{s}");
+        assert!(s.contains("cycle"), "{s}");
+        assert!(s.contains("round"), "{s}");
+        // 4000 reads over 200 simulated seconds of Phase I.
+        assert!(s.contains("20.00/s"), "{s}");
+        assert!(s.contains("cycle.count"), "{s}");
+        assert!(s.contains("round.slots"), "{s}");
+    }
+
+    #[test]
+    fn empty_registry_reports_no_events() {
+        let s = summary(&MetricsRegistry::new());
+        assert!(s.contains("no events recorded"));
+    }
+
+    #[test]
+    fn irr_requires_both_counter_and_histogram() {
+        let mut reg = MetricsRegistry::new();
+        reg.incr_by("phase1.reports", 10);
+        assert!(phase_irr(&reg, "phase1").is_none());
+        reg.observe("phase1.duration", 2.5);
+        let irr = phase_irr(&reg, "phase1").unwrap();
+        assert!((irr - 4.0).abs() < 1e-9);
+    }
+}

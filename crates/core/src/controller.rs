@@ -16,6 +16,14 @@
 //! Readings from both phases land in the history database; tags absent
 //! beyond the eviction timeout lose their models (§4.3 "reading
 //! exceptions").
+//!
+//! Every cycle also emits structured telemetry (see README.md §
+//! Telemetry): a simulated-clock `cycle` span with nested `phase1` /
+//! `phase2` spans, a wall-clock `cycle.compute` span (whose measured
+//! duration *is* [`CycleReport::compute_time`] — the Fig. 17 schedule
+//! cost), plus counters and duration histograms. With no sink installed
+//! on the controller's [`Telemetry`] handle, all of it is a handful of
+//! relaxed atomic loads per cycle.
 
 use crate::config::{DetectorKind, TagwatchConfig};
 use crate::cover::CoverPlan;
@@ -24,9 +32,9 @@ use crate::motion::{AnyDetector, DiffDetector, MogDetector, MotionAssessor};
 use crate::scheduler::{build_schedule, ReadAllReason, ScheduleMode};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::time::Instant;
 use tagwatch_gen2::Epc;
 use tagwatch_reader::{LlrpError, Reader, RoSpec, TagReport};
+use tagwatch_telemetry::Telemetry;
 
 /// A serializable snapshot of the middleware's learned state: per-tag
 /// immobility models, reading history, and the cycle counter.
@@ -90,6 +98,7 @@ pub struct Controller {
     assessors: HashMap<Epc, MotionAssessor>,
     history: History,
     cycle: u64,
+    telemetry: Telemetry,
 }
 
 impl Controller {
@@ -105,12 +114,32 @@ impl Controller {
             assessors: HashMap::new(),
             history,
             cycle: 0,
+            telemetry: Telemetry::global().clone(),
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &TagwatchConfig {
         &self.cfg
+    }
+
+    /// Replaces the telemetry handle (the default is the process-wide
+    /// [`Telemetry::global`] handle). Builder form; see
+    /// [`Controller::set_telemetry`] for in-place replacement.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place (used by tests that need an
+    /// isolated in-memory sink instead of the global handle).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The telemetry handle this controller emits to.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Switches the Phase-II scheduling strategy at runtime (used by
@@ -146,6 +175,7 @@ impl Controller {
             assessors: snapshot.assessors.into_iter().collect(),
             history: snapshot.history,
             cycle: snapshot.cycle,
+            telemetry: Telemetry::global().clone(),
         }
     }
 
@@ -192,21 +222,27 @@ impl Controller {
         let t_start = reader.now();
         let cycle = self.cycle;
         self.cycle += 1;
+        let tel = self.telemetry.clone();
+        let cycle_span = tel.sim_span("cycle", t_start);
 
         // ---- Phase I: read all, assess motion -------------------------
         // The assessment window spans from the *previous* assessment to
         // now, so Phase-II evidence (both of targets and collateral tags)
         // counts — this is the "history-based" assessment of §3 and what
         // lets a mis-scheduled stationary tag drop out after one cycle.
+        let phase1_span = tel.sim_span("phase1", t_start);
         let phase1_spec = RoSpec::read_all((cycle as u32) << 1, self.cfg.antennas.clone());
         let phase1 = reader.execute(&phase1_spec)?;
         let t_phase1_end = reader.now();
+        phase1_span.end(t_phase1_end);
         for r in &phase1 {
             self.ingest(r);
         }
 
         // ---- Assessment + schedule (the Fig. 17 compute gap) ----------
-        let compute_start = Instant::now();
+        // The telemetry timer is the measurement: its wall-clock duration
+        // becomes both the `cycle.compute` span and `compute_time`.
+        let compute_span = tel.timed("cycle.compute");
 
         let mut census: Vec<Epc> = phase1.iter().map(|r| r.epc).collect();
         census.extend(self.cfg.concerned.iter().copied());
@@ -235,7 +271,8 @@ impl Controller {
             .collect();
 
         let schedule = build_schedule(&census, &target_idxs, &self.cfg, (cycle as u32) << 1 | 1);
-        let compute_time = compute_start.elapsed().as_secs_f64();
+        let compute_time = compute_span.finish();
+        schedule.record(&tel);
 
         // Assessment is done: open the next window.
         for assessor in self.assessors.values_mut() {
@@ -248,8 +285,10 @@ impl Controller {
 
         // ---- Phase II: selective (or fallback) reading ----------------
         let t_phase2_start = reader.now();
+        let phase2_span = tel.sim_span("phase2", t_phase2_start);
         let phase2 = reader.run_for(&schedule.rospec, self.cfg.phase2_len)?;
         let t_end = reader.now();
+        phase2_span.end(t_end);
         for r in &phase2 {
             self.ingest(r);
         }
@@ -258,6 +297,21 @@ impl Controller {
         let evicted = self.history.evict_absent(t_end, self.cfg.eviction_timeout);
         for e in &evicted {
             self.assessors.remove(e);
+        }
+        cycle_span.end(t_end);
+
+        if tel.is_enabled() {
+            tel.incr("cycle.count");
+            tel.incr_by("cycle.census", census.len() as u64);
+            tel.incr_by("cycle.mobile", mobile.len() as u64);
+            tel.incr_by("cycle.evictions", evicted.len() as u64);
+            tel.incr_by("phase1.reports", phase1.len() as u64);
+            tel.incr_by("phase2.reports", phase2.len() as u64);
+            tel.gauge_set("tracked_tags", self.assessors.len() as f64);
+            tel.observe("cycle.duration", t_end - t_start);
+            tel.observe("phase1.duration", t_phase1_end - t_start);
+            tel.observe("phase2.duration", t_end - t_phase2_start);
+            tel.observe("cycle.compute_seconds", compute_time);
         }
 
         Ok(CycleReport {
@@ -480,6 +534,61 @@ mod tests {
             .map(|r| r.total_reads)
             .sum();
         assert_eq!(total as usize, rep.phase1.len() + rep.phase2.len());
+    }
+
+    #[test]
+    fn telemetry_spans_and_counters_match_reports() {
+        use tagwatch_telemetry::{MemorySink, Telemetry};
+        let (mut reader, _) = turntable_reader(12, 1, 20);
+        let tel = Telemetry::new();
+        let sink = MemorySink::new(1 << 16);
+        tel.install(Box::new(sink.clone()));
+        let mut ctl = Controller::new(short_cfg()).with_telemetry(tel.clone());
+        let reports = ctl.run_cycles(&mut reader, 3).unwrap();
+
+        let cycles = sink.spans_named("cycle");
+        let phase1 = sink.spans_named("phase1");
+        let phase2 = sink.spans_named("phase2");
+        let compute = sink.spans_named("cycle.compute");
+        assert_eq!(cycles.len(), 3);
+        assert_eq!(phase1.len(), 3);
+        assert_eq!(phase2.len(), 3);
+        assert_eq!(compute.len(), 3);
+        for (k, rep) in reports.iter().enumerate() {
+            assert!((cycles[k].start - rep.t_start).abs() < 1e-12);
+            assert!((cycles[k].duration - (rep.t_end - rep.t_start)).abs() < 1e-9);
+            assert!((phase1[k].duration - rep.phase1_duration).abs() < 1e-9);
+            assert!((phase2[k].duration - rep.phase2_duration).abs() < 1e-9);
+            // Phases nest under their cycle; the compute span too.
+            assert_eq!(phase1[k].parent, Some(cycles[k].id));
+            assert_eq!(phase2[k].parent, Some(cycles[k].id));
+            assert_eq!(compute[k].parent, Some(cycles[k].id));
+        }
+
+        let snap = tel.snapshot();
+        let sum = |f: fn(&CycleReport) -> usize| reports.iter().map(f).sum::<usize>() as u64;
+        assert_eq!(snap.counter("cycle.count"), Some(3));
+        assert_eq!(snap.counter("cycle.census"), Some(sum(|r| r.census.len())));
+        assert_eq!(snap.counter("cycle.mobile"), Some(sum(|r| r.mobile.len())));
+        assert_eq!(snap.counter("phase1.reports"), Some(sum(|r| r.phase1.len())));
+        assert_eq!(snap.counter("phase2.reports"), Some(sum(|r| r.phase2.len())));
+        assert_eq!(snap.histogram("cycle.duration").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_cycles_unchanged() {
+        // The default (global, disabled) handle must not perturb results:
+        // identical runs with and without an explicit disabled handle.
+        let run = |with_handle: bool| {
+            let (mut reader, _) = turntable_reader(10, 1, 21);
+            let mut ctl = Controller::new(short_cfg());
+            if with_handle {
+                ctl.set_telemetry(tagwatch_telemetry::Telemetry::new());
+            }
+            let rep = ctl.run_cycle(&mut reader).unwrap();
+            (rep.census, rep.t_end)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::cover::{naive_cover, select_cover, CoverPlan};
 use serde::{Deserialize, Serialize};
 use tagwatch_gen2::Epc;
 use tagwatch_reader::RoSpec;
+use tagwatch_telemetry::Telemetry;
 
 /// What kind of Phase II was scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,6 +32,33 @@ pub struct Schedule {
     pub mode: ScheduleMode,
     /// Why read-all was chosen, when it was.
     pub reason: Option<ReadAllReason>,
+}
+
+impl Schedule {
+    /// Emits this schedule's telemetry: a mode counter
+    /// (`schedule.selective` / `schedule.read_all`, with the fallback
+    /// reason broken out as `schedule.read_all.<reason>`) and the
+    /// cover-plan mask count (`cycle.masks`).
+    pub fn record(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        match self.mode {
+            ScheduleMode::Selective => tel.incr("schedule.selective"),
+            ScheduleMode::ReadAll => {
+                tel.incr("schedule.read_all");
+                let reason = match self.reason {
+                    Some(ReadAllReason::NoTargets) => "schedule.read_all.no_targets",
+                    Some(ReadAllReason::TooManyTargets) => "schedule.read_all.too_many_targets",
+                    Some(ReadAllReason::Configured) | None => "schedule.read_all.configured",
+                };
+                tel.incr(reason);
+            }
+        }
+        if let Some(plan) = &self.plan {
+            tel.incr_by("cycle.masks", plan.masks.len() as u64);
+        }
+    }
 }
 
 /// Why a cycle fell back to reading everyone.
@@ -177,6 +205,28 @@ mod tests {
         let plan = s.plan.unwrap();
         assert_eq!(plan.masks.len(), 2);
         assert!(plan.masks.iter().all(|m| m.length == 96));
+    }
+
+    #[test]
+    fn record_emits_mode_and_mask_counters() {
+        use tagwatch_telemetry::MemorySink;
+        let tel = Telemetry::new();
+        let sink = MemorySink::new(64);
+        tel.install(Box::new(sink.clone()));
+
+        let population = epcs(40, 9);
+        let cfg = TagwatchConfig::default();
+        let selective = build_schedule(&population, &[3, 17], &cfg, 1);
+        selective.record(&tel);
+        let read_all = build_schedule(&population, &[], &cfg, 2);
+        read_all.record(&tel);
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("schedule.selective"), Some(1));
+        assert_eq!(snap.counter("schedule.read_all"), Some(1));
+        assert_eq!(snap.counter("schedule.read_all.no_targets"), Some(1));
+        let masks = selective.plan.as_ref().unwrap().masks.len() as u64;
+        assert_eq!(snap.counter("cycle.masks"), Some(masks));
     }
 
     #[test]

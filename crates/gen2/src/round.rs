@@ -16,6 +16,7 @@ use crate::tag::{TagProto, TagState};
 use crate::timing::LinkTiming;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use tagwatch_telemetry::Telemetry;
 
 /// Configuration of a single inventory round.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +76,22 @@ impl SlotStats {
     pub fn total_slots(&self) -> usize {
         self.empties + self.collisions + self.successes + self.decode_failures
     }
+
+    /// Folds this round's slot accounting into the telemetry stream:
+    /// `round.empties` / `round.collisions` / `round.successes` /
+    /// `round.decode_failures` / `round.adjusts` counters plus a
+    /// `round.slots` observation for the frame-size distribution.
+    pub fn record(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.incr_by("round.empties", self.empties as u64);
+        tel.incr_by("round.collisions", self.collisions as u64);
+        tel.incr_by("round.successes", self.successes as u64);
+        tel.incr_by("round.decode_failures", self.decode_failures as u64);
+        tel.incr_by("round.adjusts", self.adjusts as u64);
+        tel.observe("round.slots", self.total_slots() as f64);
+    }
 }
 
 /// The result of one inventory round.
@@ -88,6 +105,24 @@ pub struct RoundResult {
     pub reads: Vec<ReadEvent>,
     /// Slot accounting.
     pub stats: SlotStats,
+}
+
+impl RoundResult {
+    /// Folds this round into the telemetry stream: the slot counters
+    /// (see [`SlotStats::record`]), `round.count`, the reads delivered
+    /// (`round.reads`), and the air-time histogram (`round.duration`).
+    ///
+    /// A no-op while `tel` is disabled, so callers in the hot round loop
+    /// can call it unconditionally.
+    pub fn record(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
+        }
+        self.stats.record(tel);
+        tel.incr("round.count");
+        tel.incr_by("round.reads", self.reads.len() as u64);
+        tel.observe("round.duration", self.duration);
+    }
 }
 
 /// Runs one inventory round to completion.
@@ -383,6 +418,50 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let res = run_round(&mut tags, &cfg, &mut sizer, &LinkTiming::r420(), &mut rng);
         assert!(res.stats.total_slots() <= 5);
+    }
+
+    #[test]
+    fn round_result_record_emits_counters_and_histogram() {
+        use tagwatch_telemetry::MemorySink;
+        let mut tags = population(20, 61);
+        let mut sizer = QAdaptive::new(5);
+        let mut rng = StdRng::seed_from_u64(67);
+        let res = run_round(
+            &mut tags,
+            &RoundConfig::new(open_query(5)),
+            &mut sizer,
+            &LinkTiming::r420(),
+            &mut rng,
+        );
+
+        let tel = Telemetry::new();
+        let sink = MemorySink::new(256);
+        tel.install(Box::new(sink.clone()));
+        res.record(&tel);
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("round.count"), Some(1));
+        assert_eq!(snap.counter("round.reads"), Some(res.reads.len() as u64));
+        assert_eq!(
+            snap.counter("round.successes"),
+            Some(res.stats.successes as u64)
+        );
+        assert_eq!(snap.counter("round.empties"), Some(res.stats.empties as u64));
+        assert_eq!(
+            snap.counter("round.collisions"),
+            Some(res.stats.collisions as u64)
+        );
+        assert_eq!(snap.counter("round.adjusts"), Some(res.stats.adjusts as u64));
+        let h = snap.histogram("round.duration").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!((h.sum() - res.duration).abs() < 1e-12);
+        let slots = snap.histogram("round.slots").unwrap();
+        assert!((slots.sum() - res.stats.total_slots() as f64).abs() < 1e-9);
+
+        // Disabled handles are inert: nothing further accumulates.
+        tel.set_enabled(false);
+        res.record(&tel);
+        assert_eq!(tel.snapshot().counter("round.count"), Some(1));
     }
 
     #[test]

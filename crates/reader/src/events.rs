@@ -52,8 +52,15 @@ impl EventLog {
         }
     }
 
-    /// Records an event, evicting the oldest when full.
+    /// Records an event, evicting the oldest when full. A zero-capacity
+    /// log drops every event (it must never grow — `pop_front` on the
+    /// empty deque is a no-op, so the pre-fix code stored the event
+    /// anyway and the "bounded" log grew without bound).
     pub fn push(&mut self, ev: RoundEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.dropped += 1;
@@ -120,5 +127,19 @@ mod tests {
         assert_eq!(log.dropped(), 2);
         let events = log.take();
         assert_eq!(events[0].t_start, 2.0);
+    }
+
+    #[test]
+    fn zero_capacity_drops_every_event() {
+        // Regression: `pop_front` on an empty deque is a no-op, so the
+        // old code pushed anyway and a capacity-0 log grew unboundedly.
+        let mut log = EventLog::new(0);
+        for k in 0..100 {
+            log.push(ev(k as f64));
+        }
+        assert_eq!(log.len(), 0);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 100);
+        assert!(log.take().is_empty());
     }
 }

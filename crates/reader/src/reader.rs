@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use tagwatch_gen2::{run_round, Epc, QAdaptive, RoundConfig, TagProto};
 use tagwatch_rf::{LinkGeometry, RfMeasurement};
 use tagwatch_scene::Scene;
+use tagwatch_telemetry::Telemetry;
 
 /// One tag read, as delivered to the middleware.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -48,6 +49,9 @@ pub struct Reader {
     /// Round-robin cursor for dwell-mode antenna rotation; persists across
     /// ROSpec executions so short dwells still cycle through every port.
     antenna_rr: usize,
+    /// Telemetry handle; every completed round is promoted into counters
+    /// and a duration histogram (see [`tagwatch_gen2::RoundResult::record`]).
+    telemetry: Telemetry,
 }
 
 impl Reader {
@@ -72,7 +76,14 @@ impl Reader {
             rng: StdRng::seed_from_u64(seed),
             mode_estimate,
             antenna_rr: 0,
+            telemetry: Telemetry::global().clone(),
         }
+    }
+
+    /// Replaces the telemetry handle (the default is the process-wide
+    /// [`Telemetry::global`] handle — disabled until a sink is installed).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The link slow-down factor from dense-reader-mode adaptation at the
@@ -271,6 +282,9 @@ impl Reader {
             reads: result.reads.len(),
             stats: result.stats,
         });
+        // Promote the round into the telemetry stream: slot-outcome
+        // counters, Q-adaptation adjustments, and the duration histogram.
+        result.record(&self.telemetry);
     }
 
     /// Repeats `spec` until at least `duration` seconds of air time have
@@ -422,6 +436,36 @@ mod tests {
         assert_eq!(events[0].rospec_id, 7);
         assert_eq!(events[0].reads, 8);
         assert!(events[0].duration() > 0.019);
+    }
+
+    #[test]
+    fn rounds_are_promoted_into_telemetry() {
+        use tagwatch_telemetry::{MemorySink, Telemetry};
+        let mut reader = basic_reader(8, 40);
+        let tel = Telemetry::new();
+        let sink = MemorySink::new(1 << 12);
+        tel.install(Box::new(sink.clone()));
+        reader.set_telemetry(tel.clone());
+        reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
+
+        let events = reader.events.take();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("round.count"), Some(events.len() as u64));
+        let stats_sum = |f: fn(&RoundEvent) -> usize| {
+            events.iter().map(f).sum::<usize>() as u64
+        };
+        assert_eq!(
+            snap.counter("round.successes"),
+            Some(stats_sum(|e| e.stats.successes))
+        );
+        assert_eq!(
+            snap.counter("round.empties"),
+            Some(stats_sum(|e| e.stats.empties))
+        );
+        assert_eq!(snap.counter("round.reads"), Some(stats_sum(|e| e.reads)));
+        let h = snap.histogram("round.duration").unwrap();
+        assert_eq!(h.count(), events.len() as u64);
+        assert!(h.min().unwrap() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! The wire model: every telemetry emission is one [`Event`], and every
+//! sink receives the same stream. The JSONL export is just
+//! `serde_json::to_string(&event)` per line, so the schema below *is* the
+//! file format (documented in README.md § Telemetry).
+
+use serde::{Deserialize, Serialize};
+
+/// Which clock a span was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ClockKind {
+    /// Simulated air time — the reader's clock (seconds since simulation
+    /// start). Deterministic across runs with the same seed.
+    Sim,
+    /// Host wall-clock time (seconds since the telemetry handle was
+    /// created). Machine-dependent; used for compute-cost spans.
+    Wall,
+}
+
+/// A closed span: a named duration with optional parent for hierarchy
+/// (cycle → phase → round).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name (e.g. `cycle`, `phase1`, `cycle.compute`).
+    pub name: String,
+    /// Unique id within this telemetry handle's lifetime (starts at 1).
+    pub id: u64,
+    /// Id of the span that was open when this one started, if any.
+    pub parent: Option<u64>,
+    /// Start time in seconds on `clock`.
+    pub start: f64,
+    /// Duration in seconds.
+    pub duration: f64,
+    /// The clock `start`/`duration` were measured on.
+    pub clock: ClockKind,
+}
+
+/// A counter increment, with the running total after applying it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterRecord {
+    pub name: String,
+    /// Amount added by this emission.
+    pub delta: u64,
+    /// Counter value after the increment.
+    pub total: u64,
+}
+
+/// A gauge assignment (last-write-wins instantaneous value).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeRecord {
+    pub name: String,
+    pub value: f64,
+}
+
+/// One histogram observation (the registry buckets it; sinks see the raw
+/// value so offline analysis is not limited to the bucket layout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObserveRecord {
+    pub name: String,
+    pub value: f64,
+}
+
+/// One telemetry event. Serialized with an external `type` tag, so a JSONL
+/// line looks like
+/// `{"type":"span","name":"cycle","id":3,"parent":null,"start":0.0,...}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Event {
+    Span(SpanRecord),
+    Counter(CounterRecord),
+    Gauge(GaugeRecord),
+    Observe(ObserveRecord),
+}
+
+impl Event {
+    /// The metric/span name, whatever the variant.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::Span(s) => &s.name,
+            Event::Counter(c) => &c.name,
+            Event::Gauge(g) => &g.name,
+            Event::Observe(o) => &o.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event::Span(SpanRecord {
+                name: "cycle".into(),
+                id: 1,
+                parent: None,
+                start: 0.5,
+                duration: 5.25,
+                clock: ClockKind::Sim,
+            }),
+            Event::Counter(CounterRecord {
+                name: "cycle.census".into(),
+                delta: 40,
+                total: 40,
+            }),
+            Event::Gauge(GaugeRecord {
+                name: "tracked_tags".into(),
+                value: 12.0,
+            }),
+            Event::Observe(ObserveRecord {
+                name: "round.duration".into(),
+                value: 0.031,
+            }),
+        ];
+        for ev in events {
+            let line = serde_json::to_string(&ev).unwrap();
+            let back: Event = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn tagged_representation_is_stable() {
+        let ev = Event::Counter(CounterRecord {
+            name: "x".into(),
+            delta: 1,
+            total: 7,
+        });
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(line.contains("\"type\":\"counter\""), "{line}");
+        assert!(line.contains("\"total\":7"), "{line}");
+    }
+}

@@ -1,0 +1,352 @@
+//! The [`Telemetry`] handle: the single cheap object the rest of the
+//! system talks to.
+//!
+//! A handle is an `Arc` around an enabled flag, a span-id allocator, and a
+//! mutex over (registry, sinks). With no sink installed the handle is
+//! *disabled* and every emission is a single relaxed atomic load — cheap
+//! enough to leave the instrumentation compiled into the hot path
+//! unconditionally (the controller criterion bench budget is < 2 %).
+
+use crate::event::{CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord};
+use crate::histogram::Histogram;
+use crate::registry::MetricsRegistry;
+use crate::sink::Sink;
+use crate::span::{SimSpan, SpanGuard};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+struct Inner {
+    enabled: AtomicBool,
+    next_span_id: AtomicU64,
+    /// Wall-clock origin: wall-span start offsets are relative to this.
+    origin: Instant,
+    state: Mutex<State>,
+}
+
+#[derive(Default)]
+struct State {
+    registry: MetricsRegistry,
+    sinks: Vec<Box<dyn Sink + Send>>,
+}
+
+/// A cloneable telemetry handle. Clones share all state.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
+
+impl Telemetry {
+    /// A fresh, disabled handle with no sinks.
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                enabled: AtomicBool::new(false),
+                next_span_id: AtomicU64::new(0),
+                origin: Instant::now(),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// The process-wide handle. Components default to this, so installing
+    /// a sink here (as `repro --telemetry` does) captures the whole stack
+    /// with no per-call-site plumbing. Disabled until a sink is installed.
+    pub fn global() -> &'static Telemetry {
+        GLOBAL.get_or_init(Telemetry::new)
+    }
+
+    /// Whether any sink is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Force the enabled flag (sinks stay installed). Mainly for tests;
+    /// [`Telemetry::install`] enables automatically.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Installs a sink and enables the handle. Multiple sinks fan out: all
+    /// receive every event.
+    pub fn install(&self, sink: Box<dyn Sink + Send>) {
+        self.lock().sinks.push(sink);
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Telemetry must never take the host down: survive a panic in a
+        // sink on another thread.
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Increments counter `name` by 1.
+    pub fn incr(&self, name: &str) {
+        self.incr_by(name, 1);
+    }
+
+    /// Increments counter `name` by `delta`.
+    pub fn incr_by(&self, name: &str, delta: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.lock();
+        let total = st.registry.incr_by(name, delta);
+        let ev = Event::Counter(CounterRecord {
+            name: name.to_string(),
+            delta,
+            total,
+        });
+        for sink in &mut st.sinks {
+            sink.record(&ev);
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.lock();
+        st.registry.gauge_set(name, value);
+        let ev = Event::Gauge(GaugeRecord {
+            name: name.to_string(),
+            value,
+        });
+        for sink in &mut st.sinks {
+            sink.record(&ev);
+        }
+    }
+
+    /// Records `value` into histogram `name` (auto-created with the
+    /// duration layout) and forwards the raw observation to sinks.
+    pub fn observe(&self, name: &str, value: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut st = self.lock();
+        st.registry.observe(name, value);
+        let ev = Event::Observe(ObserveRecord {
+            name: name.to_string(),
+            value,
+        });
+        for sink in &mut st.sinks {
+            sink.record(&ev);
+        }
+    }
+
+    /// Pre-registers histogram `name` with a custom bucket layout. Works
+    /// even while disabled, so layouts survive a later enable.
+    pub fn register_histogram(&self, name: &str, histogram: Histogram) {
+        self.lock().registry.register_histogram(name, histogram);
+    }
+
+    /// Starts a wall-clock span guard. See [`SpanGuard`].
+    pub fn timed(&self, name: &'static str) -> SpanGuard {
+        SpanGuard::start(self, name)
+    }
+
+    /// Opens a simulated-clock span beginning at `t_start`. See
+    /// [`SimSpan`].
+    pub fn sim_span(&self, name: &'static str, t_start: f64) -> SimSpan {
+        SimSpan::start(self, name, t_start)
+    }
+
+    /// A consistent snapshot of the aggregated metrics.
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.lock().registry.clone()
+    }
+
+    /// Flushes every sink (call before reading a JSONL file mid-process,
+    /// or at exit for the global handle, which is never dropped).
+    pub fn flush(&self) {
+        for sink in &mut self.lock().sinks {
+            sink.flush();
+        }
+    }
+
+    pub(crate) fn alloc_span_id(&self) -> u64 {
+        self.inner.next_span_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn origin(&self) -> Instant {
+        self.inner.origin
+    }
+
+    pub(crate) fn emit_span(&self, record: SpanRecord) {
+        let mut st = self.lock();
+        let ev = Event::Span(record);
+        for sink in &mut st.sinks {
+            sink.record(&ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ClockKind;
+    use crate::sink::MemorySink;
+
+    fn recording() -> (Telemetry, MemorySink) {
+        let tel = Telemetry::new();
+        let sink = MemorySink::new(1 << 16);
+        tel.install(Box::new(sink.clone()));
+        (tel, sink)
+    }
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::new();
+        assert!(!tel.is_enabled());
+        tel.incr("c");
+        tel.observe("h", 1.0);
+        tel.gauge_set("g", 2.0);
+        let span = tel.sim_span("s", 0.0);
+        assert_eq!(span.id(), None);
+        span.end(1.0);
+        assert!(tel.snapshot().is_empty());
+    }
+
+    #[test]
+    fn timed_guard_measures_even_when_disabled() {
+        let tel = Telemetry::new();
+        let guard = tel.timed("compute");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let dur = guard.finish();
+        assert!(dur >= 0.002, "measured {dur}");
+    }
+
+    #[test]
+    fn counters_flow_to_registry_and_sink() {
+        let (tel, sink) = recording();
+        tel.incr_by("cycle.census", 40);
+        tel.incr_by("cycle.census", 2);
+        assert_eq!(tel.snapshot().counter("cycle.census"), Some(42));
+        assert_eq!(sink.counter_total("cycle.census"), Some(42));
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn sim_spans_nest_with_parents() {
+        let (tel, sink) = recording();
+        let cycle = tel.sim_span("cycle", 0.0);
+        let cycle_id = cycle.id().unwrap();
+        let phase = tel.sim_span("phase1", 0.0);
+        phase.end(0.4);
+        cycle.end(5.0);
+        let phases = sink.spans_named("phase1");
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].parent, Some(cycle_id));
+        assert!((phases[0].duration - 0.4).abs() < 1e-12);
+        assert_eq!(phases[0].clock, ClockKind::Sim);
+        let cycles = sink.spans_named("cycle");
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].parent, None);
+        // Phase emitted before its parent closed.
+        let names: Vec<String> = sink.events().iter().map(|e| e.name().to_string()).collect();
+        assert_eq!(names, vec!["phase1", "cycle"]);
+    }
+
+    #[test]
+    fn wall_span_parents_under_sim_span() {
+        let (tel, sink) = recording();
+        let cycle = tel.sim_span("cycle", 0.0);
+        let cycle_id = cycle.id().unwrap();
+        let dur = tel.timed("cycle.compute").finish();
+        cycle.end(1.0);
+        let spans = sink.spans_named("cycle.compute");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent, Some(cycle_id));
+        assert_eq!(spans[0].clock, ClockKind::Wall);
+        assert!((spans[0].duration - dur).abs() < 1e-3);
+    }
+
+    #[test]
+    fn abandoned_span_keeps_stack_balanced() {
+        let (tel, sink) = recording();
+        {
+            let _cycle = tel.sim_span("cycle", 0.0);
+            // Dropped without end(): simulates an error path.
+        }
+        let orphan = tel.sim_span("next", 1.0);
+        orphan.end(2.0);
+        let spans = sink.spans_named("next");
+        assert_eq!(spans[0].parent, None, "stale parent leaked");
+        assert!(sink.spans_named("cycle").is_empty());
+    }
+
+    #[test]
+    fn observe_feeds_histogram_and_sink() {
+        let (tel, sink) = recording();
+        tel.observe("round.duration", 0.03);
+        tel.observe("round.duration", 0.05);
+        let snap = tel.snapshot();
+        let h = snap.histogram("round.duration").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 0.08).abs() < 1e-12);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn custom_histogram_layout_survives_enable() {
+        let tel = Telemetry::new();
+        tel.register_histogram("lin", Histogram::linear(0.0, 1.0, 10));
+        let sink = MemorySink::new(16);
+        tel.install(Box::new(sink.clone()));
+        tel.observe("lin", 3.5);
+        let snap = tel.snapshot();
+        assert_eq!(snap.histogram("lin").unwrap().bucket_counts()[3], 1);
+    }
+
+    #[test]
+    fn multiple_sinks_fan_out() {
+        let tel = Telemetry::new();
+        let a = MemorySink::new(16);
+        let b = MemorySink::new(16);
+        tel.install(Box::new(a.clone()));
+        tel.install(Box::new(b.clone()));
+        tel.incr("x");
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn global_handle_is_shared_and_initially_disabled() {
+        let g1 = Telemetry::global();
+        let g2 = Telemetry::global();
+        assert!(Arc::ptr_eq(&g1.inner, &g2.inner));
+        // No test in this crate installs a sink on the global handle.
+        assert!(!g1.is_enabled());
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_monotone() {
+        let (tel, _sink) = recording();
+        let a = tel.sim_span("a", 0.0);
+        let b = tel.sim_span("b", 0.0);
+        let (ia, ib) = (a.id().unwrap(), b.id().unwrap());
+        assert!(ib > ia);
+        b.end(1.0);
+        a.end(1.0);
+    }
+}

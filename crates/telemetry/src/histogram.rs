@@ -1,0 +1,291 @@
+//! Fixed-bucket histograms.
+//!
+//! The registry aggregates duration observations into histograms so a
+//! 50,000-cycle run summarizes in O(buckets) memory. Percentile estimates
+//! follow the same rank semantics as `tagwatch::metrics::percentile`
+//! (linear interpolation over `rank = p/100 · (n-1)`), so a
+//! histogram-derived p50/p95 agrees with the exact sample percentile to
+//! within one bucket width (a property test in `tests/` pins this).
+
+/// A histogram over fixed, ascending bucket edges.
+///
+/// Bucket `i` covers `(edges[i-1], edges[i]]` (bucket 0 starts at `lo`);
+/// one extra overflow bucket catches values above the last edge. Values
+/// below `lo` are clamped into bucket 0. Exact `min`/`max`/`sum` are
+/// tracked alongside, so degenerate summaries (all samples equal) stay
+/// tight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    edges: Vec<f64>,
+    /// `edges.len() + 1` buckets; the last is overflow.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with explicit ascending upper edges starting at `lo`.
+    ///
+    /// Panics if `edges` is empty or not strictly ascending above `lo`.
+    pub fn with_edges(lo: f64, edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one bucket");
+        let mut prev = lo;
+        for &e in &edges {
+            assert!(e > prev, "edges must ascend strictly from lo");
+            prev = e;
+        }
+        let counts = vec![0; edges.len() + 1];
+        Histogram {
+            lo,
+            edges,
+            counts,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// `buckets` equal-width buckets of `width` starting at `lo`.
+    pub fn linear(lo: f64, width: f64, buckets: usize) -> Self {
+        assert!(width > 0.0 && buckets > 0);
+        let edges = (1..=buckets).map(|k| lo + width * k as f64).collect();
+        Histogram::with_edges(lo, edges)
+    }
+
+    /// `buckets` geometric buckets: edges `lo·factor^k` for `k = 1..=buckets`.
+    pub fn exponential(lo: f64, factor: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && factor > 1.0 && buckets > 0);
+        let edges = (1..=buckets).map(|k| lo * factor.powi(k as i32)).collect();
+        Histogram::with_edges(lo, edges)
+    }
+
+    /// The default layout for duration metrics: 128 geometric buckets from
+    /// 1 µs to 100 s (≈ 15.5 % relative resolution), covering everything
+    /// from a Gen2 slot to a full read cycle.
+    pub fn durations() -> Self {
+        Histogram::exponential(1e-6, 10f64.powf(1.0 / 16.0), 128)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        let idx = self.edges.partition_point(|&e| e < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The p-th percentile (0–100), estimated from the buckets; `None`
+    /// when empty.
+    ///
+    /// The rank convention matches `tagwatch::metrics::percentile`:
+    /// linear interpolation between the order statistics bracketing
+    /// `rank = p/100 · (n-1)`. Each order statistic is estimated inside
+    /// *its own* bucket (the two can straddle a bucket boundary — or a
+    /// run of empty buckets — when the rank is fractional), which keeps
+    /// the estimate within one bucket width of the exact sample
+    /// percentile. Pinned by `tests/prop_telemetry.rs`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let rank = p / 100.0 * (self.count - 1) as f64;
+        let k_lo = rank.floor() as u64;
+        let k_hi = rank.ceil() as u64;
+        let v_lo = self.order_statistic(k_lo);
+        let v_hi = if k_hi == k_lo {
+            v_lo
+        } else {
+            self.order_statistic(k_hi)
+        };
+        Some(v_lo + (rank - k_lo as f64) * (v_hi - v_lo))
+    }
+
+    /// Bucket-interpolated estimate of the k-th (0-based, `k < count`)
+    /// order statistic: locate k's bucket, spread that bucket's samples
+    /// evenly across it, clamp to the observed min/max (so degenerate and
+    /// overflow buckets stay tight). The estimate and the true statistic
+    /// share a bucket, bounding the error by that bucket's width.
+    fn order_statistic(&self, k: u64) -> f64 {
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if below + c - 1 >= k {
+                let lower = if i == 0 { self.lo } else { self.edges[i - 1] };
+                let upper = if i < self.edges.len() {
+                    self.edges[i]
+                } else {
+                    self.max
+                };
+                let lower = lower.clamp(self.min, self.max);
+                let upper = upper.clamp(lower, self.max);
+                let frac = if c <= 1 {
+                    0.5
+                } else {
+                    (k - below) as f64 / (c - 1) as f64
+                };
+                return lower + frac * (upper - lower);
+            }
+            below += c;
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_count_correctly() {
+        let mut h = Histogram::linear(0.0, 1.0, 10);
+        for v in [0.5, 1.0, 1.5, 2.5, 9.5, 11.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        // 0.5 and 1.0 both land in bucket 0 (upper-edge inclusive).
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[1], 2);
+        assert_eq!(h.bucket_counts()[2], 1);
+        // 11.0 overflows.
+        assert_eq!(*h.bucket_counts().last().unwrap(), 1);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(11.0));
+        assert!((h.sum() - 26.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_tracks_exact_within_bucket_width() {
+        let samples: Vec<f64> = (0..100).map(|k| k as f64 + 0.5).collect();
+        let mut h = Histogram::linear(0.0, 1.0, 100);
+        for &s in &samples {
+            h.observe(s);
+        }
+        for p in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let approx = h.percentile(p).unwrap();
+            // Exact (same rank semantics): interpolate the sorted samples.
+            let rank = p / 100.0 * 99.0;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let exact = samples[lo] + (rank - lo as f64) * (samples[hi] - samples[lo]);
+            assert!(
+                (approx - exact).abs() <= 1.0 + 1e-9,
+                "p{p}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn fractional_rank_straddling_empty_buckets() {
+        // Regression: rank 4.5 falls between the 4th order statistic
+        // (bucket 0) and the 5th (bucket 10), across nine empty buckets.
+        // Estimating only in the upper bucket would answer ~10.25; the
+        // exact interpolated percentile is 5.5.
+        let mut h = Histogram::linear(0.0, 1.0, 12);
+        for _ in 0..5 {
+            h.observe(0.5);
+        }
+        h.observe(10.5);
+        let approx = h.percentile(90.0).unwrap(); // rank = 4.5
+        assert!(
+            (approx - 5.5).abs() <= 1.0 + 1e-9,
+            "p90 {approx} vs exact 5.5"
+        );
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let mut h = Histogram::durations();
+        for _ in 0..5 {
+            h.observe(0.004);
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        assert!((p50 - 0.004).abs() < 1e-12, "clamped to observed range");
+        assert_eq!(h.percentile(99.0), Some(0.004));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentile() {
+        let h = Histogram::linear(0.0, 1.0, 4);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn values_below_lo_clamp_into_first_bucket() {
+        let mut h = Histogram::linear(1.0, 1.0, 3);
+        h.observe(0.25);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.percentile(50.0), Some(0.25));
+    }
+
+    #[test]
+    fn nan_observations_are_ignored() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn durations_layout_spans_micro_to_minutes() {
+        let mut h = Histogram::durations();
+        h.observe(2e-6);
+        h.observe(0.030);
+        h.observe(5.0);
+        assert_eq!(h.count(), 3);
+        // All three in distinct, non-overflow buckets.
+        let nonzero = h
+            .bucket_counts()
+            .iter()
+            .take(h.bucket_counts().len() - 1)
+            .filter(|&&c| c > 0)
+            .count();
+        assert_eq!(nonzero, 3);
+    }
+}

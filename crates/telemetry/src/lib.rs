@@ -1,0 +1,79 @@
+//! # tagwatch-telemetry — structured observability for the two-phase stack
+//!
+//! A std-only telemetry layer (serde/serde_json are the only external
+//! deps, both already in the workspace): spans, a metrics registry, and
+//! pluggable event sinks.
+//!
+//! * **Spans** ([`SpanGuard`], [`SimSpan`]) record name, start, duration,
+//!   and parent. Simulated-clock spans take explicit reader timestamps
+//!   (deterministic under a fixed seed); wall-clock guards time host
+//!   compute. Parenting is inferred from the per-thread open-span stack,
+//!   producing the controller's cycle → phase → round hierarchy.
+//! * **Metrics** ([`MetricsRegistry`]) aggregate counters, gauges, and
+//!   fixed-bucket [`Histogram`]s whose percentile semantics match
+//!   `tagwatch::metrics::percentile` to within one bucket width.
+//! * **Sinks** ([`Sink`]) receive every [`Event`]: [`MemorySink`] is a
+//!   bounded ring buffer for tests, [`JsonlSink`] a line-buffered JSONL
+//!   file for offline analysis.
+//!
+//! With no sink installed a handle is disabled and every emission costs
+//! one relaxed atomic load, so instrumentation stays compiled into hot
+//! paths. The process-wide [`Telemetry::global`] handle lets a CLI flag
+//! (`repro --telemetry out.jsonl`) capture the whole stack.
+//!
+//! ```
+//! use tagwatch_telemetry::{MemorySink, Telemetry};
+//!
+//! let tel = Telemetry::new();
+//! let sink = MemorySink::new(1024);
+//! tel.install(Box::new(sink.clone()));
+//!
+//! let cycle = tel.sim_span("cycle", 0.0);
+//! tel.incr_by("cycle.census", 40);
+//! let compute = tel.timed("cycle.compute");
+//! let compute_seconds = compute.finish();
+//! cycle.end(5.0);
+//!
+//! assert!(compute_seconds >= 0.0);
+//! assert_eq!(sink.spans_named("cycle").len(), 1);
+//! assert_eq!(tel.snapshot().counter("cycle.census"), Some(40));
+//! ```
+
+pub mod event;
+pub mod handle;
+pub mod histogram;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use event::{ClockKind, CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord};
+pub use handle::Telemetry;
+pub use histogram::Histogram;
+pub use registry::MetricsRegistry;
+pub use sink::{JsonlSink, MemorySink, Sink};
+pub use span::{SimSpan, SpanGuard};
+
+/// Starts a wall-clock span on a handle: `let _g = span!(tel, "phase1");`.
+/// The span closes (and is emitted) when the guard leaves scope.
+#[macro_export]
+macro_rules! span {
+    ($tel:expr, $name:expr) => {
+        $tel.timed($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_macro_produces_a_guard() {
+        let tel = Telemetry::new();
+        let sink = MemorySink::new(16);
+        tel.install(Box::new(sink.clone()));
+        {
+            let _g = span!(tel, "macro_span");
+        }
+        assert_eq!(sink.spans_named("macro_span").len(), 1);
+    }
+}

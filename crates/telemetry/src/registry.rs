@@ -1,0 +1,139 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! `BTreeMap` keys keep iteration (and therefore summary tables) in a
+//! stable alphabetical order. The registry is plain data — the
+//! [`crate::Telemetry`] handle owns one behind its lock and hands out
+//! clones as snapshots.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+
+/// Aggregated metric state. Cloning yields a consistent snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero), returning the
+    /// new total.
+    pub fn incr_by(&mut self, name: &str, delta: u64) -> u64 {
+        let slot = self
+            .counters
+            .entry(name.to_string())
+            .or_insert(0);
+        *slot = slot.saturating_add(delta);
+        *slot
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into histogram `name`, creating it with the
+    /// [`Histogram::durations`] layout on first sight.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::durations)
+            .observe(value);
+    }
+
+    /// Pre-registers histogram `name` with a custom bucket layout
+    /// (replacing any default-layout instance created earlier).
+    pub fn register_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.histograms.insert(name.to_string(), histogram);
+    }
+
+    /// Counter total, if the counter exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram, if any observation ever landed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_report_totals() {
+        let mut r = MetricsRegistry::new();
+        assert_eq!(r.incr_by("a", 3), 3);
+        assert_eq!(r.incr_by("a", 4), 7);
+        assert_eq!(r.counter("a"), Some(7));
+        assert_eq!(r.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("g", 1.0);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn observe_auto_creates_duration_histogram() {
+        let mut r = MetricsRegistry::new();
+        r.observe("d", 0.05);
+        r.observe("d", 0.06);
+        let h = r.histogram("d").unwrap();
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn custom_layout_replaces_default() {
+        let mut r = MetricsRegistry::new();
+        r.register_histogram("lin", Histogram::linear(0.0, 1.0, 4));
+        r.observe("lin", 2.5);
+        assert_eq!(r.histogram("lin").unwrap().bucket_counts()[2], 1);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut r = MetricsRegistry::new();
+        r.incr_by("b", 1);
+        r.incr_by("a", 1);
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Pluggable event sinks.
+//!
+//! A [`Sink`] receives every [`Event`] the handle emits, in order. Two
+//! implementations ship here: a bounded in-memory ring buffer for tests
+//! and experiments, and a line-buffered JSONL file writer for offline
+//! analysis (`repro ... --telemetry out.jsonl`).
+
+use crate::event::{Event, SpanRecord};
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{LineWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Receives telemetry events. Implementations must be `Send`: the handle
+/// may be shared across experiment worker threads.
+pub trait Sink: Send {
+    /// Called once per emitted event, in emission order.
+    fn record(&mut self, event: &Event);
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// A bounded in-memory ring buffer of events. Cheap to clone — clones
+/// share the buffer, so tests install one copy and inspect the other.
+///
+/// When full, the *oldest* event is evicted (and counted); a
+/// zero-capacity sink drops everything.
+#[derive(Debug, Clone)]
+pub struct MemorySink {
+    shared: Arc<Mutex<MemoryBuf>>,
+}
+
+#[derive(Debug)]
+struct MemoryBuf {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl MemorySink {
+    /// A sink retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        MemorySink {
+            shared: Arc::new(Mutex::new(MemoryBuf {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let buf = self.shared.lock().expect("memory sink poisoned");
+        buf.events.iter().cloned().collect()
+    }
+
+    /// Number of events evicted (or rejected) since creation.
+    pub fn dropped(&self) -> usize {
+        self.shared.lock().expect("memory sink poisoned").dropped
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.shared.lock().expect("memory sink poisoned").events.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All buffered span records with the given name, oldest first.
+    pub fn spans_named(&self, name: &str) -> Vec<SpanRecord> {
+        self.events()
+            .into_iter()
+            .filter_map(|ev| match ev {
+                Event::Span(s) if s.name == name => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The running total carried by the *last* counter event with the
+    /// given name, if any was buffered.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        self.events()
+            .into_iter()
+            .rev()
+            .find_map(|ev| match ev {
+                Event::Counter(c) if c.name == name => Some(c.total),
+                _ => None,
+            })
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.shared.lock().expect("memory sink poisoned");
+        if buf.capacity == 0 {
+            buf.dropped += 1;
+            return;
+        }
+        if buf.events.len() == buf.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(event.clone());
+    }
+}
+
+/// A line-buffered JSONL file sink: one `serde_json`-encoded [`Event`] per
+/// line, flushed at every newline so the file is parseable even if the
+/// process dies mid-run.
+///
+/// Write errors are counted, not propagated — telemetry must never take
+/// the host system down with it.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: LineWriter<File>,
+    path: PathBuf,
+    lines: u64,
+    write_errors: u64,
+}
+
+impl JsonlSink {
+    /// Creates (or truncates) `path` for writing.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            out: LineWriter::new(file),
+            path,
+            lines: 0,
+            write_errors: 0,
+        })
+    }
+
+    /// The path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, event: &Event) {
+        match serde_json::to_string(event) {
+            Ok(line) => {
+                if writeln!(self.out, "{line}").is_ok() {
+                    self.lines += 1;
+                } else {
+                    self.write_errors += 1;
+                }
+            }
+            Err(_) => self.write_errors += 1,
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterRecord, ObserveRecord};
+
+    fn counter(name: &str, delta: u64, total: u64) -> Event {
+        Event::Counter(CounterRecord {
+            name: name.into(),
+            delta,
+            total,
+        })
+    }
+
+    #[test]
+    fn memory_sink_keeps_most_recent() {
+        let mut sink = MemorySink::new(3);
+        for k in 0..5 {
+            sink.record(&counter("c", 1, k + 1));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        assert_eq!(sink.counter_total("c"), Some(5));
+        let events = sink.events();
+        match &events[0] {
+            Event::Counter(c) => assert_eq!(c.total, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_memory_sink_drops_everything() {
+        let mut sink = MemorySink::new(0);
+        for k in 0..4 {
+            sink.record(&counter("c", 1, k + 1));
+        }
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 4);
+    }
+
+    #[test]
+    fn memory_sink_clones_share_the_buffer() {
+        let sink = MemorySink::new(10);
+        let mut writer = sink.clone();
+        writer.record(&counter("c", 2, 2));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "tagwatch-telemetry-test-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.record(&counter("a", 1, 1));
+            sink.record(&Event::Observe(ObserveRecord {
+                name: "d".into(),
+                value: 0.5,
+            }));
+            assert_eq!(sink.lines(), 2);
+            sink.flush();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let _: Event = serde_json::from_str(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,193 @@
+//! Span guards: RAII timers that record name, start, duration, and parent.
+//!
+//! Two clocks coexist in Tagwatch. Air time is *simulated* (the reader's
+//! clock), so cycle/phase spans take explicit timestamps ([`SimSpan`]).
+//! Compute cost is *host* time, so the schedule-cost span uses a
+//! wall-clock guard ([`SpanGuard`]). Parenting is tracked per thread: the
+//! innermost open span when a new one starts becomes its parent, which
+//! yields the cycle → phase hierarchy with no plumbing.
+
+use crate::event::{ClockKind, SpanRecord};
+use crate::handle::Telemetry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Open-span stack for parent inference. Thread-local, so experiment
+    /// worker threads sharing one handle keep independent hierarchies.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+pub(crate) fn push(id: u64) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+}
+
+/// Removes `id` from the stack (innermost occurrence). Tolerates spans
+/// closed out of order instead of corrupting the stack.
+pub(crate) fn remove(id: u64) {
+    SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        if let Some(pos) = stack.iter().rposition(|&x| x == id) {
+            stack.remove(pos);
+        }
+    });
+}
+
+/// A wall-clock span: starts timing at creation, emits on drop (or
+/// [`SpanGuard::finish`], which also returns the elapsed seconds — the
+/// controller reports its schedule-cost from this, replacing ad-hoc
+/// `Instant` bookkeeping).
+///
+/// The timer always runs, even with telemetry disabled, so callers can
+/// rely on `finish()`; the span *event* is only emitted when the handle
+/// had a sink installed at creation time.
+#[must_use = "a span guard measures until dropped or finished"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    tel: Telemetry,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    active: bool,
+    done: bool,
+}
+
+impl SpanGuard {
+    pub(crate) fn start(tel: &Telemetry, name: &'static str) -> Self {
+        let active = tel.is_enabled();
+        let (id, parent) = if active {
+            let id = tel.alloc_span_id();
+            let parent = current_parent();
+            push(id);
+            (id, parent)
+        } else {
+            (0, None)
+        };
+        SpanGuard {
+            tel: tel.clone(),
+            name,
+            id,
+            parent,
+            start: Instant::now(),
+            active,
+            done: false,
+        }
+    }
+
+    /// This span's id, when telemetry is recording.
+    pub fn id(&self) -> Option<u64> {
+        self.active.then_some(self.id)
+    }
+
+    /// Closes the span now and returns the elapsed wall time in seconds.
+    pub fn finish(mut self) -> f64 {
+        self.close()
+    }
+
+    fn close(&mut self) -> f64 {
+        let duration = self.start.elapsed().as_secs_f64();
+        if self.done {
+            return duration;
+        }
+        self.done = true;
+        if self.active {
+            remove(self.id);
+            let start = self
+                .start
+                .saturating_duration_since(self.tel.origin())
+                .as_secs_f64();
+            self.tel.emit_span(SpanRecord {
+                name: self.name.to_string(),
+                id: self.id,
+                parent: self.parent,
+                start,
+                duration,
+                clock: ClockKind::Wall,
+            });
+        }
+        duration
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let _ = self.close();
+    }
+}
+
+/// A simulated-clock span: the caller supplies start and end timestamps
+/// from the reader's clock, keeping exports deterministic under a fixed
+/// seed.
+#[must_use = "end() the span with its simulated end time"]
+#[derive(Debug)]
+pub struct SimSpan {
+    tel: Telemetry,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: f64,
+    active: bool,
+    done: bool,
+}
+
+impl SimSpan {
+    pub(crate) fn start(tel: &Telemetry, name: &'static str, t_start: f64) -> Self {
+        let active = tel.is_enabled();
+        let (id, parent) = if active {
+            let id = tel.alloc_span_id();
+            let parent = current_parent();
+            push(id);
+            (id, parent)
+        } else {
+            (0, None)
+        };
+        SimSpan {
+            tel: tel.clone(),
+            name,
+            id,
+            parent,
+            start: t_start,
+            active,
+            done: false,
+        }
+    }
+
+    /// This span's id, when telemetry is recording.
+    pub fn id(&self) -> Option<u64> {
+        self.active.then_some(self.id)
+    }
+
+    /// Closes the span at simulated time `t_end` and emits it.
+    pub fn end(mut self, t_end: f64) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if self.active {
+            remove(self.id);
+            self.tel.emit_span(SpanRecord {
+                name: self.name.to_string(),
+                id: self.id,
+                parent: self.parent,
+                start: self.start,
+                duration: (t_end - self.start).max(0.0),
+                clock: ClockKind::Sim,
+            });
+        }
+    }
+}
+
+impl Drop for SimSpan {
+    fn drop(&mut self) {
+        // Abandoned span (an error unwound the cycle): keep the parent
+        // stack balanced, record nothing.
+        if !self.done && self.active {
+            remove(self.id);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Property: the telemetry histogram's bucketed percentile estimate
+//! tracks the exact sample percentile (`tagwatch::metrics::percentile`,
+//! rank = p/100·(n−1) with linear interpolation) to within one bucket
+//! width — the accuracy contract `tagwatch-telemetry` documents.
+
+use proptest::prelude::*;
+use tagwatch::metrics::percentile;
+use tagwatch_telemetry::Histogram;
+
+const BUCKET_WIDTH: f64 = 1.0;
+
+proptest! {
+    #[test]
+    fn histogram_percentile_within_one_bucket_of_exact(
+        samples in prop::collection::vec(0.0f64..100.0, 1..200),
+        p in 0.0f64..=100.0,
+    ) {
+        let mut h = Histogram::linear(0.0, BUCKET_WIDTH, 100);
+        for &s in &samples {
+            h.observe(s);
+        }
+        let exact = percentile(&samples, p);
+        let approx = h.percentile(p).expect("non-empty histogram");
+        prop_assert!(
+            (approx - exact).abs() <= BUCKET_WIDTH + 1e-9,
+            "p{} off by more than a bucket: approx {} vs exact {} over {} samples",
+            p, approx, exact, samples.len()
+        );
+    }
+
+    #[test]
+    fn histogram_percentile_is_monotone_and_bounded(
+        samples in prop::collection::vec(0.0f64..100.0, 1..100),
+    ) {
+        let mut h = Histogram::linear(0.0, BUCKET_WIDTH, 100);
+        for &s in &samples {
+            h.observe(s);
+        }
+        let min = h.min().unwrap();
+        let max = h.max().unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(q).unwrap();
+            prop_assert!(v >= prev, "p{q} = {v} < p_prev = {prev}");
+            prop_assert!((min..=max).contains(&v), "p{q} = {v} outside [{min}, {max}]");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Cross-crate telemetry integration: the spans, counters, and JSONL
+//! export emitted by a running two-phase pipeline must agree with the
+//! `CycleReport` ground truth the controller returns.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_rf::ChannelPlan;
+use tagwatch_scene::{presets, Scene};
+use tagwatch_telemetry::{Event, JsonlSink, MemorySink, SpanRecord, Telemetry};
+
+fn epcs(n: usize, seed: u64) -> Vec<Epc> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Epc::random(&mut rng)).collect()
+}
+
+fn reader_for(scene: Scene, ids: &[Epc], seed: u64) -> Reader {
+    let mut cfg = ReaderConfig::default();
+    cfg.channel_plan = ChannelPlan::single(922.5e6);
+    Reader::new(scene, ids, cfg, seed)
+}
+
+fn fast_cfg() -> TagwatchConfig {
+    TagwatchConfig {
+        phase2_len: 1.0,
+        ..TagwatchConfig::default()
+    }
+}
+
+/// Runs `cycles` cycles with controller and reader sharing one telemetry
+/// handle, returning the reports plus the instrumented pieces.
+fn run_instrumented(cycles: usize) -> (Vec<CycleReport>, MemorySink, Telemetry, usize) {
+    let scene = presets::turntable(20, 2, 31);
+    let ids = epcs(20, 32);
+    let mut reader = reader_for(scene, &ids, 33);
+    let mut ctl = Controller::new(fast_cfg());
+
+    let tel = Telemetry::new();
+    let sink = MemorySink::new(1 << 16);
+    tel.install(Box::new(sink.clone()));
+    ctl.set_telemetry(tel.clone());
+    reader.set_telemetry(tel.clone());
+
+    let mut reports = Vec::new();
+    for _ in 0..cycles {
+        reports.push(ctl.run_cycle(&mut reader).unwrap());
+    }
+    let rounds = reader.events.take().len();
+    (reports, sink, tel, rounds)
+}
+
+#[test]
+fn spans_mirror_cycle_reports() {
+    let cycles = 4;
+    let (reports, sink, _tel, _) = run_instrumented(cycles);
+
+    let cycle_spans = sink.spans_named("cycle");
+    let phase1_spans = sink.spans_named("phase1");
+    let phase2_spans = sink.spans_named("phase2");
+    let compute_spans = sink.spans_named("cycle.compute");
+    assert_eq!(cycle_spans.len(), cycles);
+    assert_eq!(phase1_spans.len(), cycles);
+    assert_eq!(phase2_spans.len(), cycles);
+    assert_eq!(compute_spans.len(), cycles);
+
+    for (k, rep) in reports.iter().enumerate() {
+        let cycle = &cycle_spans[k];
+        assert!((cycle.start - rep.t_start).abs() < 1e-9);
+        assert!((cycle.duration - (rep.t_end - rep.t_start)).abs() < 1e-9);
+        assert!((phase1_spans[k].duration - rep.phase1_duration).abs() < 1e-9);
+        assert!((phase2_spans[k].duration - rep.phase2_duration).abs() < 1e-9);
+        // Phases nest under their cycle; cycles are roots.
+        assert_eq!(cycle.parent, None);
+        assert_eq!(phase1_spans[k].parent, Some(cycle.id));
+        assert_eq!(phase2_spans[k].parent, Some(cycle.id));
+        assert_eq!(compute_spans[k].parent, Some(cycle.id));
+    }
+
+    // Span ids are unique across the run.
+    let mut ids: Vec<u64> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Span(SpanRecord { id, .. }) => Some(*id),
+            _ => None,
+        })
+        .collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n);
+}
+
+#[test]
+fn counters_mirror_cycle_reports_and_round_log() {
+    let cycles = 4;
+    let (reports, _sink, tel, rounds) = run_instrumented(cycles);
+    let snap = tel.snapshot();
+
+    let sum = |f: fn(&CycleReport) -> usize| reports.iter().map(f).sum::<usize>() as u64;
+    assert_eq!(snap.counter("cycle.count"), Some(cycles as u64));
+    assert_eq!(snap.counter("cycle.census"), Some(sum(|r| r.census.len())));
+    assert_eq!(snap.counter("phase1.reports"), Some(sum(|r| r.phase1.len())));
+    assert_eq!(snap.counter("phase2.reports"), Some(sum(|r| r.phase2.len())));
+    let evictions = sum(|r| r.evicted.len());
+    assert_eq!(snap.counter("cycle.evictions").unwrap_or(0), evictions);
+
+    // Every cycle records a schedule mode.
+    let selective = snap.counter("schedule.selective").unwrap_or(0);
+    let read_all = snap.counter("schedule.read_all").unwrap_or(0);
+    assert_eq!(selective + read_all, cycles as u64);
+    let masks = reports
+        .iter()
+        .filter_map(|r| r.plan.as_ref())
+        .map(|p| p.masks.len())
+        .sum::<usize>() as u64;
+    assert_eq!(snap.counter("cycle.masks").unwrap_or(0), masks);
+
+    // The reader promoted every logged round.
+    assert!(rounds > 0);
+    assert_eq!(snap.counter("round.count"), Some(rounds as u64));
+    assert_eq!(snap.histogram("round.duration").unwrap().count(), rounds as u64);
+
+    // Duration histograms saw one observation per cycle, and their sums
+    // agree with the report ground truth.
+    let cycle_h = snap.histogram("cycle.duration").unwrap();
+    assert_eq!(cycle_h.count(), cycles as u64);
+    let total: f64 = reports.iter().map(|r| r.t_end - r.t_start).sum();
+    assert!((cycle_h.sum() - total).abs() < 1e-9);
+    let compute_h = snap.histogram("cycle.compute_seconds").unwrap();
+    let compute_total: f64 = reports.iter().map(|r| r.compute_time).sum();
+    assert!((compute_h.sum() - compute_total).abs() < 1e-9);
+}
+
+#[test]
+fn disabled_handle_changes_nothing_and_records_nothing() {
+    let run = |instrument: bool| {
+        let scene = presets::turntable(15, 1, 41);
+        let ids = epcs(15, 42);
+        let mut reader = reader_for(scene, &ids, 43);
+        let mut ctl = Controller::new(fast_cfg());
+        let tel = Telemetry::new(); // no sink installed → disabled
+        if instrument {
+            ctl.set_telemetry(tel.clone());
+            reader.set_telemetry(tel.clone());
+        }
+        let mut digest = Vec::new();
+        for _ in 0..5 {
+            let rep = ctl.run_cycle(&mut reader).unwrap();
+            digest.push((rep.mode, rep.census.len(), rep.phase1.len(), rep.phase2.len()));
+        }
+        assert!(tel.snapshot().is_empty());
+        (digest, reader.now())
+    };
+    // Telemetry plumbing must not perturb the simulation.
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn jsonl_export_round_trips_every_line() {
+    let path = std::env::temp_dir().join(format!(
+        "tagwatch-telemetry-integration-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+
+    let scene = presets::turntable(15, 1, 51);
+    let ids = epcs(15, 52);
+    let mut reader = reader_for(scene, &ids, 53);
+    let mut ctl = Controller::new(fast_cfg());
+    let tel = Telemetry::new();
+    tel.install(Box::new(JsonlSink::create(&path).unwrap()));
+    ctl.set_telemetry(tel.clone());
+    reader.set_telemetry(tel.clone());
+    for _ in 0..3 {
+        ctl.run_cycle(&mut reader).unwrap();
+    }
+    tel.flush();
+
+    let contents = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let mut cycle_spans = 0usize;
+    let mut lines = 0usize;
+    for line in contents.lines() {
+        lines += 1;
+        let ev: Event = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("unparseable JSONL line {line:?}: {e}"));
+        if matches!(&ev, Event::Span(s) if s.name == "cycle") {
+            cycle_spans += 1;
+        }
+    }
+    assert!(lines > 10, "only {lines} JSONL lines");
+    assert_eq!(cycle_spans, 3);
+}
