@@ -3,12 +3,59 @@
 #
 #   ./ci.sh          # fmt + clippy + tier-1 (release build + tests)
 #   ./ci.sh --tier1  # tier-1 gate only (what the roadmap requires)
+#   ./ci.sh --obs    # observability gate: record the obs-run reference
+#                    # workload and diff it against BENCH_1.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
 tier1_only=false
-if [[ "${1:-}" == "--tier1" ]]; then
-    tier1_only=true
+obs_only=false
+case "${1:-}" in
+    --tier1) tier1_only=true ;;
+    --obs) obs_only=true ;;
+esac
+
+obs_gate() {
+    # Record the seeded reference workload with a telemetry trace and a
+    # BENCH snapshot, validate the trace with `obs report`, then gate the
+    # snapshot against the committed baseline with `obs diff` (exit 2 on
+    # regression fails CI). Artifacts land under the gitignored out/.
+    local seed=7
+    local baseline=BENCH_1.json
+    echo "==> obs: cargo build --release (repro + obs)"
+    cargo build --release --bin repro --bin obs
+    mkdir -p out
+
+    echo "==> obs: recording reference workload (obs-run, seed $seed)"
+    ./target/release/repro obs-run --quick --seed "$seed" \
+        --telemetry out/obs-ci.jsonl --bench-json out/BENCH_current.json
+
+    echo "==> obs: validating trace"
+    ./target/release/obs report out/obs-ci.jsonl
+
+    if [[ ! -f "$baseline" ]] || grep -q '"provisional": true' "$baseline"; then
+        # Bootstrap: no reviewed baseline yet. Prove the workload is
+        # deterministic (two identical-seed runs must diff clean), then
+        # promote the fresh snapshot — still marked provisional — for a
+        # human to review and commit.
+        echo "==> obs: baseline missing or provisional — determinism self-check"
+        ./target/release/repro obs-run --quick --seed "$seed" \
+            --bench-json out/BENCH_check.json >/dev/null
+        ./target/release/obs diff out/BENCH_current.json out/BENCH_check.json
+        sed 's/"provisional": false/"provisional": true/' \
+            out/BENCH_current.json > "$baseline"
+        echo "==> obs: promoted fresh snapshot to $baseline (provisional;"
+        echo "    review the numbers, flip \"provisional\" to false, commit)"
+    else
+        echo "==> obs: gating against $baseline"
+        ./target/release/obs diff "$baseline" out/BENCH_current.json
+    fi
+    echo "obs gate passed."
+}
+
+if $obs_only; then
+    obs_gate
+    exit 0
 fi
 
 if ! $tier1_only; then

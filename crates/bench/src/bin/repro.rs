@@ -14,10 +14,19 @@
 //! every span/counter/observation as JSONL into `FILE`, and prints a
 //! summary (duration percentiles, per-phase IRR, counters) after the
 //! figures finish.
+//!
+//! `--bench-json FILE` writes a schema-versioned `BenchSnapshot`
+//! (registry aggregates plus per-figure wall clock) for `obs diff`
+//! regression gating; it enables metric aggregation even without
+//! `--telemetry`. The `obs-run` target is the observability reference
+//! workload `ci.sh --obs` records and gates (see EXPERIMENTS.md).
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Instant;
 use tagwatch_bench::experiments::*;
 use tagwatch_bench::telemetry_report;
+use tagwatch_obs::bench::{BenchSnapshot, FigureBench};
 use tagwatch_telemetry::{JsonlSink, Telemetry};
 
 struct Opts {
@@ -28,6 +37,8 @@ struct Opts {
     csv_dir: Option<std::path::PathBuf>,
     /// JSONL telemetry export path, when requested.
     telemetry: Option<std::path::PathBuf>,
+    /// BENCH snapshot output path, when requested.
+    bench_json: Option<std::path::PathBuf>,
 }
 
 impl Opts {
@@ -50,6 +61,7 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         scale: 1,
         csv_dir: None,
         telemetry: None,
+        bench_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -65,6 +77,10 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
             "--telemetry" => {
                 let v = args.next().ok_or("--telemetry needs a file path")?;
                 opts.telemetry = Some(v.into());
+            }
+            "--bench-json" => {
+                let v = args.next().ok_or("--bench-json needs a file path")?;
+                opts.bench_json = Some(v.into());
             }
             "--quick" => opts.scale = 0,
             "--full" => opts.scale = 2,
@@ -83,8 +99,8 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
 
 fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
-     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc> [--seed N] [--quick|--full] [--csv DIR] \
-     [--telemetry FILE]"
+     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run> [--seed N] \
+     [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE]"
         .to_string()
 }
 
@@ -167,6 +183,10 @@ fn run_fig(name: &str, o: &Opts) -> Result<(), String> {
             let sweeps = [20, 60, 200][o.scale as usize];
             println!("{}", ablations::truncation(o.seed, sweeps));
         }
+        "obs-run" => {
+            let (n, movers, cycles) = [(15, 1, 8), (40, 2, 20), (100, 5, 60)][o.scale as usize];
+            println!("{}", obs_run::run(o.seed, n, movers, cycles, 0.0));
+        }
         other => return Err(format!("unknown figure {other:?}\n{}", usage())),
     }
     Ok(())
@@ -188,6 +208,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    } else if opts.bench_json.is_some() {
+        // No sink wanted, but the snapshot needs the registry aggregating.
+        Telemetry::global().set_enabled(true);
     }
     let order = [
         "fig1", "fig2", "fig3", "fig4", "fig8", "fig12", "fig13", "fig14", "fig15", "fig16",
@@ -201,13 +224,28 @@ fn main() -> ExitCode {
     } else {
         figs
     };
+    let run_start = Instant::now();
+    let mut figures: BTreeMap<String, FigureBench> = BTreeMap::new();
     for (i, fig) in expanded.iter().enumerate() {
         if i > 0 {
             println!();
         }
+        let reports_before = phase2_reports_total();
+        let fig_start = Instant::now();
         if let Err(msg) = run_fig(fig, &opts) {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
+        }
+        if opts.bench_json.is_some() {
+            let wall = fig_start.elapsed().as_secs_f64();
+            let delivered = phase2_reports_total() - reports_before;
+            figures.insert(
+                fig.clone(),
+                FigureBench {
+                    wall_seconds: wall,
+                    reports_per_wall_second: delivered as f64 / wall.max(1e-9),
+                },
+            );
         }
     }
     if let Some(path) = &opts.telemetry {
@@ -217,5 +255,26 @@ fn main() -> ExitCode {
         print!("{}", telemetry_report::summary(&tel.snapshot()));
         eprintln!("telemetry events written to {path:?}");
     }
+    if let Some(path) = &opts.bench_json {
+        let scale = ["quick", "default", "full"][opts.scale as usize];
+        let mut snap =
+            BenchSnapshot::from_registry(&Telemetry::global().snapshot(), opts.seed, scale);
+        snap.figures = figures;
+        snap.wall_seconds = run_start.elapsed().as_secs_f64();
+        if let Err(e) = snap.save(path) {
+            eprintln!("cannot write bench snapshot {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench snapshot written to {path:?}");
+    }
     ExitCode::SUCCESS
+}
+
+/// Running `phase2.reports` total from the global registry (0 while
+/// telemetry is disabled).
+fn phase2_reports_total() -> u64 {
+    Telemetry::global()
+        .snapshot()
+        .counter("phase2.reports")
+        .unwrap_or(0)
 }

@@ -17,3 +17,4 @@ pub mod fig15;
 pub mod fig17;
 pub mod gate;
 pub mod fig18;
+pub mod obs_run;

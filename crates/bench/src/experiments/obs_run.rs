@@ -1,0 +1,134 @@
+//! **obs-run** — the observability reference workload: a turntable scene
+//! (a few mobile tags riding the platter among a stationary majority)
+//! driven through the full two-phase controller with the global telemetry
+//! handle capturing everything.
+//!
+//! Unlike the figure experiments, this run exists *for* the trace: it
+//! annotates ground truth (`truth.mobile` tag events for the tags the
+//! scene actually moves) so `obs report` can score the mobile/stationary
+//! detector, and it is the workload `ci.sh --obs` records with
+//! `--telemetry` + `--bench-json` and gates against the committed
+//! `BENCH_1.json` baseline. Deterministic under a fixed seed.
+
+use crate::experiments::common::random_epcs;
+use tagwatch::prelude::*;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::Telemetry;
+
+/// Summary of one obs-run (printed; the interesting output is the trace).
+#[derive(Debug, Clone)]
+pub struct ObsRun {
+    pub tags: usize,
+    pub movers: usize,
+    pub cycles: usize,
+    pub sim_seconds: f64,
+    pub census_mean: f64,
+    pub phase1_reports: usize,
+    pub phase2_reports: usize,
+    pub selective_cycles: usize,
+}
+
+/// Runs `cycles` controller cycles over `presets::turntable(n_tags,
+/// n_mobile, seed)`, emitting `truth.mobile` annotations for the mobile
+/// tags before the first cycle. Decode failures are injected with
+/// probability `decode_fail_prob` (0 for the reference workload; the
+/// regression-injection integration test raises it to degrade IRR).
+pub fn run(
+    seed: u64,
+    n_tags: usize,
+    n_mobile: usize,
+    cycles: usize,
+    decode_fail_prob: f64,
+) -> ObsRun {
+    let scene = presets::turntable(n_tags, n_mobile, seed);
+    let epcs = random_epcs(n_tags, seed ^ 0x0B5);
+    let cfg = ReaderConfig {
+        decode_fail_prob,
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(scene, &epcs, cfg, seed ^ 0x0B6);
+
+    let tel = Telemetry::global().clone();
+    // Ground truth before any cycle: turntable puts the movers at indices
+    // 0..n_mobile.
+    for epc in &epcs[..n_mobile] {
+        tel.tag_event("truth.mobile", epc.bits(), 0.0);
+    }
+
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel);
+    let reports = ctl.run_cycles(&mut reader, cycles).expect("valid config");
+
+    let census_total: usize = reports.iter().map(|r| r.census.len()).sum();
+    ObsRun {
+        tags: n_tags,
+        movers: n_mobile,
+        cycles: reports.len(),
+        sim_seconds: reports.last().map_or(0.0, |r| r.t_end),
+        census_mean: census_total as f64 / reports.len().max(1) as f64,
+        phase1_reports: reports.iter().map(|r| r.phase1.len()).sum(),
+        phase2_reports: reports.iter().map(|r| r.phase2.len()).sum(),
+        selective_cycles: reports
+            .iter()
+            .filter(|r| r.mode == ScheduleMode::Selective)
+            .count(),
+    }
+}
+
+impl std::fmt::Display for ObsRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "obs-run — telemetry reference workload (turntable, {} tags / {} mobile)",
+            self.tags, self.movers
+        )?;
+        writeln!(
+            f,
+            "  {} cycles over {:.1} s simulated; census mean {:.1} tags",
+            self.cycles, self.sim_seconds, self.census_mean
+        )?;
+        writeln!(
+            f,
+            "  {} phase1 + {} phase2 reports; {} cycles scheduled selectively",
+            self.phase1_reports, self.phase2_reports, self.selective_cycles
+        )?;
+        writeln!(
+            f,
+            "  analyze the trace with: obs report <telemetry.jsonl>"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_run_is_deterministic_and_reads_everyone() {
+        let a = run(7, 12, 1, 6, 0.0);
+        let b = run(7, 12, 1, 6, 0.0);
+        assert_eq!(a.phase1_reports, b.phase1_reports);
+        assert_eq!(a.phase2_reports, b.phase2_reports);
+        assert_eq!(a.cycles, 6);
+        assert!(a.sim_seconds > 0.0);
+        // Phase I census should be reaching most of the population.
+        assert!(
+            a.census_mean >= 12.0 * 0.75,
+            "census mean {}",
+            a.census_mean
+        );
+    }
+
+    #[test]
+    fn decode_failures_cost_reports() {
+        let clean = run(7, 12, 1, 6, 0.0);
+        let lossy = run(7, 12, 1, 6, 0.5);
+        let total = |r: &ObsRun| r.phase1_reports + r.phase2_reports;
+        assert!(
+            total(&lossy) < total(&clean),
+            "lossy {} vs clean {}",
+            total(&lossy),
+            total(&clean)
+        );
+    }
+}

@@ -312,6 +312,22 @@ impl Controller {
             tel.observe("phase1.duration", t_phase1_end - t_start);
             tel.observe("phase2.duration", t_end - t_phase2_start);
             tel.observe("cycle.compute_seconds", compute_time);
+            // Per-tag moments, for offline per-tag IRR / starvation /
+            // confusion analysis (tagwatch-obs). Each carries the tag's
+            // own reading timestamp, so emitting them here — after the
+            // phases, outside the hot loops — loses nothing.
+            for r in &phase1 {
+                tel.tag_event("read.phase1", r.epc.bits(), r.rf.t);
+            }
+            for e in &mobile {
+                tel.tag_event("assess.mobile", e.bits(), t_phase1_end);
+            }
+            for r in &phase2 {
+                tel.tag_event("read.phase2", r.epc.bits(), r.rf.t);
+            }
+            for e in &evicted {
+                tel.tag_event("evict", e.bits(), t_end);
+            }
         }
 
         Ok(CycleReport {
@@ -573,6 +589,27 @@ mod tests {
         assert_eq!(snap.counter("phase1.reports"), Some(sum(|r| r.phase1.len())));
         assert_eq!(snap.counter("phase2.reports"), Some(sum(|r| r.phase2.len())));
         assert_eq!(snap.histogram("cycle.duration").unwrap().count(), 3);
+
+        // Per-tag moments: one read.phaseN tag event per delivered report,
+        // one assess.mobile per mobile verdict, all timestamped on the
+        // simulated clock.
+        use tagwatch_telemetry::Event;
+        let tag_events: Vec<tagwatch_telemetry::TagRecord> = sink
+            .events()
+            .into_iter()
+            .filter_map(|ev| match ev {
+                Event::Tag(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        let count_of = |name: &str| tag_events.iter().filter(|t| t.name == name).count();
+        assert_eq!(count_of("read.phase1"), sum(|r| r.phase1.len()) as usize);
+        assert_eq!(count_of("read.phase2"), sum(|r| r.phase2.len()) as usize);
+        assert_eq!(count_of("assess.mobile"), sum(|r| r.mobile.len()) as usize);
+        for t in &tag_events {
+            let last = reports.last().unwrap();
+            assert!(t.t >= 0.0 && t.t <= last.t_end, "tag event at {}", t.t);
+        }
     }
 
     #[test]

@@ -6,19 +6,47 @@ use std::collections::HashMap;
 use tagwatch_gen2::Epc;
 use tagwatch_reader::TagReport;
 
+/// The error [`irr_per_tag`] reports for a window over which a rate is
+/// undefined: zero, negative, or NaN duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidDuration(pub f64);
+
+impl std::fmt::Display for InvalidDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IRR undefined over a duration of {} s (must be finite and > 0)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidDuration {}
+
 /// Per-tag individual reading rates from a report stream spanning
 /// `duration` seconds (§2.1's IRR definition: readings of a particular tag
 /// per second).
-pub fn irr_per_tag(reports: &[TagReport], duration: f64) -> HashMap<Epc, f64> {
-    assert!(duration > 0.0, "duration must be positive");
+///
+/// An empty report stream yields an empty map (no tag, no rate). A
+/// non-positive, non-finite duration is a checked error rather than a
+/// panic — callers deriving the window from data (e.g. `last − first`
+/// timestamps, which collapse to 0 for a single reading) must be able to
+/// handle it.
+pub fn irr_per_tag(
+    reports: &[TagReport],
+    duration: f64,
+) -> Result<HashMap<Epc, f64>, InvalidDuration> {
+    if !(duration > 0.0 && duration.is_finite()) {
+        return Err(InvalidDuration(duration));
+    }
     let mut counts: HashMap<Epc, usize> = HashMap::new();
     for r in reports {
         *counts.entry(r.epc).or_insert(0) += 1;
     }
-    counts
+    Ok(counts
         .into_iter()
         .map(|(e, c)| (e, c as f64 / duration))
-        .collect()
+        .collect())
 }
 
 /// Binary-classification confusion counts.
@@ -161,9 +189,28 @@ mod tests {
         let reports: Vec<TagReport> = (0..10)
             .map(|k| report(if k % 2 == 0 { 1 } else { 2 }, k as f64 * 0.1))
             .collect();
-        let irr = irr_per_tag(&reports, 2.0);
+        let irr = irr_per_tag(&reports, 2.0).unwrap();
         assert!((irr[&Epc::from_bits(1)] - 2.5).abs() < 1e-12);
         assert!((irr[&Epc::from_bits(2)] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn irr_empty_reports_yield_empty_map() {
+        let irr = irr_per_tag(&[], 5.0).unwrap();
+        assert!(irr.is_empty());
+    }
+
+    #[test]
+    fn irr_rejects_degenerate_durations() {
+        let reports = vec![report(1, 0.0)];
+        assert_eq!(irr_per_tag(&reports, 0.0), Err(InvalidDuration(0.0)));
+        assert_eq!(irr_per_tag(&reports, -1.0), Err(InvalidDuration(-1.0)));
+        let nan = irr_per_tag(&reports, f64::NAN).unwrap_err();
+        assert!(nan.0.is_nan());
+        let inf = irr_per_tag(&reports, f64::INFINITY).unwrap_err();
+        assert!(inf.0.is_infinite());
+        // The error renders with the offending value.
+        assert!(InvalidDuration(0.0).to_string().contains("0 s"));
     }
 
     #[test]

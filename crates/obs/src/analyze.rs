@@ -1,0 +1,918 @@
+//! Analyzers: a validated [`Trace`] becomes a [`RunReport`] — per-tag IRR
+//! and starvation, detector confusion against ground truth, Q-adaptation
+//! diagnostics, per-phase duty cycles and slot breakdowns, and mask-cover
+//! efficiency. Everything here is derived purely from the event stream, so
+//! the same numbers come out of a live `MemorySink` and a JSONL file read
+//! back days later.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::Serialize;
+use tagwatch::metrics::{mean, percentile, Confusion};
+
+use crate::model::{CycleNode, RoundStats, Trace};
+
+/// Tag-event names the controller emits (see `tagwatch-telemetry`
+/// [`TagRecord`](tagwatch_telemetry::TagRecord)).
+const READ_PHASE1: &str = "read.phase1";
+const READ_PHASE2: &str = "read.phase2";
+const ASSESS_MOBILE: &str = "assess.mobile";
+/// Ground-truth annotation the experiment harness emits for tags that
+/// actually move in the scene.
+const TRUTH_MOBILE: &str = "truth.mobile";
+
+/// Knobs for trace analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeConfig {
+    /// A gap between consecutive reads of one tag longer than this many
+    /// simulated seconds counts as a starvation window (§2.2's fairness
+    /// concern: rate adaptation must not starve stationary tags).
+    pub starvation_gap: f64,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            starvation_gap: 10.0,
+        }
+    }
+}
+
+/// Robust percentile: `None` on an empty sample instead of a panic.
+fn pct(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(percentile(samples, p))
+    }
+}
+
+/// Summary statistics over one duration (or other scalar) sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, serde::Deserialize)]
+pub struct DurationStats {
+    pub count: usize,
+    pub mean: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl DurationStats {
+    /// `None` for an empty sample — a stats block of zeros would read as
+    /// "measured and instant" rather than "absent".
+    pub fn from_samples(samples: &[f64]) -> Option<DurationStats> {
+        Some(DurationStats {
+            count: samples.len(),
+            mean: mean(samples),
+            p50: pct(samples, 50.0)?,
+            p95: pct(samples, 95.0)?,
+            p99: pct(samples, 99.0)?,
+        })
+    }
+}
+
+/// One tag's reading history over the whole trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TagStats {
+    /// EPC bits rendered as hex — JSON numbers above 2^53 lose precision
+    /// in many consumers, so the wire form is a string.
+    pub epc: String,
+    pub reads: usize,
+    pub first: f64,
+    pub last: f64,
+    /// Reads per second over the trace's simulated window.
+    pub irr: f64,
+    /// Longest gap between consecutive reads (0 with fewer than 2 reads).
+    pub max_gap: f64,
+}
+
+/// Aggregate per-tag reading statistics.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TagSummary {
+    /// Distinct EPCs seen in `read.*` events.
+    pub tags: usize,
+    pub reads_total: usize,
+    pub irr_mean: f64,
+    pub irr_min: f64,
+    pub irr_max: f64,
+    /// Per-tag detail, sorted by EPC.
+    pub per_tag: Vec<TagStats>,
+}
+
+/// One starvation window: a tag went unread for longer than the
+/// configured gap while the reader was active.
+#[derive(Debug, Clone, Serialize)]
+pub struct StarvationEvent {
+    pub epc: String,
+    pub from: f64,
+    pub to: f64,
+    pub gap: f64,
+}
+
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct StarvationReport {
+    pub gap_threshold: f64,
+    /// Tags with at least one starvation window.
+    pub starved_tags: usize,
+    pub events: Vec<StarvationEvent>,
+}
+
+/// Mobile/stationary detector confusion versus `truth.mobile` ground
+/// truth, accumulated per cycle over that cycle's census.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ConfusionSummary {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    #[serde(rename = "fn")]
+    pub fn_: usize,
+    pub tpr: f64,
+    pub fpr: f64,
+    pub accuracy: f64,
+    /// Cycles that contributed samples.
+    pub cycles: usize,
+}
+
+impl ConfusionSummary {
+    fn from_confusion(c: &Confusion, cycles: usize) -> ConfusionSummary {
+        ConfusionSummary {
+            tp: c.tp,
+            fp: c.fp,
+            tn: c.tn,
+            fn_: c.fn_,
+            tpr: c.tpr(),
+            fpr: c.fpr(),
+            accuracy: c.accuracy(),
+            cycles,
+        }
+    }
+}
+
+/// Q-adaptation diagnostics over the `round.q_final` series.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct QDiagnostics {
+    /// Rounds that reported a final Q.
+    pub rounds: usize,
+    pub mean_q: f64,
+    /// Direction reversals in consecutive Q deltas (up→down or down→up).
+    pub reversals: usize,
+    /// Reversals per Q change — near 1.0 means Q is thrashing between
+    /// values instead of converging.
+    pub oscillation: f64,
+    /// Mid-round Qfp adjustments per round.
+    pub adjusts_per_round: f64,
+}
+
+/// Slot-outcome totals with derived rates.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct SlotTotals {
+    pub slots: f64,
+    pub empties: u64,
+    pub collisions: u64,
+    pub successes: u64,
+    pub decode_failures: u64,
+    pub success_rate: f64,
+    pub collision_rate: f64,
+}
+
+impl SlotTotals {
+    fn from_stats(s: &RoundStats) -> SlotTotals {
+        let outcomes = (s.empties + s.collisions + s.successes + s.decode_failures) as f64;
+        let rate = |n: u64| if outcomes > 0.0 { n as f64 / outcomes } else { 0.0 };
+        SlotTotals {
+            slots: s.slots,
+            empties: s.empties,
+            collisions: s.collisions,
+            successes: s.successes,
+            decode_failures: s.decode_failures,
+            success_rate: rate(s.successes),
+            collision_rate: rate(s.collisions),
+        }
+    }
+}
+
+/// Where one phase's air time went.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseDuty {
+    pub phase: String,
+    pub rounds: usize,
+    /// Simulated seconds spent in this phase, summed over cycles.
+    pub sim_seconds: f64,
+    /// Fraction of total cycle air time.
+    pub fraction: f64,
+    /// Tag reports delivered by this phase.
+    pub reports: u64,
+    /// Reports per second of total trace window (aggregate reading rate).
+    pub irr: f64,
+    pub slots: SlotTotals,
+}
+
+/// How selective Phase II reads land: on intended targets (the cycle's
+/// mobile set) or as collateral from mask cover.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CoverEfficiency {
+    /// Phase II reads of tags the cycle flagged mobile.
+    pub target_reads: usize,
+    /// Phase II reads of everyone else swept up by the cover masks.
+    pub collateral_reads: usize,
+    /// target / (target + collateral); 0 with no Phase II reads.
+    pub efficiency: f64,
+}
+
+/// Scheduler mode mix over the run.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ScheduleSummary {
+    pub selective: u64,
+    pub read_all: u64,
+    pub read_all_no_targets: u64,
+    pub read_all_too_many_targets: u64,
+    pub read_all_configured: u64,
+    pub masks: u64,
+    /// selective / (selective + read_all); 0 with no scheduled cycles.
+    pub selective_fraction: f64,
+}
+
+/// Everything the analyzers derive from one trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    pub events: usize,
+    pub cycles: usize,
+    pub sim_seconds: f64,
+    /// Span-duration stats keyed `cycle` / `phase1` / `phase2` / `round`,
+    /// plus wall-clock `compute`.
+    pub durations: BTreeMap<String, DurationStats>,
+    pub tags: TagSummary,
+    pub starvation: StarvationReport,
+    /// Present only when the trace carries `truth.mobile` annotations.
+    pub confusion: Option<ConfusionSummary>,
+    pub q: QDiagnostics,
+    pub duty: Vec<PhaseDuty>,
+    pub cover: CoverEfficiency,
+    pub schedule: ScheduleSummary,
+    /// Round metrics the builder could not attach to any round span.
+    pub unattributed_rounds: bool,
+}
+
+impl RunReport {
+    /// Runs every analyzer over a validated trace.
+    pub fn analyze(trace: &Trace, cfg: &AnalyzeConfig) -> RunReport {
+        let sim_seconds = trace.sim_seconds();
+        RunReport {
+            events: trace.events_total,
+            cycles: trace.cycles.len(),
+            sim_seconds,
+            durations: duration_stats(trace),
+            tags: tag_summary(trace, sim_seconds),
+            starvation: starvation(trace, cfg.starvation_gap),
+            confusion: confusion(trace),
+            q: q_diagnostics(trace),
+            duty: duty_cycles(trace, sim_seconds),
+            cover: cover_efficiency(trace),
+            schedule: schedule_summary(trace),
+            unattributed_rounds: trace.unattributed != RoundStats::default(),
+        }
+    }
+
+    /// Flattens the report into `name → value` for threshold diffing.
+    /// Key families: `irr.*`, `dur.*`, `duty.*`, `slots.*`,
+    /// `confusion.*`, `starvation.*`, `q.*`, `cover.*`, `schedule.*`,
+    /// `wall.*`, `reads.*`, `cycles`.
+    pub fn metric_map(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("cycles".into(), self.cycles as f64);
+        m.insert("reads.total".into(), self.tags.reads_total as f64);
+        m.insert("irr.tag.mean".into(), self.tags.irr_mean);
+        m.insert("irr.tag.min".into(), self.tags.irr_min);
+        for (name, d) in &self.durations {
+            let prefix = if name == "compute" { "wall" } else { "dur" };
+            m.insert(format!("{prefix}.{name}.p50"), d.p50);
+            m.insert(format!("{prefix}.{name}.p95"), d.p95);
+            m.insert(format!("{prefix}.{name}.p99"), d.p99);
+        }
+        for d in &self.duty {
+            m.insert(format!("irr.{}", d.phase), d.irr);
+            m.insert(format!("duty.{}", d.phase), d.fraction);
+            m.insert(format!("slots.{}.success_rate", d.phase), d.slots.success_rate);
+            m.insert(
+                format!("slots.{}.collision_rate", d.phase),
+                d.slots.collision_rate,
+            );
+        }
+        if let Some(c) = &self.confusion {
+            m.insert("confusion.tpr".into(), c.tpr);
+            m.insert("confusion.fpr".into(), c.fpr);
+            m.insert("confusion.accuracy".into(), c.accuracy);
+        }
+        m.insert("starvation.tags".into(), self.starvation.starved_tags as f64);
+        m.insert(
+            "starvation.events".into(),
+            self.starvation.events.len() as f64,
+        );
+        m.insert("q.mean".into(), self.q.mean_q);
+        m.insert("q.oscillation".into(), self.q.oscillation);
+        m.insert("cover.efficiency".into(), self.cover.efficiency);
+        m.insert(
+            "schedule.selective_fraction".into(),
+            self.schedule.selective_fraction,
+        );
+        m
+    }
+}
+
+fn epc_hex(bits: u128) -> String {
+    format!("{bits:#x}")
+}
+
+fn duration_stats(trace: &Trace) -> BTreeMap<String, DurationStats> {
+    let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for c in &trace.cycles {
+        samples.entry("cycle").or_default().push(c.span.duration);
+        for (key, p) in [("phase1", &c.phase1), ("phase2", &c.phase2)] {
+            if let Some(p) = p {
+                samples.entry(key).or_default().push(p.span.duration);
+            }
+        }
+        if let Some(s) = &c.compute {
+            samples.entry("compute").or_default().push(s.duration);
+        }
+    }
+    for r in trace.all_rounds() {
+        samples.entry("round").or_default().push(r.span.duration);
+    }
+    samples
+        .into_iter()
+        .filter_map(|(k, v)| DurationStats::from_samples(&v).map(|d| (k.to_string(), d)))
+        .collect()
+}
+
+/// Per-tag read timelines from `read.*` tag events.
+fn read_times(trace: &Trace) -> BTreeMap<u128, Vec<f64>> {
+    let mut times: BTreeMap<u128, Vec<f64>> = BTreeMap::new();
+    for t in &trace.tags {
+        if t.rec.name == READ_PHASE1 || t.rec.name == READ_PHASE2 {
+            times.entry(t.rec.epc).or_default().push(t.rec.t);
+        }
+    }
+    for v in times.values_mut() {
+        v.sort_by(|a, b| a.total_cmp(b));
+    }
+    times
+}
+
+fn tag_summary(trace: &Trace, sim_seconds: f64) -> TagSummary {
+    let times = read_times(trace);
+    if times.is_empty() || sim_seconds <= 0.0 {
+        return TagSummary::default();
+    }
+    let mut per_tag = Vec::with_capacity(times.len());
+    let mut reads_total = 0;
+    for (&epc, ts) in &times {
+        reads_total += ts.len();
+        let max_gap = ts.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max);
+        per_tag.push(TagStats {
+            epc: epc_hex(epc),
+            reads: ts.len(),
+            first: ts[0],
+            last: *ts.last().expect("non-empty read series"),
+            irr: ts.len() as f64 / sim_seconds,
+            max_gap,
+        });
+    }
+    let irrs: Vec<f64> = per_tag.iter().map(|t| t.irr).collect();
+    TagSummary {
+        tags: per_tag.len(),
+        reads_total,
+        irr_mean: mean(&irrs),
+        irr_min: irrs.iter().copied().fold(f64::INFINITY, f64::min),
+        irr_max: irrs.iter().copied().fold(0.0, f64::max),
+        per_tag,
+    }
+}
+
+/// Internal read gaps above the threshold. Gaps are measured between
+/// consecutive reads of the same tag — the window where the tag was
+/// demonstrably present yet unread — so a tag that left the scene does
+/// not register a phantom starvation tail.
+fn starvation(trace: &Trace, gap_threshold: f64) -> StarvationReport {
+    let mut events = Vec::new();
+    let mut starved: BTreeSet<u128> = BTreeSet::new();
+    for (epc, ts) in read_times(trace) {
+        for w in ts.windows(2) {
+            let gap = w[1] - w[0];
+            if gap > gap_threshold {
+                starved.insert(epc);
+                events.push(StarvationEvent {
+                    epc: epc_hex(epc),
+                    from: w[0],
+                    to: w[1],
+                    gap,
+                });
+            }
+        }
+    }
+    events.sort_by(|a, b| a.from.total_cmp(&b.from));
+    StarvationReport {
+        gap_threshold,
+        starved_tags: starved.len(),
+        events,
+    }
+}
+
+/// Tags attributed to each cycle by stream position: a cycle's tag events
+/// are emitted right after its span closes and before the next cycle's.
+/// Returns, per cycle, the set of EPCs for each tag-event name.
+fn tags_by_cycle<'a>(
+    trace: &'a Trace,
+) -> Vec<(&'a CycleNode, BTreeMap<&'a str, BTreeSet<u128>>)> {
+    let mut out: Vec<(&CycleNode, BTreeMap<&str, BTreeSet<u128>>)> =
+        trace.cycles.iter().map(|c| (c, BTreeMap::new())).collect();
+    if out.is_empty() {
+        return out;
+    }
+    for t in &trace.tags {
+        // The last cycle whose span line precedes this tag event.
+        let idx = match out.iter().rposition(|(c, _)| c.line < t.line) {
+            Some(i) => i,
+            None => continue, // pre-run annotation (e.g. truth.mobile)
+        };
+        out[idx]
+            .1
+            .entry(t.rec.name.as_str())
+            .or_default()
+            .insert(t.rec.epc);
+    }
+    out
+}
+
+/// Ground-truth mobile set: every `truth.mobile` annotation in the trace,
+/// wherever the harness emitted it.
+fn truth_mobile(trace: &Trace) -> BTreeSet<u128> {
+    trace
+        .tags
+        .iter()
+        .filter(|t| t.rec.name == TRUTH_MOBILE)
+        .map(|t| t.rec.epc)
+        .collect()
+}
+
+fn confusion(trace: &Trace) -> Option<ConfusionSummary> {
+    let truth = truth_mobile(trace);
+    if truth.is_empty() {
+        return None;
+    }
+    let mut c = Confusion::default();
+    let mut cycles = 0;
+    for (_, tags) in tags_by_cycle(trace) {
+        let census = match tags.get(READ_PHASE1) {
+            Some(s) if !s.is_empty() => s,
+            _ => continue,
+        };
+        let mobile = tags.get(ASSESS_MOBILE);
+        cycles += 1;
+        for &epc in census {
+            let pred = mobile.is_some_and(|m| m.contains(&epc));
+            c.push(pred, truth.contains(&epc));
+        }
+    }
+    (c.total() > 0).then(|| ConfusionSummary::from_confusion(&c, cycles))
+}
+
+fn q_diagnostics(trace: &Trace) -> QDiagnostics {
+    let qs: Vec<f64> = trace
+        .all_rounds()
+        .iter()
+        .filter_map(|r| r.stats.q_final)
+        .collect();
+    let deltas: Vec<f64> = qs
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .filter(|d| *d != 0.0)
+        .collect();
+    let reversals = deltas
+        .windows(2)
+        .filter(|w| w[0].signum() != w[1].signum())
+        .count();
+    let rounds_total = trace.all_rounds().len();
+    let adjusts = trace.counter("round.adjusts");
+    QDiagnostics {
+        rounds: qs.len(),
+        mean_q: mean(&qs),
+        reversals,
+        oscillation: if deltas.len() > 1 {
+            reversals as f64 / (deltas.len() - 1) as f64
+        } else {
+            0.0
+        },
+        adjusts_per_round: if rounds_total > 0 {
+            adjusts as f64 / rounds_total as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn duty_cycles(trace: &Trace, sim_seconds: f64) -> Vec<PhaseDuty> {
+    let cycle_air: f64 = trace.cycles.iter().map(|c| c.span.duration).sum();
+    let mut out = Vec::new();
+    for (key, reports_counter, is_phase2) in [
+        ("phase1", "phase1.reports", false),
+        ("phase2", "phase2.reports", true),
+    ] {
+        let mut sim = 0.0;
+        let mut rounds = 0;
+        let mut stats = RoundStats::default();
+        for c in &trace.cycles {
+            let phase = if is_phase2 {
+                c.phase2.as_ref()
+            } else {
+                c.phase1.as_ref()
+            };
+            if let Some(p) = phase {
+                sim += p.span.duration;
+                rounds += p.rounds.len();
+                stats.absorb(&p.stats());
+            }
+        }
+        let reports = trace.counter(reports_counter);
+        out.push(PhaseDuty {
+            phase: key.to_string(),
+            rounds,
+            sim_seconds: sim,
+            fraction: if cycle_air > 0.0 { sim / cycle_air } else { 0.0 },
+            reports,
+            irr: if sim_seconds > 0.0 {
+                reports as f64 / sim_seconds
+            } else {
+                0.0
+            },
+            slots: SlotTotals::from_stats(&stats),
+        });
+    }
+    out
+}
+
+fn cover_efficiency(trace: &Trace) -> CoverEfficiency {
+    let mut target = 0usize;
+    let mut collateral = 0usize;
+    // Per cycle: phase2 reads of that cycle's mobile set vs everyone else.
+    // Counted over tag *events* (multiplicity matters — a collateral tag
+    // read five times costs five reports), so recount from the raw stream
+    // with the per-cycle mobile sets.
+    let by_cycle = tags_by_cycle(trace);
+    let mut cycle_ranges: Vec<(usize, &BTreeMap<&str, BTreeSet<u128>>)> =
+        by_cycle.iter().map(|(c, t)| (c.line, t)).collect();
+    cycle_ranges.sort_by_key(|(line, _)| *line);
+    for t in &trace.tags {
+        if t.rec.name != READ_PHASE2 {
+            continue;
+        }
+        let Some((_, tags)) = cycle_ranges
+            .iter()
+            .rev()
+            .find(|(line, _)| *line < t.line)
+        else {
+            continue;
+        };
+        let is_target = tags
+            .get(ASSESS_MOBILE)
+            .is_some_and(|m| m.contains(&t.rec.epc));
+        if is_target {
+            target += 1;
+        } else {
+            collateral += 1;
+        }
+    }
+    let total = target + collateral;
+    CoverEfficiency {
+        target_reads: target,
+        collateral_reads: collateral,
+        efficiency: if total > 0 {
+            target as f64 / total as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn schedule_summary(trace: &Trace) -> ScheduleSummary {
+    let selective = trace.counter("schedule.selective");
+    let read_all = trace.counter("schedule.read_all");
+    let scheduled = selective + read_all;
+    ScheduleSummary {
+        selective,
+        read_all,
+        read_all_no_targets: trace.counter("schedule.read_all.no_targets"),
+        read_all_too_many_targets: trace.counter("schedule.read_all.too_many_targets"),
+        read_all_configured: trace.counter("schedule.read_all.configured"),
+        masks: trace.counter("cycle.masks"),
+        selective_fraction: if scheduled > 0 {
+            selective as f64 / scheduled as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "run report")?;
+        writeln!(
+            f,
+            "  events {}  cycles {}  sim {:.3} s",
+            self.events, self.cycles, self.sim_seconds
+        )?;
+        if !self.durations.is_empty() {
+            writeln!(f, "  durations (s)")?;
+            writeln!(
+                f,
+                "    {:<10} {:>7} {:>12} {:>12} {:>12} {:>12}",
+                "span", "count", "mean", "p50", "p95", "p99"
+            )?;
+            for (name, d) in &self.durations {
+                writeln!(
+                    f,
+                    "    {:<10} {:>7} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+                    name, d.count, d.mean, d.p50, d.p95, d.p99
+                )?;
+            }
+        }
+        for d in &self.duty {
+            writeln!(
+                f,
+                "  {}: {} rounds, {:.3} s air ({:.1}% of cycles), {} reports, \
+                 {:.2} reports/s, success {:.1}%, collision {:.1}%",
+                d.phase,
+                d.rounds,
+                d.sim_seconds,
+                d.fraction * 100.0,
+                d.reports,
+                d.irr,
+                d.slots.success_rate * 100.0,
+                d.slots.collision_rate * 100.0
+            )?;
+        }
+        writeln!(
+            f,
+            "  tags: {} seen, {} reads, IRR mean {:.3}/s min {:.3}/s max {:.3}/s",
+            self.tags.tags,
+            self.tags.reads_total,
+            self.tags.irr_mean,
+            self.tags.irr_min,
+            self.tags.irr_max
+        )?;
+        writeln!(
+            f,
+            "  starvation (> {:.1} s): {} tags, {} windows",
+            self.starvation.gap_threshold,
+            self.starvation.starved_tags,
+            self.starvation.events.len()
+        )?;
+        for e in self.starvation.events.iter().take(5) {
+            writeln!(
+                f,
+                "    {} unread {:.2} s  [{:.2}, {:.2}]",
+                e.epc, e.gap, e.from, e.to
+            )?;
+        }
+        if self.starvation.events.len() > 5 {
+            writeln!(f, "    … {} more", self.starvation.events.len() - 5)?;
+        }
+        match &self.confusion {
+            Some(c) => writeln!(
+                f,
+                "  detector: TPR {:.3}  FPR {:.3}  accuracy {:.3}  \
+                 (tp {} fp {} tn {} fn {}, {} cycles)",
+                c.tpr, c.fpr, c.accuracy, c.tp, c.fp, c.tn, c.fn_, c.cycles
+            )?,
+            None => writeln!(f, "  detector: no truth.mobile annotations in trace")?,
+        }
+        writeln!(
+            f,
+            "  q: {} rounds, mean {:.2}, {} reversals (oscillation {:.2}), \
+             {:.2} adjusts/round",
+            self.q.rounds,
+            self.q.mean_q,
+            self.q.reversals,
+            self.q.oscillation,
+            self.q.adjusts_per_round
+        )?;
+        writeln!(
+            f,
+            "  cover: {} target + {} collateral phase2 reads ({:.1}% efficient)",
+            self.cover.target_reads,
+            self.cover.collateral_reads,
+            self.cover.efficiency * 100.0
+        )?;
+        writeln!(
+            f,
+            "  schedule: {} selective / {} read-all ({:.1}% selective), {} masks",
+            self.schedule.selective,
+            self.schedule.read_all,
+            self.schedule.selective_fraction * 100.0,
+            self.schedule.masks
+        )?;
+        if self.unattributed_rounds {
+            writeln!(f, "  note: round metrics present with no round span")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_telemetry::{
+        ClockKind, CounterRecord, Event, ObserveRecord, SpanRecord, TagRecord,
+    };
+
+    fn span(name: &str, id: u64, parent: Option<u64>, start: f64, dur: f64) -> Event {
+        Event::Span(SpanRecord {
+            name: name.into(),
+            id,
+            parent,
+            start,
+            duration: dur,
+            clock: ClockKind::Sim,
+        })
+    }
+
+    fn counter(name: &str, delta: u64, total: u64) -> Event {
+        Event::Counter(CounterRecord {
+            name: name.into(),
+            delta,
+            total,
+        })
+    }
+
+    fn observe(name: &str, value: f64) -> Event {
+        Event::Observe(ObserveRecord {
+            name: name.into(),
+            value,
+        })
+    }
+
+    fn tag(name: &str, epc: u128, t: f64) -> Event {
+        Event::Tag(TagRecord {
+            name: name.into(),
+            epc,
+            t,
+        })
+    }
+
+    /// Two cycles of 10 s each. Tag 1 is truly mobile and detected in both
+    /// cycles; tag 2 is stationary but falsely flagged in cycle 2; tag 3
+    /// is stationary, read only in phase1, and starved between reads.
+    fn synthetic() -> Vec<Event> {
+        let mut ev = vec![tag(TRUTH_MOBILE, 1, 0.0)];
+        let mut next_id = 1;
+        // Running counter totals (deltas 3,2 per cycle → 3,5,8,10).
+        let succ_totals = [[3u64, 5], [8, 10]];
+        for k in 0..2u64 {
+            let t0 = k as f64 * 10.0;
+            let round_p1 = next_id;
+            let p1 = next_id + 1;
+            let round_p2 = next_id + 2;
+            let p2 = next_id + 3;
+            let cycle = next_id + 4;
+            next_id += 5;
+            ev.push(counter("round.successes", 3, succ_totals[k as usize][0]));
+            ev.push(observe("round.slots", 8.0));
+            ev.push(observe("round.q_final", if k == 0 { 3.0 } else { 4.0 }));
+            ev.push(span("round", round_p1, Some(p1), t0, 2.0));
+            ev.push(span("phase1", p1, Some(cycle), t0, 2.0));
+            ev.push(counter("round.successes", 2, succ_totals[k as usize][1]));
+            ev.push(observe("round.slots", 4.0));
+            ev.push(observe("round.q_final", if k == 0 { 2.0 } else { 5.0 }));
+            ev.push(span("round", round_p2, Some(p2), t0 + 2.0, 8.0));
+            ev.push(span("phase2", p2, Some(cycle), t0 + 2.0, 8.0));
+            ev.push(span("cycle", cycle, None, t0, 10.0));
+            ev.push(counter("phase1.reports", 3, 3 * (k + 1)));
+            ev.push(counter("phase2.reports", 2, 2 * (k + 1)));
+            ev.push(counter("schedule.selective", 1, k + 1));
+            // census: all three tags each cycle
+            ev.push(tag(READ_PHASE1, 1, t0 + 0.5));
+            ev.push(tag(READ_PHASE1, 2, t0 + 0.6));
+            ev.push(tag(READ_PHASE1, 3, t0 + 0.7));
+            // detector: tag 1 both cycles, tag 2 only in cycle 2
+            ev.push(tag(ASSESS_MOBILE, 1, t0 + 2.0));
+            if k == 1 {
+                ev.push(tag(ASSESS_MOBILE, 2, t0 + 2.0));
+            }
+            // phase2 reads tags 1 and 2 each cycle. Tag 2 is collateral
+            // in cycle 1 but a (falsely flagged) target in cycle 2 — the
+            // cover analyzer scores schedule intent, not ground truth.
+            ev.push(tag(READ_PHASE2, 1, t0 + 4.0));
+            ev.push(tag(READ_PHASE2, 2, t0 + 5.0));
+        }
+        ev
+    }
+
+    fn report() -> RunReport {
+        let trace = Trace::from_events(&synthetic()).unwrap();
+        RunReport::analyze(&trace, &AnalyzeConfig::default())
+    }
+
+    #[test]
+    fn durations_and_duty_cover_both_phases() {
+        let r = report();
+        assert_eq!(r.cycles, 2);
+        assert!((r.sim_seconds - 20.0).abs() < 1e-9);
+        assert_eq!(r.durations["cycle"].count, 2);
+        assert!((r.durations["cycle"].p50 - 10.0).abs() < 1e-9);
+        assert_eq!(r.durations["round"].count, 4);
+        let p1 = &r.duty[0];
+        let p2 = &r.duty[1];
+        assert_eq!((p1.phase.as_str(), p2.phase.as_str()), ("phase1", "phase2"));
+        assert!((p1.fraction - 0.2).abs() < 1e-9);
+        assert!((p2.fraction - 0.8).abs() < 1e-9);
+        assert_eq!(p1.reports, 6);
+        assert_eq!(p2.reports, 4);
+        assert_eq!(p1.slots.successes, 6);
+        assert!((p1.slots.success_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_tag_irr_and_starvation() {
+        let r = report();
+        assert_eq!(r.tags.tags, 3);
+        assert_eq!(r.tags.reads_total, 10);
+        // Tag 1: 4 reads over 20 s.
+        let t1 = r.tags.per_tag.iter().find(|t| t.epc == "0x1").unwrap();
+        assert!((t1.irr - 0.2).abs() < 1e-9);
+        // Tag 3 read only at 0.7 and 10.7 — one 10 s gap above a 9 s bar.
+        let trace = Trace::from_events(&synthetic()).unwrap();
+        let starve = starvation(&trace, 9.0);
+        assert_eq!(starve.starved_tags, 1);
+        assert_eq!(starve.events.len(), 1);
+        assert_eq!(starve.events[0].epc, "0x3");
+        assert!((starve.events[0].gap - 10.0).abs() < 1e-9);
+        // Default 10 s bar: the 10.0 s gap is not strictly greater.
+        assert_eq!(r.starvation.events.len(), 0);
+    }
+
+    #[test]
+    fn confusion_counts_per_cycle_census() {
+        let r = report();
+        let c = r.confusion.expect("truth annotations present");
+        // Cycle 1: tag1 tp, tag2 tn, tag3 tn. Cycle 2: tag1 tp, tag2 fp,
+        // tag3 tn.
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (2, 1, 3, 0));
+        assert!((c.tpr - 1.0).abs() < 1e-9);
+        assert!((c.fpr - 0.25).abs() < 1e-9);
+        assert_eq!(c.cycles, 2);
+    }
+
+    #[test]
+    fn q_oscillation_counts_reversals() {
+        let r = report();
+        // Q series 3, 2, 4, 5 → deltas -1, +2, +1 → one reversal over two
+        // delta pairs.
+        assert_eq!(r.q.rounds, 4);
+        assert_eq!(r.q.reversals, 1);
+        assert!((r.q.oscillation - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cover_efficiency_splits_target_and_collateral() {
+        let r = report();
+        // Cycle 1: tag1 target, tag2 collateral. Cycle 2: both reads hit
+        // assessed-mobile tags, so both count as target.
+        assert_eq!(r.cover.target_reads, 3);
+        assert_eq!(r.cover.collateral_reads, 1);
+        assert!((r.cover.efficiency - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_map_exposes_gateable_keys() {
+        let r = report();
+        let m = r.metric_map();
+        assert!(m.contains_key("irr.phase1"));
+        assert!(m.contains_key("irr.phase2"));
+        assert!(m.contains_key("dur.cycle.p50"));
+        assert!(m.contains_key("dur.round.p95"));
+        assert!(m.contains_key("confusion.tpr"));
+        assert!(m.contains_key("q.oscillation"));
+        assert!((m["irr.phase1"] - 6.0 / 20.0).abs() < 1e-9);
+        assert!((m["schedule.selective_fraction"] - 1.0).abs() < 1e-9);
+        // Sanity: the human rendering mentions the same data.
+        let text = r.to_string();
+        assert!(text.contains("phase2"), "{text}");
+        assert!(text.contains("detector"), "{text}");
+    }
+
+    #[test]
+    fn report_without_truth_or_tags_degrades_gracefully() {
+        let ev = vec![span("cycle", 1, None, 0.0, 1.0)];
+        let trace = Trace::from_events(&ev).unwrap();
+        let r = RunReport::analyze(&trace, &AnalyzeConfig::default());
+        assert!(r.confusion.is_none());
+        assert_eq!(r.tags.tags, 0);
+        assert_eq!(r.cover.target_reads + r.cover.collateral_reads, 0);
+        let m = r.metric_map();
+        assert!(!m.contains_key("confusion.tpr"));
+        // No phase spans → duty entries exist with zeroed stats.
+        assert_eq!(r.duty.len(), 2);
+        assert_eq!(r.duty[0].rounds, 0);
+    }
+}

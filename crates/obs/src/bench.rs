@@ -1,0 +1,253 @@
+//! Machine-readable BENCH snapshots: a schema-versioned summary of one
+//! `repro` run, written by `repro --bench-json` and committed as
+//! `BENCH_<n>.json` so `ci.sh --obs` can gate performance regressions
+//! with `obs diff`.
+//!
+//! The schema is deliberately small — registry-level aggregates only, no
+//! per-event data — so a snapshot is a few KB, diffs cleanly, and stays
+//! stable across scene sizes at a fixed `(seed, scale)`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use tagwatch_telemetry::MetricsRegistry;
+
+use crate::analyze::DurationStats;
+
+/// Version of the snapshot schema this crate writes. Loading a snapshot
+/// with any other version is an error — a silent cross-version diff would
+/// gate on apples vs oranges.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Why a snapshot failed to load.
+#[derive(Debug)]
+pub enum BenchError {
+    Io(io::Error),
+    Parse(serde_json::Error),
+    /// The file declares a schema version this crate does not speak.
+    SchemaVersion { found: u32, expected: u32 },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "cannot read snapshot: {e}"),
+            BenchError::Parse(e) => write!(f, "snapshot is not valid BENCH JSON: {e}"),
+            BenchError::SchemaVersion { found, expected } => write!(
+                f,
+                "snapshot schema version {found} is not the supported version {expected}; \
+                 regenerate it with the current `repro --bench-json`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io(e) => Some(e),
+            BenchError::Parse(e) => Some(e),
+            BenchError::SchemaVersion { .. } => None,
+        }
+    }
+}
+
+/// Wall-clock and throughput summary for one figure/experiment.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FigureBench {
+    /// Host seconds the experiment took.
+    pub wall_seconds: f64,
+    /// Phase II reports per wall second over the experiment — the bench's
+    /// cheap throughput proxy (simulated work done per host second).
+    pub reports_per_wall_second: f64,
+}
+
+/// One run's performance snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchSnapshot {
+    pub schema_version: u32,
+    /// RNG seed the run used — diffs across seeds are meaningless.
+    pub seed: u64,
+    /// Scale label (`quick` / `full` / …).
+    pub scale: String,
+    /// True while the committed baseline was produced by the bootstrap
+    /// path (identical-seed self-check) rather than a reviewed reference
+    /// machine. CI reports but does not hard-fail wall-clock families
+    /// either way; the flag marks the baseline's provenance.
+    #[serde(default)]
+    pub provisional: bool,
+    /// Per-figure wall results, keyed by figure name.
+    pub figures: BTreeMap<String, FigureBench>,
+    /// Registry counter totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Registry histogram summaries (simulated-time families like
+    /// `cycle.duration` gate; wall families are informational).
+    pub durations: BTreeMap<String, DurationStats>,
+    /// Total host seconds for the whole run.
+    pub wall_seconds: f64,
+}
+
+impl BenchSnapshot {
+    /// Builds a snapshot from a final registry snapshot plus run
+    /// identity. Figure-level data is appended by the harness as each
+    /// experiment finishes.
+    pub fn from_registry(reg: &MetricsRegistry, seed: u64, scale: &str) -> BenchSnapshot {
+        let mut durations = BTreeMap::new();
+        for (name, h) in reg.histograms() {
+            if h.count() == 0 {
+                continue;
+            }
+            durations.insert(
+                name.to_string(),
+                DurationStats {
+                    count: h.count() as usize,
+                    mean: h.mean(),
+                    p50: h.percentile(50.0).unwrap_or(0.0),
+                    p95: h.percentile(95.0).unwrap_or(0.0),
+                    p99: h.percentile(99.0).unwrap_or(0.0),
+                },
+            );
+        }
+        BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            seed,
+            scale: scale.to_string(),
+            provisional: false,
+            figures: BTreeMap::new(),
+            counters: reg.counters().map(|(n, v)| (n.to_string(), v)).collect(),
+            durations,
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// Loads and schema-checks a snapshot file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<BenchSnapshot, BenchError> {
+        let text = fs::read_to_string(path).map_err(BenchError::Io)?;
+        let snap: BenchSnapshot = serde_json::from_str(&text).map_err(BenchError::Parse)?;
+        if snap.schema_version != BENCH_SCHEMA_VERSION {
+            return Err(BenchError::SchemaVersion {
+                found: snap.schema_version,
+                expected: BENCH_SCHEMA_VERSION,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Serializes the snapshot as pretty JSON (stable key order — every
+    /// map is a `BTreeMap` — so committed baselines diff minimally).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        fs::write(path, self.to_json() + "\n")
+    }
+
+    /// Flattens into `name → value` for [`crate::diff::DiffReport`].
+    /// Counter totals become `counter.*` (informational), histogram
+    /// percentiles `dur.*` for simulated families and `wall.*` for
+    /// host-clock families, figure results `fig.<name>.*`
+    /// (informational) plus gateable `irr.fig.<name>` throughput.
+    pub fn metric_map(&self) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        for (name, v) in &self.counters {
+            m.insert(format!("counter.{name}"), *v as f64);
+        }
+        for (name, d) in &self.durations {
+            let family = if name.contains("compute") || name.starts_with("wall") {
+                "wall"
+            } else {
+                "dur"
+            };
+            m.insert(format!("{family}.{name}.p50"), d.p50);
+            m.insert(format!("{family}.{name}.p95"), d.p95);
+            m.insert(format!("{family}.{name}.p99"), d.p99);
+        }
+        for (name, f) in &self.figures {
+            m.insert(format!("fig.{name}.wall_seconds"), f.wall_seconds);
+            m.insert(
+                format!("fig.{name}.reports_per_wall_second"),
+                f.reports_per_wall_second,
+            );
+        }
+        m.insert("wall.total_seconds".into(), self.wall_seconds);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.incr_by("cycle.count", 12);
+        reg.incr_by("phase2.reports", 480);
+        for k in 0..10 {
+            reg.observe("cycle.duration", 0.5 + 0.01 * k as f64);
+            reg.observe("cycle.compute_seconds", 1e-4);
+        }
+        reg
+    }
+
+    #[test]
+    fn snapshot_captures_registry_aggregates() {
+        let snap = BenchSnapshot::from_registry(&sample_registry(), 7, "quick");
+        assert_eq!(snap.schema_version, BENCH_SCHEMA_VERSION);
+        assert_eq!(snap.counters["cycle.count"], 12);
+        assert_eq!(snap.durations["cycle.duration"].count, 10);
+        assert!(snap.durations["cycle.duration"].p50 > 0.0);
+    }
+
+    #[test]
+    fn json_metric_map_routes_families() {
+        let mut snap = BenchSnapshot::from_registry(&sample_registry(), 7, "quick");
+        snap.figures.insert(
+            "fig12".into(),
+            FigureBench {
+                wall_seconds: 1.5,
+                reports_per_wall_second: 320.0,
+            },
+        );
+        snap.wall_seconds = 2.0;
+        let m = snap.metric_map();
+        assert!(m.contains_key("counter.cycle.count"));
+        assert!(m.contains_key("dur.cycle.duration.p95"));
+        // Host-clock histogram goes to the ungated wall family.
+        assert!(m.contains_key("wall.cycle.compute_seconds.p95"));
+        assert!(m.contains_key("fig.fig12.wall_seconds"));
+        assert_eq!(m["wall.total_seconds"], 2.0);
+    }
+
+    #[test]
+    fn json_round_trips_and_checks_schema() {
+        let dir = std::env::temp_dir().join("tagwatch-obs-bench-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_t.json");
+        let mut snap = BenchSnapshot::from_registry(&sample_registry(), 7, "quick");
+        snap.provisional = true;
+        snap.save(&path).unwrap();
+        let back = BenchSnapshot::load(&path).unwrap();
+        assert_eq!(back, snap);
+        assert!(back.provisional);
+
+        // Wrong schema version must refuse to load.
+        let mut bad = snap.clone();
+        bad.schema_version = 99;
+        fs::write(&path, bad.to_json()).unwrap();
+        match BenchSnapshot::load(&path) {
+            Err(BenchError::SchemaVersion { found: 99, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Missing `provisional` defaults to false (older snapshots).
+        let text = snap.to_json().replace("  \"provisional\": true,\n", "");
+        fs::write(&path, text).unwrap();
+        assert!(!BenchSnapshot::load(&path).unwrap().provisional);
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,182 @@
+//! The trace-analysis CLI.
+//!
+//! ```text
+//! obs report <run.jsonl> [--json] [--starvation-gap SECS]
+//! obs diff <baseline> <current> [--threshold FRAC] [--json]
+//! ```
+//!
+//! `report` validates a telemetry JSONL trace and prints the full
+//! [`RunReport`] (human table, or JSON with `--json`). `diff` compares
+//! two runs — each side is either a trace or a `BENCH_<n>.json` snapshot
+//! (auto-detected) — and exits 2 when a gated metric regressed beyond the
+//! relative threshold, which is what `ci.sh --obs` keys on.
+//!
+//! Exit codes: 0 ok / gate passed, 1 usage or unreadable input,
+//! 2 gate failed.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
+use tagwatch_obs::bench::BenchSnapshot;
+use tagwatch_obs::diff::DiffReport;
+use tagwatch_obs::model::Trace;
+use tagwatch_telemetry::Event;
+
+fn usage() -> String {
+    "usage: obs <command>\n\
+     \x20 obs report <run.jsonl> [--json] [--starvation-gap SECS]\n\
+     \x20 obs diff <baseline> <current> [--threshold FRAC] [--json]\n\
+     \n\
+     report   validate a telemetry trace and print its analysis\n\
+     diff     gate a run against a baseline (traces or BENCH_*.json\n\
+     \x20        snapshots, auto-detected); exit 2 on regression\n\
+     \n\
+     --threshold is a relative fraction: 0.10 (the default) fails moves\n\
+     beyond ±10% on gated metrics"
+        .to_string()
+}
+
+/// What a diff operand turned out to be.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Kind {
+    Trace,
+    Snapshot,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Trace => "trace",
+            Kind::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// Loads a diff operand as a metric map, auto-detecting JSONL traces
+/// (first line parses as a telemetry event) vs BENCH snapshots.
+fn load_metrics(path: &str, cfg: &AnalyzeConfig) -> Result<(Kind, BTreeMap<String, f64>), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    if serde_json::from_str::<Event>(first).is_ok() {
+        let trace =
+            Trace::from_reader(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+        return Ok((Kind::Trace, RunReport::analyze(&trace, cfg).metric_map()));
+    }
+    match BenchSnapshot::load(path) {
+        Ok(snap) => Ok((Kind::Snapshot, snap.metric_map())),
+        Err(e) => Err(format!(
+            "{path}: not a telemetry trace (first line is not an event) and not a \
+             BENCH snapshot ({e})"
+        )),
+    }
+}
+
+fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut json = false;
+    let mut cfg = AnalyzeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--starvation-gap" => {
+                let v = it.next().ok_or("--starvation-gap needs a value")?;
+                cfg.starvation_gap = v
+                    .parse()
+                    .map_err(|_| format!("bad starvation gap {v:?}"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let trace = Trace::from_path(&path).map_err(|e| format!("{path}: {e}"))?;
+    let report = RunReport::analyze(&trace, &cfg);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        print!("{report}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut threshold = 0.10;
+    let cfg = AnalyzeConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("bad threshold {v:?}"))?;
+                if !(threshold >= 0.0) {
+                    return Err(format!("threshold must be ≥ 0, got {threshold}"));
+                }
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        return Err(format!("diff needs exactly two inputs\n{}", usage()));
+    };
+    let (kind_b, map_b) = load_metrics(baseline, &cfg)?;
+    let (kind_c, map_c) = load_metrics(current, &cfg)?;
+    if kind_b != kind_c {
+        return Err(format!(
+            "cannot diff a {} against a {} — the metric families do not line up \
+             (compare trace↔trace or snapshot↔snapshot)",
+            kind_b.name(),
+            kind_c.name()
+        ));
+    }
+    let report = DiffReport::diff(&map_b, &map_c, threshold);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("diff serializes")
+        );
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "report" => cmd_report(rest),
+            "diff" => cmd_diff(rest),
+            "--help" | "-h" => Err(usage()),
+            other => Err(format!("unknown command {other:?}\n{}", usage())),
+        },
+        None => Err(usage()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Run comparison and regression gating: two metric maps (from
+//! [`RunReport::metric_map`](crate::analyze::RunReport::metric_map) or
+//! [`BenchSnapshot::metric_map`](crate::bench::BenchSnapshot::metric_map))
+//! are diffed under a relative threshold, and each metric's *direction*
+//! decides whether a move is a regression, an improvement, or noise.
+//!
+//! Wall-clock and raw-counter families are classified
+//! [`Direction::Informational`]: they vary across machines and scene
+//! sizes, so they are reported but never fail a gate. The gate itself is
+//! [`DiffReport::passed`] — `obs diff` maps it to the process exit code.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::Serialize;
+
+/// Which way a metric is allowed to move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Direction {
+    /// A drop beyond the threshold is a regression (IRR, detection rates).
+    HigherIsBetter,
+    /// A rise beyond the threshold is a regression (latencies, error
+    /// rates, starvation).
+    LowerIsBetter,
+    /// Reported but never gated (wall clock, raw counters, scenario mix).
+    Informational,
+}
+
+/// Classifies a metric name into its gating direction. Unknown families
+/// default to informational — a new metric must be classified explicitly
+/// before it can fail a build.
+pub fn direction_for(name: &str) -> Direction {
+    use Direction::*;
+    if name.starts_with("wall.") || name.starts_with("counter.") || name.starts_with("fig.") {
+        return Informational;
+    }
+    if name.starts_with("irr.") || name == "cover.efficiency" || name == "reads.total" {
+        return HigherIsBetter;
+    }
+    if name.ends_with("success_rate") {
+        return HigherIsBetter;
+    }
+    if name.starts_with("dur.") || name.starts_with("starvation.") {
+        return LowerIsBetter;
+    }
+    if name.ends_with("collision_rate") || name == "q.oscillation" {
+        return LowerIsBetter;
+    }
+    match name {
+        "confusion.tpr" | "confusion.accuracy" => HigherIsBetter,
+        "confusion.fpr" => LowerIsBetter,
+        _ => Informational,
+    }
+}
+
+/// How one metric moved between runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Verdict {
+    /// Within threshold (or informational).
+    Ok,
+    /// Moved beyond threshold in the good direction.
+    Improved,
+    /// Moved beyond threshold in the bad direction.
+    Regressed,
+    /// Gated metric present in the baseline but missing from the current
+    /// run — treated as a regression (a silently vanished metric must not
+    /// pass the gate).
+    Missing,
+    /// Metric absent from the baseline; reported, never gated.
+    New,
+}
+
+/// One metric's comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiffEntry {
+    pub name: String,
+    pub direction: Direction,
+    pub baseline: Option<f64>,
+    pub current: Option<f64>,
+    /// Relative change `(current − baseline) / |baseline|`; `None` when
+    /// either side is missing or the baseline is 0.
+    pub relative: Option<f64>,
+    pub verdict: Verdict,
+}
+
+/// A full run-to-run comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiffReport {
+    /// Relative threshold (e.g. 0.10 for ±10%).
+    pub threshold: f64,
+    pub entries: Vec<DiffEntry>,
+    pub regressions: usize,
+    pub improvements: usize,
+}
+
+impl DiffReport {
+    /// Compares `current` against `baseline` under a relative threshold.
+    pub fn diff(
+        baseline: &BTreeMap<String, f64>,
+        current: &BTreeMap<String, f64>,
+        threshold: f64,
+    ) -> DiffReport {
+        let mut names: Vec<&String> = baseline.keys().chain(current.keys()).collect();
+        names.sort();
+        names.dedup();
+        let mut entries = Vec::with_capacity(names.len());
+        for name in names {
+            let direction = direction_for(name);
+            let b = baseline.get(name).copied();
+            let c = current.get(name).copied();
+            let (relative, verdict) = match (b, c) {
+                (Some(b), Some(c)) => classify(b, c, direction, threshold),
+                (Some(_), None) => (
+                    None,
+                    if direction == Direction::Informational {
+                        Verdict::Ok
+                    } else {
+                        Verdict::Missing
+                    },
+                ),
+                (None, Some(_)) => (None, Verdict::New),
+                (None, None) => unreachable!("name came from one of the maps"),
+            };
+            entries.push(DiffEntry {
+                name: name.clone(),
+                direction,
+                baseline: b,
+                current: c,
+                relative,
+                verdict,
+            });
+        }
+        let regressions = entries
+            .iter()
+            .filter(|e| matches!(e.verdict, Verdict::Regressed | Verdict::Missing))
+            .count();
+        let improvements = entries
+            .iter()
+            .filter(|e| e.verdict == Verdict::Improved)
+            .count();
+        DiffReport {
+            threshold,
+            entries,
+            regressions,
+            improvements,
+        }
+    }
+
+    /// The gate: true when nothing regressed or went missing.
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+
+    /// Names of regressed (or missing) metrics, for terse CI output.
+    pub fn regressed_names(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.verdict, Verdict::Regressed | Verdict::Missing))
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+}
+
+fn classify(
+    baseline: f64,
+    current: f64,
+    direction: Direction,
+    threshold: f64,
+) -> (Option<f64>, Verdict) {
+    if direction == Direction::Informational {
+        let rel = (baseline != 0.0).then(|| (current - baseline) / baseline.abs());
+        return (rel, Verdict::Ok);
+    }
+    if baseline == 0.0 {
+        // No relative scale. A zero baseline on a gated metric only
+        // regresses when a bad-direction absolute move appears where the
+        // baseline promised none (e.g. starvation events 0 → 3).
+        let bad = match direction {
+            Direction::HigherIsBetter => current < 0.0,
+            Direction::LowerIsBetter => current > 0.0,
+            Direction::Informational => unreachable!(),
+        };
+        let verdict = if bad { Verdict::Regressed } else { Verdict::Ok };
+        return (None, verdict);
+    }
+    let rel = (current - baseline) / baseline.abs();
+    let verdict = match direction {
+        Direction::HigherIsBetter if rel < -threshold => Verdict::Regressed,
+        Direction::HigherIsBetter if rel > threshold => Verdict::Improved,
+        Direction::LowerIsBetter if rel > threshold => Verdict::Regressed,
+        Direction::LowerIsBetter if rel < -threshold => Verdict::Improved,
+        _ => Verdict::Ok,
+    };
+    (Some(rel), verdict)
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "diff at ±{:.1}% relative threshold (gated metrics only)",
+            self.threshold * 100.0
+        )?;
+        writeln!(
+            f,
+            "  {:<34} {:>14} {:>14} {:>9}  verdict",
+            "metric", "baseline", "current", "Δ%"
+        )?;
+        for e in &self.entries {
+            // Keep the table readable: show every gated metric, but only
+            // the informational ones that actually moved.
+            let interesting = e.direction != Direction::Informational
+                || e.relative.is_some_and(|r| r.abs() > self.threshold);
+            if !interesting {
+                continue;
+            }
+            let fmt_v = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.6}"),
+                None => "—".to_string(),
+            };
+            let rel = match e.relative {
+                Some(r) => format!("{:+.1}%", r * 100.0),
+                None => "—".to_string(),
+            };
+            let verdict = match e.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Improved => "improved",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Missing => "MISSING",
+                Verdict::New => "new",
+            };
+            writeln!(
+                f,
+                "  {:<34} {:>14} {:>14} {:>9}  {}",
+                e.name,
+                fmt_v(e.baseline),
+                fmt_v(e.current),
+                rel,
+                verdict
+            )?;
+        }
+        writeln!(
+            f,
+            "  {} regressed, {} improved → {}",
+            self.regressions,
+            self.improvements,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn directions_classify_known_families() {
+        assert_eq!(direction_for("irr.phase2"), Direction::HigherIsBetter);
+        assert_eq!(direction_for("dur.cycle.p95"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("wall.compute.p50"), Direction::Informational);
+        assert_eq!(direction_for("counter.cycle.count"), Direction::Informational);
+        assert_eq!(direction_for("confusion.fpr"), Direction::LowerIsBetter);
+        assert_eq!(
+            direction_for("slots.phase1.success_rate"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(direction_for("something.else"), Direction::Informational);
+    }
+
+    #[test]
+    fn identical_maps_pass() {
+        let a = map(&[("irr.phase2", 2.0), ("dur.cycle.p50", 0.5)]);
+        let d = DiffReport::diff(&a, &a.clone(), 0.10);
+        assert!(d.passed());
+        assert_eq!(d.regressions, 0);
+        assert!(d.entries.iter().all(|e| e.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn irr_drop_beyond_threshold_fails() {
+        let a = map(&[("irr.phase2", 2.0)]);
+        let b = map(&[("irr.phase2", 1.6)]); // −20%
+        let d = DiffReport::diff(&a, &b, 0.10);
+        assert!(!d.passed());
+        assert_eq!(d.regressed_names(), vec!["irr.phase2"]);
+        // The same move under a looser bar passes.
+        assert!(DiffReport::diff(&a, &b, 0.25).passed());
+        // And the reverse move is an improvement.
+        let d = DiffReport::diff(&b, &a, 0.10);
+        assert!(d.passed());
+        assert_eq!(d.improvements, 1);
+    }
+
+    #[test]
+    fn latency_rise_fails_and_drop_improves() {
+        let a = map(&[("dur.cycle.p95", 1.0)]);
+        assert!(!DiffReport::diff(&a, &map(&[("dur.cycle.p95", 1.2)]), 0.10).passed());
+        let d = DiffReport::diff(&a, &map(&[("dur.cycle.p95", 0.8)]), 0.10);
+        assert!(d.passed());
+        assert_eq!(d.improvements, 1);
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let a = map(&[("wall.total", 1.0)]);
+        let b = map(&[("wall.total", 50.0)]);
+        assert!(DiffReport::diff(&a, &b, 0.10).passed());
+    }
+
+    #[test]
+    fn missing_gated_metric_is_a_regression() {
+        let a = map(&[("irr.phase2", 2.0), ("wall.total", 1.0)]);
+        let b = map(&[("wall.total", 2.0)]);
+        let d = DiffReport::diff(&a, &b, 0.10);
+        assert!(!d.passed());
+        assert_eq!(d.regressed_names(), vec!["irr.phase2"]);
+        // A *new* metric in current is fine.
+        let d = DiffReport::diff(&b, &a, 0.10);
+        assert!(d.passed());
+    }
+
+    #[test]
+    fn zero_baseline_gates_on_bad_absolute_moves_only() {
+        let a = map(&[("starvation.events", 0.0)]);
+        assert!(!DiffReport::diff(&a, &map(&[("starvation.events", 3.0)]), 0.10).passed());
+        assert!(DiffReport::diff(&a, &map(&[("starvation.events", 0.0)]), 0.10).passed());
+        let z = map(&[("irr.phase2", 0.0)]);
+        assert!(DiffReport::diff(&z, &map(&[("irr.phase2", 5.0)]), 0.10).passed());
+    }
+
+    #[test]
+    fn render_flags_regressions() {
+        let a = map(&[("irr.phase2", 2.0), ("dur.cycle.p50", 0.5)]);
+        let b = map(&[("irr.phase2", 1.0), ("dur.cycle.p50", 0.5)]);
+        let text = DiffReport::diff(&a, &b, 0.10).to_string();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("-50.0%"), "{text}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # tagwatch-obs — trace analysis and regression gating
+//!
+//! The offline half of the telemetry story: `tagwatch-telemetry` streams
+//! events out of a run, this crate turns the stream back into answers.
+//!
+//! Three layers, bottom-up:
+//!
+//! * [`model`] — parses JSONL (or in-memory events) into a validated
+//!   [`model::Trace`]: the cycle → phase1/phase2 → round span tree plus
+//!   counter/gauge/observation series and per-tag moments. Malformed
+//!   streams are rejected with [`model::TraceError`]s that name the
+//!   offending line.
+//! * [`analyze`] — derives a [`analyze::RunReport`] from a trace: per-tag
+//!   IRR and starvation windows, mobile-detector confusion against
+//!   `truth.mobile` ground truth, Q-adaptation oscillation, per-phase
+//!   duty cycles and slot breakdowns, and mask-cover efficiency.
+//! * [`diff`] / [`bench`] — compare two runs ([`diff::DiffReport`]) under
+//!   a relative threshold with per-metric gating directions, and persist
+//!   schema-versioned [`bench::BenchSnapshot`]s (`BENCH_<n>.json`) that
+//!   `ci.sh --obs` diffs against a committed baseline.
+//!
+//! The `obs` binary (`obs report` / `obs diff`) is a thin shell over
+//! these layers.
+
+pub mod analyze;
+pub mod bench;
+pub mod diff;
+pub mod model;
+
+pub use analyze::{AnalyzeConfig, RunReport};
+pub use bench::{BenchSnapshot, BENCH_SCHEMA_VERSION};
+pub use diff::{DiffReport, Direction};
+pub use model::{Trace, TraceError};

@@ -1,0 +1,752 @@
+//! The validated trace model: a raw JSONL event stream becomes a typed
+//! span tree (cycle → phase1/phase2 → round) plus metric time series.
+//!
+//! Construction is strict. A trace that parses but violates the emission
+//! contract — duplicate span ids, a span whose parent never appears, a
+//! `phase1` span parented to something that is not a `cycle`, a counter
+//! whose running total disagrees with the sum of its deltas — is rejected
+//! with a [`TraceError`] naming the offending JSONL line, so a corrupt or
+//! hand-edited trace fails loudly instead of skewing analysis.
+//!
+//! ## Attribution of round metrics
+//!
+//! Counter and observe events carry no timestamps, so per-round slot
+//! breakdowns rely on the emission-order contract documented in
+//! `tagwatch-reader`: a round's `round.*` counters and its `round.slots` /
+//! `round.q_final` observations are emitted immediately *before* that
+//! round's span event. The builder keeps a pending [`RoundStats`] and
+//! attaches it to the next `round` span it sees; `round.*` activity with
+//! no subsequent round span (e.g. a bare `RoundResult::record` without a
+//! reader driving spans) accumulates in [`Trace::unattributed`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+
+use tagwatch_telemetry::jsonl::{self, ParseError};
+use tagwatch_telemetry::{ClockKind, Event, SpanRecord, TagRecord};
+
+/// Slack for sim-clock containment checks (floating-point sums of slot
+/// durations).
+const CONTAIN_EPS: f64 = 1e-6;
+
+/// Why a trace was rejected. Every variant names the JSONL line (1-based)
+/// that triggered it.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The stream itself would not parse.
+    Parse(ParseError),
+    /// Two span events share an id.
+    DuplicateSpanId { line: usize, id: u64 },
+    /// A span references a parent id that appears nowhere in the stream.
+    OrphanSpan {
+        line: usize,
+        id: u64,
+        parent: u64,
+        name: String,
+    },
+    /// The span hierarchy violates the cycle → phase → round contract.
+    Structure { line: usize, message: String },
+    /// A counter's running total disagrees with its deltas (events lost
+    /// or reordered).
+    CounterRegression {
+        line: usize,
+        name: String,
+        expected: u64,
+        actual: u64,
+    },
+    /// The stream holds no events at all.
+    Empty,
+}
+
+impl TraceError {
+    /// The 1-based JSONL line the error points at, when it has one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            TraceError::Parse(e) => Some(e.line()),
+            TraceError::DuplicateSpanId { line, .. }
+            | TraceError::OrphanSpan { line, .. }
+            | TraceError::Structure { line, .. }
+            | TraceError::CounterRegression { line, .. } => Some(*line),
+            TraceError::Empty => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse(e) => write!(f, "{e}"),
+            TraceError::DuplicateSpanId { line, id } => {
+                write!(f, "line {line}: duplicate span id {id}")
+            }
+            TraceError::OrphanSpan {
+                line,
+                id,
+                parent,
+                name,
+            } => write!(
+                f,
+                "line {line}: span `{name}` (id {id}) references parent {parent}, \
+                 which appears nowhere in the stream"
+            ),
+            TraceError::Structure { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            TraceError::CounterRegression {
+                line,
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "line {line}: counter `{name}` total {actual} disagrees with \
+                 running sum of deltas {expected} (events lost or reordered)"
+            ),
+            TraceError::Empty => write!(f, "trace holds no events"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for TraceError {
+    fn from(e: ParseError) -> Self {
+        TraceError::Parse(e)
+    }
+}
+
+/// Slot-level outcome totals for one inventory round (or, in
+/// [`Trace::unattributed`], for round activity no span claimed).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RoundStats {
+    pub empties: u64,
+    pub collisions: u64,
+    pub successes: u64,
+    pub decode_failures: u64,
+    pub adjusts: u64,
+    pub reads: u64,
+    /// Frame size observed for the round (`round.slots`), summed if a
+    /// round somehow observed more than once.
+    pub slots: f64,
+    /// Q value after adaptation (`round.q_final`).
+    pub q_final: Option<f64>,
+}
+
+impl RoundStats {
+    fn is_empty(&self) -> bool {
+        *self == RoundStats::default()
+    }
+
+    /// Adds another stats block into this one.
+    pub fn absorb(&mut self, other: &RoundStats) {
+        self.empties += other.empties;
+        self.collisions += other.collisions;
+        self.successes += other.successes;
+        self.decode_failures += other.decode_failures;
+        self.adjusts += other.adjusts;
+        self.reads += other.reads;
+        self.slots += other.slots;
+        if other.q_final.is_some() {
+            self.q_final = other.q_final;
+        }
+    }
+}
+
+/// One inventory round: its span plus the slot breakdown attributed to it.
+#[derive(Debug, Clone)]
+pub struct RoundNode {
+    /// JSONL line of the round's span event.
+    pub line: usize,
+    pub span: SpanRecord,
+    pub stats: RoundStats,
+}
+
+/// One reading phase within a cycle, holding its rounds in air-time order.
+#[derive(Debug, Clone)]
+pub struct PhaseNode {
+    pub line: usize,
+    pub span: SpanRecord,
+    pub rounds: Vec<RoundNode>,
+}
+
+impl PhaseNode {
+    /// Summed slot stats over the phase's rounds.
+    pub fn stats(&self) -> RoundStats {
+        let mut total = RoundStats::default();
+        for r in &self.rounds {
+            total.absorb(&r.stats);
+        }
+        total
+    }
+}
+
+/// One full two-phase cycle.
+#[derive(Debug, Clone)]
+pub struct CycleNode {
+    pub line: usize,
+    pub span: SpanRecord,
+    pub phase1: Option<PhaseNode>,
+    pub phase2: Option<PhaseNode>,
+    /// Host-side compute span (`cycle.compute`, wall clock).
+    pub compute: Option<SpanRecord>,
+}
+
+impl CycleNode {
+    /// Simulated start of the cycle.
+    pub fn start(&self) -> f64 {
+        self.span.start
+    }
+
+    /// Simulated end of the cycle.
+    pub fn end(&self) -> f64 {
+        self.span.start + self.span.duration
+    }
+
+    /// Whether a simulated instant falls inside this cycle.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start() - CONTAIN_EPS && t <= self.end() + CONTAIN_EPS
+    }
+}
+
+/// A per-tag moment with the JSONL line it came from. Lines order tag
+/// events against cycle spans (a cycle's tags are emitted right after its
+/// span closes), which attributes tags to cycles even when a trace holds
+/// several experiments whose simulated clocks each restart at zero.
+#[derive(Debug, Clone)]
+pub struct TagMoment {
+    pub line: usize,
+    pub rec: TagRecord,
+}
+
+/// Ordered per-counter history: each delta with its line, plus the final
+/// running total.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSeries {
+    pub deltas: Vec<u64>,
+    pub total: u64,
+}
+
+/// A fully validated trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Every span, in emission order (children precede their parents on
+    /// the sim clock because spans are emitted when they *end*).
+    pub spans: Vec<SpanRecord>,
+    /// Cycle trees, in emission order.
+    pub cycles: Vec<CycleNode>,
+    /// Rounds whose parent chain contains no cycle (a reader driven
+    /// outside a controller, e.g. `run_for` in isolation).
+    pub stray_rounds: Vec<RoundNode>,
+    /// Counter histories by name.
+    pub counters: BTreeMap<String, CounterSeries>,
+    /// Gauge value histories by name.
+    pub gauges: BTreeMap<String, Vec<f64>>,
+    /// Raw histogram observations by name.
+    pub observes: BTreeMap<String, Vec<f64>>,
+    /// Per-tag moments, in emission order.
+    pub tags: Vec<TagMoment>,
+    /// Round activity never claimed by a round span.
+    pub unattributed: RoundStats,
+    /// Total events ingested.
+    pub events_total: usize,
+}
+
+impl Trace {
+    /// Builds a trace from `(line, event)` pairs as produced by
+    /// [`jsonl::read_events`].
+    pub fn from_numbered_events(events: &[(usize, Event)]) -> Result<Trace, TraceError> {
+        if events.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        let mut b = Builder::default();
+        for (line, ev) in events {
+            b.push(*line, ev)?;
+        }
+        b.finish(events.len())
+    }
+
+    /// Builds a trace from bare events (lines synthesized as 1-based
+    /// indices) — the in-process path for `MemorySink` contents.
+    pub fn from_events(events: &[Event]) -> Result<Trace, TraceError> {
+        let numbered: Vec<(usize, Event)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (i + 1, e.clone()))
+            .collect();
+        Trace::from_numbered_events(&numbered)
+    }
+
+    /// Parses and validates a JSONL stream.
+    pub fn from_reader<R: Read>(reader: R) -> Result<Trace, TraceError> {
+        let events = jsonl::read_events(reader)?;
+        Trace::from_numbered_events(&events)
+    }
+
+    /// Parses and validates a JSONL file.
+    pub fn from_path<P: AsRef<Path>>(path: P) -> Result<Trace, TraceError> {
+        let events = jsonl::read_events_path(path)?;
+        Trace::from_numbered_events(&events)
+    }
+
+    /// The simulated window covered by the trace: `(start, end)` over all
+    /// sim-clock spans and tag events. `None` when the trace carries no
+    /// simulated time at all.
+    pub fn sim_window(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.spans {
+            if s.clock == ClockKind::Sim {
+                lo = lo.min(s.start);
+                hi = hi.max(s.start + s.duration);
+            }
+        }
+        for t in &self.tags {
+            lo = lo.min(t.rec.t);
+            hi = hi.max(t.rec.t);
+        }
+        if lo.is_finite() && hi.is_finite() {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+
+    /// Simulated seconds covered (0 when the window is degenerate).
+    pub fn sim_seconds(&self) -> f64 {
+        self.sim_window().map_or(0.0, |(lo, hi)| (hi - lo).max(0.0))
+    }
+
+    /// All rounds, cycle-attached and stray, in emission order.
+    pub fn all_rounds(&self) -> Vec<&RoundNode> {
+        let mut out: Vec<&RoundNode> = Vec::new();
+        for c in &self.cycles {
+            for p in [&c.phase1, &c.phase2].into_iter().flatten() {
+                out.extend(p.rounds.iter());
+            }
+        }
+        out.extend(self.stray_rounds.iter());
+        out.sort_by(|a, b| a.line.cmp(&b.line));
+        out
+    }
+
+    /// Final value of a counter, 0 when never emitted.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).map_or(0, |c| c.total)
+    }
+}
+
+/// Incremental trace builder: applies the attribution contract and the
+/// per-event validations, then assembles the span tree in `finish`.
+#[derive(Default)]
+struct Builder {
+    spans: Vec<(usize, SpanRecord)>,
+    counters: BTreeMap<String, CounterSeries>,
+    gauges: BTreeMap<String, Vec<f64>>,
+    observes: BTreeMap<String, Vec<f64>>,
+    tags: Vec<TagMoment>,
+    pending: RoundStats,
+    rounds: Vec<RoundNode>,
+    unattributed: RoundStats,
+}
+
+impl Builder {
+    fn push(&mut self, line: usize, ev: &Event) -> Result<(), TraceError> {
+        match ev {
+            Event::Span(s) => {
+                if s.name == "round" {
+                    self.rounds.push(RoundNode {
+                        line,
+                        span: s.clone(),
+                        stats: std::mem::take(&mut self.pending),
+                    });
+                }
+                self.spans.push((line, s.clone()));
+            }
+            Event::Counter(c) => {
+                let series = self.counters.entry(c.name.clone()).or_default();
+                let expected = series.total + c.delta;
+                if c.total != expected {
+                    return Err(TraceError::CounterRegression {
+                        line,
+                        name: c.name.clone(),
+                        expected,
+                        actual: c.total,
+                    });
+                }
+                series.deltas.push(c.delta);
+                series.total = c.total;
+                match c.name.as_str() {
+                    "round.empties" => self.pending.empties += c.delta,
+                    "round.collisions" => self.pending.collisions += c.delta,
+                    "round.successes" => self.pending.successes += c.delta,
+                    "round.decode_failures" => self.pending.decode_failures += c.delta,
+                    "round.adjusts" => self.pending.adjusts += c.delta,
+                    "round.reads" => self.pending.reads += c.delta,
+                    _ => {}
+                }
+            }
+            Event::Gauge(g) => {
+                self.gauges.entry(g.name.clone()).or_default().push(g.value);
+            }
+            Event::Observe(o) => {
+                self.observes
+                    .entry(o.name.clone())
+                    .or_default()
+                    .push(o.value);
+                match o.name.as_str() {
+                    "round.slots" => self.pending.slots += o.value,
+                    "round.q_final" => self.pending.q_final = Some(o.value),
+                    _ => {}
+                }
+            }
+            Event::Tag(t) => self.tags.push(TagMoment {
+                line,
+                rec: t.clone(),
+            }),
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, events_total: usize) -> Result<Trace, TraceError> {
+        if !self.pending.is_empty() {
+            self.unattributed.absorb(&self.pending);
+        }
+
+        // Index span ids; duplicates are a handle-reuse bug upstream.
+        let mut id_line: BTreeMap<u64, usize> = BTreeMap::new();
+        for (line, s) in &self.spans {
+            if id_line.insert(s.id, *line).is_some() {
+                return Err(TraceError::DuplicateSpanId {
+                    line: *line,
+                    id: s.id,
+                });
+            }
+        }
+
+        // Every parent reference must resolve. (Parents are emitted after
+        // their children — spans close inside-out — so resolution runs
+        // over the completed index.)
+        for (line, s) in &self.spans {
+            if let Some(p) = s.parent {
+                if !id_line.contains_key(&p) {
+                    return Err(TraceError::OrphanSpan {
+                        line: *line,
+                        id: s.id,
+                        parent: p,
+                        name: s.name.clone(),
+                    });
+                }
+            }
+        }
+
+        let by_id: BTreeMap<u64, &SpanRecord> =
+            self.spans.iter().map(|(_, s)| (s.id, s)).collect();
+
+        // Phases keyed by cycle id; compute spans likewise.
+        let mut cycles: Vec<CycleNode> = Vec::new();
+        let mut cycle_index: BTreeMap<u64, usize> = BTreeMap::new();
+        for (line, s) in &self.spans {
+            if s.name == "cycle" {
+                cycle_index.insert(s.id, cycles.len());
+                cycles.push(CycleNode {
+                    line: *line,
+                    span: s.clone(),
+                    phase1: None,
+                    phase2: None,
+                    compute: None,
+                });
+            }
+        }
+
+        let mut phase_of_round: BTreeMap<u64, (usize, bool)> = BTreeMap::new(); // span id → (cycle idx, is_phase2)
+        for (line, s) in &self.spans {
+            let is_phase = s.name == "phase1" || s.name == "phase2";
+            if !is_phase && s.name != "cycle.compute" {
+                continue;
+            }
+            let parent = s.parent.ok_or_else(|| TraceError::Structure {
+                line: *line,
+                message: format!("span `{}` (id {}) has no parent cycle", s.name, s.id),
+            })?;
+            let &cycle_idx =
+                cycle_index
+                    .get(&parent)
+                    .ok_or_else(|| TraceError::Structure {
+                        line: *line,
+                        message: format!(
+                            "span `{}` (id {}) is parented to `{}` (id {parent}), not a cycle",
+                            s.name,
+                            s.id,
+                            by_id.get(&parent).map_or("?", |p| p.name.as_str())
+                        ),
+                    })?;
+            let cycle = &mut cycles[cycle_idx];
+            if is_phase {
+                let end = s.start + s.duration;
+                if s.start < cycle.start() - CONTAIN_EPS || end > cycle.end() + CONTAIN_EPS {
+                    return Err(TraceError::Structure {
+                        line: *line,
+                        message: format!(
+                            "span `{}` [{:.6}, {:.6}] spills outside its cycle [{:.6}, {:.6}]",
+                            s.name,
+                            s.start,
+                            end,
+                            cycle.start(),
+                            cycle.end()
+                        ),
+                    });
+                }
+            }
+            let slot = match s.name.as_str() {
+                "phase1" => &mut cycle.phase1,
+                "phase2" => &mut cycle.phase2,
+                _ => {
+                    if cycle.compute.is_some() {
+                        return Err(TraceError::Structure {
+                            line: *line,
+                            message: format!(
+                                "cycle id {parent} has more than one `cycle.compute` span"
+                            ),
+                        });
+                    }
+                    cycle.compute = Some(s.clone());
+                    continue;
+                }
+            };
+            if slot.is_some() {
+                return Err(TraceError::Structure {
+                    line: *line,
+                    message: format!("cycle id {parent} has more than one `{}` span", s.name),
+                });
+            }
+            phase_of_round.insert(s.id, (cycle_idx, s.name == "phase2"));
+            *slot = Some(PhaseNode {
+                line: *line,
+                span: s.clone(),
+                rounds: Vec::new(),
+            });
+        }
+
+        // Attach rounds to their phases; anything else is stray.
+        let mut stray_rounds = Vec::new();
+        for r in self.rounds {
+            match r.span.parent.and_then(|p| phase_of_round.get(&p)) {
+                Some(&(cycle_idx, is_phase2)) => {
+                    let cycle = &mut cycles[cycle_idx];
+                    let phase = if is_phase2 {
+                        cycle.phase2.as_mut()
+                    } else {
+                        cycle.phase1.as_mut()
+                    }
+                    .expect("phase registered in phase_of_round");
+                    let end = r.span.start + r.span.duration;
+                    let pend = phase.span.start + phase.span.duration;
+                    if r.span.start < phase.span.start - CONTAIN_EPS || end > pend + CONTAIN_EPS {
+                        return Err(TraceError::Structure {
+                            line: r.line,
+                            message: format!(
+                                "round [{:.6}, {:.6}] spills outside its `{}` phase [{:.6}, {:.6}]",
+                                r.span.start, end, phase.span.name, phase.span.start, pend
+                            ),
+                        });
+                    }
+                    phase.rounds.push(r);
+                }
+                None => stray_rounds.push(r),
+            }
+        }
+
+        Ok(Trace {
+            spans: self.spans.into_iter().map(|(_, s)| s).collect(),
+            cycles,
+            stray_rounds,
+            counters: self.counters,
+            gauges: self.gauges,
+            observes: self.observes,
+            tags: self.tags,
+            unattributed: self.unattributed,
+            events_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_telemetry::{CounterRecord, ObserveRecord};
+
+    fn span(name: &str, id: u64, parent: Option<u64>, start: f64, dur: f64) -> Event {
+        Event::Span(SpanRecord {
+            name: name.into(),
+            id,
+            parent,
+            start,
+            duration: dur,
+            clock: ClockKind::Sim,
+        })
+    }
+
+    fn counter(name: &str, delta: u64, total: u64) -> Event {
+        Event::Counter(CounterRecord {
+            name: name.into(),
+            delta,
+            total,
+        })
+    }
+
+    fn observe(name: &str, value: f64) -> Event {
+        Event::Observe(ObserveRecord {
+            name: name.into(),
+            value,
+        })
+    }
+
+    /// A minimal well-formed cycle: two rounds in phase1, one in phase2.
+    /// Emission order mirrors the real stack: round metrics, round span,
+    /// …, phase span, …, cycle span.
+    fn well_formed() -> Vec<Event> {
+        vec![
+            counter("round.successes", 3, 3),
+            counter("round.empties", 2, 2),
+            observe("round.slots", 8.0),
+            observe("round.q_final", 3.0),
+            span("round", 1, Some(10), 0.0, 0.4),
+            counter("round.successes", 1, 4),
+            observe("round.slots", 4.0),
+            observe("round.q_final", 2.0),
+            span("round", 2, Some(10), 0.4, 0.2),
+            span("phase1", 10, Some(30), 0.0, 0.6),
+            counter("round.successes", 2, 6),
+            observe("round.slots", 4.0),
+            observe("round.q_final", 2.0),
+            span("round", 3, Some(20), 0.6, 0.3),
+            span("phase2", 20, Some(30), 0.6, 0.4),
+            span("cycle", 30, None, 0.0, 1.0),
+            counter("cycle.census", 5, 5),
+        ]
+    }
+
+    #[test]
+    fn builds_cycle_tree_with_attributed_rounds() {
+        let t = Trace::from_events(&well_formed()).unwrap();
+        assert_eq!(t.cycles.len(), 1);
+        let c = &t.cycles[0];
+        let p1 = c.phase1.as_ref().unwrap();
+        let p2 = c.phase2.as_ref().unwrap();
+        assert_eq!(p1.rounds.len(), 2);
+        assert_eq!(p2.rounds.len(), 1);
+        assert_eq!(p1.rounds[0].stats.successes, 3);
+        assert_eq!(p1.rounds[0].stats.empties, 2);
+        assert_eq!(p1.rounds[0].stats.q_final, Some(3.0));
+        assert_eq!(p1.rounds[1].stats.successes, 1);
+        assert_eq!(p1.stats().successes, 4);
+        assert_eq!(p2.rounds[0].stats.slots, 4.0);
+        assert!(t.unattributed.is_empty());
+        assert_eq!(t.counter("cycle.census"), 5);
+        assert_eq!(t.sim_window(), Some((0.0, 1.0)));
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        assert!(matches!(Trace::from_events(&[]), Err(TraceError::Empty)));
+    }
+
+    #[test]
+    fn duplicate_span_id_is_rejected_with_line() {
+        let mut ev = well_formed();
+        ev.push(span("cycle", 30, None, 2.0, 1.0));
+        let err = Trace::from_events(&ev).unwrap_err();
+        match err {
+            TraceError::DuplicateSpanId { line, id } => {
+                assert_eq!(id, 30);
+                assert_eq!(line, ev.len());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphan_parent_is_rejected_with_line() {
+        let ev = vec![span("round", 1, Some(99), 0.0, 0.1)];
+        let err = Trace::from_events(&ev).unwrap_err();
+        match err {
+            TraceError::OrphanSpan {
+                line, id, parent, ..
+            } => {
+                assert_eq!((line, id, parent), (1, 1, 99));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn phase_parented_to_non_cycle_is_structural_error() {
+        let ev = vec![
+            span("phase1", 10, Some(20), 0.0, 0.5),
+            span("phase2", 20, None, 0.0, 1.0), // parent exists but is not a cycle
+        ];
+        let err = Trace::from_events(&ev).unwrap_err();
+        match &err {
+            TraceError::Structure { line, message } => {
+                assert_eq!(*line, 1);
+                assert!(message.contains("not a cycle"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_outside_cycle_window_is_structural_error() {
+        let ev = vec![
+            span("phase1", 10, Some(30), 0.0, 2.0), // longer than the cycle
+            span("cycle", 30, None, 0.0, 1.0),
+        ];
+        let err = Trace::from_events(&ev).unwrap_err();
+        assert!(matches!(err, TraceError::Structure { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("spills outside"));
+    }
+
+    #[test]
+    fn counter_total_mismatch_is_rejected() {
+        let ev = vec![
+            counter("round.reads", 2, 2),
+            counter("round.reads", 3, 9), // should be 5
+        ];
+        let err = Trace::from_events(&ev).unwrap_err();
+        match err {
+            TraceError::CounterRegression {
+                line,
+                expected,
+                actual,
+                ..
+            } => assert_eq!((line, expected, actual), (2, 5, 9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rounds_without_cycle_are_stray_and_leftover_metrics_unattributed() {
+        let ev = vec![
+            counter("round.successes", 2, 2),
+            span("round", 1, None, 0.0, 0.3),
+            // Trailing round activity with no span to claim it.
+            counter("round.successes", 7, 9),
+        ];
+        let t = Trace::from_events(&ev).unwrap();
+        assert!(t.cycles.is_empty());
+        assert_eq!(t.stray_rounds.len(), 1);
+        assert_eq!(t.stray_rounds[0].stats.successes, 2);
+        assert_eq!(t.unattributed.successes, 7);
+        assert_eq!(t.all_rounds().len(), 1);
+    }
+}

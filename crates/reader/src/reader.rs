@@ -13,7 +13,7 @@ use crate::llrp::{LlrpError, RoSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tagwatch_gen2::{run_round, Epc, QAdaptive, RoundConfig, TagProto};
+use tagwatch_gen2::{run_round, Epc, FrameSizer, QAdaptive, RoundConfig, TagProto};
 use tagwatch_rf::{LinkGeometry, RfMeasurement};
 use tagwatch_scene::Scene;
 use tagwatch_telemetry::Telemetry;
@@ -238,6 +238,10 @@ impl Reader {
         };
         let mut sizer = QAdaptive::new(self.cfg.initial_q);
         let t_round_start = self.clock;
+        // A simulated-clock span per round: under a controller cycle it
+        // nests beneath the open phase span (per-thread parent inference),
+        // giving offline analysis the full cycle → phase → round tree.
+        let round_span = self.telemetry.sim_span("round", t_round_start);
         let result = run_round(
             &mut self.protos,
             &round_cfg,
@@ -283,8 +287,15 @@ impl Reader {
             stats: result.stats,
         });
         // Promote the round into the telemetry stream: slot-outcome
-        // counters, Q-adaptation adjustments, and the duration histogram.
+        // counters, Q-adaptation adjustments, and the duration histogram,
+        // then close the round span. Ordering matters to offline
+        // consumers: a round's counters and observations are emitted
+        // immediately *before* its span event, so `tagwatch-obs` can
+        // attribute them to the round without timestamps on counters.
         result.record(&self.telemetry);
+        self.telemetry
+            .observe("round.q_final", sizer.current_q() as f64);
+        round_span.end(self.clock);
     }
 
     /// Repeats `spec` until at least `duration` seconds of air time have
@@ -466,6 +477,18 @@ mod tests {
         let h = snap.histogram("round.duration").unwrap();
         assert_eq!(h.count(), events.len() as u64);
         assert!(h.min().unwrap() > 0.0);
+
+        // One simulated-clock span per round, matching the event log's
+        // timings, with the final Q observed alongside.
+        let spans = sink.spans_named("round");
+        assert_eq!(spans.len(), events.len());
+        for (span, ev) in spans.iter().zip(&events) {
+            assert!((span.start - ev.t_start).abs() < 1e-12);
+            assert!((span.duration - ev.duration()).abs() < 1e-9);
+        }
+        let q = snap.histogram("round.q_final").unwrap();
+        assert_eq!(q.count(), events.len() as u64);
+        assert!(q.max().unwrap() <= 15.0);
     }
 
     #[test]

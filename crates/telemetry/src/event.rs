@@ -60,6 +60,26 @@ pub struct ObserveRecord {
     pub value: f64,
 }
 
+/// A per-tag moment: something happened to one tag at one simulated
+/// instant. The controller emits `read.phase1` / `read.phase2` per
+/// delivered report, `assess.mobile` per mobile verdict, and `evict` per
+/// eviction; experiment harnesses add `truth.mobile` ground-truth
+/// annotations. Offline analysis (`tagwatch-obs`) reconstructs per-tag
+/// IRR timelines, starvation windows, and detector confusion from these.
+///
+/// Tag events bypass the aggregated [`crate::MetricsRegistry`] — one
+/// registry entry per EPC would defeat its O(names) memory bound — and
+/// flow only to sinks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagRecord {
+    /// What happened (e.g. `read.phase2`, `assess.mobile`).
+    pub name: String,
+    /// The tag's EPC as raw bits (`Epc::bits`).
+    pub epc: u128,
+    /// Simulated time of the moment, seconds.
+    pub t: f64,
+}
+
 /// One telemetry event. Serialized with an external `type` tag, so a JSONL
 /// line looks like
 /// `{"type":"span","name":"cycle","id":3,"parent":null,"start":0.0,...}`.
@@ -70,6 +90,7 @@ pub enum Event {
     Counter(CounterRecord),
     Gauge(GaugeRecord),
     Observe(ObserveRecord),
+    Tag(TagRecord),
 }
 
 impl Event {
@@ -80,6 +101,7 @@ impl Event {
             Event::Counter(c) => &c.name,
             Event::Gauge(g) => &g.name,
             Event::Observe(o) => &o.name,
+            Event::Tag(t) => &t.name,
         }
     }
 }
@@ -112,6 +134,11 @@ mod tests {
                 name: "round.duration".into(),
                 value: 0.031,
             }),
+            Event::Tag(TagRecord {
+                name: "read.phase2".into(),
+                epc: (1u128 << 95) | 0xDEAD_BEEF,
+                t: 3.125,
+            }),
         ];
         for ev in events {
             let line = serde_json::to_string(&ev).unwrap();
@@ -130,5 +157,23 @@ mod tests {
         let line = serde_json::to_string(&ev).unwrap();
         assert!(line.contains("\"type\":\"counter\""), "{line}");
         assert!(line.contains("\"total\":7"), "{line}");
+    }
+
+    #[test]
+    fn tag_events_carry_full_epc_width() {
+        // u128 EPC bits must survive JSON (serde_json encodes 128-bit
+        // integers natively; this pins that the schema relies on it).
+        let epc = (0xFEED_u128 << 112) | 1;
+        let ev = Event::Tag(TagRecord {
+            name: "read.phase1".into(),
+            epc,
+            t: 0.0,
+        });
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(line.contains("\"type\":\"tag\""), "{line}");
+        match serde_json::from_str::<Event>(&line).unwrap() {
+            Event::Tag(t) => assert_eq!(t.epc, epc),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! enough to leave the instrumentation compiled into the hot path
 //! unconditionally (the controller criterion bench budget is < 2 %).
 
-use crate::event::{CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord};
+use crate::event::{CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord, TagRecord};
 use crate::histogram::Histogram;
 use crate::registry::MetricsRegistry;
 use crate::sink::Sink;
@@ -150,6 +150,23 @@ impl Telemetry {
             value,
         });
         for sink in &mut st.sinks {
+            sink.record(&ev);
+        }
+    }
+
+    /// Emits a per-tag moment: `name` happened to EPC `epc` (raw bits) at
+    /// simulated time `t`. Tag events flow to sinks only — they bypass
+    /// the registry, whose memory bound is O(metric names), not O(tags).
+    pub fn tag_event(&self, name: &str, epc: u128, t: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ev = Event::Tag(TagRecord {
+            name: name.to_string(),
+            epc,
+            t,
+        });
+        for sink in &mut self.lock().sinks {
             sink.record(&ev);
         }
     }

@@ -190,7 +190,7 @@ mod tests {
         assert_eq!(h.count(), 6);
         // 0.5 and 1.0 both land in bucket 0 (upper-edge inclusive).
         assert_eq!(h.bucket_counts()[0], 2);
-        assert_eq!(h.bucket_counts()[1], 2);
+        assert_eq!(h.bucket_counts()[1], 1);
         assert_eq!(h.bucket_counts()[2], 1);
         // 11.0 overflows.
         assert_eq!(*h.bucket_counts().last().unwrap(), 1);

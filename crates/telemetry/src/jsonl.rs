@@ -1,0 +1,285 @@
+//! Re-ingestion of exported JSONL traces.
+//!
+//! [`crate::JsonlSink`] writes one serialized [`Event`] per line; this
+//! module is the inverse half of that contract, shared by every offline
+//! consumer (the `tagwatch-obs` analyzers, tests, ad-hoc tooling).
+//! Errors carry 1-based line numbers, and a cut-off final line — the
+//! signature of a process that died mid-run — is reported as
+//! [`ParseError::TruncatedTail`] so consumers can distinguish "trace is
+//! corrupt" from "trace is merely incomplete".
+
+use crate::event::Event;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Why a JSONL trace failed to re-ingest.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The underlying stream failed while reading `line`.
+    Io {
+        /// 1-based line being read when the failure hit.
+        line: usize,
+        source: io::Error,
+    },
+    /// A newline-terminated line that is not a serialized [`Event`].
+    Line {
+        /// 1-based line number.
+        line: usize,
+        /// The serde decode error, rendered.
+        message: String,
+        /// The offending line, abbreviated for display.
+        snippet: String,
+    },
+    /// The final line has no trailing newline and does not parse: the
+    /// writer was cut off mid-line. Every line before it is intact.
+    TruncatedTail {
+        /// 1-based line number of the partial tail.
+        line: usize,
+        /// The partial tail, abbreviated for display.
+        snippet: String,
+    },
+}
+
+/// Truncates a line for inclusion in an error message.
+fn snippet_of(line: &str) -> String {
+    const MAX: usize = 80;
+    if line.len() <= MAX {
+        line.to_string()
+    } else {
+        let mut cut = MAX;
+        while !line.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}…", &line[..cut])
+    }
+}
+
+impl ParseError {
+    /// The 1-based line number the error is anchored to.
+    pub fn line(&self) -> usize {
+        match self {
+            ParseError::Io { line, .. }
+            | ParseError::Line { line, .. }
+            | ParseError::TruncatedTail { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io { line, source } => {
+                write!(f, "I/O error at line {line}: {source}")
+            }
+            ParseError::Line {
+                line,
+                message,
+                snippet,
+            } => write!(f, "line {line}: {message} (in {snippet:?})"),
+            ParseError::TruncatedTail { line, snippet } => write!(
+                f,
+                "line {line}: truncated tail (no newline, unparseable): {snippet:?} — \
+                 the writing process likely died mid-run; lines 1..{line} are intact"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSONL line into an [`Event`].
+pub fn parse_line(line: &str) -> Result<Event, serde_json::Error> {
+    serde_json::from_str(line)
+}
+
+/// Reads every event from `reader`, strictly: any malformed line is an
+/// error. Blank lines are skipped (a final newline produces one). Events
+/// are returned in stream order with their 1-based line numbers, so
+/// downstream validators can anchor their own diagnostics.
+pub fn read_events<R: Read>(reader: R) -> Result<Vec<(usize, Event)>, ParseError> {
+    let mut reader = BufReader::new(reader);
+    let mut events = Vec::new();
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        buf.clear();
+        let n = reader
+            .read_line(&mut buf)
+            .map_err(|source| ParseError::Io {
+                line: line_no,
+                source,
+            })?;
+        if n == 0 {
+            return Ok(events);
+        }
+        let terminated = buf.ends_with('\n');
+        let body = buf.trim_end_matches(['\n', '\r']);
+        if body.trim().is_empty() {
+            continue;
+        }
+        match parse_line(body) {
+            Ok(ev) => events.push((line_no, ev)),
+            Err(e) if !terminated => {
+                // Unterminated + unparseable final line: the writer was
+                // interrupted mid-line, not a corrupt trace.
+                let _ = e;
+                return Err(ParseError::TruncatedTail {
+                    line: line_no,
+                    snippet: snippet_of(body),
+                });
+            }
+            Err(e) => {
+                return Err(ParseError::Line {
+                    line: line_no,
+                    message: e.to_string(),
+                    snippet: snippet_of(body),
+                })
+            }
+        }
+    }
+}
+
+/// [`read_events`] over a file path.
+pub fn read_events_path<P: AsRef<Path>>(path: P) -> Result<Vec<(usize, Event)>, ParseError> {
+    let file = File::open(path.as_ref()).map_err(|source| ParseError::Io { line: 0, source })?;
+    read_events(file)
+}
+
+/// Lenient variant: salvages every parseable line and returns the first
+/// error (if any) alongside, instead of discarding the prefix. Useful for
+/// post-mortem analysis of traces from crashed runs.
+pub fn read_events_lenient<R: Read>(reader: R) -> (Vec<(usize, Event)>, Option<ParseError>) {
+    let mut reader = BufReader::new(reader);
+    let mut events = Vec::new();
+    let mut first_err = None;
+    let mut buf = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) => return (events, first_err),
+            Ok(_) => {}
+            Err(source) => {
+                first_err.get_or_insert(ParseError::Io {
+                    line: line_no,
+                    source,
+                });
+                return (events, first_err);
+            }
+        }
+        let terminated = buf.ends_with('\n');
+        let body = buf.trim_end_matches(['\n', '\r']);
+        if body.trim().is_empty() {
+            continue;
+        }
+        match parse_line(body) {
+            Ok(ev) => events.push((line_no, ev)),
+            Err(e) => {
+                let err = if terminated {
+                    ParseError::Line {
+                        line: line_no,
+                        message: e.to_string(),
+                        snippet: snippet_of(body),
+                    }
+                } else {
+                    ParseError::TruncatedTail {
+                        line: line_no,
+                        snippet: snippet_of(body),
+                    }
+                };
+                first_err.get_or_insert(err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CounterRecord, GaugeRecord, TagRecord};
+
+    fn sample_lines() -> (Vec<Event>, String) {
+        let events = vec![
+            Event::Counter(CounterRecord {
+                name: "cycle.count".into(),
+                delta: 1,
+                total: 1,
+            }),
+            Event::Gauge(GaugeRecord {
+                name: "tracked_tags".into(),
+                value: 12.0,
+            }),
+            Event::Tag(TagRecord {
+                name: "read.phase1".into(),
+                epc: 42,
+                t: 1.5,
+            }),
+        ];
+        let body: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        (events, body)
+    }
+
+    #[test]
+    fn json_round_trip_with_line_numbers() {
+        let (events, body) = sample_lines();
+        let parsed = read_events(body.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        for (k, ((line, ev), want)) in parsed.iter().zip(&events).enumerate() {
+            assert_eq!(*line, k + 1);
+            assert_eq!(ev, want);
+        }
+    }
+
+    #[test]
+    fn json_blank_lines_are_skipped() {
+        let (events, body) = sample_lines();
+        let spaced = body.replace('\n', "\n\n");
+        let parsed = read_events(spaced.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), events.len());
+        // Line numbers account for the blanks.
+        assert_eq!(parsed[1].0, 3);
+    }
+
+    #[test]
+    fn json_truncated_tail_is_distinguished() {
+        let (_, body) = sample_lines();
+        let cut = &body[..body.len() - 4]; // chop newline + 3 chars
+        match read_events(cut.as_bytes()) {
+            Err(ParseError::TruncatedTail { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected TruncatedTail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_midfile_garbage_is_a_line_error() {
+        let (_, body) = sample_lines();
+        let corrupt = body.replacen("\"gauge\"", "\"junk!\"", 1);
+        match read_events(corrupt.as_bytes()) {
+            Err(ParseError::Line { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Line error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_lenient_salvages_prefix_and_suffix() {
+        let (events, body) = sample_lines();
+        let corrupt = body.replacen("\"gauge\"", "\"junk!\"", 1);
+        let (salvaged, err) = read_events_lenient(corrupt.as_bytes());
+        assert_eq!(salvaged.len(), events.len() - 1);
+        assert_eq!(err.expect("error reported").line(), 2);
+    }
+}

@@ -14,7 +14,14 @@
 //!   `tagwatch::metrics::percentile` to within one bucket width.
 //! * **Sinks** ([`Sink`]) receive every [`Event`]: [`MemorySink`] is a
 //!   bounded ring buffer for tests, [`JsonlSink`] a line-buffered JSONL
-//!   file for offline analysis.
+//!   file for offline analysis (flushed on [`Drop`], so even a panicking
+//!   run leaves a parseable trace).
+//! * **Re-ingestion** ([`jsonl`]) parses exported JSONL back into
+//!   [`Event`]s with line-numbered errors — the shared front half of the
+//!   offline `tagwatch-obs` analyzers.
+//! * **Tag events** ([`TagRecord`], [`Telemetry::tag_event`]) record
+//!   per-tag moments (reads, mobile verdicts, evictions, ground-truth
+//!   annotations) for per-tag IRR and confusion analysis offline.
 //!
 //! With no sink installed a handle is disabled and every emission costs
 //! one relaxed atomic load, so instrumentation stays compiled into hot
@@ -42,11 +49,13 @@
 pub mod event;
 pub mod handle;
 pub mod histogram;
+pub mod jsonl;
 pub mod registry;
 pub mod sink;
 pub mod span;
 
-pub use event::{ClockKind, CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord};
+pub use event::{ClockKind, CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord, TagRecord};
+pub use jsonl::ParseError;
 pub use handle::Telemetry;
 pub use histogram::Histogram;
 pub use registry::MetricsRegistry;

@@ -167,6 +167,16 @@ impl Sink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// Flushes on drop so a run that never calls [`Sink::flush`] — e.g.
+    /// one unwinding from a panic — still leaves a parseable trace.
+    /// (`LineWriter` flushes at each newline, but a write that straddled
+    /// its buffer can leave a partial line; this closes that gap.)
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +245,33 @@ mod tests {
         assert_eq!(lines.len(), 2);
         for line in lines {
             let _: Event = serde_json::from_str(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_dropped_sink_leaves_parseable_trace() {
+        // Regression: a run that drops the sink mid-flight (panic unwind,
+        // early return) without ever calling flush() must still leave a
+        // complete, re-parseable file on disk.
+        let path = std::env::temp_dir().join(format!(
+            "tagwatch-telemetry-drop-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for k in 0..100u64 {
+                sink.record(&counter("c", 1, k + 1));
+            }
+            // No flush(): Drop alone must guarantee durability.
+            drop(sink);
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        let events = crate::jsonl::read_events(body.as_bytes()).unwrap();
+        assert_eq!(events.len(), 100);
+        match &events[99].1 {
+            Event::Counter(c) => assert_eq!(c.total, 100),
+            other => panic!("unexpected {other:?}"),
         }
         let _ = std::fs::remove_file(&path);
     }

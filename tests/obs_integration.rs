@@ -1,0 +1,244 @@
+//! End-to-end observability contract: a real controller run instrumented
+//! with telemetry, re-ingested by `tagwatch-obs`, must reconstruct the
+//! span tree and per-tag statistics that the in-process [`CycleReport`]s
+//! report as ground truth — through a `MemorySink` and, identically,
+//! through a JSONL file on disk. On top of that sit the gates: an
+//! identical-seed re-run diffs clean, and an injected decode-failure
+//! regression is flagged on an `irr.*` metric.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use tagwatch::metrics::Confusion;
+use tagwatch::prelude::*;
+use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
+use tagwatch_obs::diff::DiffReport;
+use tagwatch_obs::model::Trace;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::{Event, JsonlSink, MemorySink, Telemetry};
+
+/// One instrumented controller run with its in-process ground truth.
+struct Run {
+    reports: Vec<CycleReport>,
+    events: Vec<Event>,
+    /// EPCs of the tags the scene actually moves.
+    movers: BTreeSet<Epc>,
+    /// JSONL copy of the same event stream, when requested.
+    jsonl: Option<std::path::PathBuf>,
+}
+
+impl Drop for Run {
+    fn drop(&mut self) {
+        if let Some(p) = &self.jsonl {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+/// Drives `cycles` controller cycles over a turntable scene on a private
+/// telemetry handle, mirroring what `repro obs-run --telemetry` records.
+fn drive(seed: u64, n: usize, n_mobile: usize, cycles: usize, fail: f64, jsonl: bool) -> Run {
+    let scene = presets::turntable(n, n_mobile, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE9C5);
+    let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
+    let cfg = ReaderConfig {
+        decode_fail_prob: fail,
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(scene, &epcs, cfg, seed ^ 1);
+
+    let tel = Telemetry::new();
+    let sink = MemorySink::new(1 << 20);
+    tel.install(Box::new(sink.clone()));
+    let path = jsonl.then(|| {
+        let p = std::env::temp_dir().join(format!(
+            "tagwatch-obs-itest-{}-{seed}.jsonl",
+            std::process::id()
+        ));
+        tel.install(Box::new(JsonlSink::create(&p).expect("temp file")));
+        p
+    });
+
+    for e in &epcs[..n_mobile] {
+        tel.tag_event("truth.mobile", e.bits(), 0.0);
+    }
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel.clone());
+    let reports = ctl.run_cycles(&mut reader, cycles).expect("valid config");
+    tel.flush();
+
+    Run {
+        reports,
+        events: sink.events(),
+        movers: epcs[..n_mobile].iter().copied().collect(),
+        jsonl: path,
+    }
+}
+
+#[test]
+fn trace_span_tree_matches_cycle_reports() {
+    let run = drive(11, 12, 1, 5, 0.0, false);
+    let trace = Trace::from_events(&run.events).expect("well-formed trace");
+
+    assert_eq!(trace.cycles.len(), run.reports.len());
+    for (node, rep) in trace.cycles.iter().zip(&run.reports) {
+        assert!(
+            (node.span.start - rep.t_start).abs() < 1e-9,
+            "cycle start {} vs report {}",
+            node.span.start,
+            rep.t_start
+        );
+        assert!((node.end() - rep.t_end).abs() < 1e-9);
+        let p1 = node.phase1.as_ref().expect("phase1 span");
+        let p2 = node.phase2.as_ref().expect("phase2 span");
+        assert!(!p1.rounds.is_empty(), "phase1 ran at least one round");
+        assert!(
+            (p1.span.duration - rep.phase1_duration).abs() < 1e-9,
+            "phase1 duration"
+        );
+        assert!((p2.span.duration - rep.phase2_duration).abs() < 1e-9);
+        // Round spans tile their phase: summed round time never exceeds it.
+        let round_time: f64 = p1.rounds.iter().map(|r| r.span.duration).sum();
+        assert!(round_time <= p1.span.duration + 1e-6);
+        assert!(node.compute.is_some(), "cycle.compute wall span");
+    }
+    assert!(trace.stray_rounds.is_empty());
+
+    // Aggregate counters agree with summed per-cycle ground truth.
+    let phase1_total: usize = run.reports.iter().map(|r| r.phase1.len()).sum();
+    let phase2_total: usize = run.reports.iter().map(|r| r.phase2.len()).sum();
+    assert_eq!(trace.counter("phase1.reports"), phase1_total as u64);
+    assert_eq!(trace.counter("phase2.reports"), phase2_total as u64);
+    assert_eq!(trace.counter("cycle.count"), run.reports.len() as u64);
+}
+
+#[test]
+fn analyzers_agree_with_in_process_ground_truth() {
+    let run = drive(12, 12, 1, 5, 0.0, false);
+    let trace = Trace::from_events(&run.events).unwrap();
+    let r = RunReport::analyze(&trace, &AnalyzeConfig::default());
+
+    // Per-tag reads = every phase1 + phase2 report delivered.
+    let total_reports: usize = run
+        .reports
+        .iter()
+        .map(|c| c.phase1.len() + c.phase2.len())
+        .sum();
+    assert_eq!(r.tags.reads_total, total_reports);
+
+    // Per-tag IRR: recompute one tag's rate straight from the reports.
+    let probe = run.reports[0].census[0];
+    let probe_reads: usize = run
+        .reports
+        .iter()
+        .flat_map(|c| c.phase1.iter().chain(&c.phase2))
+        .filter(|t| t.epc == probe)
+        .count();
+    let expected_irr = probe_reads as f64 / trace.sim_seconds();
+    let hex = format!("{:#x}", probe.bits());
+    let got = r
+        .tags
+        .per_tag
+        .iter()
+        .find(|t| t.epc == hex)
+        .expect("probe tag analyzed");
+    assert_eq!(got.reads, probe_reads);
+    assert!((got.irr - expected_irr).abs() < 1e-9);
+
+    // Detector confusion: identical to scoring the CycleReports directly.
+    let mut expected = Confusion::default();
+    for c in &run.reports {
+        let mobile: BTreeSet<Epc> = c.mobile.iter().copied().collect();
+        for epc in &c.census {
+            expected.push(mobile.contains(epc), run.movers.contains(epc));
+        }
+    }
+    let got = r.confusion.expect("truth annotations present");
+    assert_eq!(
+        (got.tp, got.fp, got.tn, got.fn_),
+        (expected.tp, expected.fp, expected.tn, expected.fn_),
+        "confusion counts diverge from CycleReport ground truth"
+    );
+
+    // Starvation with a zero bar counts every consecutive-read pair.
+    let all_gaps = tagwatch_obs::analyze::RunReport::analyze(
+        &trace,
+        &AnalyzeConfig {
+            starvation_gap: 0.0,
+        },
+    );
+    assert_eq!(
+        all_gaps.starvation.events.len(),
+        r.tags.reads_total - r.tags.tags,
+        "every gap > 0 must register at a zero threshold"
+    );
+    // And an absurdly high bar counts none.
+    let none = RunReport::analyze(
+        &trace,
+        &AnalyzeConfig {
+            starvation_gap: 1e9,
+        },
+    );
+    assert_eq!(none.starvation.events.len(), 0);
+
+    // Q diagnostics are populated and bounded.
+    assert!(r.q.rounds > 0);
+    assert!((0.0..=1.0).contains(&r.q.oscillation));
+}
+
+#[test]
+fn jsonl_file_and_memory_sink_agree() {
+    let run = drive(13, 10, 1, 4, 0.0, true);
+    let from_memory = Trace::from_events(&run.events).unwrap();
+    let from_file = Trace::from_path(run.jsonl.as_ref().unwrap()).unwrap();
+
+    assert_eq!(from_memory.events_total, from_file.events_total);
+    assert_eq!(from_memory.cycles.len(), from_file.cycles.len());
+    let cfg = AnalyzeConfig::default();
+    assert_eq!(
+        RunReport::analyze(&from_memory, &cfg).metric_map(),
+        RunReport::analyze(&from_file, &cfg).metric_map(),
+        "file round trip changed the analysis"
+    );
+}
+
+#[test]
+fn identical_seed_runs_diff_clean() {
+    let cfg = AnalyzeConfig::default();
+    let map = |run: &Run| {
+        RunReport::analyze(&Trace::from_events(&run.events).unwrap(), &cfg).metric_map()
+    };
+    let a = map(&drive(14, 10, 1, 4, 0.0, false));
+    let b = map(&drive(14, 10, 1, 4, 0.0, false));
+    let d = DiffReport::diff(&a, &b, 0.10);
+    assert!(
+        d.passed(),
+        "identical seeds must gate clean, got: {}",
+        d
+    );
+    // Only wall-clock families (cycle.compute) may differ at all.
+    for e in &d.entries {
+        if !e.name.starts_with("wall.") {
+            assert_eq!(e.baseline, e.current, "sim metric {} drifted", e.name);
+        }
+    }
+}
+
+#[test]
+fn injected_decode_failures_fail_the_irr_gate() {
+    let cfg = AnalyzeConfig::default();
+    let map = |run: &Run| {
+        RunReport::analyze(&Trace::from_events(&run.events).unwrap(), &cfg).metric_map()
+    };
+    let clean = map(&drive(15, 12, 1, 5, 0.0, false));
+    let lossy = map(&drive(15, 12, 1, 5, 0.5, false));
+    // Half the decodes failing costs far more than 10% of delivered
+    // reports, so phase IRR regresses.
+    let d = DiffReport::diff(&clean, &lossy, 0.10);
+    assert!(!d.passed(), "gate must flag the injected regression");
+    let names = d.regressed_names();
+    assert!(
+        names.iter().any(|n| n.starts_with("irr.")),
+        "an irr.* metric must be among the regressions, got {names:?}"
+    );
+}

@@ -1,0 +1,180 @@
+//! Property: offline trace ingestion is lossless. Any event stream a
+//! sink can carry — arbitrary well-typed events, or the stream a real
+//! `Telemetry` handle fans out to a `MemorySink` and `JsonlSink` at
+//! once — must round-trip through the JSONL wire format byte-exactly,
+//! with 1-based line numbers intact; and a final line cut off mid-write
+//! must surface as [`ParseError::TruncatedTail`] anchored to that line,
+//! never as silent data loss.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tagwatch_obs::model::Trace;
+use tagwatch_telemetry::jsonl::{read_events, ParseError};
+use tagwatch_telemetry::{
+    ClockKind, CounterRecord, Event, GaugeRecord, JsonlSink, MemorySink, ObserveRecord,
+    SpanRecord, TagRecord, Telemetry,
+};
+
+/// Metric-style names: 1–3 dotted lowercase segments.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}(\\.[a-z]{1,6}){0,2}"
+}
+
+/// Any single event with finite values (JSON has no NaN/inf).
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (arb_name(), any::<u64>(), any::<u64>()).prop_map(|(name, delta, total)| {
+            Event::Counter(CounterRecord { name, delta, total })
+        }),
+        (arb_name(), -1e12f64..1e12).prop_map(|(name, value)| {
+            Event::Gauge(GaugeRecord { name, value })
+        }),
+        (arb_name(), 0.0f64..1e9).prop_map(|(name, value)| {
+            Event::Observe(ObserveRecord { name, value })
+        }),
+        (arb_name(), any::<u128>(), 0.0f64..1e6).prop_map(|(name, epc, t)| {
+            Event::Tag(TagRecord { name, epc, t })
+        }),
+        (
+            arb_name(),
+            1u64..10_000,
+            proptest::option::of(1u64..10_000),
+            0.0f64..1e6,
+            0.0f64..1e3,
+            prop_oneof![Just(ClockKind::Sim), Just(ClockKind::Wall)],
+        )
+            .prop_map(|(name, id, parent, start, duration, clock)| {
+                Event::Span(SpanRecord {
+                    name,
+                    id,
+                    parent,
+                    start,
+                    duration,
+                    clock,
+                })
+            }),
+    ]
+}
+
+/// Serializes events the way `JsonlSink` does: one JSON object per line.
+fn to_jsonl(events: &[Event]) -> String {
+    events
+        .iter()
+        .map(|e| serde_json::to_string(e).expect("finite events serialize") + "\n")
+        .collect()
+}
+
+/// One telemetry operation to replay against a live handle.
+#[derive(Debug, Clone)]
+enum Op {
+    Incr(String, u64),
+    Gauge(String, f64),
+    Observe(String, f64),
+    Tag(String, u128, f64),
+    /// A sim span opened at `.1` lasting `.2` seconds (closed before the
+    /// next op, so spans never nest and parent inference stays trivial).
+    Span(f64, f64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_name(), 1u64..100).prop_map(|(n, d)| Op::Incr(n, d)),
+        (arb_name(), -1e6f64..1e6).prop_map(|(n, v)| Op::Gauge(n, v)),
+        (arb_name(), 0.0f64..1e6).prop_map(|(n, v)| Op::Observe(n, v)),
+        (arb_name(), any::<u128>(), 0.0f64..1e4).prop_map(|(n, e, t)| Op::Tag(n, e, t)),
+        (0.0f64..1e4, 0.0f64..10.0).prop_map(|(t, d)| Op::Span(t, d)),
+    ]
+}
+
+/// Unique scratch path per proptest case (cases run concurrently).
+fn scratch_jsonl() -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "tagwatch-prop-obs-{}-{}.jsonl",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    /// serialize ∘ parse is the identity on any event stream, and every
+    /// event keeps its 1-based line number.
+    #[test]
+    fn jsonl_round_trips_any_event_stream(
+        events in prop::collection::vec(arb_event(), 0..40),
+    ) {
+        let body = to_jsonl(&events);
+        let parsed = read_events(body.as_bytes()).expect("well-formed JSONL");
+        prop_assert_eq!(parsed.len(), events.len());
+        for (k, ((line, got), want)) in parsed.iter().zip(&events).enumerate() {
+            prop_assert_eq!(*line, k + 1, "line number drifted");
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Cutting the writer off mid-line is reported as `TruncatedTail`
+    /// pinned to the exact last line — not a generic parse error, and
+    /// never a silently shortened trace.
+    #[test]
+    fn truncated_last_line_is_a_precise_error(
+        events in prop::collection::vec(arb_event(), 1..20),
+        cut_seed in any::<usize>(),
+    ) {
+        let body = to_jsonl(&events);
+        let last_len = body.trim_end_matches('\n').rsplit('\n').next().unwrap().len();
+        // Chop the trailing newline plus 1..last_len bytes, leaving a
+        // nonempty strict prefix of the final JSON object (all our
+        // serialized events are ASCII, so any byte cut is a char cut).
+        let cut = 2 + cut_seed % (last_len - 1);
+        let truncated = &body[..body.len() - cut];
+        match read_events(truncated.as_bytes()) {
+            Err(ParseError::TruncatedTail { line, .. }) => {
+                prop_assert_eq!(line, events.len(), "error anchored to wrong line");
+            }
+            other => prop_assert!(false, "expected TruncatedTail, got {:?}", other),
+        }
+    }
+
+    /// A `MemorySink` and a `JsonlSink` installed on the same handle see
+    /// the same stream, and the file re-ingests (through the parser and
+    /// the obs trace model) to exactly the in-memory events.
+    #[test]
+    fn memory_and_jsonl_sinks_carry_identical_streams(
+        ops in prop::collection::vec(arb_op(), 0..60),
+    ) {
+        let path = scratch_jsonl();
+        let tel = Telemetry::new();
+        let mem = MemorySink::new(1 << 16);
+        tel.install(Box::new(mem.clone()));
+        tel.install(Box::new(JsonlSink::create(&path).expect("scratch file")));
+
+        for op in &ops {
+            match op {
+                Op::Incr(n, d) => tel.incr_by(n, *d),
+                Op::Gauge(n, v) => tel.gauge_set(n, *v),
+                Op::Observe(n, v) => tel.observe(n, *v),
+                Op::Tag(n, e, t) => tel.tag_event(n, *e, *t),
+                Op::Span(t, d) => tel.sim_span("op.span", *t).end(t + d),
+            }
+        }
+        tel.flush();
+
+        let in_memory = mem.events();
+        let from_file: Vec<Event> = read_events(std::fs::File::open(&path).expect("reopen"))
+            .expect("sink output is well-formed JSONL")
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(&from_file, &in_memory, "sinks diverged");
+
+        // Live-handle streams are structurally valid traces too: counter
+        // totals are consistent and the standalone spans have no parents,
+        // so the obs model must accept the stream wholesale. (An empty
+        // stream is the one documented exception: `TraceError::Empty`.)
+        if !in_memory.is_empty() {
+            let trace = Trace::from_events(&in_memory).expect("live stream is a valid trace");
+            prop_assert_eq!(trace.events_total, in_memory.len());
+        }
+    }
+}
