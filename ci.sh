@@ -2,9 +2,10 @@
 # Repo CI gate. Run from the workspace root.
 #
 #   ./ci.sh          # fmt + clippy + tier-1 (release build + tests)
+#                    # + observability gate
 #   ./ci.sh --tier1  # tier-1 gate only (what the roadmap requires)
-#   ./ci.sh --obs    # observability gate: record the obs-run reference
-#                    # workload and diff it against BENCH_1.json
+#   ./ci.sh --obs    # observability gate only: record the obs-run
+#                    # reference workload and diff it against BENCH_1.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -71,5 +72,9 @@ cargo build --release
 
 echo "==> tier-1: cargo test -q"
 cargo test -q
+
+if ! $tier1_only; then
+    obs_gate
+fi
 
 echo "CI gate passed."

@@ -16,8 +16,10 @@ fn build(n: usize, n_mobile: usize, mode: SchedulingMode) -> (Controller, Reader
     let scene = presets::turntable(n, n_mobile, 3);
     let mut rng = StdRng::seed_from_u64(4);
     let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
-    let mut rcfg = ReaderConfig::default();
-    rcfg.channel_plan = ChannelPlan::single(922.5e6);
+    let rcfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        ..ReaderConfig::default()
+    };
     let reader = Reader::new(scene, &epcs, rcfg, 5);
     let mut cfg = TagwatchConfig::default().with_scheduling(mode);
     cfg.phase2_len = 1.0;

@@ -15,7 +15,10 @@ fn population(n: usize, seed: u64) -> Vec<Epc> {
 }
 
 fn targets(n: usize, n_targets: usize) -> Vec<usize> {
-    (0..n).step_by((n / n_targets).max(1)).take(n_targets).collect()
+    (0..n)
+        .step_by((n / n_targets).max(1))
+        .take(n_targets)
+        .collect()
 }
 
 fn bench_table_build(c: &mut Criterion) {

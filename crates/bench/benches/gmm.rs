@@ -35,14 +35,18 @@ fn bench_gmm_observe(c: &mut Criterion) {
     let mut group = c.benchmark_group("gmm_observe");
     for &modes in &[1usize, 3, 8] {
         let samples = phases(4096, modes, 42);
-        group.bench_with_input(BenchmarkId::from_parameter(modes), &samples, |b, samples| {
-            b.iter(|| {
-                let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
-                for &x in samples {
-                    black_box(gmm.observe(x));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(modes),
+            &samples,
+            |b, samples| {
+                b.iter(|| {
+                    let mut gmm = Gmm::phase(GmmConfig::phase_defaults());
+                    for &x in samples {
+                        black_box(gmm.observe(x));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,104 @@
+//! Microbenchmarks for the telemetry hot path: what one emission costs
+//! the simulator, per sink kind. The reader emits ~26 events per
+//! inventory round (`slot loop counters + duration/Q observations + the
+//! round span`), so at fig-17 scale (50k cycles) the emission path runs
+//! tens of millions of times — its per-call cost decides whether
+//! `--telemetry` is something you leave on. These benches pin four
+//! figures:
+//!
+//! * `disabled` — the cost of instrumentation when no sink is installed
+//!   (one relaxed atomic load; must stay ~1 ns so hot paths can keep
+//!   their probes unconditionally),
+//! * `memory` / `ring` / `jsonl` — the full emission path (registry
+//!   update + sampling choke point + sink fan-out) per sink kind,
+//! * `round_mix/sampled` — the reader's real 7-event round shape with
+//!   1-in-8 round sampling, the configuration `--telemetry-sample 8`
+//!   ships, showing what suppression actually saves.
+//!
+//! `tagwatch_telemetry::overhead::calibrate()` measures the same mixed
+//! workload in-process for `obs hotspots`; these criterion runs are the
+//! statistically careful version of that number.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tagwatch_telemetry::{JsonlSink, MemorySink, RingSink, Telemetry, TelemetryConfig};
+
+/// The reader's per-round emission shape (see `overhead.rs`): four
+/// counters, two observations, one simulated-clock span.
+fn emit_round(tel: &Telemetry, k: u64) {
+    tel.incr_by("round.successes", 3);
+    tel.incr_by("round.empties", 2);
+    tel.incr_by("round.collisions", 1);
+    tel.incr_by("round.reads", 3);
+    tel.observe("round.duration", 0.031);
+    tel.observe("round.q_final", 4.0);
+    let span = tel.sim_span("round", k as f64 * 0.031);
+    span.end(k as f64 * 0.031 + 0.031);
+}
+
+fn bench_single_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_event");
+
+    // Baseline: a disabled handle (no sink). This is the price every
+    // instrumented hot path pays in a plain, untelemetered run.
+    let disabled = Telemetry::new();
+    group.bench_function("disabled", |b| {
+        b.iter(|| disabled.incr_by(black_box("round.reads"), black_box(1)))
+    });
+
+    let memory = Telemetry::new();
+    memory.install(Box::new(MemorySink::new(8192)));
+    group.bench_function("memory", |b| {
+        b.iter(|| memory.incr_by(black_box("round.reads"), black_box(1)))
+    });
+
+    let ring = Telemetry::new();
+    ring.install(Box::new(RingSink::new(8192)));
+    group.bench_function("ring", |b| {
+        b.iter(|| ring.incr_by(black_box("round.reads"), black_box(1)))
+    });
+
+    let dir = std::env::temp_dir().join("tagwatch-telemetry-bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("events.jsonl");
+    let jsonl = Telemetry::new();
+    jsonl.install(Box::new(JsonlSink::create(&path).expect("jsonl sink")));
+    group.bench_function("jsonl", |b| {
+        b.iter(|| jsonl.incr_by(black_box("round.reads"), black_box(1)))
+    });
+
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_round_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_round_mix");
+
+    let full = Telemetry::new();
+    full.install(Box::new(RingSink::new(8192)));
+    let mut k = 0u64;
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            emit_round(&full, black_box(k));
+            k += 1;
+        })
+    });
+
+    let sampled = Telemetry::new();
+    sampled.install(Box::new(RingSink::new(8192)));
+    sampled.configure(TelemetryConfig {
+        sample_every_n_rounds: 8,
+        max_events: 0,
+    });
+    let mut k = 0u64;
+    group.bench_function("sampled_1_in_8", |b| {
+        b.iter(|| {
+            emit_round(&sampled, black_box(k));
+            k += 1;
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_event, bench_round_mix);
+criterion_main!(benches);

@@ -19,7 +19,13 @@
 //! (registry aggregates plus per-figure wall clock) for `obs diff`
 //! regression gating; it enables metric aggregation even without
 //! `--telemetry`. The `obs-run` target is the observability reference
-//! workload `ci.sh --obs` records and gates (see EXPERIMENTS.md).
+//! workload `ci.sh` records and gates (see EXPERIMENTS.md).
+//!
+//! `--telemetry-sample N` keeps every Nth inventory round's events in the
+//! stream (deterministic — same seed and N always keep the same rounds);
+//! `--telemetry-max-events M` caps the stream outright. Both only throttle
+//! the sink: registry aggregates (and thus `--bench-json`) stay exact, and
+//! the trace ends with a footer recording what was suppressed.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -27,7 +33,7 @@ use std::time::Instant;
 use tagwatch_bench::experiments::*;
 use tagwatch_bench::telemetry_report;
 use tagwatch_obs::bench::{BenchSnapshot, FigureBench};
-use tagwatch_telemetry::{JsonlSink, Telemetry};
+use tagwatch_telemetry::{JsonlSink, Telemetry, TelemetryConfig};
 
 struct Opts {
     seed: u64,
@@ -39,6 +45,8 @@ struct Opts {
     telemetry: Option<std::path::PathBuf>,
     /// BENCH snapshot output path, when requested.
     bench_json: Option<std::path::PathBuf>,
+    /// Sink-side overhead control (sampling + event ceiling).
+    telemetry_cfg: TelemetryConfig,
 }
 
 impl Opts {
@@ -62,6 +70,7 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         csv_dir: None,
         telemetry: None,
         bench_json: None,
+        telemetry_cfg: TelemetryConfig::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -82,6 +91,21 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
                 let v = args.next().ok_or("--bench-json needs a file path")?;
                 opts.bench_json = Some(v.into());
             }
+            "--telemetry-sample" => {
+                let v = args.next().ok_or("--telemetry-sample needs a value")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad sample interval {v:?}"))?;
+                if n == 0 {
+                    return Err("--telemetry-sample must be ≥ 1 (1 = keep everything)".into());
+                }
+                opts.telemetry_cfg.sample_every_n_rounds = n;
+            }
+            "--telemetry-max-events" => {
+                let v = args.next().ok_or("--telemetry-max-events needs a value")?;
+                opts.telemetry_cfg.max_events =
+                    v.parse().map_err(|_| format!("bad event ceiling {v:?}"))?;
+            }
             "--quick" => opts.scale = 0,
             "--full" => opts.scale = 2,
             "--help" | "-h" => return Err(usage()),
@@ -100,7 +124,8 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
 fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
      gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run> [--seed N] \
-     [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE]"
+     [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE] \
+     [--telemetry-sample N] [--telemetry-max-events M]"
         .to_string()
 }
 
@@ -202,7 +227,11 @@ fn main() -> ExitCode {
     };
     if let Some(path) = &opts.telemetry {
         match JsonlSink::create(path) {
-            Ok(sink) => Telemetry::global().install(Box::new(sink)),
+            Ok(sink) => {
+                let tel = Telemetry::global();
+                tel.configure(opts.telemetry_cfg);
+                tel.install(Box::new(sink));
+            }
             Err(e) => {
                 eprintln!("cannot open telemetry file {path:?}: {e}");
                 return ExitCode::FAILURE;
@@ -213,9 +242,24 @@ fn main() -> ExitCode {
         Telemetry::global().set_enabled(true);
     }
     let order = [
-        "fig1", "fig2", "fig3", "fig4", "fig8", "fig12", "fig13", "fig14", "fig15", "fig16",
-        "fig17", "fig18", "gate", "ablate-cover", "ablate-gmm", "ablate-cycle",
-        "ablate-truncate", "ablate-epc",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig8",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "gate",
+        "ablate-cover",
+        "ablate-gmm",
+        "ablate-cycle",
+        "ablate-truncate",
+        "ablate-epc",
     ];
     let expanded: Vec<String> = if figs.iter().any(|f| f == "all") {
         // "all" = every figure plus the supplementary experiments; any
@@ -250,10 +294,32 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &opts.telemetry {
         let tel = Telemetry::global();
-        tel.flush();
+        // Close the stream with the delivery/suppression footer (also
+        // flushes every sink) so offline analysis knows whether the
+        // trace is complete.
+        let footer = tel.finish();
         println!();
         print!("{}", telemetry_report::summary(&tel.snapshot()));
         eprintln!("telemetry events written to {path:?}");
+        if !footer.is_complete() {
+            let mut parts = Vec::new();
+            if footer.sampled_out > 0 {
+                parts.push(format!(
+                    "{} events sampled out (1-in-{} rounds kept)",
+                    footer.sampled_out, footer.sample_every_n_rounds
+                ));
+            }
+            if footer.dropped > 0 {
+                parts.push(format!(
+                    "{} dropped at the {}-event ceiling",
+                    footer.dropped, footer.max_events
+                ));
+            }
+            eprintln!(
+                "telemetry stream throttled: {} (registry aggregates stay exact)",
+                parts.join(", ")
+            );
+        }
     }
     if let Some(path) = &opts.bench_json {
         let scale = ["quick", "default", "full"][opts.scale as usize];

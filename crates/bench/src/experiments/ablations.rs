@@ -17,9 +17,9 @@ use tagwatch::motion::Detector;
 use tagwatch::prelude::*;
 use tagwatch_gen2::CostModel;
 use tagwatch_reader::RoSpec;
+use tagwatch_rf::Vec3;
 use tagwatch_scene::presets;
 use tagwatch_scene::{SceneTag, Trajectory};
-use tagwatch_rf::Vec3;
 
 // ---------------------------------------------------------------------
 // Cover-strategy ablation
@@ -45,11 +45,7 @@ pub struct CoverAblation {
 /// A greedy cover restricted to collateral-free masks (rows whose
 /// coverage contains only targets). Always feasible — exact-EPC masks are
 /// collateral-free (assuming unique EPCs) — but pays more start-up costs.
-fn exclusive_cover(
-    epcs: &[Epc],
-    targets: &[usize],
-    cost: &CostModel,
-) -> tagwatch::CoverPlan {
+fn exclusive_cover(epcs: &[Epc], targets: &[usize], cost: &CostModel) -> tagwatch::CoverPlan {
     use tagwatch::{greedy_cover, Bitmap, CoverConfig, IndexTable};
     let table = IndexTable::build(epcs, targets, &CoverConfig::default());
     let target_bitmap = Bitmap::from_indices(epcs.len(), targets);

@@ -93,8 +93,10 @@ mod tests {
         let scene = presets::turntable(20, 1, 3);
         let epcs = random_epcs(20, 4);
         let mut reader = single_channel_reader(scene, &epcs, 5);
-        let mut cfg = TagwatchConfig::default();
-        cfg.phase2_len = 1.0;
+        let mut cfg = TagwatchConfig {
+            phase2_len: 1.0,
+            ..TagwatchConfig::default()
+        };
         cfg.gmm.alpha = 0.01;
         let mut ctl = Controller::new(cfg);
         let used = warm_up(&mut ctl, &mut reader, 40);

@@ -167,7 +167,10 @@ pub fn run(seed: u64, duration: f64) -> Fig1 {
 
 impl std::fmt::Display for Fig1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 1 — tracking a toy train with companion stationary tags")?;
+        writeln!(
+            f,
+            "Fig. 1 — tracking a toy train with companion stationary tags"
+        )?;
         writeln!(
             f,
             "{:>20} {:>10} {:>12} {:>12} {:>8}",
@@ -177,7 +180,11 @@ impl std::fmt::Display for Fig1 {
             let label = format!(
                 "(1+{}) {}",
                 r.n_static,
-                if r.rate_adaptive { "Tagwatch" } else { "read-all" }
+                if r.rate_adaptive {
+                    "Tagwatch"
+                } else {
+                    "read-all"
+                }
             );
             writeln!(
                 f,

@@ -82,7 +82,11 @@ impl std::fmt::Display for Fig2 {
             f,
             "Fig. 2 — IRR vs number of tags (model: τ0 = 19 ms, τ̄ = 0.18 ms)"
         )?;
-        writeln!(f, "{:>4} {:>12} {:>12} {:>12}", "n", "IRR sim(Hz)", "IRR model", "C(n) sim(ms)")?;
+        writeln!(
+            f,
+            "{:>4} {:>12} {:>12} {:>12}",
+            "n", "IRR sim(Hz)", "IRR model", "C(n) sim(ms)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -100,7 +104,11 @@ impl std::fmt::Display for Fig2 {
             self.fitted.tau_bar * 1e3
         )?;
         let drop = 1.0 - self.rows.last().unwrap().irr_sim / self.rows[0].irr_sim;
-        writeln!(f, "IRR drop n=1 → n=40: {:.0}%  (paper: ≈84%)", drop * 100.0)
+        writeln!(
+            f,
+            "IRR drop n=1 → n=40: {:.0}%  (paper: ≈84%)",
+            drop * 100.0
+        )
     }
 }
 
@@ -123,8 +131,16 @@ mod tests {
         // Endpoints in the paper's bands.
         let first = &result.rows[0];
         let last = result.rows.last().unwrap();
-        assert!((35.0..70.0).contains(&first.irr_sim), "Λ(1) = {}", first.irr_sim);
-        assert!((6.0..18.0).contains(&last.irr_sim), "Λ(40) = {}", last.irr_sim);
+        assert!(
+            (35.0..70.0).contains(&first.irr_sim),
+            "Λ(1) = {}",
+            first.irr_sim
+        );
+        assert!(
+            (6.0..18.0).contains(&last.irr_sim),
+            "Λ(40) = {}",
+            last.irr_sim
+        );
         // ~84% drop, generous band.
         let drop = 1.0 - last.irr_sim / first.irr_sim;
         assert!((0.65..0.95).contains(&drop), "drop {drop}");

@@ -72,8 +72,7 @@ mod tests {
         assert!(r.summary.total_readings > 1000);
         assert!(r.summary.max_reads > r.summary.reads_at_top10);
         // Movers stay a small minority at any instant.
-        let frac =
-            r.summary.peak_simultaneous_movers as f64 / r.summary.total_tags as f64;
+        let frac = r.summary.peak_simultaneous_movers as f64 / r.summary.total_tags as f64;
         assert!(frac < 0.15, "mover fraction {frac}");
         assert_eq!(r.buckets.len(), 3);
         assert_eq!(r.buckets.iter().sum::<usize>(), r.summary.total_readings);

@@ -61,10 +61,7 @@ impl std::fmt::Display for Fig4 {
         for p in &self.points {
             writeln!(f, "{:>11}% {:>12}", (p.fraction * 100.0) as u32, p.reads)?;
         }
-        writeln!(
-            f,
-            "paper anchors: top 20% > 205 reads, top 10% > 655 reads"
-        )?;
+        writeln!(f, "paper anchors: top 20% > 205 reads, top 10% > 655 reads")?;
         writeln!(
             f,
             "mean reads per moving transit: {:.1}  (paper: movers typically < 5–50)",

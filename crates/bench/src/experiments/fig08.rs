@@ -92,7 +92,11 @@ impl std::fmt::Display for Fig8 {
                 (i as f64 + 0.5) * std::f64::consts::TAU / 36.0
             )?;
         }
-        writeln!(f, "histogram peaks: {} (paper: a few quasi-stable modes)", self.histogram_peaks)?;
+        writeln!(
+            f,
+            "histogram peaks: {} (paper: a few quasi-stable modes)",
+            self.histogram_peaks
+        )?;
         writeln!(f, "established GMM modes (mean rad, sigma, weight):")?;
         for (mean, sigma, weight) in &self.modes {
             writeln!(f, "  μ = {mean:.2}  δ = {sigma:.3}  w = {weight:.3}")?;

@@ -53,7 +53,11 @@ fn collect_streams(seed: u64, n_static: usize, duration: f64) -> Vec<(Vec<TagRep
         .run_for(&RoSpec::read_all(1, vec![1]), duration)
         .expect("valid spec");
     for idx in 0..n_static {
-        let stream: Vec<TagReport> = reports.iter().filter(|r| r.tag_idx == idx).copied().collect();
+        let stream: Vec<TagReport> = reports
+            .iter()
+            .filter(|r| r.tag_idx == idx)
+            .copied()
+            .collect();
         if stream.len() > 20 {
             streams.push((stream, false));
         }
@@ -141,7 +145,9 @@ pub fn run(seed: u64, n_static: usize, duration: f64) -> Fig12 {
     let mut phase_mog = Vec::new();
     let mut rss_mog = Vec::new();
     for &xi in &xi_sweep {
-        let c = score(&streams, true, || Box::new(MogDetector::phase().with_xi(xi)));
+        let c = score(&streams, true, || {
+            Box::new(MogDetector::phase().with_xi(xi))
+        });
         phase_mog.push(RocPoint {
             threshold: xi,
             tpr: c.tpr(),

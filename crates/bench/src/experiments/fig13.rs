@@ -91,7 +91,11 @@ impl std::fmt::Display for Fig13 {
             "Fig. 13 — detection sensitivity vs displacement ({} trials each)",
             self.trials
         )?;
-        writeln!(f, "{:>10} {:>12} {:>12}", "disp (cm)", "phase rate", "RSS rate")?;
+        writeln!(
+            f,
+            "{:>10} {:>12} {:>12}",
+            "disp (cm)", "phase rate", "RSS rate"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -129,6 +133,10 @@ mod tests {
             );
         }
         // RSS is weak at small displacements.
-        assert!(r.rows[0].rss_rate <= 0.5, "RSS @1cm = {}", r.rows[0].rss_rate);
+        assert!(
+            r.rows[0].rss_rate <= 0.5,
+            "RSS @1cm = {}",
+            r.rows[0].rss_rate
+        );
     }
 }

@@ -112,7 +112,11 @@ impl Fig14 {
 impl std::fmt::Display for Fig14 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Fig. 14 — immobility-model learning curve")?;
-        writeln!(f, "{:>10} {:>10} {:>10}", "train (s)", "readings", "accuracy")?;
+        writeln!(
+            f,
+            "{:>10} {:>10} {:>10}",
+            "train (s)", "readings", "accuracy"
+        )?;
         for p in &self.points {
             writeln!(
                 f,

@@ -63,10 +63,7 @@ fn measure(
         }
         phase2_time += rep.phase2_duration;
     }
-    reads
-        .iter()
-        .map(|&c| c as f64 / phase2_time)
-        .collect()
+    reads.iter().map(|&c| c as f64 / phase2_time).collect()
 }
 
 /// Runs the feasibility experiment with `n_targets` of 40 tags.
@@ -88,9 +85,7 @@ pub fn run(seed: u64, n_targets: usize, cycles: usize) -> Feasibility {
         })
         .collect();
 
-    let mean_of = |v: &[f64]| {
-        targets.iter().map(|&t| v[t]).sum::<f64>() / n_targets as f64
-    };
+    let mean_of = |v: &[f64]| targets.iter().map(|&t| v[t]).sum::<f64>() / n_targets as f64;
     let collateral = (0..n)
         .filter(|t| !targets.contains(t) && tagwatch[*t] > 0.5)
         .collect();
@@ -165,7 +160,10 @@ mod tests {
         // except collaterals.
         for row in &r.rows {
             if !row.is_target && !r.collateral.contains(&row.tag) {
-                assert!(row.irr_tagwatch < 1.0, "non-target {row:?} read in Phase II");
+                assert!(
+                    row.irr_tagwatch < 1.0,
+                    "non-target {row:?} read in Phase II"
+                );
             }
         }
     }

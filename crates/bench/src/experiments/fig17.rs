@@ -52,7 +52,12 @@ pub fn run(seed: u64, cycles: usize) -> Fig17 {
     let p50 = percentile(&gaps, 50.0);
     let p90 = percentile(&gaps, 90.0);
     let p99 = percentile(&gaps, 99.0);
-    Fig17 { gaps, p50, p90, p99 }
+    Fig17 {
+        gaps,
+        p50,
+        p90,
+        p99,
+    }
 }
 
 impl std::fmt::Display for Fig17 {
@@ -63,11 +68,7 @@ impl std::fmt::Display for Fig17 {
             self.gaps.len()
         )?;
         for q in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
-            writeln!(
-                f,
-                "  p{q:<4} {:>10.3} ms",
-                percentile(&self.gaps, q) * 1e3
-            )?;
+            writeln!(f, "  p{q:<4} {:>10.3} ms", percentile(&self.gaps, q) * 1e3)?;
         }
         writeln!(
             f,

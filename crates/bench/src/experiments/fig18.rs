@@ -108,7 +108,8 @@ pub fn run(seed: u64, quick: bool) -> Fig18 {
                 for &s in &seeds {
                     handles.push(scope.spawn(move || {
                         let n_mobile = ((n as f64 * pct).round() as usize).max(1);
-                        let base = mover_irrs(s, n, n_mobile, SchedulingMode::ReadAll, warm, cycles);
+                        let base =
+                            mover_irrs(s, n, n_mobile, SchedulingMode::ReadAll, warm, cycles);
                         let tw = mover_irrs(s, n, n_mobile, SchedulingMode::Tagwatch, warm, cycles);
                         let nv = mover_irrs(s, n, n_mobile, SchedulingMode::Naive, warm, cycles);
                         let mut tg = Vec::new();

@@ -89,9 +89,7 @@ fn measure(
     (0..n_pieces)
         .map(|k| PieceStats {
             reads: reads[k],
-            first_read_latency: first_read[k]
-                .map(|t| t - windows[k].0)
-                .unwrap_or(f64::NAN),
+            first_read_latency: first_read[k].map(|t| t - windows[k].0).unwrap_or(f64::NAN),
         })
         .collect()
 }

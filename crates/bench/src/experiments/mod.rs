@@ -15,6 +15,6 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig17;
-pub mod gate;
 pub mod fig18;
+pub mod gate;
 pub mod obs_run;

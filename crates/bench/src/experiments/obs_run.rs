@@ -92,10 +92,7 @@ impl std::fmt::Display for ObsRun {
             "  {} phase1 + {} phase2 reports; {} cycles scheduled selectively",
             self.phase1_reports, self.phase2_reports, self.selective_cycles
         )?;
-        writeln!(
-            f,
-            "  analyze the trace with: obs report <telemetry.jsonl>"
-        )
+        writeln!(f, "  analyze the trace with: obs report <telemetry.jsonl>")
     }
 }
 

@@ -132,7 +132,10 @@ impl TagwatchConfig {
     /// Basic sanity validation.
     pub fn validate(&self) -> Result<(), String> {
         if self.phase2_len <= 0.0 {
-            return Err(format!("phase2_len must be positive, got {}", self.phase2_len));
+            return Err(format!(
+                "phase2_len must be positive, got {}",
+                self.phase2_len
+            ));
         }
         if !(0.0..=1.0).contains(&self.mobile_ceiling) {
             return Err(format!(
@@ -169,20 +172,26 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_configs() {
-        let mut cfg = TagwatchConfig::default();
-        cfg.phase2_len = 0.0;
+        let cfg = TagwatchConfig {
+            phase2_len: 0.0,
+            ..TagwatchConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
-        let mut cfg = TagwatchConfig::default();
-        cfg.mobile_ceiling = 1.5;
+        let cfg = TagwatchConfig {
+            mobile_ceiling: 1.5,
+            ..TagwatchConfig::default()
+        };
         assert!(cfg.validate().is_err());
 
         let mut cfg = TagwatchConfig::default();
         cfg.antennas.clear();
         assert!(cfg.validate().is_err());
 
-        let mut cfg = TagwatchConfig::default();
-        cfg.history_capacity = 0;
+        let cfg = TagwatchConfig {
+            history_capacity: 0,
+            ..TagwatchConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 

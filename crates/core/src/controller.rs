@@ -189,7 +189,6 @@ impl Controller {
         self.assessors.len()
     }
 
-
     fn make_assessor(&self) -> MotionAssessor {
         let det: AnyDetector = match self.cfg.detector {
             DetectorKind::PhaseMog => MogDetector::phase_with(self.cfg.gmm).into(),
@@ -223,6 +222,13 @@ impl Controller {
         let cycle = self.cycle;
         self.cycle += 1;
         let tel = self.telemetry.clone();
+        // The controller's handle is authoritative for the whole
+        // cycle → phase → round tree: push it into the reader so round
+        // spans land in the same stream even when the embedder installed
+        // a private handle on the controller only. (Both default to the
+        // global handle, which masked a dropped-rounds bug whenever a
+        // private handle was used.)
+        reader.set_telemetry(tel.clone());
         let cycle_span = tel.sim_span("cycle", t_start);
 
         // ---- Phase I: read all, assess motion -------------------------
@@ -251,12 +257,7 @@ impl Controller {
 
         let mobile: Vec<Epc> = census
             .iter()
-            .filter(|e| {
-                self.assessors
-                    .get(e)
-                    .map(|a| a.assess())
-                    .unwrap_or(false)
-            })
+            .filter(|e| self.assessors.get(e).map(|a| a.assess()).unwrap_or(false))
             .copied()
             .collect();
 
@@ -382,8 +383,10 @@ mod tests {
         let epcs = random_epcs(n, seed ^ 0x55);
         // Single channel: unit tests exercise the control logic, not the
         // (slow) per-channel model warm-up of a 16-channel hop plan.
-        let mut cfg = ReaderConfig::default();
-        cfg.channel_plan = tagwatch_rf::ChannelPlan::single(922.5e6);
+        let cfg = ReaderConfig {
+            channel_plan: tagwatch_rf::ChannelPlan::single(922.5e6),
+            ..ReaderConfig::default()
+        };
         let reader = Reader::new(scene.clone(), &epcs, cfg, seed ^ 0xAA);
         (reader, epcs)
     }
@@ -429,11 +432,8 @@ mod tests {
             .filter(|r| r.mode == ScheduleMode::Selective)
             .count();
         assert!(selective >= 6, "only {selective}/10 tail cycles selective");
-        for idx in 0..2usize {
-            let targeted = tail
-                .iter()
-                .filter(|r| r.targets.contains(&epcs[idx]))
-                .count();
+        for (idx, epc) in epcs.iter().enumerate().take(2) {
+            let targeted = tail.iter().filter(|r| r.targets.contains(epc)).count();
             assert!(targeted >= 6, "mover {idx} targeted {targeted}/10");
         }
         // When scheduled, Phase II reads the mover at a high rate.
@@ -586,8 +586,14 @@ mod tests {
         assert_eq!(snap.counter("cycle.count"), Some(3));
         assert_eq!(snap.counter("cycle.census"), Some(sum(|r| r.census.len())));
         assert_eq!(snap.counter("cycle.mobile"), Some(sum(|r| r.mobile.len())));
-        assert_eq!(snap.counter("phase1.reports"), Some(sum(|r| r.phase1.len())));
-        assert_eq!(snap.counter("phase2.reports"), Some(sum(|r| r.phase2.len())));
+        assert_eq!(
+            snap.counter("phase1.reports"),
+            Some(sum(|r| r.phase1.len()))
+        );
+        assert_eq!(
+            snap.counter("phase2.reports"),
+            Some(sum(|r| r.phase2.len()))
+        );
         assert_eq!(snap.histogram("cycle.duration").unwrap().count(), 3);
 
         // Per-tag moments: one read.phaseN tag event per delivered report,
@@ -636,4 +642,3 @@ mod tests {
         Controller::new(cfg);
     }
 }
-

@@ -73,10 +73,7 @@ impl IndexTable {
     /// cost equality).
     pub fn build(all_epcs: &[Epc], targets: &[usize], cfg: &CoverConfig) -> Self {
         let n = all_epcs.len();
-        assert!(
-            targets.iter().all(|&t| t < n),
-            "target index out of range"
-        );
+        assert!(targets.iter().all(|&t| t < n), "target index out of range");
         let max_len = cfg.max_len.min(EPC_BITS);
         let mut rows: Vec<IndexRow> = Vec::new();
         let mut seen: HashMap<Bitmap, usize> = HashMap::new();

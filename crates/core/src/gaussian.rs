@@ -183,14 +183,16 @@ mod tests {
         // Samples straddling 0: naive mean would be ~π, circular mean ~0.
         let vals = [0.1, TAU - 0.1, 0.05, TAU - 0.05];
         let m = circular_mean(&vals);
-        assert!(m < 0.1 || m > TAU - 0.1, "mean {m}");
+        assert!(!(0.1..=TAU - 0.1).contains(&m), "mean {m}");
         let sd = circular_std(&vals, m);
         assert!(sd < 0.15, "std {sd}");
     }
 
     #[test]
     fn fit_phase_recovers_cluster() {
-        let vals: Vec<f64> = (0..100).map(|k| 2.0 + 0.05 * ((k as f64) * 0.7).sin()).collect();
+        let vals: Vec<f64> = (0..100)
+            .map(|k| 2.0 + 0.05 * ((k as f64) * 0.7).sin())
+            .collect();
         let g = fit_phase(&vals);
         assert!((g.mean - 2.0).abs() < 0.05);
         assert!(g.sigma < 0.06);

@@ -268,9 +268,7 @@ impl Gmm {
                 m.g.nudge_mean(x, rho);
                 let dev = m.g.deviation(x);
                 let var = (1.0 - rho) * m.g.sigma * m.g.sigma + rho * dev * dev;
-                m.g.sigma = var
-                    .sqrt()
-                    .clamp(self.cfg.sigma_floor, self.cfg.sigma_max);
+                m.g.sigma = var.sqrt().clamp(self.cfg.sigma_floor, self.cfg.sigma_max);
                 verdict
             }
             None => {
@@ -479,9 +477,9 @@ mod tests {
             gmm.observe(4.0);
         }
         let old = gmm.modes().iter().find(|m| (m.g.mean - 1.0).abs() < 0.2);
-        match old {
-            Some(m) => assert!(m.weight < w_old_before * 0.2, "old mode decayed"),
-            None => {} // already evicted — also fine
+        // A `None` here means the old mode was already evicted — also fine.
+        if let Some(m) = old {
+            assert!(m.weight < w_old_before * 0.2, "old mode decayed");
         }
         assert_eq!(gmm.classify(4.0), Observation::Stationary);
     }

@@ -232,8 +232,10 @@ mod tests {
     #[test]
     fn antennas_propagate_to_rospec() {
         let population = epcs(20, 6);
-        let mut cfg = TagwatchConfig::default();
-        cfg.antennas = vec![1, 2, 3, 4];
+        let cfg = TagwatchConfig {
+            antennas: vec![1, 2, 3, 4],
+            ..TagwatchConfig::default()
+        };
         let s = build_schedule(&population, &[0], &cfg, 1);
         for ai in &s.rospec.ai_specs {
             assert_eq!(ai.antennas, vec![1, 2, 3, 4]);

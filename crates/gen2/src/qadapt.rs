@@ -94,7 +94,9 @@ impl FrameSizer for QAdaptive {
     fn reset(&mut self, population_hint: Option<usize>) {
         self.qfp = match population_hint {
             // Readers that track population start near log2(n).
-            Some(n) if n > 0 => (n as f64).log2().clamp(self.q_min as f64, self.q_max as f64),
+            Some(n) if n > 0 => (n as f64)
+                .log2()
+                .clamp(self.q_min as f64, self.q_max as f64),
             _ => self.initial_q as f64,
         };
     }

@@ -251,7 +251,9 @@ mod tests {
 
     fn population(n: usize, seed: u64) -> Vec<TagProto> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| TagProto::new(Epc::random(&mut rng))).collect()
+        (0..n)
+            .map(|_| TagProto::new(Epc::random(&mut rng)))
+            .collect()
     }
 
     fn open_query(q: u8) -> Query {
@@ -446,12 +448,18 @@ mod tests {
             snap.counter("round.successes"),
             Some(res.stats.successes as u64)
         );
-        assert_eq!(snap.counter("round.empties"), Some(res.stats.empties as u64));
+        assert_eq!(
+            snap.counter("round.empties"),
+            Some(res.stats.empties as u64)
+        );
         assert_eq!(
             snap.counter("round.collisions"),
             Some(res.stats.collisions as u64)
         );
-        assert_eq!(snap.counter("round.adjusts"), Some(res.stats.adjusts as u64));
+        assert_eq!(
+            snap.counter("round.adjusts"),
+            Some(res.stats.adjusts as u64)
+        );
         let h = snap.histogram("round.duration").unwrap();
         assert_eq!(h.count(), 1);
         assert!((h.sum() - res.duration).abs() < 1e-12);

@@ -8,7 +8,7 @@
 //! Q-adaptive, Select-based population partitioning) emerge rather than
 //! being hard-coded.
 
-use crate::commands::{FlagOp, InvFlag, MemBank, Query, QuerySel, Select, SelTarget, Session};
+use crate::commands::{FlagOp, InvFlag, MemBank, Query, QuerySel, SelTarget, Select, Session};
 use crate::epc::Epc;
 use rand::Rng;
 use serde::{Deserialize, Serialize};

@@ -147,7 +147,13 @@ impl LinkTiming {
     #[inline]
     pub fn success_slot_bits(&self, epc_bits: u16) -> f64 {
         let epc_time = self.t_epc * epc_bits as f64 / 128.0;
-        self.t_query_rep + self.t1 + self.t_rn16 + self.t2 + self.t_ack + self.t1 + epc_time
+        self.t_query_rep
+            + self.t1
+            + self.t_rn16
+            + self.t2
+            + self.t_ack
+            + self.t1
+            + epc_time
             + self.t2
             + self.t_report
     }
@@ -345,8 +351,7 @@ mod tests {
             tau0: 19e-3,
             tau_bar: 0.18e-3,
         };
-        let samples: Vec<(usize, f64)> =
-            (1..=40).map(|n| (n, truth.inventory_cost(n))).collect();
+        let samples: Vec<(usize, f64)> = (1..=40).map(|n| (n, truth.inventory_cost(n))).collect();
         let fitted = CostModel::fit(&samples).unwrap();
         assert!((fitted.tau0 - truth.tau0).abs() < 1e-9);
         assert!((fitted.tau_bar - truth.tau_bar).abs() < 1e-12);

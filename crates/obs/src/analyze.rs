@@ -179,7 +179,13 @@ pub struct SlotTotals {
 impl SlotTotals {
     fn from_stats(s: &RoundStats) -> SlotTotals {
         let outcomes = (s.empties + s.collisions + s.successes + s.decode_failures) as f64;
-        let rate = |n: u64| if outcomes > 0.0 { n as f64 / outcomes } else { 0.0 };
+        let rate = |n: u64| {
+            if outcomes > 0.0 {
+                n as f64 / outcomes
+            } else {
+                0.0
+            }
+        };
         SlotTotals {
             slots: s.slots,
             empties: s.empties,
@@ -293,7 +299,10 @@ impl RunReport {
         for d in &self.duty {
             m.insert(format!("irr.{}", d.phase), d.irr);
             m.insert(format!("duty.{}", d.phase), d.fraction);
-            m.insert(format!("slots.{}.success_rate", d.phase), d.slots.success_rate);
+            m.insert(
+                format!("slots.{}.success_rate", d.phase),
+                d.slots.success_rate,
+            );
             m.insert(
                 format!("slots.{}.collision_rate", d.phase),
                 d.slots.collision_rate,
@@ -304,7 +313,10 @@ impl RunReport {
             m.insert("confusion.fpr".into(), c.fpr);
             m.insert("confusion.accuracy".into(), c.accuracy);
         }
-        m.insert("starvation.tags".into(), self.starvation.starved_tags as f64);
+        m.insert(
+            "starvation.tags".into(),
+            self.starvation.starved_tags as f64,
+        );
         m.insert(
             "starvation.events".into(),
             self.starvation.events.len() as f64,
@@ -422,9 +434,7 @@ fn starvation(trace: &Trace, gap_threshold: f64) -> StarvationReport {
 /// Tags attributed to each cycle by stream position: a cycle's tag events
 /// are emitted right after its span closes and before the next cycle's.
 /// Returns, per cycle, the set of EPCs for each tag-event name.
-fn tags_by_cycle<'a>(
-    trace: &'a Trace,
-) -> Vec<(&'a CycleNode, BTreeMap<&'a str, BTreeSet<u128>>)> {
+fn tags_by_cycle(trace: &Trace) -> Vec<(&CycleNode, BTreeMap<&str, BTreeSet<u128>>)> {
     let mut out: Vec<(&CycleNode, BTreeMap<&str, BTreeSet<u128>>)> =
         trace.cycles.iter().map(|c| (c, BTreeMap::new())).collect();
     if out.is_empty() {
@@ -539,7 +549,11 @@ fn duty_cycles(trace: &Trace, sim_seconds: f64) -> Vec<PhaseDuty> {
             phase: key.to_string(),
             rounds,
             sim_seconds: sim,
-            fraction: if cycle_air > 0.0 { sim / cycle_air } else { 0.0 },
+            fraction: if cycle_air > 0.0 {
+                sim / cycle_air
+            } else {
+                0.0
+            },
             reports,
             irr: if sim_seconds > 0.0 {
                 reports as f64 / sim_seconds
@@ -567,11 +581,7 @@ fn cover_efficiency(trace: &Trace) -> CoverEfficiency {
         if t.rec.name != READ_PHASE2 {
             continue;
         }
-        let Some((_, tags)) = cycle_ranges
-            .iter()
-            .rev()
-            .find(|(line, _)| *line < t.line)
-        else {
+        let Some((_, tags)) = cycle_ranges.iter().rev().find(|(line, _)| *line < t.line) else {
             continue;
         };
         let is_target = tags

@@ -29,7 +29,10 @@ pub enum BenchError {
     Io(io::Error),
     Parse(serde_json::Error),
     /// The file declares a schema version this crate does not speak.
-    SchemaVersion { found: u32, expected: u32 },
+    SchemaVersion {
+        found: u32,
+        expected: u32,
+    },
 }
 
 impl fmt::Display for BenchError {
@@ -122,6 +125,15 @@ impl BenchSnapshot {
             durations,
             wall_seconds: 0.0,
         }
+    }
+
+    /// True when the snapshot carries no comparable aggregates at all —
+    /// no figures, no counters, no durations. Diffing against a vacuous
+    /// snapshot passes trivially (every metric is "added" or "removed",
+    /// nothing gates), which is exactly the failure mode a regression
+    /// gate must refuse: the gate would report green forever.
+    pub fn is_vacuous(&self) -> bool {
+        self.figures.is_empty() && self.counters.is_empty() && self.durations.is_empty()
     }
 
     /// Loads and schema-checks a snapshot file.
@@ -249,5 +261,22 @@ mod tests {
         fs::write(&path, text).unwrap();
         assert!(!BenchSnapshot::load(&path).unwrap().provisional);
         fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_snapshots_are_vacuous_and_populated_ones_are_not() {
+        let empty = BenchSnapshot {
+            schema_version: BENCH_SCHEMA_VERSION,
+            seed: 7,
+            scale: "quick".into(),
+            ..BenchSnapshot::default()
+        };
+        assert!(empty.is_vacuous());
+        let populated = BenchSnapshot::from_registry(&sample_registry(), 7, "quick");
+        assert!(!populated.is_vacuous());
+        // A single counter is enough to make a snapshot comparable.
+        let mut one = empty.clone();
+        one.counters.insert("cycle.count".into(), 1);
+        assert!(!one.is_vacuous());
     }
 }

@@ -3,13 +3,24 @@
 //! ```text
 //! obs report <run.jsonl> [--json] [--starvation-gap SECS]
 //! obs diff <baseline> <current> [--threshold FRAC] [--json]
+//! obs export --chrome <run.jsonl> [-o out.json]
+//! obs flame <run.jsonl> [--clock sim|wall] [-o out.folded]
+//! obs hotspots <run.jsonl>
+//! obs trend <BENCH_1.json> <BENCH_2.json> [...]
 //! ```
 //!
 //! `report` validates a telemetry JSONL trace and prints the full
 //! [`RunReport`] (human table, or JSON with `--json`). `diff` compares
 //! two runs — each side is either a trace or a `BENCH_<n>.json` snapshot
 //! (auto-detected) — and exits 2 when a gated metric regressed beyond the
-//! relative threshold, which is what `ci.sh --obs` keys on.
+//! relative threshold, which is what `ci.sh` keys on; a vacuous snapshot
+//! (no comparable aggregates) is refused outright. `export --chrome`
+//! emits Chrome `trace_event` JSON viewable in Perfetto / `chrome://
+//! tracing`, with the simulated and wall clocks on separate tracks.
+//! `flame` emits `flamegraph.pl` / inferno collapsed-stack lines weighted
+//! by self time on the chosen clock. `hotspots` prints per-span-family
+//! wall-vs-sim totals plus a measured telemetry self-overhead estimate.
+//! `trend` lines up metric trajectories across a series of snapshots.
 //!
 //! Exit codes: 0 ok / gate passed, 1 usage or unreadable input,
 //! 2 gate failed.
@@ -20,21 +31,45 @@ use std::process::ExitCode;
 use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
 use tagwatch_obs::bench::BenchSnapshot;
 use tagwatch_obs::diff::DiffReport;
+use tagwatch_obs::export::{chrome_trace, flame_lines};
+use tagwatch_obs::hotspots::HotspotReport;
 use tagwatch_obs::model::Trace;
-use tagwatch_telemetry::Event;
+use tagwatch_obs::trend::TrendReport;
+use tagwatch_telemetry::{overhead, ClockKind, Event};
 
 fn usage() -> String {
     "usage: obs <command>\n\
      \x20 obs report <run.jsonl> [--json] [--starvation-gap SECS]\n\
      \x20 obs diff <baseline> <current> [--threshold FRAC] [--json]\n\
+     \x20 obs export --chrome <run.jsonl> [-o out.json]\n\
+     \x20 obs flame <run.jsonl> [--clock sim|wall] [-o out.folded]\n\
+     \x20 obs hotspots <run.jsonl>\n\
+     \x20 obs trend <BENCH_1.json> <BENCH_2.json> [...]\n\
      \n\
      report   validate a telemetry trace and print its analysis\n\
      diff     gate a run against a baseline (traces or BENCH_*.json\n\
      \x20        snapshots, auto-detected); exit 2 on regression\n\
+     export   emit a Chrome trace_event JSON profile (open in Perfetto\n\
+     \x20        or chrome://tracing; sim and wall clocks as tracks)\n\
+     flame    emit collapsed stacks for flamegraph.pl / inferno,\n\
+     \x20        weighted by per-span self time on the chosen clock\n\
+     hotspots per-span-family time attribution + telemetry overhead\n\
+     trend    metric trajectories across a BENCH_*.json series\n\
      \n\
      --threshold is a relative fraction: 0.10 (the default) fails moves\n\
      beyond ±10% on gated metrics"
         .to_string()
+}
+
+/// Writes to `-o PATH`, or stdout when no output path was given.
+fn emit(out: Option<&str>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path:?}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
 }
 
 /// What a diff operand turned out to be.
@@ -56,15 +91,18 @@ impl Kind {
 /// Loads a diff operand as a metric map, auto-detecting JSONL traces
 /// (first line parses as a telemetry event) vs BENCH snapshots.
 fn load_metrics(path: &str, cfg: &AnalyzeConfig) -> Result<(Kind, BTreeMap<String, f64>), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
     if serde_json::from_str::<Event>(first).is_ok() {
-        let trace =
-            Trace::from_reader(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+        let trace = Trace::from_reader(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
         return Ok((Kind::Trace, RunReport::analyze(&trace, cfg).metric_map()));
     }
     match BenchSnapshot::load(path) {
+        Ok(snap) if snap.is_vacuous() => Err(format!(
+            "{path}: snapshot has no comparable aggregates (no figures, counters, \
+             or durations) — a diff against it would pass vacuously; regenerate it \
+             with `repro --bench-json`"
+        )),
         Ok(snap) => Ok((Kind::Snapshot, snap.metric_map())),
         Err(e) => Err(format!(
             "{path}: not a telemetry trace (first line is not an event) and not a \
@@ -83,9 +121,7 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
             "--json" => json = true,
             "--starvation-gap" => {
                 let v = it.next().ok_or("--starvation-gap needs a value")?;
-                cfg.starvation_gap = v
-                    .parse()
-                    .map_err(|_| format!("bad starvation gap {v:?}"))?;
+                cfg.starvation_gap = v.parse().map_err(|_| format!("bad starvation gap {v:?}"))?;
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}\n{}", usage()))
@@ -111,7 +147,7 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let mut paths: Vec<String> = Vec::new();
     let mut json = false;
-    let mut threshold = 0.10;
+    let mut threshold: f64 = 0.10;
     let cfg = AnalyzeConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -119,10 +155,8 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
             "--json" => json = true,
             "--threshold" => {
                 let v = it.next().ok_or("--threshold needs a value")?;
-                threshold = v
-                    .parse()
-                    .map_err(|_| format!("bad threshold {v:?}"))?;
-                if !(threshold >= 0.0) {
+                threshold = v.parse().map_err(|_| format!("bad threshold {v:?}"))?;
+                if threshold.is_nan() || threshold < 0.0 {
                     return Err(format!("threshold must be ≥ 0, got {threshold}"));
                 }
             }
@@ -161,12 +195,112 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Shared trace-loading front half of the exporter commands.
+fn load_trace(path: &str) -> Result<Trace, String> {
+    Trace::from_path(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut out = None;
+    let mut chrome = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => chrome = true,
+            "-o" | "--output" => {
+                out = Some(it.next().ok_or("-o needs a path")?.to_string());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}\n{}", usage())),
+        }
+    }
+    if !chrome {
+        return Err(format!(
+            "export needs a format flag (only --chrome exists today)\n{}",
+            usage()
+        ));
+    }
+    let path = path.ok_or_else(usage)?;
+    let trace = load_trace(&path)?;
+    emit(out.as_deref(), &chrome_trace(&trace))?;
+    if let Some(out) = &out {
+        eprintln!(
+            "wrote {} spans to {out} — open in https://ui.perfetto.dev or chrome://tracing",
+            trace.spans.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_flame(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut out = None;
+    let mut clock = ClockKind::Sim;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clock" => {
+                clock = match it.next().ok_or("--clock needs sim or wall")?.as_str() {
+                    "sim" => ClockKind::Sim,
+                    "wall" => ClockKind::Wall,
+                    v => return Err(format!("bad clock {v:?} (want sim or wall)")),
+                };
+            }
+            "-o" | "--output" => {
+                out = Some(it.next().ok_or("-o needs a path")?.to_string());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let trace = load_trace(&path)?;
+    emit(out.as_deref(), &flame_lines(&trace, clock))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_hotspots(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(format!("hotspots needs exactly one trace\n{}", usage()));
+    };
+    let trace = load_trace(path)?;
+    // Calibrate on this host, now — the whole point is that the
+    // per-event cost is measured where the estimate will be read.
+    let est = overhead::calibrate();
+    print!("{}", HotspotReport::analyze(&trace, &est));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if let Some(bad) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown option {bad:?}\n{}", usage()));
+    }
+    if paths.len() < 2 {
+        return Err(format!("trend needs at least two snapshots\n{}", usage()));
+    }
+    let report = TrendReport::load_series(&paths).map_err(|e| format!("trend: {e}"))?;
+    print!("{report}");
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
             "report" => cmd_report(rest),
             "diff" => cmd_diff(rest),
+            "export" => cmd_export(rest),
+            "flame" => cmd_flame(rest),
+            "hotspots" => cmd_hotspots(rest),
+            "trend" => cmd_trend(rest),
             "--help" | "-h" => Err(usage()),
             other => Err(format!("unknown command {other:?}\n{}", usage())),
         },

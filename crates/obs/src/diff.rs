@@ -264,7 +264,10 @@ mod tests {
         assert_eq!(direction_for("irr.phase2"), Direction::HigherIsBetter);
         assert_eq!(direction_for("dur.cycle.p95"), Direction::LowerIsBetter);
         assert_eq!(direction_for("wall.compute.p50"), Direction::Informational);
-        assert_eq!(direction_for("counter.cycle.count"), Direction::Informational);
+        assert_eq!(
+            direction_for("counter.cycle.count"),
+            Direction::Informational
+        );
         assert_eq!(direction_for("confusion.fpr"), Direction::LowerIsBetter);
         assert_eq!(
             direction_for("slots.phase1.success_rate"),

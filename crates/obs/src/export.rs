@@ -1,0 +1,361 @@
+//! Trace exporters: Chrome `trace_event` JSON for Perfetto /
+//! `chrome://tracing`, and collapsed-stack lines for inferno /
+//! `flamegraph.pl`.
+//!
+//! Both exporters work off the validated [`Trace`] span list, so they
+//! inherit the model's guarantees (unique ids, resolvable parents on
+//! complete traces) and its leniency on sampled/truncated ones.
+//!
+//! ## Chrome track layout
+//!
+//! The trace holds two incommensurable clocks: simulated air time
+//! (`cycle` → `phase1`/`phase2` → `round`) and host wall time
+//! (`cycle.compute`). They become two Perfetto *processes* — pid 1 "sim
+//! clock", pid 2 "wall clock" — so the viewer never draws a 5-second
+//! simulated phase next to a 14-microsecond compute span on one axis.
+//! Every span is a complete event (`"ph":"X"`) with integer microsecond
+//! `ts`/`dur`, which keeps the export byte-stable for golden tests.
+//!
+//! ## Collapsed stacks
+//!
+//! One line per span of the selected clock: `root;child;leaf weight`,
+//! where the weight is the span's *self* time in microseconds (duration
+//! minus same-clock children), so a flamegraph's column widths sum to
+//! real time instead of double-counting parents. Frame names are
+//! sanitized (`;`, whitespace → `_`) to stay within the collapsed-stack
+//! grammar for arbitrary span names.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use tagwatch_telemetry::{ClockKind, SpanRecord};
+
+use crate::model::Trace;
+
+/// Seconds → integer microseconds (clamped at zero; both clocks count up
+/// from their origin).
+fn us(seconds: f64) -> u64 {
+    (seconds * 1e6).round().max(0.0) as u64
+}
+
+/// Escapes a string into a JSON string literal (without the quotes),
+/// matching RFC 8259: `"` `\` and control characters.
+fn escape_json_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Per-span *self* durations in seconds, keyed by span id: each span's
+/// duration minus the summed durations of its immediate children on the
+/// *same clock* (a wall-clock `cycle.compute` child does not eat into its
+/// simulated parent). Clamped at zero — overlapping children from a
+/// malformed-but-lenient trace must not produce negative weights.
+pub(crate) fn self_seconds(trace: &Trace) -> BTreeMap<u64, f64> {
+    let mut child_sum: BTreeMap<u64, f64> = BTreeMap::new();
+    let clock_of: BTreeMap<u64, ClockKind> = trace.spans.iter().map(|s| (s.id, s.clock)).collect();
+    for s in &trace.spans {
+        if let Some(p) = s.parent {
+            if clock_of.get(&p) == Some(&s.clock) {
+                *child_sum.entry(p).or_default() += s.duration;
+            }
+        }
+    }
+    trace
+        .spans
+        .iter()
+        .map(|s| {
+            let eaten = child_sum.get(&s.id).copied().unwrap_or(0.0);
+            (s.id, (s.duration - eaten).max(0.0))
+        })
+        .collect()
+}
+
+/// Renders the trace as Chrome `trace_event` JSON (object form, complete
+/// events, integer microseconds). Loadable in Perfetto and
+/// `chrome://tracing`.
+pub fn chrome_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(256 + trace.spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&ev);
+    };
+
+    // Track naming metadata: one "process" per clock.
+    for (pid, label) in [(1u32, "sim clock"), (2u32, "wall clock")] {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            ),
+        );
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"spans\"}}}}"
+            ),
+        );
+    }
+
+    for s in &trace.spans {
+        let (pid, cat) = match s.clock {
+            ClockKind::Sim => (1u32, "sim"),
+            ClockKind::Wall => (2u32, "wall"),
+        };
+        let mut ev = String::with_capacity(160);
+        ev.push_str("{\"ph\":\"X\",\"pid\":");
+        let _ = write!(ev, "{pid},\"tid\":1,\"name\":\"");
+        escape_json_into(&mut ev, &s.name);
+        let _ = write!(
+            ev,
+            "\",\"cat\":\"{cat}\",\"ts\":{},\"dur\":{},\"args\":{{\"id\":{}",
+            us(s.start),
+            us(s.duration),
+            s.id
+        );
+        match s.parent {
+            Some(p) => {
+                let _ = write!(ev, ",\"parent\":{p}");
+            }
+            None => ev.push_str(",\"parent\":null"),
+        }
+        ev.push_str("}}");
+        push(&mut out, &mut first, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A collapsed-stack frame name: `;` delimits frames and the final space
+/// delimits the weight, so both (and other whitespace) are replaced.
+fn frame_name(name: &str) -> String {
+    if name.is_empty() {
+        // An empty frame would render as a doubled separator and shift
+        // every ancestor one level in the flamegraph.
+        return "_".to_string();
+    }
+    name.chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() || c.is_control() {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// Renders collapsed-stack lines (`frame;frame;frame weight`) for every
+/// span measured on `clock`, one line per span in emission order, each
+/// weighted by the span's self time in microseconds. Output feeds
+/// inferno / `flamegraph.pl` directly; duplicate stacks are legal in the
+/// format (consumers sum them).
+pub fn flame_lines(trace: &Trace, clock: ClockKind) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = trace.spans.iter().map(|s| (s.id, s)).collect();
+    let selves = self_seconds(trace);
+    let mut out = String::new();
+    for s in &trace.spans {
+        if s.clock != clock {
+            continue;
+        }
+        // Walk the ancestor chain (across both clocks — a wall compute
+        // span still sits *under* its simulated cycle). The depth guard
+        // bounds hand-crafted parent loops that model validation does
+        // not rule out in lenient mode.
+        let mut stack = vec![frame_name(&s.name)];
+        let mut cursor = s.parent;
+        let mut depth = 0;
+        while let Some(pid) = cursor {
+            if depth > trace.spans.len() {
+                break;
+            }
+            depth += 1;
+            match by_id.get(&pid) {
+                Some(p) => {
+                    stack.push(frame_name(&p.name));
+                    cursor = p.parent;
+                }
+                None => break, // truncated trace: treat as root
+            }
+        }
+        stack.reverse();
+        let weight = us(selves.get(&s.id).copied().unwrap_or(0.0));
+        let _ = writeln!(out, "{} {}", stack.join(";"), weight);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Trace;
+    use tagwatch_telemetry::{Event, SpanRecord};
+
+    fn span(name: &str, id: u64, parent: Option<u64>, start: f64, dur: f64) -> Event {
+        Event::Span(SpanRecord {
+            name: name.into(),
+            id,
+            parent,
+            start,
+            duration: dur,
+            clock: ClockKind::Sim,
+        })
+    }
+
+    fn wall_span(name: &str, id: u64, parent: Option<u64>, start: f64, dur: f64) -> Event {
+        Event::Span(SpanRecord {
+            name: name.into(),
+            id,
+            parent,
+            start,
+            duration: dur,
+            clock: ClockKind::Wall,
+        })
+    }
+
+    /// cycle(0..1) { phase1(0..0.6) { round(0..0.4), round(0.4..0.2) },
+    /// compute(wall) }.
+    fn tree() -> Trace {
+        let ev = vec![
+            span("round", 1, Some(10), 0.0, 0.4),
+            span("round", 2, Some(10), 0.4, 0.2),
+            span("phase1", 10, Some(30), 0.0, 0.6),
+            wall_span("cycle.compute", 11, Some(30), 0.001, 0.002),
+            span("cycle", 30, None, 0.0, 1.0),
+        ];
+        Trace::from_events(&ev).unwrap()
+    }
+
+    #[test]
+    fn self_time_subtracts_same_clock_children_only() {
+        let t = tree();
+        let selves = self_seconds(&t);
+        assert!((selves[&1] - 0.4).abs() < 1e-12);
+        assert!((selves[&10] - 0.0).abs() < 1e-12); // fully covered by rounds
+                                                    // The wall-clock compute child must NOT eat into the sim cycle:
+                                                    // cycle self = 1.0 − phase1 0.6 = 0.4.
+        assert!((selves[&30] - 0.4).abs() < 1e-12);
+        assert!((selves[&11] - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_both_tracks() {
+        let t = tree();
+        let text = chrome_trace(&t);
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        // 4 metadata + 5 spans.
+        assert_eq!(events.len(), 9);
+        for ev in events {
+            let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+            assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
+            assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some());
+            assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+            if ph == "X" {
+                assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some());
+                assert!(ev.get("dur").and_then(|v| v.as_u64()).is_some());
+            }
+        }
+        // Wall span landed on pid 2, sim spans on pid 1.
+        let pid_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(|v| v.as_str()) == Some("X")
+                        && e.get("name").and_then(|v| v.as_str()) == Some(name)
+                })
+                .and_then(|e| e.get("pid"))
+                .and_then(|v| v.as_u64())
+                .unwrap()
+        };
+        assert_eq!(pid_of("cycle"), 1);
+        assert_eq!(pid_of("cycle.compute"), 2);
+    }
+
+    #[test]
+    fn chrome_trace_escapes_hostile_names() {
+        let ev = vec![span("weird\"name\\with\nstuff", 1, None, 0.0, 0.5)];
+        let t = Trace::from_events(&ev).unwrap();
+        let text = chrome_trace(&t);
+        let doc: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        let name = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .and_then(|e| e.get("name"))
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        assert_eq!(name, "weird\"name\\with\nstuff");
+    }
+
+    #[test]
+    fn flame_lines_weight_each_span_once_by_self_time() {
+        let t = tree();
+        let text = flame_lines(&t, ClockKind::Sim);
+        let lines: Vec<&str> = text.lines().collect();
+        // One line per sim span: 2 rounds, phase1, cycle.
+        assert_eq!(lines.len(), 4);
+        assert!(lines.contains(&"cycle;phase1;round 400000"));
+        assert!(lines.contains(&"cycle;phase1;round 200000"));
+        assert!(lines.contains(&"cycle;phase1 0"));
+        assert!(lines.contains(&"cycle 400000"));
+        // Total weight equals total sim time (no double counting).
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 1_000_000);
+
+        // The wall clock sees only the compute span, stacked under its
+        // simulated ancestors.
+        let wall = flame_lines(&t, ClockKind::Wall);
+        assert_eq!(wall.lines().count(), 1);
+        assert_eq!(wall.trim(), "cycle;cycle.compute 2000");
+    }
+
+    #[test]
+    fn flame_frames_sanitize_separator_characters() {
+        let ev = vec![
+            span("pha se;1", 1, Some(2), 0.0, 0.5),
+            span("cy;cle", 2, None, 0.0, 1.0),
+        ];
+        let t = Trace::from_events(&ev).unwrap();
+        let text = flame_lines(&t, ClockKind::Sim);
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert!(weight.parse::<u64>().is_ok(), "{line}");
+            for frame in stack.split(';') {
+                assert!(!frame.is_empty());
+                assert!(!frame.contains(char::is_whitespace), "{line}");
+            }
+        }
+        assert!(text.contains("cy_cle;pha_se_1"));
+    }
+}

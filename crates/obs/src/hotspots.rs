@@ -1,0 +1,226 @@
+//! Host-time attribution: where a run actually spent its clocks, per
+//! span family, plus an estimate of what the telemetry itself cost.
+//!
+//! The simulated clock answers protocol questions (how long did phase 2
+//! *occupy the air*); the wall clock answers engineering questions (how
+//! long did the host *compute*). This report puts the two side by side
+//! for every span family — `phase1`, `phase2`, `round`, `cycle.compute` —
+//! with both total and *self* time (children subtracted, same clock
+//! only), and closes with the telemetry self-overhead estimate:
+//! `events_total × measured per-event cost` (see
+//! `tagwatch_telemetry::overhead`). On a sampled/truncated trace the
+//! event count is taken from the footer (events the run *emitted*), not
+//! from the stream length, so the estimate stays honest about suppressed
+//! volume.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use tagwatch_telemetry::{ClockKind, OverheadEstimate};
+
+use crate::export::self_seconds;
+use crate::model::Trace;
+
+/// Aggregated time for one span family (all spans sharing a name).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FamilyStats {
+    pub name: String,
+    pub count: usize,
+    /// Which clock the family is measured on.
+    pub clock: &'static str,
+    /// Summed span durations, seconds.
+    pub total_seconds: f64,
+    /// Summed self time (same-clock children subtracted), seconds.
+    pub self_seconds: f64,
+}
+
+/// The full hotspot report.
+#[derive(Debug, Clone)]
+pub struct HotspotReport {
+    /// Families sorted by total time within their clock, wall families
+    /// first (they are what the host optimizer is hunting).
+    pub families: Vec<FamilyStats>,
+    /// Simulated seconds the trace covers.
+    pub sim_seconds: f64,
+    /// Summed wall-clock span seconds (measured host compute).
+    pub wall_span_seconds: f64,
+    /// Events the run emitted (footer-aware: includes sampled-out and
+    /// dropped events that never reached the stream).
+    pub events_emitted: u64,
+    /// Measured cost of one telemetry emission, seconds.
+    pub per_event_seconds: f64,
+    /// `events_emitted × per_event_seconds`.
+    pub overhead_seconds: f64,
+    /// False when the trace footer reports suppression.
+    pub complete: bool,
+}
+
+impl HotspotReport {
+    /// Builds the report from a validated trace and a measured per-event
+    /// cost (see [`tagwatch_telemetry::overhead::calibrate`]).
+    pub fn analyze(trace: &Trace, est: &OverheadEstimate) -> HotspotReport {
+        let selves = self_seconds(trace);
+        let mut map: BTreeMap<(ClockKind, String), FamilyStats> = BTreeMap::new();
+        for s in &trace.spans {
+            let entry = map
+                .entry((s.clock, s.name.clone()))
+                .or_insert_with(|| FamilyStats {
+                    name: s.name.clone(),
+                    count: 0,
+                    clock: match s.clock {
+                        ClockKind::Sim => "sim",
+                        ClockKind::Wall => "wall",
+                    },
+                    total_seconds: 0.0,
+                    self_seconds: 0.0,
+                });
+            entry.count += 1;
+            entry.total_seconds += s.duration;
+            entry.self_seconds += selves.get(&s.id).copied().unwrap_or(0.0);
+        }
+        let mut families: Vec<FamilyStats> = map.into_values().collect();
+        families.sort_by(|a, b| {
+            (a.clock != "wall")
+                .cmp(&(b.clock != "wall"))
+                .then(b.total_seconds.total_cmp(&a.total_seconds))
+                .then(a.name.cmp(&b.name))
+        });
+
+        let wall_span_seconds = families
+            .iter()
+            .filter(|f| f.clock == "wall")
+            .map(|f| f.total_seconds)
+            .sum();
+        // The stream length undercounts a sampled run's true emission
+        // volume; the footer carries the full accounting.
+        let events_emitted = match &trace.footer {
+            Some(f) => f.emitted + f.sampled_out + f.dropped,
+            None => trace.events_total as u64,
+        };
+        HotspotReport {
+            families,
+            sim_seconds: trace.sim_seconds(),
+            wall_span_seconds,
+            events_emitted,
+            per_event_seconds: est.per_event_seconds,
+            overhead_seconds: est.cost_of(events_emitted),
+            complete: trace.is_complete(),
+        }
+    }
+}
+
+impl fmt::Display for HotspotReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hotspots — host wall vs simulated air time per span family"
+        )?;
+        if !self.complete {
+            writeln!(
+                f,
+                "  (sampled/truncated trace: per-family numbers cover the \
+                 retained events only)"
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<16} {:>5} {:>7} {:>14} {:>14}",
+            "family", "clock", "count", "total", "self"
+        )?;
+        for fam in &self.families {
+            writeln!(
+                f,
+                "  {:<16} {:>5} {:>7} {:>12.6}s {:>12.6}s",
+                fam.name, fam.clock, fam.count, fam.total_seconds, fam.self_seconds
+            )?;
+        }
+        writeln!(
+            f,
+            "  simulated window {:.3} s; measured host compute {:.6} s",
+            self.sim_seconds, self.wall_span_seconds
+        )?;
+        writeln!(
+            f,
+            "  telemetry overhead ≈ {:.6} s ({} events × {:.1} ns/event)",
+            self.overhead_seconds,
+            self.events_emitted,
+            self.per_event_seconds * 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_telemetry::{Event, FooterRecord, SpanRecord};
+
+    fn span(name: &str, id: u64, parent: Option<u64>, start: f64, dur: f64, wall: bool) -> Event {
+        Event::Span(SpanRecord {
+            name: name.into(),
+            id,
+            parent,
+            start,
+            duration: dur,
+            clock: if wall {
+                ClockKind::Wall
+            } else {
+                ClockKind::Sim
+            },
+        })
+    }
+
+    fn est() -> OverheadEstimate {
+        OverheadEstimate {
+            per_event_seconds: 1e-7,
+            events_measured: 1000,
+            total_seconds: 1e-4,
+        }
+    }
+
+    #[test]
+    fn families_aggregate_and_sort_wall_first() {
+        let ev = vec![
+            span("round", 1, Some(10), 0.0, 0.4, false),
+            span("round", 2, Some(10), 0.4, 0.2, false),
+            span("phase1", 10, Some(30), 0.0, 0.6, false),
+            span("cycle.compute", 11, Some(30), 0.001, 0.002, true),
+            span("cycle", 30, None, 0.0, 1.0, false),
+        ];
+        let t = Trace::from_events(&ev).unwrap();
+        let r = HotspotReport::analyze(&t, &est());
+        assert_eq!(r.families[0].name, "cycle.compute");
+        assert_eq!(r.families[0].clock, "wall");
+        let round = r.families.iter().find(|f| f.name == "round").unwrap();
+        assert_eq!(round.count, 2);
+        assert!((round.total_seconds - 0.6).abs() < 1e-12);
+        assert!((round.self_seconds - 0.6).abs() < 1e-12);
+        let phase = r.families.iter().find(|f| f.name == "phase1").unwrap();
+        assert!((phase.self_seconds - 0.0).abs() < 1e-12);
+        assert!((r.wall_span_seconds - 0.002).abs() < 1e-12);
+        assert_eq!(r.events_emitted, 5);
+        assert!((r.overhead_seconds - 5e-7).abs() < 1e-15);
+        assert!(r.complete);
+        let text = r.to_string();
+        assert!(text.contains("cycle.compute"), "{text}");
+        assert!(text.contains("telemetry overhead"), "{text}");
+    }
+
+    #[test]
+    fn footer_counts_suppressed_events_into_overhead() {
+        let ev = vec![
+            span("round", 1, None, 0.0, 0.4, false),
+            Event::Footer(FooterRecord {
+                emitted: 10,
+                sampled_out: 30,
+                dropped: 5,
+                sample_every_n_rounds: 4,
+                max_events: 10,
+            }),
+        ];
+        let t = Trace::from_events(&ev).unwrap();
+        let r = HotspotReport::analyze(&t, &est());
+        assert_eq!(r.events_emitted, 45);
+        assert!(!r.complete);
+        assert!(r.to_string().contains("sampled/truncated"), "{r}");
+    }
+}

@@ -18,16 +18,28 @@
 //!   a relative threshold with per-metric gating directions, and persist
 //!   schema-versioned [`bench::BenchSnapshot`]s (`BENCH_<n>.json`) that
 //!   `ci.sh --obs` diffs against a committed baseline.
+//! * [`export`] / [`hotspots`] / [`trend`] — the profiling layer:
+//!   Chrome/Perfetto `trace_event` and flamegraph collapsed-stack
+//!   exporters over the span tree (both clocks), a per-family hotspot
+//!   report with a measured telemetry self-overhead estimate, and trend
+//!   analysis across a `BENCH_*.json` series.
 //!
-//! The `obs` binary (`obs report` / `obs diff`) is a thin shell over
+//! The `obs` binary (`obs report` / `obs diff` / `obs export` /
+//! `obs flame` / `obs hotspots` / `obs trend`) is a thin shell over
 //! these layers.
 
 pub mod analyze;
 pub mod bench;
 pub mod diff;
+pub mod export;
+pub mod hotspots;
 pub mod model;
+pub mod trend;
 
 pub use analyze::{AnalyzeConfig, RunReport};
 pub use bench::{BenchSnapshot, BENCH_SCHEMA_VERSION};
 pub use diff::{DiffReport, Direction};
+pub use export::{chrome_trace, flame_lines};
+pub use hotspots::HotspotReport;
 pub use model::{Trace, TraceError};
+pub use trend::TrendReport;

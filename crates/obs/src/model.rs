@@ -18,6 +18,22 @@
 //! attaches it to the next `round` span it sees; `round.*` activity with
 //! no subsequent round span (e.g. a bare `RoundResult::record` without a
 //! reader driving spans) accumulates in [`Trace::unattributed`].
+//!
+//! ## Sampled and truncated traces
+//!
+//! A trace that ends with a [`FooterRecord`] reporting suppression
+//! (`sampled_out` or `dropped` nonzero) is *known incomplete*, and two
+//! validations relax accordingly:
+//!
+//! * counter totals only need to be **monotone** (`total ≥ prior +
+//!   delta`) — sampling removes delta events from the stream but the
+//!   totals, computed registry-side, remain exact;
+//! * a span whose parent id never appears is treated as a root instead of
+//!   an [`TraceError::OrphanSpan`] — an event ceiling truncates the tail
+//!   of the stream, which is where parents live (spans close inside-out).
+//!
+//! A trace with *no* footer (or a footer reporting zero suppression)
+//! still gets the strict checks: silently lossy streams must fail loudly.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -25,7 +41,7 @@ use std::io::Read;
 use std::path::Path;
 
 use tagwatch_telemetry::jsonl::{self, ParseError};
-use tagwatch_telemetry::{ClockKind, Event, SpanRecord, TagRecord};
+use tagwatch_telemetry::{ClockKind, Event, FooterRecord, SpanRecord, TagRecord};
 
 /// Slack for sim-clock containment checks (floating-point sums of slot
 /// durations).
@@ -258,6 +274,9 @@ pub struct Trace {
     pub unattributed: RoundStats,
     /// Total events ingested.
     pub events_total: usize,
+    /// The trace footer, when the stream carried one (the last, if a
+    /// ring dump stacked a second footer after the handle's own).
+    pub footer: Option<FooterRecord>,
 }
 
 impl Trace {
@@ -267,7 +286,15 @@ impl Trace {
         if events.is_empty() {
             return Err(TraceError::Empty);
         }
-        let mut b = Builder::default();
+        // The footer closes the stream but its verdict governs how the
+        // whole stream is validated, so scan for it up front: any footer
+        // reporting suppression switches the builder to lenient mode.
+        let mut b = Builder {
+            lenient: events
+                .iter()
+                .any(|(_, ev)| matches!(ev, Event::Footer(f) if !f.is_complete())),
+            ..Builder::default()
+        };
         for (line, ev) in events {
             b.push(*line, ev)?;
         }
@@ -334,13 +361,24 @@ impl Trace {
             }
         }
         out.extend(self.stray_rounds.iter());
-        out.sort_by(|a, b| a.line.cmp(&b.line));
+        out.sort_by_key(|r| r.line);
         out
     }
 
-    /// Final value of a counter, 0 when never emitted.
+    /// Final value of a counter, 0 when never emitted. Totals are
+    /// registry-side and therefore exact even in sampled traces.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).map_or(0, |c| c.total)
+    }
+
+    /// Whether the stream held every event the run emitted: true for
+    /// footer-less traces (which are strictly validated) and for footers
+    /// reporting zero suppression.
+    pub fn is_complete(&self) -> bool {
+        match &self.footer {
+            Some(f) => f.is_complete(),
+            None => true,
+        }
     }
 }
 
@@ -356,6 +394,10 @@ struct Builder {
     pending: RoundStats,
     rounds: Vec<RoundNode>,
     unattributed: RoundStats,
+    footer: Option<FooterRecord>,
+    /// Set when a footer admits suppression: relaxes counter totals to
+    /// monotone and tolerates parents missing from the stream.
+    lenient: bool,
 }
 
 impl Builder {
@@ -374,7 +416,16 @@ impl Builder {
             Event::Counter(c) => {
                 let series = self.counters.entry(c.name.clone()).or_default();
                 let expected = series.total + c.delta;
-                if c.total != expected {
+                // Complete traces must reconcile exactly. Sampled or
+                // truncated ones (footer says so) are missing delta
+                // events, so the registry-side total may only run ahead
+                // of the stream-side sum — never behind it.
+                let bad = if self.lenient {
+                    c.total < expected
+                } else {
+                    c.total != expected
+                };
+                if bad {
                     return Err(TraceError::CounterRegression {
                         line,
                         name: c.name.clone(),
@@ -412,6 +463,9 @@ impl Builder {
                 line,
                 rec: t.clone(),
             }),
+            // Last footer wins (a ring dump can stack its own after the
+            // handle's).
+            Event::Footer(f) => self.footer = Some(f.clone()),
         }
         Ok(())
     }
@@ -434,22 +488,26 @@ impl Builder {
 
         // Every parent reference must resolve. (Parents are emitted after
         // their children — spans close inside-out — so resolution runs
-        // over the completed index.)
-        for (line, s) in &self.spans {
-            if let Some(p) = s.parent {
-                if !id_line.contains_key(&p) {
-                    return Err(TraceError::OrphanSpan {
-                        line: *line,
-                        id: s.id,
-                        parent: p,
-                        name: s.name.clone(),
-                    });
+        // over the completed index.) In lenient mode an unresolved parent
+        // is expected: an event ceiling cuts the stream's tail, which is
+        // exactly where the enclosing spans live. Such spans are treated
+        // as roots (their rounds land in `stray_rounds`).
+        if !self.lenient {
+            for (line, s) in &self.spans {
+                if let Some(p) = s.parent {
+                    if !id_line.contains_key(&p) {
+                        return Err(TraceError::OrphanSpan {
+                            line: *line,
+                            id: s.id,
+                            parent: p,
+                            name: s.name.clone(),
+                        });
+                    }
                 }
             }
         }
 
-        let by_id: BTreeMap<u64, &SpanRecord> =
-            self.spans.iter().map(|(_, s)| (s.id, s)).collect();
+        let by_id: BTreeMap<u64, &SpanRecord> = self.spans.iter().map(|(_, s)| (s.id, s)).collect();
 
         // Phases keyed by cycle id; compute spans likewise.
         let mut cycles: Vec<CycleNode> = Vec::new();
@@ -477,18 +535,23 @@ impl Builder {
                 line: *line,
                 message: format!("span `{}` (id {}) has no parent cycle", s.name, s.id),
             })?;
-            let &cycle_idx =
-                cycle_index
-                    .get(&parent)
-                    .ok_or_else(|| TraceError::Structure {
-                        line: *line,
-                        message: format!(
-                            "span `{}` (id {}) is parented to `{}` (id {parent}), not a cycle",
-                            s.name,
-                            s.id,
-                            by_id.get(&parent).map_or("?", |p| p.name.as_str())
-                        ),
-                    })?;
+            // A parent missing from a truncated stream is tolerated; a
+            // parent that is present but not a cycle is a real violation
+            // regardless.
+            if self.lenient && !id_line.contains_key(&parent) {
+                continue;
+            }
+            let &cycle_idx = cycle_index
+                .get(&parent)
+                .ok_or_else(|| TraceError::Structure {
+                    line: *line,
+                    message: format!(
+                        "span `{}` (id {}) is parented to `{}` (id {parent}), not a cycle",
+                        s.name,
+                        s.id,
+                        by_id.get(&parent).map_or("?", |p| p.name.as_str())
+                    ),
+                })?;
             let cycle = &mut cycles[cycle_idx];
             if is_phase {
                 let end = s.start + s.duration;
@@ -575,6 +638,7 @@ impl Builder {
             tags: self.tags,
             unattributed: self.unattributed,
             events_total,
+            footer: self.footer,
         })
     }
 }
@@ -712,7 +776,10 @@ mod tests {
             span("cycle", 30, None, 0.0, 1.0),
         ];
         let err = Trace::from_events(&ev).unwrap_err();
-        assert!(matches!(err, TraceError::Structure { line: 1, .. }), "{err}");
+        assert!(
+            matches!(err, TraceError::Structure { line: 1, .. }),
+            "{err}"
+        );
         assert!(err.to_string().contains("spills outside"));
     }
 
@@ -732,6 +799,98 @@ mod tests {
             } => assert_eq!((line, expected, actual), (2, 5, 9)),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    fn footer(sampled_out: u64, dropped: u64, every_n: u32) -> Event {
+        Event::Footer(tagwatch_telemetry::FooterRecord {
+            emitted: 100,
+            sampled_out,
+            dropped,
+            sample_every_n_rounds: every_n,
+            max_events: 0,
+        })
+    }
+
+    #[test]
+    fn complete_footer_keeps_strict_counter_check() {
+        let ev = vec![
+            counter("round.reads", 2, 2),
+            counter("round.reads", 3, 9), // should be 5
+            footer(0, 0, 1),
+        ];
+        assert!(matches!(
+            Trace::from_events(&ev),
+            Err(TraceError::CounterRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn sampling_footer_relaxes_counters_to_monotone() {
+        // A sampled stream: the delta event for totals 2→7 was suppressed,
+        // so the next delivered total runs ahead of the delta sum.
+        let ev = vec![
+            counter("round.reads", 2, 2),
+            counter("round.reads", 3, 10), // 5 deltas invisible: total jumped
+            footer(4, 0, 2),
+        ];
+        let t = Trace::from_events(&ev).unwrap();
+        assert_eq!(t.counter("round.reads"), 10);
+        assert!(!t.is_complete());
+        assert_eq!(t.footer.as_ref().unwrap().sample_every_n_rounds, 2);
+
+        // Running *behind* the delta sum is corruption in any mode.
+        let bad = vec![
+            counter("round.reads", 2, 2),
+            counter("round.reads", 3, 4), // behind 2+3
+            footer(4, 0, 2),
+        ];
+        assert!(matches!(
+            Trace::from_events(&bad),
+            Err(TraceError::CounterRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_footer_tolerates_missing_parents() {
+        // A max_events ceiling cut the tail: the rounds' phase span and
+        // the cycle span never made it into the stream.
+        let ev = vec![
+            counter("round.successes", 3, 3),
+            span("round", 1, Some(10), 0.0, 0.4),
+            footer(0, 5, 1),
+        ];
+        let t = Trace::from_events(&ev).unwrap();
+        assert_eq!(t.stray_rounds.len(), 1);
+        assert_eq!(t.stray_rounds[0].stats.successes, 3);
+        assert!(!t.is_complete());
+
+        // Without the footer the same stream is an orphan error.
+        let strict: Vec<Event> = ev[..2].to_vec();
+        assert!(matches!(
+            Trace::from_events(&strict),
+            Err(TraceError::OrphanSpan { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_phase_without_its_cycle_is_skipped_leniently() {
+        let ev = vec![
+            span("round", 1, Some(10), 0.0, 0.4),
+            span("phase1", 10, Some(99), 0.0, 0.6), // cycle 99 was cut off
+            footer(0, 3, 1),
+        ];
+        let t = Trace::from_events(&ev).unwrap();
+        assert!(t.cycles.is_empty());
+        // The round's phase exists but joined no cycle → round is stray.
+        assert_eq!(t.stray_rounds.len(), 1);
+        assert_eq!(t.spans.len(), 2);
+    }
+
+    #[test]
+    fn well_formed_trace_reports_complete_without_footer() {
+        let t = Trace::from_events(&well_formed()).unwrap();
+        assert!(t.is_complete());
+        assert!(t.footer.is_none());
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Trend analysis over a series of bench snapshots.
+//!
+//! `obs diff` compares exactly two snapshots with a pass/fail verdict;
+//! this module answers the longitudinal question — *how has each metric
+//! moved across the last N gated runs?* Feed it `BENCH_1.json
+//! BENCH_2.json …` (any paths, compared in the order given) and it lines
+//! up every metric family the snapshots share: per-figure wall clock,
+//! counter totals, duration percentiles, inventory round rate. For each
+//! metric it reports the full value trajectory plus the relative change
+//! from first to last appearance, classified with the same
+//! better/worse/informational policy as the regression gate
+//! ([`crate::diff::direction_for`]), so a slow drift that never trips the
+//! ±10% gate in any single diff is still visible across the series.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::bench::{BenchError, BenchSnapshot};
+use crate::diff::{direction_for, Direction};
+
+/// One metric's values across the snapshot series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSeries {
+    pub name: String,
+    pub direction: Direction,
+    /// One entry per snapshot; `None` where the snapshot lacks the metric.
+    pub values: Vec<Option<f64>>,
+    /// Relative change from first to last present value, when both exist
+    /// and the first is non-zero.
+    pub relative_change: Option<f64>,
+}
+
+impl TrendSeries {
+    /// True when the first→last move is in the metric's "worse"
+    /// direction by more than `threshold` (e.g. `0.10`). Informational
+    /// metrics never drift.
+    pub fn drifted_worse(&self, threshold: f64) -> bool {
+        match (self.direction, self.relative_change) {
+            (Direction::HigherIsBetter, Some(rel)) => rel < -threshold,
+            (Direction::LowerIsBetter, Some(rel)) => rel > threshold,
+            _ => false,
+        }
+    }
+}
+
+/// Trajectories for every metric appearing in at least one snapshot.
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// Snapshot labels, in series order (file stems when loaded from
+    /// disk).
+    pub labels: Vec<String>,
+    /// True where the corresponding snapshot is provisional.
+    pub provisional: Vec<bool>,
+    pub series: Vec<TrendSeries>,
+}
+
+impl TrendReport {
+    /// Builds trajectories from labelled snapshots, preserving order.
+    pub fn analyze(labelled: &[(String, &BenchSnapshot)]) -> TrendReport {
+        let labels: Vec<String> = labelled.iter().map(|(l, _)| l.clone()).collect();
+        let provisional: Vec<bool> = labelled.iter().map(|(_, s)| s.provisional).collect();
+        let maps: Vec<_> = labelled.iter().map(|(_, s)| s.metric_map()).collect();
+
+        let mut names: Vec<&String> = maps.iter().flat_map(|m| m.keys()).collect();
+        names.sort();
+        names.dedup();
+
+        let series = names
+            .into_iter()
+            .map(|name| {
+                let values: Vec<Option<f64>> = maps.iter().map(|m| m.get(name).copied()).collect();
+                let present: Vec<f64> = values.iter().filter_map(|v| *v).collect();
+                let relative_change = match (present.first(), present.last()) {
+                    (Some(&first), Some(&last)) if present.len() > 1 && first != 0.0 => {
+                        Some((last - first) / first)
+                    }
+                    _ => None,
+                };
+                TrendSeries {
+                    name: name.clone(),
+                    direction: direction_for(name),
+                    values,
+                    relative_change,
+                }
+            })
+            .collect();
+
+        TrendReport {
+            labels,
+            provisional,
+            series,
+        }
+    }
+
+    /// Loads snapshots from paths (labelled by file stem) and analyzes
+    /// them in the order given.
+    pub fn load_series<P: AsRef<Path>>(paths: &[P]) -> Result<TrendReport, BenchError> {
+        let mut owned: Vec<(String, BenchSnapshot)> = Vec::with_capacity(paths.len());
+        for p in paths {
+            let p = p.as_ref();
+            let label = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            owned.push((label, BenchSnapshot::load(p)?));
+        }
+        let labelled: Vec<(String, &BenchSnapshot)> =
+            owned.iter().map(|(l, s)| (l.clone(), s)).collect();
+        Ok(TrendReport::analyze(&labelled))
+    }
+
+    /// Metric names whose first→last drift exceeds `threshold` in the
+    /// worse direction.
+    pub fn drifted_names(&self, threshold: f64) -> Vec<&str> {
+        self.series
+            .iter()
+            .filter(|s| s.drifted_worse(threshold))
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for TrendReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trend across {} snapshots:", self.labels.len())?;
+        for (label, prov) in self.labels.iter().zip(&self.provisional) {
+            write!(f, " {}{}", label, if *prov { "*" } else { "" })?;
+        }
+        writeln!(f)?;
+        if self.provisional.iter().any(|p| *p) {
+            writeln!(f, "  (* provisional snapshot)")?;
+        }
+        for s in &self.series {
+            write!(f, "  {:<28}", s.name)?;
+            for v in &s.values {
+                match v {
+                    Some(v) => write!(f, " {v:>12.4}")?,
+                    None => write!(f, " {:>12}", "-")?,
+                }
+            }
+            match s.relative_change {
+                Some(rel) => {
+                    let marker = if s.drifted_worse(0.10) {
+                        "  ⚠ worse"
+                    } else {
+                        ""
+                    };
+                    writeln!(f, "  ({:+.1}%){marker}", rel * 100.0)?
+                }
+                None => writeln!(f)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn snap(wall: f64, p2_rate: f64) -> BenchSnapshot {
+        let mut counters = BTreeMap::new();
+        counters.insert("cycle.count".to_string(), 20);
+        let mut figures = BTreeMap::new();
+        figures.insert(
+            "fig9_rate".to_string(),
+            crate::bench::FigureBench {
+                wall_seconds: wall,
+                reports_per_wall_second: p2_rate,
+            },
+        );
+        BenchSnapshot {
+            schema_version: crate::bench::BENCH_SCHEMA_VERSION,
+            seed: 7,
+            scale: "quick".to_string(),
+            provisional: false,
+            figures,
+            counters,
+            durations: BTreeMap::new(),
+            wall_seconds: wall * 2.0,
+        }
+    }
+
+    #[test]
+    fn trajectories_track_each_metric_across_the_series() {
+        let a = snap(1.0, 100.0);
+        let b = snap(1.2, 90.0);
+        let c = snap(1.4, 80.0);
+        let labelled = vec![
+            ("BENCH_1".to_string(), &a),
+            ("BENCH_2".to_string(), &b),
+            ("BENCH_3".to_string(), &c),
+        ];
+        let report = TrendReport::analyze(&labelled);
+        assert_eq!(report.labels, vec!["BENCH_1", "BENCH_2", "BENCH_3"]);
+
+        let wall = report
+            .series
+            .iter()
+            .find(|s| s.name == "fig.fig9_rate.wall_seconds")
+            .unwrap();
+        assert_eq!(wall.values, vec![Some(1.0), Some(1.2), Some(1.4)]);
+        let rel = wall.relative_change.unwrap();
+        assert!((rel - 0.4).abs() < 1e-9, "{rel}");
+        // fig.* wall metrics are informational — never flagged as drift.
+        assert!(!wall.drifted_worse(0.10));
+
+        let text = report.to_string();
+        assert!(text.contains("fig.fig9_rate.wall_seconds"), "{text}");
+        assert!(text.contains("BENCH_2"), "{text}");
+    }
+
+    #[test]
+    fn missing_metrics_yield_gaps_not_errors() {
+        let a = snap(1.0, 100.0);
+        let mut b = snap(1.1, 95.0);
+        b.figures.clear();
+        let labelled = vec![("a".to_string(), &a), ("b".to_string(), &b)];
+        let report = TrendReport::analyze(&labelled);
+        let rate = report
+            .series
+            .iter()
+            .find(|s| s.name == "fig.fig9_rate.reports_per_wall_second")
+            .unwrap();
+        assert_eq!(rate.values, vec![Some(100.0), None]);
+        // A single present value is a point, not a trend.
+        assert_eq!(rate.relative_change, None);
+    }
+
+    #[test]
+    fn directional_drift_is_flagged_against_the_gate_policy() {
+        let mk = |p95: f64| {
+            let mut s = snap(1.0, 100.0);
+            s.durations.insert(
+                "cycle".to_string(),
+                crate::analyze::DurationStats {
+                    count: 20,
+                    mean: p95 * 0.7,
+                    p50: p95 * 0.8,
+                    p95,
+                    p99: p95 * 1.05,
+                },
+            );
+            s
+        };
+        let a = mk(0.10);
+        let b = mk(0.13);
+        let labelled = vec![("a".to_string(), &a), ("b".to_string(), &b)];
+        let report = TrendReport::analyze(&labelled);
+        let drifted = report.drifted_names(0.10);
+        assert!(drifted.contains(&"dur.cycle.p95"), "{drifted:?}");
+        assert!(report.to_string().contains("worse"), "{report}");
+    }
+}

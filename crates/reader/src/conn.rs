@@ -152,10 +152,7 @@ impl ReaderConnection {
     /// tag reports. (Our specs use null/duration stop triggers, so one
     /// start = one pass over the AISpecs; the spec returns to Inactive.)
     pub fn start_rospec(&mut self, id: u32) -> Result<Vec<TagReport>, VerbError> {
-        let (spec, state) = self
-            .rospecs
-            .get(&id)
-            .ok_or(VerbError::UnknownRoSpec(id))?;
+        let (spec, state) = self.rospecs.get(&id).ok_or(VerbError::UnknownRoSpec(id))?;
         if *state != RoSpecState::Inactive {
             return Err(VerbError::WrongState {
                 id,
@@ -168,15 +165,8 @@ impl ReaderConnection {
     }
 
     /// Runs an enabled spec repeatedly for `duration` seconds of air time.
-    pub fn run_rospec_for(
-        &mut self,
-        id: u32,
-        duration: f64,
-    ) -> Result<Vec<TagReport>, VerbError> {
-        let (spec, state) = self
-            .rospecs
-            .get(&id)
-            .ok_or(VerbError::UnknownRoSpec(id))?;
+    pub fn run_rospec_for(&mut self, id: u32, duration: f64) -> Result<Vec<TagReport>, VerbError> {
+        let (spec, state) = self.rospecs.get(&id).ok_or(VerbError::UnknownRoSpec(id))?;
         if *state != RoSpecState::Inactive {
             return Err(VerbError::WrongState {
                 id,

@@ -213,7 +213,10 @@ impl RoSpec {
             let mut seen = Vec::new();
             for &p in &spec.antennas {
                 if seen.contains(&p) {
-                    return Err(LlrpError::DuplicateAntenna { ai_spec: i, port: p });
+                    return Err(LlrpError::DuplicateAntenna {
+                        ai_spec: i,
+                        port: p,
+                    });
                 }
                 seen.push(p);
             }
@@ -291,7 +294,10 @@ mod tests {
             selects[1].action,
             tagwatch_gen2::SelAction::AssertElseDeassert
         );
-        assert_eq!(selects[3].action, tagwatch_gen2::SelAction::AssertElseNothing);
+        assert_eq!(
+            selects[3].action,
+            tagwatch_gen2::SelAction::AssertElseNothing
+        );
     }
 
     #[test]
@@ -334,28 +340,21 @@ mod tests {
         );
         assert_eq!(
             dup.validate(),
-            Err(LlrpError::DuplicateAntenna { ai_spec: 0, port: 1 })
+            Err(LlrpError::DuplicateAntenna {
+                ai_spec: 0,
+                port: 1
+            })
         );
     }
 
     #[test]
     fn truncation_only_on_legal_filters() {
         // Prefix mask, single filter: truncation honoured.
-        let spec = RoSpec::selective_with_truncate(
-            1,
-            vec![1],
-            &[BitMask::new(0b1011, 0, 4)],
-            true,
-        );
+        let spec = RoSpec::selective_with_truncate(1, vec![1], &[BitMask::new(0b1011, 0, 4)], true);
         let (selects, _) = spec.ai_specs[0].compile(Session::S1);
         assert!(selects.last().unwrap().truncate);
         // Non-prefix mask: silently not truncated.
-        let spec = RoSpec::selective_with_truncate(
-            1,
-            vec![1],
-            &[BitMask::new(0b1011, 7, 4)],
-            true,
-        );
+        let spec = RoSpec::selective_with_truncate(1, vec![1], &[BitMask::new(0b1011, 7, 4)], true);
         let (selects, _) = spec.ai_specs[0].compile(Session::S1);
         assert!(selects.iter().all(|s| !s.truncate));
         // Multi-filter AISpec: never truncated.

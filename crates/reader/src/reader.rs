@@ -199,7 +199,6 @@ impl Reader {
         Ok(reports)
     }
 
-
     /// Applies the forward-field gate for the active antenna: tags out of
     /// range are de-energised (and lose volatile state, as real unpowered
     /// tags do); tags back in range and present re-energise.
@@ -462,9 +461,7 @@ mod tests {
         let events = reader.events.take();
         let snap = tel.snapshot();
         assert_eq!(snap.counter("round.count"), Some(events.len() as u64));
-        let stats_sum = |f: fn(&RoundEvent) -> usize| {
-            events.iter().map(f).sum::<usize>() as u64
-        };
+        let stats_sum = |f: fn(&RoundEvent) -> usize| events.iter().map(f).sum::<usize>() as u64;
         assert_eq!(
             snap.counter("round.successes"),
             Some(stats_sum(|e| e.stats.successes))
@@ -520,8 +517,10 @@ mod tests {
     fn decode_faults_do_not_change_coverage() {
         let scene = presets::random_room(12, 16);
         let epcs = random_epcs(12, 17);
-        let mut cfg = ReaderConfig::default();
-        cfg.decode_fail_prob = 0.2;
+        let cfg = ReaderConfig {
+            decode_fail_prob: 0.2,
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(scene, &epcs, cfg, 18);
         let reports = reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
         let mut idx: Vec<usize> = reports.iter().map(|r| r.tag_idx).collect();
@@ -536,12 +535,12 @@ mod tests {
         // noise. This is the physical signal Phase I detects.
         let scene = presets::turntable(2, 1, 19);
         let epcs = random_epcs(2, 20);
-        let mut cfg = ReaderConfig::default();
-        cfg.channel_plan = tagwatch_rf::ChannelPlan::single(922.5e6);
+        let cfg = ReaderConfig {
+            channel_plan: tagwatch_rf::ChannelPlan::single(922.5e6),
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(scene, &epcs, cfg, 21);
-        let reports = reader
-            .run_for(&RoSpec::read_all(1, vec![1]), 2.0)
-            .unwrap();
+        let reports = reader.run_for(&RoSpec::read_all(1, vec![1]), 2.0).unwrap();
         let spread = |idx: usize| {
             let phases: Vec<f64> = reports
                 .iter()
@@ -572,8 +571,10 @@ mod tests {
         // rounds.
         let scene = presets::random_room(1, 30);
         let epcs = random_epcs(1, 31);
-        let mut cfg = ReaderConfig::default();
-        cfg.link = tagwatch_gen2::LinkTiming::r420_tracking();
+        let cfg = ReaderConfig {
+            link: tagwatch_gen2::LinkTiming::r420_tracking(),
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(scene, &epcs, cfg, 32);
         let spec = RoSpec::read_all_continuous(1, vec![1], 0.1);
         // Settle link adaptation first.
@@ -600,8 +601,10 @@ mod tests {
         let rate = |n: usize| {
             let scene = presets::random_room(n, 33);
             let epcs = random_epcs(n, 34);
-            let mut cfg = ReaderConfig::default();
-            cfg.link = tagwatch_gen2::LinkTiming::r420_tracking();
+            let cfg = ReaderConfig {
+                link: tagwatch_gen2::LinkTiming::r420_tracking(),
+                ..ReaderConfig::default()
+            };
             let mut reader = Reader::new(scene, &epcs, cfg, 35);
             let spec = RoSpec::read_all_continuous(1, vec![1], 0.05);
             reader.run_for(&spec, 1.0).unwrap();
@@ -640,8 +643,10 @@ mod tests {
             tagwatch_rf::Vec3::new(9.0, 0.0, 1.0),
         ));
         let epcs = random_epcs(2, 71);
-        let mut cfg = ReaderConfig::default();
-        cfg.field_range_m = Some(3.0);
+        let cfg = ReaderConfig {
+            field_range_m: Some(3.0),
+            ..ReaderConfig::default()
+        };
         let mut reader = Reader::new(scene, &epcs, cfg, 72);
         let reports = reader.execute(&RoSpec::read_all(1, vec![1, 2])).unwrap();
         for r in &reports {

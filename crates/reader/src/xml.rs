@@ -57,15 +57,8 @@ pub fn rospec_to_xml(spec: &RoSpec, session: Session) -> String {
             }
         }
         let _ = writeln!(out, "    <InventoryParameterSpec>");
-        let _ = writeln!(
-            out,
-            "      <ProtocolID>EPCGlobalClass1Gen2</ProtocolID>"
-        );
-        let _ = writeln!(
-            out,
-            "      <Session>{}</Session>",
-            session.index()
-        );
+        let _ = writeln!(out, "      <ProtocolID>EPCGlobalClass1Gen2</ProtocolID>");
+        let _ = writeln!(out, "      <Session>{}</Session>", session.index());
         for f in &ai.filters {
             let mask = f.mask;
             // Render the mask bits MSB-first as hex, padded to nibbles.
@@ -81,11 +74,7 @@ pub fn rospec_to_xml(spec: &RoSpec, session: Session) -> String {
             }
             let _ = writeln!(out, "        <C1G2TagInventoryMask>");
             let _ = writeln!(out, "          <MB>1</MB>");
-            let _ = writeln!(
-                out,
-                "          <Pointer>{}</Pointer>",
-                0x20 + mask.pointer
-            );
+            let _ = writeln!(out, "          <Pointer>{}</Pointer>", 0x20 + mask.pointer);
             let _ = writeln!(
                 out,
                 "          <TagMask Length=\"{}\">{:0width$X}</TagMask>",

@@ -76,7 +76,10 @@ mod tests {
         // The classical radius formula is a paraxial approximation; at this
         // geometry it should be within a couple of percent of exact.
         let approx = zone_radius(1, LAMBDA, 1.5, 1.5);
-        assert!((approx - h1).abs() / h1 < 0.03, "approx {approx} exact {h1}");
+        assert!(
+            (approx - h1).abs() / h1 < 0.03,
+            "approx {approx} exact {h1}"
+        );
     }
 
     #[test]

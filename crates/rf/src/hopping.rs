@@ -84,10 +84,7 @@ impl ChannelPlan {
     /// a pure function of distance.
     pub fn single(freq_hz: f64) -> Self {
         ChannelPlan {
-            channels: vec![Channel {
-                index: 0,
-                freq_hz,
-            }],
+            channels: vec![Channel { index: 0, freq_hz }],
             dwell_s: f64::INFINITY,
             order: vec![0],
         }
@@ -179,7 +176,7 @@ mod tests {
     fn non_power_of_two_count() {
         let plan = ChannelPlan::evenly_spaced(915e6, 500e3, 10, 0.4);
         assert_eq!(plan.len(), 10);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for hop in 0..10 {
             let ch = plan.channel_at(hop as f64 * 0.4 + 0.01);
             seen[ch.index as usize] = true;

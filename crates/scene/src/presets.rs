@@ -312,11 +312,7 @@ mod tests {
     fn turntable_split() {
         let s = turntable(40, 5, 3);
         assert_eq!(s.tags.len(), 40);
-        let moving = s
-            .tags
-            .iter()
-            .filter(|t| !t.trajectory.is_static())
-            .count();
+        let moving = s.tags.iter().filter(|t| !t.trajectory.is_static()).count();
         assert_eq!(moving, 5);
         // Mobile tags are the first indices.
         for i in 0..5 {

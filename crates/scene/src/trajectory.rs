@@ -193,9 +193,7 @@ impl Trajectory {
             Trajectory::Conveyor { start, end, .. } => start == end,
             Trajectory::Patrol { a, b, .. } => a == b,
             Trajectory::Waypoints { points } => points.windows(2).all(|w| w[0].1 == w[1].1),
-            Trajectory::StepDisplacement { displacement, .. } => {
-                displacement.norm() == 0.0
-            }
+            Trajectory::StepDisplacement { displacement, .. } => displacement.norm() == 0.0,
             Trajectory::Wander { amplitude, .. } => *amplitude == 0.0,
         }
     }

@@ -6,7 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which clock a span was measured on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum ClockKind {
     /// Simulated air time — the reader's clock (seconds since simulation
@@ -80,6 +80,37 @@ pub struct TagRecord {
     pub t: f64,
 }
 
+/// End-of-trace accounting, emitted by [`crate::Telemetry::finish`] (and
+/// synthesized by [`crate::sink::RingSink`] dumps). It tells offline
+/// analysis whether the stream it holds is *complete*: how many events
+/// were delivered, how many a sampling policy suppressed, how many a
+/// ceiling (or ring eviction) dropped, and the sampling configuration
+/// that was in force. A trace whose footer reports suppression is
+/// analyzed under relaxed counter-consistency rules instead of being
+/// silently misread as complete (see `tagwatch-obs`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FooterRecord {
+    /// Events delivered to sinks before this footer.
+    pub emitted: u64,
+    /// Round-family events suppressed by `sample_every_n_rounds`.
+    pub sampled_out: u64,
+    /// Events dropped by the `max_events` ceiling (or evicted from a
+    /// bounded ring, for ring dumps).
+    pub dropped: u64,
+    /// Sampling policy echo: 1 keeps every round, N keeps one in N.
+    pub sample_every_n_rounds: u32,
+    /// Event ceiling echo: 0 means unlimited.
+    pub max_events: u64,
+}
+
+impl FooterRecord {
+    /// Whether the stream this footer closes holds every event the run
+    /// emitted (nothing sampled out, nothing dropped).
+    pub fn is_complete(&self) -> bool {
+        self.sampled_out == 0 && self.dropped == 0
+    }
+}
+
 /// One telemetry event. Serialized with an external `type` tag, so a JSONL
 /// line looks like
 /// `{"type":"span","name":"cycle","id":3,"parent":null,"start":0.0,...}`.
@@ -91,6 +122,7 @@ pub enum Event {
     Gauge(GaugeRecord),
     Observe(ObserveRecord),
     Tag(TagRecord),
+    Footer(FooterRecord),
 }
 
 impl Event {
@@ -102,6 +134,7 @@ impl Event {
             Event::Gauge(g) => &g.name,
             Event::Observe(o) => &o.name,
             Event::Tag(t) => &t.name,
+            Event::Footer(_) => "trace.footer",
         }
     }
 }
@@ -139,6 +172,13 @@ mod tests {
                 epc: (1u128 << 95) | 0xDEAD_BEEF,
                 t: 3.125,
             }),
+            Event::Footer(FooterRecord {
+                emitted: 1234,
+                sampled_out: 56,
+                dropped: 7,
+                sample_every_n_rounds: 4,
+                max_events: 10_000,
+            }),
         ];
         for ev in events {
             let line = serde_json::to_string(&ev).unwrap();
@@ -157,6 +197,27 @@ mod tests {
         let line = serde_json::to_string(&ev).unwrap();
         assert!(line.contains("\"type\":\"counter\""), "{line}");
         assert!(line.contains("\"total\":7"), "{line}");
+    }
+
+    #[test]
+    fn footer_completeness_reads_suppression_counts() {
+        let mut f = FooterRecord {
+            emitted: 10,
+            sampled_out: 0,
+            dropped: 0,
+            sample_every_n_rounds: 1,
+            max_events: 0,
+        };
+        assert!(f.is_complete());
+        f.sampled_out = 1;
+        assert!(!f.is_complete());
+        f.sampled_out = 0;
+        f.dropped = 1;
+        assert!(!f.is_complete());
+        let ev = Event::Footer(f);
+        assert_eq!(ev.name(), "trace.footer");
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(line.contains("\"type\":\"footer\""), "{line}");
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! enough to leave the instrumentation compiled into the hot path
 //! unconditionally (the controller criterion bench budget is < 2 %).
 
-use crate::event::{CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord, TagRecord};
+use crate::event::{
+    CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord, TagRecord,
+};
 use crate::histogram::Histogram;
 use crate::registry::MetricsRegistry;
 use crate::sink::Sink;
@@ -15,6 +17,43 @@ use crate::span::{SimSpan, SpanGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
+
+/// Sink-side volume control: what fraction of the round-family event
+/// stream reaches sinks, and a hard ceiling on delivered events. The
+/// in-process [`MetricsRegistry`] always aggregates *everything* — only
+/// sink delivery (JSONL lines, ring slots) is throttled, so
+/// [`Telemetry::snapshot`] stays exact under any sampling policy.
+///
+/// Round sampling is deterministic: rounds are numbered in emission
+/// order, and round `k` (0-based) is kept iff `k % sample_every_n_rounds
+/// == 0`. A round's `round.*` counters/observations and its `round` span
+/// are kept or suppressed *atomically*, so every round that survives into
+/// the trace carries its complete slot breakdown. Two runs with the same
+/// seed and the same config therefore sample identical rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Keep one round in every N (1 keeps all; 0 is treated as 1).
+    pub sample_every_n_rounds: u32,
+    /// Stop delivering events to sinks after this many (0 = unlimited).
+    /// Suppressed events are counted and surfaced in the trace footer.
+    pub max_events: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            sample_every_n_rounds: 1,
+            max_events: 0,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Whether this config can suppress events at all.
+    pub fn is_complete(&self) -> bool {
+        self.sample_every_n_rounds <= 1 && self.max_events == 0
+    }
+}
 
 struct Inner {
     enabled: AtomicBool,
@@ -28,6 +67,52 @@ struct Inner {
 struct State {
     registry: MetricsRegistry,
     sinks: Vec<Box<dyn Sink + Send>>,
+    cfg: TelemetryConfig,
+    /// Events delivered to sinks (footers excluded).
+    emitted: u64,
+    /// Round-family events suppressed by sampling.
+    sampled_out: u64,
+    /// Events dropped by the `max_events` ceiling.
+    dropped: u64,
+    /// Rounds whose span has closed (= index of the round in flight).
+    rounds_seen: u64,
+    /// Keep/suppress decision for the round currently in flight, made at
+    /// its first round-family event and cleared when its span closes.
+    round_kept: Option<bool>,
+}
+
+impl State {
+    /// The single choke point between the emit methods and the sinks:
+    /// applies round sampling and the event ceiling, keeps the
+    /// suppression counts, and fans the survivors out.
+    fn deliver(&mut self, ev: &Event) {
+        let cfg = self.cfg;
+        let name = ev.name();
+        if name == "round" || name.starts_with("round.") {
+            let n = cfg.sample_every_n_rounds.max(1) as u64;
+            // Not `is_multiple_of`: the workspace floor predates it.
+            #[allow(clippy::manual_is_multiple_of)]
+            let keep = *self.round_kept.get_or_insert(self.rounds_seen % n == 0);
+            // The `round` span closes the round: the next round-family
+            // event belongs to the next round.
+            if matches!(ev, Event::Span(s) if s.name == "round") {
+                self.rounds_seen += 1;
+                self.round_kept = None;
+            }
+            if !keep {
+                self.sampled_out += 1;
+                return;
+            }
+        }
+        if cfg.max_events > 0 && self.emitted >= cfg.max_events {
+            self.dropped += 1;
+            return;
+        }
+        self.emitted += 1;
+        for sink in &mut self.sinks {
+            sink.record(ev);
+        }
+    }
 }
 
 /// A cloneable telemetry handle. Clones share all state.
@@ -116,9 +201,7 @@ impl Telemetry {
             delta,
             total,
         });
-        for sink in &mut st.sinks {
-            sink.record(&ev);
-        }
+        st.deliver(&ev);
     }
 
     /// Sets gauge `name` to `value`.
@@ -132,9 +215,7 @@ impl Telemetry {
             name: name.to_string(),
             value,
         });
-        for sink in &mut st.sinks {
-            sink.record(&ev);
-        }
+        st.deliver(&ev);
     }
 
     /// Records `value` into histogram `name` (auto-created with the
@@ -149,9 +230,7 @@ impl Telemetry {
             name: name.to_string(),
             value,
         });
-        for sink in &mut st.sinks {
-            sink.record(&ev);
-        }
+        st.deliver(&ev);
     }
 
     /// Emits a per-tag moment: `name` happened to EPC `epc` (raw bits) at
@@ -166,9 +245,7 @@ impl Telemetry {
             epc,
             t,
         });
-        for sink in &mut self.lock().sinks {
-            sink.record(&ev);
-        }
+        self.lock().deliver(&ev);
     }
 
     /// Pre-registers histogram `name` with a custom bucket layout. Works
@@ -193,6 +270,45 @@ impl Telemetry {
         self.lock().registry.clone()
     }
 
+    /// Replaces the sampling / volume-control policy. Takes effect for
+    /// subsequent emissions; the registry is unaffected (it always sees
+    /// everything). Call before the run for deterministic sampling —
+    /// reconfiguring mid-run moves the keep/suppress boundary.
+    pub fn configure(&self, cfg: TelemetryConfig) {
+        self.lock().cfg = cfg;
+    }
+
+    /// The sampling / volume-control policy currently in force.
+    pub fn config(&self) -> TelemetryConfig {
+        self.lock().cfg
+    }
+
+    /// Closes the trace: emits a [`FooterRecord`] carrying the delivery
+    /// and suppression counts plus the sampling config echo, flushes
+    /// every sink, and returns the record. The footer bypasses the
+    /// `max_events` ceiling — a truncated trace must still end with the
+    /// accounting that says it was truncated. On a disabled handle this
+    /// only reports the counts (nothing is emitted).
+    pub fn finish(&self) -> FooterRecord {
+        let mut st = self.lock();
+        let cfg = st.cfg;
+        let rec = FooterRecord {
+            emitted: st.emitted,
+            sampled_out: st.sampled_out,
+            dropped: st.dropped,
+            sample_every_n_rounds: cfg.sample_every_n_rounds.max(1),
+            max_events: cfg.max_events,
+        };
+        if self.is_enabled() {
+            let ev = Event::Footer(rec.clone());
+            for sink in &mut st.sinks {
+                sink.record(&ev);
+                sink.flush();
+            }
+        }
+        rec
+    }
+
     /// Flushes every sink (call before reading a JSONL file mid-process,
     /// or at exit for the global handle, which is never dropped).
     pub fn flush(&self) {
@@ -212,9 +328,7 @@ impl Telemetry {
     pub(crate) fn emit_span(&self, record: SpanRecord) {
         let mut st = self.lock();
         let ev = Event::Span(record);
-        for sink in &mut st.sinks {
-            sink.record(&ev);
-        }
+        st.deliver(&ev);
     }
 }
 
@@ -365,5 +479,108 @@ mod tests {
         assert!(ib > ia);
         b.end(1.0);
         a.end(1.0);
+    }
+
+    /// Emits one synthetic inventory round: its counters/observations
+    /// first, then the closing `round` span — the reader's contract.
+    fn emit_round(tel: &Telemetry, k: u64) {
+        tel.incr_by("round.successes", 2);
+        tel.observe("round.q_final", 4.0);
+        let span = tel.sim_span("round", k as f64);
+        span.end(k as f64 + 0.5);
+    }
+
+    #[test]
+    fn round_sampling_keeps_every_nth_round_atomically() {
+        let (tel, sink) = recording();
+        tel.configure(TelemetryConfig {
+            sample_every_n_rounds: 2,
+            max_events: 0,
+        });
+        for k in 0..4 {
+            emit_round(&tel, k);
+        }
+        // Rounds 0 and 2 survive — spans and their metric events together.
+        let spans = sink.spans_named("round");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, 0.0);
+        assert_eq!(spans[1].start, 2.0);
+        let kept_counters = sink
+            .events()
+            .iter()
+            .filter(|e| e.name() == "round.successes")
+            .count();
+        assert_eq!(kept_counters, 2, "kept rounds keep their counters");
+        // The registry is exempt from sampling: all four rounds counted.
+        assert_eq!(tel.snapshot().counter("round.successes"), Some(8));
+        let footer = tel.finish();
+        assert_eq!(footer.sampled_out, 6); // 2 rounds × 3 events
+        assert_eq!(footer.sample_every_n_rounds, 2);
+        assert!(!footer.is_complete());
+    }
+
+    #[test]
+    fn non_round_events_are_never_sampled() {
+        let (tel, sink) = recording();
+        tel.configure(TelemetryConfig {
+            sample_every_n_rounds: 1000,
+            max_events: 0,
+        });
+        tel.incr("cycle.census");
+        tel.gauge_set("tracked_tags", 3.0);
+        tel.tag_event("read.phase2", 7, 0.5);
+        assert_eq!(sink.len(), 3);
+        assert_eq!(tel.finish().sampled_out, 0);
+    }
+
+    #[test]
+    fn max_events_ceiling_drops_and_counts() {
+        let (tel, sink) = recording();
+        tel.configure(TelemetryConfig {
+            sample_every_n_rounds: 1,
+            max_events: 3,
+        });
+        for _ in 0..5 {
+            tel.incr("c");
+        }
+        assert_eq!(sink.len(), 3);
+        let footer = tel.finish();
+        assert_eq!(footer.emitted, 3);
+        assert_eq!(footer.dropped, 2);
+        assert!(!footer.is_complete());
+        // The footer itself bypasses the ceiling and closes the stream.
+        let events = sink.events();
+        assert!(matches!(events.last(), Some(Event::Footer(f)) if f.dropped == 2));
+        // Registry is exact regardless.
+        assert_eq!(tel.snapshot().counter("c"), Some(5));
+    }
+
+    #[test]
+    fn finish_on_untouched_config_reports_complete() {
+        let (tel, sink) = recording();
+        tel.incr("a");
+        tel.incr("b");
+        let footer = tel.finish();
+        assert_eq!(footer.emitted, 2);
+        assert!(footer.is_complete());
+        assert_eq!(footer.sample_every_n_rounds, 1);
+        assert_eq!(sink.len(), 3); // two counters + the footer
+    }
+
+    #[test]
+    fn sampling_is_deterministic_across_identical_runs() {
+        let run = || {
+            let (tel, sink) = recording();
+            tel.configure(TelemetryConfig {
+                sample_every_n_rounds: 3,
+                max_events: 0,
+            });
+            for k in 0..10 {
+                emit_round(&tel, k);
+            }
+            tel.finish();
+            sink.events()
+        };
+        assert_eq!(run(), run());
     }
 }

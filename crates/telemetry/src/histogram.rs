@@ -155,7 +155,7 @@ impl Histogram {
             if c == 0 {
                 continue;
             }
-            if below + c - 1 >= k {
+            if below + c > k {
                 let lower = if i == 0 { self.lo } else { self.edges[i - 1] };
                 let upper = if i < self.edges.len() {
                     self.edges[i]

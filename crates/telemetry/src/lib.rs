@@ -15,7 +15,15 @@
 //! * **Sinks** ([`Sink`]) receive every [`Event`]: [`MemorySink`] is a
 //!   bounded ring buffer for tests, [`JsonlSink`] a line-buffered JSONL
 //!   file for offline analysis (flushed on [`Drop`], so even a panicking
-//!   run leaves a parseable trace).
+//!   run leaves a parseable trace), and [`RingSink`] a fixed-capacity
+//!   flight recorder that dumps the tail of the trace on demand.
+//! * **Overhead control** ([`TelemetryConfig`], [`Telemetry::finish`])
+//!   keeps tracing affordable at scale: deterministic round sampling and
+//!   an event ceiling throttle sink volume (the registry always sees
+//!   everything), and a [`FooterRecord`] closes the trace with delivery /
+//!   suppression counts so offline analysis knows when a stream is
+//!   incomplete. [`overhead`] measures the per-event emission cost that
+//!   `obs hotspots` uses to estimate telemetry self-time.
 //! * **Re-ingestion** ([`jsonl`]) parses exported JSONL back into
 //!   [`Event`]s with line-numbered errors — the shared front half of the
 //!   offline `tagwatch-obs` analyzers.
@@ -50,16 +58,21 @@ pub mod event;
 pub mod handle;
 pub mod histogram;
 pub mod jsonl;
+pub mod overhead;
 pub mod registry;
 pub mod sink;
 pub mod span;
 
-pub use event::{ClockKind, CounterRecord, Event, GaugeRecord, ObserveRecord, SpanRecord, TagRecord};
-pub use jsonl::ParseError;
-pub use handle::Telemetry;
+pub use event::{
+    ClockKind, CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord,
+    TagRecord,
+};
+pub use handle::{Telemetry, TelemetryConfig};
 pub use histogram::Histogram;
+pub use jsonl::ParseError;
+pub use overhead::OverheadEstimate;
 pub use registry::MetricsRegistry;
-pub use sink::{JsonlSink, MemorySink, Sink};
+pub use sink::{JsonlSink, MemorySink, RingSink, Sink};
 pub use span::{SimSpan, SpanGuard};
 
 /// Starts a wall-clock span on a handle: `let _g = span!(tel, "phase1");`.

@@ -1,0 +1,88 @@
+//! Measured telemetry self-cost: what one emitted event costs the host.
+//!
+//! `obs hotspots` estimates how much of a run's wall time went into
+//! telemetry itself as `events_total × per-event cost`. That per-event
+//! cost must be a *measured* figure, not a constant someone guessed, so
+//! this module times the real emission path — registry update plus sink
+//! fan-out through the handle's sampling choke point — on the machine the
+//! estimate is for. The criterion bench (`crates/bench/benches/
+//! telemetry.rs`) measures the same paths with proper statistics; this
+//! in-process calibration exists so `obs hotspots` works standalone, with
+//! no bench harness in the loop.
+//!
+//! The workload mixes the three emission kinds the round hot path
+//! actually produces (counter increments, histogram observations, and
+//! simulated-clock spans) in the reader's 4:2:1 ratio, into a bounded
+//! [`RingSink`] so the measurement itself stays at fixed memory.
+
+use crate::handle::Telemetry;
+use crate::sink::RingSink;
+use std::time::Instant;
+
+/// A measured per-event emission cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadEstimate {
+    /// Mean host seconds per emitted event.
+    pub per_event_seconds: f64,
+    /// Events emitted during calibration.
+    pub events_measured: u64,
+    /// Total host seconds the calibration loop took.
+    pub total_seconds: f64,
+}
+
+impl OverheadEstimate {
+    /// Estimated host seconds a run spent emitting `events` events.
+    pub fn cost_of(&self, events: u64) -> f64 {
+        self.per_event_seconds * events as f64
+    }
+}
+
+/// Calibrates with the default sample size (~70k events, well under a
+/// second on anything modern).
+pub fn calibrate() -> OverheadEstimate {
+    calibrate_iterations(10_000)
+}
+
+/// Times `iterations` passes of the mixed emission workload (7 events per
+/// pass) against a fresh handle with a bounded ring sink.
+pub fn calibrate_iterations(iterations: u64) -> OverheadEstimate {
+    let tel = Telemetry::new();
+    tel.install(Box::new(RingSink::new(4096)));
+    let iterations = iterations.max(1);
+    let start = Instant::now();
+    for k in 0..iterations {
+        // The reader's per-round shape: slot-outcome counters, duration /
+        // Q observations, one closing span.
+        tel.incr_by("round.successes", 3);
+        tel.incr_by("round.empties", 2);
+        tel.incr_by("round.collisions", 1);
+        tel.incr_by("round.reads", 3);
+        tel.observe("round.duration", 0.031);
+        tel.observe("round.q_final", 4.0);
+        let span = tel.sim_span("round", k as f64 * 0.031);
+        span.end(k as f64 * 0.031 + 0.031);
+    }
+    let total_seconds = start.elapsed().as_secs_f64();
+    let events_measured = iterations * 7;
+    OverheadEstimate {
+        // Never divide into a zero clock reading (coarse timers).
+        per_event_seconds: total_seconds.max(1e-12) / events_measured as f64,
+        events_measured,
+        total_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_measures_a_positive_cost() {
+        let est = calibrate_iterations(500);
+        assert_eq!(est.events_measured, 3500);
+        assert!(est.per_event_seconds > 0.0);
+        assert!(est.per_event_seconds < 1e-3, "implausibly slow: {est:?}");
+        let run_cost = est.cost_of(1_000_000);
+        assert!((run_cost - est.per_event_seconds * 1e6).abs() < 1e-12);
+    }
+}

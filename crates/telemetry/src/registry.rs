@@ -25,10 +25,7 @@ impl MetricsRegistry {
     /// Adds `delta` to counter `name` (creating it at zero), returning the
     /// new total.
     pub fn incr_by(&mut self, name: &str, delta: u64) -> u64 {
-        let slot = self
-            .counters
-            .entry(name.to_string())
-            .or_insert(0);
+        let slot = self.counters.entry(name.to_string()).or_insert(0);
         *slot = slot.saturating_add(delta);
         *slot
     }

@@ -5,7 +5,7 @@
 //! and experiments, and a line-buffered JSONL file writer for offline
 //! analysis (`repro ... --telemetry out.jsonl`).
 
-use crate::event::{Event, SpanRecord};
+use crate::event::{Event, FooterRecord, SpanRecord};
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{LineWriter, Write};
@@ -63,7 +63,11 @@ impl MemorySink {
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
-        self.shared.lock().expect("memory sink poisoned").events.len()
+        self.shared
+            .lock()
+            .expect("memory sink poisoned")
+            .events
+            .len()
     }
 
     /// Whether the buffer is empty.
@@ -85,19 +89,136 @@ impl MemorySink {
     /// The running total carried by the *last* counter event with the
     /// given name, if any was buffered.
     pub fn counter_total(&self, name: &str) -> Option<u64> {
-        self.events()
-            .into_iter()
-            .rev()
-            .find_map(|ev| match ev {
-                Event::Counter(c) if c.name == name => Some(c.total),
-                _ => None,
-            })
+        self.events().into_iter().rev().find_map(|ev| match ev {
+            Event::Counter(c) if c.name == name => Some(c.total),
+            _ => None,
+        })
     }
 }
 
 impl Sink for MemorySink {
     fn record(&mut self, event: &Event) {
         let mut buf = self.shared.lock().expect("memory sink poisoned");
+        if buf.capacity == 0 {
+            buf.dropped += 1;
+            return;
+        }
+        if buf.events.len() == buf.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(event.clone());
+    }
+}
+
+/// The always-on flight recorder: a fixed-capacity ring holding the most
+/// recent events, with drop accounting, dumped as JSONL on demand.
+///
+/// Where [`MemorySink`] exists for tests (inspection helpers, unbounded
+/// inspection of small streams), `RingSink` is the production shape for
+/// long runs that cannot afford an unbounded JSONL file: tracing stays
+/// enabled at a hard memory bound, and when something interesting happens
+/// the tail of the trace is written out. A dump of a ring that evicted
+/// events ends with a synthesized [`FooterRecord`] whose `dropped` field
+/// carries the eviction count, so `tagwatch-obs` analyzes the truncated
+/// stream under its relaxed (footer-aware) consistency rules instead of
+/// mistaking it for a complete trace.
+///
+/// Clones share the ring, like [`MemorySink`]: install one copy on the
+/// handle, keep the other for dumping.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    shared: Arc<Mutex<RingBuf>>,
+}
+
+#[derive(Debug)]
+struct RingBuf {
+    events: VecDeque<Event>,
+    capacity: usize,
+    /// Events evicted (oldest-first) or rejected (zero capacity).
+    dropped: u64,
+    /// Every event ever offered to the ring.
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            shared: Arc::new(Mutex::new(RingBuf {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+                seen: 0,
+            })),
+        }
+    }
+
+    fn buf(&self) -> std::sync::MutexGuard<'_, RingBuf> {
+        self.shared.lock().expect("ring sink poisoned")
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf().events.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted or rejected since creation.
+    pub fn dropped(&self) -> u64 {
+        self.buf().dropped
+    }
+
+    /// A copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.buf().events.iter().cloned().collect()
+    }
+
+    /// Writes the retained events as JSONL. When the ring evicted
+    /// anything, a synthesized footer line closes the dump: `emitted` is
+    /// the count of events the ring ever received, `dropped` the count
+    /// missing from this dump. A ring that never overflowed writes no
+    /// footer — the stream is complete as-is (the handle's own
+    /// [`crate::Telemetry::finish`] footer, if present, is retained like
+    /// any other event).
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let buf = self.buf();
+        for ev in &buf.events {
+            let line = serde_json::to_string(ev)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(w, "{line}")?;
+        }
+        if buf.dropped > 0 {
+            let footer = Event::Footer(FooterRecord {
+                emitted: buf.seen,
+                sampled_out: 0,
+                dropped: buf.dropped,
+                sample_every_n_rounds: 1,
+                max_events: buf.capacity as u64,
+            });
+            let line = serde_json::to_string(&footer)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Dumps the ring to a file (see [`RingSink::write_jsonl`]).
+    pub fn dump_to_path<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut file = File::create(path)?;
+        self.write_jsonl(&mut file)?;
+        file.flush()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&mut self, event: &Event) {
+        let mut buf = self.buf();
+        buf.seen += 1;
         if buf.capacity == 0 {
             buf.dropped += 1;
             return;
@@ -222,6 +343,61 @@ mod tests {
         let mut writer = sink.clone();
         writer.record(&counter("c", 2, 2));
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn ring_sink_retains_tail_with_drop_accounting() {
+        let sink = RingSink::new(3);
+        let mut writer = sink.clone();
+        for k in 0..5 {
+            writer.record(&counter("c", 1, k + 1));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        match &sink.events()[0] {
+            Event::Counter(c) => assert_eq!(c.total, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_dump_appends_footer_only_after_eviction() {
+        let sink = RingSink::new(8);
+        let mut writer = sink.clone();
+        for k in 0..4 {
+            writer.record(&counter("c", 1, k + 1));
+        }
+        // No eviction yet: the dump is the complete stream, no footer.
+        let mut out = Vec::new();
+        sink.write_jsonl(&mut out).unwrap();
+        let events = crate::jsonl::read_events(out.as_slice()).unwrap();
+        assert_eq!(events.len(), 4);
+        assert!(!events.iter().any(|(_, e)| matches!(e, Event::Footer(_))));
+
+        for k in 4..12 {
+            writer.record(&counter("c", 1, k + 1));
+        }
+        let mut out = Vec::new();
+        sink.write_jsonl(&mut out).unwrap();
+        let events = crate::jsonl::read_events(out.as_slice()).unwrap();
+        assert_eq!(events.len(), 9); // 8 retained + footer
+        match &events.last().unwrap().1 {
+            Event::Footer(f) => {
+                assert_eq!(f.emitted, 12);
+                assert_eq!(f.dropped, 4);
+                assert!(!f.is_complete());
+            }
+            other => panic!("expected footer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let sink = RingSink::new(0);
+        let mut writer = sink.clone();
+        writer.record(&counter("c", 1, 1));
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 1);
     }
 
     #[test]

@@ -155,9 +155,8 @@ pub fn generate(cfg: &TraceConfig, seed: u64) -> Trace {
         }
         // Aggregate budget: n/C(n) reads per active second, derated by the
         // duty cycle.
-        let budget =
-            (n_present as f64 / cfg.cost.inventory_cost(n_present) * cfg.duty_cycle).round()
-                as usize;
+        let budget = (n_present as f64 / cfg.cost.inventory_cost(n_present) * cfg.duty_cycle)
+            .round() as usize;
 
         // Weighted allocation: movers carry the mean parked weight ×4 —
         // they sit directly under the gate antennas while in the zone.

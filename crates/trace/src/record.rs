@@ -134,4 +134,3 @@ mod tests {
         assert!(!tr.readings[1].moving);
     }
 }
-

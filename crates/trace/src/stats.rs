@@ -179,7 +179,10 @@ mod tests {
         let top10 = count_at_top_fraction(&counts, 0.1);
         assert!((100..500).contains(&top20), "top-20% count {top20}");
         assert!((350..1400).contains(&top10), "top-10% count {top10}");
-        assert!(top10 > 2 * top20 / 2, "tail must steepen: {top20} vs {top10}");
+        assert!(
+            top10 > 2 * top20 / 2,
+            "tail must steepen: {top20} vs {top10}"
+        );
         // ≤ ~5.7% simultaneous movers.
         let s = summarize(&tr);
         let frac = s.peak_simultaneous_movers as f64 / s.total_tags as f64;

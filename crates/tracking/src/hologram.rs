@@ -92,8 +92,8 @@ impl Localizer {
                 continue;
             }
             let residual = r.rf.phase - self.geometric_phase(r, known_pos);
-            *acc.entry((r.rf.antenna, r.rf.channel)).or_insert(Complex::ZERO) +=
-                Complex::cis(residual);
+            *acc.entry((r.rf.antenna, r.rf.channel))
+                .or_insert(Complex::ZERO) += Complex::cis(residual);
         }
         for (key, phasor) in acc {
             self.offsets.insert(key, wrap_2pi(phasor.arg()));
@@ -356,7 +356,10 @@ mod tests {
         assert_eq!(loc.calibrated_links(), 4);
         // Locate from a slightly wrong prior.
         let est = loc
-            .locate(&reports_at(true_pos, &ants, 1.0), Vec3::new(0.15, 0.05, 0.8))
+            .locate(
+                &reports_at(true_pos, &ants, 1.0),
+                Vec3::new(0.15, 0.05, 0.8),
+            )
             .unwrap();
         assert!(
             est.dist(true_pos) < 0.005,
@@ -418,7 +421,7 @@ mod tests {
         // ridge is a ring, so the error along it can be large.
         let ants = corner_antennas();
         let mut loc4 = Localizer::new(&ants, HologramConfig::default());
-        let mut loc1 = Localizer::new(&ants[..1].to_vec(), HologramConfig::default());
+        let mut loc1 = Localizer::new(&ants[..1], HologramConfig::default());
         let start = Vec3::new(0.2, 0.0, 0.8);
         loc4.calibrate(start, &reports_at(start, &ants, 0.0));
         loc1.calibrate(start, &reports_at(start, &ants[..1], 0.0));

@@ -117,9 +117,9 @@ impl Tracker {
                     self.localizer
                         .locate_and_velocity(&window, predicted, self.velocity, t_ref)
                 } else {
-                    self.localizer.locate(&window, predicted).map(|p| {
-                        (p, Vec3::ZERO, self.localizer.score(&window, p))
-                    })
+                    self.localizer
+                        .locate(&window, predicted)
+                        .map(|p| (p, Vec3::ZERO, self.localizer.score(&window, p)))
                 };
                 if let Some((pos, v, _score)) =
                     located.filter(|&(_, _, score)| score >= self.min_score)
@@ -155,10 +155,7 @@ pub fn accuracy<F: Fn(f64) -> Vec3>(fixes: &[Fix], truth: F) -> (f64, f64) {
     if fixes.is_empty() {
         return (f64::NAN, f64::NAN);
     }
-    let errors: Vec<f64> = fixes
-        .iter()
-        .map(|f| f.position.dist(truth(f.t)))
-        .collect();
+    let errors: Vec<f64> = fixes.iter().map(|f| f.position.dist(truth(f.t))).collect();
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
     let var = errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errors.len() as f64;
     (mean, var.sqrt())
@@ -276,4 +273,3 @@ mod tests {
         Tracker::new(loc, Vec3::ZERO, 0.0);
     }
 }
-

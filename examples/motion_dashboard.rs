@@ -52,13 +52,17 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0xD);
     let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
-    let mut rcfg = ReaderConfig::default();
-    rcfg.channel_plan = ChannelPlan::single(922.5e6);
+    let rcfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        ..ReaderConfig::default()
+    };
     let mut reader = Reader::new(scene, &epcs, rcfg, seed ^ 0xC);
 
-    let mut cfg = TagwatchConfig::default();
-    cfg.phase2_len = 2.0;
-    cfg.eviction_timeout = 20.0;
+    let cfg = TagwatchConfig {
+        phase2_len: 2.0,
+        eviction_timeout: 20.0,
+        ..TagwatchConfig::default()
+    };
     let mut tagwatch = Controller::new(cfg);
 
     println!("legend: . stationary   M mobile   - unseen this cycle   (columns are tags)");
@@ -78,11 +82,7 @@ fn main() {
 
     for _cycle in 0..50 {
         let rep = tagwatch.run_cycle(&mut reader).expect("valid config");
-        let mut row = format!(
-            "{:>6.1}  {:<9} ",
-            rep.t_start,
-            format!("{:?}", rep.mode)
-        );
+        let mut row = format!("{:>6.1}  {:<9} ", rep.t_start, format!("{:?}", rep.mode));
         for epc in epcs.iter() {
             let symbol = if !rep.census.contains(epc) {
                 " -"
@@ -99,7 +99,10 @@ fn main() {
         println!("{row}");
     }
 
-    println!("\nexpected: column {} flags M every cycle (turntable);", n_static);
+    println!(
+        "\nexpected: column {} flags M every cycle (turntable);",
+        n_static
+    );
     println!(
         "column {} flips to M around t=60 then settles; column {} goes '-' after 90 s and is evicted.",
         n_static + 1,

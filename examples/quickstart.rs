@@ -28,10 +28,12 @@ fn main() {
     let scene = presets::turntable(n_tags, n_mobile, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     let epcs: Vec<Epc> = (0..n_tags).map(|_| Epc::random(&mut rng)).collect();
-    let mut reader_cfg = ReaderConfig::default();
     // Single frequency keeps the immobility models' warm-up short for the
     // demo; production plans hop over 16 channels.
-    reader_cfg.channel_plan = ChannelPlan::single(922.5e6);
+    let reader_cfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        ..ReaderConfig::default()
+    };
 
     // --- Baseline: plain "read everything" ----------------------------
     let mut reader = Reader::new(scene.clone(), &epcs, reader_cfg.clone(), seed);
@@ -43,8 +45,10 @@ fn main() {
 
     // --- Tagwatch: rate-adaptive two-phase reading ---------------------
     let mut reader = Reader::new(scene, &epcs, reader_cfg, seed);
-    let mut cfg = TagwatchConfig::default();
-    cfg.phase2_len = 2.0;
+    let cfg = TagwatchConfig {
+        phase2_len: 2.0,
+        ..TagwatchConfig::default()
+    };
     let mut tagwatch = Controller::new(cfg);
 
     // Warm up: the self-learning immobility models need a few cycles of

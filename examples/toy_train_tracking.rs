@@ -30,9 +30,11 @@ fn tracking_reader(n_static: usize, seed: u64) -> (Reader, Vec<Epc>) {
     let n = scene.tags.len();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xE);
     let epcs: Vec<Epc> = (0..n).map(|_| Epc::random(&mut rng)).collect();
-    let mut cfg = ReaderConfig::default();
-    cfg.channel_plan = ChannelPlan::single(922.5e6);
-    cfg.link = LinkTiming::r420_tracking();
+    let cfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        link: LinkTiming::r420_tracking(),
+        ..ReaderConfig::default()
+    };
     (Reader::new(scene, &epcs, cfg, seed ^ 0xF), epcs)
 }
 

@@ -80,5 +80,8 @@ fn main() {
     // Count-distribution tail for the curious.
     let mut counts = read_counts(&trace);
     counts.sort_unstable_by(|a, b| b.cmp(a));
-    println!("\ntop-10 read counts: {:?}", &counts[..10.min(counts.len())]);
+    println!(
+        "\ntop-10 read counts: {:?}",
+        &counts[..10.min(counts.len())]
+    );
 }

@@ -56,7 +56,16 @@ fn main() -> ExitCode {
     if table {
         println!(
             "{:>5} {:>9} {:>10} {:>7} {:>7} {:>7} {:>6} {:>9} {:>9} {:>7}",
-            "cycle", "t (s)", "mode", "census", "mobile", "target", "masks", "p1 reads", "p2 reads", "ms"
+            "cycle",
+            "t (s)",
+            "mode",
+            "census",
+            "mobile",
+            "target",
+            "masks",
+            "p1 reads",
+            "p2 reads",
+            "ms"
         );
         for c in &cycles {
             println!(

@@ -1,0 +1,253 @@
+//! Exporter contract, end to end: a hand-built two-cycle trace must
+//! render byte-for-byte to the committed Chrome `trace_event` golden
+//! file (and that file must be schema-valid JSON); flame output must
+//! weight every span of the chosen clock exactly once; a real
+//! instrumented controller run must survive the full profile pipeline —
+//! including through a bounded `RingSink` flight recorder and under
+//! deterministic round sampling, where an identical-seed re-run keeps
+//! exactly the same simulated events.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use tagwatch::prelude::*;
+use tagwatch_obs::export::{chrome_trace, flame_lines};
+use tagwatch_obs::model::Trace;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::{
+    ClockKind, CounterRecord, Event, ObserveRecord, RingSink, SpanRecord, Telemetry,
+    TelemetryConfig,
+};
+
+/// Hand-assembles the two-cycle reference trace: per cycle, one round in
+/// each phase, a wall-clock compute span, and the counters the emission
+/// contract requires ahead of each round span. Every value is a fixed
+/// literal, so the exporter output is reproducible byte-for-byte.
+fn two_cycle_events() -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut counter = |events: &mut Vec<Event>, name: &'static str, delta: u64| {
+        let total = totals.entry(name).or_insert(0);
+        *total += delta;
+        events.push(Event::Counter(CounterRecord {
+            name: name.to_string(),
+            delta,
+            total: *total,
+        }));
+    };
+    let span = |name: &str, id: u64, parent: Option<u64>, start: f64, dur: f64| {
+        Event::Span(SpanRecord {
+            name: name.to_string(),
+            id,
+            parent,
+            start,
+            duration: dur,
+            clock: ClockKind::Sim,
+        })
+    };
+
+    for k in 0..2u64 {
+        let t0 = 2.0 * k as f64;
+        let cycle_id = 100 * k + 1;
+        counter(&mut events, "cycle.count", 1);
+        for (p, phase) in ["phase1", "phase2"].iter().enumerate() {
+            let phase_id = cycle_id + 10 * (p as u64 + 1);
+            let p0 = t0 + 0.9 * p as f64;
+            counter(&mut events, "round.count", 1);
+            counter(&mut events, "round.reads", 3);
+            events.push(Event::Observe(ObserveRecord {
+                name: "round.q_final".to_string(),
+                value: 4.0,
+            }));
+            events.push(span("round", phase_id + 1, Some(phase_id), p0, 0.5));
+            events.push(span(phase, phase_id, Some(cycle_id), p0, 0.8));
+        }
+        events.push(Event::Span(SpanRecord {
+            name: "cycle.compute".to_string(),
+            id: cycle_id + 50,
+            parent: Some(cycle_id),
+            start: 0.001 + k as f64,
+            duration: 0.002,
+            clock: ClockKind::Wall,
+        }));
+        events.push(span("cycle", cycle_id, None, t0, 1.8));
+    }
+    events
+}
+
+#[test]
+fn chrome_export_matches_the_committed_golden_file() {
+    let trace = Trace::from_events(&two_cycle_events()).expect("well-formed trace");
+    let rendered = chrome_trace(&trace);
+    // Intentional format changes: TAGWATCH_GOLDEN_OUT=<path> writes the
+    // fresh rendering to copy over tests/golden/two_cycle.chrome.json.
+    if let Ok(out) = std::env::var("TAGWATCH_GOLDEN_OUT") {
+        std::fs::write(&out, &rendered).expect("write regenerated golden");
+    }
+    let golden = include_str!("golden/two_cycle.chrome.json");
+    assert_eq!(
+        rendered, golden,
+        "chrome exporter output drifted from tests/golden/two_cycle.chrome.json; \
+         if the change is intentional, regenerate it with \
+         TAGWATCH_GOLDEN_OUT=tests/golden/two_cycle.chrome.json"
+    );
+}
+
+#[test]
+fn chrome_export_is_schema_valid_trace_event_json() {
+    let trace = Trace::from_events(&two_cycle_events()).expect("well-formed trace");
+    let doc: serde_json::Value =
+        serde_json::from_str(&chrome_trace(&trace)).expect("output parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents is an array");
+    let mut complete_events = 0;
+    for ev in events {
+        // Every event carries the trace_event required keys, and every
+        // duration event the complete-event extras, with the right types.
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph string");
+        assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some(), "pid");
+        assert!(ev.get("tid").and_then(|v| v.as_u64()).is_some(), "tid");
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some(), "name");
+        match ph {
+            "M" => {}
+            "X" => {
+                complete_events += 1;
+                assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some(), "ts");
+                assert!(ev.get("dur").and_then(|v| v.as_u64()).is_some(), "dur");
+                let cat = ev.get("cat").and_then(|v| v.as_str()).expect("cat");
+                assert!(cat == "sim" || cat == "wall", "cat {cat:?}");
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    // 2 cycles × (2 phases + 2 rounds + compute + cycle) spans.
+    assert_eq!(complete_events, 12);
+}
+
+/// Drives an instrumented controller over a turntable scene, mirroring
+/// `repro obs-run --telemetry`, with the given overhead-control config.
+fn drive(seed: u64, cycles: usize, cfg: TelemetryConfig, sink: RingSink) -> Telemetry {
+    let scene = presets::turntable(12, 1, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE9C5);
+    let epcs: Vec<Epc> = (0..12).map(|_| Epc::random(&mut rng)).collect();
+    let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), seed ^ 1);
+
+    let tel = Telemetry::new();
+    tel.configure(cfg);
+    tel.install(Box::new(sink));
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel.clone());
+    ctl.run_cycles(&mut reader, cycles).expect("valid config");
+    tel.finish();
+    tel
+}
+
+#[test]
+fn flame_lines_cover_every_span_of_a_real_run_exactly_once() {
+    let sink = RingSink::new(1 << 20);
+    drive(23, 4, TelemetryConfig::default(), sink.clone());
+    let trace = Trace::from_events(&sink.events()).expect("well-formed trace");
+
+    for clock in [ClockKind::Sim, ClockKind::Wall] {
+        let text = flame_lines(&trace, clock);
+        let expected = trace.spans.iter().filter(|s| s.clock == clock).count();
+        assert_eq!(text.lines().count(), expected, "{clock:?}");
+        let mut total = 0u64;
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("weight separator");
+            assert!(!stack.is_empty());
+            total += weight.parse::<u64>().expect("integer weight");
+        }
+        if clock == ClockKind::Sim {
+            // Self times partition the sim window: total flame weight is
+            // the summed root (cycle) time, in microseconds.
+            let roots: f64 = trace
+                .spans
+                .iter()
+                .filter(|s| s.parent.is_none())
+                .map(|s| s.duration)
+                .sum();
+            let diff = (total as f64 - roots * 1e6).abs();
+            // Each span contributes ≤ 0.5 µs of rounding.
+            assert!(
+                diff <= 0.5 * trace.spans.len() as f64 + 1.0,
+                "flame total {total} µs vs root time {roots} s"
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_recorder_tail_survives_the_full_profile_pipeline() {
+    // A ring far smaller than the run (a 4-cycle run emits ~12k events):
+    // the dump is the trace's tail plus a synthesized footer, and the
+    // whole profile pipeline must accept it. Capacity must exceed the
+    // ~1.5k per-tag read events the controller logs after the final
+    // cycle span, or the tail would hold no spans at all.
+    let sink = RingSink::new(2048);
+    drive(29, 4, TelemetryConfig::default(), sink.clone());
+    assert!(sink.dropped() > 0, "run too small to overflow the ring");
+
+    let path = std::env::temp_dir().join(format!(
+        "tagwatch-export-itest-{}.jsonl",
+        std::process::id()
+    ));
+    sink.dump_to_path(&path).expect("dump");
+    let trace = Trace::from_path(&path).expect("tail parses leniently");
+    std::fs::remove_file(&path).ok();
+
+    assert!(!trace.is_complete());
+    assert!(!trace.spans.is_empty());
+    // Both exporters run on the truncated tail without error.
+    assert!(serde_json::from_str::<serde_json::Value>(&chrome_trace(&trace)).is_ok());
+    let flame = flame_lines(&trace, ClockKind::Sim);
+    assert_eq!(
+        flame.lines().count(),
+        trace
+            .spans
+            .iter()
+            .filter(|s| s.clock == ClockKind::Sim)
+            .count()
+    );
+}
+
+#[test]
+fn round_sampling_is_deterministic_across_identical_runs() {
+    let cfg = TelemetryConfig {
+        sample_every_n_rounds: 3,
+        max_events: 0,
+    };
+    let (a, b) = (RingSink::new(1 << 20), RingSink::new(1 << 20));
+    drive(31, 3, cfg, a.clone());
+    drive(31, 3, cfg, b.clone());
+
+    // Wall-clock readings legitimately differ between runs; everything
+    // the simulated clock produced — including which rounds the sampler
+    // kept — must be identical.
+    let sim_only = |sink: &RingSink| -> Vec<Event> {
+        sink.events()
+            .into_iter()
+            .filter(|ev| match ev {
+                Event::Span(s) => s.clock == ClockKind::Sim,
+                Event::Observe(o) => !o.name.contains("compute"),
+                _ => true,
+            })
+            .collect()
+    };
+    let (ea, eb) = (sim_only(&a), sim_only(&b));
+    assert!(!ea.is_empty());
+    assert_eq!(
+        ea, eb,
+        "sampling kept different events across identical runs"
+    );
+
+    // And the sampler actually suppressed something.
+    let full = RingSink::new(1 << 20);
+    drive(31, 3, TelemetryConfig::default(), full.clone());
+    assert!(
+        ea.len() < sim_only(&full).len(),
+        "1-in-3 sampling suppressed nothing"
+    );
+}

@@ -120,7 +120,9 @@ fn empty_selection_is_cheap_and_harmless() {
     }
     let mask = mask.expect("some 6-bit prefix is unused by 20 tags");
     let t0 = reader.now();
-    let reports = reader.execute(&RoSpec::selective(9, vec![1], &[mask])).unwrap();
+    let reports = reader
+        .execute(&RoSpec::selective(9, vec![1], &[mask]))
+        .unwrap();
     assert!(reports.is_empty());
     assert!(reader.now() - t0 < 0.05, "empty round too slow");
 }
@@ -129,9 +131,11 @@ fn empty_selection_is_cheap_and_harmless() {
 fn channel_hopping_changes_reported_channel_and_freq() {
     let scene = presets::random_room(3, 61);
     let ids = epcs(3, 62);
-    let mut cfg = ReaderConfig::default();
-    // Fast dwell so a short run crosses several channels.
-    cfg.channel_plan = ChannelPlan::evenly_spaced(920.625e6, 250e3, 16, 0.2);
+    let cfg = ReaderConfig {
+        // Fast dwell so a short run crosses several channels.
+        channel_plan: ChannelPlan::evenly_spaced(920.625e6, 250e3, 16, 0.2),
+        ..ReaderConfig::default()
+    };
     let mut reader = Reader::new(scene, &ids, cfg, 63);
     let spec = RoSpec::read_all(1, vec![1]);
     let reports = reader.run_for(&spec, 2.0).unwrap();

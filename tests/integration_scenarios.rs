@@ -23,13 +23,12 @@ fn scenario_files() -> Vec<std::path::PathBuf> {
 fn all_shipped_scenarios_parse_and_run() {
     for path in scenario_files() {
         let json = std::fs::read_to_string(&path).unwrap();
-        let mut spec = scenario::parse(&json)
-            .unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
+        let mut spec =
+            scenario::parse(&json).unwrap_or_else(|e| panic!("{path:?} failed to parse: {e}"));
         // Clamp to a fast smoke run; shorten Phase II too.
         spec.cycles = spec.cycles.min(2);
         spec.tagwatch.phase2_len = spec.tagwatch.phase2_len.min(0.5);
-        let cycles =
-            scenario::run(&spec).unwrap_or_else(|e| panic!("{path:?} failed to run: {e}"));
+        let cycles = scenario::run(&spec).unwrap_or_else(|e| panic!("{path:?} failed to run: {e}"));
         assert_eq!(cycles.len(), spec.cycles, "{path:?}");
         for c in &cycles {
             assert!(c.census > 0, "{path:?}: empty census");

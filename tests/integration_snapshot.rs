@@ -80,7 +80,10 @@ fn restored_controller_skips_relearning() {
     let mut reader = reader;
     let rep = warm.run_cycle(&mut reader).unwrap();
     assert_eq!(rep.mode, tagwatch::ScheduleMode::Selective);
-    assert!(rep.targets.contains(&ids[0]), "mover still known after restore");
+    assert!(
+        rep.targets.contains(&ids[0]),
+        "mover still known after restore"
+    );
     assert!(
         rep.mobile.len() <= 3,
         "warm restart should not re-flag the stationary majority ({} mobile)",

@@ -15,8 +15,10 @@ fn epcs(n: usize, seed: u64) -> Vec<Epc> {
 }
 
 fn reader_for(scene: Scene, ids: &[Epc], seed: u64) -> Reader {
-    let mut cfg = ReaderConfig::default();
-    cfg.channel_plan = ChannelPlan::single(922.5e6);
+    let cfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        ..ReaderConfig::default()
+    };
     Reader::new(scene, ids, cfg, seed)
 }
 
@@ -139,9 +141,11 @@ fn decode_faults_degrade_gracefully() {
     // to selective reading of the mover — just more slowly.
     let scene = presets::turntable(20, 1, 11);
     let ids = epcs(20, 12);
-    let mut cfg = ReaderConfig::default();
-    cfg.channel_plan = ChannelPlan::single(922.5e6);
-    cfg.decode_fail_prob = 0.2;
+    let cfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        decode_fail_prob: 0.2,
+        ..ReaderConfig::default()
+    };
     let mut reader = Reader::new(scene, &ids, cfg, 13);
     let mut ctl = Controller::new(fast_cfg());
     let mut selective_tail = 0;

@@ -211,11 +211,7 @@ fn identical_seed_runs_diff_clean() {
     let a = map(&drive(14, 10, 1, 4, 0.0, false));
     let b = map(&drive(14, 10, 1, 4, 0.0, false));
     let d = DiffReport::diff(&a, &b, 0.10);
-    assert!(
-        d.passed(),
-        "identical seeds must gate clean, got: {}",
-        d
-    );
+    assert!(d.passed(), "identical seeds must gate clean, got: {}", d);
     // Only wall-clock families (cycle.compute) may differ at all.
     for e in &d.entries {
         if !e.name.starts_with("wall.") {

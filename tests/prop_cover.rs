@@ -22,8 +22,7 @@ fn arb_population() -> impl Strategy<Value = Vec<Epc>> {
 }
 
 fn arb_targets(n: usize) -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::btree_set(0..n, 0..=n.min(12))
-        .prop_map(|s| s.into_iter().collect())
+    proptest::collection::btree_set(0..n, 0..=n.min(12)).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {

@@ -1,0 +1,196 @@
+//! Properties of the profile exporters over arbitrary span forests:
+//! `chrome_trace` must emit schema-valid `trace_event` JSON that
+//! round-trips every span name byte-exactly no matter how hostile the
+//! name (quotes, backslashes, control characters, unicode), and
+//! `flame_lines` must emit exactly one collapsed-stack line per span of
+//! the selected clock, every weight a non-negative integer and every
+//! frame free of the format's separator characters.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tagwatch_obs::export::{chrome_trace, flame_lines};
+use tagwatch_obs::model::Trace;
+use tagwatch_telemetry::{ClockKind, Event, SpanRecord};
+
+/// Arbitrary span names, hostile characters very much included — but
+/// steering clear of the `cycle`/`phase1`/`phase2`/`round`/
+/// `cycle.compute` families, whose structural rules (containment,
+/// one-per-cycle) are the model's concern, not the exporters'.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<char>(),
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just(';'),
+            Just(' '),
+            Just('\u{0007}'),
+        ],
+        1..12,
+    )
+    .prop_map(|chars| chars.into_iter().collect::<String>())
+    .prop_filter("structural span families excluded", |name: &String| {
+        name != "cycle"
+            && name != "phase1"
+            && name != "phase2"
+            && name != "cycle.compute"
+            && name != "round"
+            && !name.starts_with("round.")
+    })
+}
+
+/// Raw material for one span: name, parent selector, timing, clock.
+type RawSpan = (String, u64, f64, f64, bool);
+
+/// A well-formed forest in emission order (children before parents):
+/// node `i` may only be parented to a node with a larger index, so
+/// emitting in index order satisfies the model's ordering contract.
+fn arb_forest() -> impl Strategy<Value = Vec<Event>> {
+    proptest::collection::vec(
+        (
+            arb_name(),
+            any::<u64>(),
+            0.0f64..1e6,
+            0.0f64..1e3,
+            any::<bool>(),
+        ),
+        1..40,
+    )
+    .prop_map(|raw: Vec<RawSpan>| {
+        let n = raw.len() as u64;
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (name, psel, start, duration, wall))| {
+                let i = i as u64;
+                // psel chooses among the i+1..n later nodes or "root".
+                let later = n - 1 - i;
+                let parent = if later == 0 || psel % (later + 1) == 0 {
+                    None
+                } else {
+                    Some(i + 1 + (psel % later) + 1)
+                };
+                Event::Span(SpanRecord {
+                    name,
+                    id: i + 1,
+                    parent,
+                    start,
+                    duration,
+                    clock: if wall {
+                        ClockKind::Wall
+                    } else {
+                        ClockKind::Sim
+                    },
+                })
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn chrome_trace_is_schema_valid_and_names_round_trip(events in arb_forest()) {
+        let trace = Trace::from_events(&events).expect("forest is well-formed");
+        let text = chrome_trace(&trace);
+        let doc: serde_json::Value =
+            serde_json::from_str(&text).expect("exporter output parses as JSON");
+
+        let rendered = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        let mut names: Vec<String> = Vec::new();
+        for ev in rendered {
+            let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+            prop_assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some());
+            prop_assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+            if ph == "X" {
+                // Integer microseconds, never negative, never floats.
+                prop_assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some());
+                prop_assert!(ev.get("dur").and_then(|v| v.as_u64()).is_some());
+                names.push(
+                    ev.get("name").and_then(|v| v.as_str()).unwrap().to_string(),
+                );
+            }
+        }
+        // Every span surfaced exactly once, its name byte-identical
+        // after the escape → parse round trip.
+        let mut expected: Vec<String> =
+            trace.spans.iter().map(|s| s.name.clone()).collect();
+        expected.sort();
+        names.sort();
+        prop_assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn flame_lines_weight_every_span_of_the_clock_exactly_once(events in arb_forest()) {
+        let trace = Trace::from_events(&events).expect("forest is well-formed");
+        for clock in [ClockKind::Sim, ClockKind::Wall] {
+            let text = flame_lines(&trace, clock);
+            let expected = trace.spans.iter().filter(|s| s.clock == clock).count();
+            prop_assert_eq!(text.lines().count(), expected);
+            for line in text.lines() {
+                let (stack, weight) =
+                    line.rsplit_once(' ').expect("`stack weight` shape");
+                // Non-negative integer weights (self time can never go
+                // below zero, however children overlap).
+                prop_assert!(weight.parse::<u64>().is_ok(), "weight {weight:?}");
+                for frame in stack.split(';') {
+                    prop_assert!(!frame.is_empty(), "empty frame in {line:?}");
+                    prop_assert!(
+                        !frame.contains(char::is_whitespace),
+                        "unsanitized frame {frame:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_flame_weights_never_exceed_the_span_budget(events in arb_forest()) {
+        let trace = Trace::from_events(&events).expect("forest is well-formed");
+        // Per-span self time is bounded by the span's own duration, so
+        // grouping lines by leaf frame and comparing against the summed
+        // durations of the same-named spans bounds the exporter's
+        // arithmetic without re-deriving it.
+        let mut budget: BTreeMap<String, f64> = BTreeMap::new();
+        for s in trace.spans.iter().filter(|s| s.clock == ClockKind::Sim) {
+            *budget.entry(s.name.clone()).or_insert(0.0) += s.duration;
+        }
+        let mut spent: BTreeMap<String, u64> = BTreeMap::new();
+        let text = flame_lines(&trace, ClockKind::Sim);
+        for line in text.lines() {
+            let (stack, weight) = line.rsplit_once(' ').expect("weight");
+            let leaf = stack.rsplit(';').next().expect("leaf frame").to_string();
+            *spent.entry(leaf).or_insert(0) += weight.parse::<u64>().unwrap();
+        }
+        // Frame names are sanitized, so map budgets through the same
+        // sanitizer: group by sanitized name.
+        let mut sanitized_budget: BTreeMap<String, f64> = BTreeMap::new();
+        for (name, secs) in budget {
+            let frame: String = if name.is_empty() {
+                "_".to_string()
+            } else {
+                name.chars()
+                    .map(|c| {
+                        if c == ';' || c.is_whitespace() || c.is_control() {
+                            '_'
+                        } else {
+                            c
+                        }
+                    })
+                    .collect()
+            };
+            *sanitized_budget.entry(frame).or_insert(0.0) += secs;
+        }
+        for (frame, micros) in spent {
+            let secs = sanitized_budget.get(&frame).copied().unwrap_or(0.0);
+            // Rounding grants each span up to half a microsecond.
+            let slack = 0.5 * trace.spans.len() as f64 + 1.0;
+            prop_assert!(
+                (micros as f64) <= secs * 1e6 + slack,
+                "frame {frame:?} spent {micros} µs of a {secs} s budget"
+            );
+        }
+    }
+}

@@ -8,15 +8,12 @@ use tagwatch_gen2::{
 };
 
 fn arb_epc() -> impl Strategy<Value = Epc> {
-    (any::<u64>(), any::<u32>()).prop_map(|(lo, hi)| {
-        Epc::from_bits(((hi as u128) << 64) | lo as u128)
-    })
+    (any::<u64>(), any::<u32>())
+        .prop_map(|(lo, hi)| Epc::from_bits(((hi as u128) << 64) | lo as u128))
 }
 
 fn arb_range() -> impl Strategy<Value = (u16, u16)> {
-    (0u16..EPC_BITS).prop_flat_map(|pointer| {
-        (Just(pointer), 0u16..=(EPC_BITS - pointer))
-    })
+    (0u16..EPC_BITS).prop_flat_map(|pointer| (Just(pointer), 0u16..=(EPC_BITS - pointer)))
 }
 
 proptest! {

@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use tagwatch_obs::model::Trace;
 use tagwatch_telemetry::jsonl::{read_events, ParseError};
 use tagwatch_telemetry::{
-    ClockKind, CounterRecord, Event, GaugeRecord, JsonlSink, MemorySink, ObserveRecord,
-    SpanRecord, TagRecord, Telemetry,
+    ClockKind, CounterRecord, Event, GaugeRecord, JsonlSink, MemorySink, ObserveRecord, SpanRecord,
+    TagRecord, Telemetry,
 };
 
 /// Metric-style names: 1–3 dotted lowercase segments.
@@ -26,15 +26,12 @@ fn arb_event() -> impl Strategy<Value = Event> {
         (arb_name(), any::<u64>(), any::<u64>()).prop_map(|(name, delta, total)| {
             Event::Counter(CounterRecord { name, delta, total })
         }),
-        (arb_name(), -1e12f64..1e12).prop_map(|(name, value)| {
-            Event::Gauge(GaugeRecord { name, value })
-        }),
-        (arb_name(), 0.0f64..1e9).prop_map(|(name, value)| {
-            Event::Observe(ObserveRecord { name, value })
-        }),
-        (arb_name(), any::<u128>(), 0.0f64..1e6).prop_map(|(name, epc, t)| {
-            Event::Tag(TagRecord { name, epc, t })
-        }),
+        (arb_name(), -1e12f64..1e12)
+            .prop_map(|(name, value)| { Event::Gauge(GaugeRecord { name, value }) }),
+        (arb_name(), 0.0f64..1e9)
+            .prop_map(|(name, value)| { Event::Observe(ObserveRecord { name, value }) }),
+        (arb_name(), any::<u128>(), 0.0f64..1e6)
+            .prop_map(|(name, epc, t)| { Event::Tag(TagRecord { name, epc, t }) }),
         (
             arb_name(),
             1u64..10_000,

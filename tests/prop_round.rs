@@ -12,7 +12,9 @@ use tagwatch_gen2::{
 
 fn population(n: usize, seed: u64) -> Vec<TagProto> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| TagProto::new(Epc::random(&mut rng))).collect()
+    (0..n)
+        .map(|_| TagProto::new(Epc::random(&mut rng)))
+        .collect()
 }
 
 fn open_query(q: u8) -> Query {

@@ -2,17 +2,17 @@
 
 use proptest::prelude::*;
 use tagwatch_trace::{
-    fraction_above, generate, read_counts, summarize, timeline, write_csv, write_json, read_csv,
-    read_json, TraceConfig,
+    fraction_above, generate, read_counts, read_csv, read_json, summarize, timeline, write_csv,
+    write_json, TraceConfig,
 };
 
 fn arb_config() -> impl Strategy<Value = TraceConfig> {
     (
-        60.0f64..600.0,          // duration
-        10usize..80,             // total tags
-        1usize..30,              // parked tags (≤ total enforced below)
-        0.005f64..0.2,           // arrivals per second
-        0.01f64..0.3,            // duty cycle
+        60.0f64..600.0, // duration
+        10usize..80,    // total tags
+        1usize..30,     // parked tags (≤ total enforced below)
+        0.005f64..0.2,  // arrivals per second
+        0.01f64..0.3,   // duty cycle
     )
         .prop_map(|(duration, total, parked, arrivals, duty)| TraceConfig {
             duration,

@@ -16,8 +16,10 @@ fn epcs(n: usize, seed: u64) -> Vec<Epc> {
 }
 
 fn reader_for(scene: Scene, ids: &[Epc], seed: u64) -> Reader {
-    let mut cfg = ReaderConfig::default();
-    cfg.channel_plan = ChannelPlan::single(922.5e6);
+    let cfg = ReaderConfig {
+        channel_plan: ChannelPlan::single(922.5e6),
+        ..ReaderConfig::default()
+    };
     Reader::new(scene, ids, cfg, seed)
 }
 
@@ -101,8 +103,14 @@ fn counters_mirror_cycle_reports_and_round_log() {
     let sum = |f: fn(&CycleReport) -> usize| reports.iter().map(f).sum::<usize>() as u64;
     assert_eq!(snap.counter("cycle.count"), Some(cycles as u64));
     assert_eq!(snap.counter("cycle.census"), Some(sum(|r| r.census.len())));
-    assert_eq!(snap.counter("phase1.reports"), Some(sum(|r| r.phase1.len())));
-    assert_eq!(snap.counter("phase2.reports"), Some(sum(|r| r.phase2.len())));
+    assert_eq!(
+        snap.counter("phase1.reports"),
+        Some(sum(|r| r.phase1.len()))
+    );
+    assert_eq!(
+        snap.counter("phase2.reports"),
+        Some(sum(|r| r.phase2.len()))
+    );
     let evictions = sum(|r| r.evicted.len());
     assert_eq!(snap.counter("cycle.evictions").unwrap_or(0), evictions);
 
@@ -120,7 +128,10 @@ fn counters_mirror_cycle_reports_and_round_log() {
     // The reader promoted every logged round.
     assert!(rounds > 0);
     assert_eq!(snap.counter("round.count"), Some(rounds as u64));
-    assert_eq!(snap.histogram("round.duration").unwrap().count(), rounds as u64);
+    assert_eq!(
+        snap.histogram("round.duration").unwrap().count(),
+        rounds as u64
+    );
 
     // Duration histograms saw one observation per cycle, and their sums
     // agree with the report ground truth.
@@ -148,7 +159,12 @@ fn disabled_handle_changes_nothing_and_records_nothing() {
         let mut digest = Vec::new();
         for _ in 0..5 {
             let rep = ctl.run_cycle(&mut reader).unwrap();
-            digest.push((rep.mode, rep.census.len(), rep.phase1.len(), rep.phase2.len()));
+            digest.push((
+                rep.mode,
+                rep.census.len(),
+                rep.phase1.len(),
+                rep.phase2.len(),
+            ));
         }
         assert!(tel.snapshot().is_empty());
         (digest, reader.now())

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Assemble a buildable shadow of this workspace for network-less
+# environments (no crates.io / registry mirror reachable).
+#
+#   tools/offline/mkshadow.sh [dest]     # default dest: /tmp/tagwatch-shadow
+#
+# The shadow replaces the three external runtime dependencies (rand,
+# serde, serde_json) with the functional stubs in tools/offline/stubs/,
+# and drops the dev-only proptest/criterion surface (property tests and
+# criterion benches are driver/CI-only). Everything else — every crate,
+# unit test, integration test, binary — builds and runs offline.
+#
+# `cargo test` in the shadow is NOT the tier-1 gate (that runs with the
+# real dependencies); it is a high-fidelity local approximation. The rand
+# stub reproduces rand 0.8.5's StdRng stream bit-for-bit (see its
+# value-stability self-test), so seeded workloads — including the
+# BENCH_*.json reference numbers — match the real build.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/../.." && pwd)"
+dest="${1:-/tmp/tagwatch-shadow}"
+
+# Refresh the shadow but keep its target/ so rebuilds stay incremental.
+mkdir -p "$dest"
+find "$dest" -mindepth 1 -maxdepth 1 ! -name target -exec rm -rf {} +
+tar -C "$repo" \
+    --exclude=./.git \
+    --exclude=./target \
+    --exclude=./tools/offline \
+    --exclude=./Cargo.lock \
+    -cf - . | tar -C "$dest" -xf -
+
+# The stubs become workspace members under stubs/.
+mkdir -p "$dest/stubs"
+tar -C "$repo/tools/offline/stubs" -cf - . | tar -C "$dest/stubs" -xf -
+
+python3 - "$dest" <<'PY'
+import glob
+import os
+import re
+import sys
+
+dest = sys.argv[1]
+
+
+def rewrite(path, fn):
+    with open(path) as fh:
+        text = fh.read()
+    new = fn(text)
+    if new != text:
+        with open(path, "w") as fh:
+            fh.write(new)
+
+
+def patch_root(text):
+    text = text.replace(
+        'members = ["crates/*"]', 'members = ["crates/*", "stubs/*"]'
+    )
+    text = re.sub(
+        r'^rand = .*$',
+        'rand = { path = "stubs/rand" }',
+        text,
+        flags=re.M,
+    )
+    text = re.sub(
+        r'^serde = .*$',
+        'serde = { path = "stubs/serde", features = ["derive"] }',
+        text,
+        flags=re.M,
+    )
+    text = re.sub(
+        r'^serde_json = .*$',
+        'serde_json = { path = "stubs/serde_json", features = ["float_roundtrip"] }',
+        text,
+        flags=re.M,
+    )
+    text = re.sub(r'^(proptest|criterion) = .*\n', "", text, flags=re.M)
+    text = re.sub(r'^(proptest|criterion)\.workspace = true\n', "", text, flags=re.M)
+    # Drop the tools/offline workspace exclude (the dir is not copied).
+    text = re.sub(r'^exclude = \["tools/offline.*\n', "", text, flags=re.M)
+    return text
+
+
+def patch_member(text):
+    text = re.sub(r'^(proptest|criterion)\.workspace = true\n', "", text, flags=re.M)
+    # Drop [[bench]] sections (criterion harnesses).
+    text = re.sub(r'\n\[\[bench\]\]\n(?:[^\[]*?)(?=\n\[|\Z)', "", text, flags=re.S)
+    return text
+
+
+rewrite(os.path.join(dest, "Cargo.toml"), patch_root)
+for manifest in glob.glob(os.path.join(dest, "crates", "*", "Cargo.toml")):
+    rewrite(manifest, patch_member)
+
+# proptest-only test files and criterion benches can't build offline.
+for path in glob.glob(os.path.join(dest, "tests", "prop_*")):
+    os.remove(path)
+for path in glob.glob(os.path.join(dest, "crates", "bench", "benches", "*.rs")):
+    os.remove(path)
+
+print(f"shadow workspace ready at {dest}")
+PY

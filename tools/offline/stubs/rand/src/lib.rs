@@ -1,0 +1,549 @@
+//! Offline stand-in for the `rand 0.8` surface this workspace uses.
+//!
+//! Unlike a typecheck-only shim, this is a *functional* reimplementation:
+//! `StdRng` is ChaCha12 seeded through the PCG32-based `seed_from_u64`
+//! expansion, and `gen`/`gen_range`/`gen_bool` follow the same algorithms
+//! rand 0.8.5 uses (53-bit float construction, widening-multiply integer
+//! rejection sampling, Bernoulli by 64-bit integer threshold). The intent
+//! is that a seeded run produces the *same stream* as the real crate, so
+//! bench baselines recorded offline stay valid when the real dependency
+//! is available. A value-stability self-test below pins the known
+//! `StdRng` vector from rand's own test suite.
+//!
+//! Only what the workspace calls is implemented. Never published; wired
+//! in by `tools/offline/mkshadow.sh` via a path override.
+
+#![allow(clippy::all)]
+
+// ---------------------------------------------------------------------------
+// Core traits.
+// ---------------------------------------------------------------------------
+
+/// Minimal `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Minimal `rand::Rng`, blanket-implemented exactly like the real crate.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        T: StandardSample,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli(p). Matches rand 0.8: `p == 1.0` consumes no randomness;
+    /// every other probability consumes one `u64`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p={p} outside [0, 1]"
+        );
+        if p == 1.0 {
+            return true;
+        }
+        // SCALE = 2^64 as f64; p_int = floor(p * 2^64).
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Minimal `rand::SeedableRng` with the rand_core 0.6 `seed_from_u64`
+/// default: a PCG32 stream expands the `u64` into the full seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The `Standard` distribution (`rng.gen()`).
+// ---------------------------------------------------------------------------
+
+/// Types `rng.gen()` can produce, with rand 0.8's `Standard` algorithms.
+pub trait StandardSample: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_from_u32 {
+    ($($ty:ty),*) => {$(
+        impl StandardSample for $ty {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+standard_from_u32!(u8, u16, u32, i8, i16, i32);
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl StandardSample for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Low half first, matching rand.
+        let x = u128::from(rng.next_u64());
+        let y = u128::from(rng.next_u64());
+        (y << 64) | x
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand: sign bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit multiply: uniform on [0, 1) with 2^-53 resolution.
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `gen_range` (`UniformSampler::sample_single`).
+// ---------------------------------------------------------------------------
+
+/// Types usable with `gen_range`.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+        -> Self;
+}
+
+/// Range shapes `gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $widen:ty) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "gen_range: low > high");
+                let range =
+                    (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // Full integer domain.
+                    return <$u_large as StandardSample>::sample_standard(rng) as $ty;
+                }
+                // rand 0.8's "conservative but fast approximation" zone.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = <$u_large as StandardSample>::sample_standard(rng);
+                    let m = (v as $widen) * (range as $widen);
+                    let lo = m as $u_large;
+                    let hi = (m >> <$u_large>::BITS) as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+uniform_int_impl!(u32, u32, u32, u64);
+uniform_int_impl!(i32, u32, u32, u64);
+uniform_int_impl!(u64, u64, u64, u128);
+uniform_int_impl!(i64, u64, u64, u128);
+uniform_int_impl!(usize, usize, u64, u128);
+
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bits:expr, $exp_bias:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "gen_range: low >= high");
+                let scale = high - low;
+                loop {
+                    // Value in [1, 2), then shift to [0, 1).
+                    let bits = <$uty as StandardSample>::sample_standard(rng);
+                    let value1_2 = <$ty>::from_bits(
+                        (bits >> $bits_to_discard) | (($exp_bias as $uty) << $exp_bits),
+                    );
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // Floats: inclusive upper bound degenerates to the same
+                // construction (measure-zero boundary).
+                assert!(low <= high, "gen_range: low > high");
+                if low == high {
+                    return low;
+                }
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+uniform_float_impl!(f64, u64, 12, 52, 1023u64);
+uniform_float_impl!(f32, u32, 9, 23, 127u32);
+
+// ---------------------------------------------------------------------------
+// ChaCha12 core (rand 0.8's StdRng).
+// ---------------------------------------------------------------------------
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (12 for StdRng).
+fn chacha_block(input: &[u32; 16], rounds: u32) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input.iter()) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// ChaCha12 with rand_chacha's state layout: 64-bit block counter in
+    /// words 12–13, 64-bit stream id (always 0 here) in words 14–15, and a
+    /// 4-block (64-word) output buffer consumed through rand_core's
+    /// `BlockRng` word/pair indexing, which this reproduces exactly.
+    #[derive(Clone)]
+    pub struct StdRng {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; 64],
+        index: usize,
+    }
+
+    impl std::fmt::Debug for StdRng {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("StdRng").finish_non_exhaustive()
+        }
+    }
+
+    impl StdRng {
+        fn generate(&mut self) {
+            for block in 0..4u64 {
+                let ctr = self.counter.wrapping_add(block);
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+                state[4..12].copy_from_slice(&self.key);
+                state[12] = ctr as u32;
+                state[13] = (ctr >> 32) as u32;
+                // words 14-15: stream id, fixed 0.
+                let out = chacha_block(&state, 12);
+                self.buf[block as usize * 16..block as usize * 16 + 16].copy_from_slice(&out);
+            }
+            self.counter = self.counter.wrapping_add(4);
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *k = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 64],
+                index: 64,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 64 {
+                self.generate();
+                self.index = 0;
+            }
+            let v = self.buf[self.index];
+            self.index += 1;
+            v
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core BlockRng::next_u64 indexing, len = 64.
+            let read = |buf: &[u32; 64], i: usize| -> u64 {
+                u64::from(buf[i + 1]) << 32 | u64::from(buf[i])
+            };
+            if self.index < 63 {
+                let v = read(&self.buf, self.index);
+                self.index += 2;
+                v
+            } else if self.index >= 64 {
+                self.generate();
+                self.index = 2;
+                read(&self.buf, 0)
+            } else {
+                // index == 63: straddle the refill.
+                let lo = u64::from(self.buf[63]);
+                self.generate();
+                self.index = 1;
+                let hi = u64::from(self.buf[0]);
+                (hi << 32) | lo
+            }
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let mut chunks = dest.chunks_exact_mut(4);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next_u32().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+        }
+    }
+
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// rand's deterministic mock: yields `initial`, then keeps adding
+        /// `increment` (wrapping).
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            v: u64,
+            step: u64,
+        }
+
+        impl StepRng {
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng {
+                    v: initial,
+                    step: increment,
+                }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let out = self.v;
+                self.v = self.v.wrapping_add(self.step);
+                out
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                let mut chunks = dest.chunks_exact_mut(8);
+                for chunk in &mut chunks {
+                    chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+                }
+                let rem = chunks.into_remainder();
+                if !rem.is_empty() {
+                    let bytes = self.next_u64().to_le_bytes();
+                    rem.copy_from_slice(&bytes[..rem.len()]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn rfc7539_quarter_round_vector() {
+        let mut state = [0u32; 16];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn stdrng_value_stability_vector() {
+        // rand 0.8's own StdRng stability test vector
+        // (rand/src/rngs/std.rs::test_stdrng_construction).
+        let seed: [u8; 32] = [
+            1, 0, 0, 0, 23, 0, 0, 0, 200, 1, 0, 0, 210, 30, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+            0, 0, 0, 0, 0, 0,
+        ];
+        let mut rng = StdRng::from_seed(seed);
+        assert_eq!(rng.next_u64(), 10719222850664546238);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_nontrivial() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xa = a.next_u64();
+        assert_eq!(xa, b.next_u64());
+        assert_ne!(xa, c.next_u64());
+    }
+
+    #[test]
+    fn float_standard_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_int_respects_bounds_and_uniformity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            let v: u32 = rng.gen_range(0..8u32);
+            counts[v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_edges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let mut heads = 0;
+        for _ in 0..1000 {
+            if rng.gen_bool(0.25) {
+                heads += 1;
+            }
+        }
+        assert!((150..350).contains(&heads), "p=0.25 gave {heads}/1000");
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = rngs::mock::StepRng::new(0, 0);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 0);
+        let mut rng = rngs::mock::StepRng::new(5, 3);
+        assert_eq!(rng.next_u64(), 5);
+        assert_eq!(rng.next_u64(), 8);
+    }
+}

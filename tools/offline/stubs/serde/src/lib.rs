@@ -1,0 +1,431 @@
+//! Offline stand-in for the `serde 1` surface this workspace uses.
+//!
+//! A *functional* mini-serde: instead of the visitor machinery, the model
+//! is a single JSON-shaped [`Value`] tree. `Serialize` renders into it,
+//! `Deserialize` reads back out of it, and the derive macros (from the
+//! sibling `serde_derive` stub) generate those impls for the attribute
+//! subset the workspace uses: `rename`, `rename_all = "snake_case"`,
+//! `tag = "..."` (internal tagging), `default`, and `default = "path"`.
+//!
+//! Never published; wired in by `tools/offline/mkshadow.sh`.
+
+#![allow(clippy::all)]
+pub use serde_derive_stub::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Number, Value};
+
+/// Deserialization error: a message, optionally wrapped by `serde_json`.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Mini-serde `Serialize`: render self as a [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Mini-serde `Deserialize`: rebuild self from a [`Value`]. The `'de`
+/// lifetime is vestigial (kept so `derive` output and `DeserializeOwned`
+/// bounds read like real serde).
+pub trait Deserialize<'de>: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+pub mod de {
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u128))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! ser_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u128))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Map keys: serde_json stringifies integer (and integer-newtype) keys.
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::Number(Number::PosInt(n)) => n.to_string(),
+        Value::Number(Number::NegInt(n)) => n.to_string(),
+        other => panic!("unsupported map key type: {}", other.kind()),
+    }
+}
+
+fn key_value(s: &str) -> Value {
+    if let Ok(n) = s.parse::<u128>() {
+        Value::Number(Number::PosInt(n))
+    } else if let Ok(n) = s.parse::<i128>() {
+        Value::Number(Number::NegInt(n))
+    } else {
+        Value::String(s.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+            .collect();
+        // HashMap iteration order is arbitrary; sort for deterministic
+        // output (callers cannot rely on real serde_json's order either).
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! de_uint {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$ty>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!(
+                            "integer {n} out of range for {}", stringify!($ty)))),
+                    other => Err(DeError::custom(format!(
+                        "expected unsigned integer, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! de_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match v {
+                    Value::Number(Number::PosInt(n)) => i128::try_from(*n)
+                        .map_err(|_| DeError::custom("integer overflow"))?,
+                    Value::Number(Number::NegInt(n)) => *n,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            "expected integer, got {}", other.kind())))
+                    }
+                };
+                <$ty>::try_from(wide).map_err(|_| DeError::custom(format!(
+                    "integer {wide} out of range for {}", stringify!($ty))))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, i128, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(DeError::custom(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize_value(v).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T, const N: usize> Deserialize<'de> for [T; N]
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::deserialize_value(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}")))
+    }
+}
+
+impl<'de, A, B> Deserialize<'de> for (A, B)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+            )),
+            _ => Err(DeError::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<'de, A, B, C> Deserialize<'de> for (A, B, C)
+where
+    A: for<'a> Deserialize<'a>,
+    B: for<'a> Deserialize<'a>,
+    C: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::deserialize_value(&items[0])?,
+                B::deserialize_value(&items[1])?,
+                C::deserialize_value(&items[2])?,
+            )),
+            _ => Err(DeError::custom("expected 3-element array")),
+        }
+    }
+}
+
+impl<'de, V> Deserialize<'de> for std::collections::BTreeMap<String, V>
+where
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::collections::VecDeque<T>
+where
+    T: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::deserialize_value(v)?.into())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::HashMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + std::hash::Hash + Eq,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    Ok((
+                        K::deserialize_value(&key_value(k))?,
+                        V::deserialize_value(v)?,
+                    ))
+                })
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,104 @@
+//! The JSON-shaped data model shared by the `serde` and `serde_json`
+//! stubs. Objects preserve insertion order (struct field declaration
+//! order), matching how real serde_json streams struct fields.
+
+/// A JSON number wide enough for the workspace's `u128` EPC fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u128),
+    NegInt(i128),
+    Float(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::PosInt(n) => *n as f64,
+            Number::NegInt(n) => *n as f64,
+            Number::Float(f) => *f,
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    /// Key/value pairs in insertion order; duplicate keys keep the last
+    /// occurrence on lookup (matching serde_json's insert semantics).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (last occurrence wins, like serde_json's map
+    /// insert). Returns `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Field lookup on a raw pair slice — used by derive-generated code.
+pub fn get_key<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+}

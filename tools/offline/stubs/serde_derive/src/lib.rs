@@ -1,0 +1,647 @@
+//! Derive macros for the offline mini-serde stub.
+//!
+//! Hand-rolled over raw `proc_macro` token trees (no syn/quote in this
+//! network-less environment). Supports exactly the shapes and attributes
+//! the workspace uses:
+//!
+//! - named-field structs, newtype structs, tuple structs
+//! - enums with unit / newtype / struct variants
+//! - `#[serde(rename = "...")]` on fields
+//! - `#[serde(rename_all = "snake_case")]` on containers
+//! - `#[serde(tag = "...")]` internally tagged enums
+//! - `#[serde(default)]` / `#[serde(default = "path")]` on fields,
+//!   `#[serde(default)]` on containers
+//!
+//! Anything else panics at compile time so unsupported schema creep is
+//! caught immediately.
+
+#![allow(clippy::all)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    tag: Option<String>,
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = path fn.
+    default: Option<Option<String>>,
+}
+
+#[derive(Debug)]
+struct FieldDef {
+    ident: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<FieldDef>),
+}
+
+#[derive(Debug)]
+struct VariantDef {
+    ident: String,
+    attrs: SerdeAttrs,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    NamedStruct(Vec<FieldDef>),
+    TupleStruct(usize),
+    Enum(Vec<VariantDef>),
+}
+
+#[derive(Debug)]
+struct ItemDef {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+fn parse_serde_attr_body(tokens: Vec<TokenTree>, out: &mut SerdeAttrs) {
+    // Comma-separated `key` or `key = "literal"` entries.
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                i += 1;
+                continue;
+            }
+            other => panic!("serde stub: unexpected attr token `{other}`"),
+        };
+        i += 1;
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        value = Some(s.trim_matches('"').to_string());
+                        i += 1;
+                    }
+                    other => panic!("serde stub: expected string after `{key} =`, got {other:?}"),
+                }
+            }
+        }
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => out.rename = Some(v),
+            ("rename_all", Some(v)) => {
+                assert_eq!(
+                    v, "snake_case",
+                    "serde stub: only rename_all = \"snake_case\" is supported"
+                );
+                out.rename_all = Some(v);
+            }
+            ("tag", Some(v)) => out.tag = Some(v),
+            ("default", v) => out.default = Some(v),
+            (k, _) => panic!("serde stub: unsupported serde attribute `{k}`"),
+        }
+    }
+}
+
+/// Consumes leading `#[...]` attributes from `tokens[*i]`, folding any
+/// `#[serde(...)]` contents into the returned attrs.
+fn parse_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let group = match &tokens[*i + 1] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => g,
+                    other => panic!("serde stub: expected [...] after #, got {other:?}"),
+                };
+                let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        match inner.get(1) {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                                parse_serde_attr_body(g.stream().into_iter().collect(), &mut attrs)
+                            }
+                            other => panic!("serde stub: malformed serde attr: {other:?}"),
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Skips an optional `pub` / `pub(...)` visibility prefix.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips tokens until a top-level comma (tracking `<`/`>` depth so commas
+/// inside generics don't terminate early), consuming the comma.
+fn skip_to_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<FieldDef> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let ident = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub: expected `:` after field `{ident}`, got {other:?}"),
+        }
+        skip_to_comma(&tokens, &mut i);
+        fields.push(FieldDef { ident, attrs });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries in a tuple body.
+fn tuple_arity(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_to_comma(&tokens, &mut i);
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<VariantDef> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let ident = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                assert_eq!(
+                    arity, 1,
+                    "serde stub: only newtype tuple variants are supported ({ident})"
+                );
+                i += 1;
+                VariantShape::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_to_comma(&tokens, &mut i);
+        variants.push(VariantDef {
+            ident,
+            attrs,
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> ItemDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = parse_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub: generic types are not supported ({name})");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(tuple_arity(g.stream()))
+            }
+            other => panic!("serde stub: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stub: unsupported enum body for {name}: {other:?}"),
+        },
+        kw => panic!("serde stub: cannot derive for `{kw}`"),
+    };
+    ItemDef { name, attrs, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Name mangling.
+// ---------------------------------------------------------------------------
+
+fn snake_case(ident: &str) -> String {
+    let mut out = String::with_capacity(ident.len() + 4);
+    for (k, ch) in ident.chars().enumerate() {
+        if ch.is_uppercase() {
+            if k > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn field_json_name(field: &FieldDef, container: &SerdeAttrs) -> String {
+    if let Some(r) = &field.attrs.rename {
+        return r.clone();
+    }
+    let ident = field.ident.strip_prefix("r#").unwrap_or(&field.ident);
+    if container.rename_all.is_some() {
+        snake_case(ident)
+    } else {
+        ident.to_string()
+    }
+}
+
+fn variant_json_name(variant: &VariantDef, container: &SerdeAttrs) -> String {
+    if let Some(r) = &variant.attrs.rename {
+        return r.clone();
+    }
+    if container.rename_all.is_some() {
+        snake_case(&variant.ident)
+    } else {
+        variant.ident.clone()
+    }
+}
+
+fn quote_str(s: &str) -> String {
+    format!("{s:?}")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen.
+// ---------------------------------------------------------------------------
+
+fn gen_push_fields(fields: &[FieldDef], container: &SerdeAttrs, access_prefix: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let json = field_json_name(f, container);
+        out.push_str(&format!(
+            "__o.push(({}.to_string(), ::serde::Serialize::to_value(&{}{})));\n",
+            quote_str(&json),
+            access_prefix,
+            f.ident
+        ));
+    }
+    out
+}
+
+fn gen_serialize_impl(item: &ItemDef) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            format!(
+                "let mut __o: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{}::serde::Value::Object(__o)",
+                gen_push_fields(fields, &item.attrs, "self.")
+            )
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let json = quote_str(&variant_json_name(v, &item.attrs));
+                let arm = match (&v.shape, &item.attrs.tag) {
+                    (VariantShape::Unit, None) => format!(
+                        "{name}::{v} => ::serde::Value::String({json}.to_string()),\n",
+                        v = v.ident
+                    ),
+                    (VariantShape::Unit, Some(tag)) => format!(
+                        "{name}::{v} => ::serde::Value::Object(vec![({t}.to_string(), \
+                         ::serde::Value::String({json}.to_string()))]),\n",
+                        v = v.ident,
+                        t = quote_str(tag)
+                    ),
+                    (VariantShape::Newtype, None) => format!(
+                        "{name}::{v}(__x) => ::serde::Value::Object(vec![({json}.to_string(), \
+                         ::serde::Serialize::to_value(__x))]),\n",
+                        v = v.ident
+                    ),
+                    (VariantShape::Newtype, Some(tag)) => format!(
+                        "{name}::{v}(__x) => match ::serde::Serialize::to_value(__x) {{\n\
+                         ::serde::Value::Object(__pairs) => {{\n\
+                         let mut __o = vec![({t}.to_string(), \
+                         ::serde::Value::String({json}.to_string()))];\n\
+                         __o.extend(__pairs);\n\
+                         ::serde::Value::Object(__o)\n\
+                         }}\n\
+                         _ => panic!(\"internally tagged newtype variant must serialize to an \
+                         object\"),\n\
+                         }},\n",
+                        v = v.ident,
+                        t = quote_str(tag)
+                    ),
+                    (VariantShape::Struct(fields), tag) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.ident.as_str()).collect();
+                        let pushes = gen_push_fields(fields, &item.attrs, "*");
+                        match tag {
+                            None => format!(
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut __o: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                                 ::serde::Value::Object(vec![({json}.to_string(), \
+                                 ::serde::Value::Object(__o))])\n}},\n",
+                                v = v.ident,
+                                binds = binds.join(", ")
+                            ),
+                            Some(tag) => format!(
+                                "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut __o: ::std::vec::Vec<(::std::string::String, \
+                                 ::serde::Value)> = vec![({t}.to_string(), \
+                                 ::serde::Value::String({json}.to_string()))];\n{pushes}\
+                                 ::serde::Value::Object(__o)\n}},\n",
+                                v = v.ident,
+                                t = quote_str(tag),
+                                binds = binds.join(", ")
+                            ),
+                        }
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen.
+// ---------------------------------------------------------------------------
+
+/// Expression rebuilding one named field from `__pairs`.
+fn gen_field_expr(f: &FieldDef, container: &SerdeAttrs, use_container_default: bool) -> String {
+    let json = quote_str(&field_json_name(f, container));
+    let missing = if let Some(default) = &f.attrs.default {
+        match default {
+            Some(path) => format!("{path}()"),
+            None => "::std::default::Default::default()".to_string(),
+        }
+    } else if use_container_default {
+        format!("__d.{}", f.ident)
+    } else {
+        // Deserializing from Null lets `Option` fields fall back to None
+        // (matching serde); everything else reports the missing field.
+        format!(
+            "::serde::Deserialize::deserialize_value(&::serde::Value::Null).map_err(|_| \
+             ::serde::DeError::custom(::std::format!(\"missing field `{{}}`\", {json})))?"
+        )
+    };
+    format!(
+        "{ident}: match ::serde::value::get_key(__pairs, {json}) {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }},\n",
+        ident = f.ident
+    )
+}
+
+fn gen_struct_literal(
+    path: &str,
+    fields: &[FieldDef],
+    container: &SerdeAttrs,
+    use_container_default: bool,
+) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        out.push_str(&gen_field_expr(f, container, use_container_default));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_deserialize_impl(item: &ItemDef) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let container_default = item.attrs.default.is_some();
+            let prelude = if container_default {
+                format!("let __d: {name} = ::std::default::Default::default();\n")
+            } else {
+                String::new()
+            };
+            format!(
+                "let __pairs = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 {prelude}::std::result::Result::Ok({})",
+                gen_struct_literal(name, fields, &item.attrs, container_default)
+            )
+        }
+        ItemKind::TupleStruct(1) => {
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(__v)?))"
+            )
+        }
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"wrong tuple arity for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => match &item.attrs.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let json = quote_str(&variant_json_name(v, &item.attrs));
+                    let arm = match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{json} => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.ident
+                        ),
+                        VariantShape::Newtype => format!(
+                            "{json} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize_value(__v)?)),\n",
+                            v = v.ident
+                        ),
+                        VariantShape::Struct(fields) => format!(
+                            "{json} => ::std::result::Result::Ok({}),\n",
+                            gen_struct_literal(
+                                &format!("{name}::{}", v.ident),
+                                fields,
+                                &item.attrs,
+                                false
+                            )
+                        ),
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let __pairs = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                     let __tag = ::serde::value::get_key(__pairs, {t})\
+                     .and_then(|__t| __t.as_str())\
+                     .ok_or_else(|| ::serde::DeError::custom(\
+                     \"missing `{tag}` tag for {name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n}}",
+                    t = quote_str(tag)
+                )
+            }
+            None => {
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let json = quote_str(&variant_json_name(v, &item.attrs));
+                    match &v.shape {
+                        VariantShape::Unit => unit_arms.push_str(&format!(
+                            "{json} => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.ident
+                        )),
+                        VariantShape::Newtype => keyed_arms.push_str(&format!(
+                            "{json} => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?)),\n",
+                            v = v.ident
+                        )),
+                        VariantShape::Struct(fields) => keyed_arms.push_str(&format!(
+                            "{json} => {{\n\
+                             let __pairs = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(\"expected object variant body\"))?;\n\
+                             ::std::result::Result::Ok({})\n}},\n",
+                            gen_struct_literal(
+                                &format!("{name}::{}", v.ident),
+                                fields,
+                                &item.attrs,
+                                false
+                            )
+                        )),
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n}},\n\
+                     ::serde::Value::Object(__kv) if __kv.len() == 1 => {{\n\
+                     let (__k, __inner) = &__kv[0];\n\
+                     match __k.as_str() {{\n{keyed_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n}}\n}},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"expected string or single-key object for {name}\")),\n}}"
+                )
+            }
+        },
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize_impl(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde stub: generated invalid Serialize code: {e:?}\n{code}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize_impl(&item);
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde stub: generated invalid Deserialize code: {e:?}\n{code}"))
+}
