@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Repo CI gate. Run from the workspace root.
 #
-#   ./ci.sh          # fmt + clippy + tier-1 (release build + tests)
+#   ./ci.sh          # fmt + clippy + lint + tier-1 (release build + tests)
 #                    # + observability gate
 #   ./ci.sh --tier1  # tier-1 gate only (what the roadmap requires)
+#   ./ci.sh --lint   # static-analysis gate only: the tagwatch-lint rule
+#                    # catalog (determinism, panic-policy, unsafe-free, …)
 #   ./ci.sh --obs    # observability gate only: record the obs-run
 #                    # reference workload and diff it against BENCH_1.json
 set -euo pipefail
@@ -11,10 +13,19 @@ cd "$(dirname "$0")"
 
 tier1_only=false
 obs_only=false
+lint_only=false
 case "${1:-}" in
     --tier1) tier1_only=true ;;
     --obs) obs_only=true ;;
+    --lint) lint_only=true ;;
 esac
+
+lint_gate() {
+    # The repo's own static-analysis pass (crates/lint): file:line:col
+    # diagnostics, exit 1 on findings. See DESIGN.md § Static analysis.
+    echo "==> lint: cargo run --release -p tagwatch-lint --bin lint"
+    cargo run --release -p tagwatch-lint --bin lint
+}
 
 obs_gate() {
     # Record the seeded reference workload with a telemetry trace and a
@@ -59,12 +70,19 @@ if $obs_only; then
     exit 0
 fi
 
+if $lint_only; then
+    lint_gate
+    exit 0
+fi
+
 if ! $tier1_only; then
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check
 
     echo "==> cargo clippy (deny warnings)"
     cargo clippy --workspace --all-targets -- -D warnings
+
+    lint_gate
 fi
 
 echo "==> tier-1: cargo build --release"

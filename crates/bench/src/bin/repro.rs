@@ -29,11 +29,10 @@
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::time::Instant;
 use tagwatch_bench::experiments::*;
 use tagwatch_bench::telemetry_report;
 use tagwatch_obs::bench::{BenchSnapshot, FigureBench};
-use tagwatch_telemetry::{JsonlSink, Telemetry, TelemetryConfig};
+use tagwatch_telemetry::{wall_now, JsonlSink, Telemetry, TelemetryConfig};
 
 struct Opts {
     seed: u64,
@@ -264,24 +263,24 @@ fn main() -> ExitCode {
     let expanded: Vec<String> = if figs.iter().any(|f| f == "all") {
         // "all" = every figure plus the supplementary experiments; any
         // other explicitly named targets are already covered.
-        order.iter().map(|s| s.to_string()).collect()
+        order.iter().map(ToString::to_string).collect()
     } else {
         figs
     };
-    let run_start = Instant::now();
+    let run_start = wall_now();
     let mut figures: BTreeMap<String, FigureBench> = BTreeMap::new();
     for (i, fig) in expanded.iter().enumerate() {
         if i > 0 {
             println!();
         }
         let reports_before = phase2_reports_total();
-        let fig_start = Instant::now();
+        let fig_start = wall_now();
         if let Err(msg) = run_fig(fig, &opts) {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
         if opts.bench_json.is_some() {
-            let wall = fig_start.elapsed().as_secs_f64();
+            let wall = fig_start.elapsed_seconds();
             let delivered = phase2_reports_total() - reports_before;
             figures.insert(
                 fig.clone(),
@@ -326,7 +325,7 @@ fn main() -> ExitCode {
         let mut snap =
             BenchSnapshot::from_registry(&Telemetry::global().snapshot(), opts.seed, scale);
         snap.figures = figures;
-        snap.wall_seconds = run_start.elapsed().as_secs_f64();
+        snap.wall_seconds = run_start.elapsed_seconds();
         if let Err(e) = snap.save(path) {
             eprintln!("cannot write bench snapshot {path:?}: {e}");
             return ExitCode::FAILURE;

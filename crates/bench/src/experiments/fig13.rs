@@ -43,12 +43,12 @@ fn trial(seed: u64, displacement: f64, use_phase: bool, train_s: f64) -> bool {
     };
 
     // Train on the stationary phase.
-    let train = reader.run_for(&spec, train_s).expect("valid spec");
+    let train = reader.run_for(&spec, train_s).expect("valid spec"); // lint:allow(panic-policy): harness-built spec is valid by construction
     for r in &train {
         det.observe(&r.rf);
     }
     // Observe for 1 s after the step.
-    let test = reader.run_for(&spec, 1.0).expect("valid spec");
+    let test = reader.run_for(&spec, 1.0).expect("valid spec"); // lint:allow(panic-policy): harness-built spec is valid by construction
     test.iter()
         .filter(|r| r.rf.t >= t_step)
         .any(|r| det.observe(&r.rf))

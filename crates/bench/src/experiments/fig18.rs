@@ -66,13 +66,13 @@ fn mover_irrs(
     warm_up(&mut ctl, &mut reader, warm);
     ctl.set_scheduling(mode);
     for _ in 0..2 {
-        ctl.run_cycle(&mut reader).expect("valid config");
+        ctl.run_cycle(&mut reader).expect("valid config"); // lint:allow(panic-policy): harness-built config is valid by construction
     }
 
     let t0 = reader.now();
     let mut reads = vec![0usize; n];
     for _ in 0..cycles {
-        let rep = ctl.run_cycle(&mut reader).expect("valid config");
+        let rep = ctl.run_cycle(&mut reader).expect("valid config"); // lint:allow(panic-policy): harness-built config is valid by construction
         for r in rep.phase1.iter().chain(rep.phase2.iter()) {
             reads[r.tag_idx] += 1;
         }
@@ -125,7 +125,7 @@ pub fn run(seed: u64, quick: bool) -> Fig18 {
                 }
             }
             for h in handles {
-                let (tg, ng) = h.join().expect("worker panicked");
+                let (tg, ng) = h.join().expect("worker panicked"); // lint:allow(panic-policy): a worker panic should abort the experiment loudly
                 tagwatch_gains.extend(tg);
                 naive_gains.extend(ng);
             }

@@ -51,7 +51,7 @@ fn gate_scene(
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
         t += -u.ln() * 12.0; // mean 12 s between arrivals
         let piece = presets::conveyor_piece(10_000 + k as u64, t, 1.0);
-        let window = piece.presence.expect("conveyor pieces have windows");
+        let window = piece.presence.expect("conveyor pieces have windows"); // lint:allow(panic-policy): conveyor scenario gives every piece a presence window
         windows.push(window);
         scene.add_tag(piece);
     }
@@ -73,11 +73,11 @@ fn measure(
     cfg.phase2_len = 3.0;
     let mut ctl = Controller::new(cfg);
 
-    let t_end = windows.last().map(|w| w.1).unwrap_or(warm_s) + 5.0;
+    let t_end = windows.last().map_or(warm_s, |w| w.1) + 5.0;
     let mut first_read: Vec<Option<f64>> = vec![None; n_pieces];
     let mut reads = vec![0usize; n_pieces];
     while reader.now() < t_end {
-        let rep = ctl.run_cycle(&mut reader).expect("valid config");
+        let rep = ctl.run_cycle(&mut reader).expect("valid config"); // lint:allow(panic-policy): harness-built config is valid by construction
         for r in rep.phase1.iter().chain(rep.phase2.iter()) {
             if r.tag_idx >= n_parked {
                 let k = r.tag_idx - n_parked;
@@ -89,7 +89,7 @@ fn measure(
     (0..n_pieces)
         .map(|k| PieceStats {
             reads: reads[k],
-            first_read_latency: first_read[k].map(|t| t - windows[k].0).unwrap_or(f64::NAN),
+            first_read_latency: first_read[k].map_or(f64::NAN, |t| t - windows[k].0),
         })
         .collect()
 }

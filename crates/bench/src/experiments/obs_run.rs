@@ -57,7 +57,7 @@ pub fn run(
     }
 
     let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel);
-    let reports = ctl.run_cycles(&mut reader, cycles).expect("valid config");
+    let reports = ctl.run_cycles(&mut reader, cycles).expect("valid config"); // lint:allow(panic-policy): harness-built config is valid by construction
 
     let census_total: usize = reports.iter().map(|r| r.census.len()).sum();
     ObsRun {

@@ -30,11 +30,7 @@ fn fmt_seconds(s: f64) -> String {
 }
 
 fn percentile_row(label: &str, h: &Histogram) -> String {
-    let p = |q: f64| {
-        h.percentile(q)
-            .map(fmt_seconds)
-            .unwrap_or_else(|| "-".to_string())
-    };
+    let p = |q: f64| h.percentile(q).map_or_else(|| "-".to_string(), fmt_seconds);
     format!(
         "  {label:<10} n={:<8} p50={:<10} p95={:<10} p99={:<10} mean={}\n",
         h.count(),

@@ -7,7 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 /// A fixed-length bitmap over tag indices `0..len`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Bitmap {
     words: Vec<u64>,
     len: usize,

@@ -155,6 +155,10 @@ impl TagwatchConfig {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact literals that the code stores or copies
+    // untouched; approximate comparison would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -31,7 +31,7 @@ use crate::history::History;
 use crate::motion::{AnyDetector, DiffDetector, MogDetector, MotionAssessor};
 use crate::scheduler::{build_schedule, ReadAllReason, ScheduleMode};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tagwatch_gen2::Epc;
 use tagwatch_reader::{LlrpError, Reader, RoSpec, TagReport};
 use tagwatch_telemetry::Telemetry;
@@ -95,7 +95,7 @@ pub struct CycleReport {
 /// The Tagwatch middleware.
 pub struct Controller {
     cfg: TagwatchConfig,
-    assessors: HashMap<Epc, MotionAssessor>,
+    assessors: BTreeMap<Epc, MotionAssessor>,
     history: History,
     cycle: u64,
     telemetry: Telemetry,
@@ -106,12 +106,12 @@ impl Controller {
     /// with [`TagwatchConfig::validate`] first if the config is untrusted).
     pub fn new(cfg: TagwatchConfig) -> Self {
         if let Err(e) = cfg.validate() {
-            panic!("invalid Tagwatch configuration: {e}");
+            panic!("invalid Tagwatch configuration: {e}"); // lint:allow(panic-policy): documented contract: constructor panics on invalid config
         }
         let history = History::new(cfg.history_capacity);
         Controller {
             cfg,
-            assessors: HashMap::new(),
+            assessors: BTreeMap::new(),
             history,
             cycle: 0,
             telemetry: Telemetry::global().clone(),
@@ -168,7 +168,7 @@ impl Controller {
     /// Rebuilds a controller from a snapshot — warm models, warm history.
     pub fn restore(snapshot: ControllerSnapshot) -> Self {
         if let Err(e) = snapshot.config.validate() {
-            panic!("invalid Tagwatch configuration in snapshot: {e}");
+            panic!("invalid Tagwatch configuration in snapshot: {e}"); // lint:allow(panic-policy): documented contract: restore panics on invalid config
         }
         Controller {
             cfg: snapshot.config,
@@ -209,10 +209,9 @@ impl Controller {
             let a = self.make_assessor();
             self.assessors.insert(report.epc, a);
         }
-        self.assessors
-            .get_mut(&report.epc)
-            .expect("just inserted")
-            .feed(&report.rf);
+        if let Some(a) = self.assessors.get_mut(&report.epc) {
+            a.feed(&report.rf);
+        }
         self.history.record(report);
     }
 
@@ -257,7 +256,7 @@ impl Controller {
 
         let mobile: Vec<Epc> = census
             .iter()
-            .filter(|e| self.assessors.get(e).map(|a| a.assess()).unwrap_or(false))
+            .filter(|e| self.assessors.get(e).is_some_and(MotionAssessor::assess))
             .copied()
             .collect();
 
@@ -268,7 +267,7 @@ impl Controller {
 
         let target_idxs: Vec<usize> = targets
             .iter()
-            .map(|t| census.binary_search(t).expect("targets ⊆ census"))
+            .map(|t| census.binary_search(t).expect("targets ⊆ census")) // lint:allow(panic-policy): targets are drawn from census, so the search succeeds
             .collect();
 
         let schedule = build_schedule(&census, &target_idxs, &self.cfg, (cycle as u32) << 1 | 1);
@@ -496,7 +495,7 @@ mod tests {
         assert_eq!(last.mode, ScheduleMode::ReadAll);
         assert_eq!(last.read_all_reason, Some(ReadAllReason::NoTargets));
         // Everyone still gets read in Phase II.
-        let distinct: std::collections::HashSet<usize> =
+        let distinct: std::collections::BTreeSet<usize> =
             last.phase2.iter().map(|r| r.tag_idx).collect();
         assert_eq!(distinct.len(), 15);
     }

@@ -23,7 +23,7 @@
 
 use crate::bitmap::Bitmap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tagwatch_gen2::{BitMask, CostModel, Epc, EPC_BITS};
 
 /// Candidate-generation bounds.
@@ -76,7 +76,7 @@ impl IndexTable {
         assert!(targets.iter().all(|&t| t < n), "target index out of range");
         let max_len = cfg.max_len.min(EPC_BITS);
         let mut rows: Vec<IndexRow> = Vec::new();
-        let mut seen: HashMap<Bitmap, usize> = HashMap::new();
+        let mut seen: BTreeMap<Bitmap, usize> = BTreeMap::new();
 
         for length in cfg.min_len..=max_len {
             for pointer in 0..=(EPC_BITS - length) {
@@ -94,7 +94,7 @@ impl IndexTable {
                             coverage.set(i);
                         }
                     }
-                    if let std::collections::hash_map::Entry::Vacant(e) =
+                    if let std::collections::btree_map::Entry::Vacant(e) =
                         seen.entry(coverage.clone())
                     {
                         e.insert(rows.len());
@@ -206,6 +206,7 @@ pub fn greedy_cover(table: &IndexTable, targets: &Bitmap, cost: &CostModel) -> C
                 _ => best = Some((i, relative)),
             }
         }
+        // lint:allow(panic-policy): full-EPC rows cover every target
         let (idx, _) = best.expect(
             "index table must contain a cover for every target \
              (full-EPC substrings guarantee this when max_len = 96)",
@@ -268,6 +269,10 @@ pub fn select_cover(
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact literals that the code stores or copies
+    // untouched; approximate comparison would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -295,7 +300,7 @@ mod tests {
         let table = IndexTable::build(&epcs, &[0, 1, 2], &cfg);
         assert!(!table.rows().is_empty());
         // No duplicate coverage bitmaps.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for row in table.rows() {
             assert!(seen.insert(row.coverage.clone()), "duplicate coverage");
             // Every row covers at least one target (rows are generated from

@@ -126,6 +126,10 @@ pub fn fit_phase(values: &[f64]) -> Gaussian {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact literals that the code stores or copies
+    // untouched; approximate comparison would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use std::f64::consts::TAU;
 

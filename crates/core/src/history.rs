@@ -6,7 +6,7 @@
 //! and re-training after environment changes.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use tagwatch_gen2::Epc;
 use tagwatch_reader::TagReport;
@@ -70,7 +70,7 @@ impl TagRecord {
 /// The history database.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct History {
-    tags: HashMap<Epc, TagRecord>,
+    tags: BTreeMap<Epc, TagRecord>,
     /// Per-tag retained-reading cap.
     pub capacity_per_tag: usize,
 }
@@ -80,7 +80,7 @@ impl History {
     pub fn new(capacity_per_tag: usize) -> Self {
         assert!(capacity_per_tag > 0, "capacity must be positive");
         History {
-            tags: HashMap::new(),
+            tags: BTreeMap::new(),
             capacity_per_tag,
         }
     }
@@ -142,6 +142,10 @@ impl History {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact literals that the code stores or copies
+    // untouched; approximate comparison would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn report(epc: u128, t: f64) -> TagReport {

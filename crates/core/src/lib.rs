@@ -35,6 +35,7 @@
 //! assert_eq!(report.census.len(), 40);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod bitmap;
 pub mod config;
 pub mod controller;

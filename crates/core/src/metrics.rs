@@ -2,7 +2,7 @@
 //! helpers. Everything the §7 experiments report is computed here so the
 //! figure harness stays thin.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tagwatch_gen2::Epc;
 use tagwatch_reader::TagReport;
 
@@ -35,11 +35,11 @@ impl std::error::Error for InvalidDuration {}
 pub fn irr_per_tag(
     reports: &[TagReport],
     duration: f64,
-) -> Result<HashMap<Epc, f64>, InvalidDuration> {
+) -> Result<BTreeMap<Epc, f64>, InvalidDuration> {
     if !(duration > 0.0 && duration.is_finite()) {
         return Err(InvalidDuration(duration));
     }
-    let mut counts: HashMap<Epc, usize> = HashMap::new();
+    let mut counts: BTreeMap<Epc, usize> = BTreeMap::new();
     for r in reports {
         *counts.entry(r.epc).or_insert(0) += 1;
     }
@@ -122,7 +122,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     assert!(!samples.is_empty(), "percentile of empty sample");
     assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
     let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+    v.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN")); // lint:allow(panic-policy): documented contract: percentile rejects NaN input
     let rank = p / 100.0 * (v.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -166,6 +166,10 @@ pub fn cdf_at(samples: &[f64], x: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact literals that the code stores or copies
+    // untouched; approximate comparison would weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use tagwatch_rf::RfMeasurement;
 

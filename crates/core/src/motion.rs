@@ -17,7 +17,7 @@
 
 use crate::gmm::{Gmm, GmmConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tagwatch_rf::{circ_dist, RfMeasurement};
 
 /// Which physical quantity a detector watches.
@@ -69,7 +69,7 @@ fn feature_value(feature: Feature, m: &RfMeasurement) -> f64 {
 pub struct MogDetector {
     feature: Feature,
     cfg: GmmConfig,
-    links: HashMap<LinkKey, Gmm>,
+    links: BTreeMap<LinkKey, Gmm>,
 }
 
 impl MogDetector {
@@ -78,7 +78,7 @@ impl MogDetector {
         MogDetector {
             feature: Feature::Phase,
             cfg: GmmConfig::phase_defaults(),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -87,7 +87,7 @@ impl MogDetector {
         MogDetector {
             feature: Feature::Rss,
             cfg: GmmConfig::rss_defaults(),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -96,7 +96,7 @@ impl MogDetector {
         MogDetector {
             feature: Feature::Phase,
             cfg,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -106,7 +106,7 @@ impl MogDetector {
         MogDetector {
             feature: Feature::Rss,
             cfg,
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -171,7 +171,7 @@ pub struct DiffDetector {
     feature: Feature,
     /// Motion threshold: radians for phase, dB for RSS.
     pub threshold: f64,
-    last: HashMap<LinkKey, f64>,
+    last: BTreeMap<LinkKey, f64>,
 }
 
 impl DiffDetector {
@@ -180,7 +180,7 @@ impl DiffDetector {
         DiffDetector {
             feature: Feature::Phase,
             threshold,
-            last: HashMap::new(),
+            last: BTreeMap::new(),
         }
     }
 
@@ -189,7 +189,7 @@ impl DiffDetector {
         DiffDetector {
             feature: Feature::Rss,
             threshold,
-            last: HashMap::new(),
+            last: BTreeMap::new(),
         }
     }
 
@@ -363,6 +363,11 @@ impl Default for MotionAssessor {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -115,7 +115,7 @@ pub fn build_schedule(
     let plan = match cfg.scheduling {
         SchedulingMode::Tagwatch => select_cover(all_epcs, target_idxs, &cfg.cost, &cfg.cover),
         SchedulingMode::Naive => naive_cover(all_epcs, target_idxs, &cfg.cost),
-        SchedulingMode::ReadAll => unreachable!("handled above"),
+        SchedulingMode::ReadAll => unreachable!("handled above"), // lint:allow(panic-policy): ReadAll returns early above
     };
     let rospec = with_dwell(RoSpec::selective_with_truncate(
         rospec_id,

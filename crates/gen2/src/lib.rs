@@ -16,6 +16,7 @@
 //! The crate is pure protocol: no RF, no geometry. The reader crate glues
 //! this to the channel model.
 
+#![forbid(unsafe_code)]
 pub mod commands;
 pub mod epc;
 pub mod mask;

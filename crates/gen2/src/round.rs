@@ -175,17 +175,17 @@ pub fn run_round<R: Rng + ?Sized>(
                     stats.decode_failures += 1;
                     SlotOutcome::Collision
                 } else {
-                    let idx = repliers.pop().expect("one replier");
-                    let rn16 = tags[idx].replying_rn16().expect("tag is replying");
-                    // Truncated replies (Gen2 Truncate) carry only the EPC
-                    // bits after the Select mask, plus 16 framing bits.
+                    let idx = repliers.pop().expect("one replier"); // lint:allow(panic-policy): singleton branch guarantees exactly one replier
+                    let rn16 = tags[idx].replying_rn16().expect("tag is replying"); // lint:allow(panic-policy): a replying tag holds an RN16
+                                                                                    // Truncated replies (Gen2 Truncate) carry only the EPC
+                                                                                    // bits after the Select mask, plus 16 framing bits.
                     let reply_bits = match tags[idx].truncate_from() {
                         Some(from) => (crate::epc::EPC_BITS - from) + 16,
                         None => 128,
                     };
                     let epc = tags[idx]
                         .handle_ack(rn16, cfg.query.session)
-                        .expect("rn16 echo must be accepted");
+                        .expect("rn16 echo must be accepted"); // lint:allow(panic-policy): the tag just issued this RN16
                     t += timing.success_slot_bits(reply_bits);
                     stats.successes += 1;
                     reads.push(ReadEvent {

@@ -1,0 +1,155 @@
+//! The `lint` CLI: walk the workspace, run the rule catalog, print
+//! `file:line:col: rule: message` diagnostics.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 internal error (unreadable tree,
+//! bad arguments). `--format json` emits one JSON object per finding for
+//! tooling; `--list-rules` prints the catalog.
+
+use std::env;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tagwatch_lint::{engine, rules, walker};
+
+const USAGE: &str = "usage: lint [--root DIR] [--format human|json] [--list-rules]
+
+Runs the tagwatch static-analysis pass over the workspace.
+Exit codes: 0 clean, 1 findings, 2 internal error.";
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        list_rules: false,
+    };
+    let mut it = env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(dir));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("human") => args.json = false,
+                Some("json") => args.json = true,
+                other => {
+                    return Err(format!(
+                        "--format must be human or json, got {}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Finds the workspace root: the nearest ancestor of the current
+/// directory whose `Cargo.toml` declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run(root: &Path, json: bool) -> Result<usize, String> {
+    let files = walker::walk(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    if files.is_empty() {
+        return Err(format!("no Rust sources found under {}", root.display()));
+    }
+    let mut count = 0usize;
+    // Write through a fallible handle so `lint | head` closing stdout
+    // early doesn't panic; diagnostics lost to a closed pipe are fine.
+    let mut out = io::stdout().lock();
+    for file in &files {
+        let source = fs::read_to_string(&file.abs)
+            .map_err(|e| format!("cannot read {}: {e}", file.abs.display()))?;
+        let findings = engine::lint_classified(
+            &file.rel,
+            file.kind,
+            &file.crate_name,
+            file.is_crate_root,
+            &source,
+        );
+        for f in &findings {
+            let wrote = if json {
+                writeln!(out, "{}", f.to_json())
+            } else {
+                writeln!(out, "{f}")
+            };
+            if wrote.is_err() {
+                break;
+            }
+        }
+        count += findings.len();
+    }
+    if !json {
+        if count == 0 {
+            eprintln!("lint: {} files clean", files.len());
+        } else {
+            eprintln!(
+                "lint: {count} finding{} in {} files checked",
+                if count == 1 { "" } else { "s" },
+                files.len()
+            );
+        }
+    }
+    Ok(count)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                eprintln!("{USAGE}");
+                return ExitCode::from(0);
+            }
+            eprintln!("lint: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        let mut out = io::stdout().lock();
+        for r in rules::RULES {
+            if writeln!(out, "{:24} {}", r.id, r.summary).is_err() {
+                break;
+            }
+        }
+        return ExitCode::from(0);
+    }
+    let Some(root) = args.root.or_else(find_workspace_root) else {
+        eprintln!(
+            "lint: cannot locate workspace root (no Cargo.toml with [workspace]); pass --root"
+        );
+        return ExitCode::from(2);
+    };
+    match run(&root, args.json) {
+        Ok(0) => ExitCode::from(0),
+        Ok(_) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Findings and their renderings.
+//!
+//! One format for humans (`path:line:col: rule: message`, clickable in
+//! every editor) and one for machines (JSON lines, hand-serialized so the
+//! linter stays std-only).
+
+use std::fmt;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based character column.
+    pub col: u32,
+    /// Rule identifier (`determinism-wallclock`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation, single line.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// The finding as one JSON object on one line.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":{},\"line\":{},\"col\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(self.rule),
+            json_str(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_col_rule_message() {
+        let f = Finding {
+            file: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 14,
+            rule: "panic-policy",
+            message: "`unwrap()` in library code".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "crates/core/src/x.rs:3:14: panic-policy: `unwrap()` in library code"
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let f = Finding {
+            file: "a\"b.rs".into(),
+            line: 1,
+            col: 2,
+            rule: "todo-tracker",
+            message: "tab\there".into(),
+        };
+        let j = f.to_json();
+        assert!(j.contains("\"file\":\"a\\\"b.rs\""));
+        assert!(j.contains("tab\\there"));
+    }
+}

@@ -1,0 +1,456 @@
+//! Rule orchestration: test-region tracking, escape comments, and the
+//! per-file linting entry points.
+//!
+//! Escapes are plain `//` comments of the form
+//! `lint:allow(rule-name): reason`. An escape suppresses findings of
+//! that rule on its own line when it trails code, or on the next code
+//! line when it stands alone. Doc comments (`///`, `//!`) are never
+//! parsed as escapes, so documentation may quote the syntax freely.
+//! Malformed, unknown-rule, and unused escapes are themselves findings
+//! (rule `lint-escape`) — a stale escape is as misleading as a stale
+//! suppression in any other linter.
+
+use crate::diag::Finding;
+use crate::lexer::{lex, Token, TokenKind};
+use crate::rules::{self, FileCtx};
+use crate::walker::{classify, FileKind};
+
+/// Lints one file's source under its workspace-relative path. Returns
+/// `None` when the path is outside the linter's jurisdiction (skipped
+/// prefixes, non-Rust).
+pub fn lint_source(rel: &str, source: &str) -> Option<Vec<Finding>> {
+    let (kind, crate_name, is_crate_root) = classify(rel)?;
+    Some(lint_classified(
+        rel,
+        kind,
+        &crate_name,
+        is_crate_root,
+        source,
+    ))
+}
+
+/// Lints already-classified source. Fixture tests use this to replay a
+/// file under a pretend path without touching the real workspace.
+pub fn lint_classified(
+    rel: &str,
+    kind: FileKind,
+    crate_name: &str,
+    is_crate_root: bool,
+    source: &str,
+) -> Vec<Finding> {
+    let tokens = lex(source);
+    let in_test = test_regions(&tokens);
+    let ctx = FileCtx {
+        rel,
+        kind,
+        crate_name,
+        is_crate_root,
+        tokens: &tokens,
+        in_test: &in_test,
+    };
+    let raw = rules::check_file(&ctx);
+    let mut findings = apply_escapes(rel, &tokens, raw);
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+fn is_code(tok: &Token<'_>) -> bool {
+    !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment)
+}
+
+/// Marks every token that belongs to a `#[test]`- or `#[cfg(test)]`-gated
+/// item (any attribute containing the bare ident `test`, which also
+/// covers `#[cfg(all(test, …))]`). The gated extent runs from the
+/// attribute through the item's matching closing brace (or terminating
+/// semicolon).
+fn test_regions(tokens: &[Token<'_>]) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(is_code(&tokens[i]) && tokens[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        // `#` then `[` (outer) or `!` `[` (inner) — inner attributes are
+        // not treated as gates, but we still need to hop over them.
+        let mut j = next_code(tokens, i);
+        let inner = j.is_some_and(|j| tokens[j].text == "!");
+        if inner {
+            j = j.and_then(|j| next_code(tokens, j));
+        }
+        let Some(open) = j.filter(|&j| tokens[j].text == "[") else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = match_delim(tokens, open, "[", "]") else {
+            break; // unterminated attribute at EOF
+        };
+        let gates_test = !inner
+            && tokens[open..=close]
+                .iter()
+                .any(|t| is_code(t) && t.kind == TokenKind::Ident && t.text == "test");
+        if !gates_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = close + 1;
+        while let Some(n) = seek_code(tokens, k) {
+            if tokens[n].text != "#" {
+                k = n;
+                break;
+            }
+            let Some(nb) = next_code(tokens, n).filter(|&nb| tokens[nb].text == "[") else {
+                k = n;
+                break;
+            };
+            match match_delim(tokens, nb, "[", "]") {
+                Some(e) => k = e + 1,
+                None => {
+                    k = tokens.len();
+                    break;
+                }
+            }
+        }
+        // The item extends to its first top-level `{`…`}` block, or to a
+        // `;` for block-less items (`#[cfg(test)] use …;`).
+        let mut end = tokens.len().saturating_sub(1);
+        let mut m = k;
+        while m < tokens.len() {
+            if is_code(&tokens[m]) {
+                if tokens[m].text == "{" {
+                    end =
+                        match_delim(tokens, m, "{", "}").unwrap_or(tokens.len().saturating_sub(1));
+                    break;
+                }
+                if tokens[m].text == ";" {
+                    end = m;
+                    break;
+                }
+            }
+            m += 1;
+        }
+        for flag in flags.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    flags
+}
+
+/// Index of the next code token strictly after `i`.
+fn next_code(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .skip(i + 1)
+        .find(|(_, t)| is_code(t))
+        .map(|(j, _)| j)
+}
+
+/// Index of the first code token at or after `i`.
+fn seek_code(tokens: &[Token<'_>], i: usize) -> Option<usize> {
+    tokens
+        .iter()
+        .enumerate()
+        .skip(i)
+        .find(|(_, t)| is_code(t))
+        .map(|(j, _)| j)
+}
+
+/// Matching close delimiter for the open delimiter at `i`, tracking
+/// nesting. `None` when unbalanced at EOF.
+fn match_delim(tokens: &[Token<'_>], i: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(i) {
+        if !is_code(t) {
+            continue;
+        }
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// One parsed escape comment.
+struct Escape {
+    rule: String,
+    /// The line whose findings this escape suppresses.
+    target_line: u32,
+    /// Position of the escape itself, for `lint-escape` diagnostics.
+    line: u32,
+    col: u32,
+    used: bool,
+}
+
+const ESCAPE_MARKER: &str = "lint:allow(";
+
+/// Applies escape comments to `raw` findings; emits `lint-escape`
+/// findings for malformed, unknown, and unused escapes.
+fn apply_escapes(rel: &str, tokens: &[Token<'_>], raw: Vec<Finding>) -> Vec<Finding> {
+    let mut escapes: Vec<Escape> = Vec::new();
+    let mut meta: Vec<Finding> = Vec::new();
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::LineComment {
+            continue;
+        }
+        // Plain `//` comments only — not `///` or `//!` doc comments.
+        let body = tok.text.strip_prefix("//").unwrap_or(tok.text);
+        if body.starts_with('/') || body.starts_with('!') {
+            continue;
+        }
+        let Some(at) = body.find(ESCAPE_MARKER) else {
+            continue;
+        };
+        let after = &body[at + ESCAPE_MARKER.len()..];
+        let escape_col = tok.col + 2 + body[..at].chars().count() as u32;
+        let Some((rule, rest)) = after.split_once(')') else {
+            meta.push(Finding {
+                file: rel.to_string(),
+                line: tok.line,
+                col: escape_col,
+                rule: "lint-escape",
+                message: "malformed escape: missing `)` after rule name".to_string(),
+            });
+            continue;
+        };
+        let rule = rule.trim();
+        let reason = rest.strip_prefix(':').map(str::trim);
+        if reason.is_none_or(str::is_empty) {
+            meta.push(Finding {
+                file: rel.to_string(),
+                line: tok.line,
+                col: escape_col,
+                rule: "lint-escape",
+                message: "escape needs a `: reason` explaining the exception".to_string(),
+            });
+            continue;
+        }
+        if !rules::is_known_rule(rule) {
+            meta.push(Finding {
+                file: rel.to_string(),
+                line: tok.line,
+                col: escape_col,
+                rule: "lint-escape",
+                message: format!("unknown rule `{rule}` in escape"),
+            });
+            continue;
+        }
+        // Trailing comment suppresses its own line; a standalone comment
+        // suppresses the next line that has code on it.
+        let code_on_same_line = tokens.iter().any(|t| is_code(t) && t.line == tok.line);
+        let target_line = if code_on_same_line {
+            tok.line
+        } else {
+            next_code(tokens, i).map_or(tok.line + 1, |j| tokens[j].line)
+        };
+        escapes.push(Escape {
+            rule: rule.to_string(),
+            target_line,
+            line: tok.line,
+            col: escape_col,
+            used: false,
+        });
+    }
+
+    let mut out: Vec<Finding> = Vec::new();
+    for f in raw {
+        let suppressed = f.rule != "lint-escape"
+            && escapes.iter_mut().any(|e| {
+                if e.rule == f.rule && e.target_line == f.line {
+                    e.used = true;
+                    true
+                } else {
+                    false
+                }
+            });
+        if !suppressed {
+            out.push(f);
+        }
+    }
+    for e in &escapes {
+        if !e.used {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: e.line,
+                col: e.col,
+                rule: "lint-escape",
+                message: format!("escape for `{}` suppressed nothing; remove it", e.rule),
+            });
+        }
+    }
+    out.extend(meta);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(rel: &str, src: &str) -> Vec<String> {
+        lint_source(rel, src)
+            .expect("classifiable path")
+            .into_iter()
+            .map(|f| f.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn wallclock_flagged_in_sim_crate() {
+        let got = lint(
+            "crates/core/src/injected.rs",
+            "pub fn t() -> std::time::Instant {\n    Instant::now()\n}\n",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].starts_with("crates/core/src/injected.rs:2:5: determinism-wallclock:"));
+    }
+
+    #[test]
+    fn wallclock_allowed_only_in_clock_module() {
+        let src = "pub fn wall_now() -> Instant { Instant::now() }\n";
+        assert!(lint("crates/telemetry/src/clock.rs", src).is_empty());
+        assert_eq!(lint("crates/telemetry/src/span.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn hash_order_skips_tests_and_non_sim_crates() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n    use std::collections::HashMap;\n}\n";
+        let got = lint("crates/gen2/src/x.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains(":1:23: determinism-hash-order:"));
+        assert!(lint("crates/obs/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_policy_spares_tests_bins_and_unwrap_or() {
+        let lib = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n\
+                   #[test]\nfn t() { Some(1).unwrap(); }\n";
+        let got = lint("crates/rf/src/y.rs", lib);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains(":2:7: panic-policy:"));
+        assert!(lint(
+            "crates/rf/src/bin/tool.rs",
+            lib.replace("#[test]\n", "").as_str()
+        )
+        .is_empty());
+        assert!(lint(
+            "crates/rf/src/y.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn banned_names_in_strings_and_comments_are_fine() {
+        let src = "pub const HELP: &str = \"call unwrap() or panic!\";\n\
+                   // mentions Instant::now() and HashMap in prose\n";
+        assert!(lint("crates/core/src/doc.rs", src).is_empty());
+    }
+
+    #[test]
+    fn escape_suppresses_same_line_and_next_line() {
+        let trailing = "pub fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    \
+                        *m.lock().expect(\"poisoned\") // lint:allow(panic-policy): poisoning is unrecoverable here\n}\n";
+        assert!(lint("crates/telemetry/src/s.rs", trailing).is_empty());
+        let standalone = "pub fn f(x: Option<u8>) -> u8 {\n    \
+                          // lint:allow(panic-policy): checked by caller\n    \
+                          x.unwrap()\n}\n";
+        assert!(lint("crates/telemetry/src/s.rs", standalone).is_empty());
+    }
+
+    #[test]
+    fn unused_unknown_and_reasonless_escapes_are_findings() {
+        let unused = "// lint:allow(panic-policy): nothing here\npub fn f() {}\n";
+        let got = lint("crates/core/src/z.rs", unused);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("lint-escape: escape for `panic-policy` suppressed nothing"));
+
+        let unknown = "// lint:allow(no-such-rule): hm\npub fn f() {}\n";
+        let got = lint("crates/core/src/z.rs", unknown);
+        assert!(got[0].contains("unknown rule `no-such-rule`"), "{got:?}");
+
+        let reasonless =
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint:allow(panic-policy)\n";
+        let got = lint("crates/core/src/z.rs", reasonless);
+        assert!(
+            got.iter().any(|g| g.contains("escape needs a `: reason`")),
+            "{got:?}"
+        );
+        // And the unescaped finding survives.
+        assert!(got.iter().any(|g| g.contains("panic-policy: `.unwrap()`")));
+    }
+
+    #[test]
+    fn doc_comments_do_not_parse_as_escapes() {
+        let src = "/// Write `lint:allow(panic-policy): reason` to escape.\npub fn f() {}\n";
+        assert!(lint("crates/core/src/z.rs", src).is_empty());
+    }
+
+    #[test]
+    fn crate_root_must_forbid_unsafe() {
+        let got = lint("crates/rf/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(got.len(), 1);
+        assert!(got[0].starts_with("crates/rf/src/lib.rs:1:1: unsafe-free: crate root is missing"));
+        assert!(lint(
+            "crates/rf/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_token_flagged_even_in_tests() {
+        let src = "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n    \
+                   fn t() { unsafe { } }\n}\n";
+        let got = lint("crates/rf/src/lib.rs", src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].contains("unsafe-free: `unsafe` is banned"));
+    }
+
+    #[test]
+    fn todo_needs_roadmap_reference() {
+        let got = lint(
+            "crates/core/src/w.rs",
+            "// TODO: finish this\npub fn f() {}\n",
+        );
+        assert_eq!(got.len(), 1);
+        assert!(got[0].contains(":1:4: todo-tracker:"));
+        assert!(lint(
+            "crates/core/src/w.rs",
+            "// TODO(ROADMAP.md item 4): finish this\npub fn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn debug_leak_only_in_library_code() {
+        let src = "pub fn f() { println!(\"x\"); }\n";
+        assert_eq!(lint("crates/scene/src/p.rs", src).len(), 1);
+        assert!(lint("crates/scene/src/bin/p.rs", src).is_empty());
+        assert!(lint("examples/p.rs", src).is_empty());
+    }
+
+    #[test]
+    fn findings_sorted_by_position() {
+        let src = "pub fn f(x: Option<u8>) { x.unwrap(); println!(\"late\"); }\n\
+                   pub fn g(y: Option<u8>) { y.unwrap(); }\n";
+        let got = lint("crates/tracking/src/m.rs", src);
+        let lines: Vec<&str> = got.iter().map(String::as_str).collect();
+        let mut sorted = lines.clone();
+        sorted.sort();
+        // Position sort and lexical sort agree here; mainly assert order is stable.
+        assert_eq!(got.len(), 3);
+        assert!(lines[0].contains(":1:29:"), "{lines:?}");
+        assert!(lines[1].contains(":1:39:"), "{lines:?}");
+        assert!(lines[2].contains(":2:29:"), "{lines:?}");
+    }
+}

@@ -1,0 +1,450 @@
+//! A minimal, panic-free Rust lexer.
+//!
+//! Just enough lexical structure to tell *code* apart from places where
+//! banned names are harmless — line and block comments (nested), string
+//! and byte-string literals, raw strings with any `#` count, char
+//! literals, and lifetimes. No `syn`, no proc-macro machinery: the linter
+//! must build std-only, offline, before everything else.
+//!
+//! Guarantees (property-tested in `tests/prop_lint.rs`):
+//! * never panics, for arbitrary input — including invalid UTF-8 handed
+//!   in as lossily-converted text, unterminated literals, and stray `\r`;
+//! * always terminates: every loop iteration consumes at least one char;
+//! * token spans are non-overlapping, in order, and line/column positions
+//!   are 1-based and consistent with the input.
+
+/// What a token is, at the granularity linting needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// Numeric literal (approximate: digits plus alphanumeric suffix).
+    Number,
+    /// `// ...` including doc comments (`///`, `//!`), without the newline.
+    LineComment,
+    /// `/* ... */`, nested, possibly unterminated at EOF.
+    BlockComment,
+    /// `"..."`, `b"..."`, or `c"..."` with escapes; may be unterminated.
+    Str,
+    /// `r"..."`, `r#"..."#`, `br…`, `cr…`; may be unterminated.
+    RawStr,
+    /// `'x'`, including escaped chars.
+    Char,
+    /// `'ident` with no closing quote.
+    Lifetime,
+}
+
+/// One lexed token with its position and text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    pub kind: TokenKind,
+    /// The token's text, sliced from the input.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based character column of the token's first character.
+    pub col: u32,
+}
+
+/// Lexes `src` into tokens, skipping whitespace. Infallible: any byte
+/// sequence produces *some* token stream.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, idx: usize) -> usize {
+        self.chars.get(idx).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    /// Consumes one char, maintaining line/column accounting.
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let kind = self.scan_token(c);
+            let text = &self.src[self.byte_at(start)..self.byte_at(self.pos)];
+            out.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+        }
+        out
+    }
+
+    /// Scans one token starting at `c`; always consumes ≥ 1 char.
+    fn scan_token(&mut self, c: char) -> TokenKind {
+        // Comments.
+        if c == '/' {
+            match self.peek(1) {
+                Some('/') => return self.scan_line_comment(),
+                Some('*') => return self.scan_block_comment(),
+                _ => {
+                    self.bump();
+                    return TokenKind::Punct;
+                }
+            }
+        }
+        // String-literal prefixes: r"", r#""#, b"", br"", c"", cr"" — and
+        // raw identifiers r#ident.
+        if matches!(c, 'r' | 'b' | 'c') {
+            if let Some(kind) = self.try_scan_prefixed_literal() {
+                return kind;
+            }
+        }
+        if c == '"' {
+            return self.scan_str();
+        }
+        if c == '\'' {
+            return self.scan_char_or_lifetime();
+        }
+        if c.is_ascii_digit() {
+            return self.scan_number();
+        }
+        if is_ident_start(c) {
+            self.scan_ident();
+            return TokenKind::Ident;
+        }
+        self.bump();
+        TokenKind::Punct
+    }
+
+    fn scan_line_comment(&mut self) -> TokenKind {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn scan_block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated at EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `r` / `b` / `c` prefixes. Returns `None` when what follows is a
+    /// plain identifier that merely starts with one of those letters.
+    fn try_scan_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let c0 = self.peek(0)?;
+        // Two-char prefixes `br` / `cr` first.
+        let (raw, quote_at) = match (c0, self.peek(1)) {
+            ('b' | 'c', Some('r')) => (true, 2),
+            ('r', _) => (true, 1),
+            ('b' | 'c', _) => (false, 1),
+            _ => return None,
+        };
+        if raw {
+            // r#ident (raw identifier, only bare `r`): `r` `#` ident-start.
+            if c0 == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+                self.bump(); // r
+                self.bump(); // #
+                self.scan_ident();
+                return Some(TokenKind::Ident);
+            }
+            // Count hashes after the prefix, then require a quote.
+            let mut hashes = 0usize;
+            while self.peek(quote_at + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(quote_at + hashes) != Some('"') {
+                return None;
+            }
+            for _ in 0..quote_at + hashes + 1 {
+                self.bump();
+            }
+            self.scan_raw_str_body(hashes);
+            return Some(TokenKind::RawStr);
+        }
+        // b"..." / c"..." (and b'x').
+        if self.peek(quote_at) == Some('"') {
+            for _ in 0..quote_at {
+                self.bump();
+            }
+            return Some(self.scan_str());
+        }
+        if c0 == 'b' && self.peek(quote_at) == Some('\'') {
+            self.bump(); // b
+            return Some(self.scan_char_or_lifetime());
+        }
+        None
+    }
+
+    /// Body of a raw string already past `r#*"`: runs to `"` + `hashes`
+    /// `#`s, or EOF.
+    fn scan_raw_str_body(&mut self, hashes: usize) {
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// A `"..."` string starting at the opening quote; handles `\"` and
+    /// `\\`; tolerates EOF before the closing quote.
+    fn scan_str(&mut self) -> TokenKind {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `'` starts either a char literal or a lifetime. Heuristic (same as
+    /// rustc's lexer): `'a` followed by another `'` is a char literal;
+    /// `'a` followed by anything else is a lifetime; `'\` is always a
+    /// char literal.
+    fn scan_char_or_lifetime(&mut self) -> TokenKind {
+        let next = self.peek(1);
+        let lifetime = match next {
+            Some(c) if is_ident_start(c) => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        self.bump(); // '
+        if lifetime {
+            self.scan_ident();
+            return TokenKind::Lifetime;
+        }
+        // Char literal: consume escape or single char, then closing quote.
+        if self.bump() == Some('\\') {
+            self.bump();
+            // Multi-char escapes (\x41, \u{..}) run to the quote.
+            while let Some(c) = self.peek(0) {
+                if c == '\'' || c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+        TokenKind::Char
+    }
+
+    fn scan_number(&mut self) -> TokenKind {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::Number
+    }
+
+    fn scan_ident(&mut self) {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(
+            kinds("a.b()"),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "b"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_their_own_tokens() {
+        let toks = kinds("x // unwrap() here\ny /* panic! *//*2*/ z");
+        assert_eq!(toks[0], (TokenKind::Ident, "x"));
+        assert_eq!(toks[1], (TokenKind::LineComment, "// unwrap() here"));
+        assert_eq!(toks[2], (TokenKind::Ident, "y"));
+        assert_eq!(toks[3], (TokenKind::BlockComment, "/* panic! */"));
+        assert_eq!(toks[4], (TokenKind::BlockComment, "/*2*/"));
+        assert_eq!(toks[5], (TokenKind::Ident, "z"));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks[0], (TokenKind::BlockComment, "/* a /* b */ c */"));
+        assert_eq!(toks[1], (TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"f("unwrap()", 'x', "esc\"aped")"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || !t.contains("unwrap")));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"contains "quotes" and panic!"#;"###);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::RawStr).unwrap();
+        assert!(raw.1.contains("panic!"));
+        assert_eq!(*toks.last().unwrap(), (TokenKind::Punct, ";"));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"b"bytes" c"cstr" br"raw" cr#"raw"# b'x'"##);
+        let kinds_only: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds_only,
+            vec![
+                TokenKind::Str,
+                TokenKind::Str,
+                TokenKind::RawStr,
+                TokenKind::RawStr,
+                TokenKind::Char,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str; 'x'; '\\n'; 'static");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a"));
+        assert!(toks.contains(&(TokenKind::Char, "'x'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'")));
+        assert_eq!(*toks.last().unwrap(), (TokenKind::Lifetime, "'static"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#type")[0], (TokenKind::Ident, "r#type"));
+        // Plain idents starting with r/b/c are not literals.
+        assert_eq!(kinds("rounds")[0], (TokenKind::Ident, "rounds"));
+        assert_eq!(kinds("bits")[0], (TokenKind::Ident, "bits"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_hang() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b\"", "1.2.3"] {
+            let _ = lex(src);
+        }
+    }
+}

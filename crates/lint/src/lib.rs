@@ -1,0 +1,27 @@
+//! tagwatch-lint: the workspace's own static-analysis pass.
+//!
+//! Enforces the invariants the simulator's claims rest on — bit-identical
+//! reruns under a fixed seed, panic-free library code, an `unsafe`-free
+//! workspace — plus hygiene rules (no stray debug output, no to-do
+//! markers unmoored from the roadmap). Rules operate on a hand-rolled
+//! lexical token stream, not an
+//! AST: that keeps the crate std-only and buildable before (and
+//! independent of) everything else, at the cost of a little path-pattern
+//! heuristics in the rules.
+//!
+//! Layout: [`lexer`] turns source into tokens, [`walker`] finds and
+//! classifies workspace files, [`rules`] holds the catalog, [`engine`]
+//! orchestrates regions and escape comments, [`diag`] renders findings.
+//! The `lint` binary (`src/bin/lint.rs`) wires them to the filesystem.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod walker;
+
+pub use diag::Finding;
+pub use engine::{lint_classified, lint_source};
+pub use walker::{classify, walk, FileKind, SourceFile};

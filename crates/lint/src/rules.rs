@@ -1,0 +1,347 @@
+//! The rule catalog.
+//!
+//! Each rule walks the token stream of one file and yields [`Finding`]s.
+//! Applicability is decided here, from the file's [`FileKind`], owning
+//! crate, and path — the engine only orchestrates. The catalog is tuned
+//! to this repository's invariants (see DESIGN.md "Static analysis"):
+//! identical-seed runs must be bit-identical, library code must not
+//! panic, and the whole workspace is `unsafe`-free.
+
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::walker::FileKind;
+
+/// The crates whose code runs inside the deterministic simulation loop.
+/// Hash-ordered containers are banned here: iteration order would leak
+/// `RandomState` into tag scheduling and break seed reproducibility.
+pub const SIM_CRATES: &[&str] = &["gen2", "core", "rf", "scene", "reader", "tracking"];
+
+/// The one module allowed to read the host clock; everything else must go
+/// through its `wall_now()`.
+pub const CLOCK_MODULE: &str = "crates/telemetry/src/clock.rs";
+
+/// A rule's identity and rationale, for `lint --list-rules` and docs.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the engine runs, in diagnostic order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "determinism-wallclock",
+        summary: "Instant::now / SystemTime::now / thread_rng / from_entropy \
+                  only in the telemetry clock module",
+    },
+    RuleInfo {
+        id: "determinism-hash-order",
+        summary: "HashMap/HashSet banned in simulation crates (use BTreeMap/BTreeSet/Vec)",
+    },
+    RuleInfo {
+        id: "panic-policy",
+        summary: "unwrap/expect/panic!/unreachable!/todo!/unimplemented! \
+                  banned in non-test library code",
+    },
+    RuleInfo {
+        id: "debug-leak",
+        summary: "println!/eprintln!/print!/eprint!/dbg! banned outside bins, \
+                  tests, benches, and examples",
+    },
+    RuleInfo {
+        id: "unsafe-free",
+        summary: "crate roots must carry #![forbid(unsafe_code)]; no unsafe anywhere",
+    },
+    RuleInfo {
+        id: "todo-tracker",
+        summary: "TODO/FIXME comments must reference ROADMAP.md",
+    },
+    RuleInfo {
+        id: "lint-escape",
+        summary: "lint:allow escapes must be well-formed, reasoned, and used",
+    },
+];
+
+/// True iff `id` names a rule in the catalog.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Everything a rule may look at for one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    pub kind: FileKind,
+    pub crate_name: &'a str,
+    pub is_crate_root: bool,
+    /// The full token stream, comments included.
+    pub tokens: &'a [Token<'a>],
+    /// Per-token flag: inside a `#[cfg(test)]`/`#[test]`-gated item.
+    pub in_test: &'a [bool],
+}
+
+impl FileCtx<'_> {
+    fn finding(&self, tok: &Token<'_>, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: self.rel.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+        }
+    }
+
+    /// Code tokens only (comments carry no code), with original indices.
+    fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token<'_>)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// The next code token after index `i`, if any.
+    fn next_code(&self, i: usize) -> Option<&Token<'_>> {
+        self.tokens[i + 1..]
+            .iter()
+            .find(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// The previous code token before index `i`, if any.
+    fn prev_code(&self, i: usize) -> Option<&Token<'_>> {
+        self.tokens[..i]
+            .iter()
+            .rev()
+            .find(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// Whether the code-token window starting right after `i` spells
+    /// `:: <ident>` for some ident in `names`.
+    fn followed_by_path_seg(&self, i: usize, names: &[&str]) -> bool {
+        let mut rest = self.tokens[i + 1..]
+            .iter()
+            .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment));
+        let (Some(a), Some(b), Some(c)) = (rest.next(), rest.next(), rest.next()) else {
+            return false;
+        };
+        a.text == ":" && b.text == ":" && c.kind == TokenKind::Ident && names.contains(&c.text)
+    }
+}
+
+/// Runs every applicable rule over one file.
+pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    determinism_wallclock(ctx, &mut out);
+    determinism_hash_order(ctx, &mut out);
+    panic_policy(ctx, &mut out);
+    debug_leak(ctx, &mut out);
+    unsafe_free(ctx, &mut out);
+    todo_tracker(ctx, &mut out);
+    out
+}
+
+/// `Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy`:
+/// banned everywhere except [`CLOCK_MODULE`] — test code included, since
+/// tests gate determinism claims.
+fn determinism_wallclock(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.rel == CLOCK_MODULE {
+        return;
+    }
+    for (i, tok) in ctx.code_tokens() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text {
+            "Instant" | "SystemTime" if ctx.followed_by_path_seg(i, &["now"]) => {
+                out.push(ctx.finding(
+                    tok,
+                    "determinism-wallclock",
+                    format!(
+                        "`{}::now()` outside the telemetry clock module; \
+                         use `tagwatch_telemetry::clock::wall_now()`",
+                        tok.text
+                    ),
+                ));
+            }
+            "thread_rng" | "from_entropy" => {
+                out.push(ctx.finding(
+                    tok,
+                    "determinism-wallclock",
+                    format!(
+                        "`{}` draws OS entropy; seed a `StdRng` explicitly instead",
+                        tok.text
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `HashMap`/`HashSet` in simulation crates: iteration order is
+/// `RandomState`-dependent and leaks into scheduling decisions.
+fn determinism_hash_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !SIM_CRATES.contains(&ctx.crate_name) || ctx.kind != FileKind::Library {
+        return;
+    }
+    for (i, tok) in ctx.code_tokens() {
+        if ctx.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if tok.text == "HashMap" || tok.text == "HashSet" {
+            let ordered = if tok.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            out.push(ctx.finding(
+                tok,
+                "determinism-hash-order",
+                format!(
+                    "`{}` in simulation crate `{}`: iteration order is random \
+                     per process; use `{}` or a `Vec`",
+                    tok.text, ctx.crate_name, ordered
+                ),
+            ));
+        }
+    }
+}
+
+/// `.unwrap()`, `.expect(…)`, and the panicking macros in non-test
+/// library code. Bins, tests, benches, and examples may panic — library
+/// callers must get typed errors.
+fn panic_policy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Library {
+        return;
+    }
+    for (i, tok) in ctx.code_tokens() {
+        if ctx.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text {
+            "unwrap" | "expect" => {
+                // Method call position only: `.unwrap(` / `.expect(`.
+                let after_dot = ctx.prev_code(i).is_some_and(|t| t.text == ".");
+                let called = ctx.next_code(i).is_some_and(|t| t.text == "(");
+                if after_dot && called {
+                    out.push(ctx.finding(
+                        tok,
+                        "panic-policy",
+                        format!(
+                            "`.{}()` in library code: return a typed error, or \
+                             justify with a lint:allow escape",
+                            tok.text
+                        ),
+                    ));
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if ctx.next_code(i).is_some_and(|t| t.text == "!") =>
+            {
+                out.push(ctx.finding(
+                    tok,
+                    "panic-policy",
+                    format!("`{}!` in library code", tok.text),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Stray stdout/stderr in library code: output belongs to the binaries.
+fn debug_leak(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.kind != FileKind::Library {
+        return;
+    }
+    for (i, tok) in ctx.code_tokens() {
+        if ctx.in_test[i] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if matches!(
+            tok.text,
+            "println" | "print" | "eprintln" | "eprint" | "dbg"
+        ) && ctx.next_code(i).is_some_and(|t| t.text == "!")
+        {
+            out.push(ctx.finding(
+                tok,
+                "debug-leak",
+                format!(
+                    "`{}!` in library code: return data and let the binary print",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Crate roots must carry `#![forbid(unsafe_code)]`, and `unsafe` must
+/// not appear anywhere (the attribute catches library code at compile
+/// time; the token scan also covers bins, tests, and macro bodies).
+fn unsafe_free(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.is_crate_root && !has_forbid_unsafe(ctx) {
+        out.push(Finding {
+            file: ctx.rel.to_string(),
+            line: 1,
+            col: 1,
+            rule: "unsafe-free",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    for (i, tok) in ctx.code_tokens() {
+        if tok.kind == TokenKind::Ident && tok.text == "unsafe" {
+            let _ = i;
+            out.push(ctx.finding(
+                tok,
+                "unsafe-free",
+                "`unsafe` is banned workspace-wide".to_string(),
+            ));
+        }
+    }
+}
+
+fn has_forbid_unsafe(ctx: &FileCtx<'_>) -> bool {
+    // Look for the exact token spelling: # ! [ forbid ( unsafe_code ) ]
+    let code: Vec<&Token<'_>> = ctx
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    code.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+/// `TODO`/`FIXME` comments must cite ROADMAP.md so stale intentions stay
+/// findable; drive-by markers rot.
+fn todo_tracker(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for tok in ctx.tokens {
+        if !matches!(tok.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        for marker in ["TODO", "FIXME"] {
+            if let Some(off) = tok.text.find(marker) {
+                if !tok.text.contains("ROADMAP") {
+                    // Column of the marker itself, in characters.
+                    let col_off = tok.text[..off].chars().count() as u32;
+                    out.push(Finding {
+                        file: ctx.rel.to_string(),
+                        line: tok.line,
+                        col: tok.col + col_off,
+                        rule: "todo-tracker",
+                        message: format!(
+                            "`{marker}` without a ROADMAP.md reference; \
+                             tie it to an open item or drop it"
+                        ),
+                    });
+                }
+                break; // one finding per comment
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Workspace source discovery and file classification.
+//!
+//! Walks the workspace for `.rs` files in a deterministic (sorted) order
+//! and classifies each by the role its path implies — the rule engine
+//! keys applicability off [`FileKind`] and the owning crate.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What role a source file plays, by its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under some `src/` (not `src/bin/`).
+    Library,
+    /// Binary code under `src/bin/`.
+    Bin,
+    /// Integration tests under a `tests/` directory.
+    Test,
+    /// Criterion benches under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+/// One discovered source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    pub kind: FileKind,
+    /// Owning crate name (`core`, `gen2`, … for `crates/<name>/…`;
+    /// `<root>` for the workspace root package).
+    pub crate_name: String,
+    /// Whether this file is a crate root (`src/lib.rs`).
+    pub is_crate_root: bool,
+}
+
+/// Directories never walked into, anywhere in the tree.
+const SKIP_DIRS: &[&str] = &["target", "out", ".git"];
+
+/// Workspace-relative prefixes excluded from linting: dev-only offline
+/// shims (and their shadow-workspace copy), and the lint test fixtures —
+/// which *deliberately* violate every rule.
+const SKIP_PREFIXES: &[&str] = &["tools/", "stubs/", "tests/lint/"];
+
+/// Classifies a workspace-relative path. Returns `None` for files the
+/// linter does not own (skipped prefixes, non-`.rs`).
+pub fn classify(rel: &str) -> Option<(FileKind, String, bool)> {
+    if !rel.ends_with(".rs") || SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+        return None;
+    }
+    let (crate_name, tail) = match rel.strip_prefix("crates/") {
+        Some(rest) => {
+            let (name, tail) = rest.split_once('/')?;
+            (name.to_string(), tail)
+        }
+        None => ("<root>".to_string(), rel),
+    };
+    let kind = if tail.starts_with("src/bin/") {
+        FileKind::Bin
+    } else if tail.starts_with("src/") {
+        FileKind::Library
+    } else if tail.starts_with("tests/") {
+        FileKind::Test
+    } else if tail.starts_with("benches/") {
+        FileKind::Bench
+    } else if tail.starts_with("examples/") {
+        FileKind::Example
+    } else {
+        // build.rs and other stray roots: treat as bin-like (host-side).
+        FileKind::Bin
+    };
+    let is_crate_root = tail == "src/lib.rs";
+    Some((kind, crate_name, is_crate_root))
+}
+
+/// Recursively collects every classifiable `.rs` file under `root`,
+/// sorted by relative path so diagnostics and exit codes are stable.
+pub fn walk(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    walk_dir(root, root, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if let Some((kind, crate_name, is_crate_root)) = classify(&rel) {
+                out.push(SourceFile {
+                    rel,
+                    abs: path.clone(),
+                    kind,
+                    crate_name,
+                    is_crate_root,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        let cases = [
+            ("crates/core/src/lib.rs", FileKind::Library, "core", true),
+            ("crates/core/src/gmm.rs", FileKind::Library, "core", false),
+            (
+                "crates/bench/src/bin/repro.rs",
+                FileKind::Bin,
+                "bench",
+                false,
+            ),
+            ("crates/obs/benches/b.rs", FileKind::Bench, "obs", false),
+            ("src/lib.rs", FileKind::Library, "<root>", true),
+            ("src/bin/tagwatch_sim.rs", FileKind::Bin, "<root>", false),
+            ("tests/prop_gen2.rs", FileKind::Test, "<root>", false),
+            ("examples/quickstart.rs", FileKind::Example, "<root>", false),
+        ];
+        for (rel, kind, name, root) in cases {
+            let (k, n, r) = classify(rel).expect(rel);
+            assert_eq!(k, kind, "{rel}");
+            assert_eq!(n, name, "{rel}");
+            assert_eq!(r, root, "{rel}");
+        }
+    }
+
+    #[test]
+    fn skips_fixtures_shims_and_non_rust() {
+        assert!(classify("tests/lint/fixtures/panic_policy.rs").is_none());
+        assert!(classify("tools/offline/stubs/rand/src/lib.rs").is_none());
+        assert!(classify("stubs/rand/src/lib.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+}

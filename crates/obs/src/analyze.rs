@@ -367,7 +367,7 @@ fn read_times(trace: &Trace) -> BTreeMap<u128, Vec<f64>> {
         }
     }
     for v in times.values_mut() {
-        v.sort_by(|a, b| a.total_cmp(b));
+        v.sort_by(f64::total_cmp);
     }
     times
 }
@@ -386,7 +386,7 @@ fn tag_summary(trace: &Trace, sim_seconds: f64) -> TagSummary {
             epc: epc_hex(epc),
             reads: ts.len(),
             first: ts[0],
-            last: *ts.last().expect("non-empty read series"),
+            last: *ts.last().expect("non-empty read series"), // lint:allow(panic-policy): ts is non-empty: the tag has at least one read
             irr: ts.len() as f64 / sim_seconds,
             max_gap,
         });

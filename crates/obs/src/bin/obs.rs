@@ -209,7 +209,7 @@ fn cmd_export(args: &[String]) -> Result<ExitCode, String> {
         match a.as_str() {
             "--chrome" => chrome = true,
             "-o" | "--output" => {
-                out = Some(it.next().ok_or("-o needs a path")?.to_string());
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}\n{}", usage()))
@@ -251,7 +251,7 @@ fn cmd_flame(args: &[String]) -> Result<ExitCode, String> {
                 };
             }
             "-o" | "--output" => {
-                out = Some(it.next().ok_or("-o needs a path")?.to_string());
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}\n{}", usage()))

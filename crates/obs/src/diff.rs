@@ -121,7 +121,7 @@ impl DiffReport {
                     },
                 ),
                 (None, Some(_)) => (None, Verdict::New),
-                (None, None) => unreachable!("name came from one of the maps"),
+                (None, None) => unreachable!("name came from one of the maps"), // lint:allow(panic-policy): the name came from one of the two maps
             };
             entries.push(DiffEntry {
                 name: name.clone(),
@@ -180,7 +180,7 @@ fn classify(
         let bad = match direction {
             Direction::HigherIsBetter => current < 0.0,
             Direction::LowerIsBetter => current > 0.0,
-            Direction::Informational => unreachable!(),
+            Direction::Informational => unreachable!(), // lint:allow(panic-policy): informational metrics return earlier
         };
         let verdict = if bad { Verdict::Regressed } else { Verdict::Ok };
         return (None, verdict);

@@ -271,13 +271,16 @@ mod tests {
         // 4 metadata + 5 spans.
         assert_eq!(events.len(), 9);
         for ev in events {
-            let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph");
+            let ph = ev
+                .get("ph")
+                .and_then(serde_json::Value::as_str)
+                .expect("ph");
             assert!(ph == "X" || ph == "M", "unexpected phase {ph}");
-            assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some());
-            assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+            assert!(ev.get("pid").and_then(serde_json::Value::as_u64).is_some());
+            assert!(ev.get("name").and_then(serde_json::Value::as_str).is_some());
             if ph == "X" {
-                assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some());
-                assert!(ev.get("dur").and_then(|v| v.as_u64()).is_some());
+                assert!(ev.get("ts").and_then(serde_json::Value::as_u64).is_some());
+                assert!(ev.get("dur").and_then(serde_json::Value::as_u64).is_some());
             }
         }
         // Wall span landed on pid 2, sim spans on pid 1.
@@ -285,11 +288,11 @@ mod tests {
             events
                 .iter()
                 .find(|e| {
-                    e.get("ph").and_then(|v| v.as_str()) == Some("X")
-                        && e.get("name").and_then(|v| v.as_str()) == Some(name)
+                    e.get("ph").and_then(serde_json::Value::as_str) == Some("X")
+                        && e.get("name").and_then(serde_json::Value::as_str) == Some(name)
                 })
                 .and_then(|e| e.get("pid"))
-                .and_then(|v| v.as_u64())
+                .and_then(serde_json::Value::as_u64)
                 .unwrap()
         };
         assert_eq!(pid_of("cycle"), 1);
@@ -307,9 +310,9 @@ mod tests {
             .and_then(|v| v.as_array())
             .unwrap()
             .iter()
-            .find(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+            .find(|e| e.get("ph").and_then(serde_json::Value::as_str) == Some("X"))
             .and_then(|e| e.get("name"))
-            .and_then(|v| v.as_str())
+            .and_then(serde_json::Value::as_str)
             .unwrap()
             .to_string();
         assert_eq!(name, "weird\"name\\with\nstuff");

@@ -28,6 +28,7 @@
 //! `obs flame` / `obs hotspots` / `obs trend`) is a thin shell over
 //! these layers.
 
+#![forbid(unsafe_code)]
 pub mod analyze;
 pub mod bench;
 pub mod diff;

@@ -98,10 +98,10 @@ impl TrendReport {
         let mut owned: Vec<(String, BenchSnapshot)> = Vec::with_capacity(paths.len());
         for p in paths {
             let p = p.as_ref();
-            let label = p
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| p.display().to_string());
+            let label = p.file_stem().map_or_else(
+                || p.display().to_string(),
+                |s| s.to_string_lossy().into_owned(),
+            );
             owned.push((label, BenchSnapshot::load(p)?));
         }
         let labelled: Vec<(String, &BenchSnapshot)> =
@@ -145,7 +145,7 @@ impl fmt::Display for TrendReport {
                     } else {
                         ""
                     };
-                    writeln!(f, "  ({:+.1}%){marker}", rel * 100.0)?
+                    writeln!(f, "  ({:+.1}%){marker}", rel * 100.0)?;
                 }
                 None => writeln!(f)?,
             }
@@ -156,6 +156,11 @@ impl fmt::Display for TrendReport {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use std::collections::BTreeMap;
 

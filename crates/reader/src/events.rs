@@ -91,6 +91,11 @@ impl EventLog {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     fn ev(t: f64) -> RoundEvent {

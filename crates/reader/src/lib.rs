@@ -12,6 +12,7 @@
 //! the `tagwatch` core crate, which only sees [`TagReport`]s — the same
 //! boundary a real deployment has.
 
+#![forbid(unsafe_code)]
 pub mod config;
 pub mod conn;
 pub mod events;

@@ -189,6 +189,11 @@ impl ChannelModel {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::hopping::ChannelPlan;
     use rand::rngs::StdRng;

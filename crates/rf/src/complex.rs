@@ -181,6 +181,11 @@ pub fn circ_diff(a: f64, b: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use std::f64::consts::{FRAC_PI_2, PI, TAU};
 

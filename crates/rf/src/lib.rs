@@ -18,6 +18,7 @@
 //! Everything is deterministic given the caller's RNG; no wall clock, no OS
 //! entropy.
 
+#![forbid(unsafe_code)]
 pub mod channel;
 pub mod complex;
 pub mod fresnel;

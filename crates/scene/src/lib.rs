@@ -11,6 +11,7 @@
 //! circular track (§1, §7.3), the 40-tag random rooms (§7.2), the spinning
 //! turntable (§7.3), and the TrackPoint sorting gate (§2.4).
 
+#![forbid(unsafe_code)]
 pub mod entities;
 pub mod presets;
 pub mod scene;

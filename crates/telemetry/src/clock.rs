@@ -1,0 +1,67 @@
+//! The workspace's single wall-clock authority.
+//!
+//! Identical-seed runs must be bit-identical everywhere outside this
+//! module: the `obs diff` determinism self-check and the BENCH gate both
+//! depend on it, and the paper's calibrated cost model `C(n) = τ0 +
+//! n·e·τ̄·ln n` only holds because slot timings are *computed*, not
+//! sampled from the host. Host time is still a legitimate measurement —
+//! wall-clock spans, overhead calibration, figure timing — so every such
+//! read funnels through here, where the `lint` determinism rule
+//! (`determinism-wallclock`) can see it. Reading `Instant::now()` or
+//! `SystemTime::now()` anywhere else in the workspace is a lint finding.
+
+use std::time::{Duration, Instant};
+
+/// An opaque wall-clock reading taken by [`wall_now`].
+///
+/// Deliberately *not* convertible back into [`Instant`]: holders can
+/// difference readings (durations) but cannot smuggle absolute host time
+/// into simulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WallInstant(Instant);
+
+/// Reads the host monotonic clock. The only sanctioned wall-clock read in
+/// the workspace.
+pub fn wall_now() -> WallInstant {
+    WallInstant(Instant::now())
+}
+
+impl WallInstant {
+    /// Wall time elapsed since this reading was taken.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// [`WallInstant::elapsed`] in seconds, the unit telemetry reports in.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Duration since an earlier reading, clamped to zero if `earlier` is
+    /// actually later (mirrors [`Instant::saturating_duration_since`]).
+    pub fn saturating_duration_since(&self, earlier: WallInstant) -> Duration {
+        self.0.saturating_duration_since(earlier.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_readings_are_monotone() {
+        let a = wall_now();
+        let b = wall_now();
+        assert!(b >= a);
+        assert_eq!(a.saturating_duration_since(b).as_nanos(), 0);
+        assert!(b.saturating_duration_since(a) <= b.elapsed() + a.elapsed());
+    }
+
+    #[test]
+    fn elapsed_seconds_matches_elapsed() {
+        let a = wall_now();
+        let secs = a.elapsed_seconds();
+        assert!(secs >= 0.0);
+        assert!(secs.is_finite());
+    }
+}

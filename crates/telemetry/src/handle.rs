@@ -7,6 +7,7 @@
 //! enough to leave the instrumentation compiled into the hot path
 //! unconditionally (the controller criterion bench budget is < 2 %).
 
+use crate::clock::{self, WallInstant};
 use crate::event::{
     CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord, TagRecord,
 };
@@ -16,7 +17,6 @@ use crate::sink::Sink;
 use crate::span::{SimSpan, SpanGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
 
 /// Sink-side volume control: what fraction of the round-family event
 /// stream reaches sinks, and a hard ceiling on delivered events. The
@@ -59,7 +59,7 @@ struct Inner {
     enabled: AtomicBool,
     next_span_id: AtomicU64,
     /// Wall-clock origin: wall-span start offsets are relative to this.
-    origin: Instant,
+    origin: WallInstant,
     state: Mutex<State>,
 }
 
@@ -144,7 +144,7 @@ impl Telemetry {
             inner: Arc::new(Inner {
                 enabled: AtomicBool::new(false),
                 next_span_id: AtomicU64::new(0),
-                origin: Instant::now(),
+                origin: clock::wall_now(),
                 state: Mutex::new(State::default()),
             }),
         }
@@ -181,7 +181,7 @@ impl Telemetry {
         self.inner
             .state
             .lock()
-            .unwrap_or_else(|poison| poison.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Increments counter `name` by 1.
@@ -321,7 +321,7 @@ impl Telemetry {
         self.inner.next_span_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    pub(crate) fn origin(&self) -> Instant {
+    pub(crate) fn origin(&self) -> WallInstant {
         self.inner.origin
     }
 
@@ -334,6 +334,11 @@ impl Telemetry {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::event::ClockKind;
     use crate::sink::MemorySink;

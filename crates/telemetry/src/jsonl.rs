@@ -17,6 +17,12 @@ use std::path::Path;
 /// Why a JSONL trace failed to re-ingest.
 #[derive(Debug)]
 pub enum ParseError {
+    /// The trace file could not be opened at all.
+    Open {
+        /// The path that failed to open.
+        path: std::path::PathBuf,
+        source: io::Error,
+    },
     /// The underlying stream failed while reading `line`.
     Io {
         /// 1-based line being read when the failure hit.
@@ -57,9 +63,11 @@ fn snippet_of(line: &str) -> String {
 }
 
 impl ParseError {
-    /// The 1-based line number the error is anchored to.
+    /// The 1-based line number the error is anchored to (0 when the
+    /// failure precedes the first line, e.g. the file would not open).
     pub fn line(&self) -> usize {
         match self {
+            ParseError::Open { .. } => 0,
             ParseError::Io { line, .. }
             | ParseError::Line { line, .. }
             | ParseError::TruncatedTail { line, .. } => *line,
@@ -70,6 +78,9 @@ impl ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ParseError::Open { path, source } => {
+                write!(f, "cannot open {}: {source}", path.display())
+            }
             ParseError::Io { line, source } => {
                 write!(f, "I/O error at line {line}: {source}")
             }
@@ -90,7 +101,7 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ParseError::Io { source, .. } => Some(source),
+            ParseError::Open { source, .. } | ParseError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -151,7 +162,10 @@ pub fn read_events<R: Read>(reader: R) -> Result<Vec<(usize, Event)>, ParseError
 
 /// [`read_events`] over a file path.
 pub fn read_events_path<P: AsRef<Path>>(path: P) -> Result<Vec<(usize, Event)>, ParseError> {
-    let file = File::open(path.as_ref()).map_err(|source| ParseError::Io { line: 0, source })?;
+    let file = File::open(path.as_ref()).map_err(|source| ParseError::Open {
+        path: path.as_ref().to_path_buf(),
+        source,
+    })?;
     read_events(file)
 }
 

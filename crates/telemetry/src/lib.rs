@@ -54,6 +54,8 @@
 //! assert_eq!(tel.snapshot().counter("cycle.census"), Some(40));
 //! ```
 
+#![forbid(unsafe_code)]
+pub mod clock;
 pub mod event;
 pub mod handle;
 pub mod histogram;
@@ -63,6 +65,7 @@ pub mod registry;
 pub mod sink;
 pub mod span;
 
+pub use clock::{wall_now, WallInstant};
 pub use event::{
     ClockKind, CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord,
     TagRecord,

@@ -15,9 +15,9 @@
 //! simulated-clock spans) in the reader's 4:2:1 ratio, into a bounded
 //! [`RingSink`] so the measurement itself stays at fixed memory.
 
+use crate::clock;
 use crate::handle::Telemetry;
 use crate::sink::RingSink;
-use std::time::Instant;
 
 /// A measured per-event emission cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,7 +49,7 @@ pub fn calibrate_iterations(iterations: u64) -> OverheadEstimate {
     let tel = Telemetry::new();
     tel.install(Box::new(RingSink::new(4096)));
     let iterations = iterations.max(1);
-    let start = Instant::now();
+    let start = clock::wall_now();
     for k in 0..iterations {
         // The reader's per-round shape: slot-outcome counters, duration /
         // Q observations, one closing span.
@@ -62,7 +62,7 @@ pub fn calibrate_iterations(iterations: u64) -> OverheadEstimate {
         let span = tel.sim_span("round", k as f64 * 0.031);
         span.end(k as f64 * 0.031 + 0.031);
     }
-    let total_seconds = start.elapsed().as_secs_f64();
+    let total_seconds = start.elapsed_seconds();
     let events_measured = iterations * 7;
     OverheadEstimate {
         // Never divide into a zero clock reading (coarse timers).

@@ -88,6 +88,11 @@ impl MetricsRegistry {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]

@@ -52,20 +52,26 @@ impl MemorySink {
 
     /// A copy of the buffered events, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        let buf = self.shared.lock().expect("memory sink poisoned");
+        let buf = self
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         buf.events.iter().cloned().collect()
     }
 
     /// Number of events evicted (or rejected) since creation.
     pub fn dropped(&self) -> usize {
-        self.shared.lock().expect("memory sink poisoned").dropped
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .dropped
     }
 
     /// Number of buffered events.
     pub fn len(&self) -> usize {
         self.shared
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .events
             .len()
     }
@@ -98,7 +104,10 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&mut self, event: &Event) {
-        let mut buf = self.shared.lock().expect("memory sink poisoned");
+        let mut buf = self
+            .shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if buf.capacity == 0 {
             buf.dropped += 1;
             return;
@@ -155,7 +164,9 @@ impl RingSink {
     }
 
     fn buf(&self) -> std::sync::MutexGuard<'_, RingBuf> {
-        self.shared.lock().expect("ring sink poisoned")
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Number of retained events.

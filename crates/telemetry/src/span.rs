@@ -7,10 +7,10 @@
 //! innermost open span when a new one starts becomes its parent, which
 //! yields the cycle → phase hierarchy with no plumbing.
 
+use crate::clock::{self, WallInstant};
 use crate::event::{ClockKind, SpanRecord};
 use crate::handle::Telemetry;
 use std::cell::RefCell;
-use std::time::Instant;
 
 thread_local! {
     /// Open-span stack for parent inference. Thread-local, so experiment
@@ -52,7 +52,7 @@ pub struct SpanGuard {
     name: &'static str,
     id: u64,
     parent: Option<u64>,
-    start: Instant,
+    start: WallInstant,
     active: bool,
     done: bool,
 }
@@ -73,7 +73,7 @@ impl SpanGuard {
             name,
             id,
             parent,
-            start: Instant::now(),
+            start: clock::wall_now(),
             active,
             done: false,
         }
@@ -90,7 +90,7 @@ impl SpanGuard {
     }
 
     fn close(&mut self) -> f64 {
-        let duration = self.start.elapsed().as_secs_f64();
+        let duration = self.start.elapsed_seconds();
         if self.done {
             return duration;
         }

@@ -178,7 +178,7 @@ pub fn generate(cfg: &TraceConfig, seed: u64) -> Trace {
                 let id = in_zone[idx.min(in_zone.len() - 1)];
                 chosen = Some((id, true));
             }
-            let (tag, moving) = chosen.expect("allocation always picks");
+            let (tag, moving) = chosen.expect("allocation always picks"); // lint:allow(panic-policy): the fallback above always picks a tag
             readings.push(TraceReading {
                 tag,
                 t: t_read,
@@ -186,7 +186,7 @@ pub fn generate(cfg: &TraceConfig, seed: u64) -> Trace {
             });
         }
     }
-    readings.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("times are finite"));
+    readings.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("times are finite")); // lint:allow(panic-policy): read times are finite by construction
 
     Trace {
         config: *cfg,

@@ -6,12 +6,13 @@
 //! a hot parked tag read ~90k times, ≤ ~5.7% simultaneous movers), plus
 //! the statistics Fig. 3/4 plot and CSV/JSON persistence.
 
+#![forbid(unsafe_code)]
 pub mod generator;
 pub mod record;
 pub mod stats;
 
 pub use generator::{generate, Trace, TraceConfig, TraceReading};
-pub use record::{read_csv, read_json, write_csv, write_json};
+pub use record::{read_csv, read_json, write_csv, write_json, RecordError};
 pub use stats::{
     count_at_top_fraction, fraction_above, peak_simultaneous_movers, read_counts, summarize,
     timeline, TraceSummary,

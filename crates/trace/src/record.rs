@@ -2,10 +2,70 @@
 //!
 //! The CSV schema is one row per reading — `tag,t,moving` — the shape
 //! analysis notebooks expect; JSON round-trips the full [`Trace`]
-//! including its configuration.
+//! including its configuration. Import failures are typed
+//! ([`RecordError`]) and carry 1-based line numbers where one exists, so
+//! callers can point at the offending row instead of guessing.
 
 use crate::generator::{Trace, TraceConfig, TraceReading};
+use std::fmt;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Why a persisted trace failed to re-import.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The CSV header row is not `tag,t,moving`.
+    Header {
+        /// The header actually found, abbreviated for display.
+        found: String,
+    },
+    /// A CSV field failed to parse.
+    Field {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Which column was malformed (`tag`, `t`, or `moving`).
+        column: &'static str,
+    },
+    /// The JSON document is not a serialized [`Trace`].
+    Json {
+        /// The serde decode error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Io(source) => write!(f, "I/O error: {source}"),
+            RecordError::Header { found } => {
+                write!(
+                    f,
+                    "unexpected CSV header: {found:?} (want \"tag,t,moving\")"
+                )
+            }
+            RecordError::Field { line, column } => {
+                write!(f, "line {line}: bad {column}")
+            }
+            RecordError::Json { message } => write!(f, "not a serialized trace: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecordError::Io(source) => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecordError {
+    fn from(source: io::Error) -> Self {
+        RecordError::Io(source)
+    }
+}
 
 /// Writes a trace as CSV (`tag,t,moving` with a header row).
 pub fn write_csv<W: Write>(trace: &Trace, out: W) -> io::Result<()> {
@@ -19,17 +79,18 @@ pub fn write_csv<W: Write>(trace: &Trace, out: W) -> io::Result<()> {
 
 /// Reads the readings back from CSV produced by [`write_csv`]. The trace
 /// configuration is not stored in CSV; the caller supplies it.
-pub fn read_csv<R: Read>(input: R, config: TraceConfig, parked: usize) -> io::Result<Trace> {
+pub fn read_csv<R: Read>(
+    input: R,
+    config: TraceConfig,
+    parked: usize,
+) -> Result<Trace, RecordError> {
     let reader = BufReader::new(input);
     let mut readings = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         if lineno == 0 {
             if line.trim() != "tag,t,moving" {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unexpected CSV header: {line:?}"),
-                ));
+                return Err(RecordError::Header { found: line });
             }
             continue;
         }
@@ -37,24 +98,22 @@ pub fn read_csv<R: Read>(input: R, config: TraceConfig, parked: usize) -> io::Re
             continue;
         }
         let mut parts = line.split(',');
-        let parse_err = |what: &str| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: bad {what}", lineno + 1),
-            )
+        let field_err = |column: &'static str| RecordError::Field {
+            line: lineno + 1,
+            column,
         };
         let tag: u32 = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err("tag"))?;
+            .ok_or_else(|| field_err("tag"))?;
         let t: f64 = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or_else(|| parse_err("t"))?;
+            .ok_or_else(|| field_err("t"))?;
         let moving = match parts.next() {
             Some("0") => false,
             Some("1") => true,
-            _ => return Err(parse_err("moving")),
+            _ => return Err(field_err("moving")),
         };
         readings.push(TraceReading { tag, t, moving });
     }
@@ -71,13 +130,19 @@ pub fn write_json<W: Write>(trace: &Trace, out: W) -> io::Result<()> {
 }
 
 /// Deserialises a trace from JSON.
-pub fn read_json<R: Read>(input: R) -> io::Result<Trace> {
-    serde_json::from_reader(BufReader::new(input))
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+pub fn read_json<R: Read>(input: R) -> Result<Trace, RecordError> {
+    serde_json::from_reader(BufReader::new(input)).map_err(|e| RecordError::Json {
+        message: e.to_string(),
+    })
 }
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::generator::{generate, TraceConfig};
 
@@ -117,12 +182,32 @@ mod tests {
     }
 
     #[test]
-    fn csv_rejects_garbage() {
+    fn csv_rejects_garbage_with_typed_errors() {
         let cfg = TraceConfig::default();
-        assert!(read_csv("nonsense header\n".as_bytes(), cfg, 0).is_err());
-        assert!(read_csv("tag,t,moving\nx,1.0,0\n".as_bytes(), cfg, 0).is_err());
-        assert!(read_csv("tag,t,moving\n1,huh,0\n".as_bytes(), cfg, 0).is_err());
-        assert!(read_csv("tag,t,moving\n1,1.0,5\n".as_bytes(), cfg, 0).is_err());
+        match read_csv("nonsense header\n".as_bytes(), cfg, 0) {
+            Err(RecordError::Header { found }) => assert_eq!(found, "nonsense header"),
+            other => panic!("expected Header error, got {other:?}"),
+        }
+        match read_csv("tag,t,moving\nx,1.0,0\n".as_bytes(), cfg, 0) {
+            Err(RecordError::Field { line: 2, column }) => assert_eq!(column, "tag"),
+            other => panic!("expected Field error, got {other:?}"),
+        }
+        match read_csv("tag,t,moving\n1,huh,0\n".as_bytes(), cfg, 0) {
+            Err(RecordError::Field { line: 2, column }) => assert_eq!(column, "t"),
+            other => panic!("expected Field error, got {other:?}"),
+        }
+        match read_csv("tag,t,moving\n1,1.0,5\n".as_bytes(), cfg, 0) {
+            Err(RecordError::Field { line: 2, column }) => assert_eq!(column, "moving"),
+            other => panic!("expected Field error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_json_is_a_typed_error() {
+        match read_json("{\"not\": \"a trace\"}".as_bytes()) {
+            Err(RecordError::Json { .. }) => {}
+            other => panic!("expected Json error, got {other:?}"),
+        }
     }
 
     #[test]

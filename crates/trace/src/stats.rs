@@ -115,6 +115,11 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
 
 #[cfg(test)]
 mod tests {
+    // Tests assert exact values (literals carried through untouched,
+    // or bit-reproducibility itself); approximate comparison would
+    // weaken them.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
     use crate::generator::{generate, TraceConfig};
 

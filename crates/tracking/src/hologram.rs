@@ -17,7 +17,7 @@
 //! which both bounds cost and resolves the mod-2π ambiguity the way a
 //! tracking prior does.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tagwatch_reader::TagReport;
 use tagwatch_rf::{wrap_2pi, Complex, Vec3};
 
@@ -57,9 +57,9 @@ type LinkKey = (u8, u8);
 #[derive(Debug, Clone)]
 pub struct Localizer {
     /// Antenna positions by port.
-    antennas: HashMap<u8, Vec3>,
+    antennas: BTreeMap<u8, Vec3>,
     /// Calibrated per-link phase offsets.
-    offsets: HashMap<LinkKey, f64>,
+    offsets: BTreeMap<LinkKey, f64>,
     /// Configuration.
     pub cfg: HologramConfig,
 }
@@ -69,7 +69,7 @@ impl Localizer {
     pub fn new(antennas: &[(u8, Vec3)], cfg: HologramConfig) -> Self {
         Localizer {
             antennas: antennas.iter().copied().collect(),
-            offsets: HashMap::new(),
+            offsets: BTreeMap::new(),
             cfg,
         }
     }
@@ -86,7 +86,7 @@ impl Localizer {
     /// position. Readings on already-calibrated links refine the stored
     /// offset (circular average via phasor accumulation).
     pub fn calibrate(&mut self, known_pos: Vec3, reports: &[TagReport]) {
-        let mut acc: HashMap<LinkKey, Complex> = HashMap::new();
+        let mut acc: BTreeMap<LinkKey, Complex> = BTreeMap::new();
         for r in reports {
             if !self.antennas.contains_key(&r.rf.antenna) {
                 continue;

@@ -6,6 +6,7 @@
 //! phase, and its accuracy is a direct function of the tag's reading
 //! rate — the quantity Tagwatch protects.
 
+#![forbid(unsafe_code)]
 pub mod hologram;
 pub mod tracker;
 

@@ -79,7 +79,7 @@ fn main() {
             .filter(|r| r.tag_idx == 0)
             .count();
         if let Some(plan) = &report.plan {
-            masks_used = plan.masks.iter().map(|m| m.to_string()).collect();
+            masks_used = plan.masks.iter().map(ToString::to_string).collect();
         }
     }
     let tagwatch_irr = mover_reads as f64 / (reader.now() - t0);

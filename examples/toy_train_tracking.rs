@@ -72,7 +72,7 @@ fn calibrate(reader: &Reader) -> Localizer {
 
 fn track_and_report(label: &str, reader: &mut Reader, mover: &[TagReport], duration: f64) {
     let localizer = calibrate(reader);
-    let t_first = mover.first().map(|r| r.rf.t).unwrap_or(0.0);
+    let t_first = mover.first().map_or(0.0, |r| r.rf.t);
     let mut tracker = Tracker::new(localizer, truth(t_first), 0.1);
     tracker.min_score = 0.55;
     tracker.min_reads = 3;

@@ -2,4 +2,5 @@
 //! examples, the cross-crate integration tests, and the declarative
 //! [`scenario`] runner behind the `tagwatch-sim` binary.
 
+#![forbid(unsafe_code)]
 pub mod scenario;

@@ -101,23 +101,44 @@ fn chrome_export_is_schema_valid_trace_event_json() {
         serde_json::from_str(&chrome_trace(&trace)).expect("output parses as JSON");
     let events = doc
         .get("traceEvents")
-        .and_then(|v| v.as_array())
+        .and_then(serde_json::Value::as_array)
         .expect("traceEvents is an array");
     let mut complete_events = 0;
     for ev in events {
         // Every event carries the trace_event required keys, and every
         // duration event the complete-event extras, with the right types.
-        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph string");
-        assert!(ev.get("pid").and_then(|v| v.as_u64()).is_some(), "pid");
-        assert!(ev.get("tid").and_then(|v| v.as_u64()).is_some(), "tid");
-        assert!(ev.get("name").and_then(|v| v.as_str()).is_some(), "name");
+        let ph = ev
+            .get("ph")
+            .and_then(serde_json::Value::as_str)
+            .expect("ph string");
+        assert!(
+            ev.get("pid").and_then(serde_json::Value::as_u64).is_some(),
+            "pid"
+        );
+        assert!(
+            ev.get("tid").and_then(serde_json::Value::as_u64).is_some(),
+            "tid"
+        );
+        assert!(
+            ev.get("name").and_then(serde_json::Value::as_str).is_some(),
+            "name"
+        );
         match ph {
             "M" => {}
             "X" => {
                 complete_events += 1;
-                assert!(ev.get("ts").and_then(|v| v.as_u64()).is_some(), "ts");
-                assert!(ev.get("dur").and_then(|v| v.as_u64()).is_some(), "dur");
-                let cat = ev.get("cat").and_then(|v| v.as_str()).expect("cat");
+                assert!(
+                    ev.get("ts").and_then(serde_json::Value::as_u64).is_some(),
+                    "ts"
+                );
+                assert!(
+                    ev.get("dur").and_then(serde_json::Value::as_u64).is_some(),
+                    "dur"
+                );
+                let cat = ev
+                    .get("cat")
+                    .and_then(serde_json::Value::as_str)
+                    .expect("cat");
                 assert!(cat == "sim" || cat == "wall", "cat {cat:?}");
             }
             other => panic!("unexpected event phase {other:?}"),

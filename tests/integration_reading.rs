@@ -32,7 +32,11 @@ fn simulated_costs_fit_the_paper_model() {
             reader.execute(&spec).unwrap();
         }
         let events = reader.events.take();
-        let mean = events.iter().map(|e| e.duration()).sum::<f64>() / events.len() as f64;
+        let mean = events
+            .iter()
+            .map(tagwatch_reader::RoundEvent::duration)
+            .sum::<f64>()
+            / events.len() as f64;
         samples.push((n, mean));
     }
     let fit = CostModel::fit(&samples).expect("enough samples");

@@ -7,7 +7,7 @@ fn scenario_files() -> Vec<std::path::PathBuf> {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
     let mut files: Vec<_> = std::fs::read_dir(&dir)
         .expect("scenario directory exists")
-        .filter_map(|e| e.ok())
+        .filter_map(Result::ok)
         .map(|e| e.path())
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .collect();

@@ -1,0 +1,7 @@
+// Debug output in library code (pretend path crates/scene/src/injected.rs).
+pub fn trace(x: f64) -> f64 {
+    println!("x = {x}");
+    let y = dbg!(x * 2.0);
+    eprintln!("y = {y}");
+    y
+}

@@ -1,0 +1,19 @@
+// Hash-ordered containers in a simulation crate (pretend path
+// crates/gen2/src/injected.rs). Test-gated code is exempt.
+use std::collections::{HashMap, HashSet};
+
+pub fn census() -> HashMap<u64, u32> {
+    let mut seen = HashSet::new();
+    seen.insert(1u64);
+    HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_is_fine_in_tests() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

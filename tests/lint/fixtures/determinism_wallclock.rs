@@ -1,0 +1,11 @@
+// Seeded regression: wall-clock and entropy reads inside a simulation
+// crate. Linted under the pretend path crates/core/src/injected.rs; the
+// determinism-wallclock rule must flag every site.
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> f64 {
+    let start = Instant::now();
+    let _stamp = SystemTime::now();
+    let _rng = thread_rng();
+    start.elapsed().as_secs_f64()
+}

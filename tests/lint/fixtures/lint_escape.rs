@@ -1,0 +1,19 @@
+// Escape-comment handling (pretend path crates/telemetry/src/injected.rs):
+// a valid escape suppresses; unused, unknown-rule, and reasonless escapes
+// are findings in their own right.
+pub fn good(x: Option<u8>) -> u8 {
+    x.expect("validated upstream") // lint:allow(panic-policy): caller validates in new()
+}
+
+pub fn unused() {
+    // lint:allow(debug-leak): nothing below actually prints
+    let _ = 0;
+}
+
+pub fn unknown(x: Option<u8>) -> u8 {
+    x.expect("oops") // lint:allow(no-such-rule): typo in the rule name
+}
+
+pub fn reasonless(x: Option<u8>) -> u8 {
+    x.expect("oops") // lint:allow(panic-policy)
+}

@@ -1,0 +1,30 @@
+// Panicking constructs in library code (pretend path
+// crates/rf/src/injected.rs). The test module at the bottom is exempt,
+// and so are non-panicking cousins like unwrap_or.
+pub fn first(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}
+
+pub fn must(x: Option<u8>) -> u8 {
+    x.expect("present")
+}
+
+pub fn boom() {
+    panic!("library code must not panic");
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let _ = Some(1u8).unwrap();
+    }
+}

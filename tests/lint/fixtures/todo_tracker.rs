@@ -1,0 +1,8 @@
+// TODO: wire the dense-reader path in.
+pub fn placeholder() {}
+
+// TODO(ROADMAP.md open item): this marker is tracked and therefore fine.
+pub fn tracked() {}
+
+/* FIXME: block comments are scanned too. */
+pub fn block() {}

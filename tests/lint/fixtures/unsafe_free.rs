@@ -1,0 +1,5 @@
+// A crate root (pretend path crates/tracking/src/lib.rs) that forgot
+// #![forbid(unsafe_code)] and reaches for unsafe.
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,106 @@
+//! Golden-file tests for the tagwatch-lint rule catalog.
+//!
+//! Each fixture in `tests/lint/fixtures/` deliberately violates (or
+//! deliberately satisfies) one rule; it is linted under a pretend
+//! workspace path and the rendered diagnostics must match
+//! `tests/lint/expected/<name>.txt` byte-for-byte — positions included,
+//! so a lexer or rule change that shifts any `file:line:col` shows up
+//! here. Regenerate with `LINT_GOLDEN_UPDATE=1 cargo test --test
+//! lint_golden` after an intentional change.
+
+use std::fs;
+use std::path::PathBuf;
+use tagwatch_lint::{lint_classified, lint_source, walk};
+
+/// fixture stem → the pretend workspace path it is linted under.
+const CASES: &[(&str, &str)] = &[
+    ("determinism_wallclock", "crates/core/src/injected.rs"),
+    ("determinism_hash_order", "crates/gen2/src/injected.rs"),
+    ("panic_policy", "crates/rf/src/injected.rs"),
+    ("debug_leak", "crates/scene/src/injected.rs"),
+    ("unsafe_free", "crates/tracking/src/lib.rs"),
+    ("todo_tracker", "crates/reader/src/injected.rs"),
+    ("lint_escape", "crates/telemetry/src/injected.rs"),
+    ("clean", "crates/core/src/clean.rs"),
+];
+
+fn lint_dir() -> PathBuf {
+    match std::env::var("LINT_GOLDEN_ROOT") {
+        Ok(root) => PathBuf::from(root).join("tests/lint"),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint"),
+    }
+}
+
+fn render(pretend: &str, source: &str) -> String {
+    lint_source(pretend, source)
+        .expect("fixture pretend-path must classify")
+        .iter()
+        .map(|f| format!("{f}\n"))
+        .collect()
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let dir = lint_dir();
+    let update = std::env::var("LINT_GOLDEN_UPDATE").is_ok();
+    for (name, pretend) in CASES {
+        let src = fs::read_to_string(dir.join("fixtures").join(format!("{name}.rs")))
+            .unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+        let got = render(pretend, &src);
+        let exp_path = dir.join("expected").join(format!("{name}.txt"));
+        if update {
+            fs::write(&exp_path, &got).unwrap_or_else(|e| panic!("write {name}: {e}"));
+            continue;
+        }
+        let expected =
+            fs::read_to_string(&exp_path).unwrap_or_else(|e| panic!("expected {name}: {e}"));
+        assert_eq!(got, expected, "fixture `{name}` diagnostics drifted");
+    }
+}
+
+/// The acceptance check from the lint design: introducing a wall-clock
+/// read into a simulation crate must fail the gate.
+#[test]
+fn seeded_wallclock_regression_is_caught() {
+    let injected = "pub fn t0() -> std::time::Instant {\n    Instant::now()\n}\n";
+    for sim_path in [
+        "crates/gen2/src/seeded.rs",
+        "crates/core/src/seeded.rs",
+        "crates/reader/src/seeded.rs",
+    ] {
+        let findings = lint_source(sim_path, injected).expect("sim path classifies");
+        assert_eq!(findings.len(), 1, "{sim_path}: {findings:?}");
+        assert_eq!(findings[0].rule, "determinism-wallclock");
+        assert_eq!((findings[0].line, findings[0].col), (2, 5));
+    }
+}
+
+/// The whole workspace must be lint-clean — the same invariant ci.sh
+/// enforces, kept inside the test suite so `cargo test` alone catches a
+/// regression.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = walk(&root).expect("walk workspace");
+    assert!(!files.is_empty(), "walker found no sources under {root:?}");
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = fs::read_to_string(&f.abs).unwrap_or_else(|e| panic!("read {}: {e}", f.rel));
+        findings.extend(lint_classified(
+            &f.rel,
+            f.kind,
+            &f.crate_name,
+            f.is_crate_root,
+            &src,
+        ));
+    }
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -162,16 +162,6 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     }
 }
 
-impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
-    fn to_value(&self) -> Value {
-        Value::Object(
-            self.iter()
-                .map(|(k, v)| (k.clone(), v.to_value()))
-                .collect(),
-        )
-    }
-}
-
 impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
@@ -208,6 +198,18 @@ impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
         // output (callers cannot rely on real serde_json's order either).
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(pairs)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Already ordered by K; stringified keys preserve that order for
+        // every key shape the workspace uses (integers, strings).
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -373,15 +375,24 @@ where
     }
 }
 
-impl<'de, V> Deserialize<'de> for std::collections::BTreeMap<String, V>
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
 where
+    K: for<'a> Deserialize<'a> + Ord,
     V: for<'a> Deserialize<'a>,
 {
     fn deserialize_value(v: &Value) -> Result<Self, DeError> {
         match v {
             Value::Object(pairs) => pairs
                 .iter()
-                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .map(|(k, v)| {
+                    // JSON object keys are strings. Try the key as a
+                    // string first (K = String, including numeric-looking
+                    // keys), then fall back to its numeric reading
+                    // (integer and integer-newtype keys).
+                    let key = K::deserialize_value(&Value::String(k.clone()))
+                        .or_else(|_| K::deserialize_value(&key_value(k)))?;
+                    Ok((key, V::deserialize_value(v)?))
+                })
                 .collect(),
             other => Err(DeError::custom(format!(
                 "expected object, got {}",
