@@ -8,17 +8,38 @@
 #                    # catalog (determinism, panic-policy, unsafe-free, …)
 #   ./ci.sh --obs    # observability gate only: record the obs-run
 #                    # reference workload and diff it against BENCH_1.json
+#   ./ci.sh --faults # fault-injection gate only: fault integration tests,
+#                    # same-seed byte-identical faulted traces, envelope
+#                    # check on every shipped plan, and an obs diff of the
+#                    # reference faulted workload against BENCH_FAULT_1.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
 tier1_only=false
 obs_only=false
 lint_only=false
+faults_only=false
 case "${1:-}" in
     --tier1) tier1_only=true ;;
     --obs) obs_only=true ;;
     --lint) lint_only=true ;;
+    --faults) faults_only=true ;;
 esac
+
+regressions_check() {
+    # Proptest appends newly-shrunk failure cases to *.proptest-regressions
+    # files next to the test that found them. Those pins are part of the
+    # test suite: an untracked one means a real failure case exists only on
+    # one developer's disk.
+    local untracked
+    untracked=$(git ls-files --others --exclude-standard -- '*.proptest-regressions')
+    if [[ -n "$untracked" ]]; then
+        echo "error: untracked proptest regression file(s):" >&2
+        echo "$untracked" >&2
+        echo "proptest pinned new failure case(s) — commit the file(s) above." >&2
+        exit 1
+    fi
+}
 
 lint_gate() {
     # The repo's own static-analysis pass (crates/lint): file:line:col
@@ -35,7 +56,7 @@ obs_gate() {
     local seed=7
     local baseline=BENCH_1.json
     echo "==> obs: cargo build --release (repro + obs)"
-    cargo build --release --bin repro --bin obs
+    cargo build --release -p tagwatch-bench -p tagwatch-obs
     mkdir -p out
 
     echo "==> obs: recording reference workload (obs-run, seed $seed)"
@@ -65,8 +86,64 @@ obs_gate() {
     echo "obs gate passed."
 }
 
+fault_gate() {
+    # Fault-injection fast path: the e2e fault scenarios, a determinism
+    # proof on the reference faulted workload (same seed + plan → byte-
+    # identical sim-only traces), window attribution via `obs report`,
+    # the degradation envelope on every shipped plan, and a BENCH gate
+    # against the committed faulted baseline.
+    local seed=7
+    local plan=examples/faults/outage.toml
+    local baseline=BENCH_FAULT_1.json
+    echo "==> faults: cargo build --release (repro + obs)"
+    cargo build --release -p tagwatch-bench -p tagwatch-obs
+    mkdir -p out
+
+    echo "==> faults: fault integration tests"
+    cargo test --release -q --test integration_faults
+    regressions_check
+
+    echo "==> faults: reference faulted workload ($plan, seed $seed), twice"
+    ./target/release/repro obs-run --quick --seed "$seed" --faults "$plan" \
+        --telemetry-sim-only --telemetry out/fault-ci-a.jsonl \
+        --bench-json out/BENCH_FAULT_current.json
+    ./target/release/repro obs-run --quick --seed "$seed" --faults "$plan" \
+        --telemetry-sim-only --telemetry out/fault-ci-b.jsonl >/dev/null
+    echo "==> faults: same-seed faulted traces must be byte-identical"
+    cmp out/fault-ci-a.jsonl out/fault-ci-b.jsonl
+
+    echo "==> faults: obs must attribute the injection window"
+    ./target/release/obs report out/fault-ci-a.jsonl | tee out/fault-ci-report.txt
+    grep -q 'faults: .* windows' out/fault-ci-report.txt
+
+    echo "==> faults: degradation envelope on every shipped plan"
+    local p
+    for p in examples/faults/*.toml; do
+        ./target/release/repro fault-run --quick --seed "$seed" --faults "$p"
+    done
+
+    if [[ ! -f "$baseline" ]] || grep -q '"provisional": true' "$baseline"; then
+        # Bootstrap, mirroring obs_gate: promote a fresh snapshot (still
+        # provisional) for a human to review and commit. Determinism was
+        # already proven by the byte-identical trace check above.
+        sed 's/"provisional": false/"provisional": true/' \
+            out/BENCH_FAULT_current.json > "$baseline"
+        echo "==> faults: promoted fresh snapshot to $baseline (provisional;"
+        echo "    review the numbers, flip \"provisional\" to false, commit)"
+    else
+        echo "==> faults: gating against $baseline"
+        ./target/release/obs diff "$baseline" out/BENCH_FAULT_current.json
+    fi
+    echo "faults gate passed."
+}
+
 if $obs_only; then
     obs_gate
+    exit 0
+fi
+
+if $faults_only; then
+    fault_gate
     exit 0
 fi
 
@@ -92,7 +169,9 @@ echo "==> tier-1: cargo test -q"
 cargo test -q
 
 if ! $tier1_only; then
+    regressions_check
     obs_gate
+    fault_gate
 fi
 
 echo "CI gate passed."

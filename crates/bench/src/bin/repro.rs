@@ -31,8 +31,9 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use tagwatch_bench::experiments::*;
 use tagwatch_bench::telemetry_report;
+use tagwatch_fault::FaultPlan;
 use tagwatch_obs::bench::{BenchSnapshot, FigureBench};
-use tagwatch_telemetry::{wall_now, JsonlSink, Telemetry, TelemetryConfig};
+use tagwatch_telemetry::{wall_now, JsonlSink, SimOnlySink, Telemetry, TelemetryConfig};
 
 struct Opts {
     seed: u64,
@@ -46,6 +47,12 @@ struct Opts {
     bench_json: Option<std::path::PathBuf>,
     /// Sink-side overhead control (sampling + event ceiling).
     telemetry_cfg: TelemetryConfig,
+    /// Fault plan (`--faults`), applied to the fault-aware targets
+    /// (`obs-run`, `fault-run`).
+    faults: Option<FaultPlan>,
+    /// Drop wall-derived events from the telemetry stream so same-seed
+    /// runs are byte-identical (`--telemetry-sim-only`).
+    sim_only: bool,
 }
 
 impl Opts {
@@ -70,6 +77,8 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         telemetry: None,
         bench_json: None,
         telemetry_cfg: TelemetryConfig::default(),
+        faults: None,
+        sim_only: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -105,6 +114,15 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
                 opts.telemetry_cfg.max_events =
                     v.parse().map_err(|_| format!("bad event ceiling {v:?}"))?;
             }
+            "--faults" => {
+                let v = args
+                    .next()
+                    .ok_or("--faults needs a plan file (TOML or JSON)")?;
+                let plan = FaultPlan::from_path(&v)
+                    .map_err(|e| format!("cannot load fault plan {v:?}: {e}"))?;
+                opts.faults = Some(plan);
+            }
+            "--telemetry-sim-only" => opts.sim_only = true,
             "--quick" => opts.scale = 0,
             "--full" => opts.scale = 2,
             "--help" | "-h" => return Err(usage()),
@@ -122,9 +140,16 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
 
 fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
-     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run> [--seed N] \
-     [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE] \
-     [--telemetry-sample N] [--telemetry-max-events M]"
+     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run|fault-run> \
+     [--seed N] [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE] \
+     [--telemetry-sample N] [--telemetry-max-events M] [--faults PLAN] [--telemetry-sim-only]\n\
+     \n\
+     --faults PLAN loads a tagwatch-fault plan (TOML or JSON) and applies it to the\n\
+     fault-aware targets: obs-run injects it alongside the reference workload;\n\
+     fault-run runs the differential baseline-vs-faulted pair and fails (exit 1)\n\
+     if the plan's degradation envelope is violated.\n\
+     --telemetry-sim-only drops wall-clock-derived events from the JSONL stream so\n\
+     two same-seed runs produce byte-identical traces (determinism gating)."
         .to_string()
 }
 
@@ -209,7 +234,22 @@ fn run_fig(name: &str, o: &Opts) -> Result<(), String> {
         }
         "obs-run" => {
             let (n, movers, cycles) = [(15, 1, 8), (40, 2, 20), (100, 5, 60)][o.scale as usize];
-            println!("{}", obs_run::run(o.seed, n, movers, cycles, 0.0));
+            println!(
+                "{}",
+                obs_run::run(o.seed, n, movers, cycles, 0.0, o.faults.as_ref())
+            );
+        }
+        "fault-run" => {
+            let plan = o
+                .faults
+                .as_ref()
+                .ok_or("fault-run needs --faults <plan.toml|plan.json>")?;
+            let (n, movers, cycles) = [(15, 1, 8), (40, 2, 20), (100, 5, 60)][o.scale as usize];
+            let r = fault_run::run(o.seed, n, movers, cycles, plan);
+            println!("{r}");
+            if !r.passed() {
+                return Err("fault-run: the faulted leg left the degradation envelope".into());
+            }
         }
         other => return Err(format!("unknown figure {other:?}\n{}", usage())),
     }
@@ -229,7 +269,11 @@ fn main() -> ExitCode {
             Ok(sink) => {
                 let tel = Telemetry::global();
                 tel.configure(opts.telemetry_cfg);
-                tel.install(Box::new(sink));
+                if opts.sim_only {
+                    tel.install(Box::new(SimOnlySink::new(sink)));
+                } else {
+                    tel.install(Box::new(sink));
+                }
             }
             Err(e) => {
                 eprintln!("cannot open telemetry file {path:?}: {e}");

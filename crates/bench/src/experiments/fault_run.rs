@@ -1,0 +1,226 @@
+//! **fault-run** — the differential degradation harness: the same
+//! turntable workload as `obs-run`, executed twice on the same seed —
+//! once clean, once under a `tagwatch-fault` plan — and judged against
+//! the plan's graceful-degradation [`Envelope`].
+//!
+//! The baseline leg is a control, not a measurement of interest: it runs
+//! on a detached, disabled telemetry handle so the global trace (what
+//! `repro --telemetry` captures) contains only the faulted leg, complete
+//! with `fault.open.*` / `fault.close.*` window markers for `obs report`
+//! attribution. The envelope compares the two legs per cycle: the
+//! mobile cohort's reading rate must stay above the configured floor
+//! overall and recover within the budgeted number of cycles after the
+//! last window closes.
+
+use crate::experiments::common::random_epcs;
+use tagwatch::prelude::*;
+use tagwatch_fault::{CycleObservation, Envelope, EnvelopeReport, FaultPlan, PlanInjector};
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::Telemetry;
+
+/// Outcome of one differential pair.
+#[derive(Debug, Clone)]
+pub struct FaultRun {
+    pub plan_name: String,
+    pub tags: usize,
+    pub movers: usize,
+    pub cycles: usize,
+    /// Mobile-cohort reads summed over the clean leg.
+    pub baseline_mobile_reads: usize,
+    /// Mobile-cohort reads summed over the faulted leg.
+    pub faulted_mobile_reads: usize,
+    /// When the last non-empty fault window closes (`None`: nothing
+    /// injected).
+    pub fault_end: Option<f64>,
+    /// Per-cycle differential observations (faulted leg's timeline).
+    pub observations: Vec<CycleObservation>,
+    /// The envelope the plan declared.
+    pub envelope: Envelope,
+    /// The verdict.
+    pub report: EnvelopeReport,
+}
+
+impl FaultRun {
+    /// Whether the faulted leg stayed inside the plan's envelope.
+    pub fn passed(&self) -> bool {
+        self.report.passed()
+    }
+}
+
+/// Runs the differential pair: `cycles` controller cycles over
+/// `presets::turntable(n_tags, n_mobile, seed)`, clean and faulted, and
+/// evaluates `plan.envelope` over the per-cycle mobile-cohort rates.
+pub fn run(seed: u64, n_tags: usize, n_mobile: usize, cycles: usize, plan: &FaultPlan) -> FaultRun {
+    let run_leg = |faulted: bool| -> Vec<CycleReport> {
+        let scene = presets::turntable(n_tags, n_mobile, seed);
+        let epcs = random_epcs(n_tags, seed ^ 0x0B5);
+        let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), seed ^ 0x0B6);
+        let tel = if faulted {
+            let tel = Telemetry::global().clone();
+            for epc in &epcs[..n_mobile] {
+                tel.tag_event("truth.mobile", epc.bits(), 0.0);
+            }
+            reader.set_fault_injector(Box::new(PlanInjector::new(plan.clone())));
+            tel
+        } else {
+            // Detached handle with no sink: the clean control must not
+            // write into the global trace.
+            let tel = Telemetry::new();
+            reader.set_telemetry(tel.clone());
+            tel
+        };
+        let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel);
+        ctl.run_cycles(&mut reader, cycles).expect("valid config") // lint:allow(panic-policy): harness-built config is valid by construction
+    };
+    let baseline = run_leg(false);
+    let faulted = run_leg(true);
+
+    let mobile_reads = |r: &CycleReport| {
+        r.phase1
+            .iter()
+            .chain(r.phase2.iter())
+            .filter(|t| t.tag_idx < n_mobile)
+            .count()
+    };
+    let observations: Vec<CycleObservation> = baseline
+        .iter()
+        .zip(faulted.iter())
+        .map(|(b, f)| CycleObservation {
+            t_start: f.t_start,
+            t_end: f.t_end,
+            baseline_mobile_irr: mobile_reads(b) as f64 / (b.t_end - b.t_start).max(1e-9),
+            faulted_mobile_irr: mobile_reads(f) as f64 / (f.t_end - f.t_start).max(1e-9),
+        })
+        .collect();
+    let fault_end = plan.last_window_end();
+    let report = plan.envelope.evaluate(fault_end, &observations);
+    FaultRun {
+        plan_name: plan.name.clone(),
+        tags: n_tags,
+        movers: n_mobile,
+        cycles: observations.len(),
+        baseline_mobile_reads: baseline.iter().map(&mobile_reads).sum(),
+        faulted_mobile_reads: faulted.iter().map(&mobile_reads).sum(),
+        fault_end,
+        observations,
+        envelope: plan.envelope,
+        report,
+    }
+}
+
+impl std::fmt::Display for FaultRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fault-run — differential degradation (plan {:?}, turntable {} tags / {} mobile)",
+            self.plan_name, self.tags, self.movers
+        )?;
+        writeln!(
+            f,
+            "  {} cycles; mobile reads {} baseline vs {} faulted (whole-run ratio {:.3})",
+            self.cycles,
+            self.baseline_mobile_reads,
+            self.faulted_mobile_reads,
+            self.report.overall_ratio
+        )?;
+        match self.fault_end {
+            Some(end) => writeln!(f, "  last fault window closes at {end:.3} s")?,
+            None => writeln!(f, "  plan injects nothing (control pair)")?,
+        }
+        writeln!(
+            f,
+            "  envelope: floor {:.2} → {}; recovery to {:.0}% within {} cycles → {}",
+            self.envelope.irr_floor_ratio,
+            if self.report.floor_ok {
+                "ok"
+            } else {
+                "VIOLATED"
+            },
+            self.envelope.recovery_ratio * 100.0,
+            self.envelope.recovery_cycles,
+            match (self.report.recovered, self.report.recovery_cycle) {
+                (true, Some(c)) => format!("ok (cycle {c})"),
+                (true, None) => "vacuous (no post-fault cycles)".to_string(),
+                (false, _) => "VIOLATED".to_string(),
+            }
+        )?;
+        for v in &self.report.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        writeln!(
+            f,
+            "  verdict: {}",
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_fault::{FaultEvent, FaultKind, Window};
+
+    fn plan_with(envelope: Envelope, events: Vec<(FaultKind, f64, f64)>) -> FaultPlan {
+        let mut plan = FaultPlan::empty("test-plan");
+        plan.envelope = envelope;
+        plan.events = events
+            .into_iter()
+            .map(|(kind, start, end)| FaultEvent {
+                kind,
+                window: Window::new(start, end),
+            })
+            .collect();
+        plan.validate().expect("test plan is valid");
+        plan
+    }
+
+    #[test]
+    fn benign_plan_stays_inside_the_default_envelope() {
+        let plan = plan_with(
+            Envelope::default(),
+            vec![(
+                FaultKind::BurstNoise {
+                    phase_sigma: 0.2,
+                    rss_sigma_db: 1.0,
+                },
+                0.5,
+                1.5,
+            )],
+        );
+        let r = run(7, 10, 1, 4, &plan);
+        assert!(r.passed(), "violations: {:?}", r.report.violations);
+        assert_eq!(r.cycles, 4);
+        assert!(r.baseline_mobile_reads > 0);
+    }
+
+    #[test]
+    fn strict_floor_catches_a_total_blackout() {
+        // Everything dark for the whole run: no plausible floor holds.
+        let plan = plan_with(
+            Envelope {
+                irr_floor_ratio: 0.9,
+                recovery_cycles: 3,
+                recovery_ratio: 0.5,
+            },
+            vec![(FaultKind::AntennaOutage { antennas: vec![] }, 0.0, 1e6)],
+        );
+        let r = run(7, 10, 1, 4, &plan);
+        assert!(!r.passed());
+        assert_eq!(r.faulted_mobile_reads, 0);
+        assert!(!r.report.floor_ok);
+    }
+
+    #[test]
+    fn differential_pair_is_deterministic() {
+        let plan = plan_with(
+            Envelope::default(),
+            vec![(FaultKind::SelectLoss { prob: 0.3 }, 0.0, 2.0)],
+        );
+        let a = run(11, 8, 1, 3, &plan);
+        let b = run(11, 8, 1, 3, &plan);
+        assert_eq!(a.baseline_mobile_reads, b.baseline_mobile_reads);
+        assert_eq!(a.faulted_mobile_reads, b.faulted_mobile_reads);
+        assert_eq!(a.observations, b.observations);
+    }
+}

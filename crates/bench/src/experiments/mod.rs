@@ -5,6 +5,7 @@
 pub mod ablations;
 pub mod common;
 pub mod csv;
+pub mod fault_run;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

@@ -12,6 +12,7 @@
 
 use crate::experiments::common::random_epcs;
 use tagwatch::prelude::*;
+use tagwatch_fault::{FaultPlan, PlanInjector};
 use tagwatch_reader::{Reader, ReaderConfig};
 use tagwatch_scene::presets;
 use tagwatch_telemetry::Telemetry;
@@ -34,12 +35,15 @@ pub struct ObsRun {
 /// tags before the first cycle. Decode failures are injected with
 /// probability `decode_fail_prob` (0 for the reference workload; the
 /// regression-injection integration test raises it to degrade IRR).
+/// With `faults`, a `tagwatch-fault` plan injector rides along — the
+/// `repro --faults <plan> obs-run` path.
 pub fn run(
     seed: u64,
     n_tags: usize,
     n_mobile: usize,
     cycles: usize,
     decode_fail_prob: f64,
+    faults: Option<&FaultPlan>,
 ) -> ObsRun {
     let scene = presets::turntable(n_tags, n_mobile, seed);
     let epcs = random_epcs(n_tags, seed ^ 0x0B5);
@@ -48,6 +52,9 @@ pub fn run(
         ..ReaderConfig::default()
     };
     let mut reader = Reader::new(scene, &epcs, cfg, seed ^ 0x0B6);
+    if let Some(plan) = faults {
+        reader.set_fault_injector(Box::new(PlanInjector::new(plan.clone())));
+    }
 
     let tel = Telemetry::global().clone();
     // Ground truth before any cycle: turntable puts the movers at indices
@@ -102,8 +109,8 @@ mod tests {
 
     #[test]
     fn obs_run_is_deterministic_and_reads_everyone() {
-        let a = run(7, 12, 1, 6, 0.0);
-        let b = run(7, 12, 1, 6, 0.0);
+        let a = run(7, 12, 1, 6, 0.0, None);
+        let b = run(7, 12, 1, 6, 0.0, None);
         assert_eq!(a.phase1_reports, b.phase1_reports);
         assert_eq!(a.phase2_reports, b.phase2_reports);
         assert_eq!(a.cycles, 6);
@@ -118,8 +125,8 @@ mod tests {
 
     #[test]
     fn decode_failures_cost_reports() {
-        let clean = run(7, 12, 1, 6, 0.0);
-        let lossy = run(7, 12, 1, 6, 0.5);
+        let clean = run(7, 12, 1, 6, 0.0, None);
+        let lossy = run(7, 12, 1, 6, 0.5, None);
         let total = |r: &ObsRun| r.phase1_reports + r.phase2_reports;
         assert!(
             total(&lossy) < total(&clean),

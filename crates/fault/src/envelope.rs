@@ -1,0 +1,286 @@
+//! Graceful-degradation envelopes: the *judgment* half of a fault plan.
+//!
+//! A fault plan does not merely perturb a run — it states what "handled
+//! it" means. The [`Envelope`] encodes the paper-level robustness claim
+//! as two checkable properties against a same-seed baseline run:
+//!
+//! 1. **Floor**: over the whole run, mobile-tag IRR in the faulted run
+//!    stays at or above `irr_floor_ratio` × the baseline's.
+//! 2. **Recovery**: within `recovery_cycles` controller cycles after the
+//!    last fault window closes, some cycle's mobile IRR reaches
+//!    `recovery_ratio` × the baseline's for that same cycle.
+//!
+//! Ratios against a same-seed baseline (rather than absolute read rates)
+//! make the envelope portable across scenarios: a 15-tag quick run and a
+//! 100-tag full run share one plan file.
+
+use serde::{Deserialize, Serialize};
+
+/// The degradation bounds a faulted run must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct Envelope {
+    /// Whole-run floor: faulted mobile IRR ÷ baseline mobile IRR must be
+    /// at least this.
+    pub irr_floor_ratio: f64,
+    /// Cycle budget for recovery after the last window closes.
+    pub recovery_cycles: usize,
+    /// Per-cycle ratio that counts as "recovered".
+    pub recovery_ratio: f64,
+}
+
+impl Default for Envelope {
+    fn default() -> Self {
+        Envelope {
+            irr_floor_ratio: 0.2,
+            recovery_cycles: 5,
+            recovery_ratio: 0.5,
+        }
+    }
+}
+
+impl Envelope {
+    /// Structural validation (ratios in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.irr_floor_ratio) {
+            return Err(format!(
+                "envelope irr_floor_ratio must be in [0, 1], got {}",
+                self.irr_floor_ratio
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.recovery_ratio) {
+            return Err(format!(
+                "envelope recovery_ratio must be in [0, 1], got {}",
+                self.recovery_ratio
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One controller cycle observed in *both* runs of a differential pair.
+///
+/// `baseline_mobile_irr` / `faulted_mobile_irr` are reads-per-second over
+/// the cycle for the mobile cohort (or whatever cohort the harness
+/// tracks); the envelope only ever compares their ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleObservation {
+    /// Cycle start on the simulated clock, seconds.
+    pub t_start: f64,
+    /// Cycle end on the simulated clock, seconds.
+    pub t_end: f64,
+    /// Mobile-cohort IRR in the clean run.
+    pub baseline_mobile_irr: f64,
+    /// Mobile-cohort IRR in the faulted run.
+    pub faulted_mobile_irr: f64,
+}
+
+/// The evaluator's verdict, with enough detail to print a useful failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvelopeReport {
+    /// Whole-run faulted ÷ baseline IRR (1.0 when the baseline read
+    /// nothing — an empty baseline cannot be degraded).
+    pub overall_ratio: f64,
+    /// Whether the whole-run floor held.
+    pub floor_ok: bool,
+    /// Whether recovery happened within budget (vacuously true when no
+    /// cycle starts after the last window closes, or the plan injects
+    /// nothing).
+    pub recovered: bool,
+    /// Index (into the observation slice) of the first post-fault cycle
+    /// that met the recovery ratio, if any did.
+    pub recovery_cycle: Option<usize>,
+    /// Human-readable violations; empty iff `passed()`.
+    pub violations: Vec<String>,
+}
+
+impl EnvelopeReport {
+    /// Whether the faulted run stayed inside the envelope.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn ratio(faulted: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        1.0
+    } else {
+        faulted / baseline
+    }
+}
+
+impl Envelope {
+    /// Judges a differential pair. `fault_end` is the plan's
+    /// [`crate::FaultPlan::last_window_end`]; pass `None` for a plan
+    /// that injects nothing (every check is then vacuous or trivially
+    /// about equal runs).
+    pub fn evaluate(&self, fault_end: Option<f64>, cycles: &[CycleObservation]) -> EnvelopeReport {
+        let base_total: f64 = cycles
+            .iter()
+            .map(|c| c.baseline_mobile_irr * (c.t_end - c.t_start).max(0.0))
+            .sum();
+        let fault_total: f64 = cycles
+            .iter()
+            .map(|c| c.faulted_mobile_irr * (c.t_end - c.t_start).max(0.0))
+            .sum();
+        let overall_ratio = ratio(fault_total, base_total);
+        let floor_ok = overall_ratio >= self.irr_floor_ratio;
+
+        let mut violations = Vec::new();
+        if !floor_ok {
+            violations.push(format!(
+                "whole-run mobile IRR ratio {overall_ratio:.3} below floor {:.3}",
+                self.irr_floor_ratio
+            ));
+        }
+
+        // Recovery: look at the first `recovery_cycles` cycles that start
+        // at or after the last fault window closes.
+        let mut recovered = true;
+        let mut recovery_cycle = None;
+        if let Some(end) = fault_end {
+            let post: Vec<(usize, &CycleObservation)> = cycles
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.t_start >= end)
+                .take(self.recovery_cycles.max(1))
+                .collect();
+            if !post.is_empty() {
+                recovery_cycle = post
+                    .iter()
+                    .find(|(_, c)| {
+                        ratio(c.faulted_mobile_irr, c.baseline_mobile_irr) >= self.recovery_ratio
+                    })
+                    .map(|(i, _)| *i);
+                recovered = recovery_cycle.is_some();
+                if !recovered {
+                    violations.push(format!(
+                        "no recovery to {:.0}% of baseline within {} post-fault cycles",
+                        self.recovery_ratio * 100.0,
+                        post.len()
+                    ));
+                }
+            }
+        }
+
+        EnvelopeReport {
+            overall_ratio,
+            floor_ok,
+            recovered,
+            recovery_cycle,
+            violations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exact literals flow through the evaluator untouched; approximate
+    // comparison would weaken the assertions.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+
+    fn obs(t0: f64, t1: f64, base: f64, faulted: f64) -> CycleObservation {
+        CycleObservation {
+            t_start: t0,
+            t_end: t1,
+            baseline_mobile_irr: base,
+            faulted_mobile_irr: faulted,
+        }
+    }
+
+    #[test]
+    fn clean_pair_passes_trivially() {
+        let env = Envelope::default();
+        let cycles = vec![obs(0.0, 1.0, 4.0, 4.0), obs(1.0, 2.0, 4.0, 4.0)];
+        let report = env.evaluate(None, &cycles);
+        assert!(report.passed());
+        assert!(report.overall_ratio > 0.99);
+    }
+
+    #[test]
+    fn floor_violation_is_reported() {
+        let env = Envelope {
+            irr_floor_ratio: 0.5,
+            ..Default::default()
+        };
+        let cycles = vec![obs(0.0, 1.0, 10.0, 1.0)];
+        let report = env.evaluate(Some(0.5), &cycles);
+        assert!(!report.passed());
+        assert!(!report.floor_ok);
+        assert!(report.violations[0].contains("floor"));
+    }
+
+    #[test]
+    fn recovery_found_within_budget() {
+        let env = Envelope {
+            irr_floor_ratio: 0.1,
+            recovery_cycles: 3,
+            recovery_ratio: 0.8,
+        };
+        // Fault ends at t = 2; cycles 2 and 3 are post-fault, cycle 3
+        // recovers.
+        let cycles = vec![
+            obs(0.0, 1.0, 10.0, 10.0),
+            obs(1.0, 2.0, 10.0, 1.0),
+            obs(2.0, 3.0, 10.0, 4.0),
+            obs(3.0, 4.0, 10.0, 9.0),
+        ];
+        let report = env.evaluate(Some(2.0), &cycles);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert_eq!(report.recovery_cycle, Some(3));
+    }
+
+    #[test]
+    fn recovery_failure_within_budget_is_reported() {
+        let env = Envelope {
+            irr_floor_ratio: 0.0,
+            recovery_cycles: 2,
+            recovery_ratio: 0.9,
+        };
+        let cycles = vec![
+            obs(0.0, 1.0, 10.0, 1.0),
+            obs(1.0, 2.0, 10.0, 2.0),
+            obs(2.0, 3.0, 10.0, 2.0),
+            obs(3.0, 4.0, 10.0, 9.5), // outside the 2-cycle budget
+        ];
+        let report = env.evaluate(Some(1.0), &cycles);
+        assert!(!report.recovered);
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn recovery_is_vacuous_without_post_fault_cycles() {
+        let env = Envelope::default();
+        let cycles = vec![obs(0.0, 1.0, 10.0, 2.0)];
+        // Fault window extends past the run's end.
+        let report = env.evaluate(Some(100.0), &cycles);
+        assert!(report.recovered);
+        assert_eq!(report.recovery_cycle, None);
+    }
+
+    #[test]
+    fn zero_baseline_cannot_be_degraded() {
+        let env = Envelope::default();
+        let cycles = vec![obs(0.0, 1.0, 0.0, 0.0)];
+        let report = env.evaluate(Some(0.5), &cycles);
+        assert!(report.passed());
+        assert_eq!(report.overall_ratio, 1.0);
+    }
+
+    #[test]
+    fn envelope_validation_bounds_ratios() {
+        let bad = Envelope {
+            irr_floor_ratio: 1.5,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = Envelope {
+            recovery_ratio: -0.1,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        Envelope::default().validate().unwrap();
+    }
+}

@@ -1,0 +1,424 @@
+//! The runtime half: turning a plan into per-round effects.
+//!
+//! The reader polls its injector once per inventory round (and at select
+//! application) with the current simulated time; the injector answers
+//! with the composed [`RoundEffects`] active at that instant plus any
+//! [`FaultTransition`]s (window open/close edges) crossed since the last
+//! poll. The reader turns transitions into `fault.open.<slug>` /
+//! `fault.close.<slug>` telemetry markers, which is how `obs` attributes
+//! degradation to injection windows after the fact.
+//!
+//! Effects *compose*: overlapping windows of the same family combine the
+//! way independent physical mechanisms would (noise sigmas add, loss
+//! probabilities combine as `1 − Π(1 − pᵢ)`, outage sets union). The
+//! injector itself is deterministic and RNG-free — probabilistic faults
+//! only parameterize coin flips drawn later from the reader's seeded RNG.
+
+use crate::plan::{FaultKind, FaultPlan};
+use std::collections::BTreeSet;
+
+/// The composed fault effects active at one instant.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundEffects {
+    /// Antenna ports currently dark (union over active outages).
+    pub antennas_out: BTreeSet<u8>,
+    /// Whether *every* port is dark (an outage with an empty port list).
+    pub all_antennas_out: bool,
+    /// Added phase-noise sigma, radians.
+    pub phase_sigma_add: f64,
+    /// Added RSS-noise sigma, dB.
+    pub rss_sigma_db_add: f64,
+    /// RSS drop applied to every read, dB.
+    pub rss_drop_db: f64,
+    /// Added per-reply decode-failure probability.
+    pub decode_fail_add: f64,
+    /// Probability a `Select` command is lost, per tag per command.
+    pub select_loss_prob: f64,
+    /// Probability a `QueryRep` broadcast is lost entirely.
+    pub query_rep_loss_prob: f64,
+    /// Probability a decoded EPC reply is corrupted and discarded.
+    pub reply_corrupt_prob: f64,
+    /// Scene indices of tags muted (unresponsive, state preserved).
+    pub muted_tags: BTreeSet<usize>,
+    /// Scene indices of tags detuned (unresponsive, power-cycled at
+    /// window open).
+    pub detuned_tags: BTreeSet<usize>,
+    /// An active reader stall, if any: the reader must jump to `end` and
+    /// restart there.
+    pub restart: Option<RestartEffect>,
+}
+
+/// The reader-stall effect: down until `end`, then restart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartEffect {
+    /// When the reader comes back (the window's end — with overlapping
+    /// restart windows, the latest end among those active).
+    pub end: f64,
+    /// Whether tag session flags survive the restart (`false` simulates
+    /// a field drop long enough to reset every tag).
+    pub preserve_flags: bool,
+}
+
+impl RoundEffects {
+    /// Whether `port` is dark right now.
+    pub fn antenna_out(&self, port: u8) -> bool {
+        self.all_antennas_out || self.antennas_out.contains(&port)
+    }
+
+    /// Whether this instant is fault-free (the clean-run fast path).
+    pub fn is_clean(&self) -> bool {
+        *self == RoundEffects::default()
+    }
+
+    fn combine_loss(acc: &mut f64, p: f64) {
+        // Independent loss mechanisms: survive all of them or lose. The
+        // single-mechanism case stays exact (no round-trip through the
+        // complement) so a lone fault's probability passes through
+        // untouched.
+        if *acc <= 0.0 {
+            *acc = p;
+        } else {
+            *acc = 1.0 - (1.0 - *acc) * (1.0 - p);
+        }
+    }
+
+    fn apply(&mut self, kind: &FaultKind) {
+        match kind {
+            FaultKind::AntennaOutage { antennas } => {
+                if antennas.is_empty() {
+                    self.all_antennas_out = true;
+                } else {
+                    self.antennas_out.extend(antennas.iter().copied());
+                }
+            }
+            FaultKind::BurstNoise {
+                phase_sigma,
+                rss_sigma_db,
+            } => {
+                self.phase_sigma_add += phase_sigma;
+                self.rss_sigma_db_add += rss_sigma_db;
+            }
+            FaultKind::SnrCollapse {
+                rss_drop_db,
+                decode_fail_prob,
+            } => {
+                self.rss_drop_db += rss_drop_db;
+                Self::combine_loss(&mut self.decode_fail_add, *decode_fail_prob);
+            }
+            FaultKind::SelectLoss { prob } => Self::combine_loss(&mut self.select_loss_prob, *prob),
+            FaultKind::QueryRepLoss { prob } => {
+                Self::combine_loss(&mut self.query_rep_loss_prob, *prob);
+            }
+            FaultKind::ReplyCorruption { prob } => {
+                Self::combine_loss(&mut self.reply_corrupt_prob, *prob);
+            }
+            FaultKind::TagMute { tags } => self.muted_tags.extend(tags.iter().copied()),
+            FaultKind::TagDetune { tags } => self.detuned_tags.extend(tags.iter().copied()),
+            FaultKind::ReaderRestart { preserve_flags } => {
+                // `end` is patched in by the caller, which knows the window.
+                let end = self.restart.map_or(f64::NEG_INFINITY, |r| r.end);
+                self.restart = Some(RestartEffect {
+                    end,
+                    preserve_flags: *preserve_flags,
+                });
+            }
+        }
+    }
+}
+
+/// One window edge crossed since the previous poll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTransition {
+    /// Index of the event in its plan (doubles as the marker's `epc`).
+    pub event_idx: usize,
+    /// The fault's [`FaultKind::slug`].
+    pub slug: &'static str,
+    /// The canonical edge time — the window's start (open) or end
+    /// (close), *not* the poll time, so markers delimit the window
+    /// exactly regardless of round boundaries.
+    pub t: f64,
+    /// `true` for an open edge, `false` for a close edge.
+    pub opened: bool,
+}
+
+/// What one poll returns: current effects plus edges crossed getting here.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPoll {
+    /// Effects active at the polled instant.
+    pub effects: RoundEffects,
+    /// Open/close edges since the previous poll, in event order.
+    pub transitions: Vec<FaultTransition>,
+}
+
+/// A source of fault effects, polled by the reader on its simulated
+/// clock. Implementations must be deterministic: same poll sequence,
+/// same answers.
+pub trait FaultInjector: std::fmt::Debug + Send {
+    /// Effects at simulated time `t` (monotone non-decreasing across
+    /// calls) plus any window edges crossed since the last poll.
+    fn poll(&mut self, t: f64) -> FaultPoll;
+
+    /// Clone through the trait object (the reader derives `Clone`).
+    fn clone_box(&self) -> Box<dyn FaultInjector>;
+}
+
+impl Clone for Box<dyn FaultInjector> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The standard injector: evaluates a validated [`FaultPlan`] against
+/// the simulated clock.
+#[derive(Debug, Clone)]
+pub struct PlanInjector {
+    plan: FaultPlan,
+    /// Per-event lifecycle. Windows are single intervals and time is
+    /// monotone, so each event moves through the states exactly once.
+    state: Vec<EdgeState>,
+    last_t: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeState {
+    /// The window has not opened yet.
+    Pending,
+    /// The open edge was emitted; the close edge was not.
+    Open,
+    /// Both edges were emitted.
+    Closed,
+}
+
+impl PlanInjector {
+    /// Wraps a plan. Call [`FaultPlan::validate`] first; an invalid plan
+    /// still cannot panic here, it just produces clamped-nonsense
+    /// effects.
+    pub fn new(plan: FaultPlan) -> Self {
+        let state = vec![EdgeState::Pending; plan.events.len()];
+        PlanInjector {
+            plan,
+            state,
+            last_t: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FaultInjector for PlanInjector {
+    fn poll(&mut self, t: f64) -> FaultPoll {
+        let mut out = FaultPoll::default();
+        for (i, ev) in self.plan.events.iter().enumerate() {
+            let w = ev.window;
+            if w.is_empty() {
+                continue;
+            }
+            let active = w.contains(t);
+            // Open edge: the window is active now, or fell entirely
+            // between the previous poll and this one (skipped over by a
+            // long round) — emit both edges so the trace still shows it.
+            if self.state[i] == EdgeState::Pending
+                && (active || (self.last_t < w.start && t >= w.end))
+            {
+                self.state[i] = EdgeState::Open;
+                out.transitions.push(FaultTransition {
+                    event_idx: i,
+                    slug: ev.kind.slug(),
+                    t: w.start,
+                    opened: true,
+                });
+            }
+            if self.state[i] == EdgeState::Open && !active && t >= w.end {
+                // Close edge (possibly in the same poll as its open).
+                self.state[i] = EdgeState::Closed;
+                out.transitions.push(FaultTransition {
+                    event_idx: i,
+                    slug: ev.kind.slug(),
+                    t: w.end,
+                    opened: false,
+                });
+            }
+            if active {
+                out.effects.apply(&ev.kind);
+                if let (FaultKind::ReaderRestart { .. }, Some(r)) =
+                    (&ev.kind, out.effects.restart.as_mut())
+                {
+                    r.end = r.end.max(w.end);
+                }
+            }
+        }
+        self.last_t = t;
+        out
+    }
+
+    fn clone_box(&self) -> Box<dyn FaultInjector> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Effect composition carries literals through closed-form arithmetic.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+    use crate::plan::{FaultEvent, Window};
+
+    fn plan(events: Vec<(FaultKind, f64, f64)>) -> FaultPlan {
+        let mut p = FaultPlan::empty("test");
+        p.events = events
+            .into_iter()
+            .map(|(kind, start, end)| FaultEvent {
+                kind,
+                window: Window::new(start, end),
+            })
+            .collect();
+        p
+    }
+
+    #[test]
+    fn edges_fire_once_with_canonical_times() {
+        let mut inj =
+            PlanInjector::new(plan(vec![(FaultKind::SelectLoss { prob: 0.5 }, 2.0, 4.0)]));
+        assert!(inj.poll(0.0).transitions.is_empty());
+        let p = inj.poll(2.5);
+        assert_eq!(p.transitions.len(), 1);
+        assert!(p.transitions[0].opened);
+        assert_eq!(p.transitions[0].t, 2.0);
+        assert_eq!(p.effects.select_loss_prob, 0.5);
+        // Still open: no new edge.
+        assert!(inj.poll(3.0).transitions.is_empty());
+        let p = inj.poll(5.0);
+        assert_eq!(p.transitions.len(), 1);
+        assert!(!p.transitions[0].opened);
+        assert_eq!(p.transitions[0].t, 4.0);
+        assert!(p.effects.is_clean());
+        // Closed forever.
+        assert!(inj.poll(6.0).transitions.is_empty());
+    }
+
+    #[test]
+    fn skipped_window_still_emits_both_edges() {
+        let mut inj = PlanInjector::new(plan(vec![(
+            FaultKind::QueryRepLoss { prob: 0.9 },
+            1.0,
+            1.5,
+        )]));
+        inj.poll(0.0);
+        let p = inj.poll(10.0); // one long round skipped straight over it
+        assert_eq!(p.transitions.len(), 2);
+        assert!(p.transitions[0].opened);
+        assert_eq!(p.transitions[0].t, 1.0);
+        assert!(!p.transitions[1].opened);
+        assert_eq!(p.transitions[1].t, 1.5);
+        assert!(p.effects.is_clean());
+    }
+
+    #[test]
+    fn zero_length_windows_are_noops() {
+        let mut inj = PlanInjector::new(plan(vec![(
+            FaultKind::ReplyCorruption { prob: 1.0 },
+            3.0,
+            3.0,
+        )]));
+        for t in [0.0, 3.0, 4.0, 100.0] {
+            let p = inj.poll(t);
+            assert!(p.transitions.is_empty());
+            assert!(p.effects.is_clean());
+        }
+    }
+
+    #[test]
+    fn overlapping_effects_compose() {
+        let mut inj = PlanInjector::new(plan(vec![
+            (
+                FaultKind::BurstNoise {
+                    phase_sigma: 0.3,
+                    rss_sigma_db: 1.0,
+                },
+                0.0,
+                10.0,
+            ),
+            (
+                FaultKind::BurstNoise {
+                    phase_sigma: 0.2,
+                    rss_sigma_db: 0.5,
+                },
+                5.0,
+                10.0,
+            ),
+            (FaultKind::SelectLoss { prob: 0.5 }, 0.0, 10.0),
+            (FaultKind::SelectLoss { prob: 0.5 }, 0.0, 10.0),
+            (FaultKind::AntennaOutage { antennas: vec![1] }, 0.0, 10.0),
+            (FaultKind::AntennaOutage { antennas: vec![2] }, 0.0, 10.0),
+        ]));
+        let eff = inj.poll(6.0).effects;
+        assert_eq!(eff.phase_sigma_add, 0.5);
+        assert_eq!(eff.rss_sigma_db_add, 1.5);
+        assert_eq!(eff.select_loss_prob, 0.75); // 1 - 0.5²
+        assert!(eff.antenna_out(1) && eff.antenna_out(2));
+        assert!(!eff.antenna_out(3));
+        assert!(!eff.all_antennas_out);
+    }
+
+    #[test]
+    fn empty_antenna_list_means_all_ports() {
+        let mut inj = PlanInjector::new(plan(vec![(
+            FaultKind::AntennaOutage { antennas: vec![] },
+            0.0,
+            1.0,
+        )]));
+        let eff = inj.poll(0.5).effects;
+        assert!(eff.all_antennas_out);
+        assert!(eff.antenna_out(7));
+    }
+
+    #[test]
+    fn overlapping_restarts_take_latest_end() {
+        let mut inj = PlanInjector::new(plan(vec![
+            (
+                FaultKind::ReaderRestart {
+                    preserve_flags: true,
+                },
+                0.0,
+                3.0,
+            ),
+            (
+                FaultKind::ReaderRestart {
+                    preserve_flags: false,
+                },
+                1.0,
+                5.0,
+            ),
+        ]));
+        let eff = inj.poll(2.0).effects;
+        let r = eff.restart.unwrap();
+        assert_eq!(r.end, 5.0);
+    }
+
+    #[test]
+    fn mute_and_detune_sets_union() {
+        let mut inj = PlanInjector::new(plan(vec![
+            (FaultKind::TagMute { tags: vec![0, 2] }, 0.0, 1.0),
+            (FaultKind::TagMute { tags: vec![2, 4] }, 0.0, 1.0),
+            (FaultKind::TagDetune { tags: vec![1] }, 0.0, 1.0),
+        ]));
+        let eff = inj.poll(0.0).effects;
+        assert_eq!(
+            eff.muted_tags.iter().copied().collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        assert!(eff.detuned_tags.contains(&1));
+    }
+
+    #[test]
+    fn injector_clones_through_the_trait_object() {
+        let inj = PlanInjector::new(plan(vec![(FaultKind::SelectLoss { prob: 0.1 }, 0.0, 1.0)]));
+        let boxed: Box<dyn FaultInjector> = Box::new(inj);
+        let mut copy = boxed.clone();
+        assert_eq!(copy.poll(0.5).effects.select_loss_prob, 0.1);
+    }
+}

@@ -1,0 +1,52 @@
+//! # tagwatch-fault — deterministic fault injection for the two-phase stack
+//!
+//! Every scenario the simulator runs by default is a *clean* run: no
+//! antenna outages, no burst interference, no lost commands. Real
+//! deployments are dominated by exactly those failure modes (missed reads
+//! forcing multi-session redundancy, collision-regime sensitivity of
+//! frame-slotted ALOHA), so the robustness claim of the two-phase cycle —
+//! mobile-tag IRR stays useful under adverse conditions — needs a tested
+//! adversarial surface, not an aspiration.
+//!
+//! This crate is that surface's *model* half: a seeded, sim-clock-driven
+//! [`FaultPlan`] (an ordered list of [`FaultEvent`]s, each a fault kind
+//! plus an activation [`Window`] on the simulated clock) and the
+//! [`FaultInjector`] trait the reader polls each round to learn which
+//! effects are active *now*. Faults cover three layers:
+//!
+//! * **RF** — burst phase noise, SNR collapse (RSS drop + decode
+//!   failures), antenna outage ([`FaultKind::BurstNoise`],
+//!   [`FaultKind::SnrCollapse`], [`FaultKind::AntennaOutage`]).
+//! * **Gen2 link** — lost `Select`/`QueryRep` commands, corrupted EPC
+//!   replies, tag mute/detune ([`FaultKind::SelectLoss`],
+//!   [`FaultKind::QueryRepLoss`], [`FaultKind::ReplyCorruption`],
+//!   [`FaultKind::TagMute`], [`FaultKind::TagDetune`]).
+//! * **Reader** — connection stall + restart, with configurable
+//!   session-flag persistence across the restart
+//!   ([`FaultKind::ReaderRestart`]).
+//!
+//! Everything is a pure function of the plan and the simulated clock: the
+//! injector draws no randomness of its own, and the random draws it
+//! *causes* (loss/corruption coin flips) ride the reader's seeded RNG, so
+//! a faulted run is exactly as reproducible as a clean one. Plans load
+//! from TOML or JSON files ([`FaultPlan::from_str_auto`]) — the TOML
+//! reader is a small hand-rolled subset parser because the workspace
+//! deliberately carries no TOML dependency.
+//!
+//! The [`envelope`] module holds the *judgment* half: a graceful-
+//! degradation [`Envelope`] (IRR floor relative to a same-seed baseline
+//! run, recovery budget after the last window closes) and its evaluator,
+//! used by the differential harness in `tagwatch-bench` and the fault
+//! integration tests.
+
+#![forbid(unsafe_code)]
+
+pub mod envelope;
+pub mod injector;
+pub mod parse;
+pub mod plan;
+
+pub use envelope::{CycleObservation, Envelope, EnvelopeReport};
+pub use injector::{FaultInjector, FaultPoll, FaultTransition, PlanInjector, RoundEffects};
+pub use parse::ParseError;
+pub use plan::{FaultEvent, FaultKind, FaultPlan, PlanError, Window};

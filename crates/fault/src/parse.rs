@@ -1,0 +1,508 @@
+//! Plan-file loading: JSON (serde) and a hand-rolled TOML subset.
+//!
+//! The workspace deliberately carries no TOML dependency, so the TOML
+//! reader here implements exactly the subset plan files need — comments,
+//! top-level `key = value`, one `[envelope]` table, and `[[event]]`
+//! array-of-tables with scalar / integer-array values:
+//!
+//! ```toml
+//! # One antenna goes dark for four seconds.
+//! name = "antenna-outage"
+//!
+//! [envelope]
+//! irr_floor_ratio = 0.25
+//! recovery_cycles = 5
+//! recovery_ratio = 0.5
+//!
+//! [[event]]
+//! kind = "antenna_outage"
+//! start = 2.0
+//! end = 6.0
+//! antennas = [1]
+//! ```
+//!
+//! [`FaultPlan::from_str_auto`] sniffs the format (a leading `{` means
+//! JSON) so `repro --faults <plan>` accepts either. Every load path ends
+//! in [`FaultPlan::validate`] — a plan that parses but is structurally
+//! nonsense is still rejected with a pointed message.
+
+use crate::envelope::Envelope;
+use crate::plan::{FaultEvent, FaultKind, FaultPlan, PlanError, Window};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Why a plan file failed to load.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The file could not be read.
+    Io(String),
+    /// A line failed to parse (1-based line number; 0 for JSON bodies,
+    /// whose own error text carries the position).
+    Syntax { line: usize, message: String },
+    /// The plan parsed but failed [`FaultPlan::validate`].
+    Invalid(PlanError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "cannot read plan: {e}"),
+            ParseError::Syntax { line: 0, message } => write!(f, "plan parse error: {message}"),
+            ParseError::Syntax { line, message } => {
+                write!(f, "plan parse error at line {line}: {message}")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<PlanError> for ParseError {
+    fn from(e: PlanError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// One parsed TOML value — the subset plan files use.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    IntArray(Vec<u64>),
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strips a trailing `#` comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(raw: &str, line_no: usize) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if let Some(body) = raw.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| syntax(line_no, "unterminated string"))?;
+        if body.contains('"') {
+            return Err(syntax(line_no, "embedded quotes are not supported"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    if raw == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if raw == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(body) = raw.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| syntax(line_no, "unterminated array"))?;
+        let mut items = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let n: u64 = part
+                .parse()
+                .map_err(|_| syntax(line_no, format!("array item `{part}` is not an integer")))?;
+            items.push(n);
+        }
+        return Ok(Value::IntArray(items));
+    }
+    raw.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| syntax(line_no, format!("cannot parse value `{raw}`")))
+}
+
+/// Key-value pairs collected for one table, with the line each key was
+/// defined on (for error reporting).
+type Table = BTreeMap<String, (Value, usize)>;
+
+fn take_num(table: &mut Table, key: &str) -> Result<Option<f64>, ParseError> {
+    match table.remove(key) {
+        None => Ok(None),
+        Some((Value::Num(n), _)) => Ok(Some(n)),
+        Some((_, line)) => Err(syntax(line, format!("`{key}` must be a number"))),
+    }
+}
+
+fn require_num(table: &mut Table, key: &str, at: usize) -> Result<f64, ParseError> {
+    take_num(table, key)?.ok_or_else(|| syntax(at, format!("missing required key `{key}`")))
+}
+
+fn take_bool(table: &mut Table, key: &str) -> Result<Option<bool>, ParseError> {
+    match table.remove(key) {
+        None => Ok(None),
+        Some((Value::Bool(b), _)) => Ok(Some(b)),
+        Some((_, line)) => Err(syntax(line, format!("`{key}` must be true or false"))),
+    }
+}
+
+fn take_int_array(table: &mut Table, key: &str) -> Result<Option<Vec<u64>>, ParseError> {
+    match table.remove(key) {
+        None => Ok(None),
+        Some((Value::IntArray(v), _)) => Ok(Some(v)),
+        Some((_, line)) => Err(syntax(line, format!("`{key}` must be an integer array"))),
+    }
+}
+
+fn build_event(mut table: Table, at: usize) -> Result<FaultEvent, ParseError> {
+    let kind_name = match table.remove("kind") {
+        Some((Value::Str(s), _)) => s,
+        Some((_, line)) => return Err(syntax(line, "`kind` must be a string")),
+        None => return Err(syntax(at, "event is missing `kind`")),
+    };
+    let start = require_num(&mut table, "start", at)?;
+    let end = require_num(&mut table, "end", at)?;
+
+    let kind = match kind_name.as_str() {
+        "antenna_outage" => FaultKind::AntennaOutage {
+            antennas: take_int_array(&mut table, "antennas")?
+                .unwrap_or_default()
+                .into_iter()
+                .map(|n| n as u8)
+                .collect(),
+        },
+        "burst_noise" => FaultKind::BurstNoise {
+            phase_sigma: take_num(&mut table, "phase_sigma")?.unwrap_or(0.0),
+            rss_sigma_db: take_num(&mut table, "rss_sigma_db")?.unwrap_or(0.0),
+        },
+        "snr_collapse" => FaultKind::SnrCollapse {
+            rss_drop_db: take_num(&mut table, "rss_drop_db")?.unwrap_or(0.0),
+            decode_fail_prob: take_num(&mut table, "decode_fail_prob")?.unwrap_or(0.0),
+        },
+        "select_loss" => FaultKind::SelectLoss {
+            prob: require_num(&mut table, "prob", at)?,
+        },
+        "query_rep_loss" => FaultKind::QueryRepLoss {
+            prob: require_num(&mut table, "prob", at)?,
+        },
+        "reply_corruption" => FaultKind::ReplyCorruption {
+            prob: require_num(&mut table, "prob", at)?,
+        },
+        "tag_mute" => FaultKind::TagMute {
+            tags: take_int_array(&mut table, "tags")?
+                .unwrap_or_default()
+                .into_iter()
+                .map(|n| n as usize)
+                .collect(),
+        },
+        "tag_detune" => FaultKind::TagDetune {
+            tags: take_int_array(&mut table, "tags")?
+                .unwrap_or_default()
+                .into_iter()
+                .map(|n| n as usize)
+                .collect(),
+        },
+        "reader_restart" => FaultKind::ReaderRestart {
+            preserve_flags: take_bool(&mut table, "preserve_flags")?.unwrap_or(false),
+        },
+        other => return Err(syntax(at, format!("unknown fault kind `{other}`"))),
+    };
+
+    if let Some((key, (_, line))) = table.into_iter().next() {
+        return Err(syntax(
+            line,
+            format!("unknown key `{key}` for kind `{kind_name}`"),
+        ));
+    }
+    Ok(FaultEvent {
+        kind,
+        window: Window::new(start, end),
+    })
+}
+
+fn build_envelope(mut table: Table) -> Result<Envelope, ParseError> {
+    let mut env = Envelope::default();
+    if let Some(v) = take_num(&mut table, "irr_floor_ratio")? {
+        env.irr_floor_ratio = v;
+    }
+    if let Some(v) = take_num(&mut table, "recovery_cycles")? {
+        env.recovery_cycles = v as usize;
+    }
+    if let Some(v) = take_num(&mut table, "recovery_ratio")? {
+        env.recovery_ratio = v;
+    }
+    if let Some((key, (_, line))) = table.into_iter().next() {
+        return Err(syntax(line, format!("unknown envelope key `{key}`")));
+    }
+    Ok(env)
+}
+
+/// Which table the parser is currently filling.
+enum Section {
+    Top,
+    Envelope(Table),
+    Event { table: Table, at: usize },
+}
+
+impl FaultPlan {
+    /// Parses the TOML subset described in the module docs, then
+    /// validates.
+    pub fn from_toml_str(text: &str) -> Result<FaultPlan, ParseError> {
+        let mut plan = FaultPlan::empty("");
+        let mut section = Section::Top;
+
+        let close = |plan: &mut FaultPlan, section: Section| -> Result<(), ParseError> {
+            match section {
+                Section::Top => Ok(()),
+                Section::Envelope(table) => {
+                    plan.envelope = build_envelope(table)?;
+                    Ok(())
+                }
+                Section::Event { table, at } => {
+                    plan.events.push(build_event(table, at)?);
+                    Ok(())
+                }
+            }
+        };
+
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw_line).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[event]]" {
+                let prev = std::mem::replace(
+                    &mut section,
+                    Section::Event {
+                        table: Table::new(),
+                        at: line_no,
+                    },
+                );
+                close(&mut plan, prev)?;
+                continue;
+            }
+            if line == "[envelope]" {
+                let prev = std::mem::replace(&mut section, Section::Envelope(Table::new()));
+                close(&mut plan, prev)?;
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(syntax(line_no, format!("unknown section `{line}`")));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| syntax(line_no, "expected `key = value`"))?;
+            let key = key.trim().to_string();
+            let value = parse_value(value, line_no)?;
+            let table = match &mut section {
+                Section::Top => {
+                    match (key.as_str(), &value) {
+                        ("name", Value::Str(s)) => plan.name = s.clone(),
+                        ("name", _) => return Err(syntax(line_no, "`name` must be a string")),
+                        _ => {
+                            return Err(syntax(line_no, format!("unknown top-level key `{key}`")));
+                        }
+                    }
+                    continue;
+                }
+                Section::Envelope(t) => t,
+                Section::Event { table, .. } => table,
+            };
+            if table.insert(key.clone(), (value, line_no)).is_some() {
+                return Err(syntax(line_no, format!("duplicate key `{key}`")));
+            }
+        }
+        close(&mut plan, section)?;
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Parses a JSON plan (the serde shape of [`FaultPlan`]), then
+    /// validates.
+    pub fn from_json_str(text: &str) -> Result<FaultPlan, ParseError> {
+        let plan: FaultPlan = serde_json::from_str(text).map_err(|e| ParseError::Syntax {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Sniffs the format — a leading `{` means JSON, anything else the
+    /// TOML subset — and parses accordingly.
+    pub fn from_str_auto(text: &str) -> Result<FaultPlan, ParseError> {
+        if text.trim_start().starts_with('{') {
+            FaultPlan::from_json_str(text)
+        } else {
+            FaultPlan::from_toml_str(text)
+        }
+    }
+
+    /// Loads and parses a plan file ([`FaultPlan::from_str_auto`]).
+    pub fn from_path<P: AsRef<Path>>(path: P) -> Result<FaultPlan, ParseError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ParseError::Io(format!("{}: {e}", path.display())))?;
+        FaultPlan::from_str_auto(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+
+    const FULL_PLAN: &str = r#"
+# A kitchen-sink plan exercising every fault kind.
+name = "kitchen-sink"  # trailing comment
+
+[envelope]
+irr_floor_ratio = 0.25
+recovery_cycles = 4
+recovery_ratio = 0.6
+
+[[event]]
+kind = "antenna_outage"
+start = 1.0
+end = 2.0
+antennas = [1, 2]
+
+[[event]]
+kind = "burst_noise"
+start = 2.0
+end = 3.5
+phase_sigma = 0.8
+rss_sigma_db = 3.0
+
+[[event]]
+kind = "snr_collapse"
+start = 3.0
+end = 4.0
+rss_drop_db = 12.0
+decode_fail_prob = 0.3
+
+[[event]]
+kind = "select_loss"
+start = 0.0
+end = 10.0
+prob = 0.1
+
+[[event]]
+kind = "query_rep_loss"
+start = 0.0
+end = 0.0   # zero-length: a no-op, but must parse
+prob = 0.2
+
+[[event]]
+kind = "reply_corruption"
+start = 4.0
+end = 5.0
+prob = 0.15
+
+[[event]]
+kind = "tag_mute"
+start = 1.0
+end = 6.0
+tags = [0, 3]
+
+[[event]]
+kind = "tag_detune"
+start = 2.0
+end = 4.0
+tags = [5]
+
+[[event]]
+kind = "reader_restart"
+start = 7.0
+end = 8.0
+preserve_flags = true
+"#;
+
+    #[test]
+    fn toml_subset_parses_every_kind() {
+        let plan = FaultPlan::from_toml_str(FULL_PLAN).unwrap();
+        assert_eq!(plan.name, "kitchen-sink");
+        assert_eq!(plan.envelope.recovery_cycles, 4);
+        assert_eq!(plan.envelope.irr_floor_ratio, 0.25);
+        assert_eq!(plan.events.len(), 9);
+        assert!(matches!(
+            plan.events[0].kind,
+            FaultKind::AntennaOutage { ref antennas } if antennas == &[1, 2]
+        ));
+        assert!(matches!(
+            plan.events[8].kind,
+            FaultKind::ReaderRestart {
+                preserve_flags: true
+            }
+        ));
+        assert_eq!(plan.events[1].window.start, 2.0);
+        assert_eq!(plan.events[1].window.end, 3.5);
+    }
+
+    #[test]
+    fn toml_and_json_agree() {
+        let from_toml = FaultPlan::from_toml_str(FULL_PLAN).unwrap();
+        let json = serde_json::to_string(&from_toml).unwrap();
+        let from_json = FaultPlan::from_str_auto(&json).unwrap();
+        assert_eq!(from_toml, from_json);
+    }
+
+    #[test]
+    fn auto_detect_picks_toml_for_non_json() {
+        let plan = FaultPlan::from_str_auto("name = \"x\"\n").unwrap();
+        assert_eq!(plan.name, "x");
+        assert!(plan.events.is_empty());
+    }
+
+    #[test]
+    fn pointed_errors_for_bad_input() {
+        let err = FaultPlan::from_toml_str("nonsense\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+
+        let err = FaultPlan::from_toml_str("[[event]]\nkind = \"no_such\"\nstart = 0\nend = 1\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown fault kind"), "{err}");
+
+        let err =
+            FaultPlan::from_toml_str("[[event]]\nkind = \"select_loss\"\nstart = 0\nend = 1\n")
+                .unwrap_err();
+        assert!(err.to_string().contains("prob"), "{err}");
+
+        let err = FaultPlan::from_toml_str(
+            "[[event]]\nkind = \"select_loss\"\nprob = 2.0\nstart = 0\nend = 1\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)), "{err}");
+
+        let err = FaultPlan::from_toml_str(
+            "[[event]]\nkind = \"select_loss\"\nprob = 0.5\nstart = 0\nend = 1\nbogus = 3\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn unknown_envelope_keys_are_rejected() {
+        let err = FaultPlan::from_toml_str("[envelope]\nfloor = 0.5\n").unwrap_err();
+        assert!(err.to_string().contains("unknown envelope key"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = FaultPlan::from_path("/nonexistent/plan.toml").unwrap_err();
+        assert!(matches!(err, ParseError::Io(_)));
+    }
+}

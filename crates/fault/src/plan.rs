@@ -1,0 +1,397 @@
+//! The fault plan model: what goes wrong, when.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s; each event is a
+//! [`FaultKind`] active over a half-open [`Window`] `[start, end)` of the
+//! *simulated* clock. Windows may overlap freely (effects compose — see
+//! [`crate::injector::RoundEffects`]) and may be zero-length (a no-op by
+//! construction: a half-open empty interval contains no instant).
+//!
+//! The plan carries its own graceful-degradation [`crate::Envelope`], so
+//! a plan file is a complete, self-judging experiment: the differential
+//! harness needs nothing but the plan and a seed.
+
+use crate::envelope::Envelope;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open activation window `[start, end)` on the simulated clock,
+/// in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// First instant the fault is active.
+    pub start: f64,
+    /// First instant the fault is no longer active.
+    pub end: f64,
+}
+
+impl Window {
+    /// A window over `[start, end)`.
+    pub fn new(start: f64, end: f64) -> Self {
+        Window { start, end }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Whether the window contains no instant at all.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Window length in seconds (zero for empty windows).
+    pub fn duration(&self) -> f64 {
+        (self.end - self.start).max(0.0)
+    }
+}
+
+/// One kind of injected fault. Field semantics are *additive* over the
+/// clean configuration: a `BurstNoise` sigma adds to the channel model's
+/// own sigma, an `SnrCollapse` decode probability adds to the configured
+/// decode failure rate, and so on, so a plan composes with any scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultKind {
+    /// RF: the listed antenna ports go dark — rounds on them consume air
+    /// time but energize no tags. An empty list means *all* ports.
+    AntennaOutage {
+        #[serde(default)]
+        antennas: Vec<u8>,
+    },
+    /// RF: a burst-interference episode; both sigmas are *added* to the
+    /// channel model's receive-chain noise for the window's duration.
+    BurstNoise {
+        #[serde(default)]
+        phase_sigma: f64,
+        #[serde(default)]
+        rss_sigma_db: f64,
+    },
+    /// RF: link margin collapses — every read loses `rss_drop_db` of
+    /// signal and each tag reply additionally fails to decode with
+    /// probability `decode_fail_prob` (added to the configured rate).
+    SnrCollapse {
+        #[serde(default)]
+        rss_drop_db: f64,
+        #[serde(default)]
+        decode_fail_prob: f64,
+    },
+    /// Gen2: each `Select` command is lost (never reaches any tag) with
+    /// the given probability, independently per tag per command.
+    SelectLoss { prob: f64 },
+    /// Gen2: each `QueryRep` broadcast is lost with the given
+    /// probability (the whole slot boundary vanishes for every tag).
+    QueryRepLoss { prob: f64 },
+    /// Gen2: a successfully-decoded EPC reply is corrupted with the
+    /// given probability — the reader sees garbage, discards the read,
+    /// and the slot is charged like a collision.
+    ReplyCorruption { prob: f64 },
+    /// Gen2: the listed tags (scene indices) stop responding entirely
+    /// for the window, but keep their volatile state — a detuned
+    /// neighbour or a hand covering the tag, briefly.
+    TagMute { tags: Vec<usize> },
+    /// Gen2: the listed tags (scene indices) are detuned *hard*: they
+    /// lose power at window open (volatile session flags reset, per the
+    /// Gen2 persistence model) and rejoin only after the window closes.
+    TagDetune { tags: Vec<usize> },
+    /// Reader: the reader stalls for the whole window (no commands, air
+    /// time still elapses) and restarts at window close. With
+    /// `preserve_flags` the tags' session flags survive the stall
+    /// (short outage, S2/S3 persistence); without it every tag is
+    /// power-cycled — the field dropped long enough to reset them.
+    ReaderRestart {
+        #[serde(default)]
+        preserve_flags: bool,
+    },
+}
+
+impl FaultKind {
+    /// Stable machine-readable name, used in telemetry markers
+    /// (`fault.open.<slug>` / `fault.close.<slug>`) and plan files.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FaultKind::AntennaOutage { .. } => "antenna_outage",
+            FaultKind::BurstNoise { .. } => "burst_noise",
+            FaultKind::SnrCollapse { .. } => "snr_collapse",
+            FaultKind::SelectLoss { .. } => "select_loss",
+            FaultKind::QueryRepLoss { .. } => "query_rep_loss",
+            FaultKind::ReplyCorruption { .. } => "reply_corruption",
+            FaultKind::TagMute { .. } => "tag_mute",
+            FaultKind::TagDetune { .. } => "tag_detune",
+            FaultKind::ReaderRestart { .. } => "reader_restart",
+        }
+    }
+}
+
+/// One fault with its activation window. The JSON shape nests both
+/// halves (`{"fault": {"kind": "select_loss", "prob": 0.1}, "window":
+/// {"start": 0.0, "end": 4.0}}`); the TOML subset flattens them into one
+/// `[[event]]` table (see [`crate::parse`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What goes wrong.
+    #[serde(rename = "fault")]
+    pub kind: FaultKind,
+    /// When it is active.
+    pub window: Window,
+}
+
+/// A complete, self-judging fault experiment: named events plus the
+/// graceful-degradation envelope they must stay inside.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Human-readable plan name (shows up in reports).
+    pub name: String,
+    /// The degradation envelope the faulted run must satisfy.
+    #[serde(default)]
+    pub envelope: Envelope,
+    /// The faults, in file order. Order carries no semantics beyond
+    /// marker indices — windows may overlap arbitrarily.
+    #[serde(default)]
+    pub events: Vec<FaultEvent>,
+}
+
+/// A structural problem with a plan, reported with the offending event's
+/// index (file order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanError {
+    /// Index into [`FaultPlan::events`], or `None` for plan-level issues.
+    pub event: Option<usize>,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.event {
+            Some(i) => write!(f, "event #{i}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+fn check_prob(event: usize, name: &str, p: f64) -> Result<(), PlanError> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(PlanError {
+            event: Some(event),
+            message: format!("{name} must be in [0, 1], got {p}"),
+        });
+    }
+    Ok(())
+}
+
+fn check_nonneg(event: usize, name: &str, v: f64) -> Result<(), PlanError> {
+    if !v.is_finite() || v < 0.0 {
+        return Err(PlanError {
+            event: Some(event),
+            message: format!("{name} must be finite and >= 0, got {v}"),
+        });
+    }
+    Ok(())
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, default envelope) — the identity
+    /// element: injecting it changes nothing.
+    pub fn empty(name: &str) -> Self {
+        FaultPlan {
+            name: name.to_string(),
+            envelope: Envelope::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The end of the last non-empty window, i.e. the instant from which
+    /// the recovery budget is measured. `None` when the plan injects
+    /// nothing.
+    pub fn last_window_end(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .filter(|e| !e.window.is_empty())
+            .map(|e| e.window.end)
+            .reduce(f64::max)
+    }
+
+    /// Structural validation: finite windows, probabilities in `[0, 1]`,
+    /// non-negative noise magnitudes, a sane envelope. Zero-length and
+    /// overlapping windows are *valid* (the former are no-ops, the
+    /// latter compose).
+    pub fn validate(&self) -> Result<(), PlanError> {
+        self.envelope.validate().map_err(|message| PlanError {
+            event: None,
+            message,
+        })?;
+        for (i, ev) in self.events.iter().enumerate() {
+            let w = ev.window;
+            if !w.start.is_finite() || !w.end.is_finite() || w.start < 0.0 {
+                return Err(PlanError {
+                    event: Some(i),
+                    message: format!(
+                        "window must be finite with start >= 0, got [{}, {})",
+                        w.start, w.end
+                    ),
+                });
+            }
+            if w.end < w.start {
+                return Err(PlanError {
+                    event: Some(i),
+                    message: format!("window end {} precedes start {}", w.end, w.start),
+                });
+            }
+            match &ev.kind {
+                FaultKind::AntennaOutage { .. } | FaultKind::ReaderRestart { .. } => {}
+                FaultKind::BurstNoise {
+                    phase_sigma,
+                    rss_sigma_db,
+                } => {
+                    check_nonneg(i, "phase_sigma", *phase_sigma)?;
+                    check_nonneg(i, "rss_sigma_db", *rss_sigma_db)?;
+                }
+                FaultKind::SnrCollapse {
+                    rss_drop_db,
+                    decode_fail_prob,
+                } => {
+                    check_nonneg(i, "rss_drop_db", *rss_drop_db)?;
+                    check_prob(i, "decode_fail_prob", *decode_fail_prob)?;
+                }
+                FaultKind::SelectLoss { prob } => check_prob(i, "prob", *prob)?,
+                FaultKind::QueryRepLoss { prob } => check_prob(i, "prob", *prob)?,
+                FaultKind::ReplyCorruption { prob } => check_prob(i, "prob", *prob)?,
+                FaultKind::TagMute { tags } | FaultKind::TagDetune { tags } => {
+                    if tags.is_empty() {
+                        return Err(PlanError {
+                            event: Some(i),
+                            message: "tag mute/detune needs at least one tag index".into(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Window arithmetic carries literals through untouched.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+
+    fn event(kind: FaultKind, start: f64, end: f64) -> FaultEvent {
+        FaultEvent {
+            kind,
+            window: Window::new(start, end),
+        }
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let w = Window::new(1.0, 2.0);
+        assert!(w.contains(1.0));
+        assert!(w.contains(1.999));
+        assert!(!w.contains(2.0));
+        assert!(!w.contains(0.999));
+        assert!(!w.is_empty());
+        let z = Window::new(3.0, 3.0);
+        assert!(z.is_empty());
+        assert!(!z.contains(3.0));
+        assert_eq!(z.duration(), 0.0);
+    }
+
+    #[test]
+    fn validation_accepts_overlap_and_zero_length() {
+        let mut plan = FaultPlan::empty("ok");
+        plan.events = vec![
+            event(FaultKind::AntennaOutage { antennas: vec![] }, 0.0, 5.0),
+            event(
+                FaultKind::BurstNoise {
+                    phase_sigma: 0.5,
+                    rss_sigma_db: 2.0,
+                },
+                2.0,
+                8.0,
+            ),
+            event(FaultKind::SelectLoss { prob: 0.3 }, 4.0, 4.0),
+        ];
+        plan.validate().unwrap();
+        assert_eq!(plan.last_window_end(), Some(8.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_probabilities_and_windows() {
+        let mut plan = FaultPlan::empty("bad");
+        plan.events = vec![event(FaultKind::SelectLoss { prob: 1.5 }, 0.0, 1.0)];
+        assert!(plan.validate().is_err());
+
+        plan.events = vec![event(FaultKind::QueryRepLoss { prob: 0.5 }, 2.0, 1.0)];
+        let err = plan.validate().unwrap_err();
+        assert_eq!(err.event, Some(0));
+
+        plan.events = vec![event(
+            FaultKind::ReplyCorruption { prob: 0.5 },
+            f64::NAN,
+            1.0,
+        )];
+        assert!(plan.validate().is_err());
+
+        plan.events = vec![event(FaultKind::TagMute { tags: vec![] }, 0.0, 1.0)];
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn empty_plan_has_no_window_end() {
+        let plan = FaultPlan::empty("noop");
+        plan.validate().unwrap();
+        assert_eq!(plan.last_window_end(), None);
+
+        // Zero-length windows do not extend the recovery horizon either.
+        let mut plan = FaultPlan::empty("zl");
+        plan.events = vec![event(FaultKind::SelectLoss { prob: 0.1 }, 5.0, 5.0)];
+        assert_eq!(plan.last_window_end(), None);
+    }
+
+    #[test]
+    fn slugs_are_stable() {
+        assert_eq!(
+            FaultKind::AntennaOutage { antennas: vec![1] }.slug(),
+            "antenna_outage"
+        );
+        assert_eq!(
+            FaultKind::ReaderRestart {
+                preserve_flags: true
+            }
+            .slug(),
+            "reader_restart"
+        );
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let mut plan = FaultPlan::empty("rt");
+        plan.events = vec![
+            event(FaultKind::AntennaOutage { antennas: vec![2] }, 1.0, 2.0),
+            event(
+                FaultKind::SnrCollapse {
+                    rss_drop_db: 10.0,
+                    decode_fail_prob: 0.25,
+                },
+                3.0,
+                4.5,
+            ),
+            event(FaultKind::TagDetune { tags: vec![0, 3] }, 2.0, 9.0),
+            event(
+                FaultKind::ReaderRestart {
+                    preserve_flags: true,
+                },
+                5.0,
+                6.0,
+            ),
+        ];
+        let text = serde_json::to_string_pretty(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+    }
+}

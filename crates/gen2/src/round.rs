@@ -28,6 +28,18 @@ pub struct RoundConfig {
     /// (fades, capture failures). The reader observes such slots as
     /// collisions. `0.0` disables fault injection.
     pub decode_fail_prob: f64,
+    /// Probability that a `QueryRep` broadcast is lost — no tag hears the
+    /// slot boundary, so counters don't decrement and the slot is wasted.
+    /// `0.0` (the default) disables the fault entirely: no RNG draw is
+    /// made, so clean runs keep their exact random stream.
+    #[serde(default)]
+    pub query_rep_loss_prob: f64,
+    /// Probability that a decoded EPC reply is corrupted in flight: the
+    /// slot costs full success air time, but the reader discards the
+    /// read and the tag is left un-acknowledged (it re-contends after
+    /// the next re-draw). `0.0` disables the fault with no RNG draw.
+    #[serde(default)]
+    pub epc_corrupt_prob: f64,
     /// Round ends after this many consecutive empty slots at Q = 0.
     pub end_empty_threshold: u32,
     /// Hard safety cap on slots per round.
@@ -40,6 +52,8 @@ impl RoundConfig {
         RoundConfig {
             query,
             decode_fail_prob: 0.0,
+            query_rep_loss_prob: 0.0,
+            epc_corrupt_prob: 0.0,
             end_empty_threshold: 3,
             max_slots: 100_000,
         }
@@ -67,6 +81,11 @@ pub struct SlotStats {
     /// Single replies lost to injected decode failures (a subset of what
     /// the reader *perceives* as collisions).
     pub decode_failures: usize,
+    /// Successfully-decoded EPC replies discarded as corrupt (injected
+    /// [`RoundConfig::epc_corrupt_prob`]); the slot paid success air
+    /// time but delivered nothing.
+    #[serde(default)]
+    pub epc_corruptions: usize,
     /// Number of QueryAdjust commands issued.
     pub adjusts: usize,
 }
@@ -75,6 +94,7 @@ impl SlotStats {
     /// Total slots elapsed.
     pub fn total_slots(&self) -> usize {
         self.empties + self.collisions + self.successes + self.decode_failures
+            + self.epc_corruptions
     }
 
     /// Folds this round's slot accounting into the telemetry stream:
@@ -89,6 +109,12 @@ impl SlotStats {
         tel.incr_by("round.collisions", self.collisions as u64);
         tel.incr_by("round.successes", self.successes as u64);
         tel.incr_by("round.decode_failures", self.decode_failures as u64);
+        // Only faulted runs carry corruption; clean traces stay
+        // byte-identical to what they emitted before the fault layer
+        // existed.
+        if self.epc_corruptions > 0 {
+            tel.incr_by("round.epc_corruptions", self.epc_corruptions as u64);
+        }
         tel.incr_by("round.adjusts", self.adjusts as u64);
         tel.observe("round.slots", self.total_slots() as f64);
     }
@@ -183,18 +209,30 @@ pub fn run_round<R: Rng + ?Sized>(
                         Some(from) => (crate::epc::EPC_BITS - from) + 16,
                         None => 128,
                     };
-                    let epc = tags[idx]
-                        .handle_ack(rn16, cfg.query.session)
-                        .expect("rn16 echo must be accepted"); // lint:allow(panic-policy): the tag just issued this RN16
-                    t += timing.success_slot_bits(reply_bits);
-                    stats.successes += 1;
-                    reads.push(ReadEvent {
-                        tag_idx: idx,
-                        epc,
-                        t,
-                    });
-                    tags[idx].end_of_slot();
-                    SlotOutcome::Success
+                    if cfg.epc_corrupt_prob > 0.0 && rng.gen_bool(cfg.epc_corrupt_prob) {
+                        // The handshake ran to the EPC backscatter, but
+                        // the reply arrived corrupt: full success air
+                        // time spent, nothing delivered. The tag was
+                        // never validly ACKed, so it keeps its flags and
+                        // re-contends after the next re-draw (the
+                        // QueryRep below parks it, like a collision).
+                        t += timing.success_slot_bits(reply_bits);
+                        stats.epc_corruptions += 1;
+                        SlotOutcome::Collision
+                    } else {
+                        let epc = tags[idx]
+                            .handle_ack(rn16, cfg.query.session)
+                            .expect("rn16 echo must be accepted"); // lint:allow(panic-policy): the tag just issued this RN16
+                        t += timing.success_slot_bits(reply_bits);
+                        stats.successes += 1;
+                        reads.push(ReadEvent {
+                            tag_idx: idx,
+                            epc,
+                            t,
+                        });
+                        tags[idx].end_of_slot();
+                        SlotOutcome::Success
+                    }
                 }
             }
             _ => {
@@ -226,6 +264,10 @@ pub fn run_round<R: Rng + ?Sized>(
             for tag in tags.iter_mut() {
                 tag.handle_query_adjust(&query, rng);
             }
+        } else if cfg.query_rep_loss_prob > 0.0 && rng.gen_bool(cfg.query_rep_loss_prob) {
+            // The QueryRep broadcast was lost: no tag heard the slot
+            // boundary, so no counter decrements — the slot's air time
+            // is spent for nothing.
         } else {
             for tag in tags.iter_mut() {
                 tag.handle_query_rep(rng);
@@ -409,6 +451,91 @@ mod tests {
         let res = run_round(&mut tags, &cfg, &mut sizer, &LinkTiming::r420(), &mut rng);
         assert_eq!(res.reads.len(), 15, "all tags eventually read");
         assert!(res.stats.decode_failures > 0, "fault injection engaged");
+    }
+
+    #[test]
+    fn epc_corruption_slows_but_does_not_lose_tags() {
+        let mut tags = population(12, 43);
+        let mut cfg = RoundConfig::new(open_query(4));
+        cfg.epc_corrupt_prob = 0.5;
+        let mut sizer = QAdaptive::new(4);
+        let mut rng = StdRng::seed_from_u64(47);
+        let res = run_round(&mut tags, &cfg, &mut sizer, &LinkTiming::r420(), &mut rng);
+        assert_eq!(res.reads.len(), 12, "all tags eventually read");
+        assert!(
+            res.stats.epc_corruptions > 0,
+            "fault injection engaged: {:?}",
+            res.stats
+        );
+        // Corrupt slots never flip flags early: every tag got exactly
+        // one *delivered* read.
+        let mut seen: Vec<usize> = res.reads.iter().map(|r| r.tag_idx).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn query_rep_loss_wastes_slots_but_terminates() {
+        let mut tags = population(10, 53);
+        let mut cfg = RoundConfig::new(open_query(4));
+        cfg.query_rep_loss_prob = 0.5;
+        let mut sizer = QAdaptive::new(4);
+        let mut rng = StdRng::seed_from_u64(59);
+        let res = run_round(&mut tags, &cfg, &mut sizer, &LinkTiming::r420(), &mut rng);
+        assert_eq!(res.reads.len(), 10, "losses delay but don't drop tags");
+        assert!(res.stats.total_slots() <= cfg.max_slots);
+
+        // Total loss: the round still terminates (via max_slots at
+        // worst) and never panics.
+        let mut tags = population(10, 53);
+        cfg.query_rep_loss_prob = 1.0;
+        cfg.max_slots = 500;
+        let mut sizer = QAdaptive::new(4);
+        let mut rng = StdRng::seed_from_u64(61);
+        let res = run_round(&mut tags, &cfg, &mut sizer, &LinkTiming::r420(), &mut rng);
+        assert!(res.stats.total_slots() <= 500);
+    }
+
+    #[test]
+    fn muted_tags_are_invisible_to_the_round() {
+        let mut tags = population(8, 71);
+        tags[2].set_muted(true);
+        tags[5].set_muted(true);
+        let mut sizer = QAdaptive::new(3);
+        let mut rng = StdRng::seed_from_u64(73);
+        let res = run_round(
+            &mut tags,
+            &RoundConfig::new(open_query(3)),
+            &mut sizer,
+            &LinkTiming::r420(),
+            &mut rng,
+        );
+        let seen: Vec<usize> = res.reads.iter().map(|r| r.tag_idx).collect();
+        assert_eq!(res.reads.len(), 6);
+        assert!(!seen.contains(&2) && !seen.contains(&5));
+        // Muted tags kept their A flag: unmuting restores participation.
+        tags[2].set_muted(false);
+        assert_eq!(tags[2].inventoried[0], InvFlag::A);
+    }
+
+    #[test]
+    fn zero_fault_probabilities_do_not_disturb_the_rng_stream() {
+        // A config with explicit 0.0 fault probabilities must reproduce
+        // the exact result of the pre-fault code path: no RNG draw may
+        // happen on a disabled fault.
+        let run = |cfg: RoundConfig| {
+            let mut tags = population(18, 83);
+            let mut sizer = QAdaptive::new(4);
+            let mut rng = StdRng::seed_from_u64(89);
+            run_round(&mut tags, &cfg, &mut sizer, &LinkTiming::r420(), &mut rng)
+        };
+        let clean = run(RoundConfig::new(open_query(4)));
+        let mut zeroed = RoundConfig::new(open_query(4));
+        zeroed.query_rep_loss_prob = 0.0;
+        zeroed.epc_corrupt_prob = 0.0;
+        zeroed.decode_fail_prob = 0.0;
+        assert_eq!(run(zeroed), clean);
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub struct TagProto {
     /// Whether the tag is currently energised (in the reader field). Tags
     /// out of the field ignore all commands.
     pub powered: bool,
+    /// Whether the tag is muted by an injected fault: energised and
+    /// retaining all volatile state, but not hearing or answering any
+    /// command (a hand over the tag, a detuned neighbour). Managed via
+    /// [`TagProto::set_muted`] so mid-round mutes park cleanly.
+    #[serde(default)]
+    muted: bool,
     state: TagState,
     /// Slot counter (SC in the paper's §2.1).
     slot_counter: u32,
@@ -62,6 +68,7 @@ impl TagProto {
             sl: false,
             inventoried: [InvFlag::A; 4],
             powered: true,
+            muted: false,
             state: TagState::Ready,
             slot_counter: 0,
             rn16: 0,
@@ -95,7 +102,7 @@ impl TagProto {
     /// Whether the tag would participate in `query` (flags only — the tag
     /// must also be powered).
     pub fn participates(&self, query: &Query) -> bool {
-        if !self.powered {
+        if !self.powered || self.muted {
             return false;
         }
         let sel_ok = match query.sel {
@@ -109,7 +116,7 @@ impl TagProto {
     /// Applies a `Select` command to this tag's flags. Tags apply Select
     /// regardless of inventory state (and abandon any round in progress).
     pub fn handle_select(&mut self, select: &Select) {
-        if !self.powered {
+        if !self.powered || self.muted {
             return;
         }
         // EPC and TID banks carry modelled contents; Reserved/User masks
@@ -184,6 +191,9 @@ impl TagProto {
     /// Handles `QueryRep`: decrement the slot counter; a tag reaching zero
     /// backscatters a fresh RN16.
     pub fn handle_query_rep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if !self.powered || self.muted {
+            return;
+        }
         match self.state {
             TagState::Arbitrate => {
                 self.slot_counter = self.slot_counter.saturating_sub(1);
@@ -245,6 +255,24 @@ impl TagProto {
     /// Re-energises the tag.
     pub fn power_up(&mut self) {
         self.powered = true;
+    }
+
+    /// Whether the tag is fault-muted.
+    pub fn muted(&self) -> bool {
+        self.muted
+    }
+
+    /// Mutes or unmutes the tag. Muting mid-round parks the tag in Ready
+    /// (it stops backscattering instantly) but — unlike
+    /// [`TagProto::power_down`] — keeps SL, the session flags, and the
+    /// truncation state: the tag never lost power, it just cannot hear
+    /// the reader. An unmuted tag rejoins at the next Query.
+    pub fn set_muted(&mut self, muted: bool) {
+        if muted && !self.muted {
+            self.state = TagState::Ready;
+            self.slot_counter = 0;
+        }
+        self.muted = muted;
     }
 }
 
@@ -405,6 +433,54 @@ mod tests {
         assert_eq!(tag.state(), TagState::Ready);
         tag.power_up();
         assert!(tag.participates(&q(4, QuerySel::All)));
+    }
+
+    #[test]
+    fn muted_tag_is_silent_but_keeps_flags() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut tag = TagProto::new(Epc::from_bits(9));
+        // Establish some volatile state: SL asserted, S0 flipped to B.
+        tag.handle_select(&Select::assert_sl(BitMask::MATCH_ALL));
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        let rn = tag.replying_rn16().unwrap();
+        tag.handle_ack(rn, Session::S0).unwrap();
+        tag.end_of_slot();
+        assert!(tag.sl);
+        assert_eq!(tag.inventoried[0], InvFlag::B);
+
+        tag.set_muted(true);
+        assert!(tag.muted());
+        // Silent: no participation, Selects and Queries bounce off.
+        assert!(!tag.participates(&q(4, QuerySel::Sl)));
+        tag.handle_select(&Select::clear_sl());
+        assert!(tag.sl, "selects must not reach a muted tag");
+        tag.handle_query(&q(0, QuerySel::Sl), &mut rng);
+        assert_eq!(tag.state(), TagState::Ready);
+
+        // Unmute: state preserved, participation restored (session B, so
+        // a target-B query sees it).
+        tag.set_muted(false);
+        assert!(tag.sl);
+        assert_eq!(tag.inventoried[0], InvFlag::B);
+        let target_b = Query {
+            target: InvFlag::B,
+            ..q(4, QuerySel::Sl)
+        };
+        assert!(tag.participates(&target_b));
+    }
+
+    #[test]
+    fn muting_mid_reply_parks_the_tag() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut tag = TagProto::new(Epc::from_bits(3));
+        tag.handle_query(&q(0, QuerySel::All), &mut rng);
+        assert_eq!(tag.state(), TagState::Reply);
+        tag.set_muted(true);
+        assert_eq!(tag.state(), TagState::Ready);
+        assert!(tag.replying_rn16().is_none());
+        // QueryReps while muted are ignored entirely.
+        tag.handle_query_rep(&mut rng);
+        assert_eq!(tag.state(), TagState::Ready);
     }
 
     #[test]

@@ -21,6 +21,12 @@ const ASSESS_MOBILE: &str = "assess.mobile";
 /// Ground-truth annotation the experiment harness emits for tags that
 /// actually move in the scene.
 const TRUTH_MOBILE: &str = "truth.mobile";
+/// Fault-window edge markers the reader emits when a `tagwatch-fault`
+/// injector is installed. The suffix is the fault kind's slug; the
+/// marker's `epc` is the plan-event index and its `t` the canonical
+/// window edge.
+const FAULT_OPEN_PREFIX: &str = "fault.open.";
+const FAULT_CLOSE_PREFIX: &str = "fault.close.";
 
 /// Knobs for trace analysis.
 #[derive(Debug, Clone, Copy)]
@@ -239,6 +245,47 @@ pub struct ScheduleSummary {
     pub selective_fraction: f64,
 }
 
+/// One reconstructed fault-injection window: a `fault.open.<slug>`
+/// marker paired with its `fault.close.<slug>` partner (same plan-event
+/// index). A window the run ended inside stays `closed: false` and
+/// extends to the end of the trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultWindow {
+    /// Plan-event index (the marker's `epc`).
+    pub event_idx: u128,
+    /// Fault-kind slug, e.g. `antenna_outage`.
+    pub slug: String,
+    pub start: f64,
+    pub end: f64,
+    pub closed: bool,
+    /// `read.*` events landing inside `[start, end)`.
+    pub reads: usize,
+    /// Aggregate reads per second inside the window.
+    pub irr: f64,
+}
+
+/// Degradation attribution for a fault-injected run: how much of the
+/// trace sat under an injection window, and how the aggregate reading
+/// rate inside those windows compares to the clean remainder.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct FaultReport {
+    pub windows: Vec<FaultWindow>,
+    pub reader_restarts: u64,
+    pub selects_lost: u64,
+    pub antenna_out_rounds: u64,
+    /// Simulated seconds under at least one window (union, overlaps
+    /// merged).
+    pub faulted_seconds: f64,
+    /// Aggregate reads/s inside the union of windows.
+    pub irr_faulted: f64,
+    /// Aggregate reads/s outside every window.
+    pub irr_clean: f64,
+    /// `irr_faulted / irr_clean` — below 1.0 means the injection windows
+    /// carry measurably less reading, i.e. the dip is attributable to
+    /// the faults. 1.0 when either side is empty.
+    pub degradation: f64,
+}
+
 /// Everything the analyzers derive from one trace.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
@@ -256,6 +303,9 @@ pub struct RunReport {
     pub duty: Vec<PhaseDuty>,
     pub cover: CoverEfficiency,
     pub schedule: ScheduleSummary,
+    /// Present only when the trace carries fault-injection markers or
+    /// counters (clean runs stay clean).
+    pub fault: Option<FaultReport>,
     /// Round metrics the builder could not attach to any round span.
     pub unattributed_rounds: bool,
 }
@@ -276,6 +326,7 @@ impl RunReport {
             duty: duty_cycles(trace, sim_seconds),
             cover: cover_efficiency(trace),
             schedule: schedule_summary(trace),
+            fault: fault_report(trace, sim_seconds),
             unattributed_rounds: trace.unattributed != RoundStats::default(),
         }
     }
@@ -328,6 +379,14 @@ impl RunReport {
             "schedule.selective_fraction".into(),
             self.schedule.selective_fraction,
         );
+        if let Some(fr) = &self.fault {
+            m.insert("fault.windows".into(), fr.windows.len() as f64);
+            m.insert("fault.faulted_seconds".into(), fr.faulted_seconds);
+            m.insert("fault.irr_faulted".into(), fr.irr_faulted);
+            m.insert("fault.irr_clean".into(), fr.irr_clean);
+            m.insert("fault.degradation".into(), fr.degradation);
+            m.insert("fault.restarts".into(), fr.reader_restarts as f64);
+        }
         m
     }
 }
@@ -605,6 +664,109 @@ fn cover_efficiency(trace: &Trace) -> CoverEfficiency {
     }
 }
 
+/// Pairs fault window-edge markers and splits the trace's reading rate
+/// into under-injection and clean time. Returns `None` for traces with
+/// no trace of fault activity at all, so clean-run reports are
+/// unchanged by the fault machinery's existence.
+fn fault_report(trace: &Trace, sim_seconds: f64) -> Option<FaultReport> {
+    let trace_end = sim_seconds.max(0.0);
+    let mut windows: Vec<FaultWindow> = Vec::new();
+    for tg in &trace.tags {
+        if let Some(slug) = tg.rec.name.strip_prefix(FAULT_OPEN_PREFIX) {
+            windows.push(FaultWindow {
+                event_idx: tg.rec.epc,
+                slug: slug.to_string(),
+                start: tg.rec.t,
+                // Until (unless) the close marker arrives, the window
+                // runs to the end of the trace.
+                end: trace_end.max(tg.rec.t),
+                closed: false,
+                reads: 0,
+                irr: 0.0,
+            });
+        } else if let Some(slug) = tg.rec.name.strip_prefix(FAULT_CLOSE_PREFIX) {
+            if let Some(w) = windows
+                .iter_mut()
+                .rev()
+                .find(|w| w.event_idx == tg.rec.epc && w.slug == slug && !w.closed)
+            {
+                w.end = tg.rec.t;
+                w.closed = true;
+            }
+        }
+    }
+    let reader_restarts = trace.counter("fault.reader_restarts");
+    let selects_lost = trace.counter("fault.selects_lost");
+    let antenna_out_rounds = trace.counter("fault.antenna_out_rounds");
+    if windows.is_empty() && reader_restarts == 0 && selects_lost == 0 && antenna_out_rounds == 0 {
+        return None;
+    }
+
+    let read_ts: Vec<f64> = trace
+        .tags
+        .iter()
+        .filter(|t| t.rec.name == READ_PHASE1 || t.rec.name == READ_PHASE2)
+        .map(|t| t.rec.t)
+        .collect();
+    for w in &mut windows {
+        w.reads = read_ts
+            .iter()
+            .filter(|&&t| t >= w.start && t < w.end)
+            .count();
+        w.irr = if w.end > w.start {
+            w.reads as f64 / (w.end - w.start)
+        } else {
+            0.0
+        };
+    }
+
+    // Union of windows (overlaps merged) for the in/out split.
+    let mut ivs: Vec<(f64, f64)> = windows
+        .iter()
+        .filter(|w| w.end > w.start)
+        .map(|w| (w.start, w.end))
+        .collect();
+    ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut merged: Vec<(f64, f64)> = Vec::new();
+    for (s, e) in ivs {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let faulted_seconds: f64 = merged.iter().map(|(s, e)| e - s).sum();
+    let clean_seconds = (trace_end - faulted_seconds).max(0.0);
+    let faulted_reads = read_ts
+        .iter()
+        .filter(|&&t| merged.iter().any(|&(s, e)| t >= s && t < e))
+        .count();
+    let clean_reads = read_ts.len() - faulted_reads;
+    let irr_faulted = if faulted_seconds > 0.0 {
+        faulted_reads as f64 / faulted_seconds
+    } else {
+        0.0
+    };
+    let irr_clean = if clean_seconds > 0.0 {
+        clean_reads as f64 / clean_seconds
+    } else {
+        0.0
+    };
+    Some(FaultReport {
+        windows,
+        reader_restarts,
+        selects_lost,
+        antenna_out_rounds,
+        faulted_seconds,
+        irr_faulted,
+        irr_clean,
+        degradation: if irr_clean > 0.0 && faulted_seconds > 0.0 {
+            irr_faulted / irr_clean
+        } else {
+            1.0
+        },
+    })
+}
+
 fn schedule_summary(trace: &Trace) -> ScheduleSummary {
     let selective = trace.counter("schedule.selective");
     let read_all = trace.counter("schedule.read_all");
@@ -722,6 +884,34 @@ impl fmt::Display for RunReport {
             self.schedule.selective_fraction * 100.0,
             self.schedule.masks
         )?;
+        if let Some(fr) = &self.fault {
+            writeln!(
+                f,
+                "  faults: {} windows, {:.3} s injected, IRR {:.2}/s faulted \
+                 vs {:.2}/s clean ({:.0}% of clean), {} restarts",
+                fr.windows.len(),
+                fr.faulted_seconds,
+                fr.irr_faulted,
+                fr.irr_clean,
+                fr.degradation * 100.0,
+                fr.reader_restarts
+            )?;
+            for w in fr.windows.iter().take(8) {
+                writeln!(
+                    f,
+                    "    [{:.2}, {:.2}{}] {:<16} {} reads ({:.2}/s)",
+                    w.start,
+                    w.end,
+                    if w.closed { "" } else { "…" },
+                    w.slug,
+                    w.reads,
+                    w.irr
+                )?;
+            }
+            if fr.windows.len() > 8 {
+                writeln!(f, "    … {} more", fr.windows.len() - 8)?;
+            }
+        }
         if self.unattributed_rounds {
             writeln!(f, "  note: round metrics present with no round span")?;
         }
@@ -912,11 +1102,77 @@ mod tests {
     }
 
     #[test]
+    fn fault_markers_become_attributed_windows() {
+        // One 10 s cycle; reads at 1, 3, 3.5, 5, 7, 9 s; a burst-noise
+        // window [2, 4) covering two of them.
+        let mut ev = vec![span("cycle", 1, None, 0.0, 10.0)];
+        for (i, t) in [1.0, 3.0, 3.5, 5.0, 7.0, 9.0].iter().enumerate() {
+            ev.push(tag(READ_PHASE1, i as u128 + 1, *t));
+        }
+        ev.push(tag("fault.open.burst_noise", 0, 2.0));
+        ev.push(tag("fault.close.burst_noise", 0, 4.0));
+        let trace = Trace::from_events(&ev).unwrap();
+        let r = RunReport::analyze(&trace, &AnalyzeConfig::default());
+        let fr = r.fault.as_ref().expect("fault markers present");
+        assert_eq!(fr.windows.len(), 1);
+        let w = &fr.windows[0];
+        assert_eq!(w.slug, "burst_noise");
+        assert!(w.closed);
+        assert!((w.start - 2.0).abs() < 1e-9 && (w.end - 4.0).abs() < 1e-9);
+        assert_eq!(w.reads, 2);
+        assert!((w.irr - 1.0).abs() < 1e-9);
+        assert!((fr.faulted_seconds - 2.0).abs() < 1e-9);
+        assert!((fr.irr_faulted - 1.0).abs() < 1e-9);
+        assert!((fr.irr_clean - 0.5).abs() < 1e-9);
+        assert!((fr.degradation - 2.0).abs() < 1e-9);
+        let m = r.metric_map();
+        assert!((m["fault.windows"] - 1.0).abs() < 1e-9);
+        assert!((m["fault.degradation"] - 2.0).abs() < 1e-9);
+        assert!(r.to_string().contains("burst_noise"));
+    }
+
+    #[test]
+    fn unclosed_fault_window_extends_to_trace_end() {
+        let ev = vec![
+            span("cycle", 1, None, 0.0, 10.0),
+            tag(READ_PHASE1, 1, 8.0),
+            tag("fault.open.antenna_outage", 3, 6.0),
+        ];
+        let trace = Trace::from_events(&ev).unwrap();
+        let r = RunReport::analyze(&trace, &AnalyzeConfig::default());
+        let fr = r.fault.expect("open marker present");
+        let w = &fr.windows[0];
+        assert_eq!(w.event_idx, 3);
+        assert!(!w.closed);
+        assert!((w.end - 10.0).abs() < 1e-9, "end = {}", w.end);
+        assert_eq!(w.reads, 1);
+        assert!((fr.faulted_seconds - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlapping_fault_windows_merge_for_the_union_split() {
+        let ev = vec![
+            span("cycle", 1, None, 0.0, 10.0),
+            tag("fault.open.select_loss", 0, 1.0),
+            tag("fault.close.select_loss", 0, 5.0),
+            tag("fault.open.query_rep_loss", 1, 4.0),
+            tag("fault.close.query_rep_loss", 1, 6.0),
+        ];
+        let trace = Trace::from_events(&ev).unwrap();
+        let r = RunReport::analyze(&trace, &AnalyzeConfig::default());
+        let fr = r.fault.expect("markers present");
+        assert_eq!(fr.windows.len(), 2);
+        // [1,5) ∪ [4,6) = [1,6): 5 s faulted, not 6.
+        assert!((fr.faulted_seconds - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn report_without_truth_or_tags_degrades_gracefully() {
         let ev = vec![span("cycle", 1, None, 0.0, 1.0)];
         let trace = Trace::from_events(&ev).unwrap();
         let r = RunReport::analyze(&trace, &AnalyzeConfig::default());
         assert!(r.confusion.is_none());
+        assert!(r.fault.is_none(), "clean traces carry no fault section");
         assert_eq!(r.tags.tags, 0);
         assert_eq!(r.cover.target_reads + r.cover.collateral_reads, 0);
         let m = r.metric_map();

@@ -40,6 +40,7 @@ use tagwatch_telemetry::{overhead, ClockKind, Event};
 fn usage() -> String {
     "usage: obs <command>\n\
      \x20 obs report <run.jsonl> [--json] [--starvation-gap SECS]\n\
+     \x20 obs analyze … (alias of report)\n\
      \x20 obs diff <baseline> <current> [--threshold FRAC] [--json]\n\
      \x20 obs export --chrome <run.jsonl> [-o out.json]\n\
      \x20 obs flame <run.jsonl> [--clock sim|wall] [-o out.folded]\n\
@@ -295,7 +296,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
-            "report" => cmd_report(rest),
+            "report" | "analyze" => cmd_report(rest),
             "diff" => cmd_diff(rest),
             "export" => cmd_export(rest),
             "flame" => cmd_flame(rest),

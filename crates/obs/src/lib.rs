@@ -37,7 +37,7 @@ pub mod hotspots;
 pub mod model;
 pub mod trend;
 
-pub use analyze::{AnalyzeConfig, RunReport};
+pub use analyze::{AnalyzeConfig, FaultReport, FaultWindow, RunReport};
 pub use bench::{BenchSnapshot, BENCH_SCHEMA_VERSION};
 pub use diff::{DiffReport, Direction};
 pub use export::{chrome_trace, flame_lines};

@@ -92,6 +92,13 @@ impl ReaderConnection {
         self.reader
     }
 
+    /// Installs a fault injector on the underlying reader (see
+    /// [`Reader::set_fault_injector`]): the LLRP client's view of "this
+    /// reader is flaky today".
+    pub fn set_fault_injector(&mut self, injector: Box<dyn tagwatch_fault::FaultInjector>) {
+        self.reader.set_fault_injector(injector);
+    }
+
     /// `ADD_ROSPEC`: validate and register, initially Disabled.
     pub fn add_rospec(&mut self, spec: RoSpec) -> Result<(), VerbError> {
         spec.validate()?;

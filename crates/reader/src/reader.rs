@@ -11,9 +11,10 @@ use crate::config::ReaderConfig;
 use crate::events::{EventLog, RoundEvent};
 use crate::llrp::{LlrpError, RoSpec};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tagwatch_gen2::{run_round, Epc, FrameSizer, QAdaptive, RoundConfig, TagProto};
+use tagwatch_fault::{FaultInjector, RoundEffects};
+use tagwatch_gen2::{run_round, Epc, FrameSizer, QAdaptive, RoundConfig, Select, TagProto};
 use tagwatch_rf::{LinkGeometry, RfMeasurement};
 use tagwatch_scene::Scene;
 use tagwatch_telemetry::Telemetry;
@@ -52,6 +53,24 @@ pub struct Reader {
     /// Telemetry handle; every completed round is promoted into counters
     /// and a duration histogram (see [`tagwatch_gen2::RoundResult::record`]).
     telemetry: Telemetry,
+    /// Optional deterministic fault injector, polled on the simulated
+    /// clock at each Select application and round start. `None` — the
+    /// default — is the clean fast path: no polls, no extra RNG draws,
+    /// and traces byte-identical to a fault-free build.
+    fault_injector: Option<Box<dyn FaultInjector>>,
+}
+
+/// Combines two independent loss probabilities (`1 − (1−a)(1−b)`),
+/// passing a lone mechanism through exactly so a single configured
+/// probability survives unrounded.
+fn combine_loss(base: f64, add: f64) -> f64 {
+    if add <= 0.0 {
+        base
+    } else if base <= 0.0 {
+        add
+    } else {
+        1.0 - (1.0 - base) * (1.0 - add)
+    }
 }
 
 impl Reader {
@@ -77,6 +96,7 @@ impl Reader {
             mode_estimate,
             antenna_rr: 0,
             telemetry: Telemetry::global().clone(),
+            fault_injector: None,
         }
     }
 
@@ -84,6 +104,113 @@ impl Reader {
     /// [`Telemetry::global`] handle — disabled until a sink is installed).
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Installs a fault injector (see `tagwatch-fault`). Every subsequent
+    /// round is subject to the injector's plan; window edges appear in
+    /// the telemetry stream as `fault.open.<slug>` / `fault.close.<slug>`
+    /// tag events whose `epc` is the plan-event index and whose `t` is
+    /// the canonical window edge.
+    pub fn set_fault_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.fault_injector = Some(injector);
+    }
+
+    /// Removes the injector, returning the reader to clean operation.
+    /// Tag-level fault state (mute, detune power-down) left behind by the
+    /// plan is *not* rolled back; it clears at the next presence sync.
+    pub fn clear_fault_injector(&mut self) {
+        self.fault_injector = None;
+    }
+
+    /// Whether a fault injector is installed.
+    pub fn has_fault_injector(&self) -> bool {
+        self.fault_injector.is_some()
+    }
+
+    /// Polls the injector at the current clock: emits window-edge markers,
+    /// services reader-level faults (restart stalls), and returns the
+    /// effects the lower layers should see. The clean path — no injector —
+    /// returns default effects without touching telemetry or the RNG.
+    fn poll_faults(&mut self) -> RoundEffects {
+        // Taken out and restored around the loop so the borrow of the
+        // injector does not pin `self` while we mutate clock and tags.
+        let Some(mut injector) = self.fault_injector.take() else {
+            return RoundEffects::default();
+        };
+        let effects = loop {
+            let poll = injector.poll(self.clock);
+            for tr in &poll.transitions {
+                let marker = if tr.opened {
+                    format!("fault.open.{}", tr.slug)
+                } else {
+                    format!("fault.close.{}", tr.slug)
+                };
+                self.telemetry
+                    .tag_event(&marker, tr.event_idx as u128, tr.t);
+            }
+            match poll.effects.restart {
+                Some(r) if self.clock < r.end => {
+                    // Reader stall: the connection is down until the
+                    // window closes. The stall consumes simulated air
+                    // time, and coming back resets the reader's adaptive
+                    // state — exactly what a power-cycled R420 forgets.
+                    self.clock = r.end;
+                    self.mode_estimate = (1u32 << self.cfg.initial_q.min(10)) as f64;
+                    self.antenna_rr = 0;
+                    self.telemetry.incr("fault.reader_restarts");
+                    if !r.preserve_flags {
+                        // The field dropped long enough for every tag to
+                        // lose volatile state; present tags re-energise
+                        // immediately, back in Ready with default flags.
+                        let t = self.clock;
+                        for (proto, tag) in self.protos.iter_mut().zip(self.scene.tags.iter()) {
+                            proto.power_down();
+                            if tag.present_at(t) {
+                                proto.power_up();
+                            }
+                        }
+                    }
+                    // Re-poll at the new clock: back-to-back restart
+                    // windows stall again, and each iteration strictly
+                    // advances the clock, so this terminates.
+                    continue;
+                }
+                _ => break poll.effects,
+            }
+        };
+        self.fault_injector = Some(injector);
+        effects
+    }
+
+    /// Reconciles per-tag fault state (mute, detune) with the active
+    /// effects. Runs *after* the field gate so a detuned tag stays dark
+    /// even where the gate would re-energise it; once the window closes,
+    /// the next presence sync or field gate powers the tag back up.
+    fn apply_tag_faults(&mut self, effects: &RoundEffects) {
+        if self.fault_injector.is_none() {
+            return;
+        }
+        for (i, proto) in self.protos.iter_mut().enumerate() {
+            proto.set_muted(effects.muted_tags.contains(&i));
+            if effects.detuned_tags.contains(&i) && proto.powered {
+                proto.power_down();
+            }
+        }
+    }
+
+    /// Applies one `Select` to the population. Under an active
+    /// `select_loss` fault each tag independently fails to hear the
+    /// command with the composed probability — the partial-coverage
+    /// failure mode a marginal link produces in practice.
+    fn apply_select(&mut self, sel: &Select, effects: &RoundEffects) {
+        let p = effects.select_loss_prob;
+        for proto in self.protos.iter_mut() {
+            if p > 0.0 && self.rng.gen_bool(p) {
+                self.telemetry.incr("fault.selects_lost");
+                continue;
+            }
+            proto.handle_select(sel);
+        }
     }
 
     /// The link slow-down factor from dense-reader-mode adaptation at the
@@ -150,10 +277,9 @@ impl Reader {
                     // the full start-up cost.
                     for &port in &ai.antennas {
                         self.sync_presence();
+                        let effects = self.poll_faults();
                         for sel in &selects {
-                            for proto in self.protos.iter_mut() {
-                                proto.handle_select(sel);
-                            }
+                            self.apply_select(sel, &effects);
                             self.clock += self.cfg.link.t_select;
                         }
                         let query = ai.query(self.cfg.session, self.cfg.initial_q);
@@ -166,10 +292,9 @@ impl Reader {
                     // dual-target rounds rotating over the antennas (the
                     // mux switch is cheap), until the dwell elapses.
                     self.sync_presence();
+                    let effects = self.poll_faults();
                     for sel in &selects {
-                        for proto in self.protos.iter_mut() {
-                            proto.handle_select(sel);
-                        }
+                        self.apply_select(sel, &effects);
                         self.clock += self.cfg.link.t_select;
                     }
                     let t_dwell_start = self.clock;
@@ -230,24 +355,44 @@ impl Reader {
         timing: &tagwatch_gen2::LinkTiming,
         reports: &mut Vec<TagReport>,
     ) {
+        let effects = self.poll_faults();
         self.apply_field_gate(port);
+        self.apply_tag_faults(&effects);
         let round_cfg = RoundConfig {
-            decode_fail_prob: self.cfg.decode_fail_prob,
+            decode_fail_prob: combine_loss(self.cfg.decode_fail_prob, effects.decode_fail_add),
+            query_rep_loss_prob: effects.query_rep_loss_prob,
+            epc_corrupt_prob: effects.reply_corrupt_prob,
             ..RoundConfig::new(query)
         };
+        // RF-layer faults perturb a per-round copy of the channel model;
+        // the configured model is never mutated, so the fault clears with
+        // its window.
+        let mut channel_model = self.cfg.channel_model;
+        if !effects.is_clean() {
+            channel_model.noise.phase_sigma += effects.phase_sigma_add;
+            channel_model.noise.rss_sigma_db += effects.rss_sigma_db_add;
+            channel_model.rss_at_1m_dbm -= effects.rss_drop_db;
+        }
         let mut sizer = QAdaptive::new(self.cfg.initial_q);
         let t_round_start = self.clock;
         // A simulated-clock span per round: under a controller cycle it
         // nests beneath the open phase span (per-thread parent inference),
         // giving offline analysis the full cycle → phase → round tree.
         let round_span = self.telemetry.sim_span("round", t_round_start);
-        let result = run_round(
-            &mut self.protos,
-            &round_cfg,
-            &mut sizer,
-            timing,
-            &mut self.rng,
-        );
+        let result = if effects.antenna_out(port) {
+            // The port is dark: the reader still keys the carrier and
+            // waits out the round on air, but no tag hears it.
+            self.telemetry.incr("fault.antenna_out_rounds");
+            run_round(&mut [], &round_cfg, &mut sizer, timing, &mut self.rng)
+        } else {
+            run_round(
+                &mut self.protos,
+                &round_cfg,
+                &mut sizer,
+                timing,
+                &mut self.rng,
+            )
+        };
         self.clock += result.duration;
         // Update the population estimate from what this round saw.
         self.mode_estimate = 0.5 * self.mode_estimate + 0.5 * (result.reads.len().max(1) as f64);
@@ -262,7 +407,7 @@ impl Reader {
                 reflectors: &reflectors,
             };
             let chan = self.cfg.channel_plan.channel_at(t_abs);
-            let rf = self.cfg.channel_model.observe(
+            let rf = channel_model.observe(
                 &link,
                 self.scene.tags[read.tag_idx].key,
                 port,
@@ -671,5 +816,143 @@ mod tests {
     fn mismatched_epc_count_panics() {
         let scene = presets::random_room(3, 22);
         Reader::new(scene, &random_epcs(2, 23), ReaderConfig::default(), 24);
+    }
+
+    mod faults {
+        use super::*;
+        use tagwatch_fault::{FaultEvent, FaultKind, FaultPlan, PlanInjector, Window};
+
+        fn injector(events: Vec<(FaultKind, f64, f64)>) -> Box<PlanInjector> {
+            let mut plan = FaultPlan::empty("reader-test");
+            plan.events = events
+                .into_iter()
+                .map(|(kind, start, end)| FaultEvent {
+                    kind,
+                    window: Window::new(start, end),
+                })
+                .collect();
+            Box::new(PlanInjector::new(plan))
+        }
+
+        #[test]
+        fn empty_plan_is_transparent() {
+            // An installed injector with nothing to inject must not
+            // perturb the simulation: same seed, bit-identical reports.
+            let spec = RoSpec::read_all(1, vec![1]);
+            let mut clean = basic_reader(15, 90);
+            let baseline = clean.run_for(&spec, 0.5).unwrap();
+            let mut faulted = basic_reader(15, 90);
+            faulted.set_fault_injector(injector(vec![]));
+            let observed = faulted.run_for(&spec, 0.5).unwrap();
+            assert_eq!(baseline, observed);
+            assert_eq!(clean.now(), faulted.now());
+        }
+
+        #[test]
+        fn full_antenna_outage_blanks_reads_but_air_time_passes() {
+            let mut reader = basic_reader(10, 91);
+            reader.set_fault_injector(injector(vec![(
+                FaultKind::AntennaOutage { antennas: vec![] },
+                0.0,
+                1e9,
+            )]));
+            let reports = reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
+            assert!(reports.is_empty());
+            assert!(reader.now() > 0.0, "the carrier still burned air time");
+        }
+
+        #[test]
+        fn partial_outage_only_darkens_listed_ports() {
+            let scene = presets::tracking_study(2, 92);
+            let n = scene.tags.len();
+            let epcs = random_epcs(n, 93);
+            let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), 94);
+            reader.set_fault_injector(injector(vec![(
+                FaultKind::AntennaOutage { antennas: vec![2] },
+                0.0,
+                1e9,
+            )]));
+            let reports = reader.execute(&RoSpec::read_all(1, vec![1, 2, 3])).unwrap();
+            assert!(!reports.is_empty());
+            assert!(reports.iter().all(|r| r.rf.antenna != 2));
+            assert!(reports.iter().any(|r| r.rf.antenna == 1));
+        }
+
+        #[test]
+        fn restart_stalls_the_clock_and_recovers() {
+            use tagwatch_telemetry::{MemorySink, Telemetry};
+            let mut reader = basic_reader(8, 95);
+            let tel = Telemetry::new();
+            tel.install(Box::new(MemorySink::new(1 << 12)));
+            reader.set_telemetry(tel.clone());
+            reader.set_fault_injector(injector(vec![(
+                FaultKind::ReaderRestart {
+                    preserve_flags: false,
+                },
+                0.0,
+                0.5,
+            )]));
+            let reports = reader.execute(&RoSpec::read_all(1, vec![1])).unwrap();
+            assert!(reader.now() >= 0.5, "the stall consumed the window");
+            // Back up after the restart: the same pass still reads all.
+            let mut idx: Vec<usize> = reports.iter().map(|r| r.tag_idx).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            assert_eq!(idx.len(), 8);
+            let snap = tel.snapshot();
+            assert_eq!(snap.counter("fault.reader_restarts"), Some(1));
+        }
+
+        #[test]
+        fn muted_tag_is_unread_until_the_window_closes() {
+            let mut reader = basic_reader(6, 96);
+            reader.set_fault_injector(injector(vec![(
+                FaultKind::TagMute { tags: vec![0] },
+                0.0,
+                10.0,
+            )]));
+            let spec = RoSpec::read_all(1, vec![1]);
+            let during = reader.execute(&spec).unwrap();
+            assert!(!during.is_empty());
+            assert!(during.iter().all(|r| r.tag_idx != 0));
+            reader.advance(10.0);
+            let after = reader.execute(&spec).unwrap();
+            assert!(after.iter().any(|r| r.tag_idx == 0), "mute must lift");
+        }
+
+        #[test]
+        fn total_reply_corruption_reads_nothing_then_everything() {
+            let mut reader = basic_reader(5, 97);
+            reader.set_fault_injector(injector(vec![(
+                FaultKind::ReplyCorruption { prob: 1.0 },
+                0.0,
+                5.0,
+            )]));
+            let spec = RoSpec::read_all(1, vec![1]);
+            let during = reader.execute(&spec).unwrap();
+            assert!(during.is_empty(), "every EPC was corrupted");
+            reader.advance(5.0);
+            let after = reader.execute(&spec).unwrap();
+            let mut idx: Vec<usize> = after.iter().map(|r| r.tag_idx).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            assert_eq!(idx.len(), 5, "corruption must not lose tags for good");
+        }
+
+        #[test]
+        fn detuned_tag_goes_dark_and_reenergises() {
+            let mut reader = basic_reader(4, 98);
+            reader.set_fault_injector(injector(vec![(
+                FaultKind::TagDetune { tags: vec![1] },
+                0.0,
+                10.0,
+            )]));
+            let spec = RoSpec::read_all(1, vec![1]);
+            let during = reader.execute(&spec).unwrap();
+            assert!(during.iter().all(|r| r.tag_idx != 1));
+            reader.advance(10.0);
+            let after = reader.execute(&spec).unwrap();
+            assert!(after.iter().any(|r| r.tag_idx == 1), "detune must lift");
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! and experiments, and a line-buffered JSONL file writer for offline
 //! analysis (`repro ... --telemetry out.jsonl`).
 
-use crate::event::{Event, FooterRecord, SpanRecord};
+use crate::event::{ClockKind, Event, FooterRecord, SpanRecord};
 use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{LineWriter, Write};
@@ -299,6 +299,69 @@ impl Sink for JsonlSink {
     }
 }
 
+/// A filter sink that forwards only *simulation-deterministic* events to
+/// its inner sink.
+///
+/// Two event families carry wall-clock data that varies run-to-run even
+/// under a fixed seed: spans measured on [`ClockKind::Wall`] (e.g. the
+/// controller's `cycle.compute` span) and the derived
+/// `cycle.compute_seconds` observation. Everything else in a trace is a
+/// pure function of the seed and the scenario. Dropping the wall-clock
+/// family yields a stream that is **byte-identical** across same-seed
+/// runs — the property the fault-injection determinism gate asserts with
+/// a plain `cmp` of two JSONL files (`repro --telemetry-sim-only`).
+///
+/// Span ids are allocated at span *start* by the handle, before any sink
+/// sees the event, so suppressing wall spans here does not perturb the
+/// ids of the sim spans that remain.
+#[derive(Debug)]
+pub struct SimOnlySink<S> {
+    inner: S,
+    suppressed: u64,
+}
+
+impl<S: Sink> SimOnlySink<S> {
+    /// Wraps `inner`, forwarding only sim-deterministic events.
+    pub fn new(inner: S) -> Self {
+        SimOnlySink {
+            inner,
+            suppressed: 0,
+        }
+    }
+
+    /// Events withheld from the inner sink so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Consumes the filter, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn is_wall_derived(event: &Event) -> bool {
+        match event {
+            Event::Span(s) => s.clock == ClockKind::Wall,
+            Event::Observe(o) => o.name == "cycle.compute_seconds",
+            _ => false,
+        }
+    }
+}
+
+impl<S: Sink> Sink for SimOnlySink<S> {
+    fn record(&mut self, event: &Event) {
+        if Self::is_wall_derived(event) {
+            self.suppressed += 1;
+            return;
+        }
+        self.inner.record(event);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+}
+
 impl Drop for JsonlSink {
     /// Flushes on drop so a run that never calls [`Sink::flush`] — e.g.
     /// one unwinding from a panic — still leaves a parseable trace.
@@ -409,6 +472,45 @@ mod tests {
         writer.record(&counter("c", 1, 1));
         assert!(sink.is_empty());
         assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn sim_only_sink_drops_wall_derived_events() {
+        use crate::event::{SpanRecord, TagRecord};
+
+        let span = |clock: ClockKind| {
+            Event::Span(SpanRecord {
+                name: "x".into(),
+                id: 1,
+                parent: None,
+                start: 0.0,
+                duration: 1.0,
+                clock,
+            })
+        };
+        let memory = MemorySink::new(16);
+        let mut sink = SimOnlySink::new(memory.clone());
+        sink.record(&span(ClockKind::Sim));
+        sink.record(&span(ClockKind::Wall));
+        sink.record(&Event::Observe(ObserveRecord {
+            name: "cycle.compute_seconds".into(),
+            value: 0.25,
+        }));
+        sink.record(&Event::Observe(ObserveRecord {
+            name: "cycle.duration".into(),
+            value: 0.25,
+        }));
+        sink.record(&Event::Tag(TagRecord {
+            name: "fault.open.outage".into(),
+            epc: 0,
+            t: 0.5,
+        }));
+        assert_eq!(sink.suppressed(), 2);
+        let kept = memory.events();
+        assert_eq!(kept.len(), 3);
+        assert!(kept
+            .iter()
+            .all(|e| !SimOnlySink::<MemorySink>::is_wall_derived(e)));
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! End-to-end fault-injection scenarios: every shipped example plan in
+//! `examples/faults/` is run through a differential pair (clean vs
+//! faulted, same seed) at the `--quick` scale and judged against the
+//! envelope the plan itself declares — one test per fault family
+//! (antenna outage, burst noise, command loss, reader restart), plus the
+//! `obs` attribution contract and the faulted extension of the
+//! byte-identical determinism self-check.
+//!
+//! The seed derivation deliberately mirrors
+//! `repro fault-run --quick --seed 7` (epcs from `seed ^ 0x0B5`, reader
+//! RNG from `seed ^ 0x0B6`), so a failure here reproduces on the CLI
+//! verbatim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch_fault::{CycleObservation, EnvelopeReport, FaultPlan, PlanInjector};
+use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
+use tagwatch_obs::model::Trace;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::{Event, MemorySink, SimOnlySink, Telemetry};
+
+/// `repro fault-run --quick`: 15 tags, 1 mobile, 8 cycles ≈ 40 s simulated.
+const TAGS: usize = 15;
+const MOBILE: usize = 1;
+const CYCLES: usize = 8;
+const SEED: u64 = 7;
+
+fn shipped_plan(name: &str) -> FaultPlan {
+    let path = format!("{}/examples/faults/{name}.toml", env!("CARGO_MANIFEST_DIR"));
+    FaultPlan::from_path(&path).unwrap_or_else(|e| panic!("shipped plan {name}: {e}"))
+}
+
+struct Leg {
+    reports: Vec<CycleReport>,
+    events: Vec<Event>,
+}
+
+/// One controller run at quick scale; `plan = None` is the clean control.
+/// Telemetry goes through a [`SimOnlySink`] so two same-seed legs are
+/// comparable byte for byte (no wall-clock spans).
+fn leg(seed: u64, plan: Option<&FaultPlan>) -> Leg {
+    let scene = presets::turntable(TAGS, MOBILE, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5);
+    let epcs: Vec<Epc> = (0..TAGS).map(|_| Epc::random(&mut rng)).collect();
+    let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), seed ^ 0x0B6);
+    if let Some(p) = plan {
+        reader.set_fault_injector(Box::new(PlanInjector::new(p.clone())));
+    }
+
+    let tel = Telemetry::new();
+    let sink = MemorySink::new(1 << 20);
+    tel.install(Box::new(SimOnlySink::new(sink.clone())));
+    for e in &epcs[..MOBILE] {
+        tel.tag_event("truth.mobile", e.bits(), 0.0);
+    }
+    reader.set_telemetry(tel.clone());
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel.clone());
+    let reports = ctl.run_cycles(&mut reader, CYCLES).expect("valid config");
+    tel.flush();
+    Leg {
+        reports,
+        events: sink.events(),
+    }
+}
+
+fn mobile_reads(r: &CycleReport) -> usize {
+    r.phase1
+        .iter()
+        .chain(r.phase2.iter())
+        .filter(|t| t.tag_idx < MOBILE)
+        .count()
+}
+
+fn total_mobile_reads(l: &Leg) -> usize {
+    l.reports.iter().map(mobile_reads).sum()
+}
+
+/// Clean + faulted legs on the same seed, judged by the plan's envelope.
+fn differential(plan: &FaultPlan) -> (Leg, Leg, EnvelopeReport) {
+    let baseline = leg(SEED, None);
+    let faulted = leg(SEED, Some(plan));
+    let observations: Vec<CycleObservation> = baseline
+        .reports
+        .iter()
+        .zip(&faulted.reports)
+        .map(|(b, f)| CycleObservation {
+            t_start: f.t_start,
+            t_end: f.t_end,
+            baseline_mobile_irr: mobile_reads(b) as f64 / (b.t_end - b.t_start).max(1e-9),
+            faulted_mobile_irr: mobile_reads(f) as f64 / (f.t_end - f.t_start).max(1e-9),
+        })
+        .collect();
+    let report = plan
+        .envelope
+        .evaluate(plan.last_window_end(), &observations);
+    (baseline, faulted, report)
+}
+
+#[test]
+fn antenna_outage_degrades_but_stays_in_envelope_and_recovers() {
+    let plan = shipped_plan("outage");
+    let (baseline, faulted, report) = differential(&plan);
+
+    // 8 s of full darkness in a ~40 s run must cost real reads…
+    let base = total_mobile_reads(&baseline);
+    let hurt = total_mobile_reads(&faulted);
+    assert!(base > 0, "clean baseline reads the mover");
+    assert!(
+        hurt < base,
+        "outage did not degrade anything ({hurt} vs {base})"
+    );
+    // …while holding the plan's own floor and recovery budget.
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert!(
+        report.recovery_cycle.is_some(),
+        "a mid-run outage leaves post-fault cycles to recover in"
+    );
+
+    // Post-recovery cycles read the mover again.
+    let end = plan.last_window_end().expect("outage plan injects");
+    let post: usize = faulted
+        .reports
+        .iter()
+        .filter(|r| r.t_start >= end)
+        .map(mobile_reads)
+        .sum();
+    assert!(post > 0, "no mobile reads after the window closed");
+}
+
+#[test]
+fn burst_noise_and_snr_collapse_stay_in_envelope() {
+    let plan = shipped_plan("burst_noise");
+    let (baseline, faulted, report) = differential(&plan);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    // Noise costs decodes; it must never conjure extra mobile reads out
+    // of a degraded channel.
+    assert!(total_mobile_reads(&faulted) <= total_mobile_reads(&baseline));
+    assert!(total_mobile_reads(&faulted) > 0, "noise is not a blackout");
+}
+
+#[test]
+fn command_loss_stays_in_envelope_and_is_counted() {
+    let plan = shipped_plan("cmd_loss");
+    let (_baseline, faulted, report) = differential(&plan);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+
+    // The reader accounts for every Select it swallowed.
+    let trace = Trace::from_events(&faulted.events).expect("parseable trace");
+    assert!(
+        trace.counter("fault.selects_lost") > 0,
+        "a 50% Select-loss window must swallow at least one Select"
+    );
+}
+
+#[test]
+fn reader_restart_recovers_with_fresh_state() {
+    let plan = shipped_plan("restart");
+    let (_baseline, faulted, report) = differential(&plan);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+
+    let trace = Trace::from_events(&faulted.events).expect("parseable trace");
+    assert_eq!(
+        trace.counter("fault.reader_restarts"),
+        1,
+        "one restart window → one restart"
+    );
+
+    // The stall consumes sim time: the run must outlive the window, i.e.
+    // the clock jumped across it instead of wedging inside it.
+    let end = plan.last_window_end().expect("restart plan injects");
+    let last = faulted.reports.last().expect("cycles ran");
+    assert!(
+        last.t_end > end,
+        "run ended at {} without clearing the restart window at {end}",
+        last.t_end
+    );
+    // And the cycles after the restart read the mover again.
+    let post: usize = faulted
+        .reports
+        .iter()
+        .filter(|r| r.t_start >= end)
+        .map(mobile_reads)
+        .sum();
+    assert!(post > 0, "restart must not strand the run");
+}
+
+#[test]
+fn obs_attributes_the_irr_dip_to_the_injection_window() {
+    let plan = shipped_plan("outage");
+    let (_baseline, faulted, _report) = differential(&plan);
+    let trace = Trace::from_events(&faulted.events).expect("parseable trace");
+    let r = RunReport::analyze(&trace, &AnalyzeConfig::default());
+
+    let fault = r.fault.as_ref().expect("fault markers → attribution");
+    assert_eq!(fault.windows.len(), 1);
+    let w = &fault.windows[0];
+    assert_eq!(w.slug, "antenna_outage");
+    assert!(w.closed, "window closed before the run ended");
+    assert!((w.start - 8.0).abs() < 1e-9 && (w.end - 16.0).abs() < 1e-9);
+    // Faults gate at round granularity: a round *started* just before
+    // 8.0 s still lands a few reads inside the window, but the window's
+    // share of reads must sit far below its ~20% share of the run.
+    assert!(
+        (w.reads as f64) < 0.05 * r.tags.reads_total as f64,
+        "outage window kept {} of {} reads",
+        w.reads,
+        r.tags.reads_total
+    );
+    assert!(
+        fault.irr_faulted < fault.irr_clean,
+        "IRR inside the window ({}) must undercut IRR outside it ({})",
+        fault.irr_faulted,
+        fault.irr_clean
+    );
+    assert!(
+        fault.degradation < 0.5,
+        "the dip is attributed to the window"
+    );
+
+    // A clean control over the same workload attributes nothing.
+    let clean_trace = Trace::from_events(&leg(SEED, None).events).unwrap();
+    let clean = RunReport::analyze(&clean_trace, &AnalyzeConfig::default());
+    assert!(clean.fault.is_none());
+}
+
+/// Satellite: the determinism self-check, extended to faulted runs —
+/// same seed + same plan → bit-identical telemetry streams.
+#[test]
+fn same_seed_same_plan_telemetry_is_byte_identical() {
+    let plan = shipped_plan("cmd_loss");
+    let jsonl = |l: &Leg| {
+        l.events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("serializable event"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = jsonl(&leg(SEED, Some(&plan)));
+    let b = jsonl(&leg(SEED, Some(&plan)));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "faulted runs must replay byte for byte");
+
+    // And the faulted stream genuinely differs from the clean one on the
+    // same seed — the injector is live, not a no-op.
+    let c = jsonl(&leg(SEED, None));
+    assert_ne!(a, c, "plan changed nothing — injector not wired?");
+}

@@ -1,0 +1,152 @@
+//! Property: fault injection is total. Any structurally valid
+//! [`FaultPlan`] — arbitrary kinds, overlapping windows, zero-length
+//! windows, windows past the end of the run, tag indices past the end of
+//! the population — must (a) survive `validate()`, (b) round-trip
+//! through the JSON plan format, and (c) drive a full controller run
+//! without panicking while leaving a trace the `obs` model ingests
+//! wholesale. A faulted run must also replay: same seed + same plan →
+//! the identical event stream.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch::prelude::*;
+use tagwatch_fault::{FaultEvent, FaultKind, FaultPlan, PlanInjector, Window};
+use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
+use tagwatch_obs::model::Trace;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::{Event, MemorySink, SimOnlySink, Telemetry};
+
+/// Small workload: 3 cycles ≈ 15 s simulated, so windows drawn from
+/// `[0, 25)` land before, inside, across, and after the run.
+const TAGS: usize = 8;
+const MOBILE: usize = 1;
+const CYCLES: usize = 3;
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        // Port list may be empty (= all ports) or name ports the scene
+        // does not drive; tag lists may index past the population.
+        prop::collection::vec(0u8..4, 0..4)
+            .prop_map(|antennas| FaultKind::AntennaOutage { antennas }),
+        (0.0f64..2.0, 0.0f64..6.0).prop_map(|(phase_sigma, rss_sigma_db)| {
+            FaultKind::BurstNoise {
+                phase_sigma,
+                rss_sigma_db,
+            }
+        }),
+        (0.0f64..30.0, 0.0f64..=1.0).prop_map(|(rss_drop_db, decode_fail_prob)| {
+            FaultKind::SnrCollapse {
+                rss_drop_db,
+                decode_fail_prob,
+            }
+        }),
+        (0.0f64..=1.0).prop_map(|prob| FaultKind::SelectLoss { prob }),
+        (0.0f64..=1.0).prop_map(|prob| FaultKind::QueryRepLoss { prob }),
+        (0.0f64..=1.0).prop_map(|prob| FaultKind::ReplyCorruption { prob }),
+        prop::collection::vec(0usize..20, 1..4).prop_map(|tags| FaultKind::TagMute { tags }),
+        prop::collection::vec(0usize..20, 1..4).prop_map(|tags| FaultKind::TagDetune { tags }),
+        any::<bool>().prop_map(|preserve_flags| FaultKind::ReaderRestart { preserve_flags }),
+    ]
+}
+
+/// Windows overlap freely; a quarter of them are zero-length no-ops.
+fn arb_window() -> impl Strategy<Value = Window> {
+    (
+        0.0f64..25.0,
+        prop_oneof![1 => Just(0.0f64), 3 => 0.0f64..12.0],
+    )
+        .prop_map(|(start, len)| Window::new(start, start + len))
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec((arb_kind(), arb_window()), 0..6).prop_map(|events| {
+        let mut plan = FaultPlan::empty("prop");
+        plan.events = events
+            .into_iter()
+            .map(|(kind, window)| FaultEvent { kind, window })
+            .collect();
+        plan
+    })
+}
+
+/// One faulted controller run; returns the sim-only event stream.
+fn run_faulted(seed: u64, plan: &FaultPlan) -> Vec<Event> {
+    let scene = presets::turntable(TAGS, MOBILE, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5);
+    let epcs: Vec<Epc> = (0..TAGS).map(|_| Epc::random(&mut rng)).collect();
+    let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), seed ^ 0x0B6);
+    reader.set_fault_injector(Box::new(PlanInjector::new(plan.clone())));
+
+    let tel = Telemetry::new();
+    let sink = MemorySink::new(1 << 20);
+    tel.install(Box::new(SimOnlySink::new(sink.clone())));
+    reader.set_telemetry(tel.clone());
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel.clone());
+    ctl.run_cycles(&mut reader, CYCLES)
+        .expect("controller must survive any valid plan");
+    tel.flush();
+    sink.events()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated plans are valid by construction, and validity survives
+    /// the JSON wire format.
+    #[test]
+    fn arbitrary_plans_validate_and_round_trip(plan in arb_plan()) {
+        prop_assert!(plan.validate().is_ok(), "generator produced an invalid plan");
+        let text = serde_json::to_string(&plan).expect("plans serialize");
+        let back = FaultPlan::from_json_str(&text).expect("serialized plan re-parses");
+        prop_assert_eq!(&back, &plan);
+        prop_assert!(back.validate().is_ok());
+    }
+}
+
+proptest! {
+    // Each case is a full (small) simulation; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// No valid plan — overlapping faults, zero-length windows, windows
+    /// the run never reaches, out-of-range tag/port indices, restarts —
+    /// panics the controller, and the trace it leaves is one the obs
+    /// model accepts and analyzes.
+    #[test]
+    fn any_plan_runs_to_completion_with_a_parseable_trace(
+        plan in arb_plan(),
+        seed in 0u64..1000,
+    ) {
+        let events = run_faulted(seed, &plan);
+        prop_assert!(!events.is_empty(), "run left no telemetry");
+
+        let trace = Trace::from_events(&events).expect("obs must accept a faulted trace");
+        prop_assert_eq!(trace.cycles.len(), CYCLES);
+
+        // Analysis is total too: markers pair up (or extend to trace
+        // end), counters are consistent, the report renders.
+        let report = RunReport::analyze(&trace, &AnalyzeConfig::default());
+        let rendered = report.to_string();
+        prop_assert!(!rendered.is_empty());
+        if let Some(fault) = &report.fault {
+            for w in &fault.windows {
+                prop_assert!(w.end >= w.start, "inverted attributed window");
+            }
+        }
+    }
+}
+
+proptest! {
+    // Two full runs per case: fewer cases still.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Faulted runs replay: the injector draws no randomness of its own,
+    /// so same seed + same plan → the identical event stream.
+    #[test]
+    fn faulted_runs_are_deterministic(plan in arb_plan(), seed in 0u64..1000) {
+        let a = run_faulted(seed, &plan);
+        let b = run_faulted(seed, &plan);
+        prop_assert_eq!(a, b, "same seed + same plan diverged");
+    }
+}
