@@ -7,11 +7,16 @@
 #   ./ci.sh --lint   # static-analysis gate only: the tagwatch-lint rule
 #                    # catalog (determinism, panic-policy, unsafe-free, …)
 #   ./ci.sh --obs    # observability gate only: record the obs-run
-#                    # reference workload and diff it against BENCH_1.json
+#                    # reference workload, diff it against BENCH_1.json,
+#                    # and archive the accepted snapshot in bench-history/
 #   ./ci.sh --faults # fault-injection gate only: fault integration tests,
 #                    # same-seed byte-identical faulted traces, envelope
 #                    # check on every shipped plan, and an obs diff of the
 #                    # reference faulted workload against BENCH_FAULT_1.json
+#   ./ci.sh --monitor # live-monitor gate only: obs-run with --monitor,
+#                    # final snapshot must match the batch analyzers
+#                    # byte-for-byte (obs watch --check), the exposition
+#                    # must parse, and sim-side metrics must stay at +0.0%
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,11 +24,13 @@ tier1_only=false
 obs_only=false
 lint_only=false
 faults_only=false
+monitor_only=false
 case "${1:-}" in
     --tier1) tier1_only=true ;;
     --obs) obs_only=true ;;
     --lint) lint_only=true ;;
     --faults) faults_only=true ;;
+    --monitor) monitor_only=true ;;
 esac
 
 regressions_check() {
@@ -82,8 +89,64 @@ obs_gate() {
     else
         echo "==> obs: gating against $baseline"
         ./target/release/obs diff "$baseline" out/BENCH_current.json
+        archive_bench out/BENCH_current.json
     fi
     echo "obs gate passed."
+}
+
+archive_bench() {
+    # Append the just-accepted snapshot to the committed bench-history/
+    # archive under the next monotonic name, so `obs trend` has a real
+    # multi-point series. Skip when it is byte-identical to the newest
+    # archived snapshot — re-running CI on an unchanged tree should not
+    # grow the history.
+    local snap=$1 latest n next
+    mkdir -p bench-history
+    latest=$(ls bench-history/BENCH_*.json 2>/dev/null | sort | tail -n1 || true)
+    if [[ -n "$latest" ]] && cmp -s "$latest" "$snap"; then
+        echo "==> obs: bench-history unchanged ($latest)"
+        return 0
+    fi
+    if [[ -n "$latest" ]]; then
+        n=$(basename "$latest" .json); n=${n#BENCH_}; n=$((10#$n + 1))
+    else
+        n=1
+    fi
+    next=$(printf 'bench-history/BENCH_%04d.json' "$n")
+    cp "$snap" "$next"
+    echo "==> obs: archived accepted snapshot as $next (commit it)"
+    # Informational: the trajectory so far (never fails the gate).
+    ./target/release/obs trend bench-history/BENCH_*.json || true
+}
+
+monitor_gate() {
+    # The live observability plane must be a pure observer: run the
+    # reference workload with --monitor, check the final MonitorSnapshot
+    # against the batch analyzers byte-for-byte and the exposition file
+    # for well-formedness (both via `obs watch --check`), then prove the
+    # sim-side BENCH metrics are untouched by monitoring.
+    local seed=7
+    local baseline=BENCH_1.json
+    echo "==> monitor: cargo build --release (repro + obs)"
+    cargo build --release -p tagwatch-bench -p tagwatch-obs
+    mkdir -p out
+
+    echo "==> monitor: reference workload with --monitor (seed $seed)"
+    ./target/release/repro obs-run --quick --seed "$seed" \
+        --telemetry out/monitor-ci.jsonl --monitor out/monitor-ci \
+        --bench-json out/BENCH_monitor.json
+
+    echo "==> monitor: final snapshot vs batch analyzers + exposition parse"
+    ./target/release/obs watch out/monitor-ci --check out/monitor-ci.jsonl
+
+    if [[ -f "$baseline" ]] && ! grep -q '"provisional": true' "$baseline"; then
+        echo "==> monitor: sim-side metrics must be identical to $baseline"
+        ./target/release/obs diff --sim-only --threshold 0 \
+            "$baseline" out/BENCH_monitor.json
+    else
+        echo "==> monitor: no reviewed $baseline yet — skipping overhead diff"
+    fi
+    echo "monitor gate passed."
 }
 
 fault_gate() {
@@ -147,6 +210,11 @@ if $faults_only; then
     exit 0
 fi
 
+if $monitor_only; then
+    monitor_gate
+    exit 0
+fi
+
 if $lint_only; then
     lint_gate
     exit 0
@@ -172,6 +240,7 @@ if ! $tier1_only; then
     regressions_check
     obs_gate
     fault_gate
+    monitor_gate
 fi
 
 echo "CI gate passed."

@@ -21,6 +21,13 @@
 //! `--telemetry`. The `obs-run` target is the observability reference
 //! workload `ci.sh` records and gates (see EXPERIMENTS.md).
 //!
+//! `--monitor DIR` tees the event stream through the live observability
+//! plane (`tagwatch-monitor`): online analyzers refresh a schema-versioned
+//! `status.json` + Prometheus-style `metrics.prom` in `DIR` on the sim
+//! clock, and the run health watchdog appends `alarm.*` events to the
+//! trace. Works with or without `--telemetry`; under `--faults` the
+//! watchdog also arms the plan's degradation envelope for early warning.
+//!
 //! `--telemetry-sample N` keeps every Nth inventory round's events in the
 //! stream (deterministic — same seed and N always keep the same rounds);
 //! `--telemetry-max-events M` caps the stream outright. Both only throttle
@@ -32,8 +39,11 @@ use std::process::ExitCode;
 use tagwatch_bench::experiments::*;
 use tagwatch_bench::telemetry_report;
 use tagwatch_fault::FaultPlan;
+use tagwatch_monitor::{MonitorConfig, MonitorSink, WatchdogConfig};
 use tagwatch_obs::bench::{BenchSnapshot, FigureBench};
-use tagwatch_telemetry::{wall_now, JsonlSink, SimOnlySink, Telemetry, TelemetryConfig};
+use tagwatch_telemetry::{
+    wall_now, JsonlSink, NullSink, SimOnlySink, Sink, Telemetry, TelemetryConfig,
+};
 
 struct Opts {
     seed: u64,
@@ -53,6 +63,10 @@ struct Opts {
     /// Drop wall-derived events from the telemetry stream so same-seed
     /// runs are byte-identical (`--telemetry-sim-only`).
     sim_only: bool,
+    /// Live-monitor output directory (`--monitor`): online analyzer
+    /// snapshots + Prometheus-style exposition, refreshed on the sim
+    /// clock while the run is in flight.
+    monitor: Option<std::path::PathBuf>,
 }
 
 impl Opts {
@@ -79,6 +93,7 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         telemetry_cfg: TelemetryConfig::default(),
         faults: None,
         sim_only: false,
+        monitor: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -122,6 +137,10 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
                     .map_err(|e| format!("cannot load fault plan {v:?}: {e}"))?;
                 opts.faults = Some(plan);
             }
+            "--monitor" => {
+                let v = args.next().ok_or("--monitor needs a directory")?;
+                opts.monitor = Some(v.into());
+            }
             "--telemetry-sim-only" => opts.sim_only = true,
             "--quick" => opts.scale = 0,
             "--full" => opts.scale = 2,
@@ -142,14 +161,19 @@ fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
      gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run|fault-run> \
      [--seed N] [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE] \
-     [--telemetry-sample N] [--telemetry-max-events M] [--faults PLAN] [--telemetry-sim-only]\n\
+     [--telemetry-sample N] [--telemetry-max-events M] [--faults PLAN] \
+     [--telemetry-sim-only] [--monitor DIR]\n\
      \n\
      --faults PLAN loads a tagwatch-fault plan (TOML or JSON) and applies it to the\n\
      fault-aware targets: obs-run injects it alongside the reference workload;\n\
      fault-run runs the differential baseline-vs-faulted pair and fails (exit 1)\n\
      if the plan's degradation envelope is violated.\n\
      --telemetry-sim-only drops wall-clock-derived events from the JSONL stream so\n\
-     two same-seed runs produce byte-identical traces (determinism gating)."
+     two same-seed runs produce byte-identical traces (determinism gating).\n\
+     --monitor DIR streams online analyzer snapshots (status.json + metrics.prom,\n\
+     see `obs watch`) into DIR while the run is in flight, and arms the run health\n\
+     watchdog (staleness, sampling starvation, fault-envelope early warning);\n\
+     alarms are also appended to the telemetry trace as alarm.* events."
         .to_string()
 }
 
@@ -264,21 +288,41 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(path) = &opts.telemetry {
-        match JsonlSink::create(path) {
-            Ok(sink) => {
-                let tel = Telemetry::global();
-                tel.configure(opts.telemetry_cfg);
-                if opts.sim_only {
-                    tel.install(Box::new(SimOnlySink::new(sink)));
-                } else {
-                    tel.install(Box::new(sink));
+    if opts.telemetry.is_some() || opts.monitor.is_some() {
+        let tel = Telemetry::global();
+        tel.configure(opts.telemetry_cfg);
+        // The inner sink: the JSONL trace when requested (wall-stripped
+        // under --telemetry-sim-only), otherwise a no-op terminator so
+        // --monitor works on its own.
+        let inner: Box<dyn Sink + Send> = match &opts.telemetry {
+            Some(path) => match JsonlSink::create(path) {
+                Ok(sink) if opts.sim_only => Box::new(SimOnlySink::new(sink)),
+                Ok(sink) => Box::new(sink),
+                Err(e) => {
+                    eprintln!("cannot open telemetry file {path:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Box::new(NullSink),
+        };
+        if let Some(dir) = &opts.monitor {
+            let cfg = MonitorConfig {
+                watchdog: WatchdogConfig {
+                    sample_every_n_rounds: opts.telemetry_cfg.sample_every_n_rounds,
+                    envelope: opts.faults.as_ref().map(|p| p.envelope),
+                    ..WatchdogConfig::default()
+                },
+                ..MonitorConfig::default()
+            };
+            match MonitorSink::create(dir, inner, cfg) {
+                Ok(sink) => tel.install(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("cannot create monitor directory {dir:?}: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
-            Err(e) => {
-                eprintln!("cannot open telemetry file {path:?}: {e}");
-                return ExitCode::FAILURE;
-            }
+        } else {
+            tel.install(inner);
         }
     } else if opts.bench_json.is_some() {
         // No sink wanted, but the snapshot needs the registry aggregating.
@@ -335,33 +379,41 @@ fn main() -> ExitCode {
             );
         }
     }
-    if let Some(path) = &opts.telemetry {
+    if opts.telemetry.is_some() || opts.monitor.is_some() {
         let tel = Telemetry::global();
         // Close the stream with the delivery/suppression footer (also
-        // flushes every sink) so offline analysis knows whether the
-        // trace is complete.
+        // flushes every sink, which writes the final monitor snapshot)
+        // so offline analysis knows whether the trace is complete.
         let footer = tel.finish();
-        println!();
-        print!("{}", telemetry_report::summary(&tel.snapshot()));
-        eprintln!("telemetry events written to {path:?}");
-        if !footer.is_complete() {
-            let mut parts = Vec::new();
-            if footer.sampled_out > 0 {
-                parts.push(format!(
-                    "{} events sampled out (1-in-{} rounds kept)",
-                    footer.sampled_out, footer.sample_every_n_rounds
-                ));
-            }
-            if footer.dropped > 0 {
-                parts.push(format!(
-                    "{} dropped at the {}-event ceiling",
-                    footer.dropped, footer.max_events
-                ));
-            }
+        if let Some(dir) = &opts.monitor {
             eprintln!(
-                "telemetry stream throttled: {} (registry aggregates stay exact)",
-                parts.join(", ")
+                "monitor snapshot written to {:?}",
+                dir.join(tagwatch_monitor::STATUS_FILE)
             );
+        }
+        if let Some(path) = &opts.telemetry {
+            println!();
+            print!("{}", telemetry_report::summary(&tel.snapshot()));
+            eprintln!("telemetry events written to {path:?}");
+            if !footer.is_complete() {
+                let mut parts = Vec::new();
+                if footer.sampled_out > 0 {
+                    parts.push(format!(
+                        "{} events sampled out (1-in-{} rounds kept)",
+                        footer.sampled_out, footer.sample_every_n_rounds
+                    ));
+                }
+                if footer.dropped > 0 {
+                    parts.push(format!(
+                        "{} dropped at the {}-event ceiling",
+                        footer.dropped, footer.max_events
+                    ));
+                }
+                eprintln!(
+                    "telemetry stream throttled: {} (registry aggregates stay exact)",
+                    parts.join(", ")
+                );
+            }
         }
     }
     if let Some(path) = &opts.bench_json {

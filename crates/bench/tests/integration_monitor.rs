@@ -1,0 +1,165 @@
+//! End-to-end tests for the live observability plane against the real
+//! `repro` binary: following a trace while it is being written, and the
+//! truncation contract of `telemetry::jsonl::read_events` on a real
+//! (not hand-built) trace.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tagwatch_monitor::{OnlineAnalyzers, TraceFollower};
+use tagwatch_obs::{AnalyzeConfig, RunReport, Trace};
+use tagwatch_telemetry::jsonl::{read_events, ParseError};
+
+static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch_path(tag: &str) -> PathBuf {
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "tagwatch-bench-monitor-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn js<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).unwrap()
+}
+
+/// `obs tail`'s engine against a file that is being written *right now*:
+/// spawn `repro obs-run` in the background, follow its telemetry stream
+/// with [`TraceFollower`] until the footer lands, and require the online
+/// verdicts assembled from the partial reads to be byte-identical to the
+/// batch analyzers run over the finished trace.
+#[test]
+fn live_tail_of_a_running_obs_run_matches_batch_verdicts() {
+    let trace_path = scratch_path("live");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["obs-run", "--quick", "--seed", "11", "--telemetry"])
+        .arg(&trace_path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro");
+
+    let mut follower = TraceFollower::new(&trace_path);
+    let mut online = OnlineAnalyzers::default();
+    let mut polls_with_data = 0usize;
+    // Bounded by iteration count, not wall clock (the lint bans host
+    // clock reads everywhere): 3000 × 20 ms ≈ 60 s worst case.
+    let mut done = false;
+    for _ in 0..3000 {
+        let batch = match follower.poll() {
+            Ok(batch) => batch,
+            Err(e) => panic!("follower error: {e}"),
+        };
+        if !batch.is_empty() {
+            polls_with_data += 1;
+            for (_, event) in &batch {
+                online.push(event);
+            }
+        }
+        if online.footer().is_some() {
+            done = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(done, "footer never observed while tailing");
+    let status = child.wait().expect("wait repro");
+    assert!(status.success(), "repro exited with {status}");
+    // The stream must have been picked up incrementally, not in one
+    // post-mortem gulp after the writer exited.
+    assert!(
+        polls_with_data >= 2,
+        "expected incremental pickup, got {polls_with_data} non-empty poll(s)"
+    );
+
+    let trace = Trace::from_path(&trace_path).expect("finished trace validates");
+    let report = RunReport::analyze(&trace, &AnalyzeConfig::default());
+    let verdicts = online.verdicts();
+    assert_eq!(js(&verdicts.tags), js(&report.tags));
+    assert_eq!(js(&verdicts.starvation), js(&report.starvation));
+    assert_eq!(js(&verdicts.confusion), js(&report.confusion));
+    assert_eq!(js(&verdicts.q), js(&report.q));
+    assert_eq!(js(&verdicts.fault), js(&report.fault));
+    assert_eq!(
+        verdicts.sim_seconds.to_bits(),
+        report.sim_seconds.to_bits(),
+        "online sim window diverged from the batch trace's"
+    );
+    std::fs::remove_file(&trace_path).ok();
+}
+
+/// The truncation contract on a *real* trace: cutting the file at any
+/// byte offset inside its last two lines must read back as either a
+/// clean shorter trace (cut exactly on a newline) or `TruncatedTail` —
+/// never a parse or I/O error. This covers mid-footer cuts, the
+/// signature of a process killed while closing its stream.
+#[test]
+fn truncating_a_real_trace_inside_the_last_two_lines_is_truncated_tail() {
+    let trace_path = scratch_path("trunc");
+    // --telemetry-max-events keeps the trace small (it is re-parsed a
+    // few hundred times below) while still produced by the real
+    // pipeline, ceiling drop accounting and footer included.
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "obs-run",
+            "--quick",
+            "--seed",
+            "5",
+            "--telemetry-max-events",
+            "300",
+            "--telemetry",
+        ])
+        .arg(&trace_path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run repro");
+    assert!(status.success(), "repro exited with {status}");
+
+    let bytes = std::fs::read(&trace_path).expect("read trace");
+    assert_eq!(
+        bytes.last(),
+        Some(&b'\n'),
+        "trace must end newline-terminated"
+    );
+    let full = read_events(bytes.as_slice()).expect("intact trace parses");
+    assert!(full.len() > 2, "trace too small to exercise the tail");
+
+    // Byte offset where the second-to-last line starts.
+    let newlines: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+        .collect();
+    assert!(newlines.len() >= 3);
+    let penultimate_start = newlines[newlines.len() - 3] + 1;
+
+    let mut truncated_tails = 0usize;
+    for cut in penultimate_start + 1..bytes.len() {
+        match read_events(&bytes[..cut]) {
+            Ok(events) => {
+                // Ok is legitimate in exactly two places: the cut lands
+                // right after a newline (clean shorter trace), or right
+                // before one (the final line is complete JSON, merely
+                // missing its terminator).
+                assert!(
+                    bytes[cut - 1] == b'\n' || bytes[cut] == b'\n',
+                    "cut at {cut}: Ok mid-line"
+                );
+                // cut == len-1 drops only the final newline and still
+                // yields the full event list; every other Ok cut is a
+                // strictly shorter trace.
+                assert!(events.len() <= full.len());
+            }
+            Err(ParseError::TruncatedTail { .. }) => truncated_tails += 1,
+            Err(other) => panic!("cut at {cut}: expected Ok or TruncatedTail, got {other}"),
+        }
+    }
+    assert!(
+        truncated_tails > 0,
+        "no cut produced TruncatedTail — the sweep is vacuous"
+    );
+    std::fs::remove_file(&trace_path).ok();
+}

@@ -308,6 +308,9 @@ impl Controller {
             tel.incr_by("phase1.reports", phase1.len() as u64);
             tel.incr_by("phase2.reports", phase2.len() as u64);
             tel.gauge_set("tracked_tags", self.assessors.len() as f64);
+            // Sim-clock heartbeat: lets a live monitor advance its
+            // staleness watchdog between span closures.
+            tel.gauge_set("cycle.sim_now", t_end);
             tel.observe("cycle.duration", t_end - t_start);
             tel.observe("phase1.duration", t_phase1_end - t_start);
             tel.observe("phase2.duration", t_end - t_phase2_start);

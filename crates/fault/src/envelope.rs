@@ -110,6 +110,18 @@ fn ratio(faulted: f64, baseline: f64) -> f64 {
 }
 
 impl Envelope {
+    /// Live early-warning check, for monitors watching a faulted run as
+    /// it streams: has this fault window's reading rate *already* fallen
+    /// through the whole-run floor? Unlike [`Envelope::evaluate`], the
+    /// baseline here is the same run's clean-time rate (no differential
+    /// pair exists yet mid-run), so this is a leading indicator — a
+    /// window can trip it while the whole run still ends inside the
+    /// envelope. Returns the offending ratio when below the floor.
+    pub fn early_warning(&self, faulted_irr: f64, baseline_irr: f64) -> Option<f64> {
+        let r = ratio(faulted_irr, baseline_irr);
+        (r < self.irr_floor_ratio).then_some(r)
+    }
+
     /// Judges a differential pair. `fault_end` is the plan's
     /// [`crate::FaultPlan::last_window_end`]; pass `None` for a plan
     /// that injects nothing (every check is then vacuous or trivially
@@ -267,6 +279,16 @@ mod tests {
         let report = env.evaluate(Some(0.5), &cycles);
         assert!(report.passed());
         assert_eq!(report.overall_ratio, 1.0);
+    }
+
+    #[test]
+    fn early_warning_flags_only_sub_floor_windows() {
+        let env = Envelope::default(); // floor 0.2
+        assert_eq!(env.early_warning(1.0, 1.0), None);
+        assert_eq!(env.early_warning(0.3, 1.0), None, "above the floor");
+        assert_eq!(env.early_warning(0.1, 1.0), Some(0.1));
+        // An empty baseline cannot be degraded (ratio convention 1.0).
+        assert_eq!(env.early_warning(0.0, 0.0), None);
     }
 
     #[test]

@@ -14,7 +14,9 @@ use crate::walker::FileKind;
 /// The crates whose code runs inside the deterministic simulation loop.
 /// Hash-ordered containers are banned here: iteration order would leak
 /// `RandomState` into tag scheduling and break seed reproducibility.
-pub const SIM_CRATES: &[&str] = &["gen2", "core", "rf", "scene", "reader", "tracking"];
+pub const SIM_CRATES: &[&str] = &[
+    "gen2", "core", "rf", "scene", "reader", "tracking", "monitor",
+];
 
 /// The one module allowed to read the host clock; everything else must go
 /// through its `wall_now()`.

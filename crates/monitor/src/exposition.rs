@@ -1,0 +1,264 @@
+//! Prometheus-style text exposition of a [`MonitorSnapshot`]: one
+//! `# HELP`/`# TYPE`-annotated sample per line, suitable for a file
+//! scraper (`node_exporter`'s textfile collector convention) or a plain
+//! `watch cat`. The writer emits only the subset of the format we need
+//! — flat names, an optional single label set, `name{label="v"} value`
+//! — and [`validate`] checks exactly that subset, so CI can assert the
+//! artifact stays parseable without a real Prometheus in the container.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::snapshot::MonitorSnapshot;
+
+/// Renders the exposition document for one snapshot.
+pub fn render(snap: &MonitorSnapshot) -> String {
+    let mut out = String::new();
+    let mut gauge = |name: &str, help: &str, value: f64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    gauge(
+        "tagwatch_monitor_seq",
+        "Monotonic snapshot flush counter.",
+        snap.seq as f64,
+    );
+    gauge(
+        "tagwatch_events_total",
+        "Sim-deterministic events consumed by the online analyzers.",
+        snap.events as f64,
+    );
+    gauge(
+        "tagwatch_sim_seconds",
+        "Simulated seconds covered by the trace so far.",
+        snap.sim_seconds,
+    );
+    gauge(
+        "tagwatch_cycles_total",
+        "Controller cycles observed.",
+        snap.cycles as f64,
+    );
+    gauge(
+        "tagwatch_footer_seen",
+        "1 once the closing footer arrived (run complete).",
+        f64::from(u8::from(snap.footer_seen)),
+    );
+    gauge(
+        "tagwatch_reads_total",
+        "Tag read events over the whole trace.",
+        snap.tags.reads_total as f64,
+    );
+    gauge(
+        "tagwatch_tags_seen",
+        "Distinct EPCs read over the whole trace.",
+        snap.tags.tags as f64,
+    );
+    gauge(
+        "tagwatch_irr_mean",
+        "Mean per-tag individual reading rate, reads/s.",
+        snap.tags.irr_mean,
+    );
+    gauge(
+        "tagwatch_irr_min",
+        "Minimum per-tag individual reading rate, reads/s.",
+        snap.tags.irr_min,
+    );
+    gauge(
+        "tagwatch_starved_tags",
+        "Tags with at least one starvation window.",
+        snap.starvation.starved_tags as f64,
+    );
+    gauge(
+        "tagwatch_starvation_events",
+        "Starvation windows over the whole trace.",
+        snap.starvation.events.len() as f64,
+    );
+    gauge(
+        "tagwatch_q_mean",
+        "Mean final Q over reported rounds.",
+        snap.q.mean_q,
+    );
+    gauge(
+        "tagwatch_q_oscillation",
+        "Q-delta reversals per Q change (1.0 = thrashing).",
+        snap.q.oscillation,
+    );
+    gauge(
+        "tagwatch_window_reads",
+        "Reads inside the sliding display window.",
+        snap.window.reads as f64,
+    );
+    gauge(
+        "tagwatch_window_irr",
+        "Aggregate reads/s inside the sliding display window.",
+        snap.window.irr,
+    );
+    if let Some(c) = &snap.confusion {
+        gauge(
+            "tagwatch_confusion_tpr",
+            "Mobile-detector true positive rate.",
+            c.tpr,
+        );
+        gauge(
+            "tagwatch_confusion_fpr",
+            "Mobile-detector false positive rate.",
+            c.fpr,
+        );
+        gauge(
+            "tagwatch_confusion_accuracy",
+            "Mobile-detector accuracy.",
+            c.accuracy,
+        );
+    }
+    if let Some(fr) = &snap.fault {
+        gauge(
+            "tagwatch_fault_windows",
+            "Reconstructed fault-injection windows.",
+            fr.windows.len() as f64,
+        );
+        gauge(
+            "tagwatch_fault_seconds",
+            "Simulated seconds under at least one fault window.",
+            fr.faulted_seconds,
+        );
+        gauge(
+            "tagwatch_fault_degradation",
+            "Faulted/clean IRR ratio (below 1.0 = attributable dip).",
+            fr.degradation,
+        );
+    }
+    gauge(
+        "tagwatch_monitor_write_errors",
+        "Snapshot/exposition writes that failed.",
+        snap.write_errors as f64,
+    );
+
+    // Labeled families: per-tag IRR and alarm counts by kind.
+    if !snap.tags.per_tag.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP tagwatch_tag_irr Per-tag individual reading rate, reads/s."
+        );
+        let _ = writeln!(out, "# TYPE tagwatch_tag_irr gauge");
+        for t in &snap.tags.per_tag {
+            let _ = writeln!(out, "tagwatch_tag_irr{{epc=\"{}\"}} {}", t.epc, t.irr);
+        }
+    }
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    for a in &snap.alarms {
+        *by_kind.entry(a.kind.as_str()).or_insert(0) += 1;
+    }
+    if !by_kind.is_empty() {
+        let _ = writeln!(out, "# HELP tagwatch_alarms_total Watchdog alarms by kind.");
+        let _ = writeln!(out, "# TYPE tagwatch_alarms_total gauge");
+        for (kind, n) in by_kind {
+            let _ = writeln!(out, "tagwatch_alarms_total{{kind=\"{kind}\"}} {n}");
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validates the exposition subset this module writes. Returns the
+/// number of samples, or a description of the first malformed line.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            return Err(format!("line {line_no}: no sample value: {line:?}"));
+        };
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {line_no}: unparseable value {value:?}"));
+        }
+        let name = match series.split_once('{') {
+            Some((name, labels)) => {
+                if !labels.ends_with('}') {
+                    return Err(format!("line {line_no}: unclosed label set: {series:?}"));
+                }
+                name
+            }
+            None => series,
+        };
+        if !valid_metric_name(name) {
+            return Err(format!("line {line_no}: bad metric name {name:?}"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineAnalyzers;
+    use crate::verdict::READ_PHASE1;
+    use crate::watchdog::Alarm;
+    use tagwatch_telemetry::{Event, TagRecord};
+
+    fn snapshot_with_data() -> MonitorSnapshot {
+        let mut on = OnlineAnalyzers::default();
+        for (epc, t) in [(1u128, 0.5), (2, 1.0), (1, 2.5)] {
+            on.push(&Event::Tag(TagRecord {
+                name: READ_PHASE1.into(),
+                epc,
+                t,
+            }));
+        }
+        let alarms = vec![Alarm {
+            kind: "stale".into(),
+            seq: 0,
+            t: 2.5,
+            detail: "gap".into(),
+        }];
+        MonitorSnapshot::capture(&on, 3, alarms, 0)
+    }
+
+    #[test]
+    fn rendered_exposition_validates_and_carries_series() {
+        let text = render(&snapshot_with_data());
+        let samples = validate(&text).expect("own output must parse");
+        assert!(samples > 10, "got {samples} samples:\n{text}");
+        assert!(text.contains("tagwatch_tag_irr{epc=\"0x1\"}"), "{text}");
+        assert!(text.contains("tagwatch_alarms_total{kind=\"stale\"} 1"));
+        assert!(text.contains("# TYPE tagwatch_sim_seconds gauge"));
+    }
+
+    #[test]
+    fn empty_snapshot_still_renders_core_series() {
+        let snap = MonitorSnapshot::capture(&OnlineAnalyzers::default(), 1, Vec::new(), 0);
+        let text = render(&snap);
+        validate(&text).expect("minimal exposition parses");
+        assert!(!text.contains("tagwatch_confusion_tpr"));
+        assert!(!text.contains("tagwatch_fault_windows"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate("tagwatch_x 1.5\n").is_ok());
+        assert!(validate("").is_err(), "empty document has no samples");
+        assert!(validate("tagwatch_x\n").is_err(), "no value");
+        assert!(validate("tagwatch_x notanumber\n").is_err());
+        assert!(validate("9bad_name 1\n").is_err());
+        assert!(
+            validate("tagwatch_x{epc=\"1\" 1\n").is_err(),
+            "unclosed label"
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! Incremental trace following: [`TraceFollower`] reads a JSONL trace
+//! that another process is still appending to, yielding complete events
+//! as they land. The defining property is *truncated-tail tolerance*:
+//! the writer's line buffer can flush mid-record, so whatever sits
+//! after the last newline is held back as pending bytes and re-examined
+//! on the next poll instead of being reported as a parse error — the
+//! streaming analogue of `tagwatch_telemetry::jsonl::read_events`
+//! classifying an unterminated final line as `TruncatedTail`.
+//!
+//! A *terminated* line that fails to parse is a real error: the writer
+//! committed it with a newline, so waiting will not repair it.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+use tagwatch_telemetry::jsonl::parse_line;
+use tagwatch_telemetry::Event;
+
+/// Follows one growing JSONL trace file across [`TraceFollower::poll`]
+/// calls, tracking a byte offset so each poll reads only new data.
+#[derive(Debug)]
+pub struct TraceFollower {
+    path: PathBuf,
+    offset: u64,
+    line_no: usize,
+    pending: Vec<u8>,
+}
+
+#[derive(Debug)]
+pub enum FollowError {
+    Io {
+        path: PathBuf,
+        source: io::Error,
+    },
+    /// The file shrank below the follower's offset — rotated or
+    /// truncated underneath us; incremental state is unrecoverable.
+    Shrunk {
+        path: PathBuf,
+        len: u64,
+        offset: u64,
+    },
+    /// A newline-terminated line failed to parse (not a tail artifact).
+    Line {
+        line: usize,
+        message: String,
+    },
+}
+
+impl fmt::Display for FollowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FollowError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            FollowError::Shrunk { path, len, offset } => write!(
+                f,
+                "{}: file shrank to {len} bytes below follow offset {offset} (rotated?)",
+                path.display()
+            ),
+            FollowError::Line { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FollowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FollowError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl TraceFollower {
+    pub fn new<P: AsRef<Path>>(path: P) -> TraceFollower {
+        TraceFollower {
+            path: path.as_ref().to_path_buf(),
+            offset: 0,
+            line_no: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes consumed from the file so far (including the pending tail).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// 1-based line number of the last *completed* line.
+    pub fn line(&self) -> usize {
+        self.line_no
+    }
+
+    /// Bytes held back waiting for their terminating newline.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Reads everything new since the last poll and returns the events
+    /// from completed lines, each with its 1-based line number. A file
+    /// that does not exist yet yields an empty batch (the writer may
+    /// not have created it); an unterminated tail is held as pending.
+    pub fn poll(&mut self) -> Result<Vec<(usize, Event)>, FollowError> {
+        let io_err = |path: &Path, source: io::Error| FollowError::Io {
+            path: path.to_path_buf(),
+            source,
+        };
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(io_err(&self.path, e)),
+        };
+        let len = file.metadata().map_err(|e| io_err(&self.path, e))?.len();
+        if len < self.offset {
+            return Err(FollowError::Shrunk {
+                path: self.path.clone(),
+                len,
+                offset: self.offset,
+            });
+        }
+        if len > self.offset {
+            file.seek(SeekFrom::Start(self.offset))
+                .map_err(|e| io_err(&self.path, e))?;
+            let mut fresh = Vec::new();
+            file.read_to_end(&mut fresh)
+                .map_err(|e| io_err(&self.path, e))?;
+            self.offset += fresh.len() as u64;
+            self.pending.extend_from_slice(&fresh);
+        }
+
+        let mut events = Vec::new();
+        while let Some(nl) = self.pending.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = self.pending.drain(..=nl).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            self.line_no += 1;
+            let text = std::str::from_utf8(&line).map_err(|e| FollowError::Line {
+                line: self.line_no,
+                message: format!("invalid UTF-8: {e}"),
+            })?;
+            if text.trim().is_empty() {
+                continue;
+            }
+            let event = parse_line(text).map_err(|e| FollowError::Line {
+                line: self.line_no,
+                message: e.to_string(),
+            })?;
+            events.push((self.line_no, event));
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::{self, OpenOptions};
+    use std::io::Write;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tagwatch_telemetry::FooterRecord;
+
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(name: &str) -> PathBuf {
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("tagwatch-follow-{}-{n}-{name}", std::process::id()))
+    }
+
+    fn append(path: &Path, bytes: &[u8]) {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap();
+        f.write_all(bytes).unwrap();
+    }
+
+    fn gauge_line(name: &str, value: f64) -> String {
+        let ev = Event::Gauge(tagwatch_telemetry::GaugeRecord {
+            name: name.into(),
+            value,
+        });
+        serde_json::to_string(&ev).unwrap()
+    }
+
+    #[test]
+    fn missing_file_yields_empty_batches() {
+        let mut f = TraceFollower::new(scratch("missing.jsonl"));
+        assert!(f.poll().unwrap().is_empty());
+        assert!(f.poll().unwrap().is_empty());
+    }
+
+    #[test]
+    fn split_writes_reassemble_across_polls() {
+        let path = scratch("split.jsonl");
+        let line = gauge_line("round.sim_now", 1.5);
+        let bytes = format!("{line}\n");
+        let (head, tail) = bytes.as_bytes().split_at(bytes.len() / 2);
+
+        let mut f = TraceFollower::new(&path);
+        append(&path, head);
+        assert!(f.poll().unwrap().is_empty(), "half a record is pending");
+        assert!(f.pending_bytes() > 0);
+        append(&path, tail);
+        let events = f.poll().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].0, 1);
+        assert!(matches!(&events[0].1, Event::Gauge(g) if g.name == "round.sim_now"));
+        assert_eq!(f.pending_bytes(), 0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multibyte_utf8_split_at_every_offset_is_tolerated() {
+        let path = scratch("utf8.jsonl");
+        let line = gauge_line("round.µ_latency", 2.0);
+        let bytes = format!("{line}\n").into_bytes();
+        // Feed the line one byte at a time: no prefix may error, and
+        // exactly the final byte completes the event.
+        let mut f = TraceFollower::new(&path);
+        for (i, b) in bytes.iter().enumerate() {
+            append(&path, &[*b]);
+            let events = f.poll().unwrap_or_else(|e| panic!("byte {i}: {e}"));
+            if i + 1 == bytes.len() {
+                assert_eq!(events.len(), 1);
+            } else {
+                assert!(events.is_empty(), "byte {i} completed early");
+            }
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn terminated_garbage_is_a_line_error() {
+        let path = scratch("garbage.jsonl");
+        append(&path, b"{\"not\": \"an event\"}\n");
+        let mut f = TraceFollower::new(&path);
+        match f.poll() {
+            Err(FollowError::Line { line: 1, .. }) => {}
+            other => panic!("expected line error, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shrinking_file_is_detected() {
+        let path = scratch("shrink.jsonl");
+        append(&path, format!("{}\n", gauge_line("g", 1.0)).as_bytes());
+        let mut f = TraceFollower::new(&path);
+        assert_eq!(f.poll().unwrap().len(), 1);
+        fs::write(&path, b"").unwrap();
+        assert!(matches!(f.poll(), Err(FollowError::Shrunk { .. })));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footer_arrives_last_and_blank_lines_skip() {
+        let path = scratch("footer.jsonl");
+        let footer = Event::Footer(FooterRecord {
+            emitted: 1,
+            sampled_out: 0,
+            dropped: 0,
+            sample_every_n_rounds: 1,
+            max_events: 0,
+        });
+        let text = format!(
+            "{}\n\n{}\n",
+            gauge_line("g", 1.0),
+            serde_json::to_string(&footer).unwrap()
+        );
+        append(&path, text.as_bytes());
+        let mut f = TraceFollower::new(&path);
+        let events = f.poll().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].0, 3, "blank line still advances numbering");
+        assert!(matches!(events[1].1, Event::Footer(_)));
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,58 @@
+//! # tagwatch-monitor — the live observability plane
+//!
+//! Online, single-pass counterparts of the `tagwatch-obs` batch analyzers
+//! plus the machinery to run them *while* a simulation is writing its
+//! telemetry stream:
+//!
+//! * **Verdicts** ([`verdict`]) — the per-tag IRR, starvation, detector
+//!   confusion, Q-adaptation, and fault-attribution result types shared
+//!   with the batch analyzers. `tagwatch-obs` re-exports them, so a batch
+//!   [`TagSummary`] and an online one are literally the same type.
+//! * **Incremental analyzers** ([`online`]) — accumulators that consume
+//!   one [`Event`](tagwatch_telemetry::Event) at a time and finalize into
+//!   the shared verdicts. On a closed trace the finalized verdicts are
+//!   byte-identical (as serialized JSON) to the batch analyzers', because
+//!   both paths run the *same* accumulator + finalize code.
+//! * **Snapshots** ([`snapshot`]) — a schema-versioned [`MonitorSnapshot`]
+//!   written atomically (`tmp` + rename) so an external watcher never
+//!   reads a half-written status file, plus a Prometheus-style text
+//!   exposition ([`exposition`]).
+//! * **The tee sink** ([`sink`]) — [`MonitorSink`] wraps any inner
+//!   [`Sink`](tagwatch_telemetry::Sink), forwards every event unmodified,
+//!   and drives the online analyzers from the sim-deterministic subset.
+//!   Flushes are keyed to the *simulated* clock, so enabling monitoring
+//!   cannot perturb a deterministic run.
+//! * **The watchdog** ([`watchdog`]) — staleness, ring-drop, sampling
+//!   starvation, and fault-envelope early-warning alarms, fed back into
+//!   the trace as `alarm.*` tag events that the batch analyzers ignore
+//!   but a human reading the trace (or `obs tail`) sees in place.
+//! * **Following** ([`follow`]) — [`TraceFollower`] incrementally reads a
+//!   growing JSONL trace, tolerating a mid-record tail that has not been
+//!   fully written yet (`obs tail`'s engine).
+//!
+//! Std-only: serde/serde_json for the wire forms, `tagwatch-telemetry`
+//! for the event model, `tagwatch-fault` for the degradation envelope.
+
+#![forbid(unsafe_code)]
+pub mod exposition;
+pub mod follow;
+pub mod online;
+pub mod sink;
+pub mod snapshot;
+pub mod verdict;
+pub mod watchdog;
+
+pub use follow::{FollowError, TraceFollower};
+pub use online::{
+    ConfusionAccum, FaultAccum, OnlineAnalyzers, OnlineConfig, OnlineVerdicts, QAccum,
+    SimWindowAccum, TagAccum, WindowStats,
+};
+pub use sink::{MonitorConfig, MonitorSink};
+pub use snapshot::{
+    MonitorSnapshot, SnapshotError, EXPOSITION_FILE, MONITOR_SCHEMA_VERSION, STATUS_FILE,
+};
+pub use verdict::{
+    epc_hex, ConfusionSummary, FaultReport, FaultWindow, QDiagnostics, StarvationEvent,
+    StarvationReport, TagStats, TagSummary,
+};
+pub use watchdog::{Alarm, Watchdog, WatchdogConfig};

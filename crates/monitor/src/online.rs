@@ -1,0 +1,922 @@
+//! Incremental analyzers: accumulators that consume one telemetry
+//! [`Event`] at a time and finalize into the shared [`crate::verdict`]
+//! types. The batch analyzers in `tagwatch-obs` feed the *same*
+//! accumulators from a validated `Trace`, so on a closed trace the
+//! online path's final verdicts are byte-identical (as serialized JSON)
+//! to the batch path's — equality by construction, not by parallel
+//! implementation.
+//!
+//! Memory discipline: every accumulator keeps O(distinct tags + reads)
+//! state at worst (the per-tag timelines needed for exact gap and
+//! fault-window math), while the live display statistics
+//! ([`WindowStats`]) ride a true sliding window and stay O(window).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use tagwatch_telemetry::{ClockKind, Event, FooterRecord};
+
+use crate::verdict::{
+    epc_hex, mean_of, ConfusionSummary, FaultReport, FaultWindow, QDiagnostics, StarvationEvent,
+    StarvationReport, TagStats, TagSummary, ALARM_PREFIX, ASSESS_MOBILE, FAULT_CLOSE_PREFIX,
+    FAULT_OPEN_PREFIX, READ_PHASE1, READ_PHASE2, TRUTH_MOBILE,
+};
+
+/// Knobs for the online analyzers.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Starvation gap threshold in simulated seconds. Must match the
+    /// batch `AnalyzeConfig::starvation_gap` for verdict equality; both
+    /// default to 10.0.
+    pub starvation_gap: f64,
+    /// Width of the sliding display window in simulated seconds.
+    pub window_seconds: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            starvation_gap: 10.0,
+            window_seconds: 5.0,
+        }
+    }
+}
+
+/// Incremental replica of `Trace::sim_window`: the lo/hi envelope over
+/// simulated-clock span extents and tag-event timestamps. min/max folds
+/// are exact and order-independent, so interleaving does not matter.
+#[derive(Debug, Clone, Copy)]
+pub struct SimWindowAccum {
+    lo: f64,
+    hi: f64,
+}
+
+impl Default for SimWindowAccum {
+    fn default() -> Self {
+        SimWindowAccum {
+            lo: f64::INFINITY,
+            hi: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl SimWindowAccum {
+    /// Folds a simulated-clock span `[start, start + duration]`.
+    pub fn span(&mut self, start: f64, duration: f64) {
+        self.lo = self.lo.min(start);
+        self.hi = self.hi.max(start + duration);
+    }
+
+    /// Folds a point-in-time event (tag-event timestamp).
+    pub fn instant(&mut self, t: f64) {
+        self.lo = self.lo.min(t);
+        self.hi = self.hi.max(t);
+    }
+
+    /// `Some((lo, hi))` once any simulated time has been observed.
+    pub fn window(&self) -> Option<(f64, f64)> {
+        (self.lo.is_finite() && self.hi.is_finite()).then_some((self.lo, self.hi))
+    }
+
+    /// Span of the window, 0.0 before any simulated time exists —
+    /// matches `Trace::sim_seconds`.
+    pub fn seconds(&self) -> f64 {
+        self.window().map_or(0.0, |(lo, hi)| (hi - lo).max(0.0))
+    }
+}
+
+/// Per-tag read timelines (`read.phase1` / `read.phase2`), kept sorted.
+///
+/// The batch path collects timestamps in stream order and sorts with
+/// `f64::total_cmp`; this accumulator keeps each timeline sorted as it
+/// grows (a plain push for the in-order common case). Timestamps equal
+/// under `total_cmp` are bit-identical, so insertion position among
+/// equals cannot change the finalized output.
+#[derive(Debug, Clone, Default)]
+pub struct TagAccum {
+    times: BTreeMap<u128, Vec<f64>>,
+}
+
+impl TagAccum {
+    pub fn push(&mut self, epc: u128, t: f64) {
+        let ts = self.times.entry(epc).or_default();
+        match ts.last() {
+            Some(last) if t.total_cmp(last).is_lt() => {
+                let at = ts.partition_point(|x| x.total_cmp(&t).is_le());
+                ts.insert(at, t);
+            }
+            _ => ts.push(t),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Aggregate per-tag statistics; expression-identical to the batch
+    /// `tag_summary` analyzer.
+    pub fn summary(&self, sim_seconds: f64) -> TagSummary {
+        if self.times.is_empty() || sim_seconds <= 0.0 {
+            return TagSummary::default();
+        }
+        let mut per_tag = Vec::with_capacity(self.times.len());
+        let mut reads_total = 0;
+        for (&epc, ts) in &self.times {
+            reads_total += ts.len();
+            let max_gap = ts.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max);
+            let (Some(&first), Some(&last)) = (ts.first(), ts.last()) else {
+                continue; // unreachable: timelines are created non-empty
+            };
+            per_tag.push(TagStats {
+                epc: epc_hex(epc),
+                reads: ts.len(),
+                first,
+                last,
+                irr: ts.len() as f64 / sim_seconds,
+                max_gap,
+            });
+        }
+        let irrs: Vec<f64> = per_tag.iter().map(|t| t.irr).collect();
+        TagSummary {
+            tags: per_tag.len(),
+            reads_total,
+            irr_mean: mean_of(&irrs),
+            irr_min: irrs.iter().copied().fold(f64::INFINITY, f64::min),
+            irr_max: irrs.iter().copied().fold(0.0, f64::max),
+            per_tag,
+        }
+    }
+
+    /// Internal read gaps above the threshold; expression-identical to
+    /// the batch `starvation` analyzer. Gaps are measured between
+    /// consecutive reads of the same tag — the window where the tag was
+    /// demonstrably present yet unread — so a tag that left the scene
+    /// does not register a phantom starvation tail.
+    pub fn starvation(&self, gap_threshold: f64) -> StarvationReport {
+        let mut events = Vec::new();
+        let mut starved: BTreeSet<u128> = BTreeSet::new();
+        for (&epc, ts) in &self.times {
+            for w in ts.windows(2) {
+                let gap = w[1] - w[0];
+                if gap > gap_threshold {
+                    starved.insert(epc);
+                    events.push(StarvationEvent {
+                        epc: epc_hex(epc),
+                        from: w[0],
+                        to: w[1],
+                        gap,
+                    });
+                }
+            }
+        }
+        events.sort_by(|a, b| a.from.total_cmp(&b.from));
+        StarvationReport {
+            gap_threshold,
+            starved_tags: starved.len(),
+            events,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct CycleBucket {
+    census: BTreeSet<u128>,
+    mobile: BTreeSet<u128>,
+}
+
+/// Detector-confusion accumulator. Cycle buckets rotate on each `cycle`
+/// span, reproducing the batch path's by-stream-position attribution
+/// (a cycle's tag events are emitted after its span closes and before
+/// the next cycle's). Tags seen before the first cycle span carry no
+/// census weight, exactly as in the batch analyzer; `truth.mobile`
+/// annotations are global and counted wherever they appear.
+#[derive(Debug, Clone, Default)]
+pub struct ConfusionAccum {
+    truth: BTreeSet<u128>,
+    /// Per-EPC (flagged-mobile, not-flagged) census appearances over
+    /// closed buckets.
+    preds: BTreeMap<u128, (usize, usize)>,
+    cycles: usize,
+    bucket: Option<CycleBucket>,
+}
+
+impl ConfusionAccum {
+    /// Feeds one tag event (any name; non-confusion names are ignored).
+    pub fn tag(&mut self, name: &str, epc: u128) {
+        match name {
+            TRUTH_MOBILE => {
+                self.truth.insert(epc);
+            }
+            READ_PHASE1 => {
+                if let Some(b) = &mut self.bucket {
+                    b.census.insert(epc);
+                }
+            }
+            ASSESS_MOBILE => {
+                if let Some(b) = &mut self.bucket {
+                    b.mobile.insert(epc);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A `cycle` span arrived: close the previous bucket, open a new one.
+    pub fn cycle_open(&mut self) {
+        self.close_bucket();
+        self.bucket = Some(CycleBucket::default());
+    }
+
+    fn close_bucket(&mut self) {
+        let Some(b) = self.bucket.take() else { return };
+        if b.census.is_empty() {
+            return;
+        }
+        self.cycles += 1;
+        for &epc in &b.census {
+            let slot = self.preds.entry(epc).or_insert((0, 0));
+            if b.mobile.contains(&epc) {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+        }
+    }
+
+    /// Finalizes without consuming: the still-open bucket is counted
+    /// (tags after the last cycle span belong to that cycle), matching
+    /// the batch analyzer's whole-trace view.
+    pub fn finalize(&self) -> Option<ConfusionSummary> {
+        let mut done = self.clone();
+        done.close_bucket();
+        if done.truth.is_empty() {
+            return None;
+        }
+        let (mut tp, mut fp, mut tn, mut fn_) = (0usize, 0usize, 0usize, 0usize);
+        for (&epc, &(flagged, unflagged)) in &done.preds {
+            if done.truth.contains(&epc) {
+                tp += flagged;
+                fn_ += unflagged;
+            } else {
+                fp += flagged;
+                tn += unflagged;
+            }
+        }
+        let total = tp + fp + tn + fn_;
+        (total > 0).then(|| ConfusionSummary::from_counts(tp, fp, tn, fn_, done.cycles))
+    }
+}
+
+/// Q-adaptation accumulator over the `round.q_final` series, streaming
+/// the batch analyzer's delta/reversal math: nonzero deltas between
+/// consecutive *reported* Q values, reversals between consecutive
+/// nonzero deltas.
+#[derive(Debug, Clone, Default)]
+pub struct QAccum {
+    pending: Option<f64>,
+    qs_len: usize,
+    sum_q: f64,
+    last_q: Option<f64>,
+    last_delta: Option<f64>,
+    nonzero_deltas: usize,
+    reversals: usize,
+    rounds_total: usize,
+    adjusts_total: u64,
+}
+
+impl QAccum {
+    /// A `round.q_final` observe arrived; it attaches to the next round
+    /// span (later observes before that span overwrite, matching the
+    /// trace builder's pending-stats semantics).
+    pub fn observe(&mut self, q: f64) {
+        self.pending = Some(q);
+    }
+
+    /// A round span arrived: consume the pending Q, if any.
+    pub fn round(&mut self) {
+        let q = self.pending.take();
+        self.push_round(q);
+    }
+
+    /// Batch entry point: one round with its (already attributed) Q.
+    pub fn push_round(&mut self, q: Option<f64>) {
+        self.rounds_total += 1;
+        let Some(q) = q else { return };
+        if let Some(prev) = self.last_q {
+            let d = q - prev;
+            if d != 0.0 {
+                if let Some(pd) = self.last_delta {
+                    if pd.signum() != d.signum() {
+                        self.reversals += 1;
+                    }
+                }
+                self.last_delta = Some(d);
+                self.nonzero_deltas += 1;
+            }
+        }
+        self.sum_q += q;
+        self.qs_len += 1;
+        self.last_q = Some(q);
+    }
+
+    /// Latest running total of the `round.adjusts` counter.
+    pub fn set_adjusts_total(&mut self, total: u64) {
+        self.adjusts_total = total;
+    }
+
+    pub fn finalize(&self) -> QDiagnostics {
+        QDiagnostics {
+            rounds: self.qs_len,
+            mean_q: if self.qs_len == 0 {
+                0.0
+            } else {
+                self.sum_q / self.qs_len as f64
+            },
+            reversals: self.reversals,
+            oscillation: if self.nonzero_deltas > 1 {
+                self.reversals as f64 / (self.nonzero_deltas - 1) as f64
+            } else {
+                0.0
+            },
+            adjusts_per_round: if self.rounds_total > 0 {
+                self.adjusts_total as f64 / self.rounds_total as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenWindow {
+    event_idx: u128,
+    slug: String,
+    start: f64,
+    close: Option<f64>,
+}
+
+/// Fault-window attribution accumulator. Markers pair up as they
+/// arrive; the in/out IRR split is computed at finalize time against
+/// the then-current end of trace, so an unclosed window tracks the
+/// live trace edge exactly as the batch analyzer extends it.
+#[derive(Debug, Clone, Default)]
+pub struct FaultAccum {
+    windows: Vec<OpenWindow>,
+    read_ts: Vec<f64>,
+    reader_restarts: u64,
+    selects_lost: u64,
+    antenna_out_rounds: u64,
+}
+
+impl FaultAccum {
+    /// One `read.*` tag-event timestamp.
+    pub fn read(&mut self, t: f64) {
+        self.read_ts.push(t);
+    }
+
+    /// Feeds one tag event; only `fault.open.*` / `fault.close.*`
+    /// markers are consumed.
+    pub fn marker(&mut self, name: &str, epc: u128, t: f64) {
+        if let Some(slug) = name.strip_prefix(FAULT_OPEN_PREFIX) {
+            self.windows.push(OpenWindow {
+                event_idx: epc,
+                slug: slug.to_string(),
+                start: t,
+                close: None,
+            });
+        } else if let Some(slug) = name.strip_prefix(FAULT_CLOSE_PREFIX) {
+            if let Some(w) = self
+                .windows
+                .iter_mut()
+                .rev()
+                .find(|w| w.event_idx == epc && w.slug == slug && w.close.is_none())
+            {
+                w.close = Some(t);
+            }
+        }
+    }
+
+    /// Latest running total for one of [`FAULT_COUNTERS`].
+    pub fn counter(&mut self, name: &str, total: u64) {
+        match name {
+            "fault.reader_restarts" => self.reader_restarts = total,
+            "fault.selects_lost" => self.selects_lost = total,
+            "fault.antenna_out_rounds" => self.antenna_out_rounds = total,
+            _ => {}
+        }
+    }
+
+    pub fn has_activity(&self) -> bool {
+        !self.windows.is_empty()
+            || self.reader_restarts != 0
+            || self.selects_lost != 0
+            || self.antenna_out_rounds != 0
+    }
+
+    /// `None` for traces with no trace of fault activity at all, so
+    /// clean-run verdicts are unchanged by the fault machinery's
+    /// existence. Expression-identical to the batch `fault_report`.
+    pub fn finalize(&self, sim_seconds: f64) -> Option<FaultReport> {
+        if !self.has_activity() {
+            return None;
+        }
+        let trace_end = sim_seconds.max(0.0);
+        let mut windows: Vec<FaultWindow> = self
+            .windows
+            .iter()
+            .map(|w| FaultWindow {
+                event_idx: w.event_idx,
+                slug: w.slug.clone(),
+                start: w.start,
+                // Until (unless) the close marker arrives, the window
+                // runs to the end of the trace.
+                end: w.close.unwrap_or(trace_end.max(w.start)),
+                closed: w.close.is_some(),
+                reads: 0,
+                irr: 0.0,
+            })
+            .collect();
+        for w in &mut windows {
+            w.reads = self
+                .read_ts
+                .iter()
+                .filter(|&&t| t >= w.start && t < w.end)
+                .count();
+            w.irr = if w.end > w.start {
+                w.reads as f64 / (w.end - w.start)
+            } else {
+                0.0
+            };
+        }
+
+        // Union of windows (overlaps merged) for the in/out split.
+        let mut ivs: Vec<(f64, f64)> = windows
+            .iter()
+            .filter(|w| w.end > w.start)
+            .map(|w| (w.start, w.end))
+            .collect();
+        ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (s, e) in ivs {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        let faulted_seconds: f64 = merged.iter().map(|(s, e)| e - s).sum();
+        let clean_seconds = (trace_end - faulted_seconds).max(0.0);
+        let faulted_reads = self
+            .read_ts
+            .iter()
+            .filter(|&&t| merged.iter().any(|&(s, e)| t >= s && t < e))
+            .count();
+        let clean_reads = self.read_ts.len() - faulted_reads;
+        let irr_faulted = if faulted_seconds > 0.0 {
+            faulted_reads as f64 / faulted_seconds
+        } else {
+            0.0
+        };
+        let irr_clean = if clean_seconds > 0.0 {
+            clean_reads as f64 / clean_seconds
+        } else {
+            0.0
+        };
+        Some(FaultReport {
+            windows,
+            reader_restarts: self.reader_restarts,
+            selects_lost: self.selects_lost,
+            antenna_out_rounds: self.antenna_out_rounds,
+            faulted_seconds,
+            irr_faulted,
+            irr_clean,
+            degradation: if irr_clean > 0.0 && faulted_seconds > 0.0 {
+                irr_faulted / irr_clean
+            } else {
+                1.0
+            },
+        })
+    }
+}
+
+/// Sliding-window display statistics over the last `window_seconds` of
+/// simulated time. Purely informational (never compared against batch
+/// verdicts); state is O(events inside the window).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Configured window width in simulated seconds.
+    pub seconds: f64,
+    /// Actual window edges `[from, to]` (to = current trace edge).
+    pub from: f64,
+    pub to: f64,
+    pub reads: usize,
+    /// Distinct EPCs read inside the window.
+    pub tags: usize,
+    pub rounds: usize,
+    /// Reads per second over the effective window width.
+    pub irr: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Rolling {
+    reads: VecDeque<(f64, u128)>,
+    rounds: VecDeque<f64>,
+}
+
+impl Rolling {
+    fn prune(&mut self, cutoff: f64) {
+        while self.reads.front().is_some_and(|&(t, _)| t < cutoff) {
+            self.reads.pop_front();
+        }
+        while self.rounds.front().is_some_and(|&t| t < cutoff) {
+            self.rounds.pop_front();
+        }
+    }
+}
+
+/// The full set of online analyzers, fed one [`Event`] at a time.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineAnalyzers {
+    cfg: OnlineConfig,
+    window: SimWindowAccum,
+    tags: TagAccum,
+    confusion: ConfusionAccum,
+    q: QAccum,
+    fault: FaultAccum,
+    rolling: Rolling,
+    events: u64,
+    cycles: usize,
+    alarms_seen: u64,
+    footer: Option<FooterRecord>,
+}
+
+/// Final window-aggregate verdicts — the five analyzer outputs whose
+/// serialized forms must equal the batch analyzers' on a closed trace,
+/// plus the shared `sim_seconds` denominator.
+#[derive(Debug, Clone, Serialize)]
+pub struct OnlineVerdicts {
+    pub sim_seconds: f64,
+    pub tags: TagSummary,
+    pub starvation: StarvationReport,
+    pub confusion: Option<ConfusionSummary>,
+    pub q: QDiagnostics,
+    pub fault: Option<FaultReport>,
+}
+
+impl OnlineAnalyzers {
+    pub fn new(cfg: OnlineConfig) -> Self {
+        OnlineAnalyzers {
+            cfg,
+            ..OnlineAnalyzers::default()
+        }
+    }
+
+    /// Consumes one event. Wall-clock events may be passed freely — the
+    /// analyzers key off simulated-clock spans and tag events only, so
+    /// feeding a full mixed trace and feeding its sim-deterministic
+    /// subset produce identical verdicts.
+    pub fn push(&mut self, event: &Event) {
+        self.events += 1;
+        match event {
+            Event::Span(s) => {
+                if s.clock == ClockKind::Sim {
+                    self.window.span(s.start, s.duration);
+                }
+                match s.name.as_str() {
+                    "round" => {
+                        self.q.round();
+                        self.rolling.rounds.push_back(s.start + s.duration);
+                    }
+                    "cycle" => {
+                        self.cycles += 1;
+                        self.confusion.cycle_open();
+                    }
+                    _ => {}
+                }
+            }
+            Event::Counter(c) => {
+                if c.name == "round.adjusts" {
+                    self.q.set_adjusts_total(c.total);
+                }
+                self.fault.counter(&c.name, c.total);
+            }
+            Event::Observe(o) => {
+                if o.name == "round.q_final" {
+                    self.q.observe(o.value);
+                }
+            }
+            Event::Gauge(_) => {}
+            Event::Tag(t) => {
+                self.window.instant(t.t);
+                if t.name == READ_PHASE1 || t.name == READ_PHASE2 {
+                    self.tags.push(t.epc, t.t);
+                    self.fault.read(t.t);
+                    self.rolling.reads.push_back((t.t, t.epc));
+                }
+                if t.name.starts_with(ALARM_PREFIX) {
+                    self.alarms_seen += 1;
+                }
+                self.confusion.tag(&t.name, t.epc);
+                self.fault.marker(&t.name, t.epc, t.t);
+            }
+            Event::Footer(f) => {
+                self.footer = Some(f.clone());
+            }
+        }
+        if let Some((_, hi)) = self.window.window() {
+            self.rolling.prune(hi - self.cfg.window_seconds);
+        }
+    }
+
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    pub fn alarms_seen(&self) -> u64 {
+        self.alarms_seen
+    }
+
+    pub fn footer(&self) -> Option<&FooterRecord> {
+        self.footer.as_ref()
+    }
+
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated window, if any time has been observed.
+    pub fn sim_window(&self) -> Option<(f64, f64)> {
+        self.window.window()
+    }
+
+    pub fn sim_seconds(&self) -> f64 {
+        self.window.seconds()
+    }
+
+    /// Current fault attribution against the live trace edge (`None`
+    /// on clean traces) — the watchdog's envelope early-warning input.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.fault.finalize(self.window.seconds())
+    }
+
+    /// Sliding-window display statistics at the current trace edge.
+    pub fn window_stats(&self) -> WindowStats {
+        let Some((lo, hi)) = self.window.window() else {
+            return WindowStats {
+                seconds: self.cfg.window_seconds,
+                ..WindowStats::default()
+            };
+        };
+        let from = lo.max(hi - self.cfg.window_seconds);
+        let width = hi - from;
+        let distinct: BTreeSet<u128> = self.rolling.reads.iter().map(|&(_, epc)| epc).collect();
+        WindowStats {
+            seconds: self.cfg.window_seconds,
+            from,
+            to: hi,
+            reads: self.rolling.reads.len(),
+            tags: distinct.len(),
+            rounds: self.rolling.rounds.len(),
+            irr: if width > 0.0 {
+                self.rolling.reads.len() as f64 / width
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Finalizes the whole-trace verdicts at the current edge. Cheap
+    /// enough to call per flush; does not consume the accumulators.
+    pub fn verdicts(&self) -> OnlineVerdicts {
+        let sim_seconds = self.window.seconds();
+        OnlineVerdicts {
+            sim_seconds,
+            tags: self.tags.summary(sim_seconds),
+            starvation: self.tags.starvation(self.cfg.starvation_gap),
+            confusion: self.confusion.finalize(),
+            q: self.q.finalize(),
+            fault: self.fault.finalize(sim_seconds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tagwatch_telemetry::{CounterRecord, ObserveRecord, SpanRecord, TagRecord};
+
+    fn span(name: &str, id: u64, start: f64, dur: f64) -> Event {
+        Event::Span(SpanRecord {
+            name: name.into(),
+            id,
+            parent: None,
+            start,
+            duration: dur,
+            clock: ClockKind::Sim,
+        })
+    }
+
+    fn tag(name: &str, epc: u128, t: f64) -> Event {
+        Event::Tag(TagRecord {
+            name: name.into(),
+            epc,
+            t,
+        })
+    }
+
+    fn observe(name: &str, value: f64) -> Event {
+        Event::Observe(ObserveRecord {
+            name: name.into(),
+            value,
+        })
+    }
+
+    fn counter(name: &str, delta: u64, total: u64) -> Event {
+        Event::Counter(CounterRecord {
+            name: name.into(),
+            delta,
+            total,
+        })
+    }
+
+    #[test]
+    fn tag_accum_sorts_out_of_order_reads() {
+        let mut acc = TagAccum::default();
+        for t in [5.0, 1.0, 3.0, 3.0, 9.0] {
+            acc.push(7, t);
+        }
+        let s = acc.summary(10.0);
+        assert_eq!(s.reads_total, 5);
+        let t7 = &s.per_tag[0];
+        assert!((t7.first - 1.0).abs() < 1e-12 && (t7.last - 9.0).abs() < 1e-12);
+        assert!((t7.max_gap - 4.0).abs() < 1e-12, "gap 5→9");
+        assert!((t7.irr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tag_summary_empty_or_zero_window_is_default() {
+        let acc = TagAccum::default();
+        assert_eq!(acc.summary(10.0), TagSummary::default());
+        let mut acc = TagAccum::default();
+        acc.push(1, 0.0);
+        assert_eq!(acc.summary(0.0), TagSummary::default());
+    }
+
+    #[test]
+    fn starvation_is_strictly_greater_than_threshold() {
+        let mut acc = TagAccum::default();
+        acc.push(3, 0.7);
+        acc.push(3, 10.7);
+        let r = acc.starvation(10.0);
+        assert_eq!(r.events.len(), 0, "10.0 s gap is not > 10.0");
+        let r = acc.starvation(9.0);
+        assert_eq!((r.starved_tags, r.events.len()), (1, 1));
+        assert_eq!(r.events[0].epc, "0x3");
+    }
+
+    #[test]
+    fn confusion_buckets_rotate_on_cycle_spans() {
+        let mut acc = ConfusionAccum::default();
+        acc.tag(TRUTH_MOBILE, 1);
+        // Census before the first cycle span is dropped.
+        acc.tag(READ_PHASE1, 9);
+        acc.cycle_open();
+        acc.tag(READ_PHASE1, 1);
+        acc.tag(READ_PHASE1, 2);
+        acc.tag(ASSESS_MOBILE, 1);
+        acc.cycle_open();
+        acc.tag(READ_PHASE1, 1);
+        acc.tag(READ_PHASE1, 2);
+        acc.tag(ASSESS_MOBILE, 2);
+        let c = acc.finalize().expect("truth present");
+        // Cycle 1: 1 tp, 2 tn. Cycle 2 (open bucket): 1 fn, 2 fp.
+        assert_eq!((c.tp, c.fp, c.tn, c.fn_), (1, 1, 1, 1));
+        assert_eq!(c.cycles, 2);
+    }
+
+    #[test]
+    fn confusion_without_truth_or_census_is_none() {
+        let acc = ConfusionAccum::default();
+        assert!(acc.finalize().is_none());
+        let mut acc = ConfusionAccum::default();
+        acc.tag(TRUTH_MOBILE, 1);
+        assert!(acc.finalize().is_none(), "no census → no samples");
+    }
+
+    #[test]
+    fn q_accum_counts_reversals_like_batch() {
+        let mut acc = QAccum::default();
+        // Series 3, 2, 4, 5 → deltas -1, +2, +1 → one reversal over two
+        // delta pairs (the batch fixture's expectation).
+        for q in [3.0, 2.0, 4.0, 5.0] {
+            acc.observe(q);
+            acc.round();
+        }
+        let d = acc.finalize();
+        assert_eq!((d.rounds, d.reversals), (4, 1));
+        assert!((d.oscillation - 0.5).abs() < 1e-12);
+        assert!((d.mean_q - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_pending_overwrites_and_unclaimed_is_dropped() {
+        let mut acc = QAccum::default();
+        acc.observe(3.0);
+        acc.observe(4.0); // overwrites
+        acc.round();
+        acc.observe(9.0); // never claimed by a round
+        let d = acc.finalize();
+        assert_eq!(d.rounds, 1);
+        assert!((d.mean_q - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_accum_matches_batch_window_math() {
+        let mut acc = FaultAccum::default();
+        for t in [1.0, 3.0, 3.5, 5.0, 7.0, 9.0] {
+            acc.read(t);
+        }
+        acc.marker("fault.open.burst_noise", 0, 2.0);
+        acc.marker("fault.close.burst_noise", 0, 4.0);
+        let fr = acc.finalize(10.0).expect("markers present");
+        let w = &fr.windows[0];
+        assert!(w.closed);
+        assert_eq!(w.reads, 2);
+        assert!((w.irr - 1.0).abs() < 1e-12);
+        assert!((fr.irr_clean - 0.5).abs() < 1e-12);
+        assert!((fr.degradation - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unclosed_fault_window_tracks_the_live_edge() {
+        let mut acc = FaultAccum::default();
+        acc.marker("fault.open.antenna_outage", 3, 6.0);
+        let fr = acc.finalize(8.0).expect("open marker");
+        assert!(!fr.windows[0].closed);
+        assert!((fr.windows[0].end - 8.0).abs() < 1e-12);
+        // The edge advances; a later finalize extends the window.
+        let fr = acc.finalize(10.0).expect("open marker");
+        assert!((fr.windows[0].end - 10.0).abs() < 1e-12);
+        assert!((fr.faulted_seconds - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_accum_finalizes_to_none() {
+        let mut acc = FaultAccum::default();
+        acc.read(1.0);
+        acc.counter("fault.reader_restarts", 0);
+        assert!(acc.finalize(10.0).is_none());
+    }
+
+    #[test]
+    fn online_analyzers_wire_events_to_the_right_accums() {
+        let mut on = OnlineAnalyzers::default();
+        on.push(&tag(TRUTH_MOBILE, 1, 0.0));
+        on.push(&observe("round.q_final", 3.0));
+        on.push(&span("round", 1, 0.0, 2.0));
+        on.push(&span("cycle", 2, 0.0, 10.0));
+        on.push(&counter("round.adjusts", 1, 1));
+        on.push(&tag(READ_PHASE1, 1, 10.5));
+        on.push(&tag(ASSESS_MOBILE, 1, 10.6));
+        let v = on.verdicts();
+        assert!((v.sim_seconds - 10.6).abs() < 1e-12);
+        assert_eq!(v.tags.reads_total, 1);
+        assert_eq!(v.q.rounds, 1);
+        let c = v.confusion.expect("truth + census");
+        assert_eq!((c.tp, c.cycles), (1, 1));
+        assert_eq!(on.cycles(), 1);
+        assert!(on.footer().is_none());
+    }
+
+    #[test]
+    fn window_stats_slide_with_sim_time() {
+        let mut on = OnlineAnalyzers::new(OnlineConfig {
+            window_seconds: 5.0,
+            ..OnlineConfig::default()
+        });
+        on.push(&tag(READ_PHASE1, 1, 0.0));
+        on.push(&tag(READ_PHASE1, 2, 1.0));
+        let w = on.window_stats();
+        assert_eq!((w.reads, w.tags), (2, 2));
+        // Advance the edge to 10.0: both reads fall out of [5, 10].
+        on.push(&tag(READ_PHASE1, 3, 10.0));
+        let w = on.window_stats();
+        assert_eq!((w.reads, w.tags), (1, 1));
+        assert!((w.from - 5.0).abs() < 1e-12 && (w.to - 10.0).abs() < 1e-12);
+        assert!((w.irr - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alarm_tags_are_counted_but_change_no_verdict() {
+        let mut on = OnlineAnalyzers::default();
+        on.push(&tag(READ_PHASE1, 1, 1.0));
+        let before = serde_json::to_string(&on.verdicts()).unwrap();
+        on.push(&tag("alarm.stale", 0, 1.0));
+        let after = serde_json::to_string(&on.verdicts()).unwrap();
+        assert_eq!(before, after);
+        assert_eq!(on.alarms_seen(), 1);
+    }
+}

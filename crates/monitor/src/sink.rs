@@ -1,0 +1,441 @@
+//! [`MonitorSink`]: a tee that forwards every telemetry event to an
+//! inner sink unchanged while driving the online analyzers, the health
+//! watchdog, and the periodic snapshot/exposition writes.
+//!
+//! Determinism contract (the reason `--monitor` can be enabled on a
+//! benchmarked run): every event reaches the inner sink byte-identical
+//! and in order; flush cadence is keyed to the *simulated* clock, never
+//! the wall clock; watchdog alarms are pure functions of the event
+//! stream and configuration, injected as `alarm.*` tag events whose
+//! timestamp is the trace's current simulated edge (so they cannot
+//! widen the sim window or shift any analyzer verdict); and the metrics
+//! registry is bypassed entirely, so `BenchSnapshot`s are unaffected.
+//! File-write failures are counted in the next snapshot, never
+//! propagated — a broken status directory must not kill the run.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use tagwatch_telemetry::{is_sim_deterministic, ClockKind, Event, RingSink, Sink, TagRecord};
+
+use crate::exposition;
+use crate::online::{OnlineAnalyzers, OnlineConfig};
+use crate::snapshot::{write_atomic, MonitorSnapshot, EXPOSITION_FILE, STATUS_FILE};
+use crate::verdict::FAULT_CLOSE_PREFIX;
+use crate::watchdog::{Watchdog, WatchdogConfig};
+
+/// Configuration for a [`MonitorSink`].
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Simulated seconds between snapshot/exposition flushes.
+    pub flush_every_sim_seconds: f64,
+    /// Online analyzer knobs (starvation gap must match the batch
+    /// config used for any equality check).
+    pub online: OnlineConfig,
+    /// Watchdog thresholds.
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            flush_every_sim_seconds: 1.0,
+            online: OnlineConfig::default(),
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+/// The monitoring tee. Wraps any inner sink; see the module docs for
+/// the determinism contract.
+pub struct MonitorSink {
+    inner: Box<dyn Sink + Send>,
+    dir: PathBuf,
+    cfg: MonitorConfig,
+    online: OnlineAnalyzers,
+    watchdog: Watchdog,
+    /// Optional flight-recorder handle polled for drop-rate alarms.
+    ring: Option<RingSink>,
+    seq: u64,
+    last_flush: Option<f64>,
+    footer_seen: bool,
+    write_errors: u64,
+}
+
+impl MonitorSink {
+    /// Creates the status directory and wraps `inner`.
+    pub fn create<P: AsRef<Path>>(
+        dir: P,
+        inner: Box<dyn Sink + Send>,
+        cfg: MonitorConfig,
+    ) -> io::Result<MonitorSink> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(MonitorSink {
+            inner,
+            dir,
+            online: OnlineAnalyzers::new(cfg.online),
+            watchdog: Watchdog::new(cfg.watchdog.clone()),
+            cfg,
+            ring: None,
+            seq: 0,
+            last_flush: None,
+            footer_seen: false,
+            write_errors: 0,
+        })
+    }
+
+    /// Attaches a flight-recorder handle to poll for drop-rate alarms.
+    /// The ring is observed, not written to — install it as (part of)
+    /// the inner sink separately if its contents should fill.
+    pub fn watch_ring(&mut self, ring: RingSink) {
+        self.ring = Some(ring);
+    }
+
+    pub fn status_path(&self) -> PathBuf {
+        self.dir.join(STATUS_FILE)
+    }
+
+    pub fn exposition_path(&self) -> PathBuf {
+        self.dir.join(EXPOSITION_FILE)
+    }
+
+    /// Snapshot/exposition writes that have failed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Point-in-time snapshot of the analyzers (does not write files).
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot::capture(
+            &self.online,
+            self.seq,
+            self.watchdog.alarms().to_vec(),
+            self.write_errors,
+        )
+    }
+
+    fn write_out(&mut self) {
+        self.seq += 1;
+        let snap = self.snapshot();
+        if snap.save_atomic(&self.status_path()).is_err() {
+            self.write_errors += 1;
+        }
+        if write_atomic(&self.exposition_path(), &exposition::render(&snap)).is_err() {
+            self.write_errors += 1;
+        }
+    }
+
+    /// The simulated instant an event contributes, if any: a sim span's
+    /// end, a tag event's timestamp, or a `*.sim_now` heartbeat gauge
+    /// (emitted by the reader/controller so staleness detection keeps
+    /// pace while the enclosing spans are still open). Heartbeats feed
+    /// only the watchdog — the online analyzers' sim window stays
+    /// span/tag-derived, exactly like the batch path's.
+    fn sim_instant(event: &Event) -> Option<f64> {
+        match event {
+            Event::Span(s) if s.clock == ClockKind::Sim => Some(s.start + s.duration),
+            Event::Tag(t) => Some(t.t),
+            Event::Gauge(g) if g.name.ends_with(".sim_now") => Some(g.value),
+            _ => None,
+        }
+    }
+
+    fn run_watchdog(&mut self, event: &Event) {
+        if let Some(t) = Self::sim_instant(event) {
+            self.watchdog.on_sim_instant(t);
+        }
+        // Alarm timestamps pin to the trace edge, which only exists
+        // once some sim time has been observed.
+        let Some((_, edge)) = self.online.sim_window() else {
+            return;
+        };
+        match event {
+            Event::Span(s) if s.name == "round" => self.watchdog.on_round(),
+            Event::Span(s) if s.name == "cycle" => self.watchdog.on_cycle(edge),
+            Event::Tag(t) if t.name.starts_with(FAULT_CLOSE_PREFIX) => {
+                // The close marker has already been fed to the online
+                // fault accumulator, so the just-closed window is the
+                // last closed one matching (epc, slug).
+                let slug = t.name[FAULT_CLOSE_PREFIX.len()..].to_string();
+                if let Some(fr) = self.online.fault_report() {
+                    if let Some(w) = fr
+                        .windows
+                        .iter()
+                        .rev()
+                        .find(|w| w.event_idx == t.epc && w.slug == slug && w.closed)
+                    {
+                        self.watchdog
+                            .on_fault_close(&slug, w.irr, fr.irr_clean, edge);
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let Some(ring) = &self.ring {
+            self.watchdog.on_ring(ring.dropped(), ring.seen(), edge);
+        }
+        // Feed fresh alarms back into the trace (pre-footer only: a
+        // closed trace must not grow events after its footer).
+        for alarm in self.watchdog.drain_new() {
+            if !self.footer_seen {
+                self.inner.record(&Event::Tag(TagRecord {
+                    name: format!("alarm.{}", alarm.kind),
+                    epc: u128::from(alarm.seq),
+                    t: alarm.t,
+                }));
+            }
+        }
+    }
+}
+
+impl Sink for MonitorSink {
+    fn record(&mut self, event: &Event) {
+        self.inner.record(event);
+        if matches!(event, Event::Footer(_)) {
+            self.footer_seen = true;
+        }
+        if is_sim_deterministic(event) {
+            self.online.push(event);
+            self.run_watchdog(event);
+        }
+        if let Some((_, hi)) = self.online.sim_window() {
+            let due = self
+                .last_flush
+                .is_none_or(|lf| hi - lf >= self.cfg.flush_every_sim_seconds);
+            if due {
+                self.last_flush = Some(hi);
+                self.write_out();
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        // `Telemetry::finish` records the footer into every sink and
+        // then flushes it, so this final write carries the complete
+        // whole-trace verdicts (`footer_seen: true`).
+        self.write_out();
+        self.inner.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tagwatch_telemetry::{
+        jsonl, FooterRecord, JsonlSink, MemorySink, NullSink, SpanRecord, Telemetry,
+    };
+
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "tagwatch-monitor-sink-{}-{n}-{name}",
+            std::process::id()
+        ))
+    }
+
+    fn sim_span(name: &str, id: u64, start: f64, dur: f64) -> Event {
+        Event::Span(SpanRecord {
+            name: name.into(),
+            id,
+            parent: None,
+            start,
+            duration: dur,
+            clock: ClockKind::Sim,
+        })
+    }
+
+    fn tag(name: &str, epc: u128, t: f64) -> Event {
+        Event::Tag(TagRecord {
+            name: name.into(),
+            epc,
+            t,
+        })
+    }
+
+    fn footer() -> Event {
+        Event::Footer(FooterRecord {
+            emitted: 0,
+            sampled_out: 0,
+            dropped: 0,
+            sample_every_n_rounds: 1,
+            max_events: 0,
+        })
+    }
+
+    #[test]
+    fn tee_forwards_every_event_in_order() {
+        let dir = scratch_dir("tee");
+        let mem = MemorySink::new(64);
+        let mut sink =
+            MonitorSink::create(&dir, Box::new(mem.clone()), MonitorConfig::default()).unwrap();
+        let events = [
+            sim_span("cycle", 1, 0.0, 10.0),
+            tag("read.phase1", 1, 0.5),
+            footer(),
+        ];
+        for e in &events {
+            sink.record(e);
+        }
+        sink.flush();
+        assert_eq!(mem.events().len(), 3, "no alarms, nothing reordered");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sim_clock_flushes_write_snapshot_and_exposition() {
+        let dir = scratch_dir("flush");
+        let mut sink = MonitorSink::create(
+            &dir,
+            Box::new(NullSink),
+            MonitorConfig {
+                flush_every_sim_seconds: 1.0,
+                ..MonitorConfig::default()
+            },
+        )
+        .unwrap();
+        sink.record(&tag("read.phase1", 1, 0.0));
+        assert!(sink.status_path().exists(), "first sim instant flushes");
+        sink.record(&tag("read.phase1", 1, 5.0));
+        let snap = MonitorSnapshot::load(&sink.status_path()).unwrap();
+        assert_eq!(snap.seq, 2);
+        assert_eq!(snap.tags.reads_total, 2);
+        assert!(!snap.footer_seen);
+        exposition::validate(&fs::read_to_string(sink.exposition_path()).unwrap()).unwrap();
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn final_flush_is_complete_even_without_sim_activity_since() {
+        let dir = scratch_dir("final");
+        let mut sink =
+            MonitorSink::create(&dir, Box::new(NullSink), MonitorConfig::default()).unwrap();
+        sink.record(&sim_span("cycle", 1, 0.0, 10.0));
+        sink.record(&footer());
+        sink.flush();
+        let snap = MonitorSnapshot::load(&sink.status_path()).unwrap();
+        assert!(snap.footer_seen);
+        assert!((snap.sim_seconds - 10.0).abs() < 1e-12);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_watchdog_alarm_lands_in_the_trace_pre_footer() {
+        let dir = scratch_dir("alarm");
+        let mem = MemorySink::new(64);
+        let mut sink = MonitorSink::create(
+            &dir,
+            Box::new(mem.clone()),
+            MonitorConfig {
+                watchdog: WatchdogConfig {
+                    stale_after: 1.0,
+                    ..WatchdogConfig::default()
+                },
+                ..MonitorConfig::default()
+            },
+        )
+        .unwrap();
+        sink.record(&tag("read.phase1", 1, 0.0));
+        sink.record(&tag("read.phase1", 1, 5.0)); // 5 s gap > 1 s bar
+        sink.record(&footer());
+        sink.flush();
+        let events = mem.events();
+        let alarm = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Tag(t) if t.name == "alarm.stale" => Some(t.clone()),
+                _ => None,
+            })
+            .expect("stale alarm injected");
+        assert!((alarm.t - 5.0).abs() < 1e-12, "pinned to the trace edge");
+        let snap = MonitorSnapshot::load(&sink.status_path()).unwrap();
+        assert_eq!(snap.alarms.len(), 1);
+        assert_eq!(snap.alarms[0].kind, "stale");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn alarms_after_the_footer_stay_out_of_the_trace() {
+        let dir = scratch_dir("postfooter");
+        let mem = MemorySink::new(64);
+        let mut sink = MonitorSink::create(
+            &dir,
+            Box::new(mem.clone()),
+            MonitorConfig {
+                watchdog: WatchdogConfig {
+                    stale_after: 1.0,
+                    ..WatchdogConfig::default()
+                },
+                ..MonitorConfig::default()
+            },
+        )
+        .unwrap();
+        sink.record(&tag("read.phase1", 1, 0.0));
+        sink.record(&footer());
+        sink.record(&tag("read.phase1", 1, 9.0)); // would alarm
+        sink.flush();
+        assert!(
+            !mem.events()
+                .iter()
+                .any(|e| matches!(e, Event::Tag(t) if t.name.starts_with("alarm."))),
+            "no trace growth after the footer"
+        );
+        // …but the snapshot still reports it.
+        assert_eq!(sink.snapshot().alarms.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ring_drop_alarm_fires_from_the_watched_ring() {
+        let dir = scratch_dir("ring");
+        let ring = RingSink::new(2);
+        let mut sink =
+            MonitorSink::create(&dir, Box::new(NullSink), MonitorConfig::default()).unwrap();
+        sink.watch_ring(ring.clone());
+        // Overfill the ring out-of-band (in production it is part of
+        // the installed sink stack).
+        let mut r = ring.clone();
+        for i in 0..10 {
+            r.record(&tag("read.phase1", 1, i as f64));
+        }
+        sink.record(&tag("read.phase1", 1, 0.0));
+        let kinds: Vec<String> = sink
+            .snapshot()
+            .alarms
+            .iter()
+            .map(|a| a.kind.clone())
+            .collect();
+        assert!(kinds.contains(&"ring_drop".to_string()), "{kinds:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monitored_jsonl_trace_stays_valid_and_alarm_free_runs_match() {
+        // End-to-end through a real Telemetry handle: the teed JSONL
+        // must re-ingest cleanly.
+        let dir = scratch_dir("roundtrip");
+        fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.jsonl");
+        let tel = Telemetry::new();
+        let jsonl_sink = JsonlSink::create(&trace_path).unwrap();
+        let monitor = MonitorSink::create(
+            dir.join("mon"),
+            Box::new(jsonl_sink),
+            MonitorConfig::default(),
+        )
+        .unwrap();
+        tel.install(Box::new(monitor));
+        let span = tel.sim_span("cycle", 0.0);
+        tel.tag_event("read.phase1", 1, 0.5);
+        span.end(2.0);
+        tel.finish();
+        let events = jsonl::read_events_path(&trace_path).unwrap();
+        assert!(matches!(events.last(), Some((_, Event::Footer(_)))));
+        assert_eq!(events.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

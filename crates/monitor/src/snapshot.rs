@@ -1,0 +1,241 @@
+//! The live status artifact: a schema-versioned [`MonitorSnapshot`]
+//! written atomically (temp file + rename in the same directory) so a
+//! concurrent reader — `obs watch`, a dashboard scraper, a human with
+//! `cat` — never observes a half-written JSON document. Mirrors the
+//! `BenchSnapshot` pattern in `tagwatch-obs`: bump
+//! [`MONITOR_SCHEMA_VERSION`] on any breaking field change, and refuse
+//! to load snapshots from a different schema generation.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::online::{OnlineAnalyzers, WindowStats};
+use crate::verdict::{ConfusionSummary, FaultReport, QDiagnostics, StarvationReport, TagSummary};
+use crate::watchdog::Alarm;
+
+/// Bump on breaking changes to [`MonitorSnapshot`]'s serialized form.
+pub const MONITOR_SCHEMA_VERSION: u32 = 1;
+
+/// File name of the JSON snapshot inside a monitor directory.
+pub const STATUS_FILE: &str = "status.json";
+/// File name of the Prometheus-style exposition inside a monitor
+/// directory.
+pub const EXPOSITION_FILE: &str = "metrics.prom";
+
+/// Point-in-time state of the online analyzers, periodically flushed by
+/// [`MonitorSink`](crate::sink::MonitorSink). The final snapshot of a
+/// completed run (`footer_seen: true`) carries whole-trace verdicts
+/// byte-identical to the batch analyzers' — `obs watch --check` gates
+/// on exactly that.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorSnapshot {
+    pub schema_version: u32,
+    /// Monotonic flush counter (1-based).
+    pub seq: u64,
+    /// Events the online analyzers have consumed (the sim-deterministic
+    /// subset of the stream — wall-clock spans tee through uncounted).
+    pub events: u64,
+    /// Leading edge of the simulated window, once any sim time exists.
+    pub sim_now: Option<f64>,
+    pub sim_seconds: f64,
+    pub cycles: usize,
+    /// Whether the closing [`FooterRecord`](tagwatch_telemetry::FooterRecord)
+    /// has been observed — i.e. whether this snapshot is final.
+    pub footer_seen: bool,
+    /// Sliding-window display statistics at the trace edge.
+    pub window: WindowStats,
+    pub tags: TagSummary,
+    pub starvation: StarvationReport,
+    pub confusion: Option<ConfusionSummary>,
+    pub q: QDiagnostics,
+    pub fault: Option<FaultReport>,
+    /// Watchdog alarms raised so far, in firing order.
+    pub alarms: Vec<Alarm>,
+    /// Snapshot/exposition writes that failed (counted, never fatal —
+    /// a broken status directory must not kill the run it observes).
+    pub write_errors: u64,
+}
+
+impl MonitorSnapshot {
+    /// Captures the analyzers' current state. `seq` is the flush
+    /// counter; alarms and write-error count come from the sink.
+    pub fn capture(
+        online: &OnlineAnalyzers,
+        seq: u64,
+        alarms: Vec<Alarm>,
+        write_errors: u64,
+    ) -> MonitorSnapshot {
+        let v = online.verdicts();
+        MonitorSnapshot {
+            schema_version: MONITOR_SCHEMA_VERSION,
+            seq,
+            events: online.events(),
+            sim_now: online.sim_window().map(|(_, hi)| hi),
+            sim_seconds: v.sim_seconds,
+            cycles: online.cycles(),
+            footer_seen: online.footer().is_some(),
+            window: online.window_stats(),
+            tags: v.tags,
+            starvation: v.starvation,
+            confusion: v.confusion,
+            q: v.q,
+            fault: v.fault,
+            alarms,
+            write_errors,
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        // Infallible for this type (no maps with non-string keys).
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Writes atomically: temp file in the same directory, then rename.
+    pub fn save_atomic(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, &(self.to_json() + "\n"))
+    }
+
+    pub fn load(path: &Path) -> Result<MonitorSnapshot, SnapshotError> {
+        let text = fs::read_to_string(path).map_err(|source| SnapshotError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        let snap: MonitorSnapshot =
+            serde_json::from_str(&text).map_err(|source| SnapshotError::Parse {
+                path: path.to_path_buf(),
+                source,
+            })?;
+        if snap.schema_version != MONITOR_SCHEMA_VERSION {
+            return Err(SnapshotError::SchemaVersion {
+                path: path.to_path_buf(),
+                found: snap.schema_version,
+            });
+        }
+        Ok(snap)
+    }
+}
+
+/// Atomic replace: write `<path>.tmp`, then rename over `path`. Both
+/// live in the same directory, so the rename cannot cross filesystems.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io {
+        path: PathBuf,
+        source: io::Error,
+    },
+    Parse {
+        path: PathBuf,
+        source: serde_json::Error,
+    },
+    /// The snapshot is from a different schema generation.
+    SchemaVersion {
+        path: PathBuf,
+        found: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            SnapshotError::Parse { path, source } => {
+                write!(f, "{}: not a monitor snapshot: {source}", path.display())
+            }
+            SnapshotError::SchemaVersion { path, found } => write!(
+                f,
+                "{}: monitor schema v{found}, this build reads v{MONITOR_SCHEMA_VERSION}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            SnapshotError::Parse { source, .. } => Some(source),
+            SnapshotError::SchemaVersion { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch(name: &str) -> PathBuf {
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "tagwatch-monitor-{}-{n}-{name}",
+            std::process::id()
+        ))
+    }
+
+    fn sample() -> MonitorSnapshot {
+        MonitorSnapshot::capture(&OnlineAnalyzers::default(), 1, Vec::new(), 0)
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_status_file() {
+        let path = scratch("status.json");
+        let snap = sample();
+        snap.save_atomic(&path).unwrap();
+        let back = MonitorSnapshot::load(&path).unwrap();
+        assert_eq!(back.schema_version, MONITOR_SCHEMA_VERSION);
+        assert_eq!(back.seq, 1);
+        assert!(!back.footer_seen);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_file() {
+        let path = scratch("atomic.json");
+        sample().save_atomic(&path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_schema_version_is_refused() {
+        let path = scratch("old.json");
+        let mut snap = sample();
+        snap.schema_version = 99;
+        fs::write(&path, snap.to_json()).unwrap();
+        match MonitorSnapshot::load(&path) {
+            Err(SnapshotError::SchemaVersion { found, .. }) => assert_eq!(found, 99),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        let path = scratch("garbage.json");
+        fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            MonitorSnapshot::load(&path),
+            Err(SnapshotError::Parse { .. })
+        ));
+        fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,243 @@
+//! Analyzer verdict types, shared verbatim between the batch analyzers in
+//! `tagwatch-obs` and the online analyzers in [`crate::online`]. The
+//! structs (and their serde field order) moved here unchanged from
+//! `tagwatch-obs`, which re-exports them — serialized output is identical
+//! to what the batch analyzers always produced, and "online equals batch"
+//! can be asserted with a plain string comparison of the JSON forms.
+//!
+//! The derived-rate helpers ([`mean_of`], [`ConfusionSummary::from_counts`])
+//! reproduce `tagwatch::metrics::{mean, Confusion}` expression-for-
+//! expression; this crate cannot depend on `tagwatch` (the simulation
+//! core) without dragging the whole stack into the monitoring plane.
+
+use serde::{Deserialize, Serialize};
+
+/// Tag-event names the controller emits (see `tagwatch-telemetry`
+/// [`TagRecord`](tagwatch_telemetry::TagRecord)).
+pub const READ_PHASE1: &str = "read.phase1";
+pub const READ_PHASE2: &str = "read.phase2";
+pub const ASSESS_MOBILE: &str = "assess.mobile";
+/// Ground-truth annotation the experiment harness emits for tags that
+/// actually move in the scene.
+pub const TRUTH_MOBILE: &str = "truth.mobile";
+/// Fault-window edge markers the reader emits when a `tagwatch-fault`
+/// injector is installed. The suffix is the fault kind's slug; the
+/// marker's `epc` is the plan-event index and its `t` the canonical
+/// window edge.
+pub const FAULT_OPEN_PREFIX: &str = "fault.open.";
+pub const FAULT_CLOSE_PREFIX: &str = "fault.close.";
+/// Watchdog alarms the live monitor feeds back into the trace (see
+/// [`crate::watchdog`]). The suffix is the alarm kind; the marker's
+/// `epc` is the alarm sequence number and its `t` the sim time of the
+/// trace when the alarm fired. Every analyzer ignores the prefix.
+pub const ALARM_PREFIX: &str = "alarm.";
+
+/// The fault-machinery counters that participate in fault attribution.
+pub const FAULT_COUNTERS: [&str; 3] = [
+    "fault.reader_restarts",
+    "fault.selects_lost",
+    "fault.antenna_out_rounds",
+];
+
+/// EPC bits rendered as hex — JSON numbers above 2^53 lose precision in
+/// many consumers, so the wire form is a string.
+pub fn epc_hex(bits: u128) -> String {
+    format!("{bits:#x}")
+}
+
+/// Arithmetic mean, `0.0` on an empty sample. Must stay expression-
+/// identical to `tagwatch::metrics::mean` — the batch analyzers used
+/// that helper before the verdict types moved here.
+pub fn mean_of(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// One tag's reading history over the whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TagStats {
+    /// EPC bits rendered as hex — JSON numbers above 2^53 lose precision
+    /// in many consumers, so the wire form is a string.
+    pub epc: String,
+    pub reads: usize,
+    pub first: f64,
+    pub last: f64,
+    /// Reads per second over the trace's simulated window.
+    pub irr: f64,
+    /// Longest gap between consecutive reads (0 with fewer than 2 reads).
+    pub max_gap: f64,
+}
+
+/// Aggregate per-tag reading statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TagSummary {
+    /// Distinct EPCs seen in `read.*` events.
+    pub tags: usize,
+    pub reads_total: usize,
+    pub irr_mean: f64,
+    pub irr_min: f64,
+    pub irr_max: f64,
+    /// Per-tag detail, sorted by EPC.
+    pub per_tag: Vec<TagStats>,
+}
+
+/// One starvation window: a tag went unread for longer than the
+/// configured gap while the reader was active.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StarvationEvent {
+    pub epc: String,
+    pub from: f64,
+    pub to: f64,
+    pub gap: f64,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StarvationReport {
+    pub gap_threshold: f64,
+    /// Tags with at least one starvation window.
+    pub starved_tags: usize,
+    pub events: Vec<StarvationEvent>,
+}
+
+/// Mobile/stationary detector confusion versus `truth.mobile` ground
+/// truth, accumulated per cycle over that cycle's census.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionSummary {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    #[serde(rename = "fn")]
+    pub fn_: usize,
+    pub tpr: f64,
+    pub fpr: f64,
+    pub accuracy: f64,
+    /// Cycles that contributed samples.
+    pub cycles: usize,
+}
+
+impl ConfusionSummary {
+    /// Derived rates from raw counts, expression-identical to
+    /// `tagwatch::metrics::Confusion::{tpr, fpr, accuracy}`.
+    pub fn from_counts(tp: usize, fp: usize, tn: usize, fn_: usize, cycles: usize) -> Self {
+        let pos = tp + fn_;
+        let neg = fp + tn;
+        let total = tp + fp + tn + fn_;
+        ConfusionSummary {
+            tp,
+            fp,
+            tn,
+            fn_,
+            tpr: if pos == 0 {
+                0.0
+            } else {
+                tp as f64 / pos as f64
+            },
+            fpr: if neg == 0 {
+                0.0
+            } else {
+                fp as f64 / neg as f64
+            },
+            accuracy: if total == 0 {
+                0.0
+            } else {
+                (tp + tn) as f64 / total as f64
+            },
+            cycles,
+        }
+    }
+}
+
+/// Q-adaptation diagnostics over the `round.q_final` series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QDiagnostics {
+    /// Rounds that reported a final Q.
+    pub rounds: usize,
+    pub mean_q: f64,
+    /// Direction reversals in consecutive Q deltas (up→down or down→up).
+    pub reversals: usize,
+    /// Reversals per Q change — near 1.0 means Q is thrashing between
+    /// values instead of converging.
+    pub oscillation: f64,
+    /// Mid-round Qfp adjustments per round.
+    pub adjusts_per_round: f64,
+}
+
+/// One reconstructed fault-injection window: a `fault.open.<slug>`
+/// marker paired with its `fault.close.<slug>` partner (same plan-event
+/// index). A window the run ended inside stays `closed: false` and
+/// extends to the end of the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Plan-event index (the marker's `epc`).
+    pub event_idx: u128,
+    /// Fault-kind slug, e.g. `antenna_outage`.
+    pub slug: String,
+    pub start: f64,
+    pub end: f64,
+    pub closed: bool,
+    /// `read.*` events landing inside `[start, end)`.
+    pub reads: usize,
+    /// Aggregate reads per second inside the window.
+    pub irr: f64,
+}
+
+/// Degradation attribution for a fault-injected run: how much of the
+/// trace sat under an injection window, and how the aggregate reading
+/// rate inside those windows compares to the clean remainder.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    pub windows: Vec<FaultWindow>,
+    pub reader_restarts: u64,
+    pub selects_lost: u64,
+    pub antenna_out_rounds: u64,
+    /// Simulated seconds under at least one window (union, overlaps
+    /// merged).
+    pub faulted_seconds: f64,
+    /// Aggregate reads/s inside the union of windows.
+    pub irr_faulted: f64,
+    /// Aggregate reads/s outside every window.
+    pub irr_clean: f64,
+    /// `irr_faulted / irr_clean` — below 1.0 means the injection windows
+    /// carry measurably less reading, i.e. the dip is attributable to
+    /// the faults. 1.0 when either side is empty.
+    pub degradation: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epc_hex_renders_prefixed_lowercase() {
+        assert_eq!(epc_hex(0x1), "0x1");
+        assert_eq!(epc_hex(0xdead_beef), "0xdeadbeef");
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert!(mean_of(&[]).abs() < f64::EPSILON);
+        assert!((mean_of(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_rates_guard_empty_denominators() {
+        let c = ConfusionSummary::from_counts(0, 0, 0, 0, 0);
+        assert!(c.tpr.abs() < f64::EPSILON && c.fpr.abs() < f64::EPSILON);
+        let c = ConfusionSummary::from_counts(2, 1, 3, 0, 2);
+        assert!((c.tpr - 1.0).abs() < 1e-12);
+        assert!((c.fpr - 0.25).abs() < 1e-12);
+        assert!((c.accuracy - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_fn_field_keeps_its_wire_name() {
+        let c = ConfusionSummary::from_counts(1, 0, 0, 2, 1);
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("\"fn\":2"), "{json}");
+        let back: ConfusionSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,301 @@
+//! Run health watchdog: watches the live event stream for conditions a
+//! human staring at `obs tail` would want flagged *now* rather than in
+//! the post-run report:
+//!
+//! * **Staleness** — the simulated clock jumped by more than the
+//!   configured gap between consecutive events, i.e. a stretch of the
+//!   run produced no telemetry at all.
+//! * **Ring drop rate** — a flight-recorder [`RingSink`]
+//!   (`tagwatch_telemetry::RingSink`) is shedding more than the
+//!   configured fraction of events, so its dump will have holes.
+//! * **Sampling starvation** — with 1-in-n round sampling enabled,
+//!   several consecutive cycles closed without a single round-level
+//!   event: round visibility has starved out of the stream.
+//! * **Envelope early warning** — during a `fault-run`, a closing fault
+//!   window's reading rate has already fallen through the plan's
+//!   whole-run degradation floor ([`Envelope::early_warning`]).
+//!
+//! Alarms are deterministic functions of the (deterministic) event
+//! stream and configuration, so feeding them back into the trace as
+//! `alarm.*` tag events keeps the trace reproducible run over run.
+
+use serde::{Deserialize, Serialize};
+use tagwatch_fault::Envelope;
+
+/// One raised alarm. Serialized into [`MonitorSnapshot`]
+/// (crate::snapshot::MonitorSnapshot) and mirrored into the trace as an
+/// `alarm.<kind>` tag event whose `epc` is `seq` and whose `t` is the
+/// trace's simulated edge when the alarm fired.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alarm {
+    /// Alarm kind slug: `stale`, `ring_drop`, `sampling_starvation`,
+    /// or `envelope`.
+    pub kind: String,
+    /// Sequence number (0-based, firing order).
+    pub seq: u64,
+    /// Simulated time at the trace edge when the alarm fired.
+    pub t: f64,
+    /// Human-readable one-liner.
+    pub detail: String,
+}
+
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Simulated seconds without any sim-clocked event before a `stale`
+    /// alarm fires.
+    pub stale_after: f64,
+    /// `dropped / seen` fraction above which the ring-drop alarm fires
+    /// (latched: at most once per run).
+    pub ring_drop_rate: f64,
+    /// The stream's 1-in-n round sampling factor (1 = unsampled). With
+    /// n > 1, `n.max(2)` consecutive cycles without a single round
+    /// event raise the sampling-starvation alarm (latched).
+    pub sample_every_n_rounds: u32,
+    /// Degradation envelope for fault-window early warnings; `None`
+    /// outside fault runs.
+    pub envelope: Option<Envelope>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stale_after: 30.0,
+            ring_drop_rate: 0.01,
+            sample_every_n_rounds: 1,
+            envelope: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    last_sim: Option<f64>,
+    cycles_without_rounds: u32,
+    rounds_in_cycle: bool,
+    ring_latched: bool,
+    sampling_latched: bool,
+    alarms: Vec<Alarm>,
+    drained: usize,
+}
+
+impl Watchdog {
+    pub fn new(cfg: WatchdogConfig) -> Watchdog {
+        Watchdog {
+            cfg,
+            ..Watchdog::default()
+        }
+    }
+
+    fn raise(&mut self, kind: &str, t: f64, detail: String) {
+        self.alarms.push(Alarm {
+            kind: kind.to_string(),
+            seq: self.alarms.len() as u64,
+            t,
+            detail,
+        });
+    }
+
+    /// A sim-clocked event landed at simulated time `t` (span end or
+    /// tag timestamp). Detects retrospective staleness: the gap since
+    /// the previous sim instant exceeded the threshold.
+    pub fn on_sim_instant(&mut self, t: f64) {
+        if let Some(last) = self.last_sim {
+            let gap = t - last;
+            if gap > self.cfg.stale_after {
+                self.raise(
+                    "stale",
+                    t,
+                    format!(
+                        "no events for {gap:.3} sim-s (> {:.3})",
+                        self.cfg.stale_after
+                    ),
+                );
+            }
+            if t > last {
+                self.last_sim = Some(t);
+            }
+        } else {
+            self.last_sim = Some(t);
+        }
+    }
+
+    /// A round-level event (round span) was delivered.
+    pub fn on_round(&mut self) {
+        self.rounds_in_cycle = true;
+    }
+
+    /// A cycle span closed. With sampling enabled, counts consecutive
+    /// cycles that delivered no round events.
+    pub fn on_cycle(&mut self, t: f64) {
+        if self.cfg.sample_every_n_rounds <= 1 || self.sampling_latched {
+            self.rounds_in_cycle = false;
+            return;
+        }
+        if self.rounds_in_cycle {
+            self.cycles_without_rounds = 0;
+        } else {
+            self.cycles_without_rounds += 1;
+            let bar = self.cfg.sample_every_n_rounds.max(2);
+            if self.cycles_without_rounds >= bar {
+                self.sampling_latched = true;
+                self.raise(
+                    "sampling_starvation",
+                    t,
+                    format!(
+                        "{} consecutive cycles with no round events (1-in-{} sampling)",
+                        self.cycles_without_rounds, self.cfg.sample_every_n_rounds
+                    ),
+                );
+            }
+        }
+        self.rounds_in_cycle = false;
+    }
+
+    /// Flight-recorder occupancy poll (call at flush time).
+    pub fn on_ring(&mut self, dropped: u64, seen: u64, t: f64) {
+        if self.ring_latched || seen == 0 {
+            return;
+        }
+        let rate = dropped as f64 / seen as f64;
+        if rate > self.cfg.ring_drop_rate {
+            self.ring_latched = true;
+            self.raise(
+                "ring_drop",
+                t,
+                format!(
+                    "ring sink dropping {:.1}% of events (> {:.1}%)",
+                    rate * 100.0,
+                    self.cfg.ring_drop_rate * 100.0
+                ),
+            );
+        }
+    }
+
+    /// A fault window just closed with aggregate rate `faulted_irr`
+    /// against the clean-time rate `clean_irr`. Fires when the window
+    /// has already fallen through the envelope's whole-run floor.
+    pub fn on_fault_close(&mut self, slug: &str, faulted_irr: f64, clean_irr: f64, t: f64) {
+        let Some(env) = &self.cfg.envelope else {
+            return;
+        };
+        if let Some(ratio) = env.early_warning(faulted_irr, clean_irr) {
+            self.raise(
+                "envelope",
+                t,
+                format!(
+                    "{slug}: window IRR at {:.1}% of clean (< {:.1}% floor)",
+                    ratio * 100.0,
+                    env.irr_floor_ratio * 100.0
+                ),
+            );
+        }
+    }
+
+    /// All alarms raised so far, in firing order.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Alarms raised since the previous drain (for trace injection).
+    pub fn drain_new(&mut self) -> Vec<Alarm> {
+        let new = self.alarms[self.drained..].to_vec();
+        self.drained = self.alarms.len();
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_gap_raises_and_clock_never_rewinds() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            stale_after: 5.0,
+            ..WatchdogConfig::default()
+        });
+        w.on_sim_instant(0.0);
+        w.on_sim_instant(4.0);
+        assert!(w.alarms().is_empty());
+        w.on_sim_instant(10.0);
+        assert_eq!(w.alarms().len(), 1);
+        assert_eq!(w.alarms()[0].kind, "stale");
+        // An out-of-order instant must not rewind the reference point.
+        w.on_sim_instant(2.0);
+        w.on_sim_instant(12.0);
+        assert_eq!(w.alarms().len(), 1, "10→12 is not stale");
+    }
+
+    #[test]
+    fn sampling_starvation_needs_consecutive_empty_cycles() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            sample_every_n_rounds: 3,
+            ..WatchdogConfig::default()
+        });
+        w.on_cycle(1.0);
+        w.on_cycle(2.0);
+        w.on_round(); // cycle 3 has a round → streak resets
+        w.on_cycle(3.0);
+        w.on_cycle(4.0);
+        w.on_cycle(5.0);
+        assert!(w.alarms().is_empty(), "streak is 2 of 3");
+        w.on_cycle(6.0);
+        assert_eq!(w.alarms().len(), 1);
+        assert_eq!(w.alarms()[0].kind, "sampling_starvation");
+        // Latched: further empty cycles stay quiet.
+        w.on_cycle(7.0);
+        assert_eq!(w.alarms().len(), 1);
+    }
+
+    #[test]
+    fn unsampled_streams_never_raise_sampling_starvation() {
+        let mut w = Watchdog::default();
+        for k in 0..10 {
+            w.on_cycle(k as f64);
+        }
+        assert!(w.alarms().is_empty());
+    }
+
+    #[test]
+    fn ring_drop_latches_once() {
+        let mut w = Watchdog::default();
+        w.on_ring(0, 100, 1.0);
+        assert!(w.alarms().is_empty());
+        w.on_ring(5, 100, 2.0);
+        w.on_ring(50, 100, 3.0);
+        assert_eq!(w.alarms().len(), 1);
+        assert_eq!(w.alarms()[0].kind, "ring_drop");
+    }
+
+    #[test]
+    fn envelope_early_warning_fires_below_floor() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            envelope: Some(Envelope::default()),
+            ..WatchdogConfig::default()
+        });
+        w.on_fault_close("burst_noise", 0.9, 1.0, 5.0);
+        assert!(w.alarms().is_empty(), "90% of clean is above the floor");
+        w.on_fault_close("antenna_outage", 0.1, 1.0, 6.0);
+        assert_eq!(w.alarms().len(), 1);
+        assert_eq!(w.alarms()[0].kind, "envelope");
+        assert!(w.alarms()[0].detail.contains("antenna_outage"));
+    }
+
+    #[test]
+    fn drain_returns_only_new_alarms() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            stale_after: 1.0,
+            ..WatchdogConfig::default()
+        });
+        w.on_sim_instant(0.0);
+        w.on_sim_instant(5.0);
+        assert_eq!(w.drain_new().len(), 1);
+        assert!(w.drain_new().is_empty());
+        w.on_sim_instant(20.0);
+        let new = w.drain_new();
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].seq, 1);
+        assert_eq!(w.alarms().len(), 2);
+    }
+}

@@ -4,29 +4,26 @@
 //! efficiency. Everything here is derived purely from the event stream, so
 //! the same numbers come out of a live `MemorySink` and a JSONL file read
 //! back days later.
+//!
+//! The verdict types and the per-analyzer accumulation live in
+//! `tagwatch-monitor` ([`tagwatch_monitor::online`]); this module replays
+//! a closed [`Trace`] through those same accumulators, so the batch
+//! report and a live [`tagwatch_monitor::OnlineAnalyzers`] fed the same
+//! events agree byte-for-byte by construction.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use serde::Serialize;
-use tagwatch::metrics::{mean, percentile, Confusion};
+use tagwatch::metrics::{mean, percentile};
+use tagwatch_monitor::online::{ConfusionAccum, FaultAccum, QAccum, TagAccum};
+pub use tagwatch_monitor::verdict::{
+    ConfusionSummary, FaultReport, FaultWindow, QDiagnostics, StarvationEvent, StarvationReport,
+    TagStats, TagSummary,
+};
+use tagwatch_monitor::verdict::{ASSESS_MOBILE, FAULT_COUNTERS, READ_PHASE1, READ_PHASE2};
 
 use crate::model::{CycleNode, RoundStats, Trace};
-
-/// Tag-event names the controller emits (see `tagwatch-telemetry`
-/// [`TagRecord`](tagwatch_telemetry::TagRecord)).
-const READ_PHASE1: &str = "read.phase1";
-const READ_PHASE2: &str = "read.phase2";
-const ASSESS_MOBILE: &str = "assess.mobile";
-/// Ground-truth annotation the experiment harness emits for tags that
-/// actually move in the scene.
-const TRUTH_MOBILE: &str = "truth.mobile";
-/// Fault-window edge markers the reader emits when a `tagwatch-fault`
-/// injector is installed. The suffix is the fault kind's slug; the
-/// marker's `epc` is the plan-event index and its `t` the canonical
-/// window edge.
-const FAULT_OPEN_PREFIX: &str = "fault.open.";
-const FAULT_CLOSE_PREFIX: &str = "fault.close.";
 
 /// Knobs for trace analysis.
 #[derive(Debug, Clone, Copy)]
@@ -76,98 +73,6 @@ impl DurationStats {
             p99: pct(samples, 99.0)?,
         })
     }
-}
-
-/// One tag's reading history over the whole trace.
-#[derive(Debug, Clone, Serialize)]
-pub struct TagStats {
-    /// EPC bits rendered as hex — JSON numbers above 2^53 lose precision
-    /// in many consumers, so the wire form is a string.
-    pub epc: String,
-    pub reads: usize,
-    pub first: f64,
-    pub last: f64,
-    /// Reads per second over the trace's simulated window.
-    pub irr: f64,
-    /// Longest gap between consecutive reads (0 with fewer than 2 reads).
-    pub max_gap: f64,
-}
-
-/// Aggregate per-tag reading statistics.
-#[derive(Debug, Clone, Default, Serialize)]
-pub struct TagSummary {
-    /// Distinct EPCs seen in `read.*` events.
-    pub tags: usize,
-    pub reads_total: usize,
-    pub irr_mean: f64,
-    pub irr_min: f64,
-    pub irr_max: f64,
-    /// Per-tag detail, sorted by EPC.
-    pub per_tag: Vec<TagStats>,
-}
-
-/// One starvation window: a tag went unread for longer than the
-/// configured gap while the reader was active.
-#[derive(Debug, Clone, Serialize)]
-pub struct StarvationEvent {
-    pub epc: String,
-    pub from: f64,
-    pub to: f64,
-    pub gap: f64,
-}
-
-#[derive(Debug, Clone, Default, Serialize)]
-pub struct StarvationReport {
-    pub gap_threshold: f64,
-    /// Tags with at least one starvation window.
-    pub starved_tags: usize,
-    pub events: Vec<StarvationEvent>,
-}
-
-/// Mobile/stationary detector confusion versus `truth.mobile` ground
-/// truth, accumulated per cycle over that cycle's census.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
-pub struct ConfusionSummary {
-    pub tp: usize,
-    pub fp: usize,
-    pub tn: usize,
-    #[serde(rename = "fn")]
-    pub fn_: usize,
-    pub tpr: f64,
-    pub fpr: f64,
-    pub accuracy: f64,
-    /// Cycles that contributed samples.
-    pub cycles: usize,
-}
-
-impl ConfusionSummary {
-    fn from_confusion(c: &Confusion, cycles: usize) -> ConfusionSummary {
-        ConfusionSummary {
-            tp: c.tp,
-            fp: c.fp,
-            tn: c.tn,
-            fn_: c.fn_,
-            tpr: c.tpr(),
-            fpr: c.fpr(),
-            accuracy: c.accuracy(),
-            cycles,
-        }
-    }
-}
-
-/// Q-adaptation diagnostics over the `round.q_final` series.
-#[derive(Debug, Clone, Default, Serialize)]
-pub struct QDiagnostics {
-    /// Rounds that reported a final Q.
-    pub rounds: usize,
-    pub mean_q: f64,
-    /// Direction reversals in consecutive Q deltas (up→down or down→up).
-    pub reversals: usize,
-    /// Reversals per Q change — near 1.0 means Q is thrashing between
-    /// values instead of converging.
-    pub oscillation: f64,
-    /// Mid-round Qfp adjustments per round.
-    pub adjusts_per_round: f64,
 }
 
 /// Slot-outcome totals with derived rates.
@@ -243,47 +148,6 @@ pub struct ScheduleSummary {
     pub masks: u64,
     /// selective / (selective + read_all); 0 with no scheduled cycles.
     pub selective_fraction: f64,
-}
-
-/// One reconstructed fault-injection window: a `fault.open.<slug>`
-/// marker paired with its `fault.close.<slug>` partner (same plan-event
-/// index). A window the run ended inside stays `closed: false` and
-/// extends to the end of the trace.
-#[derive(Debug, Clone, Serialize)]
-pub struct FaultWindow {
-    /// Plan-event index (the marker's `epc`).
-    pub event_idx: u128,
-    /// Fault-kind slug, e.g. `antenna_outage`.
-    pub slug: String,
-    pub start: f64,
-    pub end: f64,
-    pub closed: bool,
-    /// `read.*` events landing inside `[start, end)`.
-    pub reads: usize,
-    /// Aggregate reads per second inside the window.
-    pub irr: f64,
-}
-
-/// Degradation attribution for a fault-injected run: how much of the
-/// trace sat under an injection window, and how the aggregate reading
-/// rate inside those windows compares to the clean remainder.
-#[derive(Debug, Clone, Default, Serialize)]
-pub struct FaultReport {
-    pub windows: Vec<FaultWindow>,
-    pub reader_restarts: u64,
-    pub selects_lost: u64,
-    pub antenna_out_rounds: u64,
-    /// Simulated seconds under at least one window (union, overlaps
-    /// merged).
-    pub faulted_seconds: f64,
-    /// Aggregate reads/s inside the union of windows.
-    pub irr_faulted: f64,
-    /// Aggregate reads/s outside every window.
-    pub irr_clean: f64,
-    /// `irr_faulted / irr_clean` — below 1.0 means the injection windows
-    /// carry measurably less reading, i.e. the dip is attributable to
-    /// the faults. 1.0 when either side is empty.
-    pub degradation: f64,
 }
 
 /// Everything the analyzers derive from one trace.
@@ -391,10 +255,6 @@ impl RunReport {
     }
 }
 
-fn epc_hex(bits: u128) -> String {
-    format!("{bits:#x}")
-}
-
 fn duration_stats(trace: &Trace) -> BTreeMap<String, DurationStats> {
     let mut samples: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for c in &trace.cycles {
@@ -417,48 +277,19 @@ fn duration_stats(trace: &Trace) -> BTreeMap<String, DurationStats> {
         .collect()
 }
 
-/// Per-tag read timelines from `read.*` tag events.
-fn read_times(trace: &Trace) -> BTreeMap<u128, Vec<f64>> {
-    let mut times: BTreeMap<u128, Vec<f64>> = BTreeMap::new();
+/// Shared per-tag read-timeline accumulator, fed from `read.*` events.
+fn tag_accum(trace: &Trace) -> TagAccum {
+    let mut acc = TagAccum::default();
     for t in &trace.tags {
         if t.rec.name == READ_PHASE1 || t.rec.name == READ_PHASE2 {
-            times.entry(t.rec.epc).or_default().push(t.rec.t);
+            acc.push(t.rec.epc, t.rec.t);
         }
     }
-    for v in times.values_mut() {
-        v.sort_by(f64::total_cmp);
-    }
-    times
+    acc
 }
 
 fn tag_summary(trace: &Trace, sim_seconds: f64) -> TagSummary {
-    let times = read_times(trace);
-    if times.is_empty() || sim_seconds <= 0.0 {
-        return TagSummary::default();
-    }
-    let mut per_tag = Vec::with_capacity(times.len());
-    let mut reads_total = 0;
-    for (&epc, ts) in &times {
-        reads_total += ts.len();
-        let max_gap = ts.windows(2).map(|w| w[1] - w[0]).fold(0.0, f64::max);
-        per_tag.push(TagStats {
-            epc: epc_hex(epc),
-            reads: ts.len(),
-            first: ts[0],
-            last: *ts.last().expect("non-empty read series"), // lint:allow(panic-policy): ts is non-empty: the tag has at least one read
-            irr: ts.len() as f64 / sim_seconds,
-            max_gap,
-        });
-    }
-    let irrs: Vec<f64> = per_tag.iter().map(|t| t.irr).collect();
-    TagSummary {
-        tags: per_tag.len(),
-        reads_total,
-        irr_mean: mean(&irrs),
-        irr_min: irrs.iter().copied().fold(f64::INFINITY, f64::min),
-        irr_max: irrs.iter().copied().fold(0.0, f64::max),
-        per_tag,
-    }
+    tag_accum(trace).summary(sim_seconds)
 }
 
 /// Internal read gaps above the threshold. Gaps are measured between
@@ -466,28 +297,7 @@ fn tag_summary(trace: &Trace, sim_seconds: f64) -> TagSummary {
 /// demonstrably present yet unread — so a tag that left the scene does
 /// not register a phantom starvation tail.
 fn starvation(trace: &Trace, gap_threshold: f64) -> StarvationReport {
-    let mut events = Vec::new();
-    let mut starved: BTreeSet<u128> = BTreeSet::new();
-    for (epc, ts) in read_times(trace) {
-        for w in ts.windows(2) {
-            let gap = w[1] - w[0];
-            if gap > gap_threshold {
-                starved.insert(epc);
-                events.push(StarvationEvent {
-                    epc: epc_hex(epc),
-                    from: w[0],
-                    to: w[1],
-                    gap,
-                });
-            }
-        }
-    }
-    events.sort_by(|a, b| a.from.total_cmp(&b.from));
-    StarvationReport {
-        gap_threshold,
-        starved_tags: starved.len(),
-        events,
-    }
+    tag_accum(trace).starvation(gap_threshold)
 }
 
 /// Tags attributed to each cycle by stream position: a cycle's tag events
@@ -514,71 +324,32 @@ fn tags_by_cycle(trace: &Trace) -> Vec<(&CycleNode, BTreeMap<&str, BTreeSet<u128
     out
 }
 
-/// Ground-truth mobile set: every `truth.mobile` annotation in the trace,
-/// wherever the harness emitted it.
-fn truth_mobile(trace: &Trace) -> BTreeSet<u128> {
-    trace
-        .tags
-        .iter()
-        .filter(|t| t.rec.name == TRUTH_MOBILE)
-        .map(|t| t.rec.epc)
-        .collect()
-}
-
 fn confusion(trace: &Trace) -> Option<ConfusionSummary> {
-    let truth = truth_mobile(trace);
-    if truth.is_empty() {
-        return None;
-    }
-    let mut c = Confusion::default();
-    let mut cycles = 0;
-    for (_, tags) in tags_by_cycle(trace) {
-        let census = match tags.get(READ_PHASE1) {
-            Some(s) if !s.is_empty() => s,
-            _ => continue,
-        };
-        let mobile = tags.get(ASSESS_MOBILE);
-        cycles += 1;
-        for &epc in census {
-            let pred = mobile.is_some_and(|m| m.contains(&epc));
-            c.push(pred, truth.contains(&epc));
+    // Replay in stream order: a cycle's tag events land after its span
+    // line and before the next cycle's, so opening cycles as their line
+    // passes reproduces the live per-cycle bucketing exactly.
+    let mut acc = ConfusionAccum::default();
+    let mut cycles = trace.cycles.iter().peekable();
+    for t in &trace.tags {
+        while cycles.peek().is_some_and(|c| c.line < t.line) {
+            cycles.next();
+            acc.cycle_open();
         }
+        acc.tag(&t.rec.name, t.rec.epc);
     }
-    (c.total() > 0).then(|| ConfusionSummary::from_confusion(&c, cycles))
+    for _ in cycles {
+        acc.cycle_open();
+    }
+    acc.finalize()
 }
 
 fn q_diagnostics(trace: &Trace) -> QDiagnostics {
-    let qs: Vec<f64> = trace
-        .all_rounds()
-        .iter()
-        .filter_map(|r| r.stats.q_final)
-        .collect();
-    let deltas: Vec<f64> = qs
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .filter(|d| *d != 0.0)
-        .collect();
-    let reversals = deltas
-        .windows(2)
-        .filter(|w| w[0].signum() != w[1].signum())
-        .count();
-    let rounds_total = trace.all_rounds().len();
-    let adjusts = trace.counter("round.adjusts");
-    QDiagnostics {
-        rounds: qs.len(),
-        mean_q: mean(&qs),
-        reversals,
-        oscillation: if deltas.len() > 1 {
-            reversals as f64 / (deltas.len() - 1) as f64
-        } else {
-            0.0
-        },
-        adjusts_per_round: if rounds_total > 0 {
-            adjusts as f64 / rounds_total as f64
-        } else {
-            0.0
-        },
+    let mut acc = QAccum::default();
+    for r in trace.all_rounds() {
+        acc.push_round(r.stats.q_final);
     }
+    acc.set_adjusts_total(trace.counter("round.adjusts"));
+    acc.finalize()
 }
 
 fn duty_cycles(trace: &Trace, sim_seconds: f64) -> Vec<PhaseDuty> {
@@ -669,102 +440,18 @@ fn cover_efficiency(trace: &Trace) -> CoverEfficiency {
 /// no trace of fault activity at all, so clean-run reports are
 /// unchanged by the fault machinery's existence.
 fn fault_report(trace: &Trace, sim_seconds: f64) -> Option<FaultReport> {
-    let trace_end = sim_seconds.max(0.0);
-    let mut windows: Vec<FaultWindow> = Vec::new();
-    for tg in &trace.tags {
-        if let Some(slug) = tg.rec.name.strip_prefix(FAULT_OPEN_PREFIX) {
-            windows.push(FaultWindow {
-                event_idx: tg.rec.epc,
-                slug: slug.to_string(),
-                start: tg.rec.t,
-                // Until (unless) the close marker arrives, the window
-                // runs to the end of the trace.
-                end: trace_end.max(tg.rec.t),
-                closed: false,
-                reads: 0,
-                irr: 0.0,
-            });
-        } else if let Some(slug) = tg.rec.name.strip_prefix(FAULT_CLOSE_PREFIX) {
-            if let Some(w) = windows
-                .iter_mut()
-                .rev()
-                .find(|w| w.event_idx == tg.rec.epc && w.slug == slug && !w.closed)
-            {
-                w.end = tg.rec.t;
-                w.closed = true;
-            }
+    let mut acc = FaultAccum::default();
+    for t in &trace.tags {
+        if t.rec.name == READ_PHASE1 || t.rec.name == READ_PHASE2 {
+            acc.read(t.rec.t);
+        } else {
+            acc.marker(&t.rec.name, t.rec.epc, t.rec.t);
         }
     }
-    let reader_restarts = trace.counter("fault.reader_restarts");
-    let selects_lost = trace.counter("fault.selects_lost");
-    let antenna_out_rounds = trace.counter("fault.antenna_out_rounds");
-    if windows.is_empty() && reader_restarts == 0 && selects_lost == 0 && antenna_out_rounds == 0 {
-        return None;
+    for name in FAULT_COUNTERS {
+        acc.counter(name, trace.counter(name));
     }
-
-    let read_ts: Vec<f64> = trace
-        .tags
-        .iter()
-        .filter(|t| t.rec.name == READ_PHASE1 || t.rec.name == READ_PHASE2)
-        .map(|t| t.rec.t)
-        .collect();
-    for w in &mut windows {
-        w.reads = read_ts
-            .iter()
-            .filter(|&&t| t >= w.start && t < w.end)
-            .count();
-        w.irr = if w.end > w.start {
-            w.reads as f64 / (w.end - w.start)
-        } else {
-            0.0
-        };
-    }
-
-    // Union of windows (overlaps merged) for the in/out split.
-    let mut ivs: Vec<(f64, f64)> = windows
-        .iter()
-        .filter(|w| w.end > w.start)
-        .map(|w| (w.start, w.end))
-        .collect();
-    ivs.sort_by(|a, b| a.0.total_cmp(&b.0));
-    let mut merged: Vec<(f64, f64)> = Vec::new();
-    for (s, e) in ivs {
-        match merged.last_mut() {
-            Some(last) if s <= last.1 => last.1 = last.1.max(e),
-            _ => merged.push((s, e)),
-        }
-    }
-    let faulted_seconds: f64 = merged.iter().map(|(s, e)| e - s).sum();
-    let clean_seconds = (trace_end - faulted_seconds).max(0.0);
-    let faulted_reads = read_ts
-        .iter()
-        .filter(|&&t| merged.iter().any(|&(s, e)| t >= s && t < e))
-        .count();
-    let clean_reads = read_ts.len() - faulted_reads;
-    let irr_faulted = if faulted_seconds > 0.0 {
-        faulted_reads as f64 / faulted_seconds
-    } else {
-        0.0
-    };
-    let irr_clean = if clean_seconds > 0.0 {
-        clean_reads as f64 / clean_seconds
-    } else {
-        0.0
-    };
-    Some(FaultReport {
-        windows,
-        reader_restarts,
-        selects_lost,
-        antenna_out_rounds,
-        faulted_seconds,
-        irr_faulted,
-        irr_clean,
-        degradation: if irr_clean > 0.0 && faulted_seconds > 0.0 {
-            irr_faulted / irr_clean
-        } else {
-            1.0
-        },
-    })
+    acc.finalize(sim_seconds)
 }
 
 fn schedule_summary(trace: &Trace) -> ScheduleSummary {
@@ -922,6 +609,7 @@ impl fmt::Display for RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tagwatch_monitor::verdict::TRUTH_MOBILE;
     use tagwatch_telemetry::{
         ClockKind, CounterRecord, Event, ObserveRecord, SpanRecord, TagRecord,
     };
@@ -1164,6 +852,68 @@ mod tests {
         assert_eq!(fr.windows.len(), 2);
         // [1,5) ∪ [4,6) = [1,6): 5 s faulted, not 6.
         assert!((fr.faulted_seconds - 5.0).abs() < 1e-9);
+    }
+
+    /// The byte-equality contract behind `obs tail`: a closed trace
+    /// replayed event-by-event through the online analyzers must yield
+    /// exactly the batch report's verdicts — not approximately, but as
+    /// identical JSON, since `ci.sh --monitor` compares serializations.
+    fn assert_online_matches_batch(events: &[Event]) {
+        let trace = Trace::from_events(events).unwrap();
+        let batch = RunReport::analyze(&trace, &AnalyzeConfig::default());
+        let mut online = tagwatch_monitor::OnlineAnalyzers::default();
+        for e in events {
+            online.push(e);
+        }
+        let live = online.verdicts();
+        fn js<T: Serialize>(v: &T) -> String {
+            serde_json::to_string(v).unwrap()
+        }
+        assert_eq!(js(&live.tags), js(&batch.tags), "tag summary diverged");
+        assert_eq!(
+            js(&live.starvation),
+            js(&batch.starvation),
+            "starvation diverged"
+        );
+        assert_eq!(
+            js(&live.confusion),
+            js(&batch.confusion),
+            "confusion diverged"
+        );
+        assert_eq!(js(&live.q), js(&batch.q), "q diagnostics diverged");
+        assert_eq!(js(&live.fault), js(&batch.fault), "fault report diverged");
+        assert!(
+            (live.sim_seconds - batch.sim_seconds).abs() < 1e-12,
+            "sim window diverged: {} vs {}",
+            live.sim_seconds,
+            batch.sim_seconds
+        );
+    }
+
+    #[test]
+    fn online_matches_batch_on_the_synthetic_trace() {
+        assert_online_matches_batch(&synthetic());
+    }
+
+    #[test]
+    fn online_matches_batch_on_fault_traces() {
+        let mut ev = vec![span("cycle", 1, None, 0.0, 10.0)];
+        for (i, t) in [1.0, 3.0, 3.5, 5.0, 7.0, 9.0].iter().enumerate() {
+            ev.push(tag(READ_PHASE1, i as u128 + 1, *t));
+        }
+        ev.push(tag("fault.open.burst_noise", 0, 2.0));
+        ev.push(tag("fault.close.burst_noise", 0, 4.0));
+        ev.push(tag("fault.open.antenna_outage", 1, 6.0)); // never closes
+        ev.push(counter("fault.selects_lost", 2, 2));
+        assert_online_matches_batch(&ev);
+    }
+
+    #[test]
+    fn online_matches_batch_with_alarm_tags_interleaved() {
+        // Watchdog feedback events must be verdict-neutral on both sides.
+        let mut ev = synthetic();
+        ev.push(tag("alarm.stale", 0, 20.0));
+        assert_online_matches_batch(&ev);
     }
 
     #[test]

@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! obs report <run.jsonl> [--json] [--starvation-gap SECS]
-//! obs diff <baseline> <current> [--threshold FRAC] [--json]
+//! obs diff <baseline> <current> [--threshold FRAC] [--sim-only] [--json]
 //! obs export --chrome <run.jsonl> [-o out.json]
 //! obs flame <run.jsonl> [--clock sim|wall] [-o out.folded]
 //! obs hotspots <run.jsonl>
-//! obs trend <BENCH_1.json> <BENCH_2.json> [...]
+//! obs trend <BENCH_1.json> [BENCH_2.json ...]
+//! obs tail <run.jsonl> [--watch] [--json] [--interval-ms MS]
+//!                      [--max-wait-ms MS] [--starvation-gap SECS]
+//! obs watch <monitor-dir> [--check <run.jsonl>] [--json]
 //! ```
 //!
 //! `report` validates a telemetry JSONL trace and prints the full
@@ -14,13 +17,23 @@
 //! two runs — each side is either a trace or a `BENCH_<n>.json` snapshot
 //! (auto-detected) — and exits 2 when a gated metric regressed beyond the
 //! relative threshold, which is what `ci.sh` keys on; a vacuous snapshot
-//! (no comparable aggregates) is refused outright. `export --chrome`
-//! emits Chrome `trace_event` JSON viewable in Perfetto / `chrome://
-//! tracing`, with the simulated and wall clocks on separate tracks.
-//! `flame` emits `flamegraph.pl` / inferno collapsed-stack lines weighted
-//! by self time on the chosen clock. `hotspots` prints per-span-family
-//! wall-vs-sim totals plus a measured telemetry self-overhead estimate.
-//! `trend` lines up metric trajectories across a series of snapshots.
+//! (no comparable aggregates) is refused outright; `--sim-only` drops the
+//! wall-derived `wall.*` / `fig.*` families so a gate can demand exact
+//! (`--threshold 0`) agreement on the deterministic remainder. `export
+//! --chrome` emits Chrome `trace_event` JSON viewable in Perfetto /
+//! `chrome://tracing`, with the simulated and wall clocks on separate
+//! tracks. `flame` emits `flamegraph.pl` / inferno collapsed-stack lines
+//! weighted by self time on the chosen clock. `hotspots` prints
+//! per-span-family wall-vs-sim totals plus a measured telemetry
+//! self-overhead estimate. `trend` lines up metric trajectories across a
+//! series of snapshots. `tail` streams a (possibly still growing) trace
+//! through the online analyzers — with `--watch` it follows the file
+//! until the closing footer lands, printing a status line as events
+//! arrive. `watch` reads a `--monitor` status directory: it prints the
+//! latest `MonitorSnapshot`, and with `--check` replays the finished
+//! trace through the batch analyzers and exits 2 unless every verdict
+//! in the snapshot is byte-identical (it also validates the Prometheus
+//! exposition file).
 //!
 //! Exit codes: 0 ok / gate passed, 1 usage or unreadable input,
 //! 2 gate failed.
@@ -28,6 +41,9 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use tagwatch_monitor::{
+    exposition, MonitorSnapshot, OnlineAnalyzers, OnlineConfig, TraceFollower, EXPOSITION_FILE,
+};
 use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
 use tagwatch_obs::bench::BenchSnapshot;
 use tagwatch_obs::diff::DiffReport;
@@ -41,21 +57,30 @@ fn usage() -> String {
     "usage: obs <command>\n\
      \x20 obs report <run.jsonl> [--json] [--starvation-gap SECS]\n\
      \x20 obs analyze … (alias of report)\n\
-     \x20 obs diff <baseline> <current> [--threshold FRAC] [--json]\n\
+     \x20 obs diff <baseline> <current> [--threshold FRAC] [--sim-only] [--json]\n\
      \x20 obs export --chrome <run.jsonl> [-o out.json]\n\
      \x20 obs flame <run.jsonl> [--clock sim|wall] [-o out.folded]\n\
      \x20 obs hotspots <run.jsonl>\n\
-     \x20 obs trend <BENCH_1.json> <BENCH_2.json> [...]\n\
+     \x20 obs trend <BENCH_1.json> [BENCH_2.json ...]\n\
+     \x20 obs tail <run.jsonl> [--watch] [--json] [--interval-ms MS]\n\
+     \x20          [--max-wait-ms MS] [--starvation-gap SECS]\n\
+     \x20 obs watch <monitor-dir> [--check <run.jsonl>] [--json]\n\
      \n\
      report   validate a telemetry trace and print its analysis\n\
      diff     gate a run against a baseline (traces or BENCH_*.json\n\
-     \x20        snapshots, auto-detected); exit 2 on regression\n\
+     \x20        snapshots, auto-detected); exit 2 on regression;\n\
+     \x20        --sim-only ignores wall-derived metrics\n\
      export   emit a Chrome trace_event JSON profile (open in Perfetto\n\
      \x20        or chrome://tracing; sim and wall clocks as tracks)\n\
      flame    emit collapsed stacks for flamegraph.pl / inferno,\n\
      \x20        weighted by per-span self time on the chosen clock\n\
      hotspots per-span-family time attribution + telemetry overhead\n\
      trend    metric trajectories across a BENCH_*.json series\n\
+     tail     stream a trace through the online analyzers; --watch\n\
+     \x20        follows a growing file until the footer lands\n\
+     watch    print a --monitor status directory's latest snapshot;\n\
+     \x20        --check verifies it against the batch analyzers (exit 2\n\
+     \x20        on divergence)\n\
      \n\
      --threshold is a relative fraction: 0.10 (the default) fails moves\n\
      beyond ±10% on gated metrics"
@@ -148,12 +173,14 @@ fn cmd_report(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let mut paths: Vec<String> = Vec::new();
     let mut json = false;
+    let mut sim_only = false;
     let mut threshold: f64 = 0.10;
     let cfg = AnalyzeConfig::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--sim-only" => sim_only = true,
             "--threshold" => {
                 let v = it.next().ok_or("--threshold needs a value")?;
                 threshold = v.parse().map_err(|_| format!("bad threshold {v:?}"))?;
@@ -170,8 +197,16 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
     let [baseline, current] = paths.as_slice() else {
         return Err(format!("diff needs exactly two inputs\n{}", usage()));
     };
-    let (kind_b, map_b) = load_metrics(baseline, &cfg)?;
-    let (kind_c, map_c) = load_metrics(current, &cfg)?;
+    let (kind_b, mut map_b) = load_metrics(baseline, &cfg)?;
+    let (kind_c, mut map_c) = load_metrics(current, &cfg)?;
+    if sim_only {
+        // Wall-derived families vary run to run by construction; the
+        // rest must be reproducible, so a --sim-only gate can demand
+        // --threshold 0.
+        let sim_side = |k: &String| !k.starts_with("wall.") && !k.starts_with("fig.");
+        map_b.retain(|k, _| sim_side(k));
+        map_c.retain(|k, _| sim_side(k));
+    }
     if kind_b != kind_c {
         return Err(format!(
             "cannot diff a {} against a {} — the metric families do not line up \
@@ -284,12 +319,307 @@ fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
     if let Some(bad) = args.iter().find(|a| a.starts_with('-')) {
         return Err(format!("unknown option {bad:?}\n{}", usage()));
     }
-    if paths.len() < 2 {
-        return Err(format!("trend needs at least two snapshots\n{}", usage()));
+    if paths.is_empty() {
+        return Err(format!("trend needs at least one snapshot\n{}", usage()));
     }
     let report = TrendReport::load_series(&paths).map_err(|e| format!("trend: {e}"))?;
+    // A bench-history archive starts life with one accepted snapshot;
+    // that is a point, not a trajectory — report it and succeed so the
+    // CI archive step can always run trend informationally.
+    if paths.len() == 1 {
+        println!(
+            "trend: only one snapshot ({}) — nothing to compare yet; archive more \
+             accepted runs (ci.sh --obs appends to bench-history/) and re-run",
+            paths[0]
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
     print!("{report}");
+    if report.series.iter().all(|s| s.relative_change.is_none()) {
+        println!(
+            "trend: no metric is present in more than one snapshot — every series \
+             is a single point, so no first→last change can be computed"
+        );
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+/// Human one-screen rendering of the online verdicts (the `tail`
+/// counterpart of the batch report's Display).
+fn render_online(online: &OnlineAnalyzers) -> String {
+    use std::fmt::Write as _;
+    let v = online.verdicts();
+    let w = online.window_stats();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "online report ({} events, {} cycles, sim {:.3} s{})",
+        online.events(),
+        online.cycles(),
+        v.sim_seconds,
+        if online.footer().is_some() {
+            ", complete"
+        } else {
+            ", trace still open"
+        }
+    );
+    let _ = writeln!(
+        s,
+        "  tags: {} seen, {} reads, IRR mean {:.3}/s min {:.3}/s max {:.3}/s",
+        v.tags.tags, v.tags.reads_total, v.tags.irr_mean, v.tags.irr_min, v.tags.irr_max
+    );
+    let _ = writeln!(
+        s,
+        "  window: {:.1} s sliding, {} reads, {:.2}/s",
+        w.seconds, w.reads, w.irr
+    );
+    let _ = writeln!(
+        s,
+        "  starvation (> {:.1} s): {} tags, {} windows",
+        v.starvation.gap_threshold,
+        v.starvation.starved_tags,
+        v.starvation.events.len()
+    );
+    match &v.confusion {
+        Some(c) => {
+            let _ = writeln!(
+                s,
+                "  detector: TPR {:.3}  FPR {:.3}  accuracy {:.3} ({} cycles)",
+                c.tpr, c.fpr, c.accuracy, c.cycles
+            );
+        }
+        None => {
+            let _ = writeln!(s, "  detector: no truth.mobile annotations yet");
+        }
+    }
+    let _ = writeln!(
+        s,
+        "  q: {} rounds, mean {:.2}, oscillation {:.2}",
+        v.q.rounds, v.q.mean_q, v.q.oscillation
+    );
+    if let Some(fr) = &v.fault {
+        let _ = writeln!(
+            s,
+            "  faults: {} windows, {:.3} s injected, degradation {:.0}% of clean",
+            fr.windows.len(),
+            fr.faulted_seconds,
+            fr.degradation * 100.0
+        );
+    }
+    if online.alarms_seen() > 0 {
+        let _ = writeln!(s, "  alarms: {} in trace", online.alarms_seen());
+    }
+    s
+}
+
+fn cmd_tail(args: &[String]) -> Result<ExitCode, String> {
+    let mut path = None;
+    let mut watch = false;
+    let mut json = false;
+    let mut interval_ms: u64 = 200;
+    let mut max_wait_ms: Option<u64> = None;
+    let mut cfg = OnlineConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--watch" => watch = true,
+            "--json" => json = true,
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = v.parse().map_err(|_| format!("bad interval {v:?}"))?;
+                interval_ms = interval_ms.max(1);
+            }
+            "--max-wait-ms" => {
+                let v = it.next().ok_or("--max-wait-ms needs a value")?;
+                max_wait_ms = Some(v.parse().map_err(|_| format!("bad max wait {v:?}"))?);
+            }
+            "--starvation-gap" => {
+                let v = it.next().ok_or("--starvation-gap needs a value")?;
+                cfg.starvation_gap = v.parse().map_err(|_| format!("bad starvation gap {v:?}"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let mut follower = TraceFollower::new(&path);
+    let mut online = OnlineAnalyzers::new(cfg);
+    // Wall time is deliberately never read here (the workspace confines
+    // wall clocks to the telemetry crate); the wait budget is accounted
+    // as completed sleep intervals instead.
+    let mut slept_ms: u64 = 0;
+    let mut timed_out = false;
+    loop {
+        let batch = follower.poll().map_err(|e| e.to_string())?;
+        let fresh = !batch.is_empty();
+        for (_, ev) in &batch {
+            online.push(ev);
+        }
+        if online.footer().is_some() {
+            break;
+        }
+        if !watch {
+            // One-shot: the poll drained the file to its current end.
+            break;
+        }
+        if fresh && !json {
+            println!(
+                "[{} events] sim {:.2} s, {} cycles, window {:.2} reads/s, {} alarms",
+                online.events(),
+                online.sim_seconds(),
+                online.cycles(),
+                online.window_stats().irr,
+                online.alarms_seen()
+            );
+        }
+        if let Some(budget) = max_wait_ms {
+            if slept_ms >= budget {
+                timed_out = true;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        slept_ms += interval_ms;
+    }
+    if json {
+        #[derive(serde::Serialize)]
+        struct TailOutput {
+            complete: bool,
+            timed_out: bool,
+            events: u64,
+            cycles: usize,
+            alarms_seen: u64,
+            verdicts: tagwatch_monitor::OnlineVerdicts,
+        }
+        let out = TailOutput {
+            complete: online.footer().is_some(),
+            timed_out,
+            events: online.events(),
+            cycles: online.cycles(),
+            alarms_seen: online.alarms_seen(),
+            verdicts: online.verdicts(),
+        };
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("tail output serializes")
+        );
+    } else {
+        if timed_out {
+            eprintln!("tail: wait budget exhausted before the trace footer arrived");
+        }
+        print!("{}", render_online(&online));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir = None;
+    let mut check: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--check" => {
+                check = Some(it.next().ok_or("--check needs a trace path")?.clone());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p if dir.is_none() => dir = Some(std::path::PathBuf::from(p)),
+            extra => return Err(format!("unexpected argument {extra:?}\n{}", usage())),
+        }
+    }
+    let dir = dir.ok_or_else(usage)?;
+    let snap = MonitorSnapshot::load(&dir.join(tagwatch_monitor::STATUS_FILE))
+        .map_err(|e| format!("{e}"))?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&snap).expect("snapshot serializes")
+        );
+    } else {
+        println!(
+            "monitor snapshot #{} — {} events, {} cycles, sim {:.3} s, {} alarms{}{}",
+            snap.seq,
+            snap.events,
+            snap.cycles,
+            snap.sim_seconds,
+            snap.alarms.len(),
+            if snap.footer_seen {
+                ", complete"
+            } else {
+                ", run still open"
+            },
+            if snap.write_errors > 0 {
+                " (WRITE ERRORS)"
+            } else {
+                ""
+            }
+        );
+        for a in &snap.alarms {
+            println!("  alarm[{}] {} @ {:.3} s: {}", a.seq, a.kind, a.t, a.detail);
+        }
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    // The exposition artifact must stay parseable whenever present —
+    // CI regenerates it on every monitored run.
+    let prom_path = dir.join(EXPOSITION_FILE);
+    match std::fs::read_to_string(&prom_path) {
+        Ok(text) => {
+            if let Err(e) = exposition::validate(&text) {
+                failures.push(format!("{}: {e}", prom_path.display()));
+            }
+        }
+        Err(e) => failures.push(format!("{}: {e}", prom_path.display())),
+    }
+
+    if let Some(trace_path) = check.as_deref() {
+        if !snap.footer_seen {
+            failures.push(
+                "snapshot is not final (no footer) — run the check after the run ends".to_string(),
+            );
+        }
+        let trace = Trace::from_path(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+        let cfg = AnalyzeConfig {
+            starvation_gap: snap.starvation.gap_threshold,
+        };
+        let batch = RunReport::analyze(&trace, &cfg);
+        let mut cmp = |what: &str, live: String, batch: String| {
+            if live != batch {
+                failures.push(format!("{what} diverged:\n  live  {live}\n  batch {batch}"));
+            }
+        };
+        fn ser<T: serde::Serialize>(v: &T) -> String {
+            serde_json::to_string(v).expect("verdicts serialize")
+        }
+        cmp("tag summary", ser(&snap.tags), ser(&batch.tags));
+        cmp("starvation", ser(&snap.starvation), ser(&batch.starvation));
+        cmp("confusion", ser(&snap.confusion), ser(&batch.confusion));
+        cmp("q diagnostics", ser(&snap.q), ser(&batch.q));
+        cmp("fault report", ser(&snap.fault), ser(&batch.fault));
+        cmp(
+            "sim window",
+            format!("{:?}", snap.sim_seconds.to_bits()),
+            format!("{:?}", batch.sim_seconds.to_bits()),
+        );
+    }
+
+    if failures.is_empty() {
+        if check.is_some() {
+            println!("watch: snapshot matches the batch analyzers byte-for-byte");
+        }
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in &failures {
+            eprintln!("watch: {f}");
+        }
+        Ok(ExitCode::from(2))
+    }
 }
 
 fn main() -> ExitCode {
@@ -302,6 +632,8 @@ fn main() -> ExitCode {
             "flame" => cmd_flame(rest),
             "hotspots" => cmd_hotspots(rest),
             "trend" => cmd_trend(rest),
+            "tail" => cmd_tail(rest),
+            "watch" => cmd_watch(rest),
             "--help" | "-h" => Err(usage()),
             other => Err(format!("unknown command {other:?}\n{}", usage())),
         },

@@ -437,6 +437,10 @@ impl Reader {
         // immediately *before* its span event, so `tagwatch-obs` can
         // attribute them to the round without timestamps on counters.
         result.record(&self.telemetry);
+        // Sim-clock heartbeat: the round's end instant as a gauge, so a
+        // live monitor's staleness watchdog keeps pace even while the
+        // enclosing cycle span is still open.
+        self.telemetry.gauge_set("round.sim_now", self.clock);
         self.telemetry
             .observe("round.q_final", sizer.current_q() as f64);
         round_span.end(self.clock);

@@ -14,6 +14,38 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, Read};
 use std::path::Path;
 
+/// One raw line pulled off the stream: its bytes (newline stripped) and
+/// whether the newline was actually there. Reading *bytes* rather than
+/// `read_line`'s `String` matters for the final line: a writer killed
+/// mid-record can cut a multi-byte UTF-8 character in half, and that must
+/// classify as a truncated tail, not as an I/O error.
+struct RawLine {
+    bytes: Vec<u8>,
+    terminated: bool,
+}
+
+/// Reads one `\n`-delimited line as bytes. `Ok(None)` at end of stream.
+fn read_raw_line<R: BufRead>(reader: &mut R) -> io::Result<Option<RawLine>> {
+    let mut bytes = Vec::new();
+    let n = reader.read_until(b'\n', &mut bytes)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let terminated = bytes.last() == Some(&b'\n');
+    if terminated {
+        bytes.pop();
+        if bytes.last() == Some(&b'\r') {
+            bytes.pop();
+        }
+    }
+    Ok(Some(RawLine { bytes, terminated }))
+}
+
+/// Renders possibly-invalid UTF-8 for an error snippet.
+fn snippet_of_bytes(bytes: &[u8]) -> String {
+    snippet_of(&String::from_utf8_lossy(bytes))
+}
+
 /// Why a JSONL trace failed to re-ingest.
 #[derive(Debug)]
 pub enum ParseError {
@@ -119,31 +151,46 @@ pub fn parse_line(line: &str) -> Result<Event, serde_json::Error> {
 pub fn read_events<R: Read>(reader: R) -> Result<Vec<(usize, Event)>, ParseError> {
     let mut reader = BufReader::new(reader);
     let mut events = Vec::new();
-    let mut buf = String::new();
     let mut line_no = 0usize;
     loop {
         line_no += 1;
-        buf.clear();
-        let n = reader
-            .read_line(&mut buf)
-            .map_err(|source| ParseError::Io {
-                line: line_no,
-                source,
-            })?;
-        if n == 0 {
-            return Ok(events);
-        }
-        let terminated = buf.ends_with('\n');
-        let body = buf.trim_end_matches(['\n', '\r']);
+        let raw = match read_raw_line(&mut reader) {
+            Ok(None) => return Ok(events),
+            Ok(Some(raw)) => raw,
+            Err(source) => {
+                return Err(ParseError::Io {
+                    line: line_no,
+                    source,
+                })
+            }
+        };
+        // A cut-off final line may end inside a multi-byte character, so
+        // an unterminated line that is not valid UTF-8 is a truncated
+        // tail, same as one that is valid UTF-8 but not valid JSON.
+        let body = match std::str::from_utf8(&raw.bytes) {
+            Ok(s) => s,
+            Err(_) if !raw.terminated => {
+                return Err(ParseError::TruncatedTail {
+                    line: line_no,
+                    snippet: snippet_of_bytes(&raw.bytes),
+                })
+            }
+            Err(e) => {
+                return Err(ParseError::Line {
+                    line: line_no,
+                    message: format!("invalid UTF-8: {e}"),
+                    snippet: snippet_of_bytes(&raw.bytes),
+                })
+            }
+        };
         if body.trim().is_empty() {
             continue;
         }
         match parse_line(body) {
             Ok(ev) => events.push((line_no, ev)),
-            Err(e) if !terminated => {
+            Err(_) if !raw.terminated => {
                 // Unterminated + unparseable final line: the writer was
                 // interrupted mid-line, not a corrupt trace.
-                let _ = e;
                 return Err(ParseError::TruncatedTail {
                     line: line_no,
                     snippet: snippet_of(body),
@@ -175,15 +222,13 @@ pub fn read_events_path<P: AsRef<Path>>(path: P) -> Result<Vec<(usize, Event)>, 
 pub fn read_events_lenient<R: Read>(reader: R) -> (Vec<(usize, Event)>, Option<ParseError>) {
     let mut reader = BufReader::new(reader);
     let mut events = Vec::new();
-    let mut first_err = None;
-    let mut buf = String::new();
+    let mut first_err: Option<ParseError> = None;
     let mut line_no = 0usize;
     loop {
         line_no += 1;
-        buf.clear();
-        match reader.read_line(&mut buf) {
-            Ok(0) => return (events, first_err),
-            Ok(_) => {}
+        let raw = match read_raw_line(&mut reader) {
+            Ok(None) => return (events, first_err),
+            Ok(Some(raw)) => raw,
             Err(source) => {
                 first_err.get_or_insert(ParseError::Io {
                     line: line_no,
@@ -191,16 +236,33 @@ pub fn read_events_lenient<R: Read>(reader: R) -> (Vec<(usize, Event)>, Option<P
                 });
                 return (events, first_err);
             }
-        }
-        let terminated = buf.ends_with('\n');
-        let body = buf.trim_end_matches(['\n', '\r']);
+        };
+        let body = match std::str::from_utf8(&raw.bytes) {
+            Ok(s) => s,
+            Err(e) => {
+                let err = if raw.terminated {
+                    ParseError::Line {
+                        line: line_no,
+                        message: format!("invalid UTF-8: {e}"),
+                        snippet: snippet_of_bytes(&raw.bytes),
+                    }
+                } else {
+                    ParseError::TruncatedTail {
+                        line: line_no,
+                        snippet: snippet_of_bytes(&raw.bytes),
+                    }
+                };
+                first_err.get_or_insert(err);
+                continue;
+            }
+        };
         if body.trim().is_empty() {
             continue;
         }
         match parse_line(body) {
             Ok(ev) => events.push((line_no, ev)),
             Err(e) => {
-                let err = if terminated {
+                let err = if raw.terminated {
                     ParseError::Line {
                         line: line_no,
                         message: e.to_string(),
@@ -275,6 +337,53 @@ mod tests {
         match read_events(cut.as_bytes()) {
             Err(ParseError::TruncatedTail { line, .. }) => assert_eq!(line, 3),
             other => panic!("expected TruncatedTail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_truncation_inside_multibyte_char_is_truncated_tail() {
+        // A final line carrying non-ASCII content (e.g. a metric name
+        // with a µ) cut mid-character is not valid UTF-8; it must still
+        // classify as TruncatedTail, never as an I/O or line error.
+        let (_, body) = sample_lines();
+        let tail = serde_json::to_string(&Event::Gauge(GaugeRecord {
+            name: "round.µ_latency".into(),
+            value: 1.0,
+        }))
+        .unwrap();
+        let full = format!("{body}{tail}\n");
+        // Truncate at every byte offset inside the final line (dropping
+        // the trailing newline first): every cut must be TruncatedTail.
+        let last_start = full.len() - tail.len() - 1;
+        for cut in last_start + 1..full.len() - 1 {
+            match read_events(&full.as_bytes()[..cut]) {
+                Err(ParseError::TruncatedTail { line, .. }) => assert_eq!(line, 4),
+                other => panic!("cut at {cut}: expected TruncatedTail, got {other:?}"),
+            }
+        }
+        // Lenient mode classifies the same way and salvages the prefix.
+        let cut = &full.as_bytes()[..full.len() - 2]; // ends mid-"\n"? no: drops newline + last byte
+        let (salvaged, err) = read_events_lenient(cut);
+        assert_eq!(salvaged.len(), 3);
+        match err {
+            Some(ParseError::TruncatedTail { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected TruncatedTail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_terminated_invalid_utf8_is_a_line_error() {
+        // Mid-file invalid UTF-8 on a newline-terminated line is corrupt
+        // data, not a truncated tail.
+        let (_, body) = sample_lines();
+        let mut bytes = body.into_bytes();
+        bytes.splice(2..2, [0xFF, 0xFE]);
+        match read_events(bytes.as_slice()) {
+            Err(ParseError::Line { line, message, .. }) => {
+                assert_eq!(line, 1);
+                assert!(message.contains("UTF-8"), "{message}");
+            }
+            other => panic!("expected Line, got {other:?}"),
         }
     }
 

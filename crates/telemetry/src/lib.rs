@@ -75,7 +75,9 @@ pub use histogram::Histogram;
 pub use jsonl::ParseError;
 pub use overhead::OverheadEstimate;
 pub use registry::MetricsRegistry;
-pub use sink::{JsonlSink, MemorySink, RingSink, SimOnlySink, Sink};
+pub use sink::{
+    is_sim_deterministic, JsonlSink, MemorySink, NullSink, RingSink, SimOnlySink, Sink,
+};
 pub use span::{SimSpan, SpanGuard};
 
 /// Starts a wall-clock span on a handle: `let _g = span!(tel, "phase1");`.

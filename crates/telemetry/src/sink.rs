@@ -21,6 +21,40 @@ pub trait Sink: Send {
     fn flush(&mut self) {}
 }
 
+/// Boxed sinks are sinks, so adapters (tees, filters) can wrap an
+/// arbitrary dynamically-chosen inner sink.
+impl Sink for Box<dyn Sink + Send> {
+    fn record(&mut self, event: &Event) {
+        (**self).record(event);
+    }
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+}
+
+/// A sink that discards everything. Useful as the inner sink of an
+/// adapter that is wanted only for its side channel (e.g. a live monitor
+/// with no trace file configured).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Whether `event` is a pure function of the seed and scenario — i.e.
+/// carries no host wall-clock data. This is the predicate behind
+/// [`SimOnlySink`], exported so other consumers (the live monitor) can
+/// restrict themselves to the deterministic substream and stay
+/// byte-reproducible across same-seed runs.
+pub fn is_sim_deterministic(event: &Event) -> bool {
+    match event {
+        Event::Span(s) => s.clock == ClockKind::Sim,
+        Event::Observe(o) => o.name != "cycle.compute_seconds",
+        _ => true,
+    }
+}
+
 /// A bounded in-memory ring buffer of events. Cheap to clone — clones
 /// share the buffer, so tests install one copy and inspect the other.
 ///
@@ -184,6 +218,12 @@ impl RingSink {
         self.buf().dropped
     }
 
+    /// Every event ever offered to the ring (retained + dropped). The
+    /// drop *rate* `dropped / seen` is what a health watchdog alarms on.
+    pub fn seen(&self) -> u64 {
+        self.buf().seen
+    }
+
     /// A copy of the retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
         self.buf().events.iter().cloned().collect()
@@ -340,11 +380,7 @@ impl<S: Sink> SimOnlySink<S> {
     }
 
     fn is_wall_derived(event: &Event) -> bool {
-        match event {
-            Event::Span(s) => s.clock == ClockKind::Wall,
-            Event::Observe(o) => o.name == "cycle.compute_seconds",
-            _ => false,
-        }
+        !is_sim_deterministic(event)
     }
 }
 

@@ -1,0 +1,142 @@
+//! Property: the online analyzers are a faithful streaming image of the
+//! batch ones. Any valid trace a real `Telemetry` handle can emit —
+//! reads, mobility assessments, truth annotations, cycle/round spans,
+//! Q-adaptation counters, fault markers, plus arbitrary metric noise —
+//! fed event-by-event into [`OnlineAnalyzers`] must finalize into
+//! verdicts byte-identical (as serialized JSON) to `RunReport::analyze`
+//! over the same closed trace.
+
+use proptest::prelude::*;
+use tagwatch_monitor::OnlineAnalyzers;
+use tagwatch_obs::model::Trace;
+use tagwatch_obs::{AnalyzeConfig, RunReport};
+use tagwatch_telemetry::{MemorySink, Telemetry};
+
+/// Metric-style names for noise events: 1–3 dotted lowercase segments.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}(\\.[a-z]{1,6}){0,2}"
+}
+
+/// One telemetry operation to replay against a live handle. The
+/// verdict-bearing shapes mirror what the reader/controller actually
+/// emit; the noise shapes prove the analyzers ignore everything else.
+#[derive(Debug, Clone)]
+enum Op {
+    /// `read.phase1` / `read.phase2` tag moment.
+    Read(bool, u8, f64),
+    /// `assess.mobile` verdict for a tag.
+    AssessMobile(u8, f64),
+    /// `truth.mobile` ground-truth annotation.
+    TruthMobile(u8, f64),
+    /// A closed `cycle` sim span.
+    Cycle(f64, f64),
+    /// A closed `round` sim span, preceded by its `round.q_final`
+    /// observation (the reader's emission order, which the batch trace
+    /// model relies on for attribution).
+    Round(f64, f64, f64),
+    /// `round.adjusts` counter increments.
+    Adjusts(u8),
+    /// Open/close marker pair boundary for a fault window.
+    FaultMark(bool, u8, f64),
+    /// `fault.selects_lost` counter increments.
+    FaultCounter(u8),
+    /// Noise: arbitrary counter / gauge / observation the analyzers
+    /// must ignore (includes the `*.sim_now` watchdog heartbeats).
+    NoiseCounter(String, u8),
+    NoiseGauge(String, f64),
+    NoiseObserve(String, f64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let t = 0.0f64..1e4;
+    prop_oneof![
+        (any::<bool>(), any::<u8>(), t.clone()).prop_map(|(p2, e, t)| Op::Read(p2, e, t)),
+        (any::<u8>(), t.clone()).prop_map(|(e, t)| Op::AssessMobile(e, t)),
+        (any::<u8>(), t.clone()).prop_map(|(e, t)| Op::TruthMobile(e, t)),
+        (t.clone(), 0.0f64..10.0).prop_map(|(t, d)| Op::Cycle(t, d)),
+        (t.clone(), 0.0f64..1.0, 0.0f64..15.0).prop_map(|(t, d, q)| Op::Round(t, d, q)),
+        (1u8..10).prop_map(Op::Adjusts),
+        (any::<bool>(), any::<u8>(), t.clone()).prop_map(|(open, e, t)| Op::FaultMark(open, e, t)),
+        (1u8..10).prop_map(Op::FaultCounter),
+        (arb_name(), 1u8..100).prop_map(|(n, d)| Op::NoiseCounter(n, d)),
+        prop_oneof![arb_name(), Just("round.sim_now".to_string())]
+            .prop_flat_map(move |n| (Just(n), 0.0f64..1e4))
+            .prop_map(|(n, v)| Op::NoiseGauge(n, v)),
+        (arb_name(), 0.0f64..1e6).prop_map(|(n, v)| Op::NoiseObserve(n, v)),
+    ]
+}
+
+fn replay(ops: &[Op]) -> Vec<tagwatch_telemetry::Event> {
+    let tel = Telemetry::new();
+    let mem = MemorySink::new(1 << 16);
+    tel.install(Box::new(mem.clone()));
+    for op in ops {
+        match op {
+            Op::Read(phase2, epc, t) => {
+                let name = if *phase2 {
+                    "read.phase2"
+                } else {
+                    "read.phase1"
+                };
+                tel.tag_event(name, u128::from(*epc), *t);
+            }
+            Op::AssessMobile(epc, t) => tel.tag_event("assess.mobile", u128::from(*epc), *t),
+            Op::TruthMobile(epc, t) => tel.tag_event("truth.mobile", u128::from(*epc), *t),
+            Op::Cycle(t, d) => tel.sim_span("cycle", *t).end(t + d),
+            Op::Round(t, d, q) => {
+                tel.observe("round.q_final", *q);
+                tel.sim_span("round", *t).end(t + d);
+            }
+            Op::Adjusts(d) => tel.incr_by("round.adjusts", u64::from(*d)),
+            Op::FaultMark(open, idx, t) => {
+                let name = if *open {
+                    "fault.open.burst_noise"
+                } else {
+                    "fault.close.burst_noise"
+                };
+                tel.tag_event(name, u128::from(*idx), *t);
+            }
+            Op::FaultCounter(d) => tel.incr_by("fault.selects_lost", u64::from(*d)),
+            Op::NoiseCounter(n, d) => tel.incr_by(n, u64::from(*d)),
+            Op::NoiseGauge(n, v) => tel.gauge_set(n, *v),
+            Op::NoiseObserve(n, v) => tel.observe(n, *v),
+        }
+    }
+    tel.finish();
+    mem.events()
+}
+
+fn js<T: serde::Serialize>(v: &T) -> String {
+    serde_json::to_string(v).expect("verdicts serialize")
+}
+
+proptest! {
+    /// Event-by-event online ingestion finalizes to verdicts
+    /// byte-identical to the batch analyzers' on the closed trace.
+    #[test]
+    fn online_verdicts_match_batch_on_any_valid_trace(
+        ops in prop::collection::vec(arb_op(), 1..80),
+    ) {
+        let events = replay(&ops);
+        prop_assume!(!events.is_empty());
+        let trace = Trace::from_events(&events).expect("live stream is a valid trace");
+        let report = RunReport::analyze(&trace, &AnalyzeConfig::default());
+
+        let mut online = OnlineAnalyzers::default();
+        for event in &events {
+            online.push(event);
+        }
+        let verdicts = online.verdicts();
+
+        prop_assert_eq!(js(&verdicts.tags), js(&report.tags), "per-tag IRR diverged");
+        prop_assert_eq!(js(&verdicts.starvation), js(&report.starvation), "starvation diverged");
+        prop_assert_eq!(js(&verdicts.confusion), js(&report.confusion), "confusion diverged");
+        prop_assert_eq!(js(&verdicts.q), js(&report.q), "Q diagnostics diverged");
+        prop_assert_eq!(js(&verdicts.fault), js(&report.fault), "fault attribution diverged");
+        prop_assert_eq!(
+            verdicts.sim_seconds.to_bits(),
+            report.sim_seconds.to_bits(),
+            "sim window diverged"
+        );
+    }
+}
