@@ -17,6 +17,11 @@
 #                    # final snapshot must match the batch analyzers
 #                    # byte-for-byte (obs watch --check), the exposition
 #                    # must parse, and sim-side metrics must stay at +0.0%
+#   ./ci.sh --perf   # performance-accounting gate only: 5-trial obs-run,
+#                    # obs compare against the newest bench-history
+#                    # snapshot (same sim work required; a median work
+#                    # rate may only regress beyond k·stddev of the
+#                    # trial noise band)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,12 +30,14 @@ obs_only=false
 lint_only=false
 faults_only=false
 monitor_only=false
+perf_only=false
 case "${1:-}" in
     --tier1) tier1_only=true ;;
     --obs) obs_only=true ;;
     --lint) lint_only=true ;;
     --faults) faults_only=true ;;
     --monitor) monitor_only=true ;;
+    --perf) perf_only=true ;;
 esac
 
 regressions_check() {
@@ -200,6 +207,40 @@ fault_gate() {
     echo "faults gate passed."
 }
 
+perf_gate() {
+    # Performance-accounting gate: a fresh --trials run must do byte-
+    # identical sim work to the newest archived snapshot (`obs compare`
+    # exits 2 "not comparable" otherwise), and its median work rates may
+    # only drop beyond k·stddev of the trial noise band AND by more than
+    # the relative floor — plain timer jitter never fails CI.
+    local seed=7 trials=5 baseline
+    echo "==> perf: cargo build --release (repro + obs)"
+    cargo build --release -p tagwatch-bench -p tagwatch-obs
+    mkdir -p out
+
+    baseline=$(ls bench-history/BENCH_*.json 2>/dev/null | sort | tail -n1 || true)
+    if [[ -z "$baseline" ]]; then
+        echo "==> perf: no bench-history/ archive yet — run ./ci.sh --obs first; skipping"
+        return 0
+    fi
+    if ! grep -q '"perf.work.' "$baseline"; then
+        echo "==> perf: $baseline predates the perf.work.* counters — bootstrap skip"
+        echo "    (the next ./ci.sh --obs archive will carry them)"
+        return 0
+    fi
+
+    # --telemetry matches the sink configuration the archived baseline
+    # was recorded under (obs_gate), so the wall clocks compare
+    # like-for-like; the sim-side counters are sink-invariant either way.
+    echo "==> perf: $trials-trial reference workload (obs-run, seed $seed)"
+    ./target/release/repro obs-run --quick --seed "$seed" --trials "$trials" \
+        --telemetry out/perf-ci.jsonl --bench-json out/BENCH_perf.json >/dev/null
+
+    echo "==> perf: obs compare $baseline out/BENCH_perf.json"
+    ./target/release/obs compare "$baseline" out/BENCH_perf.json
+    echo "perf gate passed."
+}
+
 if $obs_only; then
     obs_gate
     exit 0
@@ -217,6 +258,11 @@ fi
 
 if $lint_only; then
     lint_gate
+    exit 0
+fi
+
+if $perf_only; then
+    perf_gate
     exit 0
 fi
 
@@ -241,6 +287,7 @@ if ! $tier1_only; then
     obs_gate
     fault_gate
     monitor_gate
+    perf_gate
 fi
 
 echo "CI gate passed."

@@ -21,6 +21,14 @@
 //! `--telemetry`. The `obs-run` target is the observability reference
 //! workload `ci.sh` records and gates (see EXPERIMENTS.md).
 //!
+//! `--trials N` repeats every figure N times (same seed — the sim work
+//! is byte-identical, only the wall clock varies) and records per-trial
+//! wall times plus median/min/stddev and work rates in the snapshot
+//! (schema v2). The harness asserts each trial's registry counter deltas
+//! are byte-equal and refuses to average a nondeterministic workload;
+//! the snapshot's counters are one trial's worth, so snapshots stay
+//! comparable across different `--trials` values.
+//!
 //! `--monitor DIR` tees the event stream through the live observability
 //! plane (`tagwatch-monitor`): online analyzers refresh a schema-versioned
 //! `status.json` + Prometheus-style `metrics.prom` in `DIR` on the sim
@@ -55,6 +63,9 @@ struct Opts {
     telemetry: Option<std::path::PathBuf>,
     /// BENCH snapshot output path, when requested.
     bench_json: Option<std::path::PathBuf>,
+    /// Wall-clock trials per figure (`--trials`, ≥ 1). Only the wall
+    /// statistics vary across trials; the sim work is asserted equal.
+    trials: u32,
     /// Sink-side overhead control (sampling + event ceiling).
     telemetry_cfg: TelemetryConfig,
     /// Fault plan (`--faults`), applied to the fault-aware targets
@@ -90,6 +101,7 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         csv_dir: None,
         telemetry: None,
         bench_json: None,
+        trials: 1,
         telemetry_cfg: TelemetryConfig::default(),
         faults: None,
         sim_only: false,
@@ -113,6 +125,14 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
             "--bench-json" => {
                 let v = args.next().ok_or("--bench-json needs a file path")?;
                 opts.bench_json = Some(v.into());
+            }
+            "--trials" => {
+                let v = args.next().ok_or("--trials needs a value")?;
+                let n: u32 = v.parse().map_err(|_| format!("bad trial count {v:?}"))?;
+                if n == 0 {
+                    return Err("--trials must be ≥ 1".into());
+                }
+                opts.trials = n;
             }
             "--telemetry-sample" => {
                 let v = args.next().ok_or("--telemetry-sample needs a value")?;
@@ -161,9 +181,12 @@ fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
      gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run|fault-run> \
      [--seed N] [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE] \
-     [--telemetry-sample N] [--telemetry-max-events M] [--faults PLAN] \
+     [--trials N] [--telemetry-sample N] [--telemetry-max-events M] [--faults PLAN] \
      [--telemetry-sim-only] [--monitor DIR]\n\
      \n\
+     --trials N repeats each figure N times at the same seed (reprinting its\n\
+     output) and records per-trial wall stats + work rates in the bench snapshot;\n\
+     sim-side counter deltas must be byte-equal across trials or the run fails.\n\
      --faults PLAN loads a tagwatch-fault plan (TOML or JSON) and applies it to the\n\
      fault-aware targets: obs-run injects it alongside the reference workload;\n\
      fault-run runs the differential baseline-vs-faulted pair and fails (exit 1)\n\
@@ -357,26 +380,91 @@ fn main() -> ExitCode {
     };
     let run_start = wall_now();
     let mut figures: BTreeMap<String, FigureBench> = BTreeMap::new();
+    // With `--trials N` the registry keeps accumulating across trials, so
+    // the snapshot's counters are rebuilt from per-trial deltas (asserted
+    // byte-identical) and stay comparable with single-trial baselines.
+    let mut single_trial_counters: BTreeMap<String, u64> = BTreeMap::new();
     for (i, fig) in expanded.iter().enumerate() {
         if i > 0 {
             println!();
         }
-        let reports_before = phase2_reports_total();
-        let fig_start = wall_now();
-        if let Err(msg) = run_fig(fig, &opts) {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
+        let mut trial_walls: Vec<f64> = Vec::new();
+        let mut canonical_delta: Option<BTreeMap<String, u64>> = None;
+        for trial in 0..opts.trials {
+            if trial > 0 {
+                eprintln!(
+                    "-- {fig}: trial {}/{} (same seed; only the wall clock varies)",
+                    trial + 1,
+                    opts.trials
+                );
+            }
+            let tel = Telemetry::global();
+            let counters_before = registry_counters();
+            let offered_before = tel.offered();
+            let fig_start = wall_now();
+            if let Err(msg) = run_fig(fig, &opts) {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+            trial_walls.push(fig_start.elapsed_seconds());
+            // The harness-side work counter: events this trial offered to
+            // the telemetry plane, before any sampling or drop — so the
+            // figure is identical whatever sink throttling is in force.
+            // Flushed unconditionally (a no-op on a disabled handle): a
+            // trace must carry the same events whether or not the same
+            // run also asked for --bench-json.
+            let offered = tel.offered() - offered_before;
+            tel.incr_by("perf.work.telemetry_events", offered);
+            if opts.bench_json.is_none() {
+                continue;
+            }
+            let delta: BTreeMap<String, u64> = registry_counters()
+                .into_iter()
+                .map(|(k, v)| {
+                    let before = counters_before.get(&k).copied().unwrap_or(0);
+                    (k, v - before)
+                })
+                .collect();
+            match &canonical_delta {
+                None => canonical_delta = Some(delta),
+                Some(first) if *first != delta => {
+                    let culprit = first
+                        .iter()
+                        .find(|(k, v)| delta.get(*k) != Some(v))
+                        .map(|(k, _)| k.as_str())
+                        .or_else(|| {
+                            delta
+                                .keys()
+                                .find(|k| !first.contains_key(*k))
+                                .map(String::as_str)
+                        })
+                        .unwrap_or("?");
+                    eprintln!(
+                        "{fig}: trial {} did different sim work than trial 1 \
+                         (counter {culprit:?} diverged) — workload is not \
+                         deterministic, refusing to average trials",
+                        trial + 1
+                    );
+                    return ExitCode::FAILURE;
+                }
+                Some(_) => {}
+            }
         }
         if opts.bench_json.is_some() {
-            let wall = fig_start.elapsed_seconds();
-            let delivered = phase2_reports_total() - reports_before;
+            let delta = canonical_delta.unwrap_or_default();
+            let count = |k: &str| delta.get(k).copied().unwrap_or(0);
             figures.insert(
                 fig.clone(),
-                FigureBench {
-                    wall_seconds: wall,
-                    reports_per_wall_second: delivered as f64 / wall.max(1e-9),
-                },
+                FigureBench::from_trials(
+                    &trial_walls,
+                    count("phase2.reports"),
+                    count("perf.work.slots"),
+                    count("perf.work.channel_evals"),
+                ),
             );
+            for (k, v) in delta {
+                *single_trial_counters.entry(k).or_insert(0) += v;
+            }
         }
     }
     if opts.telemetry.is_some() || opts.monitor.is_some() {
@@ -421,6 +509,10 @@ fn main() -> ExitCode {
         let mut snap =
             BenchSnapshot::from_registry(&Telemetry::global().snapshot(), opts.seed, scale);
         snap.figures = figures;
+        snap.trials = opts.trials;
+        // One trial's worth of work, whatever --trials was (the registry
+        // itself holds the accumulated total across trials).
+        snap.counters = single_trial_counters;
         snap.wall_seconds = run_start.elapsed_seconds();
         if let Err(e) = snap.save(path) {
             eprintln!("cannot write bench snapshot {path:?}: {e}");
@@ -431,11 +523,13 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Running `phase2.reports` total from the global registry (0 while
-/// telemetry is disabled).
-fn phase2_reports_total() -> u64 {
+/// All counter totals from the global registry (empty while telemetry is
+/// disabled). The per-trial delta of this map is the run's sim-side work
+/// fingerprint.
+fn registry_counters() -> BTreeMap<String, u64> {
     Telemetry::global()
         .snapshot()
-        .counter("phase2.reports")
-        .unwrap_or(0)
+        .counters()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
 }

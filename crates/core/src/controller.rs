@@ -34,7 +34,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tagwatch_gen2::Epc;
 use tagwatch_reader::{LlrpError, Reader, RoSpec, TagReport};
-use tagwatch_telemetry::Telemetry;
+use tagwatch_telemetry::{Telemetry, WorkCounters};
 
 /// A serializable snapshot of the middleware's learned state: per-tag
 /// immobility models, reading history, and the cycle counter.
@@ -99,6 +99,11 @@ pub struct Controller {
     history: History,
     cycle: u64,
     telemetry: Telemetry,
+    /// Deterministic work accounting (mixture-model updates), flushed
+    /// as `perf.work.*` counters once per cycle. Deliberately not part
+    /// of [`ControllerSnapshot`]: work counts describe a run, not the
+    /// learned state.
+    work: WorkCounters,
 }
 
 impl Controller {
@@ -115,6 +120,7 @@ impl Controller {
             history,
             cycle: 0,
             telemetry: Telemetry::global().clone(),
+            work: WorkCounters::default(),
         }
     }
 
@@ -176,6 +182,7 @@ impl Controller {
             history: snapshot.history,
             cycle: snapshot.cycle,
             telemetry: Telemetry::global().clone(),
+            work: WorkCounters::default(),
         }
     }
 
@@ -211,6 +218,14 @@ impl Controller {
         }
         if let Some(a) = self.assessors.get_mut(&report.epc) {
             a.feed(&report.rf);
+            // One mixture update per reading fed to a MoG detector (the
+            // differencing baselines don't maintain mixtures).
+            if matches!(
+                self.cfg.detector,
+                DetectorKind::PhaseMog | DetectorKind::RssMog
+            ) {
+                self.work.gmm_updates += 1;
+            }
         }
         self.history.record(report);
     }
@@ -332,6 +347,8 @@ impl Controller {
                 tel.tag_event("evict", e.bits(), t_end);
             }
         }
+        // Flush the cycle's work accounting (mixture updates) in bulk.
+        self.work.flush(&tel);
 
         Ok(CycleReport {
             cycle,

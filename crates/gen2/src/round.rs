@@ -88,12 +88,21 @@ pub struct SlotStats {
     pub epc_corruptions: usize,
     /// Number of QueryAdjust commands issued.
     pub adjusts: usize,
+    /// Number of QueryRep commands issued (including ones lost to
+    /// injected faults — the reader spends the air time either way).
+    /// Work accounting only: not folded into the `round.*` telemetry
+    /// counters, so existing traces stay byte-identical.
+    #[serde(default)]
+    pub query_reps: usize,
 }
 
 impl SlotStats {
     /// Total slots elapsed.
     pub fn total_slots(&self) -> usize {
-        self.empties + self.collisions + self.successes + self.decode_failures
+        self.empties
+            + self.collisions
+            + self.successes
+            + self.decode_failures
             + self.epc_corruptions
     }
 
@@ -268,7 +277,9 @@ pub fn run_round<R: Rng + ?Sized>(
             // The QueryRep broadcast was lost: no tag heard the slot
             // boundary, so no counter decrements — the slot's air time
             // is spent for nothing.
+            stats.query_reps += 1;
         } else {
+            stats.query_reps += 1;
             for tag in tags.iter_mut() {
                 tag.handle_query_rep(rng);
             }

@@ -61,6 +61,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "lint-escape",
         summary: "lint:allow escapes must be well-formed, reasoned, and used",
     },
+    RuleInfo {
+        id: "work-counter-name",
+        summary: "work counter names: exactly one snake_case unit after the perf.work. prefix",
+    },
 ];
 
 /// True iff `id` names a rule in the catalog.
@@ -137,6 +141,7 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
     debug_leak(ctx, &mut out);
     unsafe_free(ctx, &mut out);
     todo_tracker(ctx, &mut out);
+    work_counter_name(ctx, &mut out);
     out
 }
 
@@ -317,6 +322,55 @@ fn has_forbid_unsafe(ctx: &FileCtx<'_>) -> bool {
             && w[6].text == ")"
             && w[7].text == "]"
     })
+}
+
+/// `perf.work.*` counter names are a cross-crate contract: the repro
+/// harness sums them per trial, `obs compare` gates on their byte
+/// equality, and the monitor turns the suffix into an exposition label.
+/// A malformed literal — wrong case, a second dot, an empty unit —
+/// silently mints a counter no gate recognises, so the shape is checked
+/// here: `perf.work.` followed by exactly one `[a-z][a-z0-9_]*` segment.
+/// The bare prefix literal itself (the `WORK_PREFIX` constant and
+/// `strip_prefix` call sites) is allowed. Applies to tests too: fixture
+/// counters feed the same analyzers.
+fn work_counter_name(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const PREFIX: &str = "perf.work.";
+    for (_, tok) in ctx.code_tokens() {
+        if !matches!(tok.kind, TokenKind::Str | TokenKind::RawStr) {
+            continue;
+        }
+        let Some(body) = str_literal_body(tok.text) else {
+            continue;
+        };
+        let Some(unit) = body.strip_prefix(PREFIX) else {
+            continue;
+        };
+        if unit.is_empty() {
+            continue; // the prefix constant itself
+        }
+        let well_formed = unit.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+            && unit
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !well_formed {
+            out.push(ctx.finding(
+                tok,
+                "work-counter-name",
+                format!(
+                    "work counter {body:?}: the unit after `{PREFIX}` must be one \
+                     snake_case segment ([a-z][a-z0-9_]*, no further dots)"
+                ),
+            ));
+        }
+    }
+}
+
+/// The contents of a string-literal token, quotes and prefixes (`b`,
+/// `r#…`) stripped. `None` for an unterminated literal.
+fn str_literal_body(text: &str) -> Option<&str> {
+    let start = text.find('"')?;
+    let end = text.rfind('"')?;
+    (end > start).then(|| &text[start + 1..end])
 }
 
 /// `TODO`/`FIXME` comments must cite ROADMAP.md so stale intentions stay

@@ -145,6 +145,19 @@ pub fn render(snap: &MonitorSnapshot) -> String {
             let _ = writeln!(out, "tagwatch_tag_irr{{epc=\"{}\"}} {}", t.epc, t.irr);
         }
     }
+    // Deterministic work counters, one labeled series per unit (the
+    // dotted `perf.work.<unit>` names are not valid exposition metric
+    // names, so the unit moves into a label).
+    if !snap.work.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP tagwatch_work_total Deterministic sim work counters (perf.work.*) by unit."
+        );
+        let _ = writeln!(out, "# TYPE tagwatch_work_total gauge");
+        for (unit, n) in &snap.work {
+            let _ = writeln!(out, "tagwatch_work_total{{unit=\"{unit}\"}} {n}");
+        }
+    }
     let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
     for a in &snap.alarms {
         *by_kind.entry(a.kind.as_str()).or_insert(0) += 1;
@@ -221,6 +234,11 @@ mod tests {
                 t,
             }));
         }
+        on.push(&Event::Counter(tagwatch_telemetry::CounterRecord {
+            name: "perf.work.slots".into(),
+            delta: 120,
+            total: 120,
+        }));
         let alarms = vec![Alarm {
             kind: "stale".into(),
             seq: 0,
@@ -237,6 +255,10 @@ mod tests {
         assert!(samples > 10, "got {samples} samples:\n{text}");
         assert!(text.contains("tagwatch_tag_irr{epc=\"0x1\"}"), "{text}");
         assert!(text.contains("tagwatch_alarms_total{kind=\"stale\"} 1"));
+        assert!(
+            text.contains("tagwatch_work_total{unit=\"slots\"} 120"),
+            "{text}"
+        );
         assert!(text.contains("# TYPE tagwatch_sim_seconds gauge"));
     }
 
@@ -247,6 +269,7 @@ mod tests {
         validate(&text).expect("minimal exposition parses");
         assert!(!text.contains("tagwatch_confusion_tpr"));
         assert!(!text.contains("tagwatch_fault_windows"));
+        assert!(!text.contains("tagwatch_work_total"));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
-use tagwatch_telemetry::{ClockKind, Event, FooterRecord};
+use tagwatch_telemetry::{ClockKind, Event, FooterRecord, WORK_PREFIX};
 
 use crate::verdict::{
     epc_hex, mean_of, ConfusionSummary, FaultReport, FaultWindow, QDiagnostics, StarvationEvent,
@@ -546,6 +546,10 @@ pub struct OnlineAnalyzers {
     events: u64,
     cycles: usize,
     alarms_seen: u64,
+    /// Latest `perf.work.*` counter totals, keyed by unit (the name with
+    /// the prefix stripped: `slots`, `channel_evals`, …). Counter events
+    /// carry their running total, so this is last-write-wins.
+    work: BTreeMap<String, u64>,
     footer: Option<FooterRecord>,
 }
 
@@ -597,6 +601,9 @@ impl OnlineAnalyzers {
                 if c.name == "round.adjusts" {
                     self.q.set_adjusts_total(c.total);
                 }
+                if let Some(unit) = c.name.strip_prefix(WORK_PREFIX) {
+                    self.work.insert(unit.to_string(), c.total);
+                }
                 self.fault.counter(&c.name, c.total);
             }
             Event::Observe(o) => {
@@ -637,6 +644,12 @@ impl OnlineAnalyzers {
 
     pub fn alarms_seen(&self) -> u64 {
         self.alarms_seen
+    }
+
+    /// Latest deterministic work-counter totals (`perf.work.*`, keyed by
+    /// unit). Empty until the first flush event arrives.
+    pub fn work(&self) -> &BTreeMap<String, u64> {
+        &self.work
     }
 
     pub fn footer(&self) -> Option<&FooterRecord> {
@@ -907,6 +920,22 @@ mod tests {
         assert_eq!((w.reads, w.tags), (1, 1));
         assert!((w.from - 5.0).abs() < 1e-12 && (w.to - 10.0).abs() < 1e-12);
         assert!((w.irr - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn work_counters_track_latest_totals_without_touching_verdicts() {
+        let mut on = OnlineAnalyzers::default();
+        on.push(&tag(READ_PHASE1, 1, 1.0));
+        let before = serde_json::to_string(&on.verdicts()).unwrap();
+        on.push(&counter("perf.work.slots", 120, 120));
+        on.push(&counter("perf.work.channel_evals", 40, 40));
+        on.push(&counter("perf.work.slots", 80, 200));
+        on.push(&counter("cycle.count", 1, 1)); // not a work counter
+        assert_eq!(on.work().get("slots"), Some(&200), "last total wins");
+        assert_eq!(on.work().get("channel_evals"), Some(&40));
+        assert_eq!(on.work().len(), 2);
+        let after = serde_json::to_string(&on.verdicts()).unwrap();
+        assert_eq!(before, after, "work accounting is display-only");
     }
 
     #[test]

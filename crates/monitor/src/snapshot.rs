@@ -53,6 +53,12 @@ pub struct MonitorSnapshot {
     pub confusion: Option<ConfusionSummary>,
     pub q: QDiagnostics,
     pub fault: Option<FaultReport>,
+    /// Latest deterministic work-counter totals (`perf.work.*`, keyed by
+    /// unit — `slots`, `channel_evals`, …). Defaulted so pre-work-counter
+    /// snapshots still load; display-only, excluded from the
+    /// `obs watch --check` batch-equality comparison.
+    #[serde(default)]
+    pub work: std::collections::BTreeMap<String, u64>,
     /// Watchdog alarms raised so far, in firing order.
     pub alarms: Vec<Alarm>,
     /// Snapshot/exposition writes that failed (counted, never fatal —
@@ -84,6 +90,7 @@ impl MonitorSnapshot {
             confusion: v.confusion,
             q: v.q,
             fault: v.fault,
+            work: online.work().clone(),
             alarms,
             write_errors,
         }

@@ -18,10 +18,16 @@ use tagwatch_telemetry::MetricsRegistry;
 
 use crate::analyze::DurationStats;
 
-/// Version of the snapshot schema this crate writes. Loading a snapshot
-/// with any other version is an error — a silent cross-version diff would
-/// gate on apples vs oranges.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Version of the snapshot schema this crate writes. Version 2 added
+/// multi-trial wall statistics and derived work rates; every added field
+/// is `#[serde(default)]`, so version-1 snapshots (committed baselines,
+/// `bench-history/`) still load — see [`BENCH_SCHEMA_MIN`]. Loading a
+/// snapshot outside the supported range is an error — a silent
+/// cross-version diff would gate on apples vs oranges.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`BenchSnapshot::load`] still accepts.
+pub const BENCH_SCHEMA_MIN: u32 = 1;
 
 /// Why a snapshot failed to load.
 #[derive(Debug)]
@@ -42,7 +48,8 @@ impl fmt::Display for BenchError {
             BenchError::Parse(e) => write!(f, "snapshot is not valid BENCH JSON: {e}"),
             BenchError::SchemaVersion { found, expected } => write!(
                 f,
-                "snapshot schema version {found} is not the supported version {expected}; \
+                "snapshot schema version {found} is outside the supported range \
+                 {BENCH_SCHEMA_MIN}..={expected}; \
                  regenerate it with the current `repro --bench-json`"
             ),
         }
@@ -60,13 +67,77 @@ impl std::error::Error for BenchError {
 }
 
 /// Wall-clock and throughput summary for one figure/experiment.
+///
+/// Schema v2 grew per-trial wall statistics and derived *work rates*
+/// (work units per wall second, from the deterministic `perf.work.*`
+/// counters). All additions default, so v1 snapshots parse: a defaulted
+/// field reads 0.0 / empty and [`BenchSnapshot::metric_map`] simply
+/// omits the corresponding keys.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FigureBench {
-    /// Host seconds the experiment took.
+    /// Host seconds the experiment took. With `--trials N > 1` this is
+    /// the *median* trial — the robust central figure the rates divide
+    /// by.
     pub wall_seconds: f64,
     /// Phase II reports per wall second over the experiment — the bench's
     /// cheap throughput proxy (simulated work done per host second).
     pub reports_per_wall_second: f64,
+    /// Every trial's wall seconds, in run order (v2; empty for v1 or a
+    /// single implicit trial).
+    #[serde(default)]
+    pub trial_wall_seconds: Vec<f64>,
+    /// Fastest trial (v2; 0.0 for v1).
+    #[serde(default)]
+    pub wall_min_seconds: f64,
+    /// Population standard deviation across trials (v2; 0.0 for v1 or a
+    /// single trial). `obs compare` scales its noise verdict by this.
+    #[serde(default)]
+    pub wall_stddev_seconds: f64,
+    /// Inventory slots simulated per median-wall second (v2; 0.0 = not
+    /// recorded).
+    #[serde(default)]
+    pub slots_per_wall_second: f64,
+    /// RF channel evaluations per median-wall second (v2; 0.0 = not
+    /// recorded).
+    #[serde(default)]
+    pub channel_evals_per_wall_second: f64,
+}
+
+impl FigureBench {
+    /// Builds figure statistics from `--trials N` wall measurements plus
+    /// the per-trial work counts the rates divide by (deterministic: the
+    /// harness asserts every trial did byte-identical sim work before
+    /// calling this). Work counts of 0 yield a 0.0 rate, which
+    /// [`BenchSnapshot::metric_map`] reads as "not recorded".
+    pub fn from_trials(
+        trial_wall_seconds: &[f64],
+        reports: u64,
+        slots: u64,
+        channel_evals: u64,
+    ) -> FigureBench {
+        let mut sorted = trial_wall_seconds.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median = match n {
+            0 => 0.0,
+            _ if n % 2 == 1 => sorted[n / 2],
+            _ => (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0,
+        };
+        let mean = sorted.iter().sum::<f64>() / n.max(1) as f64;
+        let variance =
+            sorted.iter().map(|w| (w - mean) * (w - mean)).sum::<f64>() / n.max(1) as f64;
+        // Never divide work by a zero clock reading (coarse timers).
+        let denom = median.max(1e-9);
+        FigureBench {
+            wall_seconds: median,
+            reports_per_wall_second: reports as f64 / denom,
+            trial_wall_seconds: trial_wall_seconds.to_vec(),
+            wall_min_seconds: sorted.first().copied().unwrap_or(0.0),
+            wall_stddev_seconds: variance.sqrt(),
+            slots_per_wall_second: slots as f64 / denom,
+            channel_evals_per_wall_second: channel_evals as f64 / denom,
+        }
+    }
 }
 
 /// One run's performance snapshot.
@@ -83,6 +154,10 @@ pub struct BenchSnapshot {
     /// either way; the flag marks the baseline's provenance.
     #[serde(default)]
     pub provisional: bool,
+    /// Number of wall-clock trials each figure ran (v2). 0 marks a v1
+    /// snapshot (one implicit trial, no variance data).
+    #[serde(default)]
+    pub trials: u32,
     /// Per-figure wall results, keyed by figure name.
     pub figures: BTreeMap<String, FigureBench>,
     /// Registry counter totals.
@@ -120,6 +195,7 @@ impl BenchSnapshot {
             seed,
             scale: scale.to_string(),
             provisional: false,
+            trials: 0,
             figures: BTreeMap::new(),
             counters: reg.counters().map(|(n, v)| (n.to_string(), v)).collect(),
             durations,
@@ -140,7 +216,7 @@ impl BenchSnapshot {
     pub fn load<P: AsRef<Path>>(path: P) -> Result<BenchSnapshot, BenchError> {
         let text = fs::read_to_string(path).map_err(BenchError::Io)?;
         let snap: BenchSnapshot = serde_json::from_str(&text).map_err(BenchError::Parse)?;
-        if snap.schema_version != BENCH_SCHEMA_VERSION {
+        if !(BENCH_SCHEMA_MIN..=BENCH_SCHEMA_VERSION).contains(&snap.schema_version) {
             return Err(BenchError::SchemaVersion {
                 found: snap.schema_version,
                 expected: BENCH_SCHEMA_VERSION,
@@ -186,6 +262,27 @@ impl BenchSnapshot {
                 format!("fig.{name}.reports_per_wall_second"),
                 f.reports_per_wall_second,
             );
+            // v2 additions only when recorded: a v1 snapshot's defaulted
+            // zeros must not masquerade as "the rate collapsed to 0".
+            if !f.trial_wall_seconds.is_empty() {
+                m.insert(format!("fig.{name}.wall_min_seconds"), f.wall_min_seconds);
+                m.insert(
+                    format!("fig.{name}.wall_stddev_seconds"),
+                    f.wall_stddev_seconds,
+                );
+            }
+            if f.slots_per_wall_second > 0.0 {
+                m.insert(
+                    format!("fig.{name}.slots_per_wall_second"),
+                    f.slots_per_wall_second,
+                );
+            }
+            if f.channel_evals_per_wall_second > 0.0 {
+                m.insert(
+                    format!("fig.{name}.channel_evals_per_wall_second"),
+                    f.channel_evals_per_wall_second,
+                );
+            }
         }
         m.insert("wall.total_seconds".into(), self.wall_seconds);
         m
@@ -229,6 +326,7 @@ mod tests {
             FigureBench {
                 wall_seconds: 1.5,
                 reports_per_wall_second: 320.0,
+                ..FigureBench::default()
             },
         );
         snap.wall_seconds = 2.0;
@@ -238,6 +336,9 @@ mod tests {
         // Host-clock histogram goes to the ungated wall family.
         assert!(m.contains_key("wall.cycle.compute_seconds.p95"));
         assert!(m.contains_key("fig.fig12.wall_seconds"));
+        // v1-style figure: no trial data, so no v2 keys appear.
+        assert!(!m.contains_key("fig.fig12.wall_stddev_seconds"));
+        assert!(!m.contains_key("fig.fig12.slots_per_wall_second"));
         // Exact equality: the fixture stores the literal 2.0, untouched.
         #[allow(clippy::float_cmp)]
         {
@@ -287,5 +388,79 @@ mod tests {
         let mut one = empty.clone();
         one.counters.insert("cycle.count".into(), 1);
         assert!(!one.is_vacuous());
+    }
+
+    #[test]
+    fn v2_figure_rates_surface_in_the_metric_map() {
+        let mut snap = BenchSnapshot::from_registry(&sample_registry(), 7, "quick");
+        snap.trials = 3;
+        snap.figures.insert(
+            "obs-run".into(),
+            FigureBench {
+                wall_seconds: 2.0,
+                reports_per_wall_second: 100.0,
+                trial_wall_seconds: vec![2.1, 2.0, 1.9],
+                wall_min_seconds: 1.9,
+                wall_stddev_seconds: 0.0816,
+                slots_per_wall_second: 5000.0,
+                channel_evals_per_wall_second: 800.0,
+            },
+        );
+        let m = snap.metric_map();
+        assert_eq!(m["fig.obs-run.slots_per_wall_second"], 5000.0);
+        assert_eq!(m["fig.obs-run.channel_evals_per_wall_second"], 800.0);
+        assert_eq!(m["fig.obs-run.wall_min_seconds"], 1.9);
+        assert_eq!(m["fig.obs-run.wall_stddev_seconds"], 0.0816);
+        // Rates are wall-side (fig.*): informational in `obs diff`.
+        use crate::diff::{direction_for, Direction};
+        assert_eq!(
+            direction_for("fig.obs-run.slots_per_wall_second"),
+            Direction::Informational
+        );
+    }
+
+    #[test]
+    fn from_trials_takes_the_median_and_population_stddev() {
+        let f = FigureBench::from_trials(&[3.0, 1.0, 2.0], 200, 10_000, 1_000);
+        assert_eq!(f.wall_seconds, 2.0, "median of an odd trial count");
+        assert_eq!(f.wall_min_seconds, 1.0);
+        // Population stddev of {1,2,3} = sqrt(2/3).
+        assert!((f.wall_stddev_seconds - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(f.trial_wall_seconds, vec![3.0, 1.0, 2.0], "run order kept");
+        assert_eq!(f.reports_per_wall_second, 100.0);
+        assert_eq!(f.slots_per_wall_second, 5_000.0);
+        assert_eq!(f.channel_evals_per_wall_second, 500.0);
+
+        let even = FigureBench::from_trials(&[1.0, 3.0], 0, 0, 0);
+        assert_eq!(even.wall_seconds, 2.0, "median of an even trial count");
+        assert_eq!(even.slots_per_wall_second, 0.0, "no work recorded");
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_with_defaults() {
+        let dir = std::env::temp_dir().join("tagwatch-obs-bench-v1-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_v1.json");
+        // A hand-written v1 document: no trials, no v2 figure fields.
+        let v1 = r#"{
+  "schema_version": 1,
+  "seed": 7,
+  "scale": "quick",
+  "figures": {
+    "obs-run": { "wall_seconds": 1.5, "reports_per_wall_second": 320.0 }
+  },
+  "counters": { "cycle.count": 12 },
+  "durations": {},
+  "wall_seconds": 1.5
+}"#;
+        fs::write(&path, v1).unwrap();
+        let snap = BenchSnapshot::load(&path).unwrap();
+        assert_eq!(snap.schema_version, 1);
+        assert_eq!(snap.trials, 0, "v1 marks the missing trial data");
+        let f = &snap.figures["obs-run"];
+        assert!(f.trial_wall_seconds.is_empty());
+        assert_eq!(f.wall_stddev_seconds, 0.0);
+        assert_eq!(f.slots_per_wall_second, 0.0);
+        fs::remove_file(&path).ok();
     }
 }

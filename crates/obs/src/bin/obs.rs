@@ -5,8 +5,10 @@
 //! obs diff <baseline> <current> [--threshold FRAC] [--sim-only] [--json]
 //! obs export --chrome <run.jsonl> [-o out.json]
 //! obs flame <run.jsonl> [--clock sim|wall] [-o out.folded]
-//! obs hotspots <run.jsonl>
-//! obs trend <BENCH_1.json> [BENCH_2.json ...]
+//! obs hotspots <run.jsonl> [--overhead-ns N]
+//! obs trend [BENCH_1.json BENCH_2.json ...]
+//! obs compare <A.json> <B.json> [--k K] [--json]
+//! obs compare --traces <a.jsonl> <b.jsonl> [--json]
 //! obs tail <run.jsonl> [--watch] [--json] [--interval-ms MS]
 //!                      [--max-wait-ms MS] [--starvation-gap SECS]
 //! obs watch <monitor-dir> [--check <run.jsonl>] [--json]
@@ -24,9 +26,19 @@
 //! `chrome://tracing`, with the simulated and wall clocks on separate
 //! tracks. `flame` emits `flamegraph.pl` / inferno collapsed-stack lines
 //! weighted by self time on the chosen clock. `hotspots` prints
-//! per-span-family wall-vs-sim totals plus a measured telemetry
-//! self-overhead estimate. `trend` lines up metric trajectories across a
-//! series of snapshots. `tail` streams a (possibly still growing) trace
+//! per-span-family wall-vs-sim totals plus a telemetry self-overhead
+//! estimate — measured on this host by default, or injected with
+//! `--overhead-ns N` for byte-reproducible output. `trend` lines up
+//! metric trajectories across a series of snapshots; with no arguments it
+//! reads the `bench-history/` archive (falling back to `BENCH_*.json` in
+//! the current directory, deprecated). `compare` is the A/B optimization
+//! verdict: it first proves both runs did byte-identical sim work (seed,
+//! scale, every counter — `perf.work.*` included) and exits 2 "not
+//! comparable" otherwise; only then does it judge wall-side work-rate
+//! deltas, failing (exit 2) when a median rate regressed beyond `k·σ` of
+//! the trial stddev (`--k`, default 3). `--traces` mode compares two
+//! finished traces instead: same counter totals and bit-identical sim
+//! span families, then per-wall-family self time side by side. `tail` streams a (possibly still growing) trace
 //! through the online analyzers — with `--watch` it follows the file
 //! until the closing footer lands, printing a status line as events
 //! arrive. `watch` reads a `--monitor` status directory: it prints the
@@ -46,6 +58,7 @@ use tagwatch_monitor::{
 };
 use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
 use tagwatch_obs::bench::BenchSnapshot;
+use tagwatch_obs::compare::CompareReport;
 use tagwatch_obs::diff::DiffReport;
 use tagwatch_obs::export::{chrome_trace, flame_lines};
 use tagwatch_obs::hotspots::HotspotReport;
@@ -60,8 +73,10 @@ fn usage() -> String {
      \x20 obs diff <baseline> <current> [--threshold FRAC] [--sim-only] [--json]\n\
      \x20 obs export --chrome <run.jsonl> [-o out.json]\n\
      \x20 obs flame <run.jsonl> [--clock sim|wall] [-o out.folded]\n\
-     \x20 obs hotspots <run.jsonl>\n\
-     \x20 obs trend <BENCH_1.json> [BENCH_2.json ...]\n\
+     \x20 obs hotspots <run.jsonl> [--overhead-ns N]\n\
+     \x20 obs trend [BENCH_1.json BENCH_2.json ...]\n\
+     \x20 obs compare <A.json> <B.json> [--k K] [--json]\n\
+     \x20 obs compare --traces <a.jsonl> <b.jsonl> [--json]\n\
      \x20 obs tail <run.jsonl> [--watch] [--json] [--interval-ms MS]\n\
      \x20          [--max-wait-ms MS] [--starvation-gap SECS]\n\
      \x20 obs watch <monitor-dir> [--check <run.jsonl>] [--json]\n\
@@ -75,7 +90,13 @@ fn usage() -> String {
      flame    emit collapsed stacks for flamegraph.pl / inferno,\n\
      \x20        weighted by per-span self time on the chosen clock\n\
      hotspots per-span-family time attribution + telemetry overhead\n\
-     trend    metric trajectories across a BENCH_*.json series\n\
+     \x20        (--overhead-ns injects a fixed per-event cost instead of\n\
+     \x20        calibrating, for byte-reproducible output)\n\
+     trend    metric trajectories across a BENCH_*.json series; with no\n\
+     \x20        arguments, reads the bench-history/ archive\n\
+     compare  A/B perf verdict: exit 2 unless both runs did identical\n\
+     \x20        sim work; then flag work rates that regressed beyond\n\
+     \x20        k·stddev (--k, default 3) of the --trials noise band\n\
      tail     stream a trace through the online analyzers; --watch\n\
      \x20        follows a growing file until the footer lands\n\
      watch    print a --monitor status directory's latest snapshot;\n\
@@ -303,24 +324,89 @@ fn cmd_flame(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_hotspots(args: &[String]) -> Result<ExitCode, String> {
-    let [path] = args else {
-        return Err(format!("hotspots needs exactly one trace\n{}", usage()));
+    let mut path = None;
+    let mut overhead_ns: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--overhead-ns" => {
+                let v = it.next().ok_or("--overhead-ns needs a value")?;
+                let ns: f64 = v.parse().map_err(|_| format!("bad overhead {v:?}"))?;
+                if !ns.is_finite() || ns < 0.0 {
+                    return Err(format!("--overhead-ns must be a finite value ≥ 0, got {v}"));
+                }
+                overhead_ns = Some(ns);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}\n{}", usage())),
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let trace = load_trace(&path)?;
+    let est = match overhead_ns {
+        // An injected fixed cost makes the whole report a pure function
+        // of the trace — two invocations are byte-identical, so the
+        // output can be diffed or committed.
+        Some(ns) => tagwatch_telemetry::OverheadEstimate::fixed(ns),
+        // Otherwise calibrate on this host, now — the point of the
+        // default is that the per-event cost is measured where the
+        // estimate will be read.
+        None => overhead::calibrate(),
     };
-    let trace = load_trace(path)?;
-    // Calibrate on this host, now — the whole point is that the
-    // per-event cost is measured where the estimate will be read.
-    let est = overhead::calibrate();
     print!("{}", HotspotReport::analyze(&trace, &est));
     Ok(ExitCode::SUCCESS)
 }
 
+/// Sorted `*.json` paths in `dir` whose stem matches `prefix`, or empty
+/// when the directory does not exist.
+fn snapshot_glob(dir: &str, prefix: &str) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<String> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "json")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().starts_with(prefix))
+        })
+        .map(|p| p.display().to_string())
+        .collect();
+    paths.sort();
+    paths
+}
+
 fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
-    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    let mut paths: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .cloned()
+        .collect();
     if let Some(bad) = args.iter().find(|a| a.starts_with('-')) {
         return Err(format!("unknown option {bad:?}\n{}", usage()));
     }
     if paths.is_empty() {
-        return Err(format!("trend needs at least one snapshot\n{}", usage()));
+        // Default source: the CI archive of accepted snapshots.
+        paths = snapshot_glob("bench-history", "");
+        if paths.is_empty() {
+            paths = snapshot_glob(".", "BENCH_");
+            if !paths.is_empty() {
+                eprintln!(
+                    "trend: no bench-history/ archive found — falling back to ./BENCH_*.json \
+                     (deprecated; run ci.sh --obs to build the archive)"
+                );
+            }
+        }
+    }
+    if paths.is_empty() {
+        return Err(format!(
+            "trend found no snapshots (no arguments, no bench-history/, no ./BENCH_*.json)\n{}",
+            usage()
+        ));
     }
     let report = TrendReport::load_series(&paths).map_err(|e| format!("trend: {e}"))?;
     // A bench-history archive starts life with one accepted snapshot;
@@ -342,6 +428,64 @@ fn cmd_trend(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut traces = false;
+    let mut k = tagwatch_obs::compare::DEFAULT_K;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--traces" => traces = true,
+            "--k" => {
+                let v = it.next().ok_or("--k needs a value")?;
+                k = v
+                    .parse()
+                    .map_err(|_| format!("bad noise multiplier {v:?}"))?;
+                if !k.is_finite() || k <= 0.0 {
+                    return Err(format!("--k must be a finite value > 0, got {v}"));
+                }
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p => paths.push(p.to_string()),
+        }
+    }
+    let [a, b] = paths.as_slice() else {
+        return Err(format!("compare needs exactly two inputs\n{}", usage()));
+    };
+    let report = if traces {
+        let (ta, tb) = (load_trace(a)?, load_trace(b)?);
+        CompareReport::traces(&ta, &tb, k)
+    } else {
+        let sa = BenchSnapshot::load(a).map_err(|e| format!("{a}: {e}"))?;
+        let sb = BenchSnapshot::load(b).map_err(|e| format!("{b}: {e}"))?;
+        if sa.is_vacuous() || sb.is_vacuous() {
+            return Err(
+                "compare refuses a vacuous snapshot (no figures, counters, or \
+                 durations) — regenerate with `repro --bench-json --trials N`"
+                    .to_string(),
+            );
+        }
+        CompareReport::snapshots(&sa, &sb, k)
+    };
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("compare report serializes")
+        );
+    } else {
+        print!("{report}");
+    }
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 /// Human one-screen rendering of the online verdicts (the `tail`
@@ -632,6 +776,7 @@ fn main() -> ExitCode {
             "flame" => cmd_flame(rest),
             "hotspots" => cmd_hotspots(rest),
             "trend" => cmd_trend(rest),
+            "compare" => cmd_compare(rest),
             "tail" => cmd_tail(rest),
             "watch" => cmd_watch(rest),
             "--help" | "-h" => Err(usage()),

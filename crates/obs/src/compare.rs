@@ -1,0 +1,591 @@
+//! A/B performance comparison with a same-work precondition.
+//!
+//! `obs diff` answers "did the numbers move?"; this module answers the
+//! sharper optimization question: *same sim work, different host cost?*
+//! Comparing wall clocks is only meaningful when both runs did byte-for-
+//! byte identical simulated work — same seed, same scale, and identical
+//! counter totals (including the deterministic `perf.work.*` work
+//! counters). So a comparison runs in two stages:
+//!
+//! 1. **Comparability** — every sim-side counter must match exactly. A
+//!    mismatch means the two runs are different workloads (seed drift, a
+//!    code change that altered the protocol, a nondeterminism bug) and
+//!    any wall-clock verdict would be meaningless; the report refuses
+//!    with the differing counters named (`obs compare` exits 2).
+//! 2. **Wall deltas** — only then are the host-side figures compared:
+//!    per-figure median walls and work rates (snapshot mode), or
+//!    per-span-family self time (trace mode, via the [`crate::hotspots`]
+//!    machinery with a fixed zero overhead estimate so the attribution is
+//!    byte-reproducible).
+//!
+//! Rate verdicts are variance-aware: `--trials N` snapshots carry a wall
+//! stddev, and a rate only counts as **regressed** when the median moved
+//! beyond `k·σ` (σ summed across both sides, default `k` =
+//! [`DEFAULT_K`]) *and* beyond the [`MIN_RELATIVE_REGRESSION`] floor —
+//! both guards exist so a loaded CI host does not fail the gate on timer
+//! noise. Sides without variance data (v1 snapshots, single trials)
+//! yield informational verdicts only.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::Serialize;
+use tagwatch_telemetry::OverheadEstimate;
+
+use crate::bench::BenchSnapshot;
+use crate::hotspots::HotspotReport;
+use crate::model::Trace;
+
+/// Default noise multiplier: a rate must move beyond `k·σ` to count.
+pub const DEFAULT_K: f64 = 3.0;
+
+/// Relative floor under which a regression is never flagged, whatever
+/// the stddev says. Quick-scale figures run for milliseconds; a tiny σ
+/// estimated from 5 trials would otherwise let scheduler jitter fail
+/// the gate.
+pub const MIN_RELATIVE_REGRESSION: f64 = 0.25;
+
+/// How one rate moved between the two runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RateVerdict {
+    /// Median improved beyond `k·σ`.
+    Improved,
+    /// Median regressed beyond `k·σ` *and* the relative floor — the only
+    /// verdict that fails [`CompareReport::passed`].
+    Regressed,
+    /// Moved, but within the noise band.
+    WithinNoise,
+    /// No variance data on either side — delta reported, never gated.
+    Informational,
+}
+
+/// One work rate (work units per wall second) compared across runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct RateDelta {
+    pub figure: String,
+    /// Which rate: `reports`, `slots`, or `channel_evals` per wall second.
+    pub metric: &'static str,
+    pub a: f64,
+    pub b: f64,
+    /// `b / a` — above 1.0 means run B does more work per host second.
+    pub speedup: f64,
+    /// Summed rate-space noise band (σ_A + σ_B), derived from each
+    /// side's wall stddev.
+    pub sigma: f64,
+    pub verdict: RateVerdict,
+}
+
+/// One figure's wall clock compared across runs (informational — wall
+/// medians gate only through the rate verdicts).
+#[derive(Debug, Clone, Serialize)]
+pub struct WallDelta {
+    pub figure: String,
+    pub a_seconds: f64,
+    pub b_seconds: f64,
+    pub a_stddev: f64,
+    pub b_stddev: f64,
+    /// `(b - a) / a`.
+    pub relative: f64,
+}
+
+/// One span family's self time compared across traces (trace mode).
+/// Sim-clock families are comparability evidence, not deltas — they are
+/// checked bit-equal before this table is built — so every entry here is
+/// a wall family.
+#[derive(Debug, Clone, Serialize)]
+pub struct FamilyDelta {
+    pub name: String,
+    pub a_self_seconds: f64,
+    pub b_self_seconds: f64,
+    pub a_total_seconds: f64,
+    pub b_total_seconds: f64,
+}
+
+/// The full comparison verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct CompareReport {
+    /// True when both runs did identical sim work. False short-circuits
+    /// everything else.
+    pub comparable: bool,
+    /// Why not, when `comparable` is false (first mismatches, capped).
+    pub mismatches: Vec<String>,
+    /// Noise multiplier the rate verdicts used.
+    pub k: f64,
+    pub rates: Vec<RateDelta>,
+    pub walls: Vec<WallDelta>,
+    /// Trace mode only: per-wall-family self/total time side by side.
+    pub families: Vec<FamilyDelta>,
+}
+
+/// Caps `mismatches` so a completely divergent pair stays readable.
+const MAX_MISMATCHES: usize = 8;
+
+fn push_mismatch(mismatches: &mut Vec<String>, skipped: &mut usize, msg: String) {
+    if mismatches.len() < MAX_MISMATCHES {
+        mismatches.push(msg);
+    } else {
+        *skipped += 1;
+    }
+}
+
+impl CompareReport {
+    /// True when the runs were comparable and no rate regressed beyond
+    /// the noise band.
+    pub fn passed(&self) -> bool {
+        self.comparable
+            && !self
+                .rates
+                .iter()
+                .any(|r| r.verdict == RateVerdict::Regressed)
+    }
+
+    /// Compares two bench snapshots (`repro --bench-json`, ideally with
+    /// `--trials N` so the noise band is known).
+    pub fn snapshots(a: &BenchSnapshot, b: &BenchSnapshot, k: f64) -> CompareReport {
+        let mut mismatches = Vec::new();
+        let mut skipped = 0usize;
+        if a.seed != b.seed {
+            mismatches.push(format!("seed {} vs {}", a.seed, b.seed));
+        }
+        if a.scale != b.scale {
+            mismatches.push(format!("scale {:?} vs {:?}", a.scale, b.scale));
+        }
+        let names: BTreeSet<&String> = a.counters.keys().chain(b.counters.keys()).collect();
+        for name in names {
+            let (va, vb) = (a.counters.get(name), b.counters.get(name));
+            if va != vb {
+                let show =
+                    |v: Option<&u64>| v.map_or_else(|| "absent".to_string(), ToString::to_string);
+                push_mismatch(
+                    &mut mismatches,
+                    &mut skipped,
+                    format!("counter {name}: {} vs {}", show(va), show(vb)),
+                );
+            }
+        }
+        if skipped > 0 {
+            mismatches.push(format!("… and {skipped} more differing counters"));
+        }
+        if !mismatches.is_empty() {
+            return CompareReport {
+                comparable: false,
+                mismatches,
+                k,
+                rates: Vec::new(),
+                walls: Vec::new(),
+                families: Vec::new(),
+            };
+        }
+
+        let mut rates = Vec::new();
+        let mut walls = Vec::new();
+        for (name, fa) in &a.figures {
+            let Some(fb) = b.figures.get(name) else {
+                continue;
+            };
+            walls.push(WallDelta {
+                figure: name.clone(),
+                a_seconds: fa.wall_seconds,
+                b_seconds: fb.wall_seconds,
+                a_stddev: fa.wall_stddev_seconds,
+                b_stddev: fb.wall_stddev_seconds,
+                relative: (fb.wall_seconds - fa.wall_seconds) / fa.wall_seconds.max(1e-12),
+            });
+            let pairs: [(&'static str, f64, f64); 3] = [
+                (
+                    "reports_per_wall_second",
+                    fa.reports_per_wall_second,
+                    fb.reports_per_wall_second,
+                ),
+                (
+                    "slots_per_wall_second",
+                    fa.slots_per_wall_second,
+                    fb.slots_per_wall_second,
+                ),
+                (
+                    "channel_evals_per_wall_second",
+                    fa.channel_evals_per_wall_second,
+                    fb.channel_evals_per_wall_second,
+                ),
+            ];
+            for (metric, ra, rb) in pairs {
+                if ra <= 0.0 || rb <= 0.0 {
+                    continue;
+                }
+                // A rate's noise band, propagated from the wall stddev:
+                // rate = work / wall, so σ_rate ≈ rate · σ_wall / wall.
+                let sigma_of = |rate: f64, stddev: f64, wall: f64| {
+                    if wall > 0.0 {
+                        rate * stddev / wall
+                    } else {
+                        0.0
+                    }
+                };
+                let sigma = sigma_of(ra, fa.wall_stddev_seconds, fa.wall_seconds)
+                    + sigma_of(rb, fb.wall_stddev_seconds, fb.wall_seconds);
+                let verdict = if sigma <= 0.0 {
+                    RateVerdict::Informational
+                } else if rb >= ra {
+                    if rb - ra > k * sigma {
+                        RateVerdict::Improved
+                    } else {
+                        RateVerdict::WithinNoise
+                    }
+                } else if ra - rb > k * sigma && (ra - rb) / ra > MIN_RELATIVE_REGRESSION {
+                    RateVerdict::Regressed
+                } else {
+                    RateVerdict::WithinNoise
+                };
+                rates.push(RateDelta {
+                    figure: name.clone(),
+                    metric,
+                    a: ra,
+                    b: rb,
+                    speedup: rb / ra,
+                    sigma,
+                    verdict,
+                });
+            }
+        }
+        CompareReport {
+            comparable: true,
+            mismatches: Vec::new(),
+            k,
+            rates,
+            walls,
+            families: Vec::new(),
+        }
+    }
+
+    /// Compares two finished traces: counter totals must match, then the
+    /// sim-clock span families must be bit-identical, then the wall-clock
+    /// families' self time is laid side by side (informational — traces
+    /// carry no trial variance, so nothing gates beyond comparability).
+    pub fn traces(a: &Trace, b: &Trace, k: f64) -> CompareReport {
+        let mut mismatches = Vec::new();
+        let mut skipped = 0usize;
+        let names: BTreeSet<&String> = a.counters.keys().chain(b.counters.keys()).collect();
+        for name in names {
+            let (va, vb) = (
+                a.counters.get(name).map(|c| c.total),
+                b.counters.get(name).map(|c| c.total),
+            );
+            if va != vb {
+                let show =
+                    |v: Option<u64>| v.map_or_else(|| "absent".to_string(), |v| v.to_string());
+                push_mismatch(
+                    &mut mismatches,
+                    &mut skipped,
+                    format!("counter {name}: {} vs {}", show(va), show(vb)),
+                );
+            }
+        }
+
+        // A fixed zero-cost estimate keeps the attribution itself
+        // byte-reproducible; overhead estimation is `obs hotspots`' job.
+        let est = OverheadEstimate::fixed(0.0);
+        let ha = HotspotReport::analyze(a, &est);
+        let hb = HotspotReport::analyze(b, &est);
+        let fam = |r: &HotspotReport, name: &str, clock: &str| {
+            r.families
+                .iter()
+                .find(|f| f.name == name && f.clock == clock)
+                .cloned()
+        };
+        let mut families = Vec::new();
+        let mut fam_names: Vec<(String, &'static str)> = Vec::new();
+        for f in ha.families.iter().chain(hb.families.iter()) {
+            let clock = if f.clock == "wall" { "wall" } else { "sim" };
+            if !fam_names.iter().any(|(n, c)| *n == f.name && *c == clock) {
+                fam_names.push((f.name.clone(), clock));
+            }
+        }
+        for (name, clock) in fam_names {
+            let (fa, fb) = (fam(&ha, &name, clock), fam(&hb, &name, clock));
+            if clock == "sim" {
+                // Sim-clock time is part of the work fingerprint.
+                let bits = |f: &Option<crate::hotspots::FamilyStats>| {
+                    f.as_ref()
+                        .map(|f| (f.count, f.total_seconds.to_bits(), f.self_seconds.to_bits()))
+                };
+                if bits(&fa) != bits(&fb) {
+                    push_mismatch(
+                        &mut mismatches,
+                        &mut skipped,
+                        format!("sim span family {name:?} diverged"),
+                    );
+                }
+                continue;
+            }
+            families.push(FamilyDelta {
+                name,
+                a_self_seconds: fa.as_ref().map_or(0.0, |f| f.self_seconds),
+                b_self_seconds: fb.as_ref().map_or(0.0, |f| f.self_seconds),
+                a_total_seconds: fa.as_ref().map_or(0.0, |f| f.total_seconds),
+                b_total_seconds: fb.as_ref().map_or(0.0, |f| f.total_seconds),
+            });
+        }
+        if skipped > 0 {
+            mismatches.push(format!("… and {skipped} more differences"));
+        }
+        let comparable = mismatches.is_empty();
+        CompareReport {
+            comparable,
+            mismatches,
+            k,
+            rates: Vec::new(),
+            walls: Vec::new(),
+            families: if comparable { families } else { Vec::new() },
+        }
+    }
+}
+
+impl fmt::Display for CompareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.comparable {
+            writeln!(f, "not comparable — the runs did different sim work:")?;
+            for m in &self.mismatches {
+                writeln!(f, "  {m}")?;
+            }
+            return writeln!(
+                f,
+                "  (wall-clock deltas are meaningless across different workloads)"
+            );
+        }
+        writeln!(f, "comparable: identical sim-side work on both runs")?;
+        if !self.walls.is_empty() {
+            writeln!(
+                f,
+                "  {:<16} {:>12} {:>12} {:>9}",
+                "figure", "A wall", "B wall", "Δ"
+            )?;
+            for w in &self.walls {
+                writeln!(
+                    f,
+                    "  {:<16} {:>10.4}s {:>10.4}s {:>8.1}%",
+                    w.figure,
+                    w.a_seconds,
+                    w.b_seconds,
+                    w.relative * 100.0
+                )?;
+            }
+        }
+        for r in &self.rates {
+            writeln!(
+                f,
+                "  {}.{}: {:.1} → {:.1} (×{:.3}, σ {:.1}, k {:.1}) {}",
+                r.figure,
+                r.metric,
+                r.a,
+                r.b,
+                r.speedup,
+                r.sigma,
+                self.k,
+                match r.verdict {
+                    RateVerdict::Improved => "IMPROVED",
+                    RateVerdict::Regressed => "REGRESSED",
+                    RateVerdict::WithinNoise => "within noise",
+                    RateVerdict::Informational => "informational (no variance data)",
+                }
+            )?;
+        }
+        if !self.families.is_empty() {
+            writeln!(
+                f,
+                "  {:<20} {:>12} {:>12}  (wall self time)",
+                "family", "A", "B"
+            )?;
+            for d in &self.families {
+                writeln!(
+                    f,
+                    "  {:<20} {:>10.6}s {:>10.6}s",
+                    d.name, d.a_self_seconds, d.b_self_seconds
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests assert exact values (literals carried through untouched);
+    // approximate comparison would weaken them.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+    use crate::bench::FigureBench;
+    use std::collections::BTreeMap;
+
+    fn snap(seed: u64, slots_rate: f64, wall: f64, stddev: f64) -> BenchSnapshot {
+        let mut counters = BTreeMap::new();
+        counters.insert("perf.work.slots".to_string(), 10_000);
+        counters.insert("cycle.count".to_string(), 20);
+        let mut figures = BTreeMap::new();
+        figures.insert(
+            "obs-run".to_string(),
+            FigureBench {
+                wall_seconds: wall,
+                reports_per_wall_second: 0.0,
+                trial_wall_seconds: vec![wall; 5],
+                wall_min_seconds: wall,
+                wall_stddev_seconds: stddev,
+                slots_per_wall_second: slots_rate,
+                channel_evals_per_wall_second: 0.0,
+            },
+        );
+        BenchSnapshot {
+            schema_version: crate::bench::BENCH_SCHEMA_VERSION,
+            seed,
+            scale: "quick".to_string(),
+            provisional: false,
+            trials: 5,
+            figures,
+            counters,
+            durations: BTreeMap::new(),
+            wall_seconds: wall,
+        }
+    }
+
+    #[test]
+    fn identical_work_with_stable_rate_passes() {
+        let a = snap(7, 5000.0, 2.0, 0.05);
+        let b = snap(7, 4950.0, 2.02, 0.05);
+        let r = CompareReport::snapshots(&a, &b, DEFAULT_K);
+        assert!(r.comparable);
+        assert!(r.passed(), "{r}");
+        let rate = &r.rates[0];
+        assert_eq!(rate.metric, "slots_per_wall_second");
+        assert_eq!(rate.verdict, RateVerdict::WithinNoise);
+        assert!(r.to_string().contains("within noise"), "{r}");
+    }
+
+    #[test]
+    fn different_seed_or_counters_refuse_to_compare() {
+        let a = snap(7, 5000.0, 2.0, 0.05);
+        let b = snap(9, 5000.0, 2.0, 0.05);
+        let r = CompareReport::snapshots(&a, &b, DEFAULT_K);
+        assert!(!r.comparable);
+        assert!(!r.passed());
+        assert!(r.mismatches[0].contains("seed"), "{:?}", r.mismatches);
+
+        let mut c = snap(7, 5000.0, 2.0, 0.05);
+        c.counters.insert("perf.work.slots".to_string(), 10_001);
+        let r = CompareReport::snapshots(&a, &c, DEFAULT_K);
+        assert!(!r.comparable);
+        assert!(
+            r.mismatches.iter().any(|m| m.contains("perf.work.slots")),
+            "{:?}",
+            r.mismatches
+        );
+        assert!(r.to_string().contains("not comparable"), "{r}");
+    }
+
+    #[test]
+    fn a_real_regression_beyond_noise_and_floor_fails() {
+        let a = snap(7, 5000.0, 2.0, 0.01);
+        // 40% rate drop, far beyond 3·σ of the tight trials.
+        let b = snap(7, 3000.0, 3.33, 0.01);
+        let r = CompareReport::snapshots(&a, &b, DEFAULT_K);
+        assert!(r.comparable);
+        assert!(!r.passed());
+        assert_eq!(r.rates[0].verdict, RateVerdict::Regressed);
+        assert!(r.to_string().contains("REGRESSED"), "{r}");
+    }
+
+    #[test]
+    fn small_regressions_stay_within_the_relative_floor() {
+        let a = snap(7, 5000.0, 2.0, 1e-6);
+        // 10% drop: beyond k·σ of the absurdly tight trials, but under
+        // the 25% floor — must not fail the gate.
+        let b = snap(7, 4500.0, 2.22, 1e-6);
+        let r = CompareReport::snapshots(&a, &b, DEFAULT_K);
+        assert!(r.passed(), "{r}");
+        assert_eq!(r.rates[0].verdict, RateVerdict::WithinNoise);
+    }
+
+    #[test]
+    fn sides_without_variance_yield_informational_verdicts() {
+        let mut a = snap(7, 5000.0, 2.0, 0.0);
+        let mut b = snap(7, 2000.0, 5.0, 0.0);
+        a.trials = 0;
+        b.trials = 0;
+        let r = CompareReport::snapshots(&a, &b, DEFAULT_K);
+        assert!(r.passed(), "no variance data can never gate: {r}");
+        assert_eq!(r.rates[0].verdict, RateVerdict::Informational);
+        assert_eq!(r.rates[0].speedup, 0.4);
+    }
+
+    #[test]
+    fn trace_mode_gates_on_counter_totals_and_sim_spans() {
+        use tagwatch_telemetry::{ClockKind, CounterRecord, Event, SpanRecord};
+        let span = |name: &str, id: u64, parent: Option<u64>, dur: f64, wall: bool| {
+            Event::Span(SpanRecord {
+                name: name.into(),
+                id,
+                parent,
+                start: 0.0,
+                duration: dur,
+                clock: if wall {
+                    ClockKind::Wall
+                } else {
+                    ClockKind::Sim
+                },
+            })
+        };
+        let counter = |name: &str, delta: u64| {
+            Event::Counter(CounterRecord {
+                name: name.into(),
+                delta,
+                total: delta,
+            })
+        };
+        let a = Trace::from_events(&[
+            counter("perf.work.slots", 100),
+            span("round", 1, None, 0.4, false),
+            span("cycle", 10, None, 1.0, false),
+            span("cycle.compute", 2, Some(10), 0.002, true),
+        ])
+        .unwrap();
+        let b_events = [
+            counter("perf.work.slots", 100),
+            span("round", 1, None, 0.4, false),
+            span("cycle", 10, None, 1.0, false),
+            span("cycle.compute", 2, Some(10), 0.001, true),
+        ];
+        let b = Trace::from_events(&b_events).unwrap();
+        let r = CompareReport::traces(&a, &b, DEFAULT_K);
+        assert!(r.comparable, "{:?}", r.mismatches);
+        assert!(r.passed());
+        let fam = &r.families[0];
+        assert_eq!(fam.name, "cycle.compute");
+        assert_eq!(fam.a_self_seconds, 0.002);
+        assert_eq!(fam.b_self_seconds, 0.001);
+
+        // Different counter totals: not the same work.
+        let c = Trace::from_events(&[
+            counter("perf.work.slots", 101),
+            span("round", 1, None, 0.4, false),
+        ])
+        .unwrap();
+        let r = CompareReport::traces(&a, &c, DEFAULT_K);
+        assert!(!r.comparable);
+        assert!(!r.passed());
+
+        // Same counters but diverged sim spans: still not comparable.
+        let d = Trace::from_events(&[
+            counter("perf.work.slots", 100),
+            span("round", 1, None, 0.5, false),
+            span("cycle", 10, None, 1.0, false),
+            span("cycle.compute", 2, Some(10), 0.002, true),
+        ])
+        .unwrap();
+        let r = CompareReport::traces(&a, &d, DEFAULT_K);
+        assert!(!r.comparable);
+        assert!(
+            r.mismatches.iter().any(|m| m.contains("sim span family")),
+            "{:?}",
+            r.mismatches
+        );
+    }
+}

@@ -25,6 +25,12 @@ pub enum Direction {
     LowerIsBetter,
     /// Reported but never gated (wall clock, raw counters, scenario mix).
     Informational,
+    /// Any move beyond the threshold regresses, in either direction.
+    /// For the deterministic `perf.work.*` work counters: under
+    /// `--threshold 0` a single diverged count is proof the two runs did
+    /// different simulated work, and "more work" is no better than
+    /// "less".
+    Exact,
 }
 
 /// Classifies a metric name into its gating direction. Unknown families
@@ -32,6 +38,9 @@ pub enum Direction {
 /// before it can fail a build.
 pub fn direction_for(name: &str) -> Direction {
     use Direction::*;
+    if name.starts_with("counter.perf.work.") {
+        return Exact;
+    }
     if name.starts_with("wall.") || name.starts_with("counter.") || name.starts_with("fig.") {
         return Informational;
     }
@@ -179,7 +188,7 @@ fn classify(
         // baseline promised none (e.g. starvation events 0 → 3).
         let bad = match direction {
             Direction::HigherIsBetter => current < 0.0,
-            Direction::LowerIsBetter => current > 0.0,
+            Direction::LowerIsBetter | Direction::Exact => current > 0.0,
             Direction::Informational => unreachable!(), // lint:allow(panic-policy): informational metrics return earlier
         };
         let verdict = if bad { Verdict::Regressed } else { Verdict::Ok };
@@ -191,6 +200,7 @@ fn classify(
         Direction::HigherIsBetter if rel > threshold => Verdict::Improved,
         Direction::LowerIsBetter if rel > threshold => Verdict::Regressed,
         Direction::LowerIsBetter if rel < -threshold => Verdict::Improved,
+        Direction::Exact if rel.abs() > threshold => Verdict::Regressed,
         _ => Verdict::Ok,
     };
     (Some(rel), verdict)
@@ -268,6 +278,7 @@ mod tests {
             direction_for("counter.cycle.count"),
             Direction::Informational
         );
+        assert_eq!(direction_for("counter.perf.work.slots"), Direction::Exact);
         assert_eq!(direction_for("confusion.fpr"), Direction::LowerIsBetter);
         assert_eq!(
             direction_for("slots.phase1.success_rate"),
@@ -335,6 +346,30 @@ mod tests {
         assert!(DiffReport::diff(&a, &map(&[("starvation.events", 0.0)]), 0.10).passed());
         let z = map(&[("irr.phase2", 0.0)]);
         assert!(DiffReport::diff(&z, &map(&[("irr.phase2", 5.0)]), 0.10).passed());
+    }
+
+    #[test]
+    fn work_counters_gate_exactly_in_both_directions() {
+        let a = map(&[("counter.perf.work.slots", 100.0)]);
+        // Identity passes at a zero threshold…
+        assert!(DiffReport::diff(&a, &a.clone(), 0.0).passed());
+        // …and a single diverged count fails it, whichever way it moved.
+        for moved in [99.0, 101.0] {
+            let d = DiffReport::diff(&a, &map(&[("counter.perf.work.slots", moved)]), 0.0);
+            assert!(!d.passed(), "{moved} should fail the identity gate");
+            assert_eq!(d.regressed_names(), vec!["counter.perf.work.slots"]);
+        }
+        // Zero-baseline counters gate on any appearance of work.
+        let z = map(&[("counter.perf.work.gmm_updates", 0.0)]);
+        assert!(
+            !DiffReport::diff(&z, &map(&[("counter.perf.work.gmm_updates", 1.0)]), 0.0).passed()
+        );
+        // A vanished work counter is Missing, a brand-new one is fine.
+        assert!(!DiffReport::diff(&a, &map(&[]), 0.0).passed());
+        assert!(DiffReport::diff(&map(&[]), &a, 0.0).passed());
+        // Ordinary counters stay informational even under threshold 0.
+        let c = map(&[("counter.round.count", 10.0)]);
+        assert!(DiffReport::diff(&c, &map(&[("counter.round.count", 99.0)]), 0.0).passed());
     }
 
     #[test]

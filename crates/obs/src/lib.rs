@@ -23,14 +23,19 @@
 //!   exporters over the span tree (both clocks), a per-family hotspot
 //!   report with a measured telemetry self-overhead estimate, and trend
 //!   analysis across a `BENCH_*.json` series.
+//! * [`compare`] — variance-aware A/B performance comparison: proves two
+//!   runs did byte-identical sim work (seed, scale, every counter —
+//!   including the deterministic `perf.work.*` work counters), then
+//!   judges wall-side rate deltas against the trial stddev noise band.
 //!
 //! The `obs` binary (`obs report` / `obs diff` / `obs export` /
-//! `obs flame` / `obs hotspots` / `obs trend`) is a thin shell over
-//! these layers.
+//! `obs flame` / `obs hotspots` / `obs trend` / `obs compare`) is a thin
+//! shell over these layers.
 
 #![forbid(unsafe_code)]
 pub mod analyze;
 pub mod bench;
+pub mod compare;
 pub mod diff;
 pub mod export;
 pub mod hotspots;
@@ -39,6 +44,7 @@ pub mod trend;
 
 pub use analyze::{AnalyzeConfig, FaultReport, FaultWindow, RunReport};
 pub use bench::{BenchSnapshot, BENCH_SCHEMA_VERSION};
+pub use compare::CompareReport;
 pub use diff::{DiffReport, Direction};
 pub use export::{chrome_trace, flame_lines};
 pub use hotspots::HotspotReport;

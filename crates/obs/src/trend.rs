@@ -51,6 +51,9 @@ pub struct TrendReport {
     pub labels: Vec<String>,
     /// True where the corresponding snapshot is provisional.
     pub provisional: Vec<bool>,
+    /// Wall-clock trials each snapshot averaged over (0 for schema-v1
+    /// snapshots, which recorded a single unlabelled run).
+    pub trials: Vec<u32>,
     pub series: Vec<TrendSeries>,
 }
 
@@ -59,6 +62,7 @@ impl TrendReport {
     pub fn analyze(labelled: &[(String, &BenchSnapshot)]) -> TrendReport {
         let labels: Vec<String> = labelled.iter().map(|(l, _)| l.clone()).collect();
         let provisional: Vec<bool> = labelled.iter().map(|(_, s)| s.provisional).collect();
+        let trials: Vec<u32> = labelled.iter().map(|(_, s)| s.trials).collect();
         let maps: Vec<_> = labelled.iter().map(|(_, s)| s.metric_map()).collect();
 
         let mut names: Vec<&String> = maps.iter().flat_map(|m| m.keys()).collect();
@@ -88,6 +92,7 @@ impl TrendReport {
         TrendReport {
             labels,
             provisional,
+            trials,
             series,
         }
     }
@@ -123,12 +128,23 @@ impl TrendReport {
 impl fmt::Display for TrendReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "trend across {} snapshots:", self.labels.len())?;
-        for (label, prov) in self.labels.iter().zip(&self.provisional) {
+        for ((label, prov), trials) in self.labels.iter().zip(&self.provisional).zip(&self.trials) {
             write!(f, " {}{}", label, if *prov { "*" } else { "" })?;
+            // A ×1 marker would just be noise: single-trial wall metrics
+            // are the plain measurements they always were.
+            if *trials > 1 {
+                write!(f, "(×{trials})")?;
+            }
         }
         writeln!(f)?;
         if self.provisional.iter().any(|p| *p) {
             writeln!(f, "  (* provisional snapshot)")?;
+        }
+        if self.trials.iter().any(|t| *t > 1) {
+            writeln!(
+                f,
+                "  (×N: wall metrics are the median of N trials; see *.wall_stddev_seconds)"
+            )?;
         }
         for s in &self.series {
             write!(f, "  {:<28}", s.name)?;
@@ -173,6 +189,7 @@ mod tests {
             crate::bench::FigureBench {
                 wall_seconds: wall,
                 reports_per_wall_second: p2_rate,
+                ..crate::bench::FigureBench::default()
             },
         );
         BenchSnapshot {
@@ -180,6 +197,7 @@ mod tests {
             seed: 7,
             scale: "quick".to_string(),
             provisional: false,
+            trials: 0,
             figures,
             counters,
             durations: BTreeMap::new(),
@@ -231,6 +249,30 @@ mod tests {
         assert_eq!(rate.values, vec![Some(100.0), None]);
         // A single present value is a point, not a trend.
         assert_eq!(rate.relative_change, None);
+    }
+
+    #[test]
+    fn v2_trial_counts_and_stddev_surface_in_the_report() {
+        let a = snap(1.0, 100.0);
+        let mut b = snap(1.1, 95.0);
+        b.trials = 5;
+        let fig = b.figures.get_mut("fig9_rate").unwrap();
+        fig.trial_wall_seconds = vec![1.0, 1.1, 1.2, 1.1, 1.1];
+        fig.wall_stddev_seconds = 0.063;
+        let labelled = vec![("old".to_string(), &a), ("new".to_string(), &b)];
+        let report = TrendReport::analyze(&labelled);
+        assert_eq!(report.trials, vec![0, 5]);
+        let stddev = report
+            .series
+            .iter()
+            .find(|s| s.name == "fig.fig9_rate.wall_stddev_seconds")
+            .unwrap();
+        // v1 snapshot has no trial data, so the stddev column shows a gap.
+        assert_eq!(stddev.values, vec![None, Some(0.063)]);
+        let text = report.to_string();
+        assert!(text.contains("new(×5)"), "{text}");
+        assert!(text.contains("median of N trials"), "{text}");
+        assert!(!text.contains("old(×"), "{text}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use tagwatch_fault::{FaultInjector, RoundEffects};
 use tagwatch_gen2::{run_round, Epc, FrameSizer, QAdaptive, RoundConfig, Select, TagProto};
 use tagwatch_rf::{LinkGeometry, RfMeasurement};
 use tagwatch_scene::Scene;
-use tagwatch_telemetry::Telemetry;
+use tagwatch_telemetry::{Telemetry, WorkCounters};
 
 /// One tag read, as delivered to the middleware.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,6 +58,12 @@ pub struct Reader {
     /// default — is the clean fast path: no polls, no extra RNG draws,
     /// and traces byte-identical to a fault-free build.
     fault_injector: Option<Box<dyn FaultInjector>>,
+    /// Deterministic work accounting (slots, commands, channel
+    /// evaluations, …), accumulated in plain fields on the hot path and
+    /// flushed as `perf.work.*` counters once per ROSpec execution.
+    /// Counting never touches `rng`, so it cannot perturb the
+    /// simulation.
+    work: WorkCounters,
 }
 
 /// Combines two independent loss probabilities (`1 − (1−a)(1−b)`),
@@ -97,6 +103,7 @@ impl Reader {
             antenna_rr: 0,
             telemetry: Telemetry::global().clone(),
             fault_injector: None,
+            work: WorkCounters::default(),
         }
     }
 
@@ -203,11 +210,15 @@ impl Reader {
     /// command with the composed probability — the partial-coverage
     /// failure mode a marginal link produces in practice.
     fn apply_select(&mut self, sel: &Select, effects: &RoundEffects) {
+        self.work.selects += 1;
         let p = effects.select_loss_prob;
         for proto in self.protos.iter_mut() {
-            if p > 0.0 && self.rng.gen_bool(p) {
-                self.telemetry.incr("fault.selects_lost");
-                continue;
+            if p > 0.0 {
+                self.work.rng_draws += 1;
+                if self.rng.gen_bool(p) {
+                    self.telemetry.incr("fault.selects_lost");
+                    continue;
+                }
             }
             proto.handle_select(sel);
         }
@@ -321,6 +332,9 @@ impl Reader {
                 }
             }
         }
+        // One bulk flush per ROSpec execution: the accounting lands as
+        // `perf.work.*` counters without per-unit telemetry calls.
+        self.work.flush(&self.telemetry);
         Ok(reports)
     }
 
@@ -397,6 +411,13 @@ impl Reader {
         // Update the population estimate from what this round saw.
         self.mode_estimate = 0.5 * self.mode_estimate + 0.5 * (result.reads.len().max(1) as f64);
 
+        // Work accounting: one Query starts the round; the slot loop's
+        // command and slot counts come back in the stats.
+        self.work.queries += 1;
+        self.work.slots += result.stats.total_slots() as u64;
+        self.work.query_reps += result.stats.query_reps as u64;
+        self.work.query_adjusts += result.stats.adjusts as u64;
+
         let antenna_pos = self.scene.antenna(port).position;
         for read in &result.reads {
             let t_abs = t_round_start + read.t;
@@ -407,6 +428,12 @@ impl Reader {
                 reflectors: &reflectors,
             };
             let chan = self.cfg.channel_plan.channel_at(t_abs);
+            // One channel evaluation per delivered read: the LOS path
+            // plus every reflector image is re-derived, and the noise
+            // model draws twice (phase, RSS).
+            self.work.channel_evals += 1;
+            self.work.geometry_recomputes += 1 + reflectors.len() as u64;
+            self.work.rng_draws += 2;
             let rf = channel_model.observe(
                 &link,
                 self.scene.tags[read.tag_idx].key,

@@ -309,6 +309,16 @@ impl Telemetry {
         rec
     }
 
+    /// Events offered to the delivery choke point so far: emitted +
+    /// sampled out + dropped. The offer count depends only on what the
+    /// instrumented code emitted — never on the sink configuration — so
+    /// it is the sim-deterministic `perf.work.telemetry_events` unit the
+    /// bench harness flushes per trial.
+    pub fn offered(&self) -> u64 {
+        let st = self.lock();
+        st.emitted + st.sampled_out + st.dropped
+    }
+
     /// Flushes every sink (call before reading a JSONL file mid-process,
     /// or at exit for the global handle, which is never dropped).
     pub fn flush(&self) {

@@ -64,6 +64,7 @@ pub mod overhead;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod work;
 
 pub use clock::{wall_now, WallInstant};
 pub use event::{
@@ -79,6 +80,7 @@ pub use sink::{
     is_sim_deterministic, JsonlSink, MemorySink, NullSink, RingSink, SimOnlySink, Sink,
 };
 pub use span::{SimSpan, SpanGuard};
+pub use work::{WorkCounters, WORK_PREFIX};
 
 /// Starts a wall-clock span on a handle: `let _g = span!(tel, "phase1");`.
 /// The span closes (and is emitted) when the guard leaves scope.

@@ -35,6 +35,19 @@ impl OverheadEstimate {
     pub fn cost_of(&self, events: u64) -> f64 {
         self.per_event_seconds * events as f64
     }
+
+    /// An injected (not measured) estimate of `per_event_ns` nanoseconds
+    /// per event. `events_measured = 0` marks it as fixed, and the
+    /// output of anything fed a fixed estimate is byte-reproducible —
+    /// this is what `obs hotspots --overhead-ns` and `obs compare` use
+    /// so CI never depends on a wall-clock calibration loop.
+    pub fn fixed(per_event_ns: f64) -> Self {
+        OverheadEstimate {
+            per_event_seconds: per_event_ns * 1e-9,
+            events_measured: 0,
+            total_seconds: 0.0,
+        }
+    }
 }
 
 /// Calibrates with the default sample size (~70k events, well under a

@@ -1,0 +1,190 @@
+//! Deterministic work accounting: counting *simulation work units* so
+//! wall time can be treated as a derived, variance-qualified rate.
+//!
+//! The bench gates record wall seconds, but wall time alone cannot
+//! distinguish "the code got faster" from "the run silently did less
+//! work". [`WorkCounters`] counts the units of work the simulator
+//! performs — slots simulated, Gen2 commands issued, channel
+//! evaluations, geometry recomputes, mixture updates, RNG draws — all of
+//! which are functions of the seed and configuration only, never of the
+//! host. Two runs of the same seed and scale must produce byte-identical
+//! `perf.work.*` counters no matter the sink configuration, sampling
+//! rate, or machine; `obs compare` refuses to compare wall-side numbers
+//! until that identity holds.
+//!
+//! Counting happens in plain fields on the hot path (no atomics, no
+//! telemetry calls per unit) and is flushed in bulk at coarse
+//! boundaries — the reader flushes once per ROSpec execution, the
+//! controller once per cycle — so the accounting itself costs almost
+//! nothing and, crucially, never touches the simulation's RNG stream.
+//!
+//! Counter naming: every flushed counter is `perf.work.<field>` with the
+//! field in `snake_case` (enforced by the workspace lint's
+//! `perf-counter-name` rule). All fields are flushed every time, zeros
+//! included, so the counter *set* in a trace is byte-stable across
+//! scenarios and diffs never see counters appear or vanish.
+
+use crate::handle::Telemetry;
+
+/// Prefix every work counter shares (see [`WorkCounters::flush`]).
+pub const WORK_PREFIX: &str = "perf.work.";
+
+/// Accumulator for deterministic work units. Embed one in a component,
+/// bump the fields inline on the hot path, and [`flush`](Self::flush)
+/// at a coarse boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkCounters {
+    /// Inventory slots simulated (empty, collision, or success).
+    pub slots: u64,
+    /// Gen2 Select commands issued by the reader.
+    pub selects: u64,
+    /// Gen2 Query commands issued (one per inventory round).
+    pub queries: u64,
+    /// Gen2 QueryRep commands issued (including ones lost to faults —
+    /// the reader does the work of issuing either way).
+    pub query_reps: u64,
+    /// Gen2 QueryAdjust commands issued (Q changes mid-round).
+    pub query_adjusts: u64,
+    /// Per-(tag, antenna) RF channel evaluations (one per delivered
+    /// read: `ChannelModel::observe`).
+    pub channel_evals: u64,
+    /// Fresnel/geometry path recomputes: the LOS path plus one per
+    /// reflector evaluated for a channel observation.
+    pub geometry_recomputes: u64,
+    /// Mixture-model updates: readings fed into a per-tag MoG detector.
+    pub gmm_updates: u64,
+    /// Simulation RNG draws performed by the reader/channel layer
+    /// (protocol-internal tag draws are excluded; see DESIGN.md §11).
+    pub rng_draws: u64,
+    /// Telemetry events offered to the delivery choke point (emitted +
+    /// sampled out + dropped). Flushed by the bench harness from
+    /// [`Telemetry::offered`], not by components.
+    pub telemetry_events: u64,
+}
+
+impl WorkCounters {
+    /// An all-zero accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Field-wise sum.
+    pub fn merge(&mut self, other: &WorkCounters) {
+        self.slots += other.slots;
+        self.selects += other.selects;
+        self.queries += other.queries;
+        self.query_reps += other.query_reps;
+        self.query_adjusts += other.query_adjusts;
+        self.channel_evals += other.channel_evals;
+        self.geometry_recomputes += other.geometry_recomputes;
+        self.gmm_updates += other.gmm_updates;
+        self.rng_draws += other.rng_draws;
+        self.telemetry_events += other.telemetry_events;
+    }
+
+    /// Total units across all fields (a quick "did any work happen").
+    pub fn total(&self) -> u64 {
+        self.as_pairs().iter().map(|(_, v)| v).sum()
+    }
+
+    /// The `(counter-name, value)` view, in a fixed order. Names carry
+    /// the full `perf.work.` prefix.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 10] {
+        [
+            ("perf.work.slots", self.slots),
+            ("perf.work.selects", self.selects),
+            ("perf.work.queries", self.queries),
+            ("perf.work.query_reps", self.query_reps),
+            ("perf.work.query_adjusts", self.query_adjusts),
+            ("perf.work.channel_evals", self.channel_evals),
+            ("perf.work.geometry_recomputes", self.geometry_recomputes),
+            ("perf.work.gmm_updates", self.gmm_updates),
+            ("perf.work.rng_draws", self.rng_draws),
+            ("perf.work.telemetry_events", self.telemetry_events),
+        ]
+    }
+
+    /// Flushes every field as a `perf.work.*` counter increment and
+    /// resets the accumulator. Zero fields are flushed too, so the
+    /// counter set is identical across scenarios. A disabled handle
+    /// drops the counts, like every other metric.
+    pub fn flush(&mut self, tel: &Telemetry) {
+        if tel.is_enabled() {
+            for (name, value) in self.as_pairs() {
+                tel.incr_by(name, value);
+            }
+        }
+        *self = WorkCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn flush_emits_every_field_and_resets() {
+        let tel = Telemetry::new();
+        let sink = MemorySink::new(1 << 10);
+        tel.install(Box::new(sink.clone()));
+        let mut w = WorkCounters {
+            slots: 3,
+            channel_evals: 7,
+            ..WorkCounters::default()
+        };
+        w.flush(&tel);
+        assert_eq!(w, WorkCounters::default(), "flush resets");
+        let snap = tel.snapshot();
+        // Every field lands, zeros included — the counter set is stable.
+        for (name, _) in WorkCounters::default().as_pairs() {
+            assert!(snap.counter(name).is_some(), "missing {name}");
+        }
+        assert_eq!(snap.counter("perf.work.slots"), Some(3));
+        assert_eq!(snap.counter("perf.work.channel_evals"), Some(7));
+        assert_eq!(snap.counter("perf.work.queries"), Some(0));
+        assert_eq!(sink.len(), 10);
+    }
+
+    #[test]
+    fn flush_on_disabled_handle_still_resets() {
+        let tel = Telemetry::new();
+        let mut w = WorkCounters {
+            slots: 5,
+            ..WorkCounters::default()
+        };
+        w.flush(&tel);
+        assert_eq!(w.slots, 0);
+        assert!(tel.snapshot().is_empty());
+    }
+
+    #[test]
+    fn merge_is_field_wise() {
+        let mut a = WorkCounters {
+            slots: 1,
+            rng_draws: 2,
+            ..WorkCounters::default()
+        };
+        let b = WorkCounters {
+            slots: 10,
+            queries: 4,
+            ..WorkCounters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.slots, 11);
+        assert_eq!(a.queries, 4);
+        assert_eq!(a.rng_draws, 2);
+        assert_eq!(a.total(), 17);
+    }
+
+    #[test]
+    fn pair_names_follow_the_convention() {
+        for (name, _) in WorkCounters::default().as_pairs() {
+            let field = name.strip_prefix(WORK_PREFIX).expect("prefix");
+            assert!(
+                !field.is_empty() && field.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "bad counter name {name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Work-counter invariance: the deterministic `perf.work.*` registry
+//! counters describe *simulated* work, so they must be byte-identical
+//! no matter how the telemetry stream is sinked, sampled, wrapped, or
+//! dropped — the accounting lives in the metrics registry, not in the
+//! event stream a sink happens to keep. This is the contract that lets
+//! `obs compare` treat counter equality as proof of identical sim work
+//! even when the two runs used different telemetry configurations.
+//!
+//! The same invariance is asserted for [`Telemetry::offered`], the
+//! basis of the `perf.work.telemetry_events` unit the repro harness
+//! accounts per trial.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use tagwatch::prelude::*;
+use tagwatch_monitor::{MonitorConfig, MonitorSink};
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::{
+    MemorySink, RingSink, SimOnlySink, Telemetry, TelemetryConfig, WORK_PREFIX,
+};
+
+const SEED: u64 = 23;
+
+/// `perf.work.*` totals plus the offered-event count from one run.
+type WorkFingerprint = (BTreeMap<String, u64>, u64);
+
+/// One controller run on a private telemetry handle; `configure` sets up
+/// sinks/sampling before the run. Returns the `perf.work.*` slice of the
+/// registry plus the offered-event count.
+fn drive(configure: impl FnOnce(&Telemetry)) -> WorkFingerprint {
+    let scene = presets::turntable(12, 1, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xE9C5);
+    let epcs: Vec<Epc> = (0..12).map(|_| Epc::random(&mut rng)).collect();
+    let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), SEED ^ 1);
+
+    let tel = Telemetry::new();
+    configure(&tel);
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel.clone());
+    ctl.run_cycles(&mut reader, 5).expect("valid config");
+    tel.flush();
+
+    let work: BTreeMap<String, u64> = tel
+        .snapshot()
+        .counters()
+        .filter(|(name, _)| name.starts_with(WORK_PREFIX))
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    (work, tel.offered())
+}
+
+#[test]
+fn work_counters_are_invariant_under_every_sink_configuration() {
+    // Baseline: enabled handle, no sinks at all — pure registry.
+    let (baseline, offered) = drive(|tel| tel.set_enabled(true));
+    assert!(
+        baseline.len() >= 9,
+        "expected the full work taxonomy, got {baseline:?}"
+    );
+    for unit in ["slots", "selects", "queries", "channel_evals", "rng_draws"] {
+        let name = format!("{WORK_PREFIX}{unit}");
+        assert!(
+            baseline.get(&name).copied().unwrap_or(0) > 0,
+            "{name} should be hot on a real run: {baseline:?}"
+        );
+    }
+
+    let monitor_dir =
+        std::env::temp_dir().join(format!("tagwatch-work-itest-{}-{SEED}", std::process::id()));
+    let legs: Vec<(&str, WorkFingerprint)> = vec![
+        (
+            "memory sink",
+            drive(|tel| tel.install(Box::new(MemorySink::new(1 << 20)))),
+        ),
+        (
+            "round sampling (1 in 4)",
+            drive(|tel| {
+                tel.install(Box::new(MemorySink::new(1 << 20)));
+                tel.configure(TelemetryConfig {
+                    sample_every_n_rounds: 4,
+                    max_events: 0,
+                });
+            }),
+        ),
+        (
+            "event budget cutoff",
+            drive(|tel| {
+                tel.install(Box::new(MemorySink::new(1 << 20)));
+                tel.configure(TelemetryConfig {
+                    sample_every_n_rounds: 1,
+                    max_events: 40,
+                });
+            }),
+        ),
+        (
+            "sim-only wrapper",
+            drive(|tel| tel.install(Box::new(SimOnlySink::new(MemorySink::new(1 << 20))))),
+        ),
+        (
+            "dropping ring sink",
+            drive(|tel| tel.install(Box::new(RingSink::new(8)))),
+        ),
+        (
+            "monitor sink",
+            drive(|tel| {
+                let sink = MonitorSink::create(
+                    &monitor_dir,
+                    Box::new(MemorySink::new(1 << 20)),
+                    MonitorConfig::default(),
+                )
+                .expect("temp monitor dir");
+                tel.install(Box::new(sink));
+            }),
+        ),
+    ];
+    std::fs::remove_dir_all(&monitor_dir).ok();
+
+    for (leg, (work, leg_offered)) in &legs {
+        assert_eq!(
+            *work, baseline,
+            "{leg}: perf.work.* counters drifted from the bare-handle run"
+        );
+        assert_eq!(
+            *leg_offered, offered,
+            "{leg}: offered-event count drifted from the bare-handle run"
+        );
+    }
+}
+
+#[test]
+fn the_suppression_legs_are_not_vacuous() {
+    // The invariance above only means something if sampling genuinely
+    // thins the delivered stream: prove rate-4 sampling hands the sink
+    // strictly fewer events than rate-1 on the identical run.
+    let full = MemorySink::new(1 << 20);
+    let full_tap = full.clone();
+    drive(move |tel| tel.install(Box::new(full)));
+
+    let sampled = MemorySink::new(1 << 20);
+    let sampled_tap = sampled.clone();
+    drive(move |tel| {
+        tel.install(Box::new(sampled));
+        tel.configure(TelemetryConfig {
+            sample_every_n_rounds: 4,
+            max_events: 0,
+        });
+    });
+
+    let (n_full, n_sampled) = (full_tap.events().len(), sampled_tap.events().len());
+    assert!(
+        n_sampled < n_full,
+        "sampling kept everything ({n_sampled} vs {n_full} events)"
+    );
+}

@@ -1,0 +1,14 @@
+//! Counter-name contract: `perf.work.` must be followed by exactly one
+//! snake_case unit segment. Only the malformed literals below fire.
+
+pub fn counters() -> [&'static str; 7] {
+    [
+        "perf.work.slots",       // fine: one snake_case unit
+        "perf.work.query_reps",  // fine: underscores allowed
+        "perf.work.",            // fine: the bare prefix constant
+        "perf.work.Slots",       // bad: uppercase unit
+        "perf.work.slots.total", // bad: a second dot segment
+        "perf.work.per-cycle",   // bad: dash is not snake_case
+        r"perf.work.2nd",        // bad: raw strings are scanned too
+    ]
+}

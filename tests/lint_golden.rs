@@ -21,6 +21,7 @@ const CASES: &[(&str, &str)] = &[
     ("unsafe_free", "crates/tracking/src/lib.rs"),
     ("todo_tracker", "crates/reader/src/injected.rs"),
     ("lint_escape", "crates/telemetry/src/injected.rs"),
+    ("work_counter_name", "crates/monitor/src/injected.rs"),
     ("clean", "crates/core/src/clean.rs"),
 ];
 

@@ -1,0 +1,76 @@
+//! Property: the deterministic `perf.work.*` registry counters (and the
+//! offered-event count behind `perf.work.telemetry_events`) are a pure
+//! function of the simulated run — identical for any seed no matter the
+//! sink configuration, sampling rate, event budget, or ring capacity.
+//! This is the randomized version of `integration_work.rs`: that test
+//! pins one seed against every sink shape; this one sweeps seeds and
+//! suppression knobs together.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use tagwatch::prelude::*;
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::{
+    MemorySink, RingSink, SimOnlySink, Telemetry, TelemetryConfig, WORK_PREFIX,
+};
+
+/// One short controller run on a private, pre-configured handle.
+fn drive(seed: u64, configure: impl FnOnce(&Telemetry)) -> (BTreeMap<String, u64>, u64) {
+    let scene = presets::turntable(8, 1, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE9C5);
+    let epcs: Vec<Epc> = (0..8).map(|_| Epc::random(&mut rng)).collect();
+    let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), seed ^ 1);
+
+    let tel = Telemetry::new();
+    configure(&tel);
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel.clone());
+    ctl.run_cycles(&mut reader, 3).expect("valid config");
+    tel.flush();
+
+    let work: BTreeMap<String, u64> = tel
+        .snapshot()
+        .counters()
+        .filter(|(name, _)| name.starts_with(WORK_PREFIX))
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    (work, tel.offered())
+}
+
+proptest! {
+    // Full controller runs are not cheap; a handful of random
+    // configurations per CI invocation is plenty — the single-seed
+    // integration test already covers every sink shape deterministically.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn work_counters_ignore_sampling_budgets_and_ring_capacity(
+        seed in 0u64..1_000,
+        sample_every in 1u32..6,
+        max_events in prop::option::of(1u64..200),
+        ring_capacity in 1usize..64,
+        sim_only in any::<bool>(),
+    ) {
+        let (baseline, offered) = drive(seed, |tel| tel.set_enabled(true));
+        prop_assert!(!baseline.is_empty(), "no work accounted at all");
+
+        let cfg = TelemetryConfig {
+            sample_every_n_rounds: sample_every,
+            max_events: max_events.unwrap_or(0),
+        };
+        let (suppressed, suppressed_offered) = drive(seed, |tel| {
+            if sim_only {
+                tel.install(Box::new(SimOnlySink::new(MemorySink::new(1 << 16))));
+            } else {
+                tel.install(Box::new(MemorySink::new(1 << 16)));
+            }
+            tel.install(Box::new(RingSink::new(ring_capacity)));
+            tel.configure(cfg);
+        });
+
+        prop_assert_eq!(&suppressed, &baseline);
+        prop_assert_eq!(suppressed_offered, offered);
+    }
+}
