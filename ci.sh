@@ -22,6 +22,13 @@
 #                    # snapshot (same sim work required; a median work
 #                    # rate may only regress beyond k·stddev of the
 #                    # trial noise band)
+#   ./ci.sh --trace  # trace-plane gate only: the compact .twb capture of
+#                    # the reference workload must yield byte-identical
+#                    # analyzer verdicts to JSONL, `obs pack` must round-
+#                    # trip to the captured bytes, a 4-shard capture must
+#                    # merge bit-identical to 1 shard, the .twb file must
+#                    # hit the 5x size bar, and the encoder benchmark
+#                    # records a snapshot figure
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,6 +38,7 @@ lint_only=false
 faults_only=false
 monitor_only=false
 perf_only=false
+trace_only=false
 case "${1:-}" in
     --tier1) tier1_only=true ;;
     --obs) obs_only=true ;;
@@ -38,6 +46,7 @@ case "${1:-}" in
     --faults) faults_only=true ;;
     --monitor) monitor_only=true ;;
     --perf) perf_only=true ;;
+    --trace) trace_only=true ;;
 esac
 
 regressions_check() {
@@ -241,6 +250,60 @@ perf_gate() {
     echo "perf gate passed."
 }
 
+trace_gate() {
+    # Trace-plane gate: the compact binary format must be a drop-in
+    # replacement for JSONL capture. Same-seed sim-only runs are byte-
+    # deterministic, so every check below is an exact `cmp`, never a
+    # tolerance.
+    local seed=7
+    echo "==> trace: cargo build --release (repro + obs)"
+    cargo build --release -p tagwatch-bench -p tagwatch-obs
+    mkdir -p out
+
+    echo "==> trace: reference workload captured as JSONL and .twb (seed $seed, sim-only)"
+    ./target/release/repro obs-run --quick --seed "$seed" \
+        --telemetry-sim-only --telemetry out/trace-ci.jsonl >/dev/null
+    ./target/release/repro obs-run --quick --seed "$seed" \
+        --telemetry-sim-only --telemetry-format binary \
+        --telemetry out/trace-ci.twb >/dev/null
+
+    echo "==> trace: analyzer verdicts must be byte-identical across formats"
+    ./target/release/obs report --json out/trace-ci.jsonl > out/trace-report-jsonl.json
+    ./target/release/obs report --json out/trace-ci.twb > out/trace-report-twb.json
+    cmp out/trace-report-jsonl.json out/trace-report-twb.json
+
+    echo "==> trace: obs pack must round-trip the JSONL capture to the captured .twb bytes"
+    ./target/release/obs pack out/trace-ci.jsonl -o out/trace-ci-packed.twb
+    cmp out/trace-ci-packed.twb out/trace-ci.twb
+
+    echo "==> trace: 4-shard capture must merge bit-identical to the 1-shard file"
+    ./target/release/repro obs-run --quick --seed "$seed" \
+        --telemetry-sim-only --telemetry-format binary --telemetry-shards 4 \
+        --telemetry out/trace-ci-sharded.twb >/dev/null
+    ./target/release/obs ingest --format twb \
+        out/trace-ci-sharded.twb.shard0 out/trace-ci-sharded.twb.shard1 \
+        out/trace-ci-sharded.twb.shard2 out/trace-ci-sharded.twb.shard3 \
+        -o out/trace-ci-merged.twb
+    cmp out/trace-ci-merged.twb out/trace-ci.twb
+
+    echo "==> trace: .twb must be at least 5x smaller than the JSONL capture"
+    local jsonl_bytes twb_bytes
+    jsonl_bytes=$(wc -c < out/trace-ci.jsonl)
+    twb_bytes=$(wc -c < out/trace-ci.twb)
+    if (( jsonl_bytes < 5 * twb_bytes )); then
+        echo "error: compression below the 5x bar:" \
+            "$jsonl_bytes JSONL bytes vs $twb_bytes .twb bytes" >&2
+        exit 1
+    fi
+    echo "    $jsonl_bytes JSONL bytes -> $twb_bytes .twb bytes" \
+        "($(( jsonl_bytes / twb_bytes ))x smaller)"
+
+    echo "==> trace: encoder benchmark figure (trace-bench, seed $seed)"
+    ./target/release/repro trace-bench --quick --seed "$seed" \
+        --bench-json out/BENCH_trace.json
+    echo "trace gate passed."
+}
+
 if $obs_only; then
     obs_gate
     exit 0
@@ -266,6 +329,11 @@ if $perf_only; then
     exit 0
 fi
 
+if $trace_only; then
+    trace_gate
+    exit 0
+fi
+
 if ! $tier1_only; then
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check
@@ -288,6 +356,7 @@ if ! $tier1_only; then
     fault_gate
     monitor_gate
     perf_gate
+    trace_gate
 fi
 
 echo "CI gate passed."

@@ -11,9 +11,12 @@
 //! scale (slow).
 //!
 //! `--telemetry FILE` enables the process-wide telemetry handle, streams
-//! every span/counter/observation as JSONL into `FILE`, and prints a
-//! summary (duration percentiles, per-phase IRR, counters) after the
-//! figures finish.
+//! every span/counter/observation into `FILE`, and prints a summary
+//! (duration percentiles, per-phase IRR, counters) after the figures
+//! finish. The stream is JSONL by default; `--telemetry-format binary`
+//! writes the compact `.twb` encoding instead, and `--telemetry-shards N`
+//! (binary only) splits it across N self-describing shard files for the
+//! deterministic `obs ingest` merge.
 //!
 //! `--bench-json FILE` writes a schema-versioned `BenchSnapshot`
 //! (registry aggregates plus per-figure wall clock) for `obs diff`
@@ -50,7 +53,8 @@ use tagwatch_fault::FaultPlan;
 use tagwatch_monitor::{MonitorConfig, MonitorSink, WatchdogConfig};
 use tagwatch_obs::bench::{BenchSnapshot, FigureBench};
 use tagwatch_telemetry::{
-    wall_now, JsonlSink, NullSink, SimOnlySink, Sink, Telemetry, TelemetryConfig,
+    wall_now, BinarySink, JsonlSink, NullSink, ShardedSink, SimOnlySink, Sink, Telemetry,
+    TelemetryConfig, TraceFormat,
 };
 
 struct Opts {
@@ -78,6 +82,14 @@ struct Opts {
     /// snapshots + Prometheus-style exposition, refreshed on the sim
     /// clock while the run is in flight.
     monitor: Option<std::path::PathBuf>,
+    /// On-disk encoding for `--telemetry` (`--telemetry-format`):
+    /// JSONL (the default) or the compact `.twb` binary format. Every
+    /// `obs` subcommand accepts either transparently.
+    telemetry_format: TraceFormat,
+    /// Shard count for binary capture (`--telemetry-shards`, ≥ 1):
+    /// above 1 the stream is split across self-describing `.twb.shardK`
+    /// files that `obs ingest` merges back deterministically.
+    telemetry_shards: usize,
 }
 
 impl Opts {
@@ -106,6 +118,8 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         faults: None,
         sim_only: false,
         monitor: None,
+        telemetry_format: TraceFormat::Jsonl,
+        telemetry_shards: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -161,6 +175,24 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
                 let v = args.next().ok_or("--monitor needs a directory")?;
                 opts.monitor = Some(v.into());
             }
+            "--telemetry-format" => {
+                let v = args
+                    .next()
+                    .ok_or("--telemetry-format needs jsonl or binary")?;
+                opts.telemetry_format = match v.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "binary" | "twb" => TraceFormat::Binary,
+                    other => return Err(format!("--telemetry-format: unknown format {other:?}")),
+                };
+            }
+            "--telemetry-shards" => {
+                let v = args.next().ok_or("--telemetry-shards needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                if n == 0 {
+                    return Err("--telemetry-shards must be ≥ 1".into());
+                }
+                opts.telemetry_shards = n;
+            }
             "--telemetry-sim-only" => opts.sim_only = true,
             "--quick" => opts.scale = 0,
             "--full" => opts.scale = 2,
@@ -174,15 +206,23 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
     if figs.is_empty() {
         return Err(usage());
     }
+    if opts.telemetry_shards > 1 && opts.telemetry_format == TraceFormat::Jsonl {
+        return Err(
+            "--telemetry-shards needs --telemetry-format binary (JSONL capture is single-file)"
+                .into(),
+        );
+    }
     Ok((figs, opts))
 }
 
 fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
-     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run|fault-run> \
+     gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run|fault-run|\
+     trace-bench> \
      [--seed N] [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE] \
      [--trials N] [--telemetry-sample N] [--telemetry-max-events M] [--faults PLAN] \
-     [--telemetry-sim-only] [--monitor DIR]\n\
+     [--telemetry-sim-only] [--monitor DIR] [--telemetry-format jsonl|binary] \
+     [--telemetry-shards N]\n\
      \n\
      --trials N repeats each figure N times at the same seed (reprinting its\n\
      output) and records per-trial wall stats + work rates in the bench snapshot;\n\
@@ -196,7 +236,12 @@ fn usage() -> String {
      --monitor DIR streams online analyzer snapshots (status.json + metrics.prom,\n\
      see `obs watch`) into DIR while the run is in flight, and arms the run health\n\
      watchdog (staleness, sampling starvation, fault-envelope early warning);\n\
-     alarms are also appended to the telemetry trace as alarm.* events."
+     alarms are also appended to the telemetry trace as alarm.* events.\n\
+     --telemetry-format binary captures the trace as compact .twb instead of JSONL\n\
+     (every obs subcommand reads either); --telemetry-shards N (binary only) splits\n\
+     it across N self-describing shard files that `obs ingest` merges back\n\
+     deterministically. trace-bench benchmarks the two encoders on a synthetic\n\
+     stream and records bytes/event + throughput for the CI trace gate."
         .to_string()
 }
 
@@ -286,6 +331,10 @@ fn run_fig(name: &str, o: &Opts) -> Result<(), String> {
                 obs_run::run(o.seed, n, movers, cycles, 0.0, o.faults.as_ref())
             );
         }
+        "trace-bench" => {
+            let events = [2_000, 20_000, 200_000][o.scale as usize];
+            println!("{}", trace_bench::run(o.seed, events));
+        }
         "fault-run" => {
             let plan = o
                 .faults
@@ -318,14 +367,35 @@ fn main() -> ExitCode {
         // under --telemetry-sim-only), otherwise a no-op terminator so
         // --monitor works on its own.
         let inner: Box<dyn Sink + Send> = match &opts.telemetry {
-            Some(path) => match JsonlSink::create(path) {
-                Ok(sink) if opts.sim_only => Box::new(SimOnlySink::new(sink)),
-                Ok(sink) => Box::new(sink),
-                Err(e) => {
-                    eprintln!("cannot open telemetry file {path:?}: {e}");
-                    return ExitCode::FAILURE;
+            Some(path) => {
+                // The capture sink: JSONL (historical default), single
+                // .twb, or a k-way .twb shard set — chosen by flags, all
+                // read back by the same obs decoder.
+                let made: std::io::Result<Box<dyn Sink + Send>> = match opts.telemetry_format {
+                    TraceFormat::Jsonl => JsonlSink::create(path).map(|s| {
+                        let b: Box<dyn Sink + Send> = Box::new(s);
+                        b
+                    }),
+                    TraceFormat::Binary if opts.telemetry_shards > 1 => {
+                        ShardedSink::create(path, opts.telemetry_shards).map(|s| {
+                            let b: Box<dyn Sink + Send> = Box::new(s);
+                            b
+                        })
+                    }
+                    TraceFormat::Binary => BinarySink::create(path).map(|s| {
+                        let b: Box<dyn Sink + Send> = Box::new(s);
+                        b
+                    }),
+                };
+                match made {
+                    Ok(sink) if opts.sim_only => Box::new(SimOnlySink::new(sink)),
+                    Ok(sink) => sink,
+                    Err(e) => {
+                        eprintln!("cannot open telemetry file {path:?}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
-            },
+            }
             None => Box::new(NullSink),
         };
         if let Some(dir) = &opts.monitor {

@@ -19,3 +19,4 @@ pub mod fig17;
 pub mod fig18;
 pub mod gate;
 pub mod obs_run;
+pub mod trace_bench;

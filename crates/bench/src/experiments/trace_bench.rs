@@ -1,0 +1,229 @@
+//! **trace-bench** — the trace-plane encoding benchmark: one
+//! deterministic synthetic event stream, encoded to both trace formats.
+//!
+//! This is the workload behind the `ci.sh --trace` size/throughput
+//! figure: it fabricates a controller-shaped stream (cycle → round span
+//! hierarchy, counters, tag reads with realistic 128-bit EPCs, gauges,
+//! a closing footer), serializes it once as JSONL and once as compact
+//! `.twb`, and records the byte and throughput accounting in the global
+//! telemetry registry so `--bench-json` snapshots carry it:
+//!
+//! * `trace.encode.events` / `trace.encode.jsonl_bytes` /
+//!   `trace.encode.twb_bytes` — deterministic counters (both encoders
+//!   are pure functions of the stream, so byte totals never vary for a
+//!   seed);
+//! * `wall.trace.encode.jsonl_seconds` / `wall.trace.encode.twb_seconds`
+//!   — wall-clock observations, excluded from sim-side determinism
+//!   gates like every other `wall.*` metric.
+//!
+//! Every run also round-trips the `.twb` bytes through the decoder and
+//! asserts event-for-event equality, so the size figure can never be
+//! quoted for a stream the decoder would not accept.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tagwatch_telemetry::binary::{decode_all, encode_stream};
+use tagwatch_telemetry::{
+    wall_now, ClockKind, CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord,
+    SpanRecord, TagRecord, Telemetry,
+};
+
+/// Result of one trace-bench run (printed; the registry carries the
+/// counters the snapshot gates on).
+#[derive(Debug, Clone)]
+pub struct TraceBench {
+    pub events: usize,
+    pub jsonl_bytes: usize,
+    pub twb_bytes: usize,
+    pub jsonl_seconds: f64,
+    pub twb_seconds: f64,
+}
+
+impl TraceBench {
+    /// How many times smaller the binary encoding is.
+    pub fn ratio(&self) -> f64 {
+        if self.twb_bytes == 0 {
+            0.0
+        } else {
+            self.jsonl_bytes as f64 / self.twb_bytes as f64
+        }
+    }
+}
+
+/// A controller-shaped synthetic stream of at least `target` events:
+/// cycles of four rounds, each round a counter + sim span + tag read,
+/// with per-cycle gauges, slot observations, and a wall-clock compute
+/// span; closed by a footer. Pure function of the seed.
+fn synthetic_stream(seed: u64, target: usize) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let epcs: Vec<u128> = (0..32).map(|_| rng.gen()).collect();
+    let mut events = Vec::with_capacity(target + 16);
+    let mut id = 0u64;
+    let mut t = 0.0f64;
+    let mut offered = 0u64;
+    while events.len() < target {
+        id += 1;
+        let cycle_id = id;
+        let t0 = t;
+        for _ in 0..4 {
+            id += 1;
+            let dur = 0.02 + rng.gen::<f64>() * 0.03;
+            offered += 3;
+            events.push(Event::Counter(CounterRecord {
+                name: "round.offered".into(),
+                delta: 3,
+                total: offered,
+            }));
+            events.push(Event::Span(SpanRecord {
+                name: "round".into(),
+                id,
+                parent: Some(cycle_id),
+                start: t,
+                duration: dur,
+                clock: ClockKind::Sim,
+            }));
+            events.push(Event::Tag(TagRecord {
+                name: "read.phase1".into(),
+                epc: epcs[rng.gen_range(0..epcs.len())],
+                t: t + dur,
+            }));
+            t += dur;
+        }
+        events.push(Event::Observe(ObserveRecord {
+            name: "round.slots".into(),
+            value: rng.gen_range(8..64u32) as f64,
+        }));
+        events.push(Event::Gauge(GaugeRecord {
+            name: "round.sim_now".into(),
+            value: t,
+        }));
+        events.push(Event::Span(SpanRecord {
+            name: "cycle".into(),
+            id: cycle_id,
+            parent: None,
+            start: t0,
+            duration: t - t0,
+            clock: ClockKind::Sim,
+        }));
+        id += 1;
+        events.push(Event::Span(SpanRecord {
+            name: "cycle.compute".into(),
+            id,
+            parent: Some(cycle_id),
+            start: 0.0,
+            duration: rng.gen::<f64>() * 1e-3,
+            clock: ClockKind::Wall,
+        }));
+    }
+    events.push(Event::Footer(FooterRecord {
+        emitted: events.len() as u64 + 1,
+        sampled_out: 0,
+        dropped: 0,
+        sample_every_n_rounds: 1,
+        max_events: 0,
+    }));
+    events
+}
+
+/// Encodes the seed's synthetic stream both ways, verifies the binary
+/// round-trip, and records the accounting in the global registry.
+pub fn run(seed: u64, target_events: usize) -> TraceBench {
+    let events = synthetic_stream(seed, target_events);
+
+    let t_jsonl = wall_now();
+    let mut jsonl = String::with_capacity(events.len() * 96);
+    for ev in &events {
+        let line = serde_json::to_string(ev).expect("events serialize"); // lint:allow(panic-policy): Event serialization to JSON is infallible
+        jsonl.push_str(&line);
+        jsonl.push('\n');
+    }
+    let jsonl_seconds = t_jsonl.elapsed_seconds();
+
+    let t_twb = wall_now();
+    let twb = encode_stream(&events);
+    let twb_seconds = t_twb.elapsed_seconds();
+
+    // The size figure is only honest for a decodable stream.
+    let (_, decoded) = decode_all(&twb).expect("own encoding decodes"); // lint:allow(panic-policy): encoder output failing its own decoder is a codec bug worth aborting the benchmark over
+    assert!(
+        decoded.len() == events.len() && decoded.iter().map(|d| &d.event).eq(events.iter()),
+        "binary round-trip diverged from the source stream"
+    );
+
+    let tel = Telemetry::global();
+    tel.incr_by("trace.encode.events", events.len() as u64);
+    tel.incr_by("trace.encode.jsonl_bytes", jsonl.len() as u64);
+    tel.incr_by("trace.encode.twb_bytes", twb.len() as u64);
+    tel.observe("wall.trace.encode.jsonl_seconds", jsonl_seconds);
+    tel.observe("wall.trace.encode.twb_seconds", twb_seconds);
+
+    TraceBench {
+        events: events.len(),
+        jsonl_bytes: jsonl.len(),
+        twb_bytes: twb.len(),
+        jsonl_seconds,
+        twb_seconds,
+    }
+}
+
+impl std::fmt::Display for TraceBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let per = |bytes: usize| bytes as f64 / self.events.max(1) as f64;
+        let evps = |secs: f64| {
+            if secs > 0.0 {
+                self.events as f64 / secs
+            } else {
+                f64::INFINITY
+            }
+        };
+        writeln!(f, "trace-bench — trace-plane encoding benchmark")?;
+        writeln!(
+            f,
+            "  {} events: JSONL {} bytes ({:.1} B/event), .twb {} bytes ({:.1} B/event)",
+            self.events,
+            self.jsonl_bytes,
+            per(self.jsonl_bytes),
+            self.twb_bytes,
+            per(self.twb_bytes),
+        )?;
+        writeln!(f, "  compression: {:.2}x smaller than JSONL", self.ratio())?;
+        writeln!(
+            f,
+            "  encode throughput: JSONL {:.0} events/s, .twb {:.0} events/s (wall)",
+            evps(self.jsonl_seconds),
+            evps(self.twb_seconds),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_bench_meets_the_size_bar() {
+        let a = synthetic_stream(7, 500);
+        let b = synthetic_stream(7, 500);
+        assert_eq!(a, b);
+        let r = run(7, 500);
+        assert_eq!(r.events, a.len());
+        // The acceptance bar the CI trace gate also enforces on the real
+        // obs-run trace: at least 5x smaller than JSONL.
+        assert!(
+            r.ratio() >= 5.0,
+            "compression ratio {:.2} below the 5x bar ({} -> {} bytes)",
+            r.ratio(),
+            r.jsonl_bytes,
+            r.twb_bytes
+        );
+    }
+
+    #[test]
+    fn byte_totals_are_a_pure_function_of_the_seed() {
+        let a = run(11, 300);
+        let b = run(11, 300);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.jsonl_bytes, b.jsonl_bytes);
+        assert_eq!(a.twb_bytes, b.twb_bytes);
+    }
+}

@@ -7,7 +7,7 @@
 //! run recorded is invisible.
 
 use std::fmt::Write as _;
-use tagwatch_telemetry::{Histogram, MetricsRegistry};
+use tagwatch_telemetry::{Histogram, MetricsRegistry, COMPUTE_SECONDS_OBSERVATION};
 
 /// Histograms promoted to the percentile table, with display labels.
 /// Everything else still shows up in the counter/histogram dumps.
@@ -16,7 +16,7 @@ const HEADLINE: &[(&str, &str)] = &[
     ("phase1.duration", "phase 1"),
     ("phase2.duration", "phase 2"),
     ("round.duration", "round"),
-    ("cycle.compute_seconds", "compute"),
+    (COMPUTE_SECONDS_OBSERVATION, "compute"),
 ];
 
 fn fmt_seconds(s: f64) -> String {

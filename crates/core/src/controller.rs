@@ -329,7 +329,13 @@ impl Controller {
             tel.observe("cycle.duration", t_end - t_start);
             tel.observe("phase1.duration", t_phase1_end - t_start);
             tel.observe("phase2.duration", t_end - t_phase2_start);
-            tel.observe("cycle.compute_seconds", compute_time);
+            // Named via the shared constant: the sim-determinism
+            // predicate excludes exactly this observation, and the two
+            // must not drift (tagwatch_telemetry::is_sim_deterministic).
+            tel.observe(
+                tagwatch_telemetry::COMPUTE_SECONDS_OBSERVATION,
+                compute_time,
+            );
             // Per-tag moments, for offline per-tag IRR / starvation /
             // confusion analysis (tagwatch-obs). Each carries the tag's
             // own reading timestamp, so emitting them here — after the

@@ -65,6 +65,11 @@ pub const RULES: &[RuleInfo] = &[
         id: "work-counter-name",
         summary: "work counter names: exactly one snake_case unit after the perf.work. prefix",
     },
+    RuleInfo {
+        id: "twb-constants",
+        summary: ".twb magic/version live in the telemetry binary module only; \
+                  no shadow constants or raw magic literals elsewhere",
+    },
 ];
 
 /// True iff `id` names a rule in the catalog.
@@ -142,6 +147,7 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Finding> {
     unsafe_free(ctx, &mut out);
     todo_tracker(ctx, &mut out);
     work_counter_name(ctx, &mut out);
+    twb_constants(ctx, &mut out);
     out
 }
 
@@ -361,6 +367,60 @@ fn work_counter_name(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
                      snake_case segment ([a-z][a-z0-9_]*, no further dots)"
                 ),
             ));
+        }
+    }
+}
+
+/// The `.twb` container self-description (magic + version) has exactly
+/// one home: `crates/telemetry/src/binary.rs`. A shadow `TWB_MAGIC` /
+/// `TWB_VERSION` constant — or a raw `"TWB1"` literal — anywhere else is
+/// how format forks start: two definitions that agree today and drift
+/// apart on the next version bump. Everything else imports the canonical
+/// constants or goes through `Encoder::header` / `format::sniff`. Test
+/// code is exempt: decoder-probing fixtures legitimately spell raw magic
+/// bytes.
+fn twb_constants(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    const HOME: &str = "crates/telemetry/src/binary.rs";
+    // The detector has to spell the needle it scans for.
+    const DETECTOR: &str = "crates/lint/src/rules.rs";
+    if ctx.rel == HOME || ctx.rel == DETECTOR {
+        return;
+    }
+    for (i, tok) in ctx.code_tokens() {
+        if ctx.in_test[i] {
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Str | TokenKind::RawStr
+                if str_literal_body(tok.text).is_some_and(|b| b.contains("TWB1")) =>
+            {
+                out.push(ctx.finding(
+                    tok,
+                    "twb-constants",
+                    format!(
+                        "raw `.twb` magic literal outside `{HOME}`; use \
+                         `tagwatch_telemetry::binary::TWB_MAGIC` (or route \
+                         through `format::sniff`) instead"
+                    ),
+                ));
+            }
+            // Definition position only (`const TWB_MAGIC …`): reads and
+            // imports of the one true constant are the point.
+            TokenKind::Ident
+                if matches!(tok.text, "TWB_MAGIC" | "TWB_VERSION")
+                    && ctx.prev_code(i).is_some_and(|t| t.text == "const") =>
+            {
+                out.push(ctx.finding(
+                    tok,
+                    "twb-constants",
+                    format!(
+                        "shadow `{}` definition outside `{HOME}`: the \
+                         container self-description has exactly one home",
+                        tok.text
+                    ),
+                ));
+            }
+            _ => {}
         }
     }
 }

@@ -1,14 +1,18 @@
-//! Incremental trace following: [`TraceFollower`] reads a JSONL trace
-//! that another process is still appending to, yielding complete events
-//! as they land. The defining property is *truncated-tail tolerance*:
-//! the writer's line buffer can flush mid-record, so whatever sits
-//! after the last newline is held back as pending bytes and re-examined
+//! Incremental trace following: [`TraceFollower`] reads a trace that
+//! another process is still appending to — JSONL or binary `.twb`,
+//! sniffed from the first bytes — yielding complete events as they
+//! land. The defining property is *truncated-tail tolerance*: the
+//! writer's buffer can flush mid-record, so whatever sits after the
+//! last complete record is held back as pending bytes and re-examined
 //! on the next poll instead of being reported as a parse error — the
-//! streaming analogue of `tagwatch_telemetry::jsonl::read_events`
-//! classifying an unterminated final line as `TruncatedTail`.
+//! streaming analogue of `tagwatch_telemetry::format::read_events`
+//! classifying an unterminated tail as `TruncatedTail`. For JSONL the
+//! record boundary is the newline; for `.twb` the incremental
+//! [`StreamDecoder`] commits whole records only.
 //!
-//! A *terminated* line that fails to parse is a real error: the writer
-//! committed it with a newline, so waiting will not repair it.
+//! A *committed* record that fails to parse is a real error: waiting
+//! will not repair a newline-terminated garbage line or a corrupt
+//! binary record.
 
 use std::fmt;
 use std::fs::File;
@@ -16,16 +20,28 @@ use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 use tagwatch_telemetry::jsonl::parse_line;
-use tagwatch_telemetry::Event;
+use tagwatch_telemetry::{DecodeError, Event, StreamDecoder, TraceFormat};
 
-/// Follows one growing JSONL trace file across [`TraceFollower::poll`]
-/// calls, tracking a byte offset so each poll reads only new data.
+/// How the followed file turned out to be encoded. Undecided until the
+/// first byte arrives, then fixed for the follower's lifetime (a trace
+/// file never changes format mid-stream).
+#[derive(Debug)]
+enum Mode {
+    Undecided,
+    Jsonl,
+    Binary(Box<StreamDecoder>),
+}
+
+/// Follows one growing trace file (JSONL or `.twb`) across
+/// [`TraceFollower::poll`] calls, tracking a byte offset so each poll
+/// reads only new data.
 #[derive(Debug)]
 pub struct TraceFollower {
     path: PathBuf,
     offset: u64,
     line_no: usize,
     pending: Vec<u8>,
+    mode: Mode,
 }
 
 #[derive(Debug)]
@@ -78,6 +94,7 @@ impl TraceFollower {
             offset: 0,
             line_no: 0,
             pending: Vec::new(),
+            mode: Mode::Undecided,
         }
     }
 
@@ -90,14 +107,19 @@ impl TraceFollower {
         self.offset
     }
 
-    /// 1-based line number of the last *completed* line.
+    /// 1-based number of the last *completed* record (JSONL line, or
+    /// binary record — the two count identically for the same run).
     pub fn line(&self) -> usize {
         self.line_no
     }
 
-    /// Bytes held back waiting for their terminating newline.
+    /// Bytes held back waiting for their record to complete (the rest
+    /// of a JSONL line, or of a binary record).
     pub fn pending_bytes(&self) -> usize {
-        self.pending.len()
+        match &self.mode {
+            Mode::Binary(dec) => dec.pending(),
+            _ => self.pending.len(),
+        }
     }
 
     /// Reads everything new since the last poll and returns the events
@@ -130,6 +152,38 @@ impl TraceFollower {
                 .map_err(|e| io_err(&self.path, e))?;
             self.offset += fresh.len() as u64;
             self.pending.extend_from_slice(&fresh);
+        }
+
+        // The first byte fixes the format for the follower's lifetime;
+        // sniffing tolerates a partial magic (a `.twb` writer can flush
+        // mid-magic, and no JSONL event line starts with a magic byte).
+        if matches!(self.mode, Mode::Undecided) && !self.pending.is_empty() {
+            self.mode = match tagwatch_telemetry::format::sniff(&self.pending) {
+                TraceFormat::Binary => Mode::Binary(Box::new(StreamDecoder::new())),
+                TraceFormat::Jsonl => Mode::Jsonl,
+            };
+        }
+
+        if let Mode::Binary(dec) = &mut self.mode {
+            // The decoder keeps its own mid-record pending buffer; hand
+            // everything over and let it commit whole records only.
+            let fed = std::mem::take(&mut self.pending);
+            let mut decoded = Vec::new();
+            dec.feed(&fed, &mut decoded).map_err(|e| match e {
+                // feed() holds incomplete records back rather than
+                // reporting truncation, so an error here is corruption:
+                // committed bytes that can never parse.
+                DecodeError::Corrupt { record, message } => FollowError::Line {
+                    line: record,
+                    message,
+                },
+                DecodeError::Truncated { record } => FollowError::Line {
+                    line: record,
+                    message: "binary stream truncated".to_string(),
+                },
+            })?;
+            self.line_no = dec.events_decoded();
+            return Ok(decoded.into_iter().map(|d| (d.record, d.event)).collect());
         }
 
         let mut events = Vec::new();
@@ -256,6 +310,55 @@ mod tests {
         assert_eq!(f.poll().unwrap().len(), 1);
         fs::write(&path, b"").unwrap();
         assert!(matches!(f.poll(), Err(FollowError::Shrunk { .. })));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_trace_split_at_every_offset_is_tolerated() {
+        use tagwatch_telemetry::binary::encode_stream;
+        let events: Vec<Event> = (0..4)
+            .map(|k| {
+                Event::Gauge(tagwatch_telemetry::GaugeRecord {
+                    name: format!("g{k}"),
+                    value: k as f64,
+                })
+            })
+            .collect();
+        let bytes = encode_stream(&events);
+        let path = scratch("bin.twb");
+        // Feed byte-at-a-time: no prefix may error, every event arrives
+        // exactly once, and record numbers match the emission order.
+        let mut f = TraceFollower::new(&path);
+        let mut got = Vec::new();
+        for (i, b) in bytes.iter().enumerate() {
+            append(&path, &[*b]);
+            let batch = f.poll().unwrap_or_else(|e| panic!("byte {i}: {e}"));
+            got.extend(batch);
+        }
+        assert_eq!(f.pending_bytes(), 0);
+        assert_eq!(got.len(), events.len());
+        for (k, ((n, ev), want)) in got.iter().zip(&events).enumerate() {
+            assert_eq!(*n, k + 1);
+            assert_eq!(ev, want);
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_corruption_is_a_line_error() {
+        use tagwatch_telemetry::binary::{Encoder, ShardHeader};
+        let mut bytes = Vec::new();
+        Encoder::header(&ShardHeader::single(), &mut bytes);
+        // A string definition claiming ~2^28 bytes: committed, terminated
+        // varint, but far over the decoder's corruption cap.
+        bytes.extend_from_slice(&[0x00, 0xff, 0xff, 0xff, 0x7f]);
+        let path = scratch("corrupt.twb");
+        append(&path, &bytes);
+        let mut f = TraceFollower::new(&path);
+        match f.poll() {
+            Err(FollowError::Line { .. }) => {}
+            other => panic!("expected line error, got {other:?}"),
+        }
         fs::remove_file(&path).ok();
     }
 

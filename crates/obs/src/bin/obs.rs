@@ -12,6 +12,8 @@
 //! obs tail <run.jsonl> [--watch] [--json] [--interval-ms MS]
 //!                      [--max-wait-ms MS] [--starvation-gap SECS]
 //! obs watch <monitor-dir> [--check <run.jsonl>] [--json]
+//! obs pack <trace> -o <out.twb> [--shards N]
+//! obs ingest <shard...> [-o out] [--format jsonl|binary]
 //! ```
 //!
 //! `report` validates a telemetry JSONL trace and prints the full
@@ -45,7 +47,15 @@
 //! latest `MonitorSnapshot`, and with `--check` replays the finished
 //! trace through the batch analyzers and exits 2 unless every verdict
 //! in the snapshot is byte-identical (it also validates the Prometheus
-//! exposition file).
+//! exposition file). `pack` re-encodes any trace (JSONL or `.twb`) as
+//! compact `.twb` — optionally split across `--shards N` self-describing
+//! shard files — and prints the size accounting. `ingest` is the inverse:
+//! it reads one trace or merges a complete shard set deterministically,
+//! then writes the canonical stream as JSONL (default) or canonical
+//! single-shard `.twb` (`--format binary`). Every analysis command
+//! accepts either format transparently — `.twb` is sniffed from its
+//! leading magic, and record numbering matches the JSONL line numbering,
+//! so verdicts are byte-identical across formats.
 //!
 //! Exit codes: 0 ok / gate passed, 1 usage or unreadable input,
 //! 2 gate failed.
@@ -64,7 +74,9 @@ use tagwatch_obs::export::{chrome_trace, flame_lines};
 use tagwatch_obs::hotspots::HotspotReport;
 use tagwatch_obs::model::Trace;
 use tagwatch_obs::trend::TrendReport;
-use tagwatch_telemetry::{overhead, ClockKind, Event};
+use tagwatch_telemetry::binary::encode_stream;
+use tagwatch_telemetry::shard::{merge_paths, ShardedSink};
+use tagwatch_telemetry::{format, overhead, ClockKind, Event, Sink, TraceFormat};
 
 fn usage() -> String {
     "usage: obs <command>\n\
@@ -80,6 +92,8 @@ fn usage() -> String {
      \x20 obs tail <run.jsonl> [--watch] [--json] [--interval-ms MS]\n\
      \x20          [--max-wait-ms MS] [--starvation-gap SECS]\n\
      \x20 obs watch <monitor-dir> [--check <run.jsonl>] [--json]\n\
+     \x20 obs pack <trace> -o <out.twb> [--shards N]\n\
+     \x20 obs ingest <shard...> [-o out] [--format jsonl|binary]\n\
      \n\
      report   validate a telemetry trace and print its analysis\n\
      diff     gate a run against a baseline (traces or BENCH_*.json\n\
@@ -102,6 +116,11 @@ fn usage() -> String {
      watch    print a --monitor status directory's latest snapshot;\n\
      \x20        --check verifies it against the batch analyzers (exit 2\n\
      \x20        on divergence)\n\
+     pack     re-encode a trace (JSONL or .twb) as compact .twb;\n\
+     \x20        --shards N splits it into a self-describing shard set\n\
+     ingest   read a trace, or deterministically merge a complete .twb\n\
+     \x20        shard set, and write it back out (--format jsonl is the\n\
+     \x20        default; binary writes the canonical single-shard .twb)\n\
      \n\
      --threshold is a relative fraction: 0.10 (the default) fails moves\n\
      beyond ±10% on gated metrics"
@@ -135,13 +154,22 @@ impl Kind {
     }
 }
 
-/// Loads a diff operand as a metric map, auto-detecting JSONL traces
-/// (first line parses as a telemetry event) vs BENCH snapshots.
+/// Loads a diff operand as a metric map, auto-detecting traces vs BENCH
+/// snapshots. Detection is byte-based — a `.twb` trace is not UTF-8, so
+/// the magic is sniffed before any text interpretation: binary magic →
+/// trace, first non-blank line parses as a telemetry event → JSONL
+/// trace, otherwise a snapshot.
 fn load_metrics(path: &str, cfg: &AnalyzeConfig) -> Result<(Kind, BTreeMap<String, f64>), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
-    if serde_json::from_str::<Event>(first).is_ok() {
-        let trace = Trace::from_reader(text.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let is_trace = match format::sniff(&bytes) {
+        TraceFormat::Binary => true,
+        TraceFormat::Jsonl => std::str::from_utf8(&bytes).is_ok_and(|text| {
+            let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+            serde_json::from_str::<Event>(first).is_ok()
+        }),
+    };
+    if is_trace {
+        let trace = Trace::from_reader(bytes.as_slice()).map_err(|e| format!("{path}: {e}"))?;
         return Ok((Kind::Trace, RunReport::analyze(&trace, cfg).metric_map()));
     }
     match BenchSnapshot::load(path) {
@@ -766,6 +794,164 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// `obs pack`: re-encode any trace as compact `.twb`, optionally split
+/// into a shard set, and account for the size delta.
+fn cmd_pack(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut shards: usize = 1;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--shards" => {
+                let n = it.next().ok_or("--shards needs a count")?;
+                shards = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--shards needs a positive integer, got {n:?}"))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p if input.is_none() => input = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}\n{}", usage())),
+        }
+    }
+    let input = input.ok_or_else(usage)?;
+    let out = out.ok_or("pack needs -o <out.twb> (it never overwrites its input implicitly)")?;
+    let in_bytes = std::fs::metadata(&input)
+        .map_err(|e| format!("cannot stat {input:?}: {e}"))?
+        .len();
+    let events = format::read_events_path(&input).map_err(|e| format!("{input}: {e}"))?;
+
+    let paths: Vec<std::path::PathBuf>;
+    if shards == 1 {
+        let bytes = encode_stream(events.iter().map(|(_, ev)| ev));
+        std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+        paths = vec![std::path::PathBuf::from(&out)];
+    } else {
+        let mut sink = ShardedSink::create(&out, shards)
+            .map_err(|e| format!("cannot create shard files for {out:?}: {e}"))?;
+        for (_, ev) in &events {
+            sink.record(ev);
+        }
+        sink.flush();
+        let errors = sink.write_errors();
+        paths = sink.paths();
+        drop(sink);
+        if errors > 0 {
+            return Err(format!(
+                "pack: {errors} write errors — shard set is incomplete"
+            ));
+        }
+    }
+
+    let mut out_bytes = 0u64;
+    for p in &paths {
+        out_bytes += std::fs::metadata(p)
+            .map_err(|e| format!("cannot stat {}: {e}", p.display()))?
+            .len();
+    }
+    let n = events.len();
+    println!(
+        "packed {n} events: {in_bytes} bytes -> {out_bytes} bytes across {} file(s) \
+         ({:.2} bytes/event, {:.2}x smaller)",
+        paths.len(),
+        if n == 0 {
+            0.0
+        } else {
+            out_bytes as f64 / n as f64
+        },
+        if out_bytes == 0 {
+            0.0
+        } else {
+            in_bytes as f64 / out_bytes as f64
+        },
+    );
+    for p in &paths {
+        println!("  {}", p.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `obs ingest`: read one trace (either format), or deterministically
+/// merge a complete `.twb` shard set, and write the stream back out.
+fn cmd_ingest(args: &[String]) -> Result<ExitCode, String> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut binary = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => {
+                out = Some(it.next().ok_or("-o needs a path")?.clone());
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("jsonl") => binary = false,
+                Some("binary") | Some("twb") => binary = true,
+                other => return Err(format!("--format needs jsonl or binary, got {other:?}")),
+            },
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{}", usage()))
+            }
+            p => inputs.push(p.to_string()),
+        }
+    }
+    if inputs.is_empty() {
+        return Err(usage());
+    }
+
+    // One input is "read this trace, whatever its format"; several are a
+    // shard set, which must merge cleanly (complete, consistent headers).
+    let events: Vec<Event> = if inputs.len() == 1 {
+        format::read_events_path(&inputs[0])
+            .map_err(|e| format!("{}: {e}", inputs[0]))?
+            .into_iter()
+            .map(|(_, ev)| ev)
+            .collect()
+    } else {
+        merge_paths(&inputs)
+            .map_err(|e| format!("{e}"))?
+            .into_iter()
+            .map(|(_, ev)| ev)
+            .collect()
+    };
+
+    if binary {
+        let out = out.ok_or("--format binary needs -o (refusing to write .twb to stdout)")?;
+        let bytes = encode_stream(&events);
+        std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out:?}: {e}"))?;
+        println!(
+            "ingested {} events -> {out} ({} bytes, canonical single-shard .twb)",
+            events.len(),
+            bytes.len()
+        );
+    } else {
+        let mut text = String::with_capacity(events.len() * 64);
+        for ev in &events {
+            let line =
+                serde_json::to_string(ev).map_err(|e| format!("cannot encode event: {e}"))?;
+            text.push_str(&line);
+            text.push('\n');
+        }
+        let to_file = out.is_some();
+        emit(out.as_deref(), &text)?;
+        if to_file {
+            println!(
+                "ingested {} events -> {} ({} bytes of JSONL)",
+                events.len(),
+                out.as_deref().unwrap_or("-"),
+                text.len()
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
@@ -779,6 +965,8 @@ fn main() -> ExitCode {
             "compare" => cmd_compare(rest),
             "tail" => cmd_tail(rest),
             "watch" => cmd_watch(rest),
+            "pack" => cmd_pack(rest),
+            "ingest" => cmd_ingest(rest),
             "--help" | "-h" => Err(usage()),
             other => Err(format!("unknown command {other:?}\n{}", usage())),
         },

@@ -40,8 +40,8 @@ use std::fmt;
 use std::io::Read;
 use std::path::Path;
 
-use tagwatch_telemetry::jsonl::{self, ParseError};
-use tagwatch_telemetry::{ClockKind, Event, FooterRecord, SpanRecord, TagRecord};
+use tagwatch_telemetry::jsonl::ParseError;
+use tagwatch_telemetry::{format, ClockKind, Event, FooterRecord, SpanRecord, TagRecord};
 
 /// Slack for sim-clock containment checks (floating-point sums of slot
 /// durations).
@@ -281,7 +281,7 @@ pub struct Trace {
 
 impl Trace {
     /// Builds a trace from `(line, event)` pairs as produced by
-    /// [`jsonl::read_events`].
+    /// [`format::read_events`].
     pub fn from_numbered_events(events: &[(usize, Event)]) -> Result<Trace, TraceError> {
         if events.is_empty() {
             return Err(TraceError::Empty);
@@ -312,15 +312,19 @@ impl Trace {
         Trace::from_numbered_events(&numbered)
     }
 
-    /// Parses and validates a JSONL stream.
+    /// Parses and validates a trace stream of either format (JSONL or
+    /// binary `.twb`, sniffed from the leading bytes).
     pub fn from_reader<R: Read>(reader: R) -> Result<Trace, TraceError> {
-        let events = jsonl::read_events(reader)?;
+        let events = format::read_events(reader)?;
         Trace::from_numbered_events(&events)
     }
 
-    /// Parses and validates a JSONL file.
+    /// Parses and validates a trace file of either format. Record
+    /// numbering is format-invariant (binary record k = JSONL line k),
+    /// so every line-anchored diagnostic and attribution below reads the
+    /// same whichever encoding the run was captured in.
     pub fn from_path<P: AsRef<Path>>(path: P) -> Result<Trace, TraceError> {
-        let events = jsonl::read_events_path(path)?;
+        let events = format::read_events_path(path)?;
         Trace::from_numbered_events(&events)
     }
 

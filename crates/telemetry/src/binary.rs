@@ -1,0 +1,1159 @@
+//! The compact binary trace format (`.twb`) and its codec.
+//!
+//! JSONL traces are self-describing but pay for it: every event repeats
+//! its field names, metric name, and a decimal rendering of every float.
+//! On the obs-run workload that is ~100 bytes per event; the fleet arc in
+//! ROADMAP.md (10⁵–10⁶ tags) multiplies that by orders of magnitude. The
+//! `.twb` format keeps the *exact same event stream* — decoding yields
+//! [`Event`]s bit-identical to what the sink was handed, floats included —
+//! at a fraction of the size:
+//!
+//! * **Interned names and EPCs.** The first occurrence of a metric name
+//!   (or tag EPC) emits a one-time definition record; every later
+//!   reference is a small varint id. Metric name sets are tiny and EPC
+//!   populations are bounded by the tag census, so references dominate.
+//! * **Varints everywhere integers live.** Counter deltas, totals, span
+//!   ids (zigzag-delta against the previously emitted span), parents, and
+//!   footer accounting are all LEB128.
+//! * **XOR-delta sim clocks.** Simulated timestamps are strongly
+//!   correlated with the stream's running sim clock (a round span starts
+//!   where the last one ended; a tag moment usually *is* the current sim
+//!   instant). Those fields are stored as the XOR of their IEEE-754 bits
+//!   against a reference clock value — losslessly, so equal instants cost
+//!   one byte and nearby instants a few. Wall-clock data, which has no
+//!   such correlation, is stored as raw 8-byte little-endian floats.
+//!
+//! Every file opens with the 4-byte magic [`TWB_MAGIC`], a format version,
+//! and a **shard header** (`shard_id`, `shard_count`): a single-file trace
+//! is simply shard 0 of 1, so one decoder serves both plain traces and the
+//! per-shard streams written by [`crate::shard::ShardedSink`].
+//!
+//! Each event record additionally carries the stream's **sim-now stamp**
+//! (the running maximum of simulated instants observed so far, XOR-delta
+//! coded). For a single file the stamp is redundant — it is a pure
+//! function of the preceding events — but a *shard* only holds a subset of
+//! the stream, so the stamp is what lets the k-way merge reconstruct
+//! global emission order (see `crate::shard`). The codec keeps stamping
+//! uniform rather than special-casing the single-shard layout.
+//!
+//! The magic and version constants are defined here and **only** here;
+//! the `twb-constants` lint rule keeps other modules importing them
+//! instead of re-spelling the bytes.
+
+use crate::event::{
+    ClockKind, CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord,
+    TagRecord,
+};
+use crate::sink::Sink;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The four bytes every `.twb` trace starts with.
+pub const TWB_MAGIC: [u8; 4] = *b"TWB1";
+
+/// Format version written after the magic. Bump on any layout change; the
+/// decoder rejects versions it does not know.
+pub const TWB_VERSION: u64 = 1;
+
+/// `BufWriter` capacity for [`BinarySink`] (and [`crate::JsonlSink`]):
+/// large enough that hot-path emission amortizes syscalls, small enough
+/// that a crashed run loses at most one buffer of tail.
+pub const SINK_BUF_BYTES: usize = 64 * 1024;
+
+// Record opcodes. Definition records (string/EPC interning) carry no
+// sim-now stamp and no record number; event records carry both.
+const OP_STRDEF: u8 = 0x00;
+const OP_EPCDEF: u8 = 0x01;
+const OP_SPAN_SIM: u8 = 0x02;
+const OP_SPAN_WALL: u8 = 0x03;
+const OP_COUNTER: u8 = 0x04;
+const OP_GAUGE: u8 = 0x05;
+const OP_OBSERVE: u8 = 0x06;
+const OP_TAG: u8 = 0x07;
+const OP_FOOTER: u8 = 0x08;
+
+/// Decoder guard: a claimed string length above this is corruption, not a
+/// metric name (the longest real name is tens of bytes).
+const MAX_STR_LEN: u64 = 64 * 1024;
+/// Decoder guard against table-bombing: more interned entries than any
+/// real trace could define.
+const MAX_TABLE_LEN: usize = 1 << 20;
+
+/// The self-description every `.twb` file opens with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHeader {
+    /// This file's position in the shard set, `0 ≤ shard_id < shard_count`.
+    pub shard_id: u64,
+    /// Total shards the stream was split into (1 for a plain trace).
+    pub shard_count: u64,
+}
+
+impl ShardHeader {
+    /// The header of an unsharded, single-file trace.
+    pub fn single() -> Self {
+        ShardHeader {
+            shard_id: 0,
+            shard_count: 1,
+        }
+    }
+}
+
+/// Why a `.twb` stream failed to decode. Record numbers count *event*
+/// records (1-based) — the same numbering JSONL gives its lines — and a
+/// failure inside an interning record is attributed to the event record
+/// it would have preceded.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// The stream ends mid-record (or mid-header): the writer was cut
+    /// off. Everything before `record` is intact.
+    Truncated {
+        /// 1-based number of the event record that is incomplete.
+        record: usize,
+    },
+    /// The bytes cannot be a well-formed record: corruption, not
+    /// truncation.
+    Corrupt {
+        /// 1-based number of the event record being decoded.
+        record: usize,
+        /// What the decoder objected to.
+        message: String,
+    },
+}
+
+impl DecodeError {
+    /// The 1-based event-record number the error is anchored to.
+    pub fn record(&self) -> usize {
+        match self {
+            DecodeError::Truncated { record } | DecodeError::Corrupt { record, .. } => *record,
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { record } => write!(
+                f,
+                "binary trace truncated at record {record}: the writing process \
+                 likely died mid-run; records 1..{record} are intact"
+            ),
+            DecodeError::Corrupt { record, message } => {
+                write!(f, "binary trace corrupt at record {record}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded event record: its 1-based record number (equal to the line
+/// number the same event would have in the run's JSONL trace), the
+/// sim-now stamp it was written under, and the event itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedEvent {
+    /// 1-based event-record number within this file.
+    pub record: usize,
+    /// Raw bits of the sim-now stamp (see [`StampClock`]); bits rather
+    /// than `f64` so the merge key is `Ord` without float caveats.
+    pub sim_now_bits: u64,
+    /// The event, bit-identical to what the encoder was handed.
+    pub event: Event,
+}
+
+/// The simulated instant an event pins the stream to, if any: a sim-clock
+/// span contributes its *end* (`start + duration`), a tag event its
+/// moment `t`. Counters, gauges, observations, wall spans, and footers
+/// carry no simulated time.
+pub fn sim_instant(event: &Event) -> Option<f64> {
+    match event {
+        Event::Span(s) if s.clock == ClockKind::Sim => Some(s.start + s.duration),
+        Event::Tag(t) => Some(t.t),
+        _ => None,
+    }
+}
+
+/// The stream's running sim clock: the maximum simulated instant seen so
+/// far (0.0 before any). It is non-decreasing by construction and a pure
+/// function of the event stream prefix, which is what makes it usable as
+/// a *global* ordering key for sharded streams: every writer computes the
+/// same stamp sequence, and the merge recovers emission order from it
+/// (see `crate::shard`). Non-finite or negative instants never advance
+/// the clock, so arbitrary (fuzzed) event streams still stamp
+/// monotonically.
+#[derive(Debug, Clone, Copy)]
+pub struct StampClock {
+    now: f64,
+}
+
+impl Default for StampClock {
+    fn default() -> Self {
+        StampClock::new()
+    }
+}
+
+impl StampClock {
+    /// A clock at sim time 0.0.
+    pub fn new() -> Self {
+        StampClock { now: 0.0 }
+    }
+
+    /// Advances past `event` and returns the stamp bits to record it
+    /// under (the running max *after* incorporating the event).
+    pub fn advance(&mut self, event: &Event) -> u64 {
+        if let Some(t) = sim_instant(event) {
+            if t > self.now {
+                self.now = t;
+            }
+        }
+        self.now.to_bits()
+    }
+
+    /// The current stamp bits without advancing.
+    pub fn bits(&self) -> u64 {
+        self.now.to_bits()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers.
+// ---------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_varint128(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-folds a signed delta so small magnitudes of either sign encode
+/// short. Works on `i128` so `u64 - u64` deltas can never overflow.
+fn zigzag(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+fn unzigzag(v: u128) -> i128 {
+    ((v >> 1) as i128) ^ -((v & 1) as i128)
+}
+
+fn put_f64_raw(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+// ---------------------------------------------------------------------
+// Encoder.
+// ---------------------------------------------------------------------
+
+/// Streaming `.twb` record encoder. Owns the interning tables and the
+/// XOR-delta reference state; one encoder per output file. Encoding is
+/// total — any [`Event`] value encodes, and decoding returns it
+/// bit-identically — and infallible, since it only appends to a buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    strings: BTreeMap<String, u64>,
+    epcs: BTreeMap<u128, u64>,
+    /// Stamp bits of the previously encoded event record.
+    prev_stamp: u64,
+    /// Id of the previously encoded span record.
+    prev_span_id: u64,
+}
+
+impl Encoder {
+    /// A fresh encoder with empty tables and the clock reference at 0.0.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Appends the file header for `shard` to `out`.
+    pub fn header(shard: &ShardHeader, out: &mut Vec<u8>) {
+        out.extend_from_slice(&TWB_MAGIC);
+        put_varint(out, TWB_VERSION);
+        put_varint(out, shard.shard_id);
+        put_varint(out, shard.shard_count);
+    }
+
+    fn intern_str(&mut self, name: &str, out: &mut Vec<u8>) -> u64 {
+        if let Some(&id) = self.strings.get(name) {
+            return id;
+        }
+        let id = self.strings.len() as u64;
+        self.strings.insert(name.to_string(), id);
+        out.push(OP_STRDEF);
+        put_varint(out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+        id
+    }
+
+    fn intern_epc(&mut self, epc: u128, out: &mut Vec<u8>) -> u64 {
+        if let Some(&id) = self.epcs.get(&epc) {
+            return id;
+        }
+        let id = self.epcs.len() as u64;
+        self.epcs.insert(epc, id);
+        out.push(OP_EPCDEF);
+        put_varint128(out, epc);
+        id
+    }
+
+    /// Appends one event record (preceded by any interning records it
+    /// needs) to `out`. `stamp_bits` is the sim-now stamp to record the
+    /// event under — produce it with [`StampClock::advance`]; for a
+    /// sharded stream it must be the *global* clock, not a per-shard one.
+    pub fn encode(&mut self, stamp_bits: u64, event: &Event, out: &mut Vec<u8>) {
+        // Interning records first, so the event record's references
+        // resolve; they are state, not events, and carry no stamp.
+        let name_id = match event {
+            Event::Footer(_) => 0, // footers carry no name
+            other => self.intern_str(other.name(), out),
+        };
+        let epc_id = match event {
+            Event::Tag(t) => self.intern_epc(t.epc, out),
+            _ => 0,
+        };
+
+        let old_stamp = self.prev_stamp;
+        match event {
+            Event::Span(s) => {
+                out.push(if s.clock == ClockKind::Sim {
+                    OP_SPAN_SIM
+                } else {
+                    OP_SPAN_WALL
+                });
+                put_varint(out, stamp_bits ^ old_stamp);
+                put_varint(out, name_id);
+                put_varint128(
+                    out,
+                    zigzag(i128::from(s.id) - i128::from(self.prev_span_id)),
+                );
+                match s.parent {
+                    None => put_varint(out, 0),
+                    Some(p) => put_varint(out, p.wrapping_add(1)),
+                }
+                if s.clock == ClockKind::Sim {
+                    // A sim span usually starts where the stream's clock
+                    // previously stood (round N begins where N-1 ended).
+                    put_varint(out, s.start.to_bits() ^ old_stamp);
+                } else {
+                    put_f64_raw(out, s.start);
+                }
+                put_f64_raw(out, s.duration);
+                self.prev_span_id = s.id;
+            }
+            Event::Counter(c) => {
+                out.push(OP_COUNTER);
+                put_varint(out, stamp_bits ^ old_stamp);
+                put_varint(out, name_id);
+                put_varint(out, c.delta);
+                put_varint(out, c.total);
+            }
+            Event::Gauge(g) => {
+                out.push(OP_GAUGE);
+                put_varint(out, stamp_bits ^ old_stamp);
+                put_varint(out, name_id);
+                put_f64_raw(out, g.value);
+            }
+            Event::Observe(o) => {
+                out.push(OP_OBSERVE);
+                put_varint(out, stamp_bits ^ old_stamp);
+                put_varint(out, name_id);
+                put_f64_raw(out, o.value);
+            }
+            Event::Tag(t) => {
+                out.push(OP_TAG);
+                put_varint(out, stamp_bits ^ old_stamp);
+                put_varint(out, name_id);
+                put_varint(out, epc_id);
+                // A tag moment is usually the instant the clock just
+                // advanced to, so XOR against the *new* stamp.
+                put_varint(out, t.t.to_bits() ^ stamp_bits);
+            }
+            Event::Footer(f) => {
+                out.push(OP_FOOTER);
+                put_varint(out, stamp_bits ^ old_stamp);
+                put_varint(out, f.emitted);
+                put_varint(out, f.sampled_out);
+                put_varint(out, f.dropped);
+                put_varint(out, u64::from(f.sample_every_n_rounds));
+                put_varint(out, f.max_events);
+            }
+        }
+        self.prev_stamp = stamp_bits;
+    }
+}
+
+/// Encodes a complete event stream as one canonical single-shard `.twb`
+/// byte buffer (header `shard 0 of 1`, fresh interning tables, stamps
+/// recomputed from the stream itself). Because encoding is a pure
+/// function of the event sequence, any two identical streams — e.g. a
+/// 1-shard merge and a 4-shard merge of the same run — produce
+/// bit-identical buffers.
+pub fn encode_stream<'a, I>(events: I) -> Vec<u8>
+where
+    I: IntoIterator<Item = &'a Event>,
+{
+    let mut out = Vec::new();
+    Encoder::header(&ShardHeader::single(), &mut out);
+    let mut enc = Encoder::new();
+    let mut clock = StampClock::new();
+    for ev in events {
+        let stamp = clock.advance(ev);
+        enc.encode(stamp, ev, &mut out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoder.
+// ---------------------------------------------------------------------
+
+/// Why one record could not be pulled out of the pending buffer.
+enum Step {
+    /// Ran out of bytes mid-record: wait for more input (or, at end of
+    /// stream, report truncation).
+    More,
+    /// The bytes are structurally invalid.
+    Corrupt(String),
+}
+
+/// A bounds-checked read cursor over the pending buffer.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn u8(&mut self) -> Result<u8, Step> {
+        let b = *self.buf.get(self.pos).ok_or(Step::More)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], Step> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| Step::Corrupt("length overflows the address space".to_string()))?;
+        if end > self.buf.len() {
+            return Err(Step::More);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, Step> {
+        let mut v = 0u64;
+        for k in 0..10 {
+            let b = self.u8()?;
+            let payload = u64::from(b & 0x7F);
+            // The 10th byte may only carry the single remaining bit.
+            if k == 9 && payload > 1 {
+                return Err(Step::Corrupt("varint exceeds 64 bits".to_string()));
+            }
+            v |= payload << (7 * k);
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(Step::Corrupt("varint continues past 10 bytes".to_string()))
+    }
+
+    fn varint128(&mut self) -> Result<u128, Step> {
+        let mut v = 0u128;
+        for k in 0..19 {
+            let b = self.u8()?;
+            let payload = u128::from(b & 0x7F);
+            if k == 18 && payload > 3 {
+                return Err(Step::Corrupt("varint exceeds 128 bits".to_string()));
+            }
+            v |= payload << (7 * k);
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(Step::Corrupt("varint continues past 19 bytes".to_string()))
+    }
+
+    fn f64_raw(&mut self) -> Result<f64, Step> {
+        let b = self.bytes(8)?;
+        let mut le = [0u8; 8];
+        le.copy_from_slice(b);
+        Ok(f64::from_bits(u64::from_le_bytes(le)))
+    }
+}
+
+/// One fully parsed record, not yet committed to decoder state.
+enum Parsed {
+    Str(String),
+    Epc(u128),
+    Event { stamp_bits: u64, event: Event },
+}
+
+/// Incremental `.twb` decoder: feed it byte chunks of any size (a live
+/// follower hands it whatever the file grew by) and collect completed
+/// event records. Bytes forming an incomplete trailing record are
+/// buffered until the next feed; [`StreamDecoder::finish`] turns leftover
+/// bytes at end of stream into [`DecodeError::Truncated`]. The decoder
+/// never panics on malformed input — every read is bounds-checked and
+/// every table reference validated — which the fuzz proptests pin down.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    pending: Vec<u8>,
+    header: Option<ShardHeader>,
+    strings: Vec<String>,
+    epcs: Vec<u128>,
+    prev_stamp: u64,
+    prev_span_id: u64,
+    /// Event records decoded so far.
+    events: usize,
+    /// A corrupt stream stays failed: later feeds re-report the error.
+    failed: Option<(usize, String)>,
+}
+
+impl StreamDecoder {
+    /// A decoder expecting a fresh `.twb` stream (header first).
+    pub fn new() -> Self {
+        StreamDecoder::default()
+    }
+
+    /// The shard header, once enough bytes have arrived to decode it.
+    pub fn header(&self) -> Option<&ShardHeader> {
+        self.header.as_ref()
+    }
+
+    /// Bytes held back because they end mid-record.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Event records decoded so far.
+    pub fn events_decoded(&self) -> usize {
+        self.events
+    }
+
+    fn corrupt(&mut self, message: String) -> DecodeError {
+        let record = self.events + 1;
+        self.failed = Some((record, message.clone()));
+        DecodeError::Corrupt { record, message }
+    }
+
+    fn parse_header(cur: &mut Cur<'_>) -> Result<ShardHeader, Step> {
+        let magic = cur.bytes(TWB_MAGIC.len())?;
+        if magic != TWB_MAGIC {
+            return Err(Step::Corrupt(format!(
+                "bad magic {magic:02x?}, expected {TWB_MAGIC:02x?}"
+            )));
+        }
+        let version = cur.varint()?;
+        if version != TWB_VERSION {
+            return Err(Step::Corrupt(format!(
+                "unsupported format version {version} (this build reads {TWB_VERSION})"
+            )));
+        }
+        let shard_id = cur.varint()?;
+        let shard_count = cur.varint()?;
+        if shard_count == 0 || shard_id >= shard_count {
+            return Err(Step::Corrupt(format!(
+                "invalid shard header: id {shard_id} of {shard_count}"
+            )));
+        }
+        Ok(ShardHeader {
+            shard_id,
+            shard_count,
+        })
+    }
+
+    fn lookup_str(&self, id: u64) -> Result<String, Step> {
+        usize::try_from(id)
+            .ok()
+            .and_then(|k| self.strings.get(k))
+            .cloned()
+            .ok_or_else(|| {
+                Step::Corrupt(format!(
+                    "string id {id} out of range (table holds {})",
+                    self.strings.len()
+                ))
+            })
+    }
+
+    /// Parses one record starting at the cursor, without mutating state.
+    fn parse_record(&self, cur: &mut Cur<'_>) -> Result<Parsed, Step> {
+        let op = cur.u8()?;
+        match op {
+            OP_STRDEF => {
+                let len = cur.varint()?;
+                if len > MAX_STR_LEN {
+                    return Err(Step::Corrupt(format!(
+                        "string definition claims {len} bytes (cap {MAX_STR_LEN})"
+                    )));
+                }
+                if self.strings.len() >= MAX_TABLE_LEN {
+                    return Err(Step::Corrupt("string table overflow".to_string()));
+                }
+                let bytes = cur.bytes(len as usize)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|e| Step::Corrupt(format!("string definition not UTF-8: {e}")))?;
+                Ok(Parsed::Str(s.to_string()))
+            }
+            OP_EPCDEF => {
+                if self.epcs.len() >= MAX_TABLE_LEN {
+                    return Err(Step::Corrupt("EPC table overflow".to_string()));
+                }
+                Ok(Parsed::Epc(cur.varint128()?))
+            }
+            OP_SPAN_SIM | OP_SPAN_WALL => {
+                let stamp_bits = cur.varint()? ^ self.prev_stamp;
+                let name = self.lookup_str(cur.varint()?)?;
+                let delta = unzigzag(cur.varint128()?);
+                let id = i128::from(self.prev_span_id)
+                    .checked_add(delta)
+                    .and_then(|v| u64::try_from(v).ok())
+                    .ok_or_else(|| Step::Corrupt(format!("span id delta {delta} out of range")))?;
+                let parent = match cur.varint()? {
+                    0 => None,
+                    p => Some(p.wrapping_sub(1)),
+                };
+                let (start, clock) = if op == OP_SPAN_SIM {
+                    (
+                        f64::from_bits(cur.varint()? ^ self.prev_stamp),
+                        ClockKind::Sim,
+                    )
+                } else {
+                    (cur.f64_raw()?, ClockKind::Wall)
+                };
+                let duration = cur.f64_raw()?;
+                Ok(Parsed::Event {
+                    stamp_bits,
+                    event: Event::Span(SpanRecord {
+                        name,
+                        id,
+                        parent,
+                        start,
+                        duration,
+                        clock,
+                    }),
+                })
+            }
+            OP_COUNTER => {
+                let stamp_bits = cur.varint()? ^ self.prev_stamp;
+                let name = self.lookup_str(cur.varint()?)?;
+                let delta = cur.varint()?;
+                let total = cur.varint()?;
+                Ok(Parsed::Event {
+                    stamp_bits,
+                    event: Event::Counter(CounterRecord { name, delta, total }),
+                })
+            }
+            OP_GAUGE | OP_OBSERVE => {
+                let stamp_bits = cur.varint()? ^ self.prev_stamp;
+                let name = self.lookup_str(cur.varint()?)?;
+                let value = cur.f64_raw()?;
+                let event = if op == OP_GAUGE {
+                    Event::Gauge(GaugeRecord { name, value })
+                } else {
+                    Event::Observe(ObserveRecord { name, value })
+                };
+                Ok(Parsed::Event { stamp_bits, event })
+            }
+            OP_TAG => {
+                let stamp_bits = cur.varint()? ^ self.prev_stamp;
+                let name = self.lookup_str(cur.varint()?)?;
+                let epc_id = cur.varint()?;
+                let epc = usize::try_from(epc_id)
+                    .ok()
+                    .and_then(|k| self.epcs.get(k))
+                    .copied()
+                    .ok_or_else(|| {
+                        Step::Corrupt(format!(
+                            "EPC id {epc_id} out of range (table holds {})",
+                            self.epcs.len()
+                        ))
+                    })?;
+                let t = f64::from_bits(cur.varint()? ^ stamp_bits);
+                Ok(Parsed::Event {
+                    stamp_bits,
+                    event: Event::Tag(TagRecord { name, epc, t }),
+                })
+            }
+            OP_FOOTER => {
+                let stamp_bits = cur.varint()? ^ self.prev_stamp;
+                let emitted = cur.varint()?;
+                let sampled_out = cur.varint()?;
+                let dropped = cur.varint()?;
+                let sample_every_n_rounds = u32::try_from(cur.varint()?).map_err(|_| {
+                    Step::Corrupt("footer sample_every_n_rounds exceeds u32".to_string())
+                })?;
+                let max_events = cur.varint()?;
+                Ok(Parsed::Event {
+                    stamp_bits,
+                    event: Event::Footer(FooterRecord {
+                        emitted,
+                        sampled_out,
+                        dropped,
+                        sample_every_n_rounds,
+                        max_events,
+                    }),
+                })
+            }
+            other => Err(Step::Corrupt(format!(
+                "unknown record opcode 0x{other:02x}"
+            ))),
+        }
+    }
+
+    /// Feeds the next chunk of the stream, appending every completed
+    /// event record to `out`. Returns `Err` on corruption (permanently —
+    /// the stream cannot be trusted past that point); truncation is not
+    /// an error here, only in [`StreamDecoder::finish`].
+    pub fn feed(&mut self, bytes: &[u8], out: &mut Vec<DecodedEvent>) -> Result<(), DecodeError> {
+        if let Some((record, message)) = &self.failed {
+            return Err(DecodeError::Corrupt {
+                record: *record,
+                message: message.clone(),
+            });
+        }
+        self.pending.extend_from_slice(bytes);
+        let mut consumed = 0usize;
+        loop {
+            let mut cur = Cur {
+                buf: &self.pending[consumed..],
+                pos: 0,
+            };
+            if self.header.is_none() {
+                match Self::parse_header(&mut cur) {
+                    Ok(h) => {
+                        self.header = Some(h);
+                        consumed += cur.pos;
+                        continue;
+                    }
+                    Err(Step::More) => break,
+                    Err(Step::Corrupt(m)) => {
+                        self.pending.drain(..consumed);
+                        return Err(self.corrupt(m));
+                    }
+                }
+            }
+            if cur.buf.is_empty() {
+                break;
+            }
+            match self.parse_record(&mut cur) {
+                Ok(parsed) => {
+                    consumed += cur.pos;
+                    match parsed {
+                        Parsed::Str(s) => self.strings.push(s),
+                        Parsed::Epc(e) => self.epcs.push(e),
+                        Parsed::Event { stamp_bits, event } => {
+                            if let Event::Span(s) = &event {
+                                self.prev_span_id = s.id;
+                            }
+                            self.prev_stamp = stamp_bits;
+                            self.events += 1;
+                            out.push(DecodedEvent {
+                                record: self.events,
+                                sim_now_bits: stamp_bits,
+                                event,
+                            });
+                        }
+                    }
+                }
+                Err(Step::More) => break,
+                Err(Step::Corrupt(m)) => {
+                    self.pending.drain(..consumed);
+                    return Err(self.corrupt(m));
+                }
+            }
+        }
+        self.pending.drain(..consumed);
+        Ok(())
+    }
+
+    /// Declares end of stream: leftover pending bytes (or a header that
+    /// never completed) mean the file was cut off mid-record.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if let Some((record, message)) = &self.failed {
+            return Err(DecodeError::Corrupt {
+                record: *record,
+                message: message.clone(),
+            });
+        }
+        if !self.pending.is_empty() || self.header.is_none() {
+            return Err(DecodeError::Truncated {
+                record: self.events + 1,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a complete in-memory `.twb` buffer: header plus every event
+/// record, strictly (truncation and corruption are both errors).
+pub fn decode_all(bytes: &[u8]) -> Result<(ShardHeader, Vec<DecodedEvent>), DecodeError> {
+    let mut dec = StreamDecoder::new();
+    let mut out = Vec::new();
+    dec.feed(bytes, &mut out)?;
+    dec.finish()?;
+    match dec.header() {
+        Some(h) => Ok((*h, out)),
+        None => Err(DecodeError::Truncated { record: 1 }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sink.
+// ---------------------------------------------------------------------
+
+/// A buffered `.twb` file sink: the binary sibling of
+/// [`crate::JsonlSink`]. Events are encoded through one [`Encoder`] and
+/// stamped by an internal [`StampClock`], so a single-file binary trace
+/// is byte-for-byte the canonical encoding of its event stream
+/// ([`encode_stream`] of the same events produces identical bytes).
+///
+/// Mirrors the JSONL sink's failure contract: write errors are counted,
+/// never propagated, and [`Drop`] flushes so a panicking run still leaves
+/// every completed record on disk.
+#[derive(Debug)]
+pub struct BinarySink {
+    out: BufWriter<File>,
+    path: PathBuf,
+    enc: Encoder,
+    clock: StampClock,
+    scratch: Vec<u8>,
+    records: u64,
+    bytes: u64,
+    write_errors: u64,
+}
+
+impl BinarySink {
+    /// Creates (or truncates) `path` as an unsharded trace (shard 0 of 1).
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        Self::create_shard(path, ShardHeader::single())
+    }
+
+    /// Creates (or truncates) `path` as one shard of a sharded stream.
+    /// The caller (normally [`crate::shard::ShardedSink`]) is responsible
+    /// for stamping with a *global* clock via [`BinarySink::record_stamped`].
+    pub fn create_shard<P: AsRef<Path>>(path: P, shard: ShardHeader) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        let mut out = BufWriter::with_capacity(SINK_BUF_BYTES, file);
+        let mut header = Vec::new();
+        Encoder::header(&shard, &mut header);
+        out.write_all(&header)?;
+        Ok(BinarySink {
+            out,
+            path,
+            enc: Encoder::new(),
+            clock: StampClock::new(),
+            scratch: Vec::with_capacity(256),
+            records: 0,
+            bytes: header.len() as u64,
+            write_errors: 0,
+        })
+    }
+
+    /// The path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Event records successfully written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes handed to the writer so far, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Writes that failed (the stream is unusable past the first one,
+    /// but telemetry must never take the host down, so they only count).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
+    /// Records `event` under an externally computed stamp — the sharded
+    /// writer's entry point, where the stamp comes from the global clock.
+    pub fn record_stamped(&mut self, stamp_bits: u64, event: &Event) {
+        self.scratch.clear();
+        self.enc.encode(stamp_bits, event, &mut self.scratch);
+        if self.out.write_all(&self.scratch).is_ok() {
+            self.records += 1;
+            self.bytes += self.scratch.len() as u64;
+        } else {
+            self.write_errors += 1;
+        }
+    }
+}
+
+impl Sink for BinarySink {
+    fn record(&mut self, event: &Event) {
+        let stamp = self.clock.advance(event);
+        self.record_stamped(stamp, event);
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for BinarySink {
+    /// Flushes on drop so a run unwinding from a panic still leaves every
+    /// completed record decodable (the decoder reports at worst a
+    /// truncated tail, mirroring the JSONL contract).
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            Event::Counter(CounterRecord {
+                name: "cycle.census".into(),
+                delta: 40,
+                total: 40,
+            }),
+            Event::Span(SpanRecord {
+                name: "round".into(),
+                id: 1,
+                parent: None,
+                start: 0.0,
+                duration: 0.031,
+                clock: ClockKind::Sim,
+            }),
+            Event::Span(SpanRecord {
+                name: "round".into(),
+                id: 2,
+                parent: Some(1),
+                start: 0.031,
+                duration: 0.027,
+                clock: ClockKind::Sim,
+            }),
+            Event::Tag(TagRecord {
+                name: "read.phase2".into(),
+                epc: (1u128 << 95) | 0xDEAD_BEEF,
+                t: 0.058,
+            }),
+            Event::Tag(TagRecord {
+                name: "read.phase2".into(),
+                epc: (1u128 << 95) | 0xDEAD_BEEF,
+                t: 0.058,
+            }),
+            Event::Span(SpanRecord {
+                name: "cycle.compute".into(),
+                id: 3,
+                parent: None,
+                start: 12.5,
+                duration: 0.001,
+                clock: ClockKind::Wall,
+            }),
+            Event::Gauge(GaugeRecord {
+                name: "tracked_tags".into(),
+                value: 12.0,
+            }),
+            Event::Observe(ObserveRecord {
+                name: "round.duration".into(),
+                value: 0.031,
+            }),
+            Event::Footer(FooterRecord {
+                emitted: 8,
+                sampled_out: 0,
+                dropped: 0,
+                sample_every_n_rounds: 1,
+                max_events: 0,
+            }),
+        ]
+    }
+
+    #[test]
+    fn twb_round_trip_is_bit_identical() {
+        let events = sample_stream();
+        let bytes = encode_stream(&events);
+        let (header, decoded) = decode_all(&bytes).unwrap();
+        assert_eq!(header, ShardHeader::single());
+        assert_eq!(decoded.len(), events.len());
+        for (k, (d, want)) in decoded.iter().zip(&events).enumerate() {
+            assert_eq!(d.record, k + 1, "record numbers are 1-based and dense");
+            assert_eq!(&d.event, want);
+        }
+    }
+
+    #[test]
+    fn twb_stamps_are_non_decreasing_running_max() {
+        let events = sample_stream();
+        let bytes = encode_stream(&events);
+        let (_, decoded) = decode_all(&bytes).unwrap();
+        let mut prev = 0.0f64;
+        for d in &decoded {
+            let now = f64::from_bits(d.sim_now_bits);
+            assert!(now >= prev, "stamp went backwards: {now} < {prev}");
+            prev = now;
+        }
+        // The tag at t=0.058 pins the stream clock.
+        let last = f64::from_bits(decoded.last().unwrap().sim_now_bits);
+        assert!((last - 0.058).abs() < 1e-12);
+    }
+
+    #[test]
+    fn twb_encoding_is_deterministic() {
+        let events = sample_stream();
+        assert_eq!(encode_stream(&events), encode_stream(&events));
+    }
+
+    #[test]
+    fn twb_interning_pays_off_on_repeats() {
+        let mut events = Vec::new();
+        for k in 0..100u64 {
+            events.push(Event::Counter(CounterRecord {
+                name: "round.successes".into(),
+                delta: 1,
+                total: k + 1,
+            }));
+        }
+        let bytes = encode_stream(&events);
+        // Header + one string def + 100 small records; far below 10
+        // bytes per event.
+        assert!(bytes.len() < 100 * 10, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn twb_truncation_at_every_offset_is_clean() {
+        let events = sample_stream();
+        let bytes = encode_stream(&events);
+        let (_, full) = decode_all(&bytes).unwrap();
+        for cut in 0..bytes.len() {
+            match decode_all(&bytes[..cut]) {
+                Ok((_, prefix)) => {
+                    // A cut exactly on a record boundary yields a clean prefix.
+                    assert!(prefix.len() <= full.len());
+                    assert_eq!(prefix.as_slice(), &full[..prefix.len()]);
+                }
+                Err(DecodeError::Truncated { record }) => {
+                    assert!(record >= 1 && record <= full.len() + 1);
+                }
+                Err(other) => panic!("cut {cut}: expected truncation, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn twb_bad_magic_is_corrupt_not_truncated() {
+        let mut bytes = encode_stream(&sample_stream());
+        bytes[0] = b'X';
+        match decode_all(&bytes) {
+            Err(DecodeError::Corrupt { record, .. }) => assert_eq!(record, 1),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn twb_unknown_version_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TWB_MAGIC);
+        put_varint(&mut bytes, TWB_VERSION + 1);
+        put_varint(&mut bytes, 0);
+        put_varint(&mut bytes, 1);
+        match decode_all(&bytes) {
+            Err(DecodeError::Corrupt { message, .. }) => {
+                assert!(message.contains("version"), "{message}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn twb_string_id_out_of_range_is_corrupt() {
+        let mut bytes = Vec::new();
+        Encoder::header(&ShardHeader::single(), &mut bytes);
+        bytes.push(OP_COUNTER);
+        put_varint(&mut bytes, 0); // stamp delta
+        put_varint(&mut bytes, 7); // undefined string id
+        put_varint(&mut bytes, 1);
+        put_varint(&mut bytes, 1);
+        match decode_all(&bytes) {
+            Err(DecodeError::Corrupt { message, .. }) => {
+                assert!(message.contains("string id"), "{message}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn twb_oversized_string_claim_is_corrupt() {
+        let mut bytes = Vec::new();
+        Encoder::header(&ShardHeader::single(), &mut bytes);
+        bytes.push(OP_STRDEF);
+        put_varint(&mut bytes, MAX_STR_LEN + 1);
+        match decode_all(&bytes) {
+            Err(DecodeError::Corrupt { message, .. }) => {
+                assert!(message.contains("string definition"), "{message}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn twb_stream_decoder_handles_byte_at_a_time_feeds() {
+        let events = sample_stream();
+        let bytes = encode_stream(&events);
+        let mut dec = StreamDecoder::new();
+        let mut out = Vec::new();
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b), &mut out).unwrap();
+        }
+        dec.finish().unwrap();
+        assert_eq!(out.len(), events.len());
+        for (d, want) in out.iter().zip(&events) {
+            assert_eq!(&d.event, want);
+        }
+    }
+
+    #[test]
+    fn twb_sink_matches_canonical_encoding() {
+        let path =
+            std::env::temp_dir().join(format!("tagwatch-twb-sink-{}.twb", std::process::id()));
+        let events = sample_stream();
+        {
+            let mut sink = BinarySink::create(&path).unwrap();
+            for ev in &events {
+                sink.record(ev);
+            }
+            assert_eq!(sink.records(), events.len() as u64);
+            assert_eq!(sink.write_errors(), 0);
+            // No flush: Drop must leave a complete file.
+        }
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, encode_stream(&events));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i128, 1, -1, i128::from(u64::MAX), -i128::from(u64::MAX)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

@@ -5,6 +5,13 @@
 
 use serde::{Deserialize, Serialize};
 
+/// The one observation derived from the host wall clock: the controller's
+/// per-cycle compute cost. The emitter (`tagwatch::controller`) and the
+/// determinism predicate [`crate::sink::is_sim_deterministic`] — which
+/// must *exclude* this name from the sim-deterministic substream — both
+/// use this constant, so they cannot drift apart.
+pub const COMPUTE_SECONDS_OBSERVATION: &str = "cycle.compute_seconds";
+
 /// Which clock a span was measured on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]

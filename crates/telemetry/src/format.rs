@@ -1,0 +1,153 @@
+//! Format-agnostic trace re-ingestion: one entry point for JSONL and
+//! `.twb` traces.
+//!
+//! Offline consumers (the `tagwatch-obs` analyzers, the tests, ad-hoc
+//! tooling) should not care which sink wrote a trace. This module sniffs
+//! the leading bytes — a `.twb` file starts with [`TWB_MAGIC`], a JSONL
+//! trace with the `{` of its first event — and dispatches to the right
+//! decoder, returning the same `(record number, Event)` pairs either way.
+//! [`crate::JsonlSink`] writes exactly one event per line with no blank
+//! lines, so a run captured to both formats yields *identical* numbering:
+//! binary record k is JSONL line k, and every line-anchored diagnostic
+//! downstream (duplicate span ids, counter regressions, tag attribution)
+//! reads the same whichever file it was fed.
+//!
+//! Binary decode failures are mapped onto the shared [`ParseError`]
+//! vocabulary with record numbers standing in for line numbers:
+//! truncation (writer died mid-record) becomes
+//! [`ParseError::TruncatedTail`], corruption becomes [`ParseError::Line`].
+
+use crate::binary::{self, DecodeError, TWB_MAGIC};
+use crate::event::Event;
+use crate::jsonl::{self, ParseError};
+use std::io::Read;
+use std::path::Path;
+
+/// Which on-disk trace encoding a byte prefix announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One serde-JSON event per line ([`crate::JsonlSink`]).
+    Jsonl,
+    /// The compact binary format ([`crate::BinarySink`], magic `TWB1`).
+    Binary,
+}
+
+/// Sniffs the encoding from the first bytes of a trace. A full or
+/// partial match of [`TWB_MAGIC`] is binary — partial so that a `.twb`
+/// file cut off inside its own magic still routes to the binary decoder
+/// and reports truncation instead of a JSON parse error. Anything else
+/// (including an empty file) is treated as JSONL, the historical default.
+pub fn sniff(head: &[u8]) -> TraceFormat {
+    let n = head.len().min(TWB_MAGIC.len());
+    if n > 0 && head[..n] == TWB_MAGIC[..n] {
+        TraceFormat::Binary
+    } else {
+        TraceFormat::Jsonl
+    }
+}
+
+/// Maps a binary decode failure onto the shared parse-error vocabulary.
+fn decode_to_parse(err: DecodeError) -> ParseError {
+    match err {
+        DecodeError::Truncated { record } => ParseError::TruncatedTail {
+            line: record,
+            snippet: "<binary record>".to_string(),
+        },
+        DecodeError::Corrupt { record, message } => ParseError::Line {
+            line: record,
+            message,
+            snippet: "<binary record>".to_string(),
+        },
+    }
+}
+
+/// Decodes a complete in-memory trace of either format into events with
+/// their 1-based record (= line) numbers.
+pub fn read_events_bytes(bytes: &[u8]) -> Result<Vec<(usize, Event)>, ParseError> {
+    match sniff(bytes) {
+        TraceFormat::Jsonl => jsonl::read_events(bytes),
+        TraceFormat::Binary => {
+            let (_, decoded) = binary::decode_all(bytes).map_err(decode_to_parse)?;
+            Ok(decoded.into_iter().map(|d| (d.record, d.event)).collect())
+        }
+    }
+}
+
+/// Reads every event from `reader`, sniffing the format first. The whole
+/// stream is buffered — binary decoding needs the byte view, and traces
+/// are bounded by the telemetry ceiling anyway.
+pub fn read_events<R: Read>(mut reader: R) -> Result<Vec<(usize, Event)>, ParseError> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|source| ParseError::Io { line: 0, source })?;
+    read_events_bytes(&bytes)
+}
+
+/// [`read_events`] over a file path.
+pub fn read_events_path<P: AsRef<Path>>(path: P) -> Result<Vec<(usize, Event)>, ParseError> {
+    let bytes = std::fs::read(path.as_ref()).map_err(|source| ParseError::Open {
+        path: path.as_ref().to_path_buf(),
+        source,
+    })?;
+    read_events_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::encode_stream;
+    use crate::event::CounterRecord;
+
+    fn sample() -> Vec<Event> {
+        (0..5u64)
+            .map(|k| {
+                Event::Counter(CounterRecord {
+                    name: "round.offered".into(),
+                    delta: 1,
+                    total: k + 1,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sniff_routes_magic_prefixes_to_binary() {
+        assert_eq!(sniff(b"TWB1..."), TraceFormat::Binary);
+        assert_eq!(sniff(b"TW"), TraceFormat::Binary);
+        assert_eq!(sniff(b"{\"type\":\"counter\""), TraceFormat::Jsonl);
+        assert_eq!(sniff(b""), TraceFormat::Jsonl);
+    }
+
+    #[test]
+    fn unified_reader_numbers_both_formats_identically() {
+        let events = sample();
+        let jsonl: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let twb = encode_stream(&events);
+        let a = read_events_bytes(jsonl.as_bytes()).unwrap();
+        let b = read_events_bytes(&twb).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binary_truncation_maps_to_truncated_tail() {
+        let twb = encode_stream(&sample());
+        match read_events_bytes(&twb[..twb.len() - 1]) {
+            Ok(events) => {
+                // The last cut byte may fall exactly after a record; then
+                // the prefix is clean but shorter.
+                assert!(events.len() < 5);
+            }
+            Err(ParseError::TruncatedTail { line, .. }) => assert!(line >= 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A cut inside the magic still classifies as binary truncation.
+        match read_events_bytes(&twb[..2]) {
+            Err(ParseError::TruncatedTail { line, .. }) => assert_eq!(line, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

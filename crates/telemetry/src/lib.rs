@@ -13,9 +13,11 @@
 //!   fixed-bucket [`Histogram`]s whose percentile semantics match
 //!   `tagwatch::metrics::percentile` to within one bucket width.
 //! * **Sinks** ([`Sink`]) receive every [`Event`]: [`MemorySink`] is a
-//!   bounded ring buffer for tests, [`JsonlSink`] a line-buffered JSONL
-//!   file for offline analysis (flushed on [`Drop`], so even a panicking
-//!   run leaves a parseable trace), and [`RingSink`] a fixed-capacity
+//!   bounded ring buffer for tests, [`JsonlSink`] a buffered JSONL file
+//!   for offline analysis (flushed on [`Drop`], so even a panicking run
+//!   leaves a parseable trace), [`BinarySink`] the compact `.twb` binary
+//!   equivalent ([`binary`]), [`ShardedSink`] its k-way split with a
+//!   deterministic merge ([`shard`]), and [`RingSink`] a fixed-capacity
 //!   flight recorder that dumps the tail of the trace on demand.
 //! * **Overhead control** ([`TelemetryConfig`], [`Telemetry::finish`])
 //!   keeps tracing affordable at scale: deterministic round sampling and
@@ -24,9 +26,10 @@
 //!   suppression counts so offline analysis knows when a stream is
 //!   incomplete. [`overhead`] measures the per-event emission cost that
 //!   `obs hotspots` uses to estimate telemetry self-time.
-//! * **Re-ingestion** ([`jsonl`]) parses exported JSONL back into
-//!   [`Event`]s with line-numbered errors — the shared front half of the
-//!   offline `tagwatch-obs` analyzers.
+//! * **Re-ingestion** ([`format`], [`jsonl`]) parses exported traces —
+//!   JSONL or `.twb`, sniffed from the leading bytes — back into
+//!   [`Event`]s with record-numbered errors, the shared front half of
+//!   the offline `tagwatch-obs` analyzers.
 //! * **Tag events** ([`TagRecord`], [`Telemetry::tag_event`]) record
 //!   per-tag moments (reads, mobile verdicts, evictions, ground-truth
 //!   annotations) for per-tag IRR and confusion analysis offline.
@@ -55,27 +58,33 @@
 //! ```
 
 #![forbid(unsafe_code)]
+pub mod binary;
 pub mod clock;
 pub mod event;
+pub mod format;
 pub mod handle;
 pub mod histogram;
 pub mod jsonl;
 pub mod overhead;
 pub mod registry;
+pub mod shard;
 pub mod sink;
 pub mod span;
 pub mod work;
 
+pub use binary::{BinarySink, DecodeError, ShardHeader, StreamDecoder};
 pub use clock::{wall_now, WallInstant};
 pub use event::{
     ClockKind, CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord,
-    TagRecord,
+    TagRecord, COMPUTE_SECONDS_OBSERVATION,
 };
+pub use format::TraceFormat;
 pub use handle::{Telemetry, TelemetryConfig};
 pub use histogram::Histogram;
 pub use jsonl::ParseError;
 pub use overhead::OverheadEstimate;
 pub use registry::MetricsRegistry;
+pub use shard::{MergeError, ShardedSink};
 pub use sink::{
     is_sim_deterministic, JsonlSink, MemorySink, NullSink, RingSink, SimOnlySink, Sink,
 };

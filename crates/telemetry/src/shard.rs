@@ -1,0 +1,413 @@
+//! Sharded binary trace streams and their deterministic merge.
+//!
+//! The fleet arc needs N concurrent writers (future: one per reader /
+//! worker thread) whose outputs reconcile into *one* canonical trace.
+//! [`ShardedSink`] is the write half: it splits a single emission stream
+//! across k per-shard `.twb` files, each self-describing via its
+//! [`ShardHeader`]. [`merge_paths`] is the read half: a k-way merge that
+//! provably reconstructs the original emission order — and therefore, by
+//! re-encoding through the canonical [`encode_stream`], a byte-identical
+//! merged file — regardless of how many shards the stream was split into.
+//!
+//! ## Why the merge is deterministic
+//!
+//! Every event is stamped with the stream's sim-now clock
+//! ([`StampClock`]): the running maximum of simulated instants, taken
+//! *after* incorporating the event. Three facts make the (stamp,
+//! shard_id, shard_seq) sort key reconstruct emission order exactly:
+//!
+//! 1. **Stamps are non-decreasing in emission order** (a running max
+//!    cannot go down), so equal-stamp events always form one contiguous
+//!    run — a *group*. Two events with the same stamp are never separated
+//!    by one with a different stamp.
+//! 2. **The router never splits a group.** [`ShardedSink`] advances to
+//!    the next shard only when the stamp strictly increases, so all
+//!    events of a group land in the same shard, where their relative
+//!    order is preserved by the per-shard sequence number.
+//! 3. **Groups are ordered by their stamps**, and distinct groups have
+//!    distinct stamps, so sorting groups by stamp recovers group order.
+//!
+//! Hence sorting all shard records by (stamp, shard_id, shard_seq) yields
+//! the emission sequence: the stamp orders the groups, and within a group
+//! the single (shard_id, shard_seq) run preserves intra-group order. The
+//! shard_id component of the key never actually breaks a tie between
+//! *different* groups — it exists so the comparator is a total order
+//! without appealing to the invariant it is checking. The `prop_twb`
+//! property tests drive arbitrary streams through every shard count from
+//! 1 to 5 and assert the merged bytes are identical.
+//!
+//! Float caveat: stamps are compared as raw IEEE-754 bit patterns. The
+//! clock starts at 0.0 and only ever moves to a *greater finite* value,
+//! so every stamp is a non-negative finite double — a domain on which
+//! unsigned bit comparison and numeric comparison agree.
+
+use crate::binary::{
+    decode_all, encode_stream, BinarySink, DecodeError, DecodedEvent, ShardHeader, StampClock,
+};
+use crate::event::Event;
+use crate::sink::Sink;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Splits one emission stream across `k` self-describing `.twb` shard
+/// files. Routing is a pure function of the event stream: the current
+/// equal-stamp group goes to the current shard, and the router advances
+/// round-robin when the stamp strictly increases. Flush-on-Drop and
+/// write-error counting are inherited from the per-shard [`BinarySink`]s.
+#[derive(Debug)]
+pub struct ShardedSink {
+    shards: Vec<BinarySink>,
+    clock: StampClock,
+    current: usize,
+    last_stamp: u64,
+    routed_any: bool,
+}
+
+impl ShardedSink {
+    /// Creates `count` shard files derived from `base` (see
+    /// [`shard_paths`]). `count` must be at least 1.
+    pub fn create<P: AsRef<Path>>(base: P, count: usize) -> std::io::Result<Self> {
+        let count = count.max(1);
+        let mut shards = Vec::with_capacity(count);
+        for (id, path) in shard_paths(base.as_ref(), count).into_iter().enumerate() {
+            shards.push(BinarySink::create_shard(
+                path,
+                ShardHeader {
+                    shard_id: id as u64,
+                    shard_count: count as u64,
+                },
+            )?);
+        }
+        Ok(ShardedSink {
+            shards,
+            clock: StampClock::new(),
+            current: 0,
+            last_stamp: 0,
+            routed_any: false,
+        })
+    }
+
+    /// The shard files being written, in shard-id order.
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.shards.iter().map(|s| s.path().to_path_buf()).collect()
+    }
+
+    /// Event records routed so far, across all shards.
+    pub fn records(&self) -> u64 {
+        self.shards.iter().map(BinarySink::records).sum()
+    }
+
+    /// Write errors accumulated across all shards.
+    pub fn write_errors(&self) -> u64 {
+        self.shards.iter().map(BinarySink::write_errors).sum()
+    }
+}
+
+impl Sink for ShardedSink {
+    fn record(&mut self, event: &Event) {
+        let stamp = self.clock.advance(event);
+        if self.routed_any && stamp != self.last_stamp {
+            // Strict stamp increase: a new group starts, move on. (The
+            // running-max clock never revisits a bit pattern, so
+            // inequality here *is* strict numeric increase.)
+            self.current = (self.current + 1) % self.shards.len();
+        }
+        self.last_stamp = stamp;
+        self.routed_any = true;
+        self.shards[self.current].record_stamped(stamp, event);
+    }
+
+    fn flush(&mut self) {
+        for s in &mut self.shards {
+            s.flush();
+        }
+    }
+}
+
+/// The shard file names for `base` split `count` ways: `count == 1` is
+/// the plain single file `base`; otherwise `base.shard0`, `base.shard1`,
+/// … (self-description lives in the header, the suffix is for humans).
+pub fn shard_paths(base: &Path, count: usize) -> Vec<PathBuf> {
+    if count <= 1 {
+        return vec![base.to_path_buf()];
+    }
+    (0..count)
+        .map(|k| {
+            let mut name = base.as_os_str().to_os_string();
+            name.push(format!(".shard{k}"));
+            PathBuf::from(name)
+        })
+        .collect()
+}
+
+/// Why a set of shard files would not merge.
+#[derive(Debug)]
+pub enum MergeError {
+    /// A shard file failed to open or read.
+    Io {
+        path: PathBuf,
+        source: std::io::Error,
+    },
+    /// A shard file failed to decode.
+    Decode { path: PathBuf, source: DecodeError },
+    /// The files disagree about how many shards the stream has.
+    MismatchedShardCount {
+        expected: u64,
+        found: u64,
+        path: PathBuf,
+    },
+    /// Two files claim the same shard id.
+    DuplicateShardId { shard_id: u64, path: PathBuf },
+    /// The set is incomplete: `shard_count` files are required.
+    MissingShards { expected: u64, found: usize },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Io { path, source } => {
+                write!(f, "cannot read shard {}: {source}", path.display())
+            }
+            MergeError::Decode { path, source } => {
+                write!(f, "shard {}: {source}", path.display())
+            }
+            MergeError::MismatchedShardCount {
+                expected,
+                found,
+                path,
+            } => write!(
+                f,
+                "shard {} claims a set of {found}, other shards claim {expected}",
+                path.display()
+            ),
+            MergeError::DuplicateShardId { shard_id, path } => {
+                write!(
+                    f,
+                    "shard id {shard_id} appears twice (second: {})",
+                    path.display()
+                )
+            }
+            MergeError::MissingShards { expected, found } => {
+                write!(f, "shard set incomplete: {found} of {expected} files given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::Io { source, .. } => Some(source),
+            MergeError::Decode { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded shard, ready to merge.
+#[derive(Debug)]
+pub struct ShardFile {
+    pub path: PathBuf,
+    pub header: ShardHeader,
+    pub records: Vec<DecodedEvent>,
+}
+
+/// Reads and decodes one shard file.
+pub fn read_shard<P: AsRef<Path>>(path: P) -> Result<ShardFile, MergeError> {
+    let path = path.as_ref().to_path_buf();
+    let bytes = std::fs::read(&path).map_err(|source| MergeError::Io {
+        path: path.clone(),
+        source,
+    })?;
+    let (header, records) = decode_all(&bytes).map_err(|source| MergeError::Decode {
+        path: path.clone(),
+        source,
+    })?;
+    Ok(ShardFile {
+        path,
+        header,
+        records,
+    })
+}
+
+/// Merges a complete shard set back into the original emission sequence.
+/// Validates that the files agree on `shard_count`, cover every shard id
+/// exactly once, and decode cleanly; then k-way merges on the
+/// (sim_now stamp, shard_id, shard_seq) key. Returns events renumbered
+/// 1..=N in emission order.
+pub fn merge_shards(shards: Vec<ShardFile>) -> Result<Vec<(usize, Event)>, MergeError> {
+    let expected = match shards.first() {
+        None => return Ok(Vec::new()),
+        Some(s) => s.header.shard_count,
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &shards {
+        if s.header.shard_count != expected {
+            return Err(MergeError::MismatchedShardCount {
+                expected,
+                found: s.header.shard_count,
+                path: s.path.clone(),
+            });
+        }
+        if !seen.insert(s.header.shard_id) {
+            return Err(MergeError::DuplicateShardId {
+                shard_id: s.header.shard_id,
+                path: s.path.clone(),
+            });
+        }
+    }
+    if shards.len() as u64 != expected {
+        return Err(MergeError::MissingShards {
+            expected,
+            found: shards.len(),
+        });
+    }
+
+    // (stamp bits, shard_id, shard_seq) — stamps are non-negative finite
+    // doubles, so unsigned bit order is numeric order (module docs).
+    let mut keyed: Vec<(u64, u64, usize, Event)> = shards
+        .into_iter()
+        .flat_map(|s| {
+            let shard_id = s.header.shard_id;
+            s.records
+                .into_iter()
+                .map(move |r| (r.sim_now_bits, shard_id, r.record, r.event))
+        })
+        .collect();
+    keyed.sort_by_key(|&(stamp, shard_id, seq, _)| (stamp, shard_id, seq));
+    Ok(keyed
+        .into_iter()
+        .enumerate()
+        .map(|(k, (_, _, _, ev))| (k + 1, ev))
+        .collect())
+}
+
+/// [`read_shard`] + [`merge_shards`] over a list of paths.
+pub fn merge_paths<P: AsRef<Path>>(paths: &[P]) -> Result<Vec<(usize, Event)>, MergeError> {
+    let mut shards = Vec::with_capacity(paths.len());
+    for p in paths {
+        shards.push(read_shard(p)?);
+    }
+    merge_shards(shards)
+}
+
+/// Merges a shard set and re-encodes it as the canonical single-shard
+/// `.twb` byte buffer. Because [`encode_stream`] is a pure function of
+/// the event sequence and the merge recovers emission order for *any*
+/// shard count, every split of the same stream canonicalizes to
+/// bit-identical bytes — the property `ci.sh --trace` gates on.
+pub fn merge_to_twb<P: AsRef<Path>>(paths: &[P]) -> Result<Vec<u8>, MergeError> {
+    let merged = merge_paths(paths)?;
+    Ok(encode_stream(merged.iter().map(|(_, ev)| ev)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClockKind, CounterRecord, SpanRecord, TagRecord};
+
+    /// A stream whose stamps actually move: spans close at increasing
+    /// times, tags ride along, counters cluster inside groups.
+    fn sample_stream() -> Vec<Event> {
+        let mut events = Vec::new();
+        for round in 0..20u64 {
+            let start = round as f64 * 0.05;
+            events.push(Event::Counter(CounterRecord {
+                name: "round.offered".into(),
+                delta: 3,
+                total: 3 * (round + 1),
+            }));
+            events.push(Event::Span(SpanRecord {
+                name: "round".into(),
+                id: round + 1,
+                parent: None,
+                start,
+                duration: 0.05,
+                clock: ClockKind::Sim,
+            }));
+            events.push(Event::Tag(TagRecord {
+                name: "read.phase1".into(),
+                epc: u128::from(round % 5) << 64,
+                t: start + 0.05,
+            }));
+        }
+        events
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("tagwatch-shard-{}-{name}", std::process::id()))
+    }
+
+    fn write_sharded(base: &Path, count: usize, events: &[Event]) -> Vec<PathBuf> {
+        let mut sink = ShardedSink::create(base, count).unwrap();
+        for ev in events {
+            sink.record(ev);
+        }
+        let paths = sink.paths();
+        drop(sink);
+        paths
+    }
+
+    #[test]
+    fn shard_merge_recovers_emission_order_for_any_count() {
+        let events = sample_stream();
+        for count in 1..=5 {
+            let base = tmp(&format!("order-{count}.twb"));
+            let paths = write_sharded(&base, count, &events);
+            let merged = merge_paths(&paths).unwrap();
+            assert_eq!(merged.len(), events.len(), "count={count}");
+            for (k, ((n, got), want)) in merged.iter().zip(&events).enumerate() {
+                assert_eq!(*n, k + 1);
+                assert_eq!(got, want, "count={count}, k={k}");
+            }
+            for p in paths {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_merge_canonical_bytes_are_shard_count_invariant() {
+        let events = sample_stream();
+        let reference = encode_stream(&events);
+        for count in 1..=5 {
+            let base = tmp(&format!("bytes-{count}.twb"));
+            let paths = write_sharded(&base, count, &events);
+            let merged = merge_to_twb(&paths).unwrap();
+            assert_eq!(merged, reference, "count={count}");
+            for p in paths {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_set_validation_catches_missing_and_mismatched() {
+        let events = sample_stream();
+        let base = tmp("validate.twb");
+        let paths = write_sharded(&base, 3, &events);
+        match merge_paths(&paths[..2]) {
+            Err(MergeError::MissingShards { expected, found }) => {
+                assert_eq!((expected, found), (3, 2));
+            }
+            other => panic!("expected MissingShards, got {other:?}"),
+        }
+        match merge_paths(&[&paths[0], &paths[0], &paths[1]]) {
+            Err(MergeError::DuplicateShardId { shard_id, .. }) => assert_eq!(shard_id, 0),
+            other => panic!("expected DuplicateShardId, got {other:?}"),
+        }
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn shard_paths_single_is_the_base_file() {
+        let base = PathBuf::from("out/trace.twb");
+        assert_eq!(shard_paths(&base, 1), vec![base.clone()]);
+        let four = shard_paths(&base, 4);
+        assert_eq!(four.len(), 4);
+        assert_eq!(four[0], PathBuf::from("out/trace.twb.shard0"));
+        assert_eq!(four[3], PathBuf::from("out/trace.twb.shard3"));
+    }
+}

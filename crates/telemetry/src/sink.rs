@@ -1,14 +1,17 @@
 //! Pluggable event sinks.
 //!
-//! A [`Sink`] receives every [`Event`] the handle emits, in order. Two
-//! implementations ship here: a bounded in-memory ring buffer for tests
-//! and experiments, and a line-buffered JSONL file writer for offline
-//! analysis (`repro ... --telemetry out.jsonl`).
+//! A [`Sink`] receives every [`Event`] the handle emits, in order. This
+//! module holds the in-memory sinks (bounded buffers for tests and
+//! flight recording), the buffered JSONL file writer for offline
+//! analysis (`repro ... --telemetry out.jsonl`), and the determinism
+//! filter; the binary `.twb` writer and its sharded variant live in
+//! [`crate::binary`] and [`crate::shard`].
 
-use crate::event::{ClockKind, Event, FooterRecord, SpanRecord};
+use crate::binary::SINK_BUF_BYTES;
+use crate::event::{ClockKind, Event, FooterRecord, SpanRecord, COMPUTE_SECONDS_OBSERVATION};
 use std::collections::VecDeque;
 use std::fs::File;
-use std::io::{LineWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
@@ -50,7 +53,7 @@ impl Sink for NullSink {
 pub fn is_sim_deterministic(event: &Event) -> bool {
     match event {
         Event::Span(s) => s.clock == ClockKind::Sim,
-        Event::Observe(o) => o.name != "cycle.compute_seconds",
+        Event::Observe(o) => o.name != COMPUTE_SECONDS_OBSERVATION,
         _ => true,
     }
 }
@@ -282,15 +285,21 @@ impl Sink for RingSink {
     }
 }
 
-/// A line-buffered JSONL file sink: one `serde_json`-encoded [`Event`] per
-/// line, flushed at every newline so the file is parseable even if the
-/// process dies mid-run.
+/// A buffered JSONL file sink: one `serde_json`-encoded [`Event`] per
+/// line, behind a sized [`BufWriter`] (`SINK_BUF_BYTES`). Earlier
+/// revisions used a `LineWriter`, paying one `write(2)` per event — the
+/// dominant cost `obs hotspots` attributed to trace capture; batching
+/// writes is worth ~an order of magnitude in encode throughput (the
+/// `trace-bench` figure tracks the number). Crash durability is
+/// unchanged in kind: [`Drop`] flushes, so an unwinding run loses at
+/// most the final buffer, and a cut-off tail still re-ingests as
+/// [`crate::jsonl::ParseError::TruncatedTail`].
 ///
 /// Write errors are counted, not propagated — telemetry must never take
 /// the host system down with it.
 #[derive(Debug)]
 pub struct JsonlSink {
-    out: LineWriter<File>,
+    out: BufWriter<File>,
     path: PathBuf,
     lines: u64,
     write_errors: u64,
@@ -302,7 +311,7 @@ impl JsonlSink {
         let path = path.as_ref().to_path_buf();
         let file = File::create(&path)?;
         Ok(JsonlSink {
-            out: LineWriter::new(file),
+            out: BufWriter::with_capacity(SINK_BUF_BYTES, file),
             path,
             lines: 0,
             write_errors: 0,
@@ -400,9 +409,8 @@ impl<S: Sink> Sink for SimOnlySink<S> {
 
 impl Drop for JsonlSink {
     /// Flushes on drop so a run that never calls [`Sink::flush`] — e.g.
-    /// one unwinding from a panic — still leaves a parseable trace.
-    /// (`LineWriter` flushes at each newline, but a write that straddled
-    /// its buffer can leave a partial line; this closes that gap.)
+    /// one unwinding from a panic — still leaves a parseable trace with
+    /// every buffered line on disk.
     fn drop(&mut self) {
         let _ = self.out.flush();
     }

@@ -1,0 +1,26 @@
+//! Single-home contract for the `.twb` container self-description:
+//! outside `crates/telemetry/src/binary.rs`, raw magic literals and
+//! shadow `TWB_MAGIC` / `TWB_VERSION` definitions fire; imports, reads,
+//! and test fixtures do not.
+
+use tagwatch_telemetry::binary::TWB_MAGIC; // fine: importing the one home
+
+const TWB_MAGIC: [u8; 4] = *b"TWB1"; // bad twice: shadow const + raw magic
+const TWB_VERSION: u64 = 2; // bad: shadow version definition
+
+pub fn sniffs(head: &[u8]) -> bool {
+    head.starts_with(b"TWB1") // bad: raw magic literal in library code
+        || head.starts_with(&TWB_MAGIC) // fine: reading the constant
+}
+
+pub fn mentions() -> &'static str {
+    "a .twb trace; see the TWB_MAGIC docs" // fine: no magic bytes spelled
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn probe() {
+        assert!(super::sniffs(b"TWB1rest")); // fine: test code is exempt
+    }
+}

@@ -22,6 +22,7 @@ const CASES: &[(&str, &str)] = &[
     ("todo_tracker", "crates/reader/src/injected.rs"),
     ("lint_escape", "crates/telemetry/src/injected.rs"),
     ("work_counter_name", "crates/monitor/src/injected.rs"),
+    ("twb_constants", "crates/obs/src/injected.rs"),
     ("clean", "crates/core/src/clean.rs"),
 ];
 

@@ -1,0 +1,184 @@
+//! Property: the compact `.twb` trace format is lossless, its sharded
+//! capture is merge-invariant, and its decoder is total. Any well-typed
+//! event stream must round-trip bit-exactly through `encode_stream` /
+//! `decode_all` with 1-based record numbers intact; splitting the same
+//! stream across any shard count must canonicalize back to the exact
+//! single-shard bytes; and no truncation or byte-level corruption of a
+//! valid file may ever panic the decoder — truncation classifies as
+//! `Truncated` (a prefix is never *wrong*, just missing), everything
+//! else as a clean prefix or `Corrupt`.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tagwatch_telemetry::binary::{decode_all, encode_stream, DecodeError};
+use tagwatch_telemetry::shard::{merge_to_twb, ShardedSink};
+use tagwatch_telemetry::{
+    ClockKind, CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, Sink, SpanRecord,
+    TagRecord,
+};
+
+/// Metric-style names: 1–3 dotted lowercase segments.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}(\\.[a-z]{1,6}){0,2}"
+}
+
+/// Any single event with finite values (the clock math is defined on
+/// finite instants; NaN payloads are excluded the same way the JSONL
+/// wire format excludes them).
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (arb_name(), any::<u64>(), any::<u64>()).prop_map(|(name, delta, total)| {
+            Event::Counter(CounterRecord { name, delta, total })
+        }),
+        (arb_name(), -1e12f64..1e12)
+            .prop_map(|(name, value)| { Event::Gauge(GaugeRecord { name, value }) }),
+        (arb_name(), 0.0f64..1e9)
+            .prop_map(|(name, value)| { Event::Observe(ObserveRecord { name, value }) }),
+        (arb_name(), any::<u128>(), 0.0f64..1e6)
+            .prop_map(|(name, epc, t)| { Event::Tag(TagRecord { name, epc, t }) }),
+        (
+            arb_name(),
+            any::<u64>(),
+            proptest::option::of(any::<u64>()),
+            0.0f64..1e6,
+            0.0f64..1e3,
+            prop_oneof![Just(ClockKind::Sim), Just(ClockKind::Wall)],
+        )
+            .prop_map(|(name, id, parent, start, duration, clock)| {
+                Event::Span(SpanRecord {
+                    name,
+                    id,
+                    parent,
+                    start,
+                    duration,
+                    clock,
+                })
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            1u32..1000,
+            any::<u64>()
+        )
+            .prop_map(|(emitted, sampled_out, dropped, every, max)| {
+                Event::Footer(FooterRecord {
+                    emitted,
+                    sampled_out,
+                    dropped,
+                    sample_every_n_rounds: every,
+                    max_events: max,
+                })
+            }),
+    ]
+}
+
+/// Unique scratch base path per proptest case (cases run concurrently).
+fn scratch_twb() -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "tagwatch-prop-twb-{}-{}.twb",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    /// encode ∘ decode is the identity on any event stream, and every
+    /// event keeps its 1-based record number.
+    #[test]
+    fn twb_round_trips_any_event_stream(
+        events in prop::collection::vec(arb_event(), 0..60),
+    ) {
+        let bytes = encode_stream(&events);
+        let (header, decoded) = decode_all(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(header.shard_count, 1);
+        prop_assert_eq!(decoded.len(), events.len());
+        for (k, (got, want)) in decoded.iter().zip(&events).enumerate() {
+            prop_assert_eq!(got.record, k + 1, "record number drifted");
+            prop_assert_eq!(&got.event, want);
+        }
+    }
+
+    /// Splitting one emission stream across any shard count and merging
+    /// it back canonicalizes to bytes bit-identical to the single-shard
+    /// encoding — the invariant `ci.sh --trace` gates on.
+    #[test]
+    fn sharded_merge_bytes_are_shard_count_invariant(
+        events in prop::collection::vec(arb_event(), 0..60),
+        count in 1usize..=5,
+    ) {
+        let reference = encode_stream(&events);
+        let base = scratch_twb();
+        let mut sink = ShardedSink::create(&base, count).expect("shard files");
+        for ev in &events {
+            sink.record(ev);
+        }
+        let paths = sink.paths();
+        drop(sink);
+        let merged = merge_to_twb(&paths).expect("complete shard set merges");
+        for p in &paths {
+            std::fs::remove_file(p).ok();
+        }
+        prop_assert_eq!(
+            merged, reference,
+            "{}-shard merge diverged from the canonical bytes", count
+        );
+    }
+
+    /// A truncated file decodes to a clean prefix of the full stream or
+    /// classifies as `Truncated` — never `Corrupt` (no prefix byte is
+    /// wrong), and never a panic.
+    #[test]
+    fn any_truncation_is_a_prefix_or_a_truncated_error(
+        events in prop::collection::vec(arb_event(), 1..40),
+        cut_seed in any::<usize>(),
+    ) {
+        let bytes = encode_stream(&events);
+        let (_, full) = decode_all(&bytes).expect("own encoding decodes");
+        let cut = cut_seed % bytes.len();
+        match decode_all(&bytes[..cut]) {
+            Ok((_, prefix)) => {
+                prop_assert!(prefix.len() <= full.len());
+                for (got, want) in prefix.iter().zip(&full) {
+                    prop_assert_eq!(&got.event, &want.event);
+                }
+            }
+            Err(DecodeError::Truncated { record }) => {
+                prop_assert!(record >= 1);
+            }
+            Err(other) => prop_assert!(false, "cut {} classified as {:?}", cut, other),
+        }
+    }
+
+    /// Byte-level corruption — overwrites anywhere in the file, string
+    /// table and varints included — never panics the decoder: every
+    /// outcome is a normal return.
+    #[test]
+    fn byte_corruption_never_panics(
+        events in prop::collection::vec(arb_event(), 1..30),
+        edits in prop::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = encode_stream(&events);
+        for (pos, val) in &edits {
+            let idx = pos % bytes.len();
+            bytes[idx] = *val;
+        }
+        // Any of Ok / Truncated / Corrupt is acceptable; panicking or
+        // looping forever is not. (proptest turns a panic into a failure
+        // with the minimal corrupting edit sequence.)
+        let _ = decode_all(&bytes);
+    }
+
+    /// Appending garbage after a valid stream decodes the stream then
+    /// classifies the tail — again without panicking.
+    #[test]
+    fn trailing_garbage_never_panics(
+        events in prop::collection::vec(arb_event(), 0..20),
+        tail in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut bytes = encode_stream(&events);
+        bytes.extend_from_slice(&tail);
+        let _ = decode_all(&bytes);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cross-crate trace-format integration: one real controller workload,
+//! captured to JSONL and to compact `.twb`, must be *indistinguishable*
+//! downstream — identical record numbering, byte-identical analyzer
+//! verdicts — while the binary file meets the size bar the CI trace gate
+//! enforces. Also the honesty checks behind that claim: a sharded
+//! capture canonicalizes to the very bytes the single-file sink wrote,
+//! and a real trace truncated at *every* byte offset decodes to a clean
+//! prefix or a classified error, never a panic.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tagwatch::prelude::*;
+use tagwatch_obs::model::Trace;
+use tagwatch_obs::{AnalyzeConfig, RunReport};
+use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::jsonl::ParseError;
+use tagwatch_telemetry::shard::{merge_to_twb, ShardedSink};
+use tagwatch_telemetry::{format, BinarySink, Event, JsonlSink, MemorySink, Sink, Telemetry};
+
+fn scratch(name: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "tagwatch-twb-int-{}-{}-{name}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Runs a turntable workload with full instrumentation and returns the
+/// captured event stream (with its closing footer).
+fn captured_workload_sized(n_tags: usize, movers: usize, cycles: usize) -> Vec<Event> {
+    let scene = presets::turntable(n_tags, movers, 31);
+    let ids: Vec<Epc> = {
+        let mut rng = StdRng::seed_from_u64(32);
+        (0..n_tags).map(|_| Epc::random(&mut rng)).collect()
+    };
+    let mut reader = Reader::new(scene, &ids, ReaderConfig::default(), 33);
+    let tel = Telemetry::new();
+    let sink = MemorySink::new(1 << 16);
+    tel.install(Box::new(sink.clone()));
+    for epc in &ids[..movers] {
+        tel.tag_event("truth.mobile", epc.bits(), 0.0);
+    }
+    let mut ctl = Controller::new(TagwatchConfig::default()).with_telemetry(tel.clone());
+    ctl.run_cycles(&mut reader, cycles).expect("valid config");
+    // finish() records the closing footer into the installed sink.
+    tel.finish();
+    sink.events()
+}
+
+fn captured_workload() -> Vec<Event> {
+    captured_workload_sized(20, 2, 4)
+}
+
+/// Writes the stream through both file sinks, returning the two paths.
+fn capture_both(events: &[Event]) -> (PathBuf, PathBuf) {
+    let jsonl_path = scratch("run.jsonl");
+    let twb_path = scratch("run.twb");
+    let mut jsonl = JsonlSink::create(&jsonl_path).expect("jsonl sink");
+    let mut twb = BinarySink::create(&twb_path).expect("binary sink");
+    for ev in events {
+        jsonl.record(ev);
+        twb.record(ev);
+    }
+    drop(jsonl);
+    drop(twb);
+    (jsonl_path, twb_path)
+}
+
+#[test]
+fn both_formats_number_records_identically() {
+    let events = captured_workload();
+    let (jsonl_path, twb_path) = capture_both(&events);
+    let a = format::read_events_path(&jsonl_path).expect("jsonl reads");
+    let b = format::read_events_path(&twb_path).expect("twb reads");
+    assert_eq!(a.len(), events.len());
+    assert_eq!(a, b, "record numbering or payloads diverged across formats");
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&twb_path).ok();
+}
+
+#[test]
+fn analyzer_verdicts_are_byte_identical_across_formats() {
+    let events = captured_workload();
+    let (jsonl_path, twb_path) = capture_both(&events);
+    let cfg = AnalyzeConfig::default();
+    let report = |p: &PathBuf| {
+        let trace = Trace::from_path(p).expect("trace loads");
+        serde_json::to_string(&RunReport::analyze(&trace, &cfg)).expect("report serializes")
+    };
+    assert_eq!(
+        report(&jsonl_path),
+        report(&twb_path),
+        "RunReport diverged between JSONL and .twb capture of the same run"
+    );
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&twb_path).ok();
+}
+
+#[test]
+fn binary_capture_meets_the_size_bar() {
+    let events = captured_workload();
+    let (jsonl_path, twb_path) = capture_both(&events);
+    let jsonl_bytes = std::fs::metadata(&jsonl_path).expect("jsonl stat").len();
+    let twb_bytes = std::fs::metadata(&twb_path).expect("twb stat").len();
+    assert!(
+        jsonl_bytes >= 5 * twb_bytes,
+        "real-trace compression below the 5x CI bar: {jsonl_bytes} JSONL bytes \
+         vs {twb_bytes} .twb bytes"
+    );
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&twb_path).ok();
+}
+
+#[test]
+fn sharded_capture_canonicalizes_to_the_single_file_bytes() {
+    let events = captured_workload();
+    for count in [2usize, 4] {
+        let single = scratch(&format!("single-{count}.twb"));
+        let mut sink = BinarySink::create(&single).expect("binary sink");
+        for ev in &events {
+            sink.record(ev);
+        }
+        drop(sink);
+
+        let base = scratch(&format!("sharded-{count}.twb"));
+        let mut sharded = ShardedSink::create(&base, count).expect("sharded sink");
+        for ev in &events {
+            sharded.record(ev);
+        }
+        let paths = sharded.paths();
+        drop(sharded);
+
+        let merged = merge_to_twb(&paths).expect("shard set merges");
+        let reference = std::fs::read(&single).expect("single file reads");
+        assert_eq!(
+            merged, reference,
+            "{count}-shard merge is not bit-identical to the unsharded capture"
+        );
+        std::fs::remove_file(&single).ok();
+        for p in paths {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_offset_never_panics_and_prefixes_cleanly() {
+    // A real run, capped to its first few hundred events: the sweep
+    // re-decodes the trace once per byte offset, so its cost is
+    // quadratic in the trace size.
+    let mut events = captured_workload_sized(8, 1, 2);
+    events.truncate(300);
+    let (jsonl_path, twb_path) = capture_both(&events);
+    let bytes = std::fs::read(&twb_path).expect("twb reads");
+    let full = format::read_events_bytes(&bytes).expect("full trace decodes");
+    for cut in 0..=bytes.len() {
+        match format::read_events_bytes(&bytes[..cut]) {
+            // A clean cut: the decoded events are a prefix of the full
+            // decode with their original record numbers.
+            Ok(prefix) => {
+                assert!(prefix.len() <= full.len(), "cut {cut} decoded extra events");
+                assert_eq!(
+                    prefix,
+                    full[..prefix.len()],
+                    "cut {cut} diverged from the full decode"
+                );
+            }
+            // A mid-record cut classifies as truncation, never as
+            // corruption: none of these bytes are wrong, just missing.
+            Err(ParseError::TruncatedTail { .. }) => {}
+            Err(other) => panic!("cut {cut}: unexpected error {other}"),
+        }
+    }
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&twb_path).ok();
+}
