@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Repo CI gate. Run from the workspace root.
 #
-#   ./ci.sh          # fmt + clippy + lint + tier-1 (release build + tests)
-#                    # + observability gate
+#   ./ci.sh          # fmt + clippy + lint + deep lint + tier-1 (release
+#                    # build + tests) + observability gate
 #   ./ci.sh --tier1  # tier-1 gate only (what the roadmap requires)
 #   ./ci.sh --lint   # static-analysis gate only: the tagwatch-lint rule
 #                    # catalog (determinism, panic-policy, unsafe-free, …)
@@ -22,6 +22,12 @@
 #                    # snapshot (same sim work required; a median work
 #                    # rate may only regress beyond k·stddev of the
 #                    # trial noise band)
+#   ./ci.sh --deeplint # deep-lint gate only: the workspace-level rule
+#                    # family (rng-stream-discipline, race-surface,
+#                    # float-reduction-order, sim-boundary) must be clean
+#                    # modulo tests/lint/deep_baseline.txt, and the
+#                    # `lint graph --json` export must self-validate and
+#                    # be byte-identical across two runs
 #   ./ci.sh --trace  # trace-plane gate only: the compact .twb capture of
 #                    # the reference workload must yield byte-identical
 #                    # analyzer verdicts to JSONL, `obs pack` must round-
@@ -35,6 +41,7 @@ cd "$(dirname "$0")"
 tier1_only=false
 obs_only=false
 lint_only=false
+deeplint_only=false
 faults_only=false
 monitor_only=false
 perf_only=false
@@ -43,6 +50,7 @@ case "${1:-}" in
     --tier1) tier1_only=true ;;
     --obs) obs_only=true ;;
     --lint) lint_only=true ;;
+    --deeplint) deeplint_only=true ;;
     --faults) faults_only=true ;;
     --monitor) monitor_only=true ;;
     --perf) perf_only=true ;;
@@ -69,6 +77,26 @@ lint_gate() {
     # diagnostics, exit 1 on findings. See DESIGN.md § Static analysis.
     echo "==> lint: cargo run --release -p tagwatch-lint --bin lint"
     cargo run --release -p tagwatch-lint --bin lint
+}
+
+deeplint_gate() {
+    # The workspace-level rule family: symbol graph + reachability rules
+    # (rng-stream-discipline, race-surface, float-reduction-order,
+    # sim-boundary) must be clean modulo the committed baseline, and the
+    # schema-versioned `lint graph --json` export must self-validate and
+    # be byte-deterministic. See DESIGN.md § Deep analysis.
+    echo "==> deeplint: cargo build --release -p tagwatch-lint"
+    cargo build --release -p tagwatch-lint
+    mkdir -p out
+
+    echo "==> deeplint: lint --deep --baseline tests/lint/deep_baseline.txt"
+    ./target/release/lint --deep --baseline tests/lint/deep_baseline.txt
+
+    echo "==> deeplint: lint graph --json must validate and be byte-stable"
+    ./target/release/lint graph --json --check > out/lint-graph-a.json
+    ./target/release/lint graph --json > out/lint-graph-b.json
+    cmp out/lint-graph-a.json out/lint-graph-b.json
+    echo "deeplint gate passed."
 }
 
 obs_gate() {
@@ -324,6 +352,11 @@ if $lint_only; then
     exit 0
 fi
 
+if $deeplint_only; then
+    deeplint_gate
+    exit 0
+fi
+
 if $perf_only; then
     perf_gate
     exit 0
@@ -342,6 +375,7 @@ if ! $tier1_only; then
     cargo clippy --workspace --all-targets -- -D warnings
 
     lint_gate
+    deeplint_gate
 fi
 
 echo "==> tier-1: cargo build --release"

@@ -3,7 +3,13 @@
 //!
 //! Exit codes: 0 clean, 1 findings, 2 internal error (unreadable tree,
 //! bad arguments). `--format json` emits one JSON object per finding for
-//! tooling; `--list-rules` prints the catalog.
+//! tooling; `--list-rules` prints the catalog; `--explain <rule>` prints
+//! one rule's rationale and escape syntax.
+//!
+//! `--deep` adds the workspace-level rule family (symbol graph +
+//! reachability); `--baseline FILE` subtracts known, justified findings.
+//! The `graph` verb exports the schema-versioned symbol graph and
+//! parallelism-readiness report as JSON (`--check` self-validates it).
 
 use std::env;
 use std::fs;
@@ -11,17 +17,27 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use tagwatch_lint::{engine, rules, walker};
+use tagwatch_lint::{deep, diag, engine, rules, walker};
 
-const USAGE: &str = "usage: lint [--root DIR] [--format human|json] [--list-rules]
+const USAGE: &str = "usage: lint [--root DIR] [--format human|json] [--deep] [--baseline FILE]
+       lint graph [--root DIR] [--json] [--check]
+       lint --list-rules | --explain RULE
 
-Runs the tagwatch static-analysis pass over the workspace.
+Runs the tagwatch static-analysis pass over the workspace. `--deep` adds
+the workspace-level rules (rng-stream-discipline, race-surface,
+float-reduction-order, sim-boundary); `graph` exports the symbol graph +
+parallelism-readiness report as schema-versioned JSON.
 Exit codes: 0 clean, 1 findings, 2 internal error.";
 
 struct Args {
     root: Option<PathBuf>,
     json: bool,
     list_rules: bool,
+    explain: Option<String>,
+    deep: bool,
+    baseline: Option<PathBuf>,
+    graph: bool,
+    check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,8 +45,17 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         json: false,
         list_rules: false,
+        explain: None,
+        deep: false,
+        baseline: None,
+        graph: false,
+        check: false,
     };
-    let mut it = env::args().skip(1);
+    let mut it = env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("graph") {
+        it.next();
+        args.graph = true;
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => {
@@ -47,7 +72,18 @@ fn parse_args() -> Result<Args, String> {
                     ))
                 }
             },
+            "--json" => args.json = true,
+            "--deep" => args.deep = true,
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a file")?;
+                args.baseline = Some(PathBuf::from(file));
+            }
+            "--check" if args.graph => args.check = true,
             "--list-rules" => args.list_rules = true,
+            "--explain" => {
+                let rule = it.next().ok_or("--explain needs a rule id")?;
+                args.explain = Some(rule);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -72,7 +108,22 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
-fn run(root: &Path, json: bool) -> Result<usize, String> {
+/// Baseline entries: full rendered finding lines, one per line; `#`
+/// comments and blanks ignored. Findings whose rendering matches an
+/// entry are accepted as known/justified and do not fail the run.
+fn load_baseline(path: &Path) -> Result<Vec<String>, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// The shallow per-file pass (the pre-`--deep` behavior).
+fn run_shallow(root: &Path, json: bool) -> Result<usize, String> {
     let files = walker::walk(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
     if files.is_empty() {
         return Err(format!("no Rust sources found under {}", root.display()));
@@ -117,6 +168,126 @@ fn run(root: &Path, json: bool) -> Result<usize, String> {
     Ok(count)
 }
 
+/// The workspace pass: shallow + deep rules, optional baseline.
+fn run_deep(root: &Path, json: bool, baseline: Option<&Path>) -> Result<usize, String> {
+    let files = engine::load_workspace(root)?;
+    if files.is_empty() {
+        return Err(format!("no Rust sources found under {}", root.display()));
+    }
+    let analysis = engine::lint_workspace(&files);
+    let known = match baseline {
+        Some(p) => load_baseline(p)?,
+        None => Vec::new(),
+    };
+    let mut stale: Vec<bool> = vec![true; known.len()];
+    let mut count = 0usize;
+    let mut out = io::stdout().lock();
+    for f in &analysis.findings {
+        let rendered = f.to_string();
+        if let Some(i) = known.iter().position(|k| *k == rendered) {
+            stale[i] = false;
+            continue;
+        }
+        count += 1;
+        let wrote = if json {
+            writeln!(out, "{}", f.to_json())
+        } else {
+            writeln!(out, "{rendered}")
+        };
+        if wrote.is_err() {
+            break;
+        }
+    }
+    for (i, s) in stale.iter().enumerate() {
+        if *s {
+            eprintln!(
+                "lint: stale baseline entry (no longer produced): {}",
+                known[i]
+            );
+        }
+    }
+    if !json {
+        if count == 0 {
+            eprintln!("lint: {} files deep-clean", files.len());
+        } else {
+            eprintln!(
+                "lint: {count} finding{} in {} files checked (deep)",
+                if count == 1 { "" } else { "s" },
+                files.len()
+            );
+        }
+    }
+    Ok(count)
+}
+
+/// `lint graph`: export (or summarize) the symbol graph + readiness
+/// report.
+fn run_graph(root: &Path, json: bool, check: bool) -> Result<(), String> {
+    let files = engine::load_workspace(root)?;
+    if files.is_empty() {
+        return Err(format!("no Rust sources found under {}", root.display()));
+    }
+    let analysis = engine::lint_workspace(&files);
+    let doc = deep::graph_json(&analysis.graph, &analysis.report);
+    if check {
+        diag::validate_json(&doc).map_err(|e| format!("graph JSON invalid: {e}"))?;
+    }
+    let mut out = io::stdout().lock();
+    if json || check {
+        let _ = out.write_all(doc.as_bytes());
+        if check {
+            eprintln!("lint: graph JSON validates ({} bytes)", doc.len());
+        }
+    } else {
+        let g = &analysis.graph;
+        let r = &analysis.report;
+        let _ = writeln!(
+            out,
+            "symbol graph: {} symbols, {} edges, {} roots, {} hot-path symbols",
+            g.symbols.len(),
+            g.edges.len(),
+            g.roots.len(),
+            r.hot_symbols.len()
+        );
+        let _ = writeln!(
+            out,
+            "readiness: {} race-surface sites, {} rng stream sources, {} rng draws",
+            r.race_surface.len(),
+            r.rng_sources.len(),
+            r.rng_draws
+        );
+        for s in &r.race_surface {
+            let _ = writeln!(
+                out,
+                "  {}:{}:{}: {} [{}]{} in {}",
+                s.file,
+                s.line,
+                s.col,
+                s.what,
+                s.class,
+                if s.hot { " HOT" } else { "" },
+                s.context
+            );
+        }
+    }
+    Ok(())
+}
+
+fn explain(rule_id: &str) -> Result<(), String> {
+    let info = rules::rule_info(rule_id)
+        .ok_or_else(|| format!("unknown rule `{rule_id}` (see --list-rules)"))?;
+    let mut out = io::stdout().lock();
+    let _ = writeln!(out, "{}{}", info.id, if info.deep { " (deep)" } else { "" });
+    let _ = writeln!(out, "  summary:   {}", info.summary);
+    let _ = writeln!(out, "  rationale: {}", info.rationale);
+    let _ = writeln!(
+        out,
+        "  escape:    // lint:allow({}): <reason citing this policy>",
+        info.id
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -132,11 +303,21 @@ fn main() -> ExitCode {
     if args.list_rules {
         let mut out = io::stdout().lock();
         for r in rules::RULES {
-            if writeln!(out, "{:24} {}", r.id, r.summary).is_err() {
+            let tag = if r.deep { " [deep]" } else { "" };
+            if writeln!(out, "{:24} {}{tag}", r.id, r.summary).is_err() {
                 break;
             }
         }
         return ExitCode::from(0);
+    }
+    if let Some(rule) = &args.explain {
+        return match explain(rule) {
+            Ok(()) => ExitCode::from(0),
+            Err(msg) => {
+                eprintln!("lint: {msg}");
+                ExitCode::from(2)
+            }
+        };
     }
     let Some(root) = args.root.or_else(find_workspace_root) else {
         eprintln!(
@@ -144,7 +325,21 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     };
-    match run(&root, args.json) {
+    if args.graph {
+        return match run_graph(&root, args.json, args.check) {
+            Ok(()) => ExitCode::from(0),
+            Err(msg) => {
+                eprintln!("lint: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let result = if args.deep {
+        run_deep(&root, args.json, args.baseline.as_deref())
+    } else {
+        run_shallow(&root, args.json)
+    };
+    match result {
         Ok(0) => ExitCode::from(0),
         Ok(_) => ExitCode::from(1),
         Err(msg) => {

@@ -1,0 +1,1084 @@
+//! The deep (workspace-level) rule family and the parallelism-readiness
+//! report.
+//!
+//! Where the shallow rules in [`crate::rules`] see one file's tokens,
+//! the deep rules see the whole workspace through the item model
+//! ([`crate::items`]) and the symbol graph ([`crate::graph`]): which fns
+//! are reachable from the round engine, where RNG streams are created
+//! versus drawn from, and which shared-state primitives sit on the hot
+//! path. They exist to answer one question ahead of ROADMAP item 1
+//! (fleet-scale parallelism): *is the single-thread core safe to run on
+//! N worker threads with bit-identical traces?*
+//!
+//! Four rules:
+//!
+//! * `rng-stream-discipline` — every RNG draw in a sim crate must flow
+//!   from a seeded stream (an `rng` receiver/parameter); no fresh
+//!   stream construction on the hot path.
+//! * `race-surface` — locking/interior-mutability primitives, mutable
+//!   statics, and thread spawns are inventoried everywhere and
+//!   *forbidden* in sim crates (telemetry-family crates own shared
+//!   state behind the handle API).
+//! * `float-reduction-order` — f64 accumulation over chunked or
+//!   hash-ordered iteration is order-dependent; sim reductions must
+//!   iterate ordered sequences.
+//! * `sim-boundary` — sim crates talk to telemetry through the handle
+//!   API only: no `clock::wall_now`, no sink internals.
+//!
+//! Everything is deterministic: inputs arrive in sorted walk order,
+//! per-file scans are positional, and the report's collections are
+//! sorted — so `lint graph --json` is byte-stable run to run.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{json_str, Finding};
+use crate::graph::{FileMeta, SymbolGraph, GRAPH_SCHEMA};
+use crate::items::FileItems;
+use crate::lexer::{Token, TokenKind};
+use crate::walker::FileKind;
+
+/// The crates whose library code runs inside the deterministic round
+/// loop and must become thread-parallel without shared state. This is
+/// the shallow [`crate::rules::SIM_CRATES`] set minus `monitor`, which
+/// is telemetry-family (it watches the simulation; it is not part of
+/// the per-thread unit of work).
+pub const DEEP_SIM_CRATES: &[&str] = &["core", "gen2", "reader", "rf", "scene", "tracking"];
+
+/// Telemetry-family crates: allowed to hold shared state — that is
+/// their job — but it must stay behind the `Telemetry` handle API.
+pub const TELEMETRY_CRATES: &[&str] = &["telemetry", "monitor", "obs", "trace"];
+
+/// RNG methods that consume stream state. A draw anywhere in a sim
+/// crate must visibly flow from a seeded stream.
+const DRAW_METHODS: &[&str] = &[
+    "gen",
+    "gen_bool",
+    "gen_range",
+    "sample",
+    "choose",
+    "shuffle",
+    "next_u32",
+    "next_u64",
+    "fill_bytes",
+];
+
+/// Constructors that mint a *new* RNG stream. Fine at setup time;
+/// banned on the hot path, where every stream must be threaded in.
+const STREAM_SOURCES: &[&str] = &["seed_from_u64", "from_seed", "from_rng"];
+
+/// Shared-state / interior-mutability type names for the race-surface
+/// inventory. `Arc` alone is excluded: immutable sharing is not a race
+/// surface (an `Arc<Mutex<_>>` is caught by the `Mutex`).
+const SHARED_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicU8",
+    "AtomicUsize",
+    "Cell",
+    "Condvar",
+    "LazyLock",
+    "Mutex",
+    "OnceCell",
+    "OnceLock",
+    "RefCell",
+    "RwLock",
+    "UnsafeCell",
+];
+
+/// Telemetry modules sim crates must not reach into; the handle API
+/// (`Telemetry`, `WorkCounters`, spans, counters) is the only door.
+const FORBIDDEN_TELEMETRY_MODULES: &[&str] = &[
+    "binary", "clock", "format", "jsonl", "overhead", "registry", "shard", "sink",
+];
+
+/// Telemetry names sim crates must not touch directly (re-exported at
+/// the telemetry crate root, so a module path check alone misses them).
+const FORBIDDEN_TELEMETRY_NAMES: &[&str] = &[
+    "BinarySink",
+    "JsonlSink",
+    "MemorySink",
+    "RingSink",
+    "ShardedSink",
+    "wall_now",
+];
+
+/// Iterator adapters whose chunk/order structure makes an f64 `sum` /
+/// `fold` over them order-dependent across parallel schedules.
+const UNORDERED_SOURCES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "chunks",
+    "chunks_exact",
+    "chunks_mut",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_iter",
+    "rchunks",
+];
+
+/// One deep-rule input file: classification plus the lexed/parsed
+/// artifacts the engine already produced.
+pub struct DeepFile<'a> {
+    pub meta: FileMeta,
+    pub tokens: &'a [Token<'a>],
+    pub in_test: &'a [bool],
+    pub items: &'a FileItems,
+}
+
+/// One entry in the race-surface inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurfaceSite {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// What sits here: `Mutex`, `static mut COUNTER`, `thread::spawn`.
+    pub what: String,
+    /// `forbidden-in-sim`, `allowed-in-telemetry`, or
+    /// `allowed-in-tooling` (bench/lint/bins — outside the round loop).
+    pub class: &'static str,
+    /// Inside a fn reachable from the hot-path roots.
+    pub hot: bool,
+    /// Enclosing symbol key, or `item` for statics / top-level sites.
+    pub context: String,
+}
+
+/// A site that constructs a fresh RNG stream (outside the hot path —
+/// on-path constructions are findings, not report entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RngSource {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub what: String,
+}
+
+/// The parallelism-readiness report: what ROADMAP item 1 must account
+/// for before splitting the round loop across threads.
+#[derive(Debug, Clone, Default)]
+pub struct ReadinessReport {
+    /// Sorted keys of every non-test symbol reachable from the
+    /// hot-path roots.
+    pub hot_symbols: Vec<String>,
+    /// Every shared-state site in non-test code, classified.
+    pub race_surface: Vec<SurfaceSite>,
+    /// Non-hot-path RNG stream constructions (setup-time seeding).
+    pub rng_sources: Vec<RngSource>,
+    /// Count of RNG draw sites seen in sim crates.
+    pub rng_draws: usize,
+    /// Deep findings per rule id (pre-escape).
+    pub finding_counts: BTreeMap<String, usize>,
+}
+
+/// Output of the deep pass over the whole workspace.
+pub struct DeepAnalysis {
+    /// Raw findings, before escape comments are applied.
+    pub findings: Vec<Finding>,
+    pub graph: SymbolGraph,
+    pub report: ReadinessReport,
+}
+
+/// True iff `crate_name` is in the deep sim set.
+pub fn is_deep_sim_crate(crate_name: &str) -> bool {
+    DEEP_SIM_CRATES.contains(&crate_name)
+}
+
+/// Race-surface classification for a crate.
+fn crate_class(crate_name: &str) -> &'static str {
+    if is_deep_sim_crate(crate_name) {
+        "forbidden-in-sim"
+    } else if TELEMETRY_CRATES.contains(&crate_name) {
+        "allowed-in-telemetry"
+    } else {
+        "allowed-in-tooling"
+    }
+}
+
+/// Runs the deep rule family over the whole workspace.
+pub fn analyze(files: &[DeepFile<'_>]) -> DeepAnalysis {
+    let graph_input: Vec<(FileMeta, &FileItems)> =
+        files.iter().map(|f| (f.meta.clone(), f.items)).collect();
+    let graph = SymbolGraph::build(&graph_input);
+
+    // (file_idx, fn_idx) → graph symbol index, once.
+    let mut sym_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (i, s) in graph.symbols.iter().enumerate() {
+        sym_of.insert((s.file_idx, s.fn_idx), i);
+    }
+
+    let mut report = ReadinessReport {
+        hot_symbols: graph
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| graph.hot[i])
+            .map(|(_, s)| s.key.clone())
+            .collect(),
+        ..ReadinessReport::default()
+    };
+
+    let mut findings = Vec::new();
+    for (file_idx, f) in files.iter().enumerate() {
+        let cx = FileCx {
+            file_idx,
+            f,
+            graph: &graph,
+            sym_of: &sym_of,
+        };
+        rng_stream_discipline(&cx, &mut findings, &mut report);
+        race_surface(&cx, &mut findings, &mut report);
+        float_reduction_order(&cx, &mut findings);
+        sim_boundary(&cx, &mut findings);
+    }
+
+    for f in &findings {
+        *report.finding_counts.entry(f.rule.to_string()).or_insert(0) += 1;
+    }
+    DeepAnalysis {
+        findings,
+        graph,
+        report,
+    }
+}
+
+/// Per-file context for one deep rule invocation.
+struct FileCx<'a, 'b> {
+    file_idx: usize,
+    f: &'a DeepFile<'b>,
+    graph: &'a SymbolGraph,
+    sym_of: &'a BTreeMap<(usize, usize), usize>,
+}
+
+impl FileCx<'_, '_> {
+    fn rel(&self) -> &str {
+        &self.f.meta.rel
+    }
+
+    fn crate_name(&self) -> &str {
+        &self.f.meta.crate_name
+    }
+
+    /// Deep sim crate *library* code (the unit of per-thread work).
+    fn sim_library(&self) -> bool {
+        self.f.meta.kind == FileKind::Library && is_deep_sim_crate(self.crate_name())
+    }
+
+    fn in_test(&self, token_idx: usize) -> bool {
+        self.f.in_test.get(token_idx).copied().unwrap_or(false)
+    }
+
+    /// Index into `items.fns` of the innermost fn whose body contains
+    /// the original token index `ti`.
+    fn enclosing_fn(&self, ti: usize) -> Option<usize> {
+        self.f
+            .items
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.body.is_some_and(|(lo, hi)| lo <= ti && ti <= hi))
+            .min_by_key(|(_, f)| f.body.map_or(usize::MAX, |(lo, hi)| hi - lo))
+            .map(|(i, _)| i)
+    }
+
+    fn fn_is_hot(&self, fn_idx: usize) -> bool {
+        self.sym_of
+            .get(&(self.file_idx, fn_idx))
+            .is_some_and(|&i| self.graph.hot[i])
+    }
+
+    fn fn_key(&self, fn_idx: usize) -> String {
+        self.sym_of.get(&(self.file_idx, fn_idx)).map_or_else(
+            || self.f.items.fns[fn_idx].type_qualified.clone(),
+            |&i| self.graph.symbols[i].key.clone(),
+        )
+    }
+
+    fn finding(&self, line: u32, col: u32, rule: &'static str, message: String) -> Finding {
+        Finding {
+            file: self.rel().to_string(),
+            line,
+            col,
+            rule,
+            message,
+        }
+    }
+
+    /// Code tokens with original indices.
+    fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token<'_>)> {
+        self.f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+}
+
+/// rng-stream-discipline: draws must flow from a seeded stream; no
+/// stream construction on the hot path.
+fn rng_stream_discipline(
+    cx: &FileCx<'_, '_>,
+    out: &mut Vec<Finding>,
+    report: &mut ReadinessReport,
+) {
+    if !cx.sim_library() {
+        // Stream constructions elsewhere still feed the report (bench
+        // seeding, telemetry tests are exempt via in_test).
+        record_rng_sources(cx, report);
+        return;
+    }
+    for (fn_idx, f) in cx.f.items.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let fn_has_rng_param = f.params.iter().any(|p| {
+            p.name.to_lowercase().contains("rng") || p.ty.contains("Rng") || p.ty.contains("rng")
+        });
+        for call in &f.calls {
+            let Some(last) = call.path.last() else {
+                continue;
+            };
+            if call.method && DRAW_METHODS.contains(&last.as_str()) {
+                report.rng_draws += 1;
+                let receiver_is_stream = call
+                    .receiver
+                    .iter()
+                    .any(|r| r.to_lowercase().contains("rng"));
+                let line_mentions_stream = line_mentions_rng(cx, call.line);
+                if !(receiver_is_stream || fn_has_rng_param || line_mentions_stream) {
+                    out.push(cx.finding(
+                        call.line,
+                        call.col,
+                        "rng-stream-discipline",
+                        format!(
+                            "RNG draw `.{last}()` in `{}` does not visibly flow from a \
+                             seeded stream (no `rng` receiver or `Rng` parameter); \
+                             thread the per-reader stream through",
+                            cx.fn_key(fn_idx)
+                        ),
+                    ));
+                }
+            }
+            if STREAM_SOURCES.contains(&last.as_str()) {
+                if cx.fn_is_hot(fn_idx) {
+                    out.push(cx.finding(
+                        call.line,
+                        call.col,
+                        "rng-stream-discipline",
+                        format!(
+                            "fresh RNG stream `{}` constructed in `{}`, which is \
+                             reachable from the round engine; streams must be \
+                             seeded at setup and passed in",
+                            call.path.join("::"),
+                            cx.fn_key(fn_idx)
+                        ),
+                    ));
+                } else {
+                    report.rng_sources.push(RngSource {
+                        file: cx.rel().to_string(),
+                        line: call.line,
+                        col: call.col,
+                        what: call.path.join("::"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Whether any non-comment token on `line` mentions an rng-ish name —
+/// catches draws whose stream arrives as a call argument
+/// (`dist.sample(&mut rng)`).
+fn line_mentions_rng(cx: &FileCx<'_, '_>, line: u32) -> bool {
+    cx.code_tokens().any(|(_, t)| {
+        t.line == line && t.kind == TokenKind::Ident && t.text.to_lowercase().contains("rng")
+    })
+}
+
+/// Stream constructions outside sim libraries, for the report only.
+fn record_rng_sources(cx: &FileCx<'_, '_>, report: &mut ReadinessReport) {
+    for f in &cx.f.items.fns {
+        if f.in_test {
+            continue;
+        }
+        for call in &f.calls {
+            if call
+                .path
+                .last()
+                .is_some_and(|l| STREAM_SOURCES.contains(&l.as_str()))
+            {
+                report.rng_sources.push(RngSource {
+                    file: cx.rel().to_string(),
+                    line: call.line,
+                    col: call.col,
+                    what: call.path.join("::"),
+                });
+            }
+        }
+    }
+}
+
+/// race-surface: inventory shared-state primitives everywhere; forbid
+/// them in sim-crate library code.
+fn race_surface(cx: &FileCx<'_, '_>, out: &mut Vec<Finding>, report: &mut ReadinessReport) {
+    let class = crate_class(cx.crate_name());
+    let forbid = cx.sim_library();
+
+    // Mutable statics and statics of shared types, from the item model.
+    for s in &cx.f.items.statics {
+        if s.in_test || !s.is_static {
+            continue;
+        }
+        let shared_ty = SHARED_TYPES.iter().any(|n| s.ty.contains(n));
+        if !(s.mutable || shared_ty) {
+            continue; // a plain immutable static is not a race surface
+        }
+        let what = if s.mutable {
+            format!("static mut {}", s.name)
+        } else {
+            format!("static {}: {}", s.name, s.ty)
+        };
+        report.race_surface.push(SurfaceSite {
+            file: cx.rel().to_string(),
+            line: s.line,
+            col: s.col,
+            what: what.clone(),
+            class,
+            hot: false,
+            context: "item".to_string(),
+        });
+        if forbid {
+            out.push(cx.finding(
+                s.line,
+                s.col,
+                "race-surface",
+                format!(
+                    "`{what}` in simulation crate `{}`: shared state breaks \
+                     per-thread determinism; move it behind the telemetry \
+                     handle or thread it through the round state",
+                    cx.crate_name()
+                ),
+            ));
+        }
+    }
+
+    // Shared-type tokens (uses, fields, constructions) in non-test code.
+    let mut last: Option<(u32, &str)> = None;
+    let mut type_sites: Vec<(u32, u32, usize, String)> = Vec::new();
+    for (i, tok) in cx.code_tokens() {
+        if cx.in_test(i) || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if SHARED_TYPES.contains(&tok.text) {
+            // One site per (line, name): `Mutex<T>` + `Mutex::new` on one
+            // line is one surface, not two.
+            if last == Some((tok.line, tok.text)) {
+                continue;
+            }
+            last = Some((tok.line, tok.text));
+            type_sites.push((tok.line, tok.col, i, tok.text.to_string()));
+        }
+    }
+    for (line, col, ti, name) in type_sites {
+        let enclosing = cx.enclosing_fn(ti);
+        let hot = enclosing.is_some_and(|fi| cx.fn_is_hot(fi));
+        let context = enclosing.map_or_else(|| "item".to_string(), |fi| cx.fn_key(fi));
+        report.race_surface.push(SurfaceSite {
+            file: cx.rel().to_string(),
+            line,
+            col,
+            what: name.clone(),
+            class,
+            hot,
+            context: context.clone(),
+        });
+        if forbid {
+            out.push(cx.finding(
+                line,
+                col,
+                "race-surface",
+                format!(
+                    "`{name}` in simulation crate `{}`: locking/interior \
+                     mutability is forbidden on the sim side (telemetry-family \
+                     crates own shared state){}",
+                    cx.crate_name(),
+                    if hot {
+                        " — and this site is reachable from the round engine"
+                    } else {
+                        ""
+                    }
+                ),
+            ));
+        }
+    }
+
+    // Thread spawns, from harvested call sites.
+    for (fn_idx, f) in cx.f.items.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        for call in &f.calls {
+            let spawns = if call.method {
+                call.path.last().is_some_and(|l| l == "spawn")
+            } else {
+                call.path.iter().any(|s| s == "thread")
+                    && call
+                        .path
+                        .last()
+                        .is_some_and(|l| l == "spawn" || l == "scope")
+            };
+            if !spawns {
+                continue;
+            }
+            let what = if call.method {
+                ".spawn()".to_string()
+            } else {
+                call.path.join("::")
+            };
+            let hot = cx.fn_is_hot(fn_idx);
+            report.race_surface.push(SurfaceSite {
+                file: cx.rel().to_string(),
+                line: call.line,
+                col: call.col,
+                what: what.clone(),
+                class,
+                hot,
+                context: cx.fn_key(fn_idx),
+            });
+            if forbid {
+                out.push(cx.finding(
+                    call.line,
+                    call.col,
+                    "race-surface",
+                    format!(
+                        "thread spawn `{what}` in simulation crate `{}`: the round \
+                         loop must stay single-threaded per worker; parallelism \
+                         belongs to the fleet driver",
+                        cx.crate_name()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// float-reduction-order: f64 reductions over chunked/hash-ordered
+/// iteration are schedule-dependent.
+fn float_reduction_order(cx: &FileCx<'_, '_>, out: &mut Vec<Finding>) {
+    if !cx.sim_library() {
+        return;
+    }
+    // Code tokens once, with original indices, for windowed scans.
+    let code: Vec<(usize, &Token<'_>)> = cx.code_tokens().collect();
+
+    // Pass 1: `for` loops whose header mentions an unordered source;
+    // compound `+=`/`*=` and sum/fold calls inside are findings.
+    let mut regions: Vec<(usize, usize)> = Vec::new(); // code-index ranges
+    for (ci, &(i, t)) in code.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && t.text == "for") || cx.in_test(i) {
+            continue;
+        }
+        // Header: up to the next `{` (bounded — a malformed header just
+        // never opens a region).
+        let mut open = None;
+        for (cj, &(_, u)) in code.iter().enumerate().skip(ci + 1).take(64) {
+            if u.text == "{" {
+                open = Some(cj);
+                break;
+            }
+        }
+        let Some(open) = open else { continue };
+        let header_unordered = code[ci + 1..open]
+            .iter()
+            .any(|&(_, u)| u.kind == TokenKind::Ident && UNORDERED_SOURCES.contains(&u.text));
+        if !header_unordered {
+            continue;
+        }
+        // Region: matching close brace.
+        let mut depth = 0usize;
+        let mut close = code.len().saturating_sub(1);
+        for (cj, &(_, u)) in code.iter().enumerate().skip(open) {
+            if u.text == "{" {
+                depth += 1;
+            } else if u.text == "}" {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    close = cj;
+                    break;
+                }
+            }
+        }
+        regions.push((open, close));
+    }
+    for &(open, close) in &regions {
+        let mut cj = open + 1;
+        while cj < close {
+            let (i, t) = code[cj];
+            let next_is_eq = cj + 1 < close && code[cj + 1].1.text == "=";
+            if (t.text == "+" || t.text == "*") && next_is_eq && !cx.in_test(i) {
+                out.push(cx.finding(
+                    t.line,
+                    t.col,
+                    "float-reduction-order",
+                    format!(
+                        "`{}=` accumulation inside a loop over an unordered/chunked \
+                         source: non-associative f64 reduction depends on chunk \
+                         schedule; reduce over an ordered sequence",
+                        t.text
+                    ),
+                ));
+                cj += 2;
+                continue;
+            }
+            cj += 1;
+        }
+    }
+
+    // Pass 2: `.sum()` / `.product()` / `.fold()` whose statement window
+    // (back to the nearest `;`/`{`/`}`) mentions an unordered source.
+    for (ci, &(i, t)) in code.iter().enumerate() {
+        if cx.in_test(i)
+            || t.kind != TokenKind::Ident
+            || !matches!(t.text, "sum" | "product" | "fold")
+        {
+            continue;
+        }
+        // Method-call position: preceded by `.`, followed by `(` or `::<`.
+        let after_dot = ci > 0 && code[ci - 1].1.text == ".";
+        let called = code
+            .get(ci + 1)
+            .is_some_and(|&(_, u)| u.text == "(" || u.text == ":");
+        if !(after_dot && called) {
+            continue;
+        }
+        let mut unordered = None;
+        for &(_, u) in code[..ci].iter().rev().take(128) {
+            if matches!(u.text, ";" | "{" | "}") {
+                break;
+            }
+            if u.kind == TokenKind::Ident && UNORDERED_SOURCES.contains(&u.text) {
+                unordered = Some(u.text);
+                break;
+            }
+        }
+        if let Some(src) = unordered {
+            out.push(cx.finding(
+                t.line,
+                t.col,
+                "float-reduction-order",
+                format!(
+                    "`.{}()` over a `{src}` source: non-associative f64 reduction \
+                     is order-dependent; iterate an ordered sequence instead",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// sim-boundary: sim crates reach telemetry only through the handle
+/// API — no clock internals, no sink internals.
+fn sim_boundary(cx: &FileCx<'_, '_>, out: &mut Vec<Finding>) {
+    if !cx.sim_library() {
+        return;
+    }
+    let mut flagged_lines: Vec<u32> = Vec::new();
+    let mut flag = |out: &mut Vec<Finding>, line: u32, col: u32, msg: String| {
+        if flagged_lines.contains(&line) {
+            return; // one boundary finding per line (use + call overlap)
+        }
+        flagged_lines.push(line);
+        out.push(cx.finding(line, col, "sim-boundary", msg));
+    };
+
+    for u in &cx.f.items.uses {
+        if u.in_test || u.path.first().is_none_or(|h| h != "tagwatch_telemetry") {
+            continue;
+        }
+        let module = u.path.get(1).map(String::as_str);
+        if module.is_some_and(|m| FORBIDDEN_TELEMETRY_MODULES.contains(&m)) {
+            flag(
+                out,
+                u.line,
+                u.col,
+                format!(
+                    "sim crate `{}` imports telemetry internals \
+                     (`{}`); use the `Telemetry` handle API",
+                    cx.crate_name(),
+                    u.path.join("::")
+                ),
+            );
+        } else if u
+            .path
+            .last()
+            .is_some_and(|l| FORBIDDEN_TELEMETRY_NAMES.contains(&l.as_str()))
+        {
+            flag(
+                out,
+                u.line,
+                u.col,
+                format!(
+                    "sim crate `{}` imports `{}`: sink/clock internals are \
+                     telemetry-side; go through the handle API",
+                    cx.crate_name(),
+                    u.path.join("::")
+                ),
+            );
+        }
+    }
+
+    // Fully-qualified paths and bare forbidden names in code position.
+    for (fn_idx, f) in cx.f.items.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let _ = fn_idx;
+        for call in &f.calls {
+            let hits_module = call.path.first().is_some_and(|h| h == "tagwatch_telemetry")
+                && call
+                    .path
+                    .get(1)
+                    .is_some_and(|m| FORBIDDEN_TELEMETRY_MODULES.contains(&m.as_str()));
+            let hits_name = call
+                .path
+                .iter()
+                .any(|s| FORBIDDEN_TELEMETRY_NAMES.contains(&s.as_str()));
+            if hits_module || hits_name {
+                flag(
+                    out,
+                    call.line,
+                    call.col,
+                    format!(
+                        "sim crate `{}` calls `{}`: telemetry internals are off \
+                         limits outside the handle API",
+                        cx.crate_name(),
+                        call.path.join("::")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Serializes the graph + readiness report as the schema-versioned
+/// `lint graph --json` document. Hand-rolled (the lint crate is
+/// std-only) and byte-deterministic: every collection is sorted before
+/// emission. One symbol/edge/site per line keeps the export diffable.
+pub fn graph_json(graph: &SymbolGraph, report: &ReadinessReport) -> String {
+    let mut s = String::with_capacity(64 * 1024);
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", json_str(GRAPH_SCHEMA)));
+
+    s.push_str("  \"roots\": [");
+    for (n, &r) in graph.roots.iter().enumerate() {
+        if n > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(&graph.symbols[r].key));
+    }
+    s.push_str("],\n");
+
+    s.push_str("  \"symbols\": [\n");
+    for (n, sym) in graph.symbols.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"key\":{},\"crate\":{},\"file\":{},\"line\":{},\"col\":{},\
+             \"method\":{},\"test\":{},\"hot\":{}}}{}\n",
+            json_str(&sym.key),
+            json_str(&sym.crate_name),
+            json_str(&sym.file),
+            sym.line,
+            sym.col,
+            sym.is_method,
+            sym.test,
+            graph.hot[n],
+            if n + 1 < graph.symbols.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"edges\": [\n");
+    let edge_count = graph.edges.len();
+    for (n, &(a, b)) in graph.edges.iter().enumerate() {
+        s.push_str(&format!(
+            "    [{},{}]{}\n",
+            json_str(&graph.symbols[a].key),
+            json_str(&graph.symbols[b].key),
+            if n + 1 < edge_count { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"readiness\": {\n");
+    s.push_str("    \"hot_symbols\": [\n");
+    for (n, k) in report.hot_symbols.iter().enumerate() {
+        s.push_str(&format!(
+            "      {}{}\n",
+            json_str(k),
+            if n + 1 < report.hot_symbols.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("    ],\n");
+
+    s.push_str(&format!("    \"rng_draws\": {},\n", report.rng_draws));
+    s.push_str("    \"rng_stream_sources\": [\n");
+    for (n, r) in report.rng_sources.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"file\":{},\"line\":{},\"col\":{},\"what\":{}}}{}\n",
+            json_str(&r.file),
+            r.line,
+            r.col,
+            json_str(&r.what),
+            if n + 1 < report.rng_sources.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("    ],\n");
+
+    s.push_str("    \"race_surface\": [\n");
+    for (n, r) in report.race_surface.iter().enumerate() {
+        s.push_str(&format!(
+            "      {{\"file\":{},\"line\":{},\"col\":{},\"what\":{},\"class\":{},\
+             \"hot\":{},\"context\":{}}}{}\n",
+            json_str(&r.file),
+            r.line,
+            r.col,
+            json_str(&r.what),
+            json_str(r.class),
+            r.hot,
+            json_str(&r.context),
+            if n + 1 < report.race_surface.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("    ],\n");
+
+    s.push_str("    \"findings\": {");
+    for (n, (rule, count)) in report.finding_counts.iter().enumerate() {
+        if n > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{}: {count}", json_str(rule)));
+    }
+    s.push_str("}\n");
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::lexer::lex;
+
+    struct Owned {
+        meta: FileMeta,
+        source: String,
+    }
+
+    fn sim_file(rel: &str, crate_name: &str, src: &str) -> Owned {
+        Owned {
+            meta: FileMeta {
+                rel: rel.to_string(),
+                crate_name: crate_name.to_string(),
+                kind: FileKind::Library,
+            },
+            source: src.to_string(),
+        }
+    }
+
+    fn run(files: &[Owned]) -> DeepAnalysis {
+        let lexed: Vec<Vec<crate::lexer::Token<'_>>> =
+            files.iter().map(|f| lex(&f.source)).collect();
+        let flags: Vec<Vec<bool>> = lexed.iter().map(|t| vec![false; t.len()]).collect();
+        let parsed: Vec<FileItems> = lexed
+            .iter()
+            .zip(&flags)
+            .map(|(t, fl)| items::parse(t, fl))
+            .collect();
+        let inputs: Vec<DeepFile<'_>> = files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| DeepFile {
+                meta: f.meta.clone(),
+                tokens: &lexed[i],
+                in_test: &flags[i],
+                items: &parsed[i],
+            })
+            .collect();
+        analyze(&inputs)
+    }
+
+    fn rules_of(a: &DeepAnalysis) -> Vec<&'static str> {
+        a.findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn owned_rng_draw_is_clean() {
+        let a = run(&[sim_file(
+            "crates/reader/src/reader.rs",
+            "reader",
+            "impl Reader {\n  pub fn execute(&mut self) {\n    if self.rng.gen_bool(0.5) {}\n  }\n}\n",
+        )]);
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.report.rng_draws, 1);
+    }
+
+    #[test]
+    fn unthreaded_draw_is_flagged() {
+        let a = run(&[sim_file(
+            "crates/gen2/src/round.rs",
+            "gen2",
+            "pub fn run_round(p: &mut Pool) -> u32 {\n    p.source.gen_bool(0.5) as u32\n}\n",
+        )]);
+        assert_eq!(
+            rules_of(&a),
+            vec!["rng-stream-discipline"],
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn reseed_on_hot_path_is_flagged_but_setup_is_reported() {
+        let a = run(&[
+            sim_file(
+                "crates/gen2/src/round.rs",
+                "gen2",
+                "pub fn run_round() {\n    let mut rng = StdRng::seed_from_u64(7);\n    let _ = rng.gen_bool(0.5);\n}\n",
+            ),
+            // A different module: NOT under the `gen2::round::` prefix
+            // root, so its seeding is setup-time and report-only.
+            sim_file(
+                "crates/gen2/src/config.rs",
+                "gen2",
+                "pub fn setup() -> StdRng { StdRng::seed_from_u64(1) }\n",
+            ),
+        ]);
+        // `run_round` is a hot-path root: the in-body reseed is a finding.
+        assert_eq!(
+            rules_of(&a),
+            vec!["rng-stream-discipline"],
+            "{:?}",
+            a.findings
+        );
+        assert!(a.findings[0].message.contains("fresh RNG stream"));
+        assert_eq!(a.report.rng_sources.len(), 1);
+        assert_eq!(a.report.rng_sources[0].file, "crates/gen2/src/config.rs");
+    }
+
+    #[test]
+    fn race_surface_forbidden_in_sim_allowed_in_telemetry() {
+        let a = run(&[
+            sim_file(
+                "crates/core/src/state.rs",
+                "core",
+                "use std::sync::Mutex;\npub struct S { m: Mutex<u8> }\n",
+            ),
+            sim_file(
+                "crates/telemetry/src/handle.rs",
+                "telemetry",
+                "use std::sync::Mutex;\npub struct Inner { state: Mutex<u8> }\n",
+            ),
+        ]);
+        let sim_findings: Vec<&Finding> = a
+            .findings
+            .iter()
+            .filter(|f| f.rule == "race-surface")
+            .collect();
+        assert_eq!(sim_findings.len(), 2, "{:?}", a.findings); // use + field, core only
+        assert!(sim_findings
+            .iter()
+            .all(|f| f.file.starts_with("crates/core")));
+        let classes: Vec<&str> = a.report.race_surface.iter().map(|s| s.class).collect();
+        assert!(classes.contains(&"forbidden-in-sim"));
+        assert!(classes.contains(&"allowed-in-telemetry"));
+    }
+
+    #[test]
+    fn static_mut_and_thread_spawn_flagged_in_sim() {
+        let a = run(&[sim_file(
+            "crates/rf/src/chan.rs",
+            "rf",
+            "static mut HITS: u64 = 0;\npub fn go() { std::thread::spawn(|| {}); }\n",
+        )]);
+        let rules = rules_of(&a);
+        assert_eq!(
+            rules.iter().filter(|r| **r == "race-surface").count(),
+            2,
+            "{:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn float_reduction_over_chunks_flagged() {
+        let a = run(&[sim_file(
+            "crates/core/src/metrics.rs",
+            "core",
+            "pub fn total(xs: &[f64]) -> f64 {\n    \
+             xs.chunks(8).map(|c| c.iter().sum::<f64>()).sum::<f64>()\n}\n\
+             pub fn acc(xs: &[f64]) -> f64 {\n    let mut t = 0.0;\n    \
+             for c in xs.chunks(4) { t += c[0]; }\n    t\n}\n\
+             pub fn fine(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n",
+        )]);
+        let n = rules_of(&a)
+            .iter()
+            .filter(|r| **r == "float-reduction-order")
+            .count();
+        assert!(n >= 2, "{:?}", a.findings);
+        assert!(
+            !a.findings.iter().any(|f| f.line == 8),
+            "ordered sum must stay clean: {:?}",
+            a.findings
+        );
+    }
+
+    #[test]
+    fn sim_boundary_flags_clock_and_sink_imports() {
+        let a = run(&[sim_file(
+            "crates/scene/src/motion.rs",
+            "scene",
+            "use tagwatch_telemetry::clock::wall_now;\n\
+             use tagwatch_telemetry::Telemetry;\n\
+             pub fn t() -> f64 { wall_now() }\n",
+        )]);
+        let n = rules_of(&a)
+            .iter()
+            .filter(|r| **r == "sim-boundary")
+            .count();
+        // The import (line 1) and the call (line 3) each flag once; the
+        // handle-API import on line 2 stays clean.
+        assert_eq!(n, 2, "{:?}", a.findings);
+        assert!(!a.findings.iter().any(|f| f.line == 2), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn graph_json_is_schema_versioned_and_deterministic() {
+        let files = [sim_file(
+            "crates/gen2/src/round.rs",
+            "gen2",
+            "pub fn run_round(rng: &mut StdRng) { let _ = rng.gen_bool(0.5); }\n",
+        )];
+        let a1 = run(&files);
+        let a2 = run(&files);
+        let j1 = graph_json(&a1.graph, &a1.report);
+        let j2 = graph_json(&a2.graph, &a2.report);
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"schema\": \"tagwatch.lint.graph/v1\""));
+        assert!(crate::diag::validate_json(&j1).is_ok(), "{j1}");
+    }
+}

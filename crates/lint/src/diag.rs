@@ -45,8 +45,18 @@ impl Finding {
     }
 }
 
+/// Sorts findings into the canonical reporting order:
+/// (file, line, col, rule). Rule id is the tiebreaker — never
+/// registration order — so JSON output stays byte-stable when rules are
+/// added to (or reordered in) the catalog.
+pub fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -64,6 +74,174 @@ fn json_str(s: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Validates that `s` is one well-formed JSON value (used by
+/// `lint graph --check` and CI, so the graph export's parseability is
+/// asserted without external tooling). Returns the byte offset of the
+/// first violation on error.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos, 0)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_JSON_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_JSON_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_JSON_DEPTH} at byte {pos}"
+        ));
+    }
+    match b.get(*pos) {
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                skip_ws(b, pos);
+                value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => Err(format!("expected a JSON value at byte {pos}")),
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {pos}", c as char))
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{word}` at byte {pos}"))
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    expect(b, pos, b'"')?;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !b.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control char in string at byte {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let d0 = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > d0
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -97,5 +275,72 @@ mod tests {
         let j = f.to_json();
         assert!(j.contains("\"file\":\"a\\\"b.rs\""));
         assert!(j.contains("tab\\there"));
+    }
+
+    fn f(file: &str, line: u32, col: u32, rule: &'static str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            col,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    /// Regression: same-position findings from different rules must
+    /// order by rule *id*, not by the order rules ran in — JSON output
+    /// stays stable when the catalog grows or reorders.
+    #[test]
+    fn sort_is_by_file_line_col_then_rule_id() {
+        let mut findings = vec![
+            f("b.rs", 1, 1, "panic-policy"),
+            f("a.rs", 2, 1, "race-surface"),
+            f("a.rs", 2, 1, "debug-leak"),
+            f("a.rs", 1, 9, "panic-policy"),
+            f("a.rs", 2, 1, "panic-policy"),
+            f("a.rs", 1, 2, "unsafe-free"),
+        ];
+        sort_findings(&mut findings);
+        let order: Vec<(&str, u32, u32, &str)> = findings
+            .iter()
+            .map(|x| (x.file.as_str(), x.line, x.col, x.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 1, 2, "unsafe-free"),
+                ("a.rs", 1, 9, "panic-policy"),
+                ("a.rs", 2, 1, "debug-leak"),
+                ("a.rs", 2, 1, "panic-policy"),
+                ("a.rs", 2, 1, "race-surface"),
+                ("b.rs", 1, 1, "panic-policy"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_validator_accepts_values_and_rejects_junk() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e3",
+            "{\"a\": [1, {\"b\": \"c\\n\"}], \"d\": true}",
+            "  [1, 2]  ",
+        ] {
+            assert!(validate_json(ok).is_ok(), "{ok}");
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} extra",
+            "\"unterminated",
+            "01x",
+            "{'single': 1}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad}");
+        }
     }
 }

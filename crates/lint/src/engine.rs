@@ -10,10 +10,16 @@
 //! (rule `lint-escape`) — a stale escape is as misleading as a stale
 //! suppression in any other linter.
 
-use crate::diag::Finding;
+use std::fs;
+use std::path::Path;
+
+use crate::deep::{self, DeepFile, ReadinessReport};
+use crate::diag::{sort_findings, Finding};
+use crate::graph::{FileMeta, SymbolGraph};
+use crate::items::{self, FileItems};
 use crate::lexer::{lex, Token, TokenKind};
 use crate::rules::{self, FileCtx};
-use crate::walker::{classify, FileKind};
+use crate::walker::{self, classify, FileKind};
 
 /// Lints one file's source under its workspace-relative path. Returns
 /// `None` when the path is outside the linter's jurisdiction (skipped
@@ -29,8 +35,9 @@ pub fn lint_source(rel: &str, source: &str) -> Option<Vec<Finding>> {
     ))
 }
 
-/// Lints already-classified source. Fixture tests use this to replay a
-/// file under a pretend path without touching the real workspace.
+/// Lints already-classified source (shallow rules only). Fixture tests
+/// use this to replay a file under a pretend path without touching the
+/// real workspace.
 pub fn lint_classified(
     rel: &str,
     kind: FileKind,
@@ -49,9 +56,119 @@ pub fn lint_classified(
         in_test: &in_test,
     };
     let raw = rules::check_file(&ctx);
-    let mut findings = apply_escapes(rel, &tokens, raw);
-    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    let (mut escapes, meta) = collect_escapes(rel, &tokens);
+    let mut findings = suppress(&mut escapes, raw);
+    // A per-file pass cannot tell whether a deep-rule escape is used —
+    // only the workspace pass runs those rules — so it never reports
+    // them unused.
+    findings.extend(unused_escape_findings(rel, &escapes, false));
+    findings.extend(meta);
+    sort_findings(&mut findings);
     findings
+}
+
+/// One loaded, classified workspace file — the input unit of the
+/// workspace-level (deep) pass.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    pub rel: String,
+    pub kind: FileKind,
+    pub crate_name: String,
+    pub is_crate_root: bool,
+    pub source: String,
+}
+
+/// Walks `root` and reads every classifiable source into memory, in
+/// sorted path order.
+pub fn load_workspace(root: &Path) -> Result<Vec<WorkspaceFile>, String> {
+    let files = walker::walk(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    files
+        .into_iter()
+        .map(|f| {
+            let source = fs::read_to_string(&f.abs)
+                .map_err(|e| format!("cannot read {}: {e}", f.abs.display()))?;
+            Ok(WorkspaceFile {
+                rel: f.rel,
+                kind: f.kind,
+                crate_name: f.crate_name,
+                is_crate_root: f.is_crate_root,
+                source,
+            })
+        })
+        .collect()
+}
+
+/// Everything the workspace pass produces: combined shallow + deep
+/// findings (escapes applied, canonically sorted), the symbol graph,
+/// and the parallelism-readiness report.
+pub struct WorkspaceAnalysis {
+    pub findings: Vec<Finding>,
+    pub graph: SymbolGraph,
+    pub report: ReadinessReport,
+}
+
+/// Runs the shallow rules per file *and* the deep (graph-backed) rule
+/// family across all of them, with full escape accounting: an escape may
+/// suppress a deep finding, and unused escapes are reported for deep
+/// rules too (unlike the per-file pass, this one knows).
+pub fn lint_workspace(files: &[WorkspaceFile]) -> WorkspaceAnalysis {
+    // Per-file lexical artifacts. Tokens borrow the sources in `files`,
+    // which outlive this frame.
+    let lexed: Vec<Vec<Token<'_>>> = files.iter().map(|f| lex(&f.source)).collect();
+    let in_tests: Vec<Vec<bool>> = lexed.iter().map(|t| test_regions(t)).collect();
+    let parsed: Vec<FileItems> = lexed
+        .iter()
+        .zip(&in_tests)
+        .map(|(t, flags)| items::parse(t, flags))
+        .collect();
+
+    // Shallow findings, raw (escapes applied after the deep merge).
+    let mut raw: Vec<Finding> = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let ctx = FileCtx {
+            rel: &f.rel,
+            kind: f.kind,
+            crate_name: &f.crate_name,
+            is_crate_root: f.is_crate_root,
+            tokens: &lexed[i],
+            in_test: &in_tests[i],
+        };
+        raw.extend(rules::check_file(&ctx));
+    }
+
+    // Deep pass over the whole workspace.
+    let deep_inputs: Vec<DeepFile<'_>> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| DeepFile {
+            meta: FileMeta {
+                rel: f.rel.clone(),
+                crate_name: f.crate_name.clone(),
+                kind: f.kind,
+            },
+            tokens: &lexed[i],
+            in_test: &in_tests[i],
+            items: &parsed[i],
+        })
+        .collect();
+    let analysis = deep::analyze(&deep_inputs);
+    raw.extend(analysis.findings);
+
+    // Escapes, per file, over the combined finding set.
+    let mut findings: Vec<Finding> = Vec::new();
+    for (i, f) in files.iter().enumerate() {
+        let (mut escapes, meta) = collect_escapes(&f.rel, &lexed[i]);
+        let file_raw: Vec<Finding> = raw.iter().filter(|x| x.file == f.rel).cloned().collect();
+        findings.extend(suppress(&mut escapes, file_raw));
+        findings.extend(unused_escape_findings(&f.rel, &escapes, true));
+        findings.extend(meta);
+    }
+    sort_findings(&mut findings);
+    WorkspaceAnalysis {
+        findings,
+        graph: analysis.graph,
+        report: analysis.report,
+    }
 }
 
 fn is_code(tok: &Token<'_>) -> bool {
@@ -191,9 +308,9 @@ struct Escape {
 
 const ESCAPE_MARKER: &str = "lint:allow(";
 
-/// Applies escape comments to `raw` findings; emits `lint-escape`
-/// findings for malformed, unknown, and unused escapes.
-fn apply_escapes(rel: &str, tokens: &[Token<'_>], raw: Vec<Finding>) -> Vec<Finding> {
+/// Parses every escape comment in one file. Returns the escapes plus
+/// `lint-escape` findings for malformed/unknown ones.
+fn collect_escapes(rel: &str, tokens: &[Token<'_>]) -> (Vec<Escape>, Vec<Finding>) {
     let mut escapes: Vec<Escape> = Vec::new();
     let mut meta: Vec<Finding> = Vec::new();
 
@@ -259,7 +376,11 @@ fn apply_escapes(rel: &str, tokens: &[Token<'_>], raw: Vec<Finding>) -> Vec<Find
             used: false,
         });
     }
+    (escapes, meta)
+}
 
+/// Drops findings matched by an escape, marking those escapes used.
+fn suppress(escapes: &mut [Escape], raw: Vec<Finding>) -> Vec<Finding> {
     let mut out: Vec<Finding> = Vec::new();
     for f in raw {
         let suppressed = f.rule != "lint-escape"
@@ -275,19 +396,25 @@ fn apply_escapes(rel: &str, tokens: &[Token<'_>], raw: Vec<Finding>) -> Vec<Find
             out.push(f);
         }
     }
-    for e in &escapes {
-        if !e.used {
-            out.push(Finding {
-                file: rel.to_string(),
-                line: e.line,
-                col: e.col,
-                rule: "lint-escape",
-                message: format!("escape for `{}` suppressed nothing; remove it", e.rule),
-            });
-        }
-    }
-    out.extend(meta);
     out
+}
+
+/// `lint-escape` findings for escapes that suppressed nothing. When
+/// `deep_aware` is false (a shallow, per-file pass), escapes naming
+/// deep rules are skipped — only the workspace pass runs those rules,
+/// so only it can judge them.
+fn unused_escape_findings(rel: &str, escapes: &[Escape], deep_aware: bool) -> Vec<Finding> {
+    escapes
+        .iter()
+        .filter(|e| !e.used && (deep_aware || !rules::is_deep_rule(&e.rule)))
+        .map(|e| Finding {
+            file: rel.to_string(),
+            line: e.line,
+            col: e.col,
+            rule: "lint-escape",
+            message: format!("escape for `{}` suppressed nothing; remove it", e.rule),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,577 @@
+//! The workspace symbol + call graph.
+//!
+//! Built from every file's [`FileItems`], the graph gives each fn a
+//! deterministic fully-qualified key (`crate::module::Type::fn`), links
+//! call sites to candidate callees, and computes reachability from the
+//! round-engine roots. Everything is ordered (`BTreeMap`/sorted `Vec`),
+//! so two builds over the same sources are byte-identical — the
+//! `lint graph --json` export is diffable and CI `cmp`s two runs.
+//!
+//! Resolution is heuristic and *over-approximate by design*:
+//!
+//! * path calls (`a::b::f(...)`) resolve by exact key match, then by
+//!   `::`-boundary suffix match (so `round::run_round` finds
+//!   `gen2::round::run_round`), with `tagwatch_*` crate-name prefixes
+//!   normalized to workspace crate names;
+//! * method calls (`.f(...)`) resolve to every impl/trait method of
+//!   that name in the workspace — minus a stoplist of ubiquitous names
+//!   (`new`, `clone`, `len`, …) that would connect everything to
+//!   everything;
+//! * unresolved calls (std, external crates) produce no edge; the deep
+//!   rules scan those token-level, so nothing banned hides behind a
+//!   missing edge.
+//!
+//! Over-approximation errs toward marking *more* symbols hot-path,
+//! which errs toward *more* audit findings — the safe direction for a
+//! parallelism-readiness gate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::items::FileItems;
+use crate::walker::FileKind;
+
+/// Schema tag stamped into the `lint graph --json` export. Bump on any
+/// field change.
+pub const GRAPH_SCHEMA: &str = "tagwatch.lint.graph/v1";
+
+/// Hot-path roots: the symbols fleet parallelism must treat as the
+/// unit of per-thread work. A trailing `::` makes an entry a prefix
+/// (every fn under that module/type); otherwise the match is exact.
+pub const HOT_PATH_ROOTS: &[&str] = &[
+    "gen2::round::",
+    "reader::reader::Reader::execute",
+    "reader::reader::Reader::run_for",
+    "core::controller::Controller::run_cycle",
+    "core::controller::Controller::run_cycles",
+];
+
+/// Method names too generic to resolve by name alone: linking these
+/// would connect the whole workspace through `new`/`clone`/`len`.
+const METHOD_STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "contains",
+    "contains_key",
+    "clear",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "as_bytes",
+    "to_string",
+    "to_vec",
+    "to_owned",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "min",
+    "max",
+    "abs",
+    "sqrt",
+    "floor",
+    "ceil",
+    "round",
+    "clamp",
+    "extend",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "rev",
+    "filter",
+    "collect",
+    "from",
+    "into",
+    "expect",
+    "unwrap",
+    "write",
+    "read",
+    "finish",
+    "take",
+    "replace",
+    "with_capacity",
+    "split",
+    "join",
+    "starts_with",
+    "ends_with",
+    "trim",
+    "parse",
+];
+
+/// Identity and location of one fn symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Deterministic fully-qualified key:
+    /// `crate::module::Type::fn` (`@line` suffix on collision).
+    pub key: String,
+    /// Bare fn name (last path segment).
+    pub name: String,
+    /// Owning workspace crate (`gen2`, `core`, …; `repro` for the root
+    /// package).
+    pub crate_name: String,
+    /// Workspace-relative file.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    /// Declared inside an `impl`/`trait` block (method position).
+    pub is_method: bool,
+    /// Inside a `#[test]`/`#[cfg(test)]` region.
+    pub test: bool,
+    /// Index of the owning file in the build input.
+    pub file_idx: usize,
+    /// Index into that file's `items.fns`.
+    pub fn_idx: usize,
+}
+
+/// Per-file metadata the graph builder needs (a trimmed
+/// [`crate::walker::SourceFile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    pub rel: String,
+    pub crate_name: String,
+    pub kind: FileKind,
+}
+
+/// The built graph: symbols (sorted by key), call edges, reachability.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolGraph {
+    /// Sorted by `key`.
+    pub symbols: Vec<Symbol>,
+    /// Edges as (caller, callee) symbol indices, deduplicated + sorted.
+    pub edges: BTreeSet<(usize, usize)>,
+    /// Symbol indices matched by [`HOT_PATH_ROOTS`].
+    pub roots: Vec<usize>,
+    /// Per-symbol: reachable from the roots (roots included),
+    /// traversing non-test symbols only.
+    pub hot: Vec<bool>,
+}
+
+impl SymbolGraph {
+    /// Builds the graph over `(meta, items)` per file, in input order.
+    /// Input order only affects `@line` collision suffixes; symbol
+    /// order is always the sorted key order.
+    pub fn build(files: &[(FileMeta, &FileItems)]) -> SymbolGraph {
+        let mut symbols: Vec<Symbol> = Vec::new();
+        let mut taken: BTreeSet<String> = BTreeSet::new();
+        for (file_idx, (meta, items)) in files.iter().enumerate() {
+            let crate_disp = display_crate(&meta.crate_name);
+            let file_mod = file_module(&meta.rel, &meta.crate_name);
+            for (fn_idx, f) in items.fns.iter().enumerate() {
+                let mut parts: Vec<&str> = Vec::new();
+                parts.push(&crate_disp);
+                parts.extend(file_mod.iter().map(String::as_str));
+                parts.extend(f.module.iter().map(String::as_str));
+                parts.push(&f.type_qualified);
+                let mut key = parts.join("::");
+                if taken.contains(&key) {
+                    key = format!("{key}@{}", f.line);
+                }
+                // Rare double collision (same name, same line across
+                // shadowed parses): make unique by index, still
+                // deterministic.
+                while taken.contains(&key) {
+                    key.push('+');
+                }
+                taken.insert(key.clone());
+                symbols.push(Symbol {
+                    key,
+                    name: f.name.clone(),
+                    crate_name: crate_disp.clone(),
+                    file: meta.rel.clone(),
+                    line: f.line,
+                    col: f.col,
+                    is_method: f.type_qualified.contains("::"),
+                    test: f.in_test,
+                    file_idx,
+                    fn_idx,
+                });
+            }
+        }
+        symbols.sort_by(|a, b| a.key.cmp(&b.key));
+
+        // Name indexes for resolution.
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, s) in symbols.iter().enumerate() {
+            by_name.entry(s.name.as_str()).or_default().push(i);
+        }
+
+        // Per-file import maps: local name → full path (joined).
+        let mut use_maps: Vec<BTreeMap<&str, String>> = Vec::with_capacity(files.len());
+        for (_, items) in files {
+            let mut m = BTreeMap::new();
+            for u in &items.uses {
+                if u.local != "*" {
+                    m.insert(u.local.as_str(), u.path.join("::"));
+                }
+            }
+            use_maps.push(m);
+        }
+
+        let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (ci, s) in symbols.iter().enumerate() {
+            if s.test {
+                continue;
+            }
+            let (_, items) = &files[s.file_idx];
+            let f = &items.fns[s.fn_idx];
+            for call in &f.calls {
+                for callee in resolve(
+                    call.method,
+                    &call.path,
+                    &symbols,
+                    &by_name,
+                    &use_maps[s.file_idx],
+                ) {
+                    if !symbols[callee].test {
+                        edges.insert((ci, callee));
+                    }
+                }
+            }
+        }
+
+        // Roots.
+        let mut roots = Vec::new();
+        for (i, s) in symbols.iter().enumerate() {
+            if s.test {
+                continue;
+            }
+            let is_root = HOT_PATH_ROOTS.iter().any(|r| {
+                if let Some(prefix) = r.strip_suffix("::") {
+                    s.key.starts_with(prefix) && s.key[prefix.len()..].starts_with("::")
+                } else {
+                    s.key == *r || s.key.starts_with(&format!("{r}@"))
+                }
+            });
+            if is_root {
+                roots.push(i);
+            }
+        }
+
+        // BFS reachability over the (sorted, deterministic) edge set.
+        let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(a, b) in &edges {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut hot = vec![false; symbols.len()];
+        let mut work: Vec<usize> = roots.clone();
+        for &r in &roots {
+            hot[r] = true;
+        }
+        while let Some(n) = work.pop() {
+            if let Some(nexts) = adj.get(&n) {
+                for &m in nexts {
+                    if !hot[m] {
+                        hot[m] = true;
+                        work.push(m);
+                    }
+                }
+            }
+        }
+
+        SymbolGraph {
+            symbols,
+            edges,
+            roots,
+            hot,
+        }
+    }
+
+    /// Index of the symbol for (file_idx, fn_idx), if any.
+    pub fn symbol_of(&self, file_idx: usize, fn_idx: usize) -> Option<usize> {
+        self.symbols
+            .iter()
+            .position(|s| s.file_idx == file_idx && s.fn_idx == fn_idx)
+    }
+
+    /// Whether the fn at (file_idx, fn_idx) is hot-path reachable.
+    pub fn is_hot(&self, file_idx: usize, fn_idx: usize) -> bool {
+        self.symbol_of(file_idx, fn_idx)
+            .is_some_and(|i| self.hot[i])
+    }
+}
+
+/// Resolves one call site to candidate symbol indices. Deterministic:
+/// candidates come from sorted indexes and stay sorted.
+fn resolve(
+    method: bool,
+    path: &[String],
+    symbols: &[Symbol],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    uses: &BTreeMap<&str, String>,
+) -> Vec<usize> {
+    let Some(last) = path.last() else {
+        return Vec::new();
+    };
+    if method {
+        if METHOD_STOPLIST.contains(&last.as_str()) {
+            return Vec::new();
+        }
+        return by_name
+            .get(last.as_str())
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| symbols[i].is_method)
+                    .collect()
+            })
+            .unwrap_or_default();
+    }
+    // Expand a leading import alias, then normalize a crate-name head.
+    let mut segs: Vec<String> = path.to_vec();
+    if let Some(full) = uses.get(segs[0].as_str()) {
+        let mut expanded: Vec<String> = full.split("::").map(str::to_string).collect();
+        expanded.extend(segs.drain(1..));
+        segs = expanded;
+    }
+    if let Some(head) = segs.first_mut() {
+        *head = normalize_crate(head);
+    }
+    let joined = segs.join("::");
+    // Exact, then `::`-boundary suffix, on the candidates sharing the
+    // final segment.
+    let candidates = by_name.get(last.as_str()).cloned().unwrap_or_default();
+    let exact: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| symbols[i].key == joined)
+        .collect();
+    if !exact.is_empty() {
+        return exact;
+    }
+    let suffix = format!("::{joined}");
+    let matched: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| symbols[i].key.ends_with(&suffix))
+        .collect();
+    if !matched.is_empty() || path.len() > 1 {
+        return matched;
+    }
+    // Bare single-segment call with no qualified match: any free fn of
+    // that name (same-file helpers are the common case).
+    candidates
+        .into_iter()
+        .filter(|&i| !symbols[i].is_method)
+        .collect()
+}
+
+/// Workspace crate name as used in symbol keys.
+fn display_crate(crate_name: &str) -> String {
+    if crate_name == "<root>" {
+        "repro".to_string()
+    } else {
+        crate_name.to_string()
+    }
+}
+
+/// Normalizes a path head that spells a package name to the workspace
+/// crate name used in symbol keys (`tagwatch_gen2` → `gen2`,
+/// `tagwatch` → `core`).
+fn normalize_crate(head: &str) -> String {
+    if head == "tagwatch" {
+        return "core".to_string();
+    }
+    if head == "tagwatch_repro" {
+        return "repro".to_string();
+    }
+    match head.strip_prefix("tagwatch_") {
+        Some(rest) => rest.to_string(),
+        None => head.to_string(),
+    }
+}
+
+/// Module path a file contributes (between the crate name and any
+/// inline `mod`s): `crates/gen2/src/round.rs` → `["round"]`.
+fn file_module(rel: &str, crate_name: &str) -> Vec<String> {
+    let tail = match crate_name {
+        "<root>" => rel,
+        name => rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.strip_prefix(name))
+            .and_then(|r| r.strip_prefix('/'))
+            .unwrap_or(rel),
+    };
+    let stem = tail.strip_suffix(".rs").unwrap_or(tail);
+    let mut parts: Vec<&str> = stem.split('/').collect();
+    // `src/lib.rs`, `src/main.rs` → crate root; drop the src prefix and
+    // `mod.rs` leaves.
+    if parts.first() == Some(&"src") {
+        parts.remove(0);
+    }
+    if parts.last() == Some(&"lib") || parts.last() == Some(&"main") {
+        parts.pop();
+    }
+    if parts.last() == Some(&"mod") {
+        parts.pop();
+    }
+    parts
+        .into_iter()
+        .map(|p| p.replace(['-', '.'], "_"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::lexer::lex;
+
+    fn file(rel: &str, crate_name: &str, src: &str) -> (FileMeta, FileItems) {
+        let toks = lex(src);
+        let flags = vec![false; toks.len()];
+        (
+            FileMeta {
+                rel: rel.to_string(),
+                crate_name: crate_name.to_string(),
+                kind: FileKind::Library,
+            },
+            items::parse(&toks, &flags),
+        )
+    }
+
+    fn build(files: &[(FileMeta, FileItems)]) -> SymbolGraph {
+        let refs: Vec<(FileMeta, &FileItems)> = files.iter().map(|(m, i)| (m.clone(), i)).collect();
+        SymbolGraph::build(&refs)
+    }
+
+    #[test]
+    fn keys_are_crate_module_qualified() {
+        let g = build(&[file(
+            "crates/gen2/src/round.rs",
+            "gen2",
+            "pub fn run_round() { helper(); }\nfn helper() {}\n",
+        )]);
+        let keys: Vec<&str> = g.symbols.iter().map(|s| s.key.as_str()).collect();
+        assert_eq!(keys, vec!["gen2::round::helper", "gen2::round::run_round"]);
+    }
+
+    #[test]
+    fn cross_file_path_call_resolves_and_reaches() {
+        let g = build(&[
+            file(
+                "crates/gen2/src/round.rs",
+                "gen2",
+                "pub fn run_round() { crate::epc::decode(); }\n",
+            ),
+            file(
+                "crates/gen2/src/epc.rs",
+                "gen2",
+                "pub fn decode() { deep(); }\npub fn deep() {}\npub fn unrelated() {}\n",
+            ),
+        ]);
+        let hot: Vec<&str> = g
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| g.hot[i])
+            .map(|(_, s)| s.key.as_str())
+            .collect();
+        assert!(hot.contains(&"gen2::round::run_round"), "{hot:?}");
+        assert!(hot.contains(&"gen2::epc::decode"), "{hot:?}");
+        assert!(hot.contains(&"gen2::epc::deep"), "{hot:?}");
+        assert!(!hot.contains(&"gen2::epc::unrelated"), "{hot:?}");
+    }
+
+    #[test]
+    fn method_calls_link_by_name_with_stoplist() {
+        let g = build(&[
+            file(
+                "crates/gen2/src/round.rs",
+                "gen2",
+                "pub fn run_round(t: &mut Tag) { t.handle_query(); t.clone(); }\n",
+            ),
+            file(
+                "crates/gen2/src/tag.rs",
+                "gen2",
+                "impl Tag { pub fn handle_query(&mut self) {} pub fn clone(&self) {} }\n",
+            ),
+        ]);
+        let hot: Vec<&str> = g
+            .symbols
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| g.hot[i])
+            .map(|(_, s)| s.key.as_str())
+            .collect();
+        assert!(hot.contains(&"gen2::tag::Tag::handle_query"), "{hot:?}");
+        // `clone` is stoplisted: no edge even though an impl exists.
+        assert!(!hot.contains(&"gen2::tag::Tag::clone"), "{hot:?}");
+    }
+
+    #[test]
+    fn test_fns_are_never_hot() {
+        let src = "pub fn run_round() { helper(); }\nfn helper() {}\n";
+        let toks = lex(src);
+        // Pretend everything is test-gated.
+        let flags = vec![true; toks.len()];
+        let items = items::parse(&toks, &flags);
+        let meta = FileMeta {
+            rel: "crates/gen2/src/round.rs".into(),
+            crate_name: "gen2".into(),
+            kind: FileKind::Library,
+        };
+        let g = SymbolGraph::build(&[(meta, &items)]);
+        assert!(g.roots.is_empty());
+        assert!(g.hot.iter().all(|&h| !h));
+    }
+
+    #[test]
+    fn use_alias_expansion() {
+        let g = build(&[
+            file(
+                "crates/core/src/controller.rs",
+                "core",
+                "use tagwatch_gen2::round::run_round;\n\
+                 impl Controller { pub fn run_cycle(&mut self) { run_round(); } }\n",
+            ),
+            file(
+                "crates/gen2/src/round.rs",
+                "gen2",
+                "pub fn run_round() {}\n",
+            ),
+        ]);
+        let i = g
+            .symbols
+            .iter()
+            .position(|s| s.key == "gen2::round::run_round")
+            .expect("symbol");
+        assert!(g.hot[i], "alias-resolved edge should mark callee hot");
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let files = [
+            file(
+                "crates/gen2/src/round.rs",
+                "gen2",
+                "pub fn run_round() { a(); b(); }\nfn a() {}\nfn b() { a(); }\n",
+            ),
+            file("crates/rf/src/channel.rs", "rf", "pub fn evaluate() {}\n"),
+        ];
+        let g1 = build(&files);
+        let g2 = build(&files);
+        assert_eq!(g1.symbols, g2.symbols);
+        assert_eq!(g1.edges, g2.edges);
+        assert_eq!(g1.hot, g2.hot);
+    }
+}

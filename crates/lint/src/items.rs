@@ -1,0 +1,972 @@
+//! Item-model parser: from the lexical token stream to a per-file list
+//! of items (fns, impls, structs/enums/traits, statics, use-trees) with
+//! the dataflow facts the deep rules need — parameter lists, body spans,
+//! and call sites.
+//!
+//! This is deliberately *not* a Rust parser. It recognizes item heads by
+//! keyword, tracks delimiter nesting, and harvests call-shaped token
+//! sequences from bodies. Anything it does not understand it skips, so
+//! the same totality guarantees as the lexer hold (property-tested in
+//! `tests/prop_lint.rs`): never panics, always terminates, for arbitrary
+//! token streams — including token soup that is not Rust at all.
+//!
+//! The trade-off is approximation. Names are resolved later (in
+//! [`crate::graph`]) against the whole workspace, so a missed item means
+//! a missed edge, never a crash; the deep rules are written to fail
+//! toward *more* audit findings, not fewer, under approximation.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parameter of a `fn` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// The binding name (`rng`, `self`, `cfg`); `_` for wildcard or
+    /// unrecognized patterns.
+    pub name: String,
+    /// The type, as flattened source text (`&mut R`, `Option<u8>`).
+    /// Empty for `self` receivers without an explicit type.
+    pub ty: String,
+}
+
+/// A call-shaped site harvested from a fn body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Path segments: `["StdRng", "seed_from_u64"]` for a path call,
+    /// one segment for a method call (`["gen_bool"]`).
+    pub path: Vec<String>,
+    /// True for `.name(...)` method-call position.
+    pub method: bool,
+    /// Up to three code-token texts immediately before the call's `.`,
+    /// newest last — enough to see `self . rng` receivers. Empty for
+    /// path calls.
+    pub receiver: Vec<String>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// A `fn` item (free fn, inherent/trait method, or default trait method).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// Bare name (`run_round`).
+    pub name: String,
+    /// `Type::name` when declared inside `impl Type`/`trait Type`.
+    pub type_qualified: String,
+    /// Module path within the file (inline `mod`s), outermost first.
+    pub module: Vec<String>,
+    pub line: u32,
+    pub col: u32,
+    /// Inside a `#[test]`/`#[cfg(test)]`-gated region.
+    pub in_test: bool,
+    pub params: Vec<Param>,
+    /// Original token-index range of the body `{ ... }`, inclusive of
+    /// the braces. `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    pub calls: Vec<CallSite>,
+}
+
+/// A `static` or `const` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticItem {
+    pub name: String,
+    pub module: Vec<String>,
+    /// True for `static`, false for `const`.
+    pub is_static: bool,
+    /// True for `static mut`.
+    pub mutable: bool,
+    /// The declared type, as flattened source text.
+    pub ty: String,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+}
+
+/// A named type definition (`struct` / `enum` / `trait` / `union`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeItem {
+    pub name: String,
+    pub module: Vec<String>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One leaf of a `use` tree: local name → full path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseEntry {
+    /// The name the import binds locally (rightmost segment, or the
+    /// alias after `as`); `*` for glob imports.
+    pub local: String,
+    /// Full path segments, e.g. `["tagwatch_telemetry", "clock",
+    /// "wall_now"]`.
+    pub path: Vec<String>,
+    pub line: u32,
+    pub col: u32,
+    pub in_test: bool,
+}
+
+/// Everything the item parser extracts from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileItems {
+    pub fns: Vec<FnItem>,
+    pub statics: Vec<StaticItem>,
+    pub types: Vec<TypeItem>,
+    pub uses: Vec<UseEntry>,
+}
+
+/// Parses one file's token stream. `in_test` is the per-token flag from
+/// the engine's test-region pass and must be the same length as
+/// `tokens`; when it is not (hostile callers), missing entries read as
+/// `false`.
+pub fn parse(tokens: &[Token<'_>], in_test: &[bool]) -> FileItems {
+    // Work over code tokens only, via an index map back into `tokens`.
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect();
+    let mut p = Parser {
+        tokens,
+        in_test,
+        code: &code,
+        out: FileItems::default(),
+    };
+    let end = code.len();
+    p.items(0, end, &mut Vec::new(), None);
+    p.out
+}
+
+struct Parser<'a, 'b> {
+    tokens: &'a [Token<'b>],
+    in_test: &'a [bool],
+    /// Indices of code tokens within `tokens`.
+    code: &'a [usize],
+    out: FileItems,
+}
+
+impl Parser<'_, '_> {
+    /// The token behind code position `ci`.
+    fn tok(&self, ci: usize) -> &Token<'_> {
+        &self.tokens[self.code[ci]]
+    }
+
+    fn text(&self, ci: usize) -> &str {
+        self.tok(ci).text
+    }
+
+    fn is_test(&self, ci: usize) -> bool {
+        self.in_test.get(self.code[ci]).copied().unwrap_or(false)
+    }
+
+    /// Code position of the matching close delimiter for the open
+    /// delimiter at `ci`, scanning no further than `hi` (exclusive).
+    /// `None` when unbalanced.
+    fn close_of(&self, ci: usize, hi: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut j = ci;
+        while j < hi {
+            let t = self.text(j);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Skips a balanced `<...>` generics block starting at `ci` (which
+    /// must be `<`); returns the position after the closing `>`. Rust
+    /// generics never contain bare `<`/`>` comparisons at item-head
+    /// position, so plain depth counting suffices; `None` on unbalanced
+    /// input (totality fallback).
+    fn skip_generics(&self, ci: usize, hi: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        let mut j = ci;
+        while j < hi {
+            match self.text(j) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return Some(j + 1);
+                    }
+                }
+                // `->` lexes as two puncts `-` `>`; the `>` would
+                // miscount, so treat `- >` as neutral.
+                "-" if j + 1 < hi && self.text(j + 1) == ">" => j += 1,
+                ";" | "{" => return None, // ran off the generics
+                _ => {}
+            }
+            j += 1;
+        }
+        None
+    }
+
+    /// Flattened source text of code positions `lo..hi`.
+    fn span_text(&self, lo: usize, hi: usize) -> String {
+        let mut s = String::new();
+        for ci in lo..hi.min(self.code.len()) {
+            let t = self.text(ci);
+            if !s.is_empty() && needs_space(s.as_bytes().last().copied(), t) {
+                s.push(' ');
+            }
+            s.push_str(t);
+        }
+        s
+    }
+
+    /// Parses items in code-position range `lo..hi` under `module` with
+    /// an optional `impl`/`trait` self type. Every iteration advances
+    /// `i`, so this always terminates.
+    fn items(&mut self, lo: usize, hi: usize, module: &mut Vec<String>, self_ty: Option<&str>) {
+        let mut i = lo;
+        while i < hi {
+            match self.text(i) {
+                "use" => i = self.use_tree(i, hi),
+                "mod" => i = self.module(i, hi, module, self_ty),
+                "fn" => i = self.fn_item(i, hi, module, self_ty),
+                "struct" | "enum" | "union" => i = self.type_item(i, hi, module),
+                "trait" => i = self.trait_item(i, hi, module),
+                "impl" => i = self.impl_item(i, hi, module),
+                "static" | "const" => i = self.static_item(i, hi, module),
+                // An unexpected block at item position (extern blocks,
+                // macro bodies): hop over it whole.
+                "{" => match self.close_of(i, hi, "{", "}") {
+                    Some(c) => i = c + 1,
+                    None => i += 1,
+                },
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// `mod name;` or `mod name { ...items... }`.
+    fn module(
+        &mut self,
+        i: usize,
+        hi: usize,
+        module: &mut Vec<String>,
+        self_ty: Option<&str>,
+    ) -> usize {
+        let Some(name_ci) = self.ident_at(i + 1, hi) else {
+            return i + 1;
+        };
+        let name = self.text(name_ci).to_string();
+        let mut j = name_ci + 1;
+        while j < hi {
+            match self.text(j) {
+                ";" => return j + 1, // out-of-line module: nothing here
+                "{" => {
+                    let close = self.close_of(j, hi, "{", "}");
+                    let end = close.unwrap_or(hi);
+                    module.push(name);
+                    self.items(j + 1, end, module, self_ty);
+                    module.pop();
+                    return end + 1;
+                }
+                _ => j += 1,
+            }
+        }
+        hi
+    }
+
+    /// Position of an identifier at `ci` (skipping nothing), or `None`.
+    fn ident_at(&self, ci: usize, hi: usize) -> Option<usize> {
+        (ci < hi && self.tok(ci).kind == TokenKind::Ident && is_plain_ident(self.text(ci)))
+            .then_some(ci)
+    }
+
+    /// `fn name [<generics>] ( params ) [-> ty] [where ...] { body } | ;`
+    fn fn_item(&mut self, i: usize, hi: usize, module: &[String], self_ty: Option<&str>) -> usize {
+        let Some(name_ci) = self.ident_at(i + 1, hi) else {
+            return i + 1;
+        };
+        let name = self.text(name_ci).to_string();
+        let mut j = name_ci + 1;
+        if j < hi && self.text(j) == "<" {
+            match self.skip_generics(j, hi) {
+                Some(after) => j = after,
+                None => return name_ci + 1,
+            }
+        }
+        if j >= hi || self.text(j) != "(" {
+            return name_ci + 1;
+        }
+        let Some(params_close) = self.close_of(j, hi, "(", ")") else {
+            return name_ci + 1;
+        };
+        let params = self.params(j + 1, params_close);
+        // Scan past return type / where clause to the body or `;`.
+        let mut k = params_close + 1;
+        let mut body = None;
+        while k < hi {
+            match self.text(k) {
+                ";" => break,
+                "{" => {
+                    let close = self
+                        .close_of(k, hi, "{", "}")
+                        .unwrap_or(hi.saturating_sub(1));
+                    body = Some((k, close));
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        let calls = match body {
+            Some((blo, bhi)) => self.calls_in(blo + 1, bhi),
+            None => Vec::new(),
+        };
+        let head = self.tok(name_ci);
+        let type_qualified = match self_ty {
+            Some(ty) => format!("{ty}::{name}"),
+            None => name.clone(),
+        };
+        let item = FnItem {
+            name,
+            type_qualified,
+            module: module.to_vec(),
+            line: head.line,
+            col: head.col,
+            in_test: self.is_test(name_ci),
+            params,
+            body: body.map(|(blo, bhi)| (self.code[blo], self.code[bhi.min(self.code.len() - 1)])),
+            calls,
+        };
+        self.out.fns.push(item);
+        match body {
+            Some((_, bhi)) => bhi + 1,
+            None => (params_close + 1).max(i + 1),
+        }
+    }
+
+    /// Parameters between the parens of a fn signature.
+    fn params(&self, lo: usize, hi: usize) -> Vec<Param> {
+        let mut out = Vec::new();
+        let mut start = lo;
+        let mut depth = 0i64;
+        let mut j = lo;
+        while j <= hi {
+            let at_end = j == hi;
+            let t = if at_end { "," } else { self.text(j) };
+            match t {
+                "(" | "[" | "{" | "<" if !at_end => depth += 1,
+                ")" | "]" | "}" | ">" if !at_end => depth -= 1,
+                "," if depth <= 0 => {
+                    if start < j {
+                        if let Some(p) = self.param(start, j) {
+                            out.push(p);
+                        }
+                    }
+                    start = j + 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out
+    }
+
+    /// One parameter: `pattern : type` (or a bare `self` receiver).
+    fn param(&self, lo: usize, hi: usize) -> Option<Param> {
+        // Split at the first top-level `:`.
+        let mut depth = 0i64;
+        let mut colon = None;
+        for j in lo..hi {
+            match self.text(j) {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                ":" if depth <= 0 => {
+                    // `::` is not a pattern/type separator.
+                    if (j + 1 < hi && self.text(j + 1) == ":")
+                        || (j > lo && self.text(j - 1) == ":")
+                    {
+                        continue;
+                    }
+                    colon = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        match colon {
+            Some(c) => {
+                // Binding name: last plain ident of the pattern side
+                // (`mut rng` → rng, `&mut self` → self).
+                let name = (lo..c)
+                    .rev()
+                    .find_map(|j| {
+                        let t = self.text(j);
+                        (self.tok(j).kind == TokenKind::Ident
+                            && !matches!(t, "mut" | "ref" | "box"))
+                        .then(|| t.to_string())
+                    })
+                    .unwrap_or_else(|| "_".to_string());
+                Some(Param {
+                    name,
+                    ty: self.span_text(c + 1, hi),
+                })
+            }
+            None => {
+                // Receiver shorthand: `self`, `&self`, `&mut self`.
+                let has_self = (lo..hi).any(|j| self.text(j) == "self");
+                has_self.then(|| Param {
+                    name: "self".to_string(),
+                    ty: String::new(),
+                })
+            }
+        }
+    }
+
+    /// Harvests call sites from a body range. Recognizes
+    /// `seg(::seg)* (` path calls and `.name(` method calls; nested
+    /// calls are found because the scan is linear over every token.
+    fn calls_in(&self, lo: usize, hi: usize) -> Vec<CallSite> {
+        let mut out = Vec::new();
+        let mut j = lo;
+        while j < hi.min(self.code.len()) {
+            if self.tok(j).kind != TokenKind::Ident || !is_plain_ident(self.text(j)) {
+                j += 1;
+                continue;
+            }
+            // Extend the path: ident (:: ident)*.
+            let start = j;
+            let mut segs = vec![self.text(j).to_string()];
+            let mut k = j + 1;
+            while k + 2 < hi
+                && self.text(k) == ":"
+                && self.text(k + 1) == ":"
+                && self.tok(k + 2).kind == TokenKind::Ident
+                && is_plain_ident(self.text(k + 2))
+            {
+                segs.push(self.text(k + 2).to_string());
+                k += 3;
+            }
+            // Skip a turbofish between the path and the parens:
+            // `sum::<f64>()` arrives here with segs=[sum] at `<`.
+            let mut call_paren = k;
+            if k < hi && self.text(k) == ":" && k + 1 < hi && self.text(k + 1) == ":" {
+                // `path::<...>` — generic args after the path.
+                if k + 2 < hi && self.text(k + 2) == "<" {
+                    match self.skip_generics(k + 2, hi) {
+                        Some(after) => call_paren = after,
+                        None => {
+                            j = k + 2;
+                            continue;
+                        }
+                    }
+                }
+            }
+            let is_call = call_paren < hi && self.text(call_paren) == "(";
+            if is_call {
+                let method = start > 0 && self.text(start - 1) == ".";
+                let receiver = if method {
+                    let rlo = start.saturating_sub(4).max(lo.saturating_sub(1));
+                    (rlo..start.saturating_sub(1))
+                        .map(|r| self.text(r).to_string())
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let head = self.tok(start);
+                out.push(CallSite {
+                    path: if method {
+                        vec![segs.last().cloned().unwrap_or_default()]
+                    } else {
+                        segs
+                    },
+                    method,
+                    receiver,
+                    line: head.line,
+                    col: head.col,
+                });
+            }
+            j = k.max(j + 1);
+        }
+        out
+    }
+
+    /// `struct|enum|union Name ...` — records the name, skips the body.
+    fn type_item(&mut self, i: usize, hi: usize, module: &[String]) -> usize {
+        let Some(name_ci) = self.ident_at(i + 1, hi) else {
+            return i + 1;
+        };
+        let head = self.tok(name_ci);
+        self.out.types.push(TypeItem {
+            name: self.text(name_ci).to_string(),
+            module: module.to_vec(),
+            line: head.line,
+            col: head.col,
+        });
+        self.skip_item_body(name_ci + 1, hi)
+    }
+
+    /// `trait Name { default methods }` — methods get `Name::method`.
+    fn trait_item(&mut self, i: usize, hi: usize, module: &mut Vec<String>) -> usize {
+        let Some(name_ci) = self.ident_at(i + 1, hi) else {
+            return i + 1;
+        };
+        let name = self.text(name_ci).to_string();
+        let head = self.tok(name_ci);
+        self.out.types.push(TypeItem {
+            name: name.clone(),
+            module: module.clone(),
+            line: head.line,
+            col: head.col,
+        });
+        let mut j = name_ci + 1;
+        while j < hi {
+            match self.text(j) {
+                ";" => return j + 1,
+                "{" => {
+                    let close = self.close_of(j, hi, "{", "}").unwrap_or(hi);
+                    self.items(j + 1, close.min(hi), module, Some(&name));
+                    return close.saturating_add(1).min(hi.max(j + 1));
+                }
+                _ => j += 1,
+            }
+        }
+        hi
+    }
+
+    /// `impl [<G>] Type { ... }` or `impl [<G>] Trait for Type { ... }`.
+    fn impl_item(&mut self, i: usize, hi: usize, module: &mut Vec<String>) -> usize {
+        let mut j = i + 1;
+        if j < hi && self.text(j) == "<" {
+            match self.skip_generics(j, hi) {
+                Some(after) => j = after,
+                None => return i + 1,
+            }
+        }
+        // Collect idents up to `{`; the self type is the last ident
+        // before the brace (after `for` when present), ignoring generic
+        // arguments.
+        let mut self_ty: Option<String> = None;
+        let mut depth = 0i64;
+        while j < hi {
+            match self.text(j) {
+                "{" if depth <= 0 => break,
+                ";" if depth <= 0 => return j + 1,
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "-" if j + 1 < hi && self.text(j + 1) == ">" => j += 1,
+                "where" if depth <= 0 => {}
+                t if self.tok(j).kind == TokenKind::Ident && depth <= 0 && is_plain_ident(t) => {
+                    self_ty = Some(t.to_string());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= hi {
+            return hi;
+        }
+        let close = self.close_of(j, hi, "{", "}").unwrap_or(hi);
+        let ty = self_ty.unwrap_or_else(|| "_impl".to_string());
+        self.items(j + 1, close.min(hi), module, Some(&ty));
+        close.saturating_add(1).min(hi.max(j + 1))
+    }
+
+    /// `static [mut] NAME: Ty = init;` / `const NAME: Ty = init;`
+    /// (`const fn` is routed back to `fn_item`).
+    fn static_item(&mut self, i: usize, hi: usize, module: &[String]) -> usize {
+        let is_static = self.text(i) == "static";
+        let mut j = i + 1;
+        let mutable = j < hi && self.text(j) == "mut";
+        if mutable {
+            j += 1;
+        }
+        if j < hi && self.text(j) == "fn" {
+            // `const fn` — a fn item wearing a qualifier.
+            return self.fn_item(j, hi, module, None);
+        }
+        let Some(name_ci) = self.ident_at(j, hi) else {
+            return i + 1;
+        };
+        // Type text: between `:` and the top-level `=` or `;`.
+        let mut k = name_ci + 1;
+        let mut ty_lo = None;
+        let mut ty = String::new();
+        let mut depth = 0i64;
+        while k < hi {
+            match self.text(k) {
+                ":" if depth <= 0 && ty_lo.is_none() => ty_lo = Some(k + 1),
+                "=" | ";" if depth <= 0 => {
+                    if let Some(lo) = ty_lo {
+                        ty = self.span_text(lo, k);
+                    }
+                    break;
+                }
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let head = self.tok(name_ci);
+        self.out.statics.push(StaticItem {
+            name: self.text(name_ci).to_string(),
+            module: module.to_vec(),
+            is_static,
+            mutable,
+            ty,
+            line: head.line,
+            col: head.col,
+            in_test: self.is_test(name_ci),
+        });
+        // Skip the initializer to the terminating `;` (delimiter-aware:
+        // closure bodies may contain semicolons inside braces).
+        let mut depth2 = 0i64;
+        while k < hi {
+            match self.text(k) {
+                "(" | "[" | "{" => depth2 += 1,
+                ")" | "]" | "}" => depth2 -= 1,
+                ";" if depth2 <= 0 => return k + 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        hi
+    }
+
+    /// Skips a type body: to the matching `}` of the first top-level
+    /// `{`, or to a top-level `;` (tuple structs end `);`).
+    fn skip_item_body(&mut self, i: usize, hi: usize) -> usize {
+        let mut j = i;
+        let mut depth = 0i64;
+        while j < hi {
+            match self.text(j) {
+                "{" if depth <= 0 => {
+                    return match self.close_of(j, hi, "{", "}") {
+                        Some(c) => c + 1,
+                        None => hi,
+                    };
+                }
+                ";" if depth <= 0 => return j + 1,
+                "(" | "[" | "<" => depth += 1,
+                ")" | "]" | ">" => depth -= 1,
+                "-" if j + 1 < hi && self.text(j + 1) == ">" => j += 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        hi
+    }
+
+    /// `use path::to::{a, b as c, nested::{d}, *};` — expands the tree
+    /// into flat [`UseEntry`]s.
+    fn use_tree(&mut self, i: usize, hi: usize) -> usize {
+        // Find the terminating `;` first (delimiter-aware for `{}`).
+        let mut end = i + 1;
+        let mut depth = 0i64;
+        while end < hi {
+            match self.text(end) {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                ";" if depth <= 0 => break,
+                _ => {}
+            }
+            end += 1;
+        }
+        let head = self.tok(i);
+        let in_test = self.is_test(i);
+        let mut prefix = Vec::new();
+        self.use_leaves(i + 1, end, &mut prefix, head.line, head.col, in_test);
+        end + 1
+    }
+
+    /// Recursive walk of one use-tree level. `lo..hi` covers one
+    /// `seg::seg::{...}` alternative (no top-level commas when called
+    /// from `use_tree`; commas are split in the `{...}` branch).
+    fn use_leaves(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        prefix: &mut Vec<String>,
+        line: u32,
+        col: u32,
+        in_test: bool,
+    ) {
+        let depth_guard = prefix.len();
+        if depth_guard > 32 {
+            return; // hostile nesting: bail, never recurse unboundedly
+        }
+        let mut segs: Vec<String> = Vec::new();
+        let mut alias: Option<String> = None;
+        let mut j = lo;
+        while j < hi {
+            let t = self.text(j);
+            match t {
+                "::" => {}
+                ":" => {}
+                "as" => {
+                    if let Some(a) = self.ident_at(j + 1, hi) {
+                        alias = Some(self.text(a).to_string());
+                        j = a;
+                    }
+                }
+                "*" => {
+                    let mut path = prefix.clone();
+                    path.extend(segs.iter().cloned());
+                    self.out.uses.push(UseEntry {
+                        local: "*".to_string(),
+                        path,
+                        line,
+                        col,
+                        in_test,
+                    });
+                }
+                "{" => {
+                    let close = self.close_of(j, hi, "{", "}").unwrap_or(hi);
+                    // Split the group at top-level commas.
+                    let added = segs.len();
+                    prefix.append(&mut segs);
+                    let mut part = j + 1;
+                    let mut d = 0i64;
+                    let mut k = j + 1;
+                    while k <= close.min(hi) {
+                        let at_end = k == close.min(hi);
+                        let tk = if at_end { "," } else { self.text(k) };
+                        match tk {
+                            "{" if !at_end => d += 1,
+                            "}" if !at_end => d -= 1,
+                            "," if d <= 0 => {
+                                if part < k {
+                                    self.use_leaves(part, k, prefix, line, col, in_test);
+                                }
+                                part = k + 1;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    for _ in 0..added {
+                        prefix.pop();
+                    }
+                    return;
+                }
+                _ if self.tok(j).kind == TokenKind::Ident && is_plain_ident(t) => {
+                    segs.push(t.to_string());
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !segs.is_empty() {
+            let local = alias.unwrap_or_else(|| segs.last().cloned().unwrap_or_default());
+            let mut path = prefix.clone();
+            path.extend(segs);
+            self.out.uses.push(UseEntry {
+                local,
+                path,
+                line,
+                col,
+                in_test,
+            });
+        }
+    }
+}
+
+/// Idents that can head a path (excludes keywords the item scanner
+/// dispatches on, so `fn (` soup does not double-parse).
+fn is_plain_ident(t: &str) -> bool {
+    !matches!(
+        t,
+        "fn" | "struct"
+            | "enum"
+            | "trait"
+            | "impl"
+            | "mod"
+            | "use"
+            | "static"
+            | "const"
+            | "union"
+            | "where"
+            | "for"
+            | "as"
+            | "pub"
+            | "let"
+            | "mut"
+            | "ref"
+            | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "loop"
+            | "return"
+            | "in"
+            | "move"
+            | "dyn"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+    )
+}
+
+/// Whether flattened text needs a separating space between `prev` (last
+/// byte of accumulated text) and `next` token text.
+fn needs_space(prev: Option<u8>, next: &str) -> bool {
+    let p = match prev {
+        Some(p) => p,
+        None => return false,
+    };
+    let n = match next.bytes().next() {
+        Some(n) => n,
+        None => return false,
+    };
+    let word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    word(p) && word(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> FileItems {
+        let toks = lex(src);
+        let flags = vec![false; toks.len()];
+        parse(&toks, &flags)
+    }
+
+    #[test]
+    fn free_fn_with_params_and_calls() {
+        let items = parse_src(
+            "pub fn run<R: Rng + ?Sized>(tags: &mut [Tag], rng: &mut R) -> u32 {\n\
+             let x = rng.gen_bool(0.5);\n\
+             helper::go(x);\n\
+             0\n}\n",
+        );
+        assert_eq!(items.fns.len(), 1);
+        let f = &items.fns[0];
+        assert_eq!(f.name, "run");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].name, "rng");
+        assert_eq!(f.params[1].ty, "&mut R");
+        let names: Vec<String> = f.calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(names.contains(&"gen_bool".to_string()), "{names:?}");
+        assert!(names.contains(&"helper::go".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn impl_methods_are_type_qualified() {
+        let items = parse_src(
+            "impl<R> Reader<R> {\n    pub fn execute(&mut self) { self.step(); }\n}\n\
+             impl FrameSizer for QAdapt {\n    fn current_q(&self) -> u8 { 4 }\n}\n",
+        );
+        let quals: Vec<&str> = items
+            .fns
+            .iter()
+            .map(|f| f.type_qualified.as_str())
+            .collect();
+        assert_eq!(quals, vec!["Reader::execute", "QAdapt::current_q"]);
+        assert_eq!(items.fns[0].params[0].name, "self");
+    }
+
+    #[test]
+    fn method_call_receiver_window_sees_self_rng() {
+        let items = parse_src("fn f(&mut self) { self.rng.gen_bool(0.1); }\n");
+        let call = items.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.path == ["gen_bool"])
+            .expect("draw call");
+        assert!(call.method);
+        assert!(call.receiver.iter().any(|r| r == "rng"), "{call:?}");
+    }
+
+    #[test]
+    fn nested_modules_compose_paths() {
+        let items = parse_src("mod outer { mod inner { fn leaf() {} } fn mid() {} }\n");
+        let by_name: Vec<(String, Vec<String>)> = items
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.module.clone()))
+            .collect();
+        assert!(by_name.contains(&("leaf".to_string(), vec!["outer".into(), "inner".into()])));
+        assert!(by_name.contains(&("mid".to_string(), vec!["outer".into()])));
+    }
+
+    #[test]
+    fn statics_and_consts() {
+        let items = parse_src(
+            "static GLOBAL: OnceLock<Telemetry> = OnceLock::new();\n\
+             static mut COUNTER: u64 = 0;\n\
+             const LIMIT: usize = 10;\n\
+             const fn f() {}\n",
+        );
+        assert_eq!(items.statics.len(), 3);
+        assert_eq!(items.statics[0].name, "GLOBAL");
+        assert_eq!(items.statics[0].ty, "OnceLock<Telemetry>");
+        assert!(items.statics[0].is_static && !items.statics[0].mutable);
+        assert!(items.statics[1].is_static && items.statics[1].mutable);
+        assert!(!items.statics[2].is_static);
+        assert_eq!(items.fns.len(), 1, "const fn routed to fn_item");
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let items = parse_src(
+            "use std::sync::{Arc, Mutex as Lock};\n\
+             use tagwatch_telemetry::clock::wall_now;\n\
+             use rand::*;\n",
+        );
+        let have: Vec<(String, String)> = items
+            .uses
+            .iter()
+            .map(|u| (u.local.clone(), u.path.join("::")))
+            .collect();
+        assert!(have.contains(&("Arc".into(), "std::sync::Arc".into())));
+        assert!(have.contains(&("Lock".into(), "std::sync::Mutex".into())));
+        assert!(have.contains(&(
+            "wall_now".into(),
+            "tagwatch_telemetry::clock::wall_now".into()
+        )));
+        assert!(have.contains(&("*".into(), "rand".into())));
+    }
+
+    #[test]
+    fn turbofish_sum_is_a_call() {
+        let items = parse_src("fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n");
+        let names: Vec<String> = items.fns[0]
+            .calls
+            .iter()
+            .map(|c| c.path.join("::"))
+            .collect();
+        assert!(names.contains(&"sum".to_string()), "{names:?}");
+    }
+
+    #[test]
+    fn hostile_soup_terminates() {
+        for src in [
+            "fn fn fn (((",
+            "impl impl for for { fn }",
+            "use ::::{{{{",
+            "mod m { mod m { mod m {",
+            "static : = ;;; const const",
+            "trait T { fn a(; }",
+            "fn f(x: Vec<Vec<Vec<u8>>",
+        ] {
+            let _ = parse_src(src);
+        }
+    }
+
+    #[test]
+    fn trait_default_methods_qualify() {
+        let items = parse_src("trait Sizer { fn q(&self) -> u8 { 0 } fn sized(&self); }\n");
+        let quals: Vec<&str> = items
+            .fns
+            .iter()
+            .map(|f| f.type_qualified.as_str())
+            .collect();
+        assert_eq!(quals, vec!["Sizer::q", "Sizer::sized"]);
+        assert!(items.fns[1].body.is_none());
+    }
+}

@@ -10,18 +10,27 @@
 //! heuristics in the rules.
 //!
 //! Layout: [`lexer`] turns source into tokens, [`walker`] finds and
-//! classifies workspace files, [`rules`] holds the catalog, [`engine`]
-//! orchestrates regions and escape comments, [`diag`] renders findings.
-//! The `lint` binary (`src/bin/lint.rs`) wires them to the filesystem.
+//! classifies workspace files, [`rules`] holds the per-file catalog,
+//! [`items`] parses tokens into an item model, [`graph`] builds the
+//! workspace symbol + call graph, [`deep`] runs the graph-backed rule
+//! family and the parallelism-readiness report, [`engine`] orchestrates
+//! regions and escape comments, [`diag`] renders findings. The `lint`
+//! binary (`src/bin/lint.rs`) wires them to the filesystem.
 
 #![forbid(unsafe_code)]
 
+pub mod deep;
 pub mod diag;
 pub mod engine;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod rules;
 pub mod walker;
 
-pub use diag::Finding;
-pub use engine::{lint_classified, lint_source};
+pub use diag::{sort_findings, validate_json, Finding};
+pub use engine::{
+    lint_classified, lint_source, lint_workspace, load_workspace, WorkspaceAnalysis, WorkspaceFile,
+};
+pub use graph::{SymbolGraph, GRAPH_SCHEMA};
 pub use walker::{classify, walk, FileKind, SourceFile};

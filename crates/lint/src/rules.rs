@@ -22,59 +22,155 @@ pub const SIM_CRATES: &[&str] = &[
 /// through its `wall_now()`.
 pub const CLOCK_MODULE: &str = "crates/telemetry/src/clock.rs";
 
-/// A rule's identity and rationale, for `lint --list-rules` and docs.
+/// A rule's identity and rationale, for `lint --list-rules`,
+/// `lint --explain`, and docs.
 pub struct RuleInfo {
     pub id: &'static str,
     pub summary: &'static str,
+    /// Why the rule exists — printed by `lint --explain <rule>` so
+    /// `lint:allow` reasons can cite documented policy.
+    pub rationale: &'static str,
+    /// Deep (workspace-level, graph-backed) rules run only in the
+    /// `--deep` pass; a per-file pass cannot tell whether their escapes
+    /// are used.
+    pub deep: bool,
 }
 
-/// Every rule the engine runs, in diagnostic order.
+/// Every rule the engine runs, in diagnostic order (shallow first, then
+/// the deep family).
 pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "determinism-wallclock",
         summary: "Instant::now / SystemTime::now / thread_rng / from_entropy \
                   only in the telemetry clock module",
+        rationale: "Identical-seed runs must be bit-identical; any wall-clock or \
+                    OS-entropy read outside telemetry's clock module injects host \
+                    state into results. Route timing through \
+                    tagwatch_telemetry::clock::wall_now() and seed StdRng explicitly.",
+        deep: false,
     },
     RuleInfo {
         id: "determinism-hash-order",
         summary: "HashMap/HashSet banned in simulation crates (use BTreeMap/BTreeSet/Vec)",
+        rationale: "std hash containers iterate in RandomState order, which leaks a \
+                    per-process random seed into tag scheduling and breaks seed \
+                    reproducibility. Sim crates use BTreeMap/BTreeSet/Vec.",
+        deep: false,
     },
     RuleInfo {
         id: "panic-policy",
         summary: "unwrap/expect/panic!/unreachable!/todo!/unimplemented! \
-                  banned in non-test library code",
+                  banned in non-test library code and examples",
+        rationale: "Library callers must get typed errors, not aborts; shipped \
+                    examples are copied into downstream code, so they follow the \
+                    same bar. Bins, tests, and benches may panic.",
+        deep: false,
     },
     RuleInfo {
         id: "debug-leak",
         summary: "println!/eprintln!/print!/eprint!/dbg! banned outside bins, \
                   tests, benches, and examples",
+        rationale: "Library code that prints corrupts machine-read pipeline output \
+                    (JSONL traces, obs compare). Return data; the binaries print.",
+        deep: false,
     },
     RuleInfo {
         id: "unsafe-free",
         summary: "crate roots must carry #![forbid(unsafe_code)]; no unsafe anywhere",
+        rationale: "The workspace claims memory-safety by construction; one unsafe \
+                    block invalidates the claim. The attribute enforces it at \
+                    compile time, the token scan covers bins/tests/macros.",
+        deep: false,
     },
     RuleInfo {
         id: "todo-tracker",
         summary: "TODO/FIXME comments must reference ROADMAP.md",
+        rationale: "Unanchored to-do markers rot; tying each to a ROADMAP.md item \
+                    keeps intentions findable and reviewable.",
+        deep: false,
     },
     RuleInfo {
         id: "lint-escape",
         summary: "lint:allow escapes must be well-formed, reasoned, and used",
+        rationale: "A stale or reasonless suppression is as misleading as a stale \
+                    comment. Escapes name a rule, give a reason, and must actually \
+                    suppress something.",
+        deep: false,
     },
     RuleInfo {
         id: "work-counter-name",
         summary: "work counter names: exactly one snake_case unit after the perf.work. prefix",
+        rationale: "work counter names (the `perf.work.` namespace) are a \
+                    cross-crate contract (repro sums them, obs compare gates on \
+                    them, the monitor labels by suffix); a malformed literal \
+                    mints a counter no gate recognises.",
+        deep: false,
     },
     RuleInfo {
         id: "twb-constants",
         summary: ".twb magic/version live in the telemetry binary module only; \
                   no shadow constants or raw magic literals elsewhere",
+        rationale: "Two definitions of the container magic agree today and drift on \
+                    the next version bump. One home: \
+                    crates/telemetry/src/binary.rs; everyone else imports it.",
+        deep: false,
+    },
+    RuleInfo {
+        id: "rng-stream-discipline",
+        summary: "RNG draws in sim crates must flow from a seeded stream; \
+                  no fresh streams on the round hot path",
+        rationale: "Fleet parallelism (ROADMAP item 1) gives each reader its own \
+                    seeded RNG stream; a draw from anything else — or a stream \
+                    minted inside the round loop — makes per-thread replay \
+                    impossible. Draws need an rng receiver/parameter; \
+                    seed_from_u64 and friends belong in setup code.",
+        deep: true,
+    },
+    RuleInfo {
+        id: "race-surface",
+        summary: "Mutex/RwLock/RefCell/Cell/atomics, static mut, and thread \
+                  spawns forbidden in sim crates; inventoried everywhere",
+        rationale: "Bit-identical parallel traces require the per-thread unit of \
+                    work to own all its state. Shared-state primitives are \
+                    telemetry-side concerns behind the handle API; in sim crates \
+                    they are latent races the fleet refactor would inherit.",
+        deep: true,
+    },
+    RuleInfo {
+        id: "float-reduction-order",
+        summary: "f64 sum/fold over chunked or hash-ordered iteration banned \
+                  in sim crates",
+        rationale: "f64 addition is non-associative: a reduction over chunks or \
+                    hash-ordered sources changes value with the chunk schedule, so \
+                    a parallel split of the same work would diverge bitwise. \
+                    Reduce over ordered sequences in a fixed order.",
+        deep: true,
+    },
+    RuleInfo {
+        id: "sim-boundary",
+        summary: "sim crates use the telemetry handle API only — no clock \
+                  or sink internals",
+        rationale: "The Telemetry handle is the one concurrency-safe door into \
+                    shared observability state. A sim crate importing clock/sink \
+                    internals couples the round loop to wall time or I/O and \
+                    bypasses the overhead controls.",
+        deep: true,
     },
 ];
 
 /// True iff `id` names a rule in the catalog.
 pub fn is_known_rule(id: &str) -> bool {
     RULES.iter().any(|r| r.id == id)
+}
+
+/// True iff `id` names a deep (workspace-level) rule.
+pub fn is_deep_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id && r.deep)
+}
+
+/// Catalog entry for `id`, if any.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
 }
 
 /// Everything a rule may look at for one file.
@@ -219,10 +315,11 @@ fn determinism_hash_order(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
 }
 
 /// `.unwrap()`, `.expect(…)`, and the panicking macros in non-test
-/// library code. Bins, tests, benches, and examples may panic — library
-/// callers must get typed errors.
+/// library code and examples. Bins, tests, benches, and tool shims may
+/// panic — library callers must get typed errors, and shipped examples
+/// are copied into downstream code, so they follow the library bar.
 fn panic_policy(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
-    if ctx.kind != FileKind::Library {
+    if !matches!(ctx.kind, FileKind::Library | FileKind::Example) {
         return;
     }
     for (i, tok) in ctx.code_tokens() {

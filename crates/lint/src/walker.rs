@@ -21,6 +21,11 @@ pub enum FileKind {
     Bench,
     /// Examples under `examples/`.
     Example,
+    /// Dev-only tooling and offline shims under `tools/`. Linted for
+    /// safety/determinism hygiene (unsafe-free, wallclock, todo-tracker)
+    /// but exempt from the library panic/debug policies — shims
+    /// legitimately stub with `panic!`.
+    Tool,
 }
 
 /// One discovered source file.
@@ -41,16 +46,28 @@ pub struct SourceFile {
 /// Directories never walked into, anywhere in the tree.
 const SKIP_DIRS: &[&str] = &["target", "out", ".git"];
 
-/// Workspace-relative prefixes excluded from linting: dev-only offline
-/// shims (and their shadow-workspace copy), and the lint test fixtures —
-/// which *deliberately* violate every rule.
-const SKIP_PREFIXES: &[&str] = &["tools/", "stubs/", "tests/lint/"];
+/// Workspace-relative prefixes excluded from linting: the shadow-
+/// workspace stub copy and the lint test fixtures — which *deliberately*
+/// violate every rule. (`tools/` *is* linted, as [`FileKind::Tool`].)
+const SKIP_PREFIXES: &[&str] = &["stubs/", "tests/lint/"];
 
 /// Classifies a workspace-relative path. Returns `None` for files the
 /// linter does not own (skipped prefixes, non-`.rs`).
 pub fn classify(rel: &str) -> Option<(FileKind, String, bool)> {
     if !rel.ends_with(".rs") || SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
         return None;
+    }
+    if let Some(tail) = rel.strip_prefix("tools/") {
+        // `tools/offline/stubs/rand/src/lib.rs` → crate `rand`; the
+        // crate name is the path segment before `src/`.
+        let crate_name = tail
+            .split("/src/")
+            .next()
+            .and_then(|head| head.rsplit('/').next())
+            .unwrap_or("tools")
+            .to_string();
+        let is_crate_root = tail.ends_with("/src/lib.rs");
+        return Some((FileKind::Tool, crate_name, is_crate_root));
     }
     let (crate_name, tail) = match rel.strip_prefix("crates/") {
         Some(rest) => {
@@ -152,8 +169,18 @@ mod tests {
     #[test]
     fn skips_fixtures_shims_and_non_rust() {
         assert!(classify("tests/lint/fixtures/panic_policy.rs").is_none());
-        assert!(classify("tools/offline/stubs/rand/src/lib.rs").is_none());
         assert!(classify("stubs/rand/src/lib.rs").is_none());
         assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn tools_classify_as_tool_kind_with_crate_roots() {
+        let (k, n, root) = classify("tools/offline/stubs/rand/src/lib.rs").expect("tool");
+        assert_eq!(k, FileKind::Tool);
+        assert_eq!(n, "rand");
+        assert!(root);
+        let (k, _, root) = classify("tools/offline/stubs/serde/src/de.rs").expect("tool");
+        assert_eq!(k, FileKind::Tool);
+        assert!(!root);
     }
 }

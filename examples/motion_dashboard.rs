@@ -15,11 +15,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tagwatch::prelude::*;
-use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_reader::{LlrpError, Reader, ReaderConfig};
 use tagwatch_rf::{ChannelPlan, Vec3};
 use tagwatch_scene::{presets, SceneTag, Trajectory};
 
-fn main() {
+fn main() -> Result<(), LlrpError> {
     let seed = 11;
     // Base: 12 stationary tags + 1 person walking.
     let mut scene = presets::office_monitoring(12, 1, seed);
@@ -81,7 +81,7 @@ fn main() {
     println!("{header}");
 
     for _cycle in 0..50 {
-        let rep = tagwatch.run_cycle(&mut reader).expect("valid config");
+        let rep = tagwatch.run_cycle(&mut reader)?;
         let mut row = format!("{:>6.1}  {:<9} ", rep.t_start, format!("{:?}", rep.mode));
         for epc in epcs.iter() {
             let symbol = if !rep.census.contains(epc) {
@@ -108,4 +108,5 @@ fn main() {
         n_static + 1,
         n_static + 2
     );
+    Ok(())
 }

@@ -14,11 +14,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tagwatch::prelude::*;
-use tagwatch_reader::{Reader, ReaderConfig, RoSpec};
+use tagwatch_reader::{LlrpError, Reader, ReaderConfig, RoSpec};
 use tagwatch_rf::ChannelPlan;
 use tagwatch_scene::presets;
 
-fn main() {
+fn main() -> Result<(), LlrpError> {
     let seed = 7;
     let n_tags = 40;
     let n_mobile = 2;
@@ -38,7 +38,7 @@ fn main() {
     // --- Baseline: plain "read everything" ----------------------------
     let mut reader = Reader::new(scene.clone(), &epcs, reader_cfg.clone(), seed);
     let spec = RoSpec::read_all(1, vec![1]);
-    let reports = reader.run_for(&spec, 10.0).expect("valid spec");
+    let reports = reader.run_for(&spec, 10.0)?;
     let mover_reads = reports.iter().filter(|r| r.tag_idx == 0).count();
     let baseline_irr = mover_reads as f64 / reader.now();
     println!("baseline (read all): mover IRR = {baseline_irr:.1} Hz");
@@ -55,7 +55,7 @@ fn main() {
     // history before the stationary majority drops out of scheduling.
     println!("\nwarming up immobility models…");
     for cycle in 0..30 {
-        let report = tagwatch.run_cycle(&mut reader).expect("valid config");
+        let report = tagwatch.run_cycle(&mut reader)?;
         if cycle % 5 == 0 {
             println!(
                 "  cycle {cycle:>2}: {:?}, {} mobile of {} present",
@@ -71,7 +71,7 @@ fn main() {
     let mut mover_reads = 0;
     let mut masks_used = Vec::new();
     for _ in 0..5 {
-        let report = tagwatch.run_cycle(&mut reader).expect("valid config");
+        let report = tagwatch.run_cycle(&mut reader)?;
         mover_reads += report
             .phase1
             .iter()
@@ -90,4 +90,5 @@ fn main() {
         tagwatch_irr / baseline_irr
     );
     println!("last Phase-II bitmasks: {masks_used:?}");
+    Ok(())
 }

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tagwatch::prelude::*;
 use tagwatch_gen2::LinkTiming;
-use tagwatch_reader::{Reader, ReaderConfig, RoSpec, TagReport};
+use tagwatch_reader::{LlrpError, Reader, ReaderConfig, RoSpec, TagReport};
 use tagwatch_rf::{ChannelPlan, LinkGeometry, Vec3};
 use tagwatch_scene::presets;
 use tagwatch_tracking::{accuracy, HologramConfig, Localizer, Tracker};
@@ -95,7 +95,7 @@ fn track_and_report(label: &str, reader: &mut Reader, mover: &[TagReport], durat
     }
 }
 
-fn main() {
+fn main() -> Result<(), LlrpError> {
     let duration = 15.0;
     let antennas = vec![1, 2, 3, 4];
 
@@ -104,8 +104,8 @@ fn main() {
     // --- Traditional: read everything ----------------------------------
     let (mut reader, _) = tracking_reader(4, 7);
     let spec = RoSpec::read_all_continuous(1, antennas.clone(), 0.05);
-    reader.run_for(&spec, 2.0).expect("settle");
-    let reports = reader.run_for(&spec, duration).expect("valid spec");
+    reader.run_for(&spec, 2.0)?;
+    let reports = reader.run_for(&spec, duration)?;
     let mover: Vec<TagReport> = reports.into_iter().filter(|r| r.tag_idx == 0).collect();
     track_and_report("read-all (1+4):", &mut reader, &mover, duration);
 
@@ -116,12 +116,12 @@ fn main() {
     cfg.phase2_dwell = Some(0.05);
     let mut tagwatch = Controller::new(cfg);
     for _ in 0..14 {
-        tagwatch.run_cycle(&mut reader).expect("warm-up");
+        tagwatch.run_cycle(&mut reader)?;
     }
     let t0 = reader.now();
     let mut collected: Vec<TagReport> = Vec::new();
     while reader.now() - t0 < duration {
-        let rep = tagwatch.run_cycle(&mut reader).expect("valid config");
+        let rep = tagwatch.run_cycle(&mut reader)?;
         collected.extend(rep.phase1);
         collected.extend(rep.phase2);
     }
@@ -130,4 +130,5 @@ fn main() {
     track_and_report("Tagwatch (1+4):", &mut reader, &mover, elapsed);
 
     println!("\npaper anchors: read-all (1+4) ≈ 10.6 cm; Tagwatch (1+4) ≈ 3.3 cm");
+    Ok(())
 }

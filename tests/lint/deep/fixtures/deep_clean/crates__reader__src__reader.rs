@@ -1,0 +1,14 @@
+//! Deep fixture: the disciplined version of everything the deep rules
+//! flag — must produce no diagnostics.
+
+use tagwatch_telemetry::Telemetry;
+
+impl Reader {
+    pub fn execute(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+}
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

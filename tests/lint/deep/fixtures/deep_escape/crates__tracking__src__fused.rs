@@ -1,0 +1,12 @@
+//! Deep fixture: escape comments against deep rules — one used (the
+//! finding is suppressed), one unused (itself a finding).
+
+pub struct Cache {
+    // lint:allow(race-surface): per-worker scratch, never shared across threads
+    scratch: std::cell::RefCell<Vec<f64>>,
+}
+
+// lint:allow(float-reduction-order): nothing here reduces; this escape is unused
+pub fn id(x: f64) -> f64 {
+    x
+}

@@ -1,0 +1,17 @@
+//! Deep fixture: f64 reduction order over chunked iteration.
+
+pub fn chunked_total(xs: &[f64]) -> f64 {
+    xs.chunks(8).map(|c| c.iter().sum::<f64>()).sum::<f64>()
+}
+
+pub fn loop_acc(xs: &[f64]) -> f64 {
+    let mut t = 0.0;
+    for c in xs.chunks(4) {
+        t += c[0];
+    }
+    t
+}
+
+pub fn ordered_total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}

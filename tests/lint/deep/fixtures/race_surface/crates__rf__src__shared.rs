@@ -1,0 +1,11 @@
+//! Deep fixture: shared-state primitives in a simulation crate.
+
+static mut HITS: u64 = 0;
+
+pub struct Channel {
+    guard: std::sync::Mutex<f64>,
+}
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,6 @@
+//! The same primitive on the telemetry side: inventoried
+//! (`allowed-in-telemetry`), not a finding.
+
+pub struct Inner {
+    state: std::sync::Mutex<u8>,
+}

@@ -1,0 +1,5 @@
+//! Setup-time seeding off the hot path: report-only, never a finding.
+
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,21 @@
+//! Deep fixture: RNG draws and stream construction on the hot path.
+//! Every fn here is under the `gen2::round::` prefix root, so all of
+//! them count as reachable from the round engine.
+
+/// A draw whose stream is invisible: no `rng` receiver, no `Rng`
+/// parameter, nothing rng-ish on the line. Flagged.
+pub fn run_round(pool: &mut Pool) -> u32 {
+    u32::from(pool.source.gen_bool(0.5))
+}
+
+/// Reseeding inside a hot-path fn: the draw itself is fine (the
+/// receiver is named `rng`), but minting the stream here is flagged.
+pub fn jitter() -> f64 {
+    let mut rng = StdRng::seed_from_u64(7);
+    rng.gen_range(0.0..1.0)
+}
+
+/// The disciplined shape: the stream arrives as a parameter.
+pub fn backoff(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.0..1.0)
+}

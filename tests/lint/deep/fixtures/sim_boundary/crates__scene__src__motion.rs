@@ -1,0 +1,8 @@
+//! Deep fixture: a sim crate reaching past the telemetry handle API.
+
+use tagwatch_telemetry::clock::wall_now;
+use tagwatch_telemetry::Telemetry;
+
+pub fn now_secs() -> f64 {
+    wall_now()
+}

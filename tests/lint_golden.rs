@@ -9,8 +9,8 @@
 //! lint_golden` after an intentional change.
 
 use std::fs;
-use std::path::PathBuf;
-use tagwatch_lint::{lint_classified, lint_source, walk};
+use std::path::{Path, PathBuf};
+use tagwatch_lint::{classify, lint_classified, lint_source, lint_workspace, walk, WorkspaceFile};
 
 /// fixture stem → the pretend workspace path it is linted under.
 const CASES: &[(&str, &str)] = &[
@@ -77,6 +77,93 @@ fn seeded_wallclock_regression_is_caught() {
     }
 }
 
+/// Deep-rule fixture cases: each directory under `tests/lint/deep/
+/// fixtures/` is a miniature workspace whose file names encode pretend
+/// workspace paths with `__` standing in for `/` (so
+/// `crates__gen2__src__round.rs` is linted as `crates/gen2/src/
+/// round.rs`). The whole case runs through `lint_workspace` — symbol
+/// graph, deep rules, escapes — and the rendered diagnostics must match
+/// `tests/lint/deep/expected/<case>.txt` byte-for-byte.
+const DEEP_CASES: &[&str] = &[
+    "rng_stream",
+    "race_surface",
+    "float_order",
+    "sim_boundary",
+    "deep_escape",
+    "deep_clean",
+];
+
+/// Loads one deep fixture case as a sorted list of pretend workspace
+/// files.
+fn deep_case_files(dir: &Path) -> Vec<WorkspaceFile> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read deep case {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.ends_with(".rs").then_some(name)
+        })
+        .collect();
+    names.sort();
+    names
+        .iter()
+        .map(|name| {
+            let rel = name.replace("__", "/");
+            let (kind, crate_name, is_crate_root) =
+                classify(&rel).unwrap_or_else(|| panic!("deep fixture path `{rel}` must classify"));
+            let source = fs::read_to_string(dir.join(name))
+                .unwrap_or_else(|e| panic!("read deep fixture {name}: {e}"));
+            WorkspaceFile {
+                rel,
+                kind,
+                crate_name,
+                is_crate_root,
+                source,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn deep_fixtures_match_expected_diagnostics() {
+    let dir = lint_dir().join("deep");
+    let update = std::env::var("LINT_GOLDEN_UPDATE").is_ok();
+    for case in DEEP_CASES {
+        let files = deep_case_files(&dir.join("fixtures").join(case));
+        assert!(!files.is_empty(), "deep case `{case}` has no fixtures");
+        let analysis = lint_workspace(&files);
+        let got: String = analysis.findings.iter().map(|f| format!("{f}\n")).collect();
+        let exp_path = dir.join("expected").join(format!("{case}.txt"));
+        if update {
+            fs::write(&exp_path, &got).unwrap_or_else(|e| panic!("write {case}: {e}"));
+            continue;
+        }
+        let expected =
+            fs::read_to_string(&exp_path).unwrap_or_else(|e| panic!("expected {case}: {e}"));
+        assert_eq!(got, expected, "deep case `{case}` diagnostics drifted");
+    }
+}
+
+/// The acceptance check for the deep family: a sim-crate edit that
+/// plants a fresh RNG stream inside the round engine's reach must fail
+/// the gate.
+#[test]
+fn hot_path_reseed_regression_is_caught() {
+    let files = [WorkspaceFile {
+        rel: "crates/gen2/src/round.rs".to_string(),
+        kind: tagwatch_lint::FileKind::Library,
+        crate_name: "gen2".to_string(),
+        is_crate_root: false,
+        source: "pub fn run_round() -> f64 {\n    \
+                 let mut rng = StdRng::seed_from_u64(42);\n    \
+                 rng.gen_range(0.0..1.0)\n}\n"
+            .to_string(),
+    }];
+    let analysis = lint_workspace(&files);
+    assert_eq!(analysis.findings.len(), 1, "{:?}", analysis.findings);
+    assert_eq!(analysis.findings[0].rule, "rng-stream-discipline");
+    assert_eq!(analysis.findings[0].line, 2);
+}
+
 /// The whole workspace must be lint-clean — the same invariant ci.sh
 /// enforces, kept inside the test suite so `cargo test` alone catches a
 /// regression.
@@ -104,5 +191,35 @@ fn workspace_is_lint_clean() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// The deep extension of the same invariant: the workspace must be
+/// deep-lint clean modulo the committed baseline
+/// (`tests/lint/deep_baseline.txt`), whose entries are full rendered
+/// finding lines with a justifying comment.
+#[test]
+fn workspace_is_deep_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = tagwatch_lint::load_workspace(&root).expect("load workspace");
+    assert!(!files.is_empty(), "no sources under {root:?}");
+    let analysis = lint_workspace(&files);
+    let baseline_text =
+        fs::read_to_string(lint_dir().join("deep_baseline.txt")).expect("read deep_baseline.txt");
+    let known: Vec<&str> = baseline_text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let new: Vec<String> = analysis
+        .findings
+        .iter()
+        .map(ToString::to_string)
+        .filter(|rendered| !known.contains(&rendered.as_str()))
+        .collect();
+    assert!(
+        new.is_empty(),
+        "workspace has deep-lint findings not in the baseline:\n{}",
+        new.join("\n")
     );
 }

@@ -4,8 +4,58 @@
 //! sane (1-based, strictly increasing) positions.
 
 use proptest::prelude::*;
+use tagwatch_lint::graph::{FileMeta, SymbolGraph};
 use tagwatch_lint::lexer::lex;
-use tagwatch_lint::lint_source;
+use tagwatch_lint::{deep, items, lint_source, lint_workspace, validate_json};
+use tagwatch_lint::{FileKind, WorkspaceFile};
+
+/// A pretend sim-crate library file for workspace-level properties.
+fn sim_file(source: String) -> WorkspaceFile {
+    WorkspaceFile {
+        rel: "crates/gen2/src/round.rs".to_string(),
+        kind: FileKind::Library,
+        crate_name: "gen2".to_string(),
+        is_crate_root: false,
+        source,
+    }
+}
+
+/// Item-shaped soup: the constructs the item parser and deep rules
+/// special-case, concatenated in arbitrary order.
+fn item_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just("fn f"),
+            Just("pub fn g(rng: &mut StdRng) -> f64"),
+            Just("("),
+            Just(")"),
+            Just("{"),
+            Just("}"),
+            Just("impl Reader"),
+            Just("trait T"),
+            Just("mod inner"),
+            Just("use tagwatch_telemetry::clock::wall_now;"),
+            Just("use a::{b, c as d, e::*};"),
+            Just("static mut HITS: u64 = 0;"),
+            Just("self.rng.gen_bool(0.5)"),
+            Just("StdRng::seed_from_u64(7)"),
+            Just("for c in xs.chunks(4)"),
+            Just("t += c[0];"),
+            Just(".sum::<f64>()"),
+            Just("Mutex::new(0)"),
+            Just("std::thread::spawn(|| {})"),
+            Just("#[test]"),
+            Just("#[cfg(test)]"),
+            Just("<"),
+            Just(">"),
+            Just("->"),
+            Just(";"),
+            Just("\n"),
+        ],
+        0..48,
+    )
+    .prop_map(|parts| parts.join(" "))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -53,5 +103,65 @@ proptest! {
         let _ = lint_source("crates/core/src/fuzz.rs", &src);
         // Crate-root path: the unsafe-free root check is in scope too.
         let _ = lint_source("crates/core/src/lib.rs", &src);
+    }
+
+    /// The item parser and graph builder must be total on arbitrary
+    /// token streams: no panics, no hangs, and every harvested position
+    /// stays 1-based.
+    #[test]
+    fn item_parser_and_graph_are_total(src in ".*") {
+        let toks = lex(&src);
+        let flags = vec![false; toks.len()];
+        let parsed = items::parse(&toks, &flags);
+        for f in &parsed.fns {
+            prop_assert!(f.line >= 1 && f.col >= 1, "fn position not 1-based: {f:?}");
+        }
+        let meta = FileMeta {
+            rel: "crates/core/src/fuzz.rs".to_string(),
+            crate_name: "core".to_string(),
+            kind: FileKind::Library,
+        };
+        let graph = SymbolGraph::build(&[(meta, &parsed)]);
+        prop_assert_eq!(graph.hot.len(), graph.symbols.len());
+        for &(a, b) in &graph.edges {
+            prop_assert!(a < graph.symbols.len() && b < graph.symbols.len());
+        }
+    }
+
+    /// Same totality over item-shaped soup, which reaches the parser's
+    /// corner states (unclosed bodies, generics, impl blocks) far more
+    /// often than uniform text does.
+    #[test]
+    fn item_parser_survives_item_soup(src in item_soup()) {
+        let toks = lex(&src);
+        let flags = vec![false; toks.len()];
+        let parsed = items::parse(&toks, &flags);
+        let meta = FileMeta {
+            rel: "crates/gen2/src/round.rs".to_string(),
+            crate_name: "gen2".to_string(),
+            kind: FileKind::Library,
+        };
+        let _ = SymbolGraph::build(&[(meta, &parsed)]);
+    }
+
+    /// The whole workspace pass — shallow + deep rules, graph, report —
+    /// is total on arbitrary sources, and its JSON export is valid and
+    /// byte-deterministic across runs on identical input.
+    #[test]
+    fn workspace_pass_is_total_with_deterministic_json(src in item_soup()) {
+        let files = [sim_file(src)];
+        let a1 = lint_workspace(&files);
+        let a2 = lint_workspace(&files);
+        let j1 = deep::graph_json(&a1.graph, &a1.report);
+        let j2 = deep::graph_json(&a2.graph, &a2.report);
+        prop_assert_eq!(&j1, &j2, "graph JSON must be byte-stable");
+        prop_assert!(validate_json(&j1).is_ok(), "graph JSON must validate: {j1}");
+        // Findings arrive sorted by (file, line, col, rule).
+        for w in a1.findings.windows(2) {
+            let key = |f: &tagwatch_lint::Finding| {
+                (f.file.clone(), f.line, f.col, f.rule)
+            };
+            prop_assert!(key(&w[0]) <= key(&w[1]), "unsorted findings: {w:?}");
+        }
     }
 }

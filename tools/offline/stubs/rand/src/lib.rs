@@ -13,6 +13,8 @@
 //! Only what the workspace calls is implemented. Never published; wired
 //! in by `tools/offline/mkshadow.sh` via a path override.
 
+#![forbid(unsafe_code)]
+
 #![allow(clippy::all)]
 
 // ---------------------------------------------------------------------------

@@ -9,6 +9,8 @@
 //!
 //! Never published; wired in by `tools/offline/mkshadow.sh`.
 
+#![forbid(unsafe_code)]
+
 #![allow(clippy::all)]
 pub use serde_derive_stub::{Deserialize, Serialize};
 

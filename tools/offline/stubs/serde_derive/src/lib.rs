@@ -15,6 +15,8 @@
 //! Anything else panics at compile time so unsupported schema creep is
 //! caught immediately.
 
+#![forbid(unsafe_code)]
+
 #![allow(clippy::all)]
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 

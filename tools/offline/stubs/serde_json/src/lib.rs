@@ -7,6 +7,8 @@
 //!
 //! Never published; wired in by `tools/offline/mkshadow.sh`.
 
+#![forbid(unsafe_code)]
+
 #![allow(clippy::all)]
 use serde::de::DeserializeOwned;
 use serde::{DeError, Serialize};
