@@ -28,6 +28,13 @@
 #                    # modulo tests/lint/deep_baseline.txt, and the
 #                    # `lint graph --json` export must self-validate and
 #                    # be byte-identical across two runs
+#   ./ci.sh --speed  # hot-path speed gate only: 5-trial obs-run (after a
+#                    # discarded warmup) must do byte-identical sim work
+#                    # to the newest bench-history baseline AND hit the
+#                    # tentpole speedup bar on reports_per_wall_second
+#                    # (obs compare --require-speedup, best-trial rates);
+#                    # the speed-bench engine A/B is recorded alongside
+#                    # and archived as bench-history/SPEED_*.json
 #   ./ci.sh --trace  # trace-plane gate only: the compact .twb capture of
 #                    # the reference workload must yield byte-identical
 #                    # analyzer verdicts to JSONL, `obs pack` must round-
@@ -46,6 +53,7 @@ faults_only=false
 monitor_only=false
 perf_only=false
 trace_only=false
+speed_only=false
 case "${1:-}" in
     --tier1) tier1_only=true ;;
     --obs) obs_only=true ;;
@@ -55,6 +63,7 @@ case "${1:-}" in
     --monitor) monitor_only=true ;;
     --perf) perf_only=true ;;
     --trace) trace_only=true ;;
+    --speed) speed_only=true ;;
 esac
 
 regressions_check() {
@@ -278,6 +287,81 @@ perf_gate() {
     echo "perf gate passed."
 }
 
+speed_gate() {
+    # Hot-path round-engine gate. Two proofs, one run: a fresh 5-trial
+    # obs-run must (1) do byte-identical sim work to the *frozen*
+    # pre-rebuild baseline — `obs compare` stage-1 comparability, every
+    # counter including perf.work.* — and (2) hit the tentpole speedup
+    # bar on reports_per_wall_second (--require-speedup, judged on
+    # best-trial rates so a loaded host cannot flake the bar; the
+    # baseline is single-trial, where best == median). A discarded
+    # warmup run precedes the gated one so a cold binary or page cache
+    # never eats the margin. The speed-bench engine A/B (reference vs
+    # batched, with the report streams asserted bit-identical
+    # in-process) is recorded alongside and archived under the SPEED_
+    # prefix, which perf_gate's newest-BENCH_* lookup never matches.
+    #
+    # The baseline is deliberately PINNED, not "newest archive": the
+    # obs gate re-archives a snapshot of the current (already fast)
+    # code on every counter change, so a rolling baseline would erase
+    # the very speedup this gate exists to preserve. BENCH_0002 is the
+    # last pre-rebuild snapshot; comparability against it doubles as a
+    # sim-drift detector. If a future change legitimately alters the
+    # workload's counters, the gate fails loudly at stage 1 and the
+    # pin must be re-based consciously (new frozen baseline + bar).
+    local seed=7 trials=5 factor=5.0 baseline=bench-history/BENCH_0002.json
+    echo "==> speed: cargo build --release (repro + obs)"
+    cargo build --release -p tagwatch-bench -p tagwatch-obs
+    mkdir -p out
+
+    if [[ ! -f "$baseline" ]]; then
+        echo "==> speed: pinned baseline $baseline missing — skipping"
+        return 0
+    fi
+    if ! grep -q '"perf.work.' "$baseline"; then
+        echo "==> speed: $baseline predates the perf.work.* counters — bootstrap skip"
+        return 0
+    fi
+
+    echo "==> speed: warmup run (discarded)"
+    ./target/release/repro obs-run --quick --seed "$seed" >/dev/null
+    echo "==> speed: $trials-trial batched obs-run (seed $seed)"
+    ./target/release/repro obs-run --quick --seed "$seed" --trials "$trials" \
+        --bench-json out/BENCH_speed.json >/dev/null
+
+    echo "==> speed: obs compare vs $baseline, requiring ${factor}x on reports/s"
+    ./target/release/obs compare "$baseline" out/BENCH_speed.json \
+        --require-speedup "figures.obs-run.reports_per_wall_second:${factor}"
+
+    echo "==> speed: engine A/B microbenchmark (speed-bench, seed $seed)"
+    ./target/release/repro speed-bench --quick --seed "$seed" \
+        --bench-json out/BENCH_speedbench.json
+    archive_speed out/BENCH_speedbench.json
+    echo "speed gate passed."
+}
+
+archive_speed() {
+    # archive_bench's sibling for speed-bench snapshots, under the
+    # distinct SPEED_ prefix: perf_gate and speed_gate resolve their
+    # baseline as the newest BENCH_*.json, which must never pick up an
+    # engine-A/B snapshot (different workload, incomparable counters).
+    local snap=$1 latest n next
+    mkdir -p bench-history
+    latest=$(ls bench-history/SPEED_*.json 2>/dev/null | sort | tail -n1 || true)
+    if [[ -n "$latest" ]] && cmp -s "$latest" "$snap"; then
+        echo "==> speed: bench-history unchanged ($latest)"
+        return 0
+    fi
+    if [[ -n "$latest" ]]; then
+        n=$(basename "$latest" .json); n=${n#SPEED_}; n=$((10#$n + 1))
+    else
+        n=1
+    fi
+    next=$(printf 'bench-history/SPEED_%04d.json' "$n")
+    cp "$snap" "$next"
+    echo "==> speed: archived speed-bench snapshot as $next (commit it)"
+}
+
 trace_gate() {
     # Trace-plane gate: the compact binary format must be a drop-in
     # replacement for JSONL capture. Same-seed sim-only runs are byte-
@@ -367,6 +451,11 @@ if $trace_only; then
     exit 0
 fi
 
+if $speed_only; then
+    speed_gate
+    exit 0
+fi
+
 if ! $tier1_only; then
     echo "==> cargo fmt --check"
     cargo fmt --all -- --check
@@ -391,6 +480,7 @@ if ! $tier1_only; then
     monitor_gate
     perf_gate
     trace_gate
+    speed_gate
 fi
 
 echo "CI gate passed."

@@ -1,0 +1,72 @@
+//! Reference vs batched round engine, head to head on the steady-state
+//! hot path. Unlike `inventory.rs` (which constructs a fresh reader per
+//! iteration and so measures warm-up too), this bench reuses one warm
+//! reader and a recycled report buffer per engine — the configuration
+//! the zero-allocation audit (`tests/alloc_steady_state.rs`) pins — so
+//! the numbers isolate the per-round cost the `--engine` flag actually
+//! changes. The `repro speed-bench` figure is the wall-clock companion;
+//! this bench gives the per-round distribution.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tagwatch_gen2::Epc;
+use tagwatch_reader::{EngineKind, Reader, ReaderConfig, RoSpec};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::Telemetry;
+
+/// One warm reader in steady state; the measured closure executes a
+/// single ROSpec (one inventory round) into a recycled buffer.
+fn warm_reader(
+    engine: EngineKind,
+    n_tags: usize,
+) -> (Reader, RoSpec, Vec<tagwatch_reader::TagReport>) {
+    let seed = 0x5EED;
+    let scene = presets::turntable(n_tags, n_tags / 10, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB0);
+    let epcs: Vec<Epc> = (0..n_tags).map(|_| Epc::random(&mut rng)).collect();
+    let cfg = ReaderConfig {
+        engine,
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(scene, &epcs, cfg, seed);
+    // Sampling-off telemetry, as in the gated obs-run configuration.
+    let tel = Telemetry::new();
+    tel.set_enabled(true);
+    reader.set_telemetry(tel);
+    let spec = RoSpec::read_all(1, vec![1]);
+    let mut reports = Vec::new();
+    for _ in 0..32 {
+        reader
+            .execute_into(&spec, &mut reports)
+            .expect("valid ROSpec");
+        reports.clear();
+    }
+    (reader, spec, reports)
+}
+
+fn bench_round_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_hotpath");
+    for &n in &[10usize, 40, 200] {
+        for engine in [EngineKind::Reference, EngineKind::Batched] {
+            let label = match engine {
+                EngineKind::Reference => "reference",
+                EngineKind::Batched => "batched",
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let (mut reader, spec, mut reports) = warm_reader(engine, n);
+                b.iter(|| {
+                    reader
+                        .execute_into(&spec, &mut reports)
+                        .expect("valid ROSpec");
+                    black_box(reports.len());
+                    reports.clear();
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_hotpath);
+criterion_main!(benches);

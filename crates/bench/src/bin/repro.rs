@@ -90,6 +90,10 @@ struct Opts {
     /// above 1 the stream is split across self-describing `.twb.shardK`
     /// files that `obs ingest` merges back deterministically.
     telemetry_shards: usize,
+    /// Round engine for the engine-aware targets (`--engine`): the
+    /// batched hot path (default) or the scalar reference. Sim-side
+    /// output is bit-identical either way; only the wall clock moves.
+    engine: tagwatch_reader::EngineKind,
 }
 
 impl Opts {
@@ -120,6 +124,7 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
         monitor: None,
         telemetry_format: TraceFormat::Jsonl,
         telemetry_shards: 1,
+        engine: tagwatch_reader::EngineKind::default(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -193,6 +198,11 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
                 }
                 opts.telemetry_shards = n;
             }
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs reference or batched")?;
+                opts.engine = tagwatch_reader::EngineKind::parse(&v)
+                    .ok_or_else(|| format!("--engine: unknown engine {v:?}"))?;
+            }
             "--telemetry-sim-only" => opts.sim_only = true,
             "--quick" => opts.scale = 0,
             "--full" => opts.scale = 2,
@@ -218,11 +228,11 @@ fn parse_args() -> Result<(Vec<String>, Opts), String> {
 fn usage() -> String {
     "usage: repro <fig1|fig2|fig3|fig4|fig8|fig12|fig13|fig14|fig15|fig16|fig17|fig18|all|\
      gate|ablate-cover|ablate-gmm|ablate-cycle|ablate-truncate|ablate-epc|obs-run|fault-run|\
-     trace-bench> \
+     trace-bench|speed-bench> \
      [--seed N] [--quick|--full] [--csv DIR] [--telemetry FILE] [--bench-json FILE] \
      [--trials N] [--telemetry-sample N] [--telemetry-max-events M] [--faults PLAN] \
      [--telemetry-sim-only] [--monitor DIR] [--telemetry-format jsonl|binary] \
-     [--telemetry-shards N]\n\
+     [--telemetry-shards N] [--engine reference|batched]\n\
      \n\
      --trials N repeats each figure N times at the same seed (reprinting its\n\
      output) and records per-trial wall stats + work rates in the bench snapshot;\n\
@@ -241,7 +251,12 @@ fn usage() -> String {
      (every obs subcommand reads either); --telemetry-shards N (binary only) splits\n\
      it across N self-describing shard files that `obs ingest` merges back\n\
      deterministically. trace-bench benchmarks the two encoders on a synthetic\n\
-     stream and records bytes/event + throughput for the CI trace gate."
+     stream and records bytes/event + throughput for the CI trace gate.\n\
+     --engine selects the inventory round engine for engine-aware targets\n\
+     (obs-run): the batched SoA hot path (default) or the scalar reference.\n\
+     Sim-side observables are bit-identical either way. speed-bench times the\n\
+     same workload on both engines back to back (asserting bit-identity) and\n\
+     reports the speedup; `ci.sh --speed` records and gates it."
         .to_string()
 }
 
@@ -328,8 +343,13 @@ fn run_fig(name: &str, o: &Opts) -> Result<(), String> {
             let (n, movers, cycles) = [(15, 1, 8), (40, 2, 20), (100, 5, 60)][o.scale as usize];
             println!(
                 "{}",
-                obs_run::run(o.seed, n, movers, cycles, 0.0, o.faults.as_ref())
+                obs_run::run(o.seed, n, movers, cycles, 0.0, o.faults.as_ref(), o.engine)
             );
+        }
+        "speed-bench" => {
+            let (n, movers, sim_s) =
+                [(40, 2, 30.0), (40, 2, 120.0), (100, 5, 300.0)][o.scale as usize];
+            println!("{}", speed_bench::run(o.seed, n, movers, sim_s));
         }
         "trace-bench" => {
             let events = [2_000, 20_000, 200_000][o.scale as usize];

@@ -19,4 +19,5 @@ pub mod fig17;
 pub mod fig18;
 pub mod gate;
 pub mod obs_run;
+pub mod speed_bench;
 pub mod trace_bench;

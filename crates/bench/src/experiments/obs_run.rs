@@ -13,7 +13,7 @@
 use crate::experiments::common::random_epcs;
 use tagwatch::prelude::*;
 use tagwatch_fault::{FaultPlan, PlanInjector};
-use tagwatch_reader::{Reader, ReaderConfig};
+use tagwatch_reader::{EngineKind, Reader, ReaderConfig};
 use tagwatch_scene::presets;
 use tagwatch_telemetry::Telemetry;
 
@@ -36,7 +36,10 @@ pub struct ObsRun {
 /// probability `decode_fail_prob` (0 for the reference workload; the
 /// regression-injection integration test raises it to degrade IRR).
 /// With `faults`, a `tagwatch-fault` plan injector rides along — the
-/// `repro --faults <plan> obs-run` path.
+/// `repro --faults <plan> obs-run` path. `engine` selects the round
+/// engine (`repro --engine reference|batched`); both produce
+/// byte-identical sim-side observables, so every registry counter and
+/// trace is engine-invariant — only the wall clock differs.
 pub fn run(
     seed: u64,
     n_tags: usize,
@@ -44,11 +47,13 @@ pub fn run(
     cycles: usize,
     decode_fail_prob: f64,
     faults: Option<&FaultPlan>,
+    engine: EngineKind,
 ) -> ObsRun {
     let scene = presets::turntable(n_tags, n_mobile, seed);
     let epcs = random_epcs(n_tags, seed ^ 0x0B5);
     let cfg = ReaderConfig {
         decode_fail_prob,
+        engine,
         ..ReaderConfig::default()
     };
     let mut reader = Reader::new(scene, &epcs, cfg, seed ^ 0x0B6);
@@ -105,12 +110,16 @@ impl std::fmt::Display for ObsRun {
 
 #[cfg(test)]
 mod tests {
+    // Engine equivalence is asserted exactly (bit-reproducibility is the
+    // claim); approximate comparison would weaken it.
+    #![allow(clippy::float_cmp)]
+
     use super::*;
 
     #[test]
     fn obs_run_is_deterministic_and_reads_everyone() {
-        let a = run(7, 12, 1, 6, 0.0, None);
-        let b = run(7, 12, 1, 6, 0.0, None);
+        let a = run(7, 12, 1, 6, 0.0, None, EngineKind::Batched);
+        let b = run(7, 12, 1, 6, 0.0, None, EngineKind::Batched);
         assert_eq!(a.phase1_reports, b.phase1_reports);
         assert_eq!(a.phase2_reports, b.phase2_reports);
         assert_eq!(a.cycles, 6);
@@ -124,9 +133,22 @@ mod tests {
     }
 
     #[test]
+    fn engines_agree_on_every_observable() {
+        // The workload-level equivalence check: the full two-phase
+        // controller over either engine lands on identical report counts,
+        // cycle counts, and simulated time.
+        let reference = run(7, 12, 1, 6, 0.0, None, EngineKind::Reference);
+        let batched = run(7, 12, 1, 6, 0.0, None, EngineKind::Batched);
+        assert_eq!(reference.phase1_reports, batched.phase1_reports);
+        assert_eq!(reference.phase2_reports, batched.phase2_reports);
+        assert_eq!(reference.selective_cycles, batched.selective_cycles);
+        assert_eq!(reference.sim_seconds, batched.sim_seconds);
+    }
+
+    #[test]
     fn decode_failures_cost_reports() {
-        let clean = run(7, 12, 1, 6, 0.0, None);
-        let lossy = run(7, 12, 1, 6, 0.5, None);
+        let clean = run(7, 12, 1, 6, 0.0, None, EngineKind::Batched);
+        let lossy = run(7, 12, 1, 6, 0.5, None, EngineKind::Batched);
         let total = |r: &ObsRun| r.phase1_reports + r.phase2_reports;
         assert!(
             total(&lossy) < total(&clean),

@@ -1,0 +1,157 @@
+//! **speed-bench** — the hot-path round-engine benchmark: the same
+//! inventory workload driven through the reference (scalar) and batched
+//! (SoA + channel-cache) engines back to back, with the report streams
+//! asserted bit-identical before any timing is reported.
+//!
+//! This is the harness-level companion to the Criterion microbench
+//! (`benches/round_hotpath.rs`): it times whole `Reader` executions —
+//! rounds, channel observations, event logging — rather than the bare
+//! round loop, and it runs under `repro` so the wall numbers land in a
+//! `BenchSnapshot` and `bench-history/` next to every other figure.
+//! `ci.sh --speed` records it alongside the gated `obs-run` comparison.
+
+use crate::experiments::common::random_epcs;
+use tagwatch_reader::{EngineKind, Reader, ReaderConfig, RoSpec};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::wall_now;
+
+/// One engine's timed leg.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineLeg {
+    /// Engine the leg ran on.
+    pub engine: EngineKind,
+    /// Host wall time consumed, seconds.
+    pub wall_seconds: f64,
+    /// Inventory rounds executed.
+    pub rounds: usize,
+    /// Tag reports delivered.
+    pub reports: usize,
+}
+
+impl EngineLeg {
+    /// Rounds per wall second.
+    pub fn rounds_per_second(&self) -> f64 {
+        self.rounds as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Reports per wall second.
+    pub fn reports_per_second(&self) -> f64 {
+        self.reports as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Results of one speed-bench run (reference leg, batched leg, and the
+/// proof that they did identical simulated work).
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedBench {
+    /// Population size.
+    pub tags: usize,
+    /// Mobile tags among them.
+    pub movers: usize,
+    /// Simulated air time per leg, seconds.
+    pub sim_seconds: f64,
+    /// The scalar reference engine's leg.
+    pub reference: EngineLeg,
+    /// The batched engine's leg.
+    pub batched: EngineLeg,
+}
+
+impl SpeedBench {
+    /// Wall-clock speedup of the batched engine over the reference.
+    pub fn speedup(&self) -> f64 {
+        self.reference.wall_seconds / self.batched.wall_seconds.max(1e-9)
+    }
+}
+
+/// Runs `sim_seconds` of turntable inventory (`n_tags` tags, `n_mobile`
+/// on the platter) once per engine and times each leg. Before timing is
+/// trusted, the two report streams are asserted bit-identical — a run
+/// where the engines diverge panics rather than reporting a meaningless
+/// speedup.
+pub fn run(seed: u64, n_tags: usize, n_mobile: usize, sim_seconds: f64) -> SpeedBench {
+    let leg = |engine: EngineKind| {
+        let scene = presets::turntable(n_tags, n_mobile, seed);
+        let epcs = random_epcs(n_tags, seed ^ 0x5BE);
+        let cfg = ReaderConfig {
+            engine,
+            ..ReaderConfig::default()
+        };
+        let mut reader = Reader::new(scene, &epcs, cfg, seed ^ 0x5BF);
+        let spec = RoSpec::read_all(1, vec![1]);
+        let mut reports = Vec::new();
+        let start = wall_now();
+        while reader.now() < sim_seconds {
+            reader
+                .execute_into(&spec, &mut reports)
+                .expect("read-all spec is valid"); // lint:allow(panic-policy): harness-built spec is valid by construction
+        }
+        let wall = start.elapsed_seconds();
+        let rounds = reader.events.len() + reader.events.dropped();
+        (
+            EngineLeg {
+                engine,
+                wall_seconds: wall,
+                rounds,
+                reports: reports.len(),
+            },
+            reports,
+        )
+    };
+    let (reference, reports_ref) = leg(EngineKind::Reference);
+    let (batched, reports_bat) = leg(EngineKind::Batched);
+    assert_eq!(
+        reports_ref, reports_bat,
+        "engine divergence: the batched engine must be bit-identical to the reference"
+    );
+    assert_eq!(reference.rounds, batched.rounds);
+    SpeedBench {
+        tags: n_tags,
+        movers: n_mobile,
+        sim_seconds,
+        reference,
+        batched,
+    }
+}
+
+impl std::fmt::Display for SpeedBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "speed-bench — round-engine hot path ({} tags / {} mobile, {:.0} s simulated per leg)",
+            self.tags, self.movers, self.sim_seconds
+        )?;
+        writeln!(
+            f,
+            "  report streams bit-identical across engines ({} reports, {} rounds)",
+            self.batched.reports, self.batched.rounds
+        )?;
+        for leg in [&self.reference, &self.batched] {
+            writeln!(
+                f,
+                "  {:<9} {:>8.3} s wall   {:>10.0} rounds/s   {:>10.0} reports/s",
+                format!("{:?}", leg.engine).to_lowercase(),
+                leg.wall_seconds,
+                leg.rounds_per_second(),
+                leg.reports_per_second()
+            )?;
+        }
+        writeln!(f, "  batched speedup: {:.2}x", self.speedup())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legs_agree_and_time_something() {
+        // Tiny sim window: correctness of the harness, not the speedup,
+        // is what a unit test can assert.
+        let r = run(11, 10, 1, 2.0);
+        assert_eq!(r.reference.reports, r.batched.reports);
+        assert_eq!(r.reference.rounds, r.batched.rounds);
+        assert!(r.batched.rounds > 0);
+        assert!(r.reference.wall_seconds > 0.0);
+        assert!(r.batched.wall_seconds > 0.0);
+    }
+}

@@ -104,6 +104,13 @@ pub struct Controller {
     /// of [`ControllerSnapshot`]: work counts describe a run, not the
     /// learned state.
     work: WorkCounters,
+    /// High-water marks for the per-phase report buffers: each cycle's
+    /// `phase1`/`phase2` vectors are owned by its [`CycleReport`], so
+    /// they cannot be recycled outright, but pre-sizing them to the
+    /// largest phase seen so far turns the steady-state growth pattern
+    /// into a single allocation per phase.
+    phase1_cap: usize,
+    phase2_cap: usize,
 }
 
 impl Controller {
@@ -121,6 +128,8 @@ impl Controller {
             cycle: 0,
             telemetry: Telemetry::global().clone(),
             work: WorkCounters::default(),
+            phase1_cap: 0,
+            phase2_cap: 0,
         }
     }
 
@@ -183,6 +192,8 @@ impl Controller {
             cycle: snapshot.cycle,
             telemetry: Telemetry::global().clone(),
             work: WorkCounters::default(),
+            phase1_cap: 0,
+            phase2_cap: 0,
         }
     }
 
@@ -252,7 +263,9 @@ impl Controller {
         // lets a mis-scheduled stationary tag drop out after one cycle.
         let phase1_span = tel.sim_span("phase1", t_start);
         let phase1_spec = RoSpec::read_all((cycle as u32) << 1, self.cfg.antennas.clone());
-        let phase1 = reader.execute(&phase1_spec)?;
+        let mut phase1 = Vec::with_capacity(self.phase1_cap);
+        reader.execute_into(&phase1_spec, &mut phase1)?;
+        self.phase1_cap = self.phase1_cap.max(phase1.len());
         let t_phase1_end = reader.now();
         phase1_span.end(t_phase1_end);
         for r in &phase1 {
@@ -301,7 +314,9 @@ impl Controller {
         // ---- Phase II: selective (or fallback) reading ----------------
         let t_phase2_start = reader.now();
         let phase2_span = tel.sim_span("phase2", t_phase2_start);
-        let phase2 = reader.run_for(&schedule.rospec, self.cfg.phase2_len)?;
+        let mut phase2 = Vec::with_capacity(self.phase2_cap);
+        reader.run_for_into(&schedule.rospec, self.cfg.phase2_len, &mut phase2)?;
+        self.phase2_cap = self.phase2_cap.max(phase2.len());
         let t_end = reader.now();
         phase2_span.end(t_end);
         for r in &phase2 {

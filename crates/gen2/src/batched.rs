@@ -1,0 +1,553 @@
+//! The batched inventory-round engine: frame-structured slot simulation
+//! over SoA tag state, bit-identical to [`crate::round::run_round`].
+//!
+//! The scalar engine walks every tag on every slot — an O(n) scan per
+//! slot, O(n²) per round — because that is literally what the air
+//! interface does. But the *outcome* of a frame is fully determined the
+//! moment the slot draws land: a tag drawing slot `k` backscatters on the
+//! k-th heard `QueryRep`, collides or succeeds depending only on how many
+//! neighbours drew the same `k`, and parks until the next `QueryAdjust`
+//! otherwise. This engine exploits that: it keeps the participants'
+//! draws in flat arrays sorted by slot, advances a cursor instead of
+//! re-scanning the population, and reconciles the tag structs only at
+//! ACK time and at round end.
+//!
+//! **Equivalence is by construction, not by assertion.** Every RNG touch
+//! goes through the same [`TagProto`] handlers (initial `Query`,
+//! `QueryAdjust`) or the same literal draw sequence (`gen::<u16>()` on
+//! slot activation in tag-index order, fault `gen_bool`s in the scalar
+//! order), so the random stream, the [`RoundResult`], and the final tag
+//! structs are byte-identical to the scalar engine's — a property the
+//! differential engine tests (in-crate and workspace-level proptests)
+//! pin down. The scalar path stays alive behind `--engine reference`.
+//!
+//! Envelope: the frame cursor counts heard `QueryRep`s in a `u32`, so a
+//! single frame longer than `u32::MAX` slots (≈ 50 sim-days at Gen2 slot
+//! times; the default `max_slots` is 100 000) would diverge from the
+//! scalar park-counter arithmetic. Far outside any configured workload.
+
+use crate::commands::Query;
+use crate::qadapt::{FrameSizer, SlotOutcome};
+use crate::round::{ReadEvent, RoundConfig, RoundResult, SlotStats};
+use crate::tag::{TagProto, TagState};
+use crate::timing::LinkTiming;
+use rand::Rng;
+
+/// Reusable SoA buffers for [`run_round_batched`]. One workspace per
+/// reader: after the first round every buffer has reached steady-state
+/// capacity and the engine stops allocating entirely (the allocation
+/// regression test counts this).
+#[derive(Debug, Clone, Default)]
+pub struct RoundWorkspace {
+    /// Tag index (into the population slice) per participant.
+    idx: Vec<u32>,
+    /// Current slot draw per participant. Repurposed once a participant
+    /// parks: then it records the heard-QueryRep count at park time, so
+    /// the write-back can reproduce the scalar park-counter decrements.
+    draw: Vec<u32>,
+    /// RN16 drawn at the participant's most recent slot activation.
+    rn16: Vec<u16>,
+    /// Replied without an ACK (collision / decode failure) and is parked
+    /// until the next QueryAdjust.
+    parked: Vec<bool>,
+    /// Successfully ACKed — out of the round, struct already final.
+    done: Vec<bool>,
+    /// Participants still counting down (draw > 0), sorted by
+    /// `(draw, tag index)`; a cursor walks this instead of re-scanning.
+    order: Vec<u32>,
+    /// Participants backscattering in the current slot, tag-index order.
+    repliers: Vec<u32>,
+    /// Recycled reads buffer: moved into the returned [`RoundResult`],
+    /// handed back via [`RoundWorkspace::recycle`].
+    reads: Vec<ReadEvent>,
+}
+
+impl RoundWorkspace {
+    /// An empty workspace; buffers grow to population size on first use.
+    pub fn new() -> Self {
+        RoundWorkspace::default()
+    }
+
+    /// Returns a consumed [`RoundResult`]'s reads buffer to the
+    /// workspace so the next round reuses its capacity instead of
+    /// allocating. Callers that keep the result (or never call this)
+    /// lose nothing but the recycling.
+    pub fn recycle(&mut self, result: RoundResult) {
+        let mut reads = result.reads;
+        reads.clear();
+        // Keep the larger of the two buffers (relevant only if the
+        // caller interleaved results from elsewhere).
+        if reads.capacity() > self.reads.capacity() {
+            self.reads = reads;
+        }
+    }
+
+    /// Rebuilds the countdown order: every live participant still
+    /// holding a non-zero draw, sorted by `(draw, tag index)`. Entries
+    /// are created in ascending tag-index order, so the participant
+    /// index is a valid tie-breaker — which is what makes the
+    /// activation-time RN16 draws land in the scalar engine's tag order.
+    fn rebuild_order(&mut self) {
+        self.order.clear();
+        for p in 0..self.idx.len() {
+            if !self.done[p] && self.draw[p] > 0 {
+                self.order.push(p as u32);
+            }
+        }
+        let draw = &self.draw;
+        self.order.sort_unstable_by_key(|&p| (draw[p as usize], p));
+    }
+
+    fn clear(&mut self) {
+        self.idx.clear();
+        self.draw.clear();
+        self.rn16.clear();
+        self.parked.clear();
+        self.done.clear();
+        self.order.clear();
+        self.repliers.clear();
+    }
+
+    fn push_participant(&mut self, tag_idx: usize, draw: u32, rn16: u16) -> u32 {
+        let p = self.idx.len() as u32;
+        self.idx.push(tag_idx as u32);
+        self.draw.push(draw);
+        self.rn16.push(rn16);
+        self.parked.push(false);
+        self.done.push(false);
+        p
+    }
+}
+
+/// Runs one inventory round to completion on the batched engine.
+///
+/// Drop-in equivalent of [`crate::round::run_round`] (same result, same
+/// RNG stream consumption, same final tag state) with a reusable
+/// workspace instead of per-slot scans and allocations.
+pub fn run_round_batched<R: Rng + ?Sized>(
+    tags: &mut [TagProto],
+    cfg: &RoundConfig,
+    sizer: &mut dyn FrameSizer,
+    timing: &LinkTiming,
+    rng: &mut R,
+    ws: &mut RoundWorkspace,
+) -> RoundResult {
+    let mut t = timing.round_overhead;
+    let mut reads = std::mem::take(&mut ws.reads);
+    reads.clear();
+    let mut stats = SlotStats::default();
+
+    let mut q = sizer.current_q();
+    let mut query = Query { q, ..cfg.query };
+
+    // Initial Query: identical struct-level dispatch (and thus identical
+    // RNG stream) to the scalar engine; the outcome is read back into
+    // the SoA arrays. Participants drawing slot 0 already drew their
+    // RN16 inside `handle_query`, so they enter `repliers` directly.
+    t += timing.t_query;
+    ws.clear();
+    // Bound every scratch vector by the population size while they are
+    // empty: each holds at most one entry per tag, so after this no slot
+    // or frame can force a reallocation mid-round — and from round 2
+    // onward the reserves are no-ops, making the steady-state hot path
+    // allocation-free (the workspace test and the workspace-level
+    // allocation regression test both pin this).
+    ws.idx.reserve(tags.len());
+    ws.draw.reserve(tags.len());
+    ws.rn16.reserve(tags.len());
+    ws.parked.reserve(tags.len());
+    ws.done.reserve(tags.len());
+    ws.order.reserve(tags.len());
+    ws.repliers.reserve(tags.len());
+    for (i, tag) in tags.iter_mut().enumerate() {
+        tag.handle_query(&query, rng);
+        // The SoA RN16 column always mirrors what the scalar path would
+        // leave in the struct: the fresh draw for slot-0 repliers, the
+        // stale pre-round value for everyone else (the scalar engine only
+        // overwrites the field on activation, and tags that never
+        // activate carry the stale value out of the round).
+        match tag.state() {
+            TagState::Reply => {
+                let p = ws.push_participant(i, 0, tag.current_rn16());
+                ws.repliers.push(p);
+            }
+            TagState::Arbitrate => {
+                ws.push_participant(i, tag.slot_counter(), tag.current_rn16());
+            }
+            TagState::Ready | TagState::Acknowledged => {}
+        }
+    }
+    ws.rebuild_order();
+    // Cursor into `order`: everything before it has been activated.
+    let mut ptr = 0usize;
+    // Heard (non-lost) QueryReps since the last frame start: the slot
+    // level currently backscattering.
+    let mut heard: u32 = 0;
+
+    let mut consecutive_empty_at_q0 = 0u32;
+    for _slot in 0..cfg.max_slots {
+        let outcome = match ws.repliers.len() {
+            0 => {
+                t += timing.empty_slot();
+                stats.empties += 1;
+                SlotOutcome::Empty
+            }
+            1 => {
+                if cfg.decode_fail_prob > 0.0 && rng.gen_bool(cfg.decode_fail_prob) {
+                    // The lone RN16 was garbled; the reader can't tell
+                    // this from a collision. The tag stays in Reply and
+                    // parks at the next heard QueryRep.
+                    t += timing.collision_slot();
+                    stats.decode_failures += 1;
+                    SlotOutcome::Collision
+                } else {
+                    let p = ws.repliers[0] as usize;
+                    let tag_idx = ws.idx[p] as usize;
+                    let rn16 = ws.rn16[p];
+                    let reply_bits = match tags[tag_idx].truncate_from() {
+                        Some(from) => (crate::epc::EPC_BITS - from) + 16,
+                        None => 128,
+                    };
+                    if cfg.epc_corrupt_prob > 0.0 && rng.gen_bool(cfg.epc_corrupt_prob) {
+                        t += timing.success_slot_bits(reply_bits);
+                        stats.epc_corruptions += 1;
+                        SlotOutcome::Collision
+                    } else {
+                        // Reconcile the struct with the SoA view, then run
+                        // the scalar path's exact ACK handshake so flag
+                        // toggling and state transitions stay identical.
+                        let tag = &mut tags[tag_idx];
+                        tag.sync_round_state(TagState::Reply, 0, rn16);
+                        let epc = tag
+                            .handle_ack(rn16, cfg.query.session)
+                            .expect("rn16 echo must be accepted"); // lint:allow(panic-policy): the tag just issued this RN16
+                        t += timing.success_slot_bits(reply_bits);
+                        stats.successes += 1;
+                        reads.push(ReadEvent { tag_idx, epc, t });
+                        tag.end_of_slot();
+                        ws.done[p] = true;
+                        ws.repliers.clear();
+                        SlotOutcome::Success
+                    }
+                }
+            }
+            _ => {
+                t += timing.collision_slot();
+                stats.collisions += 1;
+                SlotOutcome::Collision
+            }
+        };
+
+        sizer.on_slot(outcome);
+
+        // Termination: sustained silence at the smallest frame.
+        if outcome == SlotOutcome::Empty && sizer.current_q() == 0 && q == 0 {
+            consecutive_empty_at_q0 += 1;
+            if consecutive_empty_at_q0 >= cfg.end_empty_threshold {
+                break;
+            }
+        } else {
+            consecutive_empty_at_q0 = 0;
+        }
+
+        // Advance: QueryAdjust on a Q change, else QueryRep.
+        let new_q = sizer.current_q();
+        if new_q != q {
+            q = new_q;
+            query = Query { q, ..cfg.query };
+            t += timing.t_query_adjust;
+            stats.adjusts += 1;
+            // Every live participant re-draws through the struct handler
+            // in tag-index order (workspace entries are created in index
+            // order, so ascending `p` is index order). Done tags are in
+            // Ready and the scalar handler no-ops them without touching
+            // the RNG, so skipping them is exact.
+            ws.repliers.clear();
+            for p in 0..ws.idx.len() {
+                if ws.done[p] {
+                    continue;
+                }
+                let tag = &mut tags[ws.idx[p] as usize];
+                tag.handle_query_adjust(&query, rng);
+                ws.parked[p] = false;
+                if tag.state() == TagState::Reply {
+                    ws.draw[p] = 0;
+                    ws.rn16[p] = tag.replying_rn16().unwrap_or(0);
+                    ws.repliers.push(p as u32);
+                } else {
+                    ws.draw[p] = tag.slot_counter();
+                }
+            }
+            ws.rebuild_order();
+            ptr = 0;
+            heard = 0;
+        } else if cfg.query_rep_loss_prob > 0.0 && rng.gen_bool(cfg.query_rep_loss_prob) {
+            // The QueryRep broadcast was lost: no tag heard the slot
+            // boundary, so nothing parks or activates.
+            stats.query_reps += 1;
+        } else {
+            stats.query_reps += 1;
+            heard = heard.saturating_add(1);
+            // Un-ACKed repliers park (scalar: Reply → Arbitrate at
+            // u32::MAX, no draw); `draw` now records the park level so
+            // the write-back can reproduce the scalar countdown.
+            for &p in &ws.repliers {
+                ws.parked[p as usize] = true;
+                ws.draw[p as usize] = heard;
+            }
+            ws.repliers.clear();
+            // The next countdown bucket activates: tags whose draw equals
+            // the heard count backscatter, drawing an RN16 each — in tag
+            // index order, exactly as the scalar per-tag loop does.
+            while ptr < ws.order.len() {
+                let p = ws.order[ptr] as usize;
+                if ws.draw[p] != heard {
+                    break;
+                }
+                ws.rn16[p] = rng.gen::<u16>();
+                ws.repliers.push(p as u32);
+                ptr += 1;
+            }
+        }
+    }
+
+    // Write the SoA view back into the structs so downstream code (and
+    // the next round) sees exactly the state the scalar engine leaves.
+    for p in 0..ws.idx.len() {
+        if ws.done[p] {
+            continue; // handle_ack/end_of_slot already left the final state
+        }
+        let tag = &mut tags[ws.idx[p] as usize];
+        if ws.parked[p] {
+            // Scalar: parked at u32::MAX, then decremented once per heard
+            // QueryRep since the park.
+            tag.sync_round_state(
+                TagState::Arbitrate,
+                u32::MAX - (heard - ws.draw[p]),
+                ws.rn16[p],
+            );
+        } else if ws.draw[p] <= heard {
+            // Activated and still backscattering when the round ended
+            // (slot-cap exit mid-frame).
+            tag.sync_round_state(TagState::Reply, 0, ws.rn16[p]);
+        } else {
+            // Still counting down. The RN16 column carries the scalar
+            // struct's value (last activation this round, or the stale
+            // pre-round value if the tag never activated).
+            tag.sync_round_state(TagState::Arbitrate, ws.draw[p] - heard, ws.rn16[p]);
+        }
+    }
+
+    RoundResult {
+        duration: t,
+        reads,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::{InvFlag, QuerySel, Select, Session};
+    use crate::epc::Epc;
+    use crate::qadapt::QAdaptive;
+    use crate::round::run_round;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn population(n: usize, seed: u64) -> Vec<TagProto> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| TagProto::new(Epc::random(&mut rng)))
+            .collect()
+    }
+
+    fn open_query(q: u8) -> Query {
+        Query {
+            q,
+            sel: QuerySel::All,
+            session: Session::S0,
+            target: InvFlag::A,
+        }
+    }
+
+    /// Runs both engines from identical initial state and asserts the
+    /// results, the final tag structs, and the RNG stream position all
+    /// match byte-for-byte.
+    fn assert_engines_agree(mut tags: Vec<TagProto>, cfg: &RoundConfig, q: u8, seed: u64) {
+        let mut tags_ref = tags.clone();
+        let mut sizer_ref = QAdaptive::new(q);
+        let mut rng_ref = StdRng::seed_from_u64(seed);
+        let reference = run_round(
+            &mut tags_ref,
+            cfg,
+            &mut sizer_ref,
+            &LinkTiming::r420(),
+            &mut rng_ref,
+        );
+
+        let mut sizer = QAdaptive::new(q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ws = RoundWorkspace::new();
+        let batched = run_round_batched(
+            &mut tags,
+            cfg,
+            &mut sizer,
+            &LinkTiming::r420(),
+            &mut rng,
+            &mut ws,
+        );
+
+        assert_eq!(reference, batched, "RoundResult diverged");
+        assert_eq!(tags_ref, tags, "final tag state diverged");
+        // Same stream position: the next draw must match.
+        assert_eq!(
+            rand::Rng::gen::<u64>(&mut rng_ref),
+            rand::Rng::gen::<u64>(&mut rng),
+            "RNG stream position diverged"
+        );
+    }
+
+    #[test]
+    fn matches_reference_across_populations_and_seeds() {
+        for n in [0usize, 1, 2, 3, 5, 17, 40, 100] {
+            for seed in [7u64, 42, 1234] {
+                let cfg = RoundConfig::new(open_query(4));
+                assert_engines_agree(population(n, seed ^ 0x5EED), &cfg, 4, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_under_faults() {
+        for (dfp, qrl, ecp) in [
+            (0.3, 0.0, 0.0),
+            (0.0, 0.4, 0.0),
+            (0.0, 0.0, 0.5),
+            (0.2, 0.2, 0.2),
+            (1.0, 0.0, 1.0),
+        ] {
+            let mut cfg = RoundConfig::new(open_query(4));
+            cfg.decode_fail_prob = dfp;
+            cfg.query_rep_loss_prob = qrl;
+            cfg.epc_corrupt_prob = ecp;
+            assert_engines_agree(population(18, 83), &cfg, 4, 89);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_tight_slot_cap() {
+        // max_slots exits mid-frame: active repliers and half-counted
+        // waiters must write back the scalar engine's exact state.
+        for cap in [1usize, 3, 5, 12] {
+            let mut cfg = RoundConfig::new(open_query(3));
+            cfg.max_slots = cap;
+            assert_engines_agree(population(20, 11), &cfg, 3, 13);
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_muted_and_selected_tags() {
+        let mut tags = population(16, 19);
+        tags[2].set_muted(true);
+        tags[7].set_muted(true);
+        for tag in tags.iter_mut() {
+            tag.handle_select(&Select::reset_inventoried(Session::S0));
+        }
+        let cfg = RoundConfig::new(open_query(4));
+        assert_engines_agree(tags, &cfg, 4, 23);
+    }
+
+    #[test]
+    fn matches_reference_across_consecutive_rounds() {
+        // Round k+1 starts from round k's final tag state, so any
+        // write-back discrepancy compounds; three chained rounds with a
+        // dual-target flip catch it.
+        let mut tags_ref = population(25, 31);
+        let mut tags = tags_ref.clone();
+        let mut rng_ref = StdRng::seed_from_u64(37);
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut ws = RoundWorkspace::new();
+        let mut target = InvFlag::A;
+        for _round in 0..3 {
+            let cfg = RoundConfig::new(Query {
+                target,
+                ..open_query(4)
+            });
+            let mut sizer_ref = QAdaptive::new(4);
+            let mut sizer = QAdaptive::new(4);
+            let reference = run_round(
+                &mut tags_ref,
+                &cfg,
+                &mut sizer_ref,
+                &LinkTiming::r420(),
+                &mut rng_ref,
+            );
+            let batched = run_round_batched(
+                &mut tags,
+                &cfg,
+                &mut sizer,
+                &LinkTiming::r420(),
+                &mut rng,
+                &mut ws,
+            );
+            assert_eq!(reference, batched);
+            assert_eq!(tags_ref, tags);
+            ws.recycle(batched);
+            target = target.toggled();
+        }
+    }
+
+    #[test]
+    fn workspace_stops_allocating_after_first_round() {
+        let mut tags = population(30, 41);
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut ws = RoundWorkspace::new();
+        let cfg = RoundConfig::new(open_query(4));
+        let mut sizer = QAdaptive::new(4);
+        let first = run_round_batched(
+            &mut tags,
+            &cfg,
+            &mut sizer,
+            &LinkTiming::r420(),
+            &mut rng,
+            &mut ws,
+        );
+        let caps_after_first = (
+            ws.idx.capacity(),
+            ws.order.capacity(),
+            ws.repliers.capacity(),
+        );
+        let reads_cap = first.reads.capacity();
+        ws.recycle(first);
+        assert!(ws.reads.capacity() >= reads_cap, "reads buffer recycled");
+        for tag in tags.iter_mut() {
+            tag.handle_select(&Select::reset_inventoried(Session::S0));
+        }
+        let mut sizer = QAdaptive::new(4);
+        let second = run_round_batched(
+            &mut tags,
+            &cfg,
+            &mut sizer,
+            &LinkTiming::r420(),
+            &mut rng,
+            &mut ws,
+        );
+        assert_eq!(second.reads.len(), 30);
+        assert_eq!(
+            (
+                ws.idx.capacity(),
+                ws.order.capacity(),
+                ws.repliers.capacity(),
+            ),
+            caps_after_first,
+            "steady-state round grew a workspace buffer"
+        );
+    }
+
+    #[test]
+    fn empty_population_terminates_like_reference() {
+        let cfg = RoundConfig::new(open_query(4));
+        assert_engines_agree(Vec::new(), &cfg, 4, 1);
+    }
+}

@@ -17,6 +17,7 @@
 //! this to the channel model.
 
 #![forbid(unsafe_code)]
+pub mod batched;
 pub mod commands;
 pub mod epc;
 pub mod mask;
@@ -25,6 +26,7 @@ pub mod round;
 pub mod tag;
 pub mod timing;
 
+pub use batched::{run_round_batched, RoundWorkspace};
 pub use commands::{InvFlag, MemBank, Query, QuerySel, SelAction, SelTarget, Select, Session};
 pub use epc::{Epc, ParseEpcError, EPC_BITS};
 pub use mask::BitMask;

@@ -28,7 +28,7 @@ pub enum TagState {
 }
 
 /// A simulated tag's protocol-visible state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TagProto {
     /// The tag's EPC.
     pub epc: Epc,
@@ -273,6 +273,27 @@ impl TagProto {
             self.slot_counter = 0;
         }
         self.muted = muted;
+    }
+
+    /// Crate-internal write-back for the batched round engine: overwrites
+    /// the volatile round state in one shot. The batched engine tracks
+    /// slot draws in SoA form and reconciles the struct only at ACK time
+    /// and at round end; callers must pass exactly the state the scalar
+    /// per-slot path would have left (the differential engine tests pin
+    /// this equivalence down to struct equality).
+    pub(crate) fn sync_round_state(&mut self, state: TagState, slot_counter: u32, rn16: u16) {
+        self.state = state;
+        self.slot_counter = slot_counter;
+        self.rn16 = rn16;
+    }
+
+    /// Crate-internal read for the batched round engine: the RN16 the
+    /// struct currently holds, regardless of state. The scalar path only
+    /// overwrites this field on slot activation, so the batched engine
+    /// seeds its SoA copy from here to reproduce stale-RN16 carryover
+    /// exactly.
+    pub(crate) fn current_rn16(&self) -> u16 {
+        self.rn16
     }
 }
 

@@ -68,7 +68,7 @@ use tagwatch_monitor::{
 };
 use tagwatch_obs::analyze::{AnalyzeConfig, RunReport};
 use tagwatch_obs::bench::BenchSnapshot;
-use tagwatch_obs::compare::CompareReport;
+use tagwatch_obs::compare::{CompareReport, SpeedupRequirement};
 use tagwatch_obs::diff::DiffReport;
 use tagwatch_obs::export::{chrome_trace, flame_lines};
 use tagwatch_obs::hotspots::HotspotReport;
@@ -88,6 +88,7 @@ fn usage() -> String {
      \x20 obs hotspots <run.jsonl> [--overhead-ns N]\n\
      \x20 obs trend [BENCH_1.json BENCH_2.json ...]\n\
      \x20 obs compare <A.json> <B.json> [--k K] [--json]\n\
+     \x20             [--require-speedup [figures.]FIG.METRIC:FACTOR]\n\
      \x20 obs compare --traces <a.jsonl> <b.jsonl> [--json]\n\
      \x20 obs tail <run.jsonl> [--watch] [--json] [--interval-ms MS]\n\
      \x20          [--max-wait-ms MS] [--starvation-gap SECS]\n\
@@ -110,7 +111,9 @@ fn usage() -> String {
      \x20        arguments, reads the bench-history/ archive\n\
      compare  A/B perf verdict: exit 2 unless both runs did identical\n\
      \x20        sim work; then flag work rates that regressed beyond\n\
-     \x20        k·stddev (--k, default 3) of the --trials noise band\n\
+     \x20        k·stddev (--k, default 3) of the --trials noise band;\n\
+     \x20        --require-speedup additionally demands B's best-trial\n\
+     \x20        rate reach FACTOR× A's (repeatable; snapshot mode)\n\
      tail     stream a trace through the online analyzers; --watch\n\
      \x20        follows a growing file until the footer lands\n\
      watch    print a --monitor status directory's latest snapshot;\n\
@@ -463,6 +466,7 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let mut json = false;
     let mut traces = false;
     let mut k = tagwatch_obs::compare::DEFAULT_K;
+    let mut requirements = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -477,6 +481,12 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
                     return Err(format!("--k must be a finite value > 0, got {v}"));
                 }
             }
+            "--require-speedup" => {
+                let v = it
+                    .next()
+                    .ok_or("--require-speedup needs [figures.]FIG.METRIC:FACTOR")?;
+                requirements.push(SpeedupRequirement::parse(v)?);
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown option {other:?}\n{}", usage()))
             }
@@ -486,6 +496,9 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
     let [a, b] = paths.as_slice() else {
         return Err(format!("compare needs exactly two inputs\n{}", usage()));
     };
+    if traces && !requirements.is_empty() {
+        return Err("--require-speedup needs snapshot mode (traces carry no trial walls)".into());
+    }
     let report = if traces {
         let (ta, tb) = (load_trace(a)?, load_trace(b)?);
         CompareReport::traces(&ta, &tb, k)
@@ -499,7 +512,9 @@ fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
                     .to_string(),
             );
         }
-        CompareReport::snapshots(&sa, &sb, k)
+        let mut report = CompareReport::snapshots(&sa, &sb, k);
+        report.require_speedups(&sa, &sb, &requirements)?;
+        report
     };
     if json {
         println!(

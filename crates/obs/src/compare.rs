@@ -32,7 +32,7 @@ use std::fmt;
 use serde::Serialize;
 use tagwatch_telemetry::OverheadEstimate;
 
-use crate::bench::BenchSnapshot;
+use crate::bench::{BenchSnapshot, FigureBench};
 use crate::hotspots::HotspotReport;
 use crate::model::Trace;
 
@@ -75,6 +75,131 @@ pub struct RateDelta {
     pub verdict: RateVerdict,
 }
 
+/// A minimum-speedup demand (`obs compare --require-speedup
+/// figures.FIG.METRIC:FACTOR`): run B's best-trial rate must be at
+/// least `factor` times run A's, on top of the usual comparability and
+/// no-regression gating.
+///
+/// Best-trial (minimum-wall) rates are used rather than the median-based
+/// figures so the demand measures *attainable* throughput: a loaded CI
+/// host inflates medians long before it inflates the best of N trials.
+/// Single-trial snapshots have `min == median`, so a `--trials 1`
+/// baseline compares directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupRequirement {
+    /// Figure name (e.g. `obs-run`).
+    pub figure: String,
+    /// One of the three rate metrics (`reports_per_wall_second`,
+    /// `slots_per_wall_second`, `channel_evals_per_wall_second`).
+    pub metric: String,
+    /// Minimum acceptable `rate_b / rate_a`.
+    pub factor: f64,
+}
+
+impl SpeedupRequirement {
+    /// Parses `[figures.]FIG.METRIC:FACTOR`, e.g.
+    /// `figures.obs-run.reports_per_wall_second:5.0`.
+    pub fn parse(spec: &str) -> Result<SpeedupRequirement, String> {
+        let (path, factor) = spec.rsplit_once(':').ok_or_else(|| {
+            format!("--require-speedup wants [figures.]FIG.METRIC:FACTOR, got {spec:?}")
+        })?;
+        let factor: f64 = factor
+            .parse()
+            .map_err(|_| format!("bad speedup factor in {spec:?}"))?;
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(format!("speedup factor must be finite and > 0 in {spec:?}"));
+        }
+        let path = path.strip_prefix("figures.").unwrap_or(path);
+        let (figure, metric) = path.rsplit_once('.').ok_or_else(|| {
+            format!("--require-speedup wants [figures.]FIG.METRIC:FACTOR, got {spec:?}")
+        })?;
+        if rate_metric(&FigureBench::default(), metric).is_none() {
+            return Err(format!(
+                "unknown rate metric {metric:?} (expected reports_per_wall_second, \
+                 slots_per_wall_second, or channel_evals_per_wall_second)"
+            ));
+        }
+        Ok(SpeedupRequirement {
+            figure: figure.to_string(),
+            metric: metric.to_string(),
+            factor,
+        })
+    }
+}
+
+/// The outcome of one [`SpeedupRequirement`] check.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpeedupCheck {
+    pub figure: String,
+    pub metric: String,
+    /// Minimum acceptable speedup.
+    pub required: f64,
+    /// Best-trial rate on each side.
+    pub a: f64,
+    pub b: f64,
+    /// `b / a`.
+    pub speedup: f64,
+    /// `speedup >= required`. False fails [`CompareReport::passed`].
+    pub satisfied: bool,
+}
+
+/// Reads one of the three median-based rate figures by name.
+fn rate_metric(f: &FigureBench, metric: &str) -> Option<f64> {
+    match metric {
+        "reports_per_wall_second" => Some(f.reports_per_wall_second),
+        "slots_per_wall_second" => Some(f.slots_per_wall_second),
+        "channel_evals_per_wall_second" => Some(f.channel_evals_per_wall_second),
+        _ => None,
+    }
+}
+
+/// The metric rescaled from the median wall to the best-trial wall
+/// (`rate · median/min`): work is trial-invariant, so the best-trial
+/// rate is the recorded rate scaled by how much faster the best trial
+/// ran. Snapshots without trial data (`min == 0`) keep the median rate.
+fn best_trial_rate(f: &FigureBench, metric: &str) -> Option<f64> {
+    let median = rate_metric(f, metric).filter(|r| *r > 0.0)?;
+    if f.wall_min_seconds > 0.0 && f.wall_seconds > 0.0 {
+        Some(median * f.wall_seconds / f.wall_min_seconds)
+    } else {
+        Some(median)
+    }
+}
+
+/// Evaluates one speedup requirement against two snapshots. Errors name
+/// the missing figure or unrecorded metric — a gate referencing a figure
+/// the run never produced must fail loudly, not vacuously pass.
+pub fn check_speedup(
+    a: &BenchSnapshot,
+    b: &BenchSnapshot,
+    req: &SpeedupRequirement,
+) -> Result<SpeedupCheck, String> {
+    let side = |snap: &BenchSnapshot, label: &str| -> Result<f64, String> {
+        let f = snap
+            .figures
+            .get(&req.figure)
+            .ok_or_else(|| format!("run {label} has no figure {:?}", req.figure))?;
+        best_trial_rate(f, &req.metric).ok_or_else(|| {
+            format!(
+                "run {label} figure {:?} did not record {:?}",
+                req.figure, req.metric
+            )
+        })
+    };
+    let ra = side(a, "A")?;
+    let rb = side(b, "B")?;
+    let speedup = rb / ra;
+    Ok(SpeedupCheck {
+        figure: req.figure.clone(),
+        metric: req.metric.clone(),
+        required: req.factor,
+        a: ra,
+        b: rb,
+        speedup,
+        satisfied: speedup >= req.factor,
+    })
+}
+
 /// One figure's wall clock compared across runs (informational — wall
 /// medians gate only through the rate verdicts).
 #[derive(Debug, Clone, Serialize)]
@@ -115,6 +240,10 @@ pub struct CompareReport {
     pub walls: Vec<WallDelta>,
     /// Trace mode only: per-wall-family self/total time side by side.
     pub families: Vec<FamilyDelta>,
+    /// `--require-speedup` check outcomes (snapshot mode; attached by
+    /// the caller via [`CompareReport::require_speedups`]). Any
+    /// unsatisfied entry fails [`CompareReport::passed`].
+    pub speedups: Vec<SpeedupCheck>,
 }
 
 /// Caps `mismatches` so a completely divergent pair stays readable.
@@ -129,14 +258,36 @@ fn push_mismatch(mismatches: &mut Vec<String>, skipped: &mut usize, msg: String)
 }
 
 impl CompareReport {
-    /// True when the runs were comparable and no rate regressed beyond
-    /// the noise band.
+    /// True when the runs were comparable, no rate regressed beyond the
+    /// noise band, and every attached speedup requirement is satisfied.
     pub fn passed(&self) -> bool {
         self.comparable
             && !self
                 .rates
                 .iter()
                 .any(|r| r.verdict == RateVerdict::Regressed)
+            && self.speedups.iter().all(|s| s.satisfied)
+    }
+
+    /// Evaluates `--require-speedup` demands against the two snapshots
+    /// this report compared and attaches the outcomes (see
+    /// [`check_speedup`]). Skipped when the runs were not comparable —
+    /// a speedup between different workloads is meaningless, and the
+    /// report already fails. Errors if a requirement names a figure or
+    /// metric neither run recorded.
+    pub fn require_speedups(
+        &mut self,
+        a: &BenchSnapshot,
+        b: &BenchSnapshot,
+        reqs: &[SpeedupRequirement],
+    ) -> Result<(), String> {
+        if !self.comparable {
+            return Ok(());
+        }
+        for req in reqs {
+            self.speedups.push(check_speedup(a, b, req)?);
+        }
+        Ok(())
     }
 
     /// Compares two bench snapshots (`repro --bench-json`, ideally with
@@ -174,6 +325,7 @@ impl CompareReport {
                 rates: Vec::new(),
                 walls: Vec::new(),
                 families: Vec::new(),
+                speedups: Vec::new(),
             };
         }
 
@@ -254,6 +406,7 @@ impl CompareReport {
             rates,
             walls,
             families: Vec::new(),
+            speedups: Vec::new(),
         }
     }
 
@@ -336,6 +489,7 @@ impl CompareReport {
             rates: Vec::new(),
             walls: Vec::new(),
             families: if comparable { families } else { Vec::new() },
+            speedups: Vec::new(),
         }
     }
 }
@@ -387,6 +541,19 @@ impl fmt::Display for CompareReport {
                     RateVerdict::WithinNoise => "within noise",
                     RateVerdict::Informational => "informational (no variance data)",
                 }
+            )?;
+        }
+        for s in &self.speedups {
+            writeln!(
+                f,
+                "  require ≥{:.2}x on {}.{}: {:.1} → {:.1} best-trial (×{:.3}) {}",
+                s.required,
+                s.figure,
+                s.metric,
+                s.a,
+                s.b,
+                s.speedup,
+                if s.satisfied { "OK" } else { "FAILED" }
             )?;
         }
         if !self.families.is_empty() {
@@ -514,6 +681,65 @@ mod tests {
         assert!(r.passed(), "no variance data can never gate: {r}");
         assert_eq!(r.rates[0].verdict, RateVerdict::Informational);
         assert_eq!(r.rates[0].speedup, 0.4);
+    }
+
+    #[test]
+    fn speedup_requirement_parses_and_rejects() {
+        let r = SpeedupRequirement::parse("figures.obs-run.reports_per_wall_second:5.0").unwrap();
+        assert_eq!(r.figure, "obs-run");
+        assert_eq!(r.metric, "reports_per_wall_second");
+        assert_eq!(r.factor, 5.0);
+        // The figures. prefix is optional.
+        let bare = SpeedupRequirement::parse("obs-run.slots_per_wall_second:2").unwrap();
+        assert_eq!(bare.figure, "obs-run");
+        assert!(SpeedupRequirement::parse("no-colon").is_err());
+        assert!(SpeedupRequirement::parse("obs-run.reports_per_wall_second:0").is_err());
+        assert!(SpeedupRequirement::parse("obs-run.reports_per_wall_second:nan").is_err());
+        assert!(SpeedupRequirement::parse("obs-run.not_a_metric:2.0").is_err());
+        assert!(SpeedupRequirement::parse("nodot:2.0").is_err());
+    }
+
+    #[test]
+    fn speedup_check_uses_best_trial_rates() {
+        // A: single trial (min == median). B: median wall 2x the best
+        // trial, so the best-trial rate is 2x the recorded median rate.
+        let a = snap(7, 1000.0, 2.0, 0.0);
+        let mut b = snap(7, 3000.0, 2.0, 0.1);
+        let fb = b.figures.get_mut("obs-run").unwrap();
+        fb.wall_min_seconds = 1.0;
+        let req = SpeedupRequirement::parse("figures.obs-run.slots_per_wall_second:5.9").unwrap();
+        let check = check_speedup(&a, &b, &req).unwrap();
+        assert_eq!(check.a, 1000.0);
+        assert_eq!(check.b, 6000.0, "median rate scaled by median/min wall");
+        assert_eq!(check.speedup, 6.0);
+        assert!(check.satisfied);
+
+        // Demanding more than the best trial delivers fails the report.
+        let hard = SpeedupRequirement::parse("figures.obs-run.slots_per_wall_second:6.1").unwrap();
+        let mut report = CompareReport::snapshots(&a, &b, DEFAULT_K);
+        assert!(report.passed());
+        report.require_speedups(&a, &b, &[hard]).unwrap();
+        assert!(!report.passed());
+        assert!(!report.speedups[0].satisfied);
+        assert!(report.to_string().contains("FAILED"), "{report}");
+
+        // Unknown figures fail loudly, never vacuously.
+        let missing = SpeedupRequirement::parse("figures.nope.slots_per_wall_second:1.0").unwrap();
+        assert!(check_speedup(&a, &b, &missing).is_err());
+        // An unrecorded metric (0.0 rate) also errors.
+        let zero = SpeedupRequirement::parse("obs-run.reports_per_wall_second:1.0").unwrap();
+        assert!(check_speedup(&a, &b, &zero).is_err());
+    }
+
+    #[test]
+    fn incomparable_runs_skip_speedup_checks() {
+        let a = snap(7, 5000.0, 2.0, 0.05);
+        let b = snap(9, 5000.0, 2.0, 0.05);
+        let mut report = CompareReport::snapshots(&a, &b, DEFAULT_K);
+        let req = SpeedupRequirement::parse("obs-run.slots_per_wall_second:1.0").unwrap();
+        report.require_speedups(&a, &b, &[req]).unwrap();
+        assert!(report.speedups.is_empty(), "meaningless across workloads");
+        assert!(!report.passed(), "still fails on comparability");
     }
 
     #[test]

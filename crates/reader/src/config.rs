@@ -4,6 +4,38 @@ use serde::{Deserialize, Serialize};
 use tagwatch_gen2::{LinkTiming, Session};
 use tagwatch_rf::{ChannelModel, ChannelPlan};
 
+/// Which inventory-round engine the reader runs.
+///
+/// Both engines implement the same Gen2 semantics and are proven
+/// bit-identical (same reports, same round stats, same RNG stream) by
+/// the differential tests in `tagwatch-gen2` and the engine-equivalence
+/// proptests; the batched engine is simply faster. The reference engine
+/// stays selectable (`--engine reference` in the harness) so any future
+/// divergence can be bisected against the original scalar code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum EngineKind {
+    /// The original scalar per-tag state-machine loop
+    /// ([`tagwatch_gen2::run_round`]).
+    Reference,
+    /// The SoA frame-batched hot path
+    /// ([`tagwatch_gen2::run_round_batched`]) with per-(tag, antenna)
+    /// channel caching. The default.
+    #[default]
+    Batched,
+}
+
+impl EngineKind {
+    /// Parses the harness-flag spelling (`reference` / `batched`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reference" => Some(EngineKind::Reference),
+            "batched" => Some(EngineKind::Batched),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of the simulated COTS reader.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReaderConfig {
@@ -29,6 +61,10 @@ pub struct ReaderConfig {
     /// experiments. The paper's 4×40 deployment ("each antenna covers 40
     /// tags") is this with a finite range.
     pub field_range_m: Option<f64>,
+    /// Round engine (see [`EngineKind`]). Defaults to the batched hot
+    /// path; configs that omit the field keep working.
+    #[serde(default)]
+    pub engine: EngineKind,
 }
 
 impl Default for ReaderConfig {
@@ -41,6 +77,7 @@ impl Default for ReaderConfig {
             channel_model: ChannelModel::default(),
             decode_fail_prob: 0.0,
             field_range_m: None,
+            engine: EngineKind::default(),
         }
     }
 }

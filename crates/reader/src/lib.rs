@@ -20,7 +20,7 @@ pub mod llrp;
 pub mod reader;
 pub mod xml;
 
-pub use config::ReaderConfig;
+pub use config::{EngineKind, ReaderConfig};
 pub use conn::{ReaderConnection, RoSpecState, VerbError};
 pub use events::{EventLog, RoundEvent};
 pub use llrp::{AiSpec, C1G2Filter, LlrpError, RoSpec};

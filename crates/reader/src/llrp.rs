@@ -57,16 +57,27 @@ impl AiSpec {
     ///   assert-else-deassert, the rest assert-else-nothing), re-arm the
     ///   inventoried flag on matching tags, and query with `Sel = SL`.
     pub fn compile(&self, session: Session) -> (Vec<Select>, QuerySel) {
+        let mut selects = Vec::with_capacity(self.filters.len().max(1) * 2);
+        let sel = self.compile_into(session, &mut selects);
+        (selects, sel)
+    }
+
+    /// [`AiSpec::compile`] into a caller-owned buffer: clears `out` and
+    /// fills it with the Select sequence, returning the Query
+    /// participation filter. The reader's hot loop reuses one buffer per
+    /// run so recompiling an AISpec allocates nothing in steady state.
+    pub fn compile_into(&self, session: Session, out: &mut Vec<Select>) -> QuerySel {
+        out.clear();
         if self.filters.is_empty() {
-            return (vec![Select::reset_inventoried(session)], QuerySel::All);
+            out.push(Select::reset_inventoried(session));
+            return QuerySel::All;
         }
-        let mut selects = Vec::with_capacity(self.filters.len() * 2);
         let truncation_ok = self.filters.len() == 1;
         for (i, f) in self.filters.iter().enumerate() {
             // Re-arm the inventoried flag so the covered tags are readable
             // again this round. Issued *before* the SL select: a truncating
             // Select is only honoured when it is the last one a tag hears.
-            selects.push(Select {
+            out.push(Select {
                 target: tagwatch_gen2::SelTarget::Inventoried(session),
                 action: tagwatch_gen2::SelAction::AssertElseNothing,
                 bank: tagwatch_gen2::MemBank::Epc,
@@ -81,17 +92,27 @@ impl AiSpec {
             if f.truncate && truncation_ok && f.mask.pointer == 0 && !f.mask.is_match_all() {
                 sel = sel.with_truncate();
             }
-            selects.push(sel);
+            out.push(sel);
         }
-        (selects, QuerySel::Sl)
+        QuerySel::Sl
+    }
+
+    /// The Query participation filter this AISpec's rounds use, without
+    /// compiling the Select sequence (it is fully determined by whether
+    /// any filter exists).
+    pub fn query_sel(&self) -> QuerySel {
+        if self.filters.is_empty() {
+            QuerySel::All
+        } else {
+            QuerySel::Sl
+        }
     }
 
     /// The Query this AISpec's round starts with.
     pub fn query(&self, session: Session, initial_q: u8) -> Query {
-        let (_, sel) = self.compile(session);
         Query {
             q: initial_q,
-            sel,
+            sel: self.query_sel(),
             session,
             target: InvFlag::A,
         }
@@ -210,15 +231,16 @@ impl RoSpec {
                     return Err(LlrpError::BadDwell { ai_spec: i });
                 }
             }
-            let mut seen = Vec::new();
-            for &p in &spec.antennas {
-                if seen.contains(&p) {
+            // Duplicate scan over the prefix slice: quadratic in the
+            // (tiny) antenna list but allocation-free, so re-validating
+            // on every execution keeps the hot path off the heap.
+            for (j, &p) in spec.antennas.iter().enumerate() {
+                if spec.antennas[..j].contains(&p) {
                     return Err(LlrpError::DuplicateAntenna {
                         ai_spec: i,
                         port: p,
                     });
                 }
-                seen.push(p);
             }
         }
         Ok(())

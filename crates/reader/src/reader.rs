@@ -7,15 +7,18 @@
 //! antenna and timestamp*. Tagwatch (the middleware) talks only to this
 //! interface, exactly as the paper's prototype talks only to LLRP.
 
-use crate::config::ReaderConfig;
+use crate::config::{EngineKind, ReaderConfig};
 use crate::events::{EventLog, RoundEvent};
 use crate::llrp::{LlrpError, RoSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tagwatch_fault::{FaultInjector, RoundEffects};
-use tagwatch_gen2::{run_round, Epc, FrameSizer, QAdaptive, RoundConfig, Select, TagProto};
-use tagwatch_rf::{LinkGeometry, RfMeasurement};
+use tagwatch_gen2::{
+    run_round, run_round_batched, Epc, FrameSizer, QAdaptive, RoundConfig, RoundWorkspace, Select,
+    TagProto,
+};
+use tagwatch_rf::{ChannelCache, ChannelCacheStats, LinkGeometry, Reflector, RfMeasurement};
 use tagwatch_scene::Scene;
 use tagwatch_telemetry::{Telemetry, WorkCounters};
 
@@ -64,6 +67,20 @@ pub struct Reader {
     /// Counting never touches `rng`, so it cannot perturb the
     /// simulation.
     work: WorkCounters,
+    /// Reusable SoA scratch for the batched round engine; its buffers
+    /// reach steady-state capacity after the first round and never
+    /// allocate again.
+    ws: RoundWorkspace,
+    /// Per-(tag, antenna, channel) memo of the expensive geometry half of
+    /// an RF observation, keyed on the scene's geometry epoch. Used only
+    /// on the batched engine's reflector-free path; hits are
+    /// bit-identical to fresh evaluations (see `tagwatch_rf::cache`).
+    cache: ChannelCache,
+    /// Reusable buffer for per-read reflector snapshots (the
+    /// reflector-bearing path only).
+    reflector_scratch: Vec<Reflector>,
+    /// Reusable buffer for compiled Select sequences.
+    selects_scratch: Vec<Select>,
 }
 
 /// Combines two independent loss probabilities (`1 − (1−a)(1−b)`),
@@ -92,6 +109,16 @@ impl Reader {
         );
         let protos = epcs.iter().map(|&e| TagProto::new(e)).collect();
         let mode_estimate = (1u32 << cfg.initial_q.min(10)) as f64;
+        // Cache dimensions are a snapshot of the construction-time scene;
+        // tags or antennas added later fall outside them and simply never
+        // hit (ChannelCache tolerates out-of-range keys).
+        let n_ports = scene
+            .antennas
+            .iter()
+            .map(|a| a.port as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let cache = ChannelCache::new(scene.tags.len(), n_ports, cfg.channel_plan.len());
         Reader {
             scene,
             events: EventLog::new(100_000),
@@ -104,7 +131,19 @@ impl Reader {
             telemetry: Telemetry::global().clone(),
             fault_injector: None,
             work: WorkCounters::default(),
+            ws: RoundWorkspace::new(),
+            cache,
+            reflector_scratch: Vec::new(),
+            selects_scratch: Vec::new(),
         }
+    }
+
+    /// Channel-cache accounting (hits, misses, epoch invalidations).
+    /// Deliberately *not* a telemetry counter: the `perf.work.*` family
+    /// is byte-compared across engine configurations, and the cache is
+    /// an engine implementation detail, not simulated work.
+    pub fn channel_cache_stats(&self) -> ChannelCacheStats {
+        self.cache.stats()
     }
 
     /// Replaces the telemetry handle (the default is the process-wide
@@ -278,10 +317,25 @@ impl Reader {
     /// Executes one pass of `spec` (every AISpec once, on each of its
     /// antennas), returning the tag reports in read order.
     pub fn execute(&mut self, spec: &RoSpec) -> Result<Vec<TagReport>, LlrpError> {
-        spec.validate()?;
         let mut reports = Vec::new();
+        self.execute_into(spec, &mut reports)?;
+        Ok(reports)
+    }
+
+    /// [`Reader::execute`] into a caller-owned buffer: reports append to
+    /// `reports` in read order. Long-running drivers reuse one buffer
+    /// across executions so the steady-state report path never allocates.
+    pub fn execute_into(
+        &mut self,
+        spec: &RoSpec,
+        reports: &mut Vec<TagReport>,
+    ) -> Result<(), LlrpError> {
+        spec.validate()?;
         for (ai_idx, ai) in spec.ai_specs.iter().enumerate() {
-            let (selects, _) = ai.compile(self.cfg.session);
+            // Compile into the reusable scratch (taken out and restored so
+            // the borrow does not pin `self` across the mutating calls).
+            let mut selects = std::mem::take(&mut self.selects_scratch);
+            ai.compile_into(self.cfg.session, &mut selects);
             match ai.dwell {
                 None => {
                     // Inventory mode: one round per antenna, each paying
@@ -295,7 +349,7 @@ impl Reader {
                         }
                         let query = ai.query(self.cfg.session, self.cfg.initial_q);
                         let timing = self.cfg.link.scaled(self.mode_factor());
-                        self.run_one_round(spec.id, ai_idx, ai, port, query, &timing, &mut reports);
+                        self.run_one_round(spec.id, ai_idx, ai, port, query, &timing, reports);
                     }
                 }
                 Some(dwell) => {
@@ -320,7 +374,7 @@ impl Reader {
                         if self.clock > t_dwell_start {
                             timing.round_overhead = 0.0;
                         }
-                        self.run_one_round(spec.id, ai_idx, ai, port, query, &timing, &mut reports);
+                        self.run_one_round(spec.id, ai_idx, ai, port, query, &timing, reports);
                         if self.clock - t_dwell_start >= dwell {
                             break;
                         }
@@ -331,11 +385,12 @@ impl Reader {
                     self.antenna_rr = antenna_idx.wrapping_add(1) % ai.antennas.len().max(1);
                 }
             }
+            self.selects_scratch = selects;
         }
         // One bulk flush per ROSpec execution: the accounting lands as
         // `perf.work.*` counters without per-unit telemetry calls.
         self.work.flush(&self.telemetry);
-        Ok(reports)
+        Ok(())
     }
 
     /// Applies the forward-field gate for the active antenna: tags out of
@@ -397,15 +452,37 @@ impl Reader {
             // The port is dark: the reader still keys the carrier and
             // waits out the round on air, but no tag hears it.
             self.telemetry.incr("fault.antenna_out_rounds");
-            run_round(&mut [], &round_cfg, &mut sizer, timing, &mut self.rng)
+            match self.cfg.engine {
+                EngineKind::Reference => {
+                    run_round(&mut [], &round_cfg, &mut sizer, timing, &mut self.rng)
+                }
+                EngineKind::Batched => run_round_batched(
+                    &mut [],
+                    &round_cfg,
+                    &mut sizer,
+                    timing,
+                    &mut self.rng,
+                    &mut self.ws,
+                ),
+            }
         } else {
-            run_round(
-                &mut self.protos,
-                &round_cfg,
-                &mut sizer,
-                timing,
-                &mut self.rng,
-            )
+            match self.cfg.engine {
+                EngineKind::Reference => run_round(
+                    &mut self.protos,
+                    &round_cfg,
+                    &mut sizer,
+                    timing,
+                    &mut self.rng,
+                ),
+                EngineKind::Batched => run_round_batched(
+                    &mut self.protos,
+                    &round_cfg,
+                    &mut sizer,
+                    timing,
+                    &mut self.rng,
+                    &mut self.ws,
+                ),
+            }
         };
         self.clock += result.duration;
         // Update the population estimate from what this round saw.
@@ -419,35 +496,66 @@ impl Reader {
         self.work.query_adjusts += result.stats.adjusts as u64;
 
         let antenna_pos = self.scene.antenna(port).position;
+        // Reflector-free scenes on the batched engine route observations
+        // through the channel cache: the deterministic half of the
+        // measurement is memoised under the scene's epoch (with a
+        // bit-exact position guard for mobile tags) and replayed through
+        // `measure_parts`, which draws the same two noise samples a fresh
+        // `observe` would — a hit is bit-identical to a miss.
+        // Reflector-bearing links are never cached: reflector motion is
+        // not position-guarded.
+        let use_cache = self.cfg.engine == EngineKind::Batched && self.scene.reflectors.is_empty();
+        if use_cache {
+            self.cache.ensure_epoch(self.scene.epoch());
+        }
+        let mut reflectors = std::mem::take(&mut self.reflector_scratch);
         for read in &result.reads {
             let t_abs = t_round_start + read.t;
-            let reflectors = self.scene.reflectors_at(t_abs);
-            let link = LinkGeometry {
-                antenna: antenna_pos,
-                tag: self.scene.tag_position(read.tag_idx, t_abs),
-                reflectors: &reflectors,
-            };
+            let tag_pos = self.scene.tag_position(read.tag_idx, t_abs);
+            let tag_key = self.scene.tags[read.tag_idx].key;
             let chan = self.cfg.channel_plan.channel_at(t_abs);
             // One channel evaluation per delivered read: the LOS path
             // plus every reflector image is re-derived, and the noise
-            // model draws twice (phase, RSS).
+            // model draws twice (phase, RSS). These are *logical* work
+            // counters — a cache hit still counts the evaluation it
+            // stands in for, so `perf.work.*` totals stay byte-identical
+            // across engines and cache states.
             self.work.channel_evals += 1;
-            self.work.geometry_recomputes += 1 + reflectors.len() as u64;
             self.work.rng_draws += 2;
-            let rf = channel_model.observe(
-                &link,
-                self.scene.tags[read.tag_idx].key,
-                port,
-                chan,
-                t_abs,
-                &mut self.rng,
-            );
+            let rf = if use_cache {
+                self.work.geometry_recomputes += 1;
+                let link = LinkGeometry {
+                    antenna: antenna_pos,
+                    tag: tag_pos,
+                    reflectors: &[],
+                };
+                let (phase_base, forty_log) = self.cache.evaluate(
+                    &channel_model,
+                    &link,
+                    read.tag_idx,
+                    tag_key,
+                    port,
+                    chan.index,
+                    chan.wavelength(),
+                );
+                channel_model.measure_parts(phase_base, forty_log, chan, port, t_abs, &mut self.rng)
+            } else {
+                self.scene.reflectors_at_into(t_abs, &mut reflectors);
+                self.work.geometry_recomputes += 1 + reflectors.len() as u64;
+                let link = LinkGeometry {
+                    antenna: antenna_pos,
+                    tag: tag_pos,
+                    reflectors: &reflectors,
+                };
+                channel_model.observe(&link, tag_key, port, chan, t_abs, &mut self.rng)
+            };
             reports.push(TagReport {
                 epc: read.epc,
                 tag_idx: read.tag_idx,
                 rf,
             });
         }
+        self.reflector_scratch = reflectors;
         self.events.push(RoundEvent {
             rospec_id,
             ai_spec: ai_idx,
@@ -471,22 +579,38 @@ impl Reader {
         self.telemetry
             .observe("round.q_final", sizer.current_q() as f64);
         round_span.end(self.clock);
+        // Donate the result's reads buffer back to the workspace so the
+        // next batched round reuses it instead of allocating.
+        self.ws.recycle(result);
     }
 
     /// Repeats `spec` until at least `duration` seconds of air time have
     /// elapsed, returning all reports.
     pub fn run_for(&mut self, spec: &RoSpec, duration: f64) -> Result<Vec<TagReport>, LlrpError> {
-        let t_end = self.clock + duration;
         let mut all = Vec::new();
+        self.run_for_into(spec, duration, &mut all)?;
+        Ok(all)
+    }
+
+    /// [`Reader::run_for`] into a caller-owned buffer (appended, not
+    /// cleared), so a steady-state driver can recycle one allocation
+    /// across cycles — the [`Reader::execute_into`] counterpart.
+    pub fn run_for_into(
+        &mut self,
+        spec: &RoSpec,
+        duration: f64,
+        reports: &mut Vec<TagReport>,
+    ) -> Result<(), LlrpError> {
+        let t_end = self.clock + duration;
         while self.clock < t_end {
             let before = self.clock;
-            all.extend(self.execute(spec)?);
+            self.execute_into(spec, reports)?;
             assert!(
                 self.clock > before,
                 "an executed ROSpec must consume air time"
             );
         }
-        Ok(all)
+        Ok(())
     }
 }
 
@@ -616,6 +740,49 @@ mod tests {
         assert_eq!(a, b, "simulation must be bit-reproducible");
         // Different tags (different geometry) get different phases.
         assert!(a.windows(2).any(|w| w[0].rf.phase != w[1].rf.phase));
+    }
+
+    #[test]
+    fn engines_produce_identical_reports() {
+        // The tentpole equivalence claim at the reader boundary: the
+        // batched engine (with channel caching live) and the reference
+        // engine deliver bit-identical report streams and clocks.
+        let build = |engine| {
+            let scene = presets::turntable(12, 3, 50);
+            let epcs = random_epcs(12, 51);
+            let cfg = ReaderConfig {
+                engine,
+                ..ReaderConfig::default()
+            };
+            Reader::new(scene, &epcs, cfg, 52)
+        };
+        let mut reference = build(EngineKind::Reference);
+        let mut batched = build(EngineKind::Batched);
+        let spec = RoSpec::read_all(1, vec![1]);
+        let ra = reference.run_for(&spec, 1.0).unwrap();
+        let rb = batched.run_for(&spec, 1.0).unwrap();
+        assert_eq!(ra, rb, "report streams must be bit-identical");
+        assert_eq!(reference.now(), batched.now());
+        // Non-vacuity: the batched run actually served cache hits (static
+        // tags re-read on a revisited channel), while the reference engine
+        // never touches the cache.
+        assert!(batched.channel_cache_stats().hits > 0);
+        assert_eq!(
+            reference.channel_cache_stats(),
+            ChannelCacheStats::default()
+        );
+    }
+
+    #[test]
+    fn execute_into_appends_across_calls() {
+        let mut reader = basic_reader(6, 60);
+        let spec = RoSpec::read_all(1, vec![1]);
+        let mut buf = Vec::new();
+        reader.execute_into(&spec, &mut buf).unwrap();
+        let first = buf.len();
+        assert!(first > 0);
+        reader.execute_into(&spec, &mut buf).unwrap();
+        assert!(buf.len() > first, "second pass must append, not clear");
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Per-(tag, antenna, channel) channel-state cache.
+//!
+//! The expensive half of [`crate::ChannelModel::observe`] is pure
+//! geometry: the one-way field `g` (a complex sum over LOS plus
+//! reflection paths) and the per-link hardware offset are deterministic
+//! functions of (tag position, antenna position, channel). Geometry
+//! changes slowly relative to slot time — a static tag read 500 times
+//! recomputes the identical field 500 times — so the reader memoises
+//! the reduced pair `(-2·arg(g) + offset, 40·log10|g|)` here and replays
+//! it through [`crate::ChannelModel::measure_parts`], which draws the
+//! same two noise samples a fresh evaluation would. A hit is therefore
+//! *bit-identical* to a fresh evaluation, a property the channel-cache
+//! proptests pin.
+//!
+//! Two staleness mechanisms compose:
+//!
+//! * **Geometry epoch** (coarse): the scene's structural version counter
+//!   (`Scene::epoch`). On any mismatch the whole cache drops — covering
+//!   trajectory swaps, added tags, moved antennas, in-place motion steps.
+//! * **Position guard** (fine): each entry stores the exact tag and
+//!   antenna positions it was computed from, compared bit-for-bit at
+//!   lookup. Mobile tags therefore miss whenever they have actually
+//!   moved (every observation instant, in practice) without any explicit
+//!   invalidation call — motion can never serve a stale field.
+//!
+//! The cache stores *fields*, never measurements: noise stays downstream,
+//! so cached and fresh paths consume the RNG stream identically.
+
+use crate::channel::{ChannelModel, LinkGeometry};
+use crate::geometry::Vec3;
+
+/// One memoised link evaluation: the deterministic halves of a
+/// measurement, pre-reduced to the exact sub-expressions
+/// [`ChannelModel::measure_parts`] consumes (`-2·arg(g) + offset` and
+/// `40·log10(|g|)`), so a hit skips the complex field sum *and* the
+/// transcendental reductions.
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    /// Noise-free backscatter phase: `-2·arg(g) + offset`.
+    phase_base: f64,
+    /// Path-loss term: `40·log10(|g|)`. The model's `rss_at_1m_dbm` is
+    /// *not* folded in — fault injectors perturb it mid-run.
+    forty_log: f64,
+    /// Tag position the field was computed from (bit-exact guard).
+    tag_pos: Vec3,
+    /// Antenna position the field was computed from (bit-exact guard).
+    antenna_pos: Vec3,
+}
+
+/// Hit/miss/invalidation accounting, for gates and the cache proptests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh evaluation.
+    pub misses: u64,
+    /// Whole-cache drops caused by a geometry-epoch change.
+    pub invalidations: u64,
+}
+
+/// A fixed-dimension memo table over (tag index, antenna port, channel
+/// index), keyed by the scene's geometry epoch.
+///
+/// Dimensions are fixed at construction (population size, max antenna
+/// port + 1, channel count); the table is one flat allocation and the
+/// steady-state lookup/store path never allocates.
+#[derive(Debug, Clone)]
+pub struct ChannelCache {
+    n_ports: usize,
+    n_channels: usize,
+    entries: Vec<Option<CacheEntry>>,
+    /// Geometry epoch the entries were computed under. `None` until the
+    /// first [`ChannelCache::ensure_epoch`] — a fresh cache has nothing
+    /// to invalidate.
+    epoch: Option<u64>,
+    stats: ChannelCacheStats,
+}
+
+impl ChannelCache {
+    /// A cache for `n_tags` tags, antenna ports `0..n_ports`, and channel
+    /// indices `0..n_channels`. Out-of-range keys are tolerated (they
+    /// simply never hit), so a conservative upper bound is fine.
+    pub fn new(n_tags: usize, n_ports: usize, n_channels: usize) -> Self {
+        ChannelCache {
+            n_ports,
+            n_channels,
+            entries: vec![None; n_tags * n_ports * n_channels],
+            epoch: None,
+            stats: ChannelCacheStats::default(),
+        }
+    }
+
+    /// Synchronises the cache with the scene's geometry epoch: on a
+    /// mismatch every entry drops (counted as one invalidation). Call
+    /// once per observation batch, before [`ChannelCache::evaluate`].
+    pub fn ensure_epoch(&mut self, epoch: u64) {
+        match self.epoch {
+            Some(e) if e == epoch => {}
+            Some(_) => {
+                self.entries.fill(None);
+                self.stats.invalidations += 1;
+                self.epoch = Some(epoch);
+            }
+            None => self.epoch = Some(epoch),
+        }
+    }
+
+    fn slot(&self, tag_idx: usize, port: u8, channel: u8) -> Option<usize> {
+        let (p, c) = (port as usize, channel as usize);
+        if p >= self.n_ports || c >= self.n_channels {
+            return None;
+        }
+        let idx = (tag_idx * self.n_ports + p) * self.n_channels + c;
+        (idx < self.entries.len()).then_some(idx)
+    }
+
+    /// The memoised deterministic half of an observation: returns the
+    /// cached `(phase_base, forty_log)` pair when the entry's positions
+    /// match bit-for-bit, else recomputes via `model` and stores the
+    /// result. Either way the caller feeds the pair into
+    /// [`ChannelModel::measure_parts`], so hit and miss produce
+    /// bit-identical measurements and identical RNG consumption.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate(
+        &mut self,
+        model: &ChannelModel,
+        link: &LinkGeometry<'_>,
+        tag_idx: usize,
+        tag_key: u64,
+        port: u8,
+        channel_index: u8,
+        wavelength: f64,
+    ) -> (f64, f64) {
+        debug_assert!(
+            link.reflectors.is_empty(),
+            "cacheable links carry no reflectors (reflector motion is not position-guarded)"
+        );
+        let slot = self.slot(tag_idx, port, channel_index);
+        if let Some(i) = slot {
+            if let Some(e) = self.entries[i] {
+                if e.tag_pos == link.tag && e.antenna_pos == link.antenna {
+                    self.stats.hits += 1;
+                    return (e.phase_base, e.forty_log);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        let g = model.one_way_field(link, wavelength);
+        let offset = model.link_offset(tag_key, port, channel_index);
+        // The exact sub-expressions `ChannelModel::measure` computes from
+        // (g, offset) — memoising the reduced form is bit-identical.
+        let phase_base = -2.0 * g.arg() + offset;
+        let forty_log = 40.0 * g.abs().log10();
+        if let Some(i) = slot {
+            self.entries[i] = Some(CacheEntry {
+                phase_base,
+                forty_log,
+                tag_pos: link.tag,
+                antenna_pos: link.antenna,
+            });
+        }
+        (phase_base, forty_log)
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> ChannelCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Bit-identity is the property under test: cached results must equal
+    // fresh evaluations exactly, so approximate comparison would be wrong.
+    #![allow(clippy::float_cmp)]
+
+    use super::*;
+    use crate::hopping::ChannelPlan;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn link(d: f64) -> LinkGeometry<'static> {
+        LinkGeometry {
+            antenna: Vec3::ZERO,
+            tag: Vec3::new(d, 0.0, 0.0),
+            reflectors: &[],
+        }
+    }
+
+    #[test]
+    fn hit_replays_the_exact_fresh_measurement() {
+        let model = ChannelModel::default();
+        let ch = ChannelPlan::single(922.5e6).channel_at(0.0);
+        let mut cache = ChannelCache::new(4, 2, 1);
+        let l = link(1.7);
+
+        cache.ensure_epoch(0);
+        let mut rng_fresh = StdRng::seed_from_u64(5);
+        let mut rng_cached = StdRng::seed_from_u64(5);
+        let fresh = model.observe(&l, 42, 1, ch, 0.25, &mut rng_fresh);
+        // Prime (miss), then hit; the hit must reproduce `observe` exactly.
+        for _ in 0..2 {
+            let (pb, fl) = cache.evaluate(&model, &l, 0, 42, 1, ch.index, ch.wavelength());
+            let mut rng = StdRng::seed_from_u64(5);
+            let m = model.measure_parts(pb, fl, ch, 1, 0.25, &mut rng);
+            assert_eq!(m, fresh);
+        }
+        // The cached path consumed the same number of draws.
+        let (pb, fl) = cache.evaluate(&model, &l, 0, 42, 1, ch.index, ch.wavelength());
+        let _ = model.measure_parts(pb, fl, ch, 1, 0.25, &mut rng_cached);
+        assert_eq!(
+            rand::Rng::gen::<u64>(&mut rng_fresh),
+            rand::Rng::gen::<u64>(&mut rng_cached)
+        );
+        assert_eq!(
+            cache.stats(),
+            ChannelCacheStats {
+                hits: 2,
+                misses: 1,
+                invalidations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_change_drops_everything_once() {
+        let model = ChannelModel::default();
+        let ch = ChannelPlan::single(922.5e6).channel_at(0.0);
+        let mut cache = ChannelCache::new(1, 2, 1);
+        cache.ensure_epoch(3);
+        let _ = cache.evaluate(&model, &link(1.0), 0, 7, 1, ch.index, ch.wavelength());
+        cache.ensure_epoch(3); // unchanged: no invalidation
+        assert_eq!(cache.stats().invalidations, 0);
+        cache.ensure_epoch(4);
+        assert_eq!(cache.stats().invalidations, 1);
+        // Entry is gone: next evaluate misses.
+        let _ = cache.evaluate(&model, &link(1.0), 0, 7, 1, ch.index, ch.wavelength());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn moved_tag_never_hits() {
+        let model = ChannelModel::default();
+        let ch = ChannelPlan::single(922.5e6).channel_at(0.0);
+        let mut cache = ChannelCache::new(1, 2, 1);
+        cache.ensure_epoch(0);
+        let _ = cache.evaluate(&model, &link(1.0), 0, 7, 1, ch.index, ch.wavelength());
+        let (pb, fl) = cache.evaluate(&model, &link(1.001), 0, 7, 1, ch.index, ch.wavelength());
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+        // And the recomputed parts are the fresh ones for the new position.
+        let g = model.one_way_field(&link(1.001), ch.wavelength());
+        assert_eq!(pb, -2.0 * g.arg() + model.link_offset(7, 1, ch.index));
+        assert_eq!(fl, 40.0 * g.abs().log10());
+    }
+
+    #[test]
+    fn out_of_range_keys_are_tolerated() {
+        let model = ChannelModel::default();
+        let ch = ChannelPlan::single(922.5e6).channel_at(0.0);
+        let mut cache = ChannelCache::new(1, 2, 1);
+        cache.ensure_epoch(0);
+        // Port 9 and channel 5 exceed the dimensions: evaluates fresh,
+        // never stores, never panics.
+        let g = model.one_way_field(&link(1.0), ch.wavelength());
+        for _ in 0..2 {
+            let (pb, fl) = cache.evaluate(&model, &link(1.0), 0, 7, 9, 5, ch.wavelength());
+            assert_eq!(pb, -2.0 * g.arg() + model.link_offset(7, 9, 5));
+            assert_eq!(fl, 40.0 * g.abs().log10());
+        }
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

@@ -164,17 +164,65 @@ impl ChannelModel {
         let wavelength = chan.wavelength();
         let g = self.one_way_field(link, wavelength);
         let offset = self.link_offset(tag_key, antenna, chan.index);
+        self.measure(g, offset, chan, antenna, t, rng)
+    }
 
-        let phase_noise = sample_normal(rng, 0.0, self.noise.phase_sigma);
-        let rss_noise = sample_normal(rng, 0.0, self.noise.rss_sigma_db);
-
+    /// The measurement tail shared by [`ChannelModel::observe`] and the
+    /// cached evaluation path (see [`crate::ChannelCache`]): applies the
+    /// receive-chain noise to a precomputed one-way field `g` and link
+    /// offset. The two noise draws — phase first, then RSS — are part of
+    /// the contract: a cached evaluation must consume the RNG stream
+    /// exactly as a fresh one does, or traces stop being bit-identical
+    /// across cache configurations.
+    pub fn measure<R: Rng + ?Sized>(
+        &self,
+        g: Complex,
+        offset: f64,
+        chan: Channel,
+        antenna: u8,
+        t: f64,
+        rng: &mut R,
+    ) -> RfMeasurement {
         // Backscatter: field traverses the channel twice, h = g². Readers
         // report the phase *lag*, which grows with distance — hence the
         // negation (for pure LOS this yields the textbook +4πd/λ).
-        let phase = wrap_2pi(-2.0 * g.arg() + offset + phase_noise);
+        //
         // |h| = |g|²  →  P ∝ |g|⁴  →  dB: 40·log10(|g|). |g| is normalised
         // so that a 1 m LOS link has |g| = 1.
-        let rss_dbm = self.rss_at_1m_dbm + 40.0 * g.abs().log10() + rss_noise;
+        self.measure_parts(
+            -2.0 * g.arg() + offset,
+            40.0 * g.abs().log10(),
+            chan,
+            antenna,
+            t,
+            rng,
+        )
+    }
+
+    /// The noise-application tail of [`ChannelModel::measure`], split out
+    /// so the channel cache can memoise the transcendental half. The two
+    /// deterministic parts are exactly the sub-expressions `measure`
+    /// computes — `phase_base = -2·arg(g) + offset` and
+    /// `forty_log = 40·log10(|g|)` — and the additions here preserve the
+    /// original left-to-right association, so feeding memoised parts in
+    /// is bit-identical to a fresh `measure`. `rss_at_1m_dbm` is applied
+    /// *here*, not memoised: fault injectors perturb it mid-run and a
+    /// cached value would go stale.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_parts<R: Rng + ?Sized>(
+        &self,
+        phase_base: f64,
+        forty_log: f64,
+        chan: Channel,
+        antenna: u8,
+        t: f64,
+        rng: &mut R,
+    ) -> RfMeasurement {
+        let phase_noise = sample_normal(rng, 0.0, self.noise.phase_sigma);
+        let rss_noise = sample_normal(rng, 0.0, self.noise.rss_sigma_db);
+
+        let phase = wrap_2pi(phase_base + phase_noise);
+        let rss_dbm = self.rss_at_1m_dbm + forty_log + rss_noise;
 
         RfMeasurement {
             phase,

@@ -19,6 +19,7 @@
 //! entropy.
 
 #![forbid(unsafe_code)]
+pub mod cache;
 pub mod channel;
 pub mod complex;
 pub mod fresnel;
@@ -27,6 +28,7 @@ pub mod hopping;
 pub mod measurement;
 pub mod noise;
 
+pub use cache::{ChannelCache, ChannelCacheStats};
 pub use channel::{ChannelModel, LinkGeometry, NoiseParams, Reflector};
 pub use complex::{circ_diff, circ_dist, wrap_2pi, Complex};
 pub use geometry::Vec3;

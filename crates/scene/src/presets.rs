@@ -60,6 +60,7 @@ pub fn office_monitoring(n_tags: usize, n_people: usize, seed: u64) -> Scene {
             port: 1,
             position: Vec3::new(0.0, 0.0, ANTENNA_Z),
         }],
+        ..Scene::default()
     };
     for k in 0..n_tags {
         scene.add_tag(SceneTag::fixed(k as u64, random_position(&mut rng, 4.0)));
@@ -104,6 +105,7 @@ pub fn tracking_study(n_static: usize, seed: u64) -> Scene {
         tags: Vec::new(),
         reflectors: Vec::new(),
         antennas: four_corner_antennas(),
+        ..Scene::default()
     };
     // Laboratory clutter close to the track: a bench and a shelf within a
     // metre or two, and a person working nearby. Scattering decays on
@@ -165,6 +167,7 @@ pub fn random_room(n: usize, seed: u64) -> Scene {
             port: 1,
             position: Vec3::new(0.0, 0.0, ANTENNA_Z),
         }],
+        ..Scene::default()
     };
     for k in 0..n {
         scene.add_tag(SceneTag::fixed(k as u64, random_position(&mut rng, 3.0)));
@@ -184,6 +187,7 @@ pub fn turntable(n_total: usize, n_mobile: usize, seed: u64) -> Scene {
             port: 1,
             position: Vec3::new(0.0, 0.0, ANTENNA_Z),
         }],
+        ..Scene::default()
     };
     // Mobile tags first (indices 0..n_mobile): spread around the platter.
     for k in 0..n_mobile {
@@ -248,6 +252,7 @@ pub fn trackpoint_gate(n_parked: usize, seed: u64) -> Scene {
                 position: Vec3::new(0.5, 0.0, 2.2),
             },
         ],
+        ..Scene::default()
     };
     for k in 0..n_parked {
         // Parked pieces sit 1–4 m to the side of the belt; the first one is

@@ -6,7 +6,7 @@ use tagwatch_rf::{Reflector, Vec3};
 
 /// A complete physical scene. The reader simulator holds one of these and
 /// asks it for geometry at exact read instants.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Scene {
     /// Tags, indexed consistently with the reader's protocol population.
     pub tags: Vec<SceneTag>,
@@ -14,6 +14,26 @@ pub struct Scene {
     pub reflectors: Vec<SceneReflector>,
     /// Reader antennas.
     pub antennas: Vec<Antenna>,
+    /// Geometry epoch: a version counter for the scene's *structure*
+    /// (which trajectories exist, where antennas sit). Downstream
+    /// caches — the per-(tag, antenna) channel cache in `rf` — key their
+    /// entries on this and drop everything when it moves. Bumped by the
+    /// mutating methods on this type; code that mutates the public
+    /// fields directly must call [`Scene::bump_epoch`] itself. Never
+    /// serialized: a deserialized scene starts a fresh epoch history.
+    #[serde(skip)]
+    pub(crate) epoch: u64,
+}
+
+/// Scene identity is its physical content; the epoch is cache metadata
+/// (two scenes with identical geometry compare equal regardless of how
+/// many edits produced them).
+impl PartialEq for Scene {
+    fn eq(&self, other: &Self) -> bool {
+        self.tags == other.tags
+            && self.reflectors == other.reflectors
+            && self.antennas == other.antennas
+    }
 }
 
 impl Scene {
@@ -26,18 +46,35 @@ impl Scene {
                 port: 1,
                 position: Vec3::ZERO,
             }],
+            epoch: 0,
         }
+    }
+
+    /// The current geometry epoch. Cache entries keyed on an older epoch
+    /// are stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declares a structural geometry change (a trajectory swapped, an
+    /// antenna moved, a motion step applied in place): every
+    /// epoch-keyed cache downstream must invalidate. The mutating
+    /// methods on this type call it automatically.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Adds a tag and returns its index.
     pub fn add_tag(&mut self, tag: SceneTag) -> usize {
         self.tags.push(tag);
+        self.bump_epoch();
         self.tags.len() - 1
     }
 
     /// Adds a reflector.
     pub fn add_reflector(&mut self, r: SceneReflector) {
         self.reflectors.push(r);
+        self.bump_epoch();
     }
 
     /// Position of tag `idx` at time `t`.
@@ -48,6 +85,14 @@ impl Scene {
     /// Instantaneous RF reflectors at time `t`.
     pub fn reflectors_at(&self, t: f64) -> Vec<Reflector> {
         self.reflectors.iter().map(|r| r.at(t)).collect()
+    }
+
+    /// [`Scene::reflectors_at`] into a caller-owned buffer: clears `out`
+    /// and fills it, so per-read hot paths can reuse one allocation for
+    /// the whole run.
+    pub fn reflectors_at_into(&self, t: f64, out: &mut Vec<Reflector>) {
+        out.clear();
+        out.extend(self.reflectors.iter().map(|r| r.at(t)));
     }
 
     /// The antenna with LLRP port number `port`. Panics on unknown port —

@@ -9,7 +9,8 @@
 
 use crate::clock::{self, WallInstant};
 use crate::event::{
-    CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord, TagRecord,
+    ClockKind, CounterRecord, Event, FooterRecord, GaugeRecord, ObserveRecord, SpanRecord,
+    TagRecord,
 };
 use crate::histogram::Histogram;
 use crate::registry::MetricsRegistry;
@@ -83,32 +84,40 @@ struct State {
 
 impl State {
     /// The single choke point between the emit methods and the sinks:
-    /// applies round sampling and the event ceiling, keeps the
-    /// suppression counts, and fans the survivors out.
-    fn deliver(&mut self, ev: &Event) {
+    /// applies round sampling and the event ceiling, and keeps the
+    /// suppression counts. Returns whether the event survives to the
+    /// sinks. Takes the name (not a built [`Event`]) so emit methods can
+    /// run the accounting *before* paying any allocation: on an enabled
+    /// handle with no sinks — the bench harness's counters-only mode —
+    /// the whole emission becomes allocation-free while
+    /// [`Telemetry::offered`] stays byte-identical. `closes_round` marks
+    /// the closing `round` span: the next round-family event then
+    /// belongs to the next round.
+    fn precount(&mut self, name: &str, closes_round: bool) -> bool {
         let cfg = self.cfg;
-        let name = ev.name();
         if name == "round" || name.starts_with("round.") {
             let n = cfg.sample_every_n_rounds.max(1) as u64;
             // Not `is_multiple_of`: the workspace floor predates it.
             #[allow(clippy::manual_is_multiple_of)]
             let keep = *self.round_kept.get_or_insert(self.rounds_seen % n == 0);
-            // The `round` span closes the round: the next round-family
-            // event belongs to the next round.
-            if matches!(ev, Event::Span(s) if s.name == "round") {
+            if closes_round {
                 self.rounds_seen += 1;
                 self.round_kept = None;
             }
             if !keep {
                 self.sampled_out += 1;
-                return;
+                return false;
             }
         }
         if cfg.max_events > 0 && self.emitted >= cfg.max_events {
             self.dropped += 1;
-            return;
+            return false;
         }
         self.emitted += 1;
+        true
+    }
+
+    fn fan_out(&mut self, ev: &Event) {
         for sink in &mut self.sinks {
             sink.record(ev);
         }
@@ -189,19 +198,24 @@ impl Telemetry {
         self.incr_by(name, 1);
     }
 
-    /// Increments counter `name` by `delta`.
+    /// Increments counter `name` by `delta`. Allocation-free on the
+    /// steady-state path: the registry fast-path reuses the existing
+    /// key, and the sink event (the only part that needs an owned name)
+    /// is built only when a sink will actually receive it.
     pub fn incr_by(&self, name: &str, delta: u64) {
         if !self.is_enabled() {
             return;
         }
         let mut st = self.lock();
         let total = st.registry.incr_by(name, delta);
-        let ev = Event::Counter(CounterRecord {
-            name: name.to_string(),
-            delta,
-            total,
-        });
-        st.deliver(&ev);
+        if st.precount(name, false) && !st.sinks.is_empty() {
+            let ev = Event::Counter(CounterRecord {
+                name: name.to_string(),
+                delta,
+                total,
+            });
+            st.fan_out(&ev);
+        }
     }
 
     /// Sets gauge `name` to `value`.
@@ -211,11 +225,13 @@ impl Telemetry {
         }
         let mut st = self.lock();
         st.registry.gauge_set(name, value);
-        let ev = Event::Gauge(GaugeRecord {
-            name: name.to_string(),
-            value,
-        });
-        st.deliver(&ev);
+        if st.precount(name, false) && !st.sinks.is_empty() {
+            let ev = Event::Gauge(GaugeRecord {
+                name: name.to_string(),
+                value,
+            });
+            st.fan_out(&ev);
+        }
     }
 
     /// Records `value` into histogram `name` (auto-created with the
@@ -226,11 +242,13 @@ impl Telemetry {
         }
         let mut st = self.lock();
         st.registry.observe(name, value);
-        let ev = Event::Observe(ObserveRecord {
-            name: name.to_string(),
-            value,
-        });
-        st.deliver(&ev);
+        if st.precount(name, false) && !st.sinks.is_empty() {
+            let ev = Event::Observe(ObserveRecord {
+                name: name.to_string(),
+                value,
+            });
+            st.fan_out(&ev);
+        }
     }
 
     /// Emits a per-tag moment: `name` happened to EPC `epc` (raw bits) at
@@ -240,12 +258,15 @@ impl Telemetry {
         if !self.is_enabled() {
             return;
         }
-        let ev = Event::Tag(TagRecord {
-            name: name.to_string(),
-            epc,
-            t,
-        });
-        self.lock().deliver(&ev);
+        let mut st = self.lock();
+        if st.precount(name, false) && !st.sinks.is_empty() {
+            let ev = Event::Tag(TagRecord {
+                name: name.to_string(),
+                epc,
+                t,
+            });
+            st.fan_out(&ev);
+        }
     }
 
     /// Pre-registers histogram `name` with a custom bucket layout. Works
@@ -335,10 +356,31 @@ impl Telemetry {
         self.inner.origin
     }
 
-    pub(crate) fn emit_span(&self, record: SpanRecord) {
+    /// Records a closed span. Takes the span's parts rather than a built
+    /// [`SpanRecord`] so the name `String` is only allocated for spans
+    /// that actually reach a sink — the closing `round` span is on the
+    /// per-round hot path.
+    pub(crate) fn emit_span_parts(
+        &self,
+        name: &'static str,
+        id: u64,
+        parent: Option<u64>,
+        start: f64,
+        duration: f64,
+        clock: ClockKind,
+    ) {
         let mut st = self.lock();
-        let ev = Event::Span(record);
-        st.deliver(&ev);
+        if st.precount(name, name == "round") && !st.sinks.is_empty() {
+            let ev = Event::Span(SpanRecord {
+                name: name.to_string(),
+                id,
+                parent,
+                start,
+                duration,
+                clock,
+            });
+            st.fan_out(&ev);
+        }
     }
 }
 

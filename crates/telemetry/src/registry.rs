@@ -23,21 +23,37 @@ impl MetricsRegistry {
     }
 
     /// Adds `delta` to counter `name` (creating it at zero), returning the
-    /// new total.
+    /// new total. Looks the name up by `&str` first so the steady-state
+    /// hot path (re-incrementing an existing counter) never allocates the
+    /// owned key; only the first sighting of a name pays the `String`.
     pub fn incr_by(&mut self, name: &str, delta: u64) -> u64 {
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot = slot.saturating_add(delta);
+            return *slot;
+        }
         let slot = self.counters.entry(name.to_string()).or_insert(0);
         *slot = slot.saturating_add(delta);
         *slot
     }
 
-    /// Sets gauge `name` to `value`.
+    /// Sets gauge `name` to `value`. Allocation-free once the gauge
+    /// exists (same fast path as [`MetricsRegistry::incr_by`]).
     pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let Some(slot) = self.gauges.get_mut(name) {
+            *slot = value;
+            return;
+        }
         self.gauges.insert(name.to_string(), value);
     }
 
     /// Records `value` into histogram `name`, creating it with the
-    /// [`Histogram::durations`] layout on first sight.
+    /// [`Histogram::durations`] layout on first sight. Allocation-free
+    /// once the histogram exists.
     pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+            return;
+        }
         self.histograms
             .entry(name.to_string())
             .or_insert_with(Histogram::durations)

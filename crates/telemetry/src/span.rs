@@ -8,7 +8,7 @@
 //! yields the cycle → phase hierarchy with no plumbing.
 
 use crate::clock::{self, WallInstant};
-use crate::event::{ClockKind, SpanRecord};
+use crate::event::ClockKind;
 use crate::handle::Telemetry;
 use std::cell::RefCell;
 
@@ -101,14 +101,14 @@ impl SpanGuard {
                 .start
                 .saturating_duration_since(self.tel.origin())
                 .as_secs_f64();
-            self.tel.emit_span(SpanRecord {
-                name: self.name.to_string(),
-                id: self.id,
-                parent: self.parent,
+            self.tel.emit_span_parts(
+                self.name,
+                self.id,
+                self.parent,
                 start,
                 duration,
-                clock: ClockKind::Wall,
-            });
+                ClockKind::Wall,
+            );
         }
         duration
     }
@@ -170,14 +170,14 @@ impl SimSpan {
         self.done = true;
         if self.active {
             remove(self.id);
-            self.tel.emit_span(SpanRecord {
-                name: self.name.to_string(),
-                id: self.id,
-                parent: self.parent,
-                start: self.start,
-                duration: (t_end - self.start).max(0.0),
-                clock: ClockKind::Sim,
-            });
+            self.tel.emit_span_parts(
+                self.name,
+                self.id,
+                self.parent,
+                self.start,
+                (t_end - self.start).max(0.0),
+                ClockKind::Sim,
+            );
         }
     }
 }

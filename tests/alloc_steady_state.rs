@@ -1,0 +1,133 @@
+//! Steady-state allocation audit for the hot round path.
+//!
+//! The batched engine's pitch is not just fewer instructions — it is that
+//! a sampling-off run (telemetry enabled, zero sinks) stops touching the
+//! heap once every scratch buffer has reached its high-water capacity:
+//! the round workspace SoA vectors, the compiled-Select scratch, the
+//! reflector scratch, the per-round event ring, the telemetry counter
+//! registry, and the caller's report buffer are all warmed once and then
+//! recycled. This test proves that claim with a counting global
+//! allocator: after a warm-up phase, hundreds of further rounds must
+//! perform **zero** heap allocations.
+//!
+//! The file deliberately holds exactly one `#[test]` so no concurrent
+//! test thread can allocate while the steady-state window is measured.
+#![allow(unsafe_code)]
+#![allow(clippy::float_cmp)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tagwatch_gen2::Epc;
+use tagwatch_reader::{Reader, ReaderConfig, RoSpec};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::Telemetry;
+
+/// Counts every allocation request (alloc, alloc_zeroed, realloc) and
+/// delegates to the system allocator. Deallocations are not counted:
+/// freeing warm-up scratch during the window is harmless; *acquiring*
+/// memory is what the steady-state contract forbids.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// lint:allow(unsafe-free): counting allocator must implement the unsafe GlobalAlloc trait
+unsafe impl GlobalAlloc for CountingAlloc {
+    // lint:allow(unsafe-free): GlobalAlloc methods are inherently unsafe
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // lint:allow(unsafe-free): GlobalAlloc methods are inherently unsafe
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    // lint:allow(unsafe-free): GlobalAlloc methods are inherently unsafe
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    // lint:allow(unsafe-free): GlobalAlloc methods are inherently unsafe
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_rounds_allocate_nothing() {
+    const SEED: u64 = 41;
+    const N_TAGS: usize = 12;
+    const WARMUP_ROUNDS: usize = 64;
+    const MEASURED_ROUNDS: usize = 256;
+
+    let scene = presets::turntable(N_TAGS, 1, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xA110C);
+    let epcs: Vec<Epc> = (0..N_TAGS).map(|_| Epc::random(&mut rng)).collect();
+    let mut reader = Reader::new(scene, &epcs, ReaderConfig::default(), SEED);
+
+    // Sampling-off telemetry: the handle is live (work counters tick) but
+    // no sink is attached, so the event fast path must build nothing.
+    let tel = Telemetry::new();
+    tel.set_enabled(true);
+    reader.set_telemetry(tel.clone());
+
+    let spec = RoSpec::read_all(1, vec![1]);
+    let mut reports = Vec::new();
+
+    // Warm-up: let every scratch buffer, ring, and registry entry reach
+    // its high-water capacity. `clear()` keeps the report capacity.
+    for _ in 0..WARMUP_ROUNDS {
+        reader
+            .execute_into(&spec, &mut reports)
+            .expect("valid ROSpec");
+        reports.clear();
+    }
+    assert!(
+        !reader.events.is_empty(),
+        "warm-up must have filled the per-round event ring"
+    );
+
+    let before = allocations();
+    for _ in 0..MEASURED_ROUNDS {
+        reader
+            .execute_into(&spec, &mut reports)
+            .expect("valid ROSpec");
+        reports.clear();
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state rounds must be allocation-free: {} allocations \
+         observed across {MEASURED_ROUNDS} rounds",
+        after - before
+    );
+
+    // Non-vacuity: the window did real work — rounds ran and reads landed.
+    let counters: Vec<(String, u64)> = tel
+        .snapshot()
+        .counters()
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    let slots = counters
+        .iter()
+        .find(|(name, _)| name.ends_with("work.slots"))
+        .map_or(0, |(_, v)| *v);
+    assert!(
+        slots > 0,
+        "measured window must have executed slots, got counters {counters:?}"
+    );
+}

@@ -1,0 +1,172 @@
+//! Channel-cache correctness properties.
+//!
+//! The reader's per-(tag, antenna, channel) cache must be *transparent*:
+//! every [`ChannelCache::evaluate`] — hit or miss — returns exactly the
+//! pair a fresh evaluation would (`-2·arg(g) + offset`, `40·log10|g|`),
+//! bit for bit. On top of transparency, the staleness machinery must
+//! actually engage: repeated lookups at an unchanged position hit, any
+//! motion misses via the position guard, and a geometry-epoch change
+//! drops the whole table. Each property also pins non-vacuity — at
+//! least one real hit and one real invalidation per case — so a cache
+//! that degenerates to always-miss (correct but useless) fails loudly.
+
+use proptest::prelude::*;
+use tagwatch_rf::{ChannelCache, ChannelModel, LinkGeometry, Vec3};
+use tagwatch_scene::presets;
+
+/// The exact pair `ChannelModel::measure` reduces a link to; recomputed
+/// here from first principles as the oracle for every cache lookup.
+fn fresh_parts(
+    model: &ChannelModel,
+    link: &LinkGeometry<'_>,
+    tag_key: u64,
+    port: u8,
+    channel: u8,
+    wavelength: f64,
+) -> (f64, f64) {
+    let g = model.one_way_field(link, wavelength);
+    let offset = model.link_offset(tag_key, port, channel);
+    (-2.0 * g.arg() + offset, 40.0 * g.abs().log10())
+}
+
+fn arb_pos() -> impl Strategy<Value = Vec3> {
+    (-4.0f64..4.0, -4.0f64..4.0, 0.1f64..3.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+/// One lookup key: in-range and (occasionally) out-of-range indices —
+/// the cache tolerates the latter by never hitting, and transparency
+/// must hold either way.
+fn arb_key() -> impl Strategy<Value = (usize, u8, u8)> {
+    (0usize..8, 0u8..5, 0u8..7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transparency + hit behaviour: for an arbitrary lookup sequence at
+    /// a fixed epoch, every evaluate equals the fresh oracle bit-for-bit,
+    /// and an immediate repeat of the same lookup is served as a hit.
+    #[test]
+    fn evaluate_is_bit_identical_to_fresh_and_repeats_hit(
+        keys in prop::collection::vec((arb_key(), arb_pos()), 1..24),
+        antenna in arb_pos(),
+        wavelength in 0.30f64..0.36,
+        offset_seed in any::<u64>(),
+        epoch in any::<u64>(),
+    ) {
+        let model = ChannelModel { offset_seed, ..ChannelModel::default() };
+        // Dimensions deliberately smaller than the key ranges so some
+        // keys fall outside the table.
+        let mut cache = ChannelCache::new(6, 3, 5);
+        cache.ensure_epoch(epoch);
+        let mut expected_hits = 0u64;
+        for ((tag_idx, port, chan), tag_pos) in keys {
+            let link = LinkGeometry { antenna, tag: tag_pos, reflectors: &[] };
+            let oracle = fresh_parts(&model, &link, tag_idx as u64, port, chan, wavelength);
+            let got = cache.evaluate(&model, &link, tag_idx, tag_idx as u64, port, chan, wavelength);
+            prop_assert_eq!(
+                (got.0.to_bits(), got.1.to_bits()),
+                (oracle.0.to_bits(), oracle.1.to_bits()),
+                "cache result differs from a fresh evaluation at tag {} port {} chan {}",
+                tag_idx, port, chan
+            );
+            // Immediate repeat at the identical position: a hit for
+            // in-range keys, a (transparent) miss for out-of-range ones.
+            let again = cache.evaluate(&model, &link, tag_idx, tag_idx as u64, port, chan, wavelength);
+            prop_assert_eq!(again.0.to_bits(), got.0.to_bits());
+            prop_assert_eq!(again.1.to_bits(), got.1.to_bits());
+            if tag_idx < 6 && port < 3 && chan < 5 {
+                expected_hits += 1;
+            }
+        }
+        prop_assert_eq!(cache.stats().hits, expected_hits);
+        prop_assert!(expected_hits >= 1 || cache.stats().misses >= 2,
+            "degenerate case: no lookup exercised either path");
+        prop_assert_eq!(cache.stats().invalidations, 0,
+            "a fixed epoch must never invalidate");
+    }
+
+    /// The position guard: every motion step misses (a moved tag can
+    /// never be served a stale field), and returning to a previous
+    /// position after the entry was overwritten also misses.
+    #[test]
+    fn motion_always_misses(
+        p1 in arb_pos(),
+        step in (0.001f64..1.0, 0.001f64..1.0, 0.001f64..1.0),
+        antenna in arb_pos(),
+        wavelength in 0.30f64..0.36,
+    ) {
+        let p2 = Vec3::new(p1.x + step.0, p1.y + step.1, p1.z + step.2);
+        let model = ChannelModel::default();
+        let mut cache = ChannelCache::new(1, 2, 1);
+        cache.ensure_epoch(7);
+        let eval = |cache: &mut ChannelCache, pos: Vec3| {
+            let link = LinkGeometry { antenna, tag: pos, reflectors: &[] };
+            let got = cache.evaluate(&model, &link, 0, 0, 1, 0, wavelength);
+            let oracle = fresh_parts(&model, &link, 0, 1, 0, wavelength);
+            ((got.0.to_bits(), got.1.to_bits()), (oracle.0.to_bits(), oracle.1.to_bits()))
+        };
+        // p1: cold miss. p1 again: hit. p2: motion ⇒ miss. p2: hit.
+        // Back to p1: the entry now guards p2 ⇒ miss again.
+        for (pos, hits, misses) in [
+            (p1, 0u64, 1u64),
+            (p1, 1, 1),
+            (p2, 1, 2),
+            (p2, 2, 2),
+            (p1, 2, 3),
+        ] {
+            let (got, oracle) = eval(&mut cache, pos);
+            prop_assert_eq!(got, oracle);
+            prop_assert_eq!(cache.stats().hits, hits, "after visiting {:?}", pos);
+            prop_assert_eq!(cache.stats().misses, misses, "after visiting {:?}", pos);
+        }
+        prop_assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    /// Geometry epochs: warming, re-asserting the same epoch, and
+    /// stepping through a scene's real epoch history. Every epoch change
+    /// invalidates exactly once and forces the next lookup to miss;
+    /// re-asserting an unchanged epoch preserves hits.
+    #[test]
+    fn epoch_changes_invalidate_exactly_once(
+        pos in arb_pos(),
+        antenna in arb_pos(),
+        wavelength in 0.30f64..0.36,
+        bumps in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // Source epochs from a real scene so the proptest pins the
+        // integration, not just the raw counter contract.
+        let mut scene = presets::turntable(3, 1, seed);
+        let model = ChannelModel::default();
+        let mut cache = ChannelCache::new(1, 2, 1);
+        let link = LinkGeometry { antenna, tag: pos, reflectors: &[] };
+
+        cache.ensure_epoch(scene.epoch());
+        cache.evaluate(&model, &link, 0, 0, 1, 0, wavelength); // cold miss
+        cache.evaluate(&model, &link, 0, 0, 1, 0, wavelength); // hit
+        prop_assert_eq!(cache.stats().hits, 1);
+
+        // Same epoch re-asserted: nothing drops.
+        cache.ensure_epoch(scene.epoch());
+        cache.evaluate(&model, &link, 0, 0, 1, 0, wavelength);
+        prop_assert_eq!(cache.stats().hits, 2);
+        prop_assert_eq!(cache.stats().invalidations, 0);
+
+        for k in 0..bumps {
+            scene.bump_epoch();
+            cache.ensure_epoch(scene.epoch());
+            prop_assert_eq!(cache.stats().invalidations, (k + 1) as u64,
+                "each epoch change must invalidate exactly once");
+            let got = cache.evaluate(&model, &link, 0, 0, 1, 0, wavelength);
+            let oracle = fresh_parts(&model, &link, 0, 1, 0, wavelength);
+            prop_assert_eq!(got.0.to_bits(), oracle.0.to_bits());
+            prop_assert_eq!(got.1.to_bits(), oracle.1.to_bits());
+        }
+        // Post-invalidation lookups were misses, not stale hits.
+        prop_assert_eq!(cache.stats().hits, 2);
+        prop_assert_eq!(cache.stats().misses, 1 + bumps as u64,
+            "cold miss + one per epoch change");
+        prop_assert!(cache.stats().invalidations >= 1, "non-vacuous: the case must invalidate");
+    }
+}

@@ -1,0 +1,217 @@
+//! Differential property for the two round engines: for any population
+//! size, mobility mix, seed, decode-failure rate, and structurally valid
+//! fault plan, the batched SoA engine must be *byte-identical* to the
+//! scalar reference engine — same report stream (every field, in order),
+//! same `perf.work.*` totals, same final sim clock. This is the contract
+//! that lets `--engine batched` be the default: it is an optimisation,
+//! never a behaviour change.
+//!
+//! Failures point at the first diverging report (index, tag, timestamp,
+//! field values) or the first diverging work counter, not just "streams
+//! differ" — a regression should name the slot where the engines parted.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use tagwatch_fault::{FaultEvent, FaultKind, FaultPlan, PlanInjector, Window};
+use tagwatch_gen2::Epc;
+use tagwatch_reader::{EngineKind, Reader, ReaderConfig, RoSpec, TagReport};
+use tagwatch_scene::presets;
+use tagwatch_telemetry::{Telemetry, WORK_PREFIX};
+
+/// Simulated air time per engine run. Long enough for dozens of rounds
+/// (mobile tags sweep real distance; Q adapts; faults open and close),
+/// short enough that a few hundred differential cases stay fast.
+const SIM_SECONDS: f64 = 2.0;
+
+/// Everything observable from one engine run.
+struct EngineRun {
+    reports: Vec<TagReport>,
+    work: BTreeMap<String, u64>,
+    clock_bits: u64,
+}
+
+fn run_engine(
+    engine: EngineKind,
+    n_tags: usize,
+    n_mobile: usize,
+    seed: u64,
+    decode_fail_prob: f64,
+    plan: Option<&FaultPlan>,
+) -> EngineRun {
+    let scene = presets::turntable(n_tags, n_mobile, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+    let epcs: Vec<Epc> = (0..n_tags).map(|_| Epc::random(&mut rng)).collect();
+    let cfg = ReaderConfig {
+        decode_fail_prob,
+        engine,
+        ..ReaderConfig::default()
+    };
+    let mut reader = Reader::new(scene, &epcs, cfg, seed ^ 0x0E17);
+    if let Some(plan) = plan {
+        reader.set_fault_injector(Box::new(PlanInjector::new(plan.clone())));
+    }
+    let tel = Telemetry::new();
+    tel.set_enabled(true);
+    reader.set_telemetry(tel.clone());
+
+    let spec = RoSpec::read_all(1, vec![1]);
+    let mut reports = Vec::new();
+    reader
+        .run_for_into(&spec, SIM_SECONDS, &mut reports)
+        .expect("valid ROSpec");
+    tel.flush();
+
+    let work: BTreeMap<String, u64> = tel
+        .snapshot()
+        .counters()
+        .filter(|(name, _)| name.starts_with(WORK_PREFIX))
+        .map(|(name, v)| (name.to_string(), v))
+        .collect();
+    EngineRun {
+        reports,
+        work,
+        clock_bits: reader.now().to_bits(),
+    }
+}
+
+/// The first report where the streams part ways, described field-by-field
+/// so a failing case names the exact slot, not just "streams differ".
+fn first_report_divergence(a: &[TagReport], b: &[TagReport]) -> Option<String> {
+    let shared = a.len().min(b.len());
+    for i in 0..shared {
+        let (ra, rb) = (&a[i], &b[i]);
+        if ra != rb {
+            return Some(format!(
+                "report #{i} diverges:\n  reference: tag {} epc {} t {:.9} phase {:.12} rss {:.9} ch {} ant {}\n  batched:   tag {} epc {} t {:.9} phase {:.12} rss {:.9} ch {} ant {}",
+                ra.tag_idx, ra.epc, ra.rf.t, ra.rf.phase, ra.rf.rss_dbm, ra.rf.channel, ra.rf.antenna,
+                rb.tag_idx, rb.epc, rb.rf.t, rb.rf.phase, rb.rf.rss_dbm, rb.rf.channel, rb.rf.antenna,
+            ));
+        }
+    }
+    if a.len() != b.len() {
+        return Some(format!(
+            "streams agree on the first {shared} reports, then diverge in length: reference {} vs batched {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    None
+}
+
+/// The first `perf.work.*` counter whose totals differ.
+fn first_work_divergence(a: &BTreeMap<String, u64>, b: &BTreeMap<String, u64>) -> Option<String> {
+    for key in a.keys().chain(b.keys()) {
+        let (va, vb) = (a.get(key), b.get(key));
+        if va != vb {
+            return Some(format!(
+                "counter {key} diverges: reference {va:?} vs batched {vb:?}"
+            ));
+        }
+    }
+    None
+}
+
+fn assert_identical(a: &EngineRun, b: &EngineRun) -> Result<(), TestCaseError> {
+    if let Some(d) = first_report_divergence(&a.reports, &b.reports) {
+        return Err(TestCaseError::fail(d));
+    }
+    if let Some(d) = first_work_divergence(&a.work, &b.work) {
+        return Err(TestCaseError::fail(d));
+    }
+    prop_assert_eq!(
+        a.clock_bits,
+        b.clock_bits,
+        "final sim clocks diverge: reference {} vs batched {}",
+        f64::from_bits(a.clock_bits),
+        f64::from_bits(b.clock_bits)
+    );
+    Ok(())
+}
+
+/// Fault kinds spanning every injector family, with deliberately sloppy
+/// inputs (ports the scene does not drive, tag indices past the
+/// population) — the engines must agree on the sloppy cases too.
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        prop::collection::vec(0u8..4, 0..4)
+            .prop_map(|antennas| FaultKind::AntennaOutage { antennas }),
+        (0.0f64..2.0, 0.0f64..6.0).prop_map(|(phase_sigma, rss_sigma_db)| {
+            FaultKind::BurstNoise {
+                phase_sigma,
+                rss_sigma_db,
+            }
+        }),
+        (0.0f64..30.0, 0.0f64..=1.0).prop_map(|(rss_drop_db, decode_fail_prob)| {
+            FaultKind::SnrCollapse {
+                rss_drop_db,
+                decode_fail_prob,
+            }
+        }),
+        (0.0f64..=1.0).prop_map(|prob| FaultKind::SelectLoss { prob }),
+        (0.0f64..=1.0).prop_map(|prob| FaultKind::QueryRepLoss { prob }),
+        (0.0f64..=1.0).prop_map(|prob| FaultKind::ReplyCorruption { prob }),
+        prop::collection::vec(0usize..20, 1..4).prop_map(|tags| FaultKind::TagMute { tags }),
+        prop::collection::vec(0usize..20, 1..4).prop_map(|tags| FaultKind::TagDetune { tags }),
+        any::<bool>().prop_map(|preserve_flags| FaultKind::ReaderRestart { preserve_flags }),
+    ]
+}
+
+/// Windows drawn around the 2 s run: before, inside, across, and past
+/// the end, overlapping freely.
+fn arb_window() -> impl Strategy<Value = Window> {
+    (
+        0.0f64..3.0,
+        prop_oneof![1 => Just(0.0f64), 3 => 0.0f64..2.0],
+    )
+        .prop_map(|(start, len)| Window::new(start, start + len))
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    prop::collection::vec((arb_kind(), arb_window()), 0..5).prop_map(|events| {
+        let mut plan = FaultPlan::empty("prop-engine");
+        plan.events = events
+            .into_iter()
+            .map(|(kind, window)| FaultEvent { kind, window })
+            .collect();
+        plan
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Clean runs: population size × mobility mix × seed × decode-failure
+    /// rate. Singleton populations, all-static and maximally mobile mixes,
+    /// and zero / non-zero failure rates all land in the sample.
+    #[test]
+    fn engines_agree_on_clean_runs(
+        (n_tags, n_mobile) in (1usize..28).prop_flat_map(|n| (Just(n), 0..=n.min(3))),
+        seed in any::<u64>(),
+        decode_fail_prob in prop_oneof![1 => Just(0.0f64), 2 => 0.0f64..0.3],
+    ) {
+        let a = run_engine(EngineKind::Reference, n_tags, n_mobile, seed, decode_fail_prob, None);
+        let b = run_engine(EngineKind::Batched, n_tags, n_mobile, seed, decode_fail_prob, None);
+        prop_assert!(!a.reports.is_empty(), "a 2 s run must read something");
+        assert_identical(&a, &b)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Faulted runs: arbitrary plans over every injector family. The
+    /// engines must stay byte-identical through outages, noise bursts,
+    /// corruption, command loss, and mid-run reader restarts.
+    #[test]
+    fn engines_agree_under_fault_plans(
+        plan in arb_plan(),
+        n_tags in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let a = run_engine(EngineKind::Reference, n_tags, 1, seed, 0.05, Some(&plan));
+        let b = run_engine(EngineKind::Batched, n_tags, 1, seed, 0.05, Some(&plan));
+        assert_identical(&a, &b)?;
+    }
+}

@@ -11,6 +11,8 @@
 //! - `#[serde(tag = "...")]` internally tagged enums
 //! - `#[serde(default)]` / `#[serde(default = "path")]` on fields,
 //!   `#[serde(default)]` on containers
+//! - `#[serde(skip)]` on fields (omitted on serialize, defaulted on
+//!   deserialize)
 //!
 //! Anything else panics at compile time so unsupported schema creep is
 //! caught immediately.
@@ -31,6 +33,9 @@ struct SerdeAttrs {
     tag: Option<String>,
     /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = path fn.
     default: Option<Option<String>>,
+    /// `#[serde(skip)]`: field is never serialized and deserializes to
+    /// its `Default::default()`.
+    skip: bool,
 }
 
 #[derive(Debug)]
@@ -109,6 +114,7 @@ fn parse_serde_attr_body(tokens: Vec<TokenTree>, out: &mut SerdeAttrs) {
             }
             ("tag", Some(v)) => out.tag = Some(v),
             ("default", v) => out.default = Some(v),
+            ("skip", None) => out.skip = true,
             (k, _) => panic!("serde stub: unsupported serde attribute `{k}`"),
         }
     }
@@ -355,6 +361,9 @@ fn quote_str(s: &str) -> String {
 fn gen_push_fields(fields: &[FieldDef], container: &SerdeAttrs, access_prefix: &str) -> String {
     let mut out = String::new();
     for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
         let json = field_json_name(f, container);
         out.push_str(&format!(
             "__o.push(({}.to_string(), ::serde::Serialize::to_value(&{}{})));\n",
@@ -461,6 +470,12 @@ fn gen_serialize_impl(item: &ItemDef) -> String {
 
 /// Expression rebuilding one named field from `__pairs`.
 fn gen_field_expr(f: &FieldDef, container: &SerdeAttrs, use_container_default: bool) -> String {
+    if f.attrs.skip {
+        return format!(
+            "{ident}: ::std::default::Default::default(),\n",
+            ident = f.ident
+        );
+    }
     let json = quote_str(&field_json_name(f, container));
     let missing = if let Some(default) = &f.attrs.default {
         match default {
